@@ -1,0 +1,65 @@
+// Ablation bench (DESIGN.md Section 5): quantifies each step of the
+// MixedAdaptive allocation by disabling them independently —
+//   step 3 (re-fill under-provisioned hosts from the deallocated pool)
+//   step 4 (distribute the remaining surplus by headroom weights)
+// — and comparing time/energy savings versus StaticCaps on the
+// WastefulPower mix, where the full policy shines.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/policies.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+  const analysis::ExperimentOptions options =
+      bench::parse_options(argc, argv);
+  analysis::ExperimentDriver driver(options);
+  analysis::MixExperiment experiment = driver.prepare(
+      core::make_mix(core::MixKind::kWastefulPower, options.nodes_per_job));
+
+  struct Variant {
+    const char* name;
+    core::MixedAdaptiveOptions options;
+  };
+  const Variant variants[] = {
+      {"full (steps 1-4)", {true, true}},
+      {"no surplus step 4", {true, false}},
+      {"no refill step 3", {false, true}},
+      {"trim only (no 3, no 4)", {false, false}},
+  };
+
+  std::printf("MixedAdaptive ablation on WastefulPower "
+              "(%zu nodes/job, %zu iterations)\n\n",
+              options.nodes_per_job, options.iterations);
+
+  for (core::BudgetLevel level :
+       {core::BudgetLevel::kIdeal, core::BudgetLevel::kMax}) {
+    const analysis::MixRunResult baseline =
+        experiment.run(level, core::PolicyKind::kStaticCaps);
+    util::TextTable table;
+    table.add_column(std::string("variant @ ") +
+                         std::string(core::to_string(level)),
+                     util::Align::kLeft);
+    table.add_column("time savings", util::Align::kRight, 2);
+    table.add_column("energy savings", util::Align::kRight, 2);
+    table.add_column("power util", util::Align::kRight, 1);
+    for (const Variant& variant : variants) {
+      const core::MixedAdaptivePolicy policy(variant.options);
+      const analysis::MixRunResult result = experiment.run_with(
+          level, policy, core::PolicyKind::kMixedAdaptive);
+      const analysis::SavingsSummary savings =
+          analysis::compute_savings(result, baseline);
+      table.begin_row();
+      table.add_cell(variant.name);
+      table.add_percent(savings.time.mean);
+      table.add_percent(savings.energy.mean);
+      table.add_percent(result.power_fraction_of_budget());
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("Step 3 supplies the time savings (power reaches starving\n"
+              "hosts); omitting step 4 keeps caps at needed power, which\n"
+              "maximizes energy savings at generous budgets.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string_view>
+
+#include "analysis/experiment.hpp"
+#include "util/args.hpp"
+
+namespace ps::bench {
+
+/// Shared command line for the figure/table harnesses:
+///   --quick        reduced scale (12 nodes/job, 20 iterations)
+///   --nodes N      nodes per job (paper: 100)
+///   --iterations N measured iterations per run (paper: 100)
+///   --no-variation homogeneous nodes instead of the Quartz model
+inline analysis::ExperimentOptions parse_options(int argc, char** argv) {
+  util::ArgParser parser;
+  parser.add_flag("--quick", "reduced scale (12 nodes/job, 20 iterations)")
+      .add_flag("--no-variation", "homogeneous nodes")
+      .add_option("--nodes", "100", "nodes per job")
+      .add_option("--iterations", "100", "measured iterations per run");
+  parser.parse(argc, argv);
+
+  analysis::ExperimentOptions options;
+  options.characterization_iterations = 5;
+  if (parser.flag("--quick")) {
+    options.nodes_per_job = 12;
+    options.iterations = 20;
+  } else {
+    options.nodes_per_job = parser.option_size("--nodes");
+    options.iterations = parser.option_size("--iterations");
+  }
+  options.hardware_variation = !parser.flag("--no-variation");
+  return options;
+}
+
+/// Scales a mix-level wattage to the paper's 900-node deployment so the
+/// printed numbers are directly comparable with Table III even when the
+/// harness runs at reduced scale.
+inline double to_paper_scale_kw(double watts, std::size_t hosts) {
+  return watts / static_cast<double>(hosts) * 900.0 / 1000.0;
+}
+
+}  // namespace ps::bench

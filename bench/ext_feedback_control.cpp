@@ -1,0 +1,81 @@
+// Extension experiment: model-driven search vs measurement-only feedback
+// control as the balancer implementation. The paper's GEOPM balancer
+// searches during execution; related systems (PShifter, POW) shift power
+// with closed-loop controllers instead. This bench shows the convergence
+// trajectories and the steady states of the three balancers — flat
+// (global search), tree (hierarchical, O(log N) information), and
+// feedback (no model at all).
+#include <cstdio>
+
+#include "runtime/agent_tree.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/feedback_agent.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "runtime/recording_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  constexpr std::size_t kHosts = 16;
+  constexpr std::size_t kIterations = 40;
+  const double budget = static_cast<double>(kHosts) * 195.0;
+
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+
+  std::printf("Balancer comparison: %zu hosts, imbalanced job, budget "
+              "%.1f kW\n\n", kHosts, budget / 1000.0);
+
+  util::TextTable table;
+  table.add_column("balancer", util::Align::kLeft);
+  table.add_column("iters to 1% of final", util::Align::kRight, 0);
+  table.add_column("steady iter (ms)", util::Align::kRight, 2);
+  table.add_column("energy (kJ)", util::Align::kRight, 2);
+
+  const auto run_balancer = [&](const char* label, runtime::Agent& agent) {
+    sim::Cluster cluster(kHosts);
+    std::vector<hw::NodeModel*> hosts;
+    for (std::size_t i = 0; i < kHosts; ++i) {
+      hosts.push_back(&cluster.node(i));
+    }
+    sim::JobSimulation job("job", std::move(hosts), config);
+    runtime::RecordingAgent recorder(&agent);
+    const runtime::JobReport report =
+        runtime::Controller(kIterations).run(job, recorder);
+
+    const sim::TraceRecorder& trace = recorder.trace();
+    const double final_time = trace.value(trace.size() - 1, 0);
+    std::size_t settled = kIterations;
+    for (std::size_t row = 0; row < trace.size(); ++row) {
+      if (trace.value(row, 0) <= final_time * 1.01) {
+        settled = row;
+        break;
+      }
+    }
+    table.begin_row();
+    table.add_cell(label);
+    table.add_cell(std::to_string(settled));
+    table.add_number(final_time * 1000.0);
+    table.add_number(report.total_energy_joules / 1000.0);
+  };
+
+  runtime::PowerBalancerAgent flat(budget);
+  run_balancer("flat search (GEOPM-like)", flat);
+  runtime::TreeBalancerAgent tree(budget);
+  run_balancer("tree search (hierarchical)", tree);
+  runtime::FeedbackPowerAgent feedback(budget);
+  run_balancer("feedback shifter (PShifter-like)", feedback);
+  runtime::FeedbackPowerAgent cautious(budget, {0.25, 4.0, 0.02});
+  run_balancer("feedback shifter (cautious gain)", cautious);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The model-driven searches land in one re-allocation; the "
+              "measurement-only\ncontroller takes several iterations (more "
+              "with a cautious gain), but\nreaches the same steady state "
+              "without any platform model — the trade the\nrelated work "
+              "accepts.\n");
+  return 0;
+}

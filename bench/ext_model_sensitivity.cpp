@@ -1,0 +1,47 @@
+// Extension experiment: robustness of the reproduction's conclusions to
+// its calibration. Each model constant that was fitted to the paper's
+// measurements is perturbed around its default; the headline savings
+// magnitudes move, but the policy orderings (the paper's actual claims)
+// must survive every perturbation.
+#include <cstdio>
+
+#include "analysis/sensitivity.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  const analysis::SensitivityOptions options;
+  std::printf("Calibration sensitivity on the WastefulPower mix "
+              "(%zu nodes/job, %zu iterations)\n\n",
+              options.nodes_per_job, options.iterations);
+
+  const std::vector<analysis::SensitivityCase> cases =
+      analysis::run_sensitivity(options);
+  util::TextTable table;
+  table.add_column("parameter", util::Align::kLeft);
+  table.add_column("value", util::Align::kRight, 3);
+  table.add_column("MA time @ideal", util::Align::kRight, 2);
+  table.add_column("MA energy @max", util::Align::kRight, 2);
+  table.add_column("marker (d)", util::Align::kLeft);
+  table.add_column("time ordering", util::Align::kLeft);
+  bool all_hold = true;
+  for (const auto& test_case : cases) {
+    table.begin_row();
+    table.add_cell(test_case.parameter);
+    table.add_number(test_case.value);
+    table.add_percent(test_case.time_savings_ideal);
+    table.add_percent(test_case.energy_savings_max);
+    table.add_cell(test_case.marker_d_holds ? "holds" : "BROKEN");
+    table.add_cell(test_case.time_ordering_holds ? "holds" : "BROKEN");
+    all_hold = all_hold && test_case.marker_d_holds &&
+               test_case.time_ordering_holds;
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n",
+              all_hold
+                  ? "Every ordering survives every perturbation: the "
+                    "conclusions are\nproperties of the mechanism, not of "
+                    "the calibration."
+                  : "WARNING: some orderings broke under perturbation.");
+  return all_hold ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Extension experiment: intra-node package asymmetry. The paper controls
+// for *inter-node* variation by binning nodes (Fig. 6); within a node,
+// the two packages also differ, and a node-level cap split evenly lets
+// the leakier package pace the whole node. An efficiency-aware split
+// (leakier package gets proportionally more budget) recovers the loss —
+// a knob below even the paper's per-host granularity.
+#include <cstdio>
+
+#include "hw/node.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  std::printf("Intra-node package asymmetry: compute-bound phase (I=32, "
+              "ymm) under a\n190 W node cap, by eta spread and split "
+              "policy\n\n");
+
+  util::TextTable table;
+  table.add_column("eta spread", util::Align::kLeft);
+  table.add_column("split", util::Align::kLeft);
+  table.add_column("freq (GHz)", util::Align::kRight, 3);
+  table.add_column("time (ms)", util::Align::kRight, 2);
+  table.add_column("power (W)", util::Align::kRight, 1);
+  table.add_column("vs even", util::Align::kRight, 2);
+
+  const double spreads[] = {0.0, 0.1, 0.2, 0.3};
+  for (double spread : spreads) {
+    double even_seconds = 0.0;
+    for (int which = 0; which < 2; ++which) {
+      hw::NodeParams params;
+      params.cap_split = which == 0 ? hw::CapSplitPolicy::kEven
+                                    : hw::CapSplitPolicy::kEfficiencyAware;
+      hw::NodeModel node(0, 1.0 - spread / 2.0, 1.0 + spread / 2.0,
+                         params);
+      const hw::PhaseResult result = node.preview_compute(
+          1.0, 32.0, hw::VectorWidth::kYmm256, 190.0);
+      if (which == 0) {
+        even_seconds = result.seconds;
+      }
+      table.begin_row();
+      table.add_cell(which == 0
+                         ? "+/-" + util::format_fixed(spread / 2.0, 2)
+                         : "");
+      table.add_cell(which == 0 ? "even" : "efficiency-aware");
+      table.add_number(result.frequency_ghz);
+      table.add_number(result.seconds * 1000.0);
+      table.add_number(result.power_watts);
+      table.add_percent(result.seconds / even_seconds - 1.0);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The even split loses several percent of compute-bound "
+              "performance per 10%%\nof intra-node eta spread; the "
+              "efficiency-aware split recovers nearly all of\nit at the "
+              "same node cap.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 1 reproduction: facility power of a Quartz-like system over one
+// year — instantaneous draw, 1-day moving average, and the 1.35 MW rating
+// line. Prints a monthly summary series plus the headline statistics the
+// paper's motivation rests on (mean ~0.83 MW versus 1.35 MW procured).
+// A second section regenerates the same under-utilization shape from the
+// event-driven facility simulation (real scheduler + policy + nodes)
+// instead of the statistical trace model.
+#include <cstdio>
+
+#include "facility/facility_manager.hpp"
+#include "sim/facility_trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  util::Rng rng(0xf1a);
+  const sim::FacilityTraceParams params;
+  const sim::FacilityTrace trace =
+      sim::generate_facility_trace(params, rng);
+
+  std::printf("Fig. 1: Total power consumption, synthetic Quartz-like "
+              "facility trace\n");
+  std::printf("Rating (dashed line): %.2f MW\n\n", params.peak_rating_mw);
+
+  util::TextTable table;
+  table.add_column("Month", util::Align::kLeft);
+  table.add_column("Mean (MW)", util::Align::kRight, 3);
+  table.add_column("Min (MW)", util::Align::kRight, 3);
+  table.add_column("Max (MW)", util::Align::kRight, 3);
+  table.add_column("1-day avg end (MW)", util::Align::kRight, 3);
+
+  const char* months[] = {"Nov '17", "Dec '17", "Jan '18", "Feb '18",
+                          "Mar '18", "Apr '18", "May '18", "Jun '18",
+                          "Jul '18", "Aug '18"};
+  const std::size_t per_month = trace.instantaneous_mw.size() / 10;
+  for (std::size_t m = 0; m < 10; ++m) {
+    util::RunningStats stats;
+    for (std::size_t s = m * per_month; s < (m + 1) * per_month; ++s) {
+      stats.add(trace.instantaneous_mw[s]);
+    }
+    table.begin_row();
+    table.add_cell(months[m]);
+    table.add_number(stats.mean());
+    table.add_number(stats.min());
+    table.add_number(stats.max());
+    table.add_number(trace.moving_average_mw[(m + 1) * per_month - 1]);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Trace mean:  %.3f MW (paper: ~0.83 MW)\n", trace.mean_mw());
+  std::printf("Trace peak:  %.3f MW (rating %.2f MW never exceeded)\n",
+              trace.peak_mw(), params.peak_rating_mw);
+  std::printf("Headroom:    %.0f%% of procured power unused on average\n",
+              (1.0 - trace.mean_mw() / params.peak_rating_mw) * 100.0);
+  std::printf("Time above 90%% of rating: %.2f%% of samples\n",
+              trace.fraction_above(0.9 * params.peak_rating_mw) * 100.0);
+
+  // --- Same shape from the actual stack: scheduler + policy + nodes ---
+  std::printf("\nCross-check from the event-driven facility simulation "
+              "(48 nodes, 1 week):\n");
+  sim::Cluster cluster(48);
+  facility::JobTraceOptions jobs;
+  jobs.horizon_hours = 24.0 * 7.0;
+  jobs.arrivals_per_hour = 0.8;
+  jobs.min_nodes = 4;
+  jobs.max_nodes = 24;
+  util::Rng trace_rng(0xf01);
+  facility::FacilityOptions options;
+  options.horizon_hours = jobs.horizon_hours;
+  options.policy = core::PolicyKind::kMixedAdaptive;
+  facility::FacilityManager manager(cluster, options);
+  const facility::FacilityResult simulated =
+      manager.run(facility::generate_job_trace(trace_rng, jobs));
+  const double rating_w = 48.0 * cluster.node(0).tdp();
+  std::printf("  Rated (all nodes at TDP): %.1f kW\n", rating_w / 1000.0);
+  std::printf("  Simulated mean draw:      %.1f kW (%.0f%% of rating)\n",
+              simulated.mean_power_watts() / 1000.0,
+              simulated.mean_power_watts() / rating_w * 100.0);
+  std::printf("  Simulated peak draw:      %.1f kW\n",
+              simulated.peak_power_watts() / 1000.0);
+  std::printf("  Node utilization:         %.0f%%\n",
+              simulated.mean_utilization() * 100.0);
+  std::printf("The same headroom appears: scheduling gaps, queue droughts"
+              " and\nmemory-bound phases keep the mean draw far below the"
+              " procured rating.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 2 reproduction: the paper's Fig. 2 is a diagram of the synthetic
+// microbenchmark's iteration structure — common work on every rank,
+// imbalance work on the critical path, and a slack/polling phase at
+// MPI_Barrier for the waiting ranks. This binary measures that structure
+// from the *real* threaded kernel, so the diagram becomes data.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "kernel/arithmetic_kernel.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  const std::size_t cores =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+
+  kernel::KernelOptions options;
+  options.threads = 4;
+  options.elements_per_thread = 1 << 15;
+  options.iterations = 12;
+  options.config.intensity = 8.0;
+  options.config.waiting_fraction = 0.5;
+  options.config.imbalance = 3.0;
+
+  std::printf("Fig. 2: measured iteration structure of the synthetic "
+              "kernel\n(%zu ranks, %s, %zu iterations, native run)\n\n",
+              options.threads, options.config.description().c_str(),
+              options.iterations);
+
+  const kernel::KernelReport report =
+      kernel::run_arithmetic_kernel(options);
+
+  util::TextTable table;
+  table.add_column("rank", util::Align::kRight, 0);
+  table.add_column("role", util::Align::kLeft);
+  table.add_column("compute (s)", util::Align::kRight, 4);
+  table.add_column("barrier wait (s)", util::Align::kRight, 4);
+  table.add_column("wait share", util::Align::kRight, 1);
+  table.add_column("GFLOP", util::Align::kRight, 2);
+  for (std::size_t t = 0; t < report.threads.size(); ++t) {
+    const auto& thread = report.threads[t];
+    table.begin_row();
+    table.add_cell(std::to_string(t));
+    table.add_cell(thread.waiting_rank ? "waiting (common work only)"
+                                       : "critical (3x work)");
+    table.add_number(thread.busy_seconds);
+    table.add_number(thread.wait_seconds);
+    table.add_percent(thread.wait_seconds /
+                      (thread.busy_seconds + thread.wait_seconds));
+    table.add_number(thread.gflop);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Waiting ranks spend ~%.0f%% of each iteration polling at "
+              "the barrier while\nconsuming near-full power — the energy "
+              "sink the paper's application-aware\npolicies harvest "
+              "(expected (m-1)/m = 67%% for 3x imbalance).\n",
+              report.waiting_slack_fraction() * 100.0);
+  if (cores < options.threads) {
+    std::printf("(Note: only %zu hardware thread(s); oversubscription "
+                "inflates measured waits.)\n", cores);
+  }
+  return 0;
+}

@@ -1,0 +1,187 @@
+// google-benchmark micro-benchmarks for the stack's hot paths: the policy
+// allocators, the balancer search, the node fixed-point solve, the
+// bulk-synchronous simulator, k-means, and the real arithmetic kernel.
+#include <benchmark/benchmark.h>
+
+#include "core/endpoint.hpp"
+#include "core/policies.hpp"
+#include "kernel/arithmetic_kernel.hpp"
+#include "runtime/agent_tree.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ps;
+
+core::PolicyContext make_context(std::size_t jobs, std::size_t hosts) {
+  core::PolicyContext context;
+  context.system_budget_watts =
+      190.0 * static_cast<double>(jobs * hosts);
+  context.node_tdp_watts = 256.0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    runtime::JobCharacterization job;
+    job.host_count = hosts;
+    job.min_settable_cap_watts = 152.0;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const bool waiting = h < hosts / 2;
+      job.monitor.host_average_power_watts.push_back(214.0 +
+                                                     (j % 3) * 5.0);
+      job.balancer.host_needed_power_watts.push_back(waiting ? 152.0
+                                                             : 219.0);
+    }
+    job.monitor.max_host_power_watts = 228.0;
+    job.monitor.min_host_power_watts = 209.0;
+    job.balancer.max_host_needed_watts = 219.0;
+    job.balancer.min_host_needed_watts = 152.0;
+    context.jobs.push_back(std::move(job));
+  }
+  return context;
+}
+
+void BM_PolicyAllocate(benchmark::State& state,
+                       core::PolicyKind kind) {
+  const core::PolicyContext context =
+      make_context(9, static_cast<std::size_t>(state.range(0)));
+  const auto policy = core::make_policy(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->allocate(context));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(9 * state.range(0)));
+}
+
+BENCHMARK_CAPTURE(BM_PolicyAllocate, StaticCaps,
+                  core::PolicyKind::kStaticCaps)
+    ->Arg(100);
+BENCHMARK_CAPTURE(BM_PolicyAllocate, MinimizeWaste,
+                  core::PolicyKind::kMinimizeWaste)
+    ->Arg(100);
+BENCHMARK_CAPTURE(BM_PolicyAllocate, JobAdaptive,
+                  core::PolicyKind::kJobAdaptive)
+    ->Arg(100);
+BENCHMARK_CAPTURE(BM_PolicyAllocate, MixedAdaptive,
+                  core::PolicyKind::kMixedAdaptive)
+    ->Arg(100)
+    ->Arg(1000);
+
+void BM_NodeFixedPointSolve(benchmark::State& state) {
+  const hw::NodeModel node(0, 1.0);
+  double cap = 160.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        node.preview_compute(2.0, 8.0, hw::VectorWidth::kYmm256, cap));
+    cap = cap >= 250.0 ? 160.0 : cap + 1.0;  // defeat memoization
+  }
+}
+BENCHMARK(BM_NodeFixedPointSolve);
+
+void BM_BalancePowerSearch(benchmark::State& state) {
+  sim::Cluster cluster(static_cast<std::size_t>(state.range(0)));
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job("bench", hosts, config);
+  const double budget = 200.0 * static_cast<double>(cluster.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::balance_power(job, budget));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BalancePowerSearch)->Arg(10)->Arg(100);
+
+void BM_SimulatorIteration(benchmark::State& state) {
+  sim::Cluster cluster(static_cast<std::size_t>(state.range(0)));
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.25;
+  config.imbalance = 2.0;
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job("bench", hosts, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(job.run_iteration());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorIteration)->Arg(100)->Arg(900);
+
+void BM_TreeAggregate(benchmark::State& state) {
+  const runtime::TreeTopology tree = runtime::TreeTopology::balanced(
+      static_cast<std::size_t>(state.range(0)), 8);
+  std::vector<double> leaves(static_cast<std::size_t>(state.range(0)),
+                             200.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.aggregate_sum(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeAggregate)->Arg(900);
+
+void BM_EndpointRoundTrip(benchmark::State& state) {
+  core::SampleMessage message;
+  message.sequence = 1;
+  message.job_name = "bench-job";
+  message.min_settable_cap_watts = 152.0;
+  message.host_observed_watts.assign(
+      static_cast<std::size_t>(state.range(0)), 214.125);
+  message.host_needed_watts.assign(
+      static_cast<std::size_t>(state.range(0)), 186.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::parse_sample_message(core::serialize(message)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EndpointRoundTrip)->Arg(100);
+
+void BM_KMeans1d(benchmark::State& state) {
+  util::Rng rng(1);
+  std::vector<double> values;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    values.push_back(rng.normal(1.8, 0.1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::kmeans_1d(values, 3));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans1d)->Arg(2000);
+
+void BM_ArithmeticKernel(benchmark::State& state, hw::VectorWidth width,
+                         double intensity) {
+  kernel::KernelOptions options;
+  options.threads = 2;
+  options.elements_per_thread = 1 << 13;
+  options.iterations = 1;
+  options.config.intensity = intensity;
+  options.config.vector_width = width;
+  double gflops = 0.0;
+  for (auto _ : state) {
+    const kernel::KernelReport report =
+        kernel::run_arithmetic_kernel(options);
+    gflops = report.achieved_gflops;
+    benchmark::DoNotOptimize(report.total_gflop);
+  }
+  state.counters["GFLOPS"] = gflops;
+}
+BENCHMARK_CAPTURE(BM_ArithmeticKernel, scalar_i8, hw::VectorWidth::kScalar,
+                  8.0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArithmeticKernel, ymm_i8, hw::VectorWidth::kYmm256,
+                  8.0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ArithmeticKernel, ymm_i0p25, hw::VectorWidth::kYmm256,
+                  0.25)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

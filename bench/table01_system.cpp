@@ -1,0 +1,51 @@
+// Table I reproduction: properties of the modeled system (the paper's
+// LLNL Quartz), plus the calibrated model constants derived from them.
+#include <cstdio>
+
+#include "hw/node.hpp"
+#include "hw/quartz_spec.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ps;
+  using Spec = hw::QuartzSpec;
+
+  std::printf("Table I: Quartz system properties (modeled)\n\n");
+  util::TextTable table;
+  table.add_column("Property", util::Align::kLeft);
+  table.add_column("Value", util::Align::kLeft);
+  const auto row = [&](const char* property, const std::string& value) {
+    table.begin_row();
+    table.add_cell(property);
+    table.add_cell(value);
+  };
+  row("CPU", "Intel Xeon E5-2695 (modeled), dual-socket");
+  row("Cores Per Node", std::to_string(Spec::kCoresPerNode));
+  row("Benchmark Cores Per Node",
+      std::to_string(Spec::kBenchmarkCoresPerNode));
+  row("Thermal Design Power",
+      util::format_fixed(Spec::kTdpPerSocketW, 0) + " W per CPU socket");
+  row("Minimum RAPL Limit",
+      util::format_fixed(Spec::kMinRaplPerSocketW, 0) + " W per CPU socket");
+  row("Base Frequency",
+      util::format_fixed(Spec::kBaseFrequencyGHz, 1) + " GHz");
+  row("Max (all-core turbo) Frequency",
+      util::format_fixed(Spec::kMaxFrequencyGHz, 1) + " GHz");
+  row("Node Memory Bandwidth",
+      util::format_fixed(Spec::kNodeMemoryBandwidthGBs, 0) + " GB/s");
+  row("DRAM Plane Power (uncappable)",
+      util::format_fixed(Spec::kDramPowerPerNodeW, 0) + " W per node");
+  row("Cluster Size", std::to_string(Spec::kClusterNodeCount) + " nodes");
+  row("Experiment Nodes",
+      std::to_string(Spec::kExperimentNodeCount) + " (medium bin)");
+  row("TDP of all experiment CPUs",
+      util::format_fixed(Spec::kExperimentTdpW / 1000.0, 0) +
+          " kW (Table III footnote)");
+  std::printf("%s\n", table.to_string().c_str());
+
+  const hw::NodeModel node(0, 1.0);
+  std::printf("Derived node-level limits (package caps + DRAM plane):\n");
+  std::printf("  Max settable node cap: %.0f W\n", node.tdp());
+  std::printf("  Min settable node cap: %.0f W\n", node.min_cap());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Table III reproduction: the min / ideal / max system-wide power budgets
+// derived from each mix's characterization runs, printed at the paper's
+// 900-node scale alongside the paper's own values.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+  analysis::ExperimentOptions options = bench::parse_options(argc, argv);
+  analysis::ExperimentDriver driver(options);
+
+  std::printf("Table III: Power budgets for each workload mix "
+              "(%zu nodes/job, scaled to 900 nodes)\n\n",
+              options.nodes_per_job);
+
+  struct PaperRow {
+    core::MixKind kind;
+    double min_kw, ideal_kw, max_kw;
+  };
+  const PaperRow paper[] = {
+      {core::MixKind::kNeedUsedPower, 167, 171, 209},
+      {core::MixKind::kHighImbalance, 141, 163, 209},
+      {core::MixKind::kWastefulPower, 136, 144, 209},
+      {core::MixKind::kLowPower, 138, 152, 209},
+      {core::MixKind::kHighPower, 140, 177, 209},
+      {core::MixKind::kRandomLarge, 139, 164, 209},
+  };
+
+  util::TextTable table;
+  table.add_column("Workload Mix", util::Align::kLeft);
+  table.add_column("min (kW)", util::Align::kRight, 0);
+  table.add_column("ideal (kW)", util::Align::kRight, 0);
+  table.add_column("max (kW)", util::Align::kRight, 0);
+  table.add_column("paper min", util::Align::kRight, 0);
+  table.add_column("paper ideal", util::Align::kRight, 0);
+  table.add_column("paper max", util::Align::kRight, 0);
+  for (const PaperRow& row : paper) {
+    analysis::MixExperiment experiment =
+        driver.prepare(core::make_mix(row.kind, options.nodes_per_job));
+    const core::PowerBudgets& budgets = experiment.budgets();
+    const std::size_t hosts = experiment.total_hosts();
+    table.begin_row();
+    table.add_cell(std::string(core::to_string(row.kind)));
+    table.add_number(bench::to_paper_scale_kw(budgets.min_watts, hosts));
+    table.add_number(bench::to_paper_scale_kw(budgets.ideal_watts, hosts));
+    table.add_number(bench::to_paper_scale_kw(budgets.max_watts, hosts));
+    table.add_number(row.min_kw);
+    table.add_number(row.ideal_kw);
+    table.add_number(row.max_kw);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("TDP of all CPUs is %.0f kW (packages only; the DRAM plane "
+              "adds %.1f kW).\n",
+              hw::QuartzSpec::kExperimentTdpW / 1000.0,
+              hw::QuartzSpec::kDramPowerPerNodeW * 900.0 / 1000.0);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// The reproduction self-check: runs the full experiment grid and
+// programmatically evaluates every annotated marker and headline from
+// the paper. Exit code 0 iff every claim holds — wire it into CI to
+// guard the reproduction against regressions.
+#include <cstdio>
+
+#include "analysis/validation.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+  const analysis::ExperimentOptions options =
+      bench::parse_options(argc, argv);
+  std::printf("Validating the paper's claims against a fresh grid run "
+              "(%zu nodes/job, %zu iterations)...\n\n",
+              options.nodes_per_job, options.iterations);
+  const analysis::ValidationReport report =
+      analysis::validate_paper_claims(options);
+
+  util::TextTable table;
+  table.add_column("claim", util::Align::kLeft);
+  table.add_column("verdict", util::Align::kLeft);
+  table.add_column("measured", util::Align::kLeft);
+  table.add_column("description", util::Align::kLeft);
+  for (const auto& claim : report.claims) {
+    table.begin_row();
+    table.add_cell(claim.id);
+    table.add_cell(claim.passed ? "PASS" : "FAIL");
+    table.add_cell(claim.detail);
+    table.add_cell(claim.description);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%zu / %zu claims hold.\n", report.passed_count(),
+              report.claims.size());
+  return report.all_passed() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// The RM <-> runtime coordination protocol, end to end: two "job
+// runtimes" and one "resource manager" exchange versioned messages over
+// an endpoint (stand-in for a socket or shared memory), repeating the
+// sample -> allocate -> apply cycle the paper's conclusion proposes.
+//
+//   ./coordination_protocol
+#include <cstdio>
+
+#include "core/endpoint.hpp"
+#include "core/policies.hpp"
+#include "sim/cluster.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace ps;
+
+  sim::Cluster cluster(8);
+  kernel::WorkloadConfig wasteful;
+  wasteful.intensity = 8.0;
+  wasteful.waiting_fraction = 0.5;
+  wasteful.imbalance = 3.0;
+  kernel::WorkloadConfig hungry;
+  hungry.intensity = 32.0;
+  std::vector<hw::NodeModel*> a;
+  std::vector<hw::NodeModel*> b;
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.push_back(&cluster.node(i));
+    b.push_back(&cluster.node(i + 4));
+  }
+  sim::JobSimulation job_a("wasteful", a, wasteful);
+  sim::JobSimulation job_b("hungry", b, hungry);
+  const double budget = 8.0 * 195.0;
+
+  core::Endpoint endpoint;
+  const core::MixedAdaptivePolicy policy;
+
+  std::printf("RM <-> runtime protocol demo, budget %s, 3 epochs\n\n",
+              util::format_watts(budget).c_str());
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    // --- Runtime side: measure and post samples. ---
+    endpoint.post_sample(core::make_sample(job_a, epoch));
+    endpoint.post_sample(core::make_sample(job_b, epoch));
+
+    // --- RM side: drain samples, allocate, post policies. ---
+    std::vector<core::SampleMessage> samples;
+    while (auto sample = endpoint.receive_sample()) {
+      samples.push_back(std::move(*sample));
+    }
+    const core::PolicyContext context = core::context_from_samples(
+        budget, cluster.node(0).tdp(),
+        cluster.node(0).params().dram_watts, samples);
+    const rm::PowerAllocation allocation = policy.allocate(context);
+    for (const core::PolicyMessage& message :
+         core::make_policy_messages(allocation, samples, epoch)) {
+      endpoint.post_policy(message);
+    }
+
+    // --- Runtime side: apply the received caps. ---
+    while (auto message = endpoint.receive_policy()) {
+      sim::JobSimulation& job =
+          message->job_name == "wasteful" ? job_a : job_b;
+      core::apply_policy_message(job, *message);
+    }
+
+    std::printf("epoch %llu: wasteful %s  (waiting host cap %s), hungry "
+                "%s\n",
+                static_cast<unsigned long long>(epoch),
+                util::format_watts(job_a.total_allocated_power()).c_str(),
+                util::format_watts(job_a.host_cap(0)).c_str(),
+                util::format_watts(job_b.total_allocated_power()).c_str());
+  }
+
+  std::printf("\nOne sample message on the wire:\n\n%s\n",
+              core::serialize(core::make_sample(job_a, 4)).c_str());
+  std::printf("Everything the MixedAdaptive policy needs crosses the "
+              "endpoint in two small,\nversioned messages per job per "
+              "epoch — the protocol the paper's conclusion\ncalls for.\n");
+  return 0;
+}

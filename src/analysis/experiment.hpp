@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/mixes.hpp"
+#include "core/policy.hpp"
+#include "sim/cluster.hpp"
+#include "sim/job_sim.hpp"
+#include "util/stats.hpp"
+
+namespace ps::analysis {
+
+/// Knobs of the Figs. 7-8 experiment grid.
+struct ExperimentOptions {
+  std::size_t nodes_per_job = 100;  ///< The paper's scale; tests use less.
+  std::size_t iterations = 100;     ///< Measured iterations per run.
+  std::size_t characterization_iterations = 5;
+  double noise_time_sigma = 0.004;  ///< Per-iteration OS jitter.
+  std::uint64_t seed = 42;
+  /// If true, nodes get Quartz-like manufacturing variation and jobs run
+  /// on the selected frequency bin, as in the paper. If false, the
+  /// cluster is homogeneous (faster; used by unit tests).
+  bool hardware_variation = true;
+  /// Which k-means frequency bin hosts the jobs: 0 = low, 1 = medium
+  /// (the paper's choice), 2 = high. Ignored without hardware_variation.
+  std::size_t frequency_bin = 1;
+  /// Hardware model constants (the sensitivity bench perturbs these).
+  hw::NodeParams node_params{};
+  /// Balancer knobs used during characterization.
+  runtime::BalancerOptions balancer{};
+};
+
+/// Per-job outcome of one measured run.
+struct JobRunMetrics {
+  std::string job_name;
+  double elapsed_seconds = 0.0;
+  double energy_joules = 0.0;
+  double gflop = 0.0;
+  double average_node_power_watts = 0.0;
+  double allocated_watts = 0.0;  ///< Sum of this job's host caps.
+  std::vector<double> iteration_seconds;
+  std::vector<double> iteration_energy_joules;
+};
+
+/// One cell of the experiment grid: a (mix, budget, policy) run.
+struct MixRunResult {
+  std::string mix_name;
+  core::PolicyKind policy = core::PolicyKind::kStaticCaps;
+  core::BudgetLevel level = core::BudgetLevel::kMin;
+  double budget_watts = 0.0;
+  double allocated_watts = 0.0;
+  bool within_budget = true;
+  std::vector<JobRunMetrics> jobs;
+
+  /// System power while the mix runs (jobs run concurrently), as a
+  /// fraction of the budget — a Fig. 7 bar.
+  [[nodiscard]] double power_fraction_of_budget() const;
+  [[nodiscard]] double system_power_watts() const;
+  [[nodiscard]] double total_energy_joules() const;
+  [[nodiscard]] double total_gflop() const;
+  /// Mean per-job elapsed time (every job runs the same iteration count).
+  [[nodiscard]] double mean_elapsed_seconds() const;
+};
+
+/// Savings of a policy versus the StaticCaps baseline (a Fig. 8 bar with
+/// its 95% confidence interval). Positive = improvement.
+struct SavingsSummary {
+  util::ConfidenceInterval time;            ///< Fractional time savings.
+  util::ConfidenceInterval energy;          ///< Fractional energy savings.
+  util::ConfidenceInterval edp;             ///< Fractional EDP savings.
+  util::ConfidenceInterval flops_per_watt;  ///< Fractional FLOPS/W increase.
+  /// Sign-flip permutation p-values for "the savings are zero".
+  double time_pvalue = 1.0;
+  double energy_pvalue = 1.0;
+};
+
+/// Per-iteration, per-job paired comparison against the baseline run.
+[[nodiscard]] SavingsSummary compute_savings(const MixRunResult& run,
+                                             const MixRunResult& baseline);
+
+/// A characterized mix, ready to run under any (budget, policy) pair.
+class MixExperiment {
+ public:
+  MixExperiment(sim::Cluster& cluster,
+                std::vector<std::size_t> experiment_nodes,
+                const core::WorkloadMix& mix, const ExperimentOptions& options);
+
+  [[nodiscard]] const std::string& mix_name() const noexcept {
+    return mix_name_;
+  }
+  [[nodiscard]] const core::PowerBudgets& budgets() const noexcept {
+    return budgets_;
+  }
+  [[nodiscard]] const std::vector<runtime::JobCharacterization>&
+  characterizations() const noexcept {
+    return characterizations_;
+  }
+  [[nodiscard]] std::size_t total_hosts() const noexcept;
+
+  /// Allocates with `policy` under the given budget level and runs every
+  /// job for options.iterations measured iterations.
+  [[nodiscard]] MixRunResult run(core::BudgetLevel level,
+                                 core::PolicyKind policy);
+
+  /// Same, with an explicit policy object (for ablation variants).
+  [[nodiscard]] MixRunResult run_with(core::BudgetLevel level,
+                                      const core::Policy& policy,
+                                      core::PolicyKind label);
+
+ private:
+  std::string mix_name_;
+  ExperimentOptions options_;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs_;
+  std::vector<runtime::JobCharacterization> characterizations_;
+  core::PowerBudgets budgets_;
+  double node_tdp_watts_ = 0.0;
+};
+
+/// Owns the cluster and orchestrates the full grid.
+class ExperimentDriver {
+ public:
+  explicit ExperimentDriver(const ExperimentOptions& options = {});
+
+  [[nodiscard]] sim::Cluster& cluster() noexcept { return *cluster_; }
+  /// Node indices jobs run on (the medium-frequency k-means cluster when
+  /// hardware variation is on).
+  [[nodiscard]] const std::vector<std::size_t>& experiment_nodes()
+      const noexcept {
+    return experiment_nodes_;
+  }
+
+  /// Characterizes one mix (reusable across budgets and policies).
+  [[nodiscard]] MixExperiment prepare(const core::WorkloadMix& mix);
+
+  [[nodiscard]] const ExperimentOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  ExperimentOptions options_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::vector<std::size_t> experiment_nodes_;
+};
+
+}  // namespace ps::analysis

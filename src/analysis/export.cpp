@@ -1,0 +1,55 @@
+#include "analysis/export.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace ps::analysis {
+
+void write_grid_csv(std::ostream& out,
+                    const std::vector<MixRunResult>& runs) {
+  util::CsvWriter csv(out);
+  csv.write_row({"mix", "policy", "budget", "budget_watts",
+                 "allocated_watts", "within_budget", "power_fraction",
+                 "total_energy_joules", "mean_elapsed_seconds",
+                 "total_gflop"});
+  for (const MixRunResult& run : runs) {
+    csv.write_row({run.mix_name, std::string(core::to_string(run.policy)),
+                   std::string(core::to_string(run.level)),
+                   util::format_fixed(run.budget_watts, 1),
+                   util::format_fixed(run.allocated_watts, 1),
+                   run.within_budget ? "1" : "0",
+                   util::format_fixed(run.power_fraction_of_budget(), 4),
+                   util::format_fixed(run.total_energy_joules(), 1),
+                   util::format_fixed(run.mean_elapsed_seconds(), 6),
+                   util::format_fixed(run.total_gflop(), 1)});
+  }
+}
+
+void write_savings_csv(std::ostream& out,
+                       const std::vector<SavingsRow>& rows) {
+  util::CsvWriter csv(out);
+  csv.write_row({"mix", "policy", "budget", "metric", "mean", "ci_lo",
+                 "ci_hi"});
+  for (const SavingsRow& row : rows) {
+    const struct {
+      const char* name;
+      const util::ConfidenceInterval& ci;
+    } metrics[] = {
+        {"time_savings", row.savings.time},
+        {"energy_savings", row.savings.energy},
+        {"edp_savings", row.savings.edp},
+        {"flops_per_watt_increase", row.savings.flops_per_watt},
+    };
+    for (const auto& metric : metrics) {
+      csv.write_row({row.mix_name,
+                     std::string(core::to_string(row.policy)),
+                     std::string(core::to_string(row.level)), metric.name,
+                     util::format_fixed(metric.ci.mean, 6),
+                     util::format_fixed(metric.ci.lo(), 6),
+                     util::format_fixed(metric.ci.hi(), 6)});
+    }
+  }
+}
+
+}  // namespace ps::analysis

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <utility>
+
+#include "analysis/experiment.hpp"
+
+namespace ps::analysis {
+
+/// Writes one experiment-grid run per row:
+///
+///   mix,policy,budget,budget_watts,allocated_watts,within_budget,
+///   power_fraction,total_energy_joules,mean_elapsed_seconds,total_gflop
+///
+/// The machine-readable counterpart of Fig. 7.
+void write_grid_csv(std::ostream& out,
+                    const std::vector<MixRunResult>& runs);
+
+/// Writes one savings comparison per row (policy vs baseline per mix and
+/// budget), with 95% CI bounds — the machine-readable Fig. 8:
+///
+///   mix,policy,budget,metric,mean,ci_lo,ci_hi
+struct SavingsRow {
+  std::string mix_name;
+  core::PolicyKind policy = core::PolicyKind::kMixedAdaptive;
+  core::BudgetLevel level = core::BudgetLevel::kMin;
+  SavingsSummary savings;
+};
+
+void write_savings_csv(std::ostream& out,
+                       const std::vector<SavingsRow>& rows);
+
+}  // namespace ps::analysis

@@ -1,0 +1,115 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/mixes.hpp"
+#include "runtime/characterization.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ps::analysis {
+
+namespace {
+double grid_extreme(const std::vector<std::vector<double>>& grid, bool max) {
+  PS_CHECK_STATE(!grid.empty() && !grid.front().empty(), "empty heatmap");
+  double extreme = grid.front().front();
+  for (const auto& row : grid) {
+    for (double value : row) {
+      extreme = max ? std::max(extreme, value) : std::min(extreme, value);
+    }
+  }
+  return extreme;
+}
+}  // namespace
+
+double HeatmapResult::monitor_max() const {
+  return grid_extreme(monitor_power, true);
+}
+double HeatmapResult::monitor_min() const {
+  return grid_extreme(monitor_power, false);
+}
+double HeatmapResult::balancer_max() const {
+  return grid_extreme(balancer_power, true);
+}
+double HeatmapResult::balancer_min() const {
+  return grid_extreme(balancer_power, false);
+}
+
+std::string HeatmapResult::to_table(bool balancer) const {
+  const auto& grid = balancer ? balancer_power : monitor_power;
+  util::TextTable table;
+  table.add_column("FLOPs/byte", util::Align::kRight, 2);
+  for (const auto& label : column_labels) {
+    table.add_column(label, util::Align::kRight, 0);
+  }
+  for (std::size_t row = 0; row < intensities.size(); ++row) {
+    table.begin_row();
+    table.add_number(intensities[row]);
+    for (double value : grid[row]) {
+      table.add_cell(util::format_fixed(value, 0));
+    }
+  }
+  return table.to_string();
+}
+
+HeatmapResult run_power_heatmap(sim::Cluster& cluster,
+                                const std::vector<std::size_t>& node_indices,
+                                hw::VectorWidth width,
+                                std::size_t iterations) {
+  PS_REQUIRE(!node_indices.empty(), "heatmap needs test nodes");
+  PS_REQUIRE(iterations > 0, "heatmap needs iterations");
+
+  const std::vector<kernel::WorkloadConfig> grid = core::heatmap_grid(width);
+  HeatmapResult result;
+  result.width = width;
+
+  // Recover the row/column structure of the grid.
+  for (const auto& config : grid) {
+    if (result.column_labels.empty() ||
+        config.intensity != result.intensities.back()) {
+      if (std::find(result.intensities.begin(), result.intensities.end(),
+                    config.intensity) == result.intensities.end()) {
+        result.intensities.push_back(config.intensity);
+      }
+    }
+  }
+  const std::size_t columns = grid.size() / result.intensities.size();
+  for (std::size_t c = 0; c < columns; ++c) {
+    const auto& config = grid[c];
+    std::ostringstream label;
+    if (config.waiting_fraction <= 0.0) {
+      label << "0%";
+    } else {
+      label << static_cast<int>(config.waiting_fraction * 100.0) << "% at "
+            << static_cast<int>(config.imbalance) << "x";
+    }
+    result.column_labels.push_back(label.str());
+  }
+
+  std::vector<hw::NodeModel*> hosts;
+  hosts.reserve(node_indices.size());
+  for (std::size_t index : node_indices) {
+    hosts.push_back(&cluster.node(index));
+  }
+
+  result.monitor_power.assign(result.intensities.size(),
+                              std::vector<double>(columns, 0.0));
+  result.balancer_power.assign(result.intensities.size(),
+                               std::vector<double>(columns, 0.0));
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const std::size_t row = i / columns;
+    const std::size_t column = i % columns;
+    sim::JobSimulation job("heatmap-" + grid[i].name(), hosts, grid[i]);
+    result.monitor_power[row][column] =
+        runtime::characterize_monitor(job, iterations)
+            .average_node_power_watts;
+    sim::JobSimulation job2("heatmap2-" + grid[i].name(), hosts, grid[i]);
+    result.balancer_power[row][column] =
+        runtime::characterize_balancer(job2, iterations)
+            .average_node_power_watts;
+  }
+  return result;
+}
+
+}  // namespace ps::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/perf_model.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::analysis {
+
+/// Reproduction of the paper's Figs. 4-5 heatmaps: per-node CPU power for
+/// each (intensity x imbalance-configuration) cell of the workload grid,
+/// measured under the monitor agent (uncapped, Fig. 4) and under the
+/// power balancer at a TDP budget (Fig. 5).
+struct HeatmapResult {
+  hw::VectorWidth width = hw::VectorWidth::kYmm256;
+  std::vector<double> intensities;          ///< Row labels.
+  std::vector<std::string> column_labels;   ///< e.g. "50% at 3x".
+  /// monitor_power[row][column], watts per node.
+  std::vector<std::vector<double>> monitor_power;
+  std::vector<std::vector<double>> balancer_power;
+
+  [[nodiscard]] double monitor_max() const;
+  [[nodiscard]] double monitor_min() const;
+  [[nodiscard]] double balancer_max() const;
+  [[nodiscard]] double balancer_min() const;
+  /// Renders one of the two grids as a fixed-width table.
+  [[nodiscard]] std::string to_table(bool balancer) const;
+};
+
+/// Runs the grid on `node_indices` of `cluster` (the paper uses 100 test
+/// nodes), `iterations` bulk-synchronous iterations per cell.
+[[nodiscard]] HeatmapResult run_power_heatmap(
+    sim::Cluster& cluster, const std::vector<std::size_t>& node_indices,
+    hw::VectorWidth width, std::size_t iterations = 5);
+
+}  // namespace ps::analysis

@@ -1,0 +1,54 @@
+#include "analysis/roofline_analysis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::analysis {
+
+std::vector<double> fig3_intensities() {
+  return {0.007, 0.04, 0.1, 0.25, 0.4, 0.7, 1.0, 2.0,
+          4.0,   7.0,  8.0, 10.0, 16.0, 32.0, 40.0};
+}
+
+RooflineAnalysis analyze_roofline(const hw::NodeModel& node,
+                                  const std::vector<double>& intensities) {
+  PS_REQUIRE(!intensities.empty(), "roofline sweep needs intensities");
+  const hw::RooflineModel& roofline = node.roofline();
+  const double f_max = node.params().power.max_frequency_ghz;
+
+  RooflineAnalysis analysis;
+  analysis.memory_bandwidth_gbs = roofline.memory_bandwidth_gbs(f_max);
+  analysis.scalar_peak_gflops =
+      roofline.peak_gflops(hw::VectorWidth::kScalar, f_max);
+  analysis.xmm_peak_gflops =
+      roofline.peak_gflops(hw::VectorWidth::kXmm128, f_max);
+  analysis.ymm_peak_gflops =
+      roofline.peak_gflops(hw::VectorWidth::kYmm256, f_max);
+  analysis.ridge_intensity_ymm =
+      roofline.ridge_intensity(hw::VectorWidth::kYmm256, f_max);
+
+  const hw::VectorWidth widths[] = {hw::VectorWidth::kScalar,
+                                    hw::VectorWidth::kXmm128,
+                                    hw::VectorWidth::kYmm256};
+  for (hw::VectorWidth width : widths) {
+    for (double intensity : intensities) {
+      PS_REQUIRE(intensity >= 0.0, "intensity cannot be negative");
+      RooflinePoint point;
+      point.intensity = intensity;
+      point.width = width;
+      // Uncapped: the node runs at whatever frequency TDP allows.
+      const hw::PhaseResult result =
+          node.preview_compute(1.0, std::max(intensity, 1e-9), width,
+                               node.tdp());
+      point.achieved_gflops = result.gflops;
+      const double bw = roofline.memory_bandwidth_gbs(result.frequency_ghz);
+      const double peak = roofline.peak_gflops(width, result.frequency_ghz);
+      point.envelope_gflops = std::min(intensity * bw, peak);
+      analysis.points.push_back(point);
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ps::analysis

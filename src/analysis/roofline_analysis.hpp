@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/node.hpp"
+
+namespace ps::analysis {
+
+/// One data point of the roofline sweep (a colored dot in the paper's
+/// Fig. 3).
+struct RooflinePoint {
+  double intensity = 0.0;  ///< FLOPs/byte.
+  hw::VectorWidth width = hw::VectorWidth::kYmm256;
+  double achieved_gflops = 0.0;
+  double envelope_gflops = 0.0;  ///< min(I * BW, peak) at this intensity.
+  /// Achieved / envelope: 1.0 means the kernel touches the roofline.
+  [[nodiscard]] double efficiency() const {
+    return envelope_gflops > 0.0 ? achieved_gflops / envelope_gflops : 0.0;
+  }
+};
+
+/// Fig. 3 reproduction: the platform's roofline ceilings plus the kernel's
+/// achieved throughput across an intensity sweep.
+struct RooflineAnalysis {
+  double memory_bandwidth_gbs = 0.0;
+  double scalar_peak_gflops = 0.0;
+  double xmm_peak_gflops = 0.0;
+  double ymm_peak_gflops = 0.0;
+  double ridge_intensity_ymm = 0.0;  ///< Where the ymm roof goes flat.
+  std::vector<RooflinePoint> points;
+};
+
+/// Sweeps the analytic kernel model on `node` (uncapped) across
+/// `intensities` for each of the three vector widths.
+[[nodiscard]] RooflineAnalysis analyze_roofline(
+    const hw::NodeModel& node, const std::vector<double>& intensities);
+
+/// The paper's Fig. 3 intensity sweep {0.007 ... 40}, log-spaced.
+[[nodiscard]] std::vector<double> fig3_intensities();
+
+}  // namespace ps::analysis

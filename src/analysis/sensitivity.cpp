@@ -1,0 +1,88 @@
+#include "analysis/sensitivity.hpp"
+
+#include "core/mixes.hpp"
+
+namespace ps::analysis {
+
+namespace {
+
+SensitivityCase run_case(const SensitivityOptions& options,
+                         std::string parameter, double value,
+                         const ExperimentOptions& experiment_options) {
+  ExperimentDriver driver(experiment_options);
+  MixExperiment experiment = driver.prepare(core::make_mix(
+      core::MixKind::kWastefulPower, experiment_options.nodes_per_job));
+
+  SensitivityCase result;
+  result.parameter = std::move(parameter);
+  result.value = value;
+
+  const MixRunResult ideal_base =
+      experiment.run(core::BudgetLevel::kIdeal,
+                     core::PolicyKind::kStaticCaps);
+  const SavingsSummary ideal_mixed = compute_savings(
+      experiment.run(core::BudgetLevel::kIdeal,
+                     core::PolicyKind::kMixedAdaptive),
+      ideal_base);
+  result.time_savings_ideal = ideal_mixed.time.mean;
+  result.time_ordering_holds = ideal_mixed.time.mean > 0.0;
+
+  const MixRunResult max_base = experiment.run(
+      core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps);
+  const SavingsSummary max_mixed = compute_savings(
+      experiment.run(core::BudgetLevel::kMax,
+                     core::PolicyKind::kMixedAdaptive),
+      max_base);
+  const SavingsSummary max_job = compute_savings(
+      experiment.run(core::BudgetLevel::kMax,
+                     core::PolicyKind::kJobAdaptive),
+      max_base);
+  result.energy_savings_max = max_mixed.energy.mean;
+  result.marker_d_holds = max_mixed.energy.mean > max_job.energy.mean;
+  static_cast<void>(options);
+  return result;
+}
+
+ExperimentOptions base_experiment_options(
+    const SensitivityOptions& options) {
+  ExperimentOptions experiment;
+  experiment.nodes_per_job = options.nodes_per_job;
+  experiment.iterations = options.iterations;
+  experiment.characterization_iterations = 3;
+  experiment.hardware_variation = false;
+  experiment.noise_time_sigma = 0.002;
+  return experiment;
+}
+
+}  // namespace
+
+std::vector<SensitivityCase> run_sensitivity(
+    const SensitivityOptions& options) {
+  std::vector<SensitivityCase> cases;
+
+  for (double floor : options.bandwidth_floors) {
+    ExperimentOptions experiment = base_experiment_options(options);
+    experiment.node_params.roofline.bandwidth_frequency_floor = floor;
+    cases.push_back(
+        run_case(options, "bandwidth_floor", floor, experiment));
+  }
+  for (double dram : options.dram_watts) {
+    ExperimentOptions experiment = base_experiment_options(options);
+    experiment.node_params.dram_watts = dram;
+    cases.push_back(run_case(options, "dram_watts", dram, experiment));
+  }
+  for (double poll : options.poll_activities) {
+    ExperimentOptions experiment = base_experiment_options(options);
+    experiment.node_params.activity.poll_activity = poll;
+    cases.push_back(run_case(options, "poll_activity", poll, experiment));
+  }
+  for (double slowdown : options.tolerated_slowdowns) {
+    ExperimentOptions experiment = base_experiment_options(options);
+    experiment.balancer.tolerated_slowdown = slowdown;
+    cases.push_back(
+        run_case(options, "tolerated_slowdown", slowdown, experiment));
+  }
+  return cases;
+}
+
+}  // namespace ps::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace ps::analysis {
+
+/// One perturbed-model case of the calibration-sensitivity study.
+struct SensitivityCase {
+  std::string parameter;  ///< e.g. "bandwidth_floor".
+  double value = 0.0;
+  /// Headline cells under the perturbed model (WastefulPower mix).
+  double time_savings_ideal = 0.0;    ///< MixedAdaptive at ideal.
+  double energy_savings_max = 0.0;    ///< MixedAdaptive at max.
+  /// Do the key orderings survive? (marker (d): MixedAdaptive beats
+  /// JobAdaptive on energy at max; MixedAdaptive beats StaticCaps on
+  /// time at ideal.)
+  bool marker_d_holds = false;
+  bool time_ordering_holds = false;
+};
+
+/// The parameter grid: each calibrated model constant perturbed around
+/// its default while the others stay fixed.
+struct SensitivityOptions {
+  std::size_t nodes_per_job = 8;
+  std::size_t iterations = 16;
+  std::vector<double> bandwidth_floors = {0.60, 0.70, 0.80};
+  std::vector<double> dram_watts = {8.0, 16.0, 24.0};
+  std::vector<double> poll_activities = {0.80, 0.85, 0.90};
+  std::vector<double> tolerated_slowdowns = {0.02, 0.035, 0.05};
+};
+
+/// Runs the study. The reproduction's conclusions should be robust: the
+/// orderings hold for every perturbation even though magnitudes move.
+[[nodiscard]] std::vector<SensitivityCase> run_sensitivity(
+    const SensitivityOptions& options);
+
+}  // namespace ps::analysis

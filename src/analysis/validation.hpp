@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace ps::analysis {
+
+/// One of the paper's qualitative claims, checked against a fresh run of
+/// the experiment grid.
+struct ClaimResult {
+  std::string id;           ///< e.g. "marker-d".
+  std::string description;  ///< The claim in the paper's words.
+  bool passed = false;
+  std::string detail;       ///< Measured numbers behind the verdict.
+};
+
+/// The full self-check: every annotated marker and headline.
+struct ValidationReport {
+  std::vector<ClaimResult> claims;
+
+  [[nodiscard]] bool all_passed() const;
+  [[nodiscard]] std::size_t passed_count() const;
+};
+
+/// Runs the experiment grid at the given scale and programmatically
+/// evaluates the paper's claims (Table III structure, Fig. 7 markers (a)
+/// and (b), Fig. 8 markers (c) and (d), the savings headlines and
+/// takeaways). This is the repository's reproduction self-check: if it
+/// passes, the build reproduces the paper's qualitative results.
+[[nodiscard]] ValidationReport validate_paper_claims(
+    const ExperimentOptions& options);
+
+}  // namespace ps::analysis

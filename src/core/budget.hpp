@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "runtime/characterization.hpp"
+
+namespace ps::core {
+
+/// The three degrees of over-provisioning evaluated per mix (Table III).
+enum class BudgetLevel { kMin, kIdeal, kMax };
+
+[[nodiscard]] std::string_view to_string(BudgetLevel level) noexcept;
+[[nodiscard]] std::vector<BudgetLevel> all_budget_levels();
+
+/// System-wide power budgets for one workload mix (paper Table III).
+struct PowerBudgets {
+  double min_watts = 0.0;    ///< Aggressive over-provisioning.
+  double ideal_watts = 0.0;  ///< Exactly the performance-aware demand.
+  double max_watts = 0.0;    ///< Conservative over-provisioning.
+
+  [[nodiscard]] double at(BudgetLevel level) const;
+};
+
+/// Derives the budgets from characterization data (paper Section V-C):
+///  - min:   every node gets the smallest per-node power any workload in
+///           the mix needs (balancer characterization);
+///  - ideal: the sum over all hosts of their needed power;
+///  - max:   every node gets the largest per-node power any workload in
+///           the mix consumes uncapped (monitor characterization).
+[[nodiscard]] PowerBudgets select_budgets(
+    const std::vector<runtime::JobCharacterization>& jobs);
+
+}  // namespace ps::core

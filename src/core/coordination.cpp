@@ -1,0 +1,164 @@
+#include "core/coordination.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rm/power_manager.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+
+double CoordinationResult::gflops_per_watt() const {
+  if (energy_joules <= 0.0) {
+    return 0.0;
+  }
+  return total_gflop / energy_joules;
+}
+
+CoordinationLoop::CoordinationLoop(double system_budget_watts,
+                                   const CoordinationOptions& options)
+    : budget_(system_budget_watts), options_(options) {
+  PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
+  PS_REQUIRE(options.epoch_iterations > 0,
+             "epochs need at least one iteration");
+  PS_REQUIRE(options.convergence_watts > 0.0,
+             "convergence threshold must be positive");
+}
+
+PolicyContext CoordinationLoop::build_context(
+    std::span<sim::JobSimulation* const> jobs) {
+  PolicyContext context;
+  context.system_budget_watts = budget_;
+  context.node_tdp_watts = jobs.front()->host(0).tdp();
+  context.uncappable_watts =
+      jobs.front()->host(0).params().dram_watts;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    sim::JobSimulation& job = *jobs[j];
+    runtime::JobCharacterization data;
+    data.host_count = job.host_count();
+    data.min_settable_cap_watts = job.host(0).min_cap();
+    // Live "needed" estimate: the balancer search under an unconstrained
+    // budget re-derives each host's minimum performance-preserving cap
+    // for the job's *current* phase.
+    double tdp_budget = 0.0;
+    for (std::size_t h = 0; h < job.host_count(); ++h) {
+      tdp_budget += job.host(h).tdp();
+    }
+    data.balancer.host_needed_power_watts =
+        runtime::balance_power(job, tdp_budget, options_.balancer);
+    data.balancer.min_host_needed_watts =
+        *std::min_element(data.balancer.host_needed_power_watts.begin(),
+                          data.balancer.host_needed_power_watts.end());
+    data.balancer.max_host_needed_watts =
+        *std::max_element(data.balancer.host_needed_power_watts.begin(),
+                          data.balancer.host_needed_power_watts.end());
+    // Live "monitor" estimate: the running demand maximum observed so
+    // far (a host capped below its demand still reveals demand up to its
+    // cap; the estimate grows as caps rise).
+    data.monitor.host_average_power_watts = live_[j].demand_watts;
+    data.monitor.max_host_power_watts =
+        *std::max_element(live_[j].demand_watts.begin(),
+                          live_[j].demand_watts.end());
+    data.monitor.min_host_power_watts =
+        *std::min_element(live_[j].demand_watts.begin(),
+                          live_[j].demand_watts.end());
+    context.jobs.push_back(std::move(data));
+  }
+  return context;
+}
+
+CoordinationResult CoordinationLoop::run(
+    std::span<sim::JobSimulation* const> jobs,
+    std::size_t total_iterations) {
+  PS_REQUIRE(!jobs.empty(), "coordination needs at least one job");
+  PS_REQUIRE(total_iterations > 0, "need at least one iteration");
+  for (const auto* job : jobs) {
+    PS_REQUIRE(job != nullptr, "job must not be null");
+  }
+
+  // Initial state: uniform distribution of the budget (StaticCaps-like),
+  // demand estimates seeded at the settable floor.
+  std::size_t total_hosts = 0;
+  for (const auto* job : jobs) {
+    total_hosts += job->host_count();
+  }
+  const double share = budget_ / static_cast<double>(total_hosts);
+  live_.assign(jobs.size(), {});
+  std::vector<std::vector<double>> previous_caps(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    live_[j].demand_watts.assign(jobs[j]->host_count(),
+                                 jobs[j]->host(0).min_cap());
+    previous_caps[j].resize(jobs[j]->host_count());
+    for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+      jobs[j]->set_host_cap(h, share);
+      previous_caps[j][h] = jobs[j]->host_cap(h);
+    }
+  }
+
+  const auto policy = make_policy(options_.policy);
+  const rm::SystemPowerManager manager(budget_);
+
+  CoordinationResult result;
+  std::size_t done = 0;
+  std::size_t epoch_index = 0;
+  while (done < total_iterations) {
+    const std::size_t this_epoch =
+        std::min(options_.epoch_iterations, total_iterations - done);
+
+    EpochRecord record;
+    record.epoch = epoch_index;
+    double epoch_max_elapsed = 0.0;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      double job_elapsed = 0.0;
+      for (std::size_t i = 0; i < this_epoch; ++i) {
+        const sim::IterationResult iteration = jobs[j]->run_iteration();
+        job_elapsed += iteration.iteration_seconds;
+        record.energy_joules += iteration.total_energy_joules;
+        result.total_gflop += iteration.total_gflop;
+        for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+          live_[j].demand_watts[h] =
+              std::max(live_[j].demand_watts[h],
+                       iteration.hosts[h].average_power_watts);
+        }
+      }
+      epoch_max_elapsed = std::max(epoch_max_elapsed, job_elapsed);
+    }
+    record.elapsed_seconds = epoch_max_elapsed;
+    record.system_power_watts =
+        epoch_max_elapsed > 0.0 ? record.energy_joules / epoch_max_elapsed
+                                : 0.0;
+    done += this_epoch;
+
+    // RM step: re-allocate from the live telemetry.
+    const PolicyContext context = build_context(jobs);
+    const rm::PowerAllocation allocation = policy->allocate(context);
+    manager.apply(jobs, allocation, policy->is_system_aware());
+
+    record.allocated_watts =
+        rm::SystemPowerManager::total_allocated_watts(jobs);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+        const double cap = jobs[j]->host_cap(h);
+        record.max_cap_change_watts =
+            std::max(record.max_cap_change_watts,
+                     std::abs(cap - previous_caps[j][h]));
+        previous_caps[j][h] = cap;
+      }
+    }
+    if (!result.converged && epoch_index > 0 &&
+        record.max_cap_change_watts < options_.convergence_watts) {
+      result.converged = true;
+      result.convergence_epoch = epoch_index;
+    } else if (record.max_cap_change_watts >= options_.convergence_watts) {
+      result.converged = false;  // a phase change can de-converge the loop
+    }
+
+    result.elapsed_seconds += record.elapsed_seconds;
+    result.energy_joules += record.energy_joules;
+    result.epochs.push_back(record);
+    ++epoch_index;
+  }
+  return result;
+}
+
+}  // namespace ps::core

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/job_sim.hpp"
+
+namespace ps::core {
+
+/// Knobs of the execution-time coordination protocol.
+struct CoordinationOptions {
+  /// Iterations between RM re-allocations.
+  std::size_t epoch_iterations = 5;
+  /// The policy the RM re-runs each epoch.
+  PolicyKind policy = PolicyKind::kMixedAdaptive;
+  /// Cap movement (watts, max over hosts) below which the loop is
+  /// considered converged.
+  double convergence_watts = 1.0;
+  runtime::BalancerOptions balancer{};
+};
+
+/// One epoch's record in the coordination telemetry.
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double allocated_watts = 0.0;
+  double system_power_watts = 0.0;   ///< Mean draw during the epoch.
+  double elapsed_seconds = 0.0;      ///< Max job elapsed time this epoch.
+  double energy_joules = 0.0;
+  double max_cap_change_watts = 0.0; ///< Largest per-host cap move.
+};
+
+/// Outcome of a coordinated run.
+struct CoordinationResult {
+  std::vector<EpochRecord> epochs;
+  double elapsed_seconds = 0.0;  ///< Sum over epochs of the epoch max.
+  double energy_joules = 0.0;
+  double total_gflop = 0.0;
+  bool converged = false;
+  std::size_t convergence_epoch = 0;  ///< First epoch below the threshold.
+
+  [[nodiscard]] double gflops_per_watt() const;
+};
+
+/// The paper's proposed-but-unbuilt protocol (Section VIII): instead of
+/// pre-characterizing workloads offline, the resource manager and the job
+/// runtime exchange information *during execution*. Every epoch:
+///
+///   1. each job's runtime reports live telemetry: the observed per-host
+///      power (a running demand estimate) and the per-host needed power
+///      (re-derived by the balancer's search under the job's current
+///      conditions);
+///   2. the RM re-runs the configured policy on that live data and
+///      reprograms the caps, subject to the system budget.
+///
+/// Starting from a uniform distribution, the loop converges to the same
+/// steady state the pre-characterized policy computes — and unlike the
+/// static emulation, it re-converges when jobs change phase.
+class CoordinationLoop {
+ public:
+  CoordinationLoop(double system_budget_watts,
+                   const CoordinationOptions& options = {});
+
+  /// Runs `total_iterations` bulk-synchronous iterations on every job
+  /// (jobs proceed in lockstep epochs). Jobs must outlive the call.
+  CoordinationResult run(std::span<sim::JobSimulation* const> jobs,
+                         std::size_t total_iterations);
+
+  [[nodiscard]] double budget_watts() const noexcept { return budget_; }
+  [[nodiscard]] const CoordinationOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  /// Live stand-in for the offline characterization of one job.
+  struct LiveCharacterization {
+    std::vector<double> demand_watts;  ///< Running max of observed power.
+  };
+
+  [[nodiscard]] PolicyContext build_context(
+      std::span<sim::JobSimulation* const> jobs);
+
+  double budget_;
+  CoordinationOptions options_;
+  std::vector<LiveCharacterization> live_;
+};
+
+}  // namespace ps::core

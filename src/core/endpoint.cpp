@@ -1,0 +1,227 @@
+#include "core/endpoint.hpp"
+
+#include <sstream>
+
+#include "runtime/power_balancer_agent.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ps::core {
+
+namespace {
+
+void serialize_vector(std::ostringstream& out, std::string_view key,
+                      const std::vector<double>& values) {
+  out << key;
+  for (double value : values) {
+    out << ' ' << util::format_fixed(value, 3);
+  }
+  out << '\n';
+}
+
+std::vector<double> parse_vector(std::string_view line,
+                                 std::string_view key) {
+  PS_REQUIRE(util::starts_with(line, key),
+             "expected '" + std::string(key) + "' line");
+  std::istringstream fields{std::string(line.substr(key.size()))};
+  std::vector<double> values;
+  double value = 0.0;
+  while (fields >> value) {
+    values.push_back(value);
+  }
+  return values;
+}
+
+std::vector<std::string> non_empty_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (!util::trim(line).empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string serialize(const SampleMessage& message) {
+  std::ostringstream out;
+  out << "powerstack-sample v1\n";
+  out << "sequence " << message.sequence << '\n';
+  out << "job " << message.job_name << '\n';
+  out << "min_cap " << util::format_fixed(message.min_settable_cap_watts, 3)
+      << '\n';
+  serialize_vector(out, "observed", message.host_observed_watts);
+  serialize_vector(out, "needed", message.host_needed_watts);
+  return out.str();
+}
+
+std::string serialize(const PolicyMessage& message) {
+  std::ostringstream out;
+  out << "powerstack-policy v1\n";
+  out << "sequence " << message.sequence << '\n';
+  out << "job " << message.job_name << '\n';
+  serialize_vector(out, "caps", message.host_caps_watts);
+  return out.str();
+}
+
+SampleMessage parse_sample_message(std::string_view text) {
+  const std::vector<std::string> lines = non_empty_lines(text);
+  PS_REQUIRE(lines.size() == 6, "sample message needs 6 lines");
+  PS_REQUIRE(lines[0] == "powerstack-sample v1",
+             "not a v1 sample message");
+  SampleMessage message;
+  try {
+    PS_REQUIRE(util::starts_with(lines[1], "sequence "),
+               "expected 'sequence' line");
+    message.sequence = std::stoull(lines[1].substr(9));
+    PS_REQUIRE(util::starts_with(lines[2], "job "), "expected 'job' line");
+    message.job_name = lines[2].substr(4);
+    PS_REQUIRE(util::starts_with(lines[3], "min_cap "),
+               "expected 'min_cap' line");
+    message.min_settable_cap_watts = std::stod(lines[3].substr(8));
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("malformed sample message header");
+  }
+  message.host_observed_watts = parse_vector(lines[4], "observed");
+  message.host_needed_watts = parse_vector(lines[5], "needed");
+  PS_REQUIRE(message.host_observed_watts.size() ==
+                 message.host_needed_watts.size(),
+             "sample vectors disagree on host count");
+  PS_REQUIRE(!message.host_observed_watts.empty(),
+             "sample message has no hosts");
+  return message;
+}
+
+PolicyMessage parse_policy_message(std::string_view text) {
+  const std::vector<std::string> lines = non_empty_lines(text);
+  PS_REQUIRE(lines.size() == 4, "policy message needs 4 lines");
+  PS_REQUIRE(lines[0] == "powerstack-policy v1",
+             "not a v1 policy message");
+  PolicyMessage message;
+  try {
+    PS_REQUIRE(util::starts_with(lines[1], "sequence "),
+               "expected 'sequence' line");
+    message.sequence = std::stoull(lines[1].substr(9));
+    PS_REQUIRE(util::starts_with(lines[2], "job "), "expected 'job' line");
+    message.job_name = lines[2].substr(4);
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("malformed policy message header");
+  }
+  message.host_caps_watts = parse_vector(lines[3], "caps");
+  PS_REQUIRE(!message.host_caps_watts.empty(),
+             "policy message has no hosts");
+  return message;
+}
+
+void Endpoint::post_sample(const SampleMessage& message) {
+  samples_.push_back(serialize(message));
+}
+
+std::optional<SampleMessage> Endpoint::receive_sample() {
+  if (samples_.empty()) {
+    return std::nullopt;
+  }
+  const std::string wire = std::move(samples_.front());
+  samples_.pop_front();
+  return parse_sample_message(wire);
+}
+
+void Endpoint::post_policy(const PolicyMessage& message) {
+  policies_.push_back(serialize(message));
+}
+
+std::optional<PolicyMessage> Endpoint::receive_policy() {
+  if (policies_.empty()) {
+    return std::nullopt;
+  }
+  const std::string wire = std::move(policies_.front());
+  policies_.pop_front();
+  return parse_policy_message(wire);
+}
+
+SampleMessage make_sample(sim::JobSimulation& job, std::uint64_t sequence) {
+  SampleMessage message;
+  message.sequence = sequence;
+  message.job_name = job.name();
+  message.min_settable_cap_watts = job.host(0).min_cap();
+  // Observed: the model's steady draw under current caps (one probe
+  // iteration's per-host average); needed: the balancer search.
+  const sim::IterationResult probe = job.run_iteration();
+  message.host_observed_watts.reserve(job.host_count());
+  for (const auto& host : probe.hosts) {
+    message.host_observed_watts.push_back(host.average_power_watts);
+  }
+  double tdp_budget = 0.0;
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    tdp_budget += job.host(h).tdp();
+  }
+  message.host_needed_watts = runtime::balance_power(job, tdp_budget);
+  return message;
+}
+
+PolicyContext context_from_samples(
+    double system_budget_watts, double node_tdp_watts,
+    double uncappable_watts, const std::vector<SampleMessage>& samples) {
+  PolicyContext context;
+  context.system_budget_watts = system_budget_watts;
+  context.node_tdp_watts = node_tdp_watts;
+  context.uncappable_watts = uncappable_watts;
+  for (const SampleMessage& sample : samples) {
+    runtime::JobCharacterization job;
+    job.host_count = sample.host_observed_watts.size();
+    job.min_settable_cap_watts = sample.min_settable_cap_watts;
+    job.monitor.workload_name = sample.job_name;
+    job.monitor.host_average_power_watts = sample.host_observed_watts;
+    job.balancer.host_needed_power_watts = sample.host_needed_watts;
+    double monitor_max = sample.host_observed_watts.front();
+    double monitor_min = monitor_max;
+    for (double w : sample.host_observed_watts) {
+      monitor_max = std::max(monitor_max, w);
+      monitor_min = std::min(monitor_min, w);
+    }
+    job.monitor.max_host_power_watts = monitor_max;
+    job.monitor.min_host_power_watts = monitor_min;
+    double needed_max = sample.host_needed_watts.front();
+    double needed_min = needed_max;
+    for (double w : sample.host_needed_watts) {
+      needed_max = std::max(needed_max, w);
+      needed_min = std::min(needed_min, w);
+    }
+    job.balancer.max_host_needed_watts = needed_max;
+    job.balancer.min_host_needed_watts = needed_min;
+    context.jobs.push_back(std::move(job));
+  }
+  return context;
+}
+
+std::vector<PolicyMessage> make_policy_messages(
+    const rm::PowerAllocation& allocation,
+    const std::vector<SampleMessage>& samples, std::uint64_t sequence) {
+  PS_REQUIRE(allocation.job_host_caps.size() == samples.size(),
+             "allocation does not match the sample set");
+  std::vector<PolicyMessage> messages;
+  messages.reserve(samples.size());
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    PolicyMessage message;
+    message.sequence = sequence;
+    message.job_name = samples[j].job_name;
+    message.host_caps_watts = allocation.job_host_caps[j];
+    messages.push_back(std::move(message));
+  }
+  return messages;
+}
+
+void apply_policy_message(sim::JobSimulation& job,
+                          const PolicyMessage& message) {
+  PS_REQUIRE(message.job_name == job.name(),
+             "policy message addressed to a different job");
+  PS_REQUIRE(message.host_caps_watts.size() == job.host_count(),
+             "policy message host count mismatch");
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    job.set_host_cap(h, message.host_caps_watts[h]);
+  }
+}
+
+}  // namespace ps::core

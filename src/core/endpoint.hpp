@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "rm/allocation.hpp"
+#include "sim/job_sim.hpp"
+
+namespace ps::core {
+
+/// Runtime -> RM telemetry message: everything the policies need to know
+/// about one running job. The paper's conclusion notes that "there is not
+/// currently an existing protocol or central mechanism for coordinating
+/// power management decisions" — this header defines one, and the tests
+/// prove it carries enough information to reproduce the coordinated
+/// allocation exactly.
+struct SampleMessage {
+  std::uint64_t sequence = 0;
+  std::string job_name;
+  double min_settable_cap_watts = 0.0;
+  std::vector<double> host_observed_watts;  ///< Demand estimate per host.
+  std::vector<double> host_needed_watts;    ///< Balancer-needed per host.
+
+  [[nodiscard]] bool operator==(const SampleMessage&) const = default;
+};
+
+/// RM -> runtime control message: the caps one job must program.
+struct PolicyMessage {
+  std::uint64_t sequence = 0;
+  std::string job_name;
+  std::vector<double> host_caps_watts;
+
+  [[nodiscard]] bool operator==(const PolicyMessage&) const = default;
+};
+
+/// Line-based wire format (versioned, human-readable):
+///
+///   powerstack-sample v1
+///   sequence 7
+///   job lulesh-512
+///   min_cap 152.000
+///   observed 214.125 220.000 ...
+///   needed 152.000 195.750 ...
+[[nodiscard]] std::string serialize(const SampleMessage& message);
+[[nodiscard]] std::string serialize(const PolicyMessage& message);
+[[nodiscard]] SampleMessage parse_sample_message(std::string_view text);
+[[nodiscard]] PolicyMessage parse_policy_message(std::string_view text);
+
+/// A bidirectional in-memory endpoint (the GEOPM "endpoint" analogue:
+/// in reality a shared-memory region between the RM daemon and the job
+/// runtime). Samples flow runtime -> RM; policies flow RM -> runtime.
+/// Messages cross the endpoint in serialized form, so anything that
+/// round-trips here round-trips any byte transport.
+class Endpoint {
+ public:
+  void post_sample(const SampleMessage& message);
+  [[nodiscard]] std::optional<SampleMessage> receive_sample();
+  void post_policy(const PolicyMessage& message);
+  [[nodiscard]] std::optional<PolicyMessage> receive_policy();
+
+  [[nodiscard]] std::size_t pending_samples() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] std::size_t pending_policies() const noexcept {
+    return policies_.size();
+  }
+
+ private:
+  std::deque<std::string> samples_;
+  std::deque<std::string> policies_;
+};
+
+/// Runtime side: measures one job into a SampleMessage (observed power
+/// from its last iteration; needed power from the balancer search).
+[[nodiscard]] SampleMessage make_sample(sim::JobSimulation& job,
+                                        std::uint64_t sequence);
+
+/// RM side: reconstructs a PolicyContext from received samples.
+[[nodiscard]] PolicyContext context_from_samples(
+    double system_budget_watts, double node_tdp_watts,
+    double uncappable_watts, const std::vector<SampleMessage>& samples);
+
+/// RM side: splits an allocation into one PolicyMessage per job.
+[[nodiscard]] std::vector<PolicyMessage> make_policy_messages(
+    const rm::PowerAllocation& allocation,
+    const std::vector<SampleMessage>& samples, std::uint64_t sequence);
+
+/// Runtime side: programs the caps a PolicyMessage carries. Throws
+/// ps::InvalidArgument if the message does not match the job.
+void apply_policy_message(sim::JobSimulation& job,
+                          const PolicyMessage& message);
+
+}  // namespace ps::core

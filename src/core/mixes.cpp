@@ -1,0 +1,203 @@
+#include "core/mixes.hpp"
+
+#include <span>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::core {
+
+namespace {
+
+using hw::VectorWidth;
+using kernel::WorkloadConfig;
+
+WorkloadConfig balanced(double intensity,
+                        VectorWidth width = VectorWidth::kYmm256) {
+  WorkloadConfig config;
+  config.intensity = intensity;
+  config.vector_width = width;
+  return config;
+}
+
+WorkloadConfig imbalanced(double intensity, double waiting_percent,
+                          double imbalance,
+                          VectorWidth width = VectorWidth::kYmm256) {
+  WorkloadConfig config;
+  config.intensity = intensity;
+  config.vector_width = width;
+  config.waiting_fraction = waiting_percent / 100.0;
+  config.imbalance = imbalance;
+  return config;
+}
+
+std::vector<rm::JobRequest> to_jobs(std::span<const WorkloadConfig> configs,
+                                    std::size_t nodes_per_job) {
+  std::vector<rm::JobRequest> jobs;
+  jobs.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    rm::JobRequest job;
+    job.name = "job" + std::to_string(i) + "-" + configs[i].name();
+    job.workload = configs[i];
+    job.node_count = nodes_per_job;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+std::string_view to_string(MixKind kind) noexcept {
+  switch (kind) {
+    case MixKind::kNeedUsedPower:
+      return "NeedUsedPower";
+    case MixKind::kHighImbalance:
+      return "HighImbalance";
+    case MixKind::kWastefulPower:
+      return "WastefulPower";
+    case MixKind::kLowPower:
+      return "LowPower";
+    case MixKind::kHighPower:
+      return "HighPower";
+    case MixKind::kRandomLarge:
+      return "RandomLarge";
+  }
+  return "?";
+}
+
+std::vector<MixKind> all_mix_kinds() {
+  return {MixKind::kNeedUsedPower, MixKind::kHighImbalance,
+          MixKind::kWastefulPower, MixKind::kLowPower, MixKind::kHighPower,
+          MixKind::kRandomLarge};
+}
+
+std::size_t WorkloadMix::total_nodes() const {
+  std::size_t total = 0;
+  for (const auto& job : jobs) {
+    total += job.node_count;
+  }
+  return total;
+}
+
+std::vector<kernel::WorkloadConfig> heatmap_grid(hw::VectorWidth width) {
+  const double intensities[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  struct ImbalanceColumn {
+    double waiting_percent;
+    double imbalance;
+  };
+  const ImbalanceColumn columns[] = {{0, 1},  {25, 2}, {25, 3}, {50, 2},
+                                     {50, 3}, {75, 2}, {75, 3}};
+  std::vector<WorkloadConfig> grid;
+  grid.reserve(std::size(intensities) * std::size(columns));
+  for (double intensity : intensities) {
+    for (const auto& column : columns) {
+      grid.push_back(imbalanced(intensity, column.waiting_percent,
+                                column.imbalance, width));
+    }
+  }
+  return grid;
+}
+
+WorkloadMix make_mix(MixKind kind, std::size_t nodes_per_job,
+                     std::uint64_t seed) {
+  PS_REQUIRE(nodes_per_job > 0, "nodes per job must be positive");
+  WorkloadMix mix;
+  mix.name = std::string(to_string(kind));
+  switch (kind) {
+    case MixKind::kNeedUsedPower: {
+      // Balanced jobs spanning low average power (memory-bound) up to one
+      // high-compute-intensity job; all consumed power is needed.
+      const WorkloadConfig configs[] = {
+          balanced(0.0),  balanced(0.25), balanced(0.5),
+          balanced(1.0),  balanced(2.0),  balanced(0.25),
+          balanced(0.5),  balanced(16.0), balanced(32.0),
+      };
+      mix.jobs = to_jobs(configs, nodes_per_job);
+      break;
+    }
+    case MixKind::kHighImbalance: {
+      // A single, highly imbalanced job across all nodes.
+      const WorkloadConfig configs[] = {
+          imbalanced(16.0, 25, 3),
+      };
+      mix.jobs = to_jobs(configs, nodes_per_job * 9);
+      break;
+    }
+    case MixKind::kWastefulPower: {
+      // Jobs whose unconstrained power (polling at barriers) far exceeds
+      // the power they need when balanced, plus compute-bound jobs that
+      // can absorb the reclaimed surplus.
+      const WorkloadConfig configs[] = {
+          imbalanced(8.0, 75, 3),  imbalanced(16.0, 75, 3),
+          imbalanced(8.0, 50, 2),  imbalanced(4.0, 50, 3),
+          imbalanced(16.0, 50, 2), balanced(32.0),
+          balanced(8.0),           imbalanced(2.0, 75, 2),
+          balanced(4.0),
+      };
+      mix.jobs = to_jobs(configs, nodes_per_job);
+      break;
+    }
+    case MixKind::kLowPower: {
+      // The nine lowest *uncapped* power configurations: memory-bound
+      // intensities and narrow vector widths. Uncapped power is largely
+      // insensitive to imbalance (Fig. 4), so imbalanced variants belong
+      // here too — which is why the paper's Table III shows a near-floor
+      // min budget (138 kW) even for this mix.
+      const WorkloadConfig configs[] = {
+          balanced(0.0, VectorWidth::kScalar),
+          balanced(0.0, VectorWidth::kXmm128),
+          imbalanced(0.25, 50, 2, VectorWidth::kScalar),
+          imbalanced(0.25, 25, 2, VectorWidth::kXmm128),
+          balanced(0.5, VectorWidth::kScalar),
+          imbalanced(0.5, 50, 3, VectorWidth::kXmm128),
+          balanced(1.0, VectorWidth::kScalar),
+          imbalanced(0.25, 25, 3, VectorWidth::kYmm256),
+          balanced(0.5, VectorWidth::kYmm256),
+      };
+      mix.jobs = to_jobs(configs, nodes_per_job);
+      break;
+    }
+    case MixKind::kHighPower: {
+      // The nine highest *uncapped* power configurations: near the
+      // roofline ridge where both pipelines saturate, across the
+      // imbalance columns (Fig. 4's power peak is insensitive to
+      // imbalance, so the hungriest configs include imbalanced ones —
+      // consistent with Table III's near-floor min budget of 140 kW).
+      const WorkloadConfig configs[] = {
+          balanced(8.0),           imbalanced(8.0, 25, 2),
+          imbalanced(8.0, 25, 3),  imbalanced(8.0, 50, 2),
+          imbalanced(8.0, 50, 3),  imbalanced(8.0, 75, 2),
+          imbalanced(8.0, 75, 3),  balanced(16.0),
+          balanced(4.0),
+      };
+      mix.jobs = to_jobs(configs, nodes_per_job);
+      break;
+    }
+    case MixKind::kRandomLarge: {
+      // Nine jobs from a seeded shuffle of the heatmap grid (plus the xmm
+      // variants the paper's Table II includes).
+      std::vector<WorkloadConfig> pool = heatmap_grid(VectorWidth::kYmm256);
+      const std::vector<WorkloadConfig> xmm_pool =
+          heatmap_grid(VectorWidth::kXmm128);
+      pool.insert(pool.end(), xmm_pool.begin(), xmm_pool.end());
+      util::Rng rng(seed);
+      rng.shuffle(std::span<WorkloadConfig>(pool));
+      pool.resize(9);
+      mix.jobs = to_jobs(pool, nodes_per_job);
+      break;
+    }
+  }
+  PS_CHECK_STATE(!mix.jobs.empty(), "mix construction produced no jobs");
+  return mix;
+}
+
+std::vector<WorkloadMix> all_paper_mixes(std::size_t nodes_per_job,
+                                         std::uint64_t seed) {
+  std::vector<WorkloadMix> mixes;
+  for (MixKind kind : all_mix_kinds()) {
+    mixes.push_back(make_mix(kind, nodes_per_job, seed));
+  }
+  return mixes;
+}
+
+}  // namespace ps::core

@@ -1,0 +1,228 @@
+#include "core/policies.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/policy_util.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+
+using detail::HostArrays;
+
+namespace {
+
+/// All host indices, used when a fill step spans the whole system.
+std::vector<std::size_t> all_hosts(const HostArrays& arrays) {
+  std::vector<std::size_t> hosts(arrays.host_count());
+  std::iota(hosts.begin(), hosts.end(), std::size_t{0});
+  return hosts;
+}
+
+}  // namespace
+
+rm::PowerAllocation PrecharacterizedPolicy::allocate(
+    const PolicyContext& context) const {
+  HostArrays arrays = HostArrays::from_context(context);
+  for (std::size_t j = 0; j < arrays.job_count(); ++j) {
+    const double job_cap =
+        std::clamp(context.jobs[j].monitor.max_host_power_watts,
+                   context.jobs[j].min_settable_cap_watts,
+                   context.node_tdp_watts);
+    for (std::size_t h = arrays.offsets[j]; h < arrays.offsets[j + 1]; ++h) {
+      arrays.assigned[h] = job_cap;
+    }
+  }
+  return arrays.to_allocation();
+}
+
+rm::PowerAllocation StaticCapsPolicy::allocate(
+    const PolicyContext& context) const {
+  HostArrays arrays = HostArrays::from_context(context);
+  const double share = context.uniform_share_watts();
+  for (std::size_t j = 0; j < arrays.job_count(); ++j) {
+    // Uniform share, clipped at the job's hungriest observed node; the
+    // hardware clamps anything below the settable floor up to the floor.
+    const double job_cap =
+        std::min(share, context.jobs[j].monitor.max_host_power_watts);
+    const double cap = std::clamp(job_cap,
+                                  context.jobs[j].min_settable_cap_watts,
+                                  context.node_tdp_watts);
+    for (std::size_t h = arrays.offsets[j]; h < arrays.offsets[j + 1]; ++h) {
+      arrays.assigned[h] = cap;
+    }
+  }
+  return arrays.to_allocation();
+}
+
+rm::PowerAllocation MinimizeWastePolicy::allocate(
+    const PolicyContext& context) const {
+  HostArrays arrays = HostArrays::from_context(context);
+
+  // Emulates SLURM's real-time reallocation with the observed
+  // (performance-agnostic) demand from the monitor characterization:
+  // power flows from jobs observed to draw less toward jobs observed to
+  // draw more, until every host is capped at the same fraction of its
+  // demand. Observed power includes busy-poll waste, which this policy
+  // cannot distinguish from useful demand.
+  double demand_total = 0.0;
+  std::vector<double> demand(arrays.host_count());
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    demand[h] =
+        std::clamp(arrays.monitor[h], arrays.min_cap[h], arrays.tdp[h]);
+    demand_total += demand[h];
+  }
+
+  if (demand_total <= context.system_budget_watts) {
+    // Surplus: every host gets exactly its observed demand; the leftover
+    // budget is deliberately left unused (that is the "minimized waste" —
+    // it shows up as under-utilization in Fig. 7 at the max budget).
+    for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+      arrays.assigned[h] = demand[h];
+    }
+    return arrays.to_allocation();
+  }
+
+  // Shortage: scale demand uniformly, re-scaling as hosts hit the
+  // settable floor.
+  double budget = context.system_budget_watts;
+  std::vector<bool> floored(arrays.host_count(), false);
+  for (int round = 0; round < 64; ++round) {
+    double unfloored_demand = 0.0;
+    for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+      if (!floored[h]) {
+        unfloored_demand += demand[h];
+      }
+    }
+    if (unfloored_demand <= 0.0) {
+      break;
+    }
+    const double scale = budget / unfloored_demand;
+    bool new_floor = false;
+    for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+      if (floored[h]) {
+        continue;
+      }
+      const double scaled = demand[h] * scale;
+      if (scaled <= arrays.min_cap[h]) {
+        arrays.assigned[h] = arrays.min_cap[h];
+        floored[h] = true;
+        budget -= arrays.min_cap[h];
+        new_floor = true;
+      } else {
+        arrays.assigned[h] = scaled;
+      }
+    }
+    if (!new_floor) {
+      break;
+    }
+  }
+  return arrays.to_allocation();
+}
+
+rm::PowerAllocation JobAdaptivePolicy::allocate(
+    const PolicyContext& context) const {
+  HostArrays arrays = HostArrays::from_context(context);
+  const double share = context.uniform_share_watts();
+
+  for (std::size_t j = 0; j < arrays.job_count(); ++j) {
+    const std::size_t begin = arrays.offsets[j];
+    const std::size_t end = arrays.offsets[j + 1];
+    const double host_count = static_cast<double>(end - begin);
+    // Fixed per-job budget: a uniform share of the system budget, but
+    // never below what the hardware floor forces us to allocate.
+    double job_budget = share * host_count;
+
+    // Performance-aware distribution within the job.
+    double needed_total = 0.0;
+    for (std::size_t h = begin; h < end; ++h) {
+      arrays.assigned[h] = arrays.needed[h];
+      needed_total += arrays.needed[h];
+    }
+
+    if (needed_total > job_budget) {
+      // Violation: reduce all hosts of the job by the percentage that
+      // corrects it (paper Section III-B). Hosts pinned at the settable
+      // floor cannot give back their share, so the scale is re-derived
+      // until the job fits its budget (or everyone is floored).
+      double remaining = job_budget;
+      std::vector<bool> floored(end - begin, false);
+      for (int round = 0; round < 64; ++round) {
+        double unfloored_needed = 0.0;
+        for (std::size_t h = begin; h < end; ++h) {
+          if (!floored[h - begin]) {
+            unfloored_needed += arrays.needed[h];
+          }
+        }
+        if (unfloored_needed <= 0.0) {
+          break;
+        }
+        const double scale = remaining / unfloored_needed;
+        bool new_floor = false;
+        for (std::size_t h = begin; h < end; ++h) {
+          if (floored[h - begin]) {
+            continue;
+          }
+          const double scaled = arrays.needed[h] * scale;
+          if (scaled <= arrays.min_cap[h]) {
+            arrays.assigned[h] = arrays.min_cap[h];
+            floored[h - begin] = true;
+            remaining -= arrays.min_cap[h];
+            new_floor = true;
+          } else {
+            arrays.assigned[h] = scaled;
+          }
+        }
+        if (!new_floor) {
+          break;
+        }
+      }
+    } else {
+      // Remainder stays inside the job: pushed to the hosts that need the
+      // most power, weighted by headroom above the settable floor.
+      std::vector<std::size_t> hosts(end - begin);
+      std::iota(hosts.begin(), hosts.end(), begin);
+      static_cast<void>(detail::weighted_headroom_fill(
+          arrays, hosts, arrays.tdp, job_budget - needed_total));
+    }
+  }
+  return arrays.to_allocation();
+}
+
+rm::PowerAllocation MixedAdaptivePolicy::allocate(
+    const PolicyContext& context) const {
+  HostArrays arrays = HostArrays::from_context(context);
+  const double share = context.uniform_share_watts();
+
+  // Step 1: uniform distribution of the system limit among all hosts
+  // across all jobs.
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    arrays.assigned[h] = std::clamp(share, arrays.min_cap[h], arrays.tdp[h]);
+  }
+
+  // Step 2: decrease each host to its needed power (power-balancer
+  // pre-characterization); the decreased total becomes the pool.
+  double pool = 0.0;
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    if (arrays.needed[h] < arrays.assigned[h]) {
+      pool += arrays.assigned[h] - arrays.needed[h];
+      arrays.assigned[h] = arrays.needed[h];
+    }
+  }
+
+  // Step 3: uniformly distribute the pool among hosts still below their
+  // needed power, repeating until the pool empties or everyone is met.
+  if (options_.redistribute_deallocated) {
+    pool = detail::uniform_fill_to_target(arrays, arrays.needed, pool);
+  }
+
+  // Step 4: surplus goes to all hosts, weighted by the distance from the
+  // minimum settable limit to the allocated power.
+  if (options_.distribute_surplus && pool > 0.0) {
+    const std::vector<std::size_t> hosts = all_hosts(arrays);
+    pool = detail::weighted_headroom_fill(arrays, hosts, arrays.tdp, pool);
+  }
+  return arrays.to_allocation();
+}
+
+}  // namespace ps::core

@@ -1,0 +1,123 @@
+#pragma once
+
+#include "core/policy.hpp"
+
+namespace ps::core {
+
+/// Section III-B: each job is capped at the average power of its most
+/// power-hungry node from the monitor characterization. Ignores the system
+/// budget entirely — the paper shows it violates all but the max budget.
+class PrecharacterizedPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Precharacterized";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+};
+
+/// Section III-B: the system budget is uniformly distributed to all nodes;
+/// each job's cap is additionally clipped at the max of its monitor-run
+/// average node powers. The experiments' baseline.
+class StaticCapsPolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "StaticCaps";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+};
+
+/// Section III-B: statically emulates SLURM's dynamic power management.
+/// Starts uniform, reclaims budget from hosts observed (performance-
+/// agnostically) to use less than their share, and redistributes the
+/// surplus to power-bound hosts weighted by their distance from the
+/// minimum settable limit. System-aware, application-agnostic.
+class MinimizeWastePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MinimizeWaste";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+};
+
+/// Section III-B: every job receives a fixed uniform share of the system
+/// budget (no cross-job sharing); within each job, power follows the
+/// performance-aware balancer characterization, scaled down on violation
+/// and with the in-job remainder pushed to the hosts with the most
+/// headroom. Application-aware, not full-system-aware.
+class JobAdaptivePolicy final : public Policy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "JobAdaptive";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return false;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+};
+
+/// Options for MixedAdaptivePolicy ablations (DESIGN.md Section 5). The
+/// paper's policy enables both steps.
+struct MixedAdaptiveOptions {
+  bool redistribute_deallocated = true;  ///< Paper step 3.
+  bool distribute_surplus = true;        ///< Paper step 4.
+};
+
+/// Section III-A: the paper's proposed policy. Four steps: (1) uniform
+/// distribution over all hosts of all jobs; (2) trim every host to its
+/// balancer-characterized needed power, pooling the deallocated watts;
+/// (3) uniformly re-fill under-provisioned hosts up to their needed power
+/// until the pool empties; (4) distribute any remaining surplus across all
+/// hosts weighted by distance from the minimum settable limit.
+/// System-aware and application-aware.
+class MixedAdaptivePolicy final : public Policy {
+ public:
+  MixedAdaptivePolicy() = default;
+  explicit MixedAdaptivePolicy(const MixedAdaptiveOptions& options)
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MixedAdaptive";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+
+  [[nodiscard]] const MixedAdaptiveOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  MixedAdaptiveOptions options_{};
+};
+
+}  // namespace ps::core

@@ -1,0 +1,76 @@
+#include "core/policy.hpp"
+
+#include "core/policies.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+
+std::size_t PolicyContext::total_hosts() const {
+  std::size_t total = 0;
+  for (const auto& job : jobs) {
+    total += job.host_count;
+  }
+  return total;
+}
+
+double PolicyContext::uniform_share_watts() const {
+  const std::size_t hosts = total_hosts();
+  PS_CHECK_STATE(hosts > 0, "context has no hosts");
+  return system_budget_watts / static_cast<double>(hosts);
+}
+
+void PolicyContext::validate() const {
+  PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
+  PS_REQUIRE(node_tdp_watts > 0.0, "node TDP must be positive");
+  PS_REQUIRE(!jobs.empty(), "context needs at least one job");
+  for (const auto& job : jobs) {
+    PS_REQUIRE(job.host_count > 0, "job needs at least one host");
+    PS_REQUIRE(job.monitor.host_average_power_watts.size() == job.host_count,
+               "monitor characterization host count mismatch");
+    PS_REQUIRE(job.balancer.host_needed_power_watts.size() == job.host_count,
+               "balancer characterization host count mismatch");
+    PS_REQUIRE(job.min_settable_cap_watts > 0.0 &&
+                   job.min_settable_cap_watts <= node_tdp_watts,
+               "min settable cap must be in (0, TDP]");
+  }
+}
+
+std::string_view to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kPrecharacterized:
+      return "Precharacterized";
+    case PolicyKind::kStaticCaps:
+      return "StaticCaps";
+    case PolicyKind::kMinimizeWaste:
+      return "MinimizeWaste";
+    case PolicyKind::kJobAdaptive:
+      return "JobAdaptive";
+    case PolicyKind::kMixedAdaptive:
+      return "MixedAdaptive";
+  }
+  return "?";
+}
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPrecharacterized:
+      return std::make_unique<PrecharacterizedPolicy>();
+    case PolicyKind::kStaticCaps:
+      return std::make_unique<StaticCapsPolicy>();
+    case PolicyKind::kMinimizeWaste:
+      return std::make_unique<MinimizeWastePolicy>();
+    case PolicyKind::kJobAdaptive:
+      return std::make_unique<JobAdaptivePolicy>();
+    case PolicyKind::kMixedAdaptive:
+      return std::make_unique<MixedAdaptivePolicy>();
+  }
+  throw InvalidArgument("unknown policy kind");
+}
+
+std::vector<PolicyKind> all_policy_kinds() {
+  return {PolicyKind::kPrecharacterized, PolicyKind::kStaticCaps,
+          PolicyKind::kMinimizeWaste, PolicyKind::kJobAdaptive,
+          PolicyKind::kMixedAdaptive};
+}
+
+}  // namespace ps::core

@@ -1,0 +1,117 @@
+#include "core/policy_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::core::detail {
+
+HostArrays HostArrays::from_context(const PolicyContext& context) {
+  context.validate();
+  HostArrays arrays;
+  arrays.offsets.push_back(0);
+  for (const auto& job : context.jobs) {
+    for (std::size_t h = 0; h < job.host_count; ++h) {
+      arrays.assigned.push_back(0.0);
+      arrays.monitor.push_back(job.monitor.host_average_power_watts[h]);
+      arrays.needed.push_back(std::clamp(
+          job.balancer.host_needed_power_watts[h],
+          job.min_settable_cap_watts, context.node_tdp_watts));
+      arrays.min_cap.push_back(job.min_settable_cap_watts);
+      arrays.weight_ref.push_back(job.min_settable_cap_watts -
+                                  context.uncappable_watts);
+      arrays.tdp.push_back(context.node_tdp_watts);
+    }
+    arrays.offsets.push_back(arrays.assigned.size());
+  }
+  return arrays;
+}
+
+rm::PowerAllocation HostArrays::to_allocation() const {
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps.reserve(job_count());
+  for (std::size_t j = 0; j + 1 < offsets.size(); ++j) {
+    allocation.job_host_caps.emplace_back(assigned.begin() + offsets[j],
+                                          assigned.begin() + offsets[j + 1]);
+  }
+  return allocation;
+}
+
+double weighted_headroom_fill(HostArrays& arrays,
+                              std::span<const std::size_t> hosts,
+                              std::span<const double> upper, double amount,
+                              int rounds) {
+  PS_REQUIRE(upper.size() == arrays.host_count(),
+             "upper bounds must cover every host");
+  PS_REQUIRE(amount >= 0.0, "cannot distribute a negative amount");
+  PS_REQUIRE(rounds >= 1, "need at least one distribution round");
+
+  for (int round = 0; round < rounds && amount > 1e-9; ++round) {
+    double weight_total = 0.0;
+    for (std::size_t host : hosts) {
+      if (arrays.assigned[host] < upper[host] - 1e-12) {
+        weight_total += std::max(
+            arrays.assigned[host] - arrays.weight_ref[host], 0.0);
+      }
+    }
+    if (weight_total <= 0.0) {
+      break;  // No host has any weight (all saturated or at the floor).
+    }
+    double placed = 0.0;
+    for (std::size_t host : hosts) {
+      if (arrays.assigned[host] >= upper[host] - 1e-12) {
+        continue;
+      }
+      const double weight =
+          std::max(arrays.assigned[host] - arrays.weight_ref[host], 0.0);
+      const double offer = amount * weight / weight_total;
+      const double take =
+          std::min(offer, upper[host] - arrays.assigned[host]);
+      arrays.assigned[host] += take;
+      placed += take;
+    }
+    amount -= placed;
+    if (placed <= 1e-12) {
+      break;
+    }
+  }
+  return std::max(amount, 0.0);
+}
+
+double uniform_fill_to_target(HostArrays& arrays,
+                              std::span<const double> target, double amount) {
+  PS_REQUIRE(target.size() == arrays.host_count(),
+             "targets must cover every host");
+  PS_REQUIRE(amount >= 0.0, "cannot distribute a negative amount");
+
+  for (int round = 0; round < 64 && amount > 1e-9; ++round) {
+    std::size_t hungry = 0;
+    for (std::size_t host = 0; host < arrays.host_count(); ++host) {
+      if (arrays.assigned[host] < target[host] - 1e-12) {
+        ++hungry;
+      }
+    }
+    if (hungry == 0) {
+      break;
+    }
+    const double share = amount / static_cast<double>(hungry);
+    double placed = 0.0;
+    for (std::size_t host = 0; host < arrays.host_count(); ++host) {
+      if (arrays.assigned[host] >= target[host] - 1e-12) {
+        continue;
+      }
+      const double take =
+          std::min(share, target[host] - arrays.assigned[host]);
+      arrays.assigned[host] += take;
+      placed += take;
+    }
+    amount -= placed;
+    if (placed <= 1e-12) {
+      break;
+    }
+  }
+  return std::max(amount, 0.0);
+}
+
+}  // namespace ps::core::detail

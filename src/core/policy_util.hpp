@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace ps::core::detail {
+
+/// Flat per-host working arrays with job boundaries, shared by the policy
+/// implementations.
+struct HostArrays {
+  std::vector<double> assigned;      ///< Current cap per host.
+  std::vector<double> monitor;       ///< Observed uncapped power per host.
+  std::vector<double> needed;        ///< Balancer needed power per host.
+  std::vector<double> min_cap;       ///< Min settable node cap per host.
+  std::vector<double> weight_ref;    ///< Package floor used for weights.
+  std::vector<double> tdp;           ///< Max cap per host.
+  std::vector<std::size_t> offsets;  ///< Job j owns [offsets[j], offsets[j+1]).
+
+  [[nodiscard]] static HostArrays from_context(const PolicyContext& context);
+  [[nodiscard]] rm::PowerAllocation to_allocation() const;
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return assigned.size();
+  }
+  [[nodiscard]] std::size_t job_count() const noexcept {
+    return offsets.size() - 1;
+  }
+};
+
+/// Distributes `amount` watts among `hosts` (indices into the arrays)
+/// proportionally to max(assigned - weight_ref, 0) — the paper's "distance
+/// from the host's minimum settable power limit to the host's allocated
+/// power" — never raising a host above its `upper` bound.
+///
+/// `rounds` controls saturation handling: the paper's policies make a
+/// single weighted pass (watts a saturated host cannot take are simply
+/// not allocated), so the default is 1; pass more rounds to re-spread.
+/// Returns the watts that were not placed.
+[[nodiscard]] double weighted_headroom_fill(HostArrays& arrays,
+                                            std::span<const std::size_t> hosts,
+                                            std::span<const double> upper,
+                                            double amount, int rounds = 1);
+
+/// Distributes `amount` watts uniformly among hosts still below their
+/// `target`, clamping each at its target, repeating until the pool runs
+/// out or everyone reaches target (paper MixedAdaptive step 3). Returns
+/// the watts left over.
+[[nodiscard]] double uniform_fill_to_target(HostArrays& arrays,
+                                            std::span<const double> target,
+                                            double amount);
+
+}  // namespace ps::core::detail

@@ -1,0 +1,38 @@
+#include "facility/facility_io.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ps::facility {
+
+void write_power_csv(std::ostream& out, const FacilityResult& result) {
+  PS_REQUIRE(result.step_hours > 0.0, "result has no time base");
+  util::CsvWriter csv(out);
+  csv.write_row({"hours", "power_watts", "utilization"});
+  for (std::size_t step = 0; step < result.power_watts.size(); ++step) {
+    csv.write_row(
+        {util::format_fixed(static_cast<double>(step) * result.step_hours,
+                            3),
+         util::format_fixed(result.power_watts[step], 1),
+         util::format_fixed(result.utilization[step], 4)});
+  }
+}
+
+void write_jobs_csv(std::ostream& out, const FacilityResult& result) {
+  util::CsvWriter csv(out);
+  csv.write_row({"job", "arrival_hours", "start_hours", "finish_hours",
+                 "wait_hours", "restarts", "energy_joules"});
+  for (const FacilityJobRecord& job : result.jobs) {
+    csv.write_row(
+        {job.name, util::format_fixed(job.arrival_hours, 3),
+         job.started() ? util::format_fixed(job.start_hours, 3) : "",
+         job.finished() ? util::format_fixed(job.finish_hours, 3) : "",
+         job.started() ? util::format_fixed(job.wait_hours(), 3) : "",
+         std::to_string(job.restarts),
+         util::format_fixed(job.energy_joules, 1)});
+  }
+}
+
+}  // namespace ps::facility

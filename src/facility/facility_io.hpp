@@ -1,0 +1,19 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "facility/facility_manager.hpp"
+
+namespace ps::facility {
+
+/// Writes the facility power/utilization time series as CSV:
+///   hours,power_watts,utilization
+void write_power_csv(std::ostream& out, const FacilityResult& result);
+
+/// Writes the per-job accounting as CSV:
+///   job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,
+///   energy_joules
+/// Unstarted/unfinished events are empty fields.
+void write_jobs_csv(std::ostream& out, const FacilityResult& result);
+
+}  // namespace ps::facility

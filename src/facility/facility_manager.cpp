@@ -1,0 +1,389 @@
+#include "facility/facility_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "core/mixes.hpp"
+#include "rm/power_manager.hpp"
+#include "runtime/characterization.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::facility {
+
+std::vector<FacilityJobSpec> generate_job_trace(
+    util::Rng& rng, const JobTraceOptions& options) {
+  PS_REQUIRE(options.horizon_hours > 0.0, "horizon must be positive");
+  PS_REQUIRE(options.arrivals_per_hour > 0.0,
+             "arrival rate must be positive");
+  PS_REQUIRE(options.min_nodes > 0 && options.min_nodes <= options.max_nodes,
+             "node range must satisfy 0 < min <= max");
+  PS_REQUIRE(options.min_duration_hours > 0.0 &&
+                 options.min_duration_hours <= options.max_duration_hours,
+             "duration range must satisfy 0 < min <= max");
+  PS_REQUIRE(options.nominal_iteration_seconds > 0.0,
+             "nominal iteration time must be positive");
+
+  const std::vector<kernel::WorkloadConfig> pool =
+      core::heatmap_grid(hw::VectorWidth::kYmm256);
+  std::vector<FacilityJobSpec> trace;
+  double now = 0.0;
+  std::size_t sequence = 0;
+  for (;;) {
+    // Exponential inter-arrival times (Poisson process).
+    double u = rng.uniform();
+    while (u <= 0.0) {
+      u = rng.uniform();
+    }
+    now += -std::log(u) / options.arrivals_per_hour;
+    if (now >= options.horizon_hours) {
+      break;
+    }
+    FacilityJobSpec spec;
+    spec.arrival_hours = now;
+    spec.request.workload = pool[rng.uniform_index(pool.size())];
+    spec.request.node_count =
+        options.min_nodes +
+        rng.uniform_index(options.max_nodes - options.min_nodes + 1);
+    spec.request.name = "trace-job-" + std::to_string(sequence++);
+    // Log-uniform durations: short jobs are common, long jobs exist.
+    const double log_duration =
+        rng.uniform(std::log(options.min_duration_hours),
+                    std::log(options.max_duration_hours));
+    const double duration_hours = std::exp(log_duration);
+    spec.iterations = std::max<std::size_t>(
+        1, static_cast<std::size_t>(duration_hours * 3600.0 /
+                                    options.nominal_iteration_seconds));
+    // Users overestimate walltimes; add a 20% pad like real submissions.
+    spec.estimated_hours = duration_hours * 1.2;
+    trace.push_back(std::move(spec));
+  }
+  return trace;
+}
+
+double FacilityResult::mean_power_watts() const {
+  PS_CHECK_STATE(!power_watts.empty(), "empty facility trace");
+  return util::mean(power_watts);
+}
+
+double FacilityResult::peak_power_watts() const {
+  PS_CHECK_STATE(!power_watts.empty(), "empty facility trace");
+  return *std::max_element(power_watts.begin(), power_watts.end());
+}
+
+double FacilityResult::mean_utilization() const {
+  PS_CHECK_STATE(!utilization.empty(), "empty facility trace");
+  return util::mean(utilization);
+}
+
+double FacilityResult::mean_wait_hours() const {
+  util::RunningStats waits;
+  for (const auto& job : jobs) {
+    if (job.started()) {
+      waits.add(job.wait_hours());
+    }
+  }
+  return waits.empty() ? 0.0 : waits.mean();
+}
+
+FacilityManager::FacilityManager(sim::Cluster& cluster,
+                                 const FacilityOptions& options)
+    : cluster_(&cluster),
+      options_(options),
+      scheduler_(cluster.size()),
+      failure_rng_(options.failure_seed) {
+  PS_REQUIRE(options.step_hours > 0.0, "step must be positive");
+  PS_REQUIRE(options.node_mtbf_hours >= 0.0, "MTBF cannot be negative");
+  PS_REQUIRE(options.repair_hours > 0.0, "repair time must be positive");
+  PS_REQUIRE(options.checkpoint_interval_hours >= 0.0,
+             "checkpoint interval cannot be negative");
+  PS_REQUIRE(options.horizon_hours >= options.step_hours,
+             "horizon must cover at least one step");
+  PS_REQUIRE(options.idle_node_watts >= 0.0,
+             "idle power cannot be negative");
+  if (options_.system_budget_watts <= 0.0) {
+    options_.system_budget_watts =
+        cluster.node(0).tdp() * static_cast<double>(cluster.size());
+  }
+}
+
+double FacilityManager::head_shadow_hours(
+    std::span<const FacilityJobSpec> trace, double now_hours) const {
+  // Earliest time the head-of-queue job could start: free nodes grow as
+  // running jobs reach their expected completions.
+  const rm::JobRequest* head = scheduler_.queued_head();
+  if (head == nullptr) {
+    return now_hours;
+  }
+  std::vector<std::pair<double, std::size_t>> completions;
+  completions.reserve(running_.size());
+  for (const RunningJob& job : running_) {
+    const double remaining_iterations =
+        std::max(0.0, static_cast<double>(job.iterations_total) -
+                          job.iterations_done);
+    const double remaining_hours =
+        remaining_iterations * job.iteration_seconds / 3600.0;
+    completions.emplace_back(now_hours + remaining_hours,
+                             job.simulation->host_count());
+  }
+  std::sort(completions.begin(), completions.end());
+  std::size_t free_nodes = scheduler_.free_node_count();
+  for (const auto& [finish_hours, nodes] : completions) {
+    if (free_nodes >= head->node_count) {
+      break;
+    }
+    free_nodes += nodes;
+    if (free_nodes >= head->node_count) {
+      return finish_hours;
+    }
+  }
+  static_cast<void>(trace);
+  return free_nodes >= head->node_count
+             ? now_hours
+             : std::numeric_limits<double>::infinity();
+}
+
+void FacilityManager::start_pending_jobs(
+    std::span<const FacilityJobSpec> trace, double now_hours,
+    FacilityResult& result) {
+  std::function<bool(const rm::JobRequest&)> backfill_ok;
+  if (options_.backfill) {
+    const double shadow = head_shadow_hours(trace, now_hours);
+    backfill_ok = [&trace, now_hours, shadow](const rm::JobRequest& job) {
+      for (const FacilityJobSpec& spec : trace) {
+        if (spec.request.name == job.name) {
+          // EASY condition: the backfilled job's estimated completion
+          // must not cross the head's reservation.
+          return now_hours + spec.estimated_hours <= shadow + 1e-9;
+        }
+      }
+      return false;
+    };
+  }
+  const std::vector<rm::NodeGrant> grants =
+      scheduler_.start_pending(backfill_ok);
+  for (const auto& grant : grants) {
+    // Locate the trace entry by name (the scheduler queue is FIFO over
+    // submissions, so this is unique).
+    std::size_t index = trace.size();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i].request.name == grant.job_name) {
+        index = i;
+        break;
+      }
+    }
+    PS_CHECK_STATE(index < trace.size(), "grant without a trace entry");
+
+    RunningJob job;
+    job.trace_index = index;
+    job.iterations_total = trace[index].iterations;
+    // Restarted jobs resume from their last checkpoint.
+    const auto saved = checkpoints_.find(index);
+    if (saved != checkpoints_.end()) {
+      job.iterations_done = saved->second;
+      job.checkpointed_iterations = saved->second;
+    }
+    job.last_checkpoint_hours = now_hours;
+    std::vector<hw::NodeModel*> hosts;
+    hosts.reserve(grant.node_indices.size());
+    for (std::size_t node : grant.node_indices) {
+      hosts.push_back(&cluster_->node(node));
+    }
+    job.simulation = std::make_unique<sim::JobSimulation>(
+        grant.job_name, std::move(hosts), trace[index].request.workload);
+    job.characterization = runtime::characterize_job(
+        *job.simulation, options_.characterization_iterations);
+    job.simulation->reset_totals();
+    running_.push_back(std::move(job));
+    if (!result.jobs[index].started()) {
+      result.jobs[index].start_hours = now_hours;
+    }
+  }
+  if (!grants.empty()) {
+    reallocate_power();
+  }
+}
+
+void FacilityManager::reallocate_power() {
+  if (running_.empty()) {
+    return;
+  }
+  core::PolicyContext context;
+  context.system_budget_watts = options_.system_budget_watts;
+  context.node_tdp_watts = cluster_->node(0).tdp();
+  context.uncappable_watts = cluster_->node(0).params().dram_watts;
+  for (const auto& job : running_) {
+    context.jobs.push_back(job.characterization);
+  }
+  const auto policy = core::make_policy(options_.policy);
+  const rm::PowerAllocation allocation = policy->allocate(context);
+  std::vector<sim::JobSimulation*> jobs;
+  jobs.reserve(running_.size());
+  for (auto& job : running_) {
+    jobs.push_back(job.simulation.get());
+  }
+  rm::SystemPowerManager(options_.system_budget_watts)
+      .apply(jobs, allocation, /*enforce_budget=*/false);
+  refresh_profiles();
+}
+
+void FacilityManager::refresh_profiles() {
+  for (auto& job : running_) {
+    // One probe iteration under the current caps yields the steady-state
+    // per-iteration time and power (the simulation is deterministic).
+    const sim::IterationResult probe = job.simulation->run_iteration();
+    job.iterations_done += 1.0;
+    job.iteration_seconds = probe.iteration_seconds;
+    job.power_watts =
+        probe.average_node_power_watts *
+        static_cast<double>(job.simulation->host_count());
+  }
+}
+
+bool FacilityManager::process_failures(
+    std::span<const FacilityJobSpec> trace, double now_hours,
+    FacilityResult& result) {
+  static_cast<void>(trace);
+  bool changed = false;
+
+  // Finished repairs first: the node rejoins the pool.
+  for (auto it = repairs_.begin(); it != repairs_.end();) {
+    if (it->first <= now_hours) {
+      scheduler_.restore(it->second);
+      it = repairs_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+
+  if (options_.node_mtbf_hours <= 0.0) {
+    return changed;
+  }
+  const double per_node_probability =
+      std::min(options_.step_hours / options_.node_mtbf_hours, 1.0);
+  for (auto it = running_.begin(); it != running_.end();) {
+    RunningJob& job = *it;
+    const double hosts = static_cast<double>(job.simulation->host_count());
+    const double job_probability =
+        1.0 - std::pow(1.0 - per_node_probability, hosts);
+    if (failure_rng_.uniform() >= job_probability) {
+      ++it;
+      continue;
+    }
+    // A node of this job died: the job is lost (no checkpointing) and
+    // resubmitted; the node goes into repair.
+    const std::string name = job.simulation->name();
+    const auto nodes = scheduler_.nodes_of(name);
+    const std::size_t failed =
+        nodes[failure_rng_.uniform_index(nodes.size())];
+    FacilityJobRecord& record = result.jobs[job.trace_index];
+    record.restarts += 1;
+    ++result.node_failures;
+    const rm::JobRequest request = trace[job.trace_index].request;
+    // Whatever was checkpointed survives the failure.
+    if (options_.checkpoint_interval_hours > 0.0) {
+      checkpoints_[job.trace_index] = job.checkpointed_iterations;
+    }
+    scheduler_.complete(name);
+    scheduler_.quarantine(failed);
+    repairs_.emplace_back(now_hours + options_.repair_hours, failed);
+    scheduler_.submit(request);
+    it = running_.erase(it);
+    changed = true;
+  }
+  return changed;
+}
+
+FacilityResult FacilityManager::run(
+    std::span<const FacilityJobSpec> trace) {
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    PS_REQUIRE(trace[i].arrival_hours <= trace[i + 1].arrival_hours,
+               "trace must be sorted by arrival time");
+  }
+  FacilityResult result;
+  result.step_hours = options_.step_hours;
+  result.jobs.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    result.jobs[i].name = trace[i].request.name;
+    result.jobs[i].arrival_hours = trace[i].arrival_hours;
+  }
+
+  std::size_t next_arrival = 0;
+  const auto steps = static_cast<std::size_t>(options_.horizon_hours /
+                                              options_.step_hours);
+  for (std::size_t step = 0; step < steps; ++step) {
+    const double now = static_cast<double>(step) * options_.step_hours;
+
+    // Admit arrivals up to now.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_hours <= now) {
+      scheduler_.submit(trace[next_arrival].request);
+      ++next_arrival;
+    }
+    if (process_failures(trace, now, result)) {
+      reallocate_power();
+    }
+    start_pending_jobs(trace, now, result);
+
+    // Advance running jobs by one wall-clock step.
+    const double dt_seconds = options_.step_hours * 3600.0;
+    double compute_power = 0.0;
+    std::size_t busy_nodes = 0;
+    bool finished_any = false;
+    for (auto& job : running_) {
+      compute_power += job.power_watts;
+      busy_nodes += job.simulation->host_count();
+      job.iterations_done += dt_seconds / job.iteration_seconds;
+      if (options_.checkpoint_interval_hours > 0.0 &&
+          now - job.last_checkpoint_hours >=
+              options_.checkpoint_interval_hours) {
+        job.checkpointed_iterations = job.iterations_done;
+        job.last_checkpoint_hours = now;
+      }
+      const double job_energy = job.power_watts * dt_seconds;
+      result.jobs[job.trace_index].energy_joules += job_energy;
+      result.total_energy_joules += job_energy;
+      if (job.iterations_done >=
+          static_cast<double>(job.iterations_total)) {
+        result.jobs[job.trace_index].finish_hours =
+            now + options_.step_hours;
+        ++result.completed_jobs;
+        scheduler_.complete(job.simulation->name());
+        finished_any = true;
+      }
+    }
+    if (finished_any) {
+      running_.erase(
+          std::remove_if(running_.begin(), running_.end(),
+                         [&](const RunningJob& job) {
+                           return job.iterations_done >=
+                                  static_cast<double>(job.iterations_total);
+                         }),
+          running_.end());
+      start_pending_jobs(trace, now, result);
+      reallocate_power();
+      // Recompute the sample with the new job set's power.
+      compute_power = 0.0;
+      busy_nodes = 0;
+      for (const auto& job : running_) {
+        compute_power += job.power_watts;
+        busy_nodes += job.simulation->host_count();
+      }
+    }
+
+    const double idle_nodes =
+        static_cast<double>(cluster_->size() - busy_nodes);
+    const double idle_power = idle_nodes * options_.idle_node_watts;
+    result.power_watts.push_back(compute_power + idle_power);
+    result.total_energy_joules += idle_power * dt_seconds;
+    result.utilization.push_back(static_cast<double>(busy_nodes) /
+                                 static_cast<double>(cluster_->size()));
+  }
+  return result;
+}
+
+}  // namespace ps::facility

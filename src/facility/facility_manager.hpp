@@ -1,0 +1,169 @@
+#pragma once
+
+#include <map>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "rm/job.hpp"
+#include "rm/scheduler.hpp"
+#include "sim/cluster.hpp"
+#include "sim/job_sim.hpp"
+#include "util/rng.hpp"
+
+namespace ps::facility {
+
+/// One job submission in a facility workload trace.
+struct FacilityJobSpec {
+  double arrival_hours = 0.0;
+  rm::JobRequest request{};
+  std::size_t iterations = 100;  ///< Job length in bulk-sync iterations.
+  /// User-supplied walltime estimate (the "requested walltime" of a real
+  /// batch system); EASY backfill trusts it, as real schedulers do.
+  double estimated_hours = 1.0;
+};
+
+/// Parameters of the synthetic facility workload trace (Poisson arrivals
+/// over heatmap-grid workloads — the demand side of the paper's Fig. 1).
+struct JobTraceOptions {
+  double horizon_hours = 24.0 * 7.0;
+  double arrivals_per_hour = 3.0;
+  std::size_t min_nodes = 20;
+  std::size_t max_nodes = 200;
+  /// Job lengths are drawn in wall-clock hours (log-uniform) and
+  /// converted to iteration counts at the nominal iteration time.
+  double min_duration_hours = 0.5;
+  double max_duration_hours = 12.0;
+  double nominal_iteration_seconds = 0.05;
+};
+
+[[nodiscard]] std::vector<FacilityJobSpec> generate_job_trace(
+    util::Rng& rng, const JobTraceOptions& options);
+
+/// Knobs of the facility simulation.
+struct FacilityOptions {
+  double step_hours = 0.1;
+  double horizon_hours = 24.0 * 7.0;
+  /// Budget the RM distributes across *running compute nodes*; defaults
+  /// to the cluster's total TDP when zero.
+  double system_budget_watts = 0.0;
+  core::PolicyKind policy = core::PolicyKind::kStaticCaps;
+  std::size_t characterization_iterations = 3;
+  /// Draw of an idle (unallocated) node: packages near idle plus DRAM.
+  double idle_node_watts = 119.0;
+  /// EASY backfill: when the head of the queue does not fit, start later
+  /// jobs that fit free nodes and whose walltime estimate ends before
+  /// the head's earliest possible start.
+  bool backfill = false;
+  /// Mean time between failures per node, hours. Zero disables failures.
+  /// A failure kills the node's job and quarantines the node for
+  /// `repair_hours`; the job resubmits from its last checkpoint (or from
+  /// scratch without checkpointing).
+  double node_mtbf_hours = 0.0;
+  double repair_hours = 4.0;
+  std::uint64_t failure_seed = 0xfa11;
+  /// Checkpoint interval, hours. Zero disables checkpointing: a failure
+  /// loses all progress. With checkpointing, at most the last interval's
+  /// progress is lost (checkpoint I/O overhead is folded into the
+  /// nominal iteration time).
+  double checkpoint_interval_hours = 0.0;
+};
+
+/// Per-job accounting of a facility run. Times are in hours; a negative
+/// start/finish means the event never happened within the horizon.
+struct FacilityJobRecord {
+  std::string name;
+  double arrival_hours = 0.0;
+  double start_hours = -1.0;   ///< First start.
+  double finish_hours = -1.0;  ///< Final (successful) finish.
+  double energy_joules = 0.0;
+  std::size_t restarts = 0;    ///< Times a node failure killed the job.
+
+  [[nodiscard]] bool started() const noexcept { return start_hours >= 0.0; }
+  [[nodiscard]] bool finished() const noexcept {
+    return finish_hours >= 0.0;
+  }
+  [[nodiscard]] double wait_hours() const {
+    return started() ? start_hours - arrival_hours : -1.0;
+  }
+};
+
+/// Outcome of a facility run.
+struct FacilityResult {
+  double step_hours = 0.0;
+  std::vector<double> power_watts;   ///< Facility draw per time step.
+  std::vector<double> utilization;   ///< Allocated-node fraction per step.
+  std::vector<FacilityJobRecord> jobs;
+  std::size_t completed_jobs = 0;
+  std::size_t node_failures = 0;
+  double total_energy_joules = 0.0;
+
+  [[nodiscard]] double mean_power_watts() const;
+  [[nodiscard]] double peak_power_watts() const;
+  [[nodiscard]] double mean_utilization() const;
+  /// Mean queue wait of the jobs that started.
+  [[nodiscard]] double mean_wait_hours() const;
+};
+
+/// An event-driven (time-stepped) facility: jobs arrive, the scheduler
+/// places them FIFO, the configured power policy divides the system
+/// budget among the running jobs, and the simulated nodes produce the
+/// facility power trace — the paper's Fig. 1 generated from the actual
+/// stack instead of a statistical model.
+class FacilityManager {
+ public:
+  /// `cluster` must outlive the manager.
+  FacilityManager(sim::Cluster& cluster, const FacilityOptions& options);
+
+  [[nodiscard]] FacilityResult run(std::span<const FacilityJobSpec> trace);
+
+  [[nodiscard]] const FacilityOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct RunningJob {
+    std::unique_ptr<sim::JobSimulation> simulation;
+    runtime::JobCharacterization characterization;
+    std::size_t trace_index = 0;
+    double iterations_done = 0.0;
+    double checkpointed_iterations = 0.0;  ///< Progress safe on disk.
+    double last_checkpoint_hours = 0.0;
+    std::size_t iterations_total = 0;
+    // Steady-state profile under the current caps (refreshed after every
+    // re-allocation).
+    double iteration_seconds = 0.0;
+    double power_watts = 0.0;
+  };
+
+  /// Earliest time the head-of-queue job could start, from the running
+  /// jobs' expected completions (the EASY "shadow" reservation).
+  [[nodiscard]] double head_shadow_hours(
+      std::span<const FacilityJobSpec> trace, double now_hours) const;
+
+  void start_pending_jobs(std::span<const FacilityJobSpec> trace,
+                          double now_hours, FacilityResult& result);
+  void reallocate_power();
+  void refresh_profiles();
+
+  /// Rolls for node failures, kills and resubmits affected jobs, and
+  /// releases nodes whose repairs completed. Returns true if the running
+  /// set changed.
+  bool process_failures(std::span<const FacilityJobSpec> trace,
+                        double now_hours, FacilityResult& result);
+
+  sim::Cluster* cluster_;
+  FacilityOptions options_;
+  rm::Scheduler scheduler_;
+  std::vector<RunningJob> running_;
+  util::Rng failure_rng_{0xfa11};
+  std::vector<std::pair<double, std::size_t>> repairs_;
+  /// Checkpointed progress (iterations) by trace index, surviving the
+  /// kill/resubmit cycle of a node failure.
+  std::map<std::size_t, double> checkpoints_;
+};
+
+}  // namespace ps::facility

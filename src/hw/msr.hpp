@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ps::hw {
+
+/// Well-known MSR addresses used by the RAPL simulation (Intel SDM names).
+namespace msr {
+inline constexpr std::uint32_t kRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kPkgPowerInfo = 0x614;
+}  // namespace msr
+
+/// Access control entry mirroring msr-safe's allowlist semantics: a register
+/// is readable if listed, and only the bits in `write_mask` are writable.
+struct MsrAccessEntry {
+  std::uint32_t address = 0;
+  std::uint64_t write_mask = 0;
+};
+
+/// Parses an msr-safe-style allowlist:
+///
+///   # comment
+///   0x606 0x0000000000000000   # MSR_RAPL_POWER_UNIT (read-only)
+///   0x610 0x00FFFFFFFFFFFFFF   # MSR_PKG_POWER_LIMIT
+///
+/// One "address writemask" pair per line; blank lines and '#' comments are
+/// ignored. Throws ps::InvalidArgument on malformed or duplicate entries.
+[[nodiscard]] std::vector<MsrAccessEntry> parse_msr_allowlist(
+    std::string_view text);
+
+/// Simulated per-package MSR file with msr-safe-style access control.
+///
+/// This is the lowest layer of the hardware substitution: RAPL domains are
+/// implemented on top of these registers exactly as the real driver stack
+/// (msr-safe -> libmsr/GEOPM PlatformIO) layers on real MSRs, including the
+/// 32-bit wrapping energy counter.
+class MsrFile {
+ public:
+  /// Constructs with the default allowlist (RAPL registers, as msr-safe
+  /// ships for power management use).
+  MsrFile();
+
+  explicit MsrFile(std::vector<MsrAccessEntry> allowlist);
+
+  /// Reads a 64-bit register. Throws ps::NotFound if not allowlisted.
+  [[nodiscard]] std::uint64_t read(std::uint32_t address) const;
+
+  /// Writes the writable bits of a register; non-writable bits of `value`
+  /// are ignored (as msr-safe masks them). Throws ps::NotFound if the
+  /// register is not allowlisted or has an empty write mask.
+  void write(std::uint32_t address, std::uint64_t value);
+
+  /// Backdoor used by the hardware model itself (not subject to the
+  /// allowlist) — e.g. the package updating its own energy counter.
+  void hw_store(std::uint32_t address, std::uint64_t value);
+  [[nodiscard]] std::uint64_t hw_load(std::uint32_t address) const noexcept;
+
+  [[nodiscard]] bool is_readable(std::uint32_t address) const noexcept;
+  [[nodiscard]] bool is_writable(std::uint32_t address) const noexcept;
+
+ private:
+  const MsrAccessEntry* find_entry(std::uint32_t address) const noexcept;
+
+  std::vector<MsrAccessEntry> allowlist_;
+  std::unordered_map<std::uint32_t, std::uint64_t> registers_;
+};
+
+}  // namespace ps::hw

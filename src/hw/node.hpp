@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hw/perf_model.hpp"
+#include "hw/power_model.hpp"
+#include "hw/quartz_spec.hpp"
+#include "hw/rapl.hpp"
+
+namespace ps::hw {
+
+using NodeId = std::uint32_t;
+
+/// How a node-level cap is divided between its two packages.
+enum class CapSplitPolicy {
+  kEven,             ///< Half each (what naive tooling does).
+  kEfficiencyAware,  ///< Equalize package frequencies: the leakier
+                     ///< package receives proportionally more budget.
+};
+
+struct NodeParams {
+  SocketPowerParams power{};
+  RooflineParams roofline{};
+  ActivityModel activity{};
+  double tdp_per_socket_watts = QuartzSpec::kTdpPerSocketW;
+  double min_rapl_per_socket_watts = QuartzSpec::kMinRaplPerSocketW;
+  /// DRAM plane power: always drawn, not governed by the package limits.
+  /// Node-level caps and reported node power include it.
+  double dram_watts = QuartzSpec::kDramPowerPerNodeW;
+  CapSplitPolicy cap_split = CapSplitPolicy::kEven;
+};
+
+/// Outcome of running (or previewing) one phase on a node.
+struct PhaseResult {
+  double seconds = 0.0;
+  double frequency_ghz = 0.0;
+  double power_watts = 0.0;  ///< Node power (both sockets) during the phase.
+  double gflops = 0.0;       ///< Achieved node GFLOP/s.
+  double energy_joules = 0.0;
+  double cpu_utilization = 0.0;
+  double mem_utilization = 0.0;
+};
+
+/// A simulated dual-socket compute node: RAPL domains + power model +
+/// roofline, with a self-consistent frequency solution.
+///
+/// Frequency under a cap depends on activity, and activity depends on the
+/// pipeline utilizations at that frequency, so run_compute() solves the
+/// fixed point (a few iterations; the map is a contraction because activity
+/// varies weakly with frequency).
+class NodeModel {
+ public:
+  NodeModel(NodeId id, double eta, const NodeParams& params = {});
+
+  /// Heterogeneous packages: the two sockets of one node rarely leak
+  /// identically; under a shared node cap the leakier one sets the pace
+  /// unless the cap split compensates (see CapSplitPolicy).
+  NodeModel(NodeId id, double eta_socket0, double eta_socket1,
+            const NodeParams& params = {});
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  /// Mean of the package efficiency multipliers.
+  [[nodiscard]] double eta() const noexcept { return eta_; }
+  [[nodiscard]] double eta_of(std::size_t socket) const;
+
+  /// Programs the package RAPL limits from a node-level cap: the DRAM
+  /// plane cannot be capped, so the packages absorb the whole reduction,
+  /// divided per the configured CapSplitPolicy. Returns the node cap
+  /// actually applied (after firmware clamping/quantization), including
+  /// the DRAM share.
+  double set_power_cap(double node_watts);
+  [[nodiscard]] double power_cap() const;
+  /// Highest settable node power (2 x package TDP + DRAM).
+  [[nodiscard]] double tdp() const noexcept;
+  /// Lowest settable node power cap (paper: 2 x 68 W, plus DRAM).
+  [[nodiscard]] double min_cap() const noexcept;
+
+  /// Runs a compute phase moving `gigabytes` at `intensity` FLOPs/byte and
+  /// accrues the consumed energy into the RAPL counters.
+  PhaseResult run_compute(double gigabytes, double intensity,
+                          VectorWidth width);
+
+  /// Busy-polls at a barrier for `seconds`, accruing energy.
+  PhaseResult run_poll(double seconds);
+
+  /// DVFS control: an upper bound on the core frequency, independent of
+  /// the RAPL limits (the OS cpufreq / P-state interface). The effective
+  /// frequency is min(frequency under the power cap, this cap). Clamped
+  /// to the part's [f_min, f_max]; returns the applied value.
+  double set_frequency_cap(double ghz);
+  [[nodiscard]] double frequency_cap() const noexcept {
+    return frequency_cap_ghz_;
+  }
+
+  /// Pure query: what run_compute would report under `node_cap_watts`
+  /// without changing any state. Used by agents to search cap settings.
+  /// The node's current frequency cap applies.
+  [[nodiscard]] PhaseResult preview_compute(double gigabytes, double intensity,
+                                            VectorWidth width,
+                                            double node_cap_watts) const;
+
+  /// Same, with an explicit frequency cap (for DVFS searches).
+  [[nodiscard]] PhaseResult preview_compute(double gigabytes, double intensity,
+                                            VectorWidth width,
+                                            double node_cap_watts,
+                                            double frequency_cap_ghz) const;
+
+  /// Node power while polling under `node_cap_watts`.
+  [[nodiscard]] double poll_power(double node_cap_watts) const;
+
+  /// Total node energy read back through the (wrapping) RAPL counters.
+  [[nodiscard]] double read_energy_joules();
+
+  [[nodiscard]] const NodeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const RooflineModel& roofline() const noexcept {
+    return roofline_;
+  }
+  [[nodiscard]] RaplPackageDomain& package(std::size_t socket);
+
+ private:
+  /// Solves the frequency/activity fixed point for a compute phase under a
+  /// per-socket cap (using the node's current frequency cap, or an
+  /// explicit one).
+  [[nodiscard]] PhaseResult solve_compute(double gigabytes, double intensity,
+                                          VectorWidth width,
+                                          std::span<const double> socket_caps)
+      const;
+  [[nodiscard]] PhaseResult solve_compute(double gigabytes, double intensity,
+                                          VectorWidth width,
+                                          std::span<const double> socket_caps,
+                                          double frequency_cap_ghz) const;
+
+  /// Splits node energy between the DRAM plane and the RAPL counters.
+  void accrue_energy(double node_joules, double seconds);
+
+  /// Per-package cap split for a node-level cap, honoring cap_split.
+  [[nodiscard]] std::vector<double> split_node_cap(double node_watts) const;
+
+  NodeId id_;
+  double eta_;
+  std::vector<double> etas_;
+  NodeParams params_;
+  SocketPowerModel power_model_;
+  RooflineModel roofline_;
+  std::vector<RaplPackageDomain> packages_;
+  double dram_energy_joules_ = 0.0;
+  double frequency_cap_ghz_ = 0.0;  ///< Set to f_max by the constructor.
+};
+
+}  // namespace ps::hw

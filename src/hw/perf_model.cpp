@@ -1,0 +1,107 @@
+#include "hw/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+
+std::string_view to_string(VectorWidth width) noexcept {
+  switch (width) {
+    case VectorWidth::kScalar:
+      return "scalar";
+    case VectorWidth::kXmm128:
+      return "xmm";
+    case VectorWidth::kYmm256:
+      return "ymm";
+  }
+  return "?";
+}
+
+double flops_per_cycle(VectorWidth width) noexcept {
+  switch (width) {
+    case VectorWidth::kScalar:
+      return 4.0;  // 2 FMA ports x 2 FLOPs per scalar FMA
+    case VectorWidth::kXmm128:
+      return 8.0;  // x 2 DP lanes
+    case VectorWidth::kYmm256:
+      return 16.0;  // x 4 DP lanes
+  }
+  return 0.0;
+}
+
+RooflineModel::RooflineModel(const RooflineParams& params) : params_(params) {
+  PS_REQUIRE(params.active_cores > 0, "need at least one active core");
+  PS_REQUIRE(params.max_frequency_ghz > 0.0, "max frequency must be positive");
+  PS_REQUIRE(params.memory_bandwidth_gbs > 0.0,
+             "memory bandwidth must be positive");
+  PS_REQUIRE(params.bandwidth_frequency_floor >= 0.0 &&
+                 params.bandwidth_frequency_floor <= 1.0,
+             "bandwidth floor must be in [0,1]");
+}
+
+double RooflineModel::peak_gflops(VectorWidth width,
+                                  double frequency_ghz) const {
+  PS_REQUIRE(frequency_ghz > 0.0, "frequency must be positive");
+  return static_cast<double>(params_.active_cores) * flops_per_cycle(width) *
+         frequency_ghz;
+}
+
+double RooflineModel::memory_bandwidth_gbs(double frequency_ghz) const {
+  PS_REQUIRE(frequency_ghz > 0.0, "frequency must be positive");
+  const double ratio =
+      std::min(frequency_ghz / params_.max_frequency_ghz, 1.0);
+  const double scale = params_.bandwidth_frequency_floor +
+                       (1.0 - params_.bandwidth_frequency_floor) * ratio;
+  return params_.memory_bandwidth_gbs * scale;
+}
+
+double RooflineModel::ridge_intensity(VectorWidth width,
+                                      double frequency_ghz) const {
+  return peak_gflops(width, frequency_ghz) /
+         memory_bandwidth_gbs(frequency_ghz);
+}
+
+PhaseProfile RooflineModel::profile(double gigabytes, double intensity,
+                                    VectorWidth width,
+                                    double frequency_ghz) const {
+  PS_REQUIRE(gigabytes > 0.0, "phase must move a positive amount of data");
+  PS_REQUIRE(intensity >= 0.0, "intensity cannot be negative");
+  const double gflop = intensity * gigabytes;
+  const double t_mem = gigabytes / memory_bandwidth_gbs(frequency_ghz);
+  const double t_cpu =
+      gflop > 0.0 ? gflop / peak_gflops(width, frequency_ghz) : 0.0;
+  PhaseProfile profile;
+  profile.seconds = std::max(t_mem, t_cpu);
+  profile.cpu_utilization = t_cpu / profile.seconds;
+  profile.mem_utilization = t_mem / profile.seconds;
+  profile.gflops = gflop > 0.0 ? gflop / profile.seconds : 0.0;
+  return profile;
+}
+
+double ActivityModel::compute_activity(double cpu_utilization,
+                                       double mem_utilization,
+                                       VectorWidth width) const {
+  PS_REQUIRE(cpu_utilization >= 0.0 && cpu_utilization <= 1.0,
+             "cpu utilization must be in [0,1]");
+  PS_REQUIRE(mem_utilization >= 0.0 && mem_utilization <= 1.0,
+             "mem utilization must be in [0,1]");
+  double cpu_scale = 1.0;
+  switch (width) {
+    case VectorWidth::kScalar:
+      cpu_scale = scalar_cpu_scale;
+      break;
+    case VectorWidth::kXmm128:
+      cpu_scale = xmm_cpu_scale;
+      break;
+    case VectorWidth::kYmm256:
+      cpu_scale = 1.0;
+      break;
+  }
+  const double activity = base + cpu_weight * cpu_scale * cpu_utilization +
+                          mem_weight * mem_utilization;
+  return std::clamp(activity, 0.0, 1.0);
+}
+
+}  // namespace ps::hw

@@ -1,0 +1,57 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+
+SocketPowerModel::SocketPowerModel(const SocketPowerParams& params)
+    : params_(params) {
+  PS_REQUIRE(params.idle_watts > 0.0, "idle power must be positive");
+  PS_REQUIRE(params.max_dynamic_watts > 0.0,
+             "dynamic power range must be positive");
+  PS_REQUIRE(params.min_frequency_ghz > 0.0 &&
+                 params.min_frequency_ghz <= params.max_frequency_ghz,
+             "frequency range must satisfy 0 < f_min <= f_max");
+  PS_REQUIRE(params.exponent >= 1.0, "power exponent must be >= 1");
+}
+
+double SocketPowerModel::power(double frequency_ghz, double activity,
+                               double eta) const {
+  PS_REQUIRE(activity >= 0.0 && activity <= 1.0, "activity must be in [0,1]");
+  PS_REQUIRE(eta > 0.0, "efficiency multiplier must be positive");
+  const double clamped_f =
+      std::clamp(frequency_ghz, params_.min_frequency_ghz,
+                 params_.max_frequency_ghz);
+  const double ratio = clamped_f / params_.max_frequency_ghz;
+  return params_.idle_watts + eta * params_.max_dynamic_watts * activity *
+                                  std::pow(ratio, params_.exponent);
+}
+
+double SocketPowerModel::frequency_at_cap(double cap_watts, double activity,
+                                          double eta) const {
+  PS_REQUIRE(activity >= 0.0 && activity <= 1.0, "activity must be in [0,1]");
+  PS_REQUIRE(eta > 0.0, "efficiency multiplier must be positive");
+  const double dynamic_budget = cap_watts - params_.idle_watts;
+  const double scale = eta * params_.max_dynamic_watts * activity;
+  if (scale <= 0.0) {
+    // No dynamic draw at all (idle workload): frequency is unconstrained.
+    return params_.max_frequency_ghz;
+  }
+  if (dynamic_budget <= 0.0) {
+    return params_.min_frequency_ghz;
+  }
+  const double ratio =
+      std::pow(dynamic_budget / scale, 1.0 / params_.exponent);
+  return std::clamp(ratio * params_.max_frequency_ghz,
+                    params_.min_frequency_ghz, params_.max_frequency_ghz);
+}
+
+double SocketPowerModel::power_at_cap(double cap_watts, double activity,
+                                      double eta) const {
+  return power(frequency_at_cap(cap_watts, activity, eta), activity, eta);
+}
+
+}  // namespace ps::hw

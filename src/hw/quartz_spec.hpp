@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ps::hw {
+
+/// Platform constants for the modeled system (paper Table I: LLNL Quartz,
+/// dual-socket Intel Xeon E5-2695 v4 "Broadwell").
+///
+/// The roofline ceilings reproduce the per-core envelope the paper reports
+/// in Fig. 3 (generated with Intel Advisor on the target platform).
+struct QuartzSpec {
+  // --- Topology (Table I) ---
+  static constexpr std::size_t kSocketsPerNode = 2;
+  static constexpr std::size_t kCoresPerNode = 36;
+  /// The paper reserves 2 cores for monitoring; 34 run the benchmark.
+  static constexpr std::size_t kBenchmarkCoresPerNode = 34;
+
+  // --- Power (Table I) ---
+  static constexpr double kTdpPerSocketW = 120.0;
+  static constexpr double kMinRaplPerSocketW = 68.0;
+  static constexpr double kTdpPerNodeW = kTdpPerSocketW * kSocketsPerNode;
+  static constexpr double kMinRaplPerNodeW =
+      kMinRaplPerSocketW * kSocketsPerNode;
+
+  // --- Frequency ---
+  static constexpr double kBaseFrequencyGHz = 2.1;
+  /// All-core turbo ceiling used when power headroom allows.
+  static constexpr double kMaxFrequencyGHz = 2.6;
+  static constexpr double kMinFrequencyGHz = 1.2;
+
+  // --- Node-level memory bandwidth (sustained, both sockets) ---
+  /// Calibrated so the roofline ridge falls between 8 and 16 FLOPs/byte,
+  /// where the paper's Fig. 4 power peaks.
+  static constexpr double kNodeMemoryBandwidthGBs = 150.0;
+
+  /// DRAM plane power per node. Drawn whenever the node is up and NOT
+  /// governed by the package RAPL limits, which is why measured node
+  /// power never falls to the bare 2 x 68 W package floor (the paper's
+  /// Table III min budgets imply a ~152 W per-node floor).
+  static constexpr double kDramPowerPerNodeW = 16.0;
+
+  // --- Per-core roofline ceilings (Fig. 3) ---
+  static constexpr double kDramBandwidthGBsPerCore = 12.44;
+  static constexpr double kL3BandwidthGBsPerCore = 35.18;
+  static constexpr double kL2BandwidthGBsPerCore = 84.5;
+  static constexpr double kL1BandwidthGBsPerCore = 314.65;
+  static constexpr double kScalarAddPeakGflops = 27.3;
+  static constexpr double kDpVectorAddPeakGflops = 43.9;
+  static constexpr double kDpVectorFmaPeakGflops = 87.9;
+  static constexpr double kSpVectorFmaPeakGflops = 175.8;
+
+  // --- Cluster scale (Sections V-A/V-B) ---
+  static constexpr std::size_t kClusterNodeCount = 2000;
+  static constexpr std::size_t kExperimentNodeCount = 900;  // 9 jobs x 100
+  /// "TDP of all CPUs is 216 kW" (Table III footnote): 900 nodes x 240 W.
+  static constexpr double kExperimentTdpW =
+      kTdpPerNodeW * static_cast<double>(kExperimentNodeCount);
+};
+
+}  // namespace ps::hw

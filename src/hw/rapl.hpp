@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/msr.hpp"
+
+namespace ps::hw {
+
+/// RAPL package power domain implemented over a simulated MSR file.
+///
+/// Encodes power limits and energy in the fixed-point units advertised by
+/// MSR_RAPL_POWER_UNIT (power in 1/8 W steps, energy in ~61 uJ steps) and
+/// models the 32-bit wrapping package energy counter, so software layered
+/// on top must handle exactly the quirks real RAPL software handles.
+class RaplPackageDomain {
+ public:
+  /// `tdp_watts` populates PKG_POWER_INFO's thermal spec power field;
+  /// `min_watts` populates its minimum power field. The initial power
+  /// limit is the TDP with clamping enabled.
+  RaplPackageDomain(double tdp_watts, double min_watts);
+
+  /// Sets the package power limit. Values are clamped to the
+  /// [min, 1.5*TDP] range the firmware accepts, then quantized to RAPL
+  /// power units. Returns the limit that was actually programmed.
+  double set_power_limit(double watts);
+
+  /// Currently programmed power limit (after quantization), in watts.
+  [[nodiscard]] double power_limit() const;
+
+  [[nodiscard]] double tdp() const noexcept { return tdp_watts_; }
+  [[nodiscard]] double min_limit() const noexcept { return min_watts_; }
+
+  /// Hardware-side: accrues consumed energy into the wrapping counter.
+  void accumulate_energy(double joules);
+
+  /// Software-side: reads the raw 32-bit counter (wraps ~every 73 kJ).
+  [[nodiscard]] std::uint32_t read_energy_counter() const;
+
+  /// Software-side: total energy in joules, reconstructed across counter
+  /// wraps. Call at least once per wrap period for correct results (the
+  /// paper's runtime samples far faster than that).
+  [[nodiscard]] double read_energy_joules();
+
+  /// Joules represented by one LSB of the energy counter.
+  [[nodiscard]] double energy_unit_joules() const noexcept;
+  /// Watts represented by one LSB of the power-limit field.
+  [[nodiscard]] double power_unit_watts() const noexcept;
+
+  [[nodiscard]] MsrFile& msr_file() noexcept { return msrs_; }
+  [[nodiscard]] const MsrFile& msr_file() const noexcept { return msrs_; }
+
+ private:
+  double tdp_watts_;
+  double min_watts_;
+  MsrFile msrs_;
+  double fractional_energy_ = 0.0;  ///< Sub-LSB residue awaiting the counter.
+  std::uint32_t last_counter_ = 0;
+  double unwrapped_joules_ = 0.0;
+};
+
+}  // namespace ps::hw

@@ -1,0 +1,53 @@
+#include "hw/variation.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::hw {
+
+VariationModel::VariationModel(std::vector<VariationComponent> components)
+    : components_(std::move(components)) {
+  PS_REQUIRE(!components_.empty(), "need at least one variation component");
+  for (const auto& component : components_) {
+    PS_REQUIRE(component.count > 0, "component count must be positive");
+    PS_REQUIRE(component.mean_eta > 0.0, "mean eta must be positive");
+    PS_REQUIRE(component.sigma_eta >= 0.0, "sigma eta must be non-negative");
+  }
+}
+
+VariationModel VariationModel::quartz_default() {
+  // Calibrated so frequency_at_cap(70 W, a=1) lands near 1.65 / 1.80 /
+  // 1.95 GHz for the three populations (paper Fig. 6), with cluster sizes
+  // 522 / 918 / 560.
+  return VariationModel({
+      {522, 1.304, 0.030},  // low-frequency (leaky) parts
+      {918, 1.004, 0.022},  // medium cluster used for the experiments
+      {560, 0.791, 0.018},  // high-frequency (efficient) parts
+  });
+}
+
+std::size_t VariationModel::total_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& component : components_) {
+    total += component.count;
+  }
+  return total;
+}
+
+std::vector<double> VariationModel::generate(util::Rng& rng) const {
+  std::vector<double> etas;
+  etas.reserve(total_count());
+  for (const auto& component : components_) {
+    for (std::size_t i = 0; i < component.count; ++i) {
+      const double eta = rng.normal(component.mean_eta, component.sigma_eta);
+      etas.push_back(std::max(eta, 0.05));
+    }
+  }
+  rng.shuffle(std::span<double>(etas));
+  return etas;
+}
+
+}  // namespace ps::hw

@@ -1,0 +1,197 @@
+#include "kernel/arithmetic_kernel.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "kernel/spin_barrier.hpp"
+#include "util/error.hpp"
+
+namespace ps::kernel {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// SIMD register of `Lanes` doubles via the GCC/Clang vector extension;
+/// Lanes == 1 degrades to a plain double (the scalar path), so the three
+/// instantiations genuinely issue scalar / 128-bit / 256-bit operations.
+template <std::size_t Lanes>
+struct SimdReg {
+  using type [[gnu::vector_size(Lanes * sizeof(double))]] = double;
+};
+template <>
+struct SimdReg<1> {
+  using type = double;
+};
+
+/// One streaming sweep over [0, elements) issuing `whole_fma` FMAs per
+/// element plus a fractional FMA realized by error accumulation. Four
+/// independent register chains per tile hide the FMA latency so the loop
+/// is throughput-bound, as the paper's kernel is.
+template <std::size_t Lanes>
+double sweep(const double* in, double* out, std::size_t elements,
+             std::size_t whole_fma, double fractional_fma) {
+  using Reg = typename SimdReg<Lanes>::type;
+  constexpr std::size_t kChains = 4;
+  constexpr std::size_t kTile = Lanes * kChains;
+  const double scale = 1.0000001;
+  const double addend = 0.0625;
+  double err = 0.0;
+  std::size_t i = 0;
+  for (; i + kTile <= elements; i += kTile) {
+    err += fractional_fma * static_cast<double>(kTile);
+    std::size_t extra = 0;
+    if (err >= 1.0) {
+      err -= 1.0;
+      extra = 1;
+    }
+    Reg x[kChains];
+    __builtin_memcpy(&x, in + i, sizeof(x));
+    for (std::size_t k = 0; k < whole_fma + extra; ++k) {
+      for (std::size_t c = 0; c < kChains; ++c) {
+        x[c] = x[c] * scale + addend;
+      }
+    }
+    __builtin_memcpy(out + i, &x, sizeof(x));
+  }
+  for (; i < elements; ++i) {
+    double x = in[i];
+    for (std::size_t k = 0; k < whole_fma; ++k) {
+      x = x * scale + addend;
+    }
+    out[i] = x;
+  }
+  return out[0] + out[elements - 1];
+}
+
+double dispatch_sweep(hw::VectorWidth width, const double* in, double* out,
+                      std::size_t elements, std::size_t whole_fma,
+                      double fractional_fma) {
+  switch (width) {
+    case hw::VectorWidth::kScalar:
+      return sweep<1>(in, out, elements, whole_fma, fractional_fma);
+    case hw::VectorWidth::kXmm128:
+      return sweep<2>(in, out, elements, whole_fma, fractional_fma);
+    case hw::VectorWidth::kYmm256:
+      return sweep<4>(in, out, elements, whole_fma, fractional_fma);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double fma_per_element(double intensity) noexcept {
+  // One sweep moves 16 bytes per element (read + write); one FMA is
+  // 2 FLOPs, so FLOPs/byte = fma * 2 / 16.
+  return intensity * 8.0;
+}
+
+double KernelReport::waiting_slack_fraction() const {
+  double wait_sum = 0.0;
+  std::size_t waiting_count = 0;
+  for (const auto& thread : threads) {
+    if (thread.waiting_rank) {
+      wait_sum += thread.wait_seconds;
+      ++waiting_count;
+    }
+  }
+  if (waiting_count == 0 || elapsed_seconds <= 0.0) {
+    return 0.0;
+  }
+  return wait_sum / static_cast<double>(waiting_count) / elapsed_seconds;
+}
+
+KernelReport run_arithmetic_kernel(const KernelOptions& options) {
+  options.config.validate();
+  PS_REQUIRE(options.threads > 0, "kernel needs at least one thread");
+  PS_REQUIRE(options.elements_per_thread >= 8,
+             "working set too small to be meaningful");
+  PS_REQUIRE(options.iterations > 0, "kernel needs at least one iteration");
+
+  const std::size_t waiting_count = std::min(
+      static_cast<std::size_t>(options.config.waiting_fraction *
+                               static_cast<double>(options.threads)),
+      options.threads - 1);
+
+  const double fma_exact = fma_per_element(options.config.intensity);
+  const auto whole_fma = static_cast<std::size_t>(std::floor(fma_exact));
+  const double fractional_fma = fma_exact - static_cast<double>(whole_fma);
+
+  SpinBarrier barrier(options.threads);
+  std::vector<ThreadReport> reports(options.threads);
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+
+  const auto run_start = Clock::now();
+  for (std::size_t t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      const bool waiting_rank = t < waiting_count;
+      const double sweeps_per_iteration =
+          waiting_rank ? 1.0 : options.config.imbalance;
+      std::vector<double> in(options.elements_per_thread, 1.0);
+      std::vector<double> out(options.elements_per_thread, 0.0);
+      double checksum = 0.0;
+      double busy = 0.0;
+      double wait = 0.0;
+      double gflop = 0.0;
+      for (std::size_t iteration = 0; iteration < options.iterations;
+           ++iteration) {
+        const auto busy_start = Clock::now();
+        double remaining = sweeps_per_iteration;
+        while (remaining > 0.0) {
+          const double portion = std::min(remaining, 1.0);
+          const auto elements = static_cast<std::size_t>(
+              portion * static_cast<double>(options.elements_per_thread));
+          if (elements > 0) {
+            checksum += dispatch_sweep(options.config.vector_width,
+                                       in.data(), out.data(), elements,
+                                       whole_fma, fractional_fma);
+            gflop += fma_exact * 2.0 * static_cast<double>(elements) / 1e9;
+          }
+          remaining -= portion;
+        }
+        const auto busy_end = Clock::now();
+        barrier.arrive_and_wait();
+        const auto wait_end = Clock::now();
+        busy += seconds_between(busy_start, busy_end);
+        wait += seconds_between(busy_end, wait_end);
+      }
+      reports[t].busy_seconds = busy;
+      reports[t].wait_seconds = wait;
+      reports[t].gflop = gflop;
+      reports[t].waiting_rank = waiting_rank;
+      reports[t].checksum = checksum;
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  const auto run_end = Clock::now();
+
+  KernelReport report;
+  report.elapsed_seconds = seconds_between(run_start, run_end);
+  report.iterations = options.iterations;
+  report.threads = std::move(reports);
+  for (const auto& thread : report.threads) {
+    report.total_gflop += thread.gflop;
+  }
+  const double sweeps_total =
+      static_cast<double>(waiting_count) +
+      static_cast<double>(options.threads - waiting_count) *
+          options.config.imbalance;
+  report.total_gigabytes = sweeps_total *
+                           static_cast<double>(options.iterations) *
+                           static_cast<double>(options.elements_per_thread) *
+                           16.0 / 1e9;
+  if (report.elapsed_seconds > 0.0) {
+    report.achieved_gflops = report.total_gflop / report.elapsed_seconds;
+  }
+  return report;
+}
+
+}  // namespace ps::kernel

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernel/workload.hpp"
+
+namespace ps::kernel {
+
+/// Options for the *real* (natively executed) arithmetic-intensity kernel.
+///
+/// This is the runnable counterpart of the analytic WorkloadConfig: threads
+/// stand in for MPI ranks, a spin barrier stands in for MPI_Barrier, and
+/// the per-element FMA count realizes the configured FLOPs/byte. It mirrors
+/// the public benchmark the paper links
+/// (github.com/dannosliwcd/arithmetic-intensity).
+struct KernelOptions {
+  WorkloadConfig config{};
+  std::size_t threads = 4;
+  /// Working-set doubles per thread (one sweep moves 16 bytes/element:
+  /// one read + one write stream).
+  std::size_t elements_per_thread = 1 << 15;
+  std::size_t iterations = 8;
+};
+
+/// Per-thread outcome of a kernel run.
+struct ThreadReport {
+  double busy_seconds = 0.0;  ///< Time spent in compute sweeps.
+  double wait_seconds = 0.0;  ///< Time spent polling at the barrier.
+  double gflop = 0.0;         ///< Floating point work performed.
+  bool waiting_rank = false;  ///< True if this thread was a waiting rank.
+  /// Numeric sink defeating dead-code elimination; the value is meaningless.
+  double checksum = 0.0;
+};
+
+/// Aggregate outcome of a kernel run.
+struct KernelReport {
+  double elapsed_seconds = 0.0;
+  double total_gflop = 0.0;
+  double achieved_gflops = 0.0;  ///< total_gflop / elapsed_seconds.
+  double total_gigabytes = 0.0;  ///< Data volume moved by all sweeps.
+  std::size_t iterations = 0;
+  std::vector<ThreadReport> threads;
+
+  /// Mean barrier wait of waiting ranks divided by elapsed time: the
+  /// measured "slack" the paper's balancer exploits. Zero if no waiting
+  /// ranks were configured.
+  [[nodiscard]] double waiting_slack_fraction() const;
+};
+
+/// Runs the kernel on the calling machine. Throws ps::InvalidArgument on
+/// invalid options (e.g. zero threads, waiting fraction that leaves no
+/// critical rank). Deterministic in structure but timing-dependent in the
+/// reported seconds, as any real benchmark is.
+[[nodiscard]] KernelReport run_arithmetic_kernel(const KernelOptions& options);
+
+/// Number of fused multiply-adds issued per array element for a given
+/// computational intensity (16 bytes and 2 FLOPs per FMA => fma/element =
+/// intensity * 8). Exposed for tests and for the roofline sweep.
+[[nodiscard]] double fma_per_element(double intensity) noexcept;
+
+}  // namespace ps::kernel

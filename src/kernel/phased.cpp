@@ -1,0 +1,52 @@
+#include "kernel/phased.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::kernel {
+
+void PhasedWorkload::validate() const {
+  PS_REQUIRE(!phases.empty(), "phased workload needs at least one phase");
+  for (const auto& phase : phases) {
+    phase.config.validate();
+    PS_REQUIRE(phase.iterations > 0,
+               "every phase needs at least one iteration");
+  }
+}
+
+std::size_t PhasedWorkload::total_iterations() const {
+  std::size_t total = 0;
+  for (const auto& phase : phases) {
+    total += phase.iterations;
+  }
+  return total;
+}
+
+const WorkloadPhase& PhasedWorkload::phase_at(std::size_t iteration) const {
+  validate();
+  const std::size_t cycle = iteration % total_iterations();
+  std::size_t offset = 0;
+  for (const auto& phase : phases) {
+    if (cycle < offset + phase.iterations) {
+      return phase;
+    }
+    offset += phase.iterations;
+  }
+  return phases.back();  // unreachable; keeps the compiler satisfied
+}
+
+PhasedWorkload PhasedWorkload::example() {
+  PhasedWorkload workload;
+  workload.name = "stream-then-solve";
+  WorkloadPhase stream;
+  stream.config.intensity = 0.25;  // memory-bound assembly/IO phase
+  stream.iterations = 4;
+  WorkloadPhase solve;
+  solve.config.intensity = 16.0;  // imbalanced compute phase
+  solve.config.waiting_fraction = 0.5;
+  solve.config.imbalance = 2.0;
+  solve.iterations = 6;
+  workload.phases = {stream, solve};
+  return workload;
+}
+
+}  // namespace ps::kernel

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kernel/workload.hpp"
+
+namespace ps::kernel {
+
+/// One phase of a multi-phase application: a workload configuration and
+/// how many bulk-synchronous iterations it persists.
+struct WorkloadPhase {
+  WorkloadConfig config{};
+  std::size_t iterations = 1;
+};
+
+/// A multi-phase application (the paper's future-work extension:
+/// "applications with multiple phases that have varying design
+/// characteristics"). Phases execute in order; the whole sequence may be
+/// repeated.
+struct PhasedWorkload {
+  std::string name;
+  std::vector<WorkloadPhase> phases;
+
+  /// Throws ps::InvalidArgument unless every phase is valid and has at
+  /// least one iteration.
+  void validate() const;
+
+  [[nodiscard]] std::size_t total_iterations() const;
+
+  /// The phase active at global iteration `iteration` (wraps around when
+  /// the sequence repeats).
+  [[nodiscard]] const WorkloadPhase& phase_at(std::size_t iteration) const;
+
+  /// A representative two-phase example: a memory-bound streaming phase
+  /// followed by an imbalanced compute phase.
+  [[nodiscard]] static PhasedWorkload example();
+};
+
+}  // namespace ps::kernel

@@ -1,0 +1,51 @@
+#include "kernel/proxies.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ps::kernel {
+
+namespace {
+WorkloadConfig make_config(double intensity, hw::VectorWidth width,
+                           double waiting, double imbalance) {
+  WorkloadConfig config;
+  config.intensity = intensity;
+  config.vector_width = width;
+  config.waiting_fraction = waiting;
+  config.imbalance = imbalance;
+  return config;
+}
+
+std::vector<WorkloadProxy> build_catalogue() {
+  return {
+      {"stream", "STREAM triad",
+       make_config(0.25, hw::VectorWidth::kYmm256, 0.0, 1.0)},
+      {"dgemm", "HPL / DGEMM",
+       make_config(32.0, hw::VectorWidth::kYmm256, 0.0, 1.0)},
+      {"spmv", "HPCG / SpMV",
+       make_config(0.5, hw::VectorWidth::kXmm128, 0.25, 2.0)},
+      {"stencil", "miniFE / structured stencils",
+       make_config(8.0, hw::VectorWidth::kYmm256, 0.0, 1.0)},
+      {"graph", "BFS-style graph analytics",
+       make_config(0.25, hw::VectorWidth::kScalar, 0.5, 3.0)},
+      {"mc", "Monte Carlo transport",
+       make_config(16.0, hw::VectorWidth::kYmm256, 0.5, 2.0)},
+  };
+}
+}  // namespace
+
+const std::vector<WorkloadProxy>& workload_proxies() {
+  static const std::vector<WorkloadProxy> catalogue = build_catalogue();
+  return catalogue;
+}
+
+const WorkloadProxy& proxy_by_name(std::string_view name) {
+  for (const WorkloadProxy& proxy : workload_proxies()) {
+    if (util::iequals(proxy.name, name)) {
+      return proxy;
+    }
+  }
+  throw NotFound("unknown workload proxy '" + std::string(name) + "'");
+}
+
+}  // namespace ps::kernel

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "kernel/workload.hpp"
+
+namespace ps::kernel {
+
+/// A named workload proxy: a kernel configuration chosen to land in the
+/// same roofline/imbalance regime as a well-known HPC code. These are
+/// positioning proxies, not ports — they give examples, facility traces,
+/// and docs recognizable handles ("a STREAM-like job") instead of raw
+/// parameter tuples.
+struct WorkloadProxy {
+  std::string_view name;      ///< e.g. "stream".
+  std::string_view stands_for;  ///< The code family it positions like.
+  WorkloadConfig config{};
+};
+
+/// The shipped proxy catalogue:
+///
+///   stream     STREAM triad        memory-bound, balanced
+///   dgemm      HPL / DGEMM         compute-bound, balanced
+///   spmv       HPCG / SpMV         low intensity, mildly imbalanced
+///   stencil    miniFE / stencils   near the ridge, balanced
+///   graph      BFS-style analytics memory-bound, heavily imbalanced
+///   mc         Monte Carlo         compute-bound, embarrassingly uneven
+[[nodiscard]] const std::vector<WorkloadProxy>& workload_proxies();
+
+/// Looks a proxy up by name. Throws ps::NotFound for unknown names.
+[[nodiscard]] const WorkloadProxy& proxy_by_name(std::string_view name);
+
+}  // namespace ps::kernel

@@ -1,0 +1,46 @@
+#include "kernel/spin_barrier.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define PS_SPIN_PAUSE() _mm_pause()
+#else
+#define PS_SPIN_PAUSE() \
+  do {                  \
+  } while (false)
+#endif
+
+namespace ps::kernel {
+
+SpinBarrier::SpinBarrier(std::size_t participants)
+    : participants_(participants) {
+  PS_REQUIRE(participants > 0, "barrier needs at least one participant");
+}
+
+void SpinBarrier::arrive_and_wait() noexcept {
+  const std::size_t my_generation =
+      generation_.load(std::memory_order_acquire);
+  const std::size_t position =
+      arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (position == participants_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  // Busy-poll (the MPI-like behavior under study), but yield periodically
+  // so oversubscribed hosts — e.g. unit tests on small CI machines — do
+  // not starve the threads still computing.
+  std::uint32_t spins = 0;
+  while (generation_.load(std::memory_order_acquire) == my_generation) {
+    PS_SPIN_PAUSE();
+    if (++spins == 4096) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace ps::kernel

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace ps::kernel {
+
+/// Busy-polling barrier.
+///
+/// MPI implementations typically busy-poll at MPI_Barrier, which is why the
+/// paper's waiting ranks consume close to full power while making no
+/// progress. std::barrier may block in the kernel, which would not
+/// reproduce that behavior, so the real kernel uses this spin barrier.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t participants);
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until all participants have arrived.
+  void arrive_and_wait() noexcept;
+
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return participants_;
+  }
+
+ private:
+  const std::size_t participants_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::size_t> generation_{0};
+};
+
+}  // namespace ps::kernel

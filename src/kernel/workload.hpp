@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hw/perf_model.hpp"
+
+namespace ps::kernel {
+
+/// Configuration of the synthetic arithmetic-intensity kernel (paper
+/// Section IV-A, Fig. 2). One bulk-synchronous iteration looks like:
+///
+///   - every rank performs the common work (a streaming phase moving
+///     `gigabytes_per_iteration` at `intensity` FLOPs/byte);
+///   - ranks on the critical path perform `imbalance` times the common
+///     work in total;
+///   - the remaining ranks ("waiting ranks") busy-poll at the barrier
+///     until the critical path finishes the iteration.
+///
+/// `waiting_fraction` is the fraction of ranks on the non-critical path.
+/// With imbalance == 1 there is no critical path and waiting ranks incur
+/// no polling time.
+struct WorkloadConfig {
+  double intensity = 1.0;  ///< FLOPs per byte; 0 = pure memory streaming.
+  hw::VectorWidth vector_width = hw::VectorWidth::kYmm256;
+  double waiting_fraction = 0.0;  ///< In [0, 1): fraction of waiting ranks.
+  double imbalance = 1.0;         ///< Critical-path work multiplier (>= 1).
+  double gigabytes_per_iteration = 2.0;  ///< Common-work data movement.
+
+  /// Throws ps::InvalidArgument if any field is out of its domain.
+  void validate() const;
+
+  /// Stable short name, e.g. "ymm-i8-w50-x2" (intensity 8, 50% waiting
+  /// ranks, 2x imbalance, 256-bit vectors).
+  [[nodiscard]] std::string name() const;
+
+  /// Human-oriented description matching the paper's Table II wording,
+  /// e.g. "8 FLOPs/byte, 50% waiting ranks, 2x imbalance, ymm".
+  [[nodiscard]] std::string description() const;
+
+  [[nodiscard]] bool operator==(const WorkloadConfig&) const = default;
+};
+
+/// Work performed by the critical path in one iteration, in gigabytes.
+[[nodiscard]] double critical_gigabytes(const WorkloadConfig& config);
+
+/// Parses the stable short name back into a configuration — the inverse
+/// of WorkloadConfig::name(), e.g. "ymm-i8-w50-x2". Throws
+/// ps::InvalidArgument on malformed names. gigabytes_per_iteration is
+/// not encoded in the name and keeps its default.
+[[nodiscard]] WorkloadConfig parse_workload(std::string_view name);
+
+}  // namespace ps::kernel

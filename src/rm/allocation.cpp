@@ -1,0 +1,39 @@
+#include "rm/allocation.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+
+double PowerAllocation::total_watts() const {
+  double total = 0.0;
+  for (const auto& job : job_host_caps) {
+    for (double cap : job) {
+      total += cap;
+    }
+  }
+  return total;
+}
+
+double PowerAllocation::job_total_watts(std::size_t job) const {
+  PS_REQUIRE(job < job_host_caps.size(), "job index out of range");
+  double total = 0.0;
+  for (double cap : job_host_caps[job]) {
+    total += cap;
+  }
+  return total;
+}
+
+std::size_t PowerAllocation::host_count() const {
+  std::size_t count = 0;
+  for (const auto& job : job_host_caps) {
+    count += job.size();
+  }
+  return count;
+}
+
+bool PowerAllocation::within_budget(double budget_watts,
+                                    double tolerance_watts) const {
+  return total_watts() <= budget_watts + tolerance_watts;
+}
+
+}  // namespace ps::rm

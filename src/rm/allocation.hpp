@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ps::rm {
+
+/// Per-host power caps for a set of jobs, as produced by a power policy.
+/// job_host_caps[j][h] is the node cap (watts) of host h of job j.
+struct PowerAllocation {
+  std::vector<std::vector<double>> job_host_caps;
+
+  [[nodiscard]] double total_watts() const;
+  [[nodiscard]] double job_total_watts(std::size_t job) const;
+  [[nodiscard]] std::size_t host_count() const;
+
+  /// True if total allocated power is within `budget_watts` plus a small
+  /// tolerance for RAPL quantization.
+  [[nodiscard]] bool within_budget(double budget_watts,
+                                   double tolerance_watts = 1.0) const;
+};
+
+}  // namespace ps::rm

@@ -1,0 +1,13 @@
+#include "rm/job.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+
+void JobRequest::validate() const {
+  PS_REQUIRE(!name.empty(), "job needs a name");
+  PS_REQUIRE(node_count > 0, "job needs at least one node");
+  workload.validate();
+}
+
+}  // namespace ps::rm

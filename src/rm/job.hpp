@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kernel/workload.hpp"
+
+namespace ps::rm {
+
+/// A job submission: which workload to run and on how many nodes.
+struct JobRequest {
+  std::string name;
+  kernel::WorkloadConfig workload{};
+  std::size_t node_count = 0;
+
+  void validate() const;
+};
+
+}  // namespace ps::rm

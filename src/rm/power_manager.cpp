@@ -1,0 +1,55 @@
+#include "rm/power_manager.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+
+SystemPowerManager::SystemPowerManager(double system_budget_watts)
+    : budget_(system_budget_watts) {
+  PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
+}
+
+void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
+                               const PowerAllocation& allocation,
+                               bool enforce_budget) const {
+  PS_REQUIRE(allocation.job_host_caps.size() == jobs.size(),
+             "allocation has a different number of jobs");
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    PS_REQUIRE(jobs[j] != nullptr, "job must not be null");
+    PS_REQUIRE(allocation.job_host_caps[j].size() == jobs[j]->host_count(),
+               "allocation has a different number of hosts for a job");
+  }
+  if (enforce_budget) {
+    // Tolerance covers RAPL power-unit quantization (1/8 W per socket).
+    const double tolerance =
+        0.5 * static_cast<double>(allocation.host_count());
+    PS_REQUIRE(allocation.within_budget(budget_, tolerance),
+               "allocation exceeds the system power budget");
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+      jobs[j]->set_host_cap(h, allocation.job_host_caps[j][h]);
+    }
+  }
+}
+
+double SystemPowerManager::total_allocated_watts(
+    std::span<sim::JobSimulation* const> jobs) {
+  double total = 0.0;
+  for (const auto* job : jobs) {
+    PS_REQUIRE(job != nullptr, "job must not be null");
+    total += job->total_allocated_power();
+  }
+  return total;
+}
+
+bool SystemPowerManager::allocation_fits(
+    std::span<sim::JobSimulation* const> jobs) const {
+  double hosts = 0.0;
+  for (const auto* job : jobs) {
+    hosts += static_cast<double>(job->host_count());
+  }
+  return total_allocated_watts(jobs) <= budget_ + 0.5 * hosts;
+}
+
+}  // namespace ps::rm

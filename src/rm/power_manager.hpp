@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+
+#include "rm/allocation.hpp"
+#include "sim/job_sim.hpp"
+
+namespace ps::rm {
+
+/// The resource manager's power-enforcement arm: owns the system-wide
+/// power budget and programs per-host RAPL caps from a policy's
+/// PowerAllocation (SLURM power-management analogue, Section III).
+class SystemPowerManager {
+ public:
+  explicit SystemPowerManager(double system_budget_watts);
+
+  [[nodiscard]] double budget_watts() const noexcept { return budget_; }
+
+  /// Applies the allocation's caps to the jobs' hosts. Shapes must match
+  /// (one cap vector per job, one cap per host). If `enforce_budget` is
+  /// true, throws ps::InvalidArgument when the allocation exceeds the
+  /// budget (beyond RAPL quantization tolerance) — a site would reject
+  /// such a policy output; system-unaware policies are applied with
+  /// enforcement off, as the paper does for Precharacterized.
+  void apply(std::span<sim::JobSimulation* const> jobs,
+             const PowerAllocation& allocation,
+             bool enforce_budget = true) const;
+
+  /// Sum of currently programmed caps across the jobs' hosts.
+  [[nodiscard]] static double total_allocated_watts(
+      std::span<sim::JobSimulation* const> jobs);
+
+  /// True if programmed caps fit the budget (+ quantization tolerance).
+  [[nodiscard]] bool allocation_fits(
+      std::span<sim::JobSimulation* const> jobs) const;
+
+ private:
+  double budget_;
+};
+
+}  // namespace ps::rm

@@ -1,0 +1,149 @@
+#include "rm/scheduler.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+
+Scheduler::Scheduler(std::vector<std::size_t> pool)
+    : free_nodes_(std::move(pool)) {
+  PS_REQUIRE(!free_nodes_.empty(), "scheduler needs a non-empty node pool");
+  std::vector<std::size_t> sorted = free_nodes_;
+  std::sort(sorted.begin(), sorted.end());
+  PS_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "node pool contains duplicate indices");
+  // Keep the free list sorted descending so pop_back hands out the lowest
+  // indices first (deterministic, test-friendly placement).
+  std::sort(free_nodes_.begin(), free_nodes_.end(), std::greater<>());
+}
+
+Scheduler::Scheduler(std::size_t node_count)
+    : Scheduler([&] {
+        std::vector<std::size_t> pool(node_count);
+        std::iota(pool.begin(), pool.end(), std::size_t{0});
+        return pool;
+      }()) {}
+
+void Scheduler::submit(const JobRequest& request) {
+  request.validate();
+  // Quarantined nodes count toward the configured pool: repairs are
+  // temporary, so a wide job waits for them instead of being rejected.
+  const std::size_t pool_size =
+      free_nodes_.size() + quarantined_.size() + [&] {
+        std::size_t used = 0;
+        for (const auto& [name, grant] : running_) {
+          used += grant.node_indices.size();
+        }
+        return used;
+      }();
+  PS_REQUIRE(request.node_count <= pool_size,
+             "job requests more nodes than the pool holds");
+  PS_REQUIRE(running_.find(request.name) == running_.end(),
+             "a job with this name is already running");
+  for (const auto& queued : queue_) {
+    PS_REQUIRE(queued.name != request.name,
+               "a job with this name is already queued");
+  }
+  queue_.push_back(request);
+}
+
+std::vector<NodeGrant> Scheduler::start_pending(
+    const std::function<bool(const JobRequest&)>& backfill_ok) {
+  std::vector<NodeGrant> grants;
+  const auto start_job = [&](const JobRequest& request) {
+    NodeGrant grant;
+    grant.job_name = request.name;
+    grant.node_indices.reserve(request.node_count);
+    for (std::size_t i = 0; i < request.node_count; ++i) {
+      grant.node_indices.push_back(free_nodes_.back());
+      free_nodes_.pop_back();
+    }
+    grants.push_back(grant);
+    running_.emplace(request.name, std::move(grant));
+  };
+
+  // FIFO phase: drain the head of the queue while it fits.
+  while (!queue_.empty() &&
+         queue_.front().node_count <= free_nodes_.size()) {
+    const JobRequest request = queue_.front();
+    queue_.pop_front();
+    start_job(request);
+  }
+
+  // Backfill phase (EASY): the head does not fit; later jobs that fit
+  // and provably do not delay the head may start now.
+  if (backfill_ok && !queue_.empty()) {
+    for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+      if (it->node_count <= free_nodes_.size() && backfill_ok(*it)) {
+        const JobRequest request = *it;
+        it = queue_.erase(it);
+        start_job(request);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return grants;
+}
+
+void Scheduler::complete(const std::string& job_name) {
+  const auto it = running_.find(job_name);
+  if (it == running_.end()) {
+    throw NotFound("job '" + job_name + "' is not running");
+  }
+  for (std::size_t node : it->second.node_indices) {
+    free_nodes_.push_back(node);
+  }
+  std::sort(free_nodes_.begin(), free_nodes_.end(), std::greater<>());
+  running_.erase(it);
+}
+
+void Scheduler::quarantine(std::size_t node_index) {
+  const auto it =
+      std::find(free_nodes_.begin(), free_nodes_.end(), node_index);
+  PS_REQUIRE(it != free_nodes_.end(),
+             "only free nodes can be quarantined");
+  free_nodes_.erase(it);
+  quarantined_.push_back(node_index);
+}
+
+void Scheduler::restore(std::size_t node_index) {
+  const auto it =
+      std::find(quarantined_.begin(), quarantined_.end(), node_index);
+  PS_REQUIRE(it != quarantined_.end(), "node is not quarantined");
+  quarantined_.erase(it);
+  free_nodes_.push_back(node_index);
+  std::sort(free_nodes_.begin(), free_nodes_.end(), std::greater<>());
+}
+
+std::size_t Scheduler::free_node_count() const noexcept {
+  return free_nodes_.size();
+}
+
+std::size_t Scheduler::queued_count() const noexcept { return queue_.size(); }
+
+const JobRequest* Scheduler::queued_head() const noexcept {
+  return queue_.empty() ? nullptr : &queue_.front();
+}
+
+std::size_t Scheduler::running_count() const noexcept {
+  return running_.size();
+}
+
+bool Scheduler::is_running(const std::string& job_name) const {
+  return running_.find(job_name) != running_.end();
+}
+
+std::span<const std::size_t> Scheduler::nodes_of(
+    const std::string& job_name) const {
+  const auto it = running_.find(job_name);
+  if (it == running_.end()) {
+    throw NotFound("job '" + job_name + "' is not running");
+  }
+  return it->second.node_indices;
+}
+
+}  // namespace ps::rm

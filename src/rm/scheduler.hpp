@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rm/job.hpp"
+
+namespace ps::rm {
+
+/// Nodes granted to a job by the scheduler.
+struct NodeGrant {
+  std::string job_name;
+  std::vector<std::size_t> node_indices;  ///< Indices into the cluster.
+};
+
+/// FIFO node scheduler over a fixed pool of node indices.
+///
+/// Minimal SLURM analogue: jobs are submitted, started in order when
+/// enough nodes are free, and release their nodes on completion. No
+/// backfill — a blocked head-of-queue job blocks later jobs, which is the
+/// conservative behavior the paper's static schedule assumes.
+class Scheduler {
+ public:
+  /// Pool of node indices this scheduler may hand out.
+  explicit Scheduler(std::vector<std::size_t> pool);
+  /// Convenience: a pool of indices [0, node_count).
+  explicit Scheduler(std::size_t node_count);
+
+  /// Enqueues a job. Throws ps::InvalidArgument if the job could never be
+  /// satisfied (more nodes than the whole pool) or a job with the same
+  /// name is already queued or running.
+  void submit(const JobRequest& request);
+
+  /// Starts as many queued jobs (in FIFO order) as currently fit.
+  /// Returns the grants made by this call.
+  ///
+  /// If `backfill_ok` is provided, EASY-style backfilling is enabled:
+  /// when the head of the queue does not fit, later queued jobs that do
+  /// fit may jump ahead — but only if `backfill_ok(request)` confirms
+  /// they will not delay the head job's reservation (the caller owns the
+  /// time model; see facility::FacilityManager). Without the callback,
+  /// the head blocks everything behind it, as before.
+  std::vector<NodeGrant> start_pending(
+      const std::function<bool(const JobRequest&)>& backfill_ok = {});
+
+  /// Completes a running job, returning its nodes to the free pool.
+  /// Throws ps::NotFound for unknown jobs.
+  void complete(const std::string& job_name);
+
+  /// Takes a *free* node out of service (hardware failure / maintenance).
+  /// Throws ps::InvalidArgument if the node is not currently free.
+  void quarantine(std::size_t node_index);
+
+  /// Returns a quarantined node to the free pool.
+  void restore(std::size_t node_index);
+
+  [[nodiscard]] std::size_t quarantined_count() const noexcept {
+    return quarantined_.size();
+  }
+
+  [[nodiscard]] std::size_t free_node_count() const noexcept;
+  [[nodiscard]] std::size_t queued_count() const noexcept;
+  /// The request at the head of the queue, or nullptr when empty. The
+  /// pointer is invalidated by submit/start_pending/complete.
+  [[nodiscard]] const JobRequest* queued_head() const noexcept;
+  [[nodiscard]] std::size_t running_count() const noexcept;
+  [[nodiscard]] bool is_running(const std::string& job_name) const;
+  /// Nodes of a running job. Throws ps::NotFound for unknown jobs.
+  [[nodiscard]] std::span<const std::size_t> nodes_of(
+      const std::string& job_name) const;
+
+ private:
+  std::vector<std::size_t> free_nodes_;  ///< LIFO free list.
+  std::vector<std::size_t> quarantined_;
+  std::deque<JobRequest> queue_;
+  std::unordered_map<std::string, NodeGrant> running_;
+};
+
+}  // namespace ps::rm

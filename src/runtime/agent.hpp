@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string_view>
+
+#include "sim/job_sim.hpp"
+
+namespace ps::runtime {
+
+/// A job-runtime plugin in the GEOPM sense: it observes a running job and
+/// may retune host power caps between bulk-synchronous iterations.
+///
+/// The Controller drives the loop:
+///   setup() -> { adjust() -> iteration -> observe() } x N
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Called once before the first iteration.
+  virtual void setup(sim::JobSimulation& job) { static_cast<void>(job); }
+
+  /// Called before every iteration; may change host power caps.
+  virtual void adjust(sim::JobSimulation& job) { static_cast<void>(job); }
+
+  /// Called after every iteration with its outcome.
+  virtual void observe(sim::JobSimulation& job,
+                       const sim::IterationResult& result) {
+    static_cast<void>(job);
+    static_cast<void>(result);
+  }
+};
+
+}  // namespace ps::runtime

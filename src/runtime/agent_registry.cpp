@@ -1,0 +1,65 @@
+#include "runtime/agent_registry.hpp"
+
+#include "runtime/agent_tree.hpp"
+#include "runtime/basic_agents.hpp"
+#include "runtime/energy_efficient_agent.hpp"
+#include "runtime/feedback_agent.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ps::runtime {
+
+std::string_view to_string(AgentKind kind) noexcept {
+  switch (kind) {
+    case AgentKind::kMonitor:
+      return "monitor";
+    case AgentKind::kPowerGovernor:
+      return "power_governor";
+    case AgentKind::kPowerBalancer:
+      return "power_balancer";
+    case AgentKind::kTreeBalancer:
+      return "tree_balancer";
+    case AgentKind::kFeedbackShifter:
+      return "feedback_shifter";
+    case AgentKind::kEnergyEfficient:
+      return "energy_efficient";
+  }
+  return "?";
+}
+
+std::vector<AgentKind> all_agent_kinds() {
+  return {AgentKind::kMonitor,        AgentKind::kPowerGovernor,
+          AgentKind::kPowerBalancer,  AgentKind::kTreeBalancer,
+          AgentKind::kFeedbackShifter, AgentKind::kEnergyEfficient};
+}
+
+AgentKind agent_kind_from_name(std::string_view name) {
+  for (AgentKind kind : all_agent_kinds()) {
+    if (util::iequals(name, to_string(kind))) {
+      return kind;
+    }
+  }
+  throw NotFound("unknown agent '" + std::string(name) + "'");
+}
+
+std::unique_ptr<Agent> make_agent(AgentKind kind,
+                                  double job_budget_watts) {
+  switch (kind) {
+    case AgentKind::kMonitor:
+      return std::make_unique<MonitorAgent>();
+    case AgentKind::kPowerGovernor:
+      return std::make_unique<PowerGovernorAgent>(job_budget_watts);
+    case AgentKind::kPowerBalancer:
+      return std::make_unique<PowerBalancerAgent>(job_budget_watts);
+    case AgentKind::kTreeBalancer:
+      return std::make_unique<TreeBalancerAgent>(job_budget_watts);
+    case AgentKind::kFeedbackShifter:
+      return std::make_unique<FeedbackPowerAgent>(job_budget_watts);
+    case AgentKind::kEnergyEfficient:
+      return std::make_unique<EnergyEfficientAgent>();
+  }
+  throw InvalidArgument("unknown agent kind");
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// The agent plugins this runtime ships, in the GEOPM sense of
+/// `geopmlaunch --geopm-agent=<name>`.
+enum class AgentKind {
+  kMonitor,          ///< Observe only.
+  kPowerGovernor,    ///< Uniform power caps.
+  kPowerBalancer,    ///< Model-driven global search (the paper's agent).
+  kTreeBalancer,     ///< Hierarchical search over the aggregation tree.
+  kFeedbackShifter,  ///< Measurement-only closed-loop control.
+  kEnergyEfficient,  ///< DVFS frequency ceilings instead of power caps.
+};
+
+[[nodiscard]] std::string_view to_string(AgentKind kind) noexcept;
+[[nodiscard]] std::vector<AgentKind> all_agent_kinds();
+
+/// Looks an agent up by its name ("power_balancer", ...). Throws
+/// ps::NotFound for unknown names.
+[[nodiscard]] AgentKind agent_kind_from_name(std::string_view name);
+
+/// Instantiates an agent. `job_budget_watts` is required by the
+/// budget-driven agents (governor / balancers / shifter) and ignored by
+/// monitor and energy_efficient.
+[[nodiscard]] std::unique_ptr<Agent> make_agent(AgentKind kind,
+                                                double job_budget_watts);
+
+}  // namespace ps::runtime

@@ -1,0 +1,217 @@
+#include "runtime/agent_tree.hpp"
+
+#include <algorithm>
+
+#include "runtime/power_balancer_agent.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+std::size_t TreeTopology::build(std::size_t parent, std::size_t first_leaf,
+                                std::size_t leaf_count, std::size_t depth) {
+  const std::size_t index = nodes_.size();
+  TreeNode node;
+  node.parent = parent;
+  node.first_leaf = first_leaf;
+  node.leaf_count = leaf_count;
+  node.depth = depth;
+  nodes_.push_back(node);
+  if (leaf_count > 1) {
+    // Split the leaf range into at most fan_out nearly equal pieces.
+    const std::size_t pieces = std::min(fan_out_, leaf_count);
+    const std::size_t base = leaf_count / pieces;
+    const std::size_t extra = leaf_count % pieces;
+    std::size_t offset = first_leaf;
+    for (std::size_t p = 0; p < pieces; ++p) {
+      const std::size_t child_count = base + (p < extra ? 1 : 0);
+      const std::size_t child =
+          build(index, offset, child_count, depth + 1);
+      nodes_[index].children.push_back(child);
+      offset += child_count;
+    }
+  }
+  return index;
+}
+
+TreeTopology TreeTopology::balanced(std::size_t leaves,
+                                    std::size_t fan_out) {
+  PS_REQUIRE(leaves > 0, "tree needs at least one leaf");
+  PS_REQUIRE(fan_out >= 2, "tree fan-out must be at least 2");
+  TreeTopology topology;
+  topology.leaves_ = leaves;
+  topology.fan_out_ = fan_out;
+  static_cast<void>(topology.build(0, 0, leaves, 0));
+  return topology;
+}
+
+std::size_t TreeTopology::depth() const {
+  std::size_t deepest = 0;
+  for (const TreeNode& node : nodes_) {
+    deepest = std::max(deepest, node.depth);
+  }
+  return deepest;
+}
+
+std::size_t TreeTopology::leaf_node(std::size_t leaf) const {
+  PS_REQUIRE(leaf < leaves_, "leaf index out of range");
+  std::size_t index = root();
+  while (!nodes_[index].is_leaf()) {
+    bool descended = false;
+    for (std::size_t child : nodes_[index].children) {
+      if (leaf >= nodes_[child].first_leaf &&
+          leaf < nodes_[child].first_leaf + nodes_[child].leaf_count) {
+        index = child;
+        descended = true;
+        break;
+      }
+    }
+    PS_CHECK_STATE(descended, "tree leaf ranges are inconsistent");
+  }
+  return index;
+}
+
+std::vector<double> TreeTopology::aggregate(
+    const std::vector<double>& leaf_values,
+    const std::function<double(double, double)>& combine) const {
+  PS_REQUIRE(leaf_values.size() == leaves_,
+             "need exactly one value per leaf");
+  std::vector<double> values(nodes_.size(), 0.0);
+  // Children always come after their parent in nodes_ (preorder), so a
+  // reverse sweep folds bottom-up.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const TreeNode& node = nodes_[i];
+    if (node.is_leaf()) {
+      values[i] = leaf_values[node.first_leaf];
+    } else {
+      values[i] = values[node.children.front()];
+      for (std::size_t c = 1; c < node.children.size(); ++c) {
+        values[i] = combine(values[i], values[node.children[c]]);
+      }
+    }
+  }
+  return values;
+}
+
+std::vector<double> TreeTopology::aggregate_sum(
+    const std::vector<double>& leaf_values) const {
+  return aggregate(leaf_values,
+                   [](double a, double b) { return a + b; });
+}
+
+std::vector<double> TreeTopology::aggregate_max(
+    const std::vector<double>& leaf_values) const {
+  return aggregate(leaf_values,
+                   [](double a, double b) { return std::max(a, b); });
+}
+
+TreeBalancerAgent::TreeBalancerAgent(double job_budget_watts,
+                                     const TreeBalancerOptions& options)
+    : budget_watts_(job_budget_watts), options_(options) {
+  PS_REQUIRE(job_budget_watts > 0.0, "job power budget must be positive");
+  PS_REQUIRE(options.fan_out >= 2, "tree fan-out must be at least 2");
+  PS_REQUIRE(options.tolerated_slowdown >= 0.0,
+             "tolerated slowdown cannot be negative");
+}
+
+void TreeBalancerAgent::setup(sim::JobSimulation& job) {
+  const double share =
+      budget_watts_ / static_cast<double>(job.host_count());
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    job.set_host_cap(h, share);
+  }
+  has_observation_ = false;
+  balanced_ = false;
+  steady_caps_.clear();
+  observed_critical_seconds_ = 0.0;
+}
+
+void TreeBalancerAgent::observe(sim::JobSimulation& job,
+                                const sim::IterationResult& result) {
+  static_cast<void>(job);
+  observed_critical_seconds_ = result.iteration_seconds;
+  observed_wait_fraction_.assign(result.hosts.size(), 0.0);
+  for (std::size_t h = 0; h < result.hosts.size(); ++h) {
+    if (result.iteration_seconds > 0.0) {
+      observed_wait_fraction_[h] =
+          result.hosts[h].poll_seconds / result.iteration_seconds;
+    }
+  }
+  has_observation_ = true;
+}
+
+void TreeBalancerAgent::adjust(sim::JobSimulation& job) {
+  if (!has_observation_ || balanced_) {
+    return;
+  }
+  const std::size_t hosts = job.host_count();
+  const TreeTopology tree =
+      TreeTopology::balanced(hosts, options_.fan_out);
+  BalancerOptions search;
+  search.cap_tolerance_watts = options_.cap_tolerance_watts;
+
+  // --- Up phase: leaves compute local (needed, useful) watts. ---
+  // needed: hold the measured critical path (with the tolerated slack);
+  // useful: the point past which more watts buy no local speedup.
+  const double target =
+      observed_critical_seconds_ * (1.0 + options_.tolerated_slowdown);
+  std::vector<double> needed(hosts);
+  std::vector<double> useful(hosts);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    needed[h] = min_cap_for_time(job, h, target, search);
+    if (h < observed_wait_fraction_.size() &&
+        observed_wait_fraction_[h] > 0.02) {
+      // This host polled at the barrier: extra watts would only make it
+      // wait faster. Zero marginal utility.
+      useful[h] = needed[h];
+      continue;
+    }
+    const double local_best =
+        host_busy_seconds(job, h, job.host(h).tdp());
+    useful[h] = min_cap_for_time(
+        job, h, local_best * (1.0 + options_.tolerated_slowdown), search);
+    useful[h] = std::max(useful[h], needed[h]);
+  }
+  const std::vector<double> needed_sum = tree.aggregate_sum(needed);
+  const std::vector<double> useful_sum = tree.aggregate_sum(useful);
+
+  // --- Down phase: budgets split at each internal node. ---
+  std::vector<double> node_budget(tree.nodes().size(), 0.0);
+  node_budget[tree.root()] = budget_watts_;
+  steady_caps_.assign(hosts, 0.0);
+  for (std::size_t i = 0; i < tree.nodes().size(); ++i) {
+    const TreeNode& node = tree.nodes()[i];
+    if (node.is_leaf()) {
+      const double floor = job.host(node.first_leaf).min_cap();
+      const double tdp = job.host(node.first_leaf).tdp();
+      steady_caps_[node.first_leaf] =
+          std::clamp(node_budget[i], floor, tdp);
+      continue;
+    }
+    double budget = node_budget[i];
+    // Needed power first (scaled if the budget falls short)...
+    const double need = needed_sum[i];
+    if (budget <= need) {
+      for (std::size_t child : node.children) {
+        node_budget[child] = needed_sum[child] * budget / need;
+      }
+      continue;
+    }
+    // ...then surplus proportional to remaining useful headroom.
+    double headroom = useful_sum[i] - need;
+    const double surplus = budget - need;
+    for (std::size_t child : node.children) {
+      const double child_headroom = useful_sum[child] - needed_sum[child];
+      const double share =
+          headroom > 0.0 ? surplus * child_headroom / headroom : 0.0;
+      node_budget[child] = needed_sum[child] + share;
+    }
+  }
+
+  for (std::size_t h = 0; h < hosts; ++h) {
+    job.set_host_cap(h, steady_caps_[h]);
+    steady_caps_[h] = job.host_cap(h);
+  }
+  balanced_ = true;
+}
+
+}  // namespace ps::runtime

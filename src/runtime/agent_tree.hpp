@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// One node of a balanced aggregation tree. Leaves map 1:1 onto compute
+/// hosts; internal nodes aggregate their subtree.
+struct TreeNode {
+  std::size_t parent = 0;  ///< Root points at itself.
+  std::vector<std::size_t> children;
+  std::size_t first_leaf = 0;
+  std::size_t leaf_count = 0;
+  std::size_t depth = 0;
+
+  [[nodiscard]] bool is_leaf() const noexcept { return children.empty(); }
+};
+
+/// A balanced k-ary aggregation tree over `leaves` hosts — the
+/// communication topology real GEOPM runs its agents on, where telemetry
+/// flows up and policy flows down with O(log N) hops instead of a flat
+/// O(N) gather at the root.
+class TreeTopology {
+ public:
+  /// Builds a balanced tree: every internal node has at most `fan_out`
+  /// children; leaf ranges are contiguous and nearly equal.
+  static TreeTopology balanced(std::size_t leaves, std::size_t fan_out);
+
+  [[nodiscard]] const std::vector<TreeNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::size_t root() const noexcept { return 0; }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_; }
+  [[nodiscard]] std::size_t fan_out() const noexcept { return fan_out_; }
+  /// Tree height (root depth 0; a single-leaf tree has depth 0).
+  [[nodiscard]] std::size_t depth() const;
+  /// Index (into nodes()) of the leaf node covering host `leaf`.
+  [[nodiscard]] std::size_t leaf_node(std::size_t leaf) const;
+
+  /// Bottom-up aggregation: `combine(accumulator, child_value)` folds
+  /// children into parents; leaves take `leaf_values`. Returns one value
+  /// per tree node.
+  [[nodiscard]] std::vector<double> aggregate(
+      const std::vector<double>& leaf_values,
+      const std::function<double(double, double)>& combine) const;
+
+  /// Convenience reductions.
+  [[nodiscard]] std::vector<double> aggregate_sum(
+      const std::vector<double>& leaf_values) const;
+  [[nodiscard]] std::vector<double> aggregate_max(
+      const std::vector<double>& leaf_values) const;
+
+ private:
+  std::size_t build(std::size_t parent, std::size_t first_leaf,
+                    std::size_t leaf_count, std::size_t depth);
+
+  std::vector<TreeNode> nodes_;
+  std::size_t leaves_ = 0;
+  std::size_t fan_out_ = 2;
+};
+
+/// Options for the tree balancer.
+struct TreeBalancerOptions {
+  std::size_t fan_out = 8;
+  /// Allowed slowdown of the measured critical path when trimming
+  /// non-critical hosts (mirrors BalancerOptions::tolerated_slowdown).
+  double tolerated_slowdown = 0.035;
+  /// Cap search precision, watts.
+  double cap_tolerance_watts = 0.05;
+};
+
+/// Hierarchical power balancer: the same objective as PowerBalancerAgent,
+/// reached with tree-local information only. Each epoch:
+///
+///   up:   every leaf reports (needed, max-useful) watts for the job's
+///         measured critical path; internal nodes sum their subtrees;
+///   down: every internal node splits its budget among children — needed
+///         power first, then surplus proportional to remaining useful
+///         headroom — until leaves program their caps.
+///
+/// Converges to within a few percent of the flat balancer's iteration
+/// time while each tree node only ever touches fan_out numbers.
+class TreeBalancerAgent final : public Agent {
+ public:
+  TreeBalancerAgent(double job_budget_watts,
+                    const TreeBalancerOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "tree_balancer";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+  void adjust(sim::JobSimulation& job) override;
+  void observe(sim::JobSimulation& job,
+               const sim::IterationResult& result) override;
+
+  [[nodiscard]] bool balanced() const noexcept { return balanced_; }
+  [[nodiscard]] const std::vector<double>& steady_caps() const noexcept {
+    return steady_caps_;
+  }
+
+ private:
+  double budget_watts_;
+  TreeBalancerOptions options_;
+  double observed_critical_seconds_ = 0.0;
+  /// Fraction of the last iteration each host spent polling at the
+  /// barrier — the *local* signal that more watts would be wasted on it.
+  std::vector<double> observed_wait_fraction_;
+  bool has_observation_ = false;
+  bool balanced_ = false;
+  std::vector<double> steady_caps_;
+};
+
+}  // namespace ps::runtime

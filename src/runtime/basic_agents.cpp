@@ -1,0 +1,20 @@
+#include "runtime/basic_agents.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+PowerGovernorAgent::PowerGovernorAgent(double job_budget_watts)
+    : budget_watts_(job_budget_watts) {
+  PS_REQUIRE(job_budget_watts > 0.0, "job power budget must be positive");
+}
+
+void PowerGovernorAgent::setup(sim::JobSimulation& job) {
+  const double per_host =
+      budget_watts_ / static_cast<double>(job.host_count());
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    job.set_host_cap(i, per_host);
+  }
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// GEOPM "monitor" agent: observes requested metrics without modifying
+/// system behavior (paper Section III-B). Leaves every cap where it is.
+class MonitorAgent final : public Agent {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "monitor";
+  }
+};
+
+/// GEOPM "power_governor" agent: enforces a uniform per-host power cap
+/// equal to budget / host_count and keeps it there.
+class PowerGovernorAgent final : public Agent {
+ public:
+  /// `job_budget_watts` is the total power allocated to the job.
+  explicit PowerGovernorAgent(double job_budget_watts);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "power_governor";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+
+  [[nodiscard]] double job_budget() const noexcept { return budget_watts_; }
+
+ private:
+  double budget_watts_;
+};
+
+}  // namespace ps::runtime

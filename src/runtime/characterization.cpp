@@ -1,0 +1,126 @@
+#include "runtime/characterization.hpp"
+
+#include <algorithm>
+
+#include "runtime/basic_agents.hpp"
+#include "runtime/controller.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+double JobCharacterization::total_needed_power() const {
+  double total = 0.0;
+  for (double watts : balancer.host_needed_power_watts) {
+    total += watts;
+  }
+  return total;
+}
+
+double JobCharacterization::total_monitor_power() const {
+  double total = 0.0;
+  for (double watts : monitor.host_average_power_watts) {
+    total += watts;
+  }
+  return total;
+}
+
+namespace {
+void uncap_job(sim::JobSimulation& job) {
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    job.set_host_cap(i, job.host(i).tdp());
+  }
+}
+}  // namespace
+
+MonitorCharacterization characterize_monitor(sim::JobSimulation& job,
+                                             std::size_t iterations) {
+  uncap_job(job);
+  MonitorAgent agent;
+  const Controller controller(iterations);
+  const JobReport report = controller.run(job, agent);
+
+  MonitorCharacterization result;
+  result.workload_name = job.workload().name();
+  result.host_average_power_watts.reserve(report.hosts.size());
+  for (const auto& host : report.hosts) {
+    result.host_average_power_watts.push_back(host.average_power_watts);
+  }
+  result.average_node_power_watts = report.average_node_power_watts();
+  result.max_host_power_watts = report.max_host_average_power_watts();
+  result.min_host_power_watts = report.min_host_average_power_watts();
+  result.iteration_seconds =
+      report.elapsed_seconds / static_cast<double>(report.iterations);
+  return result;
+}
+
+BalancerCharacterization characterize_balancer(sim::JobSimulation& job,
+                                               std::size_t iterations,
+                                               double budget_watts,
+                                               const BalancerOptions& options) {
+  if (budget_watts <= 0.0) {
+    budget_watts = 0.0;
+    for (std::size_t i = 0; i < job.host_count(); ++i) {
+      budget_watts += job.host(i).tdp();
+    }
+  }
+  PowerBalancerAgent agent(budget_watts, options);
+  // Two warmup iterations: one for the agent to observe, one under the
+  // rebalanced caps before measurement starts.
+  const Controller controller(iterations, /*warmup_iterations=*/2);
+  const JobReport report = controller.run(job, agent);
+  PS_CHECK_STATE(agent.balanced(), "balancer failed to reach steady state");
+
+  BalancerCharacterization result;
+  result.workload_name = job.workload().name();
+  result.host_needed_power_watts = agent.steady_caps();
+  result.host_average_power_watts.reserve(report.hosts.size());
+  for (const auto& host : report.hosts) {
+    result.host_average_power_watts.push_back(host.average_power_watts);
+  }
+  result.average_node_power_watts = report.average_node_power_watts();
+  result.max_host_needed_watts =
+      *std::max_element(result.host_needed_power_watts.begin(),
+                        result.host_needed_power_watts.end());
+  result.min_host_needed_watts =
+      *std::min_element(result.host_needed_power_watts.begin(),
+                        result.host_needed_power_watts.end());
+  result.iteration_seconds =
+      report.elapsed_seconds / static_cast<double>(report.iterations);
+  return result;
+}
+
+JobCharacterization characterize_job(sim::JobSimulation& job,
+                                     std::size_t iterations,
+                                     const BalancerOptions& options) {
+  JobCharacterization result;
+  result.monitor = characterize_monitor(job, iterations);
+  result.balancer = characterize_balancer(job, iterations, 0.0, options);
+  uncap_job(job);
+  result.host_count = job.host_count();
+  double min_cap = job.host(0).min_cap();
+  for (std::size_t i = 1; i < job.host_count(); ++i) {
+    min_cap = std::min(min_cap, job.host(i).min_cap());
+  }
+  result.min_settable_cap_watts = min_cap;
+  return result;
+}
+
+void CharacterizationStore::put(const std::string& job_name,
+                                JobCharacterization data) {
+  store_[job_name] = std::move(data);
+}
+
+bool CharacterizationStore::contains(const std::string& job_name) const {
+  return store_.find(job_name) != store_.end();
+}
+
+const JobCharacterization& CharacterizationStore::get(
+    const std::string& job_name) const {
+  const auto it = store_.find(job_name);
+  if (it == store_.end()) {
+    throw NotFound("no characterization for job '" + job_name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace ps::runtime

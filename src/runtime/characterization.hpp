@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/job_sim.hpp"
+
+namespace ps::runtime {
+
+/// Result of a GEOPM monitor-agent characterization run: observed behavior
+/// with no power constraints (paper Section IV-B, metric (a) / Fig. 4).
+struct MonitorCharacterization {
+  std::string workload_name;
+  std::vector<double> host_average_power_watts;
+  double average_node_power_watts = 0.0;
+  double max_host_power_watts = 0.0;
+  double min_host_power_watts = 0.0;
+  double iteration_seconds = 0.0;  ///< Mean steady-state iteration time.
+};
+
+/// Result of a power-balancer characterization run under a TDP budget:
+/// the minimum power each host needs to sustain the critical path (paper
+/// Section IV-B, metric (b) / Fig. 5).
+struct BalancerCharacterization {
+  std::string workload_name;
+  /// The balancer's steady per-host caps — the "needed" power.
+  std::vector<double> host_needed_power_watts;
+  /// Power actually drawn under those caps.
+  std::vector<double> host_average_power_watts;
+  double average_node_power_watts = 0.0;
+  double max_host_needed_watts = 0.0;
+  double min_host_needed_watts = 0.0;
+  double iteration_seconds = 0.0;
+};
+
+/// Everything a resource-manager policy may know about one job ahead of
+/// time. The paper emulates an RM/runtime feedback loop with exactly this
+/// pre-characterized data (Section III-A).
+struct JobCharacterization {
+  MonitorCharacterization monitor;
+  BalancerCharacterization balancer;
+  /// Lowest settable node cap (2 x 68 W on the modeled system).
+  double min_settable_cap_watts = 0.0;
+  std::size_t host_count = 0;
+
+  [[nodiscard]] double total_needed_power() const;
+  [[nodiscard]] double total_monitor_power() const;
+};
+
+/// Runs the monitor agent on the job's own hosts (uncapped) and summarizes.
+[[nodiscard]] MonitorCharacterization characterize_monitor(
+    sim::JobSimulation& job, std::size_t iterations = 10);
+
+/// Runs the power balancer under `budget_watts` (default: hosts x TDP, the
+/// paper's setting) and extracts the steady power distribution.
+[[nodiscard]] BalancerCharacterization characterize_balancer(
+    sim::JobSimulation& job, std::size_t iterations = 10,
+    double budget_watts = 0.0, const BalancerOptions& options = {});
+
+/// Convenience: both characterizations, with caps reset in between.
+[[nodiscard]] JobCharacterization characterize_job(
+    sim::JobSimulation& job, std::size_t iterations = 10,
+    const BalancerOptions& options = {});
+
+/// Keyed store of characterizations, as a site would maintain per
+/// (workload, node-set) from prior runs.
+class CharacterizationStore {
+ public:
+  void put(const std::string& job_name, JobCharacterization data);
+  [[nodiscard]] bool contains(const std::string& job_name) const;
+  /// Throws ps::NotFound for unknown jobs.
+  [[nodiscard]] const JobCharacterization& get(
+      const std::string& job_name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  std::unordered_map<std::string, JobCharacterization> store_;
+};
+
+}  // namespace ps::runtime

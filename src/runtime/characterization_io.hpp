@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "runtime/characterization.hpp"
+
+namespace ps::runtime {
+
+/// Serializes one job characterization as CSV: a header row, then one row
+/// per host:
+///
+///   job,host,monitor_watts,needed_watts,min_cap_watts
+///   lulesh-512,0,214.125,186.000,152.000
+///
+/// A site keeps exactly this per (workload, node-set) from prior runs —
+/// the paper's pre-characterization data at rest.
+void write_characterization_csv(std::ostream& out, const std::string& job,
+                                const JobCharacterization& data);
+
+/// Serializes a whole store (rows of all jobs under one header).
+void write_store_csv(std::ostream& out, const CharacterizationStore& store,
+                     const std::vector<std::string>& job_names);
+
+/// Parses rows produced by the writers back into a store. Aggregate
+/// fields (min/max/needed totals) are recomputed from the host rows.
+/// Throws ps::InvalidArgument on malformed rows or inconsistent host
+/// numbering.
+[[nodiscard]] CharacterizationStore read_store_csv(std::string_view text);
+
+}  // namespace ps::runtime

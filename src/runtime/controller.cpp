@@ -1,0 +1,101 @@
+#include "runtime/controller.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+Controller::Controller(std::size_t iterations, std::size_t warmup_iterations)
+    : iterations_(iterations), warmup_(warmup_iterations) {
+  PS_REQUIRE(iterations > 0, "controller needs at least one iteration");
+}
+
+namespace {
+/// No-op phase schedule used by the single-phase run().
+void no_phase_switch(sim::JobSimulation&, std::size_t, JobReport*) {}
+}  // namespace
+
+JobReport Controller::run(sim::JobSimulation& job, Agent& agent) const {
+  return run_with_schedule(job, agent, no_phase_switch);
+}
+
+JobReport Controller::run_phases(sim::JobSimulation& job, Agent& agent,
+                                 const kernel::PhasedWorkload& phases) const {
+  phases.validate();
+  return run_with_schedule(
+      job, agent,
+      [&phases](sim::JobSimulation& running_job, std::size_t iteration,
+                JobReport* report) {
+        const kernel::WorkloadPhase& phase = phases.phase_at(iteration);
+        if (!(running_job.workload() == phase.config)) {
+          running_job.set_workload(phase.config);
+          if (report != nullptr) {
+            report->phase_starts.push_back(
+                report->iteration_seconds.size());
+          }
+        }
+      });
+}
+
+template <typename Schedule>
+JobReport Controller::run_with_schedule(sim::JobSimulation& job,
+                                        Agent& agent,
+                                        Schedule&& schedule) const {
+  agent.setup(job);
+  for (std::size_t w = 0; w < warmup_; ++w) {
+    schedule(job, w, nullptr);
+    agent.adjust(job);
+    const sim::IterationResult result = job.run_iteration();
+    agent.observe(job, result);
+  }
+
+  JobReport report;
+  report.job_name = job.name();
+  report.agent_name = std::string(agent.name());
+  report.workload_name = job.workload().name();
+  report.iterations = iterations_;
+  report.hosts.resize(job.host_count());
+  report.iteration_seconds.reserve(iterations_);
+  report.iteration_energy_joules.reserve(iterations_);
+
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    report.hosts[i].node = job.host(i).id();
+    report.hosts[i].waiting_host = job.is_waiting_host(i);
+  }
+
+  for (std::size_t iteration = 0; iteration < iterations_; ++iteration) {
+    schedule(job, warmup_ + iteration, &report);
+    agent.adjust(job);
+    const sim::IterationResult result = job.run_iteration();
+    agent.observe(job, result);
+
+    report.elapsed_seconds += result.iteration_seconds;
+    report.total_energy_joules += result.total_energy_joules;
+    report.total_gflop += result.total_gflop;
+    report.iteration_seconds.push_back(result.iteration_seconds);
+    report.iteration_energy_joules.push_back(result.total_energy_joules);
+    for (std::size_t i = 0; i < job.host_count(); ++i) {
+      const auto& host_result = result.hosts[i];
+      auto& host_report = report.hosts[i];
+      host_report.energy_joules += host_result.energy_joules;
+      host_report.busy_seconds += host_result.busy_seconds;
+      host_report.poll_seconds += host_result.poll_seconds;
+      host_report.gflop += host_result.gflop;
+      host_report.max_power_watts = std::max(
+          host_report.max_power_watts, host_result.average_power_watts);
+    }
+  }
+
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    auto& host_report = report.hosts[i];
+    host_report.average_power_watts =
+        report.elapsed_seconds > 0.0
+            ? host_report.energy_joules / report.elapsed_seconds
+            : 0.0;
+    host_report.final_cap_watts = job.host_cap(i);
+  }
+  return report;
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+
+#include "kernel/phased.hpp"
+#include "runtime/agent.hpp"
+#include "runtime/report.hpp"
+#include "sim/job_sim.hpp"
+
+namespace ps::runtime {
+
+/// Drives a job under an agent for a fixed number of bulk-synchronous
+/// iterations and assembles the GEOPM-style JobReport (the paper's
+/// experiments run 100 iterations per benchmark configuration).
+class Controller {
+ public:
+  /// `warmup_iterations` run before measurement starts (the balancer needs
+  /// one observed iteration to rebalance; the paper's steady-state numbers
+  /// exclude the ramp).
+  explicit Controller(std::size_t iterations,
+                      std::size_t warmup_iterations = 0);
+
+  [[nodiscard]] JobReport run(sim::JobSimulation& job, Agent& agent) const;
+
+  /// Multi-phase variant (paper future work): the job's workload is
+  /// switched according to `phases` (repeating the sequence) before each
+  /// iteration, and the agent sees each switch through adjust(). Runs
+  /// this controller's iteration count; phase boundaries within the
+  /// measured window are recorded in the report.
+  [[nodiscard]] JobReport run_phases(
+      sim::JobSimulation& job, Agent& agent,
+      const kernel::PhasedWorkload& phases) const;
+
+  [[nodiscard]] std::size_t iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] std::size_t warmup_iterations() const noexcept {
+    return warmup_;
+  }
+
+ private:
+  /// Shared driver: `schedule(job, global_iteration, report_or_null)` is
+  /// invoked before each iteration (warmup iterations pass nullptr).
+  template <typename Schedule>
+  JobReport run_with_schedule(sim::JobSimulation& job, Agent& agent,
+                              Schedule&& schedule) const;
+
+  std::size_t iterations_;
+  std::size_t warmup_;
+};
+
+}  // namespace ps::runtime

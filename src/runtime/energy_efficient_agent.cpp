@@ -1,0 +1,92 @@
+#include "runtime/energy_efficient_agent.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+namespace {
+double busy_at_frequency(const sim::JobSimulation& job, std::size_t host,
+                         double frequency_ghz) {
+  const auto& workload = job.workload();
+  return job.host(host)
+      .preview_compute(job.host_gigabytes(host), workload.intensity,
+                       workload.vector_width, job.host(host).power_cap(),
+                       frequency_ghz)
+      .seconds;
+}
+}  // namespace
+
+double min_frequency_for_time(const sim::JobSimulation& job,
+                              std::size_t host, double target_seconds,
+                              double step_ghz) {
+  PS_REQUIRE(target_seconds > 0.0, "target time must be positive");
+  PS_REQUIRE(step_ghz > 0.0, "frequency step must be positive");
+  const auto& power = job.host(host).params().power;
+  if (busy_at_frequency(job, host, power.min_frequency_ghz) <=
+      target_seconds) {
+    return power.min_frequency_ghz;
+  }
+  // Walk down from f_max in steps; the time-vs-frequency curve is
+  // monotone, so the first step that misses the target ends the walk.
+  double chosen = power.max_frequency_ghz;
+  for (double f = power.max_frequency_ghz - step_ghz;
+       f > power.min_frequency_ghz; f -= step_ghz) {
+    if (busy_at_frequency(job, host, f) > target_seconds) {
+      break;
+    }
+    chosen = f;
+  }
+  return chosen;
+}
+
+EnergyEfficientAgent::EnergyEfficientAgent(
+    const EnergyEfficientOptions& options)
+    : options_(options) {
+  PS_REQUIRE(options.performance_tolerance >= 0.0,
+             "performance tolerance cannot be negative");
+  PS_REQUIRE(options.frequency_step_ghz > 0.0,
+             "frequency step must be positive");
+}
+
+void EnergyEfficientAgent::setup(sim::JobSimulation& job) {
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    job.host(h).set_frequency_cap(
+        job.host(h).params().power.max_frequency_ghz);
+  }
+  has_observation_ = false;
+  tuned_ = false;
+  steady_frequencies_.clear();
+}
+
+void EnergyEfficientAgent::adjust(sim::JobSimulation& job) {
+  if (!has_observation_ || tuned_) {
+    return;
+  }
+  // Critical path at full frequency under the current power caps.
+  double critical = 0.0;
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    critical = std::max(
+        critical,
+        busy_at_frequency(job, h,
+                          job.host(h).params().power.max_frequency_ghz));
+  }
+  const double target = critical * (1.0 + options_.performance_tolerance);
+  steady_frequencies_.resize(job.host_count());
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    steady_frequencies_[h] = min_frequency_for_time(
+        job, h, target, options_.frequency_step_ghz);
+    job.host(h).set_frequency_cap(steady_frequencies_[h]);
+  }
+  tuned_ = true;
+}
+
+void EnergyEfficientAgent::observe(sim::JobSimulation& job,
+                                   const sim::IterationResult& result) {
+  static_cast<void>(job);
+  static_cast<void>(result);
+  has_observation_ = true;
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// Tuning knobs for the DVFS search.
+struct EnergyEfficientOptions {
+  /// Allowed per-host slowdown relative to its uncapped-frequency time.
+  double performance_tolerance = 0.035;
+  /// Granularity of the frequency search, GHz.
+  double frequency_step_ghz = 0.025;
+};
+
+/// GEOPM "energy efficient" agent analogue: instead of power caps, it
+/// programs per-host DVFS frequency ceilings, lowering frequency wherever
+/// the roofline says performance barely depends on it (memory-bound hosts
+/// and barrier-waiting hosts) within a configured performance tolerance.
+///
+/// Power capping and frequency capping reach similar steady states on
+/// steady workloads; the ext_dvfs_vs_capping bench quantifies the gap.
+class EnergyEfficientAgent final : public Agent {
+ public:
+  explicit EnergyEfficientAgent(const EnergyEfficientOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "energy_efficient";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+  void adjust(sim::JobSimulation& job) override;
+  void observe(sim::JobSimulation& job,
+               const sim::IterationResult& result) override;
+
+  [[nodiscard]] bool tuned() const noexcept { return tuned_; }
+  /// Frequency ceilings chosen by the last tuning pass (empty before).
+  [[nodiscard]] const std::vector<double>& steady_frequencies()
+      const noexcept {
+    return steady_frequencies_;
+  }
+
+ private:
+  EnergyEfficientOptions options_;
+  bool has_observation_ = false;
+  bool tuned_ = false;
+  std::vector<double> steady_frequencies_;
+};
+
+/// Lowest frequency cap (>= f_min) at which `host` still finishes its
+/// per-iteration work within `target_seconds` under its current power
+/// cap. Exposed for tests and for the DVFS bench.
+[[nodiscard]] double min_frequency_for_time(
+    const sim::JobSimulation& job, std::size_t host, double target_seconds,
+    double step_ghz = 0.025);
+
+}  // namespace ps::runtime

@@ -1,0 +1,105 @@
+#include "runtime/feedback_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+FeedbackPowerAgent::FeedbackPowerAgent(double job_budget_watts,
+                                       const FeedbackOptions& options)
+    : budget_watts_(job_budget_watts), options_(options) {
+  PS_REQUIRE(job_budget_watts > 0.0, "job power budget must be positive");
+  PS_REQUIRE(options.gain > 0.0 && options.gain <= 1.0,
+             "gain must be in (0, 1]");
+  PS_REQUIRE(options.max_step_watts > 0.0, "step limit must be positive");
+  PS_REQUIRE(options.slack_deadband >= 0.0,
+             "slack deadband cannot be negative");
+}
+
+void FeedbackPowerAgent::setup(sim::JobSimulation& job) {
+  const double share =
+      budget_watts_ / static_cast<double>(job.host_count());
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    job.set_host_cap(h, share);
+  }
+  has_observation_ = false;
+  last_step_watts_ = 0.0;
+  wait_fraction_.clear();
+}
+
+void FeedbackPowerAgent::observe(sim::JobSimulation& job,
+                                 const sim::IterationResult& result) {
+  static_cast<void>(job);
+  wait_fraction_.assign(result.hosts.size(), 0.0);
+  for (std::size_t h = 0; h < result.hosts.size(); ++h) {
+    if (result.iteration_seconds > 0.0) {
+      wait_fraction_[h] =
+          result.hosts[h].poll_seconds / result.iteration_seconds;
+    }
+  }
+  has_observation_ = true;
+}
+
+void FeedbackPowerAgent::adjust(sim::JobSimulation& job) {
+  if (!has_observation_) {
+    return;
+  }
+  const std::size_t hosts = job.host_count();
+  PS_CHECK_STATE(wait_fraction_.size() == hosts,
+                 "observation does not match the job");
+
+  // Trim hosts with measured slack (proportional to how much of the
+  // iteration they spent polling), collecting the reclaimed watts.
+  double pool = 0.0;
+  std::vector<std::size_t> critical;
+  last_step_watts_ = 0.0;
+  for (std::size_t h = 0; h < hosts; ++h) {
+    const double cap = job.host_cap(h);
+    if (wait_fraction_[h] > options_.slack_deadband) {
+      const double headroom = cap - job.host(h).min_cap();
+      const double step = std::min(
+          options_.max_step_watts,
+          options_.gain * wait_fraction_[h] * std::max(headroom, 0.0));
+      if (step > 0.0) {
+        job.set_host_cap(h, cap - step);
+        const double applied = cap - job.host_cap(h);
+        pool += applied;
+        last_step_watts_ = std::max(last_step_watts_, applied);
+      }
+    } else {
+      critical.push_back(h);
+    }
+  }
+
+  // Hand the pool to the critical-path hosts, evenly, TDP-capped;
+  // whatever they cannot take returns to the slack hosts so the budget
+  // stays fully assigned.
+  double undelivered = pool;
+  if (!critical.empty() && pool > 0.0) {
+    const double share = pool / static_cast<double>(critical.size());
+    for (std::size_t h : critical) {
+      const double cap = job.host_cap(h);
+      const double take =
+          std::min(share, job.host(h).tdp() - cap);
+      if (take > 0.0) {
+        job.set_host_cap(h, cap + take);
+        undelivered -= take;
+        last_step_watts_ = std::max(last_step_watts_, take);
+      }
+    }
+  }
+  if (undelivered > 1e-6) {
+    // Return the remainder uniformly to everyone below TDP (keeps the
+    // controller budget-neutral without a second bookkeeping pass).
+    const double refund = undelivered / static_cast<double>(hosts);
+    for (std::size_t h = 0; h < hosts; ++h) {
+      job.set_host_cap(h,
+                       std::min(job.host_cap(h) + refund,
+                                job.host(h).tdp()));
+    }
+  }
+}
+
+}  // namespace ps::runtime

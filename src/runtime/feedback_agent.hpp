@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// Tuning of the measurement-driven power shifter.
+struct FeedbackOptions {
+  /// Proportional gain: fraction of a host's measured slack converted to
+  /// a cap reduction each iteration.
+  double gain = 0.5;
+  /// Largest per-iteration cap move, watts (rate limiting, as PShifter
+  /// and SLURM's reallocation use to avoid oscillation).
+  double max_step_watts = 10.0;
+  /// Slack below this fraction of the iteration counts as "critical".
+  double slack_deadband = 0.02;
+};
+
+/// A measurement-only power shifter in the spirit of PShifter (Gholkar et
+/// al., HPDC'18) and POW (Ellsworth et al., HPDC'15), cited as related
+/// work by the paper: no model, no search — each iteration it observes
+/// per-host barrier slack, trims the caps of hosts with slack
+/// (proportional control with a step limit), and gives the reclaimed
+/// watts to the hosts on the critical path.
+///
+/// Converges to the same steady state as the model-driven
+/// PowerBalancerAgent, but over tens of iterations instead of one — the
+/// ext_feedback_control bench quantifies the gap. Useful as the
+/// deployable fallback when no accurate platform model exists.
+class FeedbackPowerAgent final : public Agent {
+ public:
+  explicit FeedbackPowerAgent(double job_budget_watts,
+                              const FeedbackOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "feedback_shifter";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+  void adjust(sim::JobSimulation& job) override;
+  void observe(sim::JobSimulation& job,
+               const sim::IterationResult& result) override;
+
+  /// Largest cap move applied on the last adjust (watts); approaches
+  /// zero as the controller settles.
+  [[nodiscard]] double last_step_watts() const noexcept {
+    return last_step_watts_;
+  }
+  [[nodiscard]] double job_budget() const noexcept { return budget_watts_; }
+
+ private:
+  double budget_watts_;
+  FeedbackOptions options_;
+  bool has_observation_ = false;
+  double last_step_watts_ = 0.0;
+  std::vector<double> wait_fraction_;
+};
+
+}  // namespace ps::runtime

@@ -1,0 +1,181 @@
+#include "runtime/platform_io.hpp"
+
+#include <algorithm>
+
+#include "hw/quartz_spec.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+namespace {
+constexpr std::size_t kPackagesPerNode = hw::QuartzSpec::kSocketsPerNode;
+
+constexpr const char* kSignalNames[] = {
+    "ENERGY",        "POWER_CAP",     "POWER_CAP_MIN", "POWER_CAP_MAX",
+    "FREQUENCY_CAP", "FREQUENCY_MIN", "FREQUENCY_MAX"};
+constexpr const char* kControlNames[] = {"POWER_CAP", "FREQUENCY_CAP"};
+}  // namespace
+
+std::string_view to_string(Domain domain) noexcept {
+  switch (domain) {
+    case Domain::kBoard:
+      return "board";
+    case Domain::kNode:
+      return "node";
+    case Domain::kPackage:
+      return "package";
+  }
+  return "?";
+}
+
+PlatformIO::PlatformIO(std::vector<hw::NodeModel*> nodes)
+    : nodes_(std::move(nodes)) {
+  PS_REQUIRE(!nodes_.empty(), "PlatformIO needs at least one node");
+  for (const auto* node : nodes_) {
+    PS_REQUIRE(node != nullptr, "node must not be null");
+  }
+}
+
+std::size_t PlatformIO::domain_size(Domain domain) const {
+  switch (domain) {
+    case Domain::kBoard:
+      return 1;
+    case Domain::kNode:
+      return nodes_.size();
+    case Domain::kPackage:
+      return nodes_.size() * kPackagesPerNode;
+  }
+  throw InvalidArgument("unknown domain");
+}
+
+bool PlatformIO::is_valid_signal(std::string_view name) {
+  return std::any_of(std::begin(kSignalNames), std::end(kSignalNames),
+                     [&](const char* candidate) { return name == candidate; });
+}
+
+bool PlatformIO::is_valid_control(std::string_view name) {
+  return std::any_of(std::begin(kControlNames), std::end(kControlNames),
+                     [&](const char* candidate) { return name == candidate; });
+}
+
+std::vector<std::string> PlatformIO::signal_names() {
+  return {std::begin(kSignalNames), std::end(kSignalNames)};
+}
+
+std::vector<std::string> PlatformIO::control_names() {
+  return {std::begin(kControlNames), std::end(kControlNames)};
+}
+
+hw::NodeModel& PlatformIO::node_at(Domain domain, std::size_t index) {
+  PS_REQUIRE(index < domain_size(domain), "domain index out of range");
+  switch (domain) {
+    case Domain::kNode:
+      return *nodes_[index];
+    case Domain::kPackage:
+      return *nodes_[index / kPackagesPerNode];
+    case Domain::kBoard:
+      break;
+  }
+  throw InvalidArgument("board domain has no single node");
+}
+
+double PlatformIO::read_node_signal(std::string_view name,
+                                    hw::NodeModel& node) {
+  if (name == "ENERGY") {
+    return node.read_energy_joules();
+  }
+  if (name == "POWER_CAP") {
+    return node.power_cap();
+  }
+  if (name == "POWER_CAP_MIN") {
+    return node.min_cap();
+  }
+  if (name == "POWER_CAP_MAX") {
+    return node.tdp();
+  }
+  if (name == "FREQUENCY_CAP") {
+    return node.frequency_cap();
+  }
+  if (name == "FREQUENCY_MIN") {
+    return node.params().power.min_frequency_ghz;
+  }
+  if (name == "FREQUENCY_MAX") {
+    return node.params().power.max_frequency_ghz;
+  }
+  throw NotFound("unknown signal '" + std::string(name) + "'");
+}
+
+double PlatformIO::read_signal(std::string_view name, Domain domain,
+                               std::size_t index) {
+  if (!is_valid_signal(name)) {
+    throw NotFound("unknown signal '" + std::string(name) + "'");
+  }
+  PS_REQUIRE(index < domain_size(domain), "domain index out of range");
+  switch (domain) {
+    case Domain::kBoard: {
+      // Energy and caps sum over nodes; frequencies average.
+      const bool averages =
+          name == "FREQUENCY_CAP" || name == "FREQUENCY_MIN" ||
+          name == "FREQUENCY_MAX";
+      double total = 0.0;
+      for (auto* node : nodes_) {
+        total += read_node_signal(name, *node);
+      }
+      return averages ? total / static_cast<double>(nodes_.size()) : total;
+    }
+    case Domain::kNode:
+      return read_node_signal(name, *nodes_[index]);
+    case Domain::kPackage: {
+      hw::NodeModel& node = node_at(domain, index);
+      const std::size_t pkg = index % kPackagesPerNode;
+      if (name == "ENERGY") {
+        // Package energy excludes the DRAM plane; expose the RAPL view.
+        return node.package(pkg).read_energy_joules();
+      }
+      if (name == "POWER_CAP") {
+        return node.package(pkg).power_limit();
+      }
+      if (name == "POWER_CAP_MIN") {
+        return node.package(pkg).min_limit();
+      }
+      if (name == "POWER_CAP_MAX") {
+        return node.package(pkg).tdp();
+      }
+      // Frequency signals are node-scoped; reading them per package is a
+      // domain mismatch, as in GEOPM.
+      throw InvalidArgument("signal '" + std::string(name) +
+                            "' is not package-scoped");
+    }
+  }
+  throw InvalidArgument("unknown domain");
+}
+
+double PlatformIO::write_control(std::string_view name, Domain domain,
+                                 std::size_t index, double value) {
+  if (!is_valid_control(name)) {
+    throw NotFound("unknown control '" + std::string(name) + "'");
+  }
+  PS_REQUIRE(index < domain_size(domain), "domain index out of range");
+  if (domain == Domain::kBoard) {
+    double last = 0.0;
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      last = write_control(name, Domain::kNode, n, value);
+    }
+    return last;
+  }
+  if (name == "POWER_CAP") {
+    if (domain == Domain::kNode) {
+      return nodes_[index]->set_power_cap(value);
+    }
+    hw::NodeModel& node = node_at(domain, index);
+    return node.package(index % kPackagesPerNode).set_power_limit(value);
+  }
+  if (name == "FREQUENCY_CAP") {
+    PS_REQUIRE(domain == Domain::kNode,
+               "FREQUENCY_CAP is a node-scoped control");
+    return nodes_[index]->set_frequency_cap(value);
+  }
+  throw NotFound("unknown control '" + std::string(name) + "'");
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/node.hpp"
+
+namespace ps::runtime {
+
+/// Aggregation scope of a signal or control (GEOPM's domain concept,
+/// reduced to the three levels this stack manages).
+enum class Domain {
+  kBoard,    ///< The whole managed node set (index must be 0).
+  kNode,     ///< One node.
+  kPackage,  ///< One CPU package: index = node * packages_per_node + pkg.
+};
+
+[[nodiscard]] std::string_view to_string(Domain domain) noexcept;
+
+/// GEOPM-style PlatformIO: a string-named signal/control abstraction over
+/// the hardware substrate. Agents and tools read telemetry and program
+/// knobs through names rather than poking MSRs, which is what makes them
+/// portable across platform plugins in the real GEOPM.
+///
+/// Signals (read_signal):
+///   ENERGY            J    cumulative consumed energy (RAPL + DRAM)
+///   POWER_CAP         W    currently programmed cap
+///   POWER_CAP_MIN     W    lowest settable cap
+///   POWER_CAP_MAX     W    highest settable cap (TDP)
+///   FREQUENCY_CAP     GHz  DVFS ceiling (node domain and up)
+///   FREQUENCY_MIN     GHz
+///   FREQUENCY_MAX     GHz
+///
+/// Controls (write_control):
+///   POWER_CAP         W    node or package power limit
+///   FREQUENCY_CAP     GHz  node DVFS ceiling
+///
+/// Board-domain reads aggregate over nodes: ENERGY and the cap signals
+/// sum; frequency signals average. Board-domain writes fan out the same
+/// value to every node.
+class PlatformIO {
+ public:
+  /// Nodes are borrowed and must outlive the PlatformIO.
+  explicit PlatformIO(std::vector<hw::NodeModel*> nodes);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  /// Number of valid indices in `domain`.
+  [[nodiscard]] std::size_t domain_size(Domain domain) const;
+
+  /// Reads a signal. Throws ps::NotFound for unknown names and
+  /// ps::InvalidArgument for bad domains or indices.
+  [[nodiscard]] double read_signal(std::string_view name, Domain domain,
+                                   std::size_t index);
+
+  /// Writes a control; returns the value actually applied (after
+  /// hardware clamping). Throws like read_signal.
+  double write_control(std::string_view name, Domain domain,
+                       std::size_t index, double value);
+
+  [[nodiscard]] static std::vector<std::string> signal_names();
+  [[nodiscard]] static std::vector<std::string> control_names();
+  [[nodiscard]] static bool is_valid_signal(std::string_view name);
+  [[nodiscard]] static bool is_valid_control(std::string_view name);
+
+ private:
+  [[nodiscard]] hw::NodeModel& node_at(Domain domain, std::size_t index);
+  [[nodiscard]] double read_node_signal(std::string_view name,
+                                        hw::NodeModel& node);
+
+  std::vector<hw::NodeModel*> nodes_;
+};
+
+}  // namespace ps::runtime

@@ -1,0 +1,146 @@
+#include "runtime/power_balancer_agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+double host_busy_seconds(const sim::JobSimulation& job, std::size_t host,
+                         double node_cap_watts) {
+  const auto& workload = job.workload();
+  const hw::PhaseResult result = job.host(host).preview_compute(
+      job.host_gigabytes(host), workload.intensity, workload.vector_width,
+      node_cap_watts);
+  return result.seconds;
+}
+
+double min_cap_for_time(const sim::JobSimulation& job, std::size_t host,
+                        double target_seconds,
+                        const BalancerOptions& options) {
+  PS_REQUIRE(target_seconds > 0.0, "target time must be positive");
+  const double floor_cap = job.host(host).min_cap();
+  const double ceil_cap = job.host(host).tdp();
+  if (host_busy_seconds(job, host, ceil_cap) > target_seconds) {
+    return ceil_cap;  // Even full power cannot meet the target.
+  }
+  if (host_busy_seconds(job, host, floor_cap) <= target_seconds) {
+    return floor_cap;
+  }
+  double lo = floor_cap;   // busy(lo) > target
+  double hi = ceil_cap;    // busy(hi) <= target
+  while (hi - lo > options.cap_tolerance_watts) {
+    const double mid = 0.5 * (lo + hi);
+    if (host_busy_seconds(job, host, mid) <= target_seconds) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<double> balance_power(const sim::JobSimulation& job,
+                                  double job_budget_watts,
+                                  const BalancerOptions& options) {
+  PS_REQUIRE(job_budget_watts > 0.0, "job budget must be positive");
+  const std::size_t hosts = job.host_count();
+
+  // Fastest conceivable iteration: every host uncapped (at TDP); slowest
+  // useful target: every host at its settable floor.
+  double best_time = 0.0;
+  double worst_time = 0.0;
+  double floor_power = 0.0;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    best_time = std::max(best_time,
+                         host_busy_seconds(job, i, job.host(i).tdp()));
+    worst_time = std::max(worst_time,
+                          host_busy_seconds(job, i, job.host(i).min_cap()));
+    floor_power += job.host(i).min_cap();
+  }
+
+  std::vector<double> caps(hosts);
+  const auto caps_for_time = [&](double target) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < hosts; ++i) {
+      caps[i] = min_cap_for_time(job, i, target, options);
+      total += caps[i];
+    }
+    return total;
+  };
+
+  if (job_budget_watts <= floor_power) {
+    // The budget cannot be honored; everything runs at the floor.
+    caps_for_time(worst_time);
+    for (std::size_t i = 0; i < hosts; ++i) {
+      caps[i] = job.host(i).min_cap();
+    }
+    return caps;
+  }
+
+  // The balancer trades `tolerated_slowdown` of iteration time for power:
+  // it never targets anything faster than that, even with budget to spare.
+  const double tolerated = best_time * (1.0 + options.tolerated_slowdown);
+  if (caps_for_time(tolerated) <= job_budget_watts) {
+    return caps;
+  }
+
+  double lo = tolerated;  // known to be infeasible within the budget
+  double hi = worst_time * (1.0 + options.performance_epsilon);
+  if (caps_for_time(hi) > job_budget_watts) {
+    // Budget is between the floor and the floor-speed demand; run at floor.
+    for (std::size_t i = 0; i < hosts; ++i) {
+      caps[i] = job.host(i).min_cap();
+    }
+    return caps;
+  }
+  // Invariant: caps_for_time(hi) fits the budget; lo may not.
+  while (hi - lo > options.time_tolerance * best_time) {
+    const double mid = 0.5 * (lo + hi);
+    if (caps_for_time(mid) <= job_budget_watts) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  caps_for_time(hi * (1.0 + options.performance_epsilon));
+  return caps;
+}
+
+PowerBalancerAgent::PowerBalancerAgent(double job_budget_watts,
+                                       const BalancerOptions& options)
+    : budget_watts_(job_budget_watts), options_(options) {
+  PS_REQUIRE(job_budget_watts > 0.0, "job power budget must be positive");
+}
+
+void PowerBalancerAgent::setup(sim::JobSimulation& job) {
+  const double per_host =
+      budget_watts_ / static_cast<double>(job.host_count());
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    job.set_host_cap(i, per_host);
+  }
+  has_observation_ = false;
+  balanced_ = false;
+  steady_caps_.clear();
+}
+
+void PowerBalancerAgent::adjust(sim::JobSimulation& job) {
+  if (!has_observation_ || balanced_) {
+    return;
+  }
+  steady_caps_ = balance_power(job, budget_watts_, options_);
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    job.set_host_cap(i, steady_caps_[i]);
+  }
+  balanced_ = true;
+}
+
+void PowerBalancerAgent::observe(sim::JobSimulation& job,
+                                 const sim::IterationResult& result) {
+  static_cast<void>(job);
+  static_cast<void>(result);
+  has_observation_ = true;
+}
+
+}  // namespace ps::runtime

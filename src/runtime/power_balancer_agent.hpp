@@ -1,0 +1,89 @@
+#pragma once
+
+#include <vector>
+
+#include "runtime/agent.hpp"
+
+namespace ps::runtime {
+
+/// Tuning knobs for the power-balancer search.
+struct BalancerOptions {
+  /// Binary-search precision on per-host caps, in watts.
+  double cap_tolerance_watts = 0.05;
+  /// Relative precision of the iteration-time bisection.
+  double time_tolerance = 1e-4;
+  /// Numerical slack applied to the final bisection target so caps do not
+  /// sit on a knife edge.
+  double performance_epsilon = 1e-3;
+  /// Iteration-time degradation (relative to the uncapped critical path)
+  /// the balancer trades for power: it "reduces the power limit where it
+  /// does not [meaningfully] impact performance". Calibrated at 3.5% so
+  /// that memory-bound hosts are trimmed to ~186 W, matching the per-node
+  /// demand implied by the paper's Table III budgets.
+  double tolerated_slowdown = 0.035;
+};
+
+/// Lowest cap (>= the node's min settable cap) at which `host` of `job`
+/// finishes its per-iteration work within `target_seconds`. Returns the
+/// node TDP if even TDP cannot meet the target. Pure query (preview only).
+[[nodiscard]] double min_cap_for_time(const sim::JobSimulation& job,
+                                      std::size_t host,
+                                      double target_seconds,
+                                      const BalancerOptions& options = {});
+
+/// Per-iteration busy time of `host` under `node_cap_watts` (preview).
+[[nodiscard]] double host_busy_seconds(const sim::JobSimulation& job,
+                                       std::size_t host,
+                                       double node_cap_watts);
+
+/// The balancer's core search (paper Section III-A): finds the distribution
+/// of `job_budget_watts` across the job's hosts that minimizes the
+/// bulk-synchronous iteration time, by bisecting on the achievable
+/// iteration time T and setting each host to its min_cap_for_time(T).
+///
+/// Returns one cap per host; the sum never exceeds max(job_budget_watts,
+/// hosts * min_settable_cap) — like real RAPL, a budget below the floor
+/// cannot be honored.
+[[nodiscard]] std::vector<double> balance_power(
+    const sim::JobSimulation& job, double job_budget_watts,
+    const BalancerOptions& options = {});
+
+/// GEOPM "power_balancer" agent: reduces the power limit where it does not
+/// impact performance and redistributes that power where it can improve
+/// performance, during execution (paper Section III-A).
+///
+/// The agent starts from a uniform distribution of the job budget, then on
+/// the first observed iteration runs the balance_power search and applies
+/// the resulting per-host caps. The model-driven search converges in one
+/// step, so subsequent iterations run in the balanced steady state — the
+/// "final power distribution" the paper's pre-characterization extracts.
+class PowerBalancerAgent final : public Agent {
+ public:
+  explicit PowerBalancerAgent(double job_budget_watts,
+                              const BalancerOptions& options = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "power_balancer";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+  void adjust(sim::JobSimulation& job) override;
+  void observe(sim::JobSimulation& job,
+               const sim::IterationResult& result) override;
+
+  [[nodiscard]] bool balanced() const noexcept { return balanced_; }
+  [[nodiscard]] double job_budget() const noexcept { return budget_watts_; }
+  /// Caps applied by the last rebalance (empty before it happens).
+  [[nodiscard]] const std::vector<double>& steady_caps() const noexcept {
+    return steady_caps_;
+  }
+
+ private:
+  double budget_watts_;
+  BalancerOptions options_;
+  bool has_observation_ = false;
+  bool balanced_ = false;
+  std::vector<double> steady_caps_;
+};
+
+}  // namespace ps::runtime

@@ -1,0 +1,57 @@
+#include "runtime/recording_agent.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+RecordingAgent::RecordingAgent(Agent* inner, std::size_t capacity)
+    : inner_(inner), capacity_(capacity) {}
+
+void RecordingAgent::setup(sim::JobSimulation& job) {
+  std::vector<std::string> columns;
+  columns.emplace_back("iteration_seconds");
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    columns.push_back("power_" + std::to_string(job.host(h).id()));
+  }
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    columns.push_back("cap_" + std::to_string(job.host(h).id()));
+  }
+  trace_ = std::make_unique<sim::TraceRecorder>(std::move(columns),
+                                                capacity_);
+  simulated_time_seconds_ = 0.0;
+  if (inner_ != nullptr) {
+    inner_->setup(job);
+  }
+}
+
+void RecordingAgent::adjust(sim::JobSimulation& job) {
+  if (inner_ != nullptr) {
+    inner_->adjust(job);
+  }
+}
+
+void RecordingAgent::observe(sim::JobSimulation& job,
+                             const sim::IterationResult& result) {
+  PS_CHECK_STATE(trace_ != nullptr, "observe before setup");
+  simulated_time_seconds_ += result.iteration_seconds;
+  std::vector<double> row;
+  row.reserve(1 + 2 * job.host_count());
+  row.push_back(result.iteration_seconds);
+  for (const auto& host : result.hosts) {
+    row.push_back(host.average_power_watts);
+  }
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    row.push_back(job.host_cap(h));
+  }
+  trace_->append(simulated_time_seconds_, row);
+  if (inner_ != nullptr) {
+    inner_->observe(job, result);
+  }
+}
+
+const sim::TraceRecorder& RecordingAgent::trace() const {
+  PS_CHECK_STATE(trace_ != nullptr, "no trace before setup");
+  return *trace_;
+}
+
+}  // namespace ps::runtime

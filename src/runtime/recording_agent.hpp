@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+
+#include "runtime/agent.hpp"
+#include "sim/telemetry.hpp"
+
+namespace ps::runtime {
+
+/// Decorator agent: forwards every hook to an inner agent and records a
+/// per-iteration trace (iteration time, per-host power and caps) into a
+/// TraceRecorder — the "geopmread --trace" counterpart. Composes with any
+/// agent, e.g. RecordingAgent(PowerBalancerAgent(...)).
+class RecordingAgent final : public Agent {
+ public:
+  /// `inner` may be null for a record-only (monitor-like) agent.
+  /// `capacity` bounds the trace (0 = unbounded).
+  explicit RecordingAgent(Agent* inner = nullptr, std::size_t capacity = 0);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "recording";
+  }
+
+  void setup(sim::JobSimulation& job) override;
+  void adjust(sim::JobSimulation& job) override;
+  void observe(sim::JobSimulation& job,
+               const sim::IterationResult& result) override;
+
+  /// The trace so far; columns: iteration_seconds, then per host
+  /// power_<n> and cap_<n>. Throws ps::InvalidState before setup().
+  [[nodiscard]] const sim::TraceRecorder& trace() const;
+
+ private:
+  Agent* inner_;
+  std::size_t capacity_;
+  std::unique_ptr<sim::TraceRecorder> trace_;
+  double simulated_time_seconds_ = 0.0;
+};
+
+}  // namespace ps::runtime

@@ -1,0 +1,53 @@
+#include "runtime/report.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::runtime {
+
+double JobReport::average_node_power_watts() const {
+  if (elapsed_seconds <= 0.0 || hosts.empty()) {
+    return 0.0;
+  }
+  return total_energy_joules / elapsed_seconds /
+         static_cast<double>(hosts.size());
+}
+
+double JobReport::max_host_average_power_watts() const {
+  PS_CHECK_STATE(!hosts.empty(), "report has no hosts");
+  double best = hosts.front().average_power_watts;
+  for (const auto& host : hosts) {
+    best = std::max(best, host.average_power_watts);
+  }
+  return best;
+}
+
+double JobReport::min_host_average_power_watts() const {
+  PS_CHECK_STATE(!hosts.empty(), "report has no hosts");
+  double best = hosts.front().average_power_watts;
+  for (const auto& host : hosts) {
+    best = std::min(best, host.average_power_watts);
+  }
+  return best;
+}
+
+double JobReport::achieved_gflops() const {
+  if (elapsed_seconds <= 0.0) {
+    return 0.0;
+  }
+  return total_gflop / elapsed_seconds;
+}
+
+double JobReport::gflops_per_watt() const {
+  if (total_energy_joules <= 0.0) {
+    return 0.0;
+  }
+  return total_gflop / total_energy_joules;
+}
+
+double JobReport::energy_delay_product() const {
+  return total_energy_joules * elapsed_seconds;
+}
+
+}  // namespace ps::runtime

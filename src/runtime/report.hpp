@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+
+namespace ps::runtime {
+
+/// Per-host section of a job report (GEOPM report analogue).
+struct HostReport {
+  hw::NodeId node = 0;
+  double average_power_watts = 0.0;
+  double max_power_watts = 0.0;  ///< Max per-iteration average power.
+  double energy_joules = 0.0;
+  double busy_seconds = 0.0;
+  double poll_seconds = 0.0;
+  double gflop = 0.0;
+  double final_cap_watts = 0.0;
+  bool waiting_host = false;
+};
+
+/// Aggregate job report produced by the Controller after a run.
+struct JobReport {
+  std::string job_name;
+  std::string agent_name;
+  std::string workload_name;
+  std::size_t iterations = 0;
+  double elapsed_seconds = 0.0;
+  double total_energy_joules = 0.0;
+  double total_gflop = 0.0;
+  std::vector<HostReport> hosts;
+  /// Per-iteration critical-path times (for confidence intervals).
+  std::vector<double> iteration_seconds;
+  /// Per-iteration total job energy (for confidence intervals).
+  std::vector<double> iteration_energy_joules;
+  /// Measured-iteration indices where a new workload phase began (only
+  /// populated by Controller::run_phases).
+  std::vector<std::size_t> phase_starts;
+
+  [[nodiscard]] double average_node_power_watts() const;
+  [[nodiscard]] double max_host_average_power_watts() const;
+  [[nodiscard]] double min_host_average_power_watts() const;
+  [[nodiscard]] double achieved_gflops() const;
+  [[nodiscard]] double gflops_per_watt() const;
+  [[nodiscard]] double energy_delay_product() const;
+};
+
+}  // namespace ps::runtime

@@ -1,0 +1,82 @@
+#include "runtime/report_writer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ps::runtime {
+
+void write_text_report(std::ostream& out, const JobReport& report) {
+  out << "##### powerstack job report #####\n";
+  out << "Job: " << report.job_name << '\n';
+  out << "Agent: " << report.agent_name << '\n';
+  out << "Workload: " << report.workload_name << '\n';
+  out << "Iterations: " << report.iterations << '\n';
+  out << "Elapsed (s): "
+      << util::format_fixed(report.elapsed_seconds, 4) << '\n';
+  out << "Energy (J): "
+      << util::format_fixed(report.total_energy_joules, 1) << '\n';
+  out << "GFLOP: " << util::format_fixed(report.total_gflop, 1) << '\n';
+  out << "Average node power (W): "
+      << util::format_fixed(report.average_node_power_watts(), 1) << '\n';
+  out << "GFLOPS/W: "
+      << util::format_fixed(report.gflops_per_watt(), 3) << '\n';
+  if (!report.phase_starts.empty()) {
+    out << "Phase starts at iterations:";
+    for (std::size_t start : report.phase_starts) {
+      out << ' ' << start;
+    }
+    out << '\n';
+  }
+  for (const auto& host : report.hosts) {
+    out << "\nHost: node-" << host.node
+        << (host.waiting_host ? " (waiting ranks)" : "") << '\n';
+    out << "    energy (J): "
+        << util::format_fixed(host.energy_joules, 1) << '\n';
+    out << "    busy (s): " << util::format_fixed(host.busy_seconds, 4)
+        << '\n';
+    out << "    barrier wait (s): "
+        << util::format_fixed(host.poll_seconds, 4) << '\n';
+    out << "    average power (W): "
+        << util::format_fixed(host.average_power_watts, 1) << '\n';
+    out << "    power cap (W): "
+        << util::format_fixed(host.final_cap_watts, 1) << '\n';
+  }
+}
+
+std::string to_text_report(const JobReport& report) {
+  std::ostringstream out;
+  write_text_report(out, report);
+  return out.str();
+}
+
+void write_host_csv(std::ostream& out, const JobReport& report) {
+  util::CsvWriter csv(out);
+  csv.write_row({"job", "node", "waiting_host", "energy_joules",
+                 "busy_seconds", "poll_seconds", "average_power_watts",
+                 "max_power_watts", "final_cap_watts", "gflop"});
+  for (const auto& host : report.hosts) {
+    csv.write_row({report.job_name, std::to_string(host.node),
+                   host.waiting_host ? "1" : "0",
+                   util::format_fixed(host.energy_joules, 3),
+                   util::format_fixed(host.busy_seconds, 6),
+                   util::format_fixed(host.poll_seconds, 6),
+                   util::format_fixed(host.average_power_watts, 3),
+                   util::format_fixed(host.max_power_watts, 3),
+                   util::format_fixed(host.final_cap_watts, 3),
+                   util::format_fixed(host.gflop, 3)});
+  }
+}
+
+void write_trace_csv(std::ostream& out, const JobReport& report) {
+  util::CsvWriter csv(out);
+  csv.write_row({"iteration", "seconds", "energy_joules"});
+  for (std::size_t i = 0; i < report.iteration_seconds.size(); ++i) {
+    csv.write_row({std::to_string(i),
+                   util::format_fixed(report.iteration_seconds[i], 6),
+                   util::format_fixed(report.iteration_energy_joules[i], 3)});
+  }
+}
+
+}  // namespace ps::runtime

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/report.hpp"
+
+namespace ps::runtime {
+
+/// Renders a JobReport in the spirit of a GEOPM report file: a header
+/// block (job, agent, workload, totals) followed by one section per host
+/// with its energy/time/power counters.
+void write_text_report(std::ostream& out, const JobReport& report);
+[[nodiscard]] std::string to_text_report(const JobReport& report);
+
+/// Writes the per-host summary as CSV (one row per host) with a header
+/// row — the format downstream analysis scripts ingest.
+void write_host_csv(std::ostream& out, const JobReport& report);
+
+/// Writes the per-iteration trace (iteration, seconds, joules) as CSV.
+void write_trace_csv(std::ostream& out, const JobReport& report);
+
+}  // namespace ps::runtime

@@ -1,0 +1,74 @@
+#include "sim/cluster.hpp"
+
+#include "util/error.hpp"
+#include "util/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+
+Cluster::Cluster(const hw::VariationModel& variation, util::Rng& rng,
+                 const hw::NodeParams& node_params) {
+  const std::vector<double> etas = variation.generate(rng);
+  nodes_.reserve(etas.size());
+  for (std::size_t i = 0; i < etas.size(); ++i) {
+    nodes_.push_back(std::make_unique<hw::NodeModel>(
+        static_cast<hw::NodeId>(i), etas[i], node_params));
+  }
+}
+
+Cluster::Cluster(std::size_t count, const hw::NodeParams& node_params) {
+  PS_REQUIRE(count > 0, "cluster needs at least one node");
+  nodes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes_.push_back(std::make_unique<hw::NodeModel>(
+        static_cast<hw::NodeId>(i), 1.0, node_params));
+  }
+}
+
+hw::NodeModel& Cluster::node(std::size_t index) {
+  PS_REQUIRE(index < nodes_.size(), "node index out of range");
+  return *nodes_[index];
+}
+
+const hw::NodeModel& Cluster::node(std::size_t index) const {
+  PS_REQUIRE(index < nodes_.size(), "node index out of range");
+  return *nodes_[index];
+}
+
+std::vector<double> Cluster::achieved_frequencies(
+    double node_cap_watts) const {
+  std::vector<double> frequencies;
+  frequencies.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    // Most power-hungry configuration: just above the roofline ridge,
+    // where both pipelines saturate (activity ~1) — the paper's Fig. 6
+    // measurement workload.
+    const hw::PhaseResult result = node->preview_compute(
+        1.0, 10.0, hw::VectorWidth::kYmm256, node_cap_watts);
+    frequencies.push_back(result.frequency_ghz);
+  }
+  return frequencies;
+}
+
+std::vector<std::size_t> Cluster::frequency_cluster_members(
+    double node_cap_watts, std::size_t k, std::size_t which) const {
+  PS_REQUIRE(which < k, "cluster selector out of range");
+  const std::vector<double> frequencies =
+      achieved_frequencies(node_cap_watts);
+  const util::KMeansResult bins = util::kmeans_1d(frequencies, k);
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < bins.assignments.size(); ++i) {
+    if (bins.assignments[i] == which) {
+      members.push_back(i);
+    }
+  }
+  return members;
+}
+
+void Cluster::uncap_all() {
+  for (auto& node : nodes_) {
+    node->set_power_cap(node->tdp());
+  }
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "hw/variation.hpp"
+
+namespace ps::util {
+class Rng;
+}
+
+namespace ps::sim {
+
+/// A set of simulated nodes built from a hardware-variation model.
+///
+/// Owns the NodeModels; jobs reference subsets of them. This substitutes
+/// for the physical Quartz cluster (Section V-A).
+class Cluster {
+ public:
+  /// Builds `node_params`-configured nodes whose efficiency multipliers
+  /// come from `variation`, shuffled deterministically by `rng`.
+  Cluster(const hw::VariationModel& variation, util::Rng& rng,
+          const hw::NodeParams& node_params = {});
+
+  /// Builds a homogeneous cluster (eta = 1) of `count` nodes.
+  Cluster(std::size_t count, const hw::NodeParams& node_params = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] hw::NodeModel& node(std::size_t index);
+  [[nodiscard]] const hw::NodeModel& node(std::size_t index) const;
+
+  /// Achieved frequency of every node under `node_cap_watts` while running
+  /// a fully compute-bound phase — the measurement behind the paper's
+  /// Fig. 6 node binning.
+  [[nodiscard]] std::vector<double> achieved_frequencies(
+      double node_cap_watts) const;
+
+  /// Indices of the nodes in k-means cluster `which` (0 = lowest
+  /// frequency) when binning achieved_frequencies(node_cap_watts) into
+  /// `k` clusters. The paper uses the medium cluster (which = 1, k = 3).
+  [[nodiscard]] std::vector<std::size_t> frequency_cluster_members(
+      double node_cap_watts, std::size_t k, std::size_t which) const;
+
+  /// Resets all node power caps to TDP.
+  void uncap_all();
+
+ private:
+  std::vector<std::unique_ptr<hw::NodeModel>> nodes_;
+};
+
+}  // namespace ps::sim

@@ -1,0 +1,83 @@
+#include "sim/facility_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::sim {
+
+double FacilityTrace::peak_mw() const {
+  PS_CHECK_STATE(!instantaneous_mw.empty(), "empty trace");
+  return *std::max_element(instantaneous_mw.begin(), instantaneous_mw.end());
+}
+
+double FacilityTrace::mean_mw() const {
+  PS_CHECK_STATE(!instantaneous_mw.empty(), "empty trace");
+  return util::mean(instantaneous_mw);
+}
+
+double FacilityTrace::fraction_above(double threshold_mw) const {
+  PS_CHECK_STATE(!instantaneous_mw.empty(), "empty trace");
+  std::size_t above = 0;
+  for (double sample : instantaneous_mw) {
+    if (sample > threshold_mw) {
+      ++above;
+    }
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(instantaneous_mw.size());
+}
+
+FacilityTrace generate_facility_trace(const FacilityTraceParams& params,
+                                      util::Rng& rng) {
+  PS_REQUIRE(params.days > 0, "trace needs at least one day");
+  PS_REQUIRE(params.samples_per_day > 0, "need samples per day");
+  PS_REQUIRE(params.peak_rating_mw > params.mean_power_mw,
+             "rating must exceed mean power");
+  PS_REQUIRE(params.floor_mw < params.mean_power_mw,
+             "floor must be below mean power");
+
+  FacilityTrace trace;
+  trace.params = params;
+  const std::size_t samples = params.days * params.samples_per_day;
+  trace.instantaneous_mw.reserve(samples);
+
+  const double dt_days = 1.0 / static_cast<double>(params.samples_per_day);
+  double churn = 0.0;  // OU deviation from the mean, in MW
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double day = static_cast<double>(s) * dt_days;
+    // OU update: d(churn) = -theta * churn * dt + sigma * sqrt(dt) * dW.
+    churn += -params.churn_reversion_per_day * churn * dt_days +
+             params.churn_sigma_mw * std::sqrt(dt_days) * rng.normal();
+    const double hour_angle =
+        2.0 * std::numbers::pi * (day - std::floor(day));
+    const double diurnal =
+        params.diurnal_amplitude_mw * std::sin(hour_angle - 0.5);
+    const int weekday = static_cast<int>(std::floor(day)) % 7;
+    const double weekend = (weekday >= 5) ? -params.weekend_dip_mw : 0.0;
+    double power = params.mean_power_mw + churn + diurnal + weekend;
+    power = std::clamp(power, params.floor_mw, params.peak_rating_mw);
+    trace.instantaneous_mw.push_back(power);
+  }
+
+  // Trailing 1-day moving average (the solid black line in Fig. 1).
+  trace.moving_average_mw.reserve(samples);
+  double window_sum = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    window_sum += trace.instantaneous_mw[s];
+    if (s >= params.samples_per_day) {
+      window_sum -= trace.instantaneous_mw[s - params.samples_per_day];
+    }
+    const std::size_t window =
+        std::min(s + 1, params.samples_per_day);
+    trace.moving_average_mw.push_back(window_sum /
+                                      static_cast<double>(window));
+  }
+  return trace;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ps::util {
+class Rng;
+}
+
+namespace ps::sim {
+
+/// Parameters of the synthetic facility power trace (substitutes for the
+/// Quartz metering data behind the paper's Fig. 1).
+struct FacilityTraceParams {
+  double peak_rating_mw = 1.35;  ///< Dashed line in Fig. 1.
+  double mean_power_mw = 0.83;   ///< Long-run average draw (~830 kW).
+  std::size_t days = 280;        ///< Nov '17 through Aug '18.
+  std::size_t samples_per_day = 24;
+  double diurnal_amplitude_mw = 0.08;  ///< Day/night demand swing.
+  double weekend_dip_mw = 0.10;        ///< Lower weekend load.
+  /// Ornstein-Uhlenbeck job-mix churn: reversion rate per day and noise.
+  double churn_reversion_per_day = 0.35;
+  double churn_sigma_mw = 0.16;
+  double floor_mw = 0.25;  ///< System services / idle nodes never go below.
+};
+
+/// A generated facility power trace with its 1-day moving average.
+struct FacilityTrace {
+  FacilityTraceParams params;
+  std::vector<double> instantaneous_mw;
+  std::vector<double> moving_average_mw;  ///< 1-day trailing window.
+
+  [[nodiscard]] double peak_mw() const;
+  [[nodiscard]] double mean_mw() const;
+  /// Fraction of samples above `threshold_mw` (e.g. near the rating).
+  [[nodiscard]] double fraction_above(double threshold_mw) const;
+};
+
+/// Deterministically generates the trace from `rng`. The trace never
+/// exceeds the peak rating (the facility breakers would have tripped) and
+/// averages close to params.mean_power_mw, demonstrating the
+/// under-utilization of procured power the paper motivates with.
+[[nodiscard]] FacilityTrace generate_facility_trace(
+    const FacilityTraceParams& params, util::Rng& rng);
+
+}  // namespace ps::sim

@@ -1,0 +1,154 @@
+#include "sim/job_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::sim {
+
+double JobTotals::average_power_watts(std::size_t hosts) const {
+  if (elapsed_seconds <= 0.0 || hosts == 0) {
+    return 0.0;
+  }
+  return energy_joules / elapsed_seconds / static_cast<double>(hosts);
+}
+
+double JobTotals::gflops_per_watt(std::size_t hosts) const {
+  if (energy_joules <= 0.0 || hosts == 0) {
+    return 0.0;
+  }
+  // GFLOP / joule == GFLOP/s per watt.
+  return gflop / energy_joules;
+}
+
+double JobTotals::energy_delay_product() const {
+  return energy_joules * elapsed_seconds;
+}
+
+JobSimulation::JobSimulation(std::string name,
+                             std::vector<hw::NodeModel*> hosts,
+                             const kernel::WorkloadConfig& config,
+                             const NoiseParams& noise, util::Rng noise_rng)
+    : name_(std::move(name)),
+      hosts_(std::move(hosts)),
+      config_(config),
+      noise_(noise),
+      noise_rng_(noise_rng) {
+  config_.validate();
+  PS_REQUIRE(!hosts_.empty(), "job needs at least one host");
+  for (const auto* host : hosts_) {
+    PS_REQUIRE(host != nullptr, "job host must not be null");
+  }
+  PS_REQUIRE(noise.time_sigma >= 0.0, "noise sigma cannot be negative");
+  waiting_hosts_ = std::min(
+      static_cast<std::size_t>(std::lround(
+          config_.waiting_fraction * static_cast<double>(hosts_.size()))),
+      hosts_.size() - 1);
+}
+
+void JobSimulation::set_workload(const kernel::WorkloadConfig& config) {
+  config.validate();
+  config_ = config;
+  waiting_hosts_ = std::min(
+      static_cast<std::size_t>(std::lround(
+          config_.waiting_fraction * static_cast<double>(hosts_.size()))),
+      hosts_.size() - 1);
+}
+
+hw::NodeModel& JobSimulation::host(std::size_t index) {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  return *hosts_[index];
+}
+
+const hw::NodeModel& JobSimulation::host(std::size_t index) const {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  return *hosts_[index];
+}
+
+bool JobSimulation::is_waiting_host(std::size_t index) const {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  return index < waiting_hosts_;
+}
+
+double JobSimulation::host_gigabytes(std::size_t index) const {
+  return is_waiting_host(index)
+             ? config_.gigabytes_per_iteration
+             : config_.gigabytes_per_iteration * config_.imbalance;
+}
+
+void JobSimulation::set_host_cap(std::size_t index, double watts) {
+  host(index).set_power_cap(watts);
+}
+
+double JobSimulation::host_cap(std::size_t index) const {
+  return host(index).power_cap();
+}
+
+double JobSimulation::total_allocated_power() const {
+  double total = 0.0;
+  for (const auto* host : hosts_) {
+    total += host->power_cap();
+  }
+  return total;
+}
+
+IterationResult JobSimulation::run_iteration() {
+  IterationResult result;
+  result.hosts.resize(hosts_.size());
+
+  // Phase 1: every host runs its share of the compute phase.
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    hw::PhaseResult phase = hosts_[i]->run_compute(
+        host_gigabytes(i), config_.intensity, config_.vector_width);
+    double busy = phase.seconds;
+    if (noise_.time_sigma > 0.0) {
+      // Log-ish multiplicative jitter, clamped so time stays positive.
+      const double jitter =
+          std::max(1.0 + noise_rng_.normal(0.0, noise_.time_sigma), 0.5);
+      busy *= jitter;
+    }
+    auto& host_result = result.hosts[i];
+    host_result.node = hosts_[i]->id();
+    host_result.waiting_host = is_waiting_host(i);
+    host_result.busy_seconds = busy;
+    host_result.energy_joules = phase.power_watts * busy;
+    host_result.gflop = phase.gflops * phase.seconds;
+    host_result.frequency_ghz = phase.frequency_ghz;
+    if (busy > result.iteration_seconds) {
+      result.iteration_seconds = busy;
+      result.critical_host_index = i;
+    }
+  }
+
+  // Phase 2: hosts that finished early busy-poll at the barrier.
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    auto& host_result = result.hosts[i];
+    host_result.poll_seconds =
+        result.iteration_seconds - host_result.busy_seconds;
+    if (host_result.poll_seconds > 0.0) {
+      const hw::PhaseResult poll =
+          hosts_[i]->run_poll(host_result.poll_seconds);
+      host_result.energy_joules += poll.energy_joules;
+    }
+    host_result.average_power_watts =
+        result.iteration_seconds > 0.0
+            ? host_result.energy_joules / result.iteration_seconds
+            : 0.0;
+    result.total_energy_joules += host_result.energy_joules;
+    result.total_gflop += host_result.gflop;
+  }
+  if (result.iteration_seconds > 0.0) {
+    result.average_node_power_watts =
+        result.total_energy_joules / result.iteration_seconds /
+        static_cast<double>(hosts_.size());
+  }
+
+  totals_.iterations += 1;
+  totals_.elapsed_seconds += result.iteration_seconds;
+  totals_.energy_joules += result.total_energy_joules;
+  totals_.gflop += result.total_gflop;
+  return result;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "kernel/workload.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+
+/// Per-host outcome of one bulk-synchronous iteration.
+struct HostIterationResult {
+  hw::NodeId node = 0;
+  bool waiting_host = false;
+  double busy_seconds = 0.0;
+  double poll_seconds = 0.0;
+  double energy_joules = 0.0;
+  double gflop = 0.0;
+  double frequency_ghz = 0.0;
+  /// Mean node power over the whole iteration (busy + poll).
+  double average_power_watts = 0.0;
+};
+
+/// Outcome of one bulk-synchronous iteration of a job.
+struct IterationResult {
+  double iteration_seconds = 0.0;  ///< Critical path (max host busy time).
+  double total_energy_joules = 0.0;
+  double total_gflop = 0.0;
+  double average_node_power_watts = 0.0;
+  std::size_t critical_host_index = 0;
+  std::vector<HostIterationResult> hosts;
+};
+
+/// Accumulated telemetry over a job's lifetime.
+struct JobTotals {
+  std::size_t iterations = 0;
+  double elapsed_seconds = 0.0;
+  double energy_joules = 0.0;
+  double gflop = 0.0;
+
+  [[nodiscard]] double average_power_watts(std::size_t hosts) const;
+  [[nodiscard]] double gflops_per_watt(std::size_t hosts) const;
+  [[nodiscard]] double energy_delay_product() const;
+};
+
+/// Optional per-iteration measurement noise (OS jitter, NUMA placement,
+/// ...). Applied multiplicatively to host busy times; keeps the simulated
+/// 95% confidence intervals (paper Fig. 8 error bars) from collapsing to
+/// zero width.
+struct NoiseParams {
+  double time_sigma = 0.0;  ///< Relative sigma of busy-time jitter.
+};
+
+/// Bulk-synchronous execution of one workload on a fixed set of hosts.
+///
+/// Mirrors the paper's Fig. 2: every host runs the common work; hosts on
+/// the critical path run `imbalance` times as much; the rest busy-poll at
+/// the barrier until the slowest host finishes. Host power caps may be
+/// changed between iterations (by runtime agents or RM policies).
+class JobSimulation {
+ public:
+  /// `hosts` are borrowed from a Cluster and must outlive the simulation.
+  /// The first round(waiting_fraction * size) hosts are the waiting hosts.
+  JobSimulation(std::string name, std::vector<hw::NodeModel*> hosts,
+                const kernel::WorkloadConfig& config,
+                const NoiseParams& noise = {},
+                util::Rng noise_rng = util::Rng(0x7075f));
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const kernel::WorkloadConfig& workload() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t host_count() const noexcept {
+    return hosts_.size();
+  }
+  [[nodiscard]] hw::NodeModel& host(std::size_t index);
+  [[nodiscard]] const hw::NodeModel& host(std::size_t index) const;
+  [[nodiscard]] bool is_waiting_host(std::size_t index) const;
+  [[nodiscard]] std::size_t waiting_host_count() const noexcept {
+    return waiting_hosts_;
+  }
+  /// Data moved per iteration by this host (common work, or imbalance x).
+  [[nodiscard]] double host_gigabytes(std::size_t index) const;
+
+  /// Switches the job to a new phase of execution (paper future work:
+  /// applications with multiple phases of differing design
+  /// characteristics). Waiting-host roles are re-derived; telemetry
+  /// totals continue to accumulate.
+  void set_workload(const kernel::WorkloadConfig& config);
+
+  void set_host_cap(std::size_t index, double watts);
+  [[nodiscard]] double host_cap(std::size_t index) const;
+  /// Sum of all host caps — the job's currently allocated power.
+  [[nodiscard]] double total_allocated_power() const;
+
+  /// Runs one bulk-synchronous iteration, accruing telemetry and RAPL
+  /// energy on every host.
+  IterationResult run_iteration();
+
+  [[nodiscard]] const JobTotals& totals() const noexcept { return totals_; }
+  void reset_totals() noexcept { totals_ = {}; }
+
+ private:
+  std::string name_;
+  std::vector<hw::NodeModel*> hosts_;
+  kernel::WorkloadConfig config_;
+  std::size_t waiting_hosts_ = 0;
+  NoiseParams noise_;
+  util::Rng noise_rng_;
+  JobTotals totals_;
+};
+
+}  // namespace ps::sim

@@ -1,0 +1,95 @@
+#include "sim/telemetry.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ps::sim {
+
+TraceRecorder::TraceRecorder(std::vector<std::string> columns,
+                             std::size_t capacity)
+    : columns_(std::move(columns)), capacity_(capacity) {
+  PS_REQUIRE(!columns_.empty(), "trace needs at least one column");
+  for (const auto& column : columns_) {
+    PS_REQUIRE(!column.empty(), "column names cannot be empty");
+  }
+}
+
+std::size_t TraceRecorder::physical_row(std::size_t row) const {
+  PS_REQUIRE(row < rows_, "trace row out of range");
+  if (capacity_ == 0) {
+    return row;
+  }
+  return (head_ + row) % capacity_;
+}
+
+void TraceRecorder::append(double timestamp,
+                           std::span<const double> values) {
+  PS_REQUIRE(values.size() == columns_.size(),
+             "need exactly one value per column");
+  if (capacity_ == 0) {
+    timestamps_.push_back(timestamp);
+    values_.insert(values_.end(), values.begin(), values.end());
+    ++rows_;
+  } else {
+    if (timestamps_.size() < capacity_) {
+      timestamps_.push_back(timestamp);
+      values_.insert(values_.end(), values.begin(), values.end());
+      ++rows_;
+    } else {
+      // Overwrite the oldest row.
+      timestamps_[head_] = timestamp;
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        values_[head_ * columns_.size() + c] = values[c];
+      }
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+  ++appended_;
+}
+
+double TraceRecorder::timestamp(std::size_t row) const {
+  return timestamps_[physical_row(row)];
+}
+
+double TraceRecorder::value(std::size_t row, std::size_t column) const {
+  PS_REQUIRE(column < columns_.size(), "trace column out of range");
+  return values_[physical_row(row) * columns_.size() + column];
+}
+
+util::RunningStats TraceRecorder::column_stats(std::size_t column) const {
+  PS_REQUIRE(column < columns_.size(), "trace column out of range");
+  util::RunningStats stats;
+  for (std::size_t row = 0; row < rows_; ++row) {
+    stats.add(value(row, column));
+  }
+  return stats;
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header;
+  header.reserve(columns_.size() + 1);
+  header.emplace_back("timestamp");
+  header.insert(header.end(), columns_.begin(), columns_.end());
+  csv.write_row(header);
+  for (std::size_t row = 0; row < rows_; ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size() + 1);
+    cells.push_back(util::format_fixed(timestamp(row), 6));
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      cells.push_back(util::format_fixed(value(row, c), 6));
+    }
+    csv.write_row(cells);
+  }
+}
+
+void TraceRecorder::clear() noexcept {
+  timestamps_.clear();
+  values_.clear();
+  rows_ = 0;
+  head_ = 0;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace ps::sim {
+
+/// A multi-column time series with optional ring-buffer semantics:
+/// unbounded by default, or keep only the most recent `capacity` rows
+/// (long-running telemetry with bounded memory, as a daemon would).
+class TraceRecorder {
+ public:
+  /// `capacity` of zero means unbounded.
+  explicit TraceRecorder(std::vector<std::string> columns,
+                         std::size_t capacity = 0);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return columns_.size();
+  }
+  /// Rows currently held (after any ring-buffer eviction).
+  [[nodiscard]] std::size_t size() const noexcept { return rows_; }
+  /// Rows ever appended.
+  [[nodiscard]] std::size_t total_appended() const noexcept {
+    return appended_;
+  }
+
+  /// Appends one sample. `values` must have one entry per column.
+  void append(double timestamp, std::span<const double> values);
+
+  /// Timestamp / value of a held row, oldest first.
+  [[nodiscard]] double timestamp(std::size_t row) const;
+  [[nodiscard]] double value(std::size_t row, std::size_t column) const;
+
+  /// Statistics over a column's held rows.
+  [[nodiscard]] util::RunningStats column_stats(std::size_t column) const;
+
+  /// CSV dump: "timestamp,<col>,<col>,..." header plus held rows.
+  void write_csv(std::ostream& out) const;
+
+  void clear() noexcept;
+
+ private:
+  [[nodiscard]] std::size_t physical_row(std::size_t row) const;
+
+  std::vector<std::string> columns_;
+  std::size_t capacity_;
+  std::vector<double> timestamps_;
+  std::vector<double> values_;  ///< Row-major, ring-indexed.
+  std::size_t rows_ = 0;
+  std::size_t head_ = 0;  ///< Physical index of the oldest row.
+  std::size_t appended_ = 0;
+};
+
+}  // namespace ps::sim

@@ -1,0 +1,28 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace ps::detail {
+
+namespace {
+std::string format_failure(std::string_view kind, std::string_view expr,
+                           std::string_view file, int line,
+                           std::string_view msg) {
+  std::ostringstream out;
+  out << kind << ": " << msg << " [" << expr << "] at " << file << ":" << line;
+  return out.str();
+}
+}  // namespace
+
+void throw_invalid_argument(std::string_view expr, std::string_view file,
+                            int line, std::string_view msg) {
+  throw InvalidArgument(
+      format_failure("invalid argument", expr, file, line, msg));
+}
+
+void throw_invalid_state(std::string_view expr, std::string_view file,
+                         int line, std::string_view msg) {
+  throw InvalidState(format_failure("invalid state", expr, file, line, msg));
+}
+
+}  // namespace ps::detail

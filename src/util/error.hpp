@@ -1,0 +1,58 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ps {
+
+/// Base exception for all PowerStack errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation is attempted in a state that does not allow it.
+class InvalidState : public Error {
+ public:
+  explicit InvalidState(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup (host, job, signal, ...) fails.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(std::string_view expr,
+                                         std::string_view file, int line,
+                                         std::string_view msg);
+[[noreturn]] void throw_invalid_state(std::string_view expr,
+                                      std::string_view file, int line,
+                                      std::string_view msg);
+}  // namespace detail
+
+}  // namespace ps
+
+/// Contract check for arguments: throws ps::InvalidArgument when violated.
+#define PS_REQUIRE(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::ps::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)
+
+/// Contract check for internal state: throws ps::InvalidState when violated.
+#define PS_CHECK_STATE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::ps::detail::throw_invalid_state(#expr, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (false)

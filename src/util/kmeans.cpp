@@ -1,0 +1,88 @@
+#include "util/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ps::util {
+
+KMeansResult kmeans_1d(std::span<const double> values, std::size_t k,
+                       std::size_t max_iterations) {
+  PS_REQUIRE(k >= 1, "k must be at least 1");
+  PS_REQUIRE(values.size() >= k, "need at least k values");
+  PS_REQUIRE(max_iterations >= 1, "need at least one iteration");
+
+  KMeansResult result;
+  result.centroids.resize(k);
+  // Deterministic initialization: evenly spaced quantiles of the data.
+  for (std::size_t c = 0; c < k; ++c) {
+    const double q =
+        (static_cast<double>(c) + 0.5) / static_cast<double>(k);
+    result.centroids[c] = quantile(values, q);
+  }
+
+  result.assignments.assign(values.size(), 0);
+  std::vector<double> sums(k);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    ++result.iterations;
+    bool changed = false;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::size_t best = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double distance = std::abs(values[i] - result.centroids[c]);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+      sums[best] += values[i];
+      ++counts[best];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iteration > 0) {
+      break;
+    }
+  }
+
+  // Sort clusters by centroid so index 0 is always the lowest.
+  std::vector<std::size_t> order(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    order[c] = c;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return result.centroids[a] < result.centroids[b];
+  });
+  std::vector<std::size_t> rank(k);
+  std::vector<double> sorted_centroids(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    rank[order[c]] = c;
+    sorted_centroids[c] = result.centroids[order[c]];
+  }
+  result.centroids = std::move(sorted_centroids);
+  result.cluster_sizes.assign(k, 0);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    result.assignments[i] = rank[result.assignments[i]];
+    ++result.cluster_sizes[result.assignments[i]];
+    const double delta = values[i] - result.centroids[result.assignments[i]];
+    result.inertia += delta * delta;
+  }
+  return result;
+}
+
+}  // namespace ps::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ps::util {
+
+/// Result of a 1-D k-means clustering.
+struct KMeansResult {
+  std::vector<double> centroids;          ///< Sorted ascending.
+  std::vector<std::size_t> assignments;   ///< Cluster index per input value.
+  std::vector<std::size_t> cluster_sizes; ///< Count per cluster.
+  std::size_t iterations = 0;             ///< Lloyd iterations performed.
+  double inertia = 0.0;                   ///< Sum of squared distances.
+};
+
+/// Lloyd's algorithm specialized for one-dimensional data.
+///
+/// Initialization is deterministic (evenly spaced quantiles), so results
+/// are reproducible — this is what the paper uses to split cluster nodes
+/// into low/medium/high frequency bins (Fig. 6). Requires k >= 1 and at
+/// least k values.
+[[nodiscard]] KMeansResult kmeans_1d(std::span<const double> values,
+                                     std::size_t k,
+                                     std::size_t max_iterations = 200);
+
+}  // namespace ps::util

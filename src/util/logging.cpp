@@ -1,0 +1,50 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace ps::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<std::ostream*> g_stream{nullptr};
+std::mutex g_write_mutex;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::set_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel Logger::level() noexcept { return g_level.load(); }
+
+void Logger::set_stream(std::ostream* stream) noexcept {
+  g_stream.store(stream);
+}
+
+void Logger::write(LogLevel level, std::string_view module,
+                   std::string_view message) {
+  std::scoped_lock lock(g_write_mutex);
+  std::ostream* out = g_stream.load();
+  if (out == nullptr) {
+    out = &std::clog;
+  }
+  *out << '[' << level_name(level) << "] " << module << ": " << message
+       << '\n';
+}
+
+}  // namespace ps::util

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+namespace ps::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration. Not a behavioral dependency: the library
+/// never changes its results based on logging, so tests may silence it.
+class Logger {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  [[nodiscard]] static LogLevel level() noexcept;
+  /// Redirects output (default: std::clog). Pass nullptr to restore default.
+  static void set_stream(std::ostream* stream) noexcept;
+
+  static void write(LogLevel level, std::string_view module,
+                    std::string_view message);
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << std::forward<Args>(args));
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view module, Args&&... args) {
+  if (Logger::level() <= LogLevel::kDebug) {
+    Logger::write(LogLevel::kDebug, module,
+                  detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_info(std::string_view module, Args&&... args) {
+  if (Logger::level() <= LogLevel::kInfo) {
+    Logger::write(LogLevel::kInfo, module,
+                  detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_warn(std::string_view module, Args&&... args) {
+  if (Logger::level() <= LogLevel::kWarn) {
+    Logger::write(LogLevel::kWarn, module,
+                  detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_error(std::string_view module, Args&&... args) {
+  if (Logger::level() <= LogLevel::kError) {
+    Logger::write(LogLevel::kError, module,
+                  detail::concat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace ps::util

@@ -1,0 +1,114 @@
+#include "util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace ps::util {
+
+std::uint64_t SplitMix64::next() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 seeder(seed);
+  for (auto& word : state_) {
+    word = seeder.next();
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PS_REQUIRE(lo <= hi, "uniform bounds must satisfy lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PS_REQUIRE(n > 0, "uniform_index requires n > 0");
+  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t sample = next();
+    if (sample >= threshold) {
+      return sample % n;
+    }
+  }
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) {
+    u1 = uniform();
+  }
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double sigma) {
+  PS_REQUIRE(sigma >= 0.0, "normal sigma must be non-negative");
+  return mean + sigma * normal();
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  // Mix current state with the label so forks are independent and stable.
+  SplitMix64 mixer(state_[0] ^ (label * 0xd1342543de82ef95ULL));
+  return Rng(mixer.next() ^ state_[3]);
+}
+
+std::vector<double> sample_gaussian_mixture(
+    Rng& rng, std::span<const GaussianComponent> components,
+    std::size_t count) {
+  PS_REQUIRE(!components.empty(), "mixture needs at least one component");
+  double total_weight = 0.0;
+  for (const auto& component : components) {
+    PS_REQUIRE(component.weight > 0.0, "mixture weights must be positive");
+    PS_REQUIRE(component.sigma >= 0.0, "mixture sigmas must be non-negative");
+    total_weight += component.weight;
+  }
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double pick = rng.uniform() * total_weight;
+    std::size_t chosen = components.size() - 1;
+    for (std::size_t c = 0; c < components.size(); ++c) {
+      if (pick < components[c].weight) {
+        chosen = c;
+        break;
+      }
+      pick -= components[c].weight;
+    }
+    samples.push_back(
+        rng.normal(components[chosen].mean, components[chosen].sigma));
+  }
+  return samples;
+}
+
+}  // namespace ps::util

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace ps::util {
+
+/// SplitMix64: used to seed larger generators from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+///
+/// Satisfies UniformRandomBitGenerator so it can be used with <random>
+/// distributions, but the helpers below avoid libstdc++-version-dependent
+/// distribution implementations so results are reproducible everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate (Box-Muller, deterministic pairing).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation (sigma >= 0).
+  [[nodiscard]] double normal(double mean, double sigma);
+
+  /// Fisher-Yates shuffle, deterministic for a given seed.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator; stable for a given label.
+  [[nodiscard]] Rng fork(std::uint64_t label) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Samples `count` values from a mixture of normal components.
+struct GaussianComponent {
+  double weight = 1.0;  ///< Relative weight; normalized internally.
+  double mean = 0.0;
+  double sigma = 1.0;
+};
+
+[[nodiscard]] std::vector<double> sample_gaussian_mixture(
+    Rng& rng, std::span<const GaussianComponent> components, std::size_t count);
+
+}  // namespace ps::util

@@ -1,0 +1,221 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::util {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::mean() const {
+  PS_CHECK_STATE(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  PS_CHECK_STATE(count_ > 1, "variance needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  PS_CHECK_STATE(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  PS_CHECK_STATE(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double RunningStats::sum() const noexcept {
+  return mean_ * static_cast<double>(count_);
+}
+
+double mean(std::span<const double> values) {
+  PS_REQUIRE(!values.empty(), "mean of empty range");
+  RunningStats stats;
+  for (double v : values) {
+    stats.add(v);
+  }
+  return stats.mean();
+}
+
+double variance(std::span<const double> values) {
+  PS_REQUIRE(values.size() > 1, "variance needs at least two samples");
+  RunningStats stats;
+  for (double v : values) {
+    stats.add(v);
+  }
+  return stats.variance();
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+double quantile(std::span<const double> values, double q) {
+  PS_REQUIRE(!values.empty(), "quantile of empty range");
+  PS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(position);
+  const double frac = position - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lower] + frac * (sorted[lower + 1] - sorted[lower]);
+}
+
+double t_critical95(std::size_t dof) {
+  PS_REQUIRE(dof >= 1, "t critical value needs dof >= 1");
+  // Two-sided 95% t table; interpolate between entries, asymptote 1.960.
+  struct Entry {
+    std::size_t dof;
+    double value;
+  };
+  static constexpr Entry kTable[] = {
+      {1, 12.706}, {2, 4.303}, {3, 3.182},  {4, 2.776},  {5, 2.571},
+      {6, 2.447},  {7, 2.365}, {8, 2.306},  {9, 2.262},  {10, 2.228},
+      {12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+      {40, 2.021}, {60, 2.000}, {99, 1.984}, {120, 1.980}};
+  if (dof >= 1000) {
+    return 1.960;
+  }
+  const Entry* prev = &kTable[0];
+  for (const Entry& entry : kTable) {
+    if (entry.dof == dof) {
+      return entry.value;
+    }
+    if (entry.dof > dof) {
+      const double span = static_cast<double>(entry.dof - prev->dof);
+      const double frac = static_cast<double>(dof - prev->dof) / span;
+      return prev->value + frac * (entry.value - prev->value);
+    }
+    prev = &entry;
+  }
+  // dof between 120 and 1000: interpolate toward the normal quantile.
+  const double frac = static_cast<double>(dof - 120) / (1000.0 - 120.0);
+  return 1.980 + frac * (1.960 - 1.980);
+}
+
+ConfidenceInterval confidence_interval95(std::span<const double> values) {
+  PS_REQUIRE(values.size() > 1, "CI needs at least two samples");
+  const double sample_mean = mean(values);
+  const double sample_sd = stddev(values);
+  const double standard_error =
+      sample_sd / std::sqrt(static_cast<double>(values.size()));
+  return {sample_mean, t_critical95(values.size() - 1) * standard_error};
+}
+
+ConfidenceInterval bootstrap_ci95(std::span<const double> values, Rng& rng,
+                                  std::size_t resamples) {
+  PS_REQUIRE(!values.empty(), "bootstrap of empty range");
+  PS_REQUIRE(resamples > 0, "bootstrap needs at least one resample");
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    RunningStats stats;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      stats.add(values[rng.uniform_index(values.size())]);
+    }
+    means.push_back(stats.mean());
+  }
+  const double lo = quantile(means, 0.025);
+  const double hi = quantile(means, 0.975);
+  return {(lo + hi) / 2.0, (hi - lo) / 2.0};
+}
+
+double permutation_pvalue(std::span<const double> differences, Rng& rng,
+                          std::size_t permutations) {
+  PS_REQUIRE(!differences.empty(), "permutation test of empty range");
+  PS_REQUIRE(permutations > 0, "need at least one permutation");
+  const double observed = std::abs(mean(differences));
+  if (observed == 0.0) {
+    return 1.0;
+  }
+  std::size_t at_least_as_extreme = 0;
+  for (std::size_t p = 0; p < permutations; ++p) {
+    double sum = 0.0;
+    for (double difference : differences) {
+      sum += (rng.next() & 1u) != 0 ? difference : -difference;
+    }
+    if (std::abs(sum / static_cast<double>(differences.size())) >=
+        observed) {
+      ++at_least_as_extreme;
+    }
+  }
+  // +1 correction keeps the estimate conservative and never exactly 0.
+  return static_cast<double>(at_least_as_extreme + 1) /
+         static_cast<double>(permutations + 1);
+}
+
+Histogram::Histogram(double lo_edge, double hi_edge, std::size_t bin_count)
+    : lo(lo_edge), hi(hi_edge), bins(bin_count, 0) {
+  PS_REQUIRE(hi_edge > lo_edge, "histogram needs hi > lo");
+  PS_REQUIRE(bin_count > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) noexcept {
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  auto index = static_cast<std::ptrdiff_t>((value - lo) / width);
+  index = std::clamp<std::ptrdiff_t>(
+      index, 0, static_cast<std::ptrdiff_t>(bins.size()) - 1);
+  ++bins[static_cast<std::size_t>(index)];
+}
+
+std::size_t Histogram::total() const noexcept {
+  std::size_t sum = 0;
+  for (std::size_t count : bins) {
+    sum += count;
+  }
+  return sum;
+}
+
+double Histogram::bin_center(std::size_t index) const {
+  PS_REQUIRE(index < bins.size(), "histogram bin index out of range");
+  const double width = (hi - lo) / static_cast<double>(bins.size());
+  return lo + (static_cast<double>(index) + 0.5) * width;
+}
+
+}  // namespace ps::util

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ps::util {
+class Rng;
+
+/// Welford online accumulator for mean / variance; numerically stable.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Mean of the observed samples. Requires at least one sample.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance. Requires at least two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double variance(std::span<const double> values);
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Linear-interpolated quantile; q in [0, 1]. Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Symmetric confidence interval half-width around the mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean +/- half_width covers the interval.
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+};
+
+/// 95% CI for the mean using Student's t critical values.
+/// Requires at least two samples.
+[[nodiscard]] ConfidenceInterval confidence_interval95(
+    std::span<const double> values);
+
+/// Percentile-bootstrap 95% CI for the mean; deterministic given `rng`.
+[[nodiscard]] ConfidenceInterval bootstrap_ci95(std::span<const double> values,
+                                                Rng& rng,
+                                                std::size_t resamples = 2000);
+
+/// Two-sided sign-flip permutation p-value for "the mean of these paired
+/// differences is zero". Each permutation randomly flips the signs of
+/// the samples; the p-value is the fraction of permutations whose |mean|
+/// reaches the observed |mean|. Deterministic given `rng`. Degenerate
+/// all-zero input returns 1.0.
+[[nodiscard]] double permutation_pvalue(std::span<const double> differences,
+                                        Rng& rng,
+                                        std::size_t permutations = 2000);
+
+/// Two-sided t critical value for a 95% interval with `dof` degrees of
+/// freedom (table-interpolated; exact enough for reporting CIs).
+[[nodiscard]] double t_critical95(std::size_t dof);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// edge bins. Requires hi > lo and at least one bin.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  Histogram(double lo_edge, double hi_edge, std::size_t bin_count);
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t total() const noexcept;
+  [[nodiscard]] double bin_center(std::size_t index) const;
+};
+
+}  // namespace ps::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::util {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Joins pieces with a separator.
+[[nodiscard]] std::string join(std::span<const std::string> pieces,
+                               std::string_view separator);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// Case-insensitive ASCII comparison.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Formats watts with an SI prefix when large ("167.0 kW", "214.0 W").
+[[nodiscard]] std::string format_watts(double watts, int precision = 1);
+
+/// Formats seconds as "1.23 s" / "12.3 ms" as appropriate.
+[[nodiscard]] std::string format_seconds(double seconds, int precision = 2);
+
+}  // namespace ps::util

@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ps::util {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+void TextTable::add_column(std::string header, Align align, int precision) {
+  PS_CHECK_STATE(rows_.empty(), "columns must be declared before rows");
+  columns_.push_back(Column{std::move(header), align, precision});
+}
+
+void TextTable::begin_row() {
+  PS_CHECK_STATE(!columns_.empty(), "declare columns before adding rows");
+  if (!rows_.empty()) {
+    PS_CHECK_STATE(rows_.back().size() == columns_.size(),
+                   "previous row is incomplete");
+  }
+  rows_.emplace_back();
+}
+
+void TextTable::add_cell(std::string value) {
+  PS_CHECK_STATE(!rows_.empty(), "begin_row before adding cells");
+  PS_CHECK_STATE(rows_.back().size() < columns_.size(),
+                 "row has more cells than columns");
+  rows_.back().push_back(std::move(value));
+}
+
+void TextTable::add_number(double value) {
+  PS_CHECK_STATE(!rows_.empty(), "begin_row before adding cells");
+  const std::size_t column = rows_.back().size();
+  PS_CHECK_STATE(column < columns_.size(), "row has more cells than columns");
+  add_cell(format_fixed(value, columns_[column].precision));
+}
+
+void TextTable::add_percent(double fraction) {
+  PS_CHECK_STATE(!rows_.empty(), "begin_row before adding cells");
+  const std::size_t column = rows_.back().size();
+  PS_CHECK_STATE(column < columns_.size(), "row has more cells than columns");
+  add_cell(format_fixed(fraction * 100.0, columns_[column].precision) + "%");
+}
+
+void TextTable::print(std::ostream& out) const {
+  PS_CHECK_STATE(rows_.empty() || rows_.back().size() == columns_.size(),
+                 "last row is incomplete");
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].header.size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c > 0) {
+        out << "  ";
+      }
+      if (columns_[c].align == Align::kRight) {
+        out << std::string(pad, ' ') << cells[c];
+      } else {
+        out << cells[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+  std::vector<std::string> headers;
+  headers.reserve(columns_.size());
+  for (const auto& column : columns_) {
+    headers.push_back(column.header);
+  }
+  emit(headers);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(rule_width, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(cell);
+  }
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') {
+      escaped += '"';
+    }
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      *out_ << ',';
+    }
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace ps::util

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::util {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// Fixed-width ASCII table builder used by the figure/table harnesses.
+///
+/// Columns are declared once; rows may be added as pre-formatted strings or
+/// doubles (formatted with the column's precision).
+class TextTable {
+ public:
+  struct Column {
+    std::string header;
+    Align align = Align::kRight;
+    int precision = 2;  ///< Decimal places used by add_number().
+  };
+
+  void add_column(std::string header, Align align = Align::kRight,
+                  int precision = 2);
+
+  /// Starts a new row. Cells are appended with add_cell / add_number.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_number(double value);
+  /// Formats `value` as a percentage ("12.3%") using the column precision.
+  void add_percent(double fraction);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return columns_.size();
+  }
+
+  /// Renders the table with a header rule. Throws if any row is ragged.
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (RFC-4180 quoting for commas/quotes/newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(std::string_view cell);
+  std::ostream* out_;
+};
+
+/// Formats a double with fixed precision (no locale surprises).
+[[nodiscard]] std::string format_fixed(double value, int precision);
+
+}  // namespace ps::util

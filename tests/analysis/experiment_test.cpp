@@ -1,0 +1,198 @@
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "util/error.hpp"
+
+namespace ps::analysis {
+namespace {
+
+ExperimentOptions small_options() {
+  ExperimentOptions options;
+  options.nodes_per_job = 4;
+  options.iterations = 10;
+  options.characterization_iterations = 3;
+  options.hardware_variation = false;
+  options.noise_time_sigma = 0.002;
+  return options;
+}
+
+TEST(ExperimentDriverTest, HomogeneousPoolSizedForNineJobs) {
+  ExperimentDriver driver(small_options());
+  EXPECT_EQ(driver.experiment_nodes().size(), 36u);
+  EXPECT_EQ(driver.cluster().size(), 36u);
+}
+
+TEST(ExperimentDriverTest, VariationPoolUsesMediumCluster) {
+  ExperimentOptions options = small_options();
+  options.hardware_variation = true;
+  ExperimentDriver driver(options);
+  EXPECT_EQ(driver.experiment_nodes().size(), 36u);
+  for (std::size_t index : driver.experiment_nodes()) {
+    EXPECT_NEAR(driver.cluster().node(index).eta(), 1.0, 0.1);
+  }
+}
+
+TEST(ExperimentDriverTest, PrepareProducesBudgetsAndCharacterizations) {
+  ExperimentDriver driver(small_options());
+  const core::WorkloadMix mix =
+      core::make_mix(core::MixKind::kWastefulPower, 4);
+  MixExperiment experiment = driver.prepare(mix);
+  EXPECT_EQ(experiment.mix_name(), "WastefulPower");
+  EXPECT_EQ(experiment.characterizations().size(), 9u);
+  EXPECT_EQ(experiment.total_hosts(), 36u);
+  const core::PowerBudgets& budgets = experiment.budgets();
+  EXPECT_LT(budgets.min_watts, budgets.ideal_watts);
+  EXPECT_LT(budgets.ideal_watts, budgets.max_watts);
+}
+
+TEST(ExperimentDriverTest, RunProducesPerJobIterationSeries) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kHighPower, 4));
+  const MixRunResult result =
+      experiment.run(core::BudgetLevel::kIdeal, core::PolicyKind::kStaticCaps);
+  ASSERT_EQ(result.jobs.size(), 9u);
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.iteration_seconds.size(), 10u);
+    EXPECT_EQ(job.iteration_energy_joules.size(), 10u);
+    EXPECT_GT(job.elapsed_seconds, 0.0);
+    EXPECT_GT(job.energy_joules, 0.0);
+    EXPECT_GT(job.allocated_watts, 0.0);
+  }
+  EXPECT_GT(result.power_fraction_of_budget(), 0.5);
+  EXPECT_LT(result.power_fraction_of_budget(), 1.05);
+}
+
+TEST(ExperimentDriverTest, SystemAwarePoliciesStayWithinBudget) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  for (core::BudgetLevel level : core::all_budget_levels()) {
+    for (core::PolicyKind kind :
+         {core::PolicyKind::kStaticCaps, core::PolicyKind::kMinimizeWaste,
+          core::PolicyKind::kJobAdaptive,
+          core::PolicyKind::kMixedAdaptive}) {
+      const MixRunResult result = experiment.run(level, kind);
+      EXPECT_TRUE(result.within_budget)
+          << core::to_string(kind) << " at " << core::to_string(level);
+    }
+  }
+}
+
+TEST(ExperimentDriverTest, PrecharacterizedViolatesTightBudgets) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult min_run = experiment.run(
+      core::BudgetLevel::kMin, core::PolicyKind::kPrecharacterized);
+  EXPECT_FALSE(min_run.within_budget);
+  const MixRunResult max_run = experiment.run(
+      core::BudgetLevel::kMax, core::PolicyKind::kPrecharacterized);
+  EXPECT_TRUE(max_run.within_budget);
+}
+
+TEST(ExperimentDriverTest, SavingsCarrySignificance) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult baseline =
+      experiment.run(core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps);
+  const SavingsSummary real = compute_savings(
+      experiment.run(core::BudgetLevel::kMax,
+                     core::PolicyKind::kMixedAdaptive),
+      baseline);
+  // Substantial energy savings: overwhelmingly significant.
+  EXPECT_LT(real.energy_pvalue, 0.01);
+  // Self-comparison: all-zero differences, p-value pinned at 1.
+  const SavingsSummary null = compute_savings(baseline, baseline);
+  EXPECT_DOUBLE_EQ(null.time_pvalue, 1.0);
+  EXPECT_DOUBLE_EQ(null.energy_pvalue, 1.0);
+}
+
+TEST(ExperimentDriverTest, SavingsAgainstSelfAreZero) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kLowPower, 4));
+  const MixRunResult a =
+      experiment.run(core::BudgetLevel::kIdeal, core::PolicyKind::kStaticCaps);
+  const SavingsSummary self = compute_savings(a, a);
+  EXPECT_NEAR(self.time.mean, 0.0, 1e-12);
+  EXPECT_NEAR(self.energy.mean, 0.0, 1e-12);
+  EXPECT_NEAR(self.edp.mean, 0.0, 1e-12);
+  EXPECT_NEAR(self.flops_per_watt.mean, 0.0, 1e-12);
+}
+
+TEST(ExperimentDriverTest, MixedAdaptiveSavesEnergyAtMaxBudget) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult baseline =
+      experiment.run(core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps);
+  const MixRunResult mixed = experiment.run(
+      core::BudgetLevel::kMax, core::PolicyKind::kMixedAdaptive);
+  const SavingsSummary savings = compute_savings(mixed, baseline);
+  EXPECT_GT(savings.energy.mean, 0.03);
+  EXPECT_GT(savings.flops_per_watt.mean, 0.03);
+}
+
+TEST(ExperimentDriverTest, SavingsMismatchedRunsRejected) {
+  ExperimentDriver driver(small_options());
+  MixExperiment low =
+      driver.prepare(core::make_mix(core::MixKind::kLowPower, 4));
+  MixExperiment imbalance =
+      driver.prepare(core::make_mix(core::MixKind::kHighImbalance, 4));
+  const MixRunResult a =
+      low.run(core::BudgetLevel::kIdeal, core::PolicyKind::kStaticCaps);
+  const MixRunResult b = imbalance.run(core::BudgetLevel::kIdeal,
+                                       core::PolicyKind::kStaticCaps);
+  EXPECT_THROW(static_cast<void>(compute_savings(a, b)),
+               ps::InvalidArgument);
+}
+
+TEST(ExperimentDriverTest, AblationVariantRunsThroughRunWith) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  core::MixedAdaptiveOptions options;
+  options.distribute_surplus = false;
+  const core::MixedAdaptivePolicy ablated(options);
+  const MixRunResult result = experiment.run_with(
+      core::BudgetLevel::kMax, ablated, core::PolicyKind::kMixedAdaptive);
+  EXPECT_TRUE(result.within_budget);
+  // Without step 4, allocation is exactly the needed power: less than
+  // the full MixedAdaptive allocates.
+  const MixRunResult full = experiment.run(
+      core::BudgetLevel::kMax, core::PolicyKind::kMixedAdaptive);
+  EXPECT_LT(result.allocated_watts, full.allocated_watts);
+}
+
+TEST(ExperimentDriverTest, InvalidOptionsRejected) {
+  ExperimentOptions options = small_options();
+  options.nodes_per_job = 0;
+  EXPECT_THROW(ExperimentDriver{options}, ps::InvalidArgument);
+  options = small_options();
+  options.iterations = 0;
+  EXPECT_THROW(ExperimentDriver{options}, ps::InvalidArgument);
+}
+
+TEST(MixRunResultTest, AggregatesAreConsistent) {
+  MixRunResult result;
+  result.budget_watts = 1000.0;
+  JobRunMetrics job;
+  job.elapsed_seconds = 2.0;
+  job.energy_joules = 800.0;
+  job.gflop = 10.0;
+  result.jobs.push_back(job);
+  job.energy_joules = 1200.0;
+  result.jobs.push_back(job);
+  EXPECT_DOUBLE_EQ(result.system_power_watts(), 400.0 + 600.0);
+  EXPECT_DOUBLE_EQ(result.power_fraction_of_budget(), 1.0);
+  EXPECT_DOUBLE_EQ(result.total_energy_joules(), 2000.0);
+  EXPECT_DOUBLE_EQ(result.total_gflop(), 20.0);
+  EXPECT_DOUBLE_EQ(result.mean_elapsed_seconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace ps::analysis

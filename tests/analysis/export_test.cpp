@@ -1,0 +1,83 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ps::analysis {
+namespace {
+
+MixRunResult sample_run() {
+  MixRunResult run;
+  run.mix_name = "WastefulPower";
+  run.policy = core::PolicyKind::kMixedAdaptive;
+  run.level = core::BudgetLevel::kMax;
+  run.budget_watts = 1000.0;
+  run.allocated_watts = 950.0;
+  run.within_budget = true;
+  JobRunMetrics job;
+  job.job_name = "j0";
+  job.elapsed_seconds = 2.0;
+  job.energy_joules = 1600.0;
+  job.gflop = 40.0;
+  run.jobs.push_back(job);
+  return run;
+}
+
+TEST(ExportTest, GridCsvHasHeaderAndRow) {
+  std::ostringstream out;
+  write_grid_csv(out, {sample_run()});
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("mix,policy,budget,budget_watts"), std::string::npos);
+  EXPECT_NE(csv.find("WastefulPower,MixedAdaptive,max,1000.0,950.0,1"),
+            std::string::npos);
+  // power fraction = (1600/2)/1000 = 0.8
+  EXPECT_NE(csv.find("0.8000"), std::string::npos);
+}
+
+TEST(ExportTest, GridCsvOneLinePerRun) {
+  std::ostringstream out;
+  write_grid_csv(out, {sample_run(), sample_run(), sample_run()});
+  std::size_t lines = 0;
+  for (char ch : out.str()) {
+    if (ch == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(ExportTest, SavingsCsvHasFourMetricsPerRow) {
+  SavingsRow row;
+  row.mix_name = "HighPower";
+  row.policy = core::PolicyKind::kJobAdaptive;
+  row.level = core::BudgetLevel::kIdeal;
+  row.savings.time = {0.05, 0.01};
+  row.savings.energy = {0.03, 0.005};
+  row.savings.edp = {0.08, 0.012};
+  row.savings.flops_per_watt = {0.031, 0.004};
+  std::ostringstream out;
+  write_savings_csv(out, {row});
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("mix,policy,budget,metric,mean,ci_lo,ci_hi"),
+            std::string::npos);
+  EXPECT_NE(csv.find("HighPower,JobAdaptive,ideal,time_savings,0.050000"),
+            std::string::npos);
+  EXPECT_NE(csv.find("energy_savings"), std::string::npos);
+  EXPECT_NE(csv.find("edp_savings"), std::string::npos);
+  EXPECT_NE(csv.find("flops_per_watt_increase"), std::string::npos);
+  // CI bounds: 0.05 - 0.01 = 0.04.
+  EXPECT_NE(csv.find("0.040000,0.060000"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyInputsProduceHeaderOnly) {
+  std::ostringstream grid;
+  write_grid_csv(grid, {});
+  EXPECT_EQ(grid.str().find('\n'), grid.str().size() - 1);
+  std::ostringstream savings;
+  write_savings_csv(savings, {});
+  EXPECT_EQ(savings.str().find('\n'), savings.str().size() - 1);
+}
+
+}  // namespace
+}  // namespace ps::analysis

@@ -1,0 +1,115 @@
+#include "analysis/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::analysis {
+namespace {
+
+class HeatmapTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new sim::Cluster(4);
+    result_ = new HeatmapResult(run_power_heatmap(
+        *cluster_, {0, 1, 2, 3}, hw::VectorWidth::kYmm256, 3));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete cluster_;
+    result_ = nullptr;
+    cluster_ = nullptr;
+  }
+
+  static sim::Cluster* cluster_;
+  static HeatmapResult* result_;
+};
+
+sim::Cluster* HeatmapTest::cluster_ = nullptr;
+HeatmapResult* HeatmapTest::result_ = nullptr;
+
+TEST_F(HeatmapTest, GridShapeMatchesFig4) {
+  EXPECT_EQ(result_->intensities.size(), 8u);
+  EXPECT_EQ(result_->column_labels.size(), 7u);
+  EXPECT_EQ(result_->monitor_power.size(), 8u);
+  EXPECT_EQ(result_->monitor_power[0].size(), 7u);
+  EXPECT_EQ(result_->column_labels[0], "0%");
+  EXPECT_EQ(result_->column_labels[6], "75% at 3x");
+}
+
+TEST_F(HeatmapTest, MonitorPowerInPaperBand) {
+  // Fig. 4: uncapped node power between ~209 and ~232 W.
+  EXPECT_GE(result_->monitor_min(), 205.0);
+  EXPECT_LE(result_->monitor_max(), 235.0);
+}
+
+TEST_F(HeatmapTest, MonitorPowerInsensitiveToImbalance) {
+  // Within every intensity row, the spread across imbalance columns is
+  // small (Fig. 4's observation).
+  for (std::size_t row = 0; row < result_->intensities.size(); ++row) {
+    double row_min = result_->monitor_power[row][0];
+    double row_max = row_min;
+    for (double value : result_->monitor_power[row]) {
+      row_min = std::min(row_min, value);
+      row_max = std::max(row_max, value);
+    }
+    EXPECT_LT(row_max - row_min, 10.0) << "row " << row;
+  }
+}
+
+TEST_F(HeatmapTest, MonitorPowerPeaksMidIntensity) {
+  double peak_power = 0.0;
+  double peak_intensity = 0.0;
+  for (std::size_t row = 0; row < result_->intensities.size(); ++row) {
+    if (result_->monitor_power[row][0] > peak_power) {
+      peak_power = result_->monitor_power[row][0];
+      peak_intensity = result_->intensities[row];
+    }
+  }
+  EXPECT_GE(peak_intensity, 4.0);
+  EXPECT_LE(peak_intensity, 16.0);
+}
+
+TEST_F(HeatmapTest, BalancerReducesPowerEverywhere) {
+  for (std::size_t row = 0; row < result_->intensities.size(); ++row) {
+    for (std::size_t col = 0; col < result_->column_labels.size(); ++col) {
+      EXPECT_LE(result_->balancer_power[row][col],
+                result_->monitor_power[row][col] + 0.5)
+          << "row " << row << " col " << col;
+    }
+  }
+  EXPECT_LT(result_->balancer_min(), result_->monitor_min());
+}
+
+TEST_F(HeatmapTest, BalancerSavingsGrowWithWaitingFraction) {
+  // Fig. 5's vertical bands: more waiting ranks, deeper cuts.
+  for (std::size_t row = 0; row < result_->intensities.size(); ++row) {
+    const double cut25 = result_->monitor_power[row][1] -
+                         result_->balancer_power[row][1];
+    const double cut75 = result_->monitor_power[row][5] -
+                         result_->balancer_power[row][5];
+    EXPECT_GT(cut75, cut25) << "row " << row;
+  }
+}
+
+TEST_F(HeatmapTest, TablesRenderBothGrids) {
+  const std::string monitor_table = result_->to_table(false);
+  const std::string balancer_table = result_->to_table(true);
+  EXPECT_NE(monitor_table.find("FLOPs/byte"), std::string::npos);
+  EXPECT_NE(monitor_table.find("75% at 3x"), std::string::npos);
+  EXPECT_NE(balancer_table.find("0.25"), std::string::npos);
+  EXPECT_NE(monitor_table, balancer_table);
+}
+
+TEST(HeatmapValidationTest, RejectsBadArguments) {
+  sim::Cluster cluster(2);
+  EXPECT_THROW(static_cast<void>(run_power_heatmap(
+                   cluster, {}, hw::VectorWidth::kYmm256, 1)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(run_power_heatmap(
+                   cluster, {0}, hw::VectorWidth::kYmm256, 0)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::analysis

@@ -1,0 +1,84 @@
+#include "analysis/roofline_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::analysis {
+namespace {
+
+TEST(RooflineAnalysisTest, CeilingsOrderedByVectorWidth) {
+  const hw::NodeModel node(0, 1.0);
+  const RooflineAnalysis analysis =
+      analyze_roofline(node, fig3_intensities());
+  EXPECT_LT(analysis.scalar_peak_gflops, analysis.xmm_peak_gflops);
+  EXPECT_LT(analysis.xmm_peak_gflops, analysis.ymm_peak_gflops);
+  EXPECT_GT(analysis.memory_bandwidth_gbs, 0.0);
+  EXPECT_GT(analysis.ridge_intensity_ymm, 4.0);
+  EXPECT_LT(analysis.ridge_intensity_ymm, 16.0);
+}
+
+TEST(RooflineAnalysisTest, PointsCoverAllWidthsAndIntensities) {
+  const hw::NodeModel node(0, 1.0);
+  const std::vector<double> intensities = {0.1, 1.0, 10.0};
+  const RooflineAnalysis analysis = analyze_roofline(node, intensities);
+  EXPECT_EQ(analysis.points.size(), 9u);
+}
+
+TEST(RooflineAnalysisTest, KernelTouchesTheRoofline) {
+  // Fig. 3's claim: the kernel reaches the platform envelope at every
+  // configuration (memory-bound and compute-bound ends alike).
+  const hw::NodeModel node(0, 1.0);
+  const RooflineAnalysis analysis =
+      analyze_roofline(node, fig3_intensities());
+  for (const auto& point : analysis.points) {
+    if (point.intensity <= 0.0) {
+      continue;
+    }
+    EXPECT_GT(point.efficiency(), 0.95)
+        << "I=" << point.intensity << " width=" << hw::to_string(point.width);
+    EXPECT_LE(point.achieved_gflops, point.envelope_gflops * 1.0001);
+  }
+}
+
+TEST(RooflineAnalysisTest, MemoryBoundPointsScaleWithIntensity) {
+  const hw::NodeModel node(0, 1.0);
+  const RooflineAnalysis analysis = analyze_roofline(node, {0.1, 0.2});
+  // Both are memory-bound: achieved GFLOPS doubles with intensity.
+  const auto& a = analysis.points[0];
+  const auto& b = analysis.points[1];
+  EXPECT_NEAR(b.achieved_gflops, 2.0 * a.achieved_gflops,
+              a.achieved_gflops * 0.01);
+}
+
+TEST(RooflineAnalysisTest, ComputeBoundPointsFlatten) {
+  const hw::NodeModel node(0, 1.0);
+  const RooflineAnalysis analysis = analyze_roofline(node, {20.0, 40.0});
+  const auto ymm_points = [&] {
+    std::vector<RooflinePoint> points;
+    for (const auto& point : analysis.points) {
+      if (point.width == hw::VectorWidth::kYmm256) {
+        points.push_back(point);
+      }
+    }
+    return points;
+  }();
+  ASSERT_EQ(ymm_points.size(), 2u);
+  EXPECT_NEAR(ymm_points[0].achieved_gflops, ymm_points[1].achieved_gflops,
+              ymm_points[0].achieved_gflops * 0.01);
+}
+
+TEST(RooflineAnalysisTest, Fig3SweepSpansPaperRange) {
+  const std::vector<double> intensities = fig3_intensities();
+  EXPECT_NEAR(intensities.front(), 0.007, 1e-9);
+  EXPECT_NEAR(intensities.back(), 40.0, 1e-9);
+}
+
+TEST(RooflineAnalysisTest, EmptySweepRejected) {
+  const hw::NodeModel node(0, 1.0);
+  EXPECT_THROW(static_cast<void>(analyze_roofline(node, {})),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::analysis

@@ -1,0 +1,43 @@
+#include "analysis/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps::analysis {
+namespace {
+
+TEST(SensitivityTest, OrderingsSurviveEveryPerturbation) {
+  SensitivityOptions options;
+  options.nodes_per_job = 4;
+  options.iterations = 8;
+  options.bandwidth_floors = {0.6, 0.8};
+  options.dram_watts = {8.0, 24.0};
+  options.poll_activities = {0.8, 0.9};
+  options.tolerated_slowdowns = {0.02, 0.05};
+  const std::vector<SensitivityCase> cases = run_sensitivity(options);
+  ASSERT_EQ(cases.size(), 8u);
+  for (const auto& test_case : cases) {
+    EXPECT_TRUE(test_case.marker_d_holds)
+        << test_case.parameter << "=" << test_case.value;
+    EXPECT_TRUE(test_case.time_ordering_holds)
+        << test_case.parameter << "=" << test_case.value;
+    EXPECT_GT(test_case.energy_savings_max, 0.0);
+  }
+}
+
+TEST(SensitivityTest, MagnitudesRespondToTheModel) {
+  SensitivityOptions options;
+  options.nodes_per_job = 4;
+  options.iterations = 8;
+  options.bandwidth_floors = {};
+  options.dram_watts = {8.0, 24.0};
+  options.poll_activities = {};
+  options.tolerated_slowdowns = {};
+  const std::vector<SensitivityCase> cases = run_sensitivity(options);
+  ASSERT_EQ(cases.size(), 2u);
+  // More uncappable DRAM power leaves less for the policies to move:
+  // energy savings shrink as dram_watts grows.
+  EXPECT_GT(cases[0].energy_savings_max, cases[1].energy_savings_max);
+}
+
+}  // namespace
+}  // namespace ps::analysis

@@ -1,0 +1,44 @@
+#include "analysis/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ps::analysis {
+namespace {
+
+TEST(ValidationTest, AllClaimsHoldAtReducedScale) {
+  ExperimentOptions options;
+  options.nodes_per_job = 8;
+  options.iterations = 16;
+  options.characterization_iterations = 3;
+  options.hardware_variation = false;
+  options.noise_time_sigma = 0.002;
+  const ValidationReport report = validate_paper_claims(options);
+  EXPECT_EQ(report.claims.size(), 12u);
+  for (const auto& claim : report.claims) {
+    EXPECT_TRUE(claim.passed)
+        << claim.id << ": " << claim.description << " (" << claim.detail
+        << ")";
+  }
+  EXPECT_TRUE(report.all_passed());
+  EXPECT_EQ(report.passed_count(), report.claims.size());
+}
+
+TEST(ValidationTest, ClaimIdsAreUniqueAndDescribed) {
+  ExperimentOptions options;
+  options.nodes_per_job = 4;
+  options.iterations = 8;
+  options.characterization_iterations = 2;
+  options.hardware_variation = false;
+  const ValidationReport report = validate_paper_claims(options);
+  std::set<std::string> ids;
+  for (const auto& claim : report.claims) {
+    EXPECT_TRUE(ids.insert(claim.id).second)
+        << "duplicate claim id " << claim.id;
+    EXPECT_FALSE(claim.description.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ps::analysis

@@ -1,0 +1,65 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "context_builder.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+using testing::make_job;
+
+TEST(BudgetLevelTest, NamesAndOrder) {
+  const std::vector<BudgetLevel> levels = all_budget_levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(to_string(levels[0]), "min");
+  EXPECT_EQ(to_string(levels[1]), "ideal");
+  EXPECT_EQ(to_string(levels[2]), "max");
+}
+
+TEST(BudgetTest, AtSelectsTheRightField) {
+  PowerBudgets budgets{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(budgets.at(BudgetLevel::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(budgets.at(BudgetLevel::kIdeal), 2.0);
+  EXPECT_DOUBLE_EQ(budgets.at(BudgetLevel::kMax), 3.0);
+}
+
+TEST(BudgetSelectionTest, FollowsTableThreeDefinitions) {
+  const std::vector<runtime::JobCharacterization> jobs = {
+      make_job(10, 214.0, 186.0),  // memory-bound balanced
+      make_job(10, 228.0, 219.0),  // near the ridge
+  };
+  const PowerBudgets budgets = select_budgets(jobs);
+  // min: smallest per-node needed power x all hosts x 1.025 margin.
+  EXPECT_NEAR(budgets.min_watts, 186.0 * 20.0 * 1.025, 1e-6);
+  // ideal: sum of needed power.
+  EXPECT_NEAR(budgets.ideal_watts, 10.0 * 186.0 + 10.0 * 219.0, 1e-6);
+  // max: hungriest uncapped node x all hosts.
+  EXPECT_NEAR(budgets.max_watts, 228.0 * 20.0, 1e-6);
+}
+
+TEST(BudgetSelectionTest, OrderedMinIdealMax) {
+  const std::vector<runtime::JobCharacterization> jobs = {
+      make_job(5, 214.0, 152.0), make_job(5, 230.0, 222.0)};
+  const PowerBudgets budgets = select_budgets(jobs);
+  EXPECT_LT(budgets.min_watts, budgets.ideal_watts);
+  EXPECT_LT(budgets.ideal_watts, budgets.max_watts);
+}
+
+TEST(BudgetSelectionTest, PerHostHeterogeneityUsesExtremes) {
+  const std::vector<runtime::JobCharacterization> jobs = {
+      make_job({210.0, 225.0}, {155.0, 220.0}),
+  };
+  const PowerBudgets budgets = select_budgets(jobs);
+  EXPECT_NEAR(budgets.min_watts, 155.0 * 2.0 * 1.025, 1e-6);
+  EXPECT_NEAR(budgets.max_watts, 225.0 * 2.0, 1e-6);
+  EXPECT_NEAR(budgets.ideal_watts, 375.0, 1e-6);
+}
+
+TEST(BudgetSelectionTest, EmptyJobsRejected) {
+  EXPECT_THROW(static_cast<void>(select_budgets({})), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

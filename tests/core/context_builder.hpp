@@ -1,0 +1,70 @@
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace ps::core::testing {
+
+/// Builds a synthetic job characterization without running a simulation.
+/// `monitor` and `needed` are per-host (uniform across the job's hosts
+/// unless explicit vectors are given).
+inline runtime::JobCharacterization make_job(std::size_t hosts,
+                                             double monitor_watts,
+                                             double needed_watts,
+                                             double min_cap = 152.0) {
+  runtime::JobCharacterization job;
+  job.host_count = hosts;
+  job.min_settable_cap_watts = min_cap;
+  job.monitor.host_average_power_watts.assign(hosts, monitor_watts);
+  job.monitor.average_node_power_watts = monitor_watts;
+  job.monitor.max_host_power_watts = monitor_watts;
+  job.monitor.min_host_power_watts = monitor_watts;
+  job.balancer.host_needed_power_watts.assign(hosts, needed_watts);
+  job.balancer.host_average_power_watts.assign(hosts, needed_watts);
+  job.balancer.average_node_power_watts = needed_watts;
+  job.balancer.max_host_needed_watts = needed_watts;
+  job.balancer.min_host_needed_watts = needed_watts;
+  return job;
+}
+
+/// A job with explicit per-host values (e.g. waiting vs critical hosts).
+inline runtime::JobCharacterization make_job(
+    std::vector<double> monitor_watts, std::vector<double> needed_watts,
+    double min_cap = 152.0) {
+  runtime::JobCharacterization job;
+  job.host_count = monitor_watts.size();
+  job.min_settable_cap_watts = min_cap;
+  job.monitor.host_average_power_watts = monitor_watts;
+  job.balancer.host_needed_power_watts = needed_watts;
+  job.balancer.host_average_power_watts = needed_watts;
+  double monitor_max = monitor_watts.front();
+  double monitor_min = monitor_watts.front();
+  for (double w : monitor_watts) {
+    monitor_max = std::max(monitor_max, w);
+    monitor_min = std::min(monitor_min, w);
+  }
+  job.monitor.max_host_power_watts = monitor_max;
+  job.monitor.min_host_power_watts = monitor_min;
+  double needed_max = needed_watts.front();
+  double needed_min = needed_watts.front();
+  for (double w : needed_watts) {
+    needed_max = std::max(needed_max, w);
+    needed_min = std::min(needed_min, w);
+  }
+  job.balancer.max_host_needed_watts = needed_max;
+  job.balancer.min_host_needed_watts = needed_min;
+  return job;
+}
+
+inline PolicyContext make_context(
+    double budget, std::vector<runtime::JobCharacterization> jobs) {
+  PolicyContext context;
+  context.system_budget_watts = budget;
+  context.node_tdp_watts = 256.0;
+  context.uncappable_watts = 16.0;
+  context.jobs = std::move(jobs);
+  return context;
+}
+
+}  // namespace ps::core::testing

@@ -1,0 +1,173 @@
+#include "core/coordination.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+#include "core/policies.hpp"
+#include "rm/power_manager.hpp"
+#include "runtime/characterization.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+class CoordinationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<sim::Cluster>(8);
+    kernel::WorkloadConfig wasteful;
+    wasteful.intensity = 8.0;
+    wasteful.waiting_fraction = 0.5;
+    wasteful.imbalance = 3.0;
+    kernel::WorkloadConfig hungry;
+    hungry.intensity = 32.0;
+    std::vector<hw::NodeModel*> hosts_a;
+    std::vector<hw::NodeModel*> hosts_b;
+    for (std::size_t i = 0; i < 4; ++i) {
+      hosts_a.push_back(&cluster_->node(i));
+      hosts_b.push_back(&cluster_->node(i + 4));
+    }
+    jobs_.push_back(std::make_unique<sim::JobSimulation>(
+        "wasteful", hosts_a, wasteful));
+    jobs_.push_back(std::make_unique<sim::JobSimulation>(
+        "hungry", hosts_b, hungry));
+    job_ptrs_ = {jobs_[0].get(), jobs_[1].get()};
+  }
+
+  double ideal_budget() {
+    std::vector<runtime::JobCharacterization> characterizations;
+    for (auto& job : jobs_) {
+      characterizations.push_back(runtime::characterize_job(*job, 4));
+      job->reset_totals();
+    }
+    budget_cache_ = select_budgets(characterizations);
+    characterizations_ = std::move(characterizations);
+    return budget_cache_.ideal_watts;
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs_;
+  std::vector<sim::JobSimulation*> job_ptrs_;
+  std::vector<runtime::JobCharacterization> characterizations_;
+  PowerBudgets budget_cache_;
+};
+
+TEST_F(CoordinationTest, ConvergesFromUniformStart) {
+  const double budget = ideal_budget();
+  CoordinationLoop loop(budget);
+  const CoordinationResult result = loop.run(job_ptrs_, 40);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.convergence_epoch, 4u);
+  EXPECT_FALSE(result.epochs.empty());
+  // Late epochs move caps (almost) not at all.
+  EXPECT_LT(result.epochs.back().max_cap_change_watts, 1.0);
+}
+
+TEST_F(CoordinationTest, StaysWithinBudget) {
+  const double budget = ideal_budget();
+  CoordinationLoop loop(budget);
+  const CoordinationResult result = loop.run(job_ptrs_, 20);
+  for (const auto& epoch : result.epochs) {
+    EXPECT_LE(epoch.allocated_watts, budget + 8.0 * 0.5);
+  }
+}
+
+TEST_F(CoordinationTest, ConvergesToThePrecharacterizedAllocation) {
+  const double budget = ideal_budget();
+  // Offline route: pre-characterized MixedAdaptive allocation.
+  PolicyContext context;
+  context.system_budget_watts = budget;
+  context.node_tdp_watts = cluster_->node(0).tdp();
+  context.jobs = characterizations_;
+  const rm::PowerAllocation offline =
+      MixedAdaptivePolicy{}.allocate(context);
+
+  // Online route: coordination loop from a uniform start.
+  CoordinationLoop loop(budget);
+  static_cast<void>(loop.run(job_ptrs_, 40));
+
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    for (std::size_t h = 0; h < jobs_[j]->host_count(); ++h) {
+      EXPECT_NEAR(jobs_[j]->host_cap(h), offline.job_host_caps[j][h], 8.0)
+          << "job " << j << " host " << h;
+    }
+  }
+}
+
+TEST_F(CoordinationTest, OnlineBeatsUniformStaticCaps) {
+  const double budget = ideal_budget();
+  // Uniform static baseline.
+  const double share = budget / 8.0;
+  for (auto* job : job_ptrs_) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      job->set_host_cap(h, share);
+    }
+    job->reset_totals();
+  }
+  double static_elapsed = 0.0;
+  for (auto* job : job_ptrs_) {
+    for (int i = 0; i < 30; ++i) {
+      static_elapsed += job->run_iteration().iteration_seconds;
+    }
+  }
+
+  for (auto* job : job_ptrs_) {
+    job->reset_totals();
+  }
+  CoordinationLoop loop(budget);
+  const CoordinationResult result = loop.run(job_ptrs_, 30);
+  double online_elapsed = 0.0;
+  for (auto* job : job_ptrs_) {
+    online_elapsed += job->totals().elapsed_seconds;
+  }
+  static_cast<void>(result);
+  EXPECT_LT(online_elapsed, static_elapsed);
+}
+
+TEST_F(CoordinationTest, ReconvergesAfterPhaseChange) {
+  const double budget = ideal_budget();
+  CoordinationLoop loop(budget);
+  static_cast<void>(loop.run(job_ptrs_, 30));
+  const double wasteful_cap_before = jobs_[0]->host_cap(0);
+
+  // The wasteful job's phase flips to balanced compute: its waiting
+  // hosts suddenly need full power.
+  kernel::WorkloadConfig balanced;
+  balanced.intensity = 32.0;
+  jobs_[0]->set_workload(balanced);
+  const CoordinationResult after = loop.run(job_ptrs_, 30);
+  EXPECT_TRUE(after.converged);
+  // The formerly floored waiting host is re-funded.
+  EXPECT_GT(jobs_[0]->host_cap(0), wasteful_cap_before + 10.0);
+}
+
+TEST_F(CoordinationTest, EpochTelemetryIsPopulated) {
+  const double budget = ideal_budget();
+  CoordinationOptions options;
+  options.epoch_iterations = 4;
+  CoordinationLoop loop(budget, options);
+  const CoordinationResult result = loop.run(job_ptrs_, 10);
+  ASSERT_EQ(result.epochs.size(), 3u);  // 4 + 4 + 2
+  for (const auto& epoch : result.epochs) {
+    EXPECT_GT(epoch.elapsed_seconds, 0.0);
+    EXPECT_GT(epoch.energy_joules, 0.0);
+    EXPECT_GT(epoch.system_power_watts, 0.0);
+  }
+  EXPECT_GT(result.total_gflop, 0.0);
+  EXPECT_GT(result.gflops_per_watt(), 0.0);
+}
+
+TEST_F(CoordinationTest, InvalidInputsRejected) {
+  EXPECT_THROW(CoordinationLoop(0.0), ps::InvalidArgument);
+  CoordinationOptions bad;
+  bad.epoch_iterations = 0;
+  EXPECT_THROW(CoordinationLoop(1000.0, bad), ps::InvalidArgument);
+  CoordinationLoop loop(1000.0);
+  EXPECT_THROW(static_cast<void>(loop.run({}, 5)), ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(loop.run(job_ptrs_, 0)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

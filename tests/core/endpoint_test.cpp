@@ -1,0 +1,148 @@
+#include "core/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policies.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+SampleMessage sample_message() {
+  SampleMessage message;
+  message.sequence = 7;
+  message.job_name = "lulesh-512";
+  message.min_settable_cap_watts = 152.0;
+  message.host_observed_watts = {214.125, 220.0};
+  message.host_needed_watts = {152.0, 195.75};
+  return message;
+}
+
+TEST(EndpointTest, SampleMessageRoundTrips) {
+  const SampleMessage original = sample_message();
+  const SampleMessage parsed = parse_sample_message(serialize(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(EndpointTest, PolicyMessageRoundTrips) {
+  PolicyMessage original;
+  original.sequence = 9;
+  original.job_name = "lulesh-512";
+  original.host_caps_watts = {180.5, 219.0, 152.0};
+  const PolicyMessage parsed = parse_policy_message(serialize(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(EndpointTest, WireFormatIsVersionedAndReadable) {
+  const std::string wire = serialize(sample_message());
+  EXPECT_NE(wire.find("powerstack-sample v1"), std::string::npos);
+  EXPECT_NE(wire.find("sequence 7"), std::string::npos);
+  EXPECT_NE(wire.find("job lulesh-512"), std::string::npos);
+  EXPECT_NE(wire.find("observed 214.125 220.000"), std::string::npos);
+}
+
+TEST(EndpointTest, QueuesDeliverInOrder) {
+  Endpoint endpoint;
+  EXPECT_FALSE(endpoint.receive_sample().has_value());
+  SampleMessage first = sample_message();
+  SampleMessage second = sample_message();
+  second.sequence = 8;
+  endpoint.post_sample(first);
+  endpoint.post_sample(second);
+  EXPECT_EQ(endpoint.pending_samples(), 2u);
+  EXPECT_EQ(endpoint.receive_sample()->sequence, 7u);
+  EXPECT_EQ(endpoint.receive_sample()->sequence, 8u);
+  EXPECT_FALSE(endpoint.receive_sample().has_value());
+}
+
+TEST(EndpointTest, MalformedMessagesRejected) {
+  EXPECT_THROW(static_cast<void>(parse_sample_message("")),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_sample_message(
+                   "powerstack-sample v2\nsequence 1\njob x\nmin_cap 1\n"
+                   "observed 1\nneeded 1\n")),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_policy_message(
+                   "powerstack-policy v1\nsequence 1\njob x\n")),
+               ps::InvalidArgument);
+  // Host-count mismatch between observed and needed.
+  EXPECT_THROW(static_cast<void>(parse_sample_message(
+                   "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+                   "observed 1 2\nneeded 1\n")),
+               ps::InvalidArgument);
+}
+
+TEST(EndpointTest, ProtocolCarriesTheFullCoordinationExchange) {
+  // Runtime side: two jobs measure themselves into samples.
+  sim::Cluster cluster(8);
+  kernel::WorkloadConfig wasteful;
+  wasteful.intensity = 8.0;
+  wasteful.waiting_fraction = 0.5;
+  wasteful.imbalance = 3.0;
+  kernel::WorkloadConfig hungry;
+  hungry.intensity = 32.0;
+  std::vector<hw::NodeModel*> a;
+  std::vector<hw::NodeModel*> b;
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.push_back(&cluster.node(i));
+    b.push_back(&cluster.node(i + 4));
+  }
+  sim::JobSimulation job_a("wasteful", a, wasteful);
+  sim::JobSimulation job_b("hungry", b, hungry);
+
+  Endpoint endpoint;
+  endpoint.post_sample(make_sample(job_a, 1));
+  endpoint.post_sample(make_sample(job_b, 1));
+
+  // RM side: receives samples off the wire, allocates, replies.
+  std::vector<SampleMessage> samples;
+  while (auto sample = endpoint.receive_sample()) {
+    samples.push_back(std::move(*sample));
+  }
+  ASSERT_EQ(samples.size(), 2u);
+  const double budget = 8.0 * 195.0;
+  const PolicyContext context = context_from_samples(
+      budget, cluster.node(0).tdp(),
+      cluster.node(0).params().dram_watts, samples);
+  const rm::PowerAllocation allocation =
+      MixedAdaptivePolicy{}.allocate(context);
+  for (const PolicyMessage& message :
+       make_policy_messages(allocation, samples, 2)) {
+    endpoint.post_policy(message);
+  }
+
+  // Runtime side: applies the received policies.
+  std::size_t applied = 0;
+  while (auto policy = endpoint.receive_policy()) {
+    sim::JobSimulation& job =
+        policy->job_name == "wasteful" ? job_a : job_b;
+    apply_policy_message(job, *policy);
+    ++applied;
+  }
+  EXPECT_EQ(applied, 2u);
+
+  // The whole exchange went through the serialized wire, and the caps
+  // landed: waiting hosts near the floor, hungry job funded above share.
+  EXPECT_LT(job_a.host_cap(0), 160.0);
+  EXPECT_GT(job_b.host_cap(0), 196.0);
+  const double total =
+      job_a.total_allocated_power() + job_b.total_allocated_power();
+  EXPECT_LE(total, budget + 8.0 * 0.5);
+}
+
+TEST(EndpointTest, ApplyValidatesAddressing) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("right", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  PolicyMessage message;
+  message.job_name = "wrong";
+  message.host_caps_watts = {200.0, 200.0};
+  EXPECT_THROW(apply_policy_message(job, message), ps::InvalidArgument);
+  message.job_name = "right";
+  message.host_caps_watts = {200.0};
+  EXPECT_THROW(apply_policy_message(job, message), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

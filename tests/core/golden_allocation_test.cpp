@@ -1,0 +1,109 @@
+// Golden-allocation regression tests: for one fixed, hand-analyzable
+// context, every policy's exact output is pinned. Any change to the
+// allocation algorithms must consciously update these numbers.
+#include <gtest/gtest.h>
+
+#include "context_builder.hpp"
+#include "core/policies.hpp"
+
+namespace ps::core {
+namespace {
+
+using testing::make_context;
+using testing::make_job;
+
+/// 2 jobs x 2 hosts. Job 0: imbalanced (one waiting host at the floor,
+/// one critical); job 1: memory-bound balanced. Budget: 190 W/host.
+PolicyContext golden_context() {
+  return make_context(4.0 * 190.0,
+                      {make_job({214.0, 222.0}, {152.0, 220.0}),
+                       make_job({205.0, 205.0}, {186.0, 186.0})});
+}
+
+TEST(GoldenAllocationTest, Precharacterized) {
+  const rm::PowerAllocation allocation =
+      PrecharacterizedPolicy{}.allocate(golden_context());
+  // Each job capped at its hungriest node's monitor power.
+  EXPECT_NEAR(allocation.job_host_caps[0][0], 222.0, 1e-9);
+  EXPECT_NEAR(allocation.job_host_caps[0][1], 222.0, 1e-9);
+  EXPECT_NEAR(allocation.job_host_caps[1][0], 205.0, 1e-9);
+  EXPECT_NEAR(allocation.total_watts(), 854.0, 1e-9);
+}
+
+TEST(GoldenAllocationTest, StaticCaps) {
+  const rm::PowerAllocation allocation =
+      StaticCapsPolicy{}.allocate(golden_context());
+  // Share 190; neither job's monitor max (222, 205) is below it.
+  EXPECT_NEAR(allocation.job_host_caps[0][0], 190.0, 1e-9);
+  EXPECT_NEAR(allocation.job_host_caps[1][1], 190.0, 1e-9);
+  EXPECT_NEAR(allocation.total_watts(), 760.0, 1e-9);
+}
+
+TEST(GoldenAllocationTest, MinimizeWaste) {
+  const rm::PowerAllocation allocation =
+      MinimizeWastePolicy{}.allocate(golden_context());
+  // Demand 214+222+205+205 = 846 > 760: proportional scale 760/846.
+  const double scale = 760.0 / 846.0;
+  EXPECT_NEAR(allocation.job_host_caps[0][0], 214.0 * scale, 1e-6);
+  EXPECT_NEAR(allocation.job_host_caps[0][1], 222.0 * scale, 1e-6);
+  EXPECT_NEAR(allocation.job_host_caps[1][0], 205.0 * scale, 1e-6);
+  EXPECT_NEAR(allocation.total_watts(), 760.0, 1e-6);
+}
+
+TEST(GoldenAllocationTest, JobAdaptive) {
+  const rm::PowerAllocation allocation =
+      JobAdaptivePolicy{}.allocate(golden_context());
+  // Job 0 budget 380: needed 152+220 = 372, remainder 8 split by package
+  // headroom (152-136=16 vs 220-136=84): +1.28 and +6.72.
+  EXPECT_NEAR(allocation.job_host_caps[0][0], 153.28, 0.01);
+  EXPECT_NEAR(allocation.job_host_caps[0][1], 226.72, 0.01);
+  // Job 1 budget 380: needed 186+186 = 372, remainder split evenly
+  // (equal weights 50): +4 each.
+  EXPECT_NEAR(allocation.job_host_caps[1][0], 190.0, 0.01);
+  EXPECT_NEAR(allocation.job_host_caps[1][1], 190.0, 0.01);
+}
+
+TEST(GoldenAllocationTest, MixedAdaptive) {
+  const rm::PowerAllocation allocation =
+      MixedAdaptivePolicy{}.allocate(golden_context());
+  // Step 1: all at 190. Step 2: trim host 0 to 152 (+38 pool), hosts
+  // 2,3 to 186 (+4 each) => pool 46. Step 3: host 1 needs 220, gets 30
+  // of the pool => 220; pool 16 left. Step 4: weights (assigned - 136):
+  // 16, 84, 50, 50 => total 200; shares 1.28, 6.72, 4, 4.
+  EXPECT_NEAR(allocation.job_host_caps[0][0], 152.0 + 16.0 * 16.0 / 200.0,
+              0.01);
+  EXPECT_NEAR(allocation.job_host_caps[0][1], 220.0 + 16.0 * 84.0 / 200.0,
+              0.01);
+  EXPECT_NEAR(allocation.job_host_caps[1][0], 186.0 + 16.0 * 50.0 / 200.0,
+              0.01);
+  EXPECT_NEAR(allocation.job_host_caps[1][1], 186.0 + 16.0 * 50.0 / 200.0,
+              0.01);
+  EXPECT_NEAR(allocation.total_watts(), 760.0, 0.01);
+}
+
+TEST(GoldenAllocationTest, MixedAdaptiveSharesWhereJobAdaptiveCannot) {
+  // The defining difference, pinned numerically. Job 1 is *starving*
+  // (both hosts need 220 > the 190 share); job 0's waiting host frees
+  // 38 W that only MixedAdaptive can move across the job boundary.
+  const PolicyContext context = make_context(
+      4.0 * 190.0, {make_job({214.0, 222.0}, {152.0, 220.0}),
+                    make_job({228.0, 228.0}, {220.0, 220.0})});
+  const rm::PowerAllocation job_adaptive =
+      JobAdaptivePolicy{}.allocate(context);
+  // JobAdaptive: job 1's budget is pinned at 380 (its needed total 440
+  // scales by 380/440 back to 190 per host).
+  EXPECT_NEAR(job_adaptive.job_total_watts(1), 380.0, 0.01);
+  EXPECT_NEAR(job_adaptive.job_host_caps[1][0], 190.0, 0.01);
+
+  const rm::PowerAllocation mixed = MixedAdaptivePolicy{}.allocate(context);
+  // MixedAdaptive: host 0 trims to 152 (pool 38); the three hungry hosts
+  // (needed 220, at 190) each take pool/3 toward needed => 202.67 each.
+  EXPECT_NEAR(mixed.job_host_caps[0][0], 152.0, 0.01);
+  EXPECT_NEAR(mixed.job_host_caps[0][1], 190.0 + 38.0 / 3.0, 0.01);
+  EXPECT_NEAR(mixed.job_host_caps[1][0], 190.0 + 38.0 / 3.0, 0.01);
+  EXPECT_NEAR(mixed.job_total_watts(1), 380.0 + 2.0 * 38.0 / 3.0, 0.01);
+  EXPECT_GT(mixed.job_total_watts(1), job_adaptive.job_total_watts(1));
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,146 @@
+#include "core/mixes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+TEST(MixesTest, AllSixMixesExist) {
+  const std::vector<WorkloadMix> mixes = all_paper_mixes(10);
+  ASSERT_EQ(mixes.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& mix : mixes) {
+    names.insert(mix.name);
+  }
+  EXPECT_TRUE(names.count("NeedUsedPower"));
+  EXPECT_TRUE(names.count("HighImbalance"));
+  EXPECT_TRUE(names.count("WastefulPower"));
+  EXPECT_TRUE(names.count("LowPower"));
+  EXPECT_TRUE(names.count("HighPower"));
+  EXPECT_TRUE(names.count("RandomLarge"));
+}
+
+TEST(MixesTest, EveryMixSpans900NodesAtPaperScale) {
+  for (MixKind kind : all_mix_kinds()) {
+    const WorkloadMix mix = make_mix(kind, 100);
+    EXPECT_EQ(mix.total_nodes(), 900u) << mix.name;
+  }
+}
+
+TEST(MixesTest, NineJobsExceptHighImbalance) {
+  for (MixKind kind : all_mix_kinds()) {
+    const WorkloadMix mix = make_mix(kind, 10);
+    if (kind == MixKind::kHighImbalance) {
+      EXPECT_EQ(mix.jobs.size(), 1u);
+      EXPECT_EQ(mix.jobs[0].node_count, 90u);
+    } else {
+      EXPECT_EQ(mix.jobs.size(), 9u) << mix.name;
+    }
+  }
+}
+
+TEST(MixesTest, AllWorkloadsValidate) {
+  for (MixKind kind : all_mix_kinds()) {
+    for (const auto& job : make_mix(kind, 10).jobs) {
+      EXPECT_NO_THROW(job.validate()) << job.name;
+    }
+  }
+}
+
+TEST(MixesTest, JobNamesAreUniqueWithinMix) {
+  for (MixKind kind : all_mix_kinds()) {
+    const WorkloadMix mix = make_mix(kind, 10);
+    std::set<std::string> names;
+    for (const auto& job : mix.jobs) {
+      EXPECT_TRUE(names.insert(job.name).second)
+          << "duplicate job name " << job.name << " in " << mix.name;
+    }
+  }
+}
+
+TEST(MixesTest, NeedUsedPowerIsBalanced) {
+  for (const auto& job : make_mix(MixKind::kNeedUsedPower, 10).jobs) {
+    EXPECT_DOUBLE_EQ(job.workload.waiting_fraction, 0.0) << job.name;
+    EXPECT_DOUBLE_EQ(job.workload.imbalance, 1.0) << job.name;
+  }
+}
+
+TEST(MixesTest, HighImbalanceIsSingleImbalancedJob) {
+  const WorkloadMix mix = make_mix(MixKind::kHighImbalance, 10);
+  ASSERT_EQ(mix.jobs.size(), 1u);
+  EXPECT_GT(mix.jobs[0].workload.imbalance, 1.0);
+  EXPECT_GT(mix.jobs[0].workload.waiting_fraction, 0.0);
+}
+
+TEST(MixesTest, WastefulPowerMixesImbalancedAndComputeJobs) {
+  const WorkloadMix mix = make_mix(MixKind::kWastefulPower, 10);
+  int imbalanced = 0;
+  int balanced = 0;
+  for (const auto& job : mix.jobs) {
+    (job.workload.waiting_fraction > 0.0 ? imbalanced : balanced) += 1;
+  }
+  EXPECT_GE(imbalanced, 4);
+  EXPECT_GE(balanced, 2);
+}
+
+TEST(MixesTest, LowPowerUsesNarrowVectors) {
+  int narrow = 0;
+  for (const auto& job : make_mix(MixKind::kLowPower, 10).jobs) {
+    EXPECT_LE(job.workload.intensity, 1.0) << job.name;
+    if (job.workload.vector_width != hw::VectorWidth::kYmm256) {
+      ++narrow;
+    }
+  }
+  EXPECT_GE(narrow, 6);
+}
+
+TEST(MixesTest, HighPowerSitsNearTheRidge) {
+  for (const auto& job : make_mix(MixKind::kHighPower, 10).jobs) {
+    EXPECT_GE(job.workload.intensity, 4.0) << job.name;
+    EXPECT_LE(job.workload.intensity, 16.0) << job.name;
+  }
+}
+
+TEST(MixesTest, RandomLargeDeterministicPerSeed) {
+  const WorkloadMix a = make_mix(MixKind::kRandomLarge, 10, 99);
+  const WorkloadMix b = make_mix(MixKind::kRandomLarge, 10, 99);
+  const WorkloadMix c = make_mix(MixKind::kRandomLarge, 10, 100);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].workload, b.jobs[j].workload);
+  }
+  bool any_different = false;
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    if (!(a.jobs[j].workload == c.jobs[j].workload)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(MixesTest, HeatmapGridIsEightByseven) {
+  const auto grid = heatmap_grid(hw::VectorWidth::kYmm256);
+  EXPECT_EQ(grid.size(), 8u * 7u);
+  // First row: intensity 0.25 across all columns.
+  for (std::size_t c = 0; c < 7; ++c) {
+    EXPECT_DOUBLE_EQ(grid[c].intensity, 0.25);
+  }
+  // Column 0 is balanced; others pair waiting% with imbalance.
+  EXPECT_DOUBLE_EQ(grid[0].waiting_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(grid[1].waiting_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(grid[1].imbalance, 2.0);
+  EXPECT_DOUBLE_EQ(grid[6].waiting_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(grid[6].imbalance, 3.0);
+}
+
+TEST(MixesTest, ZeroNodesPerJobRejected) {
+  EXPECT_THROW(static_cast<void>(make_mix(MixKind::kLowPower, 0)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,107 @@
+// Randomized-context fuzzing of the policy allocators: 100 seeded random
+// scenarios x 5 policies, checking the invariants no allocation may
+// violate regardless of input shape.
+#include <gtest/gtest.h>
+
+#include "context_builder.hpp"
+#include "core/policies.hpp"
+#include "util/rng.hpp"
+
+namespace ps::core {
+namespace {
+
+using testing::make_job;
+
+PolicyContext random_context(util::Rng& rng) {
+  PolicyContext context;
+  context.node_tdp_watts = 256.0;
+  context.uncappable_watts = 16.0;
+  const std::size_t jobs = 1 + rng.uniform_index(6);
+  std::size_t total_hosts = 0;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    const std::size_t hosts = 1 + rng.uniform_index(12);
+    total_hosts += hosts;
+    std::vector<double> monitor;
+    std::vector<double> needed;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      const double draw = rng.uniform(200.0, 232.0);
+      monitor.push_back(draw);
+      needed.push_back(rng.uniform(152.0, draw + 8.0));
+    }
+    context.jobs.push_back(make_job(monitor, needed));
+  }
+  // Budgets from deep shortage to lavish surplus.
+  context.system_budget_watts =
+      static_cast<double>(total_hosts) * rng.uniform(140.0, 270.0);
+  return context;
+}
+
+TEST(PolicyFuzzTest, InvariantsHoldOnRandomScenarios) {
+  util::Rng rng(0xf022);
+  for (int scenario = 0; scenario < 100; ++scenario) {
+    const PolicyContext context = random_context(rng);
+    const double floor_total =
+        152.0 * static_cast<double>(context.total_hosts());
+    for (PolicyKind kind : all_policy_kinds()) {
+      const auto policy = make_policy(kind);
+      const rm::PowerAllocation allocation = policy->allocate(context);
+
+      // Shape.
+      ASSERT_EQ(allocation.job_host_caps.size(), context.jobs.size())
+          << to_string(kind) << " scenario " << scenario;
+      for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+        ASSERT_EQ(allocation.job_host_caps[j].size(),
+                  context.jobs[j].host_count);
+      }
+      // Hardware bounds.
+      for (const auto& job : allocation.job_host_caps) {
+        for (double cap : job) {
+          EXPECT_GE(cap, 152.0 - 1e-6)
+              << to_string(kind) << " scenario " << scenario;
+          EXPECT_LE(cap, context.node_tdp_watts + 1e-6)
+              << to_string(kind) << " scenario " << scenario;
+        }
+      }
+      // Budget compliance for system-aware policies whenever the floor
+      // permits it.
+      if (policy->is_system_aware() &&
+          context.system_budget_watts >= floor_total) {
+        EXPECT_LE(allocation.total_watts(),
+                  context.system_budget_watts + 1.0)
+            << to_string(kind) << " scenario " << scenario;
+      }
+      // Determinism.
+      const rm::PowerAllocation again = policy->allocate(context);
+      EXPECT_EQ(allocation.job_host_caps, again.job_host_caps)
+          << to_string(kind) << " scenario " << scenario;
+    }
+  }
+}
+
+TEST(PolicyFuzzTest, ApplicationAwarePoliciesNeverStarveNeedyHosts) {
+  // With surplus budget, JobAdaptive and MixedAdaptive never allocate a
+  // host less than its needed power.
+  util::Rng rng(0xf023);
+  for (int scenario = 0; scenario < 50; ++scenario) {
+    PolicyContext context = random_context(rng);
+    context.system_budget_watts =
+        260.0 * static_cast<double>(context.total_hosts());
+    for (PolicyKind kind :
+         {PolicyKind::kJobAdaptive, PolicyKind::kMixedAdaptive}) {
+      const rm::PowerAllocation allocation =
+          make_policy(kind)->allocate(context);
+      for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+        for (std::size_t h = 0; h < context.jobs[j].host_count; ++h) {
+          const double needed = std::clamp(
+              context.jobs[j].balancer.host_needed_power_watts[h], 152.0,
+              context.node_tdp_watts);
+          EXPECT_GE(allocation.job_host_caps[j][h], needed - 1e-6)
+              << to_string(kind) << " scenario " << scenario;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,173 @@
+// Property-style sweeps over (policy x budget) combinations, checking the
+// invariants every allocation must satisfy regardless of inputs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "context_builder.hpp"
+#include "core/policies.hpp"
+
+namespace ps::core {
+namespace {
+
+using testing::make_context;
+using testing::make_job;
+
+/// A heterogeneous scenario exercising floors, imbalance, and headroom.
+PolicyContext scenario(double budget_per_host) {
+  return make_context(
+      budget_per_host * 8.0,
+      {
+          make_job({214.0, 214.0, 222.0, 222.0},
+                   {152.0, 152.0, 219.0, 219.0}),  // imbalanced job
+          make_job(2, 205.0, 186.0),               // memory-bound job
+          make_job(2, 228.0, 219.0),               // compute-bound job
+      });
+}
+
+class PolicyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, double>> {};
+
+TEST_P(PolicyPropertyTest, CapsWithinHardwareRange) {
+  const auto [kind, budget_per_host] = GetParam();
+  const PolicyContext context = scenario(budget_per_host);
+  const rm::PowerAllocation allocation =
+      make_policy(kind)->allocate(context);
+  for (const auto& job : allocation.job_host_caps) {
+    for (double cap : job) {
+      EXPECT_GE(cap, 152.0 - 1e-9);
+      EXPECT_LE(cap, context.node_tdp_watts + 1e-9);
+    }
+  }
+}
+
+TEST_P(PolicyPropertyTest, AllocationShapeMatchesJobs) {
+  const auto [kind, budget_per_host] = GetParam();
+  const PolicyContext context = scenario(budget_per_host);
+  const rm::PowerAllocation allocation =
+      make_policy(kind)->allocate(context);
+  ASSERT_EQ(allocation.job_host_caps.size(), context.jobs.size());
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    EXPECT_EQ(allocation.job_host_caps[j].size(),
+              context.jobs[j].host_count);
+  }
+}
+
+TEST_P(PolicyPropertyTest, SystemAwarePoliciesRespectBudget) {
+  const auto [kind, budget_per_host] = GetParam();
+  const PolicyContext context = scenario(budget_per_host);
+  const auto policy = make_policy(kind);
+  const rm::PowerAllocation allocation = policy->allocate(context);
+  const double floor_total = 152.0 * 8.0;
+  if (policy->is_system_aware() &&
+      context.system_budget_watts >= floor_total) {
+    EXPECT_TRUE(allocation.within_budget(context.system_budget_watts, 1.0))
+        << to_string(kind) << " over budget: " << allocation.total_watts()
+        << " > " << context.system_budget_watts;
+  }
+}
+
+TEST_P(PolicyPropertyTest, JobAdaptiveRespectsPerJobBudgets) {
+  const auto [kind, budget_per_host] = GetParam();
+  if (kind != PolicyKind::kJobAdaptive) {
+    GTEST_SKIP();
+  }
+  const PolicyContext context = scenario(budget_per_host);
+  const rm::PowerAllocation allocation =
+      make_policy(kind)->allocate(context);
+  const double share = context.uniform_share_watts();
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const double job_budget =
+        share * static_cast<double>(context.jobs[j].host_count);
+    const double floor = 152.0 * static_cast<double>(
+                                     context.jobs[j].host_count);
+    EXPECT_LE(allocation.job_total_watts(j),
+              std::max(job_budget, floor) + 0.5)
+        << "job " << j;
+  }
+}
+
+TEST_P(PolicyPropertyTest, DeterministicAllocation) {
+  const auto [kind, budget_per_host] = GetParam();
+  const PolicyContext context = scenario(budget_per_host);
+  const auto policy = make_policy(kind);
+  const rm::PowerAllocation a = policy->allocate(context);
+  const rm::PowerAllocation b = policy->allocate(context);
+  EXPECT_EQ(a.job_host_caps, b.job_host_caps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllBudgets, PolicyPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::kPrecharacterized,
+                          PolicyKind::kStaticCaps,
+                          PolicyKind::kMinimizeWaste,
+                          PolicyKind::kJobAdaptive,
+                          PolicyKind::kMixedAdaptive),
+        // Per-host budgets spanning below-floor to above-TDP.
+        ::testing::Values(140.0, 156.0, 170.0, 190.0, 210.0, 233.0, 260.0)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "W";
+    });
+
+/// Below the all-floor budget, every system-aware policy degenerates to
+/// the same configuration as StaticCaps (paper Section V-C).
+class FloorDegenerationTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(FloorDegenerationTest, BelowMinAllPoliciesMatchStaticCaps) {
+  const PolicyContext context = scenario(150.0);  // below the 152 W floor
+  const rm::PowerAllocation base =
+      StaticCapsPolicy{}.allocate(context);
+  const rm::PowerAllocation allocation =
+      make_policy(GetParam())->allocate(context);
+  for (std::size_t j = 0; j < base.job_host_caps.size(); ++j) {
+    for (std::size_t h = 0; h < base.job_host_caps[j].size(); ++h) {
+      EXPECT_NEAR(allocation.job_host_caps[j][h],
+                  base.job_host_caps[j][h], 1e-6)
+          << "job " << j << " host " << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SystemAwarePolicies, FloorDegenerationTest,
+                         ::testing::Values(PolicyKind::kStaticCaps,
+                                           PolicyKind::kMinimizeWaste,
+                                           PolicyKind::kJobAdaptive,
+                                           PolicyKind::kMixedAdaptive),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+/// Above the max budget, every policy allocates at least as much as
+/// Precharacterized would (paper Section V-C), so no workload is
+/// behaviorally constrained.
+class GenerousBudgetTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(GenerousBudgetTest, AboveMaxNobodyIsConstrained) {
+  const PolicyContext context = scenario(250.0);  // above max monitor 228
+  const rm::PowerAllocation allocation =
+      make_policy(GetParam())->allocate(context);
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    for (std::size_t h = 0; h < context.jobs[j].host_count; ++h) {
+      // The cap never dips below the balancer-characterized needed power,
+      // so performance is preserved.
+      EXPECT_GE(allocation.job_host_caps[j][h],
+                context.jobs[j].balancer.host_needed_power_watts[h] - 0.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, GenerousBudgetTest,
+                         ::testing::Values(PolicyKind::kPrecharacterized,
+                                           PolicyKind::kStaticCaps,
+                                           PolicyKind::kMinimizeWaste,
+                                           PolicyKind::kJobAdaptive,
+                                           PolicyKind::kMixedAdaptive),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,157 @@
+#include "core/policy_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "context_builder.hpp"
+#include "util/error.hpp"
+
+namespace ps::core::detail {
+namespace {
+
+using core::testing::make_context;
+using core::testing::make_job;
+
+HostArrays arrays_for(double budget_per_host) {
+  const PolicyContext context = make_context(
+      budget_per_host * 4.0,
+      {make_job({214.0, 222.0}, {152.0, 219.0}),
+       make_job(2, 205.0, 186.0)});
+  return HostArrays::from_context(context);
+}
+
+TEST(HostArraysTest, FlattensJobsWithOffsets) {
+  const HostArrays arrays = arrays_for(190.0);
+  EXPECT_EQ(arrays.host_count(), 4u);
+  EXPECT_EQ(arrays.job_count(), 2u);
+  EXPECT_EQ(arrays.offsets, (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_DOUBLE_EQ(arrays.monitor[0], 214.0);
+  EXPECT_DOUBLE_EQ(arrays.monitor[2], 205.0);
+  EXPECT_DOUBLE_EQ(arrays.needed[1], 219.0);
+  EXPECT_DOUBLE_EQ(arrays.min_cap[0], 152.0);
+  // Weight reference sits one DRAM plane below the settable floor.
+  EXPECT_DOUBLE_EQ(arrays.weight_ref[0], 136.0);
+  EXPECT_DOUBLE_EQ(arrays.tdp[0], 256.0);
+}
+
+TEST(HostArraysTest, NeededClampedToHardwareRange) {
+  const PolicyContext context = make_context(
+      800.0, {make_job({214.0}, {500.0}), make_job({214.0}, {10.0})});
+  const HostArrays arrays = HostArrays::from_context(context);
+  EXPECT_DOUBLE_EQ(arrays.needed[0], 256.0);  // clamped to TDP
+  EXPECT_DOUBLE_EQ(arrays.needed[1], 152.0);  // clamped to floor
+}
+
+TEST(HostArraysTest, ToAllocationPreservesShape) {
+  HostArrays arrays = arrays_for(190.0);
+  std::iota(arrays.assigned.begin(), arrays.assigned.end(), 100.0);
+  const rm::PowerAllocation allocation = arrays.to_allocation();
+  ASSERT_EQ(allocation.job_host_caps.size(), 2u);
+  EXPECT_DOUBLE_EQ(allocation.job_host_caps[0][1], 101.0);
+  EXPECT_DOUBLE_EQ(allocation.job_host_caps[1][0], 102.0);
+}
+
+TEST(WeightedFillTest, DistributesByHeadroomWeights) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {160.0, 200.0, 160.0, 200.0};
+  const std::vector<std::size_t> hosts = {0, 1};
+  // Weights: 160-136=24 and 200-136=64.
+  const double leftover =
+      weighted_headroom_fill(arrays, hosts, arrays.tdp, 44.0);
+  EXPECT_NEAR(leftover, 0.0, 1e-9);
+  EXPECT_NEAR(arrays.assigned[0], 160.0 + 44.0 * 24.0 / 88.0, 1e-9);
+  EXPECT_NEAR(arrays.assigned[1], 200.0 + 44.0 * 64.0 / 88.0, 1e-9);
+  // Hosts not in the list are untouched.
+  EXPECT_DOUBLE_EQ(arrays.assigned[2], 160.0);
+}
+
+TEST(WeightedFillTest, SinglePassDropsUndeliverableWatts) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {250.0, 152.0, 152.0, 152.0};
+  const std::vector<std::size_t> hosts = {0, 1};
+  // Host 0 has weight 114 but only 6 W of headroom to TDP; host 1 has
+  // weight 16. A single pass strands most of host 0's share.
+  const double leftover =
+      weighted_headroom_fill(arrays, hosts, arrays.tdp, 100.0);
+  EXPECT_DOUBLE_EQ(arrays.assigned[0], 256.0);
+  EXPECT_GT(leftover, 50.0);
+}
+
+TEST(WeightedFillTest, ExtraRoundsReSpreadTheLeftover) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {250.0, 152.0, 152.0, 152.0};
+  const std::vector<std::size_t> hosts = {0, 1};
+  const double leftover =
+      weighted_headroom_fill(arrays, hosts, arrays.tdp, 100.0, 16);
+  EXPECT_DOUBLE_EQ(arrays.assigned[0], 256.0);
+  EXPECT_NEAR(leftover, 0.0, 1e-6);
+  EXPECT_NEAR(arrays.assigned[1], 152.0 + 94.0, 1e-6);
+}
+
+TEST(WeightedFillTest, AllAtFloorMeansNoWeights) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {136.0, 136.0, 136.0, 136.0};
+  const std::vector<std::size_t> hosts = {0, 1, 2, 3};
+  const double leftover =
+      weighted_headroom_fill(arrays, hosts, arrays.tdp, 50.0);
+  EXPECT_DOUBLE_EQ(leftover, 50.0);
+}
+
+TEST(UniformFillTest, FillsToTargetsEvenly) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {150.0, 200.0, 150.0, 210.0};
+  const std::vector<double> target = {170.0, 200.0, 160.0, 210.0};
+  const double leftover = uniform_fill_to_target(arrays, target, 20.0);
+  // Hosts 0 and 2 are hungry; each is offered 10, host 2 takes only 10
+  // up to its target... host 2 needs 10, host 0 needs 20.
+  EXPECT_NEAR(leftover, 0.0, 1e-9);
+  EXPECT_NEAR(arrays.assigned[0] + arrays.assigned[2], 320.0, 1e-9);
+  EXPECT_LE(arrays.assigned[0], 170.0 + 1e-9);
+  EXPECT_LE(arrays.assigned[2], 160.0 + 1e-9);
+}
+
+TEST(UniformFillTest, RepeatsUntilPoolEmptyOrSatisfied) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {150.0, 150.0, 150.0, 150.0};
+  const std::vector<double> target = {155.0, 160.0, 200.0, 200.0};
+  const double leftover = uniform_fill_to_target(arrays, target, 40.0);
+  EXPECT_NEAR(leftover, 0.0, 1e-9);
+  // Everyone below target got topped up; the 40 W pool fully placed.
+  double placed = 0.0;
+  for (double assigned : arrays.assigned) {
+    placed += assigned;
+  }
+  EXPECT_NEAR(placed, 600.0 + 40.0, 1e-9);
+  EXPECT_NEAR(arrays.assigned[0], 155.0, 1e-9);
+}
+
+TEST(UniformFillTest, SurplusBeyondTargetsIsReturned) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {150.0, 150.0, 150.0, 150.0};
+  const std::vector<double> target = {152.0, 152.0, 152.0, 152.0};
+  const double leftover = uniform_fill_to_target(arrays, target, 100.0);
+  EXPECT_NEAR(leftover, 92.0, 1e-9);
+}
+
+TEST(FillValidationTest, RejectsBadInputs) {
+  HostArrays arrays = arrays_for(190.0);
+  arrays.assigned = {150.0, 150.0, 150.0, 150.0};
+  const std::vector<std::size_t> hosts = {0};
+  const std::vector<double> short_upper = {200.0};
+  EXPECT_THROW(static_cast<void>(weighted_headroom_fill(
+                   arrays, hosts, short_upper, 10.0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(weighted_headroom_fill(
+                   arrays, hosts, arrays.tdp, -1.0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(weighted_headroom_fill(
+                   arrays, hosts, arrays.tdp, 10.0, 0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(
+                   uniform_fill_to_target(arrays, short_upper, 10.0)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core::detail

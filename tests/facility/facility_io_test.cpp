@@ -1,0 +1,71 @@
+#include "facility/facility_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::facility {
+namespace {
+
+FacilityResult run_small() {
+  util::Rng rng(3);
+  JobTraceOptions traffic;
+  traffic.horizon_hours = 12.0;
+  traffic.arrivals_per_hour = 1.0;
+  traffic.min_nodes = 2;
+  traffic.max_nodes = 4;
+  traffic.min_duration_hours = 0.5;
+  traffic.max_duration_hours = 2.0;
+  static sim::Cluster cluster(8);
+  FacilityOptions options;
+  options.step_hours = 0.5;
+  options.horizon_hours = 24.0;
+  options.characterization_iterations = 2;
+  FacilityManager manager(cluster, options);
+  return manager.run(generate_job_trace(rng, traffic));
+}
+
+TEST(FacilityIoTest, PowerCsvHasOneRowPerStep) {
+  const FacilityResult result = run_small();
+  std::ostringstream out;
+  write_power_csv(out, result);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, result.power_watts.size() + 1);
+  EXPECT_NE(csv.find("hours,power_watts,utilization"), std::string::npos);
+  // Second sample's timestamp reflects the step size.
+  EXPECT_NE(csv.find("\n0.500,"), std::string::npos);
+}
+
+TEST(FacilityIoTest, JobsCsvCoversEveryJob) {
+  const FacilityResult result = run_small();
+  std::ostringstream out;
+  write_jobs_csv(out, result);
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, result.jobs.size() + 1);
+  EXPECT_NE(csv.find("job,arrival_hours,start_hours"), std::string::npos);
+  EXPECT_NE(csv.find("trace-job-0,"), std::string::npos);
+}
+
+TEST(FacilityIoTest, EmptyResultRejected) {
+  const FacilityResult empty;
+  std::ostringstream out;
+  EXPECT_THROW(write_power_csv(out, empty), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::facility

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "facility/facility_manager.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::facility {
+namespace {
+
+std::vector<FacilityJobSpec> traffic(std::uint64_t seed = 0xdead) {
+  util::Rng rng(seed);
+  JobTraceOptions options;
+  options.horizon_hours = 48.0;
+  options.arrivals_per_hour = 1.0;
+  options.min_nodes = 2;
+  options.max_nodes = 6;
+  options.min_duration_hours = 1.0;
+  options.max_duration_hours = 6.0;
+  return generate_job_trace(rng, options);
+}
+
+FacilityOptions with_failures(double mtbf_hours) {
+  FacilityOptions options;
+  options.step_hours = 0.25;
+  options.horizon_hours = 96.0;
+  options.characterization_iterations = 2;
+  options.node_mtbf_hours = mtbf_hours;
+  options.repair_hours = 2.0;
+  return options;
+}
+
+TEST(FacilityFailureTest, ZeroMtbfMeansNoFailures) {
+  sim::Cluster cluster(12);
+  FacilityManager manager(cluster, with_failures(0.0));
+  const FacilityResult result = manager.run(traffic());
+  EXPECT_EQ(result.node_failures, 0u);
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.restarts, 0u);
+  }
+}
+
+TEST(FacilityFailureTest, FailuresOccurAndJobsStillComplete) {
+  sim::Cluster cluster(12);
+  // Node MTBF of 100 h across ~12 nodes over 96 h: several failures are
+  // near-certain.
+  FacilityManager manager(cluster, with_failures(100.0));
+  const FacilityResult result = manager.run(traffic());
+  EXPECT_GT(result.node_failures, 0u);
+  std::size_t restarted = 0;
+  for (const auto& job : result.jobs) {
+    restarted += job.restarts;
+  }
+  EXPECT_EQ(restarted, result.node_failures);
+  // The facility keeps operating: most jobs still finish.
+  EXPECT_GT(result.completed_jobs, result.jobs.size() / 2);
+  // Restarted-and-finished jobs have causal records.
+  for (const auto& job : result.jobs) {
+    if (job.restarts > 0 && job.finished()) {
+      EXPECT_GT(job.finish_hours, job.start_hours);
+    }
+  }
+}
+
+TEST(FacilityFailureTest, FailuresReduceThroughput) {
+  const auto trace = traffic(0xfee1);
+  sim::Cluster healthy_cluster(12);
+  FacilityManager healthy(healthy_cluster, with_failures(0.0));
+  const FacilityResult no_failures = healthy.run(trace);
+
+  sim::Cluster flaky_cluster(12);
+  FacilityManager flaky(flaky_cluster, with_failures(60.0));
+  const FacilityResult with_flakes = flaky.run(trace);
+
+  EXPECT_GT(with_flakes.node_failures, 1u);
+  EXPECT_LE(with_flakes.completed_jobs, no_failures.completed_jobs);
+}
+
+TEST(FacilityFailureTest, DeterministicGivenSeed) {
+  const auto trace = traffic();
+  sim::Cluster cluster_a(12);
+  sim::Cluster cluster_b(12);
+  FacilityManager a(cluster_a, with_failures(300.0));
+  FacilityManager b(cluster_b, with_failures(300.0));
+  EXPECT_EQ(a.run(trace).node_failures, b.run(trace).node_failures);
+}
+
+TEST(FacilityFailureTest, OptionsValidated) {
+  sim::Cluster cluster(4);
+  FacilityOptions bad = with_failures(0.0);
+  bad.node_mtbf_hours = -1.0;
+  EXPECT_THROW(FacilityManager(cluster, bad), ps::InvalidArgument);
+  bad = with_failures(0.0);
+  bad.repair_hours = 0.0;
+  EXPECT_THROW(FacilityManager(cluster, bad), ps::InvalidArgument);
+}
+
+TEST(FacilityFailureTest, CheckpointingLimitsTheDamage) {
+  const auto trace = traffic(0xc4ec);
+  sim::Cluster scratch_cluster(12);
+  FacilityOptions no_checkpoint = with_failures(80.0);
+  FacilityManager scratch(scratch_cluster, no_checkpoint);
+  const FacilityResult from_scratch = scratch.run(trace);
+
+  sim::Cluster ckpt_cluster(12);
+  FacilityOptions with_checkpoint = with_failures(80.0);
+  with_checkpoint.checkpoint_interval_hours = 0.5;
+  FacilityManager checkpointed(ckpt_cluster, with_checkpoint);
+  const FacilityResult resumed = checkpointed.run(trace);
+
+  // Same failure process (same seed/trace); restarting from checkpoints
+  // can only help throughput.
+  EXPECT_GT(resumed.node_failures, 0u);
+  EXPECT_GE(resumed.completed_jobs, from_scratch.completed_jobs);
+}
+
+TEST(FacilityFailureTest, CheckpointIntervalValidated) {
+  sim::Cluster cluster(4);
+  FacilityOptions bad = with_failures(0.0);
+  bad.checkpoint_interval_hours = -1.0;
+  EXPECT_THROW(FacilityManager(cluster, bad), ps::InvalidArgument);
+}
+
+TEST(SchedulerQuarantineTest, QuarantineRemovesAndRestoreReturns) {
+  rm::Scheduler scheduler(4);
+  EXPECT_EQ(scheduler.free_node_count(), 4u);
+  scheduler.quarantine(2);
+  EXPECT_EQ(scheduler.free_node_count(), 3u);
+  EXPECT_EQ(scheduler.quarantined_count(), 1u);
+  // A 4-node job no longer fits.
+  rm::JobRequest request;
+  request.name = "wide";
+  request.node_count = 4;
+  scheduler.submit(request);
+  EXPECT_TRUE(scheduler.start_pending().empty());
+  scheduler.restore(2);
+  EXPECT_EQ(scheduler.start_pending().size(), 1u);
+  // Errors: busy/unknown nodes cannot be quarantined or restored.
+  EXPECT_THROW(scheduler.quarantine(0), ps::InvalidArgument);
+  EXPECT_THROW(scheduler.restore(3), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::facility

@@ -1,0 +1,111 @@
+// Property-style sweeps over the hardware model: invariants that must
+// hold across the whole (intensity x width x cap x eta) space the
+// experiments explore.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hw/node.hpp"
+
+namespace ps::hw {
+namespace {
+
+class NodePropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<double, VectorWidth, double>> {};
+
+TEST_P(NodePropertyTest, PowerNeverExceedsCap) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  for (double cap = node.min_cap(); cap <= node.tdp(); cap += 8.0) {
+    const PhaseResult result =
+        node.preview_compute(1.0, intensity, width, cap);
+    EXPECT_LE(result.power_watts, cap + 1e-6)
+        << "cap=" << cap;
+  }
+}
+
+TEST_P(NodePropertyTest, TimeMonotoneNonIncreasingInCap) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  double previous_seconds = 1e300;
+  for (double cap = node.min_cap(); cap <= node.tdp(); cap += 4.0) {
+    const PhaseResult result =
+        node.preview_compute(1.0, intensity, width, cap);
+    EXPECT_LE(result.seconds, previous_seconds * (1.0 + 1e-9))
+        << "cap=" << cap;
+    previous_seconds = result.seconds;
+  }
+}
+
+TEST_P(NodePropertyTest, FrequencyMonotoneNonDecreasingInCap) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  double previous_frequency = 0.0;
+  for (double cap = node.min_cap(); cap <= node.tdp(); cap += 4.0) {
+    const PhaseResult result =
+        node.preview_compute(1.0, intensity, width, cap);
+    EXPECT_GE(result.frequency_ghz, previous_frequency - 1e-9)
+        << "cap=" << cap;
+    previous_frequency = result.frequency_ghz;
+  }
+}
+
+TEST_P(NodePropertyTest, EnergyEqualsPowerTimesTime) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  for (double cap : {node.min_cap(), 190.0, node.tdp()}) {
+    const PhaseResult result =
+        node.preview_compute(2.0, intensity, width, cap);
+    EXPECT_NEAR(result.energy_joules,
+                result.power_watts * result.seconds, 1e-9);
+  }
+}
+
+TEST_P(NodePropertyTest, UtilizationsDescribeARooflineState) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  for (double cap : {node.min_cap(), 180.0, node.tdp()}) {
+    const PhaseResult result =
+        node.preview_compute(1.0, intensity, width, cap);
+    EXPECT_GE(result.cpu_utilization, 0.0);
+    EXPECT_LE(result.cpu_utilization, 1.0 + 1e-9);
+    EXPECT_GE(result.mem_utilization, 0.0);
+    EXPECT_LE(result.mem_utilization, 1.0 + 1e-9);
+    // One of the two pipelines is always the bottleneck.
+    EXPECT_GE(std::max(result.cpu_utilization, result.mem_utilization),
+              1.0 - 1e-9);
+  }
+}
+
+TEST_P(NodePropertyTest, MoreWorkTakesProportionallyLonger) {
+  const auto [intensity, width, eta] = GetParam();
+  NodeModel node(0, eta);
+  const PhaseResult one =
+      node.preview_compute(1.0, intensity, width, 200.0);
+  const PhaseResult three =
+      node.preview_compute(3.0, intensity, width, 200.0);
+  EXPECT_NEAR(three.seconds, 3.0 * one.seconds, one.seconds * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntensityWidthEta, NodePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(0.0, 0.25, 2.0, 8.0, 32.0),
+        ::testing::Values(VectorWidth::kScalar, VectorWidth::kXmm128,
+                          VectorWidth::kYmm256),
+        ::testing::Values(0.79, 1.0, 1.3)),
+    [](const auto& info) {
+      std::string name = "I";
+      name += std::to_string(
+          static_cast<int>(std::get<0>(info.param) * 100.0));
+      name += "_";
+      name += to_string(std::get<1>(info.param));
+      name += "_eta";
+      name += std::to_string(
+          static_cast<int>(std::get<2>(info.param) * 100.0));
+      return name;
+    });
+
+}  // namespace
+}  // namespace ps::hw

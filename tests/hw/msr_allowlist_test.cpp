@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "hw/msr.hpp"
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(MsrAllowlistTest, ParsesAddressMaskPairs) {
+  const auto entries = parse_msr_allowlist(
+      "0x606 0x0\n"
+      "0x610 0x00FFFFFFFFFFFFFF\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].address, 0x606u);
+  EXPECT_EQ(entries[0].write_mask, 0u);
+  EXPECT_EQ(entries[1].address, 0x610u);
+  EXPECT_EQ(entries[1].write_mask, 0x00ffffffffffffffULL);
+}
+
+TEST(MsrAllowlistTest, IgnoresCommentsAndBlankLines) {
+  const auto entries = parse_msr_allowlist(
+      "# msr-safe allowlist\n"
+      "\n"
+      "0x611 0x0   # MSR_PKG_ENERGY_STATUS\n"
+      "   \n"
+      "# trailing comment\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].address, 0x611u);
+}
+
+TEST(MsrAllowlistTest, AcceptsDecimalAddresses) {
+  const auto entries = parse_msr_allowlist("1542 7\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].address, 1542u);
+  EXPECT_EQ(entries[0].write_mask, 7u);
+}
+
+TEST(MsrAllowlistTest, EmptyInputGivesEmptyList) {
+  EXPECT_TRUE(parse_msr_allowlist("").empty());
+  EXPECT_TRUE(parse_msr_allowlist("# only comments\n").empty());
+}
+
+TEST(MsrAllowlistTest, RejectsMalformedLines) {
+  EXPECT_THROW(static_cast<void>(parse_msr_allowlist("0x606\n")),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_msr_allowlist("0x606 0x0 extra\n")),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(parse_msr_allowlist("hello world\n")),
+               ps::InvalidArgument);
+}
+
+TEST(MsrAllowlistTest, RejectsDuplicateAddresses) {
+  EXPECT_THROW(
+      static_cast<void>(parse_msr_allowlist("0x606 0x0\n0x606 0x1\n")),
+      ps::InvalidArgument);
+}
+
+TEST(MsrAllowlistTest, ParsedListDrivesAnMsrFile) {
+  MsrFile msrs(parse_msr_allowlist("0x610 0xFFFF\n0x611 0x0\n"));
+  EXPECT_TRUE(msrs.is_writable(0x610));
+  EXPECT_FALSE(msrs.is_writable(0x611));
+  EXPECT_TRUE(msrs.is_readable(0x611));
+  EXPECT_FALSE(msrs.is_readable(0x606));
+  msrs.write(0x610, 0x1234);
+  EXPECT_EQ(msrs.read(0x610), 0x1234u);
+}
+
+}  // namespace
+}  // namespace ps::hw

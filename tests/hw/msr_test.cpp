@@ -1,0 +1,63 @@
+#include "hw/msr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(MsrFileTest, DefaultAllowlistExposesRaplRegisters) {
+  const MsrFile msrs;
+  EXPECT_TRUE(msrs.is_readable(msr::kRaplPowerUnit));
+  EXPECT_TRUE(msrs.is_readable(msr::kPkgPowerLimit));
+  EXPECT_TRUE(msrs.is_readable(msr::kPkgEnergyStatus));
+  EXPECT_TRUE(msrs.is_readable(msr::kPkgPowerInfo));
+}
+
+TEST(MsrFileTest, OnlyPowerLimitIsWritable) {
+  const MsrFile msrs;
+  EXPECT_TRUE(msrs.is_writable(msr::kPkgPowerLimit));
+  EXPECT_FALSE(msrs.is_writable(msr::kRaplPowerUnit));
+  EXPECT_FALSE(msrs.is_writable(msr::kPkgEnergyStatus));
+  EXPECT_FALSE(msrs.is_writable(msr::kPkgPowerInfo));
+}
+
+TEST(MsrFileTest, ReadOfUnlistedRegisterThrows) {
+  const MsrFile msrs;
+  EXPECT_THROW(static_cast<void>(msrs.read(0x1a0)), NotFound);
+}
+
+TEST(MsrFileTest, WriteOfReadOnlyRegisterThrows) {
+  MsrFile msrs;
+  EXPECT_THROW(msrs.write(msr::kPkgEnergyStatus, 1), NotFound);
+}
+
+TEST(MsrFileTest, WriteOfUnlistedRegisterThrows) {
+  MsrFile msrs;
+  EXPECT_THROW(msrs.write(0x1a0, 1), NotFound);
+}
+
+TEST(MsrFileTest, WriteMaskProtectsReservedBits) {
+  MsrFile msrs({{0x100, 0x00ffULL}});
+  msrs.hw_store(0x100, 0xab00ULL);
+  msrs.write(0x100, 0xffffULL);
+  // Only the low byte is writable; the high byte keeps its value.
+  EXPECT_EQ(msrs.read(0x100), 0xabffULL);
+}
+
+TEST(MsrFileTest, HwBackdoorBypassesAllowlist) {
+  MsrFile msrs;
+  msrs.hw_store(0x1a0, 0xdeadULL);
+  EXPECT_EQ(msrs.hw_load(0x1a0), 0xdeadULL);
+  // Still not software-readable.
+  EXPECT_THROW(static_cast<void>(msrs.read(0x1a0)), NotFound);
+}
+
+TEST(MsrFileTest, UnwrittenRegisterReadsZero) {
+  const MsrFile msrs;
+  EXPECT_EQ(msrs.hw_load(msr::kPkgEnergyStatus), 0u);
+}
+
+}  // namespace
+}  // namespace ps::hw

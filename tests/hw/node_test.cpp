@@ -1,0 +1,179 @@
+#include "hw/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/quartz_spec.hpp"
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+NodeModel make_node(double eta = 1.0) { return NodeModel(0, eta); }
+
+TEST(NodeTest, CapLimitsMatchQuartzSpec) {
+  NodeModel node = make_node();
+  EXPECT_DOUBLE_EQ(node.tdp(), 2.0 * QuartzSpec::kTdpPerSocketW +
+                                   QuartzSpec::kDramPowerPerNodeW);
+  EXPECT_DOUBLE_EQ(node.min_cap(), 2.0 * QuartzSpec::kMinRaplPerSocketW +
+                                       QuartzSpec::kDramPowerPerNodeW);
+}
+
+TEST(NodeTest, SetCapSplitsAcrossPackages) {
+  NodeModel node = make_node();
+  node.set_power_cap(216.0);
+  // (216 - 16 dram) / 2 = 100 per package.
+  EXPECT_DOUBLE_EQ(node.package(0).power_limit(), 100.0);
+  EXPECT_DOUBLE_EQ(node.package(1).power_limit(), 100.0);
+  EXPECT_DOUBLE_EQ(node.power_cap(), 216.0);
+}
+
+TEST(NodeTest, CapBelowFloorClampsUp) {
+  NodeModel node = make_node();
+  node.set_power_cap(100.0);
+  EXPECT_DOUBLE_EQ(node.power_cap(), node.min_cap());
+}
+
+TEST(NodeTest, UncappedComputeRunsAtMaxFrequency) {
+  NodeModel node = make_node();
+  node.set_power_cap(node.tdp());
+  const PhaseResult result =
+      node.run_compute(1.0, 0.25, VectorWidth::kYmm256);
+  EXPECT_DOUBLE_EQ(result.frequency_ghz,
+                   node.params().power.max_frequency_ghz);
+}
+
+TEST(NodeTest, PowerDrawRespectsCap) {
+  NodeModel node = make_node();
+  for (double cap : {160.0, 180.0, 200.0, 220.0}) {
+    node.set_power_cap(cap);
+    const PhaseResult result =
+        node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+    EXPECT_LE(result.power_watts, cap + 0.5) << "cap=" << cap;
+  }
+}
+
+TEST(NodeTest, TighterCapSlowsComputeBoundWork) {
+  NodeModel node = make_node();
+  const PhaseResult fast =
+      node.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 230.0);
+  const PhaseResult slow =
+      node.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 170.0);
+  EXPECT_GT(slow.seconds, fast.seconds);
+  EXPECT_LT(slow.frequency_ghz, fast.frequency_ghz);
+}
+
+TEST(NodeTest, TighterCapBarelySlowsMemoryBoundWork) {
+  NodeModel node = make_node();
+  const PhaseResult fast =
+      node.preview_compute(1.0, 0.25, VectorWidth::kYmm256, 230.0);
+  const PhaseResult slow =
+      node.preview_compute(1.0, 0.25, VectorWidth::kYmm256, 170.0);
+  const double slowdown = slow.seconds / fast.seconds - 1.0;
+  EXPECT_GT(slowdown, 0.0);
+  EXPECT_LT(slowdown, 0.10);  // bandwidth floor keeps the hit small
+}
+
+TEST(NodeTest, Fig4CalibrationUncappedPowerBand) {
+  // Paper Fig. 4: uncapped node power spans ~209-232 W across the
+  // intensity sweep, peaking in the mid-intensity range.
+  NodeModel node = make_node();
+  double peak_power = 0.0;
+  double peak_intensity = 0.0;
+  for (double intensity : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const PhaseResult result = node.preview_compute(
+        1.0, intensity, VectorWidth::kYmm256, node.tdp());
+    EXPECT_GE(result.power_watts, 205.0) << "I=" << intensity;
+    EXPECT_LE(result.power_watts, 235.0) << "I=" << intensity;
+    if (result.power_watts > peak_power) {
+      peak_power = result.power_watts;
+      peak_intensity = intensity;
+    }
+  }
+  EXPECT_GE(peak_intensity, 4.0);
+  EXPECT_LE(peak_intensity, 16.0);
+}
+
+TEST(NodeTest, EnergyEqualsPowerTimesTime) {
+  NodeModel node = make_node();
+  node.set_power_cap(200.0);
+  const PhaseResult result =
+      node.run_compute(2.0, 4.0, VectorWidth::kYmm256);
+  EXPECT_NEAR(result.energy_joules, result.power_watts * result.seconds,
+              1e-9);
+}
+
+TEST(NodeTest, RaplCountersTrackConsumedEnergy) {
+  NodeModel node = make_node();
+  node.set_power_cap(node.tdp());
+  double expected = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    expected += node.run_compute(1.0, 8.0, VectorWidth::kYmm256)
+                    .energy_joules;
+    expected += node.run_poll(0.01).energy_joules;
+  }
+  EXPECT_NEAR(node.read_energy_joules(), expected, 0.01);
+}
+
+TEST(NodeTest, PollPowerBelowCapAndAboveIdle) {
+  NodeModel node = make_node();
+  const double idle_floor = 2.0 * node.params().power.idle_watts +
+                            node.params().dram_watts;
+  for (double cap : {160.0, 200.0, 240.0}) {
+    const double power = node.poll_power(cap);
+    EXPECT_LE(power, cap + 0.5);
+    EXPECT_GT(power, idle_floor);
+  }
+}
+
+TEST(NodeTest, PollDrawsNearStreamingPowerWhenUncapped) {
+  NodeModel node = make_node();
+  const double poll = node.poll_power(node.tdp());
+  const PhaseResult stream =
+      node.preview_compute(1.0, 0.25, VectorWidth::kYmm256, node.tdp());
+  EXPECT_NEAR(poll, stream.power_watts, 6.0);
+}
+
+TEST(NodeTest, LeakyNodeSlowerUnderSameCap) {
+  NodeModel nominal(0, 1.0);
+  NodeModel leaky(1, 1.3);
+  const PhaseResult a =
+      nominal.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 180.0);
+  const PhaseResult b =
+      leaky.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 180.0);
+  EXPECT_GT(a.frequency_ghz, b.frequency_ghz);
+}
+
+TEST(NodeTest, PreviewDoesNotMutateState) {
+  NodeModel node = make_node();
+  node.set_power_cap(200.0);
+  static_cast<void>(
+      node.preview_compute(1.0, 8.0, VectorWidth::kYmm256, 160.0));
+  EXPECT_DOUBLE_EQ(node.power_cap(), 200.0);
+  EXPECT_NEAR(node.read_energy_joules(), 0.0, 1e-9);
+}
+
+TEST(NodeTest, InvalidInputsThrow) {
+  NodeModel node = make_node();
+  EXPECT_THROW(node.set_power_cap(0.0), ps::InvalidArgument);
+  EXPECT_THROW(node.set_power_cap(10.0), ps::InvalidArgument);  // < dram
+  EXPECT_THROW(node.run_poll(-1.0), ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(node.preview_compute(
+                   1.0, 1.0, VectorWidth::kYmm256, 5.0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(NodeModel(0, 0.0), ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(node.package(2)), ps::InvalidArgument);
+}
+
+TEST(NodeTest, FixedPointSolutionIsSelfConsistent) {
+  NodeModel node = make_node();
+  const PhaseResult result =
+      node.preview_compute(1.0, 8.0, VectorWidth::kYmm256, 190.0);
+  // Utilizations must describe a valid roofline state.
+  EXPECT_LE(result.cpu_utilization, 1.0);
+  EXPECT_LE(result.mem_utilization, 1.0);
+  EXPECT_GE(std::max(result.cpu_utilization, result.mem_utilization),
+            1.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace ps::hw

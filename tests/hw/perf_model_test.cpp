@@ -1,0 +1,168 @@
+#include "hw/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(VectorWidthTest, FlopsPerCycleDoublesWithWidth) {
+  EXPECT_DOUBLE_EQ(flops_per_cycle(VectorWidth::kScalar), 4.0);
+  EXPECT_DOUBLE_EQ(flops_per_cycle(VectorWidth::kXmm128), 8.0);
+  EXPECT_DOUBLE_EQ(flops_per_cycle(VectorWidth::kYmm256), 16.0);
+}
+
+TEST(VectorWidthTest, NamesAreStable) {
+  EXPECT_EQ(to_string(VectorWidth::kScalar), "scalar");
+  EXPECT_EQ(to_string(VectorWidth::kXmm128), "xmm");
+  EXPECT_EQ(to_string(VectorWidth::kYmm256), "ymm");
+}
+
+TEST(RooflineTest, PeakScalesLinearlyWithFrequency) {
+  const RooflineModel model{RooflineParams{}};
+  const double p1 = model.peak_gflops(VectorWidth::kYmm256, 1.3);
+  const double p2 = model.peak_gflops(VectorWidth::kYmm256, 2.6);
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-9);
+}
+
+TEST(RooflineTest, PeakMatchesCoreCount) {
+  RooflineParams params;
+  params.active_cores = 34;
+  const RooflineModel model{params};
+  EXPECT_DOUBLE_EQ(model.peak_gflops(VectorWidth::kYmm256, 2.6),
+                   34.0 * 16.0 * 2.6);
+}
+
+TEST(RooflineTest, BandwidthWeaklyFrequencyDependent) {
+  const RooflineModel model{RooflineParams{}};
+  const double full = model.memory_bandwidth_gbs(2.6);
+  const double slow = model.memory_bandwidth_gbs(1.3);
+  EXPECT_DOUBLE_EQ(full, model.params().memory_bandwidth_gbs);
+  // At half frequency the floor guarantees at least 70% + half the rest.
+  EXPECT_NEAR(slow / full, 0.7 + 0.3 * 0.5, 1e-9);
+}
+
+TEST(RooflineTest, RidgeIntensitySeparatesRegimes) {
+  const RooflineModel model{RooflineParams{}};
+  const double ridge = model.ridge_intensity(VectorWidth::kYmm256, 2.6);
+  const PhaseProfile below =
+      model.profile(1.0, ridge * 0.5, VectorWidth::kYmm256, 2.6);
+  const PhaseProfile above =
+      model.profile(1.0, ridge * 2.0, VectorWidth::kYmm256, 2.6);
+  EXPECT_DOUBLE_EQ(below.mem_utilization, 1.0);
+  EXPECT_LT(below.cpu_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(above.cpu_utilization, 1.0);
+  EXPECT_LT(above.mem_utilization, 1.0);
+}
+
+TEST(RooflineTest, MemoryBoundTimeIndependentOfIntensity) {
+  const RooflineModel model{RooflineParams{}};
+  const PhaseProfile a = model.profile(2.0, 0.25, VectorWidth::kYmm256, 2.6);
+  const PhaseProfile b = model.profile(2.0, 0.5, VectorWidth::kYmm256, 2.6);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_GT(b.gflops, a.gflops);
+}
+
+TEST(RooflineTest, ComputeBoundTimeScalesWithIntensity) {
+  const RooflineModel model{RooflineParams{}};
+  const double ridge = model.ridge_intensity(VectorWidth::kYmm256, 2.6);
+  const PhaseProfile a =
+      model.profile(1.0, ridge * 2.0, VectorWidth::kYmm256, 2.6);
+  const PhaseProfile b =
+      model.profile(1.0, ridge * 4.0, VectorWidth::kYmm256, 2.6);
+  EXPECT_NEAR(b.seconds, 2.0 * a.seconds, 1e-9);
+}
+
+TEST(RooflineTest, ZeroIntensityIsPureStreaming) {
+  const RooflineModel model{RooflineParams{}};
+  const PhaseProfile profile =
+      model.profile(3.0, 0.0, VectorWidth::kYmm256, 2.6);
+  EXPECT_DOUBLE_EQ(profile.cpu_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(profile.mem_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(profile.gflops, 0.0);
+  EXPECT_NEAR(profile.seconds,
+              3.0 / model.params().memory_bandwidth_gbs, 1e-12);
+}
+
+TEST(RooflineTest, NarrowerVectorsLowerTheRidge) {
+  const RooflineModel model{RooflineParams{}};
+  EXPECT_LT(model.ridge_intensity(VectorWidth::kScalar, 2.6),
+            model.ridge_intensity(VectorWidth::kXmm128, 2.6));
+  EXPECT_LT(model.ridge_intensity(VectorWidth::kXmm128, 2.6),
+            model.ridge_intensity(VectorWidth::kYmm256, 2.6));
+}
+
+TEST(RooflineTest, AchievedGflopsNeverExceedsEnvelope) {
+  const RooflineModel model{RooflineParams{}};
+  for (double intensity : {0.1, 1.0, 5.0, 10.0, 20.0, 40.0}) {
+    for (double f : {1.2, 1.8, 2.6}) {
+      const PhaseProfile profile =
+          model.profile(1.0, intensity, VectorWidth::kYmm256, f);
+      const double envelope =
+          std::min(intensity * model.memory_bandwidth_gbs(f),
+                   model.peak_gflops(VectorWidth::kYmm256, f));
+      EXPECT_LE(profile.gflops, envelope + 1e-9)
+          << "I=" << intensity << " f=" << f;
+    }
+  }
+}
+
+TEST(RooflineTest, InvalidInputsThrow) {
+  const RooflineModel model{RooflineParams{}};
+  EXPECT_THROW(
+      static_cast<void>(model.profile(0.0, 1.0, VectorWidth::kYmm256, 2.0)),
+      ps::InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(model.profile(1.0, -1.0, VectorWidth::kYmm256, 2.0)),
+      ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(model.peak_gflops(VectorWidth::kYmm256, 0.0)),
+               ps::InvalidArgument);
+}
+
+TEST(ActivityModelTest, SaturatedPipelinesGiveFullActivity) {
+  const ActivityModel model;
+  EXPECT_NEAR(model.compute_activity(1.0, 1.0, VectorWidth::kYmm256), 1.0,
+              0.01);
+}
+
+TEST(ActivityModelTest, ActivityPeaksNearRidge) {
+  const ActivityModel model;
+  const double low = model.compute_activity(0.02, 1.0, VectorWidth::kYmm256);
+  const double ridge = model.compute_activity(1.0, 1.0, VectorWidth::kYmm256);
+  const double high = model.compute_activity(1.0, 0.3, VectorWidth::kYmm256);
+  EXPECT_GT(ridge, low);
+  EXPECT_GT(ridge, high);
+}
+
+TEST(ActivityModelTest, NarrowVectorsDrawLessCpuPower) {
+  const ActivityModel model;
+  const double ymm = model.compute_activity(1.0, 0.5, VectorWidth::kYmm256);
+  const double xmm = model.compute_activity(1.0, 0.5, VectorWidth::kXmm128);
+  const double scalar =
+      model.compute_activity(1.0, 0.5, VectorWidth::kScalar);
+  EXPECT_GT(ymm, xmm);
+  EXPECT_GT(xmm, scalar);
+}
+
+TEST(ActivityModelTest, PollActivityNearStreamingActivity) {
+  // Fig. 4: uncapped power is largely insensitive to the waiting-rank
+  // fraction, so busy-polling must draw close to streaming power.
+  const ActivityModel model;
+  const double streaming =
+      model.compute_activity(0.02, 1.0, VectorWidth::kYmm256);
+  EXPECT_NEAR(model.poll_activity, streaming, 0.02);
+}
+
+TEST(ActivityModelTest, UtilizationOutOfRangeThrows) {
+  const ActivityModel model;
+  EXPECT_THROW(static_cast<void>(
+                   model.compute_activity(1.5, 0.0, VectorWidth::kYmm256)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(
+                   model.compute_activity(0.0, -0.5, VectorWidth::kYmm256)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::hw

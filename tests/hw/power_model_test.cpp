@@ -1,0 +1,123 @@
+#include "hw/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(PowerModelTest, PowerAtMaxFrequencyIsIdlePlusDynamic) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  const auto& p = model.params();
+  EXPECT_DOUBLE_EQ(model.power(p.max_frequency_ghz, 1.0, 1.0),
+                   p.idle_watts + p.max_dynamic_watts);
+}
+
+TEST(PowerModelTest, PowerAtZeroActivityIsIdle) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_DOUBLE_EQ(model.power(2.0, 0.0, 1.0),
+                   model.params().idle_watts);
+}
+
+TEST(PowerModelTest, PowerIsMonotoneInFrequency) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  double previous = 0.0;
+  for (double f = 1.2; f <= 2.6; f += 0.1) {
+    const double power = model.power(f, 1.0, 1.0);
+    EXPECT_GT(power, previous);
+    previous = power;
+  }
+}
+
+TEST(PowerModelTest, PowerScalesWithEta) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  const double nominal = model.power(2.0, 1.0, 1.0);
+  const double leaky = model.power(2.0, 1.0, 1.3);
+  const double efficient = model.power(2.0, 1.0, 0.8);
+  EXPECT_GT(leaky, nominal);
+  EXPECT_LT(efficient, nominal);
+}
+
+TEST(PowerModelTest, FrequencyClampedToRange) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  const auto& p = model.params();
+  EXPECT_DOUBLE_EQ(model.power(10.0, 1.0, 1.0),
+                   model.power(p.max_frequency_ghz, 1.0, 1.0));
+  EXPECT_DOUBLE_EQ(model.power(0.1, 1.0, 1.0),
+                   model.power(p.min_frequency_ghz, 1.0, 1.0));
+}
+
+TEST(PowerModelTest, FrequencyAtCapInvertsPower) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  for (double cap : {70.0, 85.0, 100.0}) {
+    const double f = model.frequency_at_cap(cap, 1.0, 1.0);
+    EXPECT_NEAR(model.power(f, 1.0, 1.0), cap, 1e-9) << "cap=" << cap;
+  }
+}
+
+TEST(PowerModelTest, GenerousCapYieldsMaxFrequency) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_DOUBLE_EQ(model.frequency_at_cap(500.0, 1.0, 1.0),
+                   model.params().max_frequency_ghz);
+}
+
+TEST(PowerModelTest, ImpossibleCapYieldsMinFrequency) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_DOUBLE_EQ(model.frequency_at_cap(10.0, 1.0, 1.0),
+                   model.params().min_frequency_ghz);
+}
+
+TEST(PowerModelTest, ZeroActivityIsUnconstrained) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_DOUBLE_EQ(model.frequency_at_cap(60.0, 0.0, 1.0),
+                   model.params().max_frequency_ghz);
+}
+
+TEST(PowerModelTest, LeakyPartsRunSlowerUnderSameCap) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  const double f_nominal = model.frequency_at_cap(70.0, 1.0, 1.0);
+  const double f_leaky = model.frequency_at_cap(70.0, 1.0, 1.3);
+  EXPECT_LT(f_leaky, f_nominal);
+}
+
+TEST(PowerModelTest, PowerAtCapNeverExceedsCapInRange) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  const auto& p = model.params();
+  const double floor_power = model.power(p.min_frequency_ghz, 1.0, 1.0);
+  for (double cap = floor_power; cap <= 130.0; cap += 2.5) {
+    EXPECT_LE(model.power_at_cap(cap, 1.0, 1.0), cap + 1e-9);
+  }
+}
+
+TEST(PowerModelTest, Fig6Calibration70WattCapGives1p8GHz) {
+  // The paper's Fig. 6: medium-cluster nodes achieve ~1.8 GHz under a
+  // 70 W package cap running the most power-hungry configuration.
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_NEAR(model.frequency_at_cap(70.0, 1.0, 1.0), 1.8, 0.02);
+}
+
+TEST(PowerModelTest, ActivityOutOfRangeThrows) {
+  const SocketPowerModel model{SocketPowerParams{}};
+  EXPECT_THROW(static_cast<void>(model.power(2.0, -0.1, 1.0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(model.power(2.0, 1.1, 1.0)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(model.frequency_at_cap(70.0, 2.0, 1.0)),
+               ps::InvalidArgument);
+}
+
+TEST(PowerModelTest, BadParamsRejected) {
+  SocketPowerParams params;
+  params.idle_watts = -1.0;
+  EXPECT_THROW(SocketPowerModel{params}, ps::InvalidArgument);
+  params = {};
+  params.min_frequency_ghz = 3.0;  // above max
+  EXPECT_THROW(SocketPowerModel{params}, ps::InvalidArgument);
+  params = {};
+  params.exponent = 0.5;
+  EXPECT_THROW(SocketPowerModel{params}, ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::hw

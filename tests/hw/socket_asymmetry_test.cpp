@@ -1,0 +1,102 @@
+// Heterogeneous packages: the two sockets of one node leak differently,
+// and the cap-split policy decides who pays for it.
+#include <gtest/gtest.h>
+
+#include "hw/node.hpp"
+#include "util/error.hpp"
+
+namespace ps::hw {
+namespace {
+
+NodeParams split_params(CapSplitPolicy policy) {
+  NodeParams params;
+  params.cap_split = policy;
+  return params;
+}
+
+TEST(SocketAsymmetryTest, EtaAccessorsExposeBothPackages) {
+  NodeModel node(0, 0.9, 1.2);
+  EXPECT_DOUBLE_EQ(node.eta_of(0), 0.9);
+  EXPECT_DOUBLE_EQ(node.eta_of(1), 1.2);
+  EXPECT_DOUBLE_EQ(node.eta(), 1.05);
+  EXPECT_THROW(static_cast<void>(node.eta_of(2)), ps::InvalidArgument);
+  EXPECT_THROW(NodeModel(0, 0.0, 1.0), ps::InvalidArgument);
+}
+
+TEST(SocketAsymmetryTest, SymmetricNodeUnaffectedByPolicy) {
+  NodeModel even(0, 1.0, 1.0, split_params(CapSplitPolicy::kEven));
+  NodeModel aware(1, 1.0, 1.0,
+                  split_params(CapSplitPolicy::kEfficiencyAware));
+  even.set_power_cap(190.0);
+  aware.set_power_cap(190.0);
+  EXPECT_DOUBLE_EQ(even.package(0).power_limit(),
+                   aware.package(0).power_limit());
+  const PhaseResult a =
+      even.preview_compute(1.0, 8.0, VectorWidth::kYmm256, 190.0);
+  const PhaseResult b =
+      aware.preview_compute(1.0, 8.0, VectorWidth::kYmm256, 190.0);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(SocketAsymmetryTest, LeakyPackagePacesAnEvenSplit) {
+  NodeModel uniform(0, 1.0, 1.0, split_params(CapSplitPolicy::kEven));
+  NodeModel skewed(1, 0.85, 1.15, split_params(CapSplitPolicy::kEven));
+  // Same mean eta, same node cap: the skewed node is slower because its
+  // leaky package throttles first under the even split.
+  const PhaseResult u =
+      uniform.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 190.0);
+  const PhaseResult s =
+      skewed.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 190.0);
+  EXPECT_GT(s.seconds, u.seconds * 1.02);
+  EXPECT_LT(s.frequency_ghz, u.frequency_ghz - 0.05);
+}
+
+TEST(SocketAsymmetryTest, EfficiencyAwareSplitRecoversThePace) {
+  NodeModel even(0, 0.85, 1.15, split_params(CapSplitPolicy::kEven));
+  NodeModel aware(1, 0.85, 1.15,
+                  split_params(CapSplitPolicy::kEfficiencyAware));
+  const PhaseResult slow =
+      even.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 190.0);
+  const PhaseResult fast =
+      aware.preview_compute(1.0, 32.0, VectorWidth::kYmm256, 190.0);
+  EXPECT_LT(fast.seconds, slow.seconds * 0.99);
+  EXPECT_GT(fast.frequency_ghz, slow.frequency_ghz);
+}
+
+TEST(SocketAsymmetryTest, AwareSplitGivesLeakyPackageMoreBudget) {
+  NodeModel node(0, 0.85, 1.15,
+                 split_params(CapSplitPolicy::kEfficiencyAware));
+  node.set_power_cap(190.0);
+  // eta1 > eta0 => package 1 needs more watts for the same frequency.
+  EXPECT_GT(node.package(1).power_limit(),
+            node.package(0).power_limit() + 5.0);
+  // The split still sums to the package share of the node cap.
+  EXPECT_NEAR(node.package(0).power_limit() +
+                  node.package(1).power_limit(),
+              190.0 - node.params().dram_watts, 0.5);
+}
+
+TEST(SocketAsymmetryTest, SplitRespectsFirmwareClamps) {
+  // Extreme skew: the computed split would dip below the package floor;
+  // firmware clamps it back and the node cap overshoots slightly, as on
+  // real hardware.
+  NodeModel node(0, 0.3, 2.5,
+                 split_params(CapSplitPolicy::kEfficiencyAware));
+  const double applied = node.set_power_cap(155.0);
+  EXPECT_GE(node.package(0).power_limit(), 68.0 - 1e-9);
+  EXPECT_GE(applied, 155.0 - 1e-9);
+}
+
+TEST(SocketAsymmetryTest, PowerStillRespectsTheNodeCap) {
+  NodeModel node(0, 0.85, 1.15,
+                 split_params(CapSplitPolicy::kEfficiencyAware));
+  for (double cap : {160.0, 190.0, 220.0}) {
+    node.set_power_cap(cap);
+    const PhaseResult result =
+        node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+    EXPECT_LE(result.power_watts, cap + 1.0) << "cap=" << cap;
+  }
+}
+
+}  // namespace
+}  // namespace ps::hw

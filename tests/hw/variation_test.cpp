@@ -1,0 +1,94 @@
+#include "hw/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/kmeans.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(VariationTest, QuartzDefaultHas2000Nodes) {
+  const VariationModel model = VariationModel::quartz_default();
+  EXPECT_EQ(model.total_count(), 2000u);
+  ASSERT_EQ(model.components().size(), 3u);
+  EXPECT_EQ(model.components()[0].count, 522u);
+  EXPECT_EQ(model.components()[1].count, 918u);
+  EXPECT_EQ(model.components()[2].count, 560u);
+}
+
+TEST(VariationTest, GeneratesOneEtaPerNode) {
+  const VariationModel model = VariationModel::quartz_default();
+  util::Rng rng(1);
+  const std::vector<double> etas = model.generate(rng);
+  EXPECT_EQ(etas.size(), 2000u);
+  for (double eta : etas) {
+    EXPECT_GT(eta, 0.0);
+  }
+}
+
+TEST(VariationTest, EtasAreShuffledAcrossComponents) {
+  const VariationModel model = VariationModel::quartz_default();
+  util::Rng rng(2);
+  const std::vector<double> etas = model.generate(rng);
+  // If unshuffled, the first 522 would all be the high-eta component
+  // (mean 1.304). Count how many of the first 522 look like it.
+  int high_eta = 0;
+  for (std::size_t i = 0; i < 522; ++i) {
+    if (etas[i] > 1.15) {
+      ++high_eta;
+    }
+  }
+  EXPECT_LT(high_eta, 400);
+  EXPECT_GT(high_eta, 60);
+}
+
+TEST(VariationTest, ComponentMeansRecoverable) {
+  const VariationModel model = VariationModel::quartz_default();
+  util::Rng rng(3);
+  std::vector<double> etas = model.generate(rng);
+  const util::KMeansResult clusters = util::kmeans_1d(etas, 3);
+  // Cluster centroids (ascending) should match component means
+  // (descending eta = ascending frequency, so compare sorted).
+  EXPECT_NEAR(clusters.centroids[0], 0.791, 0.02);
+  EXPECT_NEAR(clusters.centroids[1], 1.004, 0.02);
+  EXPECT_NEAR(clusters.centroids[2], 1.304, 0.02);
+}
+
+TEST(VariationTest, DeterministicGivenSeed) {
+  const VariationModel model = VariationModel::quartz_default();
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  EXPECT_EQ(model.generate(rng1), model.generate(rng2));
+}
+
+TEST(VariationTest, CustomComponentsRespected) {
+  const VariationModel model({{10, 2.0, 0.0}});
+  util::Rng rng(1);
+  const std::vector<double> etas = model.generate(rng);
+  ASSERT_EQ(etas.size(), 10u);
+  for (double eta : etas) {
+    EXPECT_DOUBLE_EQ(eta, 2.0);
+  }
+}
+
+TEST(VariationTest, EtasClampedPositive) {
+  // A pathological component whose distribution dips below zero.
+  const VariationModel model({{100, 0.01, 1.0}});
+  util::Rng rng(5);
+  for (double eta : model.generate(rng)) {
+    EXPECT_GE(eta, 0.05);
+  }
+}
+
+TEST(VariationTest, InvalidComponentsRejected) {
+  EXPECT_THROW(VariationModel({}), ps::InvalidArgument);
+  EXPECT_THROW(VariationModel({{0, 1.0, 0.1}}), ps::InvalidArgument);
+  EXPECT_THROW(VariationModel({{10, -1.0, 0.1}}), ps::InvalidArgument);
+  EXPECT_THROW(VariationModel({{10, 1.0, -0.1}}), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::hw

@@ -1,0 +1,166 @@
+// End-to-end integration: scheduler -> characterization -> policy ->
+// power manager -> measured runs, across the whole stack.
+#include <gtest/gtest.h>
+
+#include "core/budget.hpp"
+#include "core/policies.hpp"
+#include "rm/power_manager.hpp"
+#include "rm/scheduler.hpp"
+#include "runtime/basic_agents.hpp"
+#include "runtime/characterization.hpp"
+#include "runtime/controller.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<sim::Cluster>(8);
+
+    rm::JobRequest wasteful;
+    wasteful.name = "wasteful";
+    wasteful.workload.intensity = 8.0;
+    wasteful.workload.waiting_fraction = 0.5;
+    wasteful.workload.imbalance = 3.0;
+    wasteful.node_count = 4;
+
+    rm::JobRequest compute;
+    compute.name = "compute";
+    compute.workload.intensity = 32.0;
+    compute.node_count = 4;
+
+    rm::Scheduler scheduler(8);
+    scheduler.submit(wasteful);
+    scheduler.submit(compute);
+    const auto grants = scheduler.start_pending();
+    ASSERT_EQ(grants.size(), 2u);
+
+    for (std::size_t j = 0; j < 2; ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t index : grants[j].node_indices) {
+        hosts.push_back(&cluster_->node(index));
+      }
+      const rm::JobRequest& request = j == 0 ? wasteful : compute;
+      jobs_.push_back(std::make_unique<sim::JobSimulation>(
+          request.name, std::move(hosts), request.workload));
+    }
+    for (auto& job : jobs_) {
+      characterizations_.push_back(runtime::characterize_job(*job, 4));
+      job->reset_totals();
+    }
+  }
+
+  core::PolicyContext context(double budget) const {
+    core::PolicyContext context;
+    context.system_budget_watts = budget;
+    context.node_tdp_watts = cluster_->node(0).tdp();
+    context.jobs = characterizations_;
+    return context;
+  }
+
+  std::vector<sim::JobSimulation*> job_ptrs() {
+    return {jobs_[0].get(), jobs_[1].get()};
+  }
+
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs_;
+  std::vector<runtime::JobCharacterization> characterizations_;
+};
+
+TEST_F(EndToEndTest, FullPipelineAllocatesAndRuns) {
+  const core::PowerBudgets budgets = core::select_budgets(characterizations_);
+  const core::MixedAdaptivePolicy policy;
+  const rm::PowerAllocation allocation =
+      policy.allocate(context(budgets.ideal_watts));
+  const rm::SystemPowerManager manager(budgets.ideal_watts);
+  auto jobs = job_ptrs();
+  manager.apply(jobs, allocation);
+  EXPECT_TRUE(manager.allocation_fits(jobs));
+
+  runtime::MonitorAgent monitor;
+  const runtime::Controller controller(10);
+  for (auto* job : jobs) {
+    const runtime::JobReport report = controller.run(*job, monitor);
+    EXPECT_EQ(report.iterations, 10u);
+    EXPECT_GT(report.total_energy_joules, 0.0);
+  }
+}
+
+TEST_F(EndToEndTest, RaplCountersAgreeWithReportedEnergy) {
+  const core::MixedAdaptivePolicy policy;
+  const core::PowerBudgets budgets = core::select_budgets(characterizations_);
+  const rm::PowerAllocation allocation =
+      policy.allocate(context(budgets.ideal_watts));
+  auto jobs = job_ptrs();
+  rm::SystemPowerManager(budgets.ideal_watts).apply(jobs, allocation);
+
+  // read_energy_joules() is cumulative: snapshot before, diff after.
+  double before = 0.0;
+  for (std::size_t h = 0; h < jobs[0]->host_count(); ++h) {
+    before += jobs[0]->host(h).read_energy_joules();
+  }
+  runtime::MonitorAgent monitor;
+  const runtime::JobReport report =
+      runtime::Controller(5).run(*jobs[0], monitor);
+  double after = 0.0;
+  for (std::size_t h = 0; h < jobs[0]->host_count(); ++h) {
+    after += jobs[0]->host(h).read_energy_joules();
+  }
+  const double rapl_energy = after - before;
+  // The simulator's noise jitters reported time (and hence energy)
+  // slightly relative to the hardware counters; they agree closely.
+  EXPECT_NEAR(rapl_energy, report.total_energy_joules,
+              report.total_energy_joules * 0.02);
+}
+
+TEST_F(EndToEndTest, MixedBeatsStaticOnWastefulJob) {
+  const core::PowerBudgets budgets = core::select_budgets(characterizations_);
+  auto jobs = job_ptrs();
+  runtime::MonitorAgent monitor;
+  const runtime::Controller controller(10);
+
+  const auto run_policy = [&](const core::Policy& policy) {
+    const rm::PowerAllocation allocation =
+        policy.allocate(context(budgets.ideal_watts));
+    rm::SystemPowerManager(budgets.ideal_watts).apply(jobs, allocation);
+    double elapsed = 0.0;
+    for (auto* job : jobs) {
+      job->reset_totals();
+      elapsed += controller.run(*job, monitor).elapsed_seconds;
+    }
+    return elapsed;
+  };
+
+  const double static_time = run_policy(core::StaticCapsPolicy{});
+  const double mixed_time = run_policy(core::MixedAdaptivePolicy{});
+  EXPECT_LT(mixed_time, static_time);
+}
+
+TEST_F(EndToEndTest, BudgetLevelsProduceOrderedPerformance) {
+  const core::PowerBudgets budgets = core::select_budgets(characterizations_);
+  auto jobs = job_ptrs();
+  runtime::MonitorAgent monitor;
+  const runtime::Controller controller(8);
+  const core::MixedAdaptivePolicy policy;
+
+  std::vector<double> elapsed_by_level;
+  for (const double budget :
+       {budgets.min_watts, budgets.ideal_watts, budgets.max_watts}) {
+    const rm::PowerAllocation allocation = policy.allocate(context(budget));
+    rm::SystemPowerManager(budget).apply(jobs, allocation);
+    double elapsed = 0.0;
+    for (auto* job : jobs) {
+      job->reset_totals();
+      elapsed += controller.run(*job, monitor).elapsed_seconds;
+    }
+    elapsed_by_level.push_back(elapsed);
+  }
+  // More budget, same or better time.
+  EXPECT_GE(elapsed_by_level[0], elapsed_by_level[1] - 1e-9);
+  EXPECT_GE(elapsed_by_level[1], elapsed_by_level[2] - 1e-9);
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,139 @@
+// Failure-injection integration tests: stragglers, degraded parts, and
+// stale characterizations — conditions a production deployment must
+// absorb gracefully.
+#include <gtest/gtest.h>
+
+#include "core/coordination.hpp"
+#include "runtime/characterization.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps {
+namespace {
+
+/// A cluster where one node is a pathological straggler (very leaky part
+/// that throttles hard under any cap).
+std::vector<std::unique_ptr<hw::NodeModel>> straggler_nodes(
+    std::size_t count, std::size_t straggler, double straggler_eta) {
+  std::vector<std::unique_ptr<hw::NodeModel>> nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes.push_back(std::make_unique<hw::NodeModel>(
+        static_cast<hw::NodeId>(i), i == straggler ? straggler_eta : 1.0));
+  }
+  return nodes;
+}
+
+std::vector<hw::NodeModel*> raw(
+    const std::vector<std::unique_ptr<hw::NodeModel>>& nodes) {
+  std::vector<hw::NodeModel*> pointers;
+  for (const auto& node : nodes) {
+    pointers.push_back(node.get());
+  }
+  return pointers;
+}
+
+TEST(FaultInjectionTest, BalancerFundsTheStraggler) {
+  // A balanced job with one leaky node: the straggler IS the critical
+  // path, so the balancer must move power toward it.
+  auto nodes = straggler_nodes(8, 3, 1.6);
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  sim::JobSimulation job("straggler", raw(nodes), config);
+  const double budget = 8.0 * 195.0;
+
+  for (std::size_t h = 0; h < 8; ++h) {
+    job.set_host_cap(h, 195.0);
+  }
+  const double uniform_time = job.run_iteration().iteration_seconds;
+
+  runtime::PowerBalancerAgent agent(budget);
+  static_cast<void>(runtime::Controller(5, 2).run(job, agent));
+  const double balanced_time = job.run_iteration().iteration_seconds;
+
+  EXPECT_GT(job.host_cap(3), 195.0 + 10.0);  // straggler funded
+  EXPECT_LT(balanced_time, uniform_time);
+  EXPECT_LE(job.total_allocated_power(), budget + 8.0 * 0.5);
+}
+
+TEST(FaultInjectionTest, CoordinationAbsorbsMidRunDegradation) {
+  // A critical-path node degrades mid-run (e.g. thermal problem =>
+  // leakier silicon, emulated by swapping in a degraded node set on the
+  // same coordination loop). The waiting hosts' slack funds the degraded
+  // node's higher power need after re-convergence.
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  auto healthy = straggler_nodes(8, 7, 1.0);  // all nominal
+  sim::JobSimulation job("job", raw(healthy), config);
+  std::vector<sim::JobSimulation*> jobs{&job};
+
+  const double budget = 8.0 * 195.0;
+  core::CoordinationLoop loop(budget);
+  static_cast<void>(loop.run(jobs, 20));
+  const double healthy_cap = job.host_cap(7);  // critical host
+
+  // Degrade critical node 7 and keep coordinating.
+  auto degraded = straggler_nodes(8, 7, 1.4);
+  sim::JobSimulation degraded_job("job", raw(degraded), config);
+  std::vector<sim::JobSimulation*> degraded_jobs{&degraded_job};
+  const core::CoordinationResult after = loop.run(degraded_jobs, 20);
+  EXPECT_TRUE(after.converged);
+  EXPECT_GT(degraded_job.host_cap(7), healthy_cap + 8.0);
+  EXPECT_LE(after.epochs.back().allocated_watts, budget + 8.0 * 0.5);
+}
+
+TEST(FaultInjectionTest, StaleCharacterizationStillRespectsBudget) {
+  // Characterize one workload, then run a very different one under the
+  // stale allocation: performance assumptions break, but the budget
+  // invariant must hold regardless.
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  kernel::WorkloadConfig characterized;
+  characterized.intensity = 8.0;
+  characterized.waiting_fraction = 0.5;
+  characterized.imbalance = 3.0;
+  sim::JobSimulation job("job", hosts, characterized);
+  const runtime::JobCharacterization data =
+      runtime::characterize_job(job, 3);
+
+  // Apply balancer-needed caps, then switch the workload underneath.
+  for (std::size_t h = 0; h < 4; ++h) {
+    job.set_host_cap(h, data.balancer.host_needed_power_watts[h]);
+  }
+  kernel::WorkloadConfig different;
+  different.intensity = 32.0;  // every host now compute-bound
+  job.set_workload(different);
+  const sim::IterationResult result = job.run_iteration();
+  double drawn = 0.0;
+  for (const auto& host : result.hosts) {
+    drawn += host.average_power_watts;
+  }
+  // Caps keep holding: total draw stays within the stale allocation.
+  EXPECT_LE(drawn, job.total_allocated_power() + 1.0);
+}
+
+TEST(FaultInjectionTest, BudgetBelowFloorDegradesGracefully) {
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job("job", hosts, kernel::WorkloadConfig{});
+  // A budget no hardware can honor: everything lands on the floor and
+  // the run still completes.
+  runtime::PowerBalancerAgent agent(4.0 * 100.0);
+  const runtime::JobReport report =
+      runtime::Controller(3, 2).run(job, agent);
+  EXPECT_EQ(report.iterations, 3u);
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_DOUBLE_EQ(job.host_cap(h), cluster.node(h).min_cap());
+  }
+}
+
+}  // namespace
+}  // namespace ps

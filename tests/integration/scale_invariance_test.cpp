@@ -1,0 +1,81 @@
+// Scale-invariance properties: the reproduction's conclusions must not
+// depend on how many nodes per job the harness runs — per-node budgets
+// and policy orderings stay put from 4 to 16 nodes per job (the paper
+// uses 100; the benches verify that scale).
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/mixes.hpp"
+
+namespace ps {
+namespace {
+
+class ScaleInvarianceTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  analysis::ExperimentOptions options() const {
+    analysis::ExperimentOptions options;
+    options.nodes_per_job = GetParam();
+    options.iterations = 12;
+    options.characterization_iterations = 3;
+    options.hardware_variation = false;
+    options.noise_time_sigma = 0.002;
+    return options;
+  }
+};
+
+TEST_P(ScaleInvarianceTest, PerNodeBudgetsAreScaleFree) {
+  analysis::ExperimentDriver driver(options());
+  analysis::MixExperiment experiment = driver.prepare(
+      core::make_mix(core::MixKind::kWastefulPower, GetParam()));
+  const double hosts = static_cast<double>(experiment.total_hosts());
+  const core::PowerBudgets& budgets = experiment.budgets();
+  // Homogeneous nodes: the per-node budget levels are scale-independent
+  // constants of the workload mix (within search tolerance).
+  EXPECT_NEAR(budgets.min_watts / hosts, 155.8, 2.0);
+  EXPECT_NEAR(budgets.max_watts / hosts, 227.5, 3.0);
+  EXPECT_GT(budgets.ideal_watts / hosts, 165.0);
+  EXPECT_LT(budgets.ideal_watts / hosts, 195.0);
+}
+
+TEST_P(ScaleInvarianceTest, MarkerDHoldsAtEveryScale) {
+  analysis::ExperimentDriver driver(options());
+  analysis::MixExperiment experiment = driver.prepare(
+      core::make_mix(core::MixKind::kWastefulPower, GetParam()));
+  const analysis::MixRunResult baseline =
+      experiment.run(core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps);
+  const analysis::SavingsSummary mixed = analysis::compute_savings(
+      experiment.run(core::BudgetLevel::kMax,
+                     core::PolicyKind::kMixedAdaptive),
+      baseline);
+  const analysis::SavingsSummary job_adaptive = analysis::compute_savings(
+      experiment.run(core::BudgetLevel::kMax,
+                     core::PolicyKind::kJobAdaptive),
+      baseline);
+  EXPECT_GT(mixed.energy.mean, job_adaptive.energy.mean);
+  EXPECT_GT(mixed.energy.mean, 0.05);
+  EXPECT_LT(mixed.energy.mean, 0.14);
+}
+
+TEST_P(ScaleInvarianceTest, SystemAwarePoliciesFitEveryBudget) {
+  analysis::ExperimentDriver driver(options());
+  analysis::MixExperiment experiment = driver.prepare(
+      core::make_mix(core::MixKind::kRandomLarge, GetParam()));
+  for (core::BudgetLevel level : core::all_budget_levels()) {
+    for (core::PolicyKind policy :
+         {core::PolicyKind::kStaticCaps, core::PolicyKind::kMinimizeWaste,
+          core::PolicyKind::kMixedAdaptive}) {
+      EXPECT_TRUE(experiment.run(level, policy).within_budget)
+          << core::to_string(policy) << " at " << core::to_string(level)
+          << " with " << GetParam() << " nodes/job";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodesPerJob, ScaleInvarianceTest,
+                         ::testing::Values(4, 8, 16),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace ps

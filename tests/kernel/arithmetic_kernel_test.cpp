@@ -1,0 +1,165 @@
+#include "kernel/arithmetic_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::kernel {
+namespace {
+
+KernelOptions small_options() {
+  KernelOptions options;
+  options.threads = 2;
+  options.elements_per_thread = 1 << 12;
+  options.iterations = 3;
+  options.config.intensity = 1.0;
+  return options;
+}
+
+TEST(FmaPerElementTest, MatchesIntensityDefinition) {
+  // 16 bytes moved per element, 2 FLOPs per FMA: FLOPs/byte = fma / 8.
+  EXPECT_DOUBLE_EQ(fma_per_element(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(fma_per_element(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(fma_per_element(0.0), 0.0);
+}
+
+TEST(ArithmeticKernelTest, RunsAndReportsWork) {
+  const KernelReport report = run_arithmetic_kernel(small_options());
+  EXPECT_GT(report.elapsed_seconds, 0.0);
+  EXPECT_GT(report.total_gflop, 0.0);
+  EXPECT_GT(report.achieved_gflops, 0.0);
+  EXPECT_EQ(report.threads.size(), 2u);
+  EXPECT_EQ(report.iterations, 3u);
+}
+
+TEST(ArithmeticKernelTest, GflopMatchesConfiguredIntensity) {
+  KernelOptions options = small_options();
+  options.config.intensity = 2.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  // Every thread sweeps elements once per iteration: flops =
+  // fma/elem * 2 * elements * iterations * threads.
+  const double expected = fma_per_element(2.0) * 2.0 *
+                          static_cast<double>(options.elements_per_thread) *
+                          3.0 * 2.0 / 1e9;
+  EXPECT_NEAR(report.total_gflop, expected, expected * 1e-9);
+}
+
+TEST(ArithmeticKernelTest, ZeroIntensityDoesNoFlops) {
+  KernelOptions options = small_options();
+  options.config.intensity = 0.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  EXPECT_DOUBLE_EQ(report.total_gflop, 0.0);
+  EXPECT_GT(report.total_gigabytes, 0.0);
+}
+
+TEST(ArithmeticKernelTest, WaitingRanksAreMarked) {
+  KernelOptions options = small_options();
+  options.threads = 4;
+  options.config.waiting_fraction = 0.5;
+  options.config.imbalance = 3.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  int waiting = 0;
+  for (const auto& thread : report.threads) {
+    if (thread.waiting_rank) {
+      ++waiting;
+    }
+  }
+  EXPECT_EQ(waiting, 2);
+}
+
+TEST(ArithmeticKernelTest, WaitingRanksDoLessWorkAndWaitMore) {
+  KernelOptions options = small_options();
+  options.threads = 4;
+  options.iterations = 20;
+  options.elements_per_thread = 1 << 14;
+  options.config.waiting_fraction = 0.5;
+  options.config.imbalance = 3.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  double waiting_gflop = 0.0;
+  double critical_gflop = 0.0;
+  double waiting_wait = 0.0;
+  double critical_wait = 0.0;
+  for (const auto& thread : report.threads) {
+    if (thread.waiting_rank) {
+      waiting_gflop += thread.gflop;
+      waiting_wait += thread.wait_seconds;
+    } else {
+      critical_gflop += thread.gflop;
+      critical_wait += thread.wait_seconds;
+    }
+  }
+  EXPECT_NEAR(critical_gflop, 3.0 * waiting_gflop, waiting_gflop * 0.01);
+  // With 3x imbalance, waiting ranks spend far longer at the barrier;
+  // allow scheduler-noise slack when the test host is oversubscribed.
+  EXPECT_GT(waiting_wait, critical_wait * 0.8);
+}
+
+TEST(ArithmeticKernelTest, SlackFractionPositiveWithImbalance) {
+  KernelOptions options = small_options();
+  options.threads = 4;
+  options.iterations = 10;
+  options.elements_per_thread = 1 << 14;
+  options.config.waiting_fraction = 0.5;
+  options.config.imbalance = 3.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  EXPECT_GT(report.waiting_slack_fraction(), 0.05);
+}
+
+TEST(ArithmeticKernelTest, SlackFractionZeroWhenBalanced) {
+  const KernelReport report = run_arithmetic_kernel(small_options());
+  EXPECT_DOUBLE_EQ(report.waiting_slack_fraction(), 0.0);
+}
+
+TEST(ArithmeticKernelTest, AllVectorWidthsRun) {
+  for (hw::VectorWidth width :
+       {hw::VectorWidth::kScalar, hw::VectorWidth::kXmm128,
+        hw::VectorWidth::kYmm256}) {
+    KernelOptions options = small_options();
+    options.config.vector_width = width;
+    const KernelReport report = run_arithmetic_kernel(options);
+    EXPECT_GT(report.total_gflop, 0.0) << hw::to_string(width);
+  }
+}
+
+TEST(ArithmeticKernelTest, FractionalIntensityHandled) {
+  KernelOptions options = small_options();
+  options.config.intensity = 0.25;  // 2 FMA per element
+  const KernelReport report = run_arithmetic_kernel(options);
+  const double expected = 2.0 * 2.0 *
+                          static_cast<double>(options.elements_per_thread) *
+                          3.0 * 2.0 / 1e9;
+  EXPECT_NEAR(report.total_gflop, expected, expected * 0.01);
+}
+
+TEST(ArithmeticKernelTest, AtLeastOneCriticalRankRemains) {
+  KernelOptions options = small_options();
+  options.threads = 4;
+  options.config.waiting_fraction = 0.99;
+  options.config.imbalance = 2.0;
+  const KernelReport report = run_arithmetic_kernel(options);
+  int critical = 0;
+  for (const auto& thread : report.threads) {
+    if (!thread.waiting_rank) {
+      ++critical;
+    }
+  }
+  EXPECT_GE(critical, 1);
+}
+
+TEST(ArithmeticKernelTest, InvalidOptionsRejected) {
+  KernelOptions options = small_options();
+  options.threads = 0;
+  EXPECT_THROW(static_cast<void>(run_arithmetic_kernel(options)),
+               ps::InvalidArgument);
+  options = small_options();
+  options.iterations = 0;
+  EXPECT_THROW(static_cast<void>(run_arithmetic_kernel(options)),
+               ps::InvalidArgument);
+  options = small_options();
+  options.elements_per_thread = 4;
+  EXPECT_THROW(static_cast<void>(run_arithmetic_kernel(options)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::kernel

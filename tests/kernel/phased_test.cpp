@@ -1,0 +1,62 @@
+#include "kernel/phased.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::kernel {
+namespace {
+
+PhasedWorkload two_phase() {
+  PhasedWorkload workload;
+  workload.name = "two";
+  WorkloadPhase a;
+  a.config.intensity = 0.25;
+  a.iterations = 3;
+  WorkloadPhase b;
+  b.config.intensity = 16.0;
+  b.iterations = 2;
+  workload.phases = {a, b};
+  return workload;
+}
+
+TEST(PhasedWorkloadTest, TotalIterationsSumsPhases) {
+  EXPECT_EQ(two_phase().total_iterations(), 5u);
+}
+
+TEST(PhasedWorkloadTest, PhaseAtWalksTheSchedule) {
+  const PhasedWorkload workload = two_phase();
+  EXPECT_DOUBLE_EQ(workload.phase_at(0).config.intensity, 0.25);
+  EXPECT_DOUBLE_EQ(workload.phase_at(2).config.intensity, 0.25);
+  EXPECT_DOUBLE_EQ(workload.phase_at(3).config.intensity, 16.0);
+  EXPECT_DOUBLE_EQ(workload.phase_at(4).config.intensity, 16.0);
+}
+
+TEST(PhasedWorkloadTest, PhaseAtWrapsAround) {
+  const PhasedWorkload workload = two_phase();
+  EXPECT_DOUBLE_EQ(workload.phase_at(5).config.intensity, 0.25);
+  EXPECT_DOUBLE_EQ(workload.phase_at(8).config.intensity, 16.0);
+  EXPECT_DOUBLE_EQ(workload.phase_at(100).config.intensity, 0.25);
+}
+
+TEST(PhasedWorkloadTest, ValidationCatchesBadPhases) {
+  PhasedWorkload empty;
+  EXPECT_THROW(empty.validate(), ps::InvalidArgument);
+  PhasedWorkload zero = two_phase();
+  zero.phases[1].iterations = 0;
+  EXPECT_THROW(zero.validate(), ps::InvalidArgument);
+  PhasedWorkload bad_config = two_phase();
+  bad_config.phases[0].config.imbalance = 0.0;
+  EXPECT_THROW(bad_config.validate(), ps::InvalidArgument);
+}
+
+TEST(PhasedWorkloadTest, ExampleIsValidAndTwoPhased) {
+  const PhasedWorkload example = PhasedWorkload::example();
+  EXPECT_NO_THROW(example.validate());
+  EXPECT_EQ(example.phases.size(), 2u);
+  EXPECT_LT(example.phases[0].config.intensity,
+            example.phases[1].config.intensity);
+}
+
+}  // namespace
+}  // namespace ps::kernel

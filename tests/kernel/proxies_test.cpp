@@ -1,0 +1,65 @@
+#include "kernel/proxies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/node.hpp"
+#include "util/error.hpp"
+
+namespace ps::kernel {
+namespace {
+
+TEST(ProxiesTest, CatalogueIsValidAndUniquelyNamed) {
+  std::set<std::string_view> names;
+  for (const WorkloadProxy& proxy : workload_proxies()) {
+    EXPECT_NO_THROW(proxy.config.validate()) << proxy.name;
+    EXPECT_FALSE(proxy.stands_for.empty()) << proxy.name;
+    EXPECT_TRUE(names.insert(proxy.name).second)
+        << "duplicate proxy " << proxy.name;
+  }
+  EXPECT_GE(workload_proxies().size(), 6u);
+}
+
+TEST(ProxiesTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(proxy_by_name("STREAM").name, "stream");
+  EXPECT_EQ(proxy_by_name("dgemm").stands_for, "HPL / DGEMM");
+  EXPECT_THROW(static_cast<void>(proxy_by_name("lulesh")), ps::NotFound);
+}
+
+TEST(ProxiesTest, StreamIsMemoryBoundDgemmIsComputeBound) {
+  const hw::NodeModel node(0, 1.0);
+  const auto profile = [&](std::string_view name) {
+    const WorkloadConfig& config = proxy_by_name(name).config;
+    return node.preview_compute(1.0, config.intensity,
+                                config.vector_width, node.tdp());
+  };
+  const hw::PhaseResult stream = profile("stream");
+  EXPECT_DOUBLE_EQ(stream.mem_utilization, 1.0);
+  EXPECT_LT(stream.cpu_utilization, 0.2);
+  const hw::PhaseResult dgemm = profile("dgemm");
+  EXPECT_DOUBLE_EQ(dgemm.cpu_utilization, 1.0);
+  EXPECT_LT(dgemm.mem_utilization, 0.5);
+}
+
+TEST(ProxiesTest, GraphHasTheMostHarvestableSlack) {
+  // The graph proxy (heavy imbalance + waiting) must have the largest
+  // gap between waiting-host and critical-host demand.
+  const WorkloadConfig& graph = proxy_by_name("graph").config;
+  EXPECT_GE(graph.waiting_fraction, 0.5);
+  EXPECT_GE(graph.imbalance, 3.0);
+  const WorkloadConfig& stream = proxy_by_name("stream").config;
+  EXPECT_DOUBLE_EQ(stream.waiting_fraction, 0.0);
+}
+
+TEST(ProxiesTest, StencilSitsNearTheRidge) {
+  const hw::NodeModel node(0, 1.0);
+  const double ridge = node.roofline().ridge_intensity(
+      hw::VectorWidth::kYmm256, 2.6);
+  const WorkloadConfig& stencil = proxy_by_name("stencil").config;
+  EXPECT_GT(stencil.intensity, ridge * 0.5);
+  EXPECT_LT(stencil.intensity, ridge * 2.0);
+}
+
+}  // namespace
+}  // namespace ps::kernel

@@ -1,0 +1,79 @@
+#include "kernel/spin_barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ps::kernel {
+namespace {
+
+TEST(SpinBarrierTest, SingleParticipantNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) {
+    barrier.arrive_and_wait();
+  }
+  SUCCEED();
+}
+
+TEST(SpinBarrierTest, RejectsZeroParticipants) {
+  EXPECT_THROW(SpinBarrier(0), ps::InvalidArgument);
+}
+
+TEST(SpinBarrierTest, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kIterations = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this phase has incremented.
+        if (phase_counter.load() < (i + 1) * static_cast<int>(kThreads)) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(phase_counter.load(), kIterations * static_cast<int>(kThreads));
+}
+
+TEST(SpinBarrierTest, ReusableAcrossManyGenerations) {
+  constexpr std::size_t kThreads = 2;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> total{0};
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        barrier.arrive_and_wait();
+      }
+      total.fetch_add(1);
+    });
+  }
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(SpinBarrierTest, ReportsParticipantCount) {
+  SpinBarrier barrier(7);
+  EXPECT_EQ(barrier.participants(), 7u);
+}
+
+}  // namespace
+}  // namespace ps::kernel

@@ -1,0 +1,46 @@
+#include "rm/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+PowerAllocation sample() {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{100.0, 150.0}, {200.0}};
+  return allocation;
+}
+
+TEST(AllocationTest, TotalsSumEverything) {
+  const PowerAllocation allocation = sample();
+  EXPECT_DOUBLE_EQ(allocation.total_watts(), 450.0);
+  EXPECT_DOUBLE_EQ(allocation.job_total_watts(0), 250.0);
+  EXPECT_DOUBLE_EQ(allocation.job_total_watts(1), 200.0);
+  EXPECT_EQ(allocation.host_count(), 3u);
+}
+
+TEST(AllocationTest, JobIndexValidated) {
+  const PowerAllocation allocation = sample();
+  EXPECT_THROW(static_cast<void>(allocation.job_total_watts(2)),
+               ps::InvalidArgument);
+}
+
+TEST(AllocationTest, WithinBudgetUsesTolerance) {
+  const PowerAllocation allocation = sample();
+  EXPECT_TRUE(allocation.within_budget(450.0));
+  EXPECT_TRUE(allocation.within_budget(449.5));  // within 1 W tolerance
+  EXPECT_FALSE(allocation.within_budget(440.0));
+  EXPECT_TRUE(allocation.within_budget(440.0, 20.0));
+}
+
+TEST(AllocationTest, EmptyAllocationIsZero) {
+  const PowerAllocation allocation;
+  EXPECT_DOUBLE_EQ(allocation.total_watts(), 0.0);
+  EXPECT_EQ(allocation.host_count(), 0u);
+  EXPECT_TRUE(allocation.within_budget(0.0));
+}
+
+}  // namespace
+}  // namespace ps::rm

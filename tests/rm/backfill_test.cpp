@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "rm/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+JobRequest job(const std::string& name, std::size_t nodes) {
+  JobRequest request;
+  request.name = name;
+  request.node_count = nodes;
+  return request;
+}
+
+TEST(BackfillTest, WithoutCallbackHeadBlocksQueue) {
+  Scheduler scheduler(8);
+  scheduler.submit(job("running", 6));
+  static_cast<void>(scheduler.start_pending());
+  scheduler.submit(job("big-head", 4));   // does not fit (2 free)
+  scheduler.submit(job("small", 2));      // would fit
+  const auto grants = scheduler.start_pending();
+  EXPECT_TRUE(grants.empty());
+  EXPECT_EQ(scheduler.queued_count(), 2u);
+}
+
+TEST(BackfillTest, CallbackLetsShortJobsJumpAhead) {
+  Scheduler scheduler(8);
+  scheduler.submit(job("running", 6));
+  static_cast<void>(scheduler.start_pending());
+  scheduler.submit(job("big-head", 4));
+  scheduler.submit(job("small", 2));
+  const auto grants = scheduler.start_pending(
+      [](const JobRequest&) { return true; });
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].job_name, "small");
+  EXPECT_EQ(scheduler.queued_count(), 1u);  // head still waits
+  EXPECT_EQ(scheduler.free_node_count(), 0u);
+}
+
+TEST(BackfillTest, CallbackCanVetoBackfill) {
+  Scheduler scheduler(8);
+  scheduler.submit(job("running", 6));
+  static_cast<void>(scheduler.start_pending());
+  scheduler.submit(job("big-head", 4));
+  scheduler.submit(job("long-small", 2));
+  const auto grants = scheduler.start_pending(
+      [](const JobRequest&) { return false; });
+  EXPECT_TRUE(grants.empty());
+  EXPECT_EQ(scheduler.queued_count(), 2u);
+}
+
+TEST(BackfillTest, HeadNeverSkipped) {
+  // When the head fits, it starts in FIFO order even with a callback.
+  Scheduler scheduler(8);
+  scheduler.submit(job("head", 3));
+  scheduler.submit(job("second", 3));
+  const auto grants = scheduler.start_pending(
+      [](const JobRequest&) { return true; });
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].job_name, "head");
+  EXPECT_EQ(grants[1].job_name, "second");
+}
+
+TEST(BackfillTest, MultipleBackfillsInOnePass) {
+  Scheduler scheduler(10);
+  scheduler.submit(job("running", 7));
+  static_cast<void>(scheduler.start_pending());
+  scheduler.submit(job("big-head", 6));
+  scheduler.submit(job("a", 2));
+  scheduler.submit(job("b", 1));
+  scheduler.submit(job("c", 2));  // no longer fits after a and b
+  const auto grants = scheduler.start_pending(
+      [](const JobRequest&) { return true; });
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].job_name, "a");
+  EXPECT_EQ(grants[1].job_name, "b");
+  EXPECT_EQ(scheduler.free_node_count(), 0u);
+  EXPECT_EQ(scheduler.queued_count(), 2u);
+}
+
+TEST(BackfillTest, QueuedHeadAccessor) {
+  Scheduler scheduler(4);
+  EXPECT_EQ(scheduler.queued_head(), nullptr);
+  scheduler.submit(job("running", 4));
+  static_cast<void>(scheduler.start_pending());
+  scheduler.submit(job("waiting", 2));
+  ASSERT_NE(scheduler.queued_head(), nullptr);
+  EXPECT_EQ(scheduler.queued_head()->name, "waiting");
+}
+
+}  // namespace
+}  // namespace ps::rm

@@ -1,0 +1,91 @@
+#include "rm/power_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t begin, std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+class PowerManagerTest : public ::testing::Test {
+ protected:
+  PowerManagerTest()
+      : cluster_(4),
+        job_a_("a", hosts_of(cluster_, 0, 2), kernel::WorkloadConfig{}),
+        job_b_("b", hosts_of(cluster_, 2, 2), kernel::WorkloadConfig{}) {}
+
+  sim::Cluster cluster_;
+  sim::JobSimulation job_a_;
+  sim::JobSimulation job_b_;
+  std::vector<sim::JobSimulation*> jobs_{&job_a_, &job_b_};
+};
+
+TEST_F(PowerManagerTest, AppliesCapsToHosts) {
+  const SystemPowerManager manager(800.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};
+  manager.apply(jobs_, allocation);
+  EXPECT_NEAR(job_a_.host_cap(0), 190.0, 0.5);
+  EXPECT_NEAR(job_a_.host_cap(1), 200.0, 0.5);
+  EXPECT_NEAR(job_b_.host_cap(0), 180.0, 0.5);
+  EXPECT_NEAR(job_b_.host_cap(1), 210.0, 0.5);
+}
+
+TEST_F(PowerManagerTest, RejectsOverBudgetAllocation) {
+  const SystemPowerManager manager(700.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};  // 780 W
+  EXPECT_THROW(manager.apply(jobs_, allocation), ps::InvalidArgument);
+}
+
+TEST_F(PowerManagerTest, EnforcementCanBeDisabled) {
+  const SystemPowerManager manager(700.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};
+  EXPECT_NO_THROW(manager.apply(jobs_, allocation, false));
+  EXPECT_FALSE(manager.allocation_fits(jobs_));
+}
+
+TEST_F(PowerManagerTest, ShapeMismatchRejected) {
+  const SystemPowerManager manager(800.0);
+  PowerAllocation wrong_jobs;
+  wrong_jobs.job_host_caps = {{190.0, 200.0}};
+  EXPECT_THROW(manager.apply(jobs_, wrong_jobs), ps::InvalidArgument);
+  PowerAllocation wrong_hosts;
+  wrong_hosts.job_host_caps = {{190.0}, {180.0, 210.0}};
+  EXPECT_THROW(manager.apply(jobs_, wrong_hosts), ps::InvalidArgument);
+}
+
+TEST_F(PowerManagerTest, TotalAllocatedReflectsProgrammedCaps) {
+  const SystemPowerManager manager(900.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};
+  manager.apply(jobs_, allocation);
+  EXPECT_NEAR(SystemPowerManager::total_allocated_watts(jobs_), 780.0, 1.0);
+  EXPECT_TRUE(manager.allocation_fits(jobs_));
+}
+
+TEST_F(PowerManagerTest, QuantizationToleranceAccepted) {
+  // Caps at exactly the budget must survive RAPL 1/8-W quantization.
+  const SystemPowerManager manager(780.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{195.03, 195.03}, {195.03, 194.91}};
+  EXPECT_NO_THROW(manager.apply(jobs_, allocation));
+}
+
+TEST(PowerManagerStandaloneTest, RejectsNonPositiveBudget) {
+  EXPECT_THROW(SystemPowerManager(0.0), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::rm

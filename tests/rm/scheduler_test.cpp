@@ -1,0 +1,125 @@
+#include "rm/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+JobRequest job(const std::string& name, std::size_t nodes) {
+  JobRequest request;
+  request.name = name;
+  request.node_count = nodes;
+  return request;
+}
+
+TEST(SchedulerTest, StartsJobsInFifoOrder) {
+  Scheduler scheduler(10);
+  scheduler.submit(job("a", 4));
+  scheduler.submit(job("b", 4));
+  scheduler.submit(job("c", 4));  // does not fit with a and b
+  const std::vector<NodeGrant> grants = scheduler.start_pending();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_EQ(grants[0].job_name, "a");
+  EXPECT_EQ(grants[1].job_name, "b");
+  EXPECT_EQ(scheduler.queued_count(), 1u);
+  EXPECT_EQ(scheduler.running_count(), 2u);
+  EXPECT_EQ(scheduler.free_node_count(), 2u);
+}
+
+TEST(SchedulerTest, GrantsDistinctNodes) {
+  Scheduler scheduler(9);
+  scheduler.submit(job("a", 4));
+  scheduler.submit(job("b", 5));
+  const std::vector<NodeGrant> grants = scheduler.start_pending();
+  std::set<std::size_t> seen;
+  for (const auto& grant : grants) {
+    for (std::size_t node : grant.node_indices) {
+      EXPECT_TRUE(seen.insert(node).second) << "node granted twice";
+      EXPECT_LT(node, 9u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(SchedulerTest, CompleteReleasesNodes) {
+  Scheduler scheduler(6);
+  scheduler.submit(job("a", 6));
+  scheduler.submit(job("b", 3));
+  static_cast<void>(scheduler.start_pending());
+  EXPECT_EQ(scheduler.running_count(), 1u);
+  scheduler.complete("a");
+  EXPECT_EQ(scheduler.free_node_count(), 6u);
+  const std::vector<NodeGrant> grants = scheduler.start_pending();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].job_name, "b");
+}
+
+TEST(SchedulerTest, HeadOfQueueBlocksLaterJobs) {
+  Scheduler scheduler(4);
+  scheduler.submit(job("big", 4));
+  scheduler.submit(job("small", 1));
+  static_cast<void>(scheduler.start_pending());
+  // "big" is running; "small" fits nowhere.
+  scheduler.submit(job("big2", 3));
+  const std::vector<NodeGrant> grants = scheduler.start_pending();
+  // No backfill: big2 blocks behind small... actually small starts? No:
+  // small requires 1 node but 0 are free while big runs.
+  EXPECT_TRUE(grants.empty());
+  EXPECT_EQ(scheduler.queued_count(), 2u);
+}
+
+TEST(SchedulerTest, NodesOfRunningJobAccessible) {
+  Scheduler scheduler(5);
+  scheduler.submit(job("a", 3));
+  static_cast<void>(scheduler.start_pending());
+  EXPECT_TRUE(scheduler.is_running("a"));
+  EXPECT_EQ(scheduler.nodes_of("a").size(), 3u);
+  EXPECT_THROW(static_cast<void>(scheduler.nodes_of("b")), ps::NotFound);
+}
+
+TEST(SchedulerTest, CompleteUnknownJobThrows) {
+  Scheduler scheduler(2);
+  EXPECT_THROW(scheduler.complete("ghost"), ps::NotFound);
+}
+
+TEST(SchedulerTest, OversizedJobRejectedAtSubmit) {
+  Scheduler scheduler(4);
+  EXPECT_THROW(scheduler.submit(job("too-big", 5)), ps::InvalidArgument);
+}
+
+TEST(SchedulerTest, DuplicateNamesRejected) {
+  Scheduler scheduler(8);
+  scheduler.submit(job("a", 2));
+  EXPECT_THROW(scheduler.submit(job("a", 2)), ps::InvalidArgument);
+  static_cast<void>(scheduler.start_pending());
+  EXPECT_THROW(scheduler.submit(job("a", 2)), ps::InvalidArgument);
+}
+
+TEST(SchedulerTest, ExplicitPoolIndicesUsed) {
+  Scheduler scheduler(std::vector<std::size_t>{10, 20, 30});
+  scheduler.submit(job("a", 3));
+  const std::vector<NodeGrant> grants = scheduler.start_pending();
+  ASSERT_EQ(grants.size(), 1u);
+  std::set<std::size_t> nodes(grants[0].node_indices.begin(),
+                              grants[0].node_indices.end());
+  EXPECT_EQ(nodes, (std::set<std::size_t>{10, 20, 30}));
+}
+
+TEST(SchedulerTest, DuplicatePoolIndicesRejected) {
+  EXPECT_THROW(Scheduler(std::vector<std::size_t>{1, 1, 2}),
+               ps::InvalidArgument);
+  EXPECT_THROW(Scheduler(std::vector<std::size_t>{}), ps::InvalidArgument);
+}
+
+TEST(SchedulerTest, InvalidJobRequestRejected) {
+  Scheduler scheduler(4);
+  EXPECT_THROW(scheduler.submit(job("", 2)), ps::InvalidArgument);
+  EXPECT_THROW(scheduler.submit(job("a", 0)), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::rm

@@ -1,0 +1,61 @@
+#include "runtime/agent_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/controller.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+TEST(AgentRegistryTest, MakesEveryAgentKind) {
+  for (AgentKind kind : all_agent_kinds()) {
+    const auto agent = make_agent(kind, 800.0);
+    ASSERT_NE(agent, nullptr) << to_string(kind);
+    EXPECT_EQ(agent->name(), to_string(kind));
+  }
+}
+
+TEST(AgentRegistryTest, LooksUpByNameCaseInsensitively) {
+  EXPECT_EQ(agent_kind_from_name("power_balancer"),
+            AgentKind::kPowerBalancer);
+  EXPECT_EQ(agent_kind_from_name("Tree_Balancer"),
+            AgentKind::kTreeBalancer);
+  EXPECT_THROW(static_cast<void>(agent_kind_from_name("bogus")),
+               ps::NotFound);
+}
+
+TEST(AgentRegistryTest, EveryAgentDrivesAJob) {
+  for (AgentKind kind : all_agent_kinds()) {
+    sim::Cluster cluster(4);
+    kernel::WorkloadConfig config;
+    config.intensity = 16.0;
+    config.waiting_fraction = 0.5;
+    config.imbalance = 2.0;
+    std::vector<hw::NodeModel*> hosts;
+    for (std::size_t i = 0; i < 4; ++i) {
+      hosts.push_back(&cluster.node(i));
+    }
+    sim::JobSimulation job("j", std::move(hosts), config);
+    const auto agent = make_agent(kind, 4.0 * 195.0);
+    const JobReport report = Controller(4, 2).run(job, *agent);
+    EXPECT_EQ(report.iterations, 4u) << to_string(kind);
+    EXPECT_GT(report.total_energy_joules, 0.0) << to_string(kind);
+  }
+}
+
+TEST(AgentRegistryTest, BudgetValidatedForBudgetDrivenAgents) {
+  EXPECT_THROW(
+      static_cast<void>(make_agent(AgentKind::kPowerBalancer, 0.0)),
+      ps::InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(make_agent(AgentKind::kPowerGovernor, -1.0)),
+      ps::InvalidArgument);
+  // Monitor ignores the budget entirely.
+  EXPECT_NO_THROW(
+      static_cast<void>(make_agent(AgentKind::kMonitor, 0.0)));
+}
+
+}  // namespace
+}  // namespace ps::runtime

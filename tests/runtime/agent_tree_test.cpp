@@ -1,0 +1,176 @@
+#include "runtime/agent_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "runtime/controller.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+TEST(TreeTopologyTest, SingleLeafIsJustTheRoot) {
+  const TreeTopology tree = TreeTopology::balanced(1, 2);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_TRUE(tree.nodes()[0].is_leaf());
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_EQ(tree.leaf_node(0), 0u);
+}
+
+TEST(TreeTopologyTest, BinaryTreeOverEightLeaves) {
+  const TreeTopology tree = TreeTopology::balanced(8, 2);
+  // 8 leaves + 4 + 2 + 1 internal = 15 nodes, depth 3.
+  EXPECT_EQ(tree.nodes().size(), 15u);
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.nodes()[tree.root()].leaf_count, 8u);
+  EXPECT_EQ(tree.nodes()[tree.root()].children.size(), 2u);
+}
+
+TEST(TreeTopologyTest, LeafRangesPartitionTheHosts) {
+  for (std::size_t leaves : {1u, 2u, 7u, 16u, 33u, 100u}) {
+    for (std::size_t fan_out : {2u, 4u, 8u}) {
+      const TreeTopology tree = TreeTopology::balanced(leaves, fan_out);
+      for (const TreeNode& node : tree.nodes()) {
+        if (!node.is_leaf()) {
+          std::size_t covered = 0;
+          std::size_t cursor = node.first_leaf;
+          EXPECT_LE(node.children.size(), fan_out);
+          for (std::size_t child : node.children) {
+            EXPECT_EQ(tree.nodes()[child].first_leaf, cursor);
+            cursor += tree.nodes()[child].leaf_count;
+            covered += tree.nodes()[child].leaf_count;
+          }
+          EXPECT_EQ(covered, node.leaf_count);
+        } else {
+          EXPECT_EQ(node.leaf_count, 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(TreeTopologyTest, DepthIsLogarithmic) {
+  const TreeTopology tree = TreeTopology::balanced(900, 8);
+  // ceil(log8(900)) = 4.
+  EXPECT_LE(tree.depth(), 4u);
+  EXPECT_GE(tree.depth(), 3u);
+}
+
+TEST(TreeTopologyTest, LeafNodeFindsTheRightLeaf) {
+  const TreeTopology tree = TreeTopology::balanced(13, 3);
+  for (std::size_t leaf = 0; leaf < 13; ++leaf) {
+    const std::size_t index = tree.leaf_node(leaf);
+    EXPECT_TRUE(tree.nodes()[index].is_leaf());
+    EXPECT_EQ(tree.nodes()[index].first_leaf, leaf);
+  }
+  EXPECT_THROW(static_cast<void>(tree.leaf_node(13)), ps::InvalidArgument);
+}
+
+TEST(TreeTopologyTest, AggregateSumMatchesDirectSum) {
+  const TreeTopology tree = TreeTopology::balanced(10, 3);
+  std::vector<double> values(10);
+  std::iota(values.begin(), values.end(), 1.0);  // 1..10
+  const std::vector<double> sums = tree.aggregate_sum(values);
+  EXPECT_DOUBLE_EQ(sums[tree.root()], 55.0);
+  const std::vector<double> maxes = tree.aggregate_max(values);
+  EXPECT_DOUBLE_EQ(maxes[tree.root()], 10.0);
+}
+
+TEST(TreeTopologyTest, AggregateValidatesLeafCount) {
+  const TreeTopology tree = TreeTopology::balanced(4, 2);
+  EXPECT_THROW(static_cast<void>(tree.aggregate_sum({1.0, 2.0})),
+               ps::InvalidArgument);
+}
+
+TEST(TreeTopologyTest, InvalidShapesRejected) {
+  EXPECT_THROW(static_cast<void>(TreeTopology::balanced(0, 2)),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(TreeTopology::balanced(4, 1)),
+               ps::InvalidArgument);
+}
+
+kernel::WorkloadConfig imbalanced_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+TEST(TreeBalancerTest, StaysWithinBudget) {
+  sim::Cluster cluster(16);
+  sim::JobSimulation job("j", hosts_of(cluster, 16), imbalanced_config());
+  const double budget = 16.0 * 195.0;
+  TreeBalancerAgent agent(budget);
+  static_cast<void>(Controller(3, 2).run(job, agent));
+  EXPECT_TRUE(agent.balanced());
+  EXPECT_LE(job.total_allocated_power(), budget + 16.0 * 0.5);
+}
+
+TEST(TreeBalancerTest, WaitingHostsTrimmedCriticalFunded) {
+  sim::Cluster cluster(16);
+  sim::JobSimulation job("j", hosts_of(cluster, 16), imbalanced_config());
+  TreeBalancerAgent agent(16.0 * 200.0);
+  static_cast<void>(Controller(3, 2).run(job, agent));
+  EXPECT_LT(job.host_cap(0), 170.0);    // waiting host
+  EXPECT_GT(job.host_cap(15), 200.0);   // critical host
+}
+
+TEST(TreeBalancerTest, MatchesFlatBalancerWithinTolerance) {
+  const double budget = 16.0 * 195.0;
+
+  sim::Cluster flat_cluster(16);
+  sim::JobSimulation flat_job("flat", hosts_of(flat_cluster, 16),
+                              imbalanced_config());
+  PowerBalancerAgent flat(budget);
+  const JobReport flat_report = Controller(10, 2).run(flat_job, flat);
+
+  sim::Cluster tree_cluster(16);
+  sim::JobSimulation tree_job("tree", hosts_of(tree_cluster, 16),
+                              imbalanced_config());
+  TreeBalancerAgent tree(budget);
+  const JobReport tree_report = Controller(10, 2).run(tree_job, tree);
+
+  // The hierarchical solution reaches within a few percent of the flat
+  // (global) optimum.
+  EXPECT_LT(tree_report.elapsed_seconds,
+            flat_report.elapsed_seconds * 1.05);
+}
+
+TEST(TreeBalancerTest, BeatsUniformDistribution) {
+  const double budget = 16.0 * 190.0;
+  sim::Cluster cluster(16);
+  sim::JobSimulation job("j", hosts_of(cluster, 16), imbalanced_config());
+
+  for (std::size_t h = 0; h < 16; ++h) {
+    job.set_host_cap(h, 190.0);
+  }
+  const double uniform_time = job.run_iteration().iteration_seconds;
+
+  TreeBalancerAgent agent(budget);
+  static_cast<void>(Controller(3, 2).run(job, agent));
+  const double tree_time = job.run_iteration().iteration_seconds;
+  EXPECT_LT(tree_time, uniform_time * 0.95);
+}
+
+TEST(TreeBalancerTest, InvalidOptionsRejected) {
+  EXPECT_THROW(TreeBalancerAgent(0.0), ps::InvalidArgument);
+  TreeBalancerOptions bad;
+  bad.fan_out = 1;
+  EXPECT_THROW(TreeBalancerAgent(100.0, bad), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

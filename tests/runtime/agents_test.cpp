@@ -1,0 +1,62 @@
+#include "runtime/basic_agents.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+TEST(MonitorAgentTest, LeavesCapsUntouched) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  job.set_host_cap(0, 200.0);
+  job.set_host_cap(1, 180.0);
+  MonitorAgent agent;
+  agent.setup(job);
+  agent.adjust(job);
+  EXPECT_NEAR(job.host_cap(0), 200.0, 0.5);
+  EXPECT_NEAR(job.host_cap(1), 180.0, 0.5);
+  EXPECT_EQ(agent.name(), "monitor");
+}
+
+TEST(PowerGovernorTest, AppliesUniformCaps) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4),
+                         kernel::WorkloadConfig{});
+  PowerGovernorAgent agent(800.0);
+  agent.setup(job);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(job.host_cap(i), 200.0, 0.5);
+  }
+  EXPECT_EQ(agent.name(), "power_governor");
+  EXPECT_DOUBLE_EQ(agent.job_budget(), 800.0);
+}
+
+TEST(PowerGovernorTest, BudgetBelowFloorClampsUp) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  PowerGovernorAgent agent(100.0);  // 50 W per host, below the floor
+  agent.setup(job);
+  EXPECT_DOUBLE_EQ(job.host_cap(0), cluster.node(0).min_cap());
+}
+
+TEST(PowerGovernorTest, RejectsNonPositiveBudget) {
+  EXPECT_THROW(PowerGovernorAgent(0.0), ps::InvalidArgument);
+  EXPECT_THROW(PowerGovernorAgent(-5.0), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,132 @@
+#include "runtime/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+kernel::WorkloadConfig imbalanced_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+TEST(MonitorCharacterizationTest, ReportsUncappedPower) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4),
+                         kernel::WorkloadConfig{});
+  job.set_host_cap(0, 170.0);  // stale cap; characterization must uncap
+  const MonitorCharacterization mc = characterize_monitor(job, 5);
+  EXPECT_EQ(mc.host_average_power_watts.size(), 4u);
+  // Uncapped default workload draws ~214 W (Fig. 4 band).
+  EXPECT_NEAR(mc.average_node_power_watts, 214.0, 10.0);
+  EXPECT_GE(mc.max_host_power_watts, mc.min_host_power_watts);
+  EXPECT_GT(mc.iteration_seconds, 0.0);
+}
+
+TEST(MonitorCharacterizationTest, ImbalanceInsensitiveUncappedPower) {
+  // Fig. 4's key observation: uncapped power barely moves with the
+  // waiting-rank fraction, because polling draws near-streaming power.
+  sim::Cluster cluster(4);
+  kernel::WorkloadConfig balanced;
+  balanced.intensity = 16.0;
+  sim::JobSimulation job_balanced("b", hosts_of(cluster, 4), balanced);
+  const double p_balanced =
+      characterize_monitor(job_balanced, 4).average_node_power_watts;
+
+  sim::JobSimulation job_imbalanced("i", hosts_of(cluster, 4),
+                                    imbalanced_config());
+  const double p_imbalanced =
+      characterize_monitor(job_imbalanced, 4).average_node_power_watts;
+  EXPECT_NEAR(p_imbalanced, p_balanced, p_balanced * 0.04);
+}
+
+TEST(BalancerCharacterizationTest, NeededPowerBelowMonitorPower) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4), imbalanced_config());
+  const MonitorCharacterization mc = characterize_monitor(job, 4);
+  sim::JobSimulation job2("j2", hosts_of(cluster, 4), imbalanced_config());
+  const BalancerCharacterization bc = characterize_balancer(job2, 4);
+  EXPECT_LT(bc.average_node_power_watts, mc.average_node_power_watts);
+  EXPECT_EQ(bc.host_needed_power_watts.size(), 4u);
+  EXPECT_LE(bc.min_host_needed_watts, bc.max_host_needed_watts);
+}
+
+TEST(BalancerCharacterizationTest, WaitingHostsNeedTheFloor) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4), imbalanced_config());
+  const BalancerCharacterization bc = characterize_balancer(job, 4);
+  // 3x imbalance leaves the two waiting hosts with enormous slack.
+  EXPECT_NEAR(bc.host_needed_power_watts[0], cluster.node(0).min_cap(),
+              1.0);
+  EXPECT_NEAR(bc.host_needed_power_watts[1], cluster.node(1).min_cap(),
+              1.0);
+  EXPECT_GT(bc.host_needed_power_watts[3], 190.0);
+}
+
+TEST(BalancerCharacterizationTest, DefaultBudgetIsTdp) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  // Must not throw and must produce caps within [floor, tdp].
+  const BalancerCharacterization bc = characterize_balancer(job, 3);
+  for (double cap : bc.host_needed_power_watts) {
+    EXPECT_GE(cap, cluster.node(0).min_cap() - 1e-9);
+    EXPECT_LE(cap, cluster.node(0).tdp() + 1e-9);
+  }
+}
+
+TEST(JobCharacterizationTest, CombinesBothAndRestoresCaps) {
+  sim::Cluster cluster(3);
+  sim::JobSimulation job("j", hosts_of(cluster, 3), imbalanced_config());
+  const JobCharacterization jc = characterize_job(job, 4);
+  EXPECT_EQ(jc.host_count, 3u);
+  EXPECT_DOUBLE_EQ(jc.min_settable_cap_watts, cluster.node(0).min_cap());
+  EXPECT_EQ(jc.monitor.host_average_power_watts.size(), 3u);
+  EXPECT_EQ(jc.balancer.host_needed_power_watts.size(), 3u);
+  // Caps are reset to TDP afterwards.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(job.host_cap(i), cluster.node(i).tdp());
+  }
+  EXPECT_GT(jc.total_monitor_power(), jc.total_needed_power());
+}
+
+TEST(CharacterizationStoreTest, PutGetContains) {
+  CharacterizationStore store;
+  EXPECT_FALSE(store.contains("a"));
+  JobCharacterization jc;
+  jc.host_count = 5;
+  store.put("a", jc);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_EQ(store.get("a").host_count, 5u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_THROW(static_cast<void>(store.get("missing")), ps::NotFound);
+}
+
+TEST(CharacterizationStoreTest, PutOverwrites) {
+  CharacterizationStore store;
+  JobCharacterization jc;
+  jc.host_count = 1;
+  store.put("a", jc);
+  jc.host_count = 2;
+  store.put("a", jc);
+  EXPECT_EQ(store.get("a").host_count, 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,114 @@
+#include "runtime/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/basic_agents.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+TEST(ControllerTest, ReportCoversRequestedIterations) {
+  sim::Cluster cluster(3);
+  sim::JobSimulation job("myjob", hosts_of(cluster, 3),
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const Controller controller(7);
+  const JobReport report = controller.run(job, agent);
+  EXPECT_EQ(report.iterations, 7u);
+  EXPECT_EQ(report.iteration_seconds.size(), 7u);
+  EXPECT_EQ(report.iteration_energy_joules.size(), 7u);
+  EXPECT_EQ(report.hosts.size(), 3u);
+  EXPECT_EQ(report.job_name, "myjob");
+  EXPECT_EQ(report.agent_name, "monitor");
+}
+
+TEST(ControllerTest, WarmupExcludedFromMeasurement) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const Controller controller(5, 3);
+  const JobReport report = controller.run(job, agent);
+  EXPECT_EQ(report.iterations, 5u);
+  // The job itself saw warmup + measured iterations.
+  EXPECT_EQ(job.totals().iterations, 8u);
+}
+
+TEST(ControllerTest, ElapsedIsSumOfIterationTimes) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const JobReport report = Controller(4).run(job, agent);
+  double sum = 0.0;
+  for (double t : report.iteration_seconds) {
+    sum += t;
+  }
+  EXPECT_NEAR(report.elapsed_seconds, sum, 1e-9);
+}
+
+TEST(ControllerTest, HostReportsAreConsistent) {
+  sim::Cluster cluster(3);
+  kernel::WorkloadConfig config;
+  config.waiting_fraction = 0.34;
+  config.imbalance = 2.0;
+  sim::JobSimulation job("j", hosts_of(cluster, 3), config);
+  MonitorAgent agent;
+  const JobReport report = Controller(5).run(job, agent);
+  double host_energy = 0.0;
+  for (const auto& host : report.hosts) {
+    host_energy += host.energy_joules;
+    EXPECT_NEAR(host.busy_seconds + host.poll_seconds,
+                report.elapsed_seconds, 1e-9);
+    EXPECT_GT(host.average_power_watts, 0.0);
+    EXPECT_GE(host.max_power_watts, host.average_power_watts - 1e-9);
+    EXPECT_DOUBLE_EQ(host.final_cap_watts, job.host_cap(0));
+  }
+  EXPECT_NEAR(host_energy, report.total_energy_joules, 1e-6);
+  EXPECT_TRUE(report.hosts[0].waiting_host);
+  EXPECT_FALSE(report.hosts[2].waiting_host);
+}
+
+TEST(ControllerTest, DerivedMetricsBehave) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const JobReport report = Controller(3).run(job, agent);
+  EXPECT_GT(report.average_node_power_watts(), 100.0);
+  EXPECT_LT(report.average_node_power_watts(), 260.0);
+  EXPECT_GE(report.max_host_average_power_watts(),
+            report.min_host_average_power_watts());
+  EXPECT_GT(report.achieved_gflops(), 0.0);
+  EXPECT_GT(report.gflops_per_watt(), 0.0);
+  EXPECT_GT(report.energy_delay_product(), 0.0);
+}
+
+TEST(ControllerTest, ZeroIterationsRejected) {
+  EXPECT_THROW(Controller(0), ps::InvalidArgument);
+}
+
+TEST(JobReportTest, EmptyReportAccessorsThrow) {
+  const JobReport report;
+  EXPECT_THROW(static_cast<void>(report.max_host_average_power_watts()),
+               ps::InvalidState);
+  EXPECT_THROW(static_cast<void>(report.min_host_average_power_watts()),
+               ps::InvalidState);
+  EXPECT_DOUBLE_EQ(report.average_node_power_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(report.achieved_gflops(), 0.0);
+  EXPECT_DOUBLE_EQ(report.gflops_per_watt(), 0.0);
+}
+
+}  // namespace
+}  // namespace ps::runtime

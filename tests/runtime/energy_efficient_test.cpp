@@ -1,0 +1,158 @@
+#include "runtime/energy_efficient_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/basic_agents.hpp"
+#include "runtime/controller.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+TEST(FrequencyCapTest, CapsEffectiveFrequency) {
+  hw::NodeModel node(0, 1.0);
+  node.set_frequency_cap(1.8);
+  const hw::PhaseResult result =
+      node.run_compute(1.0, 32.0, hw::VectorWidth::kYmm256);
+  EXPECT_DOUBLE_EQ(result.frequency_ghz, 1.8);
+}
+
+TEST(FrequencyCapTest, LowerFrequencyLowersPower) {
+  hw::NodeModel node(0, 1.0);
+  const hw::PhaseResult full =
+      node.preview_compute(1.0, 0.25, hw::VectorWidth::kYmm256,
+                           node.tdp(), 2.6);
+  const hw::PhaseResult slow =
+      node.preview_compute(1.0, 0.25, hw::VectorWidth::kYmm256,
+                           node.tdp(), 1.8);
+  EXPECT_LT(slow.power_watts, full.power_watts - 20.0);
+  // Memory-bound: the slowdown is bounded by the bandwidth floor.
+  EXPECT_LT(slow.seconds / full.seconds, 1.12);
+}
+
+TEST(FrequencyCapTest, ClampsAndValidates) {
+  hw::NodeModel node(0, 1.0);
+  EXPECT_DOUBLE_EQ(node.set_frequency_cap(0.5), 1.2);
+  EXPECT_DOUBLE_EQ(node.set_frequency_cap(9.0), 2.6);
+  EXPECT_THROW(static_cast<void>(node.set_frequency_cap(-1.0)),
+               ps::InvalidArgument);
+}
+
+TEST(MinFrequencyForTimeTest, LooseTargetGivesFmin) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", hosts_of(cluster, 2),
+                         kernel::WorkloadConfig{});
+  EXPECT_DOUBLE_EQ(min_frequency_for_time(job, 0, 1e9), 1.2);
+}
+
+TEST(MinFrequencyForTimeTest, TightTargetGivesFmax) {
+  sim::Cluster cluster(2);
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  sim::JobSimulation job("j", hosts_of(cluster, 2), config);
+  EXPECT_DOUBLE_EQ(min_frequency_for_time(job, 0, 1e-9), 2.6);
+}
+
+TEST(MinFrequencyForTimeTest, ChosenFrequencyMeetsTarget) {
+  sim::Cluster cluster(2);
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  sim::JobSimulation job("j", hosts_of(cluster, 2), config);
+  const double uncapped =
+      job.host(0)
+          .preview_compute(2.0, 32.0, hw::VectorWidth::kYmm256,
+                           job.host(0).tdp(), 2.6)
+          .seconds;
+  const double target = uncapped * 1.15;
+  const double f = min_frequency_for_time(job, 0, target);
+  const double busy =
+      job.host(0)
+          .preview_compute(2.0, 32.0, hw::VectorWidth::kYmm256,
+                           job.host(0).tdp(), f)
+          .seconds;
+  EXPECT_LE(busy, target * 1.0001);
+  EXPECT_LT(f, 2.6);
+}
+
+TEST(EnergyEfficientAgentTest, TunesAfterFirstObservation) {
+  sim::Cluster cluster(4);
+  kernel::WorkloadConfig config;
+  config.intensity = 0.25;  // memory-bound: big DVFS headroom
+  sim::JobSimulation job("j", hosts_of(cluster, 4), config);
+  EnergyEfficientAgent agent;
+  Controller controller(5, 2);
+  const JobReport report = controller.run(job, agent);
+  EXPECT_TRUE(agent.tuned());
+  ASSERT_EQ(agent.steady_frequencies().size(), 4u);
+  for (double f : agent.steady_frequencies()) {
+    EXPECT_LT(f, 2.6);  // memory-bound hosts get slowed
+  }
+  EXPECT_GT(report.total_energy_joules, 0.0);
+}
+
+TEST(EnergyEfficientAgentTest, SavesEnergyWithinTolerance) {
+  sim::Cluster cluster(2);
+  kernel::WorkloadConfig config;
+  config.intensity = 0.25;
+  // Reference run at full frequency.
+  sim::JobSimulation reference("r", hosts_of(cluster, 2), config);
+  MonitorAgent monitor;
+  const JobReport base = Controller(10).run(reference, monitor);
+
+  sim::Cluster cluster2(2);
+  sim::JobSimulation tuned("t", hosts_of(cluster2, 2), config);
+  EnergyEfficientAgent agent;
+  const JobReport efficient = Controller(10, 2).run(tuned, agent);
+
+  EXPECT_LT(efficient.total_energy_joules,
+            base.total_energy_joules * 0.92);
+  EXPECT_LT(efficient.elapsed_seconds, base.elapsed_seconds * 1.06);
+}
+
+TEST(EnergyEfficientAgentTest, LeavesComputeBoundHostsFast) {
+  sim::Cluster cluster(2);
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;  // compute-bound: slowing costs time
+  sim::JobSimulation job("j", hosts_of(cluster, 2), config);
+  EnergyEfficientAgent agent;
+  static_cast<void>(Controller(4, 2).run(job, agent));
+  for (double f : agent.steady_frequencies()) {
+    EXPECT_GT(f, 2.4);
+  }
+}
+
+TEST(EnergyEfficientAgentTest, SlowsWaitingHostsHard) {
+  sim::Cluster cluster(4);
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  sim::JobSimulation job("j", hosts_of(cluster, 4), config);
+  EnergyEfficientAgent agent;
+  static_cast<void>(Controller(4, 2).run(job, agent));
+  // Waiting hosts (indices 0,1) need only a third of the speed.
+  EXPECT_LT(agent.steady_frequencies()[0], 1.5);
+  EXPECT_GT(agent.steady_frequencies()[3], 2.4);
+}
+
+TEST(EnergyEfficientAgentTest, OptionsValidated) {
+  EnergyEfficientOptions bad;
+  bad.performance_tolerance = -0.1;
+  EXPECT_THROW(EnergyEfficientAgent{bad}, ps::InvalidArgument);
+  bad = {};
+  bad.frequency_step_ghz = 0.0;
+  EXPECT_THROW(EnergyEfficientAgent{bad}, ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,108 @@
+#include "runtime/feedback_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/controller.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+kernel::WorkloadConfig imbalanced_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+TEST(FeedbackAgentTest, StaysWithinBudgetWhileShifting) {
+  sim::Cluster cluster(8);
+  sim::JobSimulation job("j", hosts_of(cluster, 8), imbalanced_config());
+  const double budget = 8.0 * 195.0;
+  FeedbackPowerAgent agent(budget);
+  static_cast<void>(Controller(30, 1).run(job, agent));
+  EXPECT_LE(job.total_allocated_power(), budget + 8.0 * 0.5);
+}
+
+TEST(FeedbackAgentTest, ConvergesTowardBalancedDistribution) {
+  sim::Cluster cluster(8);
+  sim::JobSimulation job("j", hosts_of(cluster, 8), imbalanced_config());
+  const double budget = 8.0 * 195.0;
+  FeedbackPowerAgent agent(budget);
+  static_cast<void>(Controller(60, 1).run(job, agent));
+  // Waiting hosts trimmed toward the floor, critical hosts funded.
+  EXPECT_LT(job.host_cap(0), 170.0);
+  EXPECT_GT(job.host_cap(7), 210.0);
+  // The controller settles: late steps are small.
+  EXPECT_LT(agent.last_step_watts(), 2.0);
+}
+
+TEST(FeedbackAgentTest, ReachesNearModelDrivenPerformance) {
+  const double budget = 8.0 * 195.0;
+
+  sim::Cluster model_cluster(8);
+  sim::JobSimulation model_job("m", hosts_of(model_cluster, 8),
+                               imbalanced_config());
+  PowerBalancerAgent model_agent(budget);
+  static_cast<void>(Controller(5, 2).run(model_job, model_agent));
+  const double model_time = model_job.run_iteration().iteration_seconds;
+
+  sim::Cluster feedback_cluster(8);
+  sim::JobSimulation feedback_job("f", hosts_of(feedback_cluster, 8),
+                                  imbalanced_config());
+  FeedbackPowerAgent feedback_agent(budget);
+  static_cast<void>(Controller(60, 1).run(feedback_job, feedback_agent));
+  const double feedback_time =
+      feedback_job.run_iteration().iteration_seconds;
+
+  EXPECT_LT(feedback_time, model_time * 1.06);
+}
+
+TEST(FeedbackAgentTest, StepLimitBoundsPerIterationMoves) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4), imbalanced_config());
+  FeedbackOptions options;
+  options.max_step_watts = 3.0;
+  FeedbackPowerAgent agent(4.0 * 195.0, options);
+  agent.setup(job);
+  const sim::IterationResult result = job.run_iteration();
+  agent.observe(job, result);
+  agent.adjust(job);
+  EXPECT_LE(agent.last_step_watts(), 3.0 + 1e-9);
+}
+
+TEST(FeedbackAgentTest, BalancedJobIsLeftAlone) {
+  sim::Cluster cluster(4);
+  sim::JobSimulation job("j", hosts_of(cluster, 4),
+                         kernel::WorkloadConfig{});
+  FeedbackPowerAgent agent(4.0 * 200.0);
+  static_cast<void>(Controller(10, 1).run(job, agent));
+  for (std::size_t h = 0; h < 4; ++h) {
+    EXPECT_NEAR(job.host_cap(h), 200.0, 2.0);
+  }
+}
+
+TEST(FeedbackAgentTest, InvalidOptionsRejected) {
+  EXPECT_THROW(FeedbackPowerAgent(0.0), ps::InvalidArgument);
+  FeedbackOptions bad;
+  bad.gain = 0.0;
+  EXPECT_THROW(FeedbackPowerAgent(100.0, bad), ps::InvalidArgument);
+  bad = {};
+  bad.max_step_watts = 0.0;
+  EXPECT_THROW(FeedbackPowerAgent(100.0, bad), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "kernel/phased.hpp"
+#include "runtime/basic_agents.hpp"
+#include "runtime/controller.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+kernel::PhasedWorkload two_phase() {
+  kernel::PhasedWorkload workload;
+  workload.name = "two";
+  kernel::WorkloadPhase stream;
+  stream.config.intensity = 0.25;
+  stream.iterations = 3;
+  kernel::WorkloadPhase solve;
+  solve.config.intensity = 32.0;
+  solve.iterations = 3;
+  workload.phases = {stream, solve};
+  return workload;
+}
+
+TEST(PhasedControllerTest, RecordsPhaseBoundaries) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const JobReport report =
+      Controller(12).run_phases(job, agent, two_phase());
+  // Iterations 0-2 stream, 3-5 solve, 6-8 stream, 9-11 solve.
+  ASSERT_EQ(report.phase_starts.size(), 4u);
+  EXPECT_EQ(report.phase_starts[0], 0u);
+  EXPECT_EQ(report.phase_starts[1], 3u);
+  EXPECT_EQ(report.phase_starts[2], 6u);
+  EXPECT_EQ(report.phase_starts[3], 9u);
+}
+
+TEST(PhasedControllerTest, PhasesChangeIterationTimes) {
+  sim::Cluster cluster(2);
+  cluster.node(0).set_power_cap(170.0);
+  cluster.node(1).set_power_cap(170.0);
+  sim::JobSimulation job("j", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  const JobReport report =
+      Controller(6).run_phases(job, agent, two_phase());
+  // Under a tight cap, the compute phase (I=32) is much slower than the
+  // streaming phase (I=0.25).
+  EXPECT_GT(report.iteration_seconds[3], report.iteration_seconds[0] * 1.5);
+}
+
+TEST(PhasedControllerTest, WarmupConsumesScheduleIterations) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  // 3 warmup iterations swallow the whole first (stream) phase: the
+  // measured window starts at global iteration 3 = the solve phase.
+  const JobReport report =
+      Controller(3, 3).run_phases(job, agent, two_phase());
+  ASSERT_FALSE(report.phase_starts.empty());
+  EXPECT_EQ(report.phase_starts[0], 0u);
+  EXPECT_DOUBLE_EQ(job.workload().intensity, 32.0);
+}
+
+TEST(PhasedControllerTest, SetWorkloadReassignsRoles) {
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job("j", hosts, kernel::WorkloadConfig{});
+  EXPECT_EQ(job.waiting_host_count(), 0u);
+  kernel::WorkloadConfig imbalanced;
+  imbalanced.waiting_fraction = 0.5;
+  imbalanced.imbalance = 2.0;
+  job.set_workload(imbalanced);
+  EXPECT_EQ(job.waiting_host_count(), 2u);
+  kernel::WorkloadConfig bad;
+  bad.imbalance = 0.0;
+  EXPECT_THROW(job.set_workload(bad), ps::InvalidArgument);
+  // The failed switch leaves the previous workload intact.
+  EXPECT_EQ(job.waiting_host_count(), 2u);
+}
+
+TEST(PhasedControllerTest, InvalidScheduleRejected) {
+  sim::Cluster cluster(1);
+  sim::JobSimulation job("j", {&cluster.node(0)},
+                         kernel::WorkloadConfig{});
+  MonitorAgent agent;
+  kernel::PhasedWorkload empty;
+  EXPECT_THROW(
+      static_cast<void>(Controller(2).run_phases(job, agent, empty)),
+      ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,147 @@
+#include "runtime/platform_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+class PlatformIOTest : public ::testing::Test {
+ protected:
+  PlatformIOTest() : cluster_(3), pio_({&cluster_.node(0), &cluster_.node(1),
+                                        &cluster_.node(2)}) {}
+  sim::Cluster cluster_;
+  PlatformIO pio_;
+};
+
+TEST_F(PlatformIOTest, DomainSizes) {
+  EXPECT_EQ(pio_.domain_size(Domain::kBoard), 1u);
+  EXPECT_EQ(pio_.domain_size(Domain::kNode), 3u);
+  EXPECT_EQ(pio_.domain_size(Domain::kPackage), 6u);
+  EXPECT_EQ(pio_.node_count(), 3u);
+}
+
+TEST_F(PlatformIOTest, DomainNames) {
+  EXPECT_EQ(to_string(Domain::kBoard), "board");
+  EXPECT_EQ(to_string(Domain::kNode), "node");
+  EXPECT_EQ(to_string(Domain::kPackage), "package");
+}
+
+TEST_F(PlatformIOTest, SignalAndControlCatalogs) {
+  EXPECT_TRUE(PlatformIO::is_valid_signal("ENERGY"));
+  EXPECT_TRUE(PlatformIO::is_valid_signal("POWER_CAP"));
+  EXPECT_FALSE(PlatformIO::is_valid_signal("NOT_A_SIGNAL"));
+  EXPECT_TRUE(PlatformIO::is_valid_control("FREQUENCY_CAP"));
+  EXPECT_FALSE(PlatformIO::is_valid_control("ENERGY"));
+  EXPECT_EQ(PlatformIO::signal_names().size(), 7u);
+  EXPECT_EQ(PlatformIO::control_names().size(), 2u);
+}
+
+TEST_F(PlatformIOTest, NodeSignalsReflectHardware) {
+  cluster_.node(1).set_power_cap(200.0);
+  EXPECT_NEAR(pio_.read_signal("POWER_CAP", Domain::kNode, 1), 200.0, 0.5);
+  EXPECT_DOUBLE_EQ(pio_.read_signal("POWER_CAP_MAX", Domain::kNode, 0),
+                   cluster_.node(0).tdp());
+  EXPECT_DOUBLE_EQ(pio_.read_signal("POWER_CAP_MIN", Domain::kNode, 0),
+                   cluster_.node(0).min_cap());
+  EXPECT_DOUBLE_EQ(pio_.read_signal("FREQUENCY_MAX", Domain::kNode, 0),
+                   2.6);
+  EXPECT_DOUBLE_EQ(pio_.read_signal("FREQUENCY_MIN", Domain::kNode, 0),
+                   1.2);
+}
+
+TEST_F(PlatformIOTest, BoardAggregatesSumAndAverage) {
+  cluster_.uncap_all();
+  const double board_cap =
+      pio_.read_signal("POWER_CAP", Domain::kBoard, 0);
+  EXPECT_NEAR(board_cap, 3.0 * cluster_.node(0).tdp(), 1.0);
+  // Frequencies average rather than sum.
+  EXPECT_DOUBLE_EQ(pio_.read_signal("FREQUENCY_MAX", Domain::kBoard, 0),
+                   2.6);
+}
+
+TEST_F(PlatformIOTest, EnergyAccumulatesThroughSignals) {
+  EXPECT_NEAR(pio_.read_signal("ENERGY", Domain::kBoard, 0), 0.0, 1e-6);
+  const hw::PhaseResult phase =
+      cluster_.node(0).run_compute(1.0, 8.0, hw::VectorWidth::kYmm256);
+  EXPECT_NEAR(pio_.read_signal("ENERGY", Domain::kNode, 0),
+              phase.energy_joules, 0.01);
+  EXPECT_NEAR(pio_.read_signal("ENERGY", Domain::kBoard, 0),
+              phase.energy_joules, 0.01);
+}
+
+TEST_F(PlatformIOTest, PackageDomainIndexing) {
+  cluster_.node(2).set_power_cap(216.0);  // 100 W per package
+  EXPECT_DOUBLE_EQ(pio_.read_signal("POWER_CAP", Domain::kPackage, 4),
+                   100.0);
+  EXPECT_DOUBLE_EQ(pio_.read_signal("POWER_CAP", Domain::kPackage, 5),
+                   100.0);
+  EXPECT_DOUBLE_EQ(pio_.read_signal("POWER_CAP_MAX", Domain::kPackage, 0),
+                   120.0);
+}
+
+TEST_F(PlatformIOTest, PackageFrequencyIsDomainMismatch) {
+  EXPECT_THROW(
+      static_cast<void>(
+          pio_.read_signal("FREQUENCY_CAP", Domain::kPackage, 0)),
+      ps::InvalidArgument);
+}
+
+TEST_F(PlatformIOTest, WritePowerCapNodeAndPackage) {
+  const double applied =
+      pio_.write_control("POWER_CAP", Domain::kNode, 0, 180.0);
+  EXPECT_NEAR(applied, 180.0, 0.5);
+  EXPECT_NEAR(cluster_.node(0).power_cap(), 180.0, 0.5);
+  const double pkg =
+      pio_.write_control("POWER_CAP", Domain::kPackage, 3, 90.0);
+  EXPECT_DOUBLE_EQ(pkg, 90.0);
+  EXPECT_DOUBLE_EQ(cluster_.node(1).package(1).power_limit(), 90.0);
+}
+
+TEST_F(PlatformIOTest, BoardWriteFansOut) {
+  static_cast<void>(
+      pio_.write_control("POWER_CAP", Domain::kBoard, 0, 190.0));
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_NEAR(cluster_.node(n).power_cap(), 190.0, 0.5);
+  }
+}
+
+TEST_F(PlatformIOTest, FrequencyCapControlClamps) {
+  const double applied =
+      pio_.write_control("FREQUENCY_CAP", Domain::kNode, 0, 1.9);
+  EXPECT_DOUBLE_EQ(applied, 1.9);
+  EXPECT_DOUBLE_EQ(pio_.read_signal("FREQUENCY_CAP", Domain::kNode, 0),
+                   1.9);
+  EXPECT_DOUBLE_EQ(
+      pio_.write_control("FREQUENCY_CAP", Domain::kNode, 0, 99.0), 2.6);
+  EXPECT_THROW(static_cast<void>(pio_.write_control(
+                   "FREQUENCY_CAP", Domain::kPackage, 0, 2.0)),
+               ps::InvalidArgument);
+}
+
+TEST_F(PlatformIOTest, ErrorsOnUnknownNamesAndBadIndices) {
+  EXPECT_THROW(
+      static_cast<void>(pio_.read_signal("BOGUS", Domain::kNode, 0)),
+      ps::NotFound);
+  EXPECT_THROW(static_cast<void>(
+                   pio_.write_control("BOGUS", Domain::kNode, 0, 1.0)),
+               ps::NotFound);
+  EXPECT_THROW(
+      static_cast<void>(pio_.read_signal("ENERGY", Domain::kNode, 3)),
+      ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(pio_.write_control(
+                   "POWER_CAP", Domain::kPackage, 6, 90.0)),
+               ps::InvalidArgument);
+}
+
+TEST(PlatformIOConstructionTest, RejectsEmptyOrNullNodes) {
+  EXPECT_THROW(PlatformIO(std::vector<hw::NodeModel*>{}),
+               ps::InvalidArgument);
+  EXPECT_THROW(PlatformIO(std::vector<hw::NodeModel*>{nullptr}),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::runtime

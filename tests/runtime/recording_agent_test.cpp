@@ -1,0 +1,84 @@
+#include "runtime/recording_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/controller.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::runtime {
+namespace {
+
+TEST(RecordingAgentTest, RecordsOneRowPerIteration) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("j", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  RecordingAgent agent;
+  static_cast<void>(Controller(7).run(job, agent));
+  const sim::TraceRecorder& trace = agent.trace();
+  EXPECT_EQ(trace.size(), 7u);
+  // Columns: iteration_seconds + 2 powers + 2 caps.
+  EXPECT_EQ(trace.column_count(), 5u);
+  EXPECT_EQ(trace.columns()[0], "iteration_seconds");
+  EXPECT_EQ(trace.columns()[1], "power_0");
+  EXPECT_EQ(trace.columns()[3], "cap_0");
+}
+
+TEST(RecordingAgentTest, TimestampsAccumulateSimulatedTime) {
+  sim::Cluster cluster(1);
+  sim::JobSimulation job("j", {&cluster.node(0)},
+                         kernel::WorkloadConfig{});
+  RecordingAgent agent;
+  static_cast<void>(Controller(3).run(job, agent));
+  const sim::TraceRecorder& trace = agent.trace();
+  EXPECT_GT(trace.timestamp(0), 0.0);
+  EXPECT_LT(trace.timestamp(0), trace.timestamp(1));
+  EXPECT_LT(trace.timestamp(1), trace.timestamp(2));
+  // Timestamp of row i is the cumulative sum of iteration times.
+  double expected = 0.0;
+  for (std::size_t row = 0; row < 3; ++row) {
+    expected += trace.value(row, 0);
+    EXPECT_NEAR(trace.timestamp(row), expected, 1e-12);
+  }
+}
+
+TEST(RecordingAgentTest, ComposesWithAnInnerAgent) {
+  sim::Cluster cluster(4);
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job("j", hosts, config);
+  PowerBalancerAgent balancer(4.0 * 200.0);
+  RecordingAgent agent(&balancer);
+  static_cast<void>(Controller(5, 2).run(job, agent));
+  EXPECT_TRUE(balancer.balanced());
+  const sim::TraceRecorder& trace = agent.trace();
+  // The recorded caps reflect the balancer's rebalanced distribution:
+  // waiting host (column 1+4=5) below critical host (column 1+4+3=8).
+  const std::size_t last = trace.size() - 1;
+  EXPECT_LT(trace.value(last, 5), trace.value(last, 8) - 20.0);
+}
+
+TEST(RecordingAgentTest, BoundedCapacityKeepsRecentRows) {
+  sim::Cluster cluster(1);
+  sim::JobSimulation job("j", {&cluster.node(0)},
+                         kernel::WorkloadConfig{});
+  RecordingAgent agent(nullptr, 4);
+  static_cast<void>(Controller(10).run(job, agent));
+  EXPECT_EQ(agent.trace().size(), 4u);
+  EXPECT_EQ(agent.trace().total_appended(), 10u);
+}
+
+TEST(RecordingAgentTest, TraceBeforeSetupThrows) {
+  RecordingAgent agent;
+  EXPECT_THROW(static_cast<void>(agent.trace()), ps::InvalidState);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,77 @@
+#include "runtime/report_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/basic_agents.hpp"
+#include "runtime/controller.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::runtime {
+namespace {
+
+JobReport sample_report() {
+  static sim::Cluster cluster(2);
+  kernel::WorkloadConfig config;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 2.0;
+  sim::JobSimulation job("sample", {&cluster.node(0), &cluster.node(1)},
+                         config);
+  MonitorAgent agent;
+  return Controller(4).run(job, agent);
+}
+
+TEST(ReportWriterTest, TextReportContainsHeaderAndHosts) {
+  const std::string text = to_text_report(sample_report());
+  EXPECT_NE(text.find("powerstack job report"), std::string::npos);
+  EXPECT_NE(text.find("Job: sample"), std::string::npos);
+  EXPECT_NE(text.find("Agent: monitor"), std::string::npos);
+  EXPECT_NE(text.find("Host: node-0"), std::string::npos);
+  EXPECT_NE(text.find("Host: node-1"), std::string::npos);
+  EXPECT_NE(text.find("(waiting ranks)"), std::string::npos);
+  EXPECT_NE(text.find("barrier wait"), std::string::npos);
+}
+
+TEST(ReportWriterTest, HostCsvHasHeaderAndOneRowPerHost) {
+  std::ostringstream out;
+  write_host_csv(out, sample_report());
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 3u);  // header + 2 hosts
+  EXPECT_NE(csv.find("job,node,waiting_host"), std::string::npos);
+  EXPECT_NE(csv.find("sample,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("sample,1,0"), std::string::npos);
+}
+
+TEST(ReportWriterTest, TraceCsvHasOneRowPerIteration) {
+  std::ostringstream out;
+  write_trace_csv(out, sample_report());
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (char ch : csv) {
+    if (ch == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 5u);  // header + 4 iterations
+  EXPECT_NE(csv.find("iteration,seconds,energy_joules"), std::string::npos);
+}
+
+TEST(ReportWriterTest, PhaseStartsRendered) {
+  JobReport report;
+  report.job_name = "p";
+  report.iterations = 2;
+  report.phase_starts = {0, 5};
+  const std::string text = to_text_report(report);
+  EXPECT_NE(text.find("Phase starts at iterations: 0 5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::runtime

@@ -1,0 +1,83 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/quartz_spec.hpp"
+#include "util/error.hpp"
+#include "util/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+namespace {
+
+TEST(ClusterTest, HomogeneousClusterHasUnitEta) {
+  Cluster cluster(10);
+  EXPECT_EQ(cluster.size(), 10u);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node(i).eta(), 1.0);
+    EXPECT_EQ(cluster.node(i).id(), static_cast<hw::NodeId>(i));
+  }
+}
+
+TEST(ClusterTest, VariationClusterMatchesModelSize) {
+  util::Rng rng(1);
+  Cluster cluster(hw::VariationModel::quartz_default(), rng);
+  EXPECT_EQ(cluster.size(), 2000u);
+}
+
+TEST(ClusterTest, NodeIndexOutOfRangeThrows) {
+  Cluster cluster(3);
+  EXPECT_THROW(static_cast<void>(cluster.node(3)), ps::InvalidArgument);
+}
+
+TEST(ClusterTest, Fig6FrequenciesFormThreeClusters) {
+  util::Rng rng(7);
+  Cluster cluster(hw::VariationModel::quartz_default(), rng);
+  const double cap =
+      2.0 * 70.0 + hw::QuartzSpec::kDramPowerPerNodeW;
+  const std::vector<double> frequencies = cluster.achieved_frequencies(cap);
+  const util::KMeansResult bins = util::kmeans_1d(frequencies, 3);
+  // Paper Fig. 6: 522 / 918 / 560 nodes at ~1.65 / 1.80 / 1.95 GHz.
+  EXPECT_NEAR(static_cast<double>(bins.cluster_sizes[0]), 522.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(bins.cluster_sizes[1]), 918.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(bins.cluster_sizes[2]), 560.0, 30.0);
+  EXPECT_NEAR(bins.centroids[0], 1.65, 0.05);
+  EXPECT_NEAR(bins.centroids[1], 1.80, 0.05);
+  EXPECT_NEAR(bins.centroids[2], 1.95, 0.05);
+}
+
+TEST(ClusterTest, MediumClusterMembersAreMediumEta) {
+  util::Rng rng(7);
+  Cluster cluster(hw::VariationModel::quartz_default(), rng);
+  const double cap = 2.0 * 70.0 + hw::QuartzSpec::kDramPowerPerNodeW;
+  const std::vector<std::size_t> medium =
+      cluster.frequency_cluster_members(cap, 3, 1);
+  EXPECT_NEAR(static_cast<double>(medium.size()), 918.0, 40.0);
+  for (std::size_t index : medium) {
+    EXPECT_NEAR(cluster.node(index).eta(), 1.004, 0.1);
+  }
+}
+
+TEST(ClusterTest, ClusterSelectorValidated) {
+  Cluster cluster(10);
+  EXPECT_THROW(
+      static_cast<void>(cluster.frequency_cluster_members(200.0, 3, 3)),
+      ps::InvalidArgument);
+}
+
+TEST(ClusterTest, UncapAllRestoresTdp) {
+  Cluster cluster(4);
+  cluster.node(0).set_power_cap(170.0);
+  cluster.node(3).set_power_cap(180.0);
+  cluster.uncap_all();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cluster.node(i).power_cap(), cluster.node(i).tdp());
+  }
+}
+
+TEST(ClusterTest, ZeroNodesRejected) {
+  EXPECT_THROW(Cluster(0), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::sim

@@ -1,0 +1,109 @@
+#include "sim/facility_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ps::sim {
+namespace {
+
+FacilityTrace make_trace(std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  return generate_facility_trace(FacilityTraceParams{}, rng);
+}
+
+TEST(FacilityTraceTest, SampleCountMatchesParams) {
+  const FacilityTrace trace = make_trace();
+  EXPECT_EQ(trace.instantaneous_mw.size(), 280u * 24u);
+  EXPECT_EQ(trace.moving_average_mw.size(), trace.instantaneous_mw.size());
+}
+
+TEST(FacilityTraceTest, NeverExceedsPeakRating) {
+  const FacilityTrace trace = make_trace();
+  EXPECT_LE(trace.peak_mw(), trace.params.peak_rating_mw + 1e-12);
+}
+
+TEST(FacilityTraceTest, NeverBelowFloor) {
+  const FacilityTrace trace = make_trace();
+  for (double sample : trace.instantaneous_mw) {
+    EXPECT_GE(sample, trace.params.floor_mw - 1e-12);
+  }
+}
+
+TEST(FacilityTraceTest, MeanNearConfiguredMean) {
+  // Fig. 1: Quartz is rated 1.35 MW but averages ~0.83 MW.
+  const FacilityTrace trace = make_trace();
+  EXPECT_NEAR(trace.mean_mw(), trace.params.mean_power_mw, 0.08);
+}
+
+TEST(FacilityTraceTest, SubstantialHeadroomBelowRating) {
+  const FacilityTrace trace = make_trace();
+  // The under-utilization motivating the paper: average well below peak.
+  EXPECT_LT(trace.mean_mw(), 0.75 * trace.params.peak_rating_mw);
+}
+
+TEST(FacilityTraceTest, MovingAverageSmootherThanInstantaneous) {
+  const FacilityTrace trace = make_trace();
+  double raw_variation = 0.0;
+  double smooth_variation = 0.0;
+  for (std::size_t s = 1; s < trace.instantaneous_mw.size(); ++s) {
+    raw_variation +=
+        std::abs(trace.instantaneous_mw[s] - trace.instantaneous_mw[s - 1]);
+    smooth_variation +=
+        std::abs(trace.moving_average_mw[s] - trace.moving_average_mw[s - 1]);
+  }
+  EXPECT_LT(smooth_variation, raw_variation * 0.5);
+}
+
+TEST(FacilityTraceTest, FractionAboveIsMonotone) {
+  const FacilityTrace trace = make_trace();
+  EXPECT_GE(trace.fraction_above(0.5), trace.fraction_above(1.0));
+  EXPECT_DOUBLE_EQ(trace.fraction_above(trace.params.peak_rating_mw), 0.0);
+}
+
+TEST(FacilityTraceTest, DeterministicGivenSeed) {
+  const FacilityTrace a = make_trace(9);
+  const FacilityTrace b = make_trace(9);
+  EXPECT_EQ(a.instantaneous_mw, b.instantaneous_mw);
+}
+
+TEST(FacilityTraceTest, WeekendsDrawLess) {
+  const FacilityTrace trace = make_trace();
+  util::RunningStats weekday;
+  util::RunningStats weekend;
+  const std::size_t per_day = trace.params.samples_per_day;
+  for (std::size_t s = 0; s < trace.instantaneous_mw.size(); ++s) {
+    const int day = static_cast<int>(s / per_day) % 7;
+    (day >= 5 ? weekend : weekday).add(trace.instantaneous_mw[s]);
+  }
+  EXPECT_GT(weekday.mean(), weekend.mean());
+}
+
+TEST(FacilityTraceTest, InvalidParamsRejected) {
+  util::Rng rng(1);
+  FacilityTraceParams params;
+  params.days = 0;
+  EXPECT_THROW(static_cast<void>(generate_facility_trace(params, rng)),
+               ps::InvalidArgument);
+  params = {};
+  params.mean_power_mw = 2.0;  // above rating
+  EXPECT_THROW(static_cast<void>(generate_facility_trace(params, rng)),
+               ps::InvalidArgument);
+  params = {};
+  params.floor_mw = 1.0;  // above mean
+  EXPECT_THROW(static_cast<void>(generate_facility_trace(params, rng)),
+               ps::InvalidArgument);
+}
+
+TEST(FacilityTraceTest, EmptyTraceAccessorsThrow) {
+  FacilityTrace empty;
+  EXPECT_THROW(static_cast<void>(empty.peak_mw()), ps::InvalidState);
+  EXPECT_THROW(static_cast<void>(empty.mean_mw()), ps::InvalidState);
+  EXPECT_THROW(static_cast<void>(empty.fraction_above(1.0)),
+               ps::InvalidState);
+}
+
+}  // namespace
+}  // namespace ps::sim

@@ -1,0 +1,87 @@
+#include "sim/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ps::sim {
+namespace {
+
+TEST(TraceRecorderTest, UnboundedKeepsEverything) {
+  TraceRecorder trace({"a", "b"});
+  for (int i = 0; i < 100; ++i) {
+    const double values[] = {static_cast<double>(i),
+                             static_cast<double>(i * 2)};
+    trace.append(static_cast<double>(i), values);
+  }
+  EXPECT_EQ(trace.size(), 100u);
+  EXPECT_EQ(trace.total_appended(), 100u);
+  EXPECT_DOUBLE_EQ(trace.timestamp(0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.value(99, 1), 198.0);
+}
+
+TEST(TraceRecorderTest, RingBufferEvictsOldestFirst) {
+  TraceRecorder trace({"x"}, 3);
+  for (int i = 0; i < 5; ++i) {
+    const double value = static_cast<double>(i);
+    trace.append(value, {&value, 1});
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_appended(), 5u);
+  // Rows 2, 3, 4 remain, oldest first.
+  EXPECT_DOUBLE_EQ(trace.value(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(trace.value(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.value(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(trace.timestamp(0), 2.0);
+}
+
+TEST(TraceRecorderTest, ColumnStatsOverHeldRows) {
+  TraceRecorder trace({"x"}, 2);
+  for (double value : {10.0, 20.0, 30.0}) {
+    trace.append(value, {&value, 1});
+  }
+  const util::RunningStats stats = trace.column_stats(0);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 25.0);  // 20 and 30 remain
+}
+
+TEST(TraceRecorderTest, CsvHasHeaderAndRows) {
+  TraceRecorder trace({"power", "cap"});
+  const double row1[] = {200.0, 210.0};
+  const double row2[] = {205.0, 210.0};
+  trace.append(0.1, row1);
+  trace.append(0.2, row2);
+  std::ostringstream out;
+  trace.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("timestamp,power,cap"), std::string::npos);
+  EXPECT_NE(csv.find("0.100000,200.000000,210.000000"), std::string::npos);
+  EXPECT_NE(csv.find("0.200000,205.000000,210.000000"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearResetsHeldRows) {
+  TraceRecorder trace({"x"});
+  const double value = 1.0;
+  trace.append(0.0, {&value, 1});
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_THROW(static_cast<void>(trace.value(0, 0)), ps::InvalidArgument);
+}
+
+TEST(TraceRecorderTest, ValidatesShapes) {
+  EXPECT_THROW(TraceRecorder({}), ps::InvalidArgument);
+  EXPECT_THROW(TraceRecorder({""}), ps::InvalidArgument);
+  TraceRecorder trace({"a", "b"});
+  const double one = 1.0;
+  EXPECT_THROW(trace.append(0.0, {&one, 1}), ps::InvalidArgument);
+  const double row[] = {1.0, 2.0};
+  trace.append(0.0, row);
+  EXPECT_THROW(static_cast<void>(trace.value(0, 2)), ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(trace.column_stats(2)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::sim

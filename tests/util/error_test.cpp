@@ -1,0 +1,46 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ps {
+namespace {
+
+TEST(ErrorTest, RequireThrowsWithContext) {
+  try {
+    PS_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "PS_REQUIRE did not throw";
+  } catch (const InvalidArgument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequirePassesSilently) {
+  EXPECT_NO_THROW(PS_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorTest, CheckStateThrowsInvalidState) {
+  EXPECT_THROW(PS_CHECK_STATE(false, "bad state"), InvalidState);
+  EXPECT_NO_THROW(PS_CHECK_STATE(true, "ok"));
+}
+
+TEST(ErrorTest, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw InvalidArgument("x"); }, Error);
+  EXPECT_THROW(
+      { throw InvalidState("x"); }, Error);
+  EXPECT_THROW(
+      { throw NotFound("x"); }, Error);
+}
+
+TEST(ErrorTest, ErrorIsARuntimeError) {
+  EXPECT_THROW(
+      { throw NotFound("missing"); }, std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ps

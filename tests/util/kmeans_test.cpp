@@ -1,0 +1,123 @@
+#include "util/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::util {
+namespace {
+
+TEST(KMeansTest, SeparatedClustersRecovered) {
+  std::vector<double> values;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(rng.normal(1.0, 0.05));
+  }
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.normal(5.0, 0.05));
+  }
+  for (int i = 0; i < 50; ++i) {
+    values.push_back(rng.normal(9.0, 0.05));
+  }
+  const KMeansResult result = kmeans_1d(values, 3);
+  EXPECT_EQ(result.cluster_sizes[0], 100u);
+  EXPECT_EQ(result.cluster_sizes[1], 200u);
+  EXPECT_EQ(result.cluster_sizes[2], 50u);
+  EXPECT_NEAR(result.centroids[0], 1.0, 0.05);
+  EXPECT_NEAR(result.centroids[1], 5.0, 0.05);
+  EXPECT_NEAR(result.centroids[2], 9.0, 0.05);
+}
+
+TEST(KMeansTest, CentroidsSortedAscending) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(rng.uniform(0.0, 100.0));
+  }
+  const KMeansResult result = kmeans_1d(values, 4);
+  for (std::size_t c = 1; c < result.centroids.size(); ++c) {
+    EXPECT_LT(result.centroids[c - 1], result.centroids[c]);
+  }
+}
+
+TEST(KMeansTest, AssignmentsMatchNearestCentroid) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.uniform(0.0, 10.0));
+  }
+  const KMeansResult result = kmeans_1d(values, 3);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::size_t assigned = result.assignments[i];
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      EXPECT_LE(std::abs(values[i] - result.centroids[assigned]),
+                std::abs(values[i] - result.centroids[c]) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, SingleClusterIsTheMean) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const KMeansResult result = kmeans_1d(values, 1);
+  EXPECT_NEAR(result.centroids[0], 2.5, 1e-12);
+  EXPECT_EQ(result.cluster_sizes[0], 4u);
+}
+
+TEST(KMeansTest, KEqualsNSeparatesEveryPoint) {
+  const std::vector<double> values = {1.0, 5.0, 9.0};
+  const KMeansResult result = kmeans_1d(values, 3);
+  EXPECT_EQ(result.cluster_sizes[0], 1u);
+  EXPECT_EQ(result.cluster_sizes[1], 1u);
+  EXPECT_EQ(result.cluster_sizes[2], 1u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicAcrossCalls) {
+  Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.uniform(0.0, 1.0));
+  }
+  const KMeansResult a = kmeans_1d(values, 3);
+  const KMeansResult b = kmeans_1d(values, 3);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(rng.uniform(0.0, 10.0));
+  }
+  const double inertia2 = kmeans_1d(values, 2).inertia;
+  const double inertia5 = kmeans_1d(values, 5).inertia;
+  EXPECT_LT(inertia5, inertia2);
+}
+
+TEST(KMeansTest, RejectsInvalidArguments) {
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW(static_cast<void>(kmeans_1d(values, 0)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(kmeans_1d(values, 3)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(kmeans_1d(values, 1, 0)), InvalidArgument);
+}
+
+TEST(KMeansTest, ClusterSizesSumToInputSize) {
+  Rng rng(6);
+  std::vector<double> values;
+  for (int i = 0; i < 123; ++i) {
+    values.push_back(rng.uniform(0.0, 1.0));
+  }
+  const KMeansResult result = kmeans_1d(values, 3);
+  std::size_t total = 0;
+  for (std::size_t size : result.cluster_sizes) {
+    total += size;
+  }
+  EXPECT_EQ(total, values.size());
+}
+
+}  // namespace
+}  // namespace ps::util

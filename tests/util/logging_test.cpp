@@ -1,0 +1,63 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ps::util {
+namespace {
+
+/// Redirects the logger to a local stream for the test's lifetime.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = Logger::level();
+    Logger::set_stream(&captured_);
+  }
+  void TearDown() override {
+    Logger::set_stream(nullptr);
+    Logger::set_level(previous_level_);
+  }
+
+  std::ostringstream captured_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, MessagesBelowLevelAreSuppressed) {
+  Logger::set_level(LogLevel::kWarn);
+  log_info("test", "should not appear");
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LoggingTest, MessagesAtLevelAreEmitted) {
+  Logger::set_level(LogLevel::kInfo);
+  log_info("test", "value=", 42);
+  const std::string text = captured_.str();
+  EXPECT_NE(text.find("[INFO]"), std::string::npos);
+  EXPECT_NE(text.find("test:"), std::string::npos);
+  EXPECT_NE(text.find("value=42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  log_error("test", "even errors");
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(LoggingTest, ConcatenatesMixedTypes) {
+  Logger::set_level(LogLevel::kDebug);
+  log_debug("mod", "a=", 1, " b=", 2.5, " c=", "str");
+  EXPECT_NE(captured_.str().find("a=1 b=2.5 c=str"), std::string::npos);
+}
+
+TEST_F(LoggingTest, WarnAndErrorCarryLevelTags) {
+  Logger::set_level(LogLevel::kDebug);
+  log_warn("m", "w");
+  log_error("m", "e");
+  const std::string text = captured_.str();
+  EXPECT_NE(text.find("[WARN]"), std::string::npos);
+  EXPECT_NE(text.find("[ERROR]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -1,0 +1,193 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ps::util {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownReferenceSequence) {
+  // Reference values for seed 0 from the published SplitMix64 algorithm.
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(gen.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(gen.next(), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.uniform());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(RngTest, UniformRejectsInvertedBounds) {
+  Rng rng(13);
+  EXPECT_THROW(static_cast<void>(rng.uniform(2.0, 1.0)), InvalidArgument);
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  std::array<int, 5> counts{};
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(counts.size())];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count), draws / 5.0, draws * 0.01);
+  }
+}
+
+TEST(RngTest, UniformIndexRejectsZero) {
+  Rng rng(17);
+  EXPECT_THROW(static_cast<void>(rng.uniform_index(0)), InvalidArgument);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalScalesMeanAndSigma) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, NormalRejectsNegativeSigma) {
+  Rng rng(23);
+  EXPECT_THROW(static_cast<void>(rng.normal(0.0, -1.0)), InvalidArgument);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(std::span<int>(values));
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(31);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(std::span<int>(values));
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (values[static_cast<std::size_t>(i)] != i) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 50);
+}
+
+TEST(RngTest, ForkIsIndependentAndStable) {
+  Rng parent1(37);
+  Rng parent2(37);
+  Rng child1 = parent1.fork(5);
+  Rng child2 = parent2.fork(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child1.next(), child2.next());
+  }
+  Rng parent3(37);
+  Rng other = parent3.fork(6);
+  EXPECT_NE(parent1.fork(6).next(), child1.next());
+  static_cast<void>(other);
+}
+
+TEST(GaussianMixtureTest, RespectsComponentMeans) {
+  Rng rng(41);
+  const std::vector<GaussianComponent> components = {
+      {1.0, -5.0, 0.1}, {1.0, 5.0, 0.1}};
+  const std::vector<double> samples =
+      sample_gaussian_mixture(rng, components, 10000);
+  ASSERT_EQ(samples.size(), 10000u);
+  int low = 0;
+  int high = 0;
+  for (double s : samples) {
+    if (s < 0.0) {
+      ++low;
+    } else {
+      ++high;
+    }
+  }
+  EXPECT_NEAR(low, high, 400);
+}
+
+TEST(GaussianMixtureTest, RejectsEmptyComponents) {
+  Rng rng(43);
+  EXPECT_THROW(
+      static_cast<void>(sample_gaussian_mixture(rng, {}, 10)),
+      InvalidArgument);
+}
+
+TEST(GaussianMixtureTest, RejectsNonPositiveWeight) {
+  Rng rng(43);
+  const std::vector<GaussianComponent> components = {{0.0, 0.0, 1.0}};
+  EXPECT_THROW(
+      static_cast<void>(sample_gaussian_mixture(rng, components, 10)),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -1,0 +1,253 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::util {
+namespace {
+
+TEST(RunningStatsTest, MeanOfKnownValues) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesTextbook) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  // Population variance is 4; sample variance is 4 * 8/7.
+  EXPECT_NEAR(stats.variance(), 4.0 * 8.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MinMaxTracked) {
+  RunningStats stats;
+  for (double v : {3.0, -1.0, 7.0, 2.0}) {
+    stats.add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+}
+
+TEST(RunningStatsTest, EmptyAccessorsThrow) {
+  const RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_THROW(static_cast<void>(stats.mean()), InvalidState);
+  EXPECT_THROW(static_cast<void>(stats.min()), InvalidState);
+  EXPECT_THROW(static_cast<void>(stats.max()), InvalidState);
+}
+
+TEST(RunningStatsTest, VarianceNeedsTwoSamples) {
+  RunningStats stats;
+  stats.add(1.0);
+  EXPECT_THROW(static_cast<void>(stats.variance()), InvalidState);
+}
+
+TEST(RunningStatsTest, MergeMatchesBulkAccumulation) {
+  Rng rng(3);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolatesLinearly) {
+  const std::vector<double> values = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 10.0);
+}
+
+TEST(StatsTest, QuantileRejectsOutOfRange) {
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW(static_cast<void>(quantile(values, -0.1)), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(quantile(values, 1.1)), InvalidArgument);
+}
+
+TEST(StatsTest, MeanOfEmptyThrows) {
+  EXPECT_THROW(static_cast<void>(mean({})), InvalidArgument);
+}
+
+TEST(TCriticalTest, MatchesTableEntries) {
+  EXPECT_NEAR(t_critical95(1), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical95(10), 2.228, 1e-9);
+  EXPECT_NEAR(t_critical95(99), 1.984, 1e-9);
+  EXPECT_NEAR(t_critical95(100000), 1.960, 1e-9);
+}
+
+TEST(TCriticalTest, InterpolatesBetweenEntries) {
+  const double t11 = t_critical95(11);
+  EXPECT_GT(t11, t_critical95(12));
+  EXPECT_LT(t11, t_critical95(10));
+}
+
+TEST(TCriticalTest, MonotoneDecreasingInDof) {
+  double previous = t_critical95(1);
+  for (std::size_t dof : {2u, 5u, 20u, 60u, 120u, 500u, 2000u}) {
+    const double current = t_critical95(dof);
+    EXPECT_LT(current, previous) << "dof=" << dof;
+    previous = current;
+  }
+}
+
+TEST(ConfidenceIntervalTest, CoversTrueMeanOnGaussianData) {
+  Rng rng(5);
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> samples;
+    for (int i = 0; i < 30; ++i) {
+      samples.push_back(rng.normal(10.0, 3.0));
+    }
+    const ConfidenceInterval ci = confidence_interval95(samples);
+    if (ci.lo() <= 10.0 && 10.0 <= ci.hi()) {
+      ++covered;
+    }
+  }
+  // 95% nominal coverage; allow generous slack for 200 trials.
+  EXPECT_GE(covered, 180);
+}
+
+TEST(ConfidenceIntervalTest, WidthShrinksWithSampleSize) {
+  Rng rng(7);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.normal(0.0, 1.0);
+    if (i < 20) {
+      small.push_back(v);
+    }
+    large.push_back(v);
+  }
+  EXPECT_GT(confidence_interval95(small).half_width,
+            confidence_interval95(large).half_width);
+}
+
+TEST(BootstrapTest, AgreesWithTIntervalOnGaussianData) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back(rng.normal(5.0, 1.0));
+  }
+  Rng boot_rng(13);
+  const ConfidenceInterval boot = bootstrap_ci95(samples, boot_rng, 1000);
+  const ConfidenceInterval t = confidence_interval95(samples);
+  EXPECT_NEAR(boot.mean, t.mean, 0.05);
+  EXPECT_NEAR(boot.half_width, t.half_width, 0.06);
+}
+
+TEST(BootstrapTest, DeterministicGivenRng) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  Rng rng1(17);
+  Rng rng2(17);
+  const ConfidenceInterval a = bootstrap_ci95(samples, rng1, 500);
+  const ConfidenceInterval b = bootstrap_ci95(samples, rng2, 500);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.half_width, b.half_width);
+}
+
+TEST(PermutationTest, DetectsRealDifferences) {
+  Rng data_rng(21);
+  std::vector<double> shifted;
+  for (int i = 0; i < 50; ++i) {
+    shifted.push_back(data_rng.normal(0.5, 0.3));
+  }
+  Rng rng(23);
+  EXPECT_LT(permutation_pvalue(shifted, rng), 0.01);
+}
+
+TEST(PermutationTest, NullDifferencesAreNotSignificant) {
+  Rng data_rng(25);
+  std::vector<double> centered;
+  for (int i = 0; i < 50; ++i) {
+    centered.push_back(data_rng.normal(0.0, 1.0));
+  }
+  Rng rng(27);
+  EXPECT_GT(permutation_pvalue(centered, rng), 0.05);
+}
+
+TEST(PermutationTest, DegenerateAndInvalidInputs) {
+  Rng rng(29);
+  const std::vector<double> zeros(10, 0.0);
+  EXPECT_DOUBLE_EQ(permutation_pvalue(zeros, rng), 1.0);
+  EXPECT_THROW(static_cast<void>(permutation_pvalue({}, rng)),
+               InvalidArgument);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(static_cast<void>(permutation_pvalue(one, rng, 0)),
+               InvalidArgument);
+}
+
+TEST(PermutationTest, DeterministicGivenRng) {
+  const std::vector<double> values = {0.1, 0.2, -0.05, 0.3, 0.15, 0.02};
+  Rng rng1(31);
+  Rng rng2(31);
+  EXPECT_DOUBLE_EQ(permutation_pvalue(values, rng1),
+                   permutation_pvalue(values, rng2));
+}
+
+TEST(HistogramTest, BinsValuesAndClampsOutliers) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);   // bin 0
+  hist.add(9.5);   // bin 4
+  hist.add(-3.0);  // clamped to bin 0
+  hist.add(42.0);  // clamped to bin 4
+  hist.add(5.0);   // bin 2
+  EXPECT_EQ(hist.bins[0], 2u);
+  EXPECT_EQ(hist.bins[2], 1u);
+  EXPECT_EQ(hist.bins[4], 2u);
+  EXPECT_EQ(hist.total(), 5u);
+}
+
+TEST(HistogramTest, BinCentersAreMidpoints) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(hist.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.bin_center(4), 9.0);
+  EXPECT_THROW(static_cast<void>(hist.bin_center(5)), InvalidArgument);
+}
+
+TEST(HistogramTest, RejectsDegenerateRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -1,0 +1,71 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ps::util {
+namespace {
+
+TEST(SplitTest, SplitsOnDelimiter) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto fields = split(",x,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  const std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(join(pieces, ", "), "a, b, c");
+}
+
+TEST(JoinTest, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(TrimTest, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StartsWithTest, ChecksPrefixes) {
+  EXPECT_TRUE(starts_with("powerstack", "power"));
+  EXPECT_FALSE(starts_with("power", "powerstack"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(IEqualsTest, CaseInsensitiveComparison) {
+  EXPECT_TRUE(iequals("MixedAdaptive", "mixedadaptive"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "ab"));
+}
+
+TEST(FormatWattsTest, PicksSiPrefix) {
+  EXPECT_EQ(format_watts(214.0), "214.0 W");
+  EXPECT_EQ(format_watts(167000.0), "167.0 kW");
+  EXPECT_EQ(format_watts(1350000.0, 2), "1.35 MW");
+}
+
+TEST(FormatSecondsTest, PicksUnit) {
+  EXPECT_EQ(format_seconds(1.5), "1.50 s");
+  EXPECT_EQ(format_seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(format_seconds(0.0), "0.00 s");
+}
+
+}  // namespace
+}  // namespace ps::util

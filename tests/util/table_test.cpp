@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ps::util {
+namespace {
+
+TEST(FormatFixedTest, RendersRequestedPrecision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table;
+  table.add_column("name", Align::kLeft);
+  table.add_column("value", Align::kRight, 1);
+  table.begin_row();
+  table.add_cell("alpha");
+  table.add_number(1.25);
+  table.begin_row();
+  table.add_cell("b");
+  table.add_number(10.0);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("alpha  "), std::string::npos);
+  EXPECT_NE(text.find("  1.2"), std::string::npos);
+  EXPECT_NE(text.find(" 10.0"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, PercentCellsUseColumnPrecision) {
+  TextTable table;
+  table.add_column("pct", Align::kRight, 1);
+  table.begin_row();
+  table.add_percent(0.0734);
+  EXPECT_NE(table.to_string().find("7.3%"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsRowsBeforeColumns) {
+  TextTable table;
+  EXPECT_THROW(table.begin_row(), InvalidState);
+}
+
+TEST(TextTableTest, RejectsColumnsAfterRows) {
+  TextTable table;
+  table.add_column("a");
+  table.begin_row();
+  table.add_cell("1");
+  EXPECT_THROW(table.add_column("b"), InvalidState);
+}
+
+TEST(TextTableTest, RejectsOverfullRow) {
+  TextTable table;
+  table.add_column("a");
+  table.begin_row();
+  table.add_cell("1");
+  EXPECT_THROW(table.add_cell("2"), InvalidState);
+}
+
+TEST(TextTableTest, RejectsIncompleteRowOnPrint) {
+  TextTable table;
+  table.add_column("a");
+  table.add_column("b");
+  table.begin_row();
+  table.add_cell("1");
+  std::ostringstream out;
+  EXPECT_THROW(table.print(out), InvalidState);
+}
+
+TEST(TextTableTest, RejectsNewRowWhilePreviousIncomplete) {
+  TextTable table;
+  table.add_column("a");
+  table.add_column("b");
+  table.begin_row();
+  table.add_cell("1");
+  EXPECT_THROW(table.begin_row(), InvalidState);
+}
+
+TEST(TextTableTest, CountsRowsAndColumns) {
+  TextTable table;
+  table.add_column("a");
+  table.add_column("b");
+  EXPECT_EQ(table.column_count(), 2u);
+  table.begin_row();
+  table.add_cell("1");
+  table.add_cell("2");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(CsvWriterTest, WritesPlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriterTest, EmptyCellsPreserved) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"", "x", ""});
+  EXPECT_EQ(out.str(), ",x,\n");
+}
+
+}  // namespace
+}  // namespace ps::util

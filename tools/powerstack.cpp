@@ -1,0 +1,307 @@
+// The `powerstack` command-line tool: one front door to the stack.
+//
+//   powerstack signals
+//       List the PlatformIO signals and controls.
+//   powerstack characterize --workload ymm-i8-w50-x2 [--nodes N]
+//       Run monitor + balancer characterization; print the CSV a site
+//       would archive.
+//   powerstack budgets --mix WastefulPower [--nodes N]
+//       Derive the Table III budget levels for a mix.
+//   powerstack balance --workload NAME --agent power_balancer [--nodes N]
+//       Run a job under any runtime agent; show caps and speedup.
+//   powerstack facility [--nodes N] [--hours H] [--policy P]
+//       Run the event-driven facility over a Poisson job trace.
+//   powerstack validate [--quick]
+//       Run the reproduction self-check (exit 0 iff all claims hold).
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string_view>
+
+#include "analysis/validation.hpp"
+#include "core/mixes.hpp"
+#include "kernel/proxies.hpp"
+#include "facility/facility_manager.hpp"
+#include "runtime/agent_registry.hpp"
+#include "runtime/characterization_io.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/platform_io.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ps;
+
+struct Args {
+  std::string command;
+  std::string workload = "ymm-i8-w50-x2";
+  std::string mix = "WastefulPower";
+  std::string policy = "MixedAdaptive";
+  std::string agent = "power_balancer";
+  std::size_t nodes = 8;
+  double hours = 72.0;
+  bool quick = false;
+  bool backfill = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) {
+    args.command = argv[1];
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--workload" && i + 1 < argc) {
+      args.workload = argv[++i];
+    } else if (arg == "--mix" && i + 1 < argc) {
+      args.mix = argv[++i];
+    } else if (arg == "--policy" && i + 1 < argc) {
+      args.policy = argv[++i];
+    } else if (arg == "--agent" && i + 1 < argc) {
+      args.agent = argv[++i];
+    } else if (arg == "--nodes" && i + 1 < argc) {
+      args.nodes = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--hours" && i + 1 < argc) {
+      args.hours = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--backfill") {
+      args.backfill = true;
+    } else if (arg == "--quick") {
+      args.quick = true;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::printf(
+      "usage: powerstack <command> [options]\n"
+      "  signals                         list PlatformIO signals/controls\n"
+      "  characterize --workload NAME    monitor+balancer characterization\n"
+      "                                  (NAME: ymm-i8-w50-x2 or a proxy: stream,\n"
+      "                                   dgemm, spmv, stencil, graph, mc)\n"
+      "  budgets --mix NAME              Table III budget levels for a mix\n"
+      "  balance --agent NAME            run a job under any runtime agent\n"
+      "  facility [--hours H] [--backfill]  event-driven facility run\n"
+      "  validate [--quick]              reproduction self-check\n"
+      "common options: --nodes N --policy NAME\n");
+  return 2;
+}
+
+std::optional<core::PolicyKind> parse_policy(std::string_view name) {
+  for (core::PolicyKind kind : core::all_policy_kinds()) {
+    if (util::iequals(name, core::to_string(kind))) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<core::MixKind> parse_mix(std::string_view name) {
+  for (core::MixKind kind : core::all_mix_kinds()) {
+    if (util::iequals(name, core::to_string(kind))) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Workload names accept proxy handles ("stream", "dgemm", ...) as well
+/// as raw configuration names ("ymm-i8-w50-x2").
+kernel::WorkloadConfig resolve_workload(const std::string& name) {
+  for (const kernel::WorkloadProxy& proxy : kernel::workload_proxies()) {
+    if (util::iequals(proxy.name, name)) {
+      return proxy.config;
+    }
+  }
+  return kernel::parse_workload(name);
+}
+
+int cmd_signals() {
+  std::printf("signals:\n");
+  for (const std::string& name : runtime::PlatformIO::signal_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("controls:\n");
+  for (const std::string& name : runtime::PlatformIO::control_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_characterize(const Args& args) {
+  const kernel::WorkloadConfig config = resolve_workload(args.workload);
+  sim::Cluster cluster(args.nodes);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < args.nodes; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job(args.workload, std::move(hosts), config);
+  const runtime::JobCharacterization data =
+      runtime::characterize_job(job, 5);
+  std::ostringstream out;
+  runtime::write_characterization_csv(out, args.workload, data);
+  std::fputs(out.str().c_str(), stdout);
+  std::printf("# uncapped %.1f W/node, needed %.1f W/node\n",
+              data.monitor.average_node_power_watts,
+              data.balancer.average_node_power_watts);
+  return 0;
+}
+
+int cmd_budgets(const Args& args) {
+  const auto mix_kind = parse_mix(args.mix);
+  if (!mix_kind) {
+    std::fprintf(stderr, "unknown mix '%s'\n", args.mix.c_str());
+    return 2;
+  }
+  analysis::ExperimentOptions options;
+  options.nodes_per_job = args.nodes;
+  options.iterations = 10;
+  options.characterization_iterations = 3;
+  options.hardware_variation = false;
+  analysis::ExperimentDriver driver(options);
+  analysis::MixExperiment experiment =
+      driver.prepare(core::make_mix(*mix_kind, args.nodes));
+  const core::PowerBudgets& budgets = experiment.budgets();
+  const double hosts = static_cast<double>(experiment.total_hosts());
+  std::printf("%s (%zu hosts):\n", args.mix.c_str(),
+              experiment.total_hosts());
+  std::printf("  min:   %s (%.1f W/node)\n",
+              util::format_watts(budgets.min_watts).c_str(),
+              budgets.min_watts / hosts);
+  std::printf("  ideal: %s (%.1f W/node)\n",
+              util::format_watts(budgets.ideal_watts).c_str(),
+              budgets.ideal_watts / hosts);
+  std::printf("  max:   %s (%.1f W/node)\n",
+              util::format_watts(budgets.max_watts).c_str(),
+              budgets.max_watts / hosts);
+  return 0;
+}
+
+int cmd_balance(const Args& args) {
+  const kernel::WorkloadConfig config = resolve_workload(args.workload);
+  const runtime::AgentKind kind =
+      runtime::agent_kind_from_name(args.agent);
+  sim::Cluster cluster(args.nodes);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < args.nodes; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  sim::JobSimulation job(args.workload, std::move(hosts), config);
+  const double budget = 195.0 * static_cast<double>(args.nodes);
+
+  // Uniform reference first.
+  for (std::size_t h = 0; h < args.nodes; ++h) {
+    job.set_host_cap(h, budget / static_cast<double>(args.nodes));
+  }
+  const double uniform_time = job.run_iteration().iteration_seconds;
+
+  const auto agent = runtime::make_agent(kind, budget);
+  const runtime::JobReport report =
+      runtime::Controller(10, 3).run(job, *agent);
+  const double agent_time =
+      report.elapsed_seconds / static_cast<double>(report.iterations);
+
+  std::printf("%s on %s, %zu hosts, budget %s:\n", args.agent.c_str(),
+              args.workload.c_str(), args.nodes,
+              util::format_watts(budget).c_str());
+  util::TextTable table;
+  table.add_column("host", util::Align::kRight, 0);
+  table.add_column("cap (W)", util::Align::kRight, 1);
+  table.add_column("freq cap (GHz)", util::Align::kRight, 2);
+  table.add_column("role", util::Align::kLeft);
+  for (std::size_t h = 0; h < args.nodes; ++h) {
+    table.begin_row();
+    table.add_cell(std::to_string(h));
+    table.add_number(job.host_cap(h));
+    table.add_number(job.host(h).frequency_cap());
+    table.add_cell(job.is_waiting_host(h) ? "waiting" : "critical");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("iteration time: uniform %s -> %s (%+.1f%%)\n",
+              util::format_seconds(uniform_time).c_str(),
+              util::format_seconds(agent_time).c_str(),
+              (agent_time / uniform_time - 1.0) * 100.0);
+  return 0;
+}
+
+int cmd_facility(const Args& args) {
+  const auto policy = parse_policy(args.policy);
+  if (!policy) {
+    std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
+    return 2;
+  }
+  sim::Cluster cluster(args.nodes);
+  facility::JobTraceOptions traffic;
+  traffic.horizon_hours = args.hours;
+  traffic.arrivals_per_hour = 0.5;
+  traffic.min_nodes = std::max<std::size_t>(1, args.nodes / 8);
+  traffic.max_nodes = std::max<std::size_t>(1, args.nodes / 2);
+  util::Rng rng(0xC11);
+  facility::FacilityOptions options;
+  options.horizon_hours = args.hours;
+  options.policy = *policy;
+  options.backfill = args.backfill;
+  facility::FacilityManager manager(cluster, options);
+  const facility::FacilityResult result =
+      manager.run(facility::generate_job_trace(rng, traffic));
+  std::printf("%zu nodes, %.0f h, policy %s:\n", args.nodes, args.hours,
+              args.policy.c_str());
+  std::printf("  completed jobs: %zu\n", result.completed_jobs);
+  std::printf("  mean wait:      %.2f h\n", result.mean_wait_hours());
+  std::printf("  mean power:     %s\n",
+              util::format_watts(result.mean_power_watts()).c_str());
+  std::printf("  peak power:     %s\n",
+              util::format_watts(result.peak_power_watts()).c_str());
+  std::printf("  utilization:    %.0f%%\n",
+              result.mean_utilization() * 100.0);
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  analysis::ExperimentOptions options;
+  options.nodes_per_job = args.quick ? 8 : 100;
+  options.iterations = args.quick ? 16 : 100;
+  options.characterization_iterations = args.quick ? 3 : 5;
+  const analysis::ValidationReport report =
+      analysis::validate_paper_claims(options);
+  for (const auto& claim : report.claims) {
+    std::printf("[%s] %-18s %s\n", claim.passed ? "PASS" : "FAIL",
+                claim.id.c_str(), claim.description.c_str());
+  }
+  std::printf("%zu / %zu claims hold.\n", report.passed_count(),
+              report.claims.size());
+  return report.all_passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "signals") {
+      return cmd_signals();
+    }
+    if (args.command == "characterize") {
+      return cmd_characterize(args);
+    }
+    if (args.command == "budgets") {
+      return cmd_budgets(args);
+    }
+    if (args.command == "balance") {
+      return cmd_balance(args);
+    }
+    if (args.command == "facility") {
+      return cmd_facility(args);
+    }
+    if (args.command == "validate") {
+      return cmd_validate(args);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
