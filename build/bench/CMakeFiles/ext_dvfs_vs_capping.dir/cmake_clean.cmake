@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dvfs_vs_capping.dir/ext_dvfs_vs_capping.cpp.o"
+  "CMakeFiles/ext_dvfs_vs_capping.dir/ext_dvfs_vs_capping.cpp.o.d"
+  "ext_dvfs_vs_capping"
+  "ext_dvfs_vs_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dvfs_vs_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_dvfs_vs_capping.
+# This may be replaced when dependencies are built.

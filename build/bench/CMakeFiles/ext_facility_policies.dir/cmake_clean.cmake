@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_facility_policies.dir/ext_facility_policies.cpp.o"
+  "CMakeFiles/ext_facility_policies.dir/ext_facility_policies.cpp.o.d"
+  "ext_facility_policies"
+  "ext_facility_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_facility_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_feedback_control.dir/ext_feedback_control.cpp.o"
+  "CMakeFiles/ext_feedback_control.dir/ext_feedback_control.cpp.o.d"
+  "ext_feedback_control"
+  "ext_feedback_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_feedback_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiphase.dir/ext_multiphase.cpp.o"
+  "CMakeFiles/ext_multiphase.dir/ext_multiphase.cpp.o.d"
+  "ext_multiphase"
+  "ext_multiphase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiphase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

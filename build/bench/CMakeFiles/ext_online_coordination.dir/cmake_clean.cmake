@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_online_coordination.dir/ext_online_coordination.cpp.o"
+  "CMakeFiles/ext_online_coordination.dir/ext_online_coordination.cpp.o.d"
+  "ext_online_coordination"
+  "ext_online_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_online_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

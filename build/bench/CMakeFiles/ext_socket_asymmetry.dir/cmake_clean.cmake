@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_socket_asymmetry.dir/ext_socket_asymmetry.cpp.o"
+  "CMakeFiles/ext_socket_asymmetry.dir/ext_socket_asymmetry.cpp.o.d"
+  "ext_socket_asymmetry"
+  "ext_socket_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_socket_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_facility_trace.dir/fig01_facility_trace.cpp.o"
+  "CMakeFiles/fig01_facility_trace.dir/fig01_facility_trace.cpp.o.d"
+  "fig01_facility_trace"
+  "fig01_facility_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_facility_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

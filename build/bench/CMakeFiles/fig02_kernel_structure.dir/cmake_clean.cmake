@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_kernel_structure.dir/fig02_kernel_structure.cpp.o"
+  "CMakeFiles/fig02_kernel_structure.dir/fig02_kernel_structure.cpp.o.d"
+  "fig02_kernel_structure"
+  "fig02_kernel_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_kernel_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_roofline.dir/fig03_roofline.cpp.o"
+  "CMakeFiles/fig03_roofline.dir/fig03_roofline.cpp.o.d"
+  "fig03_roofline"
+  "fig03_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

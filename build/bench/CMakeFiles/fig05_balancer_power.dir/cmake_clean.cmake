@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_balancer_power.dir/fig05_balancer_power.cpp.o"
+  "CMakeFiles/fig05_balancer_power.dir/fig05_balancer_power.cpp.o.d"
+  "fig05_balancer_power"
+  "fig05_balancer_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_balancer_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_variation_clusters.dir/fig06_variation_clusters.cpp.o"
+  "CMakeFiles/fig06_variation_clusters.dir/fig06_variation_clusters.cpp.o.d"
+  "fig06_variation_clusters"
+  "fig06_variation_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_variation_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

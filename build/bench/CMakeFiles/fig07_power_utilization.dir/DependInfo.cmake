@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_power_utilization.cpp" "bench/CMakeFiles/fig07_power_utilization.dir/fig07_power_utilization.cpp.o" "gcc" "bench/CMakeFiles/fig07_power_utilization.dir/fig07_power_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/ps_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/ps_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

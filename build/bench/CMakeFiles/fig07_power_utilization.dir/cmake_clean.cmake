@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_power_utilization.dir/fig07_power_utilization.cpp.o"
+  "CMakeFiles/fig07_power_utilization.dir/fig07_power_utilization.cpp.o.d"
+  "fig07_power_utilization"
+  "fig07_power_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_power_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

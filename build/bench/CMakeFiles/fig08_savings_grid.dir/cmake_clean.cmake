@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_savings_grid.dir/fig08_savings_grid.cpp.o"
+  "CMakeFiles/fig08_savings_grid.dir/fig08_savings_grid.cpp.o.d"
+  "fig08_savings_grid"
+  "fig08_savings_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_savings_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

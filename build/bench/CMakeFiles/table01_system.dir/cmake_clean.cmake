@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_system.dir/table01_system.cpp.o"
+  "CMakeFiles/table01_system.dir/table01_system.cpp.o.d"
+  "table01_system"
+  "table01_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_mixes.dir/table02_mixes.cpp.o"
+  "CMakeFiles/table02_mixes.dir/table02_mixes.cpp.o.d"
+  "table02_mixes"
+  "table02_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

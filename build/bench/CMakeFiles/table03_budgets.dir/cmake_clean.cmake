@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_budgets.dir/table03_budgets.cpp.o"
+  "CMakeFiles/table03_budgets.dir/table03_budgets.cpp.o.d"
+  "table03_budgets"
+  "table03_budgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_budgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_claims.dir/validate_claims.cpp.o"
+  "CMakeFiles/validate_claims.dir/validate_claims.cpp.o.d"
+  "validate_claims"
+  "validate_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination_protocol.dir/coordination_protocol.cpp.o"
+  "CMakeFiles/coordination_protocol.dir/coordination_protocol.cpp.o.d"
+  "coordination_protocol"
+  "coordination_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

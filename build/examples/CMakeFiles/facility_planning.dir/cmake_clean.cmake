@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_planning.dir/facility_planning.cpp.o"
+  "CMakeFiles/facility_planning.dir/facility_planning.cpp.o.d"
+  "facility_planning"
+  "facility_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

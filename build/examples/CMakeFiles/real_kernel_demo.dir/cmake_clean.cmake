@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_kernel_demo.dir/real_kernel_demo.cpp.o"
+  "CMakeFiles/real_kernel_demo.dir/real_kernel_demo.cpp.o.d"
+  "real_kernel_demo"
+  "real_kernel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_kernel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

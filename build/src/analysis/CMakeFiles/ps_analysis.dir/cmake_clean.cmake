@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/ps_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/export.cpp.o"
+  "CMakeFiles/ps_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/heatmap.cpp.o"
+  "CMakeFiles/ps_analysis.dir/heatmap.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/roofline_analysis.cpp.o"
+  "CMakeFiles/ps_analysis.dir/roofline_analysis.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/ps_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/validation.cpp.o"
+  "CMakeFiles/ps_analysis.dir/validation.cpp.o.d"
+  "libps_analysis.a"
+  "libps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/budget.cpp" "src/core/CMakeFiles/ps_core.dir/budget.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/budget.cpp.o.d"
+  "/root/repo/src/core/coordination.cpp" "src/core/CMakeFiles/ps_core.dir/coordination.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/coordination.cpp.o.d"
+  "/root/repo/src/core/endpoint.cpp" "src/core/CMakeFiles/ps_core.dir/endpoint.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/endpoint.cpp.o.d"
+  "/root/repo/src/core/mixes.cpp" "src/core/CMakeFiles/ps_core.dir/mixes.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/mixes.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/ps_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/ps_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/policy_util.cpp" "src/core/CMakeFiles/ps_core.dir/policy_util.cpp.o" "gcc" "src/core/CMakeFiles/ps_core.dir/policy_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rm/CMakeFiles/ps_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

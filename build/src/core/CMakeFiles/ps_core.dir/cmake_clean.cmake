@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_core.dir/budget.cpp.o"
+  "CMakeFiles/ps_core.dir/budget.cpp.o.d"
+  "CMakeFiles/ps_core.dir/coordination.cpp.o"
+  "CMakeFiles/ps_core.dir/coordination.cpp.o.d"
+  "CMakeFiles/ps_core.dir/endpoint.cpp.o"
+  "CMakeFiles/ps_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ps_core.dir/mixes.cpp.o"
+  "CMakeFiles/ps_core.dir/mixes.cpp.o.d"
+  "CMakeFiles/ps_core.dir/policies.cpp.o"
+  "CMakeFiles/ps_core.dir/policies.cpp.o.d"
+  "CMakeFiles/ps_core.dir/policy.cpp.o"
+  "CMakeFiles/ps_core.dir/policy.cpp.o.d"
+  "CMakeFiles/ps_core.dir/policy_util.cpp.o"
+  "CMakeFiles/ps_core.dir/policy_util.cpp.o.d"
+  "libps_core.a"
+  "libps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_facility.dir/facility_io.cpp.o"
+  "CMakeFiles/ps_facility.dir/facility_io.cpp.o.d"
+  "CMakeFiles/ps_facility.dir/facility_manager.cpp.o"
+  "CMakeFiles/ps_facility.dir/facility_manager.cpp.o.d"
+  "libps_facility.a"
+  "libps_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/msr.cpp" "src/hw/CMakeFiles/ps_hw.dir/msr.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/msr.cpp.o.d"
+  "/root/repo/src/hw/node.cpp" "src/hw/CMakeFiles/ps_hw.dir/node.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/node.cpp.o.d"
+  "/root/repo/src/hw/perf_model.cpp" "src/hw/CMakeFiles/ps_hw.dir/perf_model.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/perf_model.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/ps_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/rapl.cpp" "src/hw/CMakeFiles/ps_hw.dir/rapl.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/rapl.cpp.o.d"
+  "/root/repo/src/hw/variation.cpp" "src/hw/CMakeFiles/ps_hw.dir/variation.cpp.o" "gcc" "src/hw/CMakeFiles/ps_hw.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_hw.dir/msr.cpp.o"
+  "CMakeFiles/ps_hw.dir/msr.cpp.o.d"
+  "CMakeFiles/ps_hw.dir/node.cpp.o"
+  "CMakeFiles/ps_hw.dir/node.cpp.o.d"
+  "CMakeFiles/ps_hw.dir/perf_model.cpp.o"
+  "CMakeFiles/ps_hw.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ps_hw.dir/power_model.cpp.o"
+  "CMakeFiles/ps_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/ps_hw.dir/rapl.cpp.o"
+  "CMakeFiles/ps_hw.dir/rapl.cpp.o.d"
+  "CMakeFiles/ps_hw.dir/variation.cpp.o"
+  "CMakeFiles/ps_hw.dir/variation.cpp.o.d"
+  "libps_hw.a"
+  "libps_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

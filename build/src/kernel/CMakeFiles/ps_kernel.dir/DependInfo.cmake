@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/arithmetic_kernel.cpp" "src/kernel/CMakeFiles/ps_kernel.dir/arithmetic_kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/ps_kernel.dir/arithmetic_kernel.cpp.o.d"
+  "/root/repo/src/kernel/phased.cpp" "src/kernel/CMakeFiles/ps_kernel.dir/phased.cpp.o" "gcc" "src/kernel/CMakeFiles/ps_kernel.dir/phased.cpp.o.d"
+  "/root/repo/src/kernel/proxies.cpp" "src/kernel/CMakeFiles/ps_kernel.dir/proxies.cpp.o" "gcc" "src/kernel/CMakeFiles/ps_kernel.dir/proxies.cpp.o.d"
+  "/root/repo/src/kernel/spin_barrier.cpp" "src/kernel/CMakeFiles/ps_kernel.dir/spin_barrier.cpp.o" "gcc" "src/kernel/CMakeFiles/ps_kernel.dir/spin_barrier.cpp.o.d"
+  "/root/repo/src/kernel/workload.cpp" "src/kernel/CMakeFiles/ps_kernel.dir/workload.cpp.o" "gcc" "src/kernel/CMakeFiles/ps_kernel.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_kernel.dir/arithmetic_kernel.cpp.o"
+  "CMakeFiles/ps_kernel.dir/arithmetic_kernel.cpp.o.d"
+  "CMakeFiles/ps_kernel.dir/phased.cpp.o"
+  "CMakeFiles/ps_kernel.dir/phased.cpp.o.d"
+  "CMakeFiles/ps_kernel.dir/proxies.cpp.o"
+  "CMakeFiles/ps_kernel.dir/proxies.cpp.o.d"
+  "CMakeFiles/ps_kernel.dir/spin_barrier.cpp.o"
+  "CMakeFiles/ps_kernel.dir/spin_barrier.cpp.o.d"
+  "CMakeFiles/ps_kernel.dir/workload.cpp.o"
+  "CMakeFiles/ps_kernel.dir/workload.cpp.o.d"
+  "libps_kernel.a"
+  "libps_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rm/allocation.cpp" "src/rm/CMakeFiles/ps_rm.dir/allocation.cpp.o" "gcc" "src/rm/CMakeFiles/ps_rm.dir/allocation.cpp.o.d"
+  "/root/repo/src/rm/job.cpp" "src/rm/CMakeFiles/ps_rm.dir/job.cpp.o" "gcc" "src/rm/CMakeFiles/ps_rm.dir/job.cpp.o.d"
+  "/root/repo/src/rm/power_manager.cpp" "src/rm/CMakeFiles/ps_rm.dir/power_manager.cpp.o" "gcc" "src/rm/CMakeFiles/ps_rm.dir/power_manager.cpp.o.d"
+  "/root/repo/src/rm/scheduler.cpp" "src/rm/CMakeFiles/ps_rm.dir/scheduler.cpp.o" "gcc" "src/rm/CMakeFiles/ps_rm.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

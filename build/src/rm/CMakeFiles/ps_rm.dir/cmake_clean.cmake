@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_rm.dir/allocation.cpp.o"
+  "CMakeFiles/ps_rm.dir/allocation.cpp.o.d"
+  "CMakeFiles/ps_rm.dir/job.cpp.o"
+  "CMakeFiles/ps_rm.dir/job.cpp.o.d"
+  "CMakeFiles/ps_rm.dir/power_manager.cpp.o"
+  "CMakeFiles/ps_rm.dir/power_manager.cpp.o.d"
+  "CMakeFiles/ps_rm.dir/scheduler.cpp.o"
+  "CMakeFiles/ps_rm.dir/scheduler.cpp.o.d"
+  "libps_rm.a"
+  "libps_rm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/agent_registry.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/agent_registry.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/agent_registry.cpp.o.d"
+  "/root/repo/src/runtime/agent_tree.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/agent_tree.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/agent_tree.cpp.o.d"
+  "/root/repo/src/runtime/basic_agents.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/basic_agents.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/basic_agents.cpp.o.d"
+  "/root/repo/src/runtime/characterization.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/characterization.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/characterization.cpp.o.d"
+  "/root/repo/src/runtime/characterization_io.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/characterization_io.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/characterization_io.cpp.o.d"
+  "/root/repo/src/runtime/controller.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/controller.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/controller.cpp.o.d"
+  "/root/repo/src/runtime/energy_efficient_agent.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/energy_efficient_agent.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/energy_efficient_agent.cpp.o.d"
+  "/root/repo/src/runtime/feedback_agent.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/feedback_agent.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/feedback_agent.cpp.o.d"
+  "/root/repo/src/runtime/platform_io.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/platform_io.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/platform_io.cpp.o.d"
+  "/root/repo/src/runtime/power_balancer_agent.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/power_balancer_agent.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/power_balancer_agent.cpp.o.d"
+  "/root/repo/src/runtime/recording_agent.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/recording_agent.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/recording_agent.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/report.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/report.cpp.o.d"
+  "/root/repo/src/runtime/report_writer.cpp" "src/runtime/CMakeFiles/ps_runtime.dir/report_writer.cpp.o" "gcc" "src/runtime/CMakeFiles/ps_runtime.dir/report_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

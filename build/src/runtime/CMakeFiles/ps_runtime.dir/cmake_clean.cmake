@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_runtime.dir/agent_registry.cpp.o"
+  "CMakeFiles/ps_runtime.dir/agent_registry.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/agent_tree.cpp.o"
+  "CMakeFiles/ps_runtime.dir/agent_tree.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/basic_agents.cpp.o"
+  "CMakeFiles/ps_runtime.dir/basic_agents.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/characterization.cpp.o"
+  "CMakeFiles/ps_runtime.dir/characterization.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/characterization_io.cpp.o"
+  "CMakeFiles/ps_runtime.dir/characterization_io.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/controller.cpp.o"
+  "CMakeFiles/ps_runtime.dir/controller.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/energy_efficient_agent.cpp.o"
+  "CMakeFiles/ps_runtime.dir/energy_efficient_agent.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/feedback_agent.cpp.o"
+  "CMakeFiles/ps_runtime.dir/feedback_agent.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/platform_io.cpp.o"
+  "CMakeFiles/ps_runtime.dir/platform_io.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/power_balancer_agent.cpp.o"
+  "CMakeFiles/ps_runtime.dir/power_balancer_agent.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/recording_agent.cpp.o"
+  "CMakeFiles/ps_runtime.dir/recording_agent.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/report.cpp.o"
+  "CMakeFiles/ps_runtime.dir/report.cpp.o.d"
+  "CMakeFiles/ps_runtime.dir/report_writer.cpp.o"
+  "CMakeFiles/ps_runtime.dir/report_writer.cpp.o.d"
+  "libps_runtime.a"
+  "libps_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

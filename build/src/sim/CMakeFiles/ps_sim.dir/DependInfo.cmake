@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/ps_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/ps_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/facility_trace.cpp" "src/sim/CMakeFiles/ps_sim.dir/facility_trace.cpp.o" "gcc" "src/sim/CMakeFiles/ps_sim.dir/facility_trace.cpp.o.d"
+  "/root/repo/src/sim/job_sim.cpp" "src/sim/CMakeFiles/ps_sim.dir/job_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ps_sim.dir/job_sim.cpp.o.d"
+  "/root/repo/src/sim/telemetry.cpp" "src/sim/CMakeFiles/ps_sim.dir/telemetry.cpp.o" "gcc" "src/sim/CMakeFiles/ps_sim.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sim.dir/cluster.cpp.o"
+  "CMakeFiles/ps_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/facility_trace.cpp.o"
+  "CMakeFiles/ps_sim.dir/facility_trace.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/job_sim.cpp.o"
+  "CMakeFiles/ps_sim.dir/job_sim.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/telemetry.cpp.o"
+  "CMakeFiles/ps_sim.dir/telemetry.cpp.o.d"
+  "libps_sim.a"
+  "libps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

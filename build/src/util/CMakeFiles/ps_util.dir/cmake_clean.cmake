@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_util.dir/args.cpp.o"
+  "CMakeFiles/ps_util.dir/args.cpp.o.d"
+  "CMakeFiles/ps_util.dir/error.cpp.o"
+  "CMakeFiles/ps_util.dir/error.cpp.o.d"
+  "CMakeFiles/ps_util.dir/kmeans.cpp.o"
+  "CMakeFiles/ps_util.dir/kmeans.cpp.o.d"
+  "CMakeFiles/ps_util.dir/logging.cpp.o"
+  "CMakeFiles/ps_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ps_util.dir/rng.cpp.o"
+  "CMakeFiles/ps_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ps_util.dir/stats.cpp.o"
+  "CMakeFiles/ps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ps_util.dir/strings.cpp.o"
+  "CMakeFiles/ps_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ps_util.dir/table.cpp.o"
+  "CMakeFiles/ps_util.dir/table.cpp.o.d"
+  "libps_util.a"
+  "libps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

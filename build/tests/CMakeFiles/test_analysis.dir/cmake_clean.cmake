@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/experiment_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/experiment_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/export_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/export_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/heatmap_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/heatmap_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/roofline_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/roofline_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/sensitivity_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/sensitivity_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/validation_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/validation_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

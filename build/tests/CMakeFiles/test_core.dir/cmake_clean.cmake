@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/budget_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/budget_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/coordination_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/coordination_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/endpoint_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/endpoint_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/golden_allocation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/golden_allocation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mixes_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mixes_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/policy_fuzz_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/policy_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/policy_properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/policy_properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/policy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/policy_util_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/policy_util_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

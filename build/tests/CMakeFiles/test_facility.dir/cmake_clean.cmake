@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facility.dir/facility/backfill_facility_test.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/backfill_facility_test.cpp.o.d"
+  "CMakeFiles/test_facility.dir/facility/facility_io_test.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/facility_io_test.cpp.o.d"
+  "CMakeFiles/test_facility.dir/facility/facility_test.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/facility_test.cpp.o.d"
+  "CMakeFiles/test_facility.dir/facility/failure_test.cpp.o"
+  "CMakeFiles/test_facility.dir/facility/failure_test.cpp.o.d"
+  "test_facility"
+  "test_facility.pdb"
+  "test_facility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/hw_properties_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/hw_properties_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/msr_allowlist_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/msr_allowlist_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/msr_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/msr_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/node_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/node_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/perf_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/perf_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/power_model_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/rapl_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/rapl_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/socket_asymmetry_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/socket_asymmetry_test.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/variation_test.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/variation_test.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

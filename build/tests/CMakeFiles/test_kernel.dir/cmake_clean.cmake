@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/arithmetic_kernel_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/arithmetic_kernel_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/phased_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/phased_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/proxies_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/proxies_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/spin_barrier_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/spin_barrier_test.cpp.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/workload_test.cpp.o"
+  "CMakeFiles/test_kernel.dir/kernel/workload_test.cpp.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rm.dir/rm/allocation_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/allocation_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/backfill_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/backfill_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/power_manager_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/power_manager_test.cpp.o.d"
+  "CMakeFiles/test_rm.dir/rm/scheduler_test.cpp.o"
+  "CMakeFiles/test_rm.dir/rm/scheduler_test.cpp.o.d"
+  "test_rm"
+  "test_rm.pdb"
+  "test_rm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

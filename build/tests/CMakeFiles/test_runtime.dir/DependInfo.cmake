@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/agent_registry_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/agent_registry_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/agent_registry_test.cpp.o.d"
+  "/root/repo/tests/runtime/agent_tree_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/agent_tree_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/agent_tree_test.cpp.o.d"
+  "/root/repo/tests/runtime/agents_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/agents_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/agents_test.cpp.o.d"
+  "/root/repo/tests/runtime/balancer_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/balancer_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/balancer_test.cpp.o.d"
+  "/root/repo/tests/runtime/characterization_io_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/characterization_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/characterization_io_test.cpp.o.d"
+  "/root/repo/tests/runtime/characterization_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/characterization_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/characterization_test.cpp.o.d"
+  "/root/repo/tests/runtime/controller_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/controller_test.cpp.o.d"
+  "/root/repo/tests/runtime/energy_efficient_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/energy_efficient_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/energy_efficient_test.cpp.o.d"
+  "/root/repo/tests/runtime/feedback_agent_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/feedback_agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/feedback_agent_test.cpp.o.d"
+  "/root/repo/tests/runtime/phased_controller_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/phased_controller_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/phased_controller_test.cpp.o.d"
+  "/root/repo/tests/runtime/platform_io_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/platform_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/platform_io_test.cpp.o.d"
+  "/root/repo/tests/runtime/recording_agent_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/recording_agent_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/recording_agent_test.cpp.o.d"
+  "/root/repo/tests/runtime/report_writer_test.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/report_writer_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/report_writer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/facility/CMakeFiles/ps_facility.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rm/CMakeFiles/ps_rm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ps_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ps_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

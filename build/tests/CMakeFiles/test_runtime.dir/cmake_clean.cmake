@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/agent_registry_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/agent_registry_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/agent_tree_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/agent_tree_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/agents_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/agents_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/balancer_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/balancer_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/characterization_io_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/characterization_io_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/characterization_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/characterization_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/controller_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/controller_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/energy_efficient_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/energy_efficient_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/feedback_agent_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/feedback_agent_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/phased_controller_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/phased_controller_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/platform_io_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/platform_io_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/recording_agent_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/recording_agent_test.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/report_writer_test.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/report_writer_test.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(powerstack_signals "/root/repo/build/tools/powerstack" "signals")
+set_tests_properties(powerstack_signals PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(powerstack_characterize "/root/repo/build/tools/powerstack" "characterize" "--workload" "ymm-i8-w50-x2" "--nodes" "4")
+set_tests_properties(powerstack_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(powerstack_budgets "/root/repo/build/tools/powerstack" "budgets" "--mix" "HighPower" "--nodes" "4")
+set_tests_properties(powerstack_budgets PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(powerstack_facility "/root/repo/build/tools/powerstack" "facility" "--nodes" "8" "--hours" "24")
+set_tests_properties(powerstack_facility PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(powerstack_usage_error "/root/repo/build/tools/powerstack" "bogus")
+set_tests_properties(powerstack_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(powerstack_balance "/root/repo/build/tools/powerstack" "balance" "--agent" "tree_balancer" "--nodes" "4")
+set_tests_properties(powerstack_balance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
