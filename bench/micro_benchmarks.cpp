@@ -3,12 +3,20 @@
 // bulk-synchronous simulator, k-means, and the real arithmetic kernel.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+#include <utility>
+
 #include "core/endpoint.hpp"
 #include "core/policies.hpp"
 #include "kernel/arithmetic_kernel.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/framing.hpp"
 #include "runtime/agent_tree.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/cluster.hpp"
+#include "util/error.hpp"
 #include "util/kmeans.hpp"
 #include "util/rng.hpp"
 
@@ -143,6 +151,78 @@ void BM_EndpointRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EndpointRoundTrip)->Arg(100);
+
+core::SampleMessage wire_bench_sample(std::size_t hosts) {
+  core::SampleMessage message;
+  message.sequence = 1;
+  message.job_name = "bench-job";
+  message.min_settable_cap_watts = 152.0;
+  message.host_observed_watts.assign(hosts, 214.125);
+  message.host_needed_watts.assign(hosts, 186.5);
+  return message;
+}
+
+void BM_MessageSerialize(benchmark::State& state) {
+  const core::SampleMessage message =
+      wire_bench_sample(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string wire =
+        core::serialize(message, core::WireFidelity::kExact);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MessageSerialize)->Arg(100)->Arg(1000);
+
+void BM_MessageParse(benchmark::State& state) {
+  const std::string wire = core::serialize(
+      wire_bench_sample(static_cast<std::size_t>(state.range(0))),
+      core::WireFidelity::kExact);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_sample_message(wire));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_MessageParse)->Arg(100)->Arg(1000);
+
+/// Full daemon round-trip latency over the in-process loopback transport:
+/// framed sample up, policy allocation, framed caps back.
+void BM_DaemonRoundTrip(benchmark::State& state) {
+  const auto hosts = static_cast<std::size_t>(state.range(0));
+  net::DaemonOptions options;
+  options.system_budget_watts = 190.0 * static_cast<double>(hosts);
+  net::PowerDaemon daemon(options);
+  auto [client_end, daemon_end] = net::loopback_pair();
+  daemon.adopt(std::move(daemon_end));
+  std::thread serving([&daemon] { daemon.run(); });
+
+  net::Socket socket = std::move(client_end);
+  bool moved = false;
+  net::RuntimeClient client([&socket, &moved]() -> net::Socket {
+    if (moved) {
+      throw Error("loopback exhausted");
+    }
+    moved = true;
+    return std::move(socket);
+  });
+  core::SampleMessage message = wire_bench_sample(hosts);
+  message.sequence = 0;
+  for (auto _ : state) {
+    ++message.sequence;
+    benchmark::DoNotOptimize(client.exchange(message));
+  }
+  daemon.stop();
+  serving.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonRoundTrip)->Arg(8)->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_KMeans1d(benchmark::State& state) {
   util::Rng rng(1);

@@ -1,5 +1,7 @@
 #include "core/endpoint.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <sstream>
 
 #include "runtime/power_balancer_agent.hpp"
@@ -11,24 +13,71 @@ namespace ps::core {
 
 namespace {
 
+std::string format_value(double value, WireFidelity fidelity) {
+  if (fidelity == WireFidelity::kDisplay) {
+    return util::format_fixed(value, 3);
+  }
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  PS_REQUIRE(ec == std::errc{}, "unencodable watt value");
+  return std::string(buffer, ptr);
+}
+
 void serialize_vector(std::ostringstream& out, std::string_view key,
-                      const std::vector<double>& values) {
+                      const std::vector<double>& values,
+                      WireFidelity fidelity) {
   out << key;
   for (double value : values) {
-    out << ' ' << util::format_fixed(value, 3);
+    out << ' ' << format_value(value, fidelity);
   }
   out << '\n';
+}
+
+/// Strict full-token watt parse: rejects trailing garbage, non-finite
+/// values (NaN/inf), and negative watts.
+double parse_watts(std::string_view token, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+             "non-numeric " + std::string(what) + " field");
+  PS_REQUIRE(std::isfinite(value),
+             std::string(what) + " must be finite");
+  PS_REQUIRE(value >= 0.0, std::string(what) + " must be non-negative");
+  return value;
+}
+
+std::uint64_t parse_sequence(std::string_view line) {
+  PS_REQUIRE(util::starts_with(line, "sequence "),
+             "expected 'sequence' line");
+  const std::string_view token = line.substr(9);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+             "non-numeric sequence field");
+  return value;
+}
+
+std::string parse_job_name(std::string_view line) {
+  PS_REQUIRE(util::starts_with(line, "job "), "expected 'job' line");
+  const std::string_view name = util::trim(line.substr(4));
+  PS_REQUIRE(!name.empty(), "empty job name");
+  return std::string(name);
 }
 
 std::vector<double> parse_vector(std::string_view line,
                                  std::string_view key) {
   PS_REQUIRE(util::starts_with(line, key),
              "expected '" + std::string(key) + "' line");
-  std::istringstream fields{std::string(line.substr(key.size()))};
   std::vector<double> values;
-  double value = 0.0;
-  while (fields >> value) {
-    values.push_back(value);
+  for (const std::string& token :
+       util::split(line.substr(key.size()), ' ')) {
+    if (token.empty()) {
+      continue;
+    }
+    values.push_back(parse_watts(token, key));
   }
   return values;
 }
@@ -45,24 +94,24 @@ std::vector<std::string> non_empty_lines(std::string_view text) {
 
 }  // namespace
 
-std::string serialize(const SampleMessage& message) {
+std::string serialize(const SampleMessage& message, WireFidelity fidelity) {
   std::ostringstream out;
   out << "powerstack-sample v1\n";
   out << "sequence " << message.sequence << '\n';
   out << "job " << message.job_name << '\n';
-  out << "min_cap " << util::format_fixed(message.min_settable_cap_watts, 3)
-      << '\n';
-  serialize_vector(out, "observed", message.host_observed_watts);
-  serialize_vector(out, "needed", message.host_needed_watts);
+  out << "min_cap "
+      << format_value(message.min_settable_cap_watts, fidelity) << '\n';
+  serialize_vector(out, "observed", message.host_observed_watts, fidelity);
+  serialize_vector(out, "needed", message.host_needed_watts, fidelity);
   return out.str();
 }
 
-std::string serialize(const PolicyMessage& message) {
+std::string serialize(const PolicyMessage& message, WireFidelity fidelity) {
   std::ostringstream out;
   out << "powerstack-policy v1\n";
   out << "sequence " << message.sequence << '\n';
   out << "job " << message.job_name << '\n';
-  serialize_vector(out, "caps", message.host_caps_watts);
+  serialize_vector(out, "caps", message.host_caps_watts, fidelity);
   return out.str();
 }
 
@@ -72,18 +121,12 @@ SampleMessage parse_sample_message(std::string_view text) {
   PS_REQUIRE(lines[0] == "powerstack-sample v1",
              "not a v1 sample message");
   SampleMessage message;
-  try {
-    PS_REQUIRE(util::starts_with(lines[1], "sequence "),
-               "expected 'sequence' line");
-    message.sequence = std::stoull(lines[1].substr(9));
-    PS_REQUIRE(util::starts_with(lines[2], "job "), "expected 'job' line");
-    message.job_name = lines[2].substr(4);
-    PS_REQUIRE(util::starts_with(lines[3], "min_cap "),
-               "expected 'min_cap' line");
-    message.min_settable_cap_watts = std::stod(lines[3].substr(8));
-  } catch (const std::logic_error&) {
-    throw InvalidArgument("malformed sample message header");
-  }
+  message.sequence = parse_sequence(lines[1]);
+  message.job_name = parse_job_name(lines[2]);
+  PS_REQUIRE(util::starts_with(lines[3], "min_cap "),
+             "expected 'min_cap' line");
+  message.min_settable_cap_watts =
+      parse_watts(util::trim(lines[3].substr(8)), "min_cap");
   message.host_observed_watts = parse_vector(lines[4], "observed");
   message.host_needed_watts = parse_vector(lines[5], "needed");
   PS_REQUIRE(message.host_observed_watts.size() ==
@@ -100,19 +143,27 @@ PolicyMessage parse_policy_message(std::string_view text) {
   PS_REQUIRE(lines[0] == "powerstack-policy v1",
              "not a v1 policy message");
   PolicyMessage message;
-  try {
-    PS_REQUIRE(util::starts_with(lines[1], "sequence "),
-               "expected 'sequence' line");
-    message.sequence = std::stoull(lines[1].substr(9));
-    PS_REQUIRE(util::starts_with(lines[2], "job "), "expected 'job' line");
-    message.job_name = lines[2].substr(4);
-  } catch (const std::logic_error&) {
-    throw InvalidArgument("malformed policy message header");
-  }
+  message.sequence = parse_sequence(lines[1]);
+  message.job_name = parse_job_name(lines[2]);
   message.host_caps_watts = parse_vector(lines[3], "caps");
   PS_REQUIRE(!message.host_caps_watts.empty(),
              "policy message has no hosts");
   return message;
+}
+
+bool SampleLatch::offer(SampleMessage message) {
+  if (latest_ && message.sequence <= latest_->sequence) {
+    return false;  // stale, out-of-order, or duplicate: no state change
+  }
+  latest_ = std::move(message);
+  fresh_ = true;
+  return true;
+}
+
+const SampleMessage& SampleLatch::consume() {
+  PS_CHECK_STATE(latest_.has_value(), "no sample to consume");
+  fresh_ = false;
+  return *latest_;
 }
 
 void Endpoint::post_sample(const SampleMessage& message) {

@@ -38,6 +38,15 @@ struct PolicyMessage {
   [[nodiscard]] bool operator==(const PolicyMessage&) const = default;
 };
 
+/// Numeric fidelity of the serialized form — a writer-side knob; the v1
+/// grammar never fixed the decimal count, so both render as valid v1.
+/// `kDisplay` renders watts at milliwatt precision (the human-readable
+/// archival format). `kExact` renders every double as its shortest
+/// round-tripping decimal, so a value survives the wire bit-for-bit —
+/// what the live daemon transport uses, and the reason a distributed
+/// allocation can equal the in-memory one watt-for-watt.
+enum class WireFidelity { kDisplay, kExact };
+
 /// Line-based wire format (versioned, human-readable):
 ///
 ///   powerstack-sample v1
@@ -46,10 +55,44 @@ struct PolicyMessage {
 ///   min_cap 152.000
 ///   observed 214.125 220.000 ...
 ///   needed 152.000 195.750 ...
-[[nodiscard]] std::string serialize(const SampleMessage& message);
-[[nodiscard]] std::string serialize(const PolicyMessage& message);
+///
+/// Parsers throw ps::InvalidArgument on malformed input: truncated
+/// messages, non-numeric fields, negative or non-finite watts, and
+/// mismatched vector lengths.
+[[nodiscard]] std::string serialize(const SampleMessage& message,
+                                    WireFidelity fidelity =
+                                        WireFidelity::kDisplay);
+[[nodiscard]] std::string serialize(const PolicyMessage& message,
+                                    WireFidelity fidelity =
+                                        WireFidelity::kDisplay);
 [[nodiscard]] SampleMessage parse_sample_message(std::string_view text);
 [[nodiscard]] PolicyMessage parse_policy_message(std::string_view text);
+
+/// Keeps the newest sample from one producer, enforcing the sequence
+/// contract the resource-manager daemon relies on: stale or out-of-order
+/// sequence numbers are ignored, the newest sequence wins, and offering a
+/// duplicate sequence is idempotent. A sample is "fresh" until consumed,
+/// which is how an allocation barrier knows every job has reported since
+/// the last epoch.
+class SampleLatch {
+ public:
+  /// Accepts `message` iff it is the first sample seen or its sequence is
+  /// strictly newer than the held one. Returns whether it was accepted.
+  bool offer(SampleMessage message);
+
+  [[nodiscard]] const std::optional<SampleMessage>& latest() const noexcept {
+    return latest_;
+  }
+  /// True if the held sample has not been consumed yet.
+  [[nodiscard]] bool has_fresh() const noexcept { return fresh_; }
+  /// Marks the held sample consumed and returns it. Throws
+  /// ps::InvalidState when no sample was ever offered.
+  const SampleMessage& consume();
+
+ private:
+  std::optional<SampleMessage> latest_;
+  bool fresh_ = false;
+};
 
 /// A bidirectional in-memory endpoint (the GEOPM "endpoint" analogue:
 /// in reality a shared-memory region between the RM daemon and the job

@@ -1,0 +1,171 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds remaining_until(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+}
+}  // namespace
+
+RuntimeClient::RuntimeClient(Connector connector, ClientOptions options)
+    : connector_(std::move(connector)),
+      options_(options),
+      backoff_(options.backoff_initial),
+      jitter_rng_(options.jitter_seed) {
+  PS_REQUIRE(connector_ != nullptr, "client needs a connector");
+  PS_REQUIRE(options.request_timeout.count() > 0,
+             "request timeout must be positive");
+  PS_REQUIRE(options.backoff_initial.count() > 0 &&
+                 options.backoff_max >= options.backoff_initial,
+             "backoff range is invalid");
+  PS_REQUIRE(options.backoff_jitter >= 0.0 && options.backoff_jitter < 1.0,
+             "backoff jitter must be in [0, 1)");
+}
+
+void RuntimeClient::drop_connection() {
+  socket_.close();
+  decoder_ = FrameDecoder();  // a new connection starts a new stream
+}
+
+void RuntimeClient::register_connect_failure() {
+  ++stats_.connect_failures;
+  const double factor = jitter_rng_.uniform(1.0 - options_.backoff_jitter,
+                                            1.0 + options_.backoff_jitter);
+  const auto delay = std::chrono::milliseconds(std::max<std::int64_t>(
+      1, std::llround(static_cast<double>(backoff_.count()) * factor)));
+  next_connect_attempt_ = Clock::now() + delay;
+  backoff_ = std::min(backoff_ * 2, options_.backoff_max);
+}
+
+bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
+  if (socket_.valid()) {
+    return true;
+  }
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      return false;
+    }
+    if (now < next_connect_attempt_) {
+      // Honour the backoff, but never sleep past the caller's deadline.
+      std::this_thread::sleep_for(
+          std::min(next_connect_attempt_, deadline) - now);
+      continue;
+    }
+    ++stats_.connect_attempts;
+    try {
+      Socket socket = connector_();
+      PS_REQUIRE(socket.valid(), "connector returned an invalid socket");
+      socket_ = std::move(socket);
+      decoder_ = FrameDecoder();
+      if (ever_connected_) {
+        ++stats_.reconnects;
+      }
+      ever_connected_ = true;
+      backoff_ = options_.backoff_initial;
+      return true;
+    } catch (const Error&) {
+      register_connect_failure();
+    }
+  }
+}
+
+bool RuntimeClient::send_frame(const std::string& frame,
+                               Clock::time_point deadline) {
+  std::string_view rest = frame;
+  while (!rest.empty()) {
+    const IoResult result = socket_.write_some(rest);
+    if (result.status == IoStatus::kOk) {
+      rest.remove_prefix(result.bytes);
+      continue;
+    }
+    if (result.status == IoStatus::kClosed) {
+      drop_connection();
+      return false;
+    }
+    const auto remaining = remaining_until(deadline);
+    if (remaining.count() <= 0 || !socket_.wait_writable(remaining)) {
+      return false;  // deadline; keep the connection for the next try
+    }
+  }
+  return true;
+}
+
+std::optional<core::PolicyMessage> RuntimeClient::exchange(
+    const core::SampleMessage& sample) {
+  ++stats_.exchanges;
+  const auto deadline = Clock::now() + options_.request_timeout;
+  const std::string frame =
+      encode_frame(serialize(sample, core::WireFidelity::kExact));
+
+  while (Clock::now() < deadline) {
+    if (!ensure_connected(deadline)) {
+      break;
+    }
+    if (!send_frame(frame, deadline)) {
+      continue;  // reconnect (or run out the clock)
+    }
+
+    bool dropped = false;
+    while (!dropped) {
+      // Drain complete frames first: replies to older sequences may have
+      // arrived late and must not shadow the one we are waiting for.
+      std::optional<std::string> payload;
+      try {
+        payload = decoder_.next();
+      } catch (const Error&) {
+        dropped = true;
+        break;
+      }
+      if (payload) {
+        try {
+          core::PolicyMessage policy = core::parse_policy_message(*payload);
+          PS_REQUIRE(policy.job_name == sample.job_name,
+                     "policy reply addressed to a different job");
+          if (policy.sequence < sample.sequence) {
+            ++stats_.stale_replies;
+            continue;
+          }
+          last_known_policy_ = std::move(policy);
+          return last_known_policy_;
+        } catch (const Error&) {
+          dropped = true;  // malformed or misaddressed reply
+          break;
+        }
+      }
+
+      const auto remaining = remaining_until(deadline);
+      if (remaining.count() <= 0 || !socket_.wait_readable(remaining)) {
+        ++stats_.exchange_failures;
+        return std::nullopt;  // timed out; connection stays for next time
+      }
+      char buffer[4096];
+      const IoResult result = socket_.read_some(buffer, sizeof(buffer));
+      if (result.status == IoStatus::kClosed) {
+        dropped = true;
+        break;
+      }
+      if (result.status == IoStatus::kOk) {
+        decoder_.feed(std::string_view(buffer, result.bytes));
+      }
+    }
+    if (dropped) {
+      drop_connection();
+    }
+  }
+  ++stats_.exchange_failures;
+  return std::nullopt;
+}
+
+}  // namespace ps::net

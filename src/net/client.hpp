@@ -1,0 +1,88 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+
+#include "core/endpoint.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "util/rng.hpp"
+
+namespace ps::net {
+
+struct ClientOptions {
+  /// Total budget for one sample -> policy exchange, including any
+  /// reconnect attempts it makes.
+  std::chrono::milliseconds request_timeout{2'000};
+  /// Reconnect backoff: doubles from initial to max, with +/- jitter so a
+  /// fleet of agents does not hammer a restarting daemon in lockstep.
+  std::chrono::milliseconds backoff_initial{20};
+  std::chrono::milliseconds backoff_max{1'000};
+  double backoff_jitter = 0.25;
+  /// Seed for the jitter stream (deterministic per agent).
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+struct ClientStats {
+  std::size_t exchanges = 0;
+  std::size_t exchange_failures = 0;  ///< Timed out / unreachable rounds.
+  std::size_t connect_attempts = 0;
+  std::size_t connect_failures = 0;
+  std::size_t reconnects = 0;  ///< Successful connects after the first.
+  std::size_t stale_replies = 0;
+};
+
+/// The runtime side of the daemon protocol: synchronous request/response
+/// with a deadline. When the daemon is unreachable the client degrades
+/// gracefully — exchange() returns nullopt, the caller keeps running on
+/// its last-known caps (last_known_policy()), and subsequent exchanges
+/// retry the connection under exponential backoff with jitter.
+class RuntimeClient {
+ public:
+  /// Produces a connected socket; throws ps::Error when the daemon is
+  /// unreachable (e.g. a bound connect_unix / connect_tcp call).
+  using Connector = std::function<Socket()>;
+
+  explicit RuntimeClient(Connector connector, ClientOptions options = {});
+
+  /// Sends one sample and waits for the daemon's matching policy (a reply
+  /// for this job with sequence >= the sample's; older replies are
+  /// drained as stale). Returns nullopt when no policy arrived within
+  /// request_timeout — the caller's cue to fall back.
+  [[nodiscard]] std::optional<core::PolicyMessage> exchange(
+      const core::SampleMessage& sample);
+
+  /// The most recent policy ever received — the fallback caps.
+  [[nodiscard]] const std::optional<core::PolicyMessage>& last_known_policy()
+      const noexcept {
+    return last_known_policy_;
+  }
+  [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  /// The delay the next failed connect attempt will impose.
+  [[nodiscard]] std::chrono::milliseconds current_backoff() const noexcept {
+    return backoff_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool ensure_connected(Clock::time_point deadline);
+  bool send_frame(const std::string& frame, Clock::time_point deadline);
+  void drop_connection();
+  void register_connect_failure();
+
+  Connector connector_;
+  ClientOptions options_;
+  Socket socket_;
+  FrameDecoder decoder_;
+  std::optional<core::PolicyMessage> last_known_policy_;
+  ClientStats stats_;
+  std::chrono::milliseconds backoff_;
+  Clock::time_point next_connect_attempt_{};
+  bool ever_connected_ = false;
+  util::Rng jitter_rng_;
+};
+
+}  // namespace ps::net

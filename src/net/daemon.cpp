@@ -1,0 +1,298 @@
+#include "net/daemon.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "rm/allocation.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ps::net {
+
+PowerDaemon::PowerDaemon(const DaemonOptions& options)
+    : options_(options), policy_(core::make_policy(options.policy)) {
+  PS_REQUIRE(options.system_budget_watts > 0.0,
+             "system budget must be positive");
+  PS_REQUIRE(options.min_jobs > 0, "launch barrier needs at least one job");
+  PS_REQUIRE(options.tick_interval.count() > 0,
+             "tick interval must be positive");
+  loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
+}
+
+PowerDaemon::~PowerDaemon() = default;
+
+void PowerDaemon::listen_unix(const std::string& path) {
+  listeners_.push_back(net::listen_unix(path));
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void PowerDaemon::listen_tcp(std::uint16_t port) {
+  listeners_.push_back(net::listen_tcp(port, &tcp_port_));
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void PowerDaemon::adopt(Socket socket) {
+  PS_REQUIRE(socket.valid(), "cannot adopt an invalid socket");
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    pending_adoptions_.push_back(std::move(socket));
+  }
+  loop_.wake();
+}
+
+void PowerDaemon::run() {
+  adopt_pending_sockets();
+  while (loop_.run_once(std::chrono::milliseconds(-1))) {
+    adopt_pending_sockets();
+  }
+}
+
+void PowerDaemon::stop() {
+  loop_.stop();
+}
+
+DaemonStats PowerDaemon::stats() const {
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  return stats_;
+}
+
+void PowerDaemon::adopt_pending_sockets() {
+  std::vector<Socket> adopted;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    adopted.swap(pending_adoptions_);
+  }
+  for (Socket& socket : adopted) {
+    add_session(std::move(socket));
+  }
+}
+
+void PowerDaemon::add_session(Socket socket) {
+  const int fd = socket.fd();
+  Session session;
+  session.socket = std::move(socket);
+  session.last_activity = std::chrono::steady_clock::now();
+  sessions_.emplace(fd, std::move(session));
+  loop_.add_fd(fd, POLLIN,
+               [this, fd](short revents) { on_session_ready(fd, revents); });
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  ++stats_.sessions_accepted;
+}
+
+void PowerDaemon::on_listener_ready(std::size_t listener_index) {
+  while (auto socket = listeners_[listener_index].accept()) {
+    add_session(std::move(*socket));
+  }
+}
+
+void PowerDaemon::close_session(int fd, bool protocol_error) {
+  loop_.remove_fd(fd);
+  sessions_.erase(fd);
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.sessions_closed;
+    if (protocol_error) {
+      ++stats_.protocol_errors;
+    }
+  }
+  // Membership changed: the remaining jobs may now form a complete round
+  // (and a departed job's watts return to the pool).
+  try_allocate();
+}
+
+void PowerDaemon::on_session_ready(int fd, short revents) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) {
+    return;
+  }
+  Session& session = it->second;
+  session.last_activity = std::chrono::steady_clock::now();
+
+  if ((revents & POLLOUT) != 0) {
+    flush_outbox(fd, session);
+    if (sessions_.find(fd) == sessions_.end()) {
+      return;  // flush hit a dead peer and closed the session
+    }
+  }
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+    return;
+  }
+
+  char buffer[4096];
+  for (;;) {
+    const IoResult result = session.socket.read_some(buffer, sizeof(buffer));
+    if (result.status == IoStatus::kWouldBlock) {
+      break;
+    }
+    if (result.status == IoStatus::kClosed) {
+      close_session(fd, /*protocol_error=*/false);
+      return;
+    }
+    try {
+      session.decoder.feed(std::string_view(buffer, result.bytes));
+      while (auto payload = session.decoder.next()) {
+        handle_frame(session, *payload);
+      }
+    } catch (const Error&) {
+      // Oversized frame or malformed message: the stream offset can no
+      // longer be trusted, drop the connection.
+      close_session(fd, /*protocol_error=*/true);
+      return;
+    }
+  }
+  try_allocate();
+}
+
+void PowerDaemon::handle_frame(Session& session,
+                               const std::string& payload) {
+  core::SampleMessage sample = core::parse_sample_message(payload);
+  if (!session.registered) {
+    for (const auto& [fd, other] : sessions_) {
+      PS_REQUIRE(!other.registered || other.job_name != sample.job_name,
+                 "job '" + sample.job_name + "' is already registered");
+    }
+    session.job_name = sample.job_name;
+    session.registered = true;
+  } else {
+    PS_REQUIRE(sample.job_name == session.job_name,
+               "session is bound to job '" + session.job_name + "'");
+  }
+  const bool accepted = session.latch.offer(std::move(sample));
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  ++stats_.samples_received;
+  if (!accepted) {
+    ++stats_.samples_stale;
+  }
+}
+
+void PowerDaemon::queue_message(int fd, Session& session,
+                                const core::PolicyMessage& message) {
+  session.outbox.append(
+      encode_frame(serialize(message, core::WireFidelity::kExact)));
+  flush_outbox(fd, session);
+}
+
+void PowerDaemon::flush_outbox(int fd, Session& session) {
+  while (!session.outbox.empty()) {
+    const IoResult result = session.socket.write_some(session.outbox);
+    if (result.status == IoStatus::kOk) {
+      session.outbox.erase(0, result.bytes);
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      loop_.set_events(fd, POLLIN | POLLOUT);
+      return;
+    }
+    close_session(fd, /*protocol_error=*/false);
+    return;
+  }
+  loop_.set_events(fd, POLLIN);
+}
+
+void PowerDaemon::try_allocate() {
+  std::vector<std::pair<int, Session*>> round;
+  for (auto& [fd, session] : sessions_) {
+    if (!session.registered) {
+      continue;  // connected but not yet bound to a job
+    }
+    round.emplace_back(fd, &session);
+  }
+  if (round.empty()) {
+    return;
+  }
+  if (!launch_barrier_met_) {
+    if (round.size() < options_.min_jobs) {
+      return;
+    }
+    launch_barrier_met_ = true;
+  }
+  for (const auto& [fd, session] : round) {
+    if (!session->latch.has_fresh()) {
+      return;  // wait until every job has reported this round
+    }
+  }
+
+  // Deterministic job order: the allocation must not depend on fd values
+  // or connection timing.
+  std::sort(round.begin(), round.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->job_name < b.second->job_name;
+            });
+  std::vector<core::SampleMessage> samples;
+  samples.reserve(round.size());
+  bool all_bootstrap = true;
+  for (const auto& [fd, session] : round) {
+    samples.push_back(session->latch.consume());
+    all_bootstrap = all_bootstrap && samples.back().sequence == 0;
+  }
+
+  std::vector<core::PolicyMessage> messages(round.size());
+  if (all_bootstrap) {
+    // Launch: every job starts from the uniform share of the budget,
+    // exactly as the in-memory CoordinationLoop seeds itself.
+    std::size_t total_hosts = 0;
+    for (const core::SampleMessage& sample : samples) {
+      total_hosts += sample.host_observed_watts.size();
+    }
+    const double share =
+        options_.system_budget_watts / static_cast<double>(total_hosts);
+    for (std::size_t j = 0; j < round.size(); ++j) {
+      messages[j].host_caps_watts.assign(
+          samples[j].host_observed_watts.size(), share);
+    }
+  } else {
+    const core::PolicyContext context = core::context_from_samples(
+        options_.system_budget_watts, options_.node_tdp_watts,
+        options_.uncappable_watts, samples);
+    const rm::PowerAllocation allocation = policy_->allocate(context);
+    if (policy_->is_system_aware() &&
+        !allocation.within_budget(
+            options_.system_budget_watts,
+            0.5 * static_cast<double>(allocation.host_count()))) {
+      // A policy output a site would reject; keep every job on its last
+      // caps rather than programming an over-budget allocation.
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.budget_violations;
+      return;
+    }
+    for (std::size_t j = 0; j < round.size(); ++j) {
+      messages[j].host_caps_watts = allocation.job_host_caps[j];
+    }
+  }
+
+  for (std::size_t j = 0; j < round.size(); ++j) {
+    messages[j].sequence = samples[j].sequence;
+    messages[j].job_name = samples[j].job_name;
+    queue_message(round[j].first, *round[j].second, messages[j]);
+  }
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  ++stats_.allocations;
+  stats_.policies_sent += messages.size();
+}
+
+void PowerDaemon::on_tick() {
+  adopt_pending_sockets();
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> expired;
+  for (const auto& [fd, session] : sessions_) {
+    if (now - session.last_activity > options_.idle_timeout) {
+      expired.push_back(fd);
+    }
+  }
+  for (const int fd : expired) {
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.sessions_timed_out;
+    }
+    close_session(fd, /*protocol_error=*/false);
+  }
+  try_allocate();
+}
+
+}  // namespace ps::net

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "core/policy.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace ps::net {
+
+struct DaemonOptions {
+  /// The site's system-wide power budget (required, > 0).
+  double system_budget_watts = 0.0;
+  /// The policy re-run on every allocation round.
+  core::PolicyKind policy = core::PolicyKind::kMixedAdaptive;
+  /// Node hardware limits forwarded into the PolicyContext.
+  double node_tdp_watts = 256.0;
+  double uncappable_watts = 16.0;
+  /// Launch barrier: no allocation happens until this many jobs have
+  /// registered — a coordinated mix starts from one uniform share, like
+  /// the in-memory CoordinationLoop. Once met, allocations continue with
+  /// whatever sessions remain (a disconnect returns watts to the pool).
+  std::size_t min_jobs = 1;
+  /// Connections silent for longer than this are closed on a tick.
+  std::chrono::milliseconds idle_timeout{30'000};
+  std::chrono::milliseconds tick_interval{100};
+};
+
+struct DaemonStats {
+  std::size_t sessions_accepted = 0;
+  std::size_t sessions_closed = 0;
+  std::size_t sessions_timed_out = 0;
+  std::size_t samples_received = 0;
+  std::size_t samples_stale = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t allocations = 0;
+  std::size_t policies_sent = 0;
+  std::size_t budget_violations = 0;
+};
+
+/// The resource-manager power daemon: accepts many concurrent runtime
+/// clients over any combination of Unix-domain, TCP, and loopback
+/// transports, tracks one session per job, and coordinates them with the
+/// configured core policy.
+///
+/// Protocol (framed endpoint messages, exact numeric fidelity):
+///   1. A client's first SampleMessage registers its session under the
+///      sample's job name (one session per job name).
+///   2. Samples are sequence-checked per session (core::SampleLatch):
+///      stale and duplicate sequences are ignored, newest wins.
+///   3. When every registered session holds a fresh sample (and the
+///      min_jobs launch barrier has been met), the daemon allocates:
+///      all sequence-0 samples -> the uniform bootstrap share; otherwise
+///      the configured policy over every session's latest sample, in
+///      job-name order. Each session is sent a PolicyMessage echoing its
+///      own sample sequence.
+///   4. A disconnect drops the session; subsequent rounds redistribute
+///      the full budget over the remaining jobs.
+///
+/// run() serves the event loop on the calling thread; stop(), adopt()
+/// and stats() are safe to call from other threads.
+class PowerDaemon {
+ public:
+  explicit PowerDaemon(const DaemonOptions& options);
+  ~PowerDaemon();
+
+  PowerDaemon(const PowerDaemon&) = delete;
+  PowerDaemon& operator=(const PowerDaemon&) = delete;
+
+  /// Binds a listener. May be called multiple times (one per transport)
+  /// before or between run() calls, from the owning thread.
+  void listen_unix(const std::string& path);
+  /// Port 0 picks an ephemeral port; see tcp_port().
+  void listen_tcp(std::uint16_t port);
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept {
+    return tcp_port_;
+  }
+
+  /// Adopts a pre-connected socket (the loopback transport). Thread-safe;
+  /// the session becomes live on the next loop cycle.
+  void adopt(Socket socket);
+
+  /// Serves until stop(). Blocks the calling thread.
+  void run();
+  /// Thread-safe: makes run() return after the current cycle.
+  void stop();
+
+  [[nodiscard]] DaemonStats stats() const;
+  [[nodiscard]] const DaemonOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct Session {
+    Socket socket;
+    FrameDecoder decoder;
+    std::string outbox;
+    core::SampleLatch latch;
+    std::string job_name;
+    bool registered = false;
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void add_session(Socket socket);
+  void adopt_pending_sockets();
+  void on_listener_ready(std::size_t listener_index);
+  void on_session_ready(int fd, short revents);
+  void handle_frame(Session& session, const std::string& payload);
+  void close_session(int fd, bool protocol_error);
+  void flush_outbox(int fd, Session& session);
+  void queue_message(int fd, Session& session,
+                     const core::PolicyMessage& message);
+  void try_allocate();
+  void on_tick();
+
+  DaemonOptions options_;
+  std::unique_ptr<core::Policy> policy_;
+  EventLoop loop_;
+  std::vector<Listener> listeners_;
+  std::map<int, Session> sessions_;
+  bool launch_barrier_met_ = false;
+  std::uint16_t tcp_port_ = 0;
+
+  mutable std::mutex shared_mutex_;  ///< Guards stats_ and pending_.
+  DaemonStats stats_;
+  std::vector<Socket> pending_adoptions_;
+};
+
+}  // namespace ps::net

@@ -1,0 +1,152 @@
+#include "net/event_loop.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+EventLoop::EventLoop() {
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    throw Error(std::string("pipe: ") + std::strerror(errno));
+  }
+  // Both ends non-blocking: the drain loop must not hang, and stop()
+  // must not block on a full pipe.
+  for (const int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+}
+
+void EventLoop::add_fd(int fd, short events, FdCallback callback) {
+  PS_REQUIRE(fd >= 0, "cannot watch an invalid fd");
+  PS_REQUIRE(callback != nullptr, "fd callback must not be empty");
+  registrations_[fd] = Registration{events, std::move(callback)};
+}
+
+void EventLoop::set_events(int fd, short events) {
+  const auto it = registrations_.find(fd);
+  PS_REQUIRE(it != registrations_.end(), "fd is not registered");
+  it->second.events = events;
+}
+
+void EventLoop::remove_fd(int fd) {
+  registrations_.erase(fd);
+}
+
+void EventLoop::set_tick(std::chrono::milliseconds interval,
+                         std::function<void()> on_tick) {
+  PS_REQUIRE(interval.count() > 0, "tick interval must be positive");
+  tick_interval_ = interval;
+  on_tick_ = std::move(on_tick);
+  next_tick_ = std::chrono::steady_clock::now() + interval;
+}
+
+void EventLoop::fire_tick_if_due() {
+  if (!on_tick_) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now < next_tick_) {
+    return;
+  }
+  // One tick per cycle; a loop that fell behind catches up gradually
+  // rather than firing a burst.
+  next_tick_ = now + tick_interval_;
+  on_tick_();
+}
+
+bool EventLoop::run_once(std::chrono::milliseconds timeout) {
+  if (stopped()) {
+    return false;
+  }
+
+  std::vector<pollfd> pollfds;
+  pollfds.reserve(registrations_.size() + 1);
+  pollfds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+  for (const auto& [fd, registration] : registrations_) {
+    pollfds.push_back(pollfd{fd, registration.events, 0});
+  }
+
+  auto wait = timeout;
+  if (on_tick_) {
+    const auto until_tick =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            next_tick_ - std::chrono::steady_clock::now());
+    const auto clamped = std::max(std::chrono::milliseconds(0), until_tick);
+    wait = wait.count() < 0 ? clamped : std::min(wait, clamped);
+  }
+  const int timeout_ms =
+      wait.count() < 0
+          ? -1
+          : static_cast<int>(std::min<std::chrono::milliseconds::rep>(
+                wait.count(), INT_MAX));
+
+  const int ready = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return !stopped();
+    }
+    throw Error(std::string("poll: ") + std::strerror(errno));
+  }
+
+  // Drain wake-up bytes first so a stop() requested mid-cycle is seen.
+  if ((pollfds[0].revents & POLLIN) != 0) {
+    char sink[64];
+    while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+    }
+  }
+
+  for (std::size_t i = 1; i < pollfds.size(); ++i) {
+    const short revents = pollfds[i].revents;
+    if (revents == 0) {
+      continue;
+    }
+    const auto it = registrations_.find(pollfds[i].fd);
+    if (it == registrations_.end()) {
+      continue;  // removed by an earlier callback this cycle
+    }
+    // Copy so a callback that removes itself does not destroy the
+    // std::function it is executing.
+    const FdCallback callback = it->second.callback;
+    callback(revents);
+    if (stopped()) {
+      return false;
+    }
+  }
+
+  fire_tick_if_due();
+  return !stopped();
+}
+
+void EventLoop::run() {
+  while (run_once(std::chrono::milliseconds(-1))) {
+  }
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wake-up.
+  static_cast<void>(::write(wake_write_fd_, &byte, 1));
+}
+
+}  // namespace ps::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+
+#include "net/socket.hpp"
+
+namespace ps::net {
+
+/// A poll(2)-based single-threaded event loop: file-descriptor readiness
+/// callbacks plus a periodic tick. The loop itself is not thread-safe —
+/// everything except stop() must be called from the thread running it.
+/// stop() may be called from any thread (or a signal-safe context via the
+/// self-pipe) and wakes the loop immediately.
+class EventLoop {
+ public:
+  /// Receives the poll() revents bits (POLLIN / POLLOUT / POLLHUP / ...).
+  using FdCallback = std::function<void(short revents)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (POLLIN and/or POLLOUT). A callback may
+  /// add or remove registrations freely, including removing itself.
+  void add_fd(int fd, short events, FdCallback callback);
+  /// Changes the interest set of a registered fd.
+  void set_events(int fd, short events);
+  void remove_fd(int fd);
+  [[nodiscard]] std::size_t watched_fds() const noexcept {
+    return registrations_.size();
+  }
+
+  /// Installs a periodic callback; the poll timeout is derived from it.
+  void set_tick(std::chrono::milliseconds interval,
+                std::function<void()> on_tick);
+
+  /// Runs poll cycles until stop(). Reentrant calls are invalid.
+  void run();
+  /// Runs at most one poll cycle, waiting up to `timeout` for activity
+  /// (negative = until the next tick or forever). Returns false once the
+  /// loop has been stopped.
+  bool run_once(std::chrono::milliseconds timeout);
+  /// Thread-safe: requests the loop to exit and wakes it.
+  void stop();
+  /// Thread-safe: wakes a blocked poll without stopping, so work queued
+  /// from another thread is noticed promptly.
+  void wake();
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Registration {
+    short events = 0;
+    FdCallback callback;
+  };
+
+  void fire_tick_if_due();
+
+  std::map<int, Registration> registrations_;
+  std::chrono::milliseconds tick_interval_{0};
+  std::function<void()> on_tick_;
+  std::chrono::steady_clock::time_point next_tick_{};
+  std::atomic<bool> stop_requested_{false};
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+};
+
+}  // namespace ps::net

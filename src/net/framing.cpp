@@ -1,0 +1,47 @@
+#include "net/framing.hpp"
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+std::string encode_frame(std::string_view payload) {
+  PS_REQUIRE(payload.size() <= kMaxFrameBytes, "frame payload too large");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  buffer_.append(bytes);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (buffer_.size() < 4) {
+    return std::nullopt;
+  }
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length > max_frame_bytes_) {
+    throw Error("frame length " + std::to_string(length) +
+                " exceeds the maximum of " +
+                std::to_string(max_frame_bytes_));
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return payload;
+}
+
+}  // namespace ps::net

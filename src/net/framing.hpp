@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ps::net {
+
+/// Frames larger than this are treated as a protocol violation. A
+/// 100k-host sample message is ~2 MB; 16 MB leaves an order of magnitude
+/// of headroom while still bounding a malicious or corrupt length prefix.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Wraps a payload in the transport framing: a 4-byte big-endian length
+/// prefix followed by the payload bytes. The endpoint wire format is
+/// line-based text; the prefix is what lets a byte stream carry many
+/// messages back to back without a sentinel.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental decoder for the other direction: feed it whatever the
+/// socket produced, take complete frames out as they form. Tolerates
+/// arbitrary fragmentation (a frame split across many reads, many frames
+/// in one read). Throws ps::Error when a length prefix exceeds
+/// `max_frame_bytes` — the connection is unrecoverable at that point
+/// because the stream offset is no longer trustworthy.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame's payload, or nullopt if more bytes
+  /// are needed.
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept {
+    return buffer_.size();
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace ps::net

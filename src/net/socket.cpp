@@ -1,0 +1,249 @@
+#include "net/socket.hpp"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <climits>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+bool poll_one(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout_ms =
+      timeout.count() < 0
+          ? -1
+          : static_cast<int>(
+                std::min<std::chrono::milliseconds::rep>(timeout.count(),
+                                                         INT_MAX));
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    return ready > 0;
+  }
+}
+
+sockaddr_un make_unix_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  PS_REQUIRE(path.size() < sizeof(address.sun_path),
+             "unix socket path too long");
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+sockaddr_in make_local_tcp_address(std::uint16_t port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoResult Socket::read_some(char* out, std::size_t max_bytes) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out, max_bytes, 0);
+    if (n > 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    }
+    if (n == 0) {
+      return {IoStatus::kClosed, 0};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kClosed, 0};
+  }
+}
+
+IoResult Socket::write_some(std::string_view bytes) {
+  for (;;) {
+    const ssize_t n =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kClosed, 0};
+  }
+}
+
+bool Socket::wait_readable(std::chrono::milliseconds timeout) {
+  return poll_one(fd_, POLLIN, timeout);
+}
+
+bool Socket::wait_writable(std::chrono::milliseconds timeout) {
+  return poll_one(fd_, POLLOUT, timeout);
+}
+
+Listener::~Listener() {
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+  }
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    if (!unlink_path_.empty()) {
+      ::unlink(unlink_path_.c_str());
+    }
+    socket_ = std::move(other.socket_);
+    unlink_path_ = std::exchange(other.unlink_path_, {});
+  }
+  return *this;
+}
+
+std::optional<Socket> Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket accepted(fd);
+      set_nonblocking(fd);
+      return accepted;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return std::nullopt;  // EAGAIN or a transient accept error
+  }
+}
+
+Listener listen_unix(const std::string& path, int backlog) {
+  Socket socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    throw_errno("socket(AF_UNIX)");
+  }
+  ::unlink(path.c_str());  // replace a stale socket file
+  const sockaddr_un address = make_unix_address(path);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(socket.fd(), backlog) < 0) {
+    throw_errno("listen(" + path + ")");
+  }
+  set_nonblocking(socket.fd());
+  return Listener(std::move(socket), path);
+}
+
+Listener listen_tcp(std::uint16_t port, std::uint16_t* bound_port,
+                    int backlog) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    throw_errno("socket(AF_INET)");
+  }
+  const int enable = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in address = make_local_tcp_address(port);
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(socket.fd(), backlog) < 0) {
+    throw_errno("listen(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t length = sizeof(bound);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &length) < 0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  set_nonblocking(socket.fd());
+  return Listener(std::move(socket), {});
+}
+
+Socket connect_unix(const std::string& path) {
+  Socket socket(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    throw_errno("socket(AF_UNIX)");
+  }
+  const sockaddr_un address = make_unix_address(path);
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  set_nonblocking(socket.fd());
+  return socket;
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) {
+    throw_errno("socket(AF_INET)");
+  }
+  const sockaddr_in address = make_local_tcp_address(port);
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  set_nonblocking(socket.fd());
+  return socket;
+}
+
+std::pair<Socket, Socket> loopback_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    throw_errno("socketpair");
+  }
+  Socket a(fds[0]);
+  Socket b(fds[1]);
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace ps::net

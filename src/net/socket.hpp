@@ -1,0 +1,103 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ps::net {
+
+/// Outcome of one non-blocking read or write.
+enum class IoStatus {
+  kOk,          ///< Some bytes moved.
+  kWouldBlock,  ///< Nothing to do right now; retry after poll().
+  kClosed,      ///< Peer closed (EOF / EPIPE / ECONNRESET).
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kClosed;
+  std::size_t bytes = 0;
+};
+
+/// Move-only RAII wrapper around a connected stream-socket fd. All
+/// sockets handed out by this header are non-blocking; callers pair the
+/// I/O calls with poll() (the event loop on the daemon side, the
+/// wait_readable/wait_writable helpers on the client side).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Reads up to `max_bytes` into `out`. Never blocks.
+  IoResult read_some(char* out, std::size_t max_bytes);
+  /// Writes as much of `bytes` as the kernel accepts. Never blocks, never
+  /// raises SIGPIPE.
+  IoResult write_some(std::string_view bytes);
+
+  /// poll()s this fd for readability/writability. Returns false on
+  /// timeout. A negative timeout means wait forever.
+  [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout);
+  [[nodiscard]] bool wait_writable(std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket. For Unix-domain listeners the socket file is
+/// unlinked when the listener is destroyed.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Socket socket, std::string unlink_path)
+      : socket_(std::move(socket)), unlink_path_(std::move(unlink_path)) {}
+  ~Listener();
+
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return socket_.fd(); }
+
+  /// Accepts one pending connection (already non-blocking), or nullopt
+  /// when none is pending.
+  [[nodiscard]] std::optional<Socket> accept();
+
+ private:
+  Socket socket_;
+  std::string unlink_path_;
+};
+
+/// Binds a Unix-domain stream listener at `path` (any stale socket file
+/// is replaced). Throws ps::Error on failure.
+[[nodiscard]] Listener listen_unix(const std::string& path,
+                                   int backlog = 64);
+
+/// Binds a TCP listener on 127.0.0.1. `port` 0 picks an ephemeral port;
+/// the port actually bound is returned through `bound_port`.
+[[nodiscard]] Listener listen_tcp(std::uint16_t port,
+                                  std::uint16_t* bound_port = nullptr,
+                                  int backlog = 64);
+
+/// Connects to a Unix-domain / local TCP listener. Throws ps::Error when
+/// the peer is unreachable (the client's reconnect loop catches this).
+[[nodiscard]] Socket connect_unix(const std::string& path);
+[[nodiscard]] Socket connect_tcp(std::uint16_t port);
+
+/// The loopback transport: an in-process connected socket pair (no
+/// filesystem path, no port — tests and the simulator stay hermetic).
+/// One end is adopted by the daemon, the other drives a RuntimeClient.
+[[nodiscard]] std::pair<Socket, Socket> loopback_pair();
+
+}  // namespace ps::net

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+struct MalformedCase {
+  const char* name;
+  const char* text;
+};
+
+// Every way an untrusted byte stream has been seen to go wrong: truncated
+// messages, missing or misspelled keys, non-numeric, negative and
+// non-finite watt fields, and vectors that disagree on host count.
+const std::vector<MalformedCase>& malformed_samples() {
+  static const std::vector<MalformedCase> cases = {
+      {"empty", ""},
+      {"whitespace_only", " \n \n"},
+      {"wrong_header",
+       "powerstack-policy v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"future_version",
+       "powerstack-sample v2\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"truncated_after_job", "powerstack-sample v1\nsequence 1\njob x\n"},
+      {"truncated_after_observed",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\nobserved 1\n"},
+      {"trailing_junk_line",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\nextra line\n"},
+      {"non_numeric_sequence",
+       "powerstack-sample v1\nsequence abc\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"sequence_trailing_garbage",
+       "powerstack-sample v1\nsequence 1z\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"negative_sequence",
+       "powerstack-sample v1\nsequence -4\njob x\nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"empty_job_name",
+       "powerstack-sample v1\nsequence 1\njob  \nmin_cap 1\n"
+       "observed 1\nneeded 1\n"},
+      {"non_numeric_min_cap",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap watts\n"
+       "observed 1\nneeded 1\n"},
+      {"negative_min_cap",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap -5\n"
+       "observed 1\nneeded 1\n"},
+      {"non_numeric_watt",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1 two\nneeded 1 2\n"},
+      {"watt_trailing_garbage",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1 2.5W\nneeded 1 2\n"},
+      {"negative_watt",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1 -2\nneeded 1 2\n"},
+      {"nan_watt",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1 nan\nneeded 1 2\n"},
+      {"inf_watt",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed inf\nneeded 1\n"},
+      {"vector_length_mismatch",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed 1 2 3\nneeded 1 2\n"},
+      {"empty_vectors",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observed\nneeded\n"},
+      {"misspelled_key",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 1\n"
+       "observd 1\nneeded 1\n"},
+  };
+  return cases;
+}
+
+const std::vector<MalformedCase>& malformed_policies() {
+  static const std::vector<MalformedCase> cases = {
+      {"empty", ""},
+      {"wrong_header",
+       "powerstack-sample v1\nsequence 1\njob x\ncaps 1\n"},
+      {"future_version",
+       "powerstack-policy v9\nsequence 1\njob x\ncaps 1\n"},
+      {"truncated", "powerstack-policy v1\nsequence 1\njob x\n"},
+      {"trailing_junk_line",
+       "powerstack-policy v1\nsequence 1\njob x\ncaps 1\nmore\n"},
+      {"non_numeric_sequence",
+       "powerstack-policy v1\nsequence ??\njob x\ncaps 1\n"},
+      {"empty_job_name", "powerstack-policy v1\nsequence 1\njob \ncaps 1\n"},
+      {"non_numeric_cap",
+       "powerstack-policy v1\nsequence 1\njob x\ncaps 1 full\n"},
+      {"negative_cap",
+       "powerstack-policy v1\nsequence 1\njob x\ncaps -180\n"},
+      {"nan_cap", "powerstack-policy v1\nsequence 1\njob x\ncaps nan\n"},
+      {"inf_cap",
+       "powerstack-policy v1\nsequence 1\njob x\ncaps 180 inf\n"},
+      {"empty_caps", "powerstack-policy v1\nsequence 1\njob x\ncaps\n"},
+      {"misspelled_key",
+       "powerstack-policy v1\nsequence 1\njob x\ncap 180\n"},
+  };
+  return cases;
+}
+
+TEST(EndpointMalformedTest, SampleParserRejectsEveryCase) {
+  for (const MalformedCase& test : malformed_samples()) {
+    EXPECT_THROW(static_cast<void>(parse_sample_message(test.text)),
+                 ps::Error)
+        << "case '" << test.name << "' parsed without error";
+  }
+}
+
+TEST(EndpointMalformedTest, PolicyParserRejectsEveryCase) {
+  for (const MalformedCase& test : malformed_policies()) {
+    EXPECT_THROW(static_cast<void>(parse_policy_message(test.text)),
+                 ps::Error)
+        << "case '" << test.name << "' parsed without error";
+  }
+}
+
+TEST(EndpointMalformedTest, ExactFidelitySurvivesTheWireBitForBit) {
+  SampleMessage sample;
+  sample.sequence = 41;
+  sample.job_name = "precision";
+  sample.min_settable_cap_watts = 152.0 + 1.0 / 3.0;
+  sample.host_observed_watts = {214.0001220703125, 1e-3, 0.1 + 0.2};
+  sample.host_needed_watts = {193.09999999999999, 2.5e2, 7.0 / 9.0};
+  const SampleMessage round_tripped =
+      parse_sample_message(serialize(sample, WireFidelity::kExact));
+  ASSERT_EQ(round_tripped.host_observed_watts.size(), 3u);
+  EXPECT_EQ(round_tripped, sample);  // == on doubles: bit-for-bit
+
+  PolicyMessage policy;
+  policy.sequence = 42;
+  policy.job_name = "precision";
+  policy.host_caps_watts = {180.0 + 1.0 / 7.0, 219.12345678901234};
+  EXPECT_EQ(parse_policy_message(serialize(policy, WireFidelity::kExact)),
+            policy);
+}
+
+TEST(EndpointMalformedTest, DisplayFidelityStaysMilliwattRounded) {
+  SampleMessage sample;
+  sample.sequence = 1;
+  sample.job_name = "display";
+  sample.min_settable_cap_watts = 152.0;
+  sample.host_observed_watts = {214.125};
+  sample.host_needed_watts = {152.0 + 1.0 / 3.0};
+  const std::string wire = serialize(sample);
+  EXPECT_NE(wire.find("observed 214.125"), std::string::npos);
+  EXPECT_NE(wire.find("needed 152.333"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+SampleMessage sample_with_sequence(std::uint64_t sequence,
+                                   double observed = 200.0) {
+  SampleMessage sample;
+  sample.sequence = sequence;
+  sample.job_name = "seq-job";
+  sample.min_settable_cap_watts = 100.0;
+  sample.host_observed_watts = {observed};
+  sample.host_needed_watts = {observed};
+  return sample;
+}
+
+TEST(SampleLatchTest, FirstSampleIsAcceptedAndFresh) {
+  SampleLatch latch;
+  EXPECT_FALSE(latch.latest().has_value());
+  EXPECT_FALSE(latch.has_fresh());
+  EXPECT_TRUE(latch.offer(sample_with_sequence(0)));
+  EXPECT_TRUE(latch.has_fresh());
+  EXPECT_EQ(latch.latest()->sequence, 0u);
+}
+
+TEST(SampleLatchTest, NewestSequenceWins) {
+  SampleLatch latch;
+  EXPECT_TRUE(latch.offer(sample_with_sequence(1, 210.0)));
+  EXPECT_TRUE(latch.offer(sample_with_sequence(5, 230.0)));
+  EXPECT_EQ(latch.latest()->sequence, 5u);
+  EXPECT_EQ(latch.latest()->host_observed_watts[0], 230.0);
+}
+
+TEST(SampleLatchTest, StaleAndOutOfOrderSamplesAreIgnored) {
+  SampleLatch latch;
+  EXPECT_TRUE(latch.offer(sample_with_sequence(5, 230.0)));
+  static_cast<void>(latch.consume());
+  // An older sequence arriving late must neither replace the held sample
+  // nor mark it fresh again.
+  EXPECT_FALSE(latch.offer(sample_with_sequence(3, 999.0)));
+  EXPECT_FALSE(latch.has_fresh());
+  EXPECT_EQ(latch.latest()->sequence, 5u);
+  EXPECT_EQ(latch.latest()->host_observed_watts[0], 230.0);
+}
+
+TEST(SampleLatchTest, DuplicateSequenceIsIdempotent) {
+  SampleLatch latch;
+  EXPECT_TRUE(latch.offer(sample_with_sequence(7, 220.0)));
+  static_cast<void>(latch.consume());
+  // A retransmit of the same sequence (e.g. a client that resent after a
+  // timeout) changes nothing: same payload kept, no spurious freshness.
+  EXPECT_FALSE(latch.offer(sample_with_sequence(7, 555.0)));
+  EXPECT_FALSE(latch.has_fresh());
+  EXPECT_EQ(latch.latest()->host_observed_watts[0], 220.0);
+}
+
+TEST(SampleLatchTest, ConsumeClearsFreshnessButKeepsTheSample) {
+  SampleLatch latch;
+  EXPECT_TRUE(latch.offer(sample_with_sequence(2)));
+  const SampleMessage& consumed = latch.consume();
+  EXPECT_EQ(consumed.sequence, 2u);
+  EXPECT_FALSE(latch.has_fresh());
+  // The latest sample remains queryable for the next allocation round.
+  ASSERT_TRUE(latch.latest().has_value());
+  EXPECT_EQ(latch.latest()->sequence, 2u);
+  // A newer sample re-arms freshness.
+  EXPECT_TRUE(latch.offer(sample_with_sequence(3)));
+  EXPECT_TRUE(latch.has_fresh());
+}
+
+TEST(SampleLatchTest, ConsumeWithoutSampleThrows) {
+  SampleLatch latch;
+  EXPECT_THROW(static_cast<void>(latch.consume()), ps::InvalidState);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,182 @@
+#include "net/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+core::SampleMessage make_sample(std::uint64_t sequence) {
+  core::SampleMessage sample;
+  sample.sequence = sequence;
+  sample.job_name = "job-a";
+  sample.min_settable_cap_watts = 100.0;
+  sample.host_observed_watts = {150.0, 160.0};
+  sample.host_needed_watts = {140.0, 155.0};
+  return sample;
+}
+
+/// Serves one exchange on `server`: reads until a framed sample arrives,
+/// then replies with a policy for it (optionally preceded by a stale one).
+void serve_one_exchange(Socket& server, bool send_stale_first) {
+  FrameDecoder decoder;
+  char buffer[4096];
+  for (;;) {
+    if (auto payload = decoder.next()) {
+      const core::SampleMessage sample = core::parse_sample_message(*payload);
+      core::PolicyMessage policy;
+      policy.job_name = sample.job_name;
+      policy.host_caps_watts = {180.0, 190.0};
+      if (send_stale_first && sample.sequence > 0) {
+        policy.sequence = sample.sequence - 1;
+        static_cast<void>(server.write_some(encode_frame(
+            serialize(policy, core::WireFidelity::kExact))));
+      }
+      policy.sequence = sample.sequence;
+      static_cast<void>(server.write_some(
+          encode_frame(serialize(policy, core::WireFidelity::kExact))));
+      return;
+    }
+    ASSERT_TRUE(server.wait_readable(milliseconds(2000)));
+    const IoResult result = server.read_some(buffer, sizeof(buffer));
+    ASSERT_EQ(result.status, IoStatus::kOk);
+    decoder.feed(std::string_view(buffer, result.bytes));
+  }
+}
+
+ClientOptions fast_options() {
+  ClientOptions options;
+  options.request_timeout = milliseconds(150);
+  options.backoff_initial = milliseconds(2);
+  options.backoff_max = milliseconds(16);
+  options.backoff_jitter = 0.0;
+  return options;
+}
+
+TEST(RuntimeClientTest, BackoffDoublesUpToTheCap) {
+  RuntimeClient client([]() -> Socket { throw Error("unreachable"); },
+                       fast_options());
+  EXPECT_EQ(client.current_backoff(), milliseconds(2));
+  EXPECT_FALSE(client.exchange(make_sample(1)).has_value());
+  const ClientStats& stats = client.stats();
+  EXPECT_EQ(stats.exchanges, 1u);
+  EXPECT_EQ(stats.exchange_failures, 1u);
+  EXPECT_GT(stats.connect_attempts, 1u);
+  EXPECT_EQ(stats.connect_failures, stats.connect_attempts);
+  // 150 ms of failing attempts walks the schedule 2 -> 4 -> 8 -> 16.
+  EXPECT_EQ(client.current_backoff(), milliseconds(16));
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(RuntimeClientTest, ExchangeDeliversPolicyAndResetsBackoff) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> endpoints;
+  endpoints.push_back(std::move(client_end));
+  RuntimeClient client(
+      [&endpoints]() -> Socket {
+        if (endpoints.empty()) {
+          throw Error("no more connections");
+        }
+        Socket socket = std::move(endpoints.front());
+        endpoints.pop_front();
+        return socket;
+      },
+      fast_options());
+
+  Socket server = std::move(server_end);
+  std::thread responder(
+      [&server] { serve_one_exchange(server, /*send_stale_first=*/false); });
+  const auto policy = client.exchange(make_sample(3));
+  responder.join();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->sequence, 3u);
+  EXPECT_EQ(policy->job_name, "job-a");
+  EXPECT_EQ(policy->host_caps_watts, (std::vector<double>{180.0, 190.0}));
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.current_backoff(), milliseconds(2));
+  ASSERT_TRUE(client.last_known_policy().has_value());
+  EXPECT_EQ(*client.last_known_policy(), *policy);
+}
+
+TEST(RuntimeClientTest, StaleRepliesAreDrainedNotReturned) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> endpoints;
+  endpoints.push_back(std::move(client_end));
+  RuntimeClient client(
+      [&endpoints]() -> Socket {
+        if (endpoints.empty()) {
+          throw Error("no more connections");
+        }
+        Socket socket = std::move(endpoints.front());
+        endpoints.pop_front();
+        return socket;
+      },
+      fast_options());
+
+  Socket server = std::move(server_end);
+  std::thread responder(
+      [&server] { serve_one_exchange(server, /*send_stale_first=*/true); });
+  const auto policy = client.exchange(make_sample(5));
+  responder.join();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->sequence, 5u);
+  EXPECT_EQ(client.stats().stale_replies, 1u);
+}
+
+TEST(RuntimeClientTest, LastKnownPolicySurvivesDeadServer) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> endpoints;
+  endpoints.push_back(std::move(client_end));
+  RuntimeClient client(
+      [&endpoints]() -> Socket {
+        if (endpoints.empty()) {
+          throw Error("server is gone");
+        }
+        Socket socket = std::move(endpoints.front());
+        endpoints.pop_front();
+        return socket;
+      },
+      fast_options());
+
+  {
+    Socket server = std::move(server_end);
+    std::thread responder([&server] {
+      serve_one_exchange(server, /*send_stale_first=*/false);
+    });
+    ASSERT_TRUE(client.exchange(make_sample(1)).has_value());
+    responder.join();
+  }  // server socket closes here
+
+  // The daemon died: the exchange fails, the old caps remain available.
+  EXPECT_FALSE(client.exchange(make_sample(2)).has_value());
+  ASSERT_TRUE(client.last_known_policy().has_value());
+  EXPECT_EQ(client.last_known_policy()->sequence, 1u);
+  EXPECT_GT(client.stats().connect_failures, 0u);
+}
+
+TEST(RuntimeClientTest, RejectsInvalidOptions) {
+  const auto connector = []() -> Socket { throw Error("x"); };
+  EXPECT_THROW(RuntimeClient(nullptr), ps::InvalidArgument);
+  ClientOptions bad = fast_options();
+  bad.request_timeout = milliseconds(0);
+  EXPECT_THROW(RuntimeClient(connector, bad), ps::InvalidArgument);
+  bad = fast_options();
+  bad.backoff_max = milliseconds(1);  // below backoff_initial
+  EXPECT_THROW(RuntimeClient(connector, bad), ps::InvalidArgument);
+  bad = fast_options();
+  bad.backoff_jitter = 1.0;
+  EXPECT_THROW(RuntimeClient(connector, bad), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::net

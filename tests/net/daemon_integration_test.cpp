@@ -1,0 +1,311 @@
+#include "net/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/ps-daemon-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+/// A four-job mix on its own 16-node cluster. Job names sort in the
+/// construction order, so the in-memory loop and the daemon (which orders
+/// sessions by job name) see the same job sequence.
+struct Mix {
+  explicit Mix(std::size_t hosts_per_job = 4) {
+    const std::vector<std::pair<std::string, kernel::WorkloadConfig>> spec =
+        {{"a-wasteful", wasteful_config()},
+         {"b-hungry", hungry_config()},
+         {"c-wasteful", wasteful_config()},
+         {"d-hungry", hungry_config()}};
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * spec.size());
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t h = 0; h < hosts_per_job; ++h) {
+        hosts.push_back(&cluster->node(j * hosts_per_job + h));
+      }
+      jobs.push_back(std::make_unique<sim::JobSimulation>(
+          spec[j].first, std::move(hosts), spec[j].second));
+    }
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+};
+
+DaemonOptions daemon_options(const sim::Cluster& cluster, double budget,
+                             std::size_t min_jobs) {
+  DaemonOptions options;
+  options.system_budget_watts = budget;
+  options.node_tdp_watts = cluster.node(0).tdp();
+  options.uncappable_watts = cluster.node(0).params().dram_watts;
+  options.min_jobs = min_jobs;
+  options.tick_interval = milliseconds(20);
+  return options;
+}
+
+ClientOptions patient_client() {
+  ClientOptions options;
+  options.request_timeout = milliseconds(20'000);
+  return options;
+}
+
+/// The acceptance bar for the whole subsystem: four concurrent clients,
+/// real Unix sockets, framed wire messages — and the caps every host ends
+/// up with are bit-for-bit the caps the in-memory CoordinationLoop
+/// programs for the identical mix. Byte transport adds no drift because
+/// the exact wire fidelity round-trips every double.
+TEST(DaemonIntegrationTest, MatchesInMemoryCoordinationWattForWatt) {
+  const double budget = 16.0 * 180.0;
+  const std::size_t iterations = 20;
+
+  // Reference: the in-memory loop over one mix.
+  Mix reference;
+  std::vector<sim::JobSimulation*> reference_jobs;
+  for (const auto& job : reference.jobs) {
+    reference_jobs.push_back(job.get());
+  }
+  core::CoordinationLoop loop(budget);
+  static_cast<void>(loop.run(reference_jobs, iterations));
+
+  // Distributed: an identical mix, one daemon, four threaded agents.
+  Mix distributed;
+  const std::string path = unique_socket_path("equality");
+  PowerDaemon daemon(daemon_options(*distributed.cluster, budget,
+                                    distributed.jobs.size()));
+  daemon.listen_unix(path);
+  std::thread serving([&daemon] { daemon.run(); });
+
+  std::vector<AgentResult> results(distributed.jobs.size());
+  std::vector<std::thread> agents;
+  for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+    agents.emplace_back([&, j] {
+      RuntimeClient client([&path] { return connect_unix(path); },
+                           patient_client());
+      CoordinatedAgent agent(*distributed.jobs[j], client);
+      results[j] = agent.run(iterations);
+    });
+  }
+  for (std::thread& agent : agents) {
+    agent.join();
+  }
+  daemon.stop();
+  serving.join();
+
+  // Every round was served: the launch bootstrap plus one per epoch.
+  for (const AgentResult& result : results) {
+    EXPECT_EQ(result.iterations, iterations);
+    EXPECT_EQ(result.policies_applied, 1 + result.epochs);
+    EXPECT_EQ(result.fallback_epochs, 0u);
+  }
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.sessions_accepted, distributed.jobs.size());
+  EXPECT_EQ(stats.allocations, 1 + iterations / 5);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.budget_violations, 0u);
+
+  // The tentpole claim: exact equality, not approximate agreement.
+  for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+    for (std::size_t h = 0; h < distributed.jobs[j]->host_count(); ++h) {
+      EXPECT_DOUBLE_EQ(distributed.jobs[j]->host_cap(h),
+                       reference_jobs[j]->host_cap(h))
+          << "job " << distributed.jobs[j]->name() << " host " << h;
+    }
+  }
+}
+
+/// Daemon death mid-run: the job keeps computing on its last-known caps,
+/// the client backs off exponentially, and a restarted daemon picks the
+/// session back up at the job's current sequence number.
+TEST(DaemonIntegrationTest, KilledDaemonFallbackAndReconnect) {
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t h = 0; h < 4; ++h) {
+    hosts.push_back(&cluster.node(h));
+  }
+  sim::JobSimulation job("solo", std::move(hosts), hungry_config());
+  const double budget = 4.0 * 180.0;
+  const std::string path = unique_socket_path("killed");
+
+  ClientOptions options;
+  options.request_timeout = milliseconds(400);
+  options.backoff_initial = milliseconds(5);
+  options.backoff_max = milliseconds(40);
+  RuntimeClient client([&path] { return connect_unix(path); }, options);
+  CoordinatedAgent agent(job, client);
+
+  // Phase 1: coordinated epochs against a live daemon.
+  auto daemon = std::make_unique<PowerDaemon>(
+      daemon_options(cluster, budget, 1));
+  daemon->listen_unix(path);
+  std::thread serving([&daemon] { daemon->run(); });
+  const AgentResult live = agent.run(10);
+  EXPECT_EQ(live.policies_applied, 1 + live.epochs);
+  EXPECT_EQ(live.fallback_epochs, 0u);
+
+  // Kill the daemon: sessions close, the socket file disappears.
+  daemon->stop();
+  serving.join();
+  daemon.reset();
+
+  std::vector<double> caps_at_death(job.host_count());
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    caps_at_death[h] = job.host_cap(h);
+  }
+
+  // Phase 2: every exchange fails; the job must keep its last caps and
+  // the client must walk its backoff schedule to the cap.
+  const AgentResult orphaned = agent.run(10);
+  EXPECT_EQ(orphaned.policies_applied, 0u);
+  EXPECT_EQ(orphaned.fallback_epochs, orphaned.epochs);
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    EXPECT_DOUBLE_EQ(job.host_cap(h), caps_at_death[h]) << "host " << h;
+  }
+  ASSERT_TRUE(client.last_known_policy().has_value());
+  EXPECT_GT(client.stats().connect_failures, 0u);
+  EXPECT_EQ(client.current_backoff(), options.backoff_max);
+
+  // Phase 3: a fresh daemon on the same path; the client reconnects and
+  // coordination resumes at the job's continued sequence numbers.
+  daemon = std::make_unique<PowerDaemon>(
+      daemon_options(cluster, budget, 1));
+  daemon->listen_unix(path);
+  std::thread revived([&daemon] { daemon->run(); });
+  const AgentResult resumed = agent.run(10);
+  daemon->stop();
+  revived.join();
+  EXPECT_EQ(resumed.policies_applied, resumed.epochs);
+  EXPECT_EQ(resumed.fallback_epochs, 0u);
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GT(agent.sequence(), 4u);
+}
+
+/// Loopback transport + departure: when a job disconnects, the next
+/// allocation round spreads the freed watts over the remaining jobs.
+TEST(DaemonIntegrationTest, DisconnectReturnsWattsToThePool) {
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts_a{&cluster.node(0), &cluster.node(1)};
+  std::vector<hw::NodeModel*> hosts_b{&cluster.node(2), &cluster.node(3)};
+  sim::JobSimulation job_a("a-stays", std::move(hosts_a), hungry_config());
+  sim::JobSimulation job_b("b-leaves", std::move(hosts_b), hungry_config());
+
+  const double budget = 800.0;
+  PowerDaemon daemon(daemon_options(cluster, budget, 2));
+  std::thread serving([&daemon] { daemon.run(); });
+
+  auto [client_a_end, daemon_a_end] = loopback_pair();
+  auto [client_b_end, daemon_b_end] = loopback_pair();
+  daemon.adopt(std::move(daemon_a_end));
+  daemon.adopt(std::move(daemon_b_end));
+
+  std::deque<Socket> pool_a;
+  pool_a.push_back(std::move(client_a_end));
+  RuntimeClient client_a(
+      [&pool_a]() -> Socket {
+        if (pool_a.empty()) {
+          throw Error("loopback exhausted");
+        }
+        Socket socket = std::move(pool_a.front());
+        pool_a.pop_front();
+        return socket;
+      },
+      patient_client());
+  std::deque<Socket> pool_b;
+  pool_b.push_back(std::move(client_b_end));
+  RuntimeClient client_b(
+      [&pool_b]() -> Socket {
+        if (pool_b.empty()) {
+          throw Error("loopback exhausted");
+        }
+        Socket socket = std::move(pool_b.front());
+        pool_b.pop_front();
+        return socket;
+      },
+      patient_client());
+
+  CoordinatedAgent agent_a(job_a, client_a);
+  CoordinatedAgent agent_b(job_b, client_b);
+
+  // Both jobs run one coordinated round (barrier: both must report).
+  std::thread side_b([&agent_b] {
+    static_cast<void>(agent_b.run(5));
+  });
+  const AgentResult both = agent_a.run(5);
+  side_b.join();
+  EXPECT_EQ(both.fallback_epochs, 0u);
+  // Two identical compute-hungry jobs: each host holds the uniform share.
+  const double cap_while_shared = job_a.host_cap(0);
+  EXPECT_LE(cap_while_shared, budget / 4.0 + 0.5);
+
+  // Job b departs; its watts must fund the remaining job's next round.
+  // (drop the client; the daemon sees EOF and closes the session)
+  { RuntimeClient parting = std::move(client_b); }
+  const AgentResult alone = agent_a.run(5);
+  daemon.stop();
+  serving.join();
+
+  EXPECT_EQ(alone.fallback_epochs, 0u);
+  EXPECT_GT(job_a.host_cap(0), cap_while_shared);
+  const DaemonStats stats = daemon.stats();
+  EXPECT_GE(stats.sessions_closed, 1u);
+}
+
+/// The same protocol over TCP: one agent against an ephemeral port.
+TEST(DaemonIntegrationTest, ServesOverTcp) {
+  sim::Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  sim::JobSimulation job("tcp-job", std::move(hosts), wasteful_config());
+
+  PowerDaemon daemon(daemon_options(cluster, 2.0 * 180.0, 1));
+  daemon.listen_tcp(0);
+  const std::uint16_t port = daemon.tcp_port();
+  ASSERT_GT(port, 0);
+  std::thread serving([&daemon] { daemon.run(); });
+
+  RuntimeClient client([port] { return connect_tcp(port); },
+                       patient_client());
+  CoordinatedAgent agent(job, client);
+  const AgentResult result = agent.run(10);
+  daemon.stop();
+  serving.join();
+
+  EXPECT_EQ(result.policies_applied, 1 + result.epochs);
+  EXPECT_EQ(result.fallback_epochs, 0u);
+  EXPECT_GT(daemon.stats().policies_sent, 0u);
+}
+
+}  // namespace
+}  // namespace ps::net

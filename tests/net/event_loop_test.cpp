@@ -1,0 +1,90 @@
+#include "net/event_loop.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <chrono>
+#include <thread>
+
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(EventLoopTest, DispatchesReadableFd) {
+  EventLoop loop;
+  auto [a, b] = loopback_pair();
+  int fired = 0;
+  loop.add_fd(a.fd(), POLLIN, [&](short revents) {
+    EXPECT_NE(revents & POLLIN, 0);
+    ++fired;
+    char sink[16];
+    static_cast<void>(a.read_some(sink, sizeof(sink)));
+  });
+
+  // Nothing pending: a bounded cycle returns without dispatching.
+  EXPECT_TRUE(loop.run_once(milliseconds(10)));
+  EXPECT_EQ(fired, 0);
+
+  static_cast<void>(b.write_some("x"));
+  EXPECT_TRUE(loop.run_once(milliseconds(1000)));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CallbackMayRemoveItself) {
+  EventLoop loop;
+  auto [a, b] = loopback_pair();
+  int fired = 0;
+  loop.add_fd(a.fd(), POLLIN, [&](short) {
+    ++fired;
+    loop.remove_fd(a.fd());
+  });
+  static_cast<void>(b.write_some("xx"));
+  EXPECT_TRUE(loop.run_once(milliseconds(1000)));
+  EXPECT_EQ(loop.watched_fds(), 0u);
+  // The byte is still unread, but the fd is no longer watched.
+  EXPECT_TRUE(loop.run_once(milliseconds(10)));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, TickFiresOnSchedule) {
+  EventLoop loop;
+  int ticks = 0;
+  loop.set_tick(milliseconds(5), [&] { ++ticks; });
+  const auto start = std::chrono::steady_clock::now();
+  while (ticks < 3 &&
+         std::chrono::steady_clock::now() - start < milliseconds(2000)) {
+    ASSERT_TRUE(loop.run_once(milliseconds(-1)));
+  }
+  EXPECT_GE(ticks, 3);
+}
+
+TEST(EventLoopTest, StopFromAnotherThreadWakesBlockedPoll) {
+  EventLoop loop;
+  std::thread stopper([&loop] {
+    std::this_thread::sleep_for(milliseconds(20));
+    loop.stop();
+  });
+  // No fds, no tick: this poll would block forever without the wake-up.
+  const auto start = std::chrono::steady_clock::now();
+  loop.run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  stopper.join();
+  EXPECT_TRUE(loop.stopped());
+  EXPECT_LT(elapsed, milliseconds(5000));
+  EXPECT_FALSE(loop.run_once(milliseconds(0)));
+}
+
+TEST(EventLoopTest, RejectsInvalidRegistrations) {
+  EventLoop loop;
+  EXPECT_THROW(loop.add_fd(-1, POLLIN, [](short) {}), ps::InvalidArgument);
+  EXPECT_THROW(loop.add_fd(0, POLLIN, nullptr), ps::InvalidArgument);
+  EXPECT_THROW(loop.set_events(99, POLLIN), ps::InvalidArgument);
+  EXPECT_THROW(loop.set_tick(milliseconds(0), [] {}), ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::net

@@ -1,0 +1,70 @@
+#include "net/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+TEST(FramingTest, RoundTripsOneFrame) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame("hello"));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "hello");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, PreservesMessageBoundaries) {
+  FrameDecoder decoder;
+  decoder.feed(encode_frame("first") + encode_frame("") +
+               encode_frame("third\nwith newline"));
+  EXPECT_EQ(decoder.next(), "first");
+  EXPECT_EQ(decoder.next(), "");
+  EXPECT_EQ(decoder.next(), "third\nwith newline");
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FramingTest, ReassemblesByteAtATime) {
+  const std::string wire = encode_frame("reassembled payload");
+  FrameDecoder decoder;
+  std::string out;
+  for (const char byte : wire) {
+    decoder.feed(std::string_view(&byte, 1));
+    if (auto payload = decoder.next()) {
+      out = *payload;
+    }
+  }
+  EXPECT_EQ(out, "reassembled payload");
+}
+
+TEST(FramingTest, IncompleteFrameStaysBuffered) {
+  const std::string wire = encode_frame("pending");
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(wire).substr(0, wire.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_GT(decoder.buffered_bytes(), 0u);
+  decoder.feed(std::string_view(wire).substr(wire.size() - 1));
+  EXPECT_EQ(decoder.next(), "pending");
+}
+
+TEST(FramingTest, RejectsOversizedFrame) {
+  // A length prefix far beyond kMaxFrameBytes: decoding must throw
+  // rather than attempt the allocation.
+  FrameDecoder decoder;
+  decoder.feed(std::string_view("\xFF\xFF\xFF\xFF", 4));
+  EXPECT_THROW(static_cast<void>(decoder.next()), ps::Error);
+}
+
+TEST(FramingTest, RejectsOversizedEncode) {
+  EXPECT_THROW(static_cast<void>(
+                   encode_frame(std::string(kMaxFrameBytes + 1, 'x'))),
+               ps::Error);
+}
+
+}  // namespace
+}  // namespace ps::net

@@ -1,0 +1,105 @@
+#include "net/socket.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/ps-net-" + tag + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+/// Pumps `payload` across a connected pair and reads it back.
+void expect_echo(Socket& from, Socket& to, const std::string& payload) {
+  std::string_view rest = payload;
+  while (!rest.empty()) {
+    const IoResult sent = from.write_some(rest);
+    if (sent.status == IoStatus::kWouldBlock) {
+      ASSERT_TRUE(from.wait_writable(milliseconds(1000)));
+      continue;
+    }
+    ASSERT_EQ(sent.status, IoStatus::kOk);
+    rest.remove_prefix(sent.bytes);
+  }
+  std::string received;
+  char buffer[4096];
+  while (received.size() < payload.size()) {
+    const IoResult got = to.read_some(buffer, sizeof(buffer));
+    if (got.status == IoStatus::kWouldBlock) {
+      ASSERT_TRUE(to.wait_readable(milliseconds(1000)));
+      continue;
+    }
+    ASSERT_EQ(got.status, IoStatus::kOk);
+    received.append(buffer, got.bytes);
+  }
+  EXPECT_EQ(received, payload);
+}
+
+TEST(TransportTest, UnixSocketCarriesBytesBothWays) {
+  const std::string path = unique_socket_path("unix");
+  Listener listener = listen_unix(path);
+  Socket client = connect_unix(path);
+  ASSERT_TRUE(listener.fd() >= 0);
+  ASSERT_TRUE(listener.valid());
+  std::optional<Socket> server;
+  for (int i = 0; i < 100 && !server; ++i) {
+    server = listener.accept();
+  }
+  ASSERT_TRUE(server.has_value());
+  expect_echo(client, *server, "sample up");
+  expect_echo(*server, client, "policy down");
+}
+
+TEST(TransportTest, UnixListenerReplacesStaleSocketFile) {
+  const std::string path = unique_socket_path("stale");
+  {
+    Listener first = listen_unix(path);
+  }  // destructor unlinks
+  Listener second = listen_unix(path);
+  EXPECT_TRUE(second.valid());
+}
+
+TEST(TransportTest, TcpEphemeralPortRoundTrips) {
+  std::uint16_t port = 0;
+  Listener listener = listen_tcp(0, &port);
+  ASSERT_GT(port, 0);
+  Socket client = connect_tcp(port);
+  std::optional<Socket> server;
+  for (int i = 0; i < 100 && !server; ++i) {
+    server = listener.accept();
+  }
+  ASSERT_TRUE(server.has_value());
+  // A payload large enough to exercise partial writes on most kernels.
+  expect_echo(client, *server, std::string(1u << 20, 'w'));
+}
+
+TEST(TransportTest, LoopbackPairIsConnected) {
+  auto [a, b] = loopback_pair();
+  expect_echo(a, b, "in-process");
+  expect_echo(b, a, "both ways");
+}
+
+TEST(TransportTest, ReadReportsPeerClose) {
+  auto [a, b] = loopback_pair();
+  b.close();
+  char buffer[8];
+  ASSERT_TRUE(a.wait_readable(milliseconds(1000)));
+  EXPECT_EQ(a.read_some(buffer, sizeof(buffer)).status, IoStatus::kClosed);
+}
+
+TEST(TransportTest, ConnectToMissingEndpointThrows) {
+  EXPECT_THROW(static_cast<void>(
+                   connect_unix(unique_socket_path("nonexistent"))),
+               ps::Error);
+}
+
+}  // namespace
+}  // namespace ps::net

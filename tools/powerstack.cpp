@@ -11,16 +11,25 @@
 //       Run a job under any runtime agent; show caps and speedup.
 //   powerstack facility [--nodes N] [--hours H] [--policy P]
 //       Run the event-driven facility over a Poisson job trace.
+//   powerstack daemon --budget W [--socket PATH | --tcp PORT]
+//       Serve the RM power daemon until interrupted (or --duration S).
+//   powerstack agent --workload NAME [--socket PATH | --tcp PORT]
+//       Run a job under daemon coordination over a real socket.
 //   powerstack validate [--quick]
 //       Run the reproduction self-check (exit 0 iff all claims hold).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 #include "analysis/validation.hpp"
 #include "core/mixes.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
 #include "kernel/proxies.hpp"
 #include "facility/facility_manager.hpp"
 #include "runtime/agent_registry.hpp"
@@ -45,6 +54,14 @@ struct Args {
   double hours = 72.0;
   bool quick = false;
   bool backfill = false;
+  // daemon / agent options
+  std::string socket_path = "/tmp/powerstack-daemon.sock";
+  int tcp_port = -1;  ///< -1: use the Unix socket.
+  double budget_watts = 0.0;
+  std::size_t min_jobs = 1;
+  std::size_t iterations = 50;
+  double duration_seconds = 0.0;  ///< daemon only; 0 = serve forever.
+  std::string job_name;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -70,6 +87,20 @@ Args parse_args(int argc, char** argv) {
       args.backfill = true;
     } else if (arg == "--quick") {
       args.quick = true;
+    } else if (arg == "--socket" && i + 1 < argc) {
+      args.socket_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      args.tcp_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--budget" && i + 1 < argc) {
+      args.budget_watts = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-jobs" && i + 1 < argc) {
+      args.min_jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      args.iterations = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--duration" && i + 1 < argc) {
+      args.duration_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--job" && i + 1 < argc) {
+      args.job_name = argv[++i];
     }
   }
   return args;
@@ -85,8 +116,13 @@ int usage() {
       "  budgets --mix NAME              Table III budget levels for a mix\n"
       "  balance --agent NAME            run a job under any runtime agent\n"
       "  facility [--hours H] [--backfill]  event-driven facility run\n"
+      "  daemon --budget W [--min-jobs N] [--duration S]\n"
+      "                                  serve the RM power daemon\n"
+      "  agent --workload NAME [--job NAME] [--iterations N]\n"
+      "                                  run a job under daemon coordination\n"
       "  validate [--quick]              reproduction self-check\n"
-      "common options: --nodes N --policy NAME\n");
+      "common options: --nodes N --policy NAME\n"
+      "transport options (daemon/agent): --socket PATH | --tcp PORT\n");
   return 2;
 }
 
@@ -260,6 +296,93 @@ int cmd_facility(const Args& args) {
   return 0;
 }
 
+int cmd_daemon(const Args& args) {
+  const auto policy = parse_policy(args.policy);
+  if (!policy) {
+    std::fprintf(stderr, "unknown policy '%s'\n", args.policy.c_str());
+    return 2;
+  }
+  net::DaemonOptions options;
+  options.system_budget_watts =
+      args.budget_watts > 0.0
+          ? args.budget_watts
+          : 195.0 * static_cast<double>(args.nodes * args.min_jobs);
+  options.policy = *policy;
+  options.min_jobs = args.min_jobs;
+  net::PowerDaemon daemon(options);
+  if (args.tcp_port >= 0) {
+    daemon.listen_tcp(static_cast<std::uint16_t>(args.tcp_port));
+    std::printf("daemon: tcp 127.0.0.1:%u, budget %.1f W, policy %s\n",
+                daemon.tcp_port(), options.system_budget_watts,
+                args.policy.c_str());
+  } else {
+    daemon.listen_unix(args.socket_path);
+    std::printf("daemon: unix %s, budget %.1f W, policy %s\n",
+                args.socket_path.c_str(), options.system_budget_watts,
+                args.policy.c_str());
+  }
+  std::fflush(stdout);
+
+  std::thread stopper;
+  if (args.duration_seconds > 0.0) {
+    stopper = std::thread([&daemon, seconds = args.duration_seconds] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      daemon.stop();
+    });
+  }
+  daemon.run();
+  if (stopper.joinable()) {
+    stopper.join();
+  }
+  const net::DaemonStats stats = daemon.stats();
+  std::printf(
+      "daemon: %zu sessions, %zu samples, %zu allocations, "
+      "%zu policies sent\n",
+      stats.sessions_accepted, stats.samples_received, stats.allocations,
+      stats.policies_sent);
+  return 0;
+}
+
+int cmd_agent(const Args& args) {
+  const kernel::WorkloadConfig config = resolve_workload(args.workload);
+  sim::Cluster cluster(args.nodes);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = 0; i < args.nodes; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  const std::string job_name =
+      args.job_name.empty() ? args.workload : args.job_name;
+  sim::JobSimulation job(job_name, std::move(hosts), config);
+
+  net::RuntimeClient::Connector connector;
+  if (args.tcp_port >= 0) {
+    const auto port = static_cast<std::uint16_t>(args.tcp_port);
+    connector = [port] { return net::connect_tcp(port); };
+  } else {
+    const std::string path = args.socket_path;
+    connector = [path] { return net::connect_unix(path); };
+  }
+  net::RuntimeClient client(std::move(connector));
+  net::CoordinatedAgent agent(job, client);
+  const net::AgentResult result = agent.run(args.iterations);
+
+  std::printf("agent %s: %zu iterations in %zu epochs\n", job_name.c_str(),
+              result.iterations, result.epochs);
+  std::printf("  policies applied: %zu (fallback epochs: %zu)\n",
+              result.policies_applied, result.fallback_epochs);
+  std::printf("  caps:");
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    std::printf(" %.1f", job.host_cap(h));
+  }
+  std::printf(" W\n");
+  std::printf("  energy: %.1f J over %.2f s (%.3f GF/W)\n",
+              result.energy_joules, result.elapsed_seconds,
+              result.energy_joules > 0.0
+                  ? result.total_gflop / result.energy_joules
+                  : 0.0);
+  return result.policies_applied > 0 ? 0 : 1;
+}
+
 int cmd_validate(const Args& args) {
   analysis::ExperimentOptions options;
   options.nodes_per_job = args.quick ? 8 : 100;
@@ -295,6 +418,12 @@ int main(int argc, char** argv) {
     }
     if (args.command == "facility") {
       return cmd_facility(args);
+    }
+    if (args.command == "daemon") {
+      return cmd_daemon(args);
+    }
+    if (args.command == "agent") {
+      return cmd_agent(args);
     }
     if (args.command == "validate") {
       return cmd_validate(args);
