@@ -2,8 +2,13 @@
 // allocators, the balancer search, the node fixed-point solve, the
 // bulk-synchronous simulator, k-means, and the real arithmetic kernel.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 
@@ -13,6 +18,7 @@
 #include "net/client.hpp"
 #include "net/daemon.hpp"
 #include "net/framing.hpp"
+#include "net/snapshot.hpp"
 #include "runtime/agent_tree.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/cluster.hpp"
@@ -223,6 +229,112 @@ void BM_DaemonRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_DaemonRoundTrip)->Arg(8)->Arg(100)
     ->Unit(benchmark::kMicrosecond);
+
+net::DaemonSnapshot bench_snapshot(std::size_t jobs, std::size_t hosts) {
+  net::DaemonSnapshot snapshot;
+  snapshot.system_budget_watts =
+      190.0 * static_cast<double>(jobs * hosts);
+  snapshot.launch_barrier_met = true;
+  snapshot.allocations = 12;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    net::SnapshotJob job;
+    job.name = "bench-job-" + std::to_string(j);
+    job.sequence = 12;
+    for (std::size_t h = 0; h < hosts; ++h) {
+      job.caps_watts.push_back(181.25 + 0.125 * static_cast<double>(h));
+    }
+    snapshot.jobs.push_back(std::move(job));
+  }
+  return snapshot;
+}
+
+/// The write-ahead snapshot's CPU cost per allocation round: serialize
+/// (checksummed text) plus the restart-side parse/validate, in memory.
+void BM_SnapshotSerializeRestore(benchmark::State& state) {
+  const net::DaemonSnapshot snapshot =
+      bench_snapshot(static_cast<std::size_t>(state.range(0)), 100);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = net::serialize(snapshot);
+    bytes = text.size();
+    benchmark::DoNotOptimize(net::parse_snapshot(text));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 100);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotSerializeRestore)->Arg(4)->Arg(9);
+
+/// The durable write-ahead cost (tmp file + fsync + rename) the daemon
+/// pays before answering a round, plus the restart-side load.
+void BM_SnapshotWriteAheadDisk(benchmark::State& state) {
+  const net::DaemonSnapshot snapshot =
+      bench_snapshot(static_cast<std::size_t>(state.range(0)), 100);
+  const std::string path =
+      "/tmp/ps-bench-" + std::to_string(::getpid()) + ".snap";
+  for (auto _ : state) {
+    net::save_snapshot(path, snapshot);
+    benchmark::DoNotOptimize(net::load_snapshot(path));
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotWriteAheadDisk)->Arg(9)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Reclaim-on-disconnect round trip: a registered client's connection
+/// dies, and the benchmark measures until the daemon has evicted the
+/// job and returned its watts to the pool (grace zero, 1 ms ticks — the
+/// floor of the daemon's detection latency).
+void BM_ReclaimOnDisconnect(benchmark::State& state) {
+  net::DaemonOptions options;
+  options.system_budget_watts = 400.0;
+  options.min_jobs = 1;
+  options.tick_interval = std::chrono::milliseconds(1);
+  options.reclaim_timeout = std::chrono::milliseconds(0);
+  net::PowerDaemon daemon(options);
+  std::thread serving([&daemon] { daemon.run(); });
+
+  const std::string frame = net::encode_frame(
+      core::serialize(wire_bench_sample(2), core::WireFidelity::kExact));
+  std::uint64_t evicted = 0;
+  for (auto _ : state) {
+    auto [client_end, daemon_end] = net::loopback_pair();
+    daemon.adopt(std::move(daemon_end));
+    {
+      net::Socket socket = std::move(client_end);
+      std::string_view rest = frame;
+      while (!rest.empty()) {
+        const net::IoResult result = socket.write_some(rest);
+        if (result.status == net::IoStatus::kOk) {
+          rest.remove_prefix(result.bytes);
+        } else {
+          static_cast<void>(
+              socket.wait_writable(std::chrono::milliseconds(1'000)));
+        }
+      }
+      net::FrameDecoder decoder;
+      char buffer[4096];
+      while (!decoder.next().has_value()) {
+        static_cast<void>(
+            socket.wait_readable(std::chrono::milliseconds(1'000)));
+        const net::IoResult result =
+            socket.read_some(buffer, sizeof(buffer));
+        if (result.status == net::IoStatus::kOk) {
+          decoder.feed(std::string_view(buffer, result.bytes));
+        }
+      }
+    }  // the socket closes here: the disconnect the daemon must detect
+    ++evicted;
+    while (daemon.stats().jobs_evicted < evicted) {
+      std::this_thread::yield();
+    }
+  }
+  daemon.stop();
+  serving.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReclaimOnDisconnect)->Unit(benchmark::kMicrosecond);
 
 void BM_KMeans1d(benchmark::State& state) {
   util::Rng rng(1);

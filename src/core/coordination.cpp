@@ -15,6 +15,19 @@ double CoordinationResult::gflops_per_watt() const {
   return total_gflop / energy_joules;
 }
 
+double FailureTelemetry::mean_epochs_to_reclaim() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const ReclaimRecord& record : reclaims) {
+    if (record.reclaimed) {
+      total += static_cast<double>(record.reclaim_epoch -
+                                   record.event_epoch);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
 CoordinationLoop::CoordinationLoop(double system_budget_watts,
                                    const CoordinationOptions& options)
     : budget_(system_budget_watts), options_(options) {
@@ -46,6 +59,15 @@ PolicyContext CoordinationLoop::build_context(
     }
     data.balancer.host_needed_power_watts =
         runtime::balance_power(job, tdp_budget, options_.balancer);
+    // A dead host needs (and demands) nothing above the settable floor:
+    // the policy squeezes it there and the difference returns to the
+    // pool for the survivors.
+    for (std::size_t h = 0; h < job.host_count(); ++h) {
+      if (job.host_failed(h)) {
+        data.balancer.host_needed_power_watts[h] = job.host(h).min_cap();
+        live_[j].demand_watts[h] = job.host(h).min_cap();
+      }
+    }
     data.balancer.min_host_needed_watts =
         *std::min_element(data.balancer.host_needed_power_watts.begin(),
                           data.balancer.host_needed_power_watts.end());
@@ -70,10 +92,23 @@ PolicyContext CoordinationLoop::build_context(
 CoordinationResult CoordinationLoop::run(
     std::span<sim::JobSimulation* const> jobs,
     std::size_t total_iterations) {
+  return run_with_failures(jobs, total_iterations, {}, nullptr);
+}
+
+CoordinationResult CoordinationLoop::run_with_failures(
+    std::span<sim::JobSimulation* const> jobs,
+    std::size_t total_iterations,
+    std::span<const sim::FailureEvent> events,
+    FailureTelemetry* telemetry) {
   PS_REQUIRE(!jobs.empty(), "coordination needs at least one job");
   PS_REQUIRE(total_iterations > 0, "need at least one iteration");
   for (const auto* job : jobs) {
     PS_REQUIRE(job != nullptr, "job must not be null");
+  }
+  for (const sim::FailureEvent& event : events) {
+    PS_REQUIRE(event.job < jobs.size(), "failure event job out of range");
+    PS_REQUIRE(event.host < jobs[event.job]->host_count(),
+               "failure event host out of range");
   }
 
   // Initial state: uniform distribution of the budget (StaticCaps-like),
@@ -99,11 +134,47 @@ CoordinationResult CoordinationLoop::run(
   const rm::SystemPowerManager manager(budget_);
 
   CoordinationResult result;
+  std::vector<ReclaimRecord> pending_reclaims;
+  std::size_t next_event = 0;
   std::size_t done = 0;
   std::size_t epoch_index = 0;
   while (done < total_iterations) {
     const std::size_t this_epoch =
         std::min(options_.epoch_iterations, total_iterations - done);
+
+    // Apply this epoch's scheduled failures before its iterations run.
+    while (next_event < events.size() &&
+           events[next_event].epoch <= epoch_index) {
+      const sim::FailureEvent& event = events[next_event];
+      sim::JobSimulation& job = *jobs[event.job];
+      switch (event.kind) {
+        case sim::FailureKind::kNodeFailure: {
+          ReclaimRecord reclaim;
+          reclaim.event_epoch = epoch_index;
+          reclaim.job = event.job;
+          reclaim.host = event.host;
+          reclaim.watts_reclaimed =
+              job.host_cap(event.host) - job.host(event.host).min_cap();
+          pending_reclaims.push_back(reclaim);
+          job.set_host_failed(event.host, true);
+          // The demand ratchet must fall with the host: a dead host's
+          // running-max history would otherwise keep attracting watts.
+          live_[event.job].demand_watts[event.host] =
+              job.host(event.host).min_cap();
+          break;
+        }
+        case sim::FailureKind::kStragglerOnset:
+          job.set_host_slowdown(event.host, event.severity);
+          break;
+        case sim::FailureKind::kStragglerRecovery:
+          job.set_host_slowdown(event.host, 1.0);
+          break;
+      }
+      if (telemetry != nullptr) {
+        ++telemetry->events_applied;
+      }
+      ++next_event;
+    }
 
     EpochRecord record;
     record.epoch = epoch_index;
@@ -132,7 +203,36 @@ CoordinationResult CoordinationLoop::run(
     // RM step: re-allocate from the live telemetry.
     const PolicyContext context = build_context(jobs);
     const rm::PowerAllocation allocation = policy->allocate(context);
-    manager.apply(jobs, allocation, policy->is_system_aware());
+    const bool over_budget =
+        policy->is_system_aware() &&
+        !allocation.within_budget(
+            budget_, 0.5 * static_cast<double>(allocation.host_count()));
+    if (over_budget) {
+      // A policy output the site would reject: keep every job on its
+      // last caps rather than programming an over-budget allocation.
+      if (telemetry != nullptr) {
+        telemetry->budget_violation_epochs.push_back(epoch_index);
+      }
+    } else {
+      manager.apply(jobs, allocation, policy->is_system_aware());
+    }
+
+    // A failure is reclaimed once the dead host sits at the floor: every
+    // watt above the settable minimum is back in the pool. Policies park
+    // idle hosts within a fraction of a watt of the floor (slack terms
+    // keep caps off exact bounds), so reclaim within half a watt.
+    for (ReclaimRecord& reclaim : pending_reclaims) {
+      if (reclaim.reclaimed) {
+        continue;
+      }
+      const sim::JobSimulation& job = *jobs[reclaim.job];
+      const double cap = job.host_cap(reclaim.host);
+      const double floor_cap = job.host(reclaim.host).min_cap();
+      if (cap <= floor_cap + 0.5) {
+        reclaim.reclaimed = true;
+        reclaim.reclaim_epoch = epoch_index;
+      }
+    }
 
     record.allocated_watts =
         rm::SystemPowerManager::total_allocated_watts(jobs);
@@ -157,6 +257,9 @@ CoordinationResult CoordinationLoop::run(
     result.energy_joules += record.energy_joules;
     result.epochs.push_back(record);
     ++epoch_index;
+  }
+  if (telemetry != nullptr) {
+    telemetry->reclaims = std::move(pending_reclaims);
   }
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "core/policy.hpp"
 #include "runtime/power_balancer_agent.hpp"
+#include "sim/failures.hpp"
 #include "sim/job_sim.hpp"
 
 namespace ps::core {
@@ -30,6 +31,31 @@ struct EpochRecord {
   double elapsed_seconds = 0.0;      ///< Max job elapsed time this epoch.
   double energy_joules = 0.0;
   double max_cap_change_watts = 0.0; ///< Largest per-host cap move.
+};
+
+/// One node failure's reclamation trace: when the failure was applied,
+/// and when the policy had squeezed the dead host down to the settable
+/// floor (everything above the floor is back in the pool).
+struct ReclaimRecord {
+  std::size_t event_epoch = 0;
+  std::size_t job = 0;
+  std::size_t host = 0;
+  bool reclaimed = false;
+  std::size_t reclaim_epoch = 0;
+  double watts_reclaimed = 0.0;  ///< Pre-failure cap minus the floor cap.
+};
+
+/// Telemetry for a failure-aware run.
+struct FailureTelemetry {
+  std::vector<ReclaimRecord> reclaims;
+  /// Epochs where the policy output exceeded the budget and was skipped
+  /// (last caps were kept instead). Empty on a healthy run.
+  std::vector<std::size_t> budget_violation_epochs;
+  std::size_t events_applied = 0;
+
+  /// Mean epochs from node failure to full reclamation (only over
+  /// failures that did reclaim).
+  [[nodiscard]] double mean_epochs_to_reclaim() const;
 };
 
 /// Outcome of a coordinated run.
@@ -67,6 +93,18 @@ class CoordinationLoop {
   /// (jobs proceed in lockstep epochs). Jobs must outlive the call.
   CoordinationResult run(std::span<sim::JobSimulation* const> jobs,
                          std::size_t total_iterations);
+
+  /// Like run(), but applies `events` at the start of their epochs: node
+  /// failures zero the dead host's telemetry (the policy then squeezes
+  /// it to the floor, redistributing the freed watts to the survivors),
+  /// stragglers stretch a host's busy time until recovery. Telemetry —
+  /// time-to-reclaim per failure, budget-violation epochs — lands in
+  /// `telemetry` when non-null. Events must be sorted by epoch.
+  CoordinationResult run_with_failures(
+      std::span<sim::JobSimulation* const> jobs,
+      std::size_t total_iterations,
+      std::span<const sim::FailureEvent> events,
+      FailureTelemetry* telemetry = nullptr);
 
   [[nodiscard]] double budget_watts() const noexcept { return budget_; }
   [[nodiscard]] const CoordinationOptions& options() const noexcept {

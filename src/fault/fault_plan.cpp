@@ -1,0 +1,96 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::fault {
+
+namespace {
+void require_probability(double p, const char* what) {
+  PS_REQUIRE(p >= 0.0 && p <= 1.0,
+             std::string(what) + " probability must be in [0, 1]");
+}
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  require_probability(spec.drop_probability, "drop");
+  require_probability(spec.partial_probability, "partial");
+  require_probability(spec.corrupt_probability, "corrupt");
+  require_probability(spec.duplicate_probability, "duplicate");
+  require_probability(spec.delay_probability, "delay");
+  PS_REQUIRE(spec.drop_probability + spec.partial_probability +
+                     spec.corrupt_probability + spec.duplicate_probability +
+                     spec.delay_probability <=
+                 1.0,
+             "fault probabilities must sum to at most 1");
+}
+
+FaultKind FaultPlan::next(FaultOp op) {
+  ++stats_.ops;
+  // One draw per operation regardless of outcome, so the decision stream
+  // stays aligned with the operation stream for a given seed.
+  const double roll = rng_.uniform();
+  if (stats_.ops <= spec_.warmup_ops || exhausted()) {
+    consecutive_delays_ = 0;
+    return FaultKind::kNone;
+  }
+
+  double cursor = spec_.drop_probability;
+  if (roll < cursor) {
+    consecutive_delays_ = 0;
+    ++stats_.drops;
+    return FaultKind::kDrop;
+  }
+  cursor += spec_.partial_probability;
+  if (roll < cursor) {
+    consecutive_delays_ = 0;
+    ++stats_.partials;
+    return FaultKind::kPartial;
+  }
+  cursor += spec_.delay_probability;
+  if (roll < cursor) {
+    if (consecutive_delays_ >= spec_.max_consecutive_delays) {
+      return FaultKind::kNone;  // bounded: a poller must make progress
+    }
+    ++consecutive_delays_;
+    ++stats_.delays;
+    return FaultKind::kDelay;
+  }
+  consecutive_delays_ = 0;
+  if (op == FaultOp::kRead) {
+    cursor += spec_.corrupt_probability;
+    if (roll < cursor) {
+      ++stats_.corruptions;
+      return FaultKind::kCorrupt;
+    }
+  } else {
+    cursor += spec_.duplicate_probability;
+    if (roll < cursor) {
+      ++stats_.duplicates;
+      return FaultKind::kDuplicateFrame;
+    }
+  }
+  return FaultKind::kNone;
+}
+
+std::size_t FaultPlan::partial_bytes(std::size_t want) {
+  PS_REQUIRE(want > 0, "partial operation needs at least one byte");
+  const std::size_t cap = std::min<std::size_t>(want, 8);
+  return 1 + static_cast<std::size_t>(rng_.uniform_index(cap));
+}
+
+std::size_t FaultPlan::corrupt_offset(std::size_t count) {
+  PS_REQUIRE(count > 0, "corruption needs at least one candidate byte");
+  return static_cast<std::size_t>(rng_.uniform_index(count));
+}
+
+FaultPlan FaultPlan::fork(std::uint64_t label) const {
+  FaultPlan child(spec_);
+  util::Rng parent = rng_;  // fork() draws state, so fork from a copy
+  child.rng_ = parent.fork(label);
+  return child;
+}
+
+}  // namespace ps::fault

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace ps::fault {
+
+/// Which side of the byte stream an operation touches.
+enum class FaultOp { kRead, kWrite };
+
+/// The fault injected into one transport operation. Read operations can
+/// draw kDrop / kPartial / kDelay / kCorrupt; write operations can draw
+/// kDrop / kPartial / kDelay / kDuplicateFrame.
+enum class FaultKind {
+  kNone,
+  kDrop,            ///< The connection resets under the operation.
+  kPartial,         ///< The operation moves only a few bytes.
+  kCorrupt,         ///< One inbound payload byte is flipped.
+  kDuplicateFrame,  ///< The just-completed outbound frame is sent twice.
+  kDelay,           ///< The operation spuriously reports would-block.
+};
+
+/// Everything a FaultPlan needs to be reproducible: one seed plus the
+/// per-operation probabilities and the global injection budget. The
+/// budget is what guarantees healing — once max_faults injections have
+/// been drawn, the plan goes permanently quiet and the protocol's
+/// recovery machinery (reconnect, resend, CRC) converges the system.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// Operations before the first fault may be drawn (lets a session
+  /// register and bootstrap cleanly when a scenario wants that).
+  std::size_t warmup_ops = 0;
+  /// Total injections across all kinds; 0 means the plan never fires.
+  std::size_t max_faults = 8;
+  double drop_probability = 0.0;
+  double partial_probability = 0.0;
+  double corrupt_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double delay_probability = 0.0;
+  /// kDelay reports would-block on data that is actually ready, so it
+  /// must be bounded to keep pollers from spinning forever.
+  std::size_t max_consecutive_delays = 2;
+};
+
+struct FaultStats {
+  std::size_t ops = 0;
+  std::size_t drops = 0;
+  std::size_t partials = 0;
+  std::size_t corruptions = 0;
+  std::size_t duplicates = 0;
+  std::size_t delays = 0;
+
+  [[nodiscard]] std::size_t injected() const noexcept {
+    return drops + partials + corruptions + duplicates + delays;
+  }
+};
+
+/// A deterministic schedule of faults: the decision sequence is a pure
+/// function of the spec (seed included), so a failing run replays from
+/// its seed. Decisions are drawn per operation; fork() derives an
+/// independent child plan (stable for a given label) so each client in a
+/// fleet gets its own reproducible schedule from one scenario seed.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultSpec& spec);
+
+  /// Draws the fault for the next operation on `op`'s side.
+  [[nodiscard]] FaultKind next(FaultOp op);
+
+  /// For kPartial: how many bytes the operation is allowed to move
+  /// (1..min(8, want); `want` must be > 0).
+  [[nodiscard]] std::size_t partial_bytes(std::size_t want);
+
+  /// For kCorrupt: which of `count` candidate payload bytes to flip.
+  [[nodiscard]] std::size_t corrupt_offset(std::size_t count);
+
+  /// True once the injection budget is spent: the plan is quiet forever.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return stats_.injected() >= spec_.max_faults;
+  }
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Derives an independent child plan with the same probabilities.
+  [[nodiscard]] FaultPlan fork(std::uint64_t label) const;
+
+ private:
+  FaultSpec spec_;
+  util::Rng rng_;
+  FaultStats stats_;
+  std::size_t consecutive_delays_ = 0;
+};
+
+}  // namespace ps::fault

@@ -1,0 +1,161 @@
+#include "fault/faulty_transport.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ps::fault {
+
+namespace {
+std::size_t decode_be32(const std::array<unsigned char, 4>& bytes) {
+  return (static_cast<std::size_t>(bytes[0]) << 24) |
+         (static_cast<std::size_t>(bytes[1]) << 16) |
+         (static_cast<std::size_t>(bytes[2]) << 8) |
+         static_cast<std::size_t>(bytes[3]);
+}
+}  // namespace
+
+FaultyTransport::FaultyTransport(std::unique_ptr<net::Transport> inner,
+                                 std::shared_ptr<FaultPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {
+  PS_REQUIRE(inner_ != nullptr, "faulty transport needs an inner transport");
+  PS_REQUIRE(plan_ != nullptr, "faulty transport needs a fault plan");
+}
+
+net::IoResult FaultyTransport::read_some(char* out, std::size_t max_bytes) {
+  if (!inner_->valid()) {
+    return {net::IoStatus::kClosed, 0};
+  }
+  const FaultKind kind = plan_->next(FaultOp::kRead);
+  if (kind == FaultKind::kDrop) {
+    inner_->close();  // the connection resets under the reader
+    return {net::IoStatus::kClosed, 0};
+  }
+  if (kind == FaultKind::kDelay) {
+    return {net::IoStatus::kWouldBlock, 0};
+  }
+  std::size_t limit = max_bytes;
+  if (kind == FaultKind::kPartial && max_bytes > 0) {
+    limit = plan_->partial_bytes(max_bytes);
+  }
+  const net::IoResult result = inner_->read_some(out, limit);
+  if (result.status != net::IoStatus::kOk) {
+    return result;
+  }
+
+  // Walk the chunk through the inbound frame grammar to find which of
+  // its bytes are payload (corruption candidates).
+  std::vector<std::size_t> payload_positions;
+  for (std::size_t i = 0; i < result.bytes; ++i) {
+    if (in_payload_left_ == 0) {
+      const auto byte = static_cast<unsigned char>(out[i]);
+      if (in_header_seen_ < 4) {
+        in_length_bytes_[in_header_seen_] = byte;
+      }
+      ++in_header_seen_;
+      if (in_header_seen_ == 8) {
+        in_payload_left_ = decode_be32(in_length_bytes_);
+        if (in_payload_left_ == 0) {
+          in_header_seen_ = 0;  // empty frame: straight to the next header
+        }
+      }
+    } else {
+      payload_positions.push_back(i);
+      --in_payload_left_;
+      if (in_payload_left_ == 0) {
+        in_header_seen_ = 0;
+      }
+    }
+  }
+  if (kind == FaultKind::kCorrupt && !payload_positions.empty()) {
+    // A single bit flip: CRC-32 detects every 1-bit error, so this can
+    // never be silently accepted downstream. (A corrupt draw landing on
+    // a headers-only chunk spends its budget without effect.)
+    const std::size_t pick =
+        payload_positions[plan_->corrupt_offset(payload_positions.size())];
+    out[pick] = static_cast<char>(static_cast<unsigned char>(out[pick]) ^
+                                  0x01u);
+  }
+  return result;
+}
+
+net::IoResult FaultyTransport::write_some(std::string_view bytes) {
+  if (!inner_->valid()) {
+    return {net::IoStatus::kClosed, 0};
+  }
+  // Stream order: an armed duplicate must hit the wire before any new
+  // bytes, or the frames would interleave into garbage.
+  while (!pending_injection_.empty()) {
+    const net::IoResult r = inner_->write_some(pending_injection_);
+    if (r.status == net::IoStatus::kOk) {
+      pending_injection_.erase(0, r.bytes);
+      continue;
+    }
+    if (r.status == net::IoStatus::kClosed) {
+      return r;
+    }
+    return {net::IoStatus::kWouldBlock, 0};
+  }
+
+  const FaultKind kind = plan_->next(FaultOp::kWrite);
+  if (kind == FaultKind::kDrop) {
+    inner_->close();
+    return {net::IoStatus::kClosed, 0};
+  }
+  if (kind == FaultKind::kDelay) {
+    return {net::IoStatus::kWouldBlock, 0};
+  }
+  std::string_view view = bytes;
+  if (kind == FaultKind::kPartial && !view.empty()) {
+    view = view.substr(0, plan_->partial_bytes(view.size()));
+  }
+  if (kind == FaultKind::kDuplicateFrame) {
+    duplicate_armed_ = true;  // fires when the current frame completes
+  }
+  const net::IoResult result = inner_->write_some(view);
+  if (result.status == net::IoStatus::kOk) {
+    track_outbound(view.substr(0, result.bytes));
+  }
+  return result;
+}
+
+void FaultyTransport::track_outbound(std::string_view accepted) {
+  for (const char c : accepted) {
+    out_frame_.push_back(c);
+    if (out_payload_left_ == 0) {
+      const auto byte = static_cast<unsigned char>(c);
+      if (out_header_seen_ < 4) {
+        out_length_bytes_[out_header_seen_] = byte;
+      }
+      ++out_header_seen_;
+      if (out_header_seen_ == 8) {
+        out_payload_left_ = decode_be32(out_length_bytes_);
+        if (out_payload_left_ == 0) {
+          complete_outbound_frame();
+        }
+      }
+    } else {
+      --out_payload_left_;
+      if (out_payload_left_ == 0) {
+        complete_outbound_frame();
+      }
+    }
+  }
+}
+
+void FaultyTransport::complete_outbound_frame() {
+  if (duplicate_armed_) {
+    pending_injection_.append(out_frame_);
+    duplicate_armed_ = false;
+  }
+  out_frame_.clear();
+  out_header_seen_ = 0;
+}
+
+std::unique_ptr<net::Transport> make_faulty_transport(
+    std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan) {
+  return std::make_unique<FaultyTransport>(std::move(inner),
+                                           std::move(plan));
+}
+
+}  // namespace ps::fault

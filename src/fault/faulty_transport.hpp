@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "net/transport.hpp"
+
+namespace ps::fault {
+
+/// A net::Transport decorator that injects the FaultPlan's schedule into
+/// a live connection: drops (the peer resets), partial reads/writes,
+/// single-bit corruption of inbound payload bytes, duplicated outbound
+/// frames, and bounded spurious would-blocks. Both the daemon (via
+/// DaemonOptions::transport_wrapper) and the client (via a
+/// TransportConnector) can wear it.
+///
+/// The decorator is frame-aware: it parses the length-prefixed stream in
+/// both directions so corruption only ever lands on payload bytes (a
+/// corrupted length prefix could stall the stream for megabytes before
+/// the CRC notices — a wedge, not a recoverable fault) and duplication
+/// replays exactly one whole frame (mid-frame splices would desync the
+/// stream rather than exercise the receiver's duplicate handling).
+///
+/// The plan is shared: a client that reconnects wears a fresh
+/// FaultyTransport over the same plan, so the injection budget spans the
+/// whole scenario and the schedule stays reproducible from one seed.
+class FaultyTransport final : public net::Transport {
+ public:
+  FaultyTransport(std::unique_ptr<net::Transport> inner,
+                  std::shared_ptr<FaultPlan> plan);
+
+  [[nodiscard]] int fd() const noexcept override { return inner_->fd(); }
+  [[nodiscard]] bool valid() const noexcept override {
+    return inner_->valid();
+  }
+  void close() noexcept override { inner_->close(); }
+
+  net::IoResult read_some(char* out, std::size_t max_bytes) override;
+  net::IoResult write_some(std::string_view bytes) override;
+
+  [[nodiscard]] bool wait_readable(
+      std::chrono::milliseconds timeout) override {
+    return inner_->wait_readable(timeout);
+  }
+  [[nodiscard]] bool wait_writable(
+      std::chrono::milliseconds timeout) override {
+    return inner_->wait_writable(timeout);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
+
+ private:
+  void track_outbound(std::string_view accepted);
+  void complete_outbound_frame();
+
+  std::unique_ptr<net::Transport> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+
+  // Inbound stream position (header = 4 length + 4 CRC bytes, then
+  // payload): lets corruption pick payload bytes only.
+  std::size_t in_header_seen_ = 0;
+  std::array<unsigned char, 4> in_length_bytes_{};
+  std::size_t in_payload_left_ = 0;
+
+  // Outbound frame reassembly for kDuplicateFrame.
+  std::size_t out_header_seen_ = 0;
+  std::array<unsigned char, 4> out_length_bytes_{};
+  std::size_t out_payload_left_ = 0;
+  std::string out_frame_;
+  bool duplicate_armed_ = false;
+  std::string pending_injection_;  ///< Duplicate bytes awaiting the wire.
+};
+
+/// Wraps `inner` in a FaultyTransport over `plan`.
+[[nodiscard]] std::unique_ptr<net::Transport> make_faulty_transport(
+    std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan);
+
+}  // namespace ps::fault

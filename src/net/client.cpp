@@ -18,7 +18,19 @@ std::chrono::milliseconds remaining_until(Clock::time_point deadline) {
 }
 }  // namespace
 
+namespace {
+RuntimeClient::TransportConnector wrap_connector(
+    RuntimeClient::Connector inner) {
+  PS_REQUIRE(inner != nullptr, "client needs a connector");
+  return [inner = std::move(inner)]() { return make_transport(inner()); };
+}
+}  // namespace
+
 RuntimeClient::RuntimeClient(Connector connector, ClientOptions options)
+    : RuntimeClient(wrap_connector(std::move(connector)), options) {}
+
+RuntimeClient::RuntimeClient(TransportConnector connector,
+                             ClientOptions options)
     : connector_(std::move(connector)),
       options_(options),
       backoff_(options.backoff_initial),
@@ -34,12 +46,33 @@ RuntimeClient::RuntimeClient(Connector connector, ClientOptions options)
 }
 
 void RuntimeClient::drop_connection() {
-  socket_.close();
+  if (transport_) {
+    transport_->close();
+    transport_.reset();
+  }
   decoder_ = FrameDecoder();  // a new connection starts a new stream
+}
+
+void RuntimeClient::reset_daemon_lost() noexcept {
+  daemon_lost_ = false;
+  in_outage_ = false;
+  attempts_this_outage_ = 0;
+  backoff_ = options_.backoff_initial;
+  next_connect_attempt_ = Clock::time_point{};
 }
 
 void RuntimeClient::register_connect_failure() {
   ++stats_.connect_failures;
+  if (!in_outage_) {
+    in_outage_ = true;
+    ++stats_.outages;
+  }
+  ++attempts_this_outage_;
+  if (options_.max_connect_attempts_per_outage > 0 &&
+      attempts_this_outage_ >= options_.max_connect_attempts_per_outage) {
+    daemon_lost_ = true;  // terminal until reset_daemon_lost()
+    return;
+  }
   const double factor = jitter_rng_.uniform(1.0 - options_.backoff_jitter,
                                             1.0 + options_.backoff_jitter);
   const auto delay = std::chrono::milliseconds(std::max<std::int64_t>(
@@ -49,10 +82,13 @@ void RuntimeClient::register_connect_failure() {
 }
 
 bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
-  if (socket_.valid()) {
+  if (transport_ && transport_->valid()) {
     return true;
   }
   for (;;) {
+    if (daemon_lost_) {
+      return false;
+    }
     const auto now = Clock::now();
     if (now >= deadline) {
       return false;
@@ -65,14 +101,17 @@ bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
     }
     ++stats_.connect_attempts;
     try {
-      Socket socket = connector_();
-      PS_REQUIRE(socket.valid(), "connector returned an invalid socket");
-      socket_ = std::move(socket);
+      std::unique_ptr<Transport> transport = connector_();
+      PS_REQUIRE(transport != nullptr && transport->valid(),
+                 "connector returned an invalid transport");
+      transport_ = std::move(transport);
       decoder_ = FrameDecoder();
       if (ever_connected_) {
         ++stats_.reconnects;
       }
       ever_connected_ = true;
+      in_outage_ = false;
+      attempts_this_outage_ = 0;
       backoff_ = options_.backoff_initial;
       return true;
     } catch (const Error&) {
@@ -85,7 +124,7 @@ bool RuntimeClient::send_frame(const std::string& frame,
                                Clock::time_point deadline) {
   std::string_view rest = frame;
   while (!rest.empty()) {
-    const IoResult result = socket_.write_some(rest);
+    const IoResult result = transport_->write_some(rest);
     if (result.status == IoStatus::kOk) {
       rest.remove_prefix(result.bytes);
       continue;
@@ -95,7 +134,7 @@ bool RuntimeClient::send_frame(const std::string& frame,
       return false;
     }
     const auto remaining = remaining_until(deadline);
-    if (remaining.count() <= 0 || !socket_.wait_writable(remaining)) {
+    if (remaining.count() <= 0 || !transport_->wait_writable(remaining)) {
       return false;  // deadline; keep the connection for the next try
     }
   }
@@ -105,11 +144,15 @@ bool RuntimeClient::send_frame(const std::string& frame,
 std::optional<core::PolicyMessage> RuntimeClient::exchange(
     const core::SampleMessage& sample) {
   ++stats_.exchanges;
+  if (daemon_lost_) {
+    ++stats_.exchange_failures;  // fail fast: no dialing a lost daemon
+    return std::nullopt;
+  }
   const auto deadline = Clock::now() + options_.request_timeout;
   const std::string frame =
       encode_frame(serialize(sample, core::WireFidelity::kExact));
 
-  while (Clock::now() < deadline) {
+  while (Clock::now() < deadline && !daemon_lost_) {
     if (!ensure_connected(deadline)) {
       break;
     }
@@ -146,12 +189,12 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange(
       }
 
       const auto remaining = remaining_until(deadline);
-      if (remaining.count() <= 0 || !socket_.wait_readable(remaining)) {
+      if (remaining.count() <= 0 || !transport_->wait_readable(remaining)) {
         ++stats_.exchange_failures;
         return std::nullopt;  // timed out; connection stays for next time
       }
       char buffer[4096];
-      const IoResult result = socket_.read_some(buffer, sizeof(buffer));
+      const IoResult result = transport_->read_some(buffer, sizeof(buffer));
       if (result.status == IoStatus::kClosed) {
         dropped = true;
         break;

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/endpoint.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 #include "util/rng.hpp"
 
 namespace ps::net {
@@ -22,6 +24,11 @@ struct ClientOptions {
   double backoff_jitter = 0.25;
   /// Seed for the jitter stream (deterministic per agent).
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+  /// Consecutive failed connect attempts (one outage) after which the
+  /// client stops dialing and latches daemon_lost() instead of retrying
+  /// forever. 0 disables the cap. A successful connect ends the outage
+  /// and resets the count.
+  std::size_t max_connect_attempts_per_outage = 1'000;
 };
 
 struct ClientStats {
@@ -31,20 +38,29 @@ struct ClientStats {
   std::size_t connect_failures = 0;
   std::size_t reconnects = 0;  ///< Successful connects after the first.
   std::size_t stale_replies = 0;
+  std::size_t outages = 0;  ///< Transitions from connected to dialing.
 };
 
 /// The runtime side of the daemon protocol: synchronous request/response
 /// with a deadline. When the daemon is unreachable the client degrades
 /// gracefully — exchange() returns nullopt, the caller keeps running on
 /// its last-known caps (last_known_policy()), and subsequent exchanges
-/// retry the connection under exponential backoff with jitter.
+/// retry the connection under exponential backoff with jitter. An outage
+/// that outlives max_connect_attempts_per_outage latches the terminal
+/// daemon_lost() state: the client stops dialing (no more connect storms
+/// against a decommissioned endpoint) until reset_daemon_lost().
 class RuntimeClient {
  public:
   /// Produces a connected socket; throws ps::Error when the daemon is
   /// unreachable (e.g. a bound connect_unix / connect_tcp call).
   using Connector = std::function<Socket()>;
+  /// Produces a connected transport — the seam where fault injection
+  /// (fault::FaultyTransport) or any other decorator slots in.
+  using TransportConnector = std::function<std::unique_ptr<Transport>()>;
 
   explicit RuntimeClient(Connector connector, ClientOptions options = {});
+  explicit RuntimeClient(TransportConnector connector,
+                         ClientOptions options = {});
 
   /// Sends one sample and waits for the daemon's matching policy (a reply
   /// for this job with sequence >= the sample's; older replies are
@@ -58,12 +74,21 @@ class RuntimeClient {
       const noexcept {
     return last_known_policy_;
   }
-  [[nodiscard]] bool connected() const noexcept { return socket_.valid(); }
+  [[nodiscard]] bool connected() const noexcept {
+    return transport_ != nullptr && transport_->valid();
+  }
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   /// The delay the next failed connect attempt will impose.
   [[nodiscard]] std::chrono::milliseconds current_backoff() const noexcept {
     return backoff_;
   }
+
+  /// Terminal state: the outage exceeded the per-outage connect budget.
+  /// Every exchange() fails fast (no dialing) until reset_daemon_lost().
+  [[nodiscard]] bool daemon_lost() const noexcept { return daemon_lost_; }
+  /// Re-arms a daemon_lost() client (e.g. after operators repaired or
+  /// re-pointed the endpoint). Resets the outage budget and backoff.
+  void reset_daemon_lost() noexcept;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -73,15 +98,18 @@ class RuntimeClient {
   void drop_connection();
   void register_connect_failure();
 
-  Connector connector_;
+  TransportConnector connector_;
   ClientOptions options_;
-  Socket socket_;
+  std::unique_ptr<Transport> transport_;
   FrameDecoder decoder_;
   std::optional<core::PolicyMessage> last_known_policy_;
   ClientStats stats_;
   std::chrono::milliseconds backoff_;
   Clock::time_point next_connect_attempt_{};
   bool ever_connected_ = false;
+  bool in_outage_ = false;
+  bool daemon_lost_ = false;
+  std::size_t attempts_this_outage_ = 0;
   util::Rng jitter_rng_;
 };
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/snapshot.hpp"
 #include "rm/allocation.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -18,10 +19,45 @@ PowerDaemon::PowerDaemon(const DaemonOptions& options)
   PS_REQUIRE(options.min_jobs > 0, "launch barrier needs at least one job");
   PS_REQUIRE(options.tick_interval.count() > 0,
              "tick interval must be positive");
+  PS_REQUIRE(options.reclaim_timeout.count() >= 0,
+             "reclaim timeout must be non-negative");
+  PS_REQUIRE(options.heartbeat_timeout.count() > 0,
+             "heartbeat timeout must be positive");
+  PS_REQUIRE(options.quarantine_errors > 0,
+             "quarantine threshold must be positive");
+  restore_from_snapshot();
   loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
 }
 
 PowerDaemon::~PowerDaemon() = default;
+
+void PowerDaemon::restore_from_snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return;
+  }
+  const auto snapshot = load_snapshot(options_.snapshot_path);
+  if (!snapshot) {
+    return;  // no snapshot (or a corrupt one): cold start
+  }
+  if (snapshot->system_budget_watts != options_.system_budget_watts) {
+    // The persisted caps were computed under a different facility budget;
+    // restoring them could violate the new one. Cold start instead.
+    return;
+  }
+  launch_barrier_met_ = snapshot->launch_barrier_met;
+  allocation_epoch_base_ = snapshot->allocations;
+  const auto now = Clock::now();
+  for (const SnapshotJob& job : snapshot->jobs) {
+    JobRecord record;
+    record.last_caps_watts = job.caps_watts;
+    record.last_sequence = job.sequence;
+    record.have_policy = true;
+    record.session_fd = -1;
+    record.disconnected_at = now;  // the grace clock starts at boot
+    jobs_.emplace(job.name, std::move(record));
+    ++stats_.jobs_restored;
+  }
+}
 
 void PowerDaemon::listen_unix(const std::string& path) {
   listeners_.push_back(net::listen_unix(path));
@@ -39,17 +75,23 @@ void PowerDaemon::listen_tcp(std::uint16_t port) {
 
 void PowerDaemon::adopt(Socket socket) {
   PS_REQUIRE(socket.valid(), "cannot adopt an invalid socket");
+  adopt(make_transport(std::move(socket)));
+}
+
+void PowerDaemon::adopt(std::unique_ptr<Transport> transport) {
+  PS_REQUIRE(transport != nullptr && transport->valid(),
+             "cannot adopt an invalid transport");
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
-    pending_adoptions_.push_back(std::move(socket));
+    pending_adoptions_.push_back(std::move(transport));
   }
   loop_.wake();
 }
 
 void PowerDaemon::run() {
-  adopt_pending_sockets();
+  adopt_pending_transports();
   while (loop_.run_once(std::chrono::milliseconds(-1))) {
-    adopt_pending_sockets();
+    adopt_pending_transports();
   }
 }
 
@@ -62,22 +104,27 @@ DaemonStats PowerDaemon::stats() const {
   return stats_;
 }
 
-void PowerDaemon::adopt_pending_sockets() {
-  std::vector<Socket> adopted;
+void PowerDaemon::adopt_pending_transports() {
+  std::vector<std::unique_ptr<Transport>> adopted;
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     adopted.swap(pending_adoptions_);
   }
-  for (Socket& socket : adopted) {
-    add_session(std::move(socket));
+  for (std::unique_ptr<Transport>& transport : adopted) {
+    add_session(std::move(transport));
   }
 }
 
-void PowerDaemon::add_session(Socket socket) {
-  const int fd = socket.fd();
+void PowerDaemon::add_session(std::unique_ptr<Transport> transport) {
+  if (options_.transport_wrapper) {
+    transport = options_.transport_wrapper(std::move(transport));
+    PS_REQUIRE(transport != nullptr && transport->valid(),
+               "transport wrapper returned an invalid transport");
+  }
+  const int fd = transport->fd();
   Session session;
-  session.socket = std::move(socket);
-  session.last_activity = std::chrono::steady_clock::now();
+  session.transport = std::move(transport);
+  session.last_activity = Clock::now();
   sessions_.emplace(fd, std::move(session));
   loop_.add_fd(fd, POLLIN,
                [this, fd](short revents) { on_session_ready(fd, revents); });
@@ -87,13 +134,25 @@ void PowerDaemon::add_session(Socket socket) {
 
 void PowerDaemon::on_listener_ready(std::size_t listener_index) {
   while (auto socket = listeners_[listener_index].accept()) {
-    add_session(std::move(*socket));
+    add_session(make_transport(std::move(*socket)));
   }
 }
 
 void PowerDaemon::close_session(int fd, bool protocol_error) {
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end()) {
+    return;  // idempotent: double-close (e.g. close during flush) no-ops
+  }
+  const bool registered = it->second.registered;
+  const std::string job_name = it->second.job_name;
   loop_.remove_fd(fd);
-  sessions_.erase(fd);
+  // The peer observes EOF the moment the fd closes, so keep the
+  // transport alive until every consequence of this close (protocol
+  // error attribution, quarantine, eviction) is recorded: a stats()
+  // reader who saw the disconnect must see final counters.
+  const std::unique_ptr<Transport> transport =
+      std::move(it->second.transport);
+  sessions_.erase(it);
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.sessions_closed;
@@ -101,61 +160,156 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
       ++stats_.protocol_errors;
     }
   }
-  // Membership changed: the remaining jobs may now form a complete round
-  // (and a departed job's watts return to the pool).
-  try_allocate();
+
+  bool quarantined = false;
+  if (registered) {
+    const auto jit = jobs_.find(job_name);
+    // The fd guard keeps a stale close (a late error on a connection the
+    // job already replaced) from detaching the job's live session.
+    if (jit != jobs_.end() && jit->second.session_fd == fd) {
+      JobRecord& record = jit->second;
+      record.session_fd = -1;
+      record.disconnected_at = Clock::now();
+      if (protocol_error) {
+        ++record.protocol_errors;
+        if (record.protocol_errors >= options_.quarantine_errors) {
+          quarantine_[job_name] = Clock::now() + options_.quarantine_period;
+          {
+            const std::lock_guard<std::mutex> lock(shared_mutex_);
+            ++stats_.quarantines;
+          }
+          evict_job(job_name);
+          quarantined = true;
+        }
+      }
+    }
+  }
+  transport->close();
+  // Membership may have changed (a quarantined job frees its watts); a
+  // disconnect within grace does not, but a pending round may now be
+  // waiting only on jobs that can still answer.
+  if (quarantined) {
+    try_allocate();
+  }
+}
+
+void PowerDaemon::evict_job(const std::string& name) {
+  const auto it = jobs_.find(name);
+  if (it == jobs_.end()) {
+    return;  // idempotent: watts can only be returned once
+  }
+  const JobRecord record = std::move(it->second);
+  jobs_.erase(it);
+
+  if (record.session_fd >= 0) {
+    const auto sit = sessions_.find(record.session_fd);
+    if (sit != sessions_.end()) {
+      loop_.remove_fd(record.session_fd);
+      sit->second.transport->close();
+      sessions_.erase(sit);
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.sessions_closed;
+    }
+  }
+
+  double reclaimed = 0.0;
+  for (const double cap : record.last_caps_watts) {
+    reclaimed += cap;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.jobs_evicted;
+    if (record.have_policy) {
+      stats_.watts_reclaimed += reclaimed;
+    }
+    if (record.session_fd < 0 &&
+        record.disconnected_at != Clock::time_point{}) {
+      stats_.reclaim_seconds_total +=
+          std::chrono::duration<double>(Clock::now() -
+                                        record.disconnected_at)
+              .count();
+    }
+  }
+  maybe_write_snapshot();
 }
 
 void PowerDaemon::on_session_ready(int fd, short revents) {
-  const auto it = sessions_.find(fd);
-  if (it == sessions_.end()) {
-    return;
-  }
-  Session& session = it->second;
-  session.last_activity = std::chrono::steady_clock::now();
-
-  if ((revents & POLLOUT) != 0) {
-    flush_outbox(fd, session);
-    if (sessions_.find(fd) == sessions_.end()) {
-      return;  // flush hit a dead peer and closed the session
-    }
-  }
-  if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-    return;
-  }
-
-  char buffer[4096];
-  for (;;) {
-    const IoResult result = session.socket.read_some(buffer, sizeof(buffer));
-    if (result.status == IoStatus::kWouldBlock) {
-      break;
-    }
-    if (result.status == IoStatus::kClosed) {
-      close_session(fd, /*protocol_error=*/false);
+  {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) {
       return;
     }
-    try {
-      session.decoder.feed(std::string_view(buffer, result.bytes));
-      while (auto payload = session.decoder.next()) {
-        handle_frame(session, *payload);
+    Session& session = it->second;
+    session.last_activity = Clock::now();
+
+    if ((revents & POLLOUT) != 0) {
+      flush_outbox(fd, session);
+      if (sessions_.find(fd) == sessions_.end()) {
+        return;  // flush hit a dead peer and closed the session
       }
-    } catch (const Error&) {
-      // Oversized frame or malformed message: the stream offset can no
-      // longer be trusted, drop the connection.
-      close_session(fd, /*protocol_error=*/true);
+    }
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
       return;
+    }
+
+    char buffer[4096];
+    for (;;) {
+      const IoResult result =
+          session.transport->read_some(buffer, sizeof(buffer));
+      if (result.status == IoStatus::kWouldBlock) {
+        break;
+      }
+      if (result.status == IoStatus::kClosed) {
+        close_session(fd, /*protocol_error=*/false);
+        return;
+      }
+      try {
+        session.decoder.feed(std::string_view(buffer, result.bytes));
+        while (auto payload = session.decoder.next()) {
+          handle_frame(fd, session, *payload);
+          if (sessions_.find(fd) == sessions_.end()) {
+            return;  // a resend hit a dead peer and closed this session
+          }
+        }
+      } catch (const Error&) {
+        // Oversized frame, checksum mismatch, or malformed message: the
+        // stream offset can no longer be trusted, drop the connection.
+        close_session(fd, /*protocol_error=*/true);
+        return;
+      }
     }
   }
   try_allocate();
 }
 
-void PowerDaemon::handle_frame(Session& session,
+void PowerDaemon::handle_frame(int fd, Session& session,
                                const std::string& payload) {
   core::SampleMessage sample = core::parse_sample_message(payload);
+  const auto now = Clock::now();
   if (!session.registered) {
-    for (const auto& [fd, other] : sessions_) {
-      PS_REQUIRE(!other.registered || other.job_name != sample.job_name,
+    const auto quarantined = quarantine_.find(sample.job_name);
+    if (quarantined != quarantine_.end()) {
+      if (now < quarantined->second) {
+        {
+          const std::lock_guard<std::mutex> lock(shared_mutex_);
+          ++stats_.quarantine_rejections;
+        }
+        throw InvalidArgument("job '" + sample.job_name +
+                              "' is quarantined");
+      }
+      quarantine_.erase(quarantined);  // served its time
+    }
+    auto it = jobs_.find(sample.job_name);
+    if (it != jobs_.end()) {
+      PS_REQUIRE(it->second.session_fd < 0,
                  "job '" + sample.job_name + "' is already registered");
+      it->second.session_fd = fd;
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.sessions_rehydrated;
+    } else {
+      JobRecord record;
+      record.session_fd = fd;
+      it = jobs_.emplace(sample.job_name, std::move(record)).first;
     }
     session.job_name = sample.job_name;
     session.registered = true;
@@ -163,12 +317,48 @@ void PowerDaemon::handle_frame(Session& session,
     PS_REQUIRE(sample.job_name == session.job_name,
                "session is bound to job '" + session.job_name + "'");
   }
-  const bool accepted = session.latch.offer(std::move(sample));
+
+  JobRecord& record = jobs_.at(session.job_name);
+  const std::uint64_t sequence = sample.sequence;
+
+  if (record.have_policy && record.last_sequence >= sequence) {
+    // A sequence the daemon already answered: the reply was lost (to a
+    // drop, a corrupted frame, or a daemon restart). Resending the
+    // stored caps — instead of re-running the round — keeps a retried
+    // sample from tearing a round in half when its peers have moved on.
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.samples_received;
+      ++stats_.samples_stale;
+    }
+    resend_last_policy(fd, session, record);
+    return;
+  }
+
+  const bool accepted = record.latch.offer(std::move(sample));
+  if (accepted) {
+    // The heartbeat clock measures fresh-sample progress, not traffic: a
+    // client looping on stale sequences must still stall-evict.
+    record.last_sample_at = now;
+  }
   const std::lock_guard<std::mutex> lock(shared_mutex_);
   ++stats_.samples_received;
   if (!accepted) {
     ++stats_.samples_stale;
   }
+}
+
+void PowerDaemon::resend_last_policy(int fd, Session& session,
+                                     JobRecord& record) {
+  core::PolicyMessage message;
+  message.job_name = session.job_name;
+  message.sequence = record.last_sequence;
+  message.host_caps_watts = record.last_caps_watts;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.policies_resent;
+  }
+  queue_message(fd, session, message);
 }
 
 void PowerDaemon::queue_message(int fd, Session& session,
@@ -180,7 +370,7 @@ void PowerDaemon::queue_message(int fd, Session& session,
 
 void PowerDaemon::flush_outbox(int fd, Session& session) {
   while (!session.outbox.empty()) {
-    const IoResult result = session.socket.write_some(session.outbox);
+    const IoResult result = session.transport->write_some(session.outbox);
     if (result.status == IoStatus::kOk) {
       session.outbox.erase(0, result.bytes);
       continue;
@@ -196,43 +386,53 @@ void PowerDaemon::flush_outbox(int fd, Session& session) {
 }
 
 void PowerDaemon::try_allocate() {
-  std::vector<std::pair<int, Session*>> round;
-  for (auto& [fd, session] : sessions_) {
-    if (!session.registered) {
-      continue;  // connected but not yet bound to a job
-    }
-    round.emplace_back(fd, &session);
+  if (in_allocate_) {
+    // A send from the round in flight closed a session and re-entered;
+    // note it and let the outer call re-examine membership when done.
+    allocate_again_ = true;
+    return;
   }
-  if (round.empty()) {
+  in_allocate_ = true;
+  do {
+    allocate_again_ = false;
+    allocate_once();
+  } while (allocate_again_);
+  in_allocate_ = false;
+}
+
+void PowerDaemon::allocate_once() {
+  if (jobs_.empty()) {
     return;
   }
   if (!launch_barrier_met_) {
-    if (round.size() < options_.min_jobs) {
+    if (jobs_.size() < options_.min_jobs) {
       return;
     }
     launch_barrier_met_ = true;
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.launch_barriers;
   }
-  for (const auto& [fd, session] : round) {
-    if (!session->latch.has_fresh()) {
+  for (const auto& [name, record] : jobs_) {
+    if (!record.latch.has_fresh()) {
       return;  // wait until every job has reported this round
     }
   }
 
-  // Deterministic job order: the allocation must not depend on fd values
-  // or connection timing.
-  std::sort(round.begin(), round.end(),
-            [](const auto& a, const auto& b) {
-              return a.second->job_name < b.second->job_name;
-            });
+  // jobs_ is keyed by name, so iteration order is the deterministic
+  // job-name order: the allocation must not depend on fd values or
+  // connection timing.
+  std::vector<std::string> names;
   std::vector<core::SampleMessage> samples;
-  samples.reserve(round.size());
+  names.reserve(jobs_.size());
+  samples.reserve(jobs_.size());
   bool all_bootstrap = true;
-  for (const auto& [fd, session] : round) {
-    samples.push_back(session->latch.consume());
+  for (auto& [name, record] : jobs_) {
+    names.push_back(name);
+    samples.push_back(record.latch.consume());
     all_bootstrap = all_bootstrap && samples.back().sequence == 0;
   }
 
-  std::vector<core::PolicyMessage> messages(round.size());
+  std::vector<core::PolicyMessage> messages(samples.size());
   if (all_bootstrap) {
     // Launch: every job starts from the uniform share of the budget,
     // exactly as the in-memory CoordinationLoop seeds itself.
@@ -242,7 +442,7 @@ void PowerDaemon::try_allocate() {
     }
     const double share =
         options_.system_budget_watts / static_cast<double>(total_hosts);
-    for (std::size_t j = 0; j < round.size(); ++j) {
+    for (std::size_t j = 0; j < samples.size(); ++j) {
       messages[j].host_caps_watts.assign(
           samples[j].host_observed_watts.size(), share);
     }
@@ -261,24 +461,80 @@ void PowerDaemon::try_allocate() {
       ++stats_.budget_violations;
       return;
     }
-    for (std::size_t j = 0; j < round.size(); ++j) {
+    for (std::size_t j = 0; j < samples.size(); ++j) {
       messages[j].host_caps_watts = allocation.job_host_caps[j];
     }
   }
 
-  for (std::size_t j = 0; j < round.size(); ++j) {
+  for (std::size_t j = 0; j < samples.size(); ++j) {
     messages[j].sequence = samples[j].sequence;
     messages[j].job_name = samples[j].job_name;
-    queue_message(round[j].first, *round[j].second, messages[j]);
+    JobRecord& record = jobs_.at(names[j]);
+    record.last_caps_watts = messages[j].host_caps_watts;
+    record.last_sequence = messages[j].sequence;
+    record.have_policy = true;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.allocations;
+  }
+  // Write-ahead: persist the round before any reply can leave, so a
+  // crash between send and restart rehydrates exactly the caps a client
+  // may already have heard.
+  maybe_write_snapshot();
+
+  std::size_t sent = 0;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    const auto it = jobs_.find(names[j]);
+    if (it == jobs_.end() || it->second.session_fd < 0) {
+      continue;  // in grace: caps are stored, resent on reconnect
+    }
+    const int fd = it->second.session_fd;
+    const auto sit = sessions_.find(fd);
+    if (sit == sessions_.end()) {
+      continue;
+    }
+    queue_message(fd, sit->second, messages[j]);
+    ++sent;
   }
   const std::lock_guard<std::mutex> lock(shared_mutex_);
-  ++stats_.allocations;
-  stats_.policies_sent += messages.size();
+  stats_.policies_sent += sent;
+}
+
+void PowerDaemon::maybe_write_snapshot() {
+  if (options_.snapshot_path.empty()) {
+    return;
+  }
+  DaemonSnapshot snapshot;
+  snapshot.system_budget_watts = options_.system_budget_watts;
+  snapshot.launch_barrier_met = launch_barrier_met_;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    snapshot.allocations = allocation_epoch_base_ + stats_.allocations;
+  }
+  for (const auto& [name, record] : jobs_) {
+    if (!record.have_policy) {
+      continue;
+    }
+    SnapshotJob job;
+    job.name = name;
+    job.sequence = record.last_sequence;
+    job.caps_watts = record.last_caps_watts;
+    snapshot.jobs.push_back(std::move(job));
+  }
+  try {
+    save_snapshot(options_.snapshot_path, snapshot);
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.snapshots_written;
+  } catch (const Error&) {
+    // Disk trouble must degrade durability, never live coordination.
+  }
 }
 
 void PowerDaemon::on_tick() {
-  adopt_pending_sockets();
-  const auto now = std::chrono::steady_clock::now();
+  adopt_pending_transports();
+  const auto now = Clock::now();
+
   std::vector<int> expired;
   for (const auto& [fd, session] : sessions_) {
     if (now - session.last_activity > options_.idle_timeout) {
@@ -291,6 +547,36 @@ void PowerDaemon::on_tick() {
       ++stats_.sessions_timed_out;
     }
     close_session(fd, /*protocol_error=*/false);
+  }
+
+  std::vector<std::string> evictions;
+  for (const auto& [name, record] : jobs_) {
+    if (record.session_fd < 0 &&
+        now - record.disconnected_at > options_.reclaim_timeout) {
+      evictions.push_back(name);  // grace expired: reclaim the watts
+    }
+  }
+  bool round_waiting = false;
+  for (const auto& [name, record] : jobs_) {
+    if (record.latch.has_fresh()) {
+      round_waiting = true;
+      break;
+    }
+  }
+  if (round_waiting) {
+    // A half-open peer (connected, never heard from again) only matters
+    // when it is holding a round hostage; an idle-but-healthy mix
+    // between epochs is not a liveness failure.
+    for (const auto& [name, record] : jobs_) {
+      if (record.session_fd >= 0 && !record.latch.has_fresh() &&
+          record.last_sample_at != Clock::time_point{} &&
+          now - record.last_sample_at > options_.heartbeat_timeout) {
+        evictions.push_back(name);
+      }
+    }
+  }
+  for (const std::string& name : evictions) {
+    evict_job(name);
   }
   try_allocate();
 }

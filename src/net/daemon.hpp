@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
 
 namespace ps::net {
 
@@ -27,11 +29,39 @@ struct DaemonOptions {
   /// Launch barrier: no allocation happens until this many jobs have
   /// registered — a coordinated mix starts from one uniform share, like
   /// the in-memory CoordinationLoop. Once met, allocations continue with
-  /// whatever sessions remain (a disconnect returns watts to the pool).
+  /// whatever jobs remain (an evicted job returns watts to the pool).
   std::size_t min_jobs = 1;
   /// Connections silent for longer than this are closed on a tick.
   std::chrono::milliseconds idle_timeout{30'000};
   std::chrono::milliseconds tick_interval{100};
+
+  /// Disconnect grace: a registered job keeps its seat (and its watts)
+  /// this long after its connection drops, so a client that reconnects
+  /// promptly resumes without disturbing the allocation. Past the grace
+  /// the job is evicted and its watts return to the pool.
+  std::chrono::milliseconds reclaim_timeout{2'000};
+  /// Liveness: a connected job that has not produced a sample for this
+  /// long while another job's fresh sample is waiting on it is treated
+  /// as dead-but-connected (half-open peer) and evicted.
+  std::chrono::milliseconds heartbeat_timeout{10'000};
+  /// Protocol-error quarantine: after this many protocol errors a job is
+  /// evicted and barred from re-registering for quarantine_period, so a
+  /// misbehaving client cannot wedge the allocation round forever.
+  std::size_t quarantine_errors = 3;
+  std::chrono::milliseconds quarantine_period{1'000};
+
+  /// When non-empty, the daemon persists a write-ahead snapshot of its
+  /// coordination state (budget, launch barrier, every job's last caps)
+  /// here before each reply leaves, and rehydrates from it at startup —
+  /// a restarted daemon re-admits its jobs without re-running the launch
+  /// barrier and re-serves their last caps on demand.
+  std::string snapshot_path;
+
+  /// Server-side transport decorator applied to every accepted or
+  /// adopted connection (e.g. fault::FaultyTransport in tests). Null
+  /// means connections are used as-is.
+  std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
+      transport_wrapper;
 };
 
 struct DaemonStats {
@@ -44,26 +74,45 @@ struct DaemonStats {
   std::size_t allocations = 0;
   std::size_t policies_sent = 0;
   std::size_t budget_violations = 0;
+
+  /// How many times the min-jobs launch barrier was crossed. Stays 0 on
+  /// a daemon restored from a snapshot whose barrier was already met —
+  /// the proof that a restart does not re-run the launch barrier.
+  std::size_t launch_barriers = 0;
+  std::size_t jobs_restored = 0;   ///< Records rehydrated from snapshot.
+  std::size_t sessions_rehydrated = 0;  ///< Reconnects into a live record.
+  std::size_t jobs_evicted = 0;
+  std::size_t quarantines = 0;
+  std::size_t quarantine_rejections = 0;
+  std::size_t policies_resent = 0;  ///< Lost-reply retransmissions.
+  std::size_t snapshots_written = 0;
+  double watts_reclaimed = 0.0;  ///< Total returned to the pool by eviction.
+  double reclaim_seconds_total = 0.0;  ///< Disconnect -> reclaim latency sum.
 };
 
 /// The resource-manager power daemon: accepts many concurrent runtime
 /// clients over any combination of Unix-domain, TCP, and loopback
-/// transports, tracks one session per job, and coordinates them with the
-/// configured core policy.
+/// transports, tracks one job record per job name, and coordinates them
+/// with the configured core policy.
 ///
 /// Protocol (framed endpoint messages, exact numeric fidelity):
-///   1. A client's first SampleMessage registers its session under the
-///      sample's job name (one session per job name).
-///   2. Samples are sequence-checked per session (core::SampleLatch):
-///      stale and duplicate sequences are ignored, newest wins.
-///   3. When every registered session holds a fresh sample (and the
+///   1. A client's first SampleMessage registers (or re-attaches) its
+///      connection to the job record named by the sample. One live
+///      connection per job name; a reconnect within the grace window
+///      resumes the existing record.
+///   2. Samples are sequence-checked per record (core::SampleLatch):
+///      a sample whose sequence the daemon has already answered gets the
+///      stored caps resent (the reply was lost); newest wins otherwise.
+///   3. When every registered record holds a fresh sample (and the
 ///      min_jobs launch barrier has been met), the daemon allocates:
 ///      all sequence-0 samples -> the uniform bootstrap share; otherwise
-///      the configured policy over every session's latest sample, in
-///      job-name order. Each session is sent a PolicyMessage echoing its
-///      own sample sequence.
-///   4. A disconnect drops the session; subsequent rounds redistribute
-///      the full budget over the remaining jobs.
+///      the configured policy over every record's latest sample, in
+///      job-name order. Each job is sent a PolicyMessage echoing its
+///      own sample sequence; the caps are persisted first (write-ahead)
+///      when a snapshot path is configured.
+///   4. A disconnect starts the reclaim_timeout grace; eviction (grace
+///      expiry, heartbeat stall, or protocol-error quarantine) frees the
+///      job's watts for the next round.
 ///
 /// run() serves the event loop on the calling thread; stop(), adopt()
 /// and stats() are safe to call from other threads.
@@ -87,6 +136,8 @@ class PowerDaemon {
   /// Adopts a pre-connected socket (the loopback transport). Thread-safe;
   /// the session becomes live on the next loop cycle.
   void adopt(Socket socket);
+  /// Adopts a pre-connected transport (e.g. a fault-injecting decorator).
+  void adopt(std::unique_ptr<Transport> transport);
 
   /// Serves until stop(). Blocks the calling thread.
   void run();
@@ -99,26 +150,46 @@ class PowerDaemon {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Session {
-    Socket socket;
+    std::unique_ptr<Transport> transport;
     FrameDecoder decoder;
     std::string outbox;
-    core::SampleLatch latch;
     std::string job_name;
     bool registered = false;
-    std::chrono::steady_clock::time_point last_activity;
+    Clock::time_point last_activity;
   };
 
-  void add_session(Socket socket);
-  void adopt_pending_sockets();
+  /// A job's seat at the coordination table. Outlives its connection: a
+  /// record persists across reconnects (and, via the snapshot, across
+  /// daemon restarts) until the job is evicted.
+  struct JobRecord {
+    core::SampleLatch latch;
+    std::vector<double> last_caps_watts;
+    std::uint64_t last_sequence = 0;
+    bool have_policy = false;
+    int session_fd = -1;  ///< -1: disconnected (grace running).
+    Clock::time_point disconnected_at{};
+    Clock::time_point last_sample_at{};
+    std::size_t protocol_errors = 0;
+  };
+
+  void add_session(std::unique_ptr<Transport> transport);
+  void adopt_pending_transports();
   void on_listener_ready(std::size_t listener_index);
   void on_session_ready(int fd, short revents);
-  void handle_frame(Session& session, const std::string& payload);
+  void handle_frame(int fd, Session& session, const std::string& payload);
   void close_session(int fd, bool protocol_error);
+  void evict_job(const std::string& name);
   void flush_outbox(int fd, Session& session);
   void queue_message(int fd, Session& session,
                      const core::PolicyMessage& message);
+  void resend_last_policy(int fd, Session& session, JobRecord& record);
   void try_allocate();
+  void allocate_once();
+  void maybe_write_snapshot();
+  void restore_from_snapshot();
   void on_tick();
 
   DaemonOptions options_;
@@ -126,12 +197,18 @@ class PowerDaemon {
   EventLoop loop_;
   std::vector<Listener> listeners_;
   std::map<int, Session> sessions_;
+  /// Name-keyed: iteration order is the deterministic round order.
+  std::map<std::string, JobRecord> jobs_;
+  std::map<std::string, Clock::time_point> quarantine_;
   bool launch_barrier_met_ = false;
+  std::uint64_t allocation_epoch_base_ = 0;  ///< From a restored snapshot.
+  bool in_allocate_ = false;
+  bool allocate_again_ = false;
   std::uint16_t tcp_port_ = 0;
 
   mutable std::mutex shared_mutex_;  ///< Guards stats_ and pending_.
   DaemonStats stats_;
-  std::vector<Socket> pending_adoptions_;
+  std::vector<std::unique_ptr<Transport>> pending_adoptions_;
 };
 
 }  // namespace ps::net

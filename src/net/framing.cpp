@@ -1,18 +1,57 @@
 #include "net/framing.hpp"
 
+#include <array>
+
 #include "util/error.hpp"
 
 namespace ps::net {
 
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t value = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      value = (value & 1u) != 0 ? 0xEDB88320u ^ (value >> 1) : value >> 1;
+    }
+    table[i] = value;
+  }
+  return table;
+}
+
+void append_be32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>(value & 0xff));
+}
+
+std::uint32_t read_be32(std::string_view bytes, std::size_t offset) {
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(bytes[offset + i]));
+  };
+  return (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 std::string encode_frame(std::string_view payload) {
   PS_REQUIRE(payload.size() <= kMaxFrameBytes, "frame payload too large");
-  const auto length = static_cast<std::uint32_t>(payload.size());
   std::string frame;
-  frame.reserve(4 + payload.size());
-  frame.push_back(static_cast<char>((length >> 24) & 0xff));
-  frame.push_back(static_cast<char>((length >> 16) & 0xff));
-  frame.push_back(static_cast<char>((length >> 8) & 0xff));
-  frame.push_back(static_cast<char>(length & 0xff));
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  append_be32(frame, static_cast<std::uint32_t>(payload.size()));
+  append_be32(frame, crc32(payload));
   frame.append(payload);
   return frame;
 }
@@ -22,25 +61,31 @@ void FrameDecoder::feed(std::string_view bytes) {
 }
 
 std::optional<std::string> FrameDecoder::next() {
-  if (buffer_.size() < 4) {
+  // Validate the length the moment its four bytes arrive — before waiting
+  // for the CRC — so a hostile prefix is rejected as early as possible.
+  if (buffer_.size() >= 4) {
+    const std::uint32_t claimed = read_be32(buffer_, 0);
+    if (claimed > max_frame_bytes_) {
+      throw Error("frame length " + std::to_string(claimed) +
+                  " exceeds the maximum of " +
+                  std::to_string(max_frame_bytes_));
+    }
+  }
+  if (buffer_.size() < kFrameHeaderBytes) {
     return std::nullopt;
   }
-  const auto byte = [&](std::size_t i) {
-    return static_cast<std::uint32_t>(
-        static_cast<unsigned char>(buffer_[i]));
-  };
-  const std::uint32_t length =
-      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
-  if (length > max_frame_bytes_) {
-    throw Error("frame length " + std::to_string(length) +
-                " exceeds the maximum of " +
-                std::to_string(max_frame_bytes_));
-  }
-  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+  const std::uint32_t length = read_be32(buffer_, 0);
+  if (buffer_.size() <
+      kFrameHeaderBytes + static_cast<std::size_t>(length)) {
     return std::nullopt;
   }
-  std::string payload = buffer_.substr(4, length);
-  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  const std::uint32_t expected = read_be32(buffer_, 4);
+  std::string payload = buffer_.substr(kFrameHeaderBytes, length);
+  const std::uint32_t actual = crc32(payload);
+  if (actual != expected) {
+    throw Error("frame checksum mismatch: payload corrupted in transit");
+  }
+  buffer_.erase(0, kFrameHeaderBytes + static_cast<std::size_t>(length));
   return payload;
 }
 

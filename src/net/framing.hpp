@@ -13,18 +13,31 @@ namespace ps::net {
 /// of headroom while still bounding a malicious or corrupt length prefix.
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
 
+/// Bytes of framing overhead per message: a 4-byte big-endian length
+/// prefix followed by a 4-byte big-endian CRC-32 of the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320 polynomial) of `bytes`.
+/// The framing checksum; also reused to guard daemon snapshots on disk.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
 /// Wraps a payload in the transport framing: a 4-byte big-endian length
-/// prefix followed by the payload bytes. The endpoint wire format is
-/// line-based text; the prefix is what lets a byte stream carry many
-/// messages back to back without a sentinel.
+/// prefix and a 4-byte big-endian CRC-32 of the payload, followed by the
+/// payload bytes. The endpoint wire format is line-based text; the prefix
+/// is what lets a byte stream carry many messages back to back without a
+/// sentinel, and the checksum is what lets a receiver tell a corrupted
+/// frame from a validly different one (the line grammar alone cannot: a
+/// flipped digit still parses).
 [[nodiscard]] std::string encode_frame(std::string_view payload);
 
 /// Incremental decoder for the other direction: feed it whatever the
 /// socket produced, take complete frames out as they form. Tolerates
 /// arbitrary fragmentation (a frame split across many reads, many frames
-/// in one read). Throws ps::Error when a length prefix exceeds
-/// `max_frame_bytes` — the connection is unrecoverable at that point
-/// because the stream offset is no longer trustworthy.
+/// in one read). Never allocates ahead of the bytes actually received, so
+/// a hostile length prefix cannot balloon memory. Throws ps::Error when a
+/// length prefix exceeds `max_frame_bytes` or a payload fails its CRC —
+/// the connection is unrecoverable at that point because the stream
+/// offset is no longer trustworthy.
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::size_t max_frame_bytes = kMaxFrameBytes)

@@ -1,0 +1,201 @@
+#include "net/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "net/framing.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ps::net {
+
+namespace {
+
+std::string format_exact(double value) {
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  PS_REQUIRE(ec == std::errc{}, "unencodable watt value");
+  return std::string(buffer, ptr);
+}
+
+double parse_watts(std::string_view token, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+             "non-numeric " + std::string(what) + " field");
+  PS_REQUIRE(std::isfinite(value), std::string(what) + " must be finite");
+  PS_REQUIRE(value >= 0.0, std::string(what) + " must be non-negative");
+  return value;
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+             "non-numeric " + std::string(what) + " field");
+  return value;
+}
+
+std::string_view expect_field(std::string_view line, std::string_view key) {
+  PS_REQUIRE(util::starts_with(line, key),
+             "expected '" + std::string(key) + "' line");
+  return util::trim(line.substr(key.size()));
+}
+
+}  // namespace
+
+double DaemonSnapshot::allocated_watts() const {
+  double total = 0.0;
+  for (const SnapshotJob& job : jobs) {
+    for (const double cap : job.caps_watts) {
+      total += cap;
+    }
+  }
+  return total;
+}
+
+std::string serialize(const DaemonSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "powerstack-snapshot v1\n";
+  out << "budget " << format_exact(snapshot.system_budget_watts) << '\n';
+  out << "barrier " << (snapshot.launch_barrier_met ? 1 : 0) << '\n';
+  out << "allocations " << snapshot.allocations << '\n';
+  out << "jobs " << snapshot.jobs.size() << '\n';
+  for (const SnapshotJob& job : snapshot.jobs) {
+    out << "job " << job.name << '\n';
+    out << "sequence " << job.sequence << '\n';
+    out << "caps";
+    for (const double cap : job.caps_watts) {
+      out << ' ' << format_exact(cap);
+    }
+    out << '\n';
+  }
+  std::string body = out.str();
+  char checksum[32];  // "checksum " + 8 hex digits + '\n' + NUL = 20 bytes
+  std::snprintf(checksum, sizeof(checksum), "checksum %08x\n",
+                crc32(body));
+  body += checksum;
+  return body;
+}
+
+DaemonSnapshot parse_snapshot(std::string_view text) {
+  std::vector<std::string> lines;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (!util::trim(line).empty()) {
+      lines.push_back(line);
+    }
+  }
+  PS_REQUIRE(lines.size() >= 6, "snapshot is truncated");
+
+  // The checksum line guards everything before it, byte for byte.
+  const std::string& last = lines.back();
+  const std::string_view checksum_token = expect_field(last, "checksum ");
+  const std::size_t body_end = text.rfind("checksum ");
+  PS_REQUIRE(body_end != std::string_view::npos, "missing checksum line");
+  std::uint32_t expected = 0;
+  {
+    const auto [ptr, ec] = std::from_chars(
+        checksum_token.data(),
+        checksum_token.data() + checksum_token.size(), expected, 16);
+    PS_REQUIRE(ec == std::errc{} &&
+                   ptr == checksum_token.data() + checksum_token.size(),
+               "non-hex checksum field");
+  }
+  PS_REQUIRE(crc32(text.substr(0, body_end)) == expected,
+             "snapshot checksum mismatch (torn or corrupted write)");
+
+  PS_REQUIRE(lines[0] == "powerstack-snapshot v1", "not a v1 snapshot");
+  DaemonSnapshot snapshot;
+  snapshot.system_budget_watts =
+      parse_watts(expect_field(lines[1], "budget "), "budget");
+  PS_REQUIRE(snapshot.system_budget_watts > 0.0,
+             "snapshot budget must be positive");
+  const std::string_view barrier = expect_field(lines[2], "barrier ");
+  PS_REQUIRE(barrier == "0" || barrier == "1", "barrier must be 0 or 1");
+  snapshot.launch_barrier_met = barrier == "1";
+  snapshot.allocations =
+      parse_u64(expect_field(lines[3], "allocations "), "allocations");
+  const std::uint64_t job_count =
+      parse_u64(expect_field(lines[4], "jobs "), "jobs");
+  PS_REQUIRE(lines.size() == 6 + 3 * job_count,
+             "snapshot job count disagrees with its body");
+
+  std::set<std::string> seen;
+  for (std::uint64_t j = 0; j < job_count; ++j) {
+    const std::size_t base = 5 + 3 * j;
+    SnapshotJob job;
+    job.name = std::string(expect_field(lines[base], "job "));
+    PS_REQUIRE(!job.name.empty(), "empty job name");
+    PS_REQUIRE(seen.insert(job.name).second,
+               "duplicate job '" + job.name + "' in snapshot");
+    job.sequence =
+        parse_u64(expect_field(lines[base + 1], "sequence "), "sequence");
+    const std::string_view caps = expect_field(lines[base + 2], "caps");
+    for (const std::string& token : util::split(caps, ' ')) {
+      if (!token.empty()) {
+        job.caps_watts.push_back(parse_watts(token, "caps"));
+      }
+    }
+    PS_REQUIRE(!job.caps_watts.empty(),
+               "job '" + job.name + "' has no caps");
+    snapshot.jobs.push_back(std::move(job));
+  }
+  return snapshot;
+}
+
+void save_snapshot(const std::string& path,
+                   const DaemonSnapshot& snapshot) {
+  PS_REQUIRE(!path.empty(), "snapshot path must not be empty");
+  const std::string body = serialize(snapshot);
+  const std::string temp = path + ".tmp";
+  {
+    const int fd = ::open(temp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+      throw Error("cannot open snapshot temp file " + temp);
+    }
+    std::size_t written = 0;
+    while (written < body.size()) {
+      const ssize_t n =
+          ::write(fd, body.data() + written, body.size() - written);
+      if (n < 0) {
+        ::close(fd);
+        ::unlink(temp.c_str());
+        throw Error("cannot write snapshot temp file " + temp);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    // The rename below is only atomic on durable contents.
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    throw Error("cannot rename snapshot into place at " + path);
+  }
+}
+
+std::optional<DaemonSnapshot> load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  try {
+    return parse_snapshot(contents.str());
+  } catch (const Error&) {
+    return std::nullopt;  // corrupt snapshot: restart cold, do not crash
+  }
+}
+
+}  // namespace ps::net

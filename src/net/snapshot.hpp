@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::net {
+
+/// One registered job as persisted by the daemon: enough to rehydrate the
+/// session registry after a restart. Samples are deliberately absent —
+/// clients re-send their current sample on reconnect, so persisting them
+/// would only risk replaying stale telemetry.
+struct SnapshotJob {
+  std::string name;
+  std::uint64_t sequence = 0;  ///< Sequence of the last policy sent.
+  std::vector<double> caps_watts;
+
+  [[nodiscard]] bool operator==(const SnapshotJob&) const = default;
+};
+
+/// Durable daemon state: the facility budget it was enforcing, whether
+/// the min-jobs launch barrier had been met, and the last caps pushed to
+/// every registered job. A daemon restarted over a snapshot re-admits the
+/// jobs without re-running the launch barrier and re-serves their last
+/// caps, so the cluster-wide budget invariant survives the restart.
+struct DaemonSnapshot {
+  double system_budget_watts = 0.0;
+  bool launch_barrier_met = false;
+  std::uint64_t allocations = 0;  ///< Monotone: detects stale snapshots.
+  std::vector<SnapshotJob> jobs;
+
+  [[nodiscard]] bool operator==(const DaemonSnapshot&) const = default;
+  /// Sum of all persisted caps — what the snapshot claims is allocated.
+  [[nodiscard]] double allocated_watts() const;
+};
+
+/// Line-based serialization (versioned, human-readable, exact numeric
+/// fidelity) with a trailing CRC-32 line guarding the whole body:
+///
+///   powerstack-snapshot v1
+///   budget 2880
+///   barrier 1
+///   allocations 7
+///   jobs 2
+///   job lulesh-512
+///   sequence 6
+///   caps 181.25 181.25
+///   ...
+///   checksum 89abcdef
+[[nodiscard]] std::string serialize(const DaemonSnapshot& snapshot);
+
+/// Parses and validates a serialized snapshot. Throws ps::InvalidArgument
+/// on malformed input: truncated bodies, non-numeric or non-finite watts,
+/// duplicated job names, and checksum mismatches (a torn write).
+[[nodiscard]] DaemonSnapshot parse_snapshot(std::string_view text);
+
+/// Atomically replaces the snapshot at `path` (write to a sibling temp
+/// file, fsync, rename) so a crash mid-write can never leave a torn
+/// snapshot where the next boot will read it. Throws ps::Error on I/O
+/// failure.
+void save_snapshot(const std::string& path, const DaemonSnapshot& snapshot);
+
+/// Loads the snapshot at `path`. Returns nullopt when the file does not
+/// exist or fails validation (corrupt snapshots must degrade a restart to
+/// a cold start, never crash the daemon).
+[[nodiscard]] std::optional<DaemonSnapshot> load_snapshot(
+    const std::string& path);
+
+}  // namespace ps::net

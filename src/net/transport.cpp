@@ -1,0 +1,9 @@
+#include "net/transport.hpp"
+
+namespace ps::net {
+
+std::unique_ptr<Transport> make_transport(Socket socket) {
+  return std::make_unique<SocketTransport>(std::move(socket));
+}
+
+}  // namespace ps::net

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace ps::net {
+
+/// The byte-stream seam between the protocol machinery (daemon sessions,
+/// RuntimeClient) and the wire. A Transport has the same non-blocking
+/// contract as Socket — read/write never block, poll()-style waits do —
+/// plus an fd() so the daemon's event loop can multiplex it.
+///
+/// The indirection exists so a decorator can sit between the protocol and
+/// the kernel: fault::FaultyTransport injects seeded connection drops,
+/// partial I/O, payload corruption, duplicated frames, and delays at this
+/// layer, which is how every failure mode the daemon must survive becomes
+/// reproducible from a seed.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int fd() const noexcept = 0;
+  [[nodiscard]] virtual bool valid() const noexcept = 0;
+  virtual void close() noexcept = 0;
+
+  /// Reads up to `max_bytes` into `out`. Never blocks.
+  virtual IoResult read_some(char* out, std::size_t max_bytes) = 0;
+  /// Writes as much of `bytes` as the peer accepts. Never blocks.
+  virtual IoResult write_some(std::string_view bytes) = 0;
+
+  /// poll()s for readability/writability. Returns false on timeout; a
+  /// negative timeout means wait forever.
+  [[nodiscard]] virtual bool wait_readable(
+      std::chrono::milliseconds timeout) = 0;
+  [[nodiscard]] virtual bool wait_writable(
+      std::chrono::milliseconds timeout) = 0;
+};
+
+/// The production Transport: a thin pass-through over a connected Socket.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(Socket socket) : socket_(std::move(socket)) {}
+
+  [[nodiscard]] int fd() const noexcept override { return socket_.fd(); }
+  [[nodiscard]] bool valid() const noexcept override {
+    return socket_.valid();
+  }
+  void close() noexcept override { socket_.close(); }
+
+  IoResult read_some(char* out, std::size_t max_bytes) override {
+    return socket_.read_some(out, max_bytes);
+  }
+  IoResult write_some(std::string_view bytes) override {
+    return socket_.write_some(bytes);
+  }
+  [[nodiscard]] bool wait_readable(
+      std::chrono::milliseconds timeout) override {
+    return socket_.wait_readable(timeout);
+  }
+  [[nodiscard]] bool wait_writable(
+      std::chrono::milliseconds timeout) override {
+    return socket_.wait_writable(timeout);
+  }
+
+ private:
+  Socket socket_;
+};
+
+/// Convenience: wraps a connected socket in its production transport.
+[[nodiscard]] std::unique_ptr<Transport> make_transport(Socket socket);
+
+}  // namespace ps::net

@@ -1,0 +1,111 @@
+#include "sim/failures.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+
+std::vector<FailureEvent> generate_failure_plan(
+    const FailurePlanParams& params,
+    std::span<const std::size_t> hosts_per_job, std::size_t epochs) {
+  PS_REQUIRE(!hosts_per_job.empty(), "failure plan needs at least one job");
+  for (const std::size_t hosts : hosts_per_job) {
+    PS_REQUIRE(hosts > 0, "every job needs at least one host");
+  }
+  PS_REQUIRE(epochs > params.first_epoch,
+             "failure plan needs epochs after first_epoch");
+  PS_REQUIRE(params.straggler_min_slowdown > 1.0 &&
+                 params.straggler_max_slowdown >=
+                     params.straggler_min_slowdown,
+             "straggler slowdown range is invalid");
+
+  util::Rng rng(params.seed);
+  std::vector<FailureEvent> events;
+  // Hosts already killed, and how many live hosts each job retains.
+  std::set<std::pair<std::size_t, std::size_t>> dead;
+  std::vector<std::size_t> alive(hosts_per_job.begin(), hosts_per_job.end());
+
+  const auto pick_epoch = [&] {
+    return params.first_epoch +
+           static_cast<std::size_t>(
+               rng.uniform_index(epochs - params.first_epoch));
+  };
+
+  for (std::size_t f = 0; f < params.node_failures; ++f) {
+    // Candidate hosts: alive, and not a job's last survivor.
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;
+    for (std::size_t j = 0; j < hosts_per_job.size(); ++j) {
+      if (alive[j] <= 1) {
+        continue;
+      }
+      for (std::size_t h = 0; h < hosts_per_job[j]; ++h) {
+        if (dead.count({j, h}) == 0) {
+          candidates.emplace_back(j, h);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      break;  // every further kill would orphan a job
+    }
+    const auto [job, host] =
+        candidates[static_cast<std::size_t>(
+            rng.uniform_index(candidates.size()))];
+    dead.insert({job, host});
+    --alive[job];
+    FailureEvent event;
+    event.epoch = pick_epoch();
+    event.kind = FailureKind::kNodeFailure;
+    event.job = job;
+    event.host = host;
+    events.push_back(event);
+  }
+
+  for (std::size_t s = 0; s < params.stragglers; ++s) {
+    // A straggler may hit any host that is not scheduled to die; a dead
+    // host cannot also run slow.
+    std::vector<std::pair<std::size_t, std::size_t>> candidates;
+    for (std::size_t j = 0; j < hosts_per_job.size(); ++j) {
+      for (std::size_t h = 0; h < hosts_per_job[j]; ++h) {
+        if (dead.count({j, h}) == 0) {
+          candidates.emplace_back(j, h);
+        }
+      }
+    }
+    if (candidates.empty()) {
+      break;
+    }
+    const auto [job, host] =
+        candidates[static_cast<std::size_t>(
+            rng.uniform_index(candidates.size()))];
+    FailureEvent onset;
+    onset.epoch = pick_epoch();
+    onset.kind = FailureKind::kStragglerOnset;
+    onset.job = job;
+    onset.host = host;
+    onset.severity = rng.uniform(params.straggler_min_slowdown,
+                                 params.straggler_max_slowdown);
+    events.push_back(onset);
+    const std::size_t recovery_epoch =
+        onset.epoch + params.straggler_duration_epochs;
+    if (recovery_epoch < epochs) {
+      FailureEvent recovery;
+      recovery.epoch = recovery_epoch;
+      recovery.kind = FailureKind::kStragglerRecovery;
+      recovery.job = job;
+      recovery.host = host;
+      events.push_back(recovery);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.epoch < b.epoch;
+                   });
+  return events;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ps::sim {
+
+/// What goes wrong on a host mid-run.
+enum class FailureKind {
+  kNodeFailure,        ///< The host dies: zero work, zero power, forever.
+  kStragglerOnset,     ///< The host slows down by `severity`.
+  kStragglerRecovery,  ///< The straggler returns to full speed.
+};
+
+/// One scheduled failure, applied at the start of `epoch` (before that
+/// epoch's iterations run).
+struct FailureEvent {
+  std::size_t epoch = 0;
+  FailureKind kind = FailureKind::kNodeFailure;
+  std::size_t job = 0;   ///< Job index in the coordinated mix.
+  std::size_t host = 0;  ///< Host index within the job.
+  double severity = 1.0;  ///< Straggler slowdown factor (> 1).
+
+  [[nodiscard]] bool operator==(const FailureEvent&) const = default;
+};
+
+/// Knobs for the seeded failure-plan generator.
+struct FailurePlanParams {
+  std::uint64_t seed = 1;
+  std::size_t node_failures = 1;
+  std::size_t stragglers = 1;
+  double straggler_min_slowdown = 1.5;
+  double straggler_max_slowdown = 3.0;
+  std::size_t straggler_duration_epochs = 2;
+  /// Earliest epoch any event may land on (leave epoch 0 clean so the
+  /// mix converges once before the first failure).
+  std::size_t first_epoch = 1;
+};
+
+/// Generates a deterministic failure plan for a mix of jobs (one entry
+/// per job in `hosts_per_job`) over `epochs` coordination epochs:
+///   - node failures never hit the same (job, host) twice and always
+///     leave every job at least one live host;
+///   - each straggler emits a kStragglerOnset and, when the run is long
+///     enough, a matching kStragglerRecovery after its duration;
+///   - events are sorted by epoch (ties in generation order).
+/// The same params always produce the same plan.
+[[nodiscard]] std::vector<FailureEvent> generate_failure_plan(
+    const FailurePlanParams& params,
+    std::span<const std::size_t> hosts_per_job, std::size_t epochs);
+
+}  // namespace ps::sim

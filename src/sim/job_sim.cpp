@@ -41,6 +41,8 @@ JobSimulation::JobSimulation(std::string name,
     PS_REQUIRE(host != nullptr, "job host must not be null");
   }
   PS_REQUIRE(noise.time_sigma >= 0.0, "noise sigma cannot be negative");
+  failed_.assign(hosts_.size(), false);
+  slowdown_.assign(hosts_.size(), 1.0);
   waiting_hosts_ = std::min(
       static_cast<std::size_t>(std::lround(
           config_.waiting_fraction * static_cast<double>(hosts_.size()))),
@@ -93,15 +95,54 @@ double JobSimulation::total_allocated_power() const {
   return total;
 }
 
+void JobSimulation::set_host_failed(std::size_t index, bool failed) {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  if (failed && !failed_[index]) {
+    PS_REQUIRE(active_host_count() > 1,
+               "cannot fail a job's last live host");
+  }
+  failed_[index] = failed;
+}
+
+bool JobSimulation::host_failed(std::size_t index) const {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  return failed_[index];
+}
+
+std::size_t JobSimulation::active_host_count() const noexcept {
+  std::size_t active = 0;
+  for (const bool dead : failed_) {
+    active += dead ? 0 : 1;
+  }
+  return active;
+}
+
+void JobSimulation::set_host_slowdown(std::size_t index, double factor) {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  PS_REQUIRE(factor >= 1.0, "slowdown factor must be at least 1");
+  slowdown_[index] = factor;
+}
+
+double JobSimulation::host_slowdown(std::size_t index) const {
+  PS_REQUIRE(index < hosts_.size(), "host index out of range");
+  return slowdown_[index];
+}
+
 IterationResult JobSimulation::run_iteration() {
   IterationResult result;
   result.hosts.resize(hosts_.size());
 
   // Phase 1: every host runs its share of the compute phase.
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (failed_[i]) {
+      // A dead host: no work, no energy, no say in the critical path.
+      result.hosts[i].node = hosts_[i]->id();
+      result.hosts[i].waiting_host = is_waiting_host(i);
+      continue;
+    }
     hw::PhaseResult phase = hosts_[i]->run_compute(
         host_gigabytes(i), config_.intensity, config_.vector_width);
-    double busy = phase.seconds;
+    double busy = phase.seconds * slowdown_[i];
     if (noise_.time_sigma > 0.0) {
       // Log-ish multiplicative jitter, clamped so time stays positive.
       const double jitter =
@@ -124,6 +165,9 @@ IterationResult JobSimulation::run_iteration() {
   // Phase 2: hosts that finished early busy-poll at the barrier.
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     auto& host_result = result.hosts[i];
+    if (failed_[i]) {
+      continue;  // a dead host does not poll (and draws nothing)
+    }
     host_result.poll_seconds =
         result.iteration_seconds - host_result.busy_seconds;
     if (host_result.poll_seconds > 0.0) {

@@ -94,6 +94,18 @@ class JobSimulation {
   /// Sum of all host caps — the job's currently allocated power.
   [[nodiscard]] double total_allocated_power() const;
 
+  /// Marks a host dead (or revives it): a failed host runs no work,
+  /// draws no power, and never sets the critical path. At least one host
+  /// must stay alive.
+  void set_host_failed(std::size_t index, bool failed);
+  [[nodiscard]] bool host_failed(std::size_t index) const;
+  [[nodiscard]] std::size_t active_host_count() const noexcept;
+
+  /// Multiplies the host's busy time by `factor` (>= 1) — a straggler.
+  /// 1.0 restores full speed.
+  void set_host_slowdown(std::size_t index, double factor);
+  [[nodiscard]] double host_slowdown(std::size_t index) const;
+
   /// Runs one bulk-synchronous iteration, accruing telemetry and RAPL
   /// energy on every host.
   IterationResult run_iteration();
@@ -109,6 +121,8 @@ class JobSimulation {
   NoiseParams noise_;
   util::Rng noise_rng_;
   JobTotals totals_;
+  std::vector<bool> failed_;
+  std::vector<double> slowdown_;
 };
 
 }  // namespace ps::sim

@@ -1,0 +1,284 @@
+#include "sim/failures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "sim/cluster.hpp"
+#include "sim/job_sim.hpp"
+#include "util/error.hpp"
+
+namespace ps::sim {
+namespace {
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+TEST(FailurePlanTest, SameParamsReplayTheSamePlan) {
+  FailurePlanParams params;
+  params.seed = 9;
+  params.node_failures = 2;
+  params.stragglers = 2;
+  const std::array<std::size_t, 2> hosts{4, 4};
+  const auto first = generate_failure_plan(params, hosts, 8);
+  const auto second = generate_failure_plan(params, hosts, 8);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+
+  params.seed = 10;
+  EXPECT_NE(generate_failure_plan(params, hosts, 8), first);
+}
+
+TEST(FailurePlanTest, PlanRespectsStructuralConstraints) {
+  FailurePlanParams params;
+  params.seed = 5;
+  params.node_failures = 10;  // more than the mix can absorb
+  params.stragglers = 2;
+  params.straggler_duration_epochs = 2;
+  const std::array<std::size_t, 2> hosts{2, 3};
+  const std::size_t epochs = 6;
+  const auto plan = generate_failure_plan(params, hosts, epochs);
+
+  std::set<std::pair<std::size_t, std::size_t>> killed;
+  std::vector<std::size_t> kills_per_job(hosts.size(), 0);
+  std::size_t previous_epoch = 0;
+  for (const FailureEvent& event : plan) {
+    EXPECT_GE(event.epoch, params.first_epoch);
+    EXPECT_LT(event.epoch, epochs);
+    EXPECT_GE(event.epoch, previous_epoch);  // sorted
+    previous_epoch = event.epoch;
+    ASSERT_LT(event.job, hosts.size());
+    ASSERT_LT(event.host, hosts[event.job]);
+    if (event.kind == FailureKind::kNodeFailure) {
+      EXPECT_TRUE(killed.insert({event.job, event.host}).second)
+          << "host killed twice";
+      ++kills_per_job[event.job];
+    } else if (event.kind == FailureKind::kStragglerOnset) {
+      EXPECT_GE(event.severity, params.straggler_min_slowdown);
+      EXPECT_LE(event.severity, params.straggler_max_slowdown);
+      EXPECT_EQ(killed.count({event.job, event.host}), 0u)
+          << "a dead host cannot straggle";
+    }
+  }
+  // Every kill beyond last-survivor capacity was refused: (2-1) + (3-1).
+  EXPECT_EQ(killed.size(), 3u);
+  for (std::size_t j = 0; j < hosts.size(); ++j) {
+    EXPECT_LT(kills_per_job[j], hosts[j]) << "job " << j << " orphaned";
+  }
+  // Each onset pairs with a recovery at +duration when inside the run.
+  for (const FailureEvent& event : plan) {
+    if (event.kind != FailureKind::kStragglerOnset) {
+      continue;
+    }
+    const std::size_t expected = event.epoch +
+                                 params.straggler_duration_epochs;
+    bool found = false;
+    for (const FailureEvent& other : plan) {
+      found = found || (other.kind == FailureKind::kStragglerRecovery &&
+                        other.job == event.job &&
+                        other.host == event.host &&
+                        other.epoch == expected);
+    }
+    EXPECT_EQ(found, expected < epochs);
+  }
+}
+
+TEST(FailurePlanTest, RejectsInvalidParams) {
+  FailurePlanParams params;
+  const std::array<std::size_t, 1> hosts{4};
+  EXPECT_THROW(
+      static_cast<void>(generate_failure_plan(params, hosts, 1)), Error);
+  EXPECT_THROW(static_cast<void>(generate_failure_plan(
+                   params, std::span<const std::size_t>{}, 8)),
+               Error);
+  params.straggler_min_slowdown = 1.0;
+  EXPECT_THROW(
+      static_cast<void>(generate_failure_plan(params, hosts, 8)), Error);
+}
+
+TEST(JobSimulationFailureTest, FailedHostRunsNoWorkAndDrawsNoPower) {
+  Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  JobSimulation job("victim", std::move(hosts), hungry_config());
+  job.set_host_cap(0, 180.0);
+  job.set_host_cap(1, 180.0);
+
+  job.set_host_failed(0, true);
+  EXPECT_TRUE(job.host_failed(0));
+  EXPECT_EQ(job.active_host_count(), 1u);
+  const IterationResult result = job.run_iteration();
+  EXPECT_EQ(result.hosts[0].busy_seconds, 0.0);
+  EXPECT_EQ(result.hosts[0].energy_joules, 0.0);
+  EXPECT_EQ(result.hosts[0].gflop, 0.0);
+  EXPECT_GT(result.hosts[1].energy_joules, 0.0);
+  EXPECT_EQ(result.critical_host_index, 1u);
+
+  // The last live host is untouchable.
+  EXPECT_THROW(job.set_host_failed(1, true), Error);
+}
+
+TEST(JobSimulationFailureTest, StragglerStretchesBusyTime) {
+  Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  JobSimulation job("slow", std::move(hosts), hungry_config());
+  const IterationResult healthy = job.run_iteration();
+
+  job.set_host_slowdown(0, 2.0);
+  const IterationResult straggled = job.run_iteration();
+  EXPECT_DOUBLE_EQ(straggled.hosts[0].busy_seconds,
+                   2.0 * healthy.hosts[0].busy_seconds);
+
+  job.set_host_slowdown(0, 1.0);
+  const IterationResult recovered = job.run_iteration();
+  EXPECT_DOUBLE_EQ(recovered.hosts[0].busy_seconds,
+                   healthy.hosts[0].busy_seconds);
+  EXPECT_THROW(job.set_host_slowdown(0, 0.5), Error);
+}
+
+/// The reclamation story end to end: a node dies mid-run, the policy
+/// squeezes it to the settable floor, and the freed watts land on the
+/// surviving (power-hungry) job — all inside the budget, with the
+/// telemetry recording how long reclamation took.
+TEST(CoordinationFailureTest, NodeFailureReclaimsWattsToSurvivors) {
+  Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts_a{&cluster.node(0), &cluster.node(1)};
+  std::vector<hw::NodeModel*> hosts_b{&cluster.node(2), &cluster.node(3)};
+  JobSimulation job_a("a-wasteful", std::move(hosts_a), wasteful_config());
+  JobSimulation job_b("b-hungry", std::move(hosts_b), hungry_config());
+  std::vector<JobSimulation*> jobs{&job_a, &job_b};
+
+  const double budget = 4.0 * 180.0;
+  std::vector<FailureEvent> events(1);
+  events[0].epoch = 1;
+  events[0].kind = FailureKind::kNodeFailure;
+  events[0].job = 0;
+  events[0].host = 1;
+
+  core::CoordinationLoop loop(budget);
+  core::FailureTelemetry telemetry;
+  const core::CoordinationResult result =
+      loop.run_with_failures(jobs, 30, events, &telemetry);
+
+  EXPECT_EQ(telemetry.events_applied, 1u);
+  EXPECT_TRUE(telemetry.budget_violation_epochs.empty());
+  ASSERT_EQ(telemetry.reclaims.size(), 1u);
+  const core::ReclaimRecord& reclaim = telemetry.reclaims[0];
+  EXPECT_EQ(reclaim.job, 0u);
+  EXPECT_EQ(reclaim.host, 1u);
+  EXPECT_TRUE(reclaim.reclaimed);
+  EXPECT_GE(reclaim.reclaim_epoch, reclaim.event_epoch);
+  EXPECT_GT(reclaim.watts_reclaimed, 0.0);
+  EXPECT_GE(telemetry.mean_epochs_to_reclaim(), 0.0);
+
+  // The dead host sits at the floor (policies park idle hosts within
+  // half a watt of it); the hungry survivors got its watts.
+  const double floor_cap = job_a.host(1).min_cap();
+  EXPECT_LE(job_a.host_cap(1), floor_cap + 0.5);
+  EXPECT_GT(job_b.host_cap(0), budget / 4.0);
+
+  // Budget invariant after every epoch's reallocation.
+  for (const core::EpochRecord& epoch : result.epochs) {
+    EXPECT_LE(epoch.allocated_watts, budget + 0.5 * 4.0)
+        << "epoch " << epoch.epoch;
+  }
+}
+
+TEST(CoordinationFailureTest, StragglerStretchesEpochsUntilRecovery) {
+  Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  JobSimulation job("phased", std::move(hosts), hungry_config());
+  std::vector<JobSimulation*> jobs{&job};
+
+  std::vector<FailureEvent> events(2);
+  events[0].epoch = 1;
+  events[0].kind = FailureKind::kStragglerOnset;
+  events[0].host = 0;
+  events[0].severity = 2.5;
+  events[1].epoch = 3;
+  events[1].kind = FailureKind::kStragglerRecovery;
+  events[1].host = 0;
+
+  core::CoordinationLoop loop(2.0 * 180.0);
+  core::FailureTelemetry telemetry;
+  const core::CoordinationResult result =
+      loop.run_with_failures(jobs, 25, events, &telemetry);
+
+  EXPECT_EQ(telemetry.events_applied, 2u);
+  ASSERT_GE(result.epochs.size(), 5u);
+  // Straggled epochs run visibly longer than the healthy ones on either
+  // side; after recovery the pace returns.
+  EXPECT_GT(result.epochs[1].elapsed_seconds,
+            1.5 * result.epochs[0].elapsed_seconds);
+  EXPECT_LT(result.epochs[4].elapsed_seconds,
+            result.epochs[1].elapsed_seconds);
+  EXPECT_DOUBLE_EQ(job.host_slowdown(0), 1.0);
+}
+
+TEST(CoordinationFailureTest, EventlessRunMatchesPlainRun) {
+  const auto build = [](Cluster& cluster) {
+    std::vector<hw::NodeModel*> hosts_a{&cluster.node(0),
+                                        &cluster.node(1)};
+    std::vector<hw::NodeModel*> hosts_b{&cluster.node(2),
+                                        &cluster.node(3)};
+    return std::make_pair(
+        JobSimulation("a-wasteful", std::move(hosts_a), wasteful_config()),
+        JobSimulation("b-hungry", std::move(hosts_b), hungry_config()));
+  };
+  Cluster plain_cluster(4);
+  auto [plain_a, plain_b] = build(plain_cluster);
+  std::vector<JobSimulation*> plain_jobs{&plain_a, &plain_b};
+  core::CoordinationLoop plain(720.0);
+  static_cast<void>(plain.run(plain_jobs, 15));
+
+  Cluster failure_cluster(4);
+  auto [failure_a, failure_b] = build(failure_cluster);
+  std::vector<JobSimulation*> failure_jobs{&failure_a, &failure_b};
+  core::CoordinationLoop with_failures(720.0);
+  core::FailureTelemetry telemetry;
+  static_cast<void>(
+      with_failures.run_with_failures(failure_jobs, 15, {}, &telemetry));
+
+  EXPECT_EQ(telemetry.events_applied, 0u);
+  EXPECT_TRUE(telemetry.reclaims.empty());
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_DOUBLE_EQ(failure_a.host_cap(h), plain_a.host_cap(h));
+    EXPECT_DOUBLE_EQ(failure_b.host_cap(h), plain_b.host_cap(h));
+  }
+}
+
+TEST(CoordinationFailureTest, RejectsOutOfRangeEvents) {
+  Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  JobSimulation job("only", std::move(hosts), hungry_config());
+  std::vector<JobSimulation*> jobs{&job};
+  core::CoordinationLoop loop(360.0);
+
+  std::vector<FailureEvent> bad_job(1);
+  bad_job[0].job = 5;
+  EXPECT_THROW(
+      static_cast<void>(loop.run_with_failures(jobs, 10, bad_job, nullptr)),
+      Error);
+  std::vector<FailureEvent> bad_host(1);
+  bad_host[0].host = 9;
+  EXPECT_THROW(static_cast<void>(
+                   loop.run_with_failures(jobs, 10, bad_host, nullptr)),
+               Error);
+}
+
+}  // namespace
+}  // namespace ps::sim

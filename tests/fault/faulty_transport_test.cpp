@@ -1,0 +1,252 @@
+#include "fault/faulty_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace ps::fault {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::shared_ptr<FaultPlan> plan_of(const FaultSpec& spec) {
+  return std::make_shared<FaultPlan>(spec);
+}
+
+std::unique_ptr<net::Transport> faulty_end(net::Socket socket,
+                                           std::shared_ptr<FaultPlan> plan) {
+  return make_faulty_transport(net::make_transport(std::move(socket)),
+                               std::move(plan));
+}
+
+void write_all(net::Transport& transport, std::string_view bytes) {
+  const auto deadline = steady_clock::now() + milliseconds(2'000);
+  while (!bytes.empty()) {
+    ASSERT_LT(steady_clock::now(), deadline) << "write stalled";
+    const net::IoResult result = transport.write_some(bytes);
+    ASSERT_NE(result.status, net::IoStatus::kClosed);
+    if (result.status == net::IoStatus::kOk) {
+      bytes.remove_prefix(result.bytes);
+    }
+  }
+}
+
+void write_all(net::Socket& socket, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const net::IoResult result = socket.write_some(bytes);
+    ASSERT_EQ(result.status, net::IoStatus::kOk);
+    bytes.remove_prefix(result.bytes);
+  }
+}
+
+/// Reads until `count` frames decoded (or a 2 s deadline / EOF).
+std::vector<std::string> read_frames(net::Socket& socket,
+                                     std::size_t count) {
+  net::FrameDecoder decoder;
+  std::vector<std::string> frames;
+  const auto deadline = steady_clock::now() + milliseconds(2'000);
+  while (frames.size() < count && steady_clock::now() < deadline) {
+    while (auto payload = decoder.next()) {
+      frames.push_back(std::move(*payload));
+    }
+    if (frames.size() >= count) {
+      break;
+    }
+    if (!socket.wait_readable(milliseconds(50))) {
+      continue;
+    }
+    char buffer[4096];
+    const net::IoResult result = socket.read_some(buffer, sizeof(buffer));
+    if (result.status == net::IoStatus::kClosed) {
+      break;
+    }
+    if (result.status == net::IoStatus::kOk) {
+      decoder.feed(std::string_view(buffer, result.bytes));
+    }
+  }
+  return frames;
+}
+
+TEST(FaultyTransportTest, QuietPlanPassesFramesThroughBothWays) {
+  auto [near, far] = net::loopback_pair();
+  FaultSpec spec;  // all probabilities zero: the plan never fires
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+
+  const std::string outbound = net::encode_frame("sample payload");
+  write_all(*transport, outbound);
+  const auto received = read_frames(far, 1);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "sample payload");
+
+  write_all(far, net::encode_frame("policy payload"));
+  char buffer[4096];
+  ASSERT_TRUE(transport->wait_readable(milliseconds(1'000)));
+  const net::IoResult result = transport->read_some(buffer, sizeof(buffer));
+  ASSERT_EQ(result.status, net::IoStatus::kOk);
+  net::FrameDecoder decoder;
+  decoder.feed(std::string_view(buffer, result.bytes));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "policy payload");
+}
+
+TEST(FaultyTransportTest, DropResetsTheConnectionUnderAWrite) {
+  auto [near, far] = net::loopback_pair();
+  FaultSpec spec;
+  spec.drop_probability = 1.0;
+  spec.max_faults = 1;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+  const net::IoResult result =
+      transport->write_some(net::encode_frame("doomed"));
+  EXPECT_EQ(result.status, net::IoStatus::kClosed);
+  EXPECT_FALSE(transport->valid());
+}
+
+TEST(FaultyTransportTest, DropResetsTheConnectionUnderARead) {
+  auto [near, far] = net::loopback_pair();
+  write_all(far, net::encode_frame("never delivered"));
+  FaultSpec spec;
+  spec.drop_probability = 1.0;
+  spec.max_faults = 1;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+  char buffer[64];
+  const net::IoResult result = transport->read_some(buffer, sizeof(buffer));
+  EXPECT_EQ(result.status, net::IoStatus::kClosed);
+  EXPECT_FALSE(transport->valid());
+}
+
+TEST(FaultyTransportTest, DelaysReportWouldBlockBoundedly) {
+  auto [near, far] = net::loopback_pair();
+  const std::string frame = net::encode_frame("late but intact");
+  write_all(far, frame);
+  FaultSpec spec;
+  spec.delay_probability = 1.0;
+  spec.max_faults = 100;
+  spec.max_consecutive_delays = 2;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+
+  char buffer[4096];
+  EXPECT_EQ(transport->read_some(buffer, sizeof(buffer)).status,
+            net::IoStatus::kWouldBlock);
+  EXPECT_EQ(transport->read_some(buffer, sizeof(buffer)).status,
+            net::IoStatus::kWouldBlock);
+  // The bound forbids a third spurious would-block: data must now move.
+  const net::IoResult result = transport->read_some(buffer, sizeof(buffer));
+  ASSERT_EQ(result.status, net::IoStatus::kOk);
+  EXPECT_GT(result.bytes, 0u);
+}
+
+TEST(FaultyTransportTest, PartialWriteMovesAtMostEightBytes) {
+  auto [near, far] = net::loopback_pair();
+  FaultSpec spec;
+  spec.partial_probability = 1.0;
+  spec.max_faults = 1;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+
+  const std::string frame =
+      net::encode_frame(std::string(60, 'p'));  // well past one partial op
+  const net::IoResult first = transport->write_some(frame);
+  ASSERT_EQ(first.status, net::IoStatus::kOk);
+  EXPECT_GE(first.bytes, 1u);
+  EXPECT_LE(first.bytes, 8u);
+
+  // The budget is spent; the remainder passes through and the frame is
+  // reassembled intact on the far side.
+  write_all(*transport, std::string_view(frame).substr(first.bytes));
+  const auto received = read_frames(far, 1);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], std::string(60, 'p'));
+}
+
+TEST(FaultyTransportTest, CorruptionHitsOnePayloadByteAndCrcCatchesIt) {
+  auto [near, far] = net::loopback_pair();
+  const std::string payload(40, 'c');
+  const std::string frame = net::encode_frame(payload);
+  write_all(far, frame);
+
+  FaultSpec spec;
+  spec.corrupt_probability = 1.0;
+  spec.max_faults = 1;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+
+  std::string received;
+  const auto deadline = steady_clock::now() + milliseconds(2'000);
+  while (received.size() < frame.size() &&
+         steady_clock::now() < deadline) {
+    ASSERT_TRUE(transport->wait_readable(milliseconds(200)));
+    char buffer[4096];
+    const net::IoResult result =
+        transport->read_some(buffer, sizeof(buffer));
+    ASSERT_EQ(result.status, net::IoStatus::kOk);
+    received.append(buffer, result.bytes);
+  }
+  ASSERT_EQ(received.size(), frame.size());
+
+  // Exactly one byte differs, and it is a payload byte — the length
+  // prefix and CRC arrive untouched, so the decoder reaches the checksum
+  // and must reject the frame there.
+  std::vector<std::size_t> flipped;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (received[i] != frame[i]) {
+      flipped.push_back(i);
+    }
+  }
+  ASSERT_EQ(flipped.size(), 1u);
+  EXPECT_GE(flipped[0], net::kFrameHeaderBytes);
+
+  net::FrameDecoder decoder;
+  decoder.feed(received);
+  EXPECT_THROW(static_cast<void>(decoder.next()), Error);
+}
+
+TEST(FaultyTransportTest, DuplicateReplaysExactlyOneWholeFrame) {
+  auto [near, far] = net::loopback_pair();
+  FaultSpec spec;
+  spec.duplicate_probability = 1.0;
+  spec.max_faults = 1;
+  auto transport = faulty_end(std::move(near), plan_of(spec));
+
+  const std::string first = net::encode_frame("frame one");
+  const std::string second = net::encode_frame("frame two");
+  write_all(*transport, first);   // arms + completes the duplicate
+  write_all(*transport, second);  // drains the injected copy first
+
+  const auto received = read_frames(far, 3);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0], "frame one");
+  EXPECT_EQ(received[1], "frame one");
+  EXPECT_EQ(received[2], "frame two");
+}
+
+TEST(FaultyTransportTest, SharedPlanBudgetSpansReconnects) {
+  FaultSpec spec;
+  spec.drop_probability = 1.0;
+  spec.max_faults = 1;
+  const auto plan = plan_of(spec);
+
+  auto [first_near, first_far] = net::loopback_pair();
+  auto first = faulty_end(std::move(first_near), plan);
+  EXPECT_EQ(first->write_some(net::encode_frame("x")).status,
+            net::IoStatus::kClosed);
+  EXPECT_TRUE(plan->exhausted());
+
+  // The "reconnected" transport wears the same plan: budget spent, the
+  // wire is clean from here on.
+  auto [second_near, second_far] = net::loopback_pair();
+  auto second = faulty_end(std::move(second_near), plan);
+  write_all(*second, net::encode_frame("healed"));
+  const auto received = read_frames(second_far, 1);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "healed");
+}
+
+}  // namespace
+}  // namespace ps::fault

@@ -1,0 +1,116 @@
+#include "net/snapshot.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+DaemonSnapshot example_snapshot() {
+  DaemonSnapshot snapshot;
+  snapshot.system_budget_watts = 2'880.0;
+  snapshot.launch_barrier_met = true;
+  snapshot.allocations = 7;
+  SnapshotJob first;
+  first.name = "lulesh-512";
+  first.sequence = 6;
+  // Deliberately non-terminating decimals: the format must round-trip
+  // every double bit-for-bit, same as the wire.
+  first.caps_watts = {543.0 / 7.0, 181.25, 200.0 / 3.0};
+  SnapshotJob second;
+  second.name = "amg-256";
+  second.sequence = 5;
+  second.caps_watts = {152.0, 190.625};
+  snapshot.jobs = {first, second};
+  return snapshot;
+}
+
+std::string unique_path(const std::string& tag) {
+  return "/tmp/ps-snapshot-" + tag + "-" + std::to_string(::getpid()) +
+         ".snap";
+}
+
+TEST(SnapshotTest, SerializeParseRoundTripsExactly) {
+  const DaemonSnapshot snapshot = example_snapshot();
+  const DaemonSnapshot parsed = parse_snapshot(serialize(snapshot));
+  EXPECT_EQ(parsed, snapshot);
+}
+
+TEST(SnapshotTest, AllocatedWattsSumsEveryJob) {
+  const DaemonSnapshot snapshot = example_snapshot();
+  double expected = 0.0;
+  for (const SnapshotJob& job : snapshot.jobs) {
+    for (const double cap : job.caps_watts) {
+      expected += cap;
+    }
+  }
+  EXPECT_DOUBLE_EQ(snapshot.allocated_watts(), expected);
+}
+
+TEST(SnapshotTest, ChecksumGuardsTheWholeBody) {
+  std::string text = serialize(example_snapshot());
+  // Flip one digit somewhere in a caps line: still a perfectly valid
+  // grammar, so only the checksum can tell.
+  const std::size_t pos = text.find("181.25");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '2';
+  EXPECT_THROW(static_cast<void>(parse_snapshot(text)), Error);
+}
+
+TEST(SnapshotTest, RejectsTruncatedInput) {
+  const std::string text = serialize(example_snapshot());
+  // Drop the trailing checksum line — the shape a torn write leaves.
+  const std::size_t cut = text.rfind("checksum");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_THROW(static_cast<void>(parse_snapshot(text.substr(0, cut))),
+               Error);
+  EXPECT_THROW(static_cast<void>(parse_snapshot("")), Error);
+}
+
+TEST(SnapshotTest, RejectsDuplicateJobNames) {
+  DaemonSnapshot snapshot = example_snapshot();
+  snapshot.jobs.push_back(snapshot.jobs.front());
+  EXPECT_THROW(static_cast<void>(parse_snapshot(serialize(snapshot))),
+               Error);
+}
+
+TEST(SnapshotTest, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = unique_path("roundtrip");
+  const DaemonSnapshot snapshot = example_snapshot();
+  save_snapshot(path, snapshot);
+  const auto loaded = load_snapshot(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, snapshot);
+
+  // Saving again replaces atomically — no stale content bleeds through.
+  DaemonSnapshot updated = snapshot;
+  updated.allocations = 8;
+  save_snapshot(path, updated);
+  const auto reloaded = load_snapshot(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->allocations, 8u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileLoadsAsColdStart) {
+  EXPECT_EQ(load_snapshot(unique_path("missing")), std::nullopt);
+}
+
+TEST(SnapshotTest, CorruptFileLoadsAsColdStart) {
+  const std::string path = unique_path("corrupt");
+  {
+    std::ofstream out(path);
+    out << "powerstack-snapshot v1\nbudget garbage\n";
+  }
+  EXPECT_EQ(load_snapshot(path), std::nullopt);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ps::net

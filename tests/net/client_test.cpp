@@ -164,9 +164,65 @@ TEST(RuntimeClientTest, LastKnownPolicySurvivesDeadServer) {
   EXPECT_GT(client.stats().connect_failures, 0u);
 }
 
+TEST(RuntimeClientTest, OutageCapLatchesDaemonLost) {
+  ClientOptions options = fast_options();
+  options.max_connect_attempts_per_outage = 5;
+  std::size_t dials = 0;
+  RuntimeClient client(
+      [&dials]() -> Socket {
+        ++dials;
+        throw Error("unreachable");
+      },
+      options);
+
+  EXPECT_FALSE(client.exchange(make_sample(1)).has_value());
+  EXPECT_TRUE(client.daemon_lost());
+  EXPECT_EQ(dials, 5u);
+  EXPECT_EQ(client.stats().outages, 1u);
+
+  // Terminal: subsequent exchanges fail fast without dialing at all.
+  EXPECT_FALSE(client.exchange(make_sample(2)).has_value());
+  EXPECT_EQ(dials, 5u);
+  EXPECT_EQ(client.stats().exchanges, 2u);
+  EXPECT_EQ(client.stats().exchange_failures, 2u);
+
+  // Re-arming restores dialing (and the outage budget).
+  client.reset_daemon_lost();
+  EXPECT_FALSE(client.daemon_lost());
+  EXPECT_FALSE(client.exchange(make_sample(3)).has_value());
+  EXPECT_TRUE(client.daemon_lost());
+  EXPECT_EQ(dials, 10u);
+  EXPECT_EQ(client.stats().outages, 2u);
+}
+
+TEST(RuntimeClientTest, SuccessfulConnectEndsTheOutage) {
+  ClientOptions options = fast_options();
+  options.max_connect_attempts_per_outage = 4;
+  std::size_t dials = 0;
+  RuntimeClient client(
+      [&dials]() -> Socket {
+        ++dials;
+        if (dials % 3 != 0) {
+          throw Error("unreachable");  // two failures, then a connect
+        }
+        auto [client_end, server_end] = loopback_pair();
+        server_end.close();  // peer hangs up immediately
+        return std::move(client_end);
+      },
+      options);
+
+  // Each exchange burns a few attempts but always reconnects before the
+  // cap, so the terminal state is never reached.
+  EXPECT_FALSE(client.exchange(make_sample(1)).has_value());
+  EXPECT_FALSE(client.exchange(make_sample(2)).has_value());
+  EXPECT_FALSE(client.daemon_lost());
+  EXPECT_GE(client.stats().outages, 1u);
+}
+
 TEST(RuntimeClientTest, RejectsInvalidOptions) {
   const auto connector = []() -> Socket { throw Error("x"); };
-  EXPECT_THROW(RuntimeClient(nullptr), ps::InvalidArgument);
+  EXPECT_THROW(RuntimeClient(RuntimeClient::Connector{}),
+               ps::InvalidArgument);
   ClientOptions bad = fast_options();
   bad.request_timeout = milliseconds(0);
   EXPECT_THROW(RuntimeClient(connector, bad), ps::InvalidArgument);

@@ -61,6 +61,7 @@ struct Args {
   std::size_t min_jobs = 1;
   std::size_t iterations = 50;
   double duration_seconds = 0.0;  ///< daemon only; 0 = serve forever.
+  std::string snapshot_path;  ///< daemon only; empty = no write-ahead.
   std::string job_name;
 };
 
@@ -99,6 +100,8 @@ Args parse_args(int argc, char** argv) {
       args.iterations = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--duration" && i + 1 < argc) {
       args.duration_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      args.snapshot_path = argv[++i];
     } else if (arg == "--job" && i + 1 < argc) {
       args.job_name = argv[++i];
     }
@@ -116,8 +119,9 @@ int usage() {
       "  budgets --mix NAME              Table III budget levels for a mix\n"
       "  balance --agent NAME            run a job under any runtime agent\n"
       "  facility [--hours H] [--backfill]  event-driven facility run\n"
-      "  daemon --budget W [--min-jobs N] [--duration S]\n"
-      "                                  serve the RM power daemon\n"
+      "  daemon --budget W [--min-jobs N] [--duration S] [--snapshot PATH]\n"
+      "                                  serve the RM power daemon; with\n"
+      "                                  --snapshot, restarts rehydrate jobs\n"
       "  agent --workload NAME [--job NAME] [--iterations N]\n"
       "                                  run a job under daemon coordination\n"
       "  validate [--quick]              reproduction self-check\n"
@@ -309,7 +313,12 @@ int cmd_daemon(const Args& args) {
           : 195.0 * static_cast<double>(args.nodes * args.min_jobs);
   options.policy = *policy;
   options.min_jobs = args.min_jobs;
+  options.snapshot_path = args.snapshot_path;
   net::PowerDaemon daemon(options);
+  if (!args.snapshot_path.empty()) {
+    std::printf("daemon: snapshot %s, %zu jobs restored\n",
+                args.snapshot_path.c_str(), daemon.stats().jobs_restored);
+  }
   if (args.tcp_port >= 0) {
     daemon.listen_tcp(static_cast<std::uint16_t>(args.tcp_port));
     std::printf("daemon: tcp 127.0.0.1:%u, budget %.1f W, policy %s\n",
