@@ -6,6 +6,7 @@
 // WastefulPower mix, where the full policy shines.
 #include <cstdio>
 
+#include "analysis/sweep.hpp"
 #include "bench_common.hpp"
 #include "core/policies.hpp"
 #include "util/table.hpp"
@@ -33,10 +34,30 @@ int main(int argc, char** argv) {
               "(%zu nodes/job, %zu iterations)\n\n",
               options.nodes_per_job, options.iterations);
 
-  for (core::BudgetLevel level :
-       {core::BudgetLevel::kIdeal, core::BudgetLevel::kMax}) {
-    const analysis::MixRunResult baseline =
-        experiment.run(level, core::PolicyKind::kStaticCaps);
+  // Fan every (level, variant) cell — baselines included — out over the
+  // sweep pool; cells are pure functions of their coordinates, so the
+  // tables below come out the same at any worker count.
+  const analysis::SweepExecutor executor(options.sweep_workers);
+  const core::BudgetLevel levels[] = {core::BudgetLevel::kIdeal,
+                                      core::BudgetLevel::kMax};
+  constexpr std::size_t kVariants = sizeof(variants) / sizeof(variants[0]);
+  constexpr std::size_t kPerLevel = kVariants + 1;  // + StaticCaps baseline
+  std::vector<analysis::MixRunResult> cells(2 * kPerLevel);
+  executor.for_each(cells.size(), [&](std::size_t index) {
+    const core::BudgetLevel level = levels[index / kPerLevel];
+    const std::size_t v = index % kPerLevel;
+    if (v == 0) {
+      cells[index] = experiment.run(level, core::PolicyKind::kStaticCaps);
+    } else {
+      const core::MixedAdaptivePolicy policy(variants[v - 1].options);
+      cells[index] = experiment.run_with(level, policy,
+                                         core::PolicyKind::kMixedAdaptive);
+    }
+  });
+
+  for (std::size_t l = 0; l < 2; ++l) {
+    const core::BudgetLevel level = levels[l];
+    const analysis::MixRunResult& baseline = cells[l * kPerLevel];
     util::TextTable table;
     table.add_column(std::string("variant @ ") +
                          std::string(core::to_string(level)),
@@ -44,14 +65,12 @@ int main(int argc, char** argv) {
     table.add_column("time savings", util::Align::kRight, 2);
     table.add_column("energy savings", util::Align::kRight, 2);
     table.add_column("power util", util::Align::kRight, 1);
-    for (const Variant& variant : variants) {
-      const core::MixedAdaptivePolicy policy(variant.options);
-      const analysis::MixRunResult result = experiment.run_with(
-          level, policy, core::PolicyKind::kMixedAdaptive);
+    for (std::size_t v = 0; v < kVariants; ++v) {
+      const analysis::MixRunResult& result = cells[l * kPerLevel + 1 + v];
       const analysis::SavingsSummary savings =
           analysis::compute_savings(result, baseline);
       table.begin_row();
-      table.add_cell(variant.name);
+      table.add_cell(variants[v].name);
       table.add_percent(savings.time.mean);
       table.add_percent(savings.energy.mean);
       table.add_percent(result.power_fraction_of_budget());

@@ -12,24 +12,34 @@ namespace ps::bench {
 ///   --nodes N      nodes per job (paper: 100)
 ///   --iterations N measured iterations per run (paper: 100)
 ///   --no-variation homogeneous nodes instead of the Quartz model
+///   --jobs N       sweep worker threads (0 = all cores, 1 = serial)
+///
+/// Explicit --nodes / --iterations override the --quick defaults, so
+/// `--quick --nodes 8` runs 8 nodes/job at quick iteration count.
 inline analysis::ExperimentOptions parse_options(int argc, char** argv) {
   util::ArgParser parser;
   parser.add_flag("--quick", "reduced scale (12 nodes/job, 20 iterations)")
       .add_flag("--no-variation", "homogeneous nodes")
       .add_option("--nodes", "100", "nodes per job")
-      .add_option("--iterations", "100", "measured iterations per run");
+      .add_option("--iterations", "100", "measured iterations per run")
+      .add_option("--jobs", "0",
+                  "sweep worker threads (0 = all cores, 1 = serial)");
   parser.parse(argc, argv);
 
   analysis::ExperimentOptions options;
   options.characterization_iterations = 5;
   if (parser.flag("--quick")) {
-    options.nodes_per_job = 12;
-    options.iterations = 20;
+    options.nodes_per_job =
+        parser.provided("--nodes") ? parser.option_size("--nodes") : 12;
+    options.iterations = parser.provided("--iterations")
+                             ? parser.option_size("--iterations")
+                             : 20;
   } else {
     options.nodes_per_job = parser.option_size("--nodes");
     options.iterations = parser.option_size("--iterations");
   }
   options.hardware_variation = !parser.flag("--no-variation");
+  options.sweep_workers = parser.option_size("--jobs");
   return options;
 }
 

@@ -6,6 +6,7 @@
 // savings magnitudes shift, but the winners should not).
 #include <cstdio>
 
+#include "analysis/sweep.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -29,6 +30,13 @@ int main(int argc, char** argv) {
   table.add_column("JA energy", util::Align::kRight, 2);
   table.add_column("MA energy", util::Align::kRight, 2);
 
+  const analysis::SweepExecutor executor(base.sweep_workers);
+  const std::vector<core::BudgetLevel> levels = {core::BudgetLevel::kIdeal,
+                                                 core::BudgetLevel::kMax};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kStaticCaps, core::PolicyKind::kJobAdaptive,
+      core::PolicyKind::kMixedAdaptive};
+
   const char* bin_names[] = {"low", "medium", "high"};
   for (std::size_t bin = 0; bin < 3; ++bin) {
     analysis::ExperimentOptions options = base;
@@ -36,15 +44,16 @@ int main(int argc, char** argv) {
     analysis::ExperimentDriver driver(options);
     analysis::MixExperiment experiment = driver.prepare(core::make_mix(
         core::MixKind::kWastefulPower, options.nodes_per_job));
-    for (core::BudgetLevel level :
-         {core::BudgetLevel::kIdeal, core::BudgetLevel::kMax}) {
-      const analysis::MixRunResult baseline =
-          experiment.run(level, core::PolicyKind::kStaticCaps);
+    const analysis::MixExperiment* experiments[] = {&experiment};
+    const analysis::SweepGridResult grid =
+        analysis::run_grid(executor, experiments, levels, policies);
+    for (core::BudgetLevel level : levels) {
+      const analysis::MixRunResult& baseline =
+          grid.at(0, level, core::PolicyKind::kStaticCaps);
       const analysis::SavingsSummary ja = analysis::compute_savings(
-          experiment.run(level, core::PolicyKind::kJobAdaptive), baseline);
+          grid.at(0, level, core::PolicyKind::kJobAdaptive), baseline);
       const analysis::SavingsSummary ma = analysis::compute_savings(
-          experiment.run(level, core::PolicyKind::kMixedAdaptive),
-          baseline);
+          grid.at(0, level, core::PolicyKind::kMixedAdaptive), baseline);
       table.begin_row();
       table.add_cell(bin_names[bin]);
       table.add_cell(std::string(core::to_string(level)));

@@ -5,8 +5,10 @@
 // utilize more of the budget than JobAdaptive.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "analysis/export.hpp"
+#include "analysis/sweep.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -15,30 +17,47 @@ int main(int argc, char** argv) {
   const analysis::ExperimentOptions options =
       bench::parse_options(argc, argv);
   analysis::ExperimentDriver driver(options);
+  const analysis::SweepExecutor executor(options.sweep_workers);
 
   std::printf("Fig. 7: Mean power as %% of system budget "
-              "(%zu nodes/job, %zu iterations)\n",
-              options.nodes_per_job, options.iterations);
+              "(%zu nodes/job, %zu iterations, %zu workers)\n",
+              options.nodes_per_job, options.iterations,
+              executor.worker_count());
   std::printf("Values > 100%% exceed the budget ('!'). Paper markers: (a) "
               "max-budget columns,\n(b) ideal-budget columns.\n\n");
 
+  // Characterize every mix once (in parallel — each experiment works on
+  // private node clones), then fan the full grid out over the executor.
+  const std::vector<core::MixKind> kinds = core::all_mix_kinds();
+  std::vector<std::optional<analysis::MixExperiment>> experiments(
+      kinds.size());
+  executor.for_each(kinds.size(), [&](std::size_t m) {
+    experiments[m].emplace(
+        driver.prepare(core::make_mix(kinds[m], options.nodes_per_job)));
+  });
+  std::vector<const analysis::MixExperiment*> prepared;
+  for (const auto& experiment : experiments) {
+    prepared.push_back(&*experiment);
+  }
+  const std::vector<core::BudgetLevel> levels = core::all_budget_levels();
+  const std::vector<core::PolicyKind> policies = core::all_policy_kinds();
+  const analysis::SweepGridResult grid =
+      analysis::run_grid(executor, prepared, levels, policies);
+
   std::vector<analysis::MixRunResult> csv_runs;
-  for (core::MixKind kind : core::all_mix_kinds()) {
-    analysis::MixExperiment experiment =
-        driver.prepare(core::make_mix(kind, options.nodes_per_job));
+  for (std::size_t m = 0; m < kinds.size(); ++m) {
     util::TextTable table;
-    table.add_column(std::string(core::to_string(kind)),
+    table.add_column(std::string(core::to_string(kinds[m])),
                      util::Align::kLeft);
-    for (core::BudgetLevel level : core::all_budget_levels()) {
+    for (core::BudgetLevel level : levels) {
       table.add_column(std::string(core::to_string(level)),
                        util::Align::kRight, 1);
     }
-    for (core::PolicyKind policy : core::all_policy_kinds()) {
+    for (core::PolicyKind policy : policies) {
       table.begin_row();
       table.add_cell(std::string(core::to_string(policy)));
-      for (core::BudgetLevel level : core::all_budget_levels()) {
-        const analysis::MixRunResult result =
-            experiment.run(level, policy);
+      for (core::BudgetLevel level : levels) {
+        const analysis::MixRunResult& result = grid.at(m, level, policy);
         csv_runs.push_back(result);
         std::string cell = util::format_fixed(
             result.power_fraction_of_budget() * 100.0, 1);

@@ -12,6 +12,8 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/experiment.hpp"
+#include "analysis/sweep.hpp"
 #include "core/endpoint.hpp"
 #include "core/policies.hpp"
 #include "kernel/arithmetic_kernel.hpp"
@@ -335,6 +337,48 @@ void BM_ReclaimOnDisconnect(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ReclaimOnDisconnect)->Unit(benchmark::kMicrosecond);
+
+/// Serial-vs-parallel wall time for a reduced Fig. 8 style sweep: three
+/// mixes by every (budget level, policy) cell through the SweepExecutor.
+/// Arg = worker count; characterization happens once, outside the timed
+/// region, mirroring the harnesses' shared prepare step. Compare Arg(1)
+/// against Arg(4) for the speedup the --jobs flag buys.
+void BM_SweepFig08Grid(benchmark::State& state) {
+  analysis::ExperimentOptions options;
+  options.nodes_per_job = 6;
+  options.iterations = 10;
+  options.characterization_iterations = 3;
+  options.hardware_variation = false;
+  const analysis::ExperimentDriver driver(options);
+  const core::MixKind kinds[] = {core::MixKind::kNeedUsedPower,
+                                 core::MixKind::kHighImbalance,
+                                 core::MixKind::kWastefulPower};
+  std::vector<analysis::MixExperiment> experiments;
+  std::vector<const analysis::MixExperiment*> prepared;
+  for (core::MixKind kind : kinds) {
+    experiments.push_back(
+        driver.prepare(core::make_mix(kind, options.nodes_per_job)));
+  }
+  for (const analysis::MixExperiment& experiment : experiments) {
+    prepared.push_back(&experiment);
+  }
+  const std::vector<core::BudgetLevel> levels = core::all_budget_levels();
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kStaticCaps, core::PolicyKind::kMinimizeWaste,
+      core::PolicyKind::kJobAdaptive, core::PolicyKind::kMixedAdaptive};
+  const analysis::SweepExecutor executor(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::run_grid(executor, prepared, levels, policies));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(prepared.size() * levels.size() *
+                                policies.size()));
+}
+BENCHMARK(BM_SweepFig08Grid)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_KMeans1d(benchmark::State& state) {
   util::Rng rng(1);

@@ -3,6 +3,9 @@
 // 900-node scale alongside the paper's own values.
 #include <cstdio>
 
+#include <optional>
+
+#include "analysis/sweep.hpp"
 #include "bench_common.hpp"
 #include "util/table.hpp"
 
@@ -10,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace ps;
   analysis::ExperimentOptions options = bench::parse_options(argc, argv);
   analysis::ExperimentDriver driver(options);
+  const analysis::SweepExecutor executor(options.sweep_workers);
 
   std::printf("Table III: Power budgets for each workload mix "
               "(%zu nodes/job, scaled to 900 nodes)\n\n",
@@ -28,6 +32,15 @@ int main(int argc, char** argv) {
       {core::MixKind::kRandomLarge, 139, 164, 209},
   };
 
+  // Table III is pure characterization: the executor parallelizes the
+  // per-mix characterization runs themselves.
+  constexpr std::size_t kMixCount = sizeof(paper) / sizeof(paper[0]);
+  std::vector<std::optional<analysis::MixExperiment>> experiments(kMixCount);
+  executor.for_each(kMixCount, [&](std::size_t m) {
+    experiments[m].emplace(
+        driver.prepare(core::make_mix(paper[m].kind, options.nodes_per_job)));
+  });
+
   util::TextTable table;
   table.add_column("Workload Mix", util::Align::kLeft);
   table.add_column("min (kW)", util::Align::kRight, 0);
@@ -36,9 +49,9 @@ int main(int argc, char** argv) {
   table.add_column("paper min", util::Align::kRight, 0);
   table.add_column("paper ideal", util::Align::kRight, 0);
   table.add_column("paper max", util::Align::kRight, 0);
-  for (const PaperRow& row : paper) {
-    analysis::MixExperiment experiment =
-        driver.prepare(core::make_mix(row.kind, options.nodes_per_job));
+  for (std::size_t m = 0; m < kMixCount; ++m) {
+    const PaperRow& row = paper[m];
+    const analysis::MixExperiment& experiment = *experiments[m];
     const core::PowerBudgets& budgets = experiment.budgets();
     const std::size_t hosts = experiment.total_hosts();
     table.begin_row();

@@ -1,6 +1,7 @@
 #include "analysis/experiment.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "core/policies.hpp"
 #include "hw/quartz_spec.hpp"
@@ -98,7 +99,25 @@ SavingsSummary compute_savings(const MixRunResult& run,
   return summary;
 }
 
-MixExperiment::MixExperiment(sim::Cluster& cluster,
+namespace {
+
+/// FNV-1a, used to fold the mix name into the per-cell seed chain.
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Fork label separating the per-cell noise streams from the
+/// construction-time job seeder, which forks Rng(seed) directly.
+constexpr std::uint64_t kCellStream = 0x9c3175ULL;
+
+}  // namespace
+
+MixExperiment::MixExperiment(const sim::Cluster& cluster,
                              std::vector<std::size_t> experiment_nodes,
                              const core::WorkloadMix& mix,
                              const ExperimentOptions& options)
@@ -117,26 +136,29 @@ MixExperiment::MixExperiment(sim::Cluster& cluster,
                  "scheduler failed to start every job of the mix");
 
   util::Rng seeder(options.seed);
-  node_tdp_watts_ = hw::QuartzSpec::kTdpPerNodeW;
   for (std::size_t j = 0; j < mix.jobs.size(); ++j) {
+    OwnedJob owned;
     std::vector<hw::NodeModel*> hosts;
     hosts.reserve(grants[j].node_indices.size());
     for (std::size_t index : grants[j].node_indices) {
-      hosts.push_back(&cluster.node(index));
+      // Private clone: characterization and measured runs must not touch
+      // the shared cluster, so experiments are independent of each other.
+      owned.nodes.push_back(
+          std::make_unique<hw::NodeModel>(cluster.node(index)));
+      hosts.push_back(owned.nodes.back().get());
     }
-    node_tdp_watts_ = hosts.front()->tdp();
     sim::NoiseParams noise{options.noise_time_sigma};
-    jobs_.push_back(std::make_unique<sim::JobSimulation>(
+    owned.sim = std::make_unique<sim::JobSimulation>(
         mix.jobs[j].name, std::move(hosts), mix.jobs[j].workload, noise,
-        seeder.fork(j)));
+        seeder.fork(j));
+    jobs_.push_back(std::move(owned));
   }
 
   // Pre-characterize every job on its own hosts (paper Section IV-B).
   characterizations_.reserve(jobs_.size());
   for (auto& job : jobs_) {
     characterizations_.push_back(runtime::characterize_job(
-        *job, options.characterization_iterations, options.balancer));
-    job->reset_totals();
+        *job.sim, options.characterization_iterations, options.balancer));
   }
   budgets_ = core::select_budgets(characterizations_);
 }
@@ -144,32 +166,70 @@ MixExperiment::MixExperiment(sim::Cluster& cluster,
 std::size_t MixExperiment::total_hosts() const noexcept {
   std::size_t total = 0;
   for (const auto& job : jobs_) {
-    total += job->host_count();
+    total += job.sim->host_count();
   }
   return total;
 }
 
+util::Rng MixExperiment::cell_rng(core::BudgetLevel level,
+                                  core::PolicyKind label) const {
+  return util::Rng(options_.seed)
+      .fork(kCellStream)
+      .fork(fnv1a64(mix_name_))
+      .fork(static_cast<std::uint64_t>(level))
+      .fork(static_cast<std::uint64_t>(label));
+}
+
 MixRunResult MixExperiment::run(core::BudgetLevel level,
-                                core::PolicyKind policy) {
+                                core::PolicyKind policy) const {
   return run_with(level, *core::make_policy(policy), policy);
 }
 
 MixRunResult MixExperiment::run_with(core::BudgetLevel level,
                                      const core::Policy& policy,
-                                     core::PolicyKind label) {
+                                     core::PolicyKind label) const {
   const double budget = budgets_.at(level);
 
   core::PolicyContext context;
   context.system_budget_watts = budget;
-  context.node_tdp_watts = node_tdp_watts_;
+  // Context-wide fallback only; every characterization carries its own
+  // per-job TDP, so heterogeneous jobs are clamped against their own
+  // hardware rather than whichever job happened to be scheduled last.
+  context.node_tdp_watts = hw::QuartzSpec::kTdpPerNodeW;
+  for (const auto& job : characterizations_) {
+    context.node_tdp_watts =
+        std::max(context.node_tdp_watts, job.node_tdp_watts);
+  }
   context.uncappable_watts = options_.node_params.dram_watts;
   context.jobs = characterizations_;
   const rm::PowerAllocation allocation = policy.allocate(context);
 
+  // Per-cell run context: fresh host clones and simulations, with the
+  // noise stream seeded by (seed, mix, level, policy). The cell result is
+  // a pure function of its coordinates — run order and concurrency
+  // cannot change a single bit of it.
+  util::Rng noise_seeder = cell_rng(level, label);
+  std::vector<OwnedJob> cell_jobs;
+  cell_jobs.reserve(jobs_.size());
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    OwnedJob cell;
+    std::vector<hw::NodeModel*> hosts;
+    hosts.reserve(jobs_[j].nodes.size());
+    for (const auto& node : jobs_[j].nodes) {
+      cell.nodes.push_back(std::make_unique<hw::NodeModel>(*node));
+      hosts.push_back(cell.nodes.back().get());
+    }
+    sim::NoiseParams noise{options_.noise_time_sigma};
+    cell.sim = std::make_unique<sim::JobSimulation>(
+        jobs_[j].sim->name(), std::move(hosts), jobs_[j].sim->workload(),
+        noise, noise_seeder.fork(j));
+    cell_jobs.push_back(std::move(cell));
+  }
+
   std::vector<sim::JobSimulation*> job_ptrs;
-  job_ptrs.reserve(jobs_.size());
-  for (auto& job : jobs_) {
-    job_ptrs.push_back(job.get());
+  job_ptrs.reserve(cell_jobs.size());
+  for (auto& job : cell_jobs) {
+    job_ptrs.push_back(job.sim.get());
   }
   const rm::SystemPowerManager manager(budget);
   // System-unaware policies may legitimately exceed the budget; the
@@ -189,16 +249,15 @@ MixRunResult MixExperiment::run_with(core::BudgetLevel level,
 
   runtime::MonitorAgent monitor;
   const runtime::Controller controller(options_.iterations);
-  for (auto& job : jobs_) {
-    job->reset_totals();
-    const runtime::JobReport report = controller.run(*job, monitor);
+  for (auto& job : cell_jobs) {
+    const runtime::JobReport report = controller.run(*job.sim, monitor);
     JobRunMetrics metrics;
     metrics.job_name = report.job_name;
     metrics.elapsed_seconds = report.elapsed_seconds;
     metrics.energy_joules = report.total_energy_joules;
     metrics.gflop = report.total_gflop;
     metrics.average_node_power_watts = report.average_node_power_watts();
-    metrics.allocated_watts = job->total_allocated_power();
+    metrics.allocated_watts = job.sim->total_allocated_power();
     metrics.iteration_seconds = report.iteration_seconds;
     metrics.iteration_energy_joules = report.iteration_energy_joules;
     result.jobs.push_back(std::move(metrics));
@@ -252,7 +311,7 @@ ExperimentDriver::ExperimentDriver(const ExperimentOptions& options)
   }
 }
 
-MixExperiment ExperimentDriver::prepare(const core::WorkloadMix& mix) {
+MixExperiment ExperimentDriver::prepare(const core::WorkloadMix& mix) const {
   return MixExperiment(*cluster_, experiment_nodes_, mix, options_);
 }
 

@@ -32,6 +32,10 @@ struct ExperimentOptions {
   hw::NodeParams node_params{};
   /// Balancer knobs used during characterization.
   runtime::BalancerOptions balancer{};
+  /// Worker threads the sweep harnesses fan the (mix, level, policy) grid
+  /// out over (the --jobs flag): 0 = hardware_concurrency, 1 = serial.
+  /// Purely an execution knob — results are bit-identical at any value.
+  std::size_t sweep_workers = 0;
 };
 
 /// Per-job outcome of one measured run.
@@ -83,9 +87,19 @@ struct SavingsSummary {
                                              const MixRunResult& baseline);
 
 /// A characterized mix, ready to run under any (budget, policy) pair.
+///
+/// Construction clones the granted cluster nodes into private copies and
+/// pre-characterizes every job on them, so neither construction nor runs
+/// touch shared cluster state. After construction the object is
+/// immutable: run()/run_with() execute on a fresh per-cell clone of the
+/// job simulations with a noise stream seeded deterministically from
+/// (seed, mix, level, policy). A cell's result is therefore a pure
+/// function of the options and the cell coordinates — independent of run
+/// order and safe to compute from concurrent threads (the contract
+/// analysis::SweepExecutor relies on).
 class MixExperiment {
  public:
-  MixExperiment(sim::Cluster& cluster,
+  MixExperiment(const sim::Cluster& cluster,
                 std::vector<std::size_t> experiment_nodes,
                 const core::WorkloadMix& mix, const ExperimentOptions& options);
 
@@ -104,20 +118,34 @@ class MixExperiment {
   /// Allocates with `policy` under the given budget level and runs every
   /// job for options.iterations measured iterations.
   [[nodiscard]] MixRunResult run(core::BudgetLevel level,
-                                 core::PolicyKind policy);
+                                 core::PolicyKind policy) const;
 
-  /// Same, with an explicit policy object (for ablation variants).
+  /// Same, with an explicit policy object (for ablation variants). The
+  /// label also selects the cell's deterministic noise seed, so a variant
+  /// sees the same jitter as the stock policy it ablates.
   [[nodiscard]] MixRunResult run_with(core::BudgetLevel level,
                                       const core::Policy& policy,
-                                      core::PolicyKind label);
+                                      core::PolicyKind label) const;
 
  private:
+  /// One job of the mix: the privately owned host models plus the
+  /// simulation used during characterization (kept for its workload
+  /// config and host roster; measured runs clone it per cell).
+  struct OwnedJob {
+    std::vector<std::unique_ptr<hw::NodeModel>> nodes;
+    std::unique_ptr<sim::JobSimulation> sim;
+  };
+
+  /// Root of the per-cell noise stream: hash(seed, mix, level, policy)
+  /// realized through the util::Rng::fork discipline.
+  [[nodiscard]] util::Rng cell_rng(core::BudgetLevel level,
+                                   core::PolicyKind label) const;
+
   std::string mix_name_;
   ExperimentOptions options_;
-  std::vector<std::unique_ptr<sim::JobSimulation>> jobs_;
+  std::vector<OwnedJob> jobs_;
   std::vector<runtime::JobCharacterization> characterizations_;
   core::PowerBudgets budgets_;
-  double node_tdp_watts_ = 0.0;
 };
 
 /// Owns the cluster and orchestrates the full grid.
@@ -134,7 +162,9 @@ class ExperimentDriver {
   }
 
   /// Characterizes one mix (reusable across budgets and policies).
-  [[nodiscard]] MixExperiment prepare(const core::WorkloadMix& mix);
+  /// Thread-safe: the MixExperiment works on private node clones, so
+  /// several mixes can be prepared from one driver concurrently.
+  [[nodiscard]] MixExperiment prepare(const core::WorkloadMix& mix) const;
 
   [[nodiscard]] const ExperimentOptions& options() const noexcept {
     return options_;

@@ -1,0 +1,181 @@
+#include "analysis/sweep.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace ps::analysis {
+
+namespace {
+
+/// One worker's slice of the task indices. Owners pop from the front,
+/// thieves steal from the back, so a victim and its thief contend only
+/// when one task is left.
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> tasks;
+
+  std::optional<std::size_t> pop_front() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) {
+      return std::nullopt;
+    }
+    const std::size_t task = tasks.front();
+    tasks.pop_front();
+    return task;
+  }
+
+  std::optional<std::size_t> steal_back() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) {
+      return std::nullopt;
+    }
+    const std::size_t task = tasks.back();
+    tasks.pop_back();
+    return task;
+  }
+};
+
+}  // namespace
+
+SweepExecutor::SweepExecutor(std::size_t workers) : workers_(workers) {
+  if (workers_ == 0) {
+    workers_ = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+}
+
+void SweepExecutor::for_each(
+    std::size_t count, const std::function<void(std::size_t)>& task) const {
+  PS_REQUIRE(task != nullptr, "sweep task must not be empty");
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers = std::min(workers_, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      task(i);
+    }
+    return;
+  }
+
+  // Contiguous block partition: worker w starts on cells [w*count/W, ...)
+  // and steals from the tail of its siblings once its own block drains.
+  std::vector<WorkQueue> queues(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * count / workers;
+    const std::size_t end = (w + 1) * count / workers;
+    for (std::size_t i = begin; i < end; ++i) {
+      queues[w].tasks.push_back(i);
+    }
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto worker_main = [&](std::size_t self) {
+    for (;;) {
+      std::optional<std::size_t> index = queues[self].pop_front();
+      for (std::size_t delta = 1; !index && delta < workers; ++delta) {
+        index = queues[(self + delta) % workers].steal_back();
+      }
+      if (!index) {
+        return;  // every queue is empty — nothing left to steal
+      }
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) {
+          return;  // a sibling already failed; drain without working
+        }
+      }
+      try {
+        task(*index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back(worker_main, w);
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+SweepGridResult::SweepGridResult(std::size_t mixes,
+                                 std::vector<core::BudgetLevel> levels,
+                                 std::vector<core::PolicyKind> policies)
+    : levels_(std::move(levels)), policies_(std::move(policies)) {
+  PS_REQUIRE(!levels_.empty(), "sweep needs at least one budget level");
+  PS_REQUIRE(!policies_.empty(), "sweep needs at least one policy");
+  cells_.resize(mixes * levels_.size() * policies_.size());
+}
+
+std::size_t SweepGridResult::mix_count() const noexcept {
+  return cells_.size() / (levels_.size() * policies_.size());
+}
+
+MixRunResult& SweepGridResult::slot(std::size_t mix, std::size_t level_index,
+                                    std::size_t policy_index) {
+  return cells_[(mix * levels_.size() + level_index) * policies_.size() +
+                policy_index];
+}
+
+const MixRunResult& SweepGridResult::at(std::size_t mix,
+                                        core::BudgetLevel level,
+                                        core::PolicyKind policy) const {
+  PS_REQUIRE(mix < mix_count(), "mix index out of range");
+  const auto level_it = std::find(levels_.begin(), levels_.end(), level);
+  const auto policy_it =
+      std::find(policies_.begin(), policies_.end(), policy);
+  if (level_it == levels_.end() || policy_it == policies_.end()) {
+    throw NotFound("cell (" + std::string(core::to_string(level)) + ", " +
+                   std::string(core::to_string(policy)) +
+                   ") was not part of the sweep");
+  }
+  const std::size_t level_index =
+      static_cast<std::size_t>(level_it - levels_.begin());
+  const std::size_t policy_index =
+      static_cast<std::size_t>(policy_it - policies_.begin());
+  return cells_[(mix * levels_.size() + level_index) * policies_.size() +
+                policy_index];
+}
+
+SweepGridResult run_grid(const SweepExecutor& executor,
+                         std::span<const MixExperiment* const> experiments,
+                         std::span<const core::BudgetLevel> levels,
+                         std::span<const core::PolicyKind> policies) {
+  for (const MixExperiment* experiment : experiments) {
+    PS_REQUIRE(experiment != nullptr, "sweep experiment must not be null");
+  }
+  SweepGridResult grid(
+      experiments.size(),
+      std::vector<core::BudgetLevel>(levels.begin(), levels.end()),
+      std::vector<core::PolicyKind>(policies.begin(), policies.end()));
+  const std::size_t per_mix = levels.size() * policies.size();
+  executor.for_each(
+      experiments.size() * per_mix, [&](std::size_t index) {
+        const std::size_t mix = index / per_mix;
+        const std::size_t level_index = (index % per_mix) / policies.size();
+        const std::size_t policy_index = index % policies.size();
+        grid.slot(mix, level_index, policy_index) = experiments[mix]->run(
+            levels[level_index], policies[policy_index]);
+      });
+  return grid;
+}
+
+}  // namespace ps::analysis

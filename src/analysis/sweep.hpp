@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/budget.hpp"
+#include "core/policy.hpp"
+
+namespace ps::analysis {
+
+/// Thread-pool executor for the figure-grid sweeps (Figs. 7-8,
+/// Tables II-III and the ext_* harnesses).
+///
+/// Tasks are indices into a fixed work list, partitioned into per-worker
+/// queues; an idle worker steals from the back of its siblings' queues.
+/// Because every task writes only its own pre-allocated result slot and
+/// MixExperiment cells are pure functions of their coordinates, the
+/// schedule cannot influence the results: any worker count produces
+/// bit-identical output (the golden sweep test diffs the fig08 CSV of a
+/// parallel run against the serial one).
+class SweepExecutor {
+ public:
+  /// `workers` = 0 picks std::thread::hardware_concurrency(); 1 runs
+  /// every task inline on the caller, in index order (the legacy serial
+  /// path — no threads are created).
+  explicit SweepExecutor(std::size_t workers = 0);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_;
+  }
+
+  /// Runs task(i) for every i in [0, count). Blocks until all tasks
+  /// finish. If any task throws, the first exception (by completion
+  /// time) is rethrown on the caller after every worker has drained.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& task) const;
+
+ private:
+  std::size_t workers_;
+};
+
+/// The (mix, level, policy) cell results of a full grid sweep, indexed
+/// the way the figure harnesses consume them.
+class SweepGridResult {
+ public:
+  SweepGridResult(std::size_t mixes, std::vector<core::BudgetLevel> levels,
+                  std::vector<core::PolicyKind> policies);
+
+  [[nodiscard]] const std::vector<core::BudgetLevel>& levels()
+      const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] const std::vector<core::PolicyKind>& policies()
+      const noexcept {
+    return policies_;
+  }
+  [[nodiscard]] std::size_t mix_count() const noexcept;
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+  /// Throws ps::NotFound when the (level, policy) pair was not part of
+  /// the sweep.
+  [[nodiscard]] const MixRunResult& at(std::size_t mix,
+                                       core::BudgetLevel level,
+                                       core::PolicyKind policy) const;
+  [[nodiscard]] MixRunResult& slot(std::size_t mix, std::size_t level_index,
+                                   std::size_t policy_index);
+
+ private:
+  std::vector<core::BudgetLevel> levels_;
+  std::vector<core::PolicyKind> policies_;
+  std::vector<MixRunResult> cells_;  ///< mix-major, then level, then policy.
+};
+
+/// Fans every (experiment, level, policy) cell out over the executor.
+/// Results are bit-identical to calling experiments[m]->run(level,
+/// policy) serially, in any order.
+[[nodiscard]] SweepGridResult run_grid(
+    const SweepExecutor& executor,
+    std::span<const MixExperiment* const> experiments,
+    std::span<const core::BudgetLevel> levels,
+    std::span<const core::PolicyKind> policies);
+
+}  // namespace ps::analysis

@@ -28,7 +28,7 @@ rm::PowerAllocation PrecharacterizedPolicy::allocate(
     const double job_cap =
         std::clamp(context.jobs[j].monitor.max_host_power_watts,
                    context.jobs[j].min_settable_cap_watts,
-                   context.node_tdp_watts);
+                   context.job_tdp_watts(j));
     for (std::size_t h = arrays.offsets[j]; h < arrays.offsets[j + 1]; ++h) {
       arrays.assigned[h] = job_cap;
     }
@@ -47,7 +47,7 @@ rm::PowerAllocation StaticCapsPolicy::allocate(
         std::min(share, context.jobs[j].monitor.max_host_power_watts);
     const double cap = std::clamp(job_cap,
                                   context.jobs[j].min_settable_cap_watts,
-                                  context.node_tdp_watts);
+                                  context.job_tdp_watts(j));
     for (std::size_t h = arrays.offsets[j]; h < arrays.offsets[j + 1]; ++h) {
       arrays.assigned[h] = cap;
     }

@@ -19,18 +19,27 @@ double PolicyContext::uniform_share_watts() const {
   return system_budget_watts / static_cast<double>(hosts);
 }
 
+double PolicyContext::job_tdp_watts(std::size_t j) const {
+  PS_REQUIRE(j < jobs.size(), "job index out of range");
+  const double per_job = jobs[j].node_tdp_watts;
+  return per_job > 0.0 ? per_job : node_tdp_watts;
+}
+
 void PolicyContext::validate() const {
   PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
   PS_REQUIRE(node_tdp_watts > 0.0, "node TDP must be positive");
   PS_REQUIRE(!jobs.empty(), "context needs at least one job");
-  for (const auto& job : jobs) {
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& job = jobs[j];
     PS_REQUIRE(job.host_count > 0, "job needs at least one host");
     PS_REQUIRE(job.monitor.host_average_power_watts.size() == job.host_count,
                "monitor characterization host count mismatch");
     PS_REQUIRE(job.balancer.host_needed_power_watts.size() == job.host_count,
                "balancer characterization host count mismatch");
+    PS_REQUIRE(job.node_tdp_watts >= 0.0,
+               "per-job node TDP cannot be negative");
     PS_REQUIRE(job.min_settable_cap_watts > 0.0 &&
-                   job.min_settable_cap_watts <= node_tdp_watts,
+                   job.min_settable_cap_watts <= job_tdp_watts(j),
                "min settable cap must be in (0, TDP]");
   }
 }

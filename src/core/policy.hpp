@@ -14,6 +14,9 @@ namespace ps::core {
 /// per-job characterization data supplied by the job runtime.
 struct PolicyContext {
   double system_budget_watts = 0.0;
+  /// Context-wide node TDP fallback. Jobs whose characterization carries
+  /// its own node_tdp_watts (> 0) use that instead — hosts of different
+  /// jobs need not share a TDP (see job_tdp_watts()).
   double node_tdp_watts = 256.0;
   /// Node power that exists below the settable package floor (the DRAM
   /// plane). Surplus-distribution weights measure "distance from the
@@ -25,6 +28,9 @@ struct PolicyContext {
   [[nodiscard]] std::size_t total_hosts() const;
   /// Uniform per-host share of the system budget.
   [[nodiscard]] double uniform_share_watts() const;
+  /// Highest settable node cap for job `j`: its characterized per-job TDP
+  /// when known, else the context-wide node_tdp_watts.
+  [[nodiscard]] double job_tdp_watts(std::size_t j) const;
   void validate() const;
 };
 

@@ -11,17 +11,19 @@ HostArrays HostArrays::from_context(const PolicyContext& context) {
   context.validate();
   HostArrays arrays;
   arrays.offsets.push_back(0);
-  for (const auto& job : context.jobs) {
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const auto& job = context.jobs[j];
+    const double tdp = context.job_tdp_watts(j);
     for (std::size_t h = 0; h < job.host_count; ++h) {
       arrays.assigned.push_back(0.0);
       arrays.monitor.push_back(job.monitor.host_average_power_watts[h]);
       arrays.needed.push_back(std::clamp(
           job.balancer.host_needed_power_watts[h],
-          job.min_settable_cap_watts, context.node_tdp_watts));
+          job.min_settable_cap_watts, tdp));
       arrays.min_cap.push_back(job.min_settable_cap_watts);
       arrays.weight_ref.push_back(job.min_settable_cap_watts -
                                   context.uncappable_watts);
-      arrays.tdp.push_back(context.node_tdp_watts);
+      arrays.tdp.push_back(tdp);
     }
     arrays.offsets.push_back(arrays.assigned.size());
   }

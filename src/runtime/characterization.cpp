@@ -98,10 +98,15 @@ JobCharacterization characterize_job(sim::JobSimulation& job,
   uncap_job(job);
   result.host_count = job.host_count();
   double min_cap = job.host(0).min_cap();
+  // The per-job ceiling is the cap every host of the job can accept, so
+  // heterogeneous hosts clamp at the weakest one.
+  double tdp = job.host(0).tdp();
   for (std::size_t i = 1; i < job.host_count(); ++i) {
     min_cap = std::min(min_cap, job.host(i).min_cap());
+    tdp = std::min(tdp, job.host(i).tdp());
   }
   result.min_settable_cap_watts = min_cap;
+  result.node_tdp_watts = tdp;
   return result;
 }
 

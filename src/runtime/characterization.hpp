@@ -44,6 +44,11 @@ struct JobCharacterization {
   BalancerCharacterization balancer;
   /// Lowest settable node cap (2 x 68 W on the modeled system).
   double min_settable_cap_watts = 0.0;
+  /// Highest node cap settable on every host of this job (2 x package TDP
+  /// plus the DRAM plane). 0 = unknown: policies fall back to the
+  /// context-wide node_tdp_watts (characterizations that predate this
+  /// field, e.g. ones parsed off the wire or from CSV).
+  double node_tdp_watts = 0.0;
   std::size_t host_count = 0;
 
   [[nodiscard]] double total_needed_power() const;

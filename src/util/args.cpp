@@ -51,6 +51,11 @@ void ArgParser::parse(int argc, const char* const* argv) {
   }
 }
 
+bool ArgParser::provided(std::string_view name) const {
+  static_cast<void>(spec_of(name));  // unknown names still throw
+  return values_.find(name) != values_.end();
+}
+
 bool ArgParser::flag(std::string_view name) const {
   const Spec& spec = spec_of(name);
   PS_REQUIRE(spec.is_flag, "'" + std::string(name) + "' is not a flag");

@@ -24,6 +24,9 @@ class ArgParser {
   void parse(int argc, const char* const* argv);
 
   [[nodiscard]] bool flag(std::string_view name) const;
+  /// True if the declared flag/option appeared explicitly on the command
+  /// line (option() falls back to the default otherwise).
+  [[nodiscard]] bool provided(std::string_view name) const;
   [[nodiscard]] const std::string& option(std::string_view name) const;
   [[nodiscard]] double option_double(std::string_view name) const;
   [[nodiscard]] std::size_t option_size(std::string_view name) const;

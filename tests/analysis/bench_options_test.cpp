@@ -1,0 +1,54 @@
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ps::bench {
+namespace {
+
+analysis::ExperimentOptions parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_options(static_cast<int>(argv.size()),
+                       const_cast<char**>(argv.data()));
+}
+
+TEST(BenchOptionsTest, DefaultsMatchThePaperScale) {
+  const analysis::ExperimentOptions options = parse({});
+  EXPECT_EQ(options.nodes_per_job, 100u);
+  EXPECT_EQ(options.iterations, 100u);
+  EXPECT_TRUE(options.hardware_variation);
+  EXPECT_EQ(options.sweep_workers, 0u);
+}
+
+TEST(BenchOptionsTest, QuickReducesScale) {
+  const analysis::ExperimentOptions options = parse({"--quick"});
+  EXPECT_EQ(options.nodes_per_job, 12u);
+  EXPECT_EQ(options.iterations, 20u);
+}
+
+// Regression: --quick used to discard explicit --nodes/--iterations.
+TEST(BenchOptionsTest, ExplicitValuesOverrideQuickDefaults) {
+  const analysis::ExperimentOptions options =
+      parse({"--quick", "--nodes", "8"});
+  EXPECT_EQ(options.nodes_per_job, 8u);
+  EXPECT_EQ(options.iterations, 20u);  // still the quick default
+
+  const analysis::ExperimentOptions both =
+      parse({"--quick", "--iterations", "5", "--nodes", "6"});
+  EXPECT_EQ(both.nodes_per_job, 6u);
+  EXPECT_EQ(both.iterations, 5u);
+}
+
+TEST(BenchOptionsTest, JobsFlagSetsSweepWorkers) {
+  EXPECT_EQ(parse({"--jobs", "4"}).sweep_workers, 4u);
+  EXPECT_EQ(parse({"--quick", "--jobs", "1"}).sweep_workers, 1u);
+}
+
+TEST(BenchOptionsTest, NoVariationDisablesHardwareVariation) {
+  EXPECT_FALSE(parse({"--no-variation"}).hardware_variation);
+}
+
+}  // namespace
+}  // namespace ps::bench

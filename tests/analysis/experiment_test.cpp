@@ -177,6 +177,78 @@ TEST(ExperimentDriverTest, InvalidOptionsRejected) {
   EXPECT_THROW(ExperimentDriver{options}, ps::InvalidArgument);
 }
 
+TEST(ExperimentDriverTest, CellResultsAreRunOrderIndependent) {
+  // A cell is a pure function of (options, mix, level, policy): running
+  // other cells first, or the same cell twice, must not perturb it.
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult fresh = experiment.run(
+      core::BudgetLevel::kIdeal, core::PolicyKind::kJobAdaptive);
+  static_cast<void>(experiment.run(core::BudgetLevel::kMax,
+                                   core::PolicyKind::kMixedAdaptive));
+  static_cast<void>(experiment.run(core::BudgetLevel::kMin,
+                                   core::PolicyKind::kStaticCaps));
+  const MixRunResult again = experiment.run(
+      core::BudgetLevel::kIdeal, core::PolicyKind::kJobAdaptive);
+  ASSERT_EQ(fresh.jobs.size(), again.jobs.size());
+  EXPECT_EQ(fresh.allocated_watts, again.allocated_watts);
+  for (std::size_t j = 0; j < fresh.jobs.size(); ++j) {
+    EXPECT_EQ(fresh.jobs[j].iteration_seconds,
+              again.jobs[j].iteration_seconds);
+    EXPECT_EQ(fresh.jobs[j].iteration_energy_joules,
+              again.jobs[j].iteration_energy_joules);
+  }
+}
+
+/// One-job run with explicit per-iteration samples, for exercising the
+/// compute_savings math without a simulation.
+MixRunResult synthetic_run(std::vector<double> seconds,
+                           std::vector<double> joules) {
+  MixRunResult result;
+  JobRunMetrics job;
+  job.job_name = "synthetic";
+  job.iteration_seconds = std::move(seconds);
+  job.iteration_energy_joules = std::move(joules);
+  result.jobs.push_back(std::move(job));
+  return result;
+}
+
+TEST(ComputeSavingsTest, PairedMathMatchesHandComputation) {
+  // Policy iterations at 90% time / 80% energy of the baseline's.
+  const MixRunResult baseline =
+      synthetic_run({2.0, 4.0}, {100.0, 200.0});
+  const MixRunResult run = synthetic_run({1.8, 3.6}, {80.0, 160.0});
+  const SavingsSummary savings = compute_savings(run, baseline);
+  EXPECT_NEAR(savings.time.mean, 0.10, 1e-12);
+  EXPECT_NEAR(savings.energy.mean, 0.20, 1e-12);
+  // EDP savings: 1 - (0.9 * 0.8) per pair.
+  EXPECT_NEAR(savings.edp.mean, 1.0 - 0.9 * 0.8, 1e-12);
+  // FLOPS/W: inverse energy ratio minus one.
+  EXPECT_NEAR(savings.flops_per_watt.mean, 1.0 / 0.8 - 1.0, 1e-12);
+  // Identical ratios in every pair: zero variance, zero half-width.
+  EXPECT_NEAR(savings.time.half_width, 0.0, 1e-12);
+  EXPECT_NEAR(savings.energy.half_width, 0.0, 1e-12);
+}
+
+TEST(ComputeSavingsTest, MismatchedIterationCountsRejected) {
+  const MixRunResult baseline =
+      synthetic_run({2.0, 4.0}, {100.0, 200.0});
+  const MixRunResult short_run = synthetic_run({1.8}, {80.0});
+  EXPECT_THROW(static_cast<void>(compute_savings(short_run, baseline)),
+               ps::InvalidArgument);
+}
+
+TEST(ComputeSavingsTest, DegenerateBaselineIterationRejected) {
+  const MixRunResult run = synthetic_run({1.8, 3.6}, {80.0, 160.0});
+  EXPECT_THROW(static_cast<void>(compute_savings(
+                   run, synthetic_run({2.0, 0.0}, {100.0, 200.0}))),
+               ps::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(compute_savings(
+                   run, synthetic_run({2.0, 4.0}, {100.0, 0.0}))),
+               ps::InvalidArgument);
+}
+
 TEST(MixRunResultTest, AggregatesAreConsistent) {
   MixRunResult result;
   result.budget_watts = 1000.0;

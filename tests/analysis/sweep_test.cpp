@@ -1,0 +1,206 @@
+#include "analysis/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "util/error.hpp"
+
+namespace ps::analysis {
+namespace {
+
+ExperimentOptions small_options() {
+  ExperimentOptions options;
+  options.nodes_per_job = 4;
+  options.iterations = 10;
+  options.characterization_iterations = 3;
+  options.hardware_variation = false;
+  options.noise_time_sigma = 0.002;
+  return options;
+}
+
+TEST(SweepExecutorTest, ZeroPicksHardwareConcurrency) {
+  const SweepExecutor executor(0);
+  EXPECT_GE(executor.worker_count(), 1u);
+  const SweepExecutor fixed(3);
+  EXPECT_EQ(fixed.worker_count(), 3u);
+}
+
+TEST(SweepExecutorTest, ForEachRunsEveryIndexExactlyOnce) {
+  const SweepExecutor executor(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  executor.for_each(kCount, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(SweepExecutorTest, SerialModeRunsInlineInIndexOrder) {
+  const SweepExecutor executor(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  executor.for_each(5, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepExecutorTest, SingleTaskRunsInlineEvenWithWorkers) {
+  const SweepExecutor executor(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  executor.for_each(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(SweepExecutorTest, EmptyWorkListIsANoop) {
+  const SweepExecutor executor(4);
+  executor.for_each(0, [](std::size_t) { FAIL() << "task ran"; });
+}
+
+TEST(SweepExecutorTest, FirstExceptionPropagatesAfterDraining) {
+  const SweepExecutor executor(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      executor.for_each(64,
+                        [&](std::size_t i) {
+                          if (i == 17) {
+                            throw ps::InvalidArgument("cell 17 failed");
+                          }
+                          completed.fetch_add(1,
+                                              std::memory_order_relaxed);
+                        }),
+      ps::InvalidArgument);
+  // The pool joined cleanly: no task is still in flight after the throw.
+  EXPECT_LE(completed.load(), 63);
+}
+
+TEST(SweepExecutorTest, SerialExceptionPropagatesToo) {
+  const SweepExecutor executor(1);
+  EXPECT_THROW(executor.for_each(3,
+                                 [](std::size_t i) {
+                                   if (i == 1) {
+                                     throw ps::Error("boom");
+                                   }
+                                 }),
+               ps::Error);
+}
+
+TEST(SweepGridResultTest, AtRejectsPairsOutsideTheSweep) {
+  SweepGridResult grid(
+      1, {core::BudgetLevel::kIdeal},
+      {core::PolicyKind::kStaticCaps, core::PolicyKind::kJobAdaptive});
+  EXPECT_EQ(grid.mix_count(), 1u);
+  EXPECT_EQ(grid.cell_count(), 2u);
+  static_cast<void>(
+      grid.at(0, core::BudgetLevel::kIdeal, core::PolicyKind::kStaticCaps));
+  EXPECT_THROW(static_cast<void>(grid.at(0, core::BudgetLevel::kMax,
+                                         core::PolicyKind::kStaticCaps)),
+               ps::NotFound);
+  EXPECT_THROW(static_cast<void>(grid.at(0, core::BudgetLevel::kIdeal,
+                                         core::PolicyKind::kMixedAdaptive)),
+               ps::NotFound);
+}
+
+/// Exact (bit-for-bit) equality between two cell results — the sweep's
+/// determinism contract, so EXPECT_EQ on doubles is deliberate.
+void expect_identical(const MixRunResult& a, const MixRunResult& b) {
+  EXPECT_EQ(a.mix_name, b.mix_name);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.level, b.level);
+  EXPECT_EQ(a.budget_watts, b.budget_watts);
+  EXPECT_EQ(a.allocated_watts, b.allocated_watts);
+  EXPECT_EQ(a.within_budget, b.within_budget);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    const JobRunMetrics& ja = a.jobs[j];
+    const JobRunMetrics& jb = b.jobs[j];
+    EXPECT_EQ(ja.job_name, jb.job_name);
+    EXPECT_EQ(ja.elapsed_seconds, jb.elapsed_seconds);
+    EXPECT_EQ(ja.energy_joules, jb.energy_joules);
+    EXPECT_EQ(ja.gflop, jb.gflop);
+    EXPECT_EQ(ja.average_node_power_watts, jb.average_node_power_watts);
+    EXPECT_EQ(ja.allocated_watts, jb.allocated_watts);
+    EXPECT_EQ(ja.iteration_seconds, jb.iteration_seconds);
+    EXPECT_EQ(ja.iteration_energy_joules, jb.iteration_energy_joules);
+  }
+}
+
+TEST(SweepGridTest, ParallelGridMatchesSerialBitForBit) {
+  const ExperimentDriver driver(small_options());
+  const MixExperiment wasteful =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixExperiment imbalance =
+      driver.prepare(core::make_mix(core::MixKind::kHighImbalance, 4));
+  const MixExperiment* experiments[] = {&wasteful, &imbalance};
+  const std::vector<core::BudgetLevel> levels = {core::BudgetLevel::kIdeal,
+                                                 core::BudgetLevel::kMax};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kStaticCaps, core::PolicyKind::kMixedAdaptive};
+
+  const SweepGridResult serial =
+      run_grid(SweepExecutor(1), experiments, levels, policies);
+  const SweepGridResult parallel =
+      run_grid(SweepExecutor(4), experiments, levels, policies);
+
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (core::BudgetLevel level : levels) {
+      for (core::PolicyKind policy : policies) {
+        expect_identical(serial.at(m, level, policy),
+                         parallel.at(m, level, policy));
+      }
+    }
+  }
+}
+
+TEST(SweepGridTest, GoldenSavingsCsvIdenticalAcrossWorkerCounts) {
+  const ExperimentDriver driver(small_options());
+  const MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixExperiment* experiments[] = {&experiment};
+  const std::vector<core::BudgetLevel> levels = {core::BudgetLevel::kIdeal,
+                                                 core::BudgetLevel::kMax};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kStaticCaps, core::PolicyKind::kJobAdaptive,
+      core::PolicyKind::kMixedAdaptive};
+
+  const auto savings_csv = [&](std::size_t workers) {
+    const SweepGridResult grid =
+        run_grid(SweepExecutor(workers), experiments, levels, policies);
+    std::vector<SavingsRow> rows;
+    for (core::BudgetLevel level : levels) {
+      const MixRunResult& baseline =
+          grid.at(0, level, core::PolicyKind::kStaticCaps);
+      for (core::PolicyKind policy :
+           {core::PolicyKind::kJobAdaptive,
+            core::PolicyKind::kMixedAdaptive}) {
+        rows.push_back(SavingsRow{
+            experiment.mix_name(), policy, level,
+            compute_savings(grid.at(0, level, policy), baseline)});
+      }
+    }
+    std::ostringstream csv;
+    write_savings_csv(csv, rows);
+    return csv.str();
+  };
+
+  const std::string serial = savings_csv(1);
+  EXPECT_EQ(serial, savings_csv(4));
+  EXPECT_EQ(serial, savings_csv(3));
+  EXPECT_FALSE(serial.empty());
+}
+
+}  // namespace
+}  // namespace ps::analysis

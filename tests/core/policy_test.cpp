@@ -242,6 +242,52 @@ TEST(PolicyContextTest, ValidationCatchesBadInputs) {
   EXPECT_THROW(context.validate(), ps::InvalidArgument);
 }
 
+TEST(PolicyContextTest, PerJobTdpOverridesContextFallback) {
+  PolicyContext context = make_context(
+      1000.0, {make_job(1, 500.0, 190.0), make_job(1, 500.0, 190.0)});
+  context.jobs[0].node_tdp_watts = 200.0;  // job 1 stays at 0 = unknown
+  EXPECT_DOUBLE_EQ(context.job_tdp_watts(0), 200.0);
+  EXPECT_DOUBLE_EQ(context.job_tdp_watts(1), context.node_tdp_watts);
+  EXPECT_THROW(static_cast<void>(context.job_tdp_watts(2)),
+               ps::InvalidArgument);
+  context.jobs[0].node_tdp_watts = -1.0;
+  EXPECT_THROW(context.validate(), ps::InvalidArgument);
+  // A per-job TDP below the job's settable floor is inconsistent.
+  context.jobs[0].node_tdp_watts = 100.0;
+  EXPECT_THROW(context.validate(), ps::InvalidArgument);
+}
+
+// Regression for the heterogeneous-cluster case: the old code clamped
+// every job at one cluster-wide TDP, so a low-TDP job could be granted
+// more than its hardware can apply (and a high-TDP job could be starved
+// down to the low part's ceiling).
+TEST(PolicyContextTest, HeterogeneousTdpClampsEachJobAtItsOwnCeiling) {
+  PolicyContext context = make_context(
+      2 * 400.0, {make_job(1, 500.0, 190.0, 100.0),
+                  make_job(1, 500.0, 190.0, 100.0)});
+  context.jobs[0].node_tdp_watts = 200.0;
+  context.jobs[1].node_tdp_watts = 300.0;
+  const rm::PowerAllocation allocation = StaticCapsPolicy{}.allocate(context);
+  EXPECT_DOUBLE_EQ(allocation.job_host_caps[0][0], 200.0);
+  EXPECT_DOUBLE_EQ(allocation.job_host_caps[1][0], 300.0);
+  // Order-swap invariance: the clamp follows the job, not its index.
+  std::swap(context.jobs[0], context.jobs[1]);
+  const rm::PowerAllocation swapped = StaticCapsPolicy{}.allocate(context);
+  EXPECT_DOUBLE_EQ(swapped.job_host_caps[0][0], 300.0);
+  EXPECT_DOUBLE_EQ(swapped.job_host_caps[1][0], 200.0);
+}
+
+TEST(PrecharacterizedTest, HeterogeneousTdpClampsHungryJob) {
+  PolicyContext context =
+      make_context(1000.0, {make_job(1, 500.0, 190.0, 100.0)});
+  context.jobs[0].node_tdp_watts = 220.0;
+  const rm::PowerAllocation allocation =
+      PrecharacterizedPolicy{}.allocate(context);
+  // Observed 500 W demand clamps at the job's own 220 W ceiling, not the
+  // context-wide 256 W.
+  EXPECT_DOUBLE_EQ(allocation.job_host_caps[0][0], 220.0);
+}
+
 TEST(PolicyContextTest, UniformShareDividesBudget) {
   const PolicyContext context = make_context(
       900.0, {make_job(2, 214.0, 190.0), make_job(1, 214.0, 190.0)});

@@ -105,6 +105,20 @@ TEST(JobCharacterizationTest, CombinesBothAndRestoresCaps) {
   EXPECT_GT(jc.total_monitor_power(), jc.total_needed_power());
 }
 
+TEST(JobCharacterizationTest, RecordsLowestHostTdp) {
+  // Heterogeneous hosts: the job-wide settable ceiling is the lowest
+  // host TDP, just as min_settable_cap_watts is the highest floor.
+  hw::NodeParams low;
+  low.tdp_per_socket_watts = 100.0;
+  hw::NodeModel fast(0, 1.0);
+  hw::NodeModel slow(1, 1.0, low);
+  std::vector<hw::NodeModel*> hosts = {&fast, &slow};
+  sim::JobSimulation job("hetero", hosts, kernel::WorkloadConfig{});
+  const JobCharacterization jc = characterize_job(job, 3);
+  EXPECT_DOUBLE_EQ(jc.node_tdp_watts, slow.tdp());
+  EXPECT_LT(jc.node_tdp_watts, fast.tdp());
+}
+
 TEST(CharacterizationStoreTest, PutGetContains) {
   CharacterizationStore store;
   EXPECT_FALSE(store.contains("a"));

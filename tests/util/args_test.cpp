@@ -76,6 +76,18 @@ TEST(ArgParserTest, ReparseResetsState) {
   EXPECT_TRUE(parser.positional().empty());
 }
 
+TEST(ArgParserTest, ProvidedDistinguishesExplicitFromDefault) {
+  ArgParser parser = make_parser();
+  parse(parser, {"--nodes", "100"});
+  // Explicitly passing the default value still counts as provided.
+  EXPECT_TRUE(parser.provided("--nodes"));
+  EXPECT_FALSE(parser.provided("--rate"));
+  EXPECT_THROW(static_cast<void>(parser.provided("--bogus")),
+               ps::InvalidArgument);
+  parse(parser, {});
+  EXPECT_FALSE(parser.provided("--nodes"));
+}
+
 TEST(ArgParserTest, DuplicateDeclarationRejected) {
   ArgParser parser;
   parser.add_flag("--x", "");
