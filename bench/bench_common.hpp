@@ -1,5 +1,7 @@
 #pragma once
 
+#include <filesystem>
+#include <string>
 #include <string_view>
 
 #include "analysis/experiment.hpp"
@@ -23,7 +25,8 @@ inline analysis::ExperimentOptions parse_options(int argc, char** argv) {
       .add_option("--nodes", "100", "nodes per job")
       .add_option("--iterations", "100", "measured iterations per run")
       .add_option("--jobs", "0",
-                  "sweep worker threads (0 = all cores, 1 = serial)");
+                  "sweep worker threads (0 = all cores, 1 = serial)")
+      .add_option("--out", "", "CSV output path (default: under build/)");
   parser.parse(argc, argv);
 
   analysis::ExperimentOptions options;
@@ -41,6 +44,25 @@ inline analysis::ExperimentOptions parse_options(int argc, char** argv) {
   options.hardware_variation = !parser.flag("--no-variation");
   options.sweep_workers = parser.option_size("--jobs");
   return options;
+}
+
+/// Where a harness should write its CSV deliverable: `--out PATH` wins;
+/// otherwise `default_name` under ./build when that directory exists
+/// (running from the repo root must not litter the source tree), else
+/// the current directory.
+inline std::string output_path(int argc, const char* const* argv,
+                               std::string_view default_name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--out") {
+      return argv[i + 1];
+    }
+  }
+  const std::filesystem::path build = "build";
+  std::error_code ec;
+  if (std::filesystem::is_directory(build, ec)) {
+    return (build / default_name).string();
+  }
+  return std::string(default_name);
 }
 
 /// Scales a mix-level wattage to the paper's 900-node deployment so the

@@ -67,8 +67,10 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.to_string().c_str());
   }
-  std::ofstream csv("fig07_grid.csv");
+  const std::string out =
+      bench::output_path(argc, argv, "fig07_grid.csv");
+  std::ofstream csv(out);
   analysis::write_grid_csv(csv, csv_runs);
-  std::printf("Wrote fig07_grid.csv (%zu runs)\n", csv_runs.size());
+  std::printf("Wrote %s (%zu runs)\n", out.c_str(), csv_runs.size());
   return 0;
 }

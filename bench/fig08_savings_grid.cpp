@@ -126,9 +126,11 @@ int main(int argc, char** argv) {
   }
 
   // Machine-readable companion output for plotting tools.
-  std::ofstream csv("fig08_savings.csv");
+  const std::string out =
+      bench::output_path(argc, argv, "fig08_savings.csv");
+  std::ofstream csv(out);
   analysis::write_savings_csv(csv, csv_rows);
-  std::printf("Wrote fig08_savings.csv (%zu rows x 4 metrics)\n\n",
+  std::printf("Wrote %s (%zu rows x 4 metrics)\n\n", out.c_str(),
               csv_rows.size());
 
   if (best_time_found) {

@@ -14,6 +14,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/sweep.hpp"
+#include "core/budget_governor.hpp"
 #include "core/endpoint.hpp"
 #include "core/policies.hpp"
 #include "kernel/arithmetic_kernel.hpp"
@@ -21,6 +22,7 @@
 #include "net/daemon.hpp"
 #include "net/framing.hpp"
 #include "net/snapshot.hpp"
+#include "rm/power_manager.hpp"
 #include "runtime/agent_tree.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/cluster.hpp"
@@ -379,6 +381,48 @@ void BM_SweepFig08Grid(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepFig08Grid)->Arg(1)->Arg(4)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/// The budget governor on a noisy signal: one observe() per iteration —
+/// the per-control-period cost of dynamic budgets in the loop and the
+/// facility sim. Arg = signal length.
+void BM_BudgetGovernorObserve(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<double> signal;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    signal.push_back(1'500.0 + rng.normal(0.0, 120.0));
+  }
+  core::BudgetGovernor governor(1'560.0);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        governor.observe(signal[index], index));
+    index = (index + 1) % signal.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BudgetGovernorObserve)->Arg(256);
+
+/// The emergency clamp's allocation math (shape-preserving, floor-first
+/// proportional scaling) at brownout time. Arg = total host count.
+void BM_ClampAllocationToBudget(benchmark::State& state) {
+  const auto hosts = static_cast<std::size_t>(state.range(0));
+  const std::size_t jobs = 4;
+  rm::PowerAllocation allocation;
+  std::vector<std::vector<double>> floors;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    allocation.job_host_caps.emplace_back(hosts / jobs,
+                                          200.0 + 5.0 * (j % 3));
+    floors.emplace_back(hosts / jobs, 152.0);
+  }
+  const double budget = 0.7 * allocation.total_watts();  // a 30% brownout
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rm::clamp_allocation_to_budget(allocation, floors, budget));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(hosts));
+}
+BENCHMARK(BM_ClampAllocationToBudget)->Arg(16)->Arg(256);
 
 void BM_KMeans1d(benchmark::State& state) {
   util::Rng rng(1);

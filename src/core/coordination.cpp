@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/invariants.hpp"
 #include "rm/power_manager.hpp"
 #include "util/error.hpp"
 
@@ -100,6 +101,16 @@ CoordinationResult CoordinationLoop::run_with_failures(
     std::size_t total_iterations,
     std::span<const sim::FailureEvent> events,
     FailureTelemetry* telemetry) {
+  return run_dynamic(jobs, total_iterations, events, {}, telemetry, nullptr);
+}
+
+CoordinationResult CoordinationLoop::run_dynamic(
+    std::span<sim::JobSimulation* const> jobs,
+    std::size_t total_iterations,
+    std::span<const sim::FailureEvent> events,
+    std::span<const BudgetRevision> revisions,
+    FailureTelemetry* telemetry,
+    BudgetTelemetry* budget_telemetry) {
   PS_REQUIRE(!jobs.empty(), "coordination needs at least one job");
   PS_REQUIRE(total_iterations > 0, "need at least one iteration");
   for (const auto* job : jobs) {
@@ -109,6 +120,10 @@ CoordinationResult CoordinationLoop::run_with_failures(
     PS_REQUIRE(event.job < jobs.size(), "failure event job out of range");
     PS_REQUIRE(event.host < jobs[event.job]->host_count(),
                "failure event host out of range");
+  }
+  for (std::size_t r = 1; r < revisions.size(); ++r) {
+    PS_REQUIRE(revisions[r - 1].at_epoch <= revisions[r].at_epoch,
+               "budget revisions must be sorted by at_epoch");
   }
 
   // Initial state: uniform distribution of the budget (StaticCaps-like),
@@ -131,16 +146,36 @@ CoordinationResult CoordinationLoop::run_with_failures(
   }
 
   const auto policy = make_policy(options_.policy);
-  const rm::SystemPowerManager manager(budget_);
+  rm::SystemPowerManager manager(budget_);
 
   CoordinationResult result;
   std::vector<ReclaimRecord> pending_reclaims;
   std::size_t next_event = 0;
+  std::size_t next_revision = 0;
   std::size_t done = 0;
   std::size_t epoch_index = 0;
   while (done < total_iterations) {
     const std::size_t this_epoch =
         std::min(options_.epoch_iterations, total_iterations - done);
+
+    // Adopt this epoch's budget revisions before its iterations run. The
+    // caps programmed at the last RM step keep running until this
+    // epoch's own RM step — the bounded excursion window.
+    while (next_revision < revisions.size() &&
+           revisions[next_revision].at_epoch <= epoch_index) {
+      const BudgetRevision& revision = revisions[next_revision];
+      invariants::check_epoch_monotone(manager.budget_epoch(), revision.epoch,
+                                       "coordination.revision");
+      if (manager.set_budget(revision.budget_watts, revision.epoch)) {
+        budget_ = revision.budget_watts;
+        if (budget_telemetry != nullptr) {
+          ++budget_telemetry->revisions_applied;
+        }
+      } else if (budget_telemetry != nullptr) {
+        ++budget_telemetry->revisions_stale;
+      }
+      ++next_revision;
+    }
 
     // Apply this epoch's scheduled failures before its iterations run.
     while (next_event < events.size() &&
@@ -199,6 +234,20 @@ CoordinationResult CoordinationLoop::run_with_failures(
         epoch_max_elapsed > 0.0 ? record.energy_joules / epoch_max_elapsed
                                 : 0.0;
     done += this_epoch;
+    record.budget_watts = budget_;
+    record.budget_epoch = manager.budget_epoch();
+
+    // Account the control period the epoch's caps just ran for: after a
+    // budget drop this is the (single) excursion interval, closed below
+    // once the RM step has reprogrammed under the revised budget.
+    const double tolerance = 0.5 * static_cast<double>(total_hosts);
+    const double programmed =
+        rm::SystemPowerManager::total_allocated_watts(jobs);
+    manager.observe_programmed(programmed, total_hosts,
+                               record.elapsed_seconds);
+    if (programmed > budget_ + tolerance && budget_telemetry != nullptr) {
+      budget_telemetry->excursion_epochs.push_back(epoch_index);
+    }
 
     // RM step: re-allocate from the live telemetry.
     const PolicyContext context = build_context(jobs);
@@ -209,12 +258,45 @@ CoordinationResult CoordinationLoop::run_with_failures(
             budget_, 0.5 * static_cast<double>(allocation.host_count()));
     if (over_budget) {
       // A policy output the site would reject: keep every job on its
-      // last caps rather than programming an over-budget allocation.
+      // last caps rather than programming an over-budget allocation —
+      // unless a revision left the last caps over budget too, in which
+      // case the emergency clamp scales the output onto the budget.
       if (telemetry != nullptr) {
         telemetry->budget_violation_epochs.push_back(epoch_index);
       }
+      if (programmed > budget_ + tolerance) {
+        manager.emergency_clamp(jobs, allocation);
+        record.emergency_clamped = true;
+        if (budget_telemetry != nullptr) {
+          ++budget_telemetry->emergency_clamps;
+        }
+      }
     } else {
       manager.apply(jobs, allocation, policy->is_system_aware());
+    }
+    // Close the excursion (if any) at the reprogram instant and assert
+    // the loop's invariants over the freshly programmed caps.
+    manager.observe_programmed(
+        rm::SystemPowerManager::total_allocated_watts(jobs), total_hosts,
+        0.0);
+    if (policy->is_system_aware()) {
+      double floors_watts = 0.0;
+      for (const auto* job : jobs) {
+        for (std::size_t h = 0; h < job->host_count(); ++h) {
+          floors_watts += job->host(h).min_cap();
+        }
+      }
+      invariants::check_caps_fit_budget(
+          rm::SystemPowerManager::total_allocated_watts(jobs),
+          std::max(budget_, floors_watts), total_hosts,
+          "coordination.rm_step");
+    }
+    for (const auto* job : jobs) {
+      for (std::size_t h = 0; h < job->host_count(); ++h) {
+        invariants::check_cap_bounds(job->host_cap(h), job->host(h).min_cap(),
+                                     job->host(h).tdp(), 0.5,
+                                     "coordination.cap");
+      }
     }
 
     // A failure is reclaimed once the dead host sits at the floor: every
@@ -231,6 +313,11 @@ CoordinationResult CoordinationLoop::run_with_failures(
       if (cap <= floor_cap + 0.5) {
         reclaim.reclaimed = true;
         reclaim.reclaim_epoch = epoch_index;
+        // Conservation: the watts the dead host gave up plus what it
+        // still holds must equal its pre-failure cap.
+        invariants::check_watts_conserved(reclaim.watts_reclaimed + floor_cap,
+                                          reclaim.watts_reclaimed, cap, 0.5,
+                                          "coordination.reclaim");
       }
     }
 
@@ -260,6 +347,11 @@ CoordinationResult CoordinationLoop::run_with_failures(
   }
   if (telemetry != nullptr) {
     telemetry->reclaims = std::move(pending_reclaims);
+  }
+  if (budget_telemetry != nullptr) {
+    budget_telemetry->excursions = manager.excursions();
+    budget_telemetry->final_budget_watts = manager.budget_watts();
+    budget_telemetry->final_budget_epoch = manager.budget_epoch();
   }
   return result;
 }

@@ -4,7 +4,9 @@
 #include <span>
 #include <vector>
 
+#include "core/budget_governor.hpp"
 #include "core/policy.hpp"
+#include "rm/power_manager.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/failures.hpp"
 #include "sim/job_sim.hpp"
@@ -31,6 +33,9 @@ struct EpochRecord {
   double elapsed_seconds = 0.0;      ///< Max job elapsed time this epoch.
   double energy_joules = 0.0;
   double max_cap_change_watts = 0.0; ///< Largest per-host cap move.
+  double budget_watts = 0.0;         ///< Budget in force during the epoch.
+  std::uint64_t budget_epoch = 0;    ///< Renegotiation epoch in force.
+  bool emergency_clamped = false;    ///< RM step took the clamp path.
 };
 
 /// One node failure's reclamation trace: when the failure was applied,
@@ -56,6 +61,19 @@ struct FailureTelemetry {
   /// Mean epochs from node failure to full reclamation (only over
   /// failures that did reclaim).
   [[nodiscard]] double mean_epochs_to_reclaim() const;
+};
+
+/// Telemetry for a dynamic-budget run.
+struct BudgetTelemetry {
+  std::size_t revisions_applied = 0;
+  std::size_t revisions_stale = 0;    ///< Rejected: epoch did not advance.
+  std::size_t emergency_clamps = 0;   ///< RM steps that took the clamp path.
+  /// Loop epochs whose programmed caps exceeded the (just-revised)
+  /// budget — each is one control period of bounded excursion.
+  std::vector<std::size_t> excursion_epochs;
+  rm::ExcursionTelemetry excursions;  ///< Integral / time-to-safe account.
+  double final_budget_watts = 0.0;
+  std::uint64_t final_budget_epoch = 0;
 };
 
 /// Outcome of a coordinated run.
@@ -105,6 +123,25 @@ class CoordinationLoop {
       std::size_t total_iterations,
       std::span<const sim::FailureEvent> events,
       FailureTelemetry* telemetry = nullptr);
+
+  /// The full protocol: failures AND budget revisions replay together.
+  /// Each revision is adopted at the start of its `at_epoch` (stale
+  /// epochs rejected); the caps programmed at the previous RM step keep
+  /// running for that one epoch — the bounded excursion — and the RM
+  /// step at the epoch's end re-allocates under the revised budget,
+  /// falling back to the emergency clamp when the policy output and the
+  /// last caps both exceed it. Invariants (Σcaps ≤ budget + tolerance,
+  /// cap bounds, epoch monotonicity, watt conservation on reclaim) are
+  /// checked every epoch via core::invariants. `revisions` must be
+  /// sorted by `at_epoch`. After the run, budget_watts() reflects the
+  /// last adopted revision.
+  CoordinationResult run_dynamic(
+      std::span<sim::JobSimulation* const> jobs,
+      std::size_t total_iterations,
+      std::span<const sim::FailureEvent> events,
+      std::span<const BudgetRevision> revisions,
+      FailureTelemetry* failure_telemetry = nullptr,
+      BudgetTelemetry* budget_telemetry = nullptr);
 
   [[nodiscard]] double budget_watts() const noexcept { return budget_; }
   [[nodiscard]] const CoordinationOptions& options() const noexcept {

@@ -48,16 +48,21 @@ double parse_watts(std::string_view token, std::string_view what) {
   return value;
 }
 
-std::uint64_t parse_sequence(std::string_view line) {
-  PS_REQUIRE(util::starts_with(line, "sequence "),
-             "expected 'sequence' line");
-  const std::string_view token = line.substr(9);
+std::uint64_t parse_keyed_uint(std::string_view line, std::string_view key) {
+  PS_REQUIRE(util::starts_with(line, key) && line.size() > key.size() + 1 &&
+                 line[key.size()] == ' ',
+             "expected '" + std::string(key) + "' line");
+  const std::string_view token = line.substr(key.size() + 1);
   std::uint64_t value = 0;
   const auto [ptr, ec] =
       std::from_chars(token.data(), token.data() + token.size(), value);
   PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
-             "non-numeric sequence field");
+             "non-numeric " + std::string(key) + " field");
   return value;
+}
+
+std::uint64_t parse_sequence(std::string_view line) {
+  return parse_keyed_uint(line, "sequence");
 }
 
 std::string parse_job_name(std::string_view line) {
@@ -112,6 +117,18 @@ std::string serialize(const PolicyMessage& message, WireFidelity fidelity) {
   out << "sequence " << message.sequence << '\n';
   out << "job " << message.job_name << '\n';
   serialize_vector(out, "caps", message.host_caps_watts, fidelity);
+  if (message.budget_epoch != 0) {
+    out << "budget_epoch " << message.budget_epoch << '\n';
+  }
+  return out.str();
+}
+
+std::string serialize(const BudgetMessage& message, WireFidelity fidelity) {
+  std::ostringstream out;
+  out << "powerstack-budget v1\n";
+  out << "epoch " << message.epoch << '\n';
+  out << "budget " << format_value(message.budget_watts, fidelity) << '\n';
+  out << "emergency " << (message.emergency ? 1 : 0) << '\n';
   return out.str();
 }
 
@@ -139,7 +156,8 @@ SampleMessage parse_sample_message(std::string_view text) {
 
 PolicyMessage parse_policy_message(std::string_view text) {
   const std::vector<std::string> lines = non_empty_lines(text);
-  PS_REQUIRE(lines.size() == 4, "policy message needs 4 lines");
+  PS_REQUIRE(lines.size() == 4 || lines.size() == 5,
+             "policy message needs 4 or 5 lines");
   PS_REQUIRE(lines[0] == "powerstack-policy v1",
              "not a v1 policy message");
   PolicyMessage message;
@@ -148,7 +166,48 @@ PolicyMessage parse_policy_message(std::string_view text) {
   message.host_caps_watts = parse_vector(lines[3], "caps");
   PS_REQUIRE(!message.host_caps_watts.empty(),
              "policy message has no hosts");
+  if (lines.size() == 5) {
+    message.budget_epoch = parse_keyed_uint(lines[4], "budget_epoch");
+    PS_REQUIRE(message.budget_epoch != 0,
+               "explicit budget_epoch must be non-zero");
+  }
   return message;
+}
+
+BudgetMessage parse_budget_message(std::string_view text) {
+  const std::vector<std::string> lines = non_empty_lines(text);
+  PS_REQUIRE(lines.size() == 4, "budget message needs 4 lines");
+  PS_REQUIRE(lines[0] == "powerstack-budget v1",
+             "not a v1 budget message");
+  BudgetMessage message;
+  message.epoch = parse_keyed_uint(lines[1], "epoch");
+  PS_REQUIRE(message.epoch != 0, "budget epoch must be non-zero");
+  PS_REQUIRE(util::starts_with(lines[2], "budget "),
+             "expected 'budget' line");
+  message.budget_watts =
+      parse_watts(util::trim(lines[2].substr(7)), "budget");
+  PS_REQUIRE(message.budget_watts > 0.0, "budget must be positive");
+  const std::uint64_t emergency = parse_keyed_uint(lines[3], "emergency");
+  PS_REQUIRE(emergency <= 1, "emergency must be 0 or 1");
+  message.emergency = emergency == 1;
+  return message;
+}
+
+WireMessageKind wire_message_kind(std::string_view text) {
+  const std::size_t newline = text.find('\n');
+  const std::string_view header =
+      util::trim(newline == std::string_view::npos ? text
+                                                   : text.substr(0, newline));
+  if (header == "powerstack-sample v1") {
+    return WireMessageKind::kSample;
+  }
+  if (header == "powerstack-policy v1") {
+    return WireMessageKind::kPolicy;
+  }
+  if (header == "powerstack-budget v1") {
+    return WireMessageKind::kBudget;
+  }
+  return WireMessageKind::kUnknown;
 }
 
 bool SampleLatch::offer(SampleMessage message) {
@@ -249,7 +308,8 @@ PolicyContext context_from_samples(
 
 std::vector<PolicyMessage> make_policy_messages(
     const rm::PowerAllocation& allocation,
-    const std::vector<SampleMessage>& samples, std::uint64_t sequence) {
+    const std::vector<SampleMessage>& samples, std::uint64_t sequence,
+    std::uint64_t budget_epoch) {
   PS_REQUIRE(allocation.job_host_caps.size() == samples.size(),
              "allocation does not match the sample set");
   std::vector<PolicyMessage> messages;
@@ -259,6 +319,7 @@ std::vector<PolicyMessage> make_policy_messages(
     message.sequence = sequence;
     message.job_name = samples[j].job_name;
     message.host_caps_watts = allocation.job_host_caps[j];
+    message.budget_epoch = budget_epoch;
     messages.push_back(std::move(message));
   }
   return messages;

@@ -30,12 +30,29 @@ struct SampleMessage {
 };
 
 /// RM -> runtime control message: the caps one job must program.
+/// `budget_epoch` tags the caps with the budget renegotiation epoch they
+/// were computed under (0 = the construction-time budget, the v1 wire
+/// form). A client that has heard a newer epoch rejects older-tagged
+/// caps as stale — they would overspend a budget that has since shrunk.
 struct PolicyMessage {
   std::uint64_t sequence = 0;
   std::string job_name;
   std::vector<double> host_caps_watts;
+  std::uint64_t budget_epoch = 0;
 
   [[nodiscard]] bool operator==(const PolicyMessage&) const = default;
+};
+
+/// RM -> runtime budget-revision push: the daemon announces a
+/// renegotiated system budget to every live client. Clients use it to
+/// advance their session budget epoch (and so to reject caps computed
+/// under superseded budgets); `emergency` marks a brownout-scale drop.
+struct BudgetMessage {
+  std::uint64_t epoch = 0;        ///< Renegotiation epoch (monotone).
+  double budget_watts = 0.0;      ///< The revised system budget.
+  bool emergency = false;
+
+  [[nodiscard]] bool operator==(const BudgetMessage&) const = default;
 };
 
 /// Numeric fidelity of the serialized form — a writer-side knob; the v1
@@ -62,11 +79,23 @@ enum class WireFidelity { kDisplay, kExact };
 [[nodiscard]] std::string serialize(const SampleMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);
+/// PolicyMessage serializes as the 4-line v1 form when budget_epoch is 0
+/// and gains a fifth `budget_epoch` line otherwise; the parser accepts
+/// both, so pre-dynamic-budget peers interoperate unchanged.
 [[nodiscard]] std::string serialize(const PolicyMessage& message,
+                                    WireFidelity fidelity =
+                                        WireFidelity::kDisplay);
+[[nodiscard]] std::string serialize(const BudgetMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);
 [[nodiscard]] SampleMessage parse_sample_message(std::string_view text);
 [[nodiscard]] PolicyMessage parse_policy_message(std::string_view text);
+[[nodiscard]] BudgetMessage parse_budget_message(std::string_view text);
+
+/// What kind of wire message a frame holds, judged by its header line
+/// only (so a receiver can dispatch before committing to a full parse).
+enum class WireMessageKind { kSample, kPolicy, kBudget, kUnknown };
+[[nodiscard]] WireMessageKind wire_message_kind(std::string_view text);
 
 /// Keeps the newest sample from one producer, enforcing the sequence
 /// contract the resource-manager daemon relies on: stale or out-of-order
@@ -128,10 +157,12 @@ class Endpoint {
     double system_budget_watts, double node_tdp_watts,
     double uncappable_watts, const std::vector<SampleMessage>& samples);
 
-/// RM side: splits an allocation into one PolicyMessage per job.
+/// RM side: splits an allocation into one PolicyMessage per job, each
+/// tagged with the budget renegotiation epoch it was computed under.
 [[nodiscard]] std::vector<PolicyMessage> make_policy_messages(
     const rm::PowerAllocation& allocation,
-    const std::vector<SampleMessage>& samples, std::uint64_t sequence);
+    const std::vector<SampleMessage>& samples, std::uint64_t sequence,
+    std::uint64_t budget_epoch = 0);
 
 /// Runtime side: programs the caps a PolicyMessage carries. Throws
 /// ps::InvalidArgument if the message does not match the job.

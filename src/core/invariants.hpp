@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ps::core::invariants {
+
+/// How a tripped invariant is reported. `kFatal` throws ps::InvalidState
+/// at the check site (what CI runs); `kCount` records it and continues
+/// (what a production site runs — power management must degrade, not
+/// crash the resource manager). The initial mode comes from the
+/// PS_INVARIANTS environment variable ("fatal" / "count"), default count.
+enum class Mode { kCount, kFatal };
+
+[[nodiscard]] Mode mode() noexcept;
+void set_mode(Mode mode) noexcept;
+
+struct Stats {
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+};
+
+[[nodiscard]] Stats stats() noexcept;
+/// The message of the most recent violation ("" when none tripped).
+[[nodiscard]] std::string last_violation();
+void reset() noexcept;
+
+/// The primitive every named check funnels through: counts the check,
+/// and on failure either throws (kFatal) or records and returns.
+void check(bool ok, std::string_view what);
+
+/// Σ programmed caps must fit the system budget plus the RAPL
+/// quantization tolerance (0.5 W per host).
+void check_caps_fit_budget(double total_caps_watts, double budget_watts,
+                           std::size_t host_count, std::string_view where);
+
+/// floor <= cap <= job TDP, each side with `tolerance_watts` slack.
+void check_cap_bounds(double cap_watts, double floor_watts,
+                      double tdp_watts, double tolerance_watts,
+                      std::string_view where);
+
+/// Renegotiation epochs are strictly monotone.
+void check_epoch_monotone(std::uint64_t previous_epoch,
+                          std::uint64_t next_epoch, std::string_view where);
+
+/// Watt conservation on reclaim: the watts a departing job frees plus
+/// the watts still programmed must equal the pre-reclaim total.
+void check_watts_conserved(double before_watts, double freed_watts,
+                           double after_watts, double tolerance_watts,
+                           std::string_view where);
+
+}  // namespace ps::core::invariants

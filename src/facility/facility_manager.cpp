@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "core/invariants.hpp"
 #include "core/mixes.hpp"
 #include "rm/power_manager.hpp"
 #include "runtime/characterization.hpp"
@@ -13,6 +14,19 @@
 #include "util/stats.hpp"
 
 namespace ps::facility {
+
+namespace {
+/// The budget the power manager starts from: the configured one, or the
+/// cluster's total TDP when the option was left at zero (mirrors the
+/// constructor's default for options_.system_budget_watts).
+double effective_budget_watts(const sim::Cluster& cluster,
+                              const FacilityOptions& options) {
+  if (options.system_budget_watts > 0.0) {
+    return options.system_budget_watts;
+  }
+  return cluster.node(0).tdp() * static_cast<double>(cluster.size());
+}
+}  // namespace
 
 std::vector<FacilityJobSpec> generate_job_trace(
     util::Rng& rng, const JobTraceOptions& options) {
@@ -94,6 +108,7 @@ FacilityManager::FacilityManager(sim::Cluster& cluster,
     : cluster_(&cluster),
       options_(options),
       scheduler_(cluster.size()),
+      power_manager_(effective_budget_watts(cluster, options)),
       failure_rng_(options.failure_seed) {
   PS_REQUIRE(options.step_hours > 0.0, "step must be positive");
   PS_REQUIRE(options.node_mtbf_hours >= 0.0, "MTBF cannot be negative");
@@ -107,6 +122,12 @@ FacilityManager::FacilityManager(sim::Cluster& cluster,
   if (options_.system_budget_watts <= 0.0) {
     options_.system_budget_watts =
         cluster.node(0).tdp() * static_cast<double>(cluster.size());
+  }
+  if (!options_.budget_signal_watts.empty()) {
+    for (const double signal : options_.budget_signal_watts) {
+      PS_REQUIRE(signal > 0.0, "budget signal must be positive");
+    }
+    governor_.emplace(options_.system_budget_watts, options_.governor);
   }
 }
 
@@ -212,7 +233,7 @@ void FacilityManager::reallocate_power() {
     return;
   }
   core::PolicyContext context;
-  context.system_budget_watts = options_.system_budget_watts;
+  context.system_budget_watts = power_manager_.budget_watts();
   context.node_tdp_watts = cluster_->node(0).tdp();
   context.uncappable_watts = cluster_->node(0).params().dram_watts;
   for (const auto& job : running_) {
@@ -222,12 +243,71 @@ void FacilityManager::reallocate_power() {
   const rm::PowerAllocation allocation = policy->allocate(context);
   std::vector<sim::JobSimulation*> jobs;
   jobs.reserve(running_.size());
+  std::size_t hosts = 0;
   for (auto& job : running_) {
     jobs.push_back(job.simulation.get());
+    hosts += job.simulation->host_count();
   }
-  rm::SystemPowerManager(options_.system_budget_watts)
-      .apply(jobs, allocation, /*enforce_budget=*/false);
+  const double tolerance = 0.5 * static_cast<double>(hosts);
+  if (governor_.has_value() &&
+      allocation.total_watts() > power_manager_.budget_watts() + tolerance) {
+    // The policy's output no longer fits a shrunk budget (it may have
+    // been computed moments before a brownout revision): clamp it back
+    // inside the envelope, floors first.
+    power_manager_.emergency_clamp(jobs, allocation);
+    ++emergency_clamps_;
+  } else {
+    power_manager_.apply(jobs, allocation, /*enforce_budget=*/false);
+  }
+  if (governor_.has_value()) {
+    double floors = 0.0;
+    for (const auto& job : running_) {
+      const sim::JobSimulation& simulation = *job.simulation;
+      for (std::size_t h = 0; h < simulation.host_count(); ++h) {
+        floors += simulation.host(h).min_cap();
+        core::invariants::check_cap_bounds(
+            simulation.host_cap(h), simulation.host(h).min_cap(),
+            simulation.host(h).tdp(), 0.5, "facility.cap");
+      }
+    }
+    core::invariants::check_caps_fit_budget(
+        rm::SystemPowerManager::total_allocated_watts(jobs),
+        std::max(power_manager_.budget_watts(), floors), hosts,
+        "facility.reallocate");
+  }
   refresh_profiles();
+}
+
+double FacilityManager::programmed_watts() const {
+  double total = 0.0;
+  for (const auto& job : running_) {
+    for (std::size_t h = 0; h < job.simulation->host_count(); ++h) {
+      total += job.simulation->host_cap(h);
+    }
+  }
+  return total;
+}
+
+void FacilityManager::observe_budget_signal(std::size_t step,
+                                            FacilityResult& result) {
+  if (!governor_.has_value()) {
+    return;
+  }
+  const std::vector<double>& signal = options_.budget_signal_watts;
+  const double sample = signal[std::min(step, signal.size() - 1)];
+  const std::optional<core::BudgetRevision> revision =
+      governor_->observe(sample, step);
+  if (!revision.has_value()) {
+    return;
+  }
+  core::invariants::check_epoch_monotone(power_manager_.budget_epoch(),
+                                         revision->epoch,
+                                         "facility.revision");
+  power_manager_.set_budget(revision->budget_watts, revision->epoch);
+  ++result.budget_revisions;
+  // Reprogram immediately: a shrinking envelope must not wait for the
+  // next scheduling event, and a growing one should be spent.
+  reallocate_power();
 }
 
 void FacilityManager::refresh_profiles() {
@@ -306,6 +386,7 @@ FacilityResult FacilityManager::run(
   }
   FacilityResult result;
   result.step_hours = options_.step_hours;
+  emergency_clamps_ = 0;
   result.jobs.resize(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     result.jobs[i].name = trace[i].request.name;
@@ -324,6 +405,11 @@ FacilityResult FacilityManager::run(
       scheduler_.submit(trace[next_arrival].request);
       ++next_arrival;
     }
+    // The facility's budget signal is sampled once per control period
+    // (step); a revision reprograms the running jobs immediately, so the
+    // caps exceed a shrunk budget for at most the period that observed
+    // the shrink.
+    observe_budget_signal(step, result);
     if (process_failures(trace, now, result)) {
       reallocate_power();
     }
@@ -382,7 +468,15 @@ FacilityResult FacilityManager::run(
     result.total_energy_joules += idle_power * dt_seconds;
     result.utilization.push_back(static_cast<double>(busy_nodes) /
                                  static_cast<double>(cluster_->size()));
+    result.budget_watts.push_back(power_manager_.budget_watts());
+    if (governor_.has_value()) {
+      power_manager_.observe_programmed(programmed_watts(), busy_nodes,
+                                        dt_seconds);
+    }
   }
+  result.emergency_clamps = emergency_clamps_;
+  result.final_budget_epoch = power_manager_.budget_epoch();
+  result.excursions = power_manager_.excursions();
   return result;
 }
 

@@ -1,14 +1,17 @@
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/budget_governor.hpp"
 #include "core/policy.hpp"
 #include "rm/job.hpp"
+#include "rm/power_manager.hpp"
 #include "rm/scheduler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/job_sim.hpp"
@@ -70,6 +73,16 @@ struct FacilityOptions {
   /// progress is lost (checkpoint I/O overhead is folded into the
   /// nominal iteration time).
   double checkpoint_interval_hours = 0.0;
+  /// Dynamic budget: a per-step budget signal in watts (typically the
+  /// cluster's share of facility headroom, from
+  /// core::budget_signal_from_trace over a sim::FacilityTrace). Empty
+  /// keeps the budget fixed at system_budget_watts. When set, a
+  /// core::BudgetGovernor turns the signal into epoch-numbered
+  /// revisions adopted at step boundaries; steps past the end of the
+  /// signal hold its last value.
+  std::vector<double> budget_signal_watts;
+  /// Governor knobs (hysteresis, ramp limits, floor) for the signal.
+  core::BudgetGovernorOptions governor{};
 };
 
 /// Per-job accounting of a facility run. Times are in hours; a negative
@@ -100,6 +113,14 @@ struct FacilityResult {
   std::size_t completed_jobs = 0;
   std::size_t node_failures = 0;
   double total_energy_joules = 0.0;
+  /// Budget in force per time step (constant without a budget signal).
+  std::vector<double> budget_watts;
+  std::size_t budget_revisions = 0;  ///< Governor revisions adopted.
+  std::size_t emergency_clamps = 0;  ///< Reallocations that took the clamp.
+  std::uint64_t final_budget_epoch = 0;
+  /// Over-budget dwell accounting of the programmed caps (how long and
+  /// how far the cluster's committed power exceeded a shrinking budget).
+  rm::ExcursionTelemetry excursions;
 
   [[nodiscard]] double mean_power_watts() const;
   [[nodiscard]] double peak_power_watts() const;
@@ -149,6 +170,13 @@ class FacilityManager {
   void reallocate_power();
   void refresh_profiles();
 
+  /// Observes the budget signal for `step` and adopts the governor's
+  /// revision, if any (reallocating the running jobs under the new
+  /// budget). No-op without a budget signal.
+  void observe_budget_signal(std::size_t step, FacilityResult& result);
+  /// Sum of the caps currently programmed on the running jobs' hosts.
+  [[nodiscard]] double programmed_watts() const;
+
   /// Rolls for node failures, kills and resubmits affected jobs, and
   /// releases nodes whose repairs completed. Returns true if the running
   /// set changed.
@@ -158,6 +186,12 @@ class FacilityManager {
   sim::Cluster* cluster_;
   FacilityOptions options_;
   rm::Scheduler scheduler_;
+  /// Owns the enforced budget + renegotiation epoch and the excursion
+  /// telemetry; revised by the governor, consulted by reallocate_power.
+  rm::SystemPowerManager power_manager_;
+  /// Present only when options_.budget_signal_watts is non-empty.
+  std::optional<core::BudgetGovernor> governor_;
+  std::size_t emergency_clamps_ = 0;
   std::vector<RunningJob> running_;
   util::Rng failure_rng_{0xfa11};
   std::vector<std::pair<double, std::size_t>> repairs_;

@@ -51,6 +51,10 @@ void RuntimeClient::drop_connection() {
     transport_.reset();
   }
   decoder_ = FrameDecoder();  // a new connection starts a new stream
+  // Budget epochs are a per-connection contract: after an outage the
+  // daemon (possibly a restarted one) is the authority and resyncs us on
+  // registration.
+  session_budget_epoch_ = 0;
 }
 
 void RuntimeClient::reset_daemon_lost() noexcept {
@@ -106,6 +110,7 @@ bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
                  "connector returned an invalid transport");
       transport_ = std::move(transport);
       decoder_ = FrameDecoder();
+      session_budget_epoch_ = 0;  // the daemon resyncs on registration
       if (ever_connected_) {
         ++stats_.reconnects;
       }
@@ -173,9 +178,32 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange(
       }
       if (payload) {
         try {
+          if (core::wire_message_kind(*payload) ==
+              core::WireMessageKind::kBudget) {
+            // A renegotiated budget: advance the session epoch so any
+            // caps computed under the superseded budget are rejected.
+            core::BudgetMessage budget = core::parse_budget_message(*payload);
+            if (budget.epoch > session_budget_epoch_) {
+              session_budget_epoch_ = budget.epoch;
+              last_budget_ = std::move(budget);
+              ++stats_.budget_revisions;
+            } else {
+              ++stats_.budget_pushes_stale;
+            }
+            continue;
+          }
           core::PolicyMessage policy = core::parse_policy_message(*payload);
           PS_REQUIRE(policy.job_name == sample.job_name,
                      "policy reply addressed to a different job");
+          if (policy.budget_epoch < session_budget_epoch_) {
+            // Caps computed under a budget we have heard revoked (a
+            // duplicated or delayed frame): programming them could
+            // overspend the revised envelope.
+            ++stats_.stale_epoch_caps;
+            continue;
+          }
+          session_budget_epoch_ =
+              std::max(session_budget_epoch_, policy.budget_epoch);
           if (policy.sequence < sample.sequence) {
             ++stats_.stale_replies;
             continue;

@@ -39,6 +39,9 @@ struct ClientStats {
   std::size_t reconnects = 0;  ///< Successful connects after the first.
   std::size_t stale_replies = 0;
   std::size_t outages = 0;  ///< Transitions from connected to dialing.
+  std::size_t budget_revisions = 0;    ///< BudgetMessages that advanced us.
+  std::size_t budget_pushes_stale = 0; ///< BudgetMessages already known.
+  std::size_t stale_epoch_caps = 0;    ///< Caps rejected: superseded budget.
 };
 
 /// The runtime side of the daemon protocol: synchronous request/response
@@ -74,6 +77,20 @@ class RuntimeClient {
       const noexcept {
     return last_known_policy_;
   }
+  /// The newest budget revision heard on the *current* connection. The
+  /// epoch resets to 0 on every (re)connect — the daemon is the
+  /// authority after an outage and resyncs the client on registration —
+  /// and advances on each BudgetMessage or newer-tagged policy. Caps
+  /// tagged with an older epoch than this are rejected as stale.
+  [[nodiscard]] std::uint64_t session_budget_epoch() const noexcept {
+    return session_budget_epoch_;
+  }
+  /// The last BudgetMessage ever received (survives reconnects; what a
+  /// fallback caller should treat as its budget ceiling).
+  [[nodiscard]] const std::optional<core::BudgetMessage>& last_budget()
+      const noexcept {
+    return last_budget_;
+  }
   [[nodiscard]] bool connected() const noexcept {
     return transport_ != nullptr && transport_->valid();
   }
@@ -103,6 +120,8 @@ class RuntimeClient {
   std::unique_ptr<Transport> transport_;
   FrameDecoder decoder_;
   std::optional<core::PolicyMessage> last_known_policy_;
+  std::optional<core::BudgetMessage> last_budget_;
+  std::uint64_t session_budget_epoch_ = 0;
   ClientStats stats_;
   std::chrono::milliseconds backoff_;
   Clock::time_point next_connect_attempt_{};

@@ -5,8 +5,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/invariants.hpp"
 #include "net/snapshot.hpp"
 #include "rm/allocation.hpp"
+#include "rm/power_manager.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -25,7 +27,17 @@ PowerDaemon::PowerDaemon(const DaemonOptions& options)
              "heartbeat timeout must be positive");
   PS_REQUIRE(options.quarantine_errors > 0,
              "quarantine threshold must be positive");
+  for (std::size_t r = 0; r < options.budget_revisions.size(); ++r) {
+    PS_REQUIRE(options.budget_revisions[r].budget_watts > 0.0,
+               "scheduled budget revision must be positive");
+    PS_REQUIRE(r == 0 || options.budget_revisions[r - 1].at_epoch <=
+                             options.budget_revisions[r].at_epoch,
+               "scheduled budget revisions must be sorted by at_epoch");
+  }
+  budget_watts_ = options.system_budget_watts;
   restore_from_snapshot();
+  stats_.budget_watts = budget_watts_;
+  stats_.budget_epoch = budget_epoch_;
   loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
 }
 
@@ -39,7 +51,20 @@ void PowerDaemon::restore_from_snapshot() {
   if (!snapshot) {
     return;  // no snapshot (or a corrupt one): cold start
   }
-  if (snapshot->system_budget_watts != options_.system_budget_watts) {
+  if (snapshot->budget_epoch > 0) {
+    // The budget was renegotiated before the crash. The snapshot is the
+    // authority: restoring the configured budget would resurrect a
+    // pre-brownout envelope the clients already heard revoked.
+    budget_watts_ = snapshot->system_budget_watts;
+    budget_epoch_ = snapshot->budget_epoch;
+    // Scheduled revisions the previous incarnation already adopted must
+    // not replay (their epochs are not newer).
+    while (next_scheduled_revision_ < options_.budget_revisions.size() &&
+           options_.budget_revisions[next_scheduled_revision_].epoch <=
+               budget_epoch_) {
+      ++next_scheduled_revision_;
+    }
+  } else if (snapshot->system_budget_watts != options_.system_budget_watts) {
     // The persisted caps were computed under a different facility budget;
     // restoring them could violate the new one. Cold start instead.
     return;
@@ -90,13 +115,122 @@ void PowerDaemon::adopt(std::unique_ptr<Transport> transport) {
 
 void PowerDaemon::run() {
   adopt_pending_transports();
+  apply_pending_revisions();
   while (loop_.run_once(std::chrono::milliseconds(-1))) {
     adopt_pending_transports();
+    apply_pending_revisions();
   }
 }
 
 void PowerDaemon::stop() {
   loop_.stop();
+}
+
+void PowerDaemon::revise_budget(const core::BudgetRevision& revision) {
+  PS_REQUIRE(revision.budget_watts > 0.0,
+             "budget revision must be positive");
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    pending_revisions_.push_back(revision);
+  }
+  loop_.wake();
+}
+
+void PowerDaemon::apply_pending_revisions() {
+  std::vector<core::BudgetRevision> revisions;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    revisions.swap(pending_revisions_);
+  }
+  for (const core::BudgetRevision& revision : revisions) {
+    apply_revision(revision);
+  }
+}
+
+void PowerDaemon::apply_revision(const core::BudgetRevision& revision) {
+  if (revision.epoch <= budget_epoch_) {
+    // A replayed or superseded revision: rejecting it (rather than
+    // re-applying) is what makes delivery idempotent.
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.budget_revisions_stale;
+    return;
+  }
+  budget_watts_ = revision.budget_watts;
+  budget_epoch_ = revision.epoch;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.budget_revisions_applied;
+    stats_.budget_watts = budget_watts_;
+    stats_.budget_epoch = budget_epoch_;
+  }
+  clamp_stored_caps();
+  push_budget_to_sessions();
+  // The revised budget must survive a restart: persist before any
+  // further reply can leave under the new epoch.
+  maybe_write_snapshot();
+}
+
+void PowerDaemon::push_budget_to_sessions() {
+  core::BudgetMessage message;
+  message.epoch = budget_epoch_;
+  message.budget_watts = budget_watts_;
+  const std::string frame = encode_frame(
+      serialize(message, core::WireFidelity::kExact));
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (const auto& [fd, session] : sessions_) {
+    if (session.registered) {
+      fds.push_back(fd);
+    }
+  }
+  std::size_t pushed = 0;
+  for (const int fd : fds) {
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end()) {
+      continue;  // an earlier push's flush closed this session
+    }
+    queue_frame(fd, it->second, frame);
+    ++pushed;
+  }
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  stats_.budget_pushes += pushed;
+}
+
+void PowerDaemon::clamp_stored_caps() {
+  // Gather every job's stored caps; if together they no longer fit the
+  // revised budget, scale them onto it (shape-preserving, never below
+  // the job's settable floor) so a resend or a snapshot restore cannot
+  // reprogram a superseded allocation.
+  rm::PowerAllocation stored;
+  std::vector<std::vector<double>> floors;
+  std::vector<std::string> names;
+  std::size_t total_hosts = 0;
+  for (const auto& [name, record] : jobs_) {
+    if (!record.have_policy) {
+      continue;
+    }
+    const double floor =
+        record.latch.latest() ? record.latch.latest()->min_settable_cap_watts
+                              : 0.0;
+    stored.job_host_caps.push_back(record.last_caps_watts);
+    floors.emplace_back(record.last_caps_watts.size(), floor);
+    names.push_back(name);
+    total_hosts += record.last_caps_watts.size();
+  }
+  if (names.empty()) {
+    return;
+  }
+  const double tolerance = 0.5 * static_cast<double>(total_hosts);
+  if (stored.total_watts() <= budget_watts_ + tolerance) {
+    return;  // the allocation still fits; nothing to clamp
+  }
+  const rm::PowerAllocation clamped =
+      rm::clamp_allocation_to_budget(stored, floors, budget_watts_);
+  for (std::size_t j = 0; j < names.size(); ++j) {
+    jobs_.at(names[j]).last_caps_watts = clamped.job_host_caps[j];
+  }
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  ++stats_.emergency_clamps;
 }
 
 DaemonStats PowerDaemon::stats() const {
@@ -198,6 +332,12 @@ void PowerDaemon::evict_job(const std::string& name) {
   if (it == jobs_.end()) {
     return;  // idempotent: watts can only be returned once
   }
+  double stored_before = 0.0;
+  for (const auto& [job_name, job_record] : jobs_) {
+    for (const double cap : job_record.last_caps_watts) {
+      stored_before += cap;
+    }
+  }
   const JobRecord record = std::move(it->second);
   jobs_.erase(it);
 
@@ -216,6 +356,17 @@ void PowerDaemon::evict_job(const std::string& name) {
   for (const double cap : record.last_caps_watts) {
     reclaimed += cap;
   }
+  double stored_after = 0.0;
+  for (const auto& [job_name, job_record] : jobs_) {
+    for (const double cap : job_record.last_caps_watts) {
+      stored_after += cap;
+    }
+  }
+  // Exactly-once reclamation in watt terms: the pool before the eviction
+  // equals what the job freed plus what everyone else still holds.
+  core::invariants::check_watts_conserved(stored_before, reclaimed,
+                                          stored_after, 1e-9,
+                                          "daemon.evict");
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.jobs_evicted;
@@ -313,6 +464,21 @@ void PowerDaemon::handle_frame(int fd, Session& session,
     }
     session.job_name = sample.job_name;
     session.registered = true;
+    if (budget_epoch_ > 0) {
+      // Resync: a client registering (or reconnecting after an outage)
+      // must hear the current budget epoch before any caps, or it would
+      // reject them as stale / accept superseded ones.
+      core::BudgetMessage budget;
+      budget.epoch = budget_epoch_;
+      budget.budget_watts = budget_watts_;
+      queue_frame(fd, session,
+                  encode_frame(serialize(budget, core::WireFidelity::kExact)));
+      if (sessions_.find(fd) == sessions_.end()) {
+        throw InvalidArgument("session closed during budget resync");
+      }
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.budget_pushes;
+    }
   } else {
     PS_REQUIRE(sample.job_name == session.job_name,
                "session is bound to job '" + session.job_name + "'");
@@ -354,6 +520,11 @@ void PowerDaemon::resend_last_policy(int fd, Session& session,
   message.job_name = session.job_name;
   message.sequence = record.last_sequence;
   message.host_caps_watts = record.last_caps_watts;
+  // Tag with the *current* renegotiation epoch: the stored caps are kept
+  // valid under it (clamp_stored_caps runs on every revision), and an
+  // untagged resend would read as epoch 0 — rejected as stale by any
+  // client that has already heard a newer budget.
+  message.budget_epoch = budget_epoch_;
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.policies_resent;
@@ -361,11 +532,16 @@ void PowerDaemon::resend_last_policy(int fd, Session& session,
   queue_message(fd, session, message);
 }
 
+void PowerDaemon::queue_frame(int fd, Session& session,
+                              const std::string& frame) {
+  session.outbox.append(frame);
+  flush_outbox(fd, session);
+}
+
 void PowerDaemon::queue_message(int fd, Session& session,
                                 const core::PolicyMessage& message) {
-  session.outbox.append(
-      encode_frame(serialize(message, core::WireFidelity::kExact)));
-  flush_outbox(fd, session);
+  queue_frame(fd, session,
+              encode_frame(serialize(message, core::WireFidelity::kExact)));
 }
 
 void PowerDaemon::flush_outbox(int fd, Session& session) {
@@ -432,47 +608,106 @@ void PowerDaemon::allocate_once() {
     all_bootstrap = all_bootstrap && samples.back().sequence == 0;
   }
 
+  // Adopt scheduled budget revisions due for this round. A revision
+  // with at_epoch e maps to the round consuming sample sequence e + 1
+  // (the in-memory loop's epoch-e RM step), so both executions see the
+  // same budget at the same allocation.
+  std::uint64_t round_sequence = 0;
+  for (const core::SampleMessage& sample : samples) {
+    round_sequence = std::max(round_sequence, sample.sequence);
+  }
+  while (next_scheduled_revision_ < options_.budget_revisions.size() &&
+         options_.budget_revisions[next_scheduled_revision_].at_epoch <
+             round_sequence) {
+    core::invariants::check_epoch_monotone(
+        budget_epoch_,
+        options_.budget_revisions[next_scheduled_revision_].epoch,
+        "daemon.scheduled_revision");
+    apply_revision(options_.budget_revisions[next_scheduled_revision_]);
+    ++next_scheduled_revision_;
+  }
+
+  std::size_t total_hosts = 0;
+  for (const core::SampleMessage& sample : samples) {
+    total_hosts += sample.host_observed_watts.size();
+  }
+  const double tolerance = 0.5 * static_cast<double>(total_hosts);
+
   std::vector<core::PolicyMessage> messages(samples.size());
   if (all_bootstrap) {
     // Launch: every job starts from the uniform share of the budget,
     // exactly as the in-memory CoordinationLoop seeds itself.
-    std::size_t total_hosts = 0;
-    for (const core::SampleMessage& sample : samples) {
-      total_hosts += sample.host_observed_watts.size();
-    }
-    const double share =
-        options_.system_budget_watts / static_cast<double>(total_hosts);
+    const double share = budget_watts_ / static_cast<double>(total_hosts);
     for (std::size_t j = 0; j < samples.size(); ++j) {
       messages[j].host_caps_watts.assign(
           samples[j].host_observed_watts.size(), share);
     }
   } else {
     const core::PolicyContext context = core::context_from_samples(
-        options_.system_budget_watts, options_.node_tdp_watts,
-        options_.uncappable_watts, samples);
+        budget_watts_, options_.node_tdp_watts, options_.uncappable_watts,
+        samples);
     const rm::PowerAllocation allocation = policy_->allocate(context);
     if (policy_->is_system_aware() &&
-        !allocation.within_budget(
-            options_.system_budget_watts,
-            0.5 * static_cast<double>(allocation.host_count()))) {
-      // A policy output a site would reject; keep every job on its last
-      // caps rather than programming an over-budget allocation.
+        !allocation.within_budget(budget_watts_, tolerance)) {
+      // A policy output a site would reject. If the stored caps still
+      // fit (the pre-revision behavior) keep every job on them; if a
+      // revision left even those over budget, emergency-clamp the
+      // policy's output onto it rather than staying in excursion.
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        ++stats_.budget_violations;
+      }
+      double stored_watts = 0.0;
+      for (const auto& [name, record] : jobs_) {
+        for (const double cap : record.last_caps_watts) {
+          stored_watts += cap;
+        }
+      }
+      if (stored_watts <= budget_watts_ + tolerance) {
+        return;
+      }
+      std::vector<std::vector<double>> floors;
+      floors.reserve(samples.size());
+      for (const core::SampleMessage& sample : samples) {
+        floors.emplace_back(sample.host_observed_watts.size(),
+                            sample.min_settable_cap_watts);
+      }
+      const rm::PowerAllocation clamped =
+          rm::clamp_allocation_to_budget(allocation, floors, budget_watts_);
+      for (std::size_t j = 0; j < samples.size(); ++j) {
+        messages[j].host_caps_watts = clamped.job_host_caps[j];
+      }
       const std::lock_guard<std::mutex> lock(shared_mutex_);
-      ++stats_.budget_violations;
-      return;
-    }
-    for (std::size_t j = 0; j < samples.size(); ++j) {
-      messages[j].host_caps_watts = allocation.job_host_caps[j];
+      ++stats_.emergency_clamps;
+    } else {
+      for (std::size_t j = 0; j < samples.size(); ++j) {
+        messages[j].host_caps_watts = allocation.job_host_caps[j];
+      }
     }
   }
 
+  double round_watts = 0.0;
+  double round_floors = 0.0;
   for (std::size_t j = 0; j < samples.size(); ++j) {
     messages[j].sequence = samples[j].sequence;
     messages[j].job_name = samples[j].job_name;
+    messages[j].budget_epoch = budget_epoch_;
     JobRecord& record = jobs_.at(names[j]);
     record.last_caps_watts = messages[j].host_caps_watts;
     record.last_sequence = messages[j].sequence;
     record.have_policy = true;
+    for (const double cap : messages[j].host_caps_watts) {
+      round_watts += cap;
+    }
+    round_floors += samples[j].min_settable_cap_watts *
+                    static_cast<double>(messages[j].host_caps_watts.size());
+  }
+  if (all_bootstrap || policy_->is_system_aware()) {
+    // The invariant the whole stack exists to hold: what this round
+    // programs fits the budget in force (or, degenerately, the floors).
+    core::invariants::check_caps_fit_budget(
+        round_watts, std::max(budget_watts_, round_floors), total_hosts,
+        "daemon.allocate");
   }
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
@@ -506,7 +741,8 @@ void PowerDaemon::maybe_write_snapshot() {
     return;
   }
   DaemonSnapshot snapshot;
-  snapshot.system_budget_watts = options_.system_budget_watts;
+  snapshot.system_budget_watts = budget_watts_;
+  snapshot.budget_epoch = budget_epoch_;
   snapshot.launch_barrier_met = launch_barrier_met_;
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
@@ -533,6 +769,7 @@ void PowerDaemon::maybe_write_snapshot() {
 
 void PowerDaemon::on_tick() {
   adopt_pending_transports();
+  apply_pending_revisions();
   const auto now = Clock::now();
 
   std::vector<int> expired;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/budget_governor.hpp"
 #include "core/endpoint.hpp"
 #include "core/policy.hpp"
 #include "net/event_loop.hpp"
@@ -62,6 +63,13 @@ struct DaemonOptions {
   /// means connections are used as-is.
   std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
       transport_wrapper;
+
+  /// Scheduled budget revisions, sorted by at_epoch. The daemon adopts a
+  /// revision with at_epoch e before the allocation round that consumes
+  /// sample sequence e + 1 — the round that corresponds to coordination
+  /// epoch e's RM step — so a socket run replays the exact budget
+  /// trajectory CoordinationLoop::run_dynamic follows in memory.
+  std::vector<core::BudgetRevision> budget_revisions;
 };
 
 struct DaemonStats {
@@ -88,6 +96,15 @@ struct DaemonStats {
   std::size_t snapshots_written = 0;
   double watts_reclaimed = 0.0;  ///< Total returned to the pool by eviction.
   double reclaim_seconds_total = 0.0;  ///< Disconnect -> reclaim latency sum.
+
+  /// Dynamic-budget accounting. `budget_watts` / `budget_epoch` are the
+  /// budget currently enforced (epoch 0 until the first revision).
+  double budget_watts = 0.0;
+  std::uint64_t budget_epoch = 0;
+  std::size_t budget_revisions_applied = 0;
+  std::size_t budget_revisions_stale = 0;  ///< Rejected: epoch not newer.
+  std::size_t budget_pushes = 0;     ///< BudgetMessages queued to clients.
+  std::size_t emergency_clamps = 0;  ///< Rounds that took the clamp path.
 };
 
 /// The resource-manager power daemon: accepts many concurrent runtime
@@ -144,6 +161,15 @@ class PowerDaemon {
   /// Thread-safe: makes run() return after the current cycle.
   void stop();
 
+  /// Thread-safe: renegotiates the system budget from outside the loop
+  /// (a facility manager reacting to a live headroom signal). Applied on
+  /// the next loop cycle: a stale epoch is rejected, a newer one becomes
+  /// the enforced budget, every live client is pushed a BudgetMessage,
+  /// stored caps that no longer fit are emergency-clamped (proportional,
+  /// floor-respecting), and the snapshot is rewritten so a restart
+  /// cannot resurrect the superseded budget.
+  void revise_budget(const core::BudgetRevision& revision);
+
   [[nodiscard]] DaemonStats stats() const;
   [[nodiscard]] const DaemonOptions& options() const noexcept {
     return options_;
@@ -183,6 +209,7 @@ class PowerDaemon {
   void close_session(int fd, bool protocol_error);
   void evict_job(const std::string& name);
   void flush_outbox(int fd, Session& session);
+  void queue_frame(int fd, Session& session, const std::string& frame);
   void queue_message(int fd, Session& session,
                      const core::PolicyMessage& message);
   void resend_last_policy(int fd, Session& session, JobRecord& record);
@@ -191,6 +218,10 @@ class PowerDaemon {
   void maybe_write_snapshot();
   void restore_from_snapshot();
   void on_tick();
+  void apply_pending_revisions();
+  void apply_revision(const core::BudgetRevision& revision);
+  void push_budget_to_sessions();
+  void clamp_stored_caps();
 
   DaemonOptions options_;
   std::unique_ptr<core::Policy> policy_;
@@ -205,10 +236,17 @@ class PowerDaemon {
   bool in_allocate_ = false;
   bool allocate_again_ = false;
   std::uint16_t tcp_port_ = 0;
+  /// The budget currently enforced (options budget until revised, then
+  /// the newest adopted revision; a restored snapshot's revised budget
+  /// wins over the configured one).
+  double budget_watts_ = 0.0;
+  std::uint64_t budget_epoch_ = 0;
+  std::size_t next_scheduled_revision_ = 0;
 
   mutable std::mutex shared_mutex_;  ///< Guards stats_ and pending_.
   DaemonStats stats_;
   std::vector<std::unique_ptr<Transport>> pending_adoptions_;
+  std::vector<core::BudgetRevision> pending_revisions_;
 };
 
 }  // namespace ps::net

@@ -66,8 +66,9 @@ double DaemonSnapshot::allocated_watts() const {
 
 std::string serialize(const DaemonSnapshot& snapshot) {
   std::ostringstream out;
-  out << "powerstack-snapshot v1\n";
+  out << "powerstack-snapshot v2\n";
   out << "budget " << format_exact(snapshot.system_budget_watts) << '\n';
+  out << "budget_epoch " << snapshot.budget_epoch << '\n';
   out << "barrier " << (snapshot.launch_barrier_met ? 1 : 0) << '\n';
   out << "allocations " << snapshot.allocations << '\n';
   out << "jobs " << snapshot.jobs.size() << '\n';
@@ -114,25 +115,36 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
   PS_REQUIRE(crc32(text.substr(0, body_end)) == expected,
              "snapshot checksum mismatch (torn or corrupted write)");
 
-  PS_REQUIRE(lines[0] == "powerstack-snapshot v1", "not a v1 snapshot");
+  const bool v2 = lines[0] == "powerstack-snapshot v2";
+  PS_REQUIRE(v2 || lines[0] == "powerstack-snapshot v1",
+             "not a v1/v2 snapshot");
   DaemonSnapshot snapshot;
   snapshot.system_budget_watts =
       parse_watts(expect_field(lines[1], "budget "), "budget");
   PS_REQUIRE(snapshot.system_budget_watts > 0.0,
              "snapshot budget must be positive");
-  const std::string_view barrier = expect_field(lines[2], "barrier ");
+  std::size_t next = 2;
+  if (v2) {
+    snapshot.budget_epoch = parse_u64(
+        expect_field(lines[next], "budget_epoch "), "budget_epoch");
+    ++next;
+  }
+  const std::string_view barrier = expect_field(lines[next], "barrier ");
   PS_REQUIRE(barrier == "0" || barrier == "1", "barrier must be 0 or 1");
   snapshot.launch_barrier_met = barrier == "1";
+  ++next;
   snapshot.allocations =
-      parse_u64(expect_field(lines[3], "allocations "), "allocations");
+      parse_u64(expect_field(lines[next], "allocations "), "allocations");
+  ++next;
   const std::uint64_t job_count =
-      parse_u64(expect_field(lines[4], "jobs "), "jobs");
-  PS_REQUIRE(lines.size() == 6 + 3 * job_count,
+      parse_u64(expect_field(lines[next], "jobs "), "jobs");
+  ++next;
+  PS_REQUIRE(lines.size() == next + 1 + 3 * job_count,
              "snapshot job count disagrees with its body");
 
   std::set<std::string> seen;
   for (std::uint64_t j = 0; j < job_count; ++j) {
-    const std::size_t base = 5 + 3 * j;
+    const std::size_t base = next + 3 * j;
     SnapshotJob job;
     job.name = std::string(expect_field(lines[base], "job "));
     PS_REQUIRE(!job.name.empty(), "empty job name");

@@ -27,6 +27,11 @@ struct SnapshotJob {
 /// caps, so the cluster-wide budget invariant survives the restart.
 struct DaemonSnapshot {
   double system_budget_watts = 0.0;
+  /// Budget renegotiation epoch in force when the snapshot was taken
+  /// (0 = the construction-time budget was never revised). Persisting it
+  /// is what stops a restarted daemon from resurrecting a pre-brownout
+  /// budget: the restored epoch wins over the configured one.
+  std::uint64_t budget_epoch = 0;
   bool launch_barrier_met = false;
   std::uint64_t allocations = 0;  ///< Monotone: detects stale snapshots.
   std::vector<SnapshotJob> jobs;
@@ -39,8 +44,9 @@ struct DaemonSnapshot {
 /// Line-based serialization (versioned, human-readable, exact numeric
 /// fidelity) with a trailing CRC-32 line guarding the whole body:
 ///
-///   powerstack-snapshot v1
+///   powerstack-snapshot v2
 ///   budget 2880
+///   budget_epoch 3
 ///   barrier 1
 ///   allocations 7
 ///   jobs 2
@@ -49,6 +55,9 @@ struct DaemonSnapshot {
 ///   caps 181.25 181.25
 ///   ...
 ///   checksum 89abcdef
+///
+/// The writer always emits v2; the parser also accepts the v1 grammar
+/// (no budget_epoch line), reading it as epoch 0.
 [[nodiscard]] std::string serialize(const DaemonSnapshot& snapshot);
 
 /// Parses and validates a serialized snapshot. Throws ps::InvalidArgument

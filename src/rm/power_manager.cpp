@@ -1,12 +1,64 @@
 #include "rm/power_manager.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace ps::rm {
 
+PowerAllocation clamp_allocation_to_budget(
+    const PowerAllocation& allocation,
+    const std::vector<std::vector<double>>& host_floors,
+    double budget_watts) {
+  PS_REQUIRE(budget_watts > 0.0, "clamp budget must be positive");
+  PS_REQUIRE(host_floors.size() == allocation.job_host_caps.size(),
+             "floor shape has a different number of jobs");
+  double total_caps = 0.0;
+  double total_floors = 0.0;
+  for (std::size_t j = 0; j < allocation.job_host_caps.size(); ++j) {
+    PS_REQUIRE(host_floors[j].size() == allocation.job_host_caps[j].size(),
+               "floor shape has a different number of hosts for a job");
+    for (std::size_t h = 0; h < allocation.job_host_caps[j].size(); ++h) {
+      PS_REQUIRE(host_floors[j][h] >= 0.0, "host floor cannot be negative");
+      total_caps += allocation.job_host_caps[j][h];
+      total_floors += host_floors[j][h];
+    }
+  }
+  double scale = 1.0;
+  if (total_caps > budget_watts) {
+    scale = total_caps > total_floors
+                ? (budget_watts - total_floors) / (total_caps - total_floors)
+                : 0.0;
+    scale = std::clamp(scale, 0.0, 1.0);
+  }
+  PowerAllocation clamped;
+  clamped.job_host_caps.resize(allocation.job_host_caps.size());
+  for (std::size_t j = 0; j < allocation.job_host_caps.size(); ++j) {
+    clamped.job_host_caps[j].reserve(allocation.job_host_caps[j].size());
+    for (std::size_t h = 0; h < allocation.job_host_caps[j].size(); ++h) {
+      const double floor = host_floors[j][h];
+      const double cap = allocation.job_host_caps[j][h];
+      clamped.job_host_caps[j].push_back(
+          floor + scale * std::max(0.0, cap - floor));
+    }
+  }
+  return clamped;
+}
+
 SystemPowerManager::SystemPowerManager(double system_budget_watts)
     : budget_(system_budget_watts) {
   PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
+}
+
+bool SystemPowerManager::set_budget(double budget_watts, std::uint64_t epoch) {
+  PS_REQUIRE(budget_watts > 0.0, "system budget must be positive");
+  if (epoch <= budget_epoch_) {
+    return false;  // stale revision: a newer budget already applied
+  }
+  budget_ = budget_watts;
+  budget_epoch_ = epoch;
+  return true;
 }
 
 void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
@@ -30,6 +82,48 @@ void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
     for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
       jobs[j]->set_host_cap(h, allocation.job_host_caps[j][h]);
     }
+  }
+}
+
+PowerAllocation SystemPowerManager::emergency_clamp(
+    std::span<sim::JobSimulation* const> jobs,
+    const PowerAllocation& allocation) const {
+  PS_REQUIRE(allocation.job_host_caps.size() == jobs.size(),
+             "allocation has a different number of jobs");
+  std::vector<std::vector<double>> floors(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    PS_REQUIRE(jobs[j] != nullptr, "job must not be null");
+    floors[j].reserve(jobs[j]->host_count());
+    for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+      floors[j].push_back(jobs[j]->host(h).min_cap());
+    }
+  }
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, budget_);
+  apply(jobs, clamped, /*enforce_budget=*/false);
+  return clamped;
+}
+
+void SystemPowerManager::observe_programmed(double programmed_watts,
+                                            std::size_t host_count,
+                                            double elapsed_seconds) {
+  PS_REQUIRE(elapsed_seconds >= 0.0, "elapsed time cannot be negative");
+  const double tolerance = 0.5 * static_cast<double>(host_count);
+  const double over = programmed_watts - budget_;
+  if (over > tolerance) {
+    excursions_.in_excursion = true;
+    excursions_.current_excursion_seconds += elapsed_seconds;
+    excursions_.over_budget_watt_seconds += over * elapsed_seconds;
+    excursions_.worst_over_watts = std::max(excursions_.worst_over_watts, over);
+  } else if (excursions_.in_excursion) {
+    ++excursions_.excursions;
+    excursions_.last_time_to_safe_seconds =
+        excursions_.current_excursion_seconds;
+    excursions_.max_time_to_safe_seconds =
+        std::max(excursions_.max_time_to_safe_seconds,
+                 excursions_.current_excursion_seconds);
+    excursions_.current_excursion_seconds = 0.0;
+    excursions_.in_excursion = false;
   }
 }
 

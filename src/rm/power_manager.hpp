@@ -1,20 +1,60 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "rm/allocation.hpp"
 #include "sim/job_sim.hpp"
 
 namespace ps::rm {
 
+/// Running account of budget excursions: intervals where programmed power
+/// exceeded the (possibly just-revised) system budget beyond the RAPL
+/// quantization tolerance. `last_time_to_safe_seconds` is the length of
+/// the most recently closed excursion — the paper-level robustness metric:
+/// how long after a budget drop the cluster kept drawing above it.
+struct ExcursionTelemetry {
+  std::size_t excursions = 0;              ///< Closed excursion episodes.
+  double over_budget_watt_seconds = 0.0;   ///< ∫ max(0, programmed − budget) dt.
+  double worst_over_watts = 0.0;           ///< Peak instantaneous overshoot.
+  double last_time_to_safe_seconds = 0.0;  ///< Duration of the latest episode.
+  double max_time_to_safe_seconds = 0.0;   ///< Longest episode seen.
+  bool in_excursion = false;               ///< Currently above budget.
+  double current_excursion_seconds = 0.0;  ///< Age of the open episode.
+};
+
+/// Proportional scale-down of an allocation onto `budget_watts`,
+/// preserving the policy's shape: every cap moves toward its host floor
+/// by the same fraction, c' = f + s·(c − f) with
+/// s = (B − Σf) / (Σc − Σf) clamped to [0, 1]. If even the floors exceed
+/// the budget, every host lands exactly on its floor — the stack never
+/// programs below a settable minimum. Shapes of `allocation` and
+/// `host_floors` must match.
+[[nodiscard]] PowerAllocation clamp_allocation_to_budget(
+    const PowerAllocation& allocation,
+    const std::vector<std::vector<double>>& host_floors,
+    double budget_watts);
+
 /// The resource manager's power-enforcement arm: owns the system-wide
 /// power budget and programs per-host RAPL caps from a policy's
 /// PowerAllocation (SLURM power-management analogue, Section III).
+/// The budget is mutable: renegotiated revisions arrive via set_budget
+/// with a strictly-monotone epoch, so a stale revision (replayed message,
+/// resurrected snapshot) can never roll the budget back.
 class SystemPowerManager {
  public:
   explicit SystemPowerManager(double system_budget_watts);
 
   [[nodiscard]] double budget_watts() const noexcept { return budget_; }
+  [[nodiscard]] std::uint64_t budget_epoch() const noexcept {
+    return budget_epoch_;
+  }
+
+  /// Adopts a renegotiated budget. Returns false (and changes nothing)
+  /// when `epoch` does not advance past the current budget epoch — the
+  /// caller saw a stale revision. Throws on a non-positive budget.
+  bool set_budget(double budget_watts, std::uint64_t epoch);
 
   /// Applies the allocation's caps to the jobs' hosts. Shapes must match
   /// (one cap vector per job, one cap per host). If `enforce_budget` is
@@ -26,6 +66,25 @@ class SystemPowerManager {
              const PowerAllocation& allocation,
              bool enforce_budget = true) const;
 
+  /// Emergency-clamp path for a revision the current caps no longer fit:
+  /// scales `allocation` onto the current budget (floors = each host's
+  /// settable minimum) and programs the result. Returns the clamped
+  /// allocation actually applied.
+  PowerAllocation emergency_clamp(std::span<sim::JobSimulation* const> jobs,
+                                  const PowerAllocation& allocation) const;
+
+  /// Accounts `elapsed_seconds` of running with `programmed_watts`
+  /// total caps against the current budget, opening/extending an
+  /// excursion when above budget + tolerance and closing it when back
+  /// under. Call with elapsed 0 after reprogramming to close an episode
+  /// at the reprogram instant.
+  void observe_programmed(double programmed_watts, std::size_t host_count,
+                          double elapsed_seconds);
+
+  [[nodiscard]] const ExcursionTelemetry& excursions() const noexcept {
+    return excursions_;
+  }
+
   /// Sum of currently programmed caps across the jobs' hosts.
   [[nodiscard]] static double total_allocated_watts(
       std::span<sim::JobSimulation* const> jobs);
@@ -36,6 +95,8 @@ class SystemPowerManager {
 
  private:
   double budget_;
+  std::uint64_t budget_epoch_ = 0;
+  ExcursionTelemetry excursions_;
 };
 
 }  // namespace ps::rm

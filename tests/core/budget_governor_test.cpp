@@ -1,0 +1,181 @@
+#include "core/budget_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sim/facility_trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::core {
+namespace {
+
+TEST(BudgetGovernorTest, HysteresisSwallowsSmallMoves) {
+  BudgetGovernorOptions options;
+  options.hysteresis_watts = 10.0;
+  BudgetGovernor governor(1'000.0, options);
+  EXPECT_FALSE(governor.observe(1'005.0, 0).has_value());
+  EXPECT_FALSE(governor.observe(992.0, 1).has_value());
+  EXPECT_FALSE(governor.observe(1'010.0, 2).has_value());  // exactly at
+  EXPECT_DOUBLE_EQ(governor.budget_watts(), 1'000.0);
+  EXPECT_EQ(governor.epoch(), 0u);
+}
+
+TEST(BudgetGovernorTest, RevisionCarriesStrictlyMonotoneEpochs) {
+  BudgetGovernor governor(1'000.0);
+  const auto first = governor.observe(900.0, 3);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->epoch, 1u);
+  EXPECT_EQ(first->at_epoch, 3u);
+  EXPECT_DOUBLE_EQ(first->budget_watts, 900.0);
+  const auto second = governor.observe(1'100.0, 7);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->epoch, 2u);
+  EXPECT_DOUBLE_EQ(governor.budget_watts(), 1'100.0);
+}
+
+TEST(BudgetGovernorTest, RaiseIsRampLimitedUntilItReachesTheSignal) {
+  BudgetGovernorOptions options;
+  options.max_raise_watts = 50.0;
+  BudgetGovernor governor(1'000.0, options);
+  const auto step1 = governor.observe(1'200.0, 0);
+  ASSERT_TRUE(step1.has_value());
+  EXPECT_DOUBLE_EQ(step1->budget_watts, 1'050.0);
+  // The signal holds still; the governor keeps stepping toward it.
+  const auto step2 = governor.observe(1'200.0, 1);
+  ASSERT_TRUE(step2.has_value());
+  EXPECT_DOUBLE_EQ(step2->budget_watts, 1'100.0);
+  EXPECT_FALSE(step2->emergency);
+}
+
+TEST(BudgetGovernorTest, LowerRampLimitsWhenConfigured) {
+  BudgetGovernorOptions options;
+  options.max_lower_watts = 30.0;
+  BudgetGovernor governor(1'000.0, options);
+  const auto revision = governor.observe(800.0, 0);
+  ASSERT_TRUE(revision.has_value());
+  EXPECT_DOUBLE_EQ(revision->budget_watts, 970.0);
+}
+
+TEST(BudgetGovernorTest, LargeDropIsMarkedEmergency) {
+  BudgetGovernorOptions options;
+  options.emergency_drop_fraction = 0.15;
+  BudgetGovernor governor(1'000.0, options);
+  const auto drift = governor.observe(900.0, 0);  // 10%: a drift
+  ASSERT_TRUE(drift.has_value());
+  EXPECT_FALSE(drift->emergency);
+  const auto brownout = governor.observe(600.0, 1);  // 33%: a brownout
+  ASSERT_TRUE(brownout.has_value());
+  EXPECT_TRUE(brownout->emergency);
+}
+
+TEST(BudgetGovernorTest, NeverRevisesBelowTheFloor) {
+  BudgetGovernorOptions options;
+  options.floor_watts = 500.0;
+  BudgetGovernor governor(1'000.0, options);
+  const auto revision = governor.observe(100.0, 0);
+  ASSERT_TRUE(revision.has_value());
+  EXPECT_DOUBLE_EQ(revision->budget_watts, 500.0);
+  // Already pinned to the floor: a deeper signal changes nothing.
+  EXPECT_FALSE(governor.observe(50.0, 1).has_value());
+}
+
+TEST(BudgetGovernorTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(BudgetGovernor(0.0), InvalidArgument);
+  BudgetGovernorOptions bad_floor;
+  bad_floor.floor_watts = 2'000.0;
+  EXPECT_THROW(BudgetGovernor(1'000.0, bad_floor), InvalidArgument);
+  BudgetGovernorOptions bad_fraction;
+  bad_fraction.emergency_drop_fraction = 0.0;
+  EXPECT_THROW(BudgetGovernor(1'000.0, bad_fraction), InvalidArgument);
+}
+
+TEST(BudgetGovernorTest, RejectsNonFiniteSignal) {
+  BudgetGovernor governor(1'000.0);
+  EXPECT_THROW(static_cast<void>(governor.observe(
+                   std::numeric_limits<double>::quiet_NaN(), 0)),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(governor.observe(-1.0, 0)),
+               InvalidArgument);
+}
+
+TEST(BudgetScheduleTest, ScheduleIsSortedWithStrictEpochs) {
+  util::Rng rng(21);
+  std::vector<double> signal;
+  for (std::size_t i = 0; i < 64; ++i) {
+    signal.push_back(1'400.0 + rng.normal(0.0, 150.0));
+  }
+  const std::vector<BudgetRevision> schedule =
+      make_budget_schedule(1'500.0, signal, {});
+  ASSERT_FALSE(schedule.empty());
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_LT(schedule[i - 1].at_epoch, schedule[i].at_epoch);
+    EXPECT_LT(schedule[i - 1].epoch, schedule[i].epoch);
+  }
+  for (const BudgetRevision& revision : schedule) {
+    EXPECT_GT(revision.budget_watts, 0.0);
+  }
+}
+
+TEST(BudgetSignalTest, TraceSignalIsClusterShareOfHeadroom) {
+  sim::FacilityTraceParams params;
+  params.days = 4;
+  util::Rng rng(5);
+  const sim::FacilityTrace trace = sim::generate_facility_trace(params, rng);
+  const double share = 0.002;
+  const std::vector<double> signal =
+      budget_signal_from_trace(trace, share, 16, 100.0);
+  ASSERT_EQ(signal.size(), 16u);
+  // First sample maps to the first trace sample exactly.
+  const double expected =
+      share * (params.peak_rating_mw - trace.instantaneous_mw.front()) * 1e6;
+  EXPECT_DOUBLE_EQ(signal.front(), std::max(100.0, expected));
+  for (const double watts : signal) {
+    EXPECT_GE(watts, 100.0);
+    // Headroom never exceeds the full rating.
+    EXPECT_LE(watts, share * params.peak_rating_mw * 1e6);
+  }
+}
+
+TEST(BudgetSignalTest, SignalRespectsFloorUnderSaturatedTrace) {
+  sim::FacilityTraceParams params;
+  params.days = 2;
+  util::Rng rng(9);
+  sim::FacilityTrace trace = sim::generate_facility_trace(params, rng);
+  // Force the facility to its rating: headroom is zero everywhere.
+  for (double& mw : trace.instantaneous_mw) {
+    mw = params.peak_rating_mw;
+  }
+  const std::vector<double> signal =
+      budget_signal_from_trace(trace, 0.01, 8, 250.0);
+  for (const double watts : signal) {
+    EXPECT_DOUBLE_EQ(watts, 250.0);
+  }
+}
+
+TEST(BudgetSignalTest, RejectsDegenerateArguments) {
+  sim::FacilityTraceParams params;
+  params.days = 1;
+  util::Rng rng(1);
+  const sim::FacilityTrace trace = sim::generate_facility_trace(params, rng);
+  EXPECT_THROW(static_cast<void>(
+                   budget_signal_from_trace(trace, 0.0, 8, 100.0)),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(
+                   budget_signal_from_trace(trace, 1.5, 8, 100.0)),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(
+                   budget_signal_from_trace(trace, 0.5, 0, 100.0)),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(
+                   budget_signal_from_trace(trace, 0.5, 8, 0.0)),
+               InvalidArgument);
+  const sim::FacilityTrace empty;
+  EXPECT_THROW(static_cast<void>(
+                   budget_signal_from_trace(empty, 0.5, 8, 100.0)),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

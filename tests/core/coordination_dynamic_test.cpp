@@ -1,0 +1,264 @@
+// CoordinationLoop::run_dynamic: budget revisions replayed against the
+// in-memory protocol — adoption at epoch boundaries, the one-control-
+// period excursion bound, the emergency clamp, and the always-on runtime
+// invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/invariants.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+/// Two-job, eight-host scenario (one power-wasteful, one power-hungry),
+/// rebuilt per call so independent runs start from identical state.
+struct Scenario {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+  std::vector<sim::JobSimulation*> pointers;
+
+  Scenario() {
+    cluster = std::make_unique<sim::Cluster>(8);
+    kernel::WorkloadConfig wasteful;
+    wasteful.intensity = 8.0;
+    wasteful.waiting_fraction = 0.5;
+    wasteful.imbalance = 3.0;
+    kernel::WorkloadConfig hungry;
+    hungry.intensity = 32.0;
+    std::vector<hw::NodeModel*> hosts_a;
+    std::vector<hw::NodeModel*> hosts_b;
+    for (std::size_t i = 0; i < 4; ++i) {
+      hosts_a.push_back(&cluster->node(i));
+      hosts_b.push_back(&cluster->node(i + 4));
+    }
+    jobs.push_back(
+        std::make_unique<sim::JobSimulation>("wasteful", hosts_a, wasteful));
+    jobs.push_back(
+        std::make_unique<sim::JobSimulation>("hungry", hosts_b, hungry));
+    pointers = {jobs[0].get(), jobs[1].get()};
+  }
+
+  [[nodiscard]] double floors_watts() const {
+    double floors = 0.0;
+    for (const auto& job : jobs) {
+      for (std::size_t h = 0; h < job->host_count(); ++h) {
+        floors += job->host(h).min_cap();
+      }
+    }
+    return floors;
+  }
+};
+
+/// Runs with invariants fatal (the CI contract) and restores the global
+/// mode/counters afterwards.
+class DynamicCoordinationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_mode_ = invariants::mode();
+    invariants::set_mode(invariants::Mode::kFatal);
+    invariants::reset();
+  }
+  void TearDown() override {
+    invariants::reset();
+    invariants::set_mode(previous_mode_);
+  }
+
+  invariants::Mode previous_mode_ = invariants::Mode::kCount;
+};
+
+constexpr double kBudget = 1'700.0;
+
+TEST_F(DynamicCoordinationTest, NoRevisionsMatchesPlainRun) {
+  Scenario a;
+  Scenario b;
+  CoordinationLoop plain(kBudget);
+  CoordinationLoop dynamic(kBudget);
+  const CoordinationResult expected = plain.run(a.pointers, 30);
+  BudgetTelemetry telemetry;
+  const CoordinationResult actual =
+      dynamic.run_dynamic(b.pointers, 30, {}, {}, nullptr, &telemetry);
+  ASSERT_EQ(actual.epochs.size(), expected.epochs.size());
+  for (std::size_t e = 0; e < actual.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(actual.epochs[e].allocated_watts,
+                     expected.epochs[e].allocated_watts);
+    EXPECT_DOUBLE_EQ(actual.epochs[e].budget_watts, kBudget);
+    EXPECT_EQ(actual.epochs[e].budget_epoch, 0u);
+    EXPECT_FALSE(actual.epochs[e].emergency_clamped);
+  }
+  EXPECT_EQ(telemetry.revisions_applied, 0u);
+  EXPECT_EQ(telemetry.excursion_epochs.size(), 0u);
+  EXPECT_DOUBLE_EQ(telemetry.final_budget_watts, kBudget);
+  EXPECT_EQ(invariants::stats().violations, 0u);
+}
+
+TEST_F(DynamicCoordinationTest, RevisionAdoptedAtItsEpochStart) {
+  Scenario scenario;
+  const double revised =
+      std::max(scenario.floors_watts() + 60.0, 0.75 * kBudget);
+  CoordinationLoop loop(kBudget);
+  BudgetRevision revision;
+  revision.epoch = 1;
+  revision.budget_watts = revised;
+  revision.at_epoch = 2;
+  BudgetTelemetry telemetry;
+  const CoordinationResult result = loop.run_dynamic(
+      scenario.pointers, 40, {}, {&revision, 1}, nullptr, &telemetry);
+  ASSERT_GE(result.epochs.size(), 4u);
+  for (const EpochRecord& record : result.epochs) {
+    if (record.epoch < 2) {
+      EXPECT_DOUBLE_EQ(record.budget_watts, kBudget);
+      EXPECT_EQ(record.budget_epoch, 0u);
+    } else {
+      EXPECT_DOUBLE_EQ(record.budget_watts, revised);
+      EXPECT_EQ(record.budget_epoch, 1u);
+    }
+  }
+  EXPECT_EQ(telemetry.revisions_applied, 1u);
+  EXPECT_EQ(telemetry.revisions_stale, 0u);
+  EXPECT_DOUBLE_EQ(telemetry.final_budget_watts, revised);
+  EXPECT_EQ(telemetry.final_budget_epoch, 1u);
+  EXPECT_DOUBLE_EQ(loop.budget_watts(), revised);
+  EXPECT_EQ(invariants::stats().violations, 0u);
+}
+
+TEST_F(DynamicCoordinationTest, BrownoutExcursionIsBoundedToOnePeriod) {
+  Scenario scenario;
+  // A 30%-class drop, but never below the settable floors (the policy
+  // must be able to fit the revised budget at the next RM step).
+  const double revised =
+      std::max(scenario.floors_watts() + 60.0, 0.70 * kBudget);
+  CoordinationLoop loop(kBudget);
+  BudgetRevision revision;
+  revision.epoch = 1;
+  revision.budget_watts = revised;
+  revision.at_epoch = 3;
+  BudgetTelemetry telemetry;
+  const CoordinationResult result = loop.run_dynamic(
+      scenario.pointers, 40, {}, {&revision, 1}, nullptr, &telemetry);
+  ASSERT_GE(result.epochs.size(), 5u);
+  // Exactly the revision epoch runs on the superseded caps; the RM step
+  // at its end reprograms under the revised budget.
+  ASSERT_EQ(telemetry.excursion_epochs.size(), 1u);
+  EXPECT_EQ(telemetry.excursion_epochs[0], 3u);
+  EXPECT_EQ(telemetry.excursions.excursions, 1u);
+  EXPECT_FALSE(telemetry.excursions.in_excursion);
+  EXPECT_DOUBLE_EQ(telemetry.excursions.last_time_to_safe_seconds,
+                   result.epochs[3].elapsed_seconds);
+  EXPECT_DOUBLE_EQ(telemetry.excursions.max_time_to_safe_seconds,
+                   telemetry.excursions.last_time_to_safe_seconds);
+  EXPECT_GT(telemetry.excursions.over_budget_watt_seconds, 0.0);
+  // Bounded time-to-safe, stated with the measured value for the log.
+  std::printf("measured time-to-safe: %.6f s (one control period: %.6f s)\n",
+              telemetry.excursions.last_time_to_safe_seconds,
+              result.epochs[3].elapsed_seconds);
+  EXPECT_LE(telemetry.excursions.last_time_to_safe_seconds,
+            result.epochs[3].elapsed_seconds);
+  EXPECT_EQ(invariants::stats().violations, 0u);
+}
+
+TEST_F(DynamicCoordinationTest, StaleRevisionIsRejectedAndCounted) {
+  // A duplicated renegotiation epoch (replayed message): the second copy
+  // must not move the budget. Epoch-monotonicity is itself an invariant,
+  // so this scenario runs in counting mode, as a production site would.
+  invariants::set_mode(invariants::Mode::kCount);
+  Scenario scenario;
+  const double revised =
+      std::max(scenario.floors_watts() + 60.0, 0.8 * kBudget);
+  std::vector<BudgetRevision> revisions(2);
+  revisions[0].epoch = 1;
+  revisions[0].budget_watts = revised;
+  revisions[0].at_epoch = 1;
+  revisions[1].epoch = 1;  // the replay
+  revisions[1].budget_watts = 0.5 * kBudget;
+  revisions[1].at_epoch = 2;
+  CoordinationLoop loop(kBudget);
+  BudgetTelemetry telemetry;
+  const CoordinationResult result = loop.run_dynamic(
+      scenario.pointers, 30, {}, revisions, nullptr, &telemetry);
+  EXPECT_EQ(telemetry.revisions_applied, 1u);
+  EXPECT_EQ(telemetry.revisions_stale, 1u);
+  EXPECT_DOUBLE_EQ(loop.budget_watts(), revised);
+  EXPECT_DOUBLE_EQ(result.epochs.back().budget_watts, revised);
+  // The monotonicity invariant recorded the replay.
+  EXPECT_GE(invariants::stats().violations, 1u);
+}
+
+TEST_F(DynamicCoordinationTest, UnsortedRevisionsRejected) {
+  Scenario scenario;
+  std::vector<BudgetRevision> revisions(2);
+  revisions[0].epoch = 1;
+  revisions[0].budget_watts = 1'500.0;
+  revisions[0].at_epoch = 4;
+  revisions[1].epoch = 2;
+  revisions[1].budget_watts = 1'400.0;
+  revisions[1].at_epoch = 2;
+  CoordinationLoop loop(kBudget);
+  EXPECT_THROW(static_cast<void>(loop.run_dynamic(scenario.pointers, 20, {},
+                                                  revisions, nullptr,
+                                                  nullptr)),
+               InvalidArgument);
+}
+
+TEST_F(DynamicCoordinationTest, DeepBrownoutTakesTheEmergencyClamp) {
+  Scenario scenario;
+  // Below the settable floors: no policy output can fit, so the RM step
+  // falls back to the shape-preserving clamp and the caps land on the
+  // floors (never below — the floor wins over the budget).
+  const double revised = 0.9 * scenario.floors_watts();
+  CoordinationLoop loop(kBudget);
+  BudgetRevision revision;
+  revision.epoch = 1;
+  revision.budget_watts = revised;
+  revision.at_epoch = 2;
+  BudgetTelemetry telemetry;
+  const CoordinationResult result = loop.run_dynamic(
+      scenario.pointers, 40, {}, {&revision, 1}, nullptr, &telemetry);
+  EXPECT_GE(telemetry.emergency_clamps, 1u);
+  bool clamped_epoch_seen = false;
+  for (const EpochRecord& record : result.epochs) {
+    clamped_epoch_seen = clamped_epoch_seen || record.emergency_clamped;
+  }
+  EXPECT_TRUE(clamped_epoch_seen);
+  // Caps parked at the floors still exceed the budget: the excursion
+  // never closes, and the telemetry says so honestly.
+  EXPECT_TRUE(telemetry.excursions.in_excursion);
+  double floors = scenario.floors_watts();
+  EXPECT_NEAR(result.epochs.back().allocated_watts, floors, 0.5 * 8);
+  // max(budget, floors) guards the caps-fit invariant: zero violations.
+  EXPECT_EQ(invariants::stats().violations, 0u);
+}
+
+TEST_F(DynamicCoordinationTest, ComposesWithNodeFailures) {
+  Scenario scenario;
+  const double revised =
+      std::max(scenario.floors_watts() + 60.0, 0.8 * kBudget);
+  sim::FailureEvent failure;
+  failure.kind = sim::FailureKind::kNodeFailure;
+  failure.epoch = 1;
+  failure.job = 0;
+  failure.host = 1;
+  BudgetRevision revision;
+  revision.epoch = 1;
+  revision.budget_watts = revised;
+  revision.at_epoch = 3;
+  CoordinationLoop loop(kBudget);
+  FailureTelemetry failures;
+  BudgetTelemetry budgets;
+  const CoordinationResult result =
+      loop.run_dynamic(scenario.pointers, 50, {&failure, 1}, {&revision, 1},
+                       &failures, &budgets);
+  EXPECT_EQ(failures.events_applied, 1u);
+  ASSERT_EQ(failures.reclaims.size(), 1u);
+  EXPECT_TRUE(failures.reclaims[0].reclaimed);
+  EXPECT_EQ(budgets.revisions_applied, 1u);
+  EXPECT_DOUBLE_EQ(result.epochs.back().budget_watts, revised);
+  EXPECT_EQ(invariants::stats().violations, 0u);
+}
+
+}  // namespace
+}  // namespace ps::core

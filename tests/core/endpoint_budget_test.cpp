@@ -1,0 +1,120 @@
+// Wire form of the dynamic-budget protocol: BudgetMessage round-trips,
+// the epoch-tagged PolicyMessage extension, byte-compatibility with the
+// v1 grammar, and header-only dispatch.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+TEST(BudgetWireTest, RoundTripsExactlyAtExactFidelity) {
+  BudgetMessage message;
+  message.epoch = 42;
+  message.budget_watts = 2'877.3341077281243;  // not representable short
+  message.emergency = true;
+  const BudgetMessage parsed =
+      parse_budget_message(serialize(message, WireFidelity::kExact));
+  EXPECT_EQ(parsed, message);
+  // The bit pattern survives, not an approximation.
+  EXPECT_EQ(parsed.budget_watts, message.budget_watts);
+}
+
+TEST(BudgetWireTest, DisplayFidelityIsStillValidWire) {
+  BudgetMessage message;
+  message.epoch = 1;
+  message.budget_watts = 1'234.5;
+  const BudgetMessage parsed = parse_budget_message(serialize(message));
+  EXPECT_EQ(parsed.epoch, 1u);
+  EXPECT_FALSE(parsed.emergency);
+  EXPECT_NEAR(parsed.budget_watts, 1'234.5, 1e-3);
+}
+
+TEST(BudgetWireTest, EmergencyFlagRoundTrips) {
+  BudgetMessage calm;
+  calm.epoch = 2;
+  calm.budget_watts = 900.0;
+  EXPECT_FALSE(parse_budget_message(serialize(calm)).emergency);
+  calm.emergency = true;
+  EXPECT_TRUE(parse_budget_message(serialize(calm)).emergency);
+}
+
+TEST(BudgetWireTest, MalformedMessagesRejected) {
+  const std::vector<const char*> malformed = {
+      "",
+      "powerstack-sample v1\nepoch 1\nbudget 900\nemergency 0\n",
+      "powerstack-budget v2\nepoch 1\nbudget 900\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget 900\n",  // truncated
+      "powerstack-budget v1\nepoch 0\nbudget 900\nemergency 0\n",
+      "powerstack-budget v1\nepoch -3\nbudget 900\nemergency 0\n",
+      "powerstack-budget v1\nepoch two\nbudget 900\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget 0\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget -900\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget nan\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget 900W\nemergency 0\n",
+      "powerstack-budget v1\nepoch 1\nbudget 900\nemergency 2\n",
+      "powerstack-budget v1\nepoch 1\nbudget 900\nemergency 0\njunk\n",
+      "powerstack-budget v1\nepoch 1\nwatts 900\nemergency 0\n",
+  };
+  for (const char* text : malformed) {
+    EXPECT_THROW(static_cast<void>(parse_budget_message(text)),
+                 InvalidArgument)
+        << "accepted: " << text;
+  }
+}
+
+TEST(BudgetWireTest, KindIsJudgedByHeaderAlone) {
+  EXPECT_EQ(wire_message_kind("powerstack-budget v1\nepoch 1\n"),
+            WireMessageKind::kBudget);
+  EXPECT_EQ(wire_message_kind("powerstack-budget v1"),  // no newline yet
+            WireMessageKind::kBudget);
+  EXPECT_EQ(wire_message_kind("powerstack-sample v1\n..."),
+            WireMessageKind::kSample);
+  EXPECT_EQ(wire_message_kind("powerstack-policy v1\n..."),
+            WireMessageKind::kPolicy);
+  EXPECT_EQ(wire_message_kind("powerstack-budget v2\n..."),
+            WireMessageKind::kUnknown);
+  EXPECT_EQ(wire_message_kind(""), WireMessageKind::kUnknown);
+}
+
+TEST(PolicyEpochWireTest, EpochZeroSerializesAsTheV1ByteForm) {
+  // Byte-for-byte the pre-dynamic-budget grammar: a peer that has never
+  // heard of budget epochs parses this unchanged.
+  PolicyMessage message;
+  message.sequence = 7;
+  message.job_name = "lulesh";
+  message.host_caps_watts = {180.0, 190.0};
+  const std::string wire = serialize(message);
+  EXPECT_EQ(wire.find("budget_epoch"), std::string::npos);
+  const PolicyMessage parsed = parse_policy_message(wire);
+  EXPECT_EQ(parsed.budget_epoch, 0u);
+  EXPECT_EQ(parsed, message);
+}
+
+TEST(PolicyEpochWireTest, NonZeroEpochGainsAFifthLineAndRoundTrips) {
+  PolicyMessage message;
+  message.sequence = 9;
+  message.job_name = "lulesh";
+  message.host_caps_watts = {181.25, 190.5};
+  message.budget_epoch = 4;
+  const std::string wire = serialize(message, WireFidelity::kExact);
+  EXPECT_NE(wire.find("budget_epoch 4"), std::string::npos);
+  EXPECT_EQ(parse_policy_message(wire), message);
+}
+
+TEST(PolicyEpochWireTest, ExplicitEpochZeroLineRejected) {
+  // The fifth line exists only to announce a revision; epoch 0 must use
+  // the v1 four-line form, so an explicit zero is a protocol error.
+  EXPECT_THROW(
+      static_cast<void>(parse_policy_message(
+          "powerstack-policy v1\nsequence 1\njob x\ncaps 100\n"
+          "budget_epoch 0\n")),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::core

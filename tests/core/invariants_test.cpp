@@ -1,0 +1,92 @@
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ps::core::invariants {
+namespace {
+
+/// Restores the global invariant mode and counters around each test —
+/// the registry is process-wide and other suites in this binary use it.
+class InvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_mode_ = mode();
+    set_mode(Mode::kCount);
+    reset();
+  }
+  void TearDown() override {
+    reset();
+    set_mode(previous_mode_);
+  }
+
+ private:
+  Mode previous_mode_ = Mode::kCount;
+};
+
+TEST_F(InvariantsTest, CountingModeRecordsWithoutThrowing) {
+  check(true, "fine");
+  check(false, "tripped once");
+  const Stats after = stats();
+  EXPECT_EQ(after.checks, 2u);
+  EXPECT_EQ(after.violations, 1u);
+  EXPECT_EQ(last_violation(), "tripped once");
+}
+
+TEST_F(InvariantsTest, FatalModeThrowsInvalidState) {
+  set_mode(Mode::kFatal);
+  check(true, "fine");
+  EXPECT_THROW(check(false, "boom"), InvalidState);
+  EXPECT_EQ(stats().violations, 1u);  // counted even when it throws
+}
+
+TEST_F(InvariantsTest, ResetClearsCountersAndMessage) {
+  check(false, "stale");
+  reset();
+  EXPECT_EQ(stats().checks, 0u);
+  EXPECT_EQ(stats().violations, 0u);
+  EXPECT_EQ(last_violation(), "");
+}
+
+TEST_F(InvariantsTest, CapsFitBudgetUsesRaplTolerance) {
+  // 4 hosts: tolerance is 2 W. 801 W on an 800 W budget passes; 803 W
+  // trips.
+  check_caps_fit_budget(801.0, 800.0, 4, "test");
+  EXPECT_EQ(stats().violations, 0u);
+  check_caps_fit_budget(803.0, 800.0, 4, "test");
+  EXPECT_EQ(stats().violations, 1u);
+  EXPECT_NE(last_violation().find("test"), std::string::npos);
+}
+
+TEST_F(InvariantsTest, CapBoundsChecksBothSides) {
+  check_cap_bounds(200.0, 150.0, 256.0, 0.5, "test");
+  EXPECT_EQ(stats().violations, 0u);
+  check_cap_bounds(149.0, 150.0, 256.0, 0.5, "below-floor");
+  EXPECT_EQ(stats().violations, 1u);
+  check_cap_bounds(257.0, 150.0, 256.0, 0.5, "above-tdp");
+  EXPECT_EQ(stats().violations, 2u);
+  // Tolerance gives each side slack.
+  check_cap_bounds(149.6, 150.0, 256.0, 0.5, "within-slack");
+  check_cap_bounds(256.4, 150.0, 256.0, 0.5, "within-slack");
+  EXPECT_EQ(stats().violations, 2u);
+}
+
+TEST_F(InvariantsTest, EpochMonotoneRequiresStrictAdvance) {
+  check_epoch_monotone(3, 4, "test");
+  EXPECT_EQ(stats().violations, 0u);
+  check_epoch_monotone(4, 4, "equal");
+  EXPECT_EQ(stats().violations, 1u);
+  check_epoch_monotone(4, 2, "backwards");
+  EXPECT_EQ(stats().violations, 2u);
+}
+
+TEST_F(InvariantsTest, WattConservationHoldsWithinTolerance) {
+  check_watts_conserved(1'000.0, 300.0, 700.0, 0.5, "test");
+  EXPECT_EQ(stats().violations, 0u);
+  check_watts_conserved(1'000.0, 300.0, 650.0, 0.5, "lost-watts");
+  EXPECT_EQ(stats().violations, 1u);
+}
+
+}  // namespace
+}  // namespace ps::core::invariants

@@ -1,0 +1,137 @@
+// Dynamic budgets at facility scale: a per-step budget signal drives the
+// governor, revisions reallocate the running jobs, and the excursion
+// telemetry accounts for every step the committed caps out-lived a
+// shrinking budget. Fixed-budget runs must be bit-for-bit unaffected.
+#include "facility/facility_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::facility {
+namespace {
+
+JobTraceOptions small_trace_options() {
+  JobTraceOptions options;
+  options.horizon_hours = 24.0;
+  options.arrivals_per_hour = 1.0;
+  options.min_nodes = 2;
+  options.max_nodes = 6;
+  options.min_duration_hours = 0.5;
+  options.max_duration_hours = 4.0;
+  return options;
+}
+
+FacilityOptions dynamic_facility_options(double budget) {
+  FacilityOptions options;
+  options.step_hours = 0.25;
+  options.horizon_hours = 48.0;
+  options.system_budget_watts = budget;
+  options.policy = core::PolicyKind::kStaticCaps;
+  options.characterization_iterations = 2;
+  return options;
+}
+
+/// The facility path runs under fatal invariants, like CI does.
+class FacilityDynamicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_mode_ = core::invariants::mode();
+    core::invariants::set_mode(core::invariants::Mode::kFatal);
+    core::invariants::reset();
+  }
+  void TearDown() override {
+    core::invariants::reset();
+    core::invariants::set_mode(previous_mode_);
+  }
+
+  core::invariants::Mode previous_mode_ = core::invariants::Mode::kCount;
+};
+
+TEST_F(FacilityDynamicTest, FixedBudgetRunReportsAConstantBudget) {
+  sim::Cluster cluster(12);
+  util::Rng rng(5);
+  const auto trace = generate_job_trace(rng, small_trace_options());
+  const double budget = 12.0 * 200.0;
+  FacilityManager manager(cluster, dynamic_facility_options(budget));
+  const FacilityResult result = manager.run(trace);
+  ASSERT_EQ(result.budget_watts.size(), result.power_watts.size());
+  for (const double watts : result.budget_watts) {
+    EXPECT_DOUBLE_EQ(watts, budget);
+  }
+  EXPECT_EQ(result.budget_revisions, 0u);
+  EXPECT_EQ(result.emergency_clamps, 0u);
+  EXPECT_EQ(result.final_budget_epoch, 0u);
+  EXPECT_EQ(result.excursions.excursions, 0u);
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+}
+
+TEST_F(FacilityDynamicTest, BudgetSignalDrivesGovernorRevisions) {
+  sim::Cluster cluster(12);
+  util::Rng rng(5);
+  const auto trace = generate_job_trace(rng, small_trace_options());
+  const double budget = 12.0 * 200.0;
+  const double floor = 12.0 * cluster.node(0).min_cap();
+  const double revised = std::max(0.8 * budget, floor + 50.0);
+
+  FacilityOptions options = dynamic_facility_options(budget);
+  // A step signal: hold the configured budget for 60 steps, then a
+  // sustained drop; steps past the end hold the last value.
+  options.budget_signal_watts.assign(60, budget);
+  options.budget_signal_watts.push_back(revised);
+  options.governor.floor_watts = floor;
+  FacilityManager manager(cluster, options);
+  const FacilityResult result = manager.run(trace);
+
+  ASSERT_EQ(result.budget_watts.size(), result.power_watts.size());
+  EXPECT_GE(result.budget_revisions, 1u);
+  EXPECT_GE(result.final_budget_epoch, 1u);
+  // Before the drop the budget holds; after it, every step reports the
+  // revised value (the signal holds its last sample).
+  EXPECT_DOUBLE_EQ(result.budget_watts.front(), budget);
+  EXPECT_DOUBLE_EQ(result.budget_watts.back(), revised);
+  bool saw_revised = false;
+  for (const double watts : result.budget_watts) {
+    EXPECT_TRUE(watts == budget || watts == revised);
+    saw_revised = saw_revised || watts == revised;
+  }
+  EXPECT_TRUE(saw_revised);
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+}
+
+TEST_F(FacilityDynamicTest, RejectsANonPositiveSignalSample) {
+  sim::Cluster cluster(4);
+  FacilityOptions options = dynamic_facility_options(4.0 * 200.0);
+  options.budget_signal_watts = {800.0, 0.0};
+  EXPECT_THROW(FacilityManager(cluster, options), InvalidArgument);
+}
+
+TEST_F(FacilityDynamicTest, HysteresisKeepsANoisySignalQuiet) {
+  sim::Cluster cluster(12);
+  util::Rng rng(7);
+  const auto trace = generate_job_trace(rng, small_trace_options());
+  const double budget = 12.0 * 200.0;
+  FacilityOptions options = dynamic_facility_options(budget);
+  // Metering jitter far below the hysteresis band: no revisions at all.
+  util::Rng noise(11);
+  for (std::size_t s = 0; s < 64; ++s) {
+    options.budget_signal_watts.push_back(
+        budget + noise.uniform(-3.0, 3.0));
+  }
+  options.governor.floor_watts = 12.0 * cluster.node(0).min_cap();
+  FacilityManager manager(cluster, options);
+  const FacilityResult result = manager.run(trace);
+  EXPECT_EQ(result.budget_revisions, 0u);
+  for (const double watts : result.budget_watts) {
+    EXPECT_DOUBLE_EQ(watts, budget);
+  }
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+}
+
+}  // namespace
+}  // namespace ps::facility

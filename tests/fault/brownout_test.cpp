@@ -1,0 +1,296 @@
+// The brownout acceptance scenario (the tentpole bar for the dynamic-
+// budget subsystem): a seeded budget schedule with a 30% mid-run drop,
+// served over faulty transports, through a daemon crash-and-restart over
+// its snapshot — and the distributed mix must land watt-for-watt on the
+// in-memory CoordinationLoop::run_dynamic replay of the same schedule,
+// with every budget excursion bounded to one control period and zero
+// runtime-invariant violations under fatal enforcement.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/invariants.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::fault {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_path(const std::string& tag, const std::string& suffix) {
+  return "/tmp/ps-brownout-" + tag + "-" + std::to_string(::getpid()) +
+         suffix;
+}
+
+std::uint64_t scenario_seed() {
+  if (const char* env = std::getenv("PS_FAULT_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 11;  // the default fixed seed; CI also runs 29 and 47
+}
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+/// The standard four-job mix on its own 16-node cluster (job names sort
+/// in construction order, so the daemon's name-ordered rounds match the
+/// in-memory loop's job order).
+struct Mix {
+  explicit Mix(std::size_t hosts_per_job = 4) {
+    const std::vector<std::pair<std::string, kernel::WorkloadConfig>> spec =
+        {{"a-wasteful", wasteful_config()},
+         {"b-hungry", hungry_config()},
+         {"c-wasteful", wasteful_config()},
+         {"d-hungry", hungry_config()}};
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * spec.size());
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t h = 0; h < hosts_per_job; ++h) {
+        hosts.push_back(&cluster->node(j * hosts_per_job + h));
+      }
+      jobs.push_back(std::make_unique<sim::JobSimulation>(
+          spec[j].first, std::move(hosts), spec[j].second));
+    }
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+};
+
+TEST(BrownoutTest, ScheduledBrownoutOverFaultsMatchesInMemoryReplay) {
+  const std::uint64_t seed = scenario_seed();
+  RecordProperty("ps_fault_seed", static_cast<int>(seed));
+  std::cout << "[ PS_FAULT_SEED ] " << seed << "\n";
+
+  // Runtime invariants are fatal for the whole scenario — any Σcaps,
+  // cap-bound, or epoch-monotonicity violation aborts the test.
+  const core::invariants::Mode previous_mode = core::invariants::mode();
+  core::invariants::set_mode(core::invariants::Mode::kFatal);
+  core::invariants::reset();
+
+  // 16 nodes at 152 W floor each: the 30% drop must stay above 2432 W
+  // for the policies to keep fitting the budget.
+  const double budget = 16.0 * 230.0;  // 3680 W
+  const std::size_t iterations = 20;   // 10 before the crash, 10 after
+
+  // The budget schedule: a drift down at epoch 1 (pre-crash), then the
+  // 30% brownout at epoch 2 — adopted by the *restarted* daemon from the
+  // same schedule, past the revision its snapshot already recorded.
+  std::vector<core::BudgetRevision> schedule(2);
+  schedule[0].epoch = 1;
+  schedule[0].budget_watts = 0.9 * budget;  // 3312 W
+  schedule[0].at_epoch = 1;
+  schedule[1].epoch = 2;
+  schedule[1].budget_watts = 0.7 * budget;  // 2576 W, the brownout
+  schedule[1].at_epoch = 2;
+  schedule[1].emergency = true;
+
+  // Reference: the fault-free in-memory dynamic loop over an identical
+  // mix and the identical schedule.
+  Mix reference;
+  std::vector<sim::JobSimulation*> reference_jobs;
+  for (const auto& job : reference.jobs) {
+    reference_jobs.push_back(job.get());
+  }
+  core::CoordinationLoop loop(budget);
+  core::BudgetTelemetry telemetry;
+  const core::CoordinationResult expected = loop.run_dynamic(
+      reference_jobs, iterations, {}, schedule, nullptr, &telemetry);
+
+  // (b) Bounded time-to-safe on the reference trajectory: each budget
+  // drop leaves the superseded caps programmed for at most one control
+  // period; the RM step at that epoch's end reprograms under the new
+  // budget and closes the excursion.
+  EXPECT_EQ(telemetry.revisions_applied, 2u);
+  EXPECT_GE(telemetry.excursion_epochs.size(), 1u);
+  EXPECT_FALSE(telemetry.excursions.in_excursion);
+  EXPECT_EQ(telemetry.excursions.excursions,
+            telemetry.excursion_epochs.size());
+  double longest_period = 0.0;
+  for (const core::EpochRecord& record : expected.epochs) {
+    longest_period = std::max(longest_period, record.elapsed_seconds);
+  }
+  std::printf(
+      "measured time-to-safe: last %.6f s, max %.6f s "
+      "(one control period <= %.6f s)\n",
+      telemetry.excursions.last_time_to_safe_seconds,
+      telemetry.excursions.max_time_to_safe_seconds, longest_period);
+  EXPECT_GT(telemetry.excursions.max_time_to_safe_seconds, 0.0);
+  EXPECT_LE(telemetry.excursions.max_time_to_safe_seconds,
+            longest_period + 1e-9);
+  EXPECT_EQ(telemetry.emergency_clamps, 0u);  // schedule stays above floors
+  EXPECT_DOUBLE_EQ(telemetry.final_budget_watts, schedule[1].budget_watts);
+  EXPECT_EQ(telemetry.final_budget_epoch, 2u);
+
+  // Distributed mix: same schedule handed to the daemon, transports
+  // running a seeded fault plan, crash-and-restart in the middle.
+  Mix distributed;
+  const std::string socket_path = unique_path("sock", ".sock");
+  const std::string snapshot_path = unique_path("snap", ".snap");
+  net::DaemonOptions options;
+  options.system_budget_watts = budget;
+  options.node_tdp_watts = distributed.cluster->node(0).tdp();
+  options.uncappable_watts =
+      distributed.cluster->node(0).params().dram_watts;
+  options.min_jobs = distributed.jobs.size();
+  options.tick_interval = milliseconds(20);
+  options.snapshot_path = snapshot_path;
+  options.budget_revisions = schedule;
+  // Generous liveness windows: the scenario proves fault healing, not
+  // eviction.
+  options.reclaim_timeout = milliseconds(30'000);
+  options.heartbeat_timeout = milliseconds(60'000);
+  options.quarantine_errors = 100;
+
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.max_faults = 10;
+  spec.drop_probability = 0.05;
+  spec.partial_probability = 0.12;
+  spec.corrupt_probability = 0.05;
+  spec.duplicate_probability = 0.05;
+  spec.delay_probability = 0.10;
+  const FaultPlan parent(spec);
+  std::vector<std::shared_ptr<FaultPlan>> plans;
+  for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+    plans.push_back(std::make_shared<FaultPlan>(parent.fork(j + 1)));
+  }
+
+  net::ClientOptions client_options;
+  client_options.request_timeout = milliseconds(20'000);
+  client_options.backoff_initial = milliseconds(5);
+  client_options.backoff_max = milliseconds(50);
+
+  std::vector<std::unique_ptr<net::RuntimeClient>> clients;
+  std::vector<std::unique_ptr<net::CoordinatedAgent>> agents;
+  for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+    net::RuntimeClient::TransportConnector connector =
+        [&socket_path, plan = plans[j]] {
+          return make_faulty_transport(
+              net::make_transport(net::connect_unix(socket_path)), plan);
+        };
+    clients.push_back(std::make_unique<net::RuntimeClient>(
+        std::move(connector), client_options));
+    agents.push_back(std::make_unique<net::CoordinatedAgent>(
+        *distributed.jobs[j], *clients[j]));
+  }
+
+  const auto run_half = [&](net::PowerDaemon& daemon) {
+    std::thread serving([&daemon] { daemon.run(); });
+    std::vector<std::thread> workers;
+    for (auto& agent : agents) {
+      workers.emplace_back([&agent] {
+        const net::AgentResult result = agent->run(10);
+        EXPECT_EQ(result.iterations, 10u);
+        EXPECT_EQ(result.fallback_epochs, 0u);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    daemon.stop();
+    serving.join();
+  };
+
+  auto daemon = std::make_unique<net::PowerDaemon>(options);
+  daemon->listen_unix(socket_path);
+  run_half(*daemon);
+  const net::DaemonStats before = daemon->stats();
+  // The first half consumed sample sequences up to 2: exactly the
+  // epoch-1 drift has been adopted when the crash hits.
+  EXPECT_EQ(before.budget_revisions_applied, 1u);
+  EXPECT_EQ(before.budget_epoch, 1u);
+  EXPECT_DOUBLE_EQ(before.budget_watts, schedule[0].budget_watts);
+  EXPECT_EQ(before.budget_violations, 0u);
+  EXPECT_GT(before.snapshots_written, 0u);
+  daemon.reset();  // crash: in-memory state is gone, the snapshot is not
+
+  daemon = std::make_unique<net::PowerDaemon>(options);
+  const net::DaemonStats restored = daemon->stats();
+  EXPECT_EQ(restored.jobs_restored, distributed.jobs.size());
+  // The snapshot restored the revised budget — not the configured one —
+  // and the already-adopted schedule entry will not replay.
+  EXPECT_EQ(restored.budget_epoch, 1u);
+  EXPECT_DOUBLE_EQ(restored.budget_watts, schedule[0].budget_watts);
+  daemon->listen_unix(socket_path);
+  run_half(*daemon);
+  const net::DaemonStats after = daemon->stats();
+  EXPECT_EQ(after.budget_violations, 0u);
+  EXPECT_EQ(after.budget_revisions_applied, 1u);  // only the brownout
+  EXPECT_EQ(after.budget_revisions_stale, 0u);
+  EXPECT_EQ(after.budget_epoch, 2u);
+  EXPECT_DOUBLE_EQ(after.budget_watts, schedule[1].budget_watts);
+  EXPECT_GE(after.budget_pushes, distributed.jobs.size());
+  daemon.reset();
+  std::remove(snapshot_path.c_str());
+  std::remove(socket_path.c_str());
+
+  // Every client heard the brownout push and rejected nothing it should
+  // have applied.
+  for (const auto& client : clients) {
+    ASSERT_TRUE(client->last_budget().has_value());
+    EXPECT_EQ(client->last_budget()->epoch, 2u);
+    EXPECT_DOUBLE_EQ(client->last_budget()->budget_watts,
+                     schedule[1].budget_watts);
+  }
+
+  // The scenario must actually have exercised the fault machinery.
+  std::size_t injected = 0;
+  for (const auto& plan : plans) {
+    injected += plan->stats().injected();
+  }
+  EXPECT_GT(injected, 0u) << "fault plan never fired; scenario is vacuous";
+
+  // (a) Watt-for-watt equality with the in-memory dynamic replay: the
+  // budget trajectory, the faults, and the daemon crash all healed
+  // without perturbing the final allocation by a single bit.
+  double allocated = 0.0;
+  for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+    for (std::size_t h = 0; h < distributed.jobs[j]->host_count(); ++h) {
+      EXPECT_DOUBLE_EQ(distributed.jobs[j]->host_cap(h),
+                       reference_jobs[j]->host_cap(h))
+          << "job " << distributed.jobs[j]->name() << " host " << h
+          << " (seed " << seed << ")";
+      allocated += distributed.jobs[j]->host_cap(h);
+    }
+  }
+  // (b) on the socket path too: the final programmed power fits the
+  // revised (brownout) budget with RAPL quantization slack only.
+  EXPECT_LE(allocated, schedule[1].budget_watts + 0.5 * 16.0);
+
+  // (c) Zero invariant violations across both paths, under fatal mode.
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+  core::invariants::reset();
+  core::invariants::set_mode(previous_mode);
+}
+
+}  // namespace
+}  // namespace ps::fault

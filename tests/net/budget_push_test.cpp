@@ -1,0 +1,361 @@
+// Dynamic budgets over the socket protocol: BudgetMessage pushes advance
+// the client's session epoch, stale-tagged caps are rejected, the epoch
+// contract resets per connection (the daemon resyncs on registration),
+// and a snapshot-restored daemon keeps its revised budget.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::net {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_path(const std::string& tag, const std::string& suffix) {
+  return "/tmp/ps-budget-" + tag + "-" + std::to_string(::getpid()) +
+         suffix;
+}
+
+core::SampleMessage make_sample(std::uint64_t sequence) {
+  core::SampleMessage sample;
+  sample.sequence = sequence;
+  sample.job_name = "job-a";
+  sample.min_settable_cap_watts = 100.0;
+  sample.host_observed_watts = {150.0, 160.0};
+  sample.host_needed_watts = {140.0, 155.0};
+  return sample;
+}
+
+void write_frame(Socket& server, const std::string& payload) {
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(server.write_some(frame).bytes, frame.size());
+}
+
+/// Reads framed bytes off `server` until one full sample arrives.
+core::SampleMessage read_sample(Socket& server) {
+  FrameDecoder decoder;
+  char buffer[4096];
+  for (;;) {
+    if (auto payload = decoder.next()) {
+      return core::parse_sample_message(*payload);
+    }
+    EXPECT_TRUE(server.wait_readable(milliseconds(2'000)));
+    const IoResult result = server.read_some(buffer, sizeof(buffer));
+    EXPECT_EQ(result.status, IoStatus::kOk);
+    decoder.feed(std::string_view(buffer, result.bytes));
+  }
+}
+
+ClientOptions fast_options() {
+  ClientOptions options;
+  options.request_timeout = milliseconds(2'000);
+  options.backoff_initial = milliseconds(2);
+  options.backoff_max = milliseconds(16);
+  options.backoff_jitter = 0.0;
+  return options;
+}
+
+RuntimeClient::Connector pool_connector(std::deque<Socket>& pool) {
+  return [&pool]() -> Socket {
+    if (pool.empty()) {
+      throw Error("no more connections");
+    }
+    Socket socket = std::move(pool.front());
+    pool.pop_front();
+    return socket;
+  };
+}
+
+TEST(BudgetPushTest, BudgetMessageAdvancesTheSessionEpoch) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> pool;
+  pool.push_back(std::move(client_end));
+  RuntimeClient client(pool_connector(pool), fast_options());
+  Socket server = std::move(server_end);
+
+  std::thread responder([&server] {
+    const core::SampleMessage sample = read_sample(server);
+    core::BudgetMessage budget;
+    budget.epoch = 2;
+    budget.budget_watts = 640.0;
+    budget.emergency = true;
+    write_frame(server, serialize(budget, core::WireFidelity::kExact));
+    core::PolicyMessage policy;
+    policy.sequence = sample.sequence;
+    policy.job_name = sample.job_name;
+    policy.host_caps_watts = {180.0, 190.0};
+    policy.budget_epoch = 2;
+    write_frame(server, serialize(policy, core::WireFidelity::kExact));
+  });
+  const auto policy = client.exchange(make_sample(3));
+  responder.join();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->budget_epoch, 2u);
+  EXPECT_EQ(client.session_budget_epoch(), 2u);
+  ASSERT_TRUE(client.last_budget().has_value());
+  EXPECT_EQ(client.last_budget()->epoch, 2u);
+  EXPECT_DOUBLE_EQ(client.last_budget()->budget_watts, 640.0);
+  EXPECT_TRUE(client.last_budget()->emergency);
+  EXPECT_EQ(client.stats().budget_revisions, 1u);
+  EXPECT_EQ(client.stats().stale_epoch_caps, 0u);
+}
+
+TEST(BudgetPushTest, CapsTaggedWithASupersededEpochAreRejected) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> pool;
+  pool.push_back(std::move(client_end));
+  RuntimeClient client(pool_connector(pool), fast_options());
+  Socket server = std::move(server_end);
+
+  std::thread responder([&server] {
+    const core::SampleMessage sample = read_sample(server);
+    core::BudgetMessage budget;
+    budget.epoch = 3;
+    budget.budget_watts = 500.0;
+    write_frame(server, serialize(budget, core::WireFidelity::kExact));
+    // Caps computed under budget epoch 1 — revoked; they would overspend
+    // the epoch-3 budget. The client must drain, not apply, them.
+    core::PolicyMessage stale;
+    stale.sequence = sample.sequence;
+    stale.job_name = sample.job_name;
+    stale.host_caps_watts = {300.0, 300.0};
+    stale.budget_epoch = 1;
+    write_frame(server, serialize(stale, core::WireFidelity::kExact));
+    core::PolicyMessage good;
+    good.sequence = sample.sequence;
+    good.job_name = sample.job_name;
+    good.host_caps_watts = {240.0, 250.0};
+    good.budget_epoch = 3;
+    write_frame(server, serialize(good, core::WireFidelity::kExact));
+  });
+  const auto policy = client.exchange(make_sample(5));
+  responder.join();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->budget_epoch, 3u);
+  EXPECT_EQ(policy->host_caps_watts,
+            (std::vector<double>{240.0, 250.0}));
+  EXPECT_EQ(client.stats().stale_epoch_caps, 1u);
+}
+
+TEST(BudgetPushTest, DuplicateBudgetPushIsStaleNotARevision) {
+  auto [client_end, server_end] = loopback_pair();
+  std::deque<Socket> pool;
+  pool.push_back(std::move(client_end));
+  RuntimeClient client(pool_connector(pool), fast_options());
+  Socket server = std::move(server_end);
+
+  std::thread responder([&server] {
+    const core::SampleMessage sample = read_sample(server);
+    core::BudgetMessage budget;
+    budget.epoch = 4;
+    budget.budget_watts = 700.0;
+    write_frame(server, serialize(budget, core::WireFidelity::kExact));
+    write_frame(server, serialize(budget, core::WireFidelity::kExact));
+    core::PolicyMessage policy;
+    policy.sequence = sample.sequence;
+    policy.job_name = sample.job_name;
+    policy.host_caps_watts = {200.0, 200.0};
+    policy.budget_epoch = 4;
+    write_frame(server, serialize(policy, core::WireFidelity::kExact));
+  });
+  ASSERT_TRUE(client.exchange(make_sample(1)).has_value());
+  responder.join();
+  EXPECT_EQ(client.stats().budget_revisions, 1u);
+  EXPECT_EQ(client.stats().budget_pushes_stale, 1u);
+}
+
+TEST(BudgetPushTest, SessionEpochResetsPerConnection) {
+  auto [first_client_end, first_server_end] = loopback_pair();
+  auto [second_client_end, second_server_end] = loopback_pair();
+  std::deque<Socket> pool;
+  pool.push_back(std::move(first_client_end));
+  pool.push_back(std::move(second_client_end));
+  RuntimeClient client(pool_connector(pool), fast_options());
+
+  {
+    Socket server = std::move(first_server_end);
+    std::thread responder([&server] {
+      const core::SampleMessage sample = read_sample(server);
+      core::BudgetMessage budget;
+      budget.epoch = 5;
+      budget.budget_watts = 800.0;
+      write_frame(server, serialize(budget, core::WireFidelity::kExact));
+      core::PolicyMessage policy;
+      policy.sequence = sample.sequence;
+      policy.job_name = sample.job_name;
+      policy.host_caps_watts = {190.0, 190.0};
+      policy.budget_epoch = 5;
+      write_frame(server, serialize(policy, core::WireFidelity::kExact));
+    });
+    ASSERT_TRUE(client.exchange(make_sample(1)).has_value());
+    responder.join();
+    EXPECT_EQ(client.session_budget_epoch(), 5u);
+  }  // the first connection's server end closes here
+
+  // On the next connection the daemon is the epoch authority again: an
+  // epoch-1 tag must be accepted, not compared against the old session.
+  Socket server = std::move(second_server_end);
+  std::thread responder([&server] {
+    const core::SampleMessage sample = read_sample(server);
+    core::PolicyMessage policy;
+    policy.sequence = sample.sequence;
+    policy.job_name = sample.job_name;
+    policy.host_caps_watts = {150.0, 150.0};
+    policy.budget_epoch = 1;
+    write_frame(server, serialize(policy, core::WireFidelity::kExact));
+  });
+  const auto policy = client.exchange(make_sample(2));
+  responder.join();
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->budget_epoch, 1u);
+  EXPECT_EQ(client.session_budget_epoch(), 1u);
+  EXPECT_EQ(client.stats().stale_epoch_caps, 0u);
+  // The archival last_budget survives the reconnect regardless.
+  ASSERT_TRUE(client.last_budget().has_value());
+  EXPECT_EQ(client.last_budget()->epoch, 5u);
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+DaemonOptions daemon_options(const sim::Cluster& cluster, double budget) {
+  DaemonOptions options;
+  options.system_budget_watts = budget;
+  options.node_tdp_watts = cluster.node(0).tdp();
+  options.uncappable_watts = cluster.node(0).params().dram_watts;
+  options.min_jobs = 1;
+  options.tick_interval = milliseconds(20);
+  return options;
+}
+
+TEST(BudgetPushTest, ReviseBudgetReachesALiveClientAndItsCaps) {
+  sim::Cluster cluster(4);
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t h = 0; h < 4; ++h) {
+    hosts.push_back(&cluster.node(h));
+  }
+  sim::JobSimulation job("solo", std::move(hosts), hungry_config());
+  const double budget = 4.0 * 200.0;
+  const std::string path = unique_path("revise", ".sock");
+
+  PowerDaemon daemon(daemon_options(cluster, budget));
+  daemon.listen_unix(path);
+  std::thread serving([&daemon] { daemon.run(); });
+
+  ClientOptions client_options;
+  client_options.request_timeout = milliseconds(20'000);
+  RuntimeClient client([&path] { return connect_unix(path); },
+                       client_options);
+  CoordinatedAgent agent(job, client);
+  static_cast<void>(agent.run(10));  // converge under the original budget
+
+  core::BudgetRevision revision;
+  revision.epoch = 1;
+  revision.budget_watts = 4.0 * 170.0;  // a 15% drop, above the floors
+  revision.emergency = false;
+  daemon.revise_budget(revision);
+  static_cast<void>(agent.run(10));  // run under the revised budget
+  daemon.stop();
+  serving.join();
+  std::remove(path.c_str());
+
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.budget_revisions_applied, 1u);
+  EXPECT_EQ(stats.budget_epoch, 1u);
+  EXPECT_DOUBLE_EQ(stats.budget_watts, revision.budget_watts);
+  EXPECT_GE(stats.budget_pushes, 1u);
+  EXPECT_EQ(stats.budget_violations, 0u);
+
+  ASSERT_TRUE(client.last_budget().has_value());
+  EXPECT_EQ(client.last_budget()->epoch, 1u);
+  EXPECT_DOUBLE_EQ(client.last_budget()->budget_watts,
+                   revision.budget_watts);
+  EXPECT_GE(client.stats().budget_revisions, 1u);
+  EXPECT_EQ(client.stats().stale_epoch_caps, 0u);
+
+  // The programmed caps fit the revised budget (RAPL slack only).
+  double programmed = 0.0;
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    programmed += job.host_cap(h);
+  }
+  EXPECT_LE(programmed, revision.budget_watts + 0.5 * 4.0);
+}
+
+TEST(BudgetPushTest, SnapshotRestartKeepsTheRevisedBudget) {
+  sim::Cluster cluster(2);
+  std::vector<hw::NodeModel*> hosts{&cluster.node(0), &cluster.node(1)};
+  sim::JobSimulation job("solo", std::move(hosts), hungry_config());
+  const double budget = 2.0 * 220.0;
+  const std::string path = unique_path("snapshot", ".sock");
+  const std::string snapshot = unique_path("snapshot", ".snap");
+
+  DaemonOptions options = daemon_options(cluster, budget);
+  options.snapshot_path = snapshot;
+
+  core::BudgetRevision revision;
+  revision.epoch = 3;  // epochs may skip: only monotonicity matters
+  revision.budget_watts = 2.0 * 180.0;
+
+  ClientOptions client_options;
+  client_options.request_timeout = milliseconds(20'000);
+  client_options.backoff_initial = milliseconds(5);
+  client_options.backoff_max = milliseconds(40);
+  RuntimeClient client([&path] { return connect_unix(path); },
+                       client_options);
+  CoordinatedAgent agent(job, client);
+
+  {
+    auto daemon = std::make_unique<PowerDaemon>(options);
+    daemon->listen_unix(path);
+    std::thread serving([&daemon] { daemon->run(); });
+    static_cast<void>(agent.run(10));
+    daemon->revise_budget(revision);
+    static_cast<void>(agent.run(10));
+    daemon->stop();
+    serving.join();
+    EXPECT_EQ(daemon->stats().budget_epoch, 3u);
+  }  // crash: in-memory state gone, the snapshot is not
+
+  // The restored daemon enforces the revised budget, not the configured
+  // one — a restart cannot resurrect a superseded budget.
+  auto daemon = std::make_unique<PowerDaemon>(options);
+  EXPECT_GE(daemon->stats().jobs_restored, 1u);
+  EXPECT_EQ(daemon->stats().budget_epoch, 3u);
+  EXPECT_DOUBLE_EQ(daemon->stats().budget_watts, revision.budget_watts);
+  daemon->listen_unix(path);
+  std::thread serving([&daemon] { daemon->run(); });
+  const AgentResult resumed = agent.run(10);
+  daemon->stop();
+  serving.join();
+  std::remove(path.c_str());
+  std::remove(snapshot.c_str());
+
+  EXPECT_EQ(resumed.fallback_epochs, 0u);
+  double programmed = 0.0;
+  for (std::size_t h = 0; h < job.host_count(); ++h) {
+    programmed += job.host_cap(h);
+  }
+  EXPECT_LE(programmed, revision.budget_watts + 0.5 * 2.0);
+}
+
+}  // namespace
+}  // namespace ps::net

@@ -1,0 +1,237 @@
+// Dynamic-budget behavior of the RM power arm: epoch-guarded budget
+// renegotiation, the proportional emergency clamp, excursion telemetry,
+// and the RAPL quantization-tolerance boundary.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rm/power_manager.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+std::vector<hw::NodeModel*> hosts_of(sim::Cluster& cluster,
+                                     std::size_t begin, std::size_t count) {
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t i = begin; i < begin + count; ++i) {
+    hosts.push_back(&cluster.node(i));
+  }
+  return hosts;
+}
+
+class DynamicPowerManagerTest : public ::testing::Test {
+ protected:
+  DynamicPowerManagerTest()
+      : cluster_(4),
+        job_a_("a", hosts_of(cluster_, 0, 2), kernel::WorkloadConfig{}),
+        job_b_("b", hosts_of(cluster_, 2, 2), kernel::WorkloadConfig{}) {}
+
+  sim::Cluster cluster_;
+  sim::JobSimulation job_a_;
+  sim::JobSimulation job_b_;
+  std::vector<sim::JobSimulation*> jobs_{&job_a_, &job_b_};
+};
+
+TEST_F(DynamicPowerManagerTest, SetBudgetAdvancesOnlyWithNewerEpoch) {
+  SystemPowerManager manager(800.0);
+  EXPECT_EQ(manager.budget_epoch(), 0u);
+  EXPECT_TRUE(manager.set_budget(700.0, 1));
+  EXPECT_DOUBLE_EQ(manager.budget_watts(), 700.0);
+  EXPECT_EQ(manager.budget_epoch(), 1u);
+  // Stale and duplicate epochs change nothing.
+  EXPECT_FALSE(manager.set_budget(900.0, 1));
+  EXPECT_FALSE(manager.set_budget(900.0, 0));
+  EXPECT_DOUBLE_EQ(manager.budget_watts(), 700.0);
+  EXPECT_TRUE(manager.set_budget(650.0, 5));  // epochs may skip
+  EXPECT_EQ(manager.budget_epoch(), 5u);
+  EXPECT_THROW(static_cast<void>(manager.set_budget(0.0, 9)),
+               InvalidArgument);
+}
+
+TEST(ClampAllocationTest, NoopWhenAllocationFits) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};  // 780 W
+  const std::vector<std::vector<double>> floors = {{150.0, 150.0},
+                                                   {150.0, 150.0}};
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 800.0);
+  EXPECT_EQ(clamped.job_host_caps, allocation.job_host_caps);
+}
+
+TEST(ClampAllocationTest, ScalesProportionallyAboveTheFloors) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0, 250.0}};  // 450 W
+  const std::vector<std::vector<double>> floors = {{150.0, 150.0}};
+  // Budget 375 W: Σf = 300, s = (375-300)/(450-300) = 0.5.
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 375.0);
+  EXPECT_DOUBLE_EQ(clamped.job_host_caps[0][0], 175.0);
+  EXPECT_DOUBLE_EQ(clamped.job_host_caps[0][1], 200.0);
+  EXPECT_DOUBLE_EQ(clamped.total_watts(), 375.0);  // watt-exact on budget
+}
+
+TEST(ClampAllocationTest, FloorsWinWhenBudgetIsBelowThem) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0, 250.0}};
+  const std::vector<std::vector<double>> floors = {{150.0, 160.0}};
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 100.0);
+  // Never below a settable minimum, even when that overshoots the budget.
+  EXPECT_DOUBLE_EQ(clamped.job_host_caps[0][0], 150.0);
+  EXPECT_DOUBLE_EQ(clamped.job_host_caps[0][1], 160.0);
+}
+
+TEST(ClampAllocationTest, PreservesShapeOrdering) {
+  // The policy's relative preferences survive the clamp: a host that got
+  // more above its floor keeps more.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{160.0, 240.0, 200.0}};
+  const std::vector<std::vector<double>> floors = {{150.0, 150.0, 150.0}};
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 500.0);
+  EXPECT_LT(clamped.job_host_caps[0][0], clamped.job_host_caps[0][2]);
+  EXPECT_LT(clamped.job_host_caps[0][2], clamped.job_host_caps[0][1]);
+  EXPECT_NEAR(clamped.total_watts(), 500.0, 1e-9);
+}
+
+TEST(ClampAllocationTest, ShapeMismatchMessagesNameTheAxis) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0, 250.0}};
+  try {
+    static_cast<void>(clamp_allocation_to_budget(
+        allocation, {{150.0, 150.0}, {150.0}}, 400.0));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("number of jobs"),
+              std::string::npos);
+  }
+  try {
+    static_cast<void>(
+        clamp_allocation_to_budget(allocation, {{150.0}}, 400.0));
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("number of hosts"),
+              std::string::npos);
+  }
+  EXPECT_THROW(static_cast<void>(clamp_allocation_to_budget(
+                   allocation, {{150.0, -1.0}}, 400.0)),
+               InvalidArgument);
+  EXPECT_THROW(static_cast<void>(clamp_allocation_to_budget(
+                   allocation, {{150.0, 150.0}}, 0.0)),
+               InvalidArgument);
+}
+
+TEST_F(DynamicPowerManagerTest, EmergencyClampProgramsClampedCaps) {
+  SystemPowerManager manager(800.0);
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};
+  manager.apply(jobs_, allocation);
+  // A brownout to just above the settable floors, so the proportional
+  // scale (not the floor fallback) decides the caps.
+  double floors = 0.0;
+  for (const auto* job : jobs_) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      floors += job->host(h).min_cap();
+    }
+  }
+  const double brownout = floors + 40.0;
+  ASSERT_LT(brownout, allocation.total_watts());
+  ASSERT_TRUE(manager.set_budget(brownout, 1));
+  const PowerAllocation clamped = manager.emergency_clamp(jobs_, allocation);
+  EXPECT_NEAR(clamped.total_watts(), brownout, 1e-9);
+  // The programmed caps track the clamped allocation (RAPL quantization
+  // slack only).
+  EXPECT_NEAR(SystemPowerManager::total_allocated_watts(jobs_),
+              clamped.total_watts(), 0.5 * 4);
+  for (std::size_t j = 0; j < clamped.job_host_caps.size(); ++j) {
+    for (std::size_t h = 0; h < clamped.job_host_caps[j].size(); ++h) {
+      EXPECT_GE(clamped.job_host_caps[j][h],
+                jobs_[j]->host(h).min_cap() - 1e-9);
+    }
+  }
+}
+
+TEST_F(DynamicPowerManagerTest, ApplyToleranceBoundaryIsPerHost) {
+  // 4 hosts -> 2 W of RAPL quantization slack. 780 W of caps on a 778.5 W
+  // budget is 1.5 W over: accepted. On a 777.5 W budget it is 2.5 W over:
+  // rejected. The boundary itself (exactly tolerance over) is accepted.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{190.0, 200.0}, {180.0, 210.0}};  // 780 W
+  EXPECT_NO_THROW(SystemPowerManager(778.5).apply(jobs_, allocation));
+  EXPECT_THROW(SystemPowerManager(777.5).apply(jobs_, allocation),
+               InvalidArgument);
+  EXPECT_NO_THROW(SystemPowerManager(778.0).apply(jobs_, allocation));
+}
+
+TEST_F(DynamicPowerManagerTest, ApplyShapeMismatchMessagesNameTheAxis) {
+  const SystemPowerManager manager(800.0);
+  PowerAllocation wrong_jobs;
+  wrong_jobs.job_host_caps = {{190.0, 200.0}};
+  try {
+    manager.apply(jobs_, wrong_jobs);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("number of jobs"),
+              std::string::npos);
+  }
+  PowerAllocation wrong_hosts;
+  wrong_hosts.job_host_caps = {{190.0}, {180.0, 210.0}};
+  try {
+    manager.apply(jobs_, wrong_hosts);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("number of hosts"),
+              std::string::npos);
+  }
+}
+
+TEST(ExcursionTelemetryTest, IntegratesOverBudgetTime) {
+  SystemPowerManager manager(1'000.0);
+  // 2 hosts -> 1 W tolerance. 1'100 W programmed for 2 s: 100 W over.
+  manager.observe_programmed(1'100.0, 2, 2.0);
+  EXPECT_TRUE(manager.excursions().in_excursion);
+  EXPECT_DOUBLE_EQ(manager.excursions().over_budget_watt_seconds, 200.0);
+  EXPECT_DOUBLE_EQ(manager.excursions().worst_over_watts, 100.0);
+  manager.observe_programmed(1'050.0, 2, 1.0);  // still 50 W over
+  EXPECT_DOUBLE_EQ(manager.excursions().over_budget_watt_seconds, 250.0);
+  EXPECT_DOUBLE_EQ(manager.excursions().current_excursion_seconds, 3.0);
+  // Reprogrammed under budget: the episode closes at this instant.
+  manager.observe_programmed(900.0, 2, 0.0);
+  const ExcursionTelemetry& telemetry = manager.excursions();
+  EXPECT_FALSE(telemetry.in_excursion);
+  EXPECT_EQ(telemetry.excursions, 1u);
+  EXPECT_DOUBLE_EQ(telemetry.last_time_to_safe_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(telemetry.max_time_to_safe_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(telemetry.worst_over_watts, 100.0);
+}
+
+TEST(ExcursionTelemetryTest, ToleranceKeepsQuantizationOutOfTelemetry) {
+  SystemPowerManager manager(1'000.0);
+  manager.observe_programmed(1'000.9, 2, 5.0);  // within 1 W tolerance
+  EXPECT_FALSE(manager.excursions().in_excursion);
+  EXPECT_DOUBLE_EQ(manager.excursions().over_budget_watt_seconds, 0.0);
+}
+
+TEST(ExcursionTelemetryTest, BudgetDropOpensExcursionOnOldCaps) {
+  SystemPowerManager manager(1'000.0);
+  manager.observe_programmed(950.0, 2, 1.0);
+  EXPECT_FALSE(manager.excursions().in_excursion);
+  ASSERT_TRUE(manager.set_budget(700.0, 1));  // brownout under live caps
+  manager.observe_programmed(950.0, 2, 0.5);
+  EXPECT_TRUE(manager.excursions().in_excursion);
+  EXPECT_DOUBLE_EQ(manager.excursions().worst_over_watts, 250.0);
+  manager.observe_programmed(690.0, 2, 0.0);
+  EXPECT_EQ(manager.excursions().excursions, 1u);
+  EXPECT_DOUBLE_EQ(manager.excursions().last_time_to_safe_seconds, 0.5);
+}
+
+TEST(ExcursionTelemetryTest, RejectsNegativeElapsed) {
+  SystemPowerManager manager(1'000.0);
+  EXPECT_THROW(manager.observe_programmed(900.0, 2, -1.0),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::rm

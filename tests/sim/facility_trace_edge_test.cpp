@@ -1,0 +1,98 @@
+// Edge behavior of the facility trace: the partial-day moving-average
+// window, degenerate fraction_above thresholds, and determinism of the
+// generator under forked RNG streams.
+#include <gtest/gtest.h>
+
+#include "sim/facility_trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+namespace {
+
+FacilityTrace short_trace(std::uint64_t seed) {
+  FacilityTraceParams params;
+  params.days = 3;
+  params.samples_per_day = 8;
+  util::Rng rng(seed);
+  return generate_facility_trace(params, rng);
+}
+
+TEST(FacilityTraceEdgeTest, PartialDayMovingAverageUsesShortWindow) {
+  const FacilityTrace trace = short_trace(3);
+  const std::size_t day = trace.params.samples_per_day;
+  // Before one full day of samples the window is everything seen so far.
+  EXPECT_DOUBLE_EQ(trace.moving_average_mw[0], trace.instantaneous_mw[0]);
+  for (std::size_t s = 1; s < day; ++s) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i <= s; ++i) {
+      sum += trace.instantaneous_mw[i];
+    }
+    EXPECT_NEAR(trace.moving_average_mw[s],
+                sum / static_cast<double>(s + 1), 1e-12)
+        << "sample " << s;
+  }
+}
+
+TEST(FacilityTraceEdgeTest, FullWindowIsExactlyTheTrailingDay) {
+  const FacilityTrace trace = short_trace(5);
+  const std::size_t day = trace.params.samples_per_day;
+  for (std::size_t s = day; s < trace.instantaneous_mw.size(); ++s) {
+    double sum = 0.0;
+    for (std::size_t i = s + 1 - day; i <= s; ++i) {
+      sum += trace.instantaneous_mw[i];
+    }
+    EXPECT_NEAR(trace.moving_average_mw[s],
+                sum / static_cast<double>(day), 1e-12)
+        << "sample " << s;
+  }
+}
+
+TEST(FacilityTraceEdgeTest, FractionAboveDegenerateThresholds) {
+  const FacilityTrace trace = short_trace(7);
+  // Every sample lives in [floor, rating]; thresholds outside that band
+  // are all-or-nothing.
+  EXPECT_DOUBLE_EQ(trace.fraction_above(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.fraction_above(trace.params.floor_mw - 1e-9),
+                   1.0);
+  EXPECT_DOUBLE_EQ(trace.fraction_above(trace.params.peak_rating_mw), 0.0);
+  // Strictly-above semantics: the peak itself does not count.
+  EXPECT_DOUBLE_EQ(trace.fraction_above(trace.peak_mw()), 0.0);
+  EXPECT_GT(trace.fraction_above(trace.peak_mw() - 1e-12), 0.0);
+}
+
+TEST(FacilityTraceEdgeTest, EmptyTraceFractionAboveThrows) {
+  const FacilityTrace empty;
+  EXPECT_THROW(static_cast<void>(empty.fraction_above(0.5)), InvalidState);
+}
+
+TEST(FacilityTraceEdgeTest, DeterministicAcrossForkedStreams) {
+  // Two children forked with the same label see identical streams even
+  // after the parents diverge — the property the sweep executor and the
+  // budget-signal builders rely on to replay a scenario.
+  util::Rng parent_a(99);
+  util::Rng parent_b(99);
+  static_cast<void>(parent_b.next());  // parents out of phase
+  util::Rng child_a = parent_a.fork(17);
+  util::Rng child_b = parent_a.fork(17);
+  FacilityTraceParams params;
+  params.days = 2;
+  const FacilityTrace first = generate_facility_trace(params, child_a);
+  const FacilityTrace second = generate_facility_trace(params, child_b);
+  ASSERT_EQ(first.instantaneous_mw.size(), second.instantaneous_mw.size());
+  for (std::size_t s = 0; s < first.instantaneous_mw.size(); ++s) {
+    EXPECT_DOUBLE_EQ(first.instantaneous_mw[s], second.instantaneous_mw[s]);
+  }
+  // A different label is a genuinely different stream.
+  util::Rng other = parent_a.fork(18);
+  const FacilityTrace third = generate_facility_trace(params, other);
+  bool any_difference = false;
+  for (std::size_t s = 0; s < first.instantaneous_mw.size(); ++s) {
+    any_difference = any_difference ||
+                     first.instantaneous_mw[s] != third.instantaneous_mw[s];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace ps::sim

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail when a translation unit #includes the same header twice.
+
+A duplicated include is harmless to the compiler (header guards) but it
+is always an editing accident, and it has slipped through review here
+before (a doubled <map> in the daemon).  This lint keeps the tree clean:
+
+    python3 tools/check_duplicate_includes.py [ROOT...]
+
+With no arguments it scans src/, tests/, bench/, and tools/ under the
+repository root (the directory containing this script's parent).  Exits
+non-zero and prints file:line for every repeated include.
+
+Only exact repeats of the include *target* count — <vector> vs
+"vector" are (deliberately) treated as distinct, and includes inside
+block comments or #if 0 regions are not parsed; the scanner is a plain
+line matcher, which is the right trade for a lint that must never
+false-negative on the common case.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"][^>"]+[>"])')
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h", ".ipp"}
+DEFAULT_ROOTS = ("src", "tests", "bench", "tools")
+
+
+def duplicates_in(path: Path) -> list[tuple[int, str]]:
+    """Returns (line, include-target) for the second and later sightings."""
+    seen: dict[str, int] = {}
+    repeats: list[tuple[int, str]] = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as error:
+        print(f"warning: unreadable {path}: {error}", file=sys.stderr)
+        return []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = INCLUDE_RE.match(line)
+        if not match:
+            continue
+        target = match.group(1)
+        if target in seen:
+            repeats.append((number, target))
+        else:
+            seen[target] = number
+    return repeats
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    if argv:
+        roots = [Path(argument) for argument in argv]
+    else:
+        roots = [repo_root / name for name in DEFAULT_ROOTS]
+
+    failures = 0
+    scanned = 0
+    for root in roots:
+        if not root.exists():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            scanned += 1
+            for number, target in duplicates_in(path):
+                print(f"{path}:{number}: duplicate #include {target}")
+                failures += 1
+    if failures:
+        print(f"{failures} duplicate include(s) across {scanned} files",
+              file=sys.stderr)
+        return 1
+    print(f"ok: no duplicate includes in {scanned} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

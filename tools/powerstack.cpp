@@ -26,6 +26,7 @@
 #include <thread>
 
 #include "analysis/validation.hpp"
+#include "core/budget_governor.hpp"
 #include "core/mixes.hpp"
 #include "net/agent.hpp"
 #include "net/client.hpp"
@@ -36,6 +37,7 @@
 #include "runtime/characterization_io.hpp"
 #include "runtime/controller.hpp"
 #include "runtime/platform_io.hpp"
+#include "sim/facility_trace.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -63,6 +65,12 @@ struct Args {
   double duration_seconds = 0.0;  ///< daemon only; 0 = serve forever.
   std::string snapshot_path;  ///< daemon only; empty = no write-ahead.
   std::string job_name;
+  /// facility: fraction of facility headroom granted to the cluster per
+  /// step (a dynamic budget from a synthetic metering trace). 0 = fixed.
+  double budget_share = 0.0;
+  /// daemon: serve under a scheduled brownout (budget revisions derived
+  /// from the synthetic facility trace, scaled to --budget).
+  bool brownout = false;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -104,6 +112,10 @@ Args parse_args(int argc, char** argv) {
       args.snapshot_path = argv[++i];
     } else if (arg == "--job" && i + 1 < argc) {
       args.job_name = argv[++i];
+    } else if (arg == "--budget-share" && i + 1 < argc) {
+      args.budget_share = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--brownout") {
+      args.brownout = true;
     }
   }
   return args;
@@ -118,10 +130,15 @@ int usage() {
       "                                   dgemm, spmv, stencil, graph, mc)\n"
       "  budgets --mix NAME              Table III budget levels for a mix\n"
       "  balance --agent NAME            run a job under any runtime agent\n"
-      "  facility [--hours H] [--backfill]  event-driven facility run\n"
+      "  facility [--hours H] [--backfill] [--budget-share F]\n"
+      "                                  event-driven facility run; with\n"
+      "                                  --budget-share, the cluster budget\n"
+      "                                  tracks F of facility headroom\n"
+      "                                  (~0.003 suits 8 nodes)\n"
       "  daemon --budget W [--min-jobs N] [--duration S] [--snapshot PATH]\n"
       "                                  serve the RM power daemon; with\n"
-      "                                  --snapshot, restarts rehydrate jobs\n"
+      "                                  --snapshot, restarts rehydrate jobs;\n"
+      "                                  --brownout schedules budget drops\n"
       "  agent --workload NAME [--job NAME] [--iterations N]\n"
       "                                  run a job under daemon coordination\n"
       "  validate [--quick]              reproduction self-check\n"
@@ -284,6 +301,19 @@ int cmd_facility(const Args& args) {
   options.horizon_hours = args.hours;
   options.policy = *policy;
   options.backfill = args.backfill;
+  if (args.budget_share > 0.0) {
+    util::Rng trace_rng(0xFAC);
+    const sim::FacilityTrace trace =
+        sim::generate_facility_trace({}, trace_rng);
+    const auto steps =
+        static_cast<std::size_t>(args.hours / options.step_hours);
+    const double floor_watts =
+        cluster.node(0).min_cap() * static_cast<double>(args.nodes);
+    options.budget_signal_watts = core::budget_signal_from_trace(
+        trace, args.budget_share, std::max<std::size_t>(steps, 2),
+        floor_watts);
+    options.governor.floor_watts = floor_watts;
+  }
   facility::FacilityManager manager(cluster, options);
   const facility::FacilityResult result =
       manager.run(facility::generate_job_trace(rng, traffic));
@@ -297,6 +327,18 @@ int cmd_facility(const Args& args) {
               util::format_watts(result.peak_power_watts()).c_str());
   std::printf("  utilization:    %.0f%%\n",
               result.mean_utilization() * 100.0);
+  if (args.budget_share > 0.0) {
+    std::printf("  budget revisions: %zu (%zu emergency clamps)\n",
+                result.budget_revisions, result.emergency_clamps);
+    std::printf("  final budget:   %s (epoch %llu)\n",
+                util::format_watts(result.budget_watts.back()).c_str(),
+                static_cast<unsigned long long>(result.final_budget_epoch));
+    std::printf(
+        "  excursions:     %zu (worst %.1f W over, max time-to-safe %.1f "
+        "s)\n",
+        result.excursions.excursions, result.excursions.worst_over_watts,
+        result.excursions.max_time_to_safe_seconds);
+  }
   return 0;
 }
 
@@ -314,6 +356,25 @@ int cmd_daemon(const Args& args) {
   options.policy = *policy;
   options.min_jobs = args.min_jobs;
   options.snapshot_path = args.snapshot_path;
+  if (args.brownout) {
+    // A budget schedule shaped like the facility trace, scaled so it
+    // wanders around the configured budget: share * mean headroom ==
+    // budget. One revision opportunity per allocation round.
+    util::Rng trace_rng(0xFAC);
+    const sim::FacilityTrace trace =
+        sim::generate_facility_trace({}, trace_rng);
+    const double mean_headroom_watts =
+        (trace.params.peak_rating_mw - trace.mean_mw()) * 1e6;
+    const double share = options.system_budget_watts / mean_headroom_watts;
+    core::BudgetGovernorOptions governor;
+    governor.floor_watts = 0.25 * options.system_budget_watts;
+    const std::vector<double> signal = core::budget_signal_from_trace(
+        trace, share, /*samples=*/64, governor.floor_watts);
+    options.budget_revisions = core::make_budget_schedule(
+        options.system_budget_watts, signal, governor);
+    std::printf("daemon: brownout schedule, %zu revisions\n",
+                options.budget_revisions.size());
+  }
   net::PowerDaemon daemon(options);
   if (!args.snapshot_path.empty()) {
     std::printf("daemon: snapshot %s, %zu jobs restored\n",
@@ -349,6 +410,15 @@ int cmd_daemon(const Args& args) {
       "%zu policies sent\n",
       stats.sessions_accepted, stats.samples_received, stats.allocations,
       stats.policies_sent);
+  if (args.brownout) {
+    std::printf(
+        "daemon: budget %.1f W at epoch %llu, %zu revisions applied, "
+        "%zu pushes, %zu emergency clamps\n",
+        stats.budget_watts,
+        static_cast<unsigned long long>(stats.budget_epoch),
+        stats.budget_revisions_applied, stats.budget_pushes,
+        stats.emergency_clamps);
+  }
   return 0;
 }
 
