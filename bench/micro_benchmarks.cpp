@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "analysis/experiment.hpp"
 #include "analysis/sweep.hpp"
 #include "core/budget_governor.hpp"
+#include "core/coordination.hpp"
 #include "core/endpoint.hpp"
 #include "core/policies.hpp"
 #include "kernel/arithmetic_kernel.hpp"
@@ -22,6 +24,8 @@
 #include "net/daemon.hpp"
 #include "net/framing.hpp"
 #include "net/snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rm/power_manager.hpp"
 #include "runtime/agent_tree.hpp"
 #include "runtime/power_balancer_agent.hpp"
@@ -423,6 +427,47 @@ void BM_ClampAllocationToBudget(benchmark::State& state) {
                           static_cast<std::int64_t>(hosts));
 }
 BENCHMARK(BM_ClampAllocationToBudget)->Arg(16)->Arg(256);
+
+/// Observability overhead on the coordination loop's epoch path: the
+/// same mix run uninstrumented (Arg 0) and with a metrics registry plus
+/// ring-buffered trace sink attached (Arg 1). The docs' epoch-overhead
+/// number is the Arg(1)/Arg(0) wall-time ratio; the emits are
+/// epoch-grained, so the target is <= 5%.
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  sim::Cluster cluster(8);
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  std::vector<std::unique_ptr<sim::JobSimulation>> owned;
+  std::vector<sim::JobSimulation*> jobs;
+  for (std::size_t j = 0; j < 2; ++j) {
+    std::vector<hw::NodeModel*> hosts;
+    for (std::size_t h = 0; h < 4; ++h) {
+      hosts.push_back(&cluster.node(j * 4 + h));
+    }
+    owned.push_back(std::make_unique<sim::JobSimulation>(
+        "bench-" + std::to_string(j), std::move(hosts), config));
+    jobs.push_back(owned.back().get());
+  }
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink(4096);  // ring-bounded, as a daemon would run it
+  core::CoordinationOptions options;
+  if (instrumented) {
+    options.obs.metrics = &registry;
+    options.obs.trace = &sink;
+  }
+  core::CoordinationLoop loop(8.0 * 200.0, options);
+  constexpr std::size_t kIterations = 10;  // two epochs per run
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.run(jobs, kIterations));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kIterations / options.epoch_iterations));
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_KMeans1d(benchmark::State& state) {
   util::Rng rng(1);

@@ -1,6 +1,7 @@
 #include "analysis/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -43,9 +44,20 @@ struct WorkQueue {
 
 }  // namespace
 
-SweepExecutor::SweepExecutor(std::size_t workers) : workers_(workers) {
+SweepExecutor::SweepExecutor(std::size_t workers, obs::Observability obs)
+    : workers_(workers) {
   if (workers_ == 0) {
     workers_ = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (obs.metrics != nullptr) {
+    cells_metric_ = &obs.metrics->counter("analysis.sweep.cells");
+    steals_metric_ = &obs.metrics->counter("analysis.sweep.steals");
+    // Lower bucket edges in seconds; grid cells run tens of milliseconds
+    // to a few seconds depending on the mix and iteration count.
+    static constexpr double kCellBounds[] = {0.001, 0.005, 0.01,  0.05, 0.1,
+                                             0.5,   1.0,   5.0,   10.0, 30.0};
+    cell_seconds_ =
+        &obs.metrics->histogram("analysis.sweep.cell_seconds", kCellBounds);
   }
 }
 
@@ -55,10 +67,27 @@ void SweepExecutor::for_each(
   if (count == 0) {
     return;
   }
+  // Wall-time per cell (steady clock, metrics only) and the cell counter.
+  // Counter/histogram writes are lock-free, so workers record directly.
+  const auto run_task = [&](std::size_t i) {
+    if (cell_seconds_ == nullptr) {
+      task(i);
+    } else {
+      const auto started = std::chrono::steady_clock::now();
+      task(i);
+      cell_seconds_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count());
+    }
+    if (cells_metric_ != nullptr) {
+      cells_metric_->add();
+    }
+  };
   const std::size_t workers = std::min(workers_, count);
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
-      task(i);
+      run_task(i);
     }
     return;
   }
@@ -81,6 +110,9 @@ void SweepExecutor::for_each(
       std::optional<std::size_t> index = queues[self].pop_front();
       for (std::size_t delta = 1; !index && delta < workers; ++delta) {
         index = queues[(self + delta) % workers].steal_back();
+        if (index && steals_metric_ != nullptr) {
+          steals_metric_->add();
+        }
       }
       if (!index) {
         return;  // every queue is empty — nothing left to steal
@@ -92,7 +124,7 @@ void SweepExecutor::for_each(
         }
       }
       try {
-        task(*index);
+        run_task(*index);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) {

@@ -8,6 +8,7 @@
 #include "analysis/experiment.hpp"
 #include "core/budget.hpp"
 #include "core/policy.hpp"
+#include "obs/obs.hpp"
 
 namespace ps::analysis {
 
@@ -25,8 +26,11 @@ class SweepExecutor {
  public:
   /// `workers` = 0 picks std::thread::hardware_concurrency(); 1 runs
   /// every task inline on the caller, in index order (the legacy serial
-  /// path — no threads are created).
-  explicit SweepExecutor(std::size_t workers = 0);
+  /// path — no threads are created). With a metrics registry in `obs`
+  /// the executor publishes "analysis.sweep.*": cell and steal counters
+  /// plus a per-cell wall-time histogram. Instrumentation never touches
+  /// the results — cells stay bit-identical at any worker count.
+  explicit SweepExecutor(std::size_t workers = 0, obs::Observability obs = {});
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_;
@@ -40,6 +44,10 @@ class SweepExecutor {
 
  private:
   std::size_t workers_;
+  /// Cached instruments (owned by the registry); null when unobserved.
+  obs::Counter* cells_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+  obs::Histogram* cell_seconds_ = nullptr;
 };
 
 /// The (mix, level, policy) cell results of a full grid sweep, indexed

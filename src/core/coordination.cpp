@@ -4,10 +4,48 @@
 #include <cmath>
 
 #include "core/invariants.hpp"
+#include "obs/replay.hpp"
 #include "rm/power_manager.hpp"
 #include "util/error.hpp"
 
 namespace ps::core {
+
+namespace {
+
+std::string_view failure_kind_name(sim::FailureKind kind) {
+  switch (kind) {
+    case sim::FailureKind::kNodeFailure:
+      return "node_failure";
+    case sim::FailureKind::kStragglerOnset:
+      return "straggler_onset";
+    case sim::FailureKind::kStragglerRecovery:
+      return "straggler_recovery";
+  }
+  return "unknown";
+}
+
+/// One "caps" event per job: the caps the RM step just programmed, at
+/// exact numeric fidelity (the replay oracle's input).
+void emit_caps_events(const obs::Observability& obs, std::uint64_t tick,
+                      std::span<sim::JobSimulation* const> jobs) {
+  if (!obs.tracing()) {
+    return;
+  }
+  for (const auto* job : jobs) {
+    obs::TraceEvent event;
+    event.tick = tick;
+    event.category = std::string(obs::cat::kCoord);
+    event.name = "caps";
+    event.args.reserve(job->host_count() + 1);
+    event.args.push_back({"job", job->name()});
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      event.args.push_back({obs::cap_key(h), job->host_cap(h)});
+    }
+    obs.trace->emit(std::move(event));
+  }
+}
+
+}  // namespace
 
 double CoordinationResult::gflops_per_watt() const {
   if (energy_joules <= 0.0) {
@@ -147,6 +185,8 @@ CoordinationResult CoordinationLoop::run_dynamic(
 
   const auto policy = make_policy(options_.policy);
   rm::SystemPowerManager manager(budget_);
+  const obs::Observability& obs = options_.obs;
+  manager.set_observer(obs);
 
   CoordinationResult result;
   std::vector<ReclaimRecord> pending_reclaims;
@@ -166,7 +206,9 @@ CoordinationResult CoordinationLoop::run_dynamic(
       const BudgetRevision& revision = revisions[next_revision];
       invariants::check_epoch_monotone(manager.budget_epoch(), revision.epoch,
                                        "coordination.revision");
-      if (manager.set_budget(revision.budget_watts, revision.epoch)) {
+      const bool applied =
+          manager.set_budget(revision.budget_watts, revision.epoch);
+      if (applied) {
         budget_ = revision.budget_watts;
         if (budget_telemetry != nullptr) {
           ++budget_telemetry->revisions_applied;
@@ -174,6 +216,10 @@ CoordinationResult CoordinationLoop::run_dynamic(
       } else if (budget_telemetry != nullptr) {
         ++budget_telemetry->revisions_stale;
       }
+      obs.emit(epoch_index, obs::cat::kCoord, "revision",
+               {{"revision_epoch", revision.epoch},
+                {"budget_watts", revision.budget_watts},
+                {"applied", applied}});
       ++next_revision;
     }
 
@@ -208,6 +254,10 @@ CoordinationResult CoordinationLoop::run_dynamic(
       if (telemetry != nullptr) {
         ++telemetry->events_applied;
       }
+      obs.emit(epoch_index, obs::cat::kCoord, "failure",
+               {{"kind", std::string(failure_kind_name(event.kind))},
+                {"job", static_cast<std::uint64_t>(event.job)},
+                {"host", static_cast<std::uint64_t>(event.host)}});
       ++next_event;
     }
 
@@ -318,6 +368,10 @@ CoordinationResult CoordinationLoop::run_dynamic(
         invariants::check_watts_conserved(reclaim.watts_reclaimed + floor_cap,
                                           reclaim.watts_reclaimed, cap, 0.5,
                                           "coordination.reclaim");
+        obs.emit(epoch_index, obs::cat::kCoord, "reclaim",
+                 {{"job", static_cast<std::uint64_t>(reclaim.job)},
+                  {"host", static_cast<std::uint64_t>(reclaim.host)},
+                  {"watts_reclaimed", reclaim.watts_reclaimed}});
       }
     }
 
@@ -339,6 +393,14 @@ CoordinationResult CoordinationLoop::run_dynamic(
     } else if (record.max_cap_change_watts >= options_.convergence_watts) {
       result.converged = false;  // a phase change can de-converge the loop
     }
+
+    emit_caps_events(obs, epoch_index, jobs);
+    obs.emit(epoch_index, obs::cat::kCoord, "epoch",
+             {{"epoch", static_cast<std::uint64_t>(record.epoch)},
+              {"budget_watts", record.budget_watts},
+              {"budget_epoch", record.budget_epoch},
+              {"allocated_watts", record.allocated_watts},
+              {"emergency", record.emergency_clamped}});
 
     result.elapsed_seconds += record.elapsed_seconds;
     result.energy_joules += record.energy_joules;

@@ -6,6 +6,7 @@
 
 #include "core/budget_governor.hpp"
 #include "core/policy.hpp"
+#include "obs/obs.hpp"
 #include "rm/power_manager.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/failures.hpp"
@@ -23,6 +24,12 @@ struct CoordinationOptions {
   /// considered converged.
   double convergence_watts = 1.0;
   runtime::BalancerOptions balancer{};
+  /// Observability seam. With a trace sink attached the loop emits the
+  /// "coord" event stream (revision/failure/caps/epoch/reclaim events on
+  /// the epoch logical clock — deterministic for a seeded run); with a
+  /// metrics registry, the RM instruments register under "rm.*". Inert
+  /// by default.
+  obs::Observability obs{};
 };
 
 /// One epoch's record in the coordination telemetry.

@@ -43,6 +43,22 @@ RuntimeClient::RuntimeClient(TransportConnector connector,
              "backoff range is invalid");
   PS_REQUIRE(options.backoff_jitter >= 0.0 && options.backoff_jitter < 1.0,
              "backoff jitter must be in [0, 1)");
+  if (options_.obs.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options_.obs.metrics;
+    exchanges_metric_ = &metrics.counter("net.client.exchanges");
+    failures_metric_ = &metrics.counter("net.client.exchange_failures");
+    reconnects_metric_ = &metrics.counter("net.client.reconnects");
+    stale_replies_metric_ = &metrics.counter("net.client.stale_replies");
+    stale_epoch_metric_ = &metrics.counter("net.client.stale_epoch_caps");
+    revisions_metric_ = &metrics.counter("net.client.budget_revisions");
+    // Lower bucket edges in seconds: loopback exchanges land in the
+    // sub-millisecond buckets, reconnect-burdened ones in the tail.
+    static constexpr double kExchangeBounds[] = {
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+        0.05,   0.1,     0.25,   0.5,   1.0,    2.5};
+    exchange_seconds_ =
+        &metrics.histogram("net.client.exchange_seconds", kExchangeBounds);
+  }
 }
 
 void RuntimeClient::drop_connection() {
@@ -113,6 +129,9 @@ bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
       session_budget_epoch_ = 0;  // the daemon resyncs on registration
       if (ever_connected_) {
         ++stats_.reconnects;
+        if (reconnects_metric_ != nullptr) {
+          reconnects_metric_->add();
+        }
       }
       ever_connected_ = true;
       in_outage_ = false;
@@ -147,6 +166,29 @@ bool RuntimeClient::send_frame(const std::string& frame,
 }
 
 std::optional<core::PolicyMessage> RuntimeClient::exchange(
+    const core::SampleMessage& sample) {
+  if (exchanges_metric_ != nullptr) {
+    exchanges_metric_->add();
+  }
+  if (exchange_seconds_ == nullptr) {
+    // Unobserved clients never read the clock for metrics.
+    std::optional<core::PolicyMessage> reply = exchange_impl(sample);
+    if (!reply && failures_metric_ != nullptr) {
+      failures_metric_->add();
+    }
+    return reply;
+  }
+  const auto started = Clock::now();
+  std::optional<core::PolicyMessage> reply = exchange_impl(sample);
+  exchange_seconds_->observe(
+      std::chrono::duration<double>(Clock::now() - started).count());
+  if (!reply && failures_metric_ != nullptr) {
+    failures_metric_->add();
+  }
+  return reply;
+}
+
+std::optional<core::PolicyMessage> RuntimeClient::exchange_impl(
     const core::SampleMessage& sample) {
   ++stats_.exchanges;
   if (daemon_lost_) {
@@ -187,6 +229,9 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange(
               session_budget_epoch_ = budget.epoch;
               last_budget_ = std::move(budget);
               ++stats_.budget_revisions;
+              if (revisions_metric_ != nullptr) {
+                revisions_metric_->add();
+              }
             } else {
               ++stats_.budget_pushes_stale;
             }
@@ -200,12 +245,18 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange(
             // duplicated or delayed frame): programming them could
             // overspend the revised envelope.
             ++stats_.stale_epoch_caps;
+            if (stale_epoch_metric_ != nullptr) {
+              stale_epoch_metric_->add();
+            }
             continue;
           }
           session_budget_epoch_ =
               std::max(session_budget_epoch_, policy.budget_epoch);
           if (policy.sequence < sample.sequence) {
             ++stats_.stale_replies;
+            if (stale_replies_metric_ != nullptr) {
+              stale_replies_metric_->add();
+            }
             continue;
           }
           last_known_policy_ = std::move(policy);

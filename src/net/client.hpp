@@ -9,6 +9,7 @@
 #include "net/framing.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace ps::net {
@@ -29,6 +30,12 @@ struct ClientOptions {
   /// forever. 0 disables the cap. A successful connect ends the outage
   /// and resets the count.
   std::size_t max_connect_attempts_per_outage = 1'000;
+
+  /// Observability seam. The client publishes metrics only — exchange
+  /// round-trip latency ("net.client.exchange_seconds"), reconnect /
+  /// stale-reply / stale-epoch counters — never trace events: its
+  /// activity follows transport timing and has no deterministic clock.
+  obs::Observability obs{};
 };
 
 struct ClientStats {
@@ -110,10 +117,22 @@ class RuntimeClient {
  private:
   using Clock = std::chrono::steady_clock;
 
+  [[nodiscard]] std::optional<core::PolicyMessage> exchange_impl(
+      const core::SampleMessage& sample);
   bool ensure_connected(Clock::time_point deadline);
   bool send_frame(const std::string& frame, Clock::time_point deadline);
   void drop_connection();
   void register_connect_failure();
+
+  /// Cached instruments (owned by the registry in options_.obs); all null
+  /// when the client is unobserved.
+  obs::Counter* exchanges_metric_ = nullptr;
+  obs::Counter* failures_metric_ = nullptr;
+  obs::Counter* reconnects_metric_ = nullptr;
+  obs::Counter* stale_replies_metric_ = nullptr;
+  obs::Counter* stale_epoch_metric_ = nullptr;
+  obs::Counter* revisions_metric_ = nullptr;
+  obs::Histogram* exchange_seconds_ = nullptr;
 
   TransportConnector connector_;
   ClientOptions options_;

@@ -7,6 +7,7 @@
 
 #include "core/invariants.hpp"
 #include "net/snapshot.hpp"
+#include "obs/replay.hpp"
 #include "rm/allocation.hpp"
 #include "rm/power_manager.hpp"
 #include "util/error.hpp"
@@ -82,6 +83,17 @@ void PowerDaemon::restore_from_snapshot() {
     jobs_.emplace(job.name, std::move(record));
     ++stats_.jobs_restored;
   }
+  options_.obs.count("net.daemon.jobs_restored", snapshot->jobs.size());
+  options_.obs.emit(
+      allocation_epoch_base_, obs::cat::kDaemon, "restore",
+      {{"jobs", static_cast<std::uint64_t>(snapshot->jobs.size())},
+       {"budget_watts", budget_watts_},
+       {"budget_epoch", budget_epoch_}});
+}
+
+std::uint64_t PowerDaemon::completed_rounds() const {
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  return allocation_epoch_base_ + stats_.allocations;
 }
 
 void PowerDaemon::listen_unix(const std::string& path) {
@@ -151,8 +163,15 @@ void PowerDaemon::apply_revision(const core::BudgetRevision& revision) {
   if (revision.epoch <= budget_epoch_) {
     // A replayed or superseded revision: rejecting it (rather than
     // re-applying) is what makes delivery idempotent.
-    const std::lock_guard<std::mutex> lock(shared_mutex_);
-    ++stats_.budget_revisions_stale;
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.budget_revisions_stale;
+    }
+    options_.obs.count("net.daemon.revisions_stale");
+    options_.obs.emit(revision.at_epoch, obs::cat::kDaemon, "revision",
+                      {{"revision_epoch", revision.epoch},
+                       {"budget_watts", revision.budget_watts},
+                       {"applied", false}});
     return;
   }
   budget_watts_ = revision.budget_watts;
@@ -163,6 +182,11 @@ void PowerDaemon::apply_revision(const core::BudgetRevision& revision) {
     stats_.budget_watts = budget_watts_;
     stats_.budget_epoch = budget_epoch_;
   }
+  options_.obs.count("net.daemon.revisions_applied");
+  options_.obs.emit(revision.at_epoch, obs::cat::kDaemon, "revision",
+                    {{"revision_epoch", revision.epoch},
+                     {"budget_watts", revision.budget_watts},
+                     {"applied", true}});
   clamp_stored_caps();
   push_budget_to_sessions();
   // The revised budget must survive a restart: persist before any
@@ -262,8 +286,12 @@ void PowerDaemon::add_session(std::unique_ptr<Transport> transport) {
   sessions_.emplace(fd, std::move(session));
   loop_.add_fd(fd, POLLIN,
                [this, fd](short revents) { on_session_ready(fd, revents); });
-  const std::lock_guard<std::mutex> lock(shared_mutex_);
-  ++stats_.sessions_accepted;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.sessions_accepted;
+  }
+  options_.obs.count("net.daemon.sessions_accepted");
+  options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "session_accepted");
 }
 
 void PowerDaemon::on_listener_ready(std::size_t listener_index) {
@@ -294,6 +322,9 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
       ++stats_.protocol_errors;
     }
   }
+  options_.obs.count("net.daemon.sessions_closed");
+  options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "session_closed",
+                    {{"job", job_name}, {"protocol_error", protocol_error}});
 
   bool quarantined = false;
   if (registered) {
@@ -312,6 +343,9 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
             const std::lock_guard<std::mutex> lock(shared_mutex_);
             ++stats_.quarantines;
           }
+          options_.obs.count("net.daemon.quarantines");
+          options_.obs.emit(completed_rounds(), obs::cat::kNetIo,
+                            "quarantine", {{"job", job_name}});
           evict_job(job_name);
           quarantined = true;
         }
@@ -381,6 +415,10 @@ void PowerDaemon::evict_job(const std::string& name) {
               .count();
     }
   }
+  options_.obs.count("net.daemon.jobs_evicted");
+  options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "evict",
+                    {{"job", name},
+                     {"watts_reclaimed", record.have_policy ? reclaimed : 0.0}});
   maybe_write_snapshot();
 }
 
@@ -445,6 +483,7 @@ void PowerDaemon::handle_frame(int fd, Session& session,
           const std::lock_guard<std::mutex> lock(shared_mutex_);
           ++stats_.quarantine_rejections;
         }
+        options_.obs.count("net.daemon.quarantine_rejections");
         throw InvalidArgument("job '" + sample.job_name +
                               "' is quarantined");
       }
@@ -455,8 +494,13 @@ void PowerDaemon::handle_frame(int fd, Session& session,
       PS_REQUIRE(it->second.session_fd < 0,
                  "job '" + sample.job_name + "' is already registered");
       it->second.session_fd = fd;
-      const std::lock_guard<std::mutex> lock(shared_mutex_);
-      ++stats_.sessions_rehydrated;
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        ++stats_.sessions_rehydrated;
+      }
+      options_.obs.count("net.daemon.sessions_rehydrated");
+      options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "rehydrate",
+                        {{"job", sample.job_name}});
     } else {
       JobRecord record;
       record.session_fd = fd;
@@ -497,6 +541,7 @@ void PowerDaemon::handle_frame(int fd, Session& session,
       ++stats_.samples_received;
       ++stats_.samples_stale;
     }
+    options_.obs.count("net.daemon.samples_stale");
     resend_last_policy(fd, session, record);
     return;
   }
@@ -507,10 +552,15 @@ void PowerDaemon::handle_frame(int fd, Session& session,
     // client looping on stale sequences must still stall-evict.
     record.last_sample_at = now;
   }
-  const std::lock_guard<std::mutex> lock(shared_mutex_);
-  ++stats_.samples_received;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.samples_received;
+    if (!accepted) {
+      ++stats_.samples_stale;
+    }
+  }
   if (!accepted) {
-    ++stats_.samples_stale;
+    options_.obs.count("net.daemon.samples_stale");
   }
 }
 
@@ -585,8 +635,12 @@ void PowerDaemon::allocate_once() {
       return;
     }
     launch_barrier_met_ = true;
-    const std::lock_guard<std::mutex> lock(shared_mutex_);
-    ++stats_.launch_barriers;
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.launch_barriers;
+    }
+    options_.obs.emit(0, obs::cat::kDaemon, "barrier",
+                      {{"jobs", static_cast<std::uint64_t>(jobs_.size())}});
   }
   for (const auto& [name, record] : jobs_) {
     if (!record.latch.has_fresh()) {
@@ -634,6 +688,7 @@ void PowerDaemon::allocate_once() {
   const double tolerance = 0.5 * static_cast<double>(total_hosts);
 
   std::vector<core::PolicyMessage> messages(samples.size());
+  bool round_clamped = false;
   if (all_bootstrap) {
     // Launch: every job starts from the uniform share of the budget,
     // exactly as the in-memory CoordinationLoop seeds itself.
@@ -657,6 +712,9 @@ void PowerDaemon::allocate_once() {
         const std::lock_guard<std::mutex> lock(shared_mutex_);
         ++stats_.budget_violations;
       }
+      options_.obs.count("net.daemon.budget_violations");
+      options_.obs.emit(round_sequence, obs::cat::kDaemon, "violation",
+                        {{"budget_watts", budget_watts_}});
       double stored_watts = 0.0;
       for (const auto& [name, record] : jobs_) {
         for (const double cap : record.last_caps_watts) {
@@ -677,6 +735,8 @@ void PowerDaemon::allocate_once() {
       for (std::size_t j = 0; j < samples.size(); ++j) {
         messages[j].host_caps_watts = clamped.job_host_caps[j];
       }
+      round_clamped = true;
+      options_.obs.count("net.daemon.emergency_clamps");
       const std::lock_guard<std::mutex> lock(shared_mutex_);
       ++stats_.emergency_clamps;
     } else {
@@ -709,6 +769,34 @@ void PowerDaemon::allocate_once() {
         round_watts, std::max(budget_watts_, round_floors), total_hosts,
         "daemon.allocate");
   }
+  // The round's deterministic trace record, on the round-sequence clock:
+  // round r here is coordination epoch r-1's RM step, and the caps carry
+  // exact numeric fidelity — enough to replay the allocation watt-for-watt.
+  if (options_.obs.tracing()) {
+    for (std::size_t j = 0; j < messages.size(); ++j) {
+      obs::TraceEvent event;
+      event.tick = round_sequence;
+      event.category = std::string(obs::cat::kDaemon);
+      event.name = "caps";
+      event.args.reserve(messages[j].host_caps_watts.size() + 2);
+      event.args.push_back({"job", messages[j].job_name});
+      event.args.push_back({"sequence", messages[j].sequence});
+      for (std::size_t h = 0; h < messages[j].host_caps_watts.size(); ++h) {
+        event.args.push_back(
+            {obs::cap_key(h), messages[j].host_caps_watts[h]});
+      }
+      options_.obs.trace->emit(std::move(event));
+    }
+    options_.obs.emit(round_sequence, obs::cat::kDaemon, "round",
+                      {{"round", round_sequence},
+                       {"jobs", static_cast<std::uint64_t>(messages.size())},
+                       {"budget_watts", budget_watts_},
+                       {"budget_epoch", budget_epoch_},
+                       {"allocated_watts", round_watts},
+                       {"bootstrap", all_bootstrap},
+                       {"emergency", round_clamped}});
+  }
+  options_.obs.count("net.daemon.allocations");
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.allocations;
@@ -760,8 +848,15 @@ void PowerDaemon::maybe_write_snapshot() {
   }
   try {
     save_snapshot(options_.snapshot_path, snapshot);
-    const std::lock_guard<std::mutex> lock(shared_mutex_);
-    ++stats_.snapshots_written;
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.snapshots_written;
+    }
+    options_.obs.count("net.daemon.snapshots_written");
+    options_.obs.emit(
+        snapshot.allocations, obs::cat::kDaemon, "snapshot",
+        {{"jobs", static_cast<std::uint64_t>(snapshot.jobs.size())},
+         {"budget_epoch", budget_epoch_}});
   } catch (const Error&) {
     // Disk trouble must degrade durability, never live coordination.
   }

@@ -16,6 +16,7 @@
 #include "net/framing.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace ps::net {
 
@@ -70,6 +71,14 @@ struct DaemonOptions {
   /// epoch e's RM step — so a socket run replays the exact budget
   /// trajectory CoordinationLoop::run_dynamic follows in memory.
   std::vector<core::BudgetRevision> budget_revisions;
+
+  /// Observability seam. With a trace sink attached the daemon emits the
+  /// "daemon" stream (restore/barrier/revision/caps/round/snapshot on the
+  /// allocation-round logical clock — deterministic for a seeded run) and
+  /// the "netio" stream (session lifecycle, eviction, quarantine — these
+  /// follow transport timing and are excluded from golden comparisons);
+  /// with a metrics registry, "net.daemon.*" counters. Inert by default.
+  obs::Observability obs{};
 };
 
 struct DaemonStats {
@@ -222,6 +231,8 @@ class PowerDaemon {
   void apply_revision(const core::BudgetRevision& revision);
   void push_budget_to_sessions();
   void clamp_stored_caps();
+  /// Rounds completed across incarnations — the "netio" stream's tick.
+  [[nodiscard]] std::uint64_t completed_rounds() const;
 
   DaemonOptions options_;
   std::unique_ptr<core::Policy> policy_;

@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.';
+  });
+}
+
+}  // namespace
+
+void Gauge::set(double value) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(value),
+              std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t HistogramSnapshot::total() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t count : counts) {
+    total += count;
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  PS_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    PS_REQUIRE(std::isfinite(bounds_[i]), "bucket edges must be finite");
+    if (i > 0) {
+      PS_REQUIRE(bounds_[i - 1] < bounds_[i],
+                 "bucket edges must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!std::isfinite(value)) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // upper_bound: first edge > value. A value below every edge yields
+  // index 0 (underflow); on or above the last edge, bounds_.size().
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& count : counts_) {
+    snap.counts.push_back(count.load(std::memory_order_relaxed));
+  }
+  snap.invalid = invalid_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  PS_REQUIRE(valid_metric_name(name), "malformed metric name");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PS_REQUIRE(gauges_.find(name) == gauges_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric name already registered as another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  PS_REQUIRE(valid_metric_name(name), "malformed metric name");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PS_REQUIRE(counters_.find(name) == counters_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric name already registered as another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  PS_REQUIRE(valid_metric_name(name), "malformed metric name");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PS_REQUIRE(counters_.find(name) == counters_.end() &&
+                 gauges_.find(name) == gauges_.end(),
+             "metric name already registered as another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          bounds.begin(), bounds.end())))
+             .first;
+  } else {
+    PS_REQUIRE(std::equal(bounds.begin(), bounds.end(),
+                          it->second->bounds().begin(),
+                          it->second->bounds().end()),
+               "histogram re-registered with different bucket edges");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::render_text(std::ostream& out) const {
+  const MetricsSnapshot snap = snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << name << ' ' << util::format_fixed(value, 3) << '\n';
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      out << name << "{bucket=";
+      if (b == 0) {
+        out << "underflow";
+      } else {
+        out << "ge_" << util::format_fixed(histogram.bounds[b - 1], 6);
+      }
+      out << "} " << histogram.counts[b] << '\n';
+    }
+    out << name << ".invalid " << histogram.invalid << '\n';
+    out << name << ".sum " << util::format_fixed(histogram.sum, 6) << '\n';
+  }
+}
+
+}  // namespace ps::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps::obs {
+
+/// Monotone event counter. The hot path is a single relaxed atomic
+/// add — wait-free, TSan-clean, safe to hammer from any number of
+/// threads while another thread scrapes.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins double. Stored as the bit pattern in a 64-bit atomic,
+/// so reads and writes are lock-free and never tear.
+class Gauge {
+ public:
+  void set(double value) noexcept;
+  [[nodiscard]] double value() const noexcept;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  ///< bit_cast of the double.
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;        ///< The configured bucket lower bounds.
+  std::vector<std::uint64_t> counts; ///< bounds.size() + 1 buckets.
+  std::uint64_t invalid = 0;         ///< Non-finite observations.
+  double sum = 0.0;                  ///< Sum of finite observations.
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+};
+
+/// Fixed-bucket histogram. `bounds` are strictly increasing, finite
+/// bucket *lower* edges: an observation v lands in
+///
+///   bucket 0 (underflow)        when v <  bounds[0]
+///   bucket i                    when bounds[i-1] <= v < bounds[i]
+///   bucket bounds.size() (over) when v >= bounds.back()
+///
+/// so a value exactly on an edge belongs to the bucket it opens.
+/// observe() is lock-free (binary search + relaxed atomic add) and safe
+/// against a concurrent snapshot(). Non-finite observations land in the
+/// `invalid` counter instead of a bucket and are excluded from `sum`.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds_.size() + 1.
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of a whole registry, name-sorted (the registry is
+/// name-keyed, so scrape order is deterministic).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Name-keyed registry of counters, gauges and histograms. Registration
+/// (get-or-create) takes a mutex — the cold path; instruments returned by
+/// it have stable addresses for the registry's lifetime, so hot paths
+/// cache the reference and touch only the instrument's atomics.
+///
+/// Metric names are dotted identifiers: [A-Za-z0-9_.], non-empty.
+class MetricsRegistry {
+ public:
+  /// Get-or-create. Throws ps::InvalidArgument on a malformed name or
+  /// when the name is already registered as a different kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` must match the registered histogram's bounds exactly when
+  /// the name already exists.
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Deterministically ordered text rendering (one `name value` line per
+  /// counter/gauge, `name{le=...}` style lines per histogram bucket).
+  void render_text(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ps::obs

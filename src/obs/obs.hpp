@@ -1,0 +1,60 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ps::obs {
+
+/// The cross-layer observability seam: a pair of non-owning pointers
+/// threaded through the stack's option structs (CoordinationOptions,
+/// DaemonOptions, ClientOptions, SweepExecutor). Default-constructed it
+/// is inert — every call is a null check and nothing else — so
+/// uninstrumented runs pay (and allocate) nothing.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* trace = nullptr;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return metrics != nullptr || trace != nullptr;
+  }
+  [[nodiscard]] bool tracing() const noexcept { return trace != nullptr; }
+
+  void emit(std::uint64_t tick, std::string_view category,
+            std::string_view name,
+            std::initializer_list<TraceArg> args = {}) const {
+    if (trace != nullptr) {
+      trace->emit(tick, category, name, args);
+    }
+  }
+
+  /// Registry-lookup conveniences for cold paths; hot paths should cache
+  /// the Counter/Histogram reference from `metrics` directly.
+  void count(std::string_view name, std::uint64_t delta = 1) const {
+    if (metrics != nullptr) {
+      metrics->counter(name).add(delta);
+    }
+  }
+  void set_gauge(std::string_view name, double value) const {
+    if (metrics != nullptr) {
+      metrics->gauge(name).set(value);
+    }
+  }
+};
+
+/// Category names of the stack's event streams. `kCoord`, `kRm` and
+/// `kDaemon` are *deterministic*: their events derive only from logical
+/// progress (epochs, allocation rounds) and seeded state, so a seeded
+/// run's stream is byte-identical across runs, machines and worker
+/// counts. `kNetIo` events follow transport timing (connects, evictions,
+/// reconnects) and are excluded from golden-trace comparisons.
+namespace cat {
+inline constexpr std::string_view kCoord = "coord";
+inline constexpr std::string_view kRm = "rm";
+inline constexpr std::string_view kDaemon = "daemon";
+inline constexpr std::string_view kNetIo = "netio";
+}  // namespace cat
+
+/// The deterministic streams, in the order golden traces are exported.
+[[nodiscard]] std::span<const std::string_view> deterministic_categories();
+
+}  // namespace ps::obs

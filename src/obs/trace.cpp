@@ -1,0 +1,415 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace ps::obs {
+
+namespace {
+
+const TraceValue& find_arg(const TraceEvent& event, std::string_view key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key == key) {
+      return arg.value;
+    }
+  }
+  throw NotFound("trace event '" + event.name + "' has no arg '" +
+                 std::string(key) + "'");
+}
+
+void append_escaped(std::string& out, std::string_view text) {
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(hex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_value(std::string& out, const TraceValue& value) {
+  if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    PS_REQUIRE(std::isfinite(*d), "trace values must be finite");
+    char buffer[32];
+    const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), *d);
+    PS_REQUIRE(ec == std::errc{}, "unencodable trace value");
+    out.append(buffer, ptr);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    out += *b ? "true" : "false";
+  } else {
+    append_escaped(out, std::get<std::string>(value));
+  }
+}
+
+/// Strict cursor over one JSONL line: accepts exactly the grammar
+/// to_jsonl emits (no whitespace, fixed key order).
+class LineParser {
+ public:
+  explicit LineParser(std::string_view text) : text_(text) {}
+
+  void expect(std::string_view literal) {
+    PS_REQUIRE(text_.substr(pos_, literal.size()) == literal,
+               "malformed trace line: expected literal");
+    pos_ += literal.size();
+  }
+
+  [[nodiscard]] bool peek(char c) const {
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect("\"");
+    std::string out;
+    while (true) {
+      PS_REQUIRE(pos_ < text_.size(), "unterminated trace string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      PS_REQUIRE(pos_ < text_.size(), "unterminated trace escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          PS_REQUIRE(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          const auto [ptr, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          PS_REQUIRE(ec == std::errc{} && ptr == text_.data() + pos_ + 4,
+                     "malformed \\u escape");
+          PS_REQUIRE(code < 0x20, "only control-character \\u escapes");
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          throw InvalidArgument("unknown trace string escape");
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t parse_uint() {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        text_.data() + pos_, text_.data() + text_.size(), value);
+    PS_REQUIRE(ec == std::errc{} && ptr != text_.data() + pos_,
+               "malformed trace integer");
+    pos_ = static_cast<std::size_t>(ptr - text_.data());
+    return value;
+  }
+
+  [[nodiscard]] TraceValue parse_value() {
+    PS_REQUIRE(pos_ < text_.size(), "truncated trace value");
+    const char c = text_[pos_];
+    if (c == '"') {
+      return parse_string();
+    }
+    if (c == 't') {
+      expect("true");
+      return true;
+    }
+    if (c == 'f') {
+      expect("false");
+      return false;
+    }
+    // A number. Integers (pure digits in uint64 range) keep their
+    // arithmetic kind; everything else — sign, fraction, exponent, or a
+    // digit run too large for uint64 — is a double.
+    const std::size_t start = pos_;
+    std::size_t end = pos_;
+    bool integral = true;
+    while (end < text_.size()) {
+      const char n = text_[end];
+      if (n >= '0' && n <= '9') {
+        ++end;
+      } else if (n == '-' || n == '+' || n == '.' || n == 'e' || n == 'E') {
+        integral = false;
+        ++end;
+      } else {
+        break;
+      }
+    }
+    PS_REQUIRE(end > start, "malformed trace number");
+    if (integral) {
+      std::uint64_t value = 0;
+      const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                             text_.data() + end, value);
+      if (ec == std::errc{} && ptr == text_.data() + end) {
+        pos_ = end;
+        return value;
+      }
+      // Out of uint64 range: fall through to the double parse.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + end, value);
+    PS_REQUIRE(ec == std::errc{} && ptr == text_.data() + end,
+               "malformed trace number");
+    PS_REQUIRE(std::isfinite(value), "trace numbers must be finite");
+    pos_ = end;
+    return value;
+  }
+
+  void expect_end() {
+    PS_REQUIRE(pos_ == text_.size(), "trailing bytes after trace event");
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double arg_as_double(const TraceEvent& event, std::string_view key) {
+  const TraceValue& value = find_arg(event, key);
+  if (const auto* d = std::get_if<double>(&value)) {
+    return *d;
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    return static_cast<double>(*u);
+  }
+  throw InvalidArgument("trace arg '" + std::string(key) +
+                        "' is not numeric");
+}
+
+std::uint64_t arg_as_uint(const TraceEvent& event, std::string_view key) {
+  const TraceValue& value = find_arg(event, key);
+  if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    return *u;
+  }
+  throw InvalidArgument("trace arg '" + std::string(key) +
+                        "' is not an integer");
+}
+
+bool arg_as_bool(const TraceEvent& event, std::string_view key) {
+  const TraceValue& value = find_arg(event, key);
+  if (const auto* b = std::get_if<bool>(&value)) {
+    return *b;
+  }
+  throw InvalidArgument("trace arg '" + std::string(key) +
+                        "' is not a bool");
+}
+
+const std::string& arg_as_string(const TraceEvent& event,
+                                 std::string_view key) {
+  const TraceValue& value = find_arg(event, key);
+  if (const auto* s = std::get_if<std::string>(&value)) {
+    return *s;
+  }
+  throw InvalidArgument("trace arg '" + std::string(key) +
+                        "' is not a string");
+}
+
+bool has_arg(const TraceEvent& event, std::string_view key) {
+  for (const TraceArg& arg : event.args) {
+    if (arg.key == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceSink::emit(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+  if (capacity_ != 0 && events_.size() > capacity_) {
+    events_.pop_front();
+  }
+  ++emitted_;
+}
+
+void TraceSink::emit(std::uint64_t tick, std::string_view category,
+                     std::string_view name,
+                     std::initializer_list<TraceArg> args) {
+  TraceEvent event;
+  event.tick = tick;
+  event.category = std::string(category);
+  event.name = std::string(name);
+  event.args.assign(args.begin(), args.end());
+  emit(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<TraceEvent> TraceSink::events(
+    std::span<const std::string_view> categories) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    for (std::string_view category : categories) {
+      if (event.category == category) {
+        out.push_back(event);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t TraceSink::total_emitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+void TraceSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string to_jsonl(const TraceEvent& event) {
+  std::string out;
+  out += "{\"tick\":";
+  out += std::to_string(event.tick);
+  out += ",\"cat\":";
+  append_escaped(out, event.category);
+  out += ",\"name\":";
+  append_escaped(out, event.name);
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < event.args.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    append_escaped(out, event.args[i].key);
+    out.push_back(':');
+    append_value(out, event.args[i].value);
+  }
+  out += "}}";
+  return out;
+}
+
+TraceEvent parse_jsonl(std::string_view line) {
+  LineParser parser(line);
+  TraceEvent event;
+  parser.expect("{\"tick\":");
+  event.tick = parser.parse_uint();
+  parser.expect(",\"cat\":");
+  event.category = parser.parse_string();
+  parser.expect(",\"name\":");
+  event.name = parser.parse_string();
+  parser.expect(",\"args\":{");
+  if (!parser.peek('}')) {
+    while (true) {
+      TraceArg arg;
+      arg.key = parser.parse_string();
+      for (const TraceArg& seen : event.args) {
+        PS_REQUIRE(seen.key != arg.key, "duplicate trace arg key");
+      }
+      parser.expect(":");
+      arg.value = parser.parse_value();
+      event.args.push_back(std::move(arg));
+      if (parser.peek('}')) {
+        break;
+      }
+      parser.expect(",");
+    }
+  }
+  parser.expect("}}");
+  parser.expect_end();
+  return event;
+}
+
+void write_jsonl(std::ostream& out, std::span<const TraceEvent> events) {
+  for (const TraceEvent& event : events) {
+    out << to_jsonl(event) << '\n';
+  }
+}
+
+std::vector<TraceEvent> read_jsonl(std::istream& in) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    events.push_back(parse_jsonl(line));
+  }
+  return events;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const TraceEvent> events) {
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    if (i > 0) {
+      out << ',';
+    }
+    std::string entry;
+    entry += "\n{\"name\":";
+    append_escaped(entry, event.name);
+    entry += ",\"cat\":";
+    append_escaped(entry, event.category);
+    entry += ",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":";
+    entry += std::to_string(event.tick);
+    entry += ",\"args\":{";
+    for (std::size_t a = 0; a < event.args.size(); ++a) {
+      if (a > 0) {
+        entry.push_back(',');
+      }
+      append_escaped(entry, event.args[a].key);
+      entry.push_back(':');
+      append_value(entry, event.args[a].value);
+    }
+    entry += "}}";
+    out << entry;
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace ps::obs

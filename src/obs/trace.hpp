@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ps::obs {
+
+/// One typed argument value. Numbers keep their arithmetic kind:
+/// unsigned integers stay integers, doubles render as their shortest
+/// round-tripping decimal — so a serialized trace survives
+/// encode -> parse -> encode byte-for-byte and a replay can reconstruct
+/// watt values bit-exactly. Non-finite doubles are rejected at emit time
+/// (JSON has no NaN/inf, and the deterministic path never produces one).
+using TraceValue = std::variant<std::uint64_t, double, bool, std::string>;
+
+struct TraceArg {
+  std::string key;
+  TraceValue value;
+
+  [[nodiscard]] bool operator==(const TraceArg&) const = default;
+};
+
+/// A structured trace event on the stack's logical clock. `tick` is
+/// supplied by the instrumentation site from its own logical progress —
+/// the coordination epoch, the daemon's allocation round — never from a
+/// wall clock, which is what makes a seeded run's trace byte-identical
+/// across runs, machines, and worker counts.
+struct TraceEvent {
+  std::uint64_t tick = 0;
+  std::string category;  ///< Layer stream: "coord", "rm", "daemon", "netio".
+  std::string name;      ///< Event type within the category.
+  std::vector<TraceArg> args;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+/// Convenience accessors: an integer-valued double and a uint64 are
+/// interchangeable on the wire (2432.0 serializes as "2432"), so readers
+/// ask for the arithmetic kind they need. Throws ps::NotFound when the
+/// key is missing, ps::InvalidArgument on an incompatible kind.
+[[nodiscard]] double arg_as_double(const TraceEvent& event,
+                                   std::string_view key);
+[[nodiscard]] std::uint64_t arg_as_uint(const TraceEvent& event,
+                                        std::string_view key);
+[[nodiscard]] bool arg_as_bool(const TraceEvent& event, std::string_view key);
+[[nodiscard]] const std::string& arg_as_string(const TraceEvent& event,
+                                               std::string_view key);
+[[nodiscard]] bool has_arg(const TraceEvent& event, std::string_view key);
+
+/// Thread-safe append-only event sink with optional ring-buffer capacity
+/// (0 = unbounded). Append takes a mutex — the trace path is
+/// epoch-grained, not per-iteration, so contention is negligible; the
+/// lock-free requirement applies to the metrics hot path.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void emit(TraceEvent event);
+  void emit(std::uint64_t tick, std::string_view category,
+            std::string_view name,
+            std::initializer_list<TraceArg> args = {});
+
+  /// Copies of the held events, in emission order; with `categories`,
+  /// only events whose category is in the list.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events(
+      std::span<const std::string_view> categories) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t total_emitted() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::size_t emitted_ = 0;
+};
+
+/// One event as a single JSONL line (no trailing newline):
+///
+///   {"tick":12,"cat":"coord","name":"epoch","args":{"budget_watts":2432}}
+///
+/// Keys appear in exactly this order, args in emission order; doubles use
+/// shortest round-trip formatting. parse_jsonl accepts exactly this
+/// grammar (strict: unknown keys, duplicate arg keys, non-finite numbers
+/// and malformed escapes all throw ps::InvalidArgument), which is what
+/// makes encode -> parse -> encode the identity.
+[[nodiscard]] std::string to_jsonl(const TraceEvent& event);
+[[nodiscard]] TraceEvent parse_jsonl(std::string_view line);
+
+/// Whole-stream JSONL I/O (one event per line; blank lines are skipped on
+/// read).
+void write_jsonl(std::ostream& out, std::span<const TraceEvent> events);
+[[nodiscard]] std::vector<TraceEvent> read_jsonl(std::istream& in);
+
+/// Chrome trace_event JSON ("catapult" / about:tracing / Perfetto): each
+/// event becomes a global instant event with ts = tick (microsecond
+/// column reused as the logical clock).
+void write_chrome_trace(std::ostream& out, std::span<const TraceEvent> events);
+
+}  // namespace ps::obs

@@ -51,13 +51,34 @@ SystemPowerManager::SystemPowerManager(double system_budget_watts)
   PS_REQUIRE(system_budget_watts > 0.0, "system budget must be positive");
 }
 
+void SystemPowerManager::set_observer(const obs::Observability& obs) {
+  if (obs.metrics == nullptr) {
+    return;
+  }
+  applies_metric_ = &obs.metrics->counter("rm.applies");
+  clamps_metric_ = &obs.metrics->counter("rm.emergency_clamps");
+  budget_adopted_metric_ = &obs.metrics->counter("rm.budget_adopted");
+  budget_stale_metric_ = &obs.metrics->counter("rm.budget_stale");
+  excursions_metric_ = &obs.metrics->counter("rm.excursions_closed");
+  budget_gauge_ = &obs.metrics->gauge("rm.budget_watts");
+  time_to_safe_gauge_ = &obs.metrics->gauge("rm.last_time_to_safe_seconds");
+  budget_gauge_->set(budget_);
+}
+
 bool SystemPowerManager::set_budget(double budget_watts, std::uint64_t epoch) {
   PS_REQUIRE(budget_watts > 0.0, "system budget must be positive");
   if (epoch <= budget_epoch_) {
+    if (budget_stale_metric_ != nullptr) {
+      budget_stale_metric_->add();
+    }
     return false;  // stale revision: a newer budget already applied
   }
   budget_ = budget_watts;
   budget_epoch_ = epoch;
+  if (budget_adopted_metric_ != nullptr) {
+    budget_adopted_metric_->add();
+    budget_gauge_->set(budget_);
+  }
   return true;
 }
 
@@ -83,6 +104,9 @@ void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
       jobs[j]->set_host_cap(h, allocation.job_host_caps[j][h]);
     }
   }
+  if (applies_metric_ != nullptr) {
+    applies_metric_->add();
+  }
 }
 
 PowerAllocation SystemPowerManager::emergency_clamp(
@@ -101,6 +125,9 @@ PowerAllocation SystemPowerManager::emergency_clamp(
   const PowerAllocation clamped =
       clamp_allocation_to_budget(allocation, floors, budget_);
   apply(jobs, clamped, /*enforce_budget=*/false);
+  if (clamps_metric_ != nullptr) {
+    clamps_metric_->add();
+  }
   return clamped;
 }
 
@@ -124,6 +151,10 @@ void SystemPowerManager::observe_programmed(double programmed_watts,
                  excursions_.current_excursion_seconds);
     excursions_.current_excursion_seconds = 0.0;
     excursions_.in_excursion = false;
+    if (excursions_metric_ != nullptr) {
+      excursions_metric_->add();
+      time_to_safe_gauge_->set(excursions_.last_time_to_safe_seconds);
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rm/allocation.hpp"
 #include "sim/job_sim.hpp"
 
@@ -93,10 +94,26 @@ class SystemPowerManager {
   [[nodiscard]] bool allocation_fits(
       std::span<sim::JobSimulation* const> jobs) const;
 
+  /// Attaches the observability seam: registers the manager's metric
+  /// instruments ("rm.applies", "rm.emergency_clamps", budget
+  /// adopt/stale counters, the "rm.budget_watts" gauge and the
+  /// "rm.excursions" account) on the given registry. Inert when the
+  /// seam carries no registry.
+  void set_observer(const obs::Observability& obs);
+
  private:
   double budget_;
   std::uint64_t budget_epoch_ = 0;
   ExcursionTelemetry excursions_;
+  /// Cached instruments (stable addresses owned by the registry); null
+  /// when unobserved so the hot paths stay branch-plus-nothing.
+  obs::Counter* applies_metric_ = nullptr;
+  obs::Counter* clamps_metric_ = nullptr;
+  obs::Counter* budget_adopted_metric_ = nullptr;
+  obs::Counter* budget_stale_metric_ = nullptr;
+  obs::Counter* excursions_metric_ = nullptr;
+  obs::Gauge* budget_gauge_ = nullptr;
+  obs::Gauge* time_to_safe_gauge_ = nullptr;
 };
 
 }  // namespace ps::rm

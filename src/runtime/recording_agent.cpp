@@ -1,5 +1,7 @@
 #include "runtime/recording_agent.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace ps::runtime {
@@ -33,6 +35,14 @@ void RecordingAgent::adjust(sim::JobSimulation& job) {
 void RecordingAgent::observe(sim::JobSimulation& job,
                              const sim::IterationResult& result) {
   PS_CHECK_STATE(trace_ != nullptr, "observe before setup");
+  // Validate before accumulating: a NaN or negative iteration time would
+  // otherwise corrupt the running timestamp even though the recorder
+  // rejects the row, leaving every later row mis-stamped.
+  PS_REQUIRE(std::isfinite(result.iteration_seconds) &&
+                 result.iteration_seconds >= 0.0,
+             "iteration time must be finite and non-negative");
+  PS_REQUIRE(result.hosts.size() == job.host_count(),
+             "iteration result must cover every host");
   simulated_time_seconds_ += result.iteration_seconds;
   std::vector<double> row;
   row.reserve(1 + 2 * job.host_count());

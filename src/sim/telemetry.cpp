@@ -1,5 +1,6 @@
 #include "sim/telemetry.hpp"
 
+#include <cmath>
 #include <ostream>
 
 #include "util/error.hpp"
@@ -28,6 +29,13 @@ void TraceRecorder::append(double timestamp,
                            std::span<const double> values) {
   PS_REQUIRE(values.size() == columns_.size(),
              "need exactly one value per column");
+  // Reject degenerate samples before touching any state: one NaN row
+  // would otherwise silently poison every column_stats() aggregate and
+  // the CSV export.
+  PS_REQUIRE(std::isfinite(timestamp), "telemetry timestamps must be finite");
+  for (const double value : values) {
+    PS_REQUIRE(std::isfinite(value), "telemetry values must be finite");
+  }
   if (capacity_ == 0) {
     timestamps_.push_back(timestamp);
     values_.insert(values_.end(), values.begin(), values.end());

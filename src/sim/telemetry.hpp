@@ -32,7 +32,10 @@ class TraceRecorder {
     return appended_;
   }
 
-  /// Appends one sample. `values` must have one entry per column.
+  /// Appends one sample. `values` must have one entry per column, and
+  /// the timestamp and every value must be finite — a non-finite sample
+  /// throws ps::InvalidArgument before any state changes, so it can
+  /// never poison column_stats() or the CSV export.
   void append(double timestamp, std::span<const double> values);
 
   /// Timestamp / value of a held row, oldest first.

@@ -1,0 +1,336 @@
+// Golden-trace differential tests: the deterministic trace streams
+// ("coord", "rm", "daemon") of a seeded run are byte-identical across
+// repeated runs — including the daemon serving four real socket clients —
+// and replay_allocations() rebuilds the watt-allocation sequence from the
+// events alone, watt-for-watt against the live run. The nondeterministic
+// "netio" stream is excluded by construction (obs::deterministic_categories).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "core/coordination.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::obs {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_path(const std::string& tag) {
+  return "/tmp/ps-golden-" + tag + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+/// The standard four-job mix on its own 16-node cluster (same shape as
+/// the brownout scenario, fault-free: this harness pins the *trace* down,
+/// not the healing).
+struct Mix {
+  explicit Mix(std::size_t hosts_per_job = 4) {
+    const std::vector<std::pair<std::string, kernel::WorkloadConfig>> spec =
+        {{"a-wasteful", wasteful_config()},
+         {"b-hungry", hungry_config()},
+         {"c-wasteful", wasteful_config()},
+         {"d-hungry", hungry_config()}};
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * spec.size());
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t h = 0; h < hosts_per_job; ++h) {
+        hosts.push_back(&cluster->node(j * hosts_per_job + h));
+      }
+      jobs.push_back(std::make_unique<sim::JobSimulation>(
+          spec[j].first, std::move(hosts), spec[j].second));
+    }
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+};
+
+constexpr double kBudgetWatts = 16.0 * 230.0;  // 3680 W
+constexpr std::size_t kIterations = 20;        // 4 coordination epochs
+
+/// The brownout budget schedule: a drift at epoch 1, the 30% drop at 2.
+std::vector<core::BudgetRevision> budget_schedule() {
+  std::vector<core::BudgetRevision> schedule(2);
+  schedule[0].epoch = 1;
+  schedule[0].budget_watts = 0.9 * kBudgetWatts;
+  schedule[0].at_epoch = 1;
+  schedule[1].epoch = 2;
+  schedule[1].budget_watts = 0.7 * kBudgetWatts;
+  schedule[1].at_epoch = 2;
+  schedule[1].emergency = true;
+  return schedule;
+}
+
+std::string deterministic_jsonl(const TraceSink& sink) {
+  std::ostringstream out;
+  write_jsonl(out, sink.events(deterministic_categories()));
+  return out.str();
+}
+
+struct TracedRun {
+  std::string jsonl;
+  std::vector<core::EpochRecord> epochs;
+  std::vector<std::string> job_names;
+  std::vector<std::vector<double>> final_caps;  ///< [job][host], live.
+  std::size_t client_exchanges = 0;             ///< Daemon runs only.
+};
+
+TracedRun run_dynamic_traced(MetricsRegistry* registry) {
+  Mix mix;
+  std::vector<sim::JobSimulation*> jobs;
+  for (const auto& job : mix.jobs) {
+    jobs.push_back(job.get());
+  }
+  TraceSink sink;
+  core::CoordinationOptions options;
+  options.obs.trace = &sink;
+  options.obs.metrics = registry;
+  core::CoordinationLoop loop(kBudgetWatts, options);
+  const core::CoordinationResult result =
+      loop.run_dynamic(jobs, kIterations, {}, budget_schedule());
+
+  TracedRun run;
+  run.jsonl = deterministic_jsonl(sink);
+  run.epochs = result.epochs;
+  for (const sim::JobSimulation* job : jobs) {
+    run.job_names.push_back(job->name());
+    std::vector<double> caps;
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      caps.push_back(job->host_cap(h));
+    }
+    run.final_caps.push_back(std::move(caps));
+  }
+  return run;
+}
+
+/// Replays a serialized trace and checks the reconstruction against the
+/// live outcome: every step's caps sum to the step's recorded total, and
+/// the last step's caps equal the caps the live run left programmed.
+void expect_replay_matches(const TracedRun& run,
+                           std::uint64_t expected_final_epoch) {
+  std::istringstream in(run.jsonl);
+  const std::vector<TraceEvent> events = read_jsonl(in);
+  const std::vector<ReplayedAllocation> steps = replay_allocations(events);
+  ASSERT_FALSE(steps.empty());
+  for (const ReplayedAllocation& step : steps) {
+    ASSERT_EQ(step.jobs.size(), run.job_names.size());
+    double total = 0.0;
+    for (const ReplayedJobCaps& job : step.jobs) {
+      for (const double cap : job.caps_watts) {
+        total += cap;
+      }
+    }
+    EXPECT_DOUBLE_EQ(total, step.total_watts());
+  }
+  const ReplayedAllocation& last = steps.back();
+  EXPECT_DOUBLE_EQ(last.budget_watts, 0.7 * kBudgetWatts);
+  EXPECT_EQ(last.budget_epoch, expected_final_epoch);
+  for (std::size_t j = 0; j < run.job_names.size(); ++j) {
+    EXPECT_EQ(last.jobs[j].job, run.job_names[j]);
+    ASSERT_EQ(last.jobs[j].caps_watts.size(), run.final_caps[j].size());
+    for (std::size_t h = 0; h < run.final_caps[j].size(); ++h) {
+      EXPECT_DOUBLE_EQ(last.jobs[j].caps_watts[h], run.final_caps[j][h])
+          << "job " << run.job_names[j] << " host " << h;
+    }
+  }
+}
+
+TEST(GoldenTrace, DynamicLoopTraceIsByteIdenticalAcrossRuns) {
+  MetricsRegistry registry;
+  const TracedRun first = run_dynamic_traced(&registry);
+  const TracedRun second = run_dynamic_traced(nullptr);
+  ASSERT_FALSE(first.jsonl.empty());
+  EXPECT_EQ(first.jsonl, second.jsonl) << "seeded coord trace diverged";
+
+  // The RM instruments registered and observed the run.
+  EXPECT_GT(registry.counter("rm.applies").value(), 0u);
+  EXPECT_EQ(registry.counter("rm.budget_adopted").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("rm.budget_watts").value(),
+                   0.7 * kBudgetWatts);
+}
+
+TEST(GoldenTrace, DynamicLoopReplayReconstructsAllocationsWattForWatt) {
+  const TracedRun run = run_dynamic_traced(nullptr);
+  // Per-epoch cross-check against the live telemetry first: one replayed
+  // step per epoch, on the epoch clock, with the recorded watt totals.
+  std::istringstream in(run.jsonl);
+  const std::vector<ReplayedAllocation> steps =
+      replay_allocations(read_jsonl(in));
+  ASSERT_EQ(steps.size(), run.epochs.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].tick, run.epochs[i].epoch);
+    EXPECT_DOUBLE_EQ(steps[i].total_watts(), run.epochs[i].allocated_watts);
+    EXPECT_DOUBLE_EQ(steps[i].budget_watts, run.epochs[i].budget_watts);
+    EXPECT_EQ(steps[i].budget_epoch, run.epochs[i].budget_epoch);
+    EXPECT_EQ(steps[i].emergency, run.epochs[i].emergency_clamped);
+  }
+  expect_replay_matches(run, /*expected_final_epoch=*/2);
+}
+
+TracedRun run_daemon_traced(MetricsRegistry* registry,
+                            const std::string& tag) {
+  Mix mix;
+  const std::string socket_path = unique_path(tag);
+  TraceSink sink;
+  net::DaemonOptions options;
+  options.system_budget_watts = kBudgetWatts;
+  options.node_tdp_watts = mix.cluster->node(0).tdp();
+  options.uncappable_watts = mix.cluster->node(0).params().dram_watts;
+  options.min_jobs = mix.jobs.size();
+  options.tick_interval = milliseconds(20);
+  options.budget_revisions = budget_schedule();
+  options.reclaim_timeout = milliseconds(30'000);
+  options.heartbeat_timeout = milliseconds(60'000);
+  options.obs.trace = &sink;
+  options.obs.metrics = registry;
+
+  net::ClientOptions client_options;
+  client_options.request_timeout = milliseconds(20'000);
+  client_options.obs.metrics = registry;  // one registry, four clients
+
+  std::vector<std::unique_ptr<net::RuntimeClient>> clients;
+  std::vector<std::unique_ptr<net::CoordinatedAgent>> agents;
+  for (std::size_t j = 0; j < mix.jobs.size(); ++j) {
+    net::RuntimeClient::Connector connector = [socket_path] {
+      return net::connect_unix(socket_path);
+    };
+    clients.push_back(std::make_unique<net::RuntimeClient>(
+        std::move(connector), client_options));
+    agents.push_back(std::make_unique<net::CoordinatedAgent>(
+        *mix.jobs[j], *clients[j]));
+  }
+
+  net::PowerDaemon daemon(options);
+  daemon.listen_unix(socket_path);
+  std::thread serving([&daemon] { daemon.run(); });
+  std::vector<std::thread> workers;
+  for (auto& agent : agents) {
+    workers.emplace_back([&agent] {
+      const net::AgentResult result = agent->run(kIterations);
+      EXPECT_EQ(result.iterations, kIterations);
+      EXPECT_EQ(result.fallback_epochs, 0u);
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  daemon.stop();
+  serving.join();
+  std::remove(socket_path.c_str());
+
+  TracedRun run;
+  run.jsonl = deterministic_jsonl(sink);
+  for (const auto& job : mix.jobs) {
+    run.job_names.push_back(job->name());
+    std::vector<double> caps;
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      caps.push_back(job->host_cap(h));
+    }
+    run.final_caps.push_back(std::move(caps));
+  }
+  for (const auto& client : clients) {
+    run.client_exchanges += client->stats().exchanges;
+  }
+  return run;
+}
+
+TEST(GoldenTrace, DaemonTraceIsByteIdenticalAcrossRuns) {
+  MetricsRegistry registry;
+  const TracedRun first = run_daemon_traced(&registry, "a");
+  const TracedRun second = run_daemon_traced(nullptr, "b");
+  ASSERT_FALSE(first.jsonl.empty());
+  EXPECT_EQ(first.jsonl, second.jsonl) << "seeded daemon trace diverged";
+
+  // Replay the socket run from its serialized trace alone.
+  expect_replay_matches(first, /*expected_final_epoch=*/2);
+
+  std::istringstream in(first.jsonl);
+  const std::vector<TraceEvent> events = read_jsonl(in);
+  // Both scheduled revisions were applied and traced.
+  std::size_t revisions_applied = 0;
+  for (const TraceEvent& event : events) {
+    if (event.category == cat::kDaemon && event.name == "revision" &&
+        arg_as_bool(event, "applied")) {
+      ++revisions_applied;
+    }
+  }
+  EXPECT_EQ(revisions_applied, 2u);
+
+  // The shared registry saw every layer: one allocation count per
+  // replayed round, and the clients' exchange counter matches the sum of
+  // their own per-client stats.
+  const std::vector<ReplayedAllocation> steps = replay_allocations(events);
+  EXPECT_EQ(registry.counter("net.daemon.allocations").value(),
+            steps.size());
+  EXPECT_EQ(registry.counter("net.client.exchanges").value(),
+            first.client_exchanges);
+  EXPECT_EQ(registry.counter("net.client.exchange_failures").value(), 0u);
+}
+
+TEST(GoldenTrace, SweepMetricsCountCellsWithoutPerturbingResults) {
+  constexpr std::size_t kCells = 64;
+  const auto cell_value = [](std::size_t i) {
+    return std::sqrt(1.5 * static_cast<double>(i)) +
+           static_cast<double>(i % 7);
+  };
+  std::vector<double> serial_out(kCells, 0.0);
+  analysis::SweepExecutor serial(1);
+  serial.for_each(kCells,
+                  [&](std::size_t i) { serial_out[i] = cell_value(i); });
+
+  MetricsRegistry registry;
+  Observability obs;
+  obs.metrics = &registry;
+  std::vector<double> parallel_out(kCells, 0.0);
+  const analysis::SweepExecutor pool(4, obs);
+  pool.for_each(kCells,
+                [&](std::size_t i) { parallel_out[i] = cell_value(i); });
+
+  EXPECT_EQ(serial_out, parallel_out);  // instrumentation never perturbs
+  EXPECT_EQ(registry.counter("analysis.sweep.cells").value(), kCells);
+  const MetricsSnapshot snap = registry.snapshot();
+  bool found = false;
+  for (const auto& [name, histogram] : snap.histograms) {
+    if (name == "analysis.sweep.cell_seconds") {
+      found = true;
+      EXPECT_EQ(histogram.total(), kCells);
+      EXPECT_EQ(histogram.invalid, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ps::obs

@@ -1,0 +1,159 @@
+// Metrics-registry semantics: get-or-create identity, kind collisions,
+// name validation — and the histogram's bucket-edge contract (underflow,
+// overflow, values exactly on an edge, non-finite observations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace ps::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(2432.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2432.5);
+  gauge.set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreLowerBounds) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  // Underflow: strictly below the first edge.
+  histogram.observe(0.0);
+  histogram.observe(0.999999);
+  // A value exactly on an edge opens that edge's bucket.
+  histogram.observe(1.0);
+  histogram.observe(9.999999);
+  histogram.observe(10.0);
+  // Overflow: at or above the last edge.
+  histogram.observe(100.0);
+  histogram.observe(1e12);
+
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  ASSERT_EQ(snapshot.counts.size(), 4u);  // bounds.size() + 1
+  EXPECT_EQ(snapshot.counts[0], 2u);      // underflow
+  EXPECT_EQ(snapshot.counts[1], 2u);      // [1, 10)
+  EXPECT_EQ(snapshot.counts[2], 1u);      // [10, 100)
+  EXPECT_EQ(snapshot.counts[3], 2u);      // [100, inf)
+  EXPECT_EQ(snapshot.invalid, 0u);
+  EXPECT_EQ(snapshot.total(), 7u);
+}
+
+TEST(HistogramTest, NegativeValuesLandInUnderflow) {
+  Histogram histogram({0.0, 1.0});
+  histogram.observe(-1e9);
+  histogram.observe(-0.0001);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, -1e9 - 0.0001);
+}
+
+TEST(HistogramTest, NonFiniteObservationsAreCountedInvalid) {
+  Histogram histogram({1.0});
+  histogram.observe(std::numeric_limits<double>::quiet_NaN());
+  histogram.observe(std::numeric_limits<double>::infinity());
+  histogram.observe(-std::numeric_limits<double>::infinity());
+  histogram.observe(0.5);
+  const HistogramSnapshot snapshot = histogram.snapshot();
+  EXPECT_EQ(snapshot.invalid, 3u);
+  EXPECT_EQ(snapshot.total(), 1u);  // only the finite observation
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5);  // NaN/inf never poison the sum
+}
+
+TEST(HistogramTest, RejectsMalformedBounds) {
+  EXPECT_THROW(Histogram({}), InvalidArgument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), InvalidArgument);       // not increasing
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvalidArgument);       // decreasing
+  EXPECT_THROW(Histogram({0.0, std::numeric_limits<double>::infinity()}),
+               InvalidArgument);                              // non-finite
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableInstrument) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("stack.events");
+  first.add(3);
+  Counter& second = registry.counter("stack.events");
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.value(), 3u);
+
+  Gauge& gauge = registry.gauge("stack.level");
+  gauge.set(7.0);
+  EXPECT_EQ(&registry.gauge("stack.level"), &gauge);
+
+  const double bounds[] = {1.0, 2.0};
+  Histogram& histogram = registry.histogram("stack.latency", bounds);
+  EXPECT_EQ(&registry.histogram("stack.latency", bounds), &histogram);
+}
+
+TEST(MetricsRegistryTest, CrossKindNamesCollide) {
+  MetricsRegistry registry;
+  registry.counter("metric.a");
+  EXPECT_THROW(registry.gauge("metric.a"), InvalidArgument);
+  const double bounds[] = {1.0};
+  EXPECT_THROW(registry.histogram("metric.a", bounds), InvalidArgument);
+  registry.gauge("metric.b");
+  EXPECT_THROW(registry.counter("metric.b"), InvalidArgument);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsMustMatchOnReRegistration) {
+  MetricsRegistry registry;
+  const double bounds[] = {1.0, 2.0};
+  registry.histogram("metric.h", bounds);
+  const double other[] = {1.0, 3.0};
+  EXPECT_THROW(registry.histogram("metric.h", other), InvalidArgument);
+  const double fewer[] = {1.0};
+  EXPECT_THROW(registry.histogram("metric.h", fewer), InvalidArgument);
+}
+
+TEST(MetricsRegistryTest, RejectsMalformedNames) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter(""), InvalidArgument);
+  EXPECT_THROW(registry.counter("has space"), InvalidArgument);
+  EXPECT_THROW(registry.counter("has-dash"), InvalidArgument);
+  EXPECT_THROW(registry.counter("quote\"name"), InvalidArgument);
+  registry.counter("Fine_name.v2");  // the allowed alphabet
+}
+
+TEST(MetricsRegistryTest, SnapshotAndTextAreNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(2);
+  registry.gauge("m.mid").set(3.5);
+  const double bounds[] = {1.0};
+  registry.histogram("h.lat", bounds).observe(0.5);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "z.last");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 3.5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].second.counts[0], 1u);
+
+  std::ostringstream first;
+  registry.render_text(first);
+  std::ostringstream second;
+  registry.render_text(second);
+  EXPECT_EQ(first.str(), second.str());  // scrape is deterministic
+  EXPECT_NE(first.str().find("a.first 2"), std::string::npos);
+  EXPECT_NE(first.str().find("m.mid 3.500"), std::string::npos);
+  EXPECT_NE(first.str().find("h.lat{bucket=underflow} 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::obs

@@ -1,0 +1,188 @@
+// Property tests for the trace wire format: encode→parse→encode identity
+// over randomized events, strict-parser rejection of malformed lines, and
+// the TraceSink ring/filter semantics. Seeded via the PS_FAULT_SEED
+// convention so CI can sweep seeds and failures replay locally.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::obs {
+namespace {
+
+std::uint64_t scenario_seed() {
+  if (const char* env = std::getenv("PS_FAULT_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 11;
+}
+
+/// Characters the serializer must escape plus plain text, so random
+/// strings exercise \uXXXX control escapes, quotes, and backslashes.
+std::string random_string(util::Rng& rng, std::size_t max_len) {
+  static const std::string alphabet =
+      "abcXYZ 0189_.-/\\\"\t\n\r\x01\x1f";
+  std::string out;
+  const std::size_t len = rng.uniform_index(max_len + 1);
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[static_cast<std::size_t>(
+        rng.uniform_index(alphabet.size()))]);
+  }
+  return out;
+}
+
+TraceValue random_value(util::Rng& rng) {
+  switch (rng.uniform_index(6)) {
+    case 0:
+      return rng.next();  // full-range uint64
+    case 1:
+      return rng.uniform(-1e6, 1e6);  // fractional double
+    case 2:
+      // Integral-valued double: serializes as digits, re-parses as uint64.
+      return static_cast<double>(rng.uniform_index(1u << 20));
+    case 3:
+      return rng.uniform() < 0.5;
+    case 4:
+      return random_string(rng, 24);
+    default:
+      return std::uint64_t{0};
+  }
+}
+
+TraceEvent random_event(util::Rng& rng) {
+  TraceEvent event;
+  event.tick = rng.next();
+  event.category = rng.uniform() < 0.5 ? "coord" : random_string(rng, 8);
+  event.name = random_string(rng, 12);
+  const std::size_t args = rng.uniform_index(6);
+  event.args.reserve(args);
+  for (std::size_t i = 0; i < args; ++i) {
+    // Keys must be unique within one event (the strict parser rejects
+    // duplicates), so suffix the index.
+    event.args.push_back(
+        {random_string(rng, 6) + "_" + std::to_string(i), random_value(rng)});
+  }
+  return event;
+}
+
+/// encode→parse→encode is the identity on bytes. Full event equality after
+/// one parse is NOT guaranteed (an integral-valued double re-parses as
+/// uint64), but a second parse must be a fixed point.
+TEST(TraceRoundTripFuzz, EncodeParseEncodeIsByteIdentity) {
+  const std::uint64_t seed = scenario_seed();
+  std::cout << "[ PS_FAULT_SEED ] " << seed << "\n";
+  util::Rng rng(seed);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    const TraceEvent event = random_event(rng);
+    const std::string line = to_jsonl(event);
+    TraceEvent parsed;
+    ASSERT_NO_THROW(parsed = parse_jsonl(line)) << line;
+    EXPECT_EQ(to_jsonl(parsed), line) << "iteration " << iteration;
+    // Idempotence: once through the parser, the event is a fixed point.
+    EXPECT_EQ(parse_jsonl(to_jsonl(parsed)), parsed);
+  }
+}
+
+TEST(TraceRoundTripFuzz, StreamRoundTripPreservesEveryLine) {
+  util::Rng rng(scenario_seed() ^ 0xABCDEF);
+  TraceSink sink;
+  for (int i = 0; i < 64; ++i) {
+    sink.emit(random_event(rng));
+  }
+  std::ostringstream encoded;
+  write_jsonl(encoded, sink.events());
+  std::istringstream decoded_in(encoded.str());
+  const std::vector<TraceEvent> decoded = read_jsonl(decoded_in);
+  ASSERT_EQ(decoded.size(), sink.events().size());
+  std::ostringstream re_encoded;
+  write_jsonl(re_encoded, decoded);
+  EXPECT_EQ(re_encoded.str(), encoded.str());
+}
+
+TEST(TraceParseTest, AcceptsCanonicalLine) {
+  const TraceEvent event = parse_jsonl(
+      R"({"tick":7,"cat":"coord","name":"epoch","args":{"budget_watts":2432.5,"emergency":false,"job":"a"}})");
+  EXPECT_EQ(event.tick, 7u);
+  EXPECT_EQ(event.category, "coord");
+  EXPECT_EQ(event.name, "epoch");
+  EXPECT_DOUBLE_EQ(arg_as_double(event, "budget_watts"), 2432.5);
+  EXPECT_FALSE(arg_as_bool(event, "emergency"));
+  EXPECT_EQ(arg_as_string(event, "job"), "a");
+  EXPECT_TRUE(has_arg(event, "job"));
+  EXPECT_FALSE(has_arg(event, "missing"));
+  EXPECT_THROW((void)arg_as_uint(event, "budget_watts"), InvalidArgument);
+  EXPECT_THROW((void)arg_as_double(event, "missing"), NotFound);
+}
+
+TEST(TraceParseTest, RejectsMalformedLines) {
+  const char* const bad_lines[] = {
+      "",                                                      // empty
+      "not json",                                              //
+      R"({"tick":1,"cat":"c","name":"n"})",                    // missing args
+      R"({"cat":"c","tick":1,"name":"n","args":{}})",          // key order
+      R"({"tick":1,"cat":"c","name":"n","args":{},"x":1})",    // unknown key
+      R"({"tick":1,"cat":"c","name":"n","args":{"a":1,"a":2}})",  // dup key
+      R"({"tick":1,"cat":"c","name":"n","args":{"a":nan}})",   // non-finite
+      R"({"tick":-1,"cat":"c","name":"n","args":{}})",         // negative tick
+      R"({"tick":1,"cat":"c","name":"n","args":{}} trailing)", // junk
+      R"({"tick":1,"cat":"c","name":"n","args":{"a":"\q"}})",  // bad escape
+  };
+  for (const char* line : bad_lines) {
+    EXPECT_THROW((void)parse_jsonl(line), InvalidArgument) << line;
+  }
+}
+
+TEST(TraceParseTest, ControlCharactersRoundTripAsUnicodeEscapes) {
+  TraceEvent event;
+  event.tick = 1;
+  event.category = "c";
+  event.name = "ctrl";
+  event.args.push_back({"s", std::string("a\x01\t\"\\\n")});
+  const std::string line = to_jsonl(event);
+  EXPECT_NE(line.find("\\u0001"), std::string::npos);
+  EXPECT_NE(line.find("\\t"), std::string::npos);
+  EXPECT_NE(line.find("\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_EQ(parse_jsonl(line), event);
+}
+
+TEST(TraceSinkTest, RingCapacityKeepsNewestEvents) {
+  TraceSink sink(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    sink.emit(i, "c", "tick", {});
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_emitted(), 10u);
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().tick, 6u);
+  EXPECT_EQ(events.back().tick, 9u);
+}
+
+TEST(TraceSinkTest, CategoryFilterSelectsDeterministicStreams) {
+  TraceSink sink;
+  sink.emit(0, "coord", "epoch", {});
+  sink.emit(1, "netio", "session_accepted", {});
+  sink.emit(2, "daemon", "round", {});
+  const std::string_view categories[] = {"coord", "daemon"};
+  const std::vector<TraceEvent> filtered = sink.events(categories);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].name, "epoch");
+  EXPECT_EQ(filtered[1].name, "round");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_emitted(), 3u);  // clear drops events, not the count
+}
+
+}  // namespace
+}  // namespace ps::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "runtime/controller.hpp"
 #include "runtime/power_balancer_agent.hpp"
 #include "sim/cluster.hpp"
@@ -78,6 +80,34 @@ TEST(RecordingAgentTest, BoundedCapacityKeepsRecentRows) {
 TEST(RecordingAgentTest, TraceBeforeSetupThrows) {
   RecordingAgent agent;
   EXPECT_THROW(static_cast<void>(agent.trace()), ps::InvalidState);
+}
+
+TEST(RecordingAgentTest, RejectsDegenerateIterationResults) {
+  sim::Cluster cluster(1);
+  sim::JobSimulation job("j", {&cluster.node(0)},
+                         kernel::WorkloadConfig{});
+  RecordingAgent agent;
+  agent.setup(job);
+  sim::IterationResult good;
+  good.iteration_seconds = 0.5;
+  good.hosts.resize(1);
+  good.hosts[0].average_power_watts = 180.0;
+  agent.observe(job, good);
+
+  sim::IterationResult bad = good;
+  bad.iteration_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(agent.observe(job, bad), ps::InvalidArgument);
+  bad.iteration_seconds = -1.0;
+  EXPECT_THROW(agent.observe(job, bad), ps::InvalidArgument);
+  bad.iteration_seconds = 0.5;
+  bad.hosts.clear();  // host count mismatch
+  EXPECT_THROW(agent.observe(job, bad), ps::InvalidArgument);
+
+  // The rejected results never advanced the simulated clock: the next
+  // good observation lands at exactly two good iterations.
+  agent.observe(job, good);
+  ASSERT_EQ(agent.trace().size(), 2u);
+  EXPECT_NEAR(agent.trace().timestamp(1), 1.0, 1e-12);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -68,6 +69,36 @@ TEST(TraceRecorderTest, ClearResetsHeldRows) {
   trace.clear();
   EXPECT_EQ(trace.size(), 0u);
   EXPECT_THROW(static_cast<void>(trace.value(0, 0)), ps::InvalidArgument);
+}
+
+TEST(TraceRecorderTest, RejectsNonFiniteSamplesWithoutMutating) {
+  TraceRecorder trace({"x"});
+  const double good = 1.0;
+  trace.append(0.0, {&good, 1});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(trace.append(1.0, {&nan, 1}), ps::InvalidArgument);
+  EXPECT_THROW(trace.append(1.0, {&inf, 1}), ps::InvalidArgument);
+  EXPECT_THROW(trace.append(nan, {&good, 1}), ps::InvalidArgument);
+  EXPECT_THROW(trace.append(-inf, {&good, 1}), ps::InvalidArgument);
+  // The rejected rows left no trace: state is exactly one good row, and
+  // the aggregates stay finite.
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.total_appended(), 1u);
+  EXPECT_DOUBLE_EQ(trace.column_stats(0).mean(), 1.0);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, EmptyTraceHasEmptyStatsAndHeaderOnlyCsv) {
+  TraceRecorder trace({"x", "y"});
+  const util::RunningStats stats = trace.column_stats(1);
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0u);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "timestamp,x,y\n");
 }
 
 TEST(TraceRecorderTest, ValidatesShapes) {

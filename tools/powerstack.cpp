@@ -15,17 +15,24 @@
 //       Serve the RM power daemon until interrupted (or --duration S).
 //   powerstack agent --workload NAME [--socket PATH | --tcp PORT]
 //       Run a job under daemon coordination over a real socket.
+//   powerstack trace FILE [--replay] [--chrome OUT]
+//       Summarize a JSONL trace; --replay reconstructs the allocation
+//       sequence from events alone, --chrome exports trace_event JSON.
 //   powerstack validate [--quick]
 //       Run the reproduction self-check (exit 0 iff all claims hold).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string_view>
 #include <thread>
 
 #include "analysis/validation.hpp"
+#include "obs/obs.hpp"
+#include "obs/replay.hpp"
 #include "core/budget_governor.hpp"
 #include "core/mixes.hpp"
 #include "net/agent.hpp"
@@ -71,6 +78,14 @@ struct Args {
   /// daemon: serve under a scheduled brownout (budget revisions derived
   /// from the synthetic facility trace, scaled to --budget).
   bool brownout = false;
+  /// daemon/agent: write the run's trace (JSONL, all streams) here.
+  std::string trace_path;
+  /// daemon/agent: dump the metrics registry to stdout on exit.
+  bool metrics = false;
+  /// trace: the file to inspect, plus report options.
+  std::string trace_file;
+  bool replay = false;
+  std::string chrome_path;
 };
 
 Args parse_args(int argc, char** argv) {
@@ -116,6 +131,16 @@ Args parse_args(int argc, char** argv) {
       args.budget_share = std::strtod(argv[++i], nullptr);
     } else if (arg == "--brownout") {
       args.brownout = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      args.trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      args.metrics = true;
+    } else if (arg == "--replay") {
+      args.replay = true;
+    } else if (arg == "--chrome" && i + 1 < argc) {
+      args.chrome_path = argv[++i];
+    } else if (!arg.starts_with("--") && args.trace_file.empty()) {
+      args.trace_file = arg;  // positional: the trace command's FILE
     }
   }
   return args;
@@ -141,9 +166,14 @@ int usage() {
       "                                  --brownout schedules budget drops\n"
       "  agent --workload NAME [--job NAME] [--iterations N]\n"
       "                                  run a job under daemon coordination\n"
+      "  trace FILE [--replay] [--chrome OUT]\n"
+      "                                  summarize a JSONL trace; --replay\n"
+      "                                  reconstructs the watt allocations\n"
+      "                                  from the events alone\n"
       "  validate [--quick]              reproduction self-check\n"
       "common options: --nodes N --policy NAME\n"
-      "transport options (daemon/agent): --socket PATH | --tcp PORT\n");
+      "transport options (daemon/agent): --socket PATH | --tcp PORT\n"
+      "observability (daemon/agent): --trace PATH --metrics\n");
   return 2;
 }
 
@@ -375,6 +405,14 @@ int cmd_daemon(const Args& args) {
     std::printf("daemon: brownout schedule, %zu revisions\n",
                 options.budget_revisions.size());
   }
+  obs::MetricsRegistry registry;
+  obs::TraceSink sink;
+  if (!args.trace_path.empty()) {
+    options.obs.trace = &sink;
+  }
+  if (args.metrics || !args.trace_path.empty()) {
+    options.obs.metrics = &registry;
+  }
   net::PowerDaemon daemon(options);
   if (!args.snapshot_path.empty()) {
     std::printf("daemon: snapshot %s, %zu jobs restored\n",
@@ -419,6 +457,17 @@ int cmd_daemon(const Args& args) {
         stats.budget_revisions_applied, stats.budget_pushes,
         stats.emergency_clamps);
   }
+  if (!args.trace_path.empty()) {
+    std::ofstream out(args.trace_path);
+    obs::write_jsonl(out, sink.events());
+    std::printf("daemon: trace %s, %zu events\n", args.trace_path.c_str(),
+                sink.size());
+  }
+  if (args.metrics) {
+    std::ostringstream text;
+    registry.render_text(text);
+    std::fputs(text.str().c_str(), stdout);
+  }
   return 0;
 }
 
@@ -441,7 +490,12 @@ int cmd_agent(const Args& args) {
     const std::string path = args.socket_path;
     connector = [path] { return net::connect_unix(path); };
   }
-  net::RuntimeClient client(std::move(connector));
+  obs::MetricsRegistry registry;
+  net::ClientOptions client_options;
+  if (args.metrics) {
+    client_options.obs.metrics = &registry;
+  }
+  net::RuntimeClient client(std::move(connector), client_options);
   net::CoordinatedAgent agent(job, client);
   const net::AgentResult result = agent.run(args.iterations);
 
@@ -459,7 +513,33 @@ int cmd_agent(const Args& args) {
               result.energy_joules > 0.0
                   ? result.total_gflop / result.energy_joules
                   : 0.0);
+  if (args.metrics) {
+    std::ostringstream text;
+    registry.render_text(text);
+    std::fputs(text.str().c_str(), stdout);
+  }
   return result.policies_applied > 0 ? 0 : 1;
+}
+
+int cmd_trace(const Args& args) {
+  if (args.trace_file.empty()) {
+    std::fprintf(stderr, "trace: need a FILE operand\n");
+    return 2;
+  }
+  std::ifstream in(args.trace_file);
+  if (!in) {
+    std::fprintf(stderr, "trace: cannot open '%s'\n",
+                 args.trace_file.c_str());
+    return 1;
+  }
+  const std::vector<obs::TraceEvent> events = obs::read_jsonl(in);
+  obs::print_trace_report(std::cout, events, args.replay);
+  if (!args.chrome_path.empty()) {
+    std::ofstream out(args.chrome_path);
+    obs::write_chrome_trace(out, events);
+    std::printf("chrome trace written to %s\n", args.chrome_path.c_str());
+  }
+  return 0;
 }
 
 int cmd_validate(const Args& args) {
@@ -503,6 +583,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "agent") {
       return cmd_agent(args);
+    }
+    if (args.command == "trace") {
+      return cmd_trace(args);
     }
     if (args.command == "validate") {
       return cmd_validate(args);
