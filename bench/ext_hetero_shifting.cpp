@@ -1,0 +1,338 @@
+// Extension experiment (DESIGN.md Section 6): CPU<->GPU power shifting on
+// heterogeneous nodes. Each node carries two programmable power-limit
+// domains (RAPL package + GPU device limit) drawn against one node budget.
+// Three questions:
+//   1. Does HeteroAdaptive — which re-splits every host's share between
+//      the domains from live per-domain bottleneck slack — beat the best
+//      static CPU/GPU split?
+//   2. How much does the win depend on the mix (CPU-bound, GPU-bound,
+//      half-and-half)?
+//   3. Is the single-domain MixedAdaptive dynamics with a fixed
+//      TDP-proportional GPU reservation (the natural retrofit) enough?
+//
+// All variants run the same lockstep epoch cadence over the same cluster
+// and budget; only the allocation rule differs. HeteroAdaptive runs
+// through the real CoordinationLoop; the static-split variants fix GPU
+// caps up front and run MixedAdaptive over the remaining CPU budget in a
+// local loop with the same live-demand ratchet (MixedAdaptive on a GPU
+// cluster inside the CoordinationLoop would rightly trip the
+// caps-fit-budget invariant: it cannot see the second domain).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.hpp"
+#include "bench_common.hpp"
+#include "core/coordination.hpp"
+#include "core/policies.hpp"
+#include "runtime/power_balancer_agent.hpp"
+#include "sim/cluster.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ps;
+
+// GPU caps of the static variants sit at gpu_min + f * headroom, where
+// headroom is the per-host share above both domains' floors — every
+// fraction in [0, 1] is feasible (the CPU side keeps at least its
+// settable floor). kTdpFraction marks "TDP-proportional", the split the
+// coordination bootstrap uses.
+constexpr double kTdpFraction = -1.0;
+
+struct Variant {
+  const char* name;
+  double gpu_fraction;  ///< kTdpFraction or a headroom fraction in [0, 1].
+  bool hetero;          ///< True: dynamic two-domain HeteroAdaptive.
+};
+
+constexpr Variant kVariants[] = {
+    {"static-gpu-25", 0.25, false},
+    {"static-gpu-50", 0.50, false},
+    {"static-gpu-75", 0.75, false},
+    {"mixed-adaptive-tdp-split", kTdpFraction, false},
+    {"hetero-adaptive", 0.0, true},
+};
+
+struct Mix {
+  const char* name;
+  kernel::WorkloadConfig job_a;
+  kernel::WorkloadConfig job_b;
+};
+
+std::vector<Mix> make_mixes() {
+  // CPU-heavy phase: compute-bound kernel, token GPU phase (the GPU idles
+  // near its floor — its watts are better spent on the package domain).
+  kernel::WorkloadConfig cpu_heavy;
+  cpu_heavy.intensity = 32.0;
+  cpu_heavy.gpu_gigabytes_per_iteration = 4.0;
+  cpu_heavy.gpu_intensity = 8.0;
+  // GPU-heavy phase: light CPU work, compute-bound offloaded kernel whose
+  // time responds strongly to the device power limit.
+  kernel::WorkloadConfig gpu_heavy;
+  gpu_heavy.intensity = 4.0;
+  gpu_heavy.gigabytes_per_iteration = 1.0;
+  gpu_heavy.gpu_gigabytes_per_iteration = 60.0;
+  gpu_heavy.gpu_intensity = 40.0;
+  return {{"cpu-bound", cpu_heavy, cpu_heavy},
+          {"gpu-bound", gpu_heavy, gpu_heavy},
+          {"mixed", gpu_heavy, cpu_heavy}};
+}
+
+struct Scenario {
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+  std::vector<sim::JobSimulation*> ptrs;
+};
+
+Scenario make_scenario(const Mix& mix, std::size_t hosts_per_job) {
+  Scenario scenario;
+  scenario.cluster = std::make_unique<sim::Cluster>(hosts_per_job * 2);
+  std::vector<hw::NodeModel*> a;
+  std::vector<hw::NodeModel*> b;
+  for (std::size_t i = 0; i < hosts_per_job; ++i) {
+    scenario.cluster->node(i).attach_gpu();
+    scenario.cluster->node(i + hosts_per_job).attach_gpu();
+    a.push_back(&scenario.cluster->node(i));
+    b.push_back(&scenario.cluster->node(i + hosts_per_job));
+  }
+  scenario.jobs.push_back(
+      std::make_unique<sim::JobSimulation>("job-a", a, mix.job_a));
+  scenario.jobs.push_back(
+      std::make_unique<sim::JobSimulation>("job-b", b, mix.job_b));
+  scenario.ptrs = {scenario.jobs[0].get(), scenario.jobs[1].get()};
+  return scenario;
+}
+
+/// One node budget spanning both domains: the two-domain floor plus 35%
+/// of the headroom to TDP — tight enough that the split decides which
+/// bottleneck gets relieved.
+double scenario_budget(const Scenario& scenario) {
+  double floors = 0.0;
+  double tdp = 0.0;
+  for (const auto* job : scenario.ptrs) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      floors += job->host(h).min_cap() + job->host_gpu_min_cap(h);
+      tdp += job->host(h).tdp() + job->host_gpu_tdp(h);
+    }
+  }
+  return floors + 0.35 * (tdp - floors);
+}
+
+struct CellResult {
+  double elapsed_seconds = 0.0;
+  double energy_joules = 0.0;
+  double gflop = 0.0;
+};
+
+CellResult collect_totals(const Scenario& scenario) {
+  CellResult result;
+  for (const auto* job : scenario.ptrs) {
+    result.elapsed_seconds += job->totals().elapsed_seconds;
+    result.energy_joules += job->totals().energy_joules;
+    result.gflop += job->totals().gflop;
+  }
+  return result;
+}
+
+/// The static-split variants: GPU caps fixed up front, MixedAdaptive
+/// re-allocated each epoch over the remaining (CPU) budget with the same
+/// live-demand ratchet the CoordinationLoop keeps.
+CellResult run_static_split(Scenario& scenario, double budget,
+                            double gpu_fraction, std::size_t iterations,
+                            std::size_t epoch_iterations) {
+  const runtime::BalancerOptions balancer{};
+  const std::size_t total_hosts =
+      scenario.ptrs[0]->host_count() + scenario.ptrs[1]->host_count();
+  const double share = budget / static_cast<double>(total_hosts);
+
+  // Fix the GPU domain. TDP-proportional mirrors the coordination
+  // bootstrap split; otherwise the cap sits at the requested fraction of
+  // the share's two-domain headroom.
+  double gpu_total = 0.0;
+  for (auto* job : scenario.ptrs) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      const double cpu_min = job->host(h).min_cap();
+      const double gpu_min = job->host_gpu_min_cap(h);
+      const double gpu_tdp = job->host_gpu_tdp(h);
+      double cap = 0.0;
+      if (gpu_fraction == kTdpFraction) {
+        const double ratio =
+            gpu_tdp / (job->host(h).tdp() + gpu_tdp);
+        cap = share * ratio;
+      } else {
+        const double headroom = std::max(0.0, share - cpu_min - gpu_min);
+        cap = gpu_min + gpu_fraction * headroom;
+      }
+      job->set_host_gpu_cap(h, std::clamp(cap, gpu_min, gpu_tdp));
+      gpu_total += job->host_gpu_cap(h);
+    }
+  }
+  const double cpu_budget = budget - gpu_total;
+
+  // Bootstrap the CPU domain at the uniform share of what is left.
+  for (auto* job : scenario.ptrs) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      job->set_host_cap(h, cpu_budget / static_cast<double>(total_hosts));
+    }
+    job->reset_totals();
+  }
+
+  // Live demand ratchet, seeded at the floor like the CoordinationLoop.
+  std::vector<std::vector<double>> demand;
+  for (auto* job : scenario.ptrs) {
+    demand.emplace_back(job->host_count(), job->host(0).min_cap());
+  }
+
+  const core::MixedAdaptivePolicy policy;
+  std::size_t done = 0;
+  while (done < iterations) {
+    const std::size_t step = std::min(epoch_iterations, iterations - done);
+    for (std::size_t j = 0; j < scenario.ptrs.size(); ++j) {
+      sim::JobSimulation& job = *scenario.ptrs[j];
+      for (std::size_t i = 0; i < step; ++i) {
+        const sim::IterationResult iteration = job.run_iteration();
+        for (std::size_t h = 0; h < job.host_count(); ++h) {
+          demand[j][h] = std::max(
+              demand[j][h], iteration.hosts[h].average_power_watts);
+        }
+      }
+    }
+    done += step;
+
+    core::PolicyContext context;
+    context.system_budget_watts = cpu_budget;
+    context.node_tdp_watts = scenario.ptrs[0]->host(0).tdp();
+    context.uncappable_watts =
+        scenario.ptrs[0]->host(0).params().dram_watts;
+    for (std::size_t j = 0; j < scenario.ptrs.size(); ++j) {
+      sim::JobSimulation& job = *scenario.ptrs[j];
+      runtime::JobCharacterization data;
+      data.host_count = job.host_count();
+      data.min_settable_cap_watts = job.host(0).min_cap();
+      double tdp_budget = 0.0;
+      for (std::size_t h = 0; h < job.host_count(); ++h) {
+        tdp_budget += job.host(h).tdp();
+      }
+      data.balancer.host_needed_power_watts =
+          runtime::balance_power(job, tdp_budget, balancer);
+      data.balancer.min_host_needed_watts =
+          *std::min_element(data.balancer.host_needed_power_watts.begin(),
+                            data.balancer.host_needed_power_watts.end());
+      data.balancer.max_host_needed_watts =
+          *std::max_element(data.balancer.host_needed_power_watts.begin(),
+                            data.balancer.host_needed_power_watts.end());
+      data.monitor.host_average_power_watts = demand[j];
+      data.monitor.min_host_power_watts =
+          *std::min_element(demand[j].begin(), demand[j].end());
+      data.monitor.max_host_power_watts =
+          *std::max_element(demand[j].begin(), demand[j].end());
+      context.jobs.push_back(std::move(data));
+    }
+    const rm::PowerAllocation allocation = policy.allocate(context);
+    for (std::size_t j = 0; j < scenario.ptrs.size(); ++j) {
+      for (std::size_t h = 0; h < scenario.ptrs[j]->host_count(); ++h) {
+        scenario.ptrs[j]->set_host_cap(h, allocation.job_host_caps[j][h]);
+      }
+    }
+  }
+  return collect_totals(scenario);
+}
+
+CellResult run_hetero(Scenario& scenario, double budget,
+                      std::size_t iterations,
+                      std::size_t epoch_iterations) {
+  core::CoordinationOptions options;
+  options.policy = core::PolicyKind::kHeteroAdaptive;
+  options.epoch_iterations = epoch_iterations;
+  core::CoordinationLoop loop(budget, options);
+  for (auto* job : scenario.ptrs) {
+    job->reset_totals();
+  }
+  static_cast<void>(loop.run(scenario.ptrs, iterations));
+  return collect_totals(scenario);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const analysis::ExperimentOptions options =
+      ps::bench::parse_options(argc, argv);
+  const std::vector<Mix> mixes = make_mixes();
+  const std::size_t variant_count = std::size(kVariants);
+  const std::size_t cells = mixes.size() * variant_count;
+  const std::size_t epoch_iterations = 5;
+
+  // Every cell builds its own cluster from its (mix, variant) coordinates
+  // alone, so results are bit-identical at any worker count.
+  std::vector<CellResult> results(cells);
+  const analysis::SweepExecutor executor(options.sweep_workers);
+  executor.for_each(cells, [&](std::size_t cell) {
+    const Mix& mix = mixes[cell / variant_count];
+    const Variant& variant = kVariants[cell % variant_count];
+    Scenario scenario = make_scenario(mix, options.nodes_per_job);
+    const double budget = scenario_budget(scenario);
+    results[cell] =
+        variant.hetero
+            ? run_hetero(scenario, budget, options.iterations,
+                         epoch_iterations)
+            : run_static_split(scenario, budget, variant.gpu_fraction,
+                               options.iterations, epoch_iterations);
+  });
+
+  std::printf("CPU<->GPU power shifting (2 jobs x %zu hetero hosts, "
+              "%zu iterations)\n\n",
+              options.nodes_per_job, options.iterations);
+  bool hetero_wins_gpu_mixes = true;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    util::TextTable table;
+    table.add_column("allocation", util::Align::kLeft);
+    table.add_column("job time (s)", util::Align::kRight, 3);
+    table.add_column("energy (kJ)", util::Align::kRight, 1);
+    table.add_column("vs best static", util::Align::kRight, 2);
+    double best_static = 0.0;
+    for (std::size_t v = 0; v + 1 < variant_count; ++v) {
+      const double t = results[m * variant_count + v].elapsed_seconds;
+      best_static = best_static == 0.0 ? t : std::min(best_static, t);
+    }
+    for (std::size_t v = 0; v < variant_count; ++v) {
+      const CellResult& cell = results[m * variant_count + v];
+      table.begin_row();
+      table.add_cell(kVariants[v].name);
+      table.add_number(cell.elapsed_seconds);
+      table.add_number(cell.energy_joules / 1000.0);
+      table.add_percent(cell.elapsed_seconds / best_static - 1.0);
+    }
+    const double hetero_time =
+        results[m * variant_count + variant_count - 1].elapsed_seconds;
+    std::printf("mix %s:\n%s\n", mixes[m].name,
+                table.to_string().c_str());
+    if (std::string(mixes[m].name) != "cpu-bound" &&
+        hetero_time >= best_static) {
+      hetero_wins_gpu_mixes = false;
+    }
+  }
+  std::printf("HeteroAdaptive %s the best static split on the GPU-bound "
+              "and mixed mixes.\n",
+              hetero_wins_gpu_mixes ? "beats" : "DOES NOT beat");
+
+  const std::string csv_path =
+      ps::bench::output_path(argc, argv, "ext_hetero_shifting.csv");
+  std::ofstream csv(csv_path);
+  csv << "mix,variant,elapsed_seconds,energy_joules,gflop\n";
+  char line[256];
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    for (std::size_t v = 0; v < variant_count; ++v) {
+      const CellResult& cell = results[m * variant_count + v];
+      std::snprintf(line, sizeof(line), "%s,%s,%.6f,%.6f,%.6f\n",
+                    mixes[m].name, kVariants[v].name, cell.elapsed_seconds,
+                    cell.energy_joules, cell.gflop);
+      csv << line;
+    }
+  }
+  std::printf("\nWrote %s\n", csv_path.c_str());
+  return hetero_wins_gpu_mixes ? 0 : 1;
+}

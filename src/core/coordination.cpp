@@ -41,6 +41,13 @@ void emit_caps_events(const obs::Observability& obs, std::uint64_t tick,
     for (std::size_t h = 0; h < job->host_count(); ++h) {
       event.args.push_back({obs::cap_key(h), job->host_cap(h)});
     }
+    if (job->has_gpu_domain()) {
+      // GPU-domain caps ride the same event under g-keys; CPU-only jobs
+      // emit none, so pre-hetero golden traces are byte-identical.
+      for (std::size_t h = 0; h < job->host_count(); ++h) {
+        event.args.push_back({obs::gpu_cap_key(h), job->host_gpu_cap(h)});
+      }
+    }
     obs.trace->emit(std::move(event));
   }
 }
@@ -107,12 +114,6 @@ PolicyContext CoordinationLoop::build_context(
         live_[j].demand_watts[h] = job.host(h).min_cap();
       }
     }
-    data.balancer.min_host_needed_watts =
-        *std::min_element(data.balancer.host_needed_power_watts.begin(),
-                          data.balancer.host_needed_power_watts.end());
-    data.balancer.max_host_needed_watts =
-        *std::max_element(data.balancer.host_needed_power_watts.begin(),
-                          data.balancer.host_needed_power_watts.end());
     // Live "monitor" estimate: the running demand maximum observed so
     // far (a host capped below its demand still reveals demand up to its
     // cap; the estimate grows as caps rise).
@@ -123,6 +124,46 @@ PolicyContext CoordinationLoop::build_context(
     data.monitor.min_host_power_watts =
         *std::min_element(live_[j].demand_watts.begin(),
                           live_[j].demand_watts.end());
+    if (job.has_gpu_domain()) {
+      // GPU-domain telemetry: live demand from the GPU ratchet, needed
+      // power re-derived per domain against one whole-node time target.
+      // Both searches must honor the *iteration* critical path (the max
+      // of the concurrent CPU and GPU phases): a CPU phase far off the
+      // critical path needs only the cap that keeps it there, and the
+      // freed watts are exactly what shifts to the bottleneck domain.
+      const double target =
+          runtime::uncapped_iteration_seconds(job) *
+          (1.0 + options_.balancer.tolerated_slowdown);
+      data.host_gpu_needed_watts.assign(job.host_count(), 0.0);
+      data.host_gpu_observed_watts = live_[j].gpu_demand_watts;
+      for (std::size_t h = 0; h < job.host_count(); ++h) {
+        if (!job.host_failed(h)) {
+          data.balancer.host_needed_power_watts[h] =
+              runtime::min_cap_for_time(job, h, target, options_.balancer);
+        }
+        if (!job.host_has_gpu_phase(h)) {
+          continue;
+        }
+        if (data.gpu_min_cap_watts == 0.0) {
+          data.gpu_min_cap_watts = job.host_gpu_min_cap(h);
+          data.gpu_tdp_watts = job.host_gpu_tdp(h);
+        }
+        if (job.host_failed(h)) {
+          data.host_gpu_needed_watts[h] = job.host_gpu_min_cap(h);
+          live_[j].gpu_demand_watts[h] = job.host_gpu_min_cap(h);
+          data.host_gpu_observed_watts[h] = job.host_gpu_min_cap(h);
+        } else {
+          data.host_gpu_needed_watts[h] = runtime::min_gpu_cap_for_time(
+              job, h, target, options_.balancer);
+        }
+      }
+    }
+    data.balancer.min_host_needed_watts =
+        *std::min_element(data.balancer.host_needed_power_watts.begin(),
+                          data.balancer.host_needed_power_watts.end());
+    data.balancer.max_host_needed_watts =
+        *std::max_element(data.balancer.host_needed_power_watts.begin(),
+                          data.balancer.host_needed_power_watts.end());
     context.jobs.push_back(std::move(data));
   }
   return context;
@@ -165,20 +206,45 @@ CoordinationResult CoordinationLoop::run_dynamic(
   }
 
   // Initial state: uniform distribution of the budget (StaticCaps-like),
-  // demand estimates seeded at the settable floor.
+  // demand estimates seeded at the settable floor. Heterogeneous hosts
+  // split their share CPU:GPU by TDP ratio until the first RM step; the
+  // invariant tolerances count every programmable limit (one per host
+  // plus one per GPU-phase host), since each limit quantizes separately.
   std::size_t total_hosts = 0;
+  std::size_t total_limits = 0;
   for (const auto* job : jobs) {
     total_hosts += job->host_count();
+    total_limits += job->host_count();
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      if (job->host_has_gpu_phase(h)) {
+        ++total_limits;
+      }
+    }
   }
   const double share = budget_ / static_cast<double>(total_hosts);
   live_.assign(jobs.size(), {});
   std::vector<std::vector<double>> previous_caps(jobs.size());
+  std::vector<std::vector<double>> previous_gpu_caps(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     live_[j].demand_watts.assign(jobs[j]->host_count(),
                                  jobs[j]->host(0).min_cap());
     previous_caps[j].resize(jobs[j]->host_count());
+    previous_gpu_caps[j].assign(jobs[j]->host_count(), 0.0);
+    if (jobs[j]->has_gpu_domain()) {
+      live_[j].gpu_demand_watts.assign(jobs[j]->host_count(), 0.0);
+    }
     for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
-      jobs[j]->set_host_cap(h, share);
+      if (jobs[j]->host_has_gpu_phase(h)) {
+        const double cpu_tdp = jobs[j]->host(h).tdp();
+        const double gpu_tdp = jobs[j]->host_gpu_tdp(h);
+        const double cpu_fraction = cpu_tdp / (cpu_tdp + gpu_tdp);
+        jobs[j]->set_host_cap(h, share * cpu_fraction);
+        jobs[j]->set_host_gpu_cap(h, share * (1.0 - cpu_fraction));
+        live_[j].gpu_demand_watts[h] = jobs[j]->host_gpu_min_cap(h);
+        previous_gpu_caps[j][h] = jobs[j]->host_gpu_cap(h);
+      } else {
+        jobs[j]->set_host_cap(h, share);
+      }
       previous_caps[j][h] = jobs[j]->host_cap(h);
     }
   }
@@ -236,12 +302,21 @@ CoordinationResult CoordinationLoop::run_dynamic(
           reclaim.host = event.host;
           reclaim.watts_reclaimed =
               job.host_cap(event.host) - job.host(event.host).min_cap();
+          if (job.host_has_gpu_phase(event.host)) {
+            // Both domains of a dead host return to the pool.
+            reclaim.watts_reclaimed += job.host_gpu_cap(event.host) -
+                                       job.host_gpu_min_cap(event.host);
+          }
           pending_reclaims.push_back(reclaim);
           job.set_host_failed(event.host, true);
           // The demand ratchet must fall with the host: a dead host's
           // running-max history would otherwise keep attracting watts.
           live_[event.job].demand_watts[event.host] =
               job.host(event.host).min_cap();
+          if (job.host_has_gpu_phase(event.host)) {
+            live_[event.job].gpu_demand_watts[event.host] =
+                job.host_gpu_min_cap(event.host);
+          }
           break;
         }
         case sim::FailureKind::kStragglerOnset:
@@ -275,6 +350,11 @@ CoordinationResult CoordinationLoop::run_dynamic(
           live_[j].demand_watts[h] =
               std::max(live_[j].demand_watts[h],
                        iteration.hosts[h].average_power_watts);
+          if (jobs[j]->host_has_gpu_phase(h)) {
+            live_[j].gpu_demand_watts[h] =
+                std::max(live_[j].gpu_demand_watts[h],
+                         iteration.hosts[h].gpu_average_power_watts);
+          }
         }
       }
       epoch_max_elapsed = std::max(epoch_max_elapsed, job_elapsed);
@@ -290,10 +370,10 @@ CoordinationResult CoordinationLoop::run_dynamic(
     // Account the control period the epoch's caps just ran for: after a
     // budget drop this is the (single) excursion interval, closed below
     // once the RM step has reprogrammed under the revised budget.
-    const double tolerance = 0.5 * static_cast<double>(total_hosts);
+    const double tolerance = 0.5 * static_cast<double>(total_limits);
     const double programmed =
         rm::SystemPowerManager::total_allocated_watts(jobs);
-    manager.observe_programmed(programmed, total_hosts,
+    manager.observe_programmed(programmed, total_limits,
                                record.elapsed_seconds);
     if (programmed > budget_ + tolerance && budget_telemetry != nullptr) {
       budget_telemetry->excursion_epochs.push_back(epoch_index);
@@ -327,18 +407,21 @@ CoordinationResult CoordinationLoop::run_dynamic(
     // Close the excursion (if any) at the reprogram instant and assert
     // the loop's invariants over the freshly programmed caps.
     manager.observe_programmed(
-        rm::SystemPowerManager::total_allocated_watts(jobs), total_hosts,
+        rm::SystemPowerManager::total_allocated_watts(jobs), total_limits,
         0.0);
     if (policy->is_system_aware()) {
       double floors_watts = 0.0;
       for (const auto* job : jobs) {
         for (std::size_t h = 0; h < job->host_count(); ++h) {
           floors_watts += job->host(h).min_cap();
+          if (job->host_has_gpu_phase(h)) {
+            floors_watts += job->host_gpu_min_cap(h);
+          }
         }
       }
       invariants::check_caps_fit_budget(
           rm::SystemPowerManager::total_allocated_watts(jobs),
-          std::max(budget_, floors_watts), total_hosts,
+          std::max(budget_, floors_watts), total_limits,
           "coordination.rm_step");
     }
     for (const auto* job : jobs) {
@@ -346,6 +429,11 @@ CoordinationResult CoordinationLoop::run_dynamic(
         invariants::check_cap_bounds(job->host_cap(h), job->host(h).min_cap(),
                                      job->host(h).tdp(), 0.5,
                                      "coordination.cap");
+        if (job->host_has_gpu_phase(h)) {
+          invariants::check_cap_bounds(
+              job->host_gpu_cap(h), job->host_gpu_min_cap(h),
+              job->host_gpu_tdp(h), 0.5, "coordination.gpu_cap");
+        }
       }
     }
 
@@ -358,8 +446,14 @@ CoordinationResult CoordinationLoop::run_dynamic(
         continue;
       }
       const sim::JobSimulation& job = *jobs[reclaim.job];
-      const double cap = job.host_cap(reclaim.host);
-      const double floor_cap = job.host(reclaim.host).min_cap();
+      double cap = job.host_cap(reclaim.host);
+      double floor_cap = job.host(reclaim.host).min_cap();
+      if (job.host_has_gpu_phase(reclaim.host)) {
+        // A heterogeneous host is reclaimed only once BOTH its domains
+        // sit at their floors.
+        cap += job.host_gpu_cap(reclaim.host);
+        floor_cap += job.host_gpu_min_cap(reclaim.host);
+      }
       if (cap <= floor_cap + 0.5) {
         reclaim.reclaimed = true;
         reclaim.reclaim_epoch = epoch_index;
@@ -384,6 +478,15 @@ CoordinationResult CoordinationLoop::run_dynamic(
             std::max(record.max_cap_change_watts,
                      std::abs(cap - previous_caps[j][h]));
         previous_caps[j][h] = cap;
+        if (jobs[j]->host_has_gpu_phase(h)) {
+          // Convergence tracks GPU-domain moves too: a loop still
+          // shifting watts CPU<->GPU has not settled.
+          const double gpu_cap = jobs[j]->host_gpu_cap(h);
+          record.max_cap_change_watts =
+              std::max(record.max_cap_change_watts,
+                       std::abs(gpu_cap - previous_gpu_caps[j][h]));
+          previous_gpu_caps[j][h] = gpu_cap;
+        }
       }
     }
     if (!result.converged && epoch_index > 0 &&

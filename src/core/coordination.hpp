@@ -159,6 +159,8 @@ class CoordinationLoop {
   /// Live stand-in for the offline characterization of one job.
   struct LiveCharacterization {
     std::vector<double> demand_watts;  ///< Running max of observed power.
+    /// Running max of observed GPU-domain power; empty for CPU-only jobs.
+    std::vector<double> gpu_demand_watts;
   };
 
   [[nodiscard]] PolicyContext build_context(

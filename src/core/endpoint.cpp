@@ -101,22 +101,37 @@ std::vector<std::string> non_empty_lines(std::string_view text) {
 
 std::string serialize(const SampleMessage& message, WireFidelity fidelity) {
   std::ostringstream out;
-  out << "powerstack-sample v1\n";
+  out << (message.has_gpu_domain() ? "powerstack-sample v3\n"
+                                   : "powerstack-sample v1\n");
   out << "sequence " << message.sequence << '\n';
   out << "job " << message.job_name << '\n';
   out << "min_cap "
       << format_value(message.min_settable_cap_watts, fidelity) << '\n';
   serialize_vector(out, "observed", message.host_observed_watts, fidelity);
   serialize_vector(out, "needed", message.host_needed_watts, fidelity);
+  if (message.has_gpu_domain()) {
+    out << "gpu_min_cap "
+        << format_value(message.gpu_min_cap_watts, fidelity) << '\n';
+    out << "gpu_tdp " << format_value(message.gpu_tdp_watts, fidelity)
+        << '\n';
+    serialize_vector(out, "gpu_observed", message.host_gpu_observed_watts,
+                     fidelity);
+    serialize_vector(out, "gpu_needed", message.host_gpu_needed_watts,
+                     fidelity);
+  }
   return out.str();
 }
 
 std::string serialize(const PolicyMessage& message, WireFidelity fidelity) {
   std::ostringstream out;
-  out << "powerstack-policy v1\n";
+  out << (message.has_gpu_domain() ? "powerstack-policy v3\n"
+                                   : "powerstack-policy v1\n");
   out << "sequence " << message.sequence << '\n';
   out << "job " << message.job_name << '\n';
   serialize_vector(out, "caps", message.host_caps_watts, fidelity);
+  if (message.has_gpu_domain()) {
+    serialize_vector(out, "gpu_caps", message.host_gpu_caps_watts, fidelity);
+  }
   if (message.budget_epoch != 0) {
     out << "budget_epoch " << message.budget_epoch << '\n';
   }
@@ -134,9 +149,15 @@ std::string serialize(const BudgetMessage& message, WireFidelity fidelity) {
 
 SampleMessage parse_sample_message(std::string_view text) {
   const std::vector<std::string> lines = non_empty_lines(text);
-  PS_REQUIRE(lines.size() == 6, "sample message needs 6 lines");
-  PS_REQUIRE(lines[0] == "powerstack-sample v1",
-             "not a v1 sample message");
+  PS_REQUIRE(!lines.empty(), "empty sample message");
+  const bool v3 = lines[0] == "powerstack-sample v3";
+  PS_REQUIRE(v3 || lines[0] == "powerstack-sample v1",
+             "not a v1 or v3 sample message");
+  // The strict line count and fixed key order reject truncated or
+  // duplicated domain sections outright.
+  PS_REQUIRE(lines.size() == (v3 ? 10u : 6u),
+             v3 ? "v3 sample message needs 10 lines"
+                : "sample message needs 6 lines");
   SampleMessage message;
   message.sequence = parse_sequence(lines[1]);
   message.job_name = parse_job_name(lines[2]);
@@ -151,23 +172,54 @@ SampleMessage parse_sample_message(std::string_view text) {
              "sample vectors disagree on host count");
   PS_REQUIRE(!message.host_observed_watts.empty(),
              "sample message has no hosts");
+  if (v3) {
+    PS_REQUIRE(util::starts_with(lines[6], "gpu_min_cap "),
+               "expected 'gpu_min_cap' line");
+    message.gpu_min_cap_watts =
+        parse_watts(util::trim(lines[6].substr(12)), "gpu_min_cap");
+    PS_REQUIRE(util::starts_with(lines[7], "gpu_tdp "),
+               "expected 'gpu_tdp' line");
+    message.gpu_tdp_watts =
+        parse_watts(util::trim(lines[7].substr(8)), "gpu_tdp");
+    PS_REQUIRE(message.gpu_min_cap_watts > 0.0 &&
+                   message.gpu_min_cap_watts <= message.gpu_tdp_watts,
+               "GPU cap range must satisfy 0 < min <= TDP");
+    message.host_gpu_observed_watts =
+        parse_vector(lines[8], "gpu_observed");
+    message.host_gpu_needed_watts = parse_vector(lines[9], "gpu_needed");
+    PS_REQUIRE(message.host_gpu_observed_watts.size() ==
+                       message.host_observed_watts.size() &&
+                   message.host_gpu_needed_watts.size() ==
+                       message.host_observed_watts.size(),
+               "GPU sample vectors disagree on host count");
+  }
   return message;
 }
 
 PolicyMessage parse_policy_message(std::string_view text) {
   const std::vector<std::string> lines = non_empty_lines(text);
-  PS_REQUIRE(lines.size() == 4 || lines.size() == 5,
-             "policy message needs 4 or 5 lines");
-  PS_REQUIRE(lines[0] == "powerstack-policy v1",
-             "not a v1 policy message");
+  PS_REQUIRE(!lines.empty(), "empty policy message");
+  const bool v3 = lines[0] == "powerstack-policy v3";
+  PS_REQUIRE(v3 || lines[0] == "powerstack-policy v1",
+             "not a v1 or v3 policy message");
+  const std::size_t base = v3 ? 5 : 4;
+  PS_REQUIRE(lines.size() == base || lines.size() == base + 1,
+             v3 ? "v3 policy message needs 5 or 6 lines"
+                : "policy message needs 4 or 5 lines");
   PolicyMessage message;
   message.sequence = parse_sequence(lines[1]);
   message.job_name = parse_job_name(lines[2]);
   message.host_caps_watts = parse_vector(lines[3], "caps");
   PS_REQUIRE(!message.host_caps_watts.empty(),
              "policy message has no hosts");
-  if (lines.size() == 5) {
-    message.budget_epoch = parse_keyed_uint(lines[4], "budget_epoch");
+  if (v3) {
+    message.host_gpu_caps_watts = parse_vector(lines[4], "gpu_caps");
+    PS_REQUIRE(message.host_gpu_caps_watts.size() ==
+                   message.host_caps_watts.size(),
+               "GPU caps disagree on host count");
+  }
+  if (lines.size() == base + 1) {
+    message.budget_epoch = parse_keyed_uint(lines[base], "budget_epoch");
     PS_REQUIRE(message.budget_epoch != 0,
                "explicit budget_epoch must be non-zero");
   }
@@ -198,10 +250,10 @@ WireMessageKind wire_message_kind(std::string_view text) {
   const std::string_view header =
       util::trim(newline == std::string_view::npos ? text
                                                    : text.substr(0, newline));
-  if (header == "powerstack-sample v1") {
+  if (header == "powerstack-sample v1" || header == "powerstack-sample v3") {
     return WireMessageKind::kSample;
   }
-  if (header == "powerstack-policy v1") {
+  if (header == "powerstack-policy v1" || header == "powerstack-policy v3") {
     return WireMessageKind::kPolicy;
   }
   if (header == "powerstack-budget v1") {
@@ -268,6 +320,30 @@ SampleMessage make_sample(sim::JobSimulation& job, std::uint64_t sequence) {
     tdp_budget += job.host(h).tdp();
   }
   message.host_needed_watts = runtime::balance_power(job, tdp_budget);
+  if (job.has_gpu_domain()) {
+    // Second domain: observed GPU draw from the probe; needed GPU power
+    // from the cap-to-time inversion against the tolerated critical path.
+    const runtime::BalancerOptions options;
+    const double target = runtime::uncapped_iteration_seconds(job) *
+                          (1.0 + options.tolerated_slowdown);
+    message.host_gpu_observed_watts.reserve(job.host_count());
+    message.host_gpu_needed_watts.reserve(job.host_count());
+    for (std::size_t h = 0; h < job.host_count(); ++h) {
+      if (!job.host_has_gpu_phase(h)) {
+        message.host_gpu_observed_watts.push_back(0.0);
+        message.host_gpu_needed_watts.push_back(0.0);
+        continue;
+      }
+      message.host_gpu_observed_watts.push_back(
+          probe.hosts[h].gpu_average_power_watts);
+      message.host_gpu_needed_watts.push_back(
+          runtime::min_gpu_cap_for_time(job, h, target, options));
+      if (message.gpu_min_cap_watts == 0.0) {
+        message.gpu_min_cap_watts = job.host_gpu_min_cap(h);
+        message.gpu_tdp_watts = job.host_gpu_tdp(h);
+      }
+    }
+  }
   return message;
 }
 
@@ -301,6 +377,12 @@ PolicyContext context_from_samples(
     }
     job.balancer.max_host_needed_watts = needed_max;
     job.balancer.min_host_needed_watts = needed_min;
+    if (sample.has_gpu_domain()) {
+      job.host_gpu_observed_watts = sample.host_gpu_observed_watts;
+      job.host_gpu_needed_watts = sample.host_gpu_needed_watts;
+      job.gpu_min_cap_watts = sample.gpu_min_cap_watts;
+      job.gpu_tdp_watts = sample.gpu_tdp_watts;
+    }
     context.jobs.push_back(std::move(job));
   }
   return context;
@@ -319,6 +401,7 @@ std::vector<PolicyMessage> make_policy_messages(
     message.sequence = sequence;
     message.job_name = samples[j].job_name;
     message.host_caps_watts = allocation.job_host_caps[j];
+    message.host_gpu_caps_watts = allocation.job_gpu_caps(j);
     message.budget_epoch = budget_epoch;
     messages.push_back(std::move(message));
   }
@@ -331,8 +414,15 @@ void apply_policy_message(sim::JobSimulation& job,
              "policy message addressed to a different job");
   PS_REQUIRE(message.host_caps_watts.size() == job.host_count(),
              "policy message host count mismatch");
+  PS_REQUIRE(message.host_gpu_caps_watts.empty() ||
+                 message.host_gpu_caps_watts.size() == job.host_count(),
+             "policy message GPU host count mismatch");
   for (std::size_t h = 0; h < job.host_count(); ++h) {
     job.set_host_cap(h, message.host_caps_watts[h]);
+    if (!message.host_gpu_caps_watts.empty() &&
+        job.host(h).gpu_count() > 0) {
+      job.set_host_gpu_cap(h, message.host_gpu_caps_watts[h]);
+    }
   }
 }
 

@@ -26,6 +26,16 @@ struct SampleMessage {
   std::vector<double> host_observed_watts;  ///< Demand estimate per host.
   std::vector<double> host_needed_watts;    ///< Balancer-needed per host.
 
+  /// GPU-domain telemetry (wire v3). Empty vectors = a single-domain job
+  /// (the message serializes as v1, byte-identical to pre-hetero peers).
+  std::vector<double> host_gpu_observed_watts;
+  std::vector<double> host_gpu_needed_watts;
+  double gpu_min_cap_watts = 0.0;  ///< Per-host GPU-domain settable floor.
+  double gpu_tdp_watts = 0.0;      ///< Per-host GPU-domain TDP.
+
+  [[nodiscard]] bool has_gpu_domain() const noexcept {
+    return !host_gpu_needed_watts.empty();
+  }
   [[nodiscard]] bool operator==(const SampleMessage&) const = default;
 };
 
@@ -38,8 +48,14 @@ struct PolicyMessage {
   std::uint64_t sequence = 0;
   std::string job_name;
   std::vector<double> host_caps_watts;
+  /// GPU-domain caps (wire v3). Empty = single-domain (v1 bytes on the
+  /// wire); otherwise one GPU cap per host.
+  std::vector<double> host_gpu_caps_watts;
   std::uint64_t budget_epoch = 0;
 
+  [[nodiscard]] bool has_gpu_domain() const noexcept {
+    return !host_gpu_caps_watts.empty();
+  }
   [[nodiscard]] bool operator==(const PolicyMessage&) const = default;
 };
 
@@ -73,15 +89,31 @@ enum class WireFidelity { kDisplay, kExact };
 ///   observed 214.125 220.000 ...
 ///   needed 152.000 195.750 ...
 ///
+/// Multi-domain (heterogeneous) jobs use the v3 form, which appends the
+/// GPU domain after the v1 lines in a fixed order (v2 is skipped so the
+/// protocol family shares the snapshot format's version numbering):
+///
+///   powerstack-sample v3
+///   ...the six v1 lines...
+///   gpu_min_cap 100.000
+///   gpu_tdp 300.000
+///   gpu_observed 245.000 ...
+///   gpu_needed 187.500 ...
+///
+/// Single-domain messages serialize as v1, byte-identical to the
+/// pre-hetero wire — the same discipline as the budget_epoch tag.
+///
 /// Parsers throw ps::InvalidArgument on malformed input: truncated
-/// messages, non-numeric fields, negative or non-finite watts, and
-/// mismatched vector lengths.
+/// messages, non-numeric fields, negative or non-finite watts, duplicate
+/// or out-of-order domain lines, and mismatched vector lengths.
 [[nodiscard]] std::string serialize(const SampleMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);
 /// PolicyMessage serializes as the 4-line v1 form when budget_epoch is 0
 /// and gains a fifth `budget_epoch` line otherwise; the parser accepts
-/// both, so pre-dynamic-budget peers interoperate unchanged.
+/// both, so pre-dynamic-budget peers interoperate unchanged. With GPU
+/// caps present it becomes v3: a `gpu_caps` line follows `caps` (the
+/// optional `budget_epoch` stays last).
 [[nodiscard]] std::string serialize(const PolicyMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);

@@ -10,17 +10,6 @@ namespace ps::core {
 
 using detail::HostArrays;
 
-namespace {
-
-/// All host indices, used when a fill step spans the whole system.
-std::vector<std::size_t> all_hosts(const HostArrays& arrays) {
-  std::vector<std::size_t> hosts(arrays.host_count());
-  std::iota(hosts.begin(), hosts.end(), std::size_t{0});
-  return hosts;
-}
-
-}  // namespace
-
 rm::PowerAllocation PrecharacterizedPolicy::allocate(
     const PolicyContext& context) const {
   HostArrays arrays = HostArrays::from_context(context);
@@ -192,37 +181,93 @@ rm::PowerAllocation JobAdaptivePolicy::allocate(
 rm::PowerAllocation MixedAdaptivePolicy::allocate(
     const PolicyContext& context) const {
   HostArrays arrays = HostArrays::from_context(context);
-  const double share = context.uniform_share_watts();
+  detail::mixed_adaptive_steps(arrays, context.system_budget_watts,
+                               options_.redistribute_deallocated,
+                               options_.distribute_surplus);
+  return arrays.to_allocation();
+}
 
-  // Step 1: uniform distribution of the system limit among all hosts
-  // across all jobs.
-  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
-    arrays.assigned[h] = std::clamp(share, arrays.min_cap[h], arrays.tdp[h]);
+rm::PowerAllocation HeteroAdaptivePolicy::allocate(
+    const PolicyContext& context) const {
+  if (!context.has_gpu_domain()) {
+    // Single-domain contexts reduce exactly to the paper's policy.
+    return MixedAdaptivePolicy(options_).allocate(context);
   }
+  context.validate();
 
-  // Step 2: decrease each host to its needed power (power-balancer
-  // pre-characterization); the decreased total becomes the pool.
-  double pool = 0.0;
-  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
-    if (arrays.needed[h] < arrays.assigned[h]) {
-      pool += arrays.assigned[h] - arrays.needed[h];
-      arrays.assigned[h] = arrays.needed[h];
+  // Virtual entry layout: job j contributes one segment of CPU-domain
+  // entries and, when it spans two domains, a second segment of
+  // GPU-domain entries. All entries share one budget, so the four-step
+  // fill shifts watts CPU↔GPU toward whichever domain's needed power
+  // (bottleneck slack) demands them.
+  HostArrays arrays;
+  arrays.offsets.push_back(0);
+  std::vector<std::size_t> gpu_segment(context.jobs.size());  // 0 = none
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const auto& job = context.jobs[j];
+    const double tdp = context.job_tdp_watts(j);
+    for (std::size_t h = 0; h < job.host_count; ++h) {
+      double observed = job.monitor.host_average_power_watts[h];
+      if (job.has_gpu_domain()) {
+        // The monitor sees whole-node draw; keep the CPU side here.
+        observed =
+            std::max(observed - job.host_gpu_observed_watts[h], 0.0);
+      }
+      arrays.assigned.push_back(0.0);
+      arrays.monitor.push_back(observed);
+      arrays.needed.push_back(std::clamp(
+          job.balancer.host_needed_power_watts[h],
+          job.min_settable_cap_watts, tdp));
+      arrays.min_cap.push_back(job.min_settable_cap_watts);
+      arrays.weight_ref.push_back(job.min_settable_cap_watts -
+                                  context.uncappable_watts);
+      arrays.tdp.push_back(tdp);
+    }
+    arrays.offsets.push_back(arrays.assigned.size());
+    if (job.has_gpu_domain()) {
+      for (std::size_t h = 0; h < job.host_count; ++h) {
+        arrays.assigned.push_back(0.0);
+        arrays.monitor.push_back(job.host_gpu_observed_watts[h]);
+        arrays.needed.push_back(std::clamp(job.host_gpu_needed_watts[h],
+                                           job.gpu_min_cap_watts,
+                                           job.gpu_tdp_watts));
+        arrays.min_cap.push_back(job.gpu_min_cap_watts);
+        // The GPU analogue of the package floor: its idle/leakage power
+        // sits below the settable minimum the same way the DRAM plane
+        // sits below the package floor.
+        arrays.weight_ref.push_back(job.gpu_min_cap_watts -
+                                    context.uncappable_watts);
+        arrays.tdp.push_back(job.gpu_tdp_watts);
+      }
+      gpu_segment[j] = arrays.assigned.size();
+      arrays.offsets.push_back(arrays.assigned.size());
     }
   }
 
-  // Step 3: uniformly distribute the pool among hosts still below their
-  // needed power, repeating until the pool empties or everyone is met.
-  if (options_.redistribute_deallocated) {
-    pool = detail::uniform_fill_to_target(arrays, arrays.needed, pool);
-  }
+  detail::mixed_adaptive_steps(arrays, context.system_budget_watts,
+                               options_.redistribute_deallocated,
+                               options_.distribute_surplus);
 
-  // Step 4: surplus goes to all hosts, weighted by the distance from the
-  // minimum settable limit to the allocated power.
-  if (options_.distribute_surplus && pool > 0.0) {
-    const std::vector<std::size_t> hosts = all_hosts(arrays);
-    pool = detail::weighted_headroom_fill(arrays, hosts, arrays.tdp, pool);
+  // De-interleave the virtual segments back into per-domain caps.
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps.resize(context.jobs.size());
+  allocation.job_host_gpu_caps.resize(context.jobs.size());
+  std::size_t segment = 0;
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const std::size_t begin = arrays.offsets[segment];
+    const std::size_t end = arrays.offsets[segment + 1];
+    allocation.job_host_caps[j].assign(arrays.assigned.begin() + begin,
+                                       arrays.assigned.begin() + end);
+    ++segment;
+    if (gpu_segment[j] != 0) {
+      const std::size_t gpu_begin = arrays.offsets[segment];
+      allocation.job_host_gpu_caps[j].assign(
+          arrays.assigned.begin() + gpu_begin,
+          arrays.assigned.begin() + gpu_segment[j]);
+      ++segment;
+    }
   }
-  return arrays.to_allocation();
+  return allocation;
 }
 
 }  // namespace ps::core

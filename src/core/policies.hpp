@@ -120,4 +120,33 @@ class MixedAdaptivePolicy final : public Policy {
   MixedAdaptiveOptions options_{};
 };
 
+/// Heterogeneous extension of MixedAdaptive (EcoShift-style CPU↔GPU
+/// shifting): each GPU-equipped host contributes a second, independently
+/// capped entry to the same four-step fill, so watts flow between the CPU
+/// and GPU domains of the one node budget toward whichever domain's
+/// balancer-characterized "needed" power (its bottleneck slack) demands
+/// them. On a CPU-only context the virtual arrays degenerate to
+/// MixedAdaptive's and the allocation is identical.
+class HeteroAdaptivePolicy final : public Policy {
+ public:
+  HeteroAdaptivePolicy() = default;
+  explicit HeteroAdaptivePolicy(const MixedAdaptiveOptions& options)
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "HeteroAdaptive";
+  }
+  [[nodiscard]] bool is_system_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] bool is_application_aware() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] rm::PowerAllocation allocate(
+      const PolicyContext& context) const override;
+
+ private:
+  MixedAdaptiveOptions options_{};
+};
+
 }  // namespace ps::core

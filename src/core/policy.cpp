@@ -22,7 +22,23 @@ double PolicyContext::uniform_share_watts() const {
 double PolicyContext::job_tdp_watts(std::size_t j) const {
   PS_REQUIRE(j < jobs.size(), "job index out of range");
   const double per_job = jobs[j].node_tdp_watts;
-  return per_job > 0.0 ? per_job : node_tdp_watts;
+  if (per_job > 0.0) {
+    return per_job;
+  }
+  // The context-wide fallback is a guess; never let it fall below the
+  // job's own settable floor, which would invert every [min, TDP] clamp
+  // downstream (emergency clamps would then *raise* caps of floored
+  // hosts).
+  return std::max(node_tdp_watts, jobs[j].min_settable_cap_watts);
+}
+
+bool PolicyContext::has_gpu_domain() const {
+  for (const auto& job : jobs) {
+    if (job.has_gpu_domain()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void PolicyContext::validate() const {
@@ -38,9 +54,25 @@ void PolicyContext::validate() const {
                "balancer characterization host count mismatch");
     PS_REQUIRE(job.node_tdp_watts >= 0.0,
                "per-job node TDP cannot be negative");
+    // Validate against the *raw* effective TDP: job_tdp_watts() saturates
+    // its fallback at the settable floor (so unvalidated emergency paths
+    // never see an inverted clamp range), which would mask exactly the
+    // inconsistency this check exists to reject.
+    const double raw_tdp =
+        job.node_tdp_watts > 0.0 ? job.node_tdp_watts : node_tdp_watts;
     PS_REQUIRE(job.min_settable_cap_watts > 0.0 &&
-                   job.min_settable_cap_watts <= job_tdp_watts(j),
+                   job.min_settable_cap_watts <= raw_tdp,
                "min settable cap must be in (0, TDP]");
+    PS_REQUIRE(job.host_gpu_needed_watts.size() ==
+                   job.host_gpu_observed_watts.size(),
+               "GPU characterization vectors disagree in host count");
+    if (job.has_gpu_domain()) {
+      PS_REQUIRE(job.host_gpu_needed_watts.size() == job.host_count,
+                 "GPU characterization host count mismatch");
+      PS_REQUIRE(job.gpu_min_cap_watts > 0.0 &&
+                     job.gpu_min_cap_watts <= job.gpu_tdp_watts,
+                 "GPU min settable cap must be in (0, GPU TDP]");
+    }
   }
 }
 
@@ -56,6 +88,8 @@ std::string_view to_string(PolicyKind kind) noexcept {
       return "JobAdaptive";
     case PolicyKind::kMixedAdaptive:
       return "MixedAdaptive";
+    case PolicyKind::kHeteroAdaptive:
+      return "HeteroAdaptive";
   }
   return "?";
 }
@@ -72,6 +106,8 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind) {
       return std::make_unique<JobAdaptivePolicy>();
     case PolicyKind::kMixedAdaptive:
       return std::make_unique<MixedAdaptivePolicy>();
+    case PolicyKind::kHeteroAdaptive:
+      return std::make_unique<HeteroAdaptivePolicy>();
   }
   throw InvalidArgument("unknown policy kind");
 }

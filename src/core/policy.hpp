@@ -29,8 +29,13 @@ struct PolicyContext {
   /// Uniform per-host share of the system budget.
   [[nodiscard]] double uniform_share_watts() const;
   /// Highest settable node cap for job `j`: its characterized per-job TDP
-  /// when known, else the context-wide node_tdp_watts.
+  /// when known, else the context-wide node_tdp_watts — raised, if
+  /// necessary, to the job's min settable cap so the fallback can never
+  /// invert the [min, TDP] clamp range of a job whose floor exceeds the
+  /// context-wide default (e.g. a GPU-heavy node set).
   [[nodiscard]] double job_tdp_watts(std::size_t j) const;
+  /// True when any job carries GPU-domain characterization.
+  [[nodiscard]] bool has_gpu_domain() const;
   void validate() const;
 };
 
@@ -52,17 +57,21 @@ class Policy {
       const PolicyContext& context) const = 0;
 };
 
-/// The five policies evaluated in the paper, in its presentation order.
+/// The five policies evaluated in the paper, in its presentation order,
+/// plus the heterogeneous extension (not part of the paper's figure
+/// grids — all_policy_kinds() deliberately excludes it).
 enum class PolicyKind {
   kPrecharacterized,
   kStaticCaps,
   kMinimizeWaste,
   kJobAdaptive,
   kMixedAdaptive,
+  kHeteroAdaptive,
 };
 
 [[nodiscard]] std::string_view to_string(PolicyKind kind) noexcept;
 [[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind);
+/// The paper's five policies (figure grids); excludes kHeteroAdaptive.
 [[nodiscard]] std::vector<PolicyKind> all_policy_kinds();
 
 }  // namespace ps::core

@@ -81,6 +81,65 @@ double weighted_headroom_fill(HostArrays& arrays,
   return std::max(amount, 0.0);
 }
 
+void mixed_adaptive_steps(HostArrays& arrays, double budget_watts,
+                          bool redistribute_deallocated,
+                          bool distribute_surplus) {
+  // Step 1: uniform distribution of the budget among all entries.
+  const double share =
+      budget_watts / static_cast<double>(arrays.host_count());
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    arrays.assigned[h] = std::clamp(share, arrays.min_cap[h], arrays.tdp[h]);
+  }
+
+  // Entries below the uniform share were clamped *up* to their floor;
+  // those watts must come back out of the entries still above their own
+  // floor or a near-floor budget overshoots. With one uniform floor the
+  // share is either above it (no clamp) or below it for everyone (budget
+  // below the floor sum, unservable either way), so this reclaim only
+  // engages when floors differ across entries — the heterogeneous case.
+  double total = 0.0;
+  double headroom = 0.0;
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    total += arrays.assigned[h];
+    headroom += arrays.assigned[h] - arrays.min_cap[h];
+  }
+  const double overshoot = total - budget_watts;
+  if (overshoot > 1e-9 && headroom > 0.0) {
+    const double scale = std::min(overshoot / headroom, 1.0);
+    for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+      arrays.assigned[h] -=
+          scale * (arrays.assigned[h] - arrays.min_cap[h]);
+    }
+  }
+
+  // Step 2: decrease each entry to its needed power (power-balancer
+  // pre-characterization); the decreased total becomes the pool.
+  double pool = 0.0;
+  for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+    if (arrays.needed[h] < arrays.assigned[h]) {
+      pool += arrays.assigned[h] - arrays.needed[h];
+      arrays.assigned[h] = arrays.needed[h];
+    }
+  }
+
+  // Step 3: uniformly distribute the pool among entries still below their
+  // needed power, repeating until the pool empties or everyone is met.
+  if (redistribute_deallocated) {
+    pool = uniform_fill_to_target(arrays, arrays.needed, pool);
+  }
+
+  // Step 4: surplus goes to all entries, weighted by the distance from
+  // the minimum settable limit to the allocated power.
+  if (distribute_surplus && pool > 0.0) {
+    std::vector<std::size_t> hosts(arrays.host_count());
+    for (std::size_t h = 0; h < arrays.host_count(); ++h) {
+      hosts[h] = h;
+    }
+    static_cast<void>(
+        weighted_headroom_fill(arrays, hosts, arrays.tdp, pool));
+  }
+}
+
 double uniform_fill_to_target(HostArrays& arrays,
                               std::span<const double> target, double amount) {
   PS_REQUIRE(target.size() == arrays.host_count(),

@@ -51,4 +51,12 @@ struct HostArrays {
                                             std::span<const double> target,
                                             double amount);
 
+/// The MixedAdaptive four-step fill over already-built arrays: (1) uniform
+/// share of `budget_watts` per entry, (2) trim to needed, (3) uniform
+/// refill toward needed, (4) weighted surplus. Shared by MixedAdaptive
+/// (entries = hosts) and HeteroAdaptive (entries = host power domains).
+void mixed_adaptive_steps(HostArrays& arrays, double budget_watts,
+                          bool redistribute_deallocated,
+                          bool distribute_surplus);
+
 }  // namespace ps::core::detail

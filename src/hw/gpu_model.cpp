@@ -1,0 +1,113 @@
+#include "hw/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ps::hw {
+
+namespace {
+/// GPU limits are programmed in the same 1/8 W units RAPL advertises.
+constexpr double kPowerUnitWatts = 0.125;
+}  // namespace
+
+GpuModel::GpuModel(const GpuParams& params) : params_(params) {
+  PS_REQUIRE(params.power.idle_watts >= 0.0,
+             "GPU idle power cannot be negative");
+  PS_REQUIRE(params.power.max_dynamic_watts > 0.0,
+             "GPU dynamic power must be positive");
+  PS_REQUIRE(params.power.min_clock_ghz > 0.0 &&
+                 params.power.min_clock_ghz < params.power.max_clock_ghz,
+             "GPU clock range must be positive and ordered");
+  PS_REQUIRE(params.power.exponent >= 1.0,
+             "GPU power exponent must be at least 1");
+  PS_REQUIRE(params.limit.min_cap_watts > params.power.idle_watts,
+             "GPU settable floor must exceed the idle floor");
+  PS_REQUIRE(params.limit.tdp_watts > params.limit.min_cap_watts,
+             "GPU TDP must exceed the settable floor");
+  PS_REQUIRE(params.roofline.peak_gflops > 0.0 &&
+                 params.roofline.bandwidth_gbps > 0.0,
+             "GPU roofline peaks must be positive");
+  PS_REQUIRE(params.roofline.bandwidth_clock_floor > 0.0 &&
+                 params.roofline.bandwidth_clock_floor <= 1.0,
+             "bandwidth clock floor must be in (0, 1]");
+  cap_watts_ = params_.limit.tdp_watts;
+}
+
+double GpuModel::set_power_cap(double watts) {
+  PS_REQUIRE(std::isfinite(watts) && watts > 0.0,
+             "GPU power cap must be positive and finite");
+  const double clamped = std::clamp(watts, params_.limit.min_cap_watts,
+                                    params_.limit.tdp_watts);
+  cap_watts_ = std::round(clamped / kPowerUnitWatts) * kPowerUnitWatts;
+  return cap_watts_;
+}
+
+double GpuModel::power(double clock_ghz, double occupancy) const {
+  const double ratio = clock_ghz / params_.power.max_clock_ghz;
+  return params_.power.idle_watts +
+         params_.power.max_dynamic_watts * occupancy *
+             std::pow(ratio, params_.power.exponent);
+}
+
+double GpuModel::clock_at_cap(double cap_watts, double occupancy) const {
+  PS_REQUIRE(occupancy > 0.0 && occupancy <= 1.0,
+             "occupancy must be in (0, 1]");
+  const double dynamic_budget = cap_watts - params_.power.idle_watts;
+  if (dynamic_budget <= 0.0) {
+    return params_.power.min_clock_ghz;  // cannot clock below the floor
+  }
+  const double ratio = std::pow(
+      dynamic_budget / (params_.power.max_dynamic_watts * occupancy),
+      1.0 / params_.power.exponent);
+  return std::clamp(ratio * params_.power.max_clock_ghz,
+                    params_.power.min_clock_ghz,
+                    params_.power.max_clock_ghz);
+}
+
+GpuPhaseResult GpuModel::preview_compute(double gigabytes, double intensity,
+                                         double occupancy,
+                                         double cap_watts) const {
+  PS_REQUIRE(gigabytes > 0.0, "GPU phase needs positive data movement");
+  PS_REQUIRE(intensity >= 0.0, "arithmetic intensity cannot be negative");
+  PS_REQUIRE(occupancy > 0.0 && occupancy <= 1.0,
+             "occupancy must be in (0, 1]");
+  GpuPhaseResult result;
+  result.occupancy = occupancy;
+  result.clock_ghz = clock_at_cap(cap_watts, occupancy);
+  const double clock_ratio = result.clock_ghz / params_.power.max_clock_ghz;
+  const double gflop = gigabytes * intensity;
+  const double compute_gflops =
+      params_.roofline.peak_gflops * occupancy * clock_ratio;
+  const double compute_seconds =
+      gflop > 0.0 ? gflop / compute_gflops : 0.0;
+  // Memory bandwidth holds until the clock drops below the floor (shared
+  // voltage/frequency domain), then degrades proportionally with it.
+  const double bandwidth =
+      params_.roofline.bandwidth_gbps *
+      std::min(1.0, clock_ratio / params_.roofline.bandwidth_clock_floor);
+  const double memory_seconds = gigabytes / bandwidth;
+  result.compute_bound = compute_seconds >= memory_seconds;
+  result.seconds = std::max(compute_seconds, memory_seconds);
+  result.power_watts = power(result.clock_ghz, occupancy);
+  result.gflops = result.seconds > 0.0 ? gflop / result.seconds : 0.0;
+  result.energy_joules = result.power_watts * result.seconds;
+  return result;
+}
+
+GpuPhaseResult GpuModel::run_compute(double gigabytes, double intensity,
+                                     double occupancy) {
+  GpuPhaseResult result =
+      preview_compute(gigabytes, intensity, occupancy, cap_watts_);
+  energy_joules_ += result.energy_joules;
+  last_occupancy_ = occupancy;
+  return result;
+}
+
+void GpuModel::run_idle(double seconds) {
+  PS_REQUIRE(seconds >= 0.0, "idle duration cannot be negative");
+  energy_joules_ += params_.power.idle_watts * seconds;
+}
+
+}  // namespace ps::hw

@@ -1,0 +1,125 @@
+#pragma once
+
+namespace ps::hw {
+
+/// Parameters of the GPU power model
+///
+///   P(clk, occ) = P_idle + P_dyn_max * occ * (clk / clk_max)^exponent
+///
+/// where `occ` in (0, 1] is the achieved occupancy (how many SMs the
+/// kernel keeps busy) and the exponent captures V^2 * f scaling with the
+/// shallower voltage/frequency curve GPUs run (wide-and-slow silicon).
+/// Defaults describe a 300 W HPC accelerator: a 45 W idle/leakage floor
+/// (HBM + uncore, drawn even when no kernel runs) plus 255 W of dynamic
+/// power at the 1.4 GHz boost clock and full occupancy.
+struct GpuPowerParams {
+  double idle_watts = 45.0;          ///< Leakage + HBM floor, always drawn.
+  double max_dynamic_watts = 255.0;  ///< Dynamic power at clk_max, occ = 1.
+  double min_clock_ghz = 0.6;
+  double max_clock_ghz = 1.4;
+  double exponent = 2.5;
+};
+
+/// Firmware limits of the GPU power-limit domain (the nvidia-smi -pl /
+/// RAPL-equivalent knob).
+struct GpuLimitParams {
+  double tdp_watts = 300.0;     ///< Default and thermal-spec limit.
+  double min_cap_watts = 100.0; ///< Lowest settable limit.
+};
+
+/// Roofline of the GPU compute pipeline. Compute throughput scales with
+/// clock and occupancy; memory bandwidth holds until the core clock drops
+/// below `bandwidth_clock_floor` of clk_max (shared clock domain), below
+/// which it degrades proportionally. This is what makes GPU-bound,
+/// memory-bound, and mixed kernels respond differently to a power cap.
+struct GpuRooflineParams {
+  double peak_gflops = 7000.0;       ///< At clk_max, occupancy 1.
+  double bandwidth_gbps = 900.0;     ///< HBM streaming bandwidth.
+  double bandwidth_clock_floor = 0.8;///< Fraction of clk_max; see above.
+};
+
+struct GpuParams {
+  GpuPowerParams power{};
+  GpuLimitParams limit{};
+  GpuRooflineParams roofline{};
+};
+
+/// Outcome of running (or previewing) one kernel phase on a GPU.
+struct GpuPhaseResult {
+  double seconds = 0.0;
+  double clock_ghz = 0.0;
+  double power_watts = 0.0;   ///< Device power during the phase.
+  double gflops = 0.0;        ///< Achieved GFLOP/s.
+  double energy_joules = 0.0;
+  double occupancy = 0.0;
+  bool compute_bound = false; ///< Compute time exceeded memory time.
+};
+
+/// A simulated GPU power-limit domain: a RAPL-like capped device (its own
+/// settable min/TDP, 1/8 W limit quantization, an idle/leakage floor the
+/// cap cannot reclaim) plus an occupancy/roofline performance model with
+/// an exact cap-to-clock inversion. The analogue of RaplPackageDomain +
+/// SocketPowerModel + RooflineModel for the second power domain of a
+/// heterogeneous node; unlike the package domain it exposes energy as a
+/// monotone joule counter (the NVML convention), not a wrapping MSR.
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuParams& params = {});
+
+  /// Sets the device power limit. Values are clamped to the settable
+  /// [min_cap, TDP] range and quantized to 1/8 W (same granularity as
+  /// the package RAPL units). Returns the limit actually programmed.
+  double set_power_cap(double watts);
+  [[nodiscard]] double power_cap() const noexcept { return cap_watts_; }
+  [[nodiscard]] double tdp() const noexcept { return params_.limit.tdp_watts; }
+  [[nodiscard]] double min_cap() const noexcept {
+    return params_.limit.min_cap_watts;
+  }
+  [[nodiscard]] double idle_watts() const noexcept {
+    return params_.power.idle_watts;
+  }
+
+  /// Device power at the given clock / occupancy.
+  [[nodiscard]] double power(double clock_ghz, double occupancy) const;
+
+  /// Highest clock (clamped to [clk_min, clk_max]) whose power respects
+  /// `cap_watts` at `occupancy`. Like the CPU part, the device cannot run
+  /// below its floor clock, so a cap below the floor power is not met.
+  [[nodiscard]] double clock_at_cap(double cap_watts, double occupancy) const;
+
+  /// Runs a kernel phase moving `gigabytes` at `intensity` FLOPs/byte
+  /// with `occupancy`, accruing consumed energy.
+  GpuPhaseResult run_compute(double gigabytes, double intensity,
+                             double occupancy);
+
+  /// Idles for `seconds` (no kernel resident), drawing the leakage floor.
+  void run_idle(double seconds);
+
+  /// Pure query: what run_compute would report under `cap_watts` without
+  /// changing any state. Used by agents to search cap settings.
+  [[nodiscard]] GpuPhaseResult preview_compute(double gigabytes,
+                                               double intensity,
+                                               double occupancy,
+                                               double cap_watts) const;
+
+  /// Monotone consumed-energy counter, in joules.
+  [[nodiscard]] double read_energy_joules() const noexcept {
+    return energy_joules_;
+  }
+
+  /// Occupancy of the most recent run_compute (0 before any kernel ran) —
+  /// the GPU_OCCUPANCY telemetry signal.
+  [[nodiscard]] double last_occupancy() const noexcept {
+    return last_occupancy_;
+  }
+
+  [[nodiscard]] const GpuParams& params() const noexcept { return params_; }
+
+ private:
+  GpuParams params_;
+  double cap_watts_ = 0.0;  ///< Set to the TDP by the constructor.
+  double energy_joules_ = 0.0;
+  double last_occupancy_ = 0.0;
+};
+
+}  // namespace ps::hw

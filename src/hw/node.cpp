@@ -255,4 +255,60 @@ RaplPackageDomain& NodeModel::package(std::size_t socket) {
   return packages_[socket];
 }
 
+GpuModel& NodeModel::attach_gpu(const GpuParams& params) {
+  return gpus_.emplace_back(params);
+}
+
+GpuModel& NodeModel::gpu(std::size_t index) {
+  PS_REQUIRE(index < gpus_.size(), "GPU index out of range");
+  return gpus_[index];
+}
+
+const GpuModel& NodeModel::gpu(std::size_t index) const {
+  PS_REQUIRE(index < gpus_.size(), "GPU index out of range");
+  return gpus_[index];
+}
+
+double NodeModel::set_gpu_power_cap(double watts) {
+  PS_REQUIRE(!gpus_.empty(), "node has no GPU devices to cap");
+  const double per_device = watts / static_cast<double>(gpus_.size());
+  double applied = 0.0;
+  for (auto& gpu : gpus_) {
+    applied += gpu.set_power_cap(per_device);
+  }
+  return applied;
+}
+
+double NodeModel::gpu_power_cap() const noexcept {
+  double total = 0.0;
+  for (const auto& gpu : gpus_) {
+    total += gpu.power_cap();
+  }
+  return total;
+}
+
+double NodeModel::gpu_min_cap() const noexcept {
+  double total = 0.0;
+  for (const auto& gpu : gpus_) {
+    total += gpu.min_cap();
+  }
+  return total;
+}
+
+double NodeModel::gpu_tdp() const noexcept {
+  double total = 0.0;
+  for (const auto& gpu : gpus_) {
+    total += gpu.tdp();
+  }
+  return total;
+}
+
+double NodeModel::read_gpu_energy_joules() const noexcept {
+  double total = 0.0;
+  for (const auto& gpu : gpus_) {
+    total += gpu.read_energy_joules();
+  }
+  return total;
+}
+
 }  // namespace ps::hw

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "hw/gpu_model.hpp"
 #include "hw/perf_model.hpp"
 #include "hw/power_model.hpp"
 #include "hw/quartz_spec.hpp"
@@ -113,6 +114,30 @@ class NodeModel {
   /// Total node energy read back through the (wrapping) RAPL counters.
   [[nodiscard]] double read_energy_joules();
 
+  /// --- Optional GPU devices (heterogeneous nodes) -----------------------
+  ///
+  /// GPUs form a second, independently capped power domain: their limits,
+  /// draw, and energy are reported separately from the CPU/package numbers
+  /// above, so CPU-only callers see bit-identical behavior whether or not
+  /// a node could host GPUs.
+
+  /// Attaches one more GPU device to this node and returns it.
+  GpuModel& attach_gpu(const GpuParams& params = {});
+  [[nodiscard]] std::size_t gpu_count() const noexcept { return gpus_.size(); }
+  [[nodiscard]] GpuModel& gpu(std::size_t index);
+  [[nodiscard]] const GpuModel& gpu(std::size_t index) const;
+
+  /// Programs a node-level GPU cap, split evenly across the devices.
+  /// Returns the total actually applied (after per-device clamping).
+  double set_gpu_power_cap(double watts);
+  /// Sum of the per-device GPU limits (0 when the node has no GPUs).
+  [[nodiscard]] double gpu_power_cap() const noexcept;
+  /// Lowest / highest settable node-level GPU cap (sums over devices).
+  [[nodiscard]] double gpu_min_cap() const noexcept;
+  [[nodiscard]] double gpu_tdp() const noexcept;
+  /// Total GPU energy (monotone NVML-style counters, summed).
+  [[nodiscard]] double read_gpu_energy_joules() const noexcept;
+
   [[nodiscard]] const NodeParams& params() const noexcept { return params_; }
   [[nodiscard]] const RooflineModel& roofline() const noexcept {
     return roofline_;
@@ -145,6 +170,7 @@ class NodeModel {
   SocketPowerModel power_model_;
   RooflineModel roofline_;
   std::vector<RaplPackageDomain> packages_;
+  std::vector<GpuModel> gpus_;
   double dram_energy_joules_ = 0.0;
   double frequency_cap_ghz_ = 0.0;  ///< Set to f_max by the constructor.
 };

@@ -16,6 +16,11 @@ void WorkloadConfig::validate() const {
   PS_REQUIRE(imbalance >= 1.0, "imbalance multiplier must be >= 1");
   PS_REQUIRE(gigabytes_per_iteration > 0.0,
              "per-iteration data movement must be positive");
+  PS_REQUIRE(gpu_gigabytes_per_iteration >= 0.0,
+             "GPU data movement cannot be negative");
+  PS_REQUIRE(gpu_intensity >= 0.0, "GPU intensity cannot be negative");
+  PS_REQUIRE(gpu_occupancy > 0.0 && gpu_occupancy <= 1.0,
+             "GPU occupancy must be in (0, 1]");
 }
 
 namespace {

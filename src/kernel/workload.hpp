@@ -27,6 +27,14 @@ struct WorkloadConfig {
   double imbalance = 1.0;         ///< Critical-path work multiplier (>= 1).
   double gigabytes_per_iteration = 2.0;  ///< Common-work data movement.
 
+  /// Optional offloaded GPU phase, run concurrently with the CPU phase on
+  /// hosts that have GPU devices. 0 GB (the default) means a CPU-only
+  /// workload; hosts without GPUs skip the phase either way. Like
+  /// gigabytes_per_iteration these are not encoded in name().
+  double gpu_gigabytes_per_iteration = 0.0;  ///< Offloaded data movement.
+  double gpu_intensity = 8.0;     ///< GPU FLOPs per byte.
+  double gpu_occupancy = 1.0;     ///< Achieved occupancy, in (0, 1].
+
   /// Throws ps::InvalidArgument if any field is out of its domain.
   void validate() const;
 

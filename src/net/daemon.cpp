@@ -76,6 +76,7 @@ void PowerDaemon::restore_from_snapshot() {
   for (const SnapshotJob& job : snapshot->jobs) {
     JobRecord record;
     record.last_caps_watts = job.caps_watts;
+    record.last_gpu_caps_watts = job.gpu_caps_watts;
     record.last_sequence = job.sequence;
     record.have_policy = true;
     record.session_fd = -1;
@@ -227,8 +228,9 @@ void PowerDaemon::clamp_stored_caps() {
   // reprogram a superseded allocation.
   rm::PowerAllocation stored;
   std::vector<std::vector<double>> floors;
+  std::vector<std::vector<double>> gpu_floors;
   std::vector<std::string> names;
-  std::size_t total_hosts = 0;
+  std::size_t total_limits = 0;
   for (const auto& [name, record] : jobs_) {
     if (!record.have_policy) {
       continue;
@@ -238,20 +240,28 @@ void PowerDaemon::clamp_stored_caps() {
                               : 0.0;
     stored.job_host_caps.push_back(record.last_caps_watts);
     floors.emplace_back(record.last_caps_watts.size(), floor);
+    // The GPU domain clamps against its own settable floor, never the
+    // CPU one — the per-domain floor-preservation satellite.
+    const double gpu_floor =
+        record.latch.latest() ? record.latch.latest()->gpu_min_cap_watts : 0.0;
+    stored.job_host_gpu_caps.push_back(record.last_gpu_caps_watts);
+    gpu_floors.emplace_back(record.last_gpu_caps_watts.size(), gpu_floor);
     names.push_back(name);
-    total_hosts += record.last_caps_watts.size();
+    total_limits +=
+        record.last_caps_watts.size() + record.last_gpu_caps_watts.size();
   }
   if (names.empty()) {
     return;
   }
-  const double tolerance = 0.5 * static_cast<double>(total_hosts);
+  const double tolerance = 0.5 * static_cast<double>(total_limits);
   if (stored.total_watts() <= budget_watts_ + tolerance) {
     return;  // the allocation still fits; nothing to clamp
   }
-  const rm::PowerAllocation clamped =
-      rm::clamp_allocation_to_budget(stored, floors, budget_watts_);
+  const rm::PowerAllocation clamped = rm::clamp_allocation_to_budget(
+      stored, floors, budget_watts_, gpu_floors);
   for (std::size_t j = 0; j < names.size(); ++j) {
     jobs_.at(names[j]).last_caps_watts = clamped.job_host_caps[j];
+    jobs_.at(names[j]).last_gpu_caps_watts = clamped.job_host_gpu_caps[j];
   }
   const std::lock_guard<std::mutex> lock(shared_mutex_);
   ++stats_.emergency_clamps;
@@ -371,6 +381,9 @@ void PowerDaemon::evict_job(const std::string& name) {
     for (const double cap : job_record.last_caps_watts) {
       stored_before += cap;
     }
+    for (const double cap : job_record.last_gpu_caps_watts) {
+      stored_before += cap;
+    }
   }
   const JobRecord record = std::move(it->second);
   jobs_.erase(it);
@@ -390,9 +403,15 @@ void PowerDaemon::evict_job(const std::string& name) {
   for (const double cap : record.last_caps_watts) {
     reclaimed += cap;
   }
+  for (const double cap : record.last_gpu_caps_watts) {
+    reclaimed += cap;
+  }
   double stored_after = 0.0;
   for (const auto& [job_name, job_record] : jobs_) {
     for (const double cap : job_record.last_caps_watts) {
+      stored_after += cap;
+    }
+    for (const double cap : job_record.last_gpu_caps_watts) {
       stored_after += cap;
     }
   }
@@ -570,6 +589,7 @@ void PowerDaemon::resend_last_policy(int fd, Session& session,
   message.job_name = session.job_name;
   message.sequence = record.last_sequence;
   message.host_caps_watts = record.last_caps_watts;
+  message.host_gpu_caps_watts = record.last_gpu_caps_watts;
   // Tag with the *current* renegotiation epoch: the stored caps are kept
   // valid under it (clamp_stored_caps runs on every revision), and an
   // untagged resend would read as epoch 0 — rejected as stale by any
@@ -682,20 +702,35 @@ void PowerDaemon::allocate_once() {
   }
 
   std::size_t total_hosts = 0;
+  std::size_t total_limits = 0;
   for (const core::SampleMessage& sample : samples) {
     total_hosts += sample.host_observed_watts.size();
+    total_limits += sample.host_observed_watts.size() +
+                    sample.host_gpu_needed_watts.size();
   }
-  const double tolerance = 0.5 * static_cast<double>(total_hosts);
+  const double tolerance = 0.5 * static_cast<double>(total_limits);
 
   std::vector<core::PolicyMessage> messages(samples.size());
   bool round_clamped = false;
   if (all_bootstrap) {
     // Launch: every job starts from the uniform share of the budget,
-    // exactly as the in-memory CoordinationLoop seeds itself.
+    // exactly as the in-memory CoordinationLoop seeds itself. A
+    // heterogeneous job's hosts split their share CPU:GPU by TDP ratio.
     const double share = budget_watts_ / static_cast<double>(total_hosts);
     for (std::size_t j = 0; j < samples.size(); ++j) {
-      messages[j].host_caps_watts.assign(
-          samples[j].host_observed_watts.size(), share);
+      if (samples[j].has_gpu_domain()) {
+        const double cpu_tdp = options_.node_tdp_watts;
+        const double gpu_tdp = samples[j].gpu_tdp_watts;
+        const double cpu_fraction = cpu_tdp / (cpu_tdp + gpu_tdp);
+        messages[j].host_caps_watts.assign(
+            samples[j].host_observed_watts.size(), share * cpu_fraction);
+        messages[j].host_gpu_caps_watts.assign(
+            samples[j].host_observed_watts.size(),
+            share * (1.0 - cpu_fraction));
+      } else {
+        messages[j].host_caps_watts.assign(
+            samples[j].host_observed_watts.size(), share);
+      }
     }
   } else {
     const core::PolicyContext context = core::context_from_samples(
@@ -720,6 +755,9 @@ void PowerDaemon::allocate_once() {
         for (const double cap : record.last_caps_watts) {
           stored_watts += cap;
         }
+        for (const double cap : record.last_gpu_caps_watts) {
+          stored_watts += cap;
+        }
       }
       if (stored_watts <= budget_watts_ + tolerance) {
         return;
@@ -730,10 +768,19 @@ void PowerDaemon::allocate_once() {
         floors.emplace_back(sample.host_observed_watts.size(),
                             sample.min_settable_cap_watts);
       }
-      const rm::PowerAllocation clamped =
-          rm::clamp_allocation_to_budget(allocation, floors, budget_watts_);
+      // GPU floors mirror the shape of the policy's GPU output: each
+      // domain scales toward its own settable floor under the clamp.
+      std::vector<std::vector<double>> gpu_floors;
+      gpu_floors.reserve(allocation.job_host_gpu_caps.size());
+      for (std::size_t j = 0; j < allocation.job_host_gpu_caps.size(); ++j) {
+        gpu_floors.emplace_back(allocation.job_host_gpu_caps[j].size(),
+                                samples[j].gpu_min_cap_watts);
+      }
+      const rm::PowerAllocation clamped = rm::clamp_allocation_to_budget(
+          allocation, floors, budget_watts_, gpu_floors);
       for (std::size_t j = 0; j < samples.size(); ++j) {
         messages[j].host_caps_watts = clamped.job_host_caps[j];
+        messages[j].host_gpu_caps_watts = clamped.job_gpu_caps(j);
       }
       round_clamped = true;
       options_.obs.count("net.daemon.emergency_clamps");
@@ -742,6 +789,7 @@ void PowerDaemon::allocate_once() {
     } else {
       for (std::size_t j = 0; j < samples.size(); ++j) {
         messages[j].host_caps_watts = allocation.job_host_caps[j];
+        messages[j].host_gpu_caps_watts = allocation.job_gpu_caps(j);
       }
     }
   }
@@ -754,19 +802,26 @@ void PowerDaemon::allocate_once() {
     messages[j].budget_epoch = budget_epoch_;
     JobRecord& record = jobs_.at(names[j]);
     record.last_caps_watts = messages[j].host_caps_watts;
+    record.last_gpu_caps_watts = messages[j].host_gpu_caps_watts;
     record.last_sequence = messages[j].sequence;
     record.have_policy = true;
     for (const double cap : messages[j].host_caps_watts) {
       round_watts += cap;
     }
+    for (const double cap : messages[j].host_gpu_caps_watts) {
+      round_watts += cap;
+    }
     round_floors += samples[j].min_settable_cap_watts *
                     static_cast<double>(messages[j].host_caps_watts.size());
+    round_floors +=
+        samples[j].gpu_min_cap_watts *
+        static_cast<double>(messages[j].host_gpu_caps_watts.size());
   }
   if (all_bootstrap || policy_->is_system_aware()) {
     // The invariant the whole stack exists to hold: what this round
     // programs fits the budget in force (or, degenerately, the floors).
     core::invariants::check_caps_fit_budget(
-        round_watts, std::max(budget_watts_, round_floors), total_hosts,
+        round_watts, std::max(budget_watts_, round_floors), total_limits,
         "daemon.allocate");
   }
   // The round's deterministic trace record, on the round-sequence clock:
@@ -784,6 +839,11 @@ void PowerDaemon::allocate_once() {
       for (std::size_t h = 0; h < messages[j].host_caps_watts.size(); ++h) {
         event.args.push_back(
             {obs::cap_key(h), messages[j].host_caps_watts[h]});
+      }
+      for (std::size_t h = 0; h < messages[j].host_gpu_caps_watts.size();
+           ++h) {
+        event.args.push_back(
+            {obs::gpu_cap_key(h), messages[j].host_gpu_caps_watts[h]});
       }
       options_.obs.trace->emit(std::move(event));
     }
@@ -844,6 +904,7 @@ void PowerDaemon::maybe_write_snapshot() {
     job.name = name;
     job.sequence = record.last_sequence;
     job.caps_watts = record.last_caps_watts;
+    job.gpu_caps_watts = record.last_gpu_caps_watts;
     snapshot.jobs.push_back(std::move(job));
   }
   try {

@@ -202,6 +202,8 @@ class PowerDaemon {
   struct JobRecord {
     core::SampleLatch latch;
     std::vector<double> last_caps_watts;
+    /// GPU-domain caps of the last policy; empty for single-domain jobs.
+    std::vector<double> last_gpu_caps_watts;
     std::uint64_t last_sequence = 0;
     bool have_policy = false;
     int session_fd = -1;  ///< -1: disconnected (grace running).

@@ -60,13 +60,23 @@ double DaemonSnapshot::allocated_watts() const {
     for (const double cap : job.caps_watts) {
       total += cap;
     }
+    for (const double cap : job.gpu_caps_watts) {
+      total += cap;
+    }
   }
   return total;
 }
 
 std::string serialize(const DaemonSnapshot& snapshot) {
+  bool any_gpu = false;
+  for (const SnapshotJob& job : snapshot.jobs) {
+    if (!job.gpu_caps_watts.empty()) {
+      any_gpu = true;
+      break;
+    }
+  }
   std::ostringstream out;
-  out << "powerstack-snapshot v2\n";
+  out << (any_gpu ? "powerstack-snapshot v3\n" : "powerstack-snapshot v2\n");
   out << "budget " << format_exact(snapshot.system_budget_watts) << '\n';
   out << "budget_epoch " << snapshot.budget_epoch << '\n';
   out << "barrier " << (snapshot.launch_barrier_met ? 1 : 0) << '\n';
@@ -80,6 +90,15 @@ std::string serialize(const DaemonSnapshot& snapshot) {
       out << ' ' << format_exact(cap);
     }
     out << '\n';
+    if (any_gpu) {
+      // v3 keeps the per-job line count fixed: single-domain jobs of a
+      // mixed cluster write a bare `gpu_caps` line.
+      out << "gpu_caps";
+      for (const double cap : job.gpu_caps_watts) {
+        out << ' ' << format_exact(cap);
+      }
+      out << '\n';
+    }
   }
   std::string body = out.str();
   char checksum[32];  // "checksum " + 8 hex digits + '\n' + NUL = 20 bytes
@@ -115,9 +134,10 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
   PS_REQUIRE(crc32(text.substr(0, body_end)) == expected,
              "snapshot checksum mismatch (torn or corrupted write)");
 
-  const bool v2 = lines[0] == "powerstack-snapshot v2";
+  const bool v3 = lines[0] == "powerstack-snapshot v3";
+  const bool v2 = v3 || lines[0] == "powerstack-snapshot v2";
   PS_REQUIRE(v2 || lines[0] == "powerstack-snapshot v1",
-             "not a v1/v2 snapshot");
+             "not a v1/v2/v3 snapshot");
   DaemonSnapshot snapshot;
   snapshot.system_budget_watts =
       parse_watts(expect_field(lines[1], "budget "), "budget");
@@ -139,12 +159,13 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
   const std::uint64_t job_count =
       parse_u64(expect_field(lines[next], "jobs "), "jobs");
   ++next;
-  PS_REQUIRE(lines.size() == next + 1 + 3 * job_count,
+  const std::uint64_t lines_per_job = v3 ? 4 : 3;
+  PS_REQUIRE(lines.size() == next + 1 + lines_per_job * job_count,
              "snapshot job count disagrees with its body");
 
   std::set<std::string> seen;
   for (std::uint64_t j = 0; j < job_count; ++j) {
-    const std::size_t base = next + 3 * j;
+    const std::size_t base = next + lines_per_job * j;
     SnapshotJob job;
     job.name = std::string(expect_field(lines[base], "job "));
     PS_REQUIRE(!job.name.empty(), "empty job name");
@@ -160,6 +181,19 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
     }
     PS_REQUIRE(!job.caps_watts.empty(),
                "job '" + job.name + "' has no caps");
+    if (v3) {
+      const std::string_view gpu_caps =
+          expect_field(lines[base + 3], "gpu_caps");
+      for (const std::string& token : util::split(gpu_caps, ' ')) {
+        if (!token.empty()) {
+          job.gpu_caps_watts.push_back(parse_watts(token, "gpu_caps"));
+        }
+      }
+      PS_REQUIRE(job.gpu_caps_watts.empty() ||
+                     job.gpu_caps_watts.size() == job.caps_watts.size(),
+                 "job '" + job.name +
+                     "' GPU caps disagree with its host count");
+    }
     snapshot.jobs.push_back(std::move(job));
   }
   return snapshot;

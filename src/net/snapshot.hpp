@@ -16,6 +16,10 @@ struct SnapshotJob {
   std::string name;
   std::uint64_t sequence = 0;  ///< Sequence of the last policy sent.
   std::vector<double> caps_watts;
+  /// GPU-domain caps of the last policy sent; empty for single-domain
+  /// jobs. When present it holds one cap per host (same length as
+  /// `caps_watts`).
+  std::vector<double> gpu_caps_watts;
 
   [[nodiscard]] bool operator==(const SnapshotJob&) const = default;
 };
@@ -58,6 +62,11 @@ struct DaemonSnapshot {
 ///
 /// The writer always emits v2; the parser also accepts the v1 grammar
 /// (no budget_epoch line), reading it as epoch 0.
+///
+/// When any job carries GPU-domain caps the snapshot is v3: every job
+/// block gains a fourth `gpu_caps` line after `caps` (left bare for the
+/// single-domain jobs of a mixed cluster). A snapshot with no GPU caps
+/// anywhere still serializes as v2, byte-identical to pre-hetero builds.
 [[nodiscard]] std::string serialize(const DaemonSnapshot& snapshot);
 
 /// Parses and validates a serialized snapshot. Throws ps::InvalidArgument

@@ -30,6 +30,20 @@ std::vector<double> caps_from_event(const TraceEvent& event) {
   return caps;
 }
 
+/// Reads the per-host GPU caps ("g0", "g1", ...) off a "caps" event.
+/// Empty for single-domain jobs — g-keys only appear on hetero traces.
+std::vector<double> gpu_caps_from_event(const TraceEvent& event) {
+  std::vector<double> caps;
+  for (std::size_t h = 0;; ++h) {
+    const std::string key = gpu_cap_key(h);
+    if (!has_arg(event, key)) {
+      break;
+    }
+    caps.push_back(arg_as_double(event, key));
+  }
+  return caps;
+}
+
 }  // namespace
 
 std::span<const std::string_view> deterministic_categories() {
@@ -40,6 +54,12 @@ std::string cap_key(std::size_t host) {
   // Built digits-first: GCC 12's -Wrestrict misfires on ("c" + ...).
   std::string key = std::to_string(host);
   key.insert(key.begin(), 'c');
+  return key;
+}
+
+std::string gpu_cap_key(std::size_t host) {
+  std::string key = std::to_string(host);
+  key.insert(key.begin(), 'g');
   return key;
 }
 
@@ -69,6 +89,9 @@ double ReplayedAllocation::total_watts() const {
   double total = 0.0;
   for (const ReplayedJobCaps& job : jobs) {
     for (double cap : job.caps_watts) {
+      total += cap;
+    }
+    for (double cap : job.gpu_caps_watts) {
       total += cap;
     }
   }
@@ -102,6 +125,7 @@ std::vector<ReplayedAllocation> replay_allocations(
       ReplayedJobCaps job;
       job.job = arg_as_string(event, "job");
       job.caps_watts = caps_from_event(event);
+      job.gpu_caps_watts = gpu_caps_from_event(event);
       step_for(event).jobs.push_back(std::move(job));
     } else if (event.name == "epoch" || event.name == "round") {
       ReplayedAllocation& step = step_for(event);
@@ -149,6 +173,12 @@ void print_trace_report(std::ostream& out, std::span<const TraceEvent> events,
       out << "    " << job.job << ":";
       for (double cap : job.caps_watts) {
         out << ' ' << util::format_watts(cap, 1);
+      }
+      if (!job.gpu_caps_watts.empty()) {
+        out << " | gpu:";
+        for (double cap : job.gpu_caps_watts) {
+          out << ' ' << util::format_watts(cap, 1);
+        }
       }
       out << '\n';
     }

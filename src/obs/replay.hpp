@@ -28,10 +28,17 @@ struct TraceSummary {
 /// Shared by the emitters (coordination loop, daemon) and the replayer.
 [[nodiscard]] std::string cap_key(std::size_t host);
 
+/// Arg key of host `host`'s GPU-domain cap within a "caps" event
+/// ("g0", "g1", ...). Only present for heterogeneous jobs; CPU-only
+/// traces never carry g-keys, so their byte form is unchanged.
+[[nodiscard]] std::string gpu_cap_key(std::size_t host);
+
 /// One job's caps within a reconstructed allocation step.
 struct ReplayedJobCaps {
   std::string job;
   std::vector<double> caps_watts;
+  /// GPU-domain caps per host; empty for single-domain jobs.
+  std::vector<double> gpu_caps_watts;
 
   [[nodiscard]] bool operator==(const ReplayedJobCaps&) const = default;
 };

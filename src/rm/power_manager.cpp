@@ -10,10 +10,13 @@ namespace ps::rm {
 PowerAllocation clamp_allocation_to_budget(
     const PowerAllocation& allocation,
     const std::vector<std::vector<double>>& host_floors,
-    double budget_watts) {
+    double budget_watts,
+    const std::vector<std::vector<double>>& gpu_floors) {
   PS_REQUIRE(budget_watts > 0.0, "clamp budget must be positive");
   PS_REQUIRE(host_floors.size() == allocation.job_host_caps.size(),
              "floor shape has a different number of jobs");
+  PS_REQUIRE(gpu_floors.size() == allocation.job_host_gpu_caps.size(),
+             "GPU floor shape has a different number of jobs");
   double total_caps = 0.0;
   double total_floors = 0.0;
   for (std::size_t j = 0; j < allocation.job_host_caps.size(); ++j) {
@@ -23,6 +26,15 @@ PowerAllocation clamp_allocation_to_budget(
       PS_REQUIRE(host_floors[j][h] >= 0.0, "host floor cannot be negative");
       total_caps += allocation.job_host_caps[j][h];
       total_floors += host_floors[j][h];
+    }
+  }
+  for (std::size_t j = 0; j < allocation.job_host_gpu_caps.size(); ++j) {
+    PS_REQUIRE(gpu_floors[j].size() == allocation.job_host_gpu_caps[j].size(),
+               "GPU floor shape has a different number of hosts for a job");
+    for (std::size_t h = 0; h < allocation.job_host_gpu_caps[j].size(); ++h) {
+      PS_REQUIRE(gpu_floors[j][h] >= 0.0, "GPU floor cannot be negative");
+      total_caps += allocation.job_host_gpu_caps[j][h];
+      total_floors += gpu_floors[j][h];
     }
   }
   double scale = 1.0;
@@ -40,6 +52,17 @@ PowerAllocation clamp_allocation_to_budget(
       const double floor = host_floors[j][h];
       const double cap = allocation.job_host_caps[j][h];
       clamped.job_host_caps[j].push_back(
+          floor + scale * std::max(0.0, cap - floor));
+    }
+  }
+  clamped.job_host_gpu_caps.resize(allocation.job_host_gpu_caps.size());
+  for (std::size_t j = 0; j < allocation.job_host_gpu_caps.size(); ++j) {
+    clamped.job_host_gpu_caps[j].reserve(
+        allocation.job_host_gpu_caps[j].size());
+    for (std::size_t h = 0; h < allocation.job_host_gpu_caps[j].size(); ++h) {
+      const double floor = gpu_floors[j][h];
+      const double cap = allocation.job_host_gpu_caps[j][h];
+      clamped.job_host_gpu_caps[j].push_back(
           floor + scale * std::max(0.0, cap - floor));
     }
   }
@@ -87,10 +110,16 @@ void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
                                bool enforce_budget) const {
   PS_REQUIRE(allocation.job_host_caps.size() == jobs.size(),
              "allocation has a different number of jobs");
+  PS_REQUIRE(allocation.job_host_gpu_caps.empty() ||
+                 allocation.job_host_gpu_caps.size() == jobs.size(),
+             "GPU allocation has a different number of jobs");
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     PS_REQUIRE(jobs[j] != nullptr, "job must not be null");
     PS_REQUIRE(allocation.job_host_caps[j].size() == jobs[j]->host_count(),
                "allocation has a different number of hosts for a job");
+    const auto& gpu_caps = allocation.job_gpu_caps(j);
+    PS_REQUIRE(gpu_caps.empty() || gpu_caps.size() == jobs[j]->host_count(),
+               "GPU allocation has a different number of hosts for a job");
   }
   if (enforce_budget) {
     // Tolerance covers RAPL power-unit quantization (1/8 W per socket).
@@ -100,8 +129,12 @@ void SystemPowerManager::apply(std::span<sim::JobSimulation* const> jobs,
                "allocation exceeds the system power budget");
   }
   for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto& gpu_caps = allocation.job_gpu_caps(j);
     for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
       jobs[j]->set_host_cap(h, allocation.job_host_caps[j][h]);
+      if (!gpu_caps.empty() && jobs[j]->host(h).gpu_count() > 0) {
+        jobs[j]->set_host_gpu_cap(h, gpu_caps[h]);
+      }
     }
   }
   if (applies_metric_ != nullptr) {
@@ -115,15 +148,25 @@ PowerAllocation SystemPowerManager::emergency_clamp(
   PS_REQUIRE(allocation.job_host_caps.size() == jobs.size(),
              "allocation has a different number of jobs");
   std::vector<std::vector<double>> floors(jobs.size());
+  std::vector<std::vector<double>> gpu_floors(
+      allocation.job_host_gpu_caps.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     PS_REQUIRE(jobs[j] != nullptr, "job must not be null");
     floors[j].reserve(jobs[j]->host_count());
     for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
       floors[j].push_back(jobs[j]->host(h).min_cap());
     }
+    // The GPU domain floor-preserves independently: each device set's
+    // settable minimum, not the CPU floor, bounds its squeeze.
+    if (j < gpu_floors.size() && !allocation.job_host_gpu_caps[j].empty()) {
+      gpu_floors[j].reserve(jobs[j]->host_count());
+      for (std::size_t h = 0; h < jobs[j]->host_count(); ++h) {
+        gpu_floors[j].push_back(jobs[j]->host_gpu_min_cap(h));
+      }
+    }
   }
   const PowerAllocation clamped =
-      clamp_allocation_to_budget(allocation, floors, budget_);
+      clamp_allocation_to_budget(allocation, floors, budget_, gpu_floors);
   apply(jobs, clamped, /*enforce_budget=*/false);
   if (clamps_metric_ != nullptr) {
     clamps_metric_->add();

@@ -31,11 +31,17 @@ struct ExcursionTelemetry {
 /// s = (B − Σf) / (Σc − Σf) clamped to [0, 1]. If even the floors exceed
 /// the budget, every host lands exactly on its floor — the stack never
 /// programs below a settable minimum. Shapes of `allocation` and
-/// `host_floors` must match.
+/// `host_floors` must match. On a multi-domain allocation the single
+/// scale spans both domains (sums include the GPU caps) and each GPU cap
+/// is floor-preserved against its own `gpu_floors` entry — a brownout
+/// squeezes CPU and GPU proportionally, never through a domain's floor.
+/// `gpu_floors` must match the shape of `job_host_gpu_caps` (empty when
+/// the allocation is CPU-only).
 [[nodiscard]] PowerAllocation clamp_allocation_to_budget(
     const PowerAllocation& allocation,
     const std::vector<std::vector<double>>& host_floors,
-    double budget_watts);
+    double budget_watts,
+    const std::vector<std::vector<double>>& gpu_floors = {});
 
 /// The resource manager's power-enforcement arm: owns the system-wide
 /// power budget and programs per-host RAPL caps from a policy's

@@ -51,6 +51,19 @@ struct JobCharacterization {
   double node_tdp_watts = 0.0;
   std::size_t host_count = 0;
 
+  /// --- Second (GPU) power domain ---------------------------------------
+  /// Empty vectors = a CPU-only job. When present, both vectors carry one
+  /// entry per host: the GPU-domain "needed" power (the lowest node-level
+  /// GPU cap sustaining the critical path) and the observed GPU draw.
+  std::vector<double> host_gpu_needed_watts;
+  std::vector<double> host_gpu_observed_watts;
+  /// GPU-domain limit range per host (sums over the host's devices).
+  double gpu_min_cap_watts = 0.0;
+  double gpu_tdp_watts = 0.0;
+
+  [[nodiscard]] bool has_gpu_domain() const noexcept {
+    return !host_gpu_needed_watts.empty();
+  }
   [[nodiscard]] double total_needed_power() const;
   [[nodiscard]] double total_monitor_power() const;
 };

@@ -11,9 +11,16 @@ namespace {
 constexpr std::size_t kPackagesPerNode = hw::QuartzSpec::kSocketsPerNode;
 
 constexpr const char* kSignalNames[] = {
-    "ENERGY",        "POWER_CAP",     "POWER_CAP_MIN", "POWER_CAP_MAX",
-    "FREQUENCY_CAP", "FREQUENCY_MIN", "FREQUENCY_MAX"};
-constexpr const char* kControlNames[] = {"POWER_CAP", "FREQUENCY_CAP"};
+    "ENERGY",        "POWER_CAP",     "POWER_CAP_MIN",     "POWER_CAP_MAX",
+    "FREQUENCY_CAP", "FREQUENCY_MIN", "FREQUENCY_MAX",     "GPU_ENERGY",
+    "GPU_POWER_CAP", "GPU_POWER_CAP_MIN", "GPU_POWER_CAP_MAX",
+    "GPU_OCCUPANCY"};
+constexpr const char* kControlNames[] = {"POWER_CAP", "FREQUENCY_CAP",
+                                         "GPU_POWER_CAP"};
+
+bool is_gpu_signal(std::string_view name) {
+  return name.substr(0, 4) == "GPU_";
+}
 }  // namespace
 
 std::string_view to_string(Domain domain) noexcept {
@@ -24,6 +31,8 @@ std::string_view to_string(Domain domain) noexcept {
       return "node";
     case Domain::kPackage:
       return "package";
+    case Domain::kGpu:
+      return "gpu";
   }
   return "?";
 }
@@ -44,6 +53,13 @@ std::size_t PlatformIO::domain_size(Domain domain) const {
       return nodes_.size();
     case Domain::kPackage:
       return nodes_.size() * kPackagesPerNode;
+    case Domain::kGpu: {
+      std::size_t devices = 0;
+      for (const auto* node : nodes_) {
+        devices += node->gpu_count();
+      }
+      return devices;
+    }
   }
   throw InvalidArgument("unknown domain");
 }
@@ -74,9 +90,47 @@ hw::NodeModel& PlatformIO::node_at(Domain domain, std::size_t index) {
     case Domain::kPackage:
       return *nodes_[index / kPackagesPerNode];
     case Domain::kBoard:
+    case Domain::kGpu:
       break;
   }
   throw InvalidArgument("board domain has no single node");
+}
+
+hw::GpuModel& PlatformIO::gpu_at(std::size_t index) {
+  for (auto* node : nodes_) {
+    if (index < node->gpu_count()) {
+      return node->gpu(index);
+    }
+    index -= node->gpu_count();
+  }
+  throw InvalidArgument("GPU index out of range");
+}
+
+double PlatformIO::read_node_gpu_signal(std::string_view name,
+                                        hw::NodeModel& node) {
+  if (name == "GPU_ENERGY") {
+    return node.read_gpu_energy_joules();
+  }
+  if (name == "GPU_POWER_CAP") {
+    return node.gpu_power_cap();
+  }
+  if (name == "GPU_POWER_CAP_MIN") {
+    return node.gpu_min_cap();
+  }
+  if (name == "GPU_POWER_CAP_MAX") {
+    return node.gpu_tdp();
+  }
+  if (name == "GPU_OCCUPANCY") {
+    if (node.gpu_count() == 0) {
+      return 0.0;
+    }
+    double total = 0.0;
+    for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+      total += node.gpu(g).last_occupancy();
+    }
+    return total / static_cast<double>(node.gpu_count());
+  }
+  throw NotFound("unknown signal '" + std::string(name) + "'");
 }
 
 double PlatformIO::read_node_signal(std::string_view name,
@@ -113,18 +167,42 @@ double PlatformIO::read_signal(std::string_view name, Domain domain,
   PS_REQUIRE(index < domain_size(domain), "domain index out of range");
   switch (domain) {
     case Domain::kBoard: {
-      // Energy and caps sum over nodes; frequencies average.
+      // Energy and caps sum over nodes; frequencies and occupancy average.
       const bool averages =
           name == "FREQUENCY_CAP" || name == "FREQUENCY_MIN" ||
-          name == "FREQUENCY_MAX";
+          name == "FREQUENCY_MAX" || name == "GPU_OCCUPANCY";
       double total = 0.0;
       for (auto* node : nodes_) {
-        total += read_node_signal(name, *node);
+        total += is_gpu_signal(name) ? read_node_gpu_signal(name, *node)
+                                     : read_node_signal(name, *node);
       }
       return averages ? total / static_cast<double>(nodes_.size()) : total;
     }
     case Domain::kNode:
-      return read_node_signal(name, *nodes_[index]);
+      return is_gpu_signal(name)
+                 ? read_node_gpu_signal(name, *nodes_[index])
+                 : read_node_signal(name, *nodes_[index]);
+    case Domain::kGpu: {
+      hw::GpuModel& gpu = gpu_at(index);
+      if (name == "GPU_ENERGY") {
+        return gpu.read_energy_joules();
+      }
+      if (name == "GPU_POWER_CAP") {
+        return gpu.power_cap();
+      }
+      if (name == "GPU_POWER_CAP_MIN") {
+        return gpu.min_cap();
+      }
+      if (name == "GPU_POWER_CAP_MAX") {
+        return gpu.tdp();
+      }
+      if (name == "GPU_OCCUPANCY") {
+        return gpu.last_occupancy();
+      }
+      // CPU signals read at the gpu domain are a mismatch, as in GEOPM.
+      throw InvalidArgument("signal '" + std::string(name) +
+                            "' is not gpu-scoped");
+    }
     case Domain::kPackage: {
       hw::NodeModel& node = node_at(domain, index);
       const std::size_t pkg = index % kPackagesPerNode;
@@ -159,11 +237,24 @@ double PlatformIO::write_control(std::string_view name, Domain domain,
   if (domain == Domain::kBoard) {
     double last = 0.0;
     for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      if (name == "GPU_POWER_CAP" && nodes_[n]->gpu_count() == 0) {
+        continue;  // GPU fan-out skips GPU-less nodes
+      }
       last = write_control(name, Domain::kNode, n, value);
     }
     return last;
   }
+  if (name == "GPU_POWER_CAP") {
+    if (domain == Domain::kGpu) {
+      return gpu_at(index).set_power_cap(value);
+    }
+    PS_REQUIRE(domain == Domain::kNode,
+               "GPU_POWER_CAP is a gpu- or node-scoped control");
+    return nodes_[index]->set_gpu_power_cap(value);
+  }
   if (name == "POWER_CAP") {
+    PS_REQUIRE(domain != Domain::kGpu,
+               "POWER_CAP is not a gpu-scoped control");
     if (domain == Domain::kNode) {
       return nodes_[index]->set_power_cap(value);
     }

@@ -15,6 +15,7 @@ enum class Domain {
   kBoard,    ///< The whole managed node set (index must be 0).
   kNode,     ///< One node.
   kPackage,  ///< One CPU package: index = node * packages_per_node + pkg.
+  kGpu,      ///< One GPU device, indexed flat across nodes in node order.
 };
 
 [[nodiscard]] std::string_view to_string(Domain domain) noexcept;
@@ -33,13 +34,24 @@ enum class Domain {
 ///   FREQUENCY_MIN     GHz
 ///   FREQUENCY_MAX     GHz
 ///
+/// GPU-domain signals (valid at gpu, node, and board domains):
+///   GPU_ENERGY        J    monotone consumed energy of the device(s)
+///   GPU_POWER_CAP     W    programmed GPU limit
+///   GPU_POWER_CAP_MIN W    lowest settable GPU limit
+///   GPU_POWER_CAP_MAX W    highest settable GPU limit (GPU TDP)
+///   GPU_OCCUPANCY     -    occupancy of the most recent kernel, in [0, 1]
+///
 /// Controls (write_control):
 ///   POWER_CAP         W    node or package power limit
 ///   FREQUENCY_CAP     GHz  node DVFS ceiling
+///   GPU_POWER_CAP     W    one device's limit, or a node-level GPU cap
+///                          split evenly across the node's devices
 ///
 /// Board-domain reads aggregate over nodes: ENERGY and the cap signals
-/// sum; frequency signals average. Board-domain writes fan out the same
-/// value to every node.
+/// sum; frequency signals and GPU_OCCUPANCY average. Board-domain writes
+/// fan out the same value to every node; GPU_POWER_CAP fans out only to
+/// nodes that have GPU devices. Node-domain GPU reads sum the node's
+/// devices (0.0 on GPU-less nodes); GPU writes there require devices.
 class PlatformIO {
  public:
   /// Nodes are borrowed and must outlive the PlatformIO.
@@ -70,6 +82,10 @@ class PlatformIO {
   [[nodiscard]] hw::NodeModel& node_at(Domain domain, std::size_t index);
   [[nodiscard]] double read_node_signal(std::string_view name,
                                         hw::NodeModel& node);
+  [[nodiscard]] double read_node_gpu_signal(std::string_view name,
+                                            hw::NodeModel& node);
+  /// Resolves a flat GPU index to (node, device-within-node).
+  [[nodiscard]] hw::GpuModel& gpu_at(std::size_t index);
 
   std::vector<hw::NodeModel*> nodes_;
 };

@@ -16,6 +16,49 @@ double host_busy_seconds(const sim::JobSimulation& job, std::size_t host,
   return result.seconds;
 }
 
+double host_gpu_seconds(const sim::JobSimulation& job, std::size_t host,
+                        double gpu_cap_watts) {
+  return job.preview_gpu_seconds(host, gpu_cap_watts);
+}
+
+double min_gpu_cap_for_time(const sim::JobSimulation& job, std::size_t host,
+                            double target_seconds,
+                            const BalancerOptions& options) {
+  PS_REQUIRE(target_seconds > 0.0, "target time must be positive");
+  const double floor_cap = job.host_gpu_min_cap(host);
+  const double ceil_cap = job.host_gpu_tdp(host);
+  if (host_gpu_seconds(job, host, ceil_cap) > target_seconds) {
+    return ceil_cap;  // Even full power cannot meet the target.
+  }
+  if (host_gpu_seconds(job, host, floor_cap) <= target_seconds) {
+    return floor_cap;
+  }
+  double lo = floor_cap;  // gpu(lo) > target
+  double hi = ceil_cap;   // gpu(hi) <= target
+  while (hi - lo > options.cap_tolerance_watts) {
+    const double mid = 0.5 * (lo + hi);
+    if (host_gpu_seconds(job, host, mid) <= target_seconds) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double uncapped_iteration_seconds(const sim::JobSimulation& job) {
+  double critical = 0.0;
+  for (std::size_t i = 0; i < job.host_count(); ++i) {
+    double busy = host_busy_seconds(job, i, job.host(i).tdp());
+    if (job.host_has_gpu_phase(i)) {
+      busy = std::max(busy,
+                      host_gpu_seconds(job, i, job.host_gpu_tdp(i)));
+    }
+    critical = std::max(critical, busy);
+  }
+  return critical;
+}
+
 double min_cap_for_time(const sim::JobSimulation& job, std::size_t host,
                         double target_seconds,
                         const BalancerOptions& options) {

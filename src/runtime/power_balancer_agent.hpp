@@ -36,6 +36,24 @@ struct BalancerOptions {
                                        std::size_t host,
                                        double node_cap_watts);
 
+/// Per-iteration GPU-phase time of `host` under a node-level GPU cap
+/// (preview). Requires a host with a GPU phase.
+[[nodiscard]] double host_gpu_seconds(const sim::JobSimulation& job,
+                                      std::size_t host,
+                                      double gpu_cap_watts);
+
+/// GPU-domain analogue of min_cap_for_time: the lowest node-level GPU cap
+/// at which `host`'s offloaded phase finishes within `target_seconds`.
+/// Returns the host's GPU TDP when even TDP cannot meet the target.
+[[nodiscard]] double min_gpu_cap_for_time(const sim::JobSimulation& job,
+                                          std::size_t host,
+                                          double target_seconds,
+                                          const BalancerOptions& options = {});
+
+/// Critical-path iteration time with every domain uncapped (CPU at TDP,
+/// GPUs at their TDP) — the hetero baseline for slack targets.
+[[nodiscard]] double uncapped_iteration_seconds(const sim::JobSimulation& job);
+
 /// The balancer's core search (paper Section III-A): finds the distribution
 /// of `job_budget_watts` across the job's hosts that minimizes the
 /// bulk-synchronous iteration time, by bisecting on the achievable

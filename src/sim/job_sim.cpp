@@ -89,10 +89,60 @@ double JobSimulation::host_cap(std::size_t index) const {
 
 double JobSimulation::total_allocated_power() const {
   double total = 0.0;
-  for (const auto* host : hosts_) {
-    total += host->power_cap();
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    total += hosts_[i]->power_cap();
+    if (host_has_gpu_phase(i)) {
+      total += hosts_[i]->gpu_power_cap();
+    }
   }
   return total;
+}
+
+bool JobSimulation::host_has_gpu_phase(std::size_t index) const {
+  return config_.gpu_gigabytes_per_iteration > 0.0 &&
+         host(index).gpu_count() > 0;
+}
+
+bool JobSimulation::has_gpu_domain() const {
+  for (std::size_t i = 0; i < hosts_.size(); ++i) {
+    if (host_has_gpu_phase(i)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobSimulation::set_host_gpu_cap(std::size_t index, double watts) {
+  PS_REQUIRE(host(index).gpu_count() > 0, "host has no GPU devices");
+  host(index).set_gpu_power_cap(watts);
+}
+
+double JobSimulation::host_gpu_cap(std::size_t index) const {
+  return host(index).gpu_power_cap();
+}
+
+double JobSimulation::host_gpu_min_cap(std::size_t index) const {
+  return host(index).gpu_min_cap();
+}
+
+double JobSimulation::host_gpu_tdp(std::size_t index) const {
+  return host(index).gpu_tdp();
+}
+
+double JobSimulation::preview_gpu_seconds(std::size_t index,
+                                          double gpu_cap_watts) const {
+  const hw::NodeModel& node = host(index);
+  PS_REQUIRE(node.gpu_count() > 0, "host has no GPU devices");
+  const double devices = static_cast<double>(node.gpu_count());
+  const double share = config_.gpu_gigabytes_per_iteration / devices;
+  const double per_device_cap = gpu_cap_watts / devices;
+  double seconds = 0.0;
+  for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+    const hw::GpuPhaseResult phase = node.gpu(g).preview_compute(
+        share, config_.gpu_intensity, config_.gpu_occupancy, per_device_cap);
+    seconds = std::max(seconds, phase.seconds);
+  }
+  return seconds;
 }
 
 void JobSimulation::set_host_failed(std::size_t index, bool failed) {
@@ -156,6 +206,37 @@ IterationResult JobSimulation::run_iteration() {
     host_result.energy_joules = phase.power_watts * busy;
     host_result.gflop = phase.gflops * phase.seconds;
     host_result.frequency_ghz = phase.frequency_ghz;
+    if (host_has_gpu_phase(i)) {
+      // The offloaded phase runs concurrently with the CPU phase. GPU work
+      // is uniform across hosts (no imbalance) and split across devices.
+      hw::NodeModel& node = *hosts_[i];
+      const double devices = static_cast<double>(node.gpu_count());
+      const double share = config_.gpu_gigabytes_per_iteration / devices;
+      double gpu_busy = 0.0;
+      double gpu_clock = 0.0;
+      for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+        const hw::GpuPhaseResult gpu_phase = node.gpu(g).run_compute(
+            share, config_.gpu_intensity, config_.gpu_occupancy);
+        gpu_busy = std::max(gpu_busy, gpu_phase.seconds);
+        gpu_clock = gpu_clock == 0.0 ? gpu_phase.clock_ghz
+                                     : std::min(gpu_clock,
+                                                gpu_phase.clock_ghz);
+        host_result.gpu_energy_joules += gpu_phase.energy_joules;
+        host_result.gpu_gflop += gpu_phase.gflops * gpu_phase.seconds;
+      }
+      host_result.gpu_busy_seconds = gpu_busy;
+      host_result.gpu_clock_ghz = gpu_clock;
+      if (gpu_busy > busy) {
+        // The CPU waits on the offload: it busy-polls until the device
+        // side of the iteration completes.
+        const hw::PhaseResult wait = hosts_[i]->run_poll(gpu_busy - busy);
+        host_result.energy_joules += wait.energy_joules;
+        busy = gpu_busy;
+        host_result.busy_seconds = busy;
+      }
+      host_result.energy_joules += host_result.gpu_energy_joules;
+      host_result.gflop += host_result.gpu_gflop;
+    }
     if (busy > result.iteration_seconds) {
       result.iteration_seconds = busy;
       result.critical_host_index = i;
@@ -174,6 +255,26 @@ IterationResult JobSimulation::run_iteration() {
       const hw::PhaseResult poll =
           hosts_[i]->run_poll(host_result.poll_seconds);
       host_result.energy_joules += poll.energy_joules;
+    }
+    if (host_has_gpu_phase(i)) {
+      // Devices sit at their leakage floor from kernel completion until
+      // the barrier releases (the CPU tail plus any barrier poll).
+      const double gpu_idle =
+          result.iteration_seconds - host_result.gpu_busy_seconds;
+      if (gpu_idle > 0.0) {
+        hw::NodeModel& node = *hosts_[i];
+        double idle_joules = 0.0;
+        for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+          node.gpu(g).run_idle(gpu_idle);
+          idle_joules += node.gpu(g).idle_watts() * gpu_idle;
+        }
+        host_result.gpu_energy_joules += idle_joules;
+        host_result.energy_joules += idle_joules;
+      }
+      host_result.gpu_average_power_watts =
+          result.iteration_seconds > 0.0
+              ? host_result.gpu_energy_joules / result.iteration_seconds
+              : 0.0;
     }
     host_result.average_power_watts =
         result.iteration_seconds > 0.0

@@ -18,8 +18,17 @@ struct HostIterationResult {
   double energy_joules = 0.0;
   double gflop = 0.0;
   double frequency_ghz = 0.0;
-  /// Mean node power over the whole iteration (busy + poll).
+  /// Mean node power over the whole iteration (busy + poll). Includes the
+  /// GPU share on heterogeneous hosts.
   double average_power_watts = 0.0;
+
+  /// GPU-domain telemetry; all zero on hosts without a GPU phase.
+  double gpu_busy_seconds = 0.0;
+  double gpu_energy_joules = 0.0;  ///< Included in energy_joules.
+  double gpu_gflop = 0.0;          ///< Included in gflop.
+  double gpu_clock_ghz = 0.0;      ///< Slowest device clock in the phase.
+  /// Mean GPU power over the whole iteration (kernels + idle tail).
+  double gpu_average_power_watts = 0.0;
 };
 
 /// Outcome of one bulk-synchronous iteration of a job.
@@ -91,8 +100,22 @@ class JobSimulation {
 
   void set_host_cap(std::size_t index, double watts);
   [[nodiscard]] double host_cap(std::size_t index) const;
-  /// Sum of all host caps — the job's currently allocated power.
+  /// Sum of all host caps — the job's currently allocated power. Includes
+  /// the GPU-domain caps of hosts that run a GPU phase.
   [[nodiscard]] double total_allocated_power() const;
+
+  /// True when the workload offloads a GPU phase and this host has GPUs.
+  [[nodiscard]] bool host_has_gpu_phase(std::size_t index) const;
+  /// True when any host runs a GPU phase (the job spans two domains).
+  [[nodiscard]] bool has_gpu_domain() const;
+  /// GPU-domain cap of one host (split evenly across its devices).
+  void set_host_gpu_cap(std::size_t index, double watts);
+  [[nodiscard]] double host_gpu_cap(std::size_t index) const;
+  [[nodiscard]] double host_gpu_min_cap(std::size_t index) const;
+  [[nodiscard]] double host_gpu_tdp(std::size_t index) const;
+  /// Pure query: the host's GPU-phase duration under a node-level GPU cap.
+  [[nodiscard]] double preview_gpu_seconds(std::size_t index,
+                                           double gpu_cap_watts) const;
 
   /// Marks a host dead (or revives it): a failed host runs no work,
   /// draws no power, and never sets the critical path. At least one host

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+struct MalformedCase {
+  const char* name;
+  const char* text;
+};
+
+// Every way the v3 (two-domain) wire framing has been seen to go wrong:
+// truncated domain sections, duplicated domain tags, out-of-range GPU
+// watt fields, and v1/v3 cross-version confusion. The companion file
+// endpoint_malformed_test.cpp covers the single-domain grammar.
+const std::vector<MalformedCase>& malformed_v3_samples() {
+  static const std::vector<MalformedCase> cases = {
+      {"v3_header_without_gpu_section",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\n"},
+      {"v3_truncated_after_gpu_tdp",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"},
+      {"v3_truncated_gpu_needed",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\n"},
+      {"duplicate_gpu_observed_tag",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_observed 130\n"},
+      {"duplicate_gpu_limit_tag",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_min_cap 110\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+      {"v1_header_with_gpu_section",
+       "powerstack-sample v1\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+      {"nan_gpu_min_cap",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap nan\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+      {"negative_gpu_observed",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed -120\ngpu_needed 130\n"},
+      {"inf_gpu_needed",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed inf\n"},
+      {"gpu_min_above_gpu_tdp",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 400\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+      {"zero_gpu_min_cap",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 0\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+      {"gpu_vector_shorter_than_cpu",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180 190\nneeded 170 175\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130 140\n"},
+      {"gpu_vector_longer_than_cpu",
+       "powerstack-sample v3\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120 125\ngpu_needed 130 135\n"},
+      {"unknown_version_v4",
+       "powerstack-sample v4\nsequence 1\njob x\nmin_cap 152\n"
+       "observed 180\nneeded 170\ngpu_min_cap 100\ngpu_tdp 300\n"
+       "gpu_observed 120\ngpu_needed 130\n"},
+  };
+  return cases;
+}
+
+const std::vector<MalformedCase>& malformed_v3_policies() {
+  static const std::vector<MalformedCase> cases = {
+      {"v3_header_without_gpu_caps",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"},
+      {"v1_header_with_gpu_caps",
+       "powerstack-policy v1\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps 150\n"},
+      {"duplicate_gpu_caps_tag",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps 150\ngpu_caps 160\n"},
+      {"nan_gpu_cap",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps nan\n"},
+      {"negative_gpu_cap",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps -150\n"},
+      {"inf_gpu_cap",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180 190\n"
+       "gpu_caps 150 inf\n"},
+      {"gpu_caps_count_mismatch",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180 190\n"
+       "gpu_caps 150\n"},
+      {"empty_gpu_caps",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\ngpu_caps\n"},
+      {"gpu_caps_before_caps",
+       "powerstack-policy v3\nsequence 1\njob x\ngpu_caps 150\n"
+       "caps 180\n"},
+      {"zero_budget_epoch_after_gpu_caps",
+       "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps 150\nbudget_epoch 0\n"},
+      {"unknown_version_v2",
+       "powerstack-policy v2\nsequence 1\njob x\ncaps 180\n"
+       "gpu_caps 150\n"},
+  };
+  return cases;
+}
+
+TEST(EndpointV3MalformedTest, SampleParserRejectsEveryCase) {
+  for (const MalformedCase& test : malformed_v3_samples()) {
+    EXPECT_THROW(static_cast<void>(parse_sample_message(test.text)),
+                 ps::Error)
+        << "case '" << test.name << "' parsed without error";
+  }
+}
+
+TEST(EndpointV3MalformedTest, PolicyParserRejectsEveryCase) {
+  for (const MalformedCase& test : malformed_v3_policies()) {
+    EXPECT_THROW(static_cast<void>(parse_policy_message(test.text)),
+                 ps::Error)
+        << "case '" << test.name << "' parsed without error";
+  }
+}
+
+TEST(EndpointV3MalformedTest, SingleDomainMessagesStayV1ByteIdentical) {
+  // The versioning contract: a message with no GPU domain serializes to
+  // exactly the bytes a pre-GPU build produced.
+  SampleMessage sample;
+  sample.sequence = 7;
+  sample.job_name = "legacy";
+  sample.min_settable_cap_watts = 152.0;
+  sample.host_observed_watts = {214.0};
+  sample.host_needed_watts = {193.1};
+  EXPECT_EQ(serialize(sample),
+            "powerstack-sample v1\nsequence 7\njob legacy\n"
+            "min_cap 152.000\nobserved 214.000\nneeded 193.100\n");
+
+  PolicyMessage policy;
+  policy.sequence = 7;
+  policy.job_name = "legacy";
+  policy.host_caps_watts = {180.0};
+  EXPECT_EQ(serialize(policy),
+            "powerstack-policy v1\nsequence 7\njob legacy\ncaps 180.000\n");
+}
+
+TEST(EndpointV3MalformedTest, V3RoundTripsBitForBit) {
+  SampleMessage sample;
+  sample.sequence = 41;
+  sample.job_name = "hetero";
+  sample.min_settable_cap_watts = 152.0 + 1.0 / 3.0;
+  sample.host_observed_watts = {214.0001220703125, 0.1 + 0.2};
+  sample.host_needed_watts = {193.09999999999999, 7.0 / 9.0};
+  sample.gpu_min_cap_watts = 100.0 + 1.0 / 7.0;
+  sample.gpu_tdp_watts = 300.0;
+  sample.host_gpu_observed_watts = {120.5, 0.0};
+  sample.host_gpu_needed_watts = {250.0 / 3.0, 0.0};
+  const std::string wire = serialize(sample, WireFidelity::kExact);
+  EXPECT_EQ(wire.substr(0, wire.find('\n')), "powerstack-sample v3");
+  EXPECT_EQ(parse_sample_message(wire), sample);  // == on doubles: exact
+
+  PolicyMessage policy;
+  policy.sequence = 42;
+  policy.job_name = "hetero";
+  policy.host_caps_watts = {180.0 + 1.0 / 7.0, 152.0};
+  policy.host_gpu_caps_watts = {206.375, 100.0};
+  policy.budget_epoch = 3;
+  EXPECT_EQ(parse_policy_message(serialize(policy, WireFidelity::kExact)),
+            policy);
+}
+
+TEST(EndpointV3MalformedTest, CrossVersionParseKeepsDomainsSeparate) {
+  // A v1 message parsed by the v3-aware parser reports no GPU domain.
+  const SampleMessage v1_sample = parse_sample_message(
+      "powerstack-sample v1\nsequence 1\njob x\nmin_cap 152\n"
+      "observed 180\nneeded 170\n");
+  EXPECT_FALSE(v1_sample.has_gpu_domain());
+  EXPECT_TRUE(v1_sample.host_gpu_observed_watts.empty());
+
+  const PolicyMessage v1_policy = parse_policy_message(
+      "powerstack-policy v1\nsequence 1\njob x\ncaps 180\n"
+      "budget_epoch 5\n");
+  EXPECT_FALSE(v1_policy.has_gpu_domain());
+  EXPECT_EQ(v1_policy.budget_epoch, 5u);
+
+  // budget_epoch still rides last on the v3 grammar.
+  const PolicyMessage v3_policy = parse_policy_message(
+      "powerstack-policy v3\nsequence 1\njob x\ncaps 180\n"
+      "gpu_caps 150\nbudget_epoch 5\n");
+  EXPECT_TRUE(v3_policy.has_gpu_domain());
+  EXPECT_EQ(v3_policy.budget_epoch, 5u);
+  ASSERT_EQ(v3_policy.host_gpu_caps_watts.size(), 1u);
+  EXPECT_EQ(v3_policy.host_gpu_caps_watts[0], 150.0);
+}
+
+}  // namespace
+}  // namespace ps::core

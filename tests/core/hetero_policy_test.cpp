@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "context_builder.hpp"
+#include "core/policies.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+using testing::make_context;
+using testing::make_job;
+
+// Gives a CPU-only characterization a GPU domain: per-host observed and
+// needed GPU power with the default device limits.
+runtime::JobCharacterization with_gpu(runtime::JobCharacterization job,
+                                      double gpu_observed,
+                                      double gpu_needed,
+                                      double gpu_min = 100.0,
+                                      double gpu_tdp = 300.0) {
+  job.host_gpu_observed_watts.assign(job.host_count, gpu_observed);
+  job.host_gpu_needed_watts.assign(job.host_count, gpu_needed);
+  job.gpu_min_cap_watts = gpu_min;
+  job.gpu_tdp_watts = gpu_tdp;
+  return job;
+}
+
+double sum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+TEST(HeteroPolicyTest, CpuOnlyContextDelegatesToMixedAdaptiveExactly) {
+  const PolicyContext context = make_context(
+      800.0, {make_job(2, 214.0, 190.0), make_job(2, 180.0, 160.0)});
+  const rm::PowerAllocation hetero =
+      HeteroAdaptivePolicy{}.allocate(context);
+  const rm::PowerAllocation mixed =
+      MixedAdaptivePolicy{}.allocate(context);
+  ASSERT_EQ(hetero.job_host_caps.size(), mixed.job_host_caps.size());
+  for (std::size_t j = 0; j < mixed.job_host_caps.size(); ++j) {
+    EXPECT_EQ(hetero.job_host_caps[j], mixed.job_host_caps[j]);
+  }
+  EXPECT_FALSE(hetero.has_gpu_caps());
+}
+
+TEST(HeteroPolicyTest, ShiftsWattsTowardTheStarvedGpuDomain) {
+  // One 2-host job. CPU phase needs only the floor; the GPU phase wants
+  // everything it can get. Per-host share is 350 W across both domains.
+  PolicyContext context = make_context(
+      700.0, {with_gpu(make_job(2, 170.0, 152.0), 170.0, 290.0)});
+  const rm::PowerAllocation allocation =
+      HeteroAdaptivePolicy{}.allocate(context);
+  ASSERT_EQ(allocation.job_host_caps.size(), 1u);
+  ASSERT_EQ(allocation.job_gpu_caps(0).size(), 2u);
+  for (std::size_t h = 0; h < 2; ++h) {
+    // CPU squeezed to its needed power (the floor), GPU lifted well above
+    // a naive 50/50 split of the share.
+    EXPECT_NEAR(allocation.job_host_caps[0][h], 152.0, 1.0);
+    EXPECT_GT(allocation.job_gpu_caps(0)[h], 190.0);
+  }
+  EXPECT_LE(allocation.total_watts(), 700.0 + 0.5);
+}
+
+TEST(HeteroPolicyTest, ShiftsWattsTowardTheStarvedCpuDomain) {
+  // The mirror image: GPU needs only its floor, CPU is the bottleneck.
+  PolicyContext context = make_context(
+      700.0, {with_gpu(make_job(2, 240.0, 250.0), 110.0, 100.0)});
+  const rm::PowerAllocation allocation =
+      HeteroAdaptivePolicy{}.allocate(context);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_NEAR(allocation.job_gpu_caps(0)[h], 100.0, 1.0);
+    EXPECT_GT(allocation.job_host_caps[0][h], 220.0);
+  }
+  EXPECT_LE(allocation.total_watts(), 700.0 + 0.5);
+}
+
+TEST(HeteroPolicyTest, RespectsPerDomainBoundsUnderPressure) {
+  // Budget barely above the two-domain floor: every cap must still land
+  // inside its own domain's settable range.
+  PolicyContext context = make_context(
+      2.0 * (152.0 + 100.0) + 10.0,
+      {with_gpu(make_job(2, 240.0, 250.0), 250.0, 290.0)});
+  const rm::PowerAllocation allocation =
+      HeteroAdaptivePolicy{}.allocate(context);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_GE(allocation.job_host_caps[0][h], 152.0);
+    EXPECT_LE(allocation.job_host_caps[0][h], 256.0);
+    EXPECT_GE(allocation.job_gpu_caps(0)[h], 100.0);
+    EXPECT_LE(allocation.job_gpu_caps(0)[h], 300.0);
+  }
+  EXPECT_LE(allocation.total_watts(), context.system_budget_watts + 0.5);
+}
+
+TEST(HeteroPolicyTest, MixedClusterKeepsCpuOnlyJobsSingleDomain) {
+  // One hetero job and one CPU-only job under a shared budget: the
+  // CPU-only job must come back without a GPU cap vector.
+  PolicyContext context = make_context(
+      1000.0, {with_gpu(make_job(2, 170.0, 152.0), 170.0, 290.0),
+               make_job(2, 214.0, 190.0)});
+  const rm::PowerAllocation allocation =
+      HeteroAdaptivePolicy{}.allocate(context);
+  ASSERT_EQ(allocation.job_host_caps.size(), 2u);
+  EXPECT_EQ(allocation.job_gpu_caps(0).size(), 2u);
+  EXPECT_TRUE(allocation.job_gpu_caps(1).empty());
+  // Watt conservation across both domains and both jobs.
+  EXPECT_LE(allocation.total_watts(), 1000.0 + 0.5);
+  EXPECT_NEAR(allocation.total_watts(),
+              sum(allocation.job_host_caps[0]) +
+                  sum(allocation.job_host_caps[1]) +
+                  sum(allocation.job_gpu_caps(0)),
+              1e-9);
+}
+
+TEST(HeteroPolicyTest, SurplusLandsInBothDomainsUpToTdp) {
+  // Budget above the sum of all needs: the surplus spreads by headroom
+  // weight and no domain exceeds its TDP.
+  PolicyContext context = make_context(
+      1200.0, {with_gpu(make_job(2, 200.0, 180.0), 200.0, 200.0)});
+  const rm::PowerAllocation allocation =
+      HeteroAdaptivePolicy{}.allocate(context);
+  for (std::size_t h = 0; h < 2; ++h) {
+    EXPECT_GT(allocation.job_host_caps[0][h], 180.0);
+    EXPECT_LE(allocation.job_host_caps[0][h], 256.0);
+    EXPECT_GT(allocation.job_gpu_caps(0)[h], 200.0);
+    EXPECT_LE(allocation.job_gpu_caps(0)[h], 300.0);
+  }
+}
+
+TEST(HeteroPolicyTest, ValidationRejectsInconsistentGpuCharacterization) {
+  // GPU vectors that disagree with the host count.
+  PolicyContext bad_count = make_context(
+      700.0, {with_gpu(make_job(2, 170.0, 152.0), 170.0, 290.0)});
+  bad_count.jobs[0].host_gpu_needed_watts.pop_back();
+  bad_count.jobs[0].host_gpu_observed_watts.pop_back();
+  EXPECT_THROW(
+      static_cast<void>(HeteroAdaptivePolicy{}.allocate(bad_count)),
+      ps::Error);
+
+  // GPU min cap above the GPU TDP.
+  PolicyContext bad_range = make_context(
+      700.0,
+      {with_gpu(make_job(2, 170.0, 152.0), 170.0, 290.0, 400.0, 300.0)});
+  EXPECT_THROW(
+      static_cast<void>(HeteroAdaptivePolicy{}.allocate(bad_range)),
+      ps::Error);
+}
+
+}  // namespace
+}  // namespace ps::core

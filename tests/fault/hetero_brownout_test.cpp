@@ -1,0 +1,167 @@
+// Brownout on a heterogeneous (CPU+GPU) cluster: a GPU-heavy mix under
+// HeteroAdaptive takes a 25% budget drop mid-run. The emergency clamp and
+// the re-allocation must floor-preserve *per domain* — no package cap
+// below the RAPL floor, no device cap below the GPU settable minimum —
+// with runtime invariants fatal throughout.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/invariants.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::fault {
+namespace {
+
+kernel::WorkloadConfig gpu_heavy_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 4.0;
+  config.gigabytes_per_iteration = 1.0;
+  config.gpu_gigabytes_per_iteration = 60.0;
+  config.gpu_intensity = 40.0;
+  return config;
+}
+
+kernel::WorkloadConfig cpu_heavy_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  config.gpu_gigabytes_per_iteration = 4.0;
+  return config;
+}
+
+struct HeteroMix {
+  explicit HeteroMix(std::size_t hosts_per_job = 4) {
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * 2);
+    std::vector<hw::NodeModel*> a;
+    std::vector<hw::NodeModel*> b;
+    for (std::size_t h = 0; h < hosts_per_job; ++h) {
+      cluster->node(h).attach_gpu();
+      cluster->node(h + hosts_per_job).attach_gpu();
+      a.push_back(&cluster->node(h));
+      b.push_back(&cluster->node(h + hosts_per_job));
+    }
+    jobs.push_back(std::make_unique<sim::JobSimulation>(
+        "a-gpu-heavy", std::move(a), gpu_heavy_config()));
+    jobs.push_back(std::make_unique<sim::JobSimulation>(
+        "b-cpu-heavy", std::move(b), cpu_heavy_config()));
+    ptrs = {jobs[0].get(), jobs[1].get()};
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+  std::vector<sim::JobSimulation*> ptrs;
+};
+
+TEST(HeteroBrownoutTest, BrownoutFloorPreservesBothDomains) {
+  const core::invariants::Mode previous_mode = core::invariants::mode();
+  core::invariants::set_mode(core::invariants::Mode::kFatal);
+  core::invariants::reset();
+
+  HeteroMix mix;
+  const std::size_t hosts = 8;
+  // Two-domain floor: 8 x (152 + 100) = 2016 W. Start with comfortable
+  // headroom; the brownout squeezes to ~204 W above the floor, so both
+  // domains stay servable and every epoch must keep fitting the budget.
+  const double budget = hosts * 370.0;  // 2960 W
+  std::vector<core::BudgetRevision> schedule(1);
+  schedule[0].epoch = 1;
+  schedule[0].budget_watts = 0.75 * budget;  // 2220 W, the brownout
+  schedule[0].at_epoch = 2;
+  schedule[0].emergency = true;
+
+  core::CoordinationOptions options;
+  options.policy = core::PolicyKind::kHeteroAdaptive;
+  core::CoordinationLoop loop(budget, options);
+  core::BudgetTelemetry telemetry;
+  const core::CoordinationResult result = loop.run_dynamic(
+      mix.ptrs, 30, {}, schedule, nullptr, &telemetry);
+
+  EXPECT_EQ(telemetry.revisions_applied, 1u);
+  EXPECT_DOUBLE_EQ(telemetry.final_budget_watts,
+                   schedule[0].budget_watts);
+  // The bounded excursion closed: the superseded caps ran for at most
+  // one control period past the revision.
+  EXPECT_FALSE(telemetry.excursions.in_excursion);
+  EXPECT_EQ(telemetry.emergency_clamps, 0u);  // stays above the floors
+
+  // Per-domain floor preservation after the squeeze: no package cap
+  // below the RAPL floor, no device cap below the GPU minimum.
+  double allocated = 0.0;
+  std::size_t limits = 0;
+  for (auto* job : mix.ptrs) {
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      EXPECT_GE(job->host_cap(h), job->host(h).min_cap() - 1e-9);
+      allocated += job->host_cap(h);
+      ++limits;
+      if (job->host_has_gpu_phase(h)) {
+        EXPECT_GE(job->host_gpu_cap(h), job->host_gpu_min_cap(h) - 1e-9);
+        EXPECT_LE(job->host_gpu_cap(h), job->host_gpu_tdp(h) + 1e-9);
+        allocated += job->host_gpu_cap(h);
+        ++limits;
+      }
+    }
+  }
+  // Two-domain watt conservation against the revised budget (1/8 W
+  // quantization slack per programmable limit).
+  EXPECT_LE(allocated,
+            schedule[0].budget_watts + 0.5 * static_cast<double>(limits));
+
+  // The GPU-heavy job kept a meaningful device allocation through the
+  // brownout — the squeeze did not collapse the second domain.
+  EXPECT_GT(mix.ptrs[0]->host_gpu_cap(0),
+            mix.ptrs[0]->host_gpu_min_cap(0));
+
+  EXPECT_GT(result.total_gflop, 0.0);
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+  core::invariants::reset();
+  core::invariants::set_mode(previous_mode);
+}
+
+TEST(HeteroBrownoutTest, NodeFailureReclaimsBothDomains) {
+  const core::invariants::Mode previous_mode = core::invariants::mode();
+  core::invariants::set_mode(core::invariants::Mode::kFatal);
+  core::invariants::reset();
+
+  HeteroMix mix;
+  // Tight budget (well below the mix's total demand, above the 2016 W
+  // two-domain floor sum): every watt the dead host surrenders is taken
+  // by a survivor, so the reclaim drives it exactly to the floors. With
+  // surplus in the pool the weighted fill would park a few watts on the
+  // dead host again — same contract as the single-domain reclaim tests.
+  const double budget = 8.0 * 300.0;
+  core::CoordinationOptions options;
+  options.policy = core::PolicyKind::kHeteroAdaptive;
+  core::CoordinationLoop loop(budget, options);
+
+  sim::FailureEvent failure;
+  failure.epoch = 2;
+  failure.kind = sim::FailureKind::kNodeFailure;
+  failure.job = 0;
+  failure.host = 1;
+  const std::vector<sim::FailureEvent> events = {failure};
+
+  core::FailureTelemetry telemetry;
+  static_cast<void>(
+      loop.run_dynamic(mix.ptrs, 30, events, {}, &telemetry, nullptr));
+
+  // The dead host was squeezed to the floor in *both* domains — watts
+  // above either floor returned to the pool.
+  ASSERT_EQ(telemetry.reclaims.size(), 1u);
+  EXPECT_TRUE(telemetry.reclaims[0].reclaimed);
+  EXPECT_NEAR(mix.ptrs[0]->host_cap(1),
+              mix.ptrs[0]->host(1).min_cap(), 0.5);
+  EXPECT_NEAR(mix.ptrs[0]->host_gpu_cap(1),
+              mix.ptrs[0]->host_gpu_min_cap(1), 0.5);
+  // The reclaim accounting covers the GPU watts too: more than the CPU
+  // domain alone could surrender from its steady-state cap.
+  EXPECT_GT(telemetry.reclaims[0].watts_reclaimed, 0.0);
+
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+  core::invariants::reset();
+  core::invariants::set_mode(previous_mode);
+}
+
+}  // namespace
+}  // namespace ps::fault

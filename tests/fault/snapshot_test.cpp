@@ -98,6 +98,68 @@ TEST(SnapshotTest, SaveLoadRoundTripsThroughDisk) {
   std::remove(path.c_str());
 }
 
+DaemonSnapshot hetero_snapshot() {
+  DaemonSnapshot snapshot = example_snapshot();
+  // lulesh gains a GPU domain; amg stays CPU-only — the mixed-cluster
+  // shape that forces the v3 bare-gpu_caps line.
+  snapshot.jobs[0].gpu_caps_watts = {800.0 / 7.0, 215.375, 290.0 / 3.0};
+  return snapshot;
+}
+
+TEST(SnapshotTest, V3RoundTripsGpuCapsExactly) {
+  const DaemonSnapshot snapshot = hetero_snapshot();
+  const std::string text = serialize(snapshot);
+  EXPECT_EQ(text.rfind("powerstack-snapshot v3\n", 0), 0u);
+  const DaemonSnapshot parsed = parse_snapshot(text);
+  EXPECT_EQ(parsed, snapshot);
+  // allocated_watts() spans both domains.
+  double expected = 0.0;
+  for (const SnapshotJob& job : snapshot.jobs) {
+    for (const double cap : job.caps_watts) {
+      expected += cap;
+    }
+    for (const double cap : job.gpu_caps_watts) {
+      expected += cap;
+    }
+  }
+  EXPECT_DOUBLE_EQ(parsed.allocated_watts(), expected);
+}
+
+TEST(SnapshotTest, V3MixedClusterKeepsCpuOnlyJobsBare) {
+  // Single-domain jobs of a mixed cluster write a bare `gpu_caps` line
+  // so the per-job line count stays fixed — and parse back empty.
+  const std::string text = serialize(hetero_snapshot());
+  EXPECT_NE(text.find("\ngpu_caps\n"), std::string::npos);
+  const DaemonSnapshot parsed = parse_snapshot(text);
+  ASSERT_EQ(parsed.jobs.size(), 2u);
+  EXPECT_FALSE(parsed.jobs[0].gpu_caps_watts.empty());
+  EXPECT_TRUE(parsed.jobs[1].gpu_caps_watts.empty());
+}
+
+TEST(SnapshotTest, CpuOnlySnapshotStaysV2ByteCompatible) {
+  // No GPU caps anywhere: the header stays v2 and no gpu_caps line is
+  // emitted, so pre-hetero snapshot files are byte-identical.
+  const std::string text = serialize(example_snapshot());
+  EXPECT_EQ(text.rfind("powerstack-snapshot v2\n", 0), 0u);
+  EXPECT_EQ(text.find("gpu_caps"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsGpuCapsCountMismatch) {
+  // serialize() is a plain writer; the parser owns the shape check.
+  DaemonSnapshot snapshot = hetero_snapshot();
+  snapshot.jobs[0].gpu_caps_watts.pop_back();
+  EXPECT_THROW(static_cast<void>(parse_snapshot(serialize(snapshot))),
+               Error);
+}
+
+TEST(SnapshotTest, ChecksumGuardsTheGpuLineToo) {
+  std::string text = serialize(hetero_snapshot());
+  const std::size_t pos = text.find("215.375");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '3';
+  EXPECT_THROW(static_cast<void>(parse_snapshot(text)), Error);
+}
+
 TEST(SnapshotTest, MissingFileLoadsAsColdStart) {
   EXPECT_EQ(load_snapshot(unique_path("missing")), std::nullopt);
 }

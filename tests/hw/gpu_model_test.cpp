@@ -1,0 +1,110 @@
+#include "hw/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/node.hpp"
+
+namespace ps::hw {
+namespace {
+
+TEST(GpuModelTest, CapClampsAndQuantizesLikeRapl) {
+  GpuModel gpu;
+  EXPECT_DOUBLE_EQ(gpu.power_cap(), gpu.tdp());  // Boots uncapped.
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(200.0), 200.0);
+  // 1/8 W quantization (round to the nearest unit), same granularity as
+  // the package RAPL units.
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(200.07), 200.125);
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(200.03), 200.0);
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(200.125), 200.125);
+  // Clamped to the settable [min_cap, TDP] range.
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(10.0), gpu.min_cap());
+  EXPECT_DOUBLE_EQ(gpu.set_power_cap(1e6), gpu.tdp());
+}
+
+TEST(GpuModelTest, PowerModelRespectsIdleFloorAndOccupancy) {
+  GpuModel gpu;
+  const GpuPowerParams& p = gpu.params().power;
+  // No kernel: only the leakage floor is drawn.
+  EXPECT_DOUBLE_EQ(gpu.power(p.max_clock_ghz, 0.0), p.idle_watts);
+  // Full clock, full occupancy: idle + max dynamic.
+  EXPECT_DOUBLE_EQ(gpu.power(p.max_clock_ghz, 1.0),
+                   p.idle_watts + p.max_dynamic_watts);
+  // Dynamic power scales linearly with occupancy.
+  EXPECT_DOUBLE_EQ(gpu.power(p.max_clock_ghz, 0.5),
+                   p.idle_watts + 0.5 * p.max_dynamic_watts);
+  // Lower clock draws less; the curve is monotone.
+  EXPECT_LT(gpu.power(1.0, 1.0), gpu.power(1.2, 1.0));
+}
+
+TEST(GpuModelTest, ClockAtCapInvertsThePowerModel) {
+  GpuModel gpu;
+  const GpuPowerParams& p = gpu.params().power;
+  // Uncapped: full boost clock.
+  EXPECT_DOUBLE_EQ(gpu.clock_at_cap(gpu.tdp(), 1.0), p.max_clock_ghz);
+  // A mid-range cap lands between the floor and boost clocks, and the
+  // inversion is exact: power(clock_at_cap(c)) == c.
+  const double cap = 180.0;
+  const double clock = gpu.clock_at_cap(cap, 1.0);
+  EXPECT_GT(clock, p.min_clock_ghz);
+  EXPECT_LT(clock, p.max_clock_ghz);
+  EXPECT_NEAR(gpu.power(clock, 1.0), cap, 1e-9);
+  // The device cannot run below its floor clock: once the cap leaves no
+  // dynamic budget above the leakage floor, the clock pins at the
+  // minimum and the cap is simply not met.
+  EXPECT_DOUBLE_EQ(gpu.clock_at_cap(p.idle_watts, 1.0), p.min_clock_ghz);
+  EXPECT_DOUBLE_EQ(gpu.clock_at_cap(10.0, 1.0), p.min_clock_ghz);
+  EXPECT_GT(gpu.clock_at_cap(gpu.min_cap(), 1.0), p.min_clock_ghz);
+  // At partial occupancy the same cap affords a higher clock.
+  EXPECT_GT(gpu.clock_at_cap(cap, 0.5), clock);
+}
+
+TEST(GpuModelTest, RooflineSeparatesComputeAndMemoryBoundKernels) {
+  GpuModel gpu;
+  // High intensity: compute-bound, so halving the cap (and the clock)
+  // stretches the phase.
+  const GpuPhaseResult fast =
+      gpu.preview_compute(50.0, 40.0, 1.0, gpu.tdp());
+  const GpuPhaseResult slow =
+      gpu.preview_compute(50.0, 40.0, 1.0, 150.0);
+  EXPECT_TRUE(fast.compute_bound);
+  EXPECT_GT(slow.seconds, fast.seconds);
+  EXPECT_LT(slow.clock_ghz, fast.clock_ghz);
+
+  // Low intensity: memory-bound. Bandwidth holds until the clock drops
+  // below the bandwidth floor, so a mild cap costs (almost) no time.
+  const GpuPhaseResult mem_fast =
+      gpu.preview_compute(50.0, 0.5, 1.0, gpu.tdp());
+  const GpuPhaseResult mem_mild =
+      gpu.preview_compute(50.0, 0.5, 1.0, 280.0);
+  EXPECT_FALSE(mem_fast.compute_bound);
+  EXPECT_NEAR(mem_mild.seconds, mem_fast.seconds, 1e-9);
+}
+
+TEST(GpuModelTest, EnergyCounterIsMonotoneAcrossRunAndIdle) {
+  GpuModel gpu;
+  EXPECT_DOUBLE_EQ(gpu.read_energy_joules(), 0.0);
+  const GpuPhaseResult phase = gpu.run_compute(10.0, 8.0, 0.9);
+  EXPECT_GT(phase.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(gpu.read_energy_joules(), phase.energy_joules);
+  EXPECT_DOUBLE_EQ(gpu.last_occupancy(), 0.9);
+  // Idle still burns the leakage floor; the counter never goes backward.
+  gpu.run_idle(2.0);
+  EXPECT_NEAR(gpu.read_energy_joules(),
+              phase.energy_joules + 2.0 * gpu.idle_watts(), 1e-9);
+}
+
+TEST(GpuModelTest, NodeAttachesGpusAsSecondDomain) {
+  NodeModel node(0, 1.0);
+  EXPECT_EQ(node.gpu_count(), 0u);
+  GpuModel& gpu = node.attach_gpu();
+  EXPECT_EQ(node.gpu_count(), 1u);
+  EXPECT_DOUBLE_EQ(node.gpu(0).tdp(), gpu.tdp());
+  // The GPU limit domain is independent of the package RAPL domains:
+  // capping one leaves the other untouched.
+  const double node_cap = node.power_cap();
+  gpu.set_power_cap(150.0);
+  EXPECT_DOUBLE_EQ(node.power_cap(), node_cap);
+}
+
+}  // namespace
+}  // namespace ps::hw

@@ -1,0 +1,204 @@
+// Heterogeneous golden traces: a CPU+GPU run under HeteroAdaptive emits
+// per-domain cap events ("c<h>" and "g<h>" keys on the same "caps"
+// event), the JSONL round-trips byte-for-byte, and replay_allocations()
+// reconstructs the GPU caps watt-for-watt against the live devices.
+// CPU-only runs must keep emitting g-free events so the pre-hetero
+// golden traces stay byte-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "obs/obs.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::obs {
+namespace {
+
+kernel::WorkloadConfig gpu_heavy_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 4.0;
+  config.gigabytes_per_iteration = 1.0;
+  config.gpu_gigabytes_per_iteration = 60.0;
+  config.gpu_intensity = 40.0;
+  return config;
+}
+
+kernel::WorkloadConfig cpu_heavy_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  config.gpu_gigabytes_per_iteration = 4.0;
+  return config;
+}
+
+/// Two hetero jobs on an 8-node GPU cluster — the brownout mix, traced.
+struct HeteroMix {
+  explicit HeteroMix(std::size_t hosts_per_job = 4) {
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * 2);
+    std::vector<hw::NodeModel*> a;
+    std::vector<hw::NodeModel*> b;
+    for (std::size_t h = 0; h < hosts_per_job; ++h) {
+      cluster->node(h).attach_gpu();
+      cluster->node(h + hosts_per_job).attach_gpu();
+      a.push_back(&cluster->node(h));
+      b.push_back(&cluster->node(h + hosts_per_job));
+    }
+    jobs.push_back(std::make_unique<sim::JobSimulation>(
+        "a-gpu-heavy", std::move(a), gpu_heavy_config()));
+    jobs.push_back(std::make_unique<sim::JobSimulation>(
+        "b-cpu-heavy", std::move(b), cpu_heavy_config()));
+    ptrs = {jobs[0].get(), jobs[1].get()};
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+  std::vector<sim::JobSimulation*> ptrs;
+};
+
+constexpr double kBudgetWatts = 8.0 * 370.0;
+constexpr std::size_t kIterations = 20;  // 4 coordination epochs
+
+std::string deterministic_jsonl(const TraceSink& sink) {
+  std::ostringstream out;
+  write_jsonl(out, sink.events(deterministic_categories()));
+  return out.str();
+}
+
+struct TracedHeteroRun {
+  std::string jsonl;
+  std::vector<core::EpochRecord> epochs;
+  std::vector<std::string> job_names;
+  std::vector<std::vector<double>> final_caps;      ///< [job][host]
+  std::vector<std::vector<double>> final_gpu_caps;  ///< [job][host]
+};
+
+TracedHeteroRun run_hetero_traced() {
+  HeteroMix mix;
+  TraceSink sink;
+  core::CoordinationOptions options;
+  options.policy = core::PolicyKind::kHeteroAdaptive;
+  options.obs.trace = &sink;
+  core::CoordinationLoop loop(kBudgetWatts, options);
+  const core::CoordinationResult result = loop.run(mix.ptrs, kIterations);
+
+  TracedHeteroRun run;
+  run.jsonl = deterministic_jsonl(sink);
+  run.epochs = result.epochs;
+  for (const sim::JobSimulation* job : mix.ptrs) {
+    run.job_names.push_back(job->name());
+    std::vector<double> caps;
+    std::vector<double> gpu_caps;
+    for (std::size_t h = 0; h < job->host_count(); ++h) {
+      caps.push_back(job->host_cap(h));
+      gpu_caps.push_back(job->host_gpu_cap(h));
+    }
+    run.final_caps.push_back(std::move(caps));
+    run.final_gpu_caps.push_back(std::move(gpu_caps));
+  }
+  return run;
+}
+
+TEST(HeteroTrace, CapsEventsCarryBothDomains) {
+  const TracedHeteroRun run = run_hetero_traced();
+  ASSERT_FALSE(run.jsonl.empty());
+  // Both domains ride the same "caps" events: c-keys and g-keys.
+  EXPECT_NE(run.jsonl.find("\"" + cap_key(0) + "\""), std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"" + gpu_cap_key(0) + "\""),
+            std::string::npos);
+  EXPECT_NE(run.jsonl.find("\"" + gpu_cap_key(3) + "\""),
+            std::string::npos);
+}
+
+TEST(HeteroTrace, TraceIsByteIdenticalAcrossRuns) {
+  const TracedHeteroRun first = run_hetero_traced();
+  const TracedHeteroRun second = run_hetero_traced();
+  EXPECT_EQ(first.jsonl, second.jsonl) << "hetero trace diverged";
+}
+
+TEST(HeteroTrace, JsonlRoundTripsByteForByte) {
+  // encode -> parse -> encode identity: the serialized events survive a
+  // read_jsonl/write_jsonl cycle unchanged, g-keys included.
+  const TracedHeteroRun run = run_hetero_traced();
+  std::istringstream in(run.jsonl);
+  const std::vector<TraceEvent> events = read_jsonl(in);
+  ASSERT_FALSE(events.empty());
+  std::ostringstream out;
+  write_jsonl(out, events);
+  EXPECT_EQ(out.str(), run.jsonl);
+}
+
+TEST(HeteroTrace, ReplayReconstructsGpuCapsWattForWatt) {
+  const TracedHeteroRun run = run_hetero_traced();
+  std::istringstream in(run.jsonl);
+  const std::vector<ReplayedAllocation> steps =
+      replay_allocations(read_jsonl(in));
+  ASSERT_EQ(steps.size(), run.epochs.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].tick, run.epochs[i].epoch);
+    // total_watts() spans both domains, same as the live accounting.
+    EXPECT_DOUBLE_EQ(steps[i].total_watts(),
+                     run.epochs[i].allocated_watts);
+    ASSERT_EQ(steps[i].jobs.size(), run.job_names.size());
+    for (const ReplayedJobCaps& job : steps[i].jobs) {
+      ASSERT_EQ(job.gpu_caps_watts.size(), job.caps_watts.size())
+          << "hetero job lost its GPU row in step " << i;
+    }
+  }
+  // The last step's caps equal what the live run left programmed on the
+  // packages *and* the devices.
+  const ReplayedAllocation& last = steps.back();
+  for (std::size_t j = 0; j < run.job_names.size(); ++j) {
+    EXPECT_EQ(last.jobs[j].job, run.job_names[j]);
+    ASSERT_EQ(last.jobs[j].caps_watts.size(), run.final_caps[j].size());
+    for (std::size_t h = 0; h < run.final_caps[j].size(); ++h) {
+      EXPECT_DOUBLE_EQ(last.jobs[j].caps_watts[h], run.final_caps[j][h]);
+      EXPECT_DOUBLE_EQ(last.jobs[j].gpu_caps_watts[h],
+                       run.final_gpu_caps[j][h])
+          << "job " << run.job_names[j] << " gpu host " << h;
+    }
+  }
+}
+
+TEST(HeteroTrace, CpuOnlyTraceStaysFreeOfGpuKeys) {
+  // The byte-compatibility contract: a CPU-only run through the very
+  // same loop emits no g-keys, so pre-hetero golden traces still match.
+  sim::Cluster cluster(4);
+  kernel::WorkloadConfig config;
+  config.intensity = 16.0;
+  std::vector<hw::NodeModel*> hosts;
+  for (std::size_t h = 0; h < 4; ++h) {
+    hosts.push_back(&cluster.node(h));
+  }
+  sim::JobSimulation job("cpu-only", std::move(hosts), config);
+  std::vector<sim::JobSimulation*> jobs = {&job};
+
+  TraceSink sink;
+  core::CoordinationOptions options;
+  options.obs.trace = &sink;
+  core::CoordinationLoop loop(4.0 * 230.0, options);
+  static_cast<void>(loop.run(jobs, kIterations));
+
+  const std::string jsonl = deterministic_jsonl(sink);
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_NE(jsonl.find("\"" + cap_key(0) + "\""), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"" + gpu_cap_key(0) + "\""), std::string::npos);
+
+  // And the replay of a single-domain trace keeps the GPU rows empty.
+  std::istringstream in(jsonl);
+  const std::vector<ReplayedAllocation> steps =
+      replay_allocations(read_jsonl(in));
+  ASSERT_FALSE(steps.empty());
+  for (const ReplayedAllocation& step : steps) {
+    for (const ReplayedJobCaps& caps : step.jobs) {
+      EXPECT_TRUE(caps.gpu_caps_watts.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ps::obs

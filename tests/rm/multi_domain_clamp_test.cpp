@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "../core/context_builder.hpp"
+#include "rm/power_manager.hpp"
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+double total(const PowerAllocation& allocation) {
+  return allocation.total_watts();
+}
+
+// Satellite regression for the latent single-domain assumptions found
+// while generalizing to per-domain caps: the emergency clamp must
+// floor-preserve each domain separately, and the PolicyContext TDP
+// fallback must never invert a clamp range.
+
+TEST(MultiDomainClampTest, SingleScaleSpansBothDomains) {
+  // One 2-host job: CPU caps 200/240, GPU caps 250/290, floors 152/100.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0, 240.0}};
+  allocation.job_host_gpu_caps = {{250.0, 290.0}};
+  const std::vector<std::vector<double>> floors = {{152.0, 152.0}};
+  const std::vector<std::vector<double>> gpu_floors = {{100.0, 100.0}};
+
+  // Σcaps = 980, Σfloors = 504. A 742 W budget leaves s = 0.5.
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 742.0, gpu_floors);
+  EXPECT_NEAR(total(clamped), 742.0, 1e-9);
+  // Every cap moves toward its own domain's floor by the same fraction.
+  EXPECT_NEAR(clamped.job_host_caps[0][0], 152.0 + 0.5 * 48.0, 1e-9);
+  EXPECT_NEAR(clamped.job_host_caps[0][1], 152.0 + 0.5 * 88.0, 1e-9);
+  EXPECT_NEAR(clamped.job_host_gpu_caps[0][0], 100.0 + 0.5 * 150.0, 1e-9);
+  EXPECT_NEAR(clamped.job_host_gpu_caps[0][1], 100.0 + 0.5 * 190.0, 1e-9);
+}
+
+TEST(MultiDomainClampTest, BrownoutPreservesEachDomainsFloor) {
+  // A GPU-heavy job under a brownout far below its allocation: no cap —
+  // in either domain — may land below its own settable floor.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{180.0, 180.0}};
+  allocation.job_host_gpu_caps = {{280.0, 280.0}};
+  const std::vector<std::vector<double>> floors = {{152.0, 152.0}};
+  const std::vector<std::vector<double>> gpu_floors = {{100.0, 100.0}};
+
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 100.0, gpu_floors);
+  // Even though the budget is unservable, the stack never programs below
+  // a settable minimum: both domains land exactly on their floors.
+  EXPECT_EQ(clamped.job_host_caps[0], floors[0]);
+  EXPECT_EQ(clamped.job_host_gpu_caps[0], gpu_floors[0]);
+}
+
+TEST(MultiDomainClampTest, MixedClusterClampsOnlyTheHeteroJobsGpuRow) {
+  // Hetero job + CPU-only job. The CPU-only job's GPU row is empty and
+  // must stay empty through the clamp.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0}, {240.0}};
+  allocation.job_host_gpu_caps = {{280.0}, {}};
+  const std::vector<std::vector<double>> floors = {{152.0}, {152.0}};
+  const std::vector<std::vector<double>> gpu_floors = {{100.0}, {}};
+
+  const PowerAllocation clamped =
+      clamp_allocation_to_budget(allocation, floors, 600.0, gpu_floors);
+  EXPECT_NEAR(total(clamped), 600.0, 1e-9);
+  EXPECT_TRUE(clamped.job_host_gpu_caps[1].empty());
+  EXPECT_GE(clamped.job_host_gpu_caps[0][0], 100.0);
+  EXPECT_GE(clamped.job_host_caps[0][0], 152.0);
+  EXPECT_GE(clamped.job_host_caps[1][0], 152.0);
+}
+
+TEST(MultiDomainClampTest, GpuFloorShapeMismatchIsRejected) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0}};
+  allocation.job_host_gpu_caps = {{280.0}};
+  const std::vector<std::vector<double>> floors = {{152.0}};
+  // Missing GPU floors for a GPU-bearing allocation.
+  EXPECT_THROW(static_cast<void>(clamp_allocation_to_budget(
+                   allocation, floors, 400.0, {{100.0, 100.0}})),
+               ps::Error);
+}
+
+TEST(MultiDomainClampTest, JobTdpFallbackNeverInvertsTheClampRange) {
+  // The regression this satellite exists for: a job whose settable floor
+  // exceeds the context-wide TDP guess. validate() rejects it outright —
+  // the saturating job_tdp_watts() fallback must not mask that.
+  core::PolicyContext context = core::testing::make_context(
+      700.0, {core::testing::make_job(2, 214.0, 190.0, 500.0)});
+  EXPECT_THROW(context.validate(), ps::Error);
+
+  // But on the unvalidated emergency path the fallback saturates at the
+  // floor instead of handing downstream an inverted [min, TDP] range.
+  EXPECT_GE(context.job_tdp_watts(0), context.jobs[0].min_settable_cap_watts);
+
+  // A per-job TDP wins over the context guess.
+  context.jobs[0].node_tdp_watts = 520.0;
+  EXPECT_DOUBLE_EQ(context.job_tdp_watts(0), 520.0);
+  EXPECT_NO_THROW(context.validate());
+}
+
+}  // namespace
+}  // namespace ps::rm

@@ -35,8 +35,11 @@ TEST_F(PlatformIOTest, SignalAndControlCatalogs) {
   EXPECT_FALSE(PlatformIO::is_valid_signal("NOT_A_SIGNAL"));
   EXPECT_TRUE(PlatformIO::is_valid_control("FREQUENCY_CAP"));
   EXPECT_FALSE(PlatformIO::is_valid_control("ENERGY"));
-  EXPECT_EQ(PlatformIO::signal_names().size(), 7u);
-  EXPECT_EQ(PlatformIO::control_names().size(), 2u);
+  EXPECT_TRUE(PlatformIO::is_valid_signal("GPU_ENERGY"));
+  EXPECT_TRUE(PlatformIO::is_valid_signal("GPU_OCCUPANCY"));
+  EXPECT_TRUE(PlatformIO::is_valid_control("GPU_POWER_CAP"));
+  EXPECT_EQ(PlatformIO::signal_names().size(), 12u);
+  EXPECT_EQ(PlatformIO::control_names().size(), 3u);
 }
 
 TEST_F(PlatformIOTest, NodeSignalsReflectHardware) {

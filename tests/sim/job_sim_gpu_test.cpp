@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/job_sim.hpp"
+#include "util/error.hpp"
+
+namespace ps::sim {
+namespace {
+
+kernel::WorkloadConfig gpu_workload() {
+  kernel::WorkloadConfig config;
+  config.intensity = 4.0;
+  config.gigabytes_per_iteration = 1.0;
+  config.gpu_gigabytes_per_iteration = 60.0;
+  config.gpu_intensity = 40.0;
+  return config;
+}
+
+struct HeteroRig {
+  HeteroRig() : cluster(2) {
+    cluster.node(0).attach_gpu();
+    cluster.node(1).attach_gpu();
+    job = std::make_unique<JobSimulation>(
+        "hetero", std::vector<hw::NodeModel*>{&cluster.node(0),
+                                              &cluster.node(1)},
+        gpu_workload());
+  }
+  Cluster cluster;
+  std::unique_ptr<JobSimulation> job;
+};
+
+TEST(JobSimGpuTest, GpuDomainIsVisibleOnlyWithDevicesAndOffload) {
+  Cluster cluster(2);
+  cluster.node(0).attach_gpu();
+  // GPU devices but a CPU-only workload: no GPU domain.
+  kernel::WorkloadConfig cpu_only;
+  JobSimulation cpu_job(
+      "cpu", std::vector<hw::NodeModel*>{&cluster.node(0)}, cpu_only);
+  EXPECT_FALSE(cpu_job.has_gpu_domain());
+  EXPECT_FALSE(cpu_job.host_has_gpu_phase(0));
+
+  // Offloaded workload on a host without devices: still no GPU phase.
+  JobSimulation bare_job(
+      "bare", std::vector<hw::NodeModel*>{&cluster.node(1)},
+      gpu_workload());
+  EXPECT_FALSE(bare_job.has_gpu_domain());
+  EXPECT_FALSE(bare_job.host_has_gpu_phase(0));
+
+  HeteroRig rig;
+  EXPECT_TRUE(rig.job->has_gpu_domain());
+  EXPECT_TRUE(rig.job->host_has_gpu_phase(0));
+  EXPECT_TRUE(rig.job->host_has_gpu_phase(1));
+}
+
+TEST(JobSimGpuTest, GpuCapProgrammingMirrorsTheDevice) {
+  HeteroRig rig;
+  EXPECT_DOUBLE_EQ(rig.job->host_gpu_cap(0), rig.job->host_gpu_tdp(0));
+  rig.job->set_host_gpu_cap(0, 200.0);
+  EXPECT_DOUBLE_EQ(rig.job->host_gpu_cap(0), 200.0);
+  EXPECT_DOUBLE_EQ(rig.cluster.node(0).gpu(0).power_cap(), 200.0);
+  // Out-of-range requests land on the settable bounds.
+  rig.job->set_host_gpu_cap(0, 1.0);
+  EXPECT_DOUBLE_EQ(rig.job->host_gpu_cap(0), rig.job->host_gpu_min_cap(0));
+}
+
+TEST(JobSimGpuTest, GpuCapStretchesAGpuBoundIteration) {
+  HeteroRig rig;
+  const IterationResult uncapped = rig.job->run_iteration();
+  ASSERT_EQ(uncapped.hosts.size(), 2u);
+  EXPECT_GT(uncapped.hosts[0].gpu_busy_seconds, 0.0);
+  EXPECT_GT(uncapped.hosts[0].gpu_energy_joules, 0.0);
+  EXPECT_GT(uncapped.hosts[0].gpu_average_power_watts, 0.0);
+  EXPECT_GT(uncapped.hosts[0].gpu_clock_ghz, 0.0);
+
+  for (std::size_t h = 0; h < rig.job->host_count(); ++h) {
+    rig.job->set_host_gpu_cap(h, rig.job->host_gpu_min_cap(h));
+  }
+  const IterationResult capped = rig.job->run_iteration();
+  // The offloaded kernel is compute-bound: the device cap throttles its
+  // clock and the iteration critical path stretches.
+  EXPECT_GT(capped.iteration_seconds, uncapped.iteration_seconds);
+  EXPECT_LT(capped.hosts[0].gpu_clock_ghz,
+            uncapped.hosts[0].gpu_clock_ghz);
+}
+
+TEST(JobSimGpuTest, PreviewMatchesTheProgrammedCapRun) {
+  HeteroRig rig;
+  const double preview = rig.job->preview_gpu_seconds(0, 150.0);
+  rig.job->set_host_gpu_cap(0, 150.0);
+  const IterationResult result = rig.job->run_iteration();
+  EXPECT_NEAR(result.hosts[0].gpu_busy_seconds, preview,
+              preview * 0.05);
+  // Previews are pure: the programmed cap did not move.
+  EXPECT_DOUBLE_EQ(rig.job->host_gpu_cap(0), 150.0);
+}
+
+TEST(JobSimGpuTest, GpuEnergyAndFlopsFoldIntoJobTotals) {
+  HeteroRig rig;
+  const IterationResult iteration = rig.job->run_iteration();
+  double host_energy = 0.0;
+  double gpu_energy = 0.0;
+  for (const HostIterationResult& host : iteration.hosts) {
+    host_energy += host.energy_joules;
+    gpu_energy += host.gpu_energy_joules;
+    // The per-host totals already include the GPU share.
+    EXPECT_GE(host.energy_joules, host.gpu_energy_joules);
+    EXPECT_GE(host.gflop, host.gpu_gflop);
+  }
+  EXPECT_GT(gpu_energy, 0.0);
+  EXPECT_NEAR(iteration.total_energy_joules, host_energy, 1e-6);
+  EXPECT_NEAR(rig.job->totals().energy_joules, host_energy, 1e-6);
+}
+
+TEST(JobSimGpuTest, GpuAccessorsRejectGpuLessHosts) {
+  Cluster cluster(1);
+  JobSimulation job("bare",
+                    std::vector<hw::NodeModel*>{&cluster.node(0)},
+                    gpu_workload());
+  EXPECT_THROW(job.set_host_gpu_cap(0, 200.0), ps::Error);
+  EXPECT_THROW(static_cast<void>(job.preview_gpu_seconds(0, 200.0)),
+               ps::Error);
+}
+
+}  // namespace
+}  // namespace ps::sim

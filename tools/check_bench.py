@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Benchmark baseline: wall time + output checksum for a sweep harness.
+
+The committed baseline (BENCH_fig08.json) pins three things about a
+bench binary's --quick run:
+
+  * the number of CSV data rows (the sweep covered every cell),
+  * a SHA-256 of the CSV bytes (the numbers themselves -- any model or
+    policy change that moves a figure shows up as checksum drift and
+    must regenerate the baseline in the same PR),
+  * the wall time of the serial and --jobs 4 runs (a >10% regression
+    of either fails CI).
+
+Two modes:
+
+    # refresh the committed baseline after an intentional change
+    python3 tools/check_bench.py --bench ./build/bench/fig08_savings_grid \
+        --baseline BENCH_fig08.json --generate
+
+    # CI: verify the current build against the committed baseline
+    python3 tools/check_bench.py --bench ./build/bench/fig08_savings_grid \
+        --baseline BENCH_fig08.json [--tolerance 0.10]
+
+Wall times are machine-dependent; CI runners are sized close enough to
+the baseline machine that the 10% band holds, and --tolerance widens it
+where it does not.  The checksum and cell count are machine-independent:
+the sweep executor guarantees bit-identical CSVs at any worker count,
+which this script also re-verifies (serial vs --jobs 4) on every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_bench(bench: Path, jobs: int, out_csv: Path) -> float:
+    """Runs one --quick sweep; returns its wall time in seconds."""
+    cmd = [str(bench), "--quick", "--jobs", str(jobs), "--out", str(out_csv)]
+    start = time.monotonic()
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    elapsed = time.monotonic() - start
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        sys.exit(f"{' '.join(cmd)}: exit {result.returncode}")
+    return elapsed
+
+
+def measure(bench: Path) -> dict:
+    with tempfile.TemporaryDirectory(prefix="ps-bench-") as tmp:
+        serial_csv = Path(tmp) / "serial.csv"
+        jobs4_csv = Path(tmp) / "jobs4.csv"
+        wall_serial = run_bench(bench, 1, serial_csv)
+        wall_jobs4 = run_bench(bench, 4, jobs4_csv)
+        serial_bytes = serial_csv.read_bytes()
+        if serial_bytes != jobs4_csv.read_bytes():
+            sys.exit(f"{bench.name}: --jobs 4 CSV differs from the serial "
+                     "one -- the sweep executor lost determinism")
+        rows = serial_bytes.decode().strip().splitlines()
+    return {
+        "bench": bench.name,
+        "args": ["--quick"],
+        "cells": len(rows) - 1,  # minus the header
+        "savings_sha256": hashlib.sha256(serial_bytes).hexdigest(),
+        "wall_seconds_serial": round(wall_serial, 3),
+        "wall_seconds_jobs4": round(wall_jobs4, 3),
+    }
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    if current["savings_sha256"] != baseline["savings_sha256"]:
+        failures.append(
+            "savings checksum drift: the CSV numbers changed "
+            f"({baseline['savings_sha256'][:12]} -> "
+            f"{current['savings_sha256'][:12]}); if intentional, "
+            "regenerate the baseline with --generate in this PR")
+    if current["cells"] != baseline["cells"]:
+        failures.append(f"cell count changed: {baseline['cells']} -> "
+                        f"{current['cells']}")
+    for key in ("wall_seconds_serial", "wall_seconds_jobs4"):
+        limit = baseline[key] * (1.0 + tolerance)
+        if current[key] > limit:
+            failures.append(
+                f"{key} regressed >{tolerance:.0%}: {baseline[key]:.3f}s "
+                f"baseline vs {current[key]:.3f}s now (limit {limit:.3f}s)")
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", type=Path, required=True,
+                        help="path to the sweep bench binary")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--generate", action="store_true",
+                        help="write the baseline instead of checking it")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative wall-time regression")
+    args = parser.parse_args()
+
+    current = measure(args.bench)
+    if args.generate:
+        args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {args.baseline}: {current['cells']} cells, "
+              f"serial {current['wall_seconds_serial']}s, "
+              f"--jobs 4 {current['wall_seconds_jobs4']}s")
+        return
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, args.tolerance)
+    print(f"{current['bench']}: {current['cells']} cells, checksum "
+          f"{current['savings_sha256'][:12]}, serial "
+          f"{current['wall_seconds_serial']}s (baseline "
+          f"{baseline['wall_seconds_serial']}s), --jobs 4 "
+          f"{current['wall_seconds_jobs4']}s (baseline "
+          f"{baseline['wall_seconds_jobs4']}s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()
