@@ -135,6 +135,9 @@ std::string serialize(const PolicyMessage& message, WireFidelity fidelity) {
   if (message.budget_epoch != 0) {
     out << "budget_epoch " << message.budget_epoch << '\n';
   }
+  if (message.fence_epoch != 0) {
+    out << "fence " << message.fence_epoch << '\n';
+  }
   return out.str();
 }
 
@@ -203,9 +206,9 @@ PolicyMessage parse_policy_message(std::string_view text) {
   PS_REQUIRE(v3 || lines[0] == "powerstack-policy v1",
              "not a v1 or v3 policy message");
   const std::size_t base = v3 ? 5 : 4;
-  PS_REQUIRE(lines.size() == base || lines.size() == base + 1,
-             v3 ? "v3 policy message needs 5 or 6 lines"
-                : "policy message needs 4 or 5 lines");
+  PS_REQUIRE(lines.size() >= base && lines.size() <= base + 2,
+             v3 ? "v3 policy message needs 5 to 7 lines"
+                : "policy message needs 4 to 6 lines");
   PolicyMessage message;
   message.sequence = parse_sequence(lines[1]);
   message.job_name = parse_job_name(lines[2]);
@@ -218,11 +221,23 @@ PolicyMessage parse_policy_message(std::string_view text) {
                    message.host_caps_watts.size(),
                "GPU caps disagree on host count");
   }
-  if (lines.size() == base + 1) {
-    message.budget_epoch = parse_keyed_uint(lines[base], "budget_epoch");
+  // Optional trailing lines, fixed order, each at most once, and only in
+  // its explicit (non-zero) form — the zero case is the line's absence.
+  std::size_t next = base;
+  if (next < lines.size() && util::starts_with(lines[next], "budget_epoch ")) {
+    message.budget_epoch = parse_keyed_uint(lines[next], "budget_epoch");
     PS_REQUIRE(message.budget_epoch != 0,
                "explicit budget_epoch must be non-zero");
+    ++next;
   }
+  if (next < lines.size() && util::starts_with(lines[next], "fence ")) {
+    message.fence_epoch = parse_keyed_uint(lines[next], "fence");
+    PS_REQUIRE(message.fence_epoch != 0,
+               "explicit fence must be non-zero");
+    ++next;
+  }
+  PS_REQUIRE(next == lines.size(),
+             "unexpected trailing line in policy message");
   return message;
 }
 

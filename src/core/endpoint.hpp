@@ -52,6 +52,14 @@ struct PolicyMessage {
   /// wire); otherwise one GPU cap per host.
   std::vector<double> host_gpu_caps_watts;
   std::uint64_t budget_epoch = 0;
+  /// Fencing epoch of the daemon incarnation that computed the caps
+  /// (0 = a daemon that has never failed over — the line is absent on
+  /// the wire, keeping single-daemon traffic byte-identical). A promoted
+  /// standby runs at its predecessor's fence + 1; clients ratchet the
+  /// highest fence ever heard and reject lower-fenced caps as the output
+  /// of a fenced zombie primary — the same discipline as budget_epoch,
+  /// but spanning daemon incarnations instead of budget renegotiations.
+  std::uint64_t fence_epoch = 0;
 
   [[nodiscard]] bool has_gpu_domain() const noexcept {
     return !host_gpu_caps_watts.empty();
@@ -112,8 +120,11 @@ enum class WireFidelity { kDisplay, kExact };
 /// PolicyMessage serializes as the 4-line v1 form when budget_epoch is 0
 /// and gains a fifth `budget_epoch` line otherwise; the parser accepts
 /// both, so pre-dynamic-budget peers interoperate unchanged. With GPU
-/// caps present it becomes v3: a `gpu_caps` line follows `caps` (the
-/// optional `budget_epoch` stays last).
+/// caps present it becomes v3: a `gpu_caps` line follows `caps`. The
+/// optional trailing lines keep a fixed order — `budget_epoch` then
+/// `fence` — and each is present exactly when its field is non-zero, so
+/// a message from a never-failed-over daemon under a never-revised
+/// budget is byte-identical to the original v1 wire.
 [[nodiscard]] std::string serialize(const PolicyMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);

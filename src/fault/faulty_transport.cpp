@@ -1,5 +1,8 @@
 #include "fault/faulty_transport.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "util/error.hpp"
@@ -7,28 +10,62 @@
 namespace ps::fault {
 
 namespace {
+
 std::size_t decode_be32(const std::array<unsigned char, 4>& bytes) {
   return (static_cast<std::size_t>(bytes[0]) << 24) |
          (static_cast<std::size_t>(bytes[1]) << 16) |
          (static_cast<std::size_t>(bytes[2]) << 8) |
          static_cast<std::size_t>(bytes[3]);
 }
+
+/// How long a partitioned wait naps between heal checks.
+constexpr std::chrono::milliseconds kPartitionNap{1};
+
 }  // namespace
 
 FaultyTransport::FaultyTransport(std::unique_ptr<net::Transport> inner,
                                  std::shared_ptr<FaultPlan> plan)
-    : inner_(std::move(inner)), plan_(std::move(plan)) {
+    : FaultyTransport(std::move(inner), std::move(plan), nullptr) {}
+
+FaultyTransport::FaultyTransport(std::unique_ptr<net::Transport> inner,
+                                 std::shared_ptr<FaultPlan> plan,
+                                 std::shared_ptr<PartitionControl> partition)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      partition_(std::move(partition)) {
   PS_REQUIRE(inner_ != nullptr, "faulty transport needs an inner transport");
   PS_REQUIRE(plan_ != nullptr, "faulty transport needs a fault plan");
 }
 
-net::IoResult FaultyTransport::read_some(char* out, std::size_t max_bytes) {
+void FaultyTransport::capture_inbound() {
   if (!inner_->valid()) {
+    return;
+  }
+  char buffer[4096];
+  for (;;) {
+    const net::IoResult r = inner_->read_some(buffer, sizeof(buffer));
+    if (r.status != net::IoStatus::kOk || r.bytes == 0) {
+      break;
+    }
+    held_.append(buffer, r.bytes);
+  }
+}
+
+net::IoResult FaultyTransport::read_some(char* out, std::size_t max_bytes) {
+  if (!inner_->valid() && held_.empty()) {
     return {net::IoStatus::kClosed, 0};
+  }
+  if (partition_ != nullptr && partition_->inbound_blocked()) {
+    // Swallow the socket's bytes raw (no plan draws — the plan budget
+    // belongs to delivered traffic) so the fd stops polling readable.
+    capture_inbound();
+    partition_->note_blocked_read();
+    return {net::IoStatus::kWouldBlock, 0};
   }
   const FaultKind kind = plan_->next(FaultOp::kRead);
   if (kind == FaultKind::kDrop) {
     inner_->close();  // the connection resets under the reader
+    held_.clear();    // a reset loses anything queued behind it too
     return {net::IoStatus::kClosed, 0};
   }
   if (kind == FaultKind::kDelay) {
@@ -38,9 +75,23 @@ net::IoResult FaultyTransport::read_some(char* out, std::size_t max_bytes) {
   if (kind == FaultKind::kPartial && max_bytes > 0) {
     limit = plan_->partial_bytes(max_bytes);
   }
-  const net::IoResult result = inner_->read_some(out, limit);
-  if (result.status != net::IoStatus::kOk) {
-    return result;
+  net::IoResult result{net::IoStatus::kOk, 0};
+  if (!held_.empty()) {
+    // Healed link: flush capture-buffer bytes before touching the
+    // socket, preserving stream order. They pass through the same
+    // grammar walk and corruption below as live bytes.
+    const std::size_t take = std::min(limit, held_.size());
+    std::memcpy(out, held_.data(), take);
+    held_.erase(0, take);
+    result.bytes = take;
+  } else {
+    if (!inner_->valid()) {
+      return {net::IoStatus::kClosed, 0};
+    }
+    result = inner_->read_some(out, limit);
+    if (result.status != net::IoStatus::kOk) {
+      return result;
+    }
   }
 
   // Walk the chunk through the inbound frame grammar to find which of
@@ -82,6 +133,10 @@ net::IoResult FaultyTransport::read_some(char* out, std::size_t max_bytes) {
 net::IoResult FaultyTransport::write_some(std::string_view bytes) {
   if (!inner_->valid()) {
     return {net::IoStatus::kClosed, 0};
+  }
+  if (partition_ != nullptr && partition_->outbound_blocked()) {
+    partition_->note_blocked_write();
+    return {net::IoStatus::kWouldBlock, 0};
   }
   // Stream order: an armed duplicate must hit the wire before any new
   // bytes, or the frames would interleave into garbage.
@@ -152,10 +207,71 @@ void FaultyTransport::complete_outbound_frame() {
   out_header_seen_ = 0;
 }
 
+bool FaultyTransport::wait_readable(std::chrono::milliseconds timeout) {
+  if (partition_ == nullptr) {
+    return inner_->wait_readable(timeout);
+  }
+  const bool bounded = timeout.count() >= 0;
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    if (!partition_->inbound_blocked()) {
+      if (!held_.empty()) {
+        return true;  // healed, with captured bytes ready to deliver
+      }
+      std::chrono::milliseconds remaining = timeout;
+      if (bounded) {
+        remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (remaining.count() <= 0) {
+          return false;
+        }
+      }
+      return inner_->wait_readable(remaining);
+    }
+    capture_inbound();  // keep the fd drained while blocked
+    if (bounded && Clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(kPartitionNap);
+  }
+}
+
+bool FaultyTransport::wait_writable(std::chrono::milliseconds timeout) {
+  if (partition_ == nullptr) {
+    return inner_->wait_writable(timeout);
+  }
+  const bool bounded = timeout.count() >= 0;
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    if (!partition_->outbound_blocked()) {
+      std::chrono::milliseconds remaining = timeout;
+      if (bounded) {
+        remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (remaining.count() <= 0) {
+          return false;
+        }
+      }
+      return inner_->wait_writable(remaining);
+    }
+    if (bounded && Clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(kPartitionNap);
+  }
+}
+
 std::unique_ptr<net::Transport> make_faulty_transport(
     std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan) {
   return std::make_unique<FaultyTransport>(std::move(inner),
                                            std::move(plan));
+}
+
+std::unique_ptr<net::Transport> make_faulty_transport(
+    std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan,
+    std::shared_ptr<PartitionControl> partition) {
+  return std::make_unique<FaultyTransport>(std::move(inner), std::move(plan),
+                                           std::move(partition));
 }
 
 }  // namespace ps::fault

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <memory>
 #include <string>
 
 #include "fault/fault_plan.hpp"
+#include "fault/partition.hpp"
 #include "net/transport.hpp"
 
 namespace ps::fault {
@@ -26,10 +28,24 @@ namespace ps::fault {
 /// The plan is shared: a client that reconnects wears a fresh
 /// FaultyTransport over the same plan, so the injection budget spans the
 /// whole scenario and the schedule stays reproducible from one seed.
+///
+/// An optional PartitionControl adds unbudgeted partition windows on top
+/// of the plan's faults. While the inbound direction is blocked the
+/// decorator drains the inner socket into a holding buffer (so a poll
+/// loop on the raw fd does not spin hot on undeliverable data) and
+/// reports would-block; healing delivers the held bytes through the
+/// normal fault pipeline, like a switch flushing its queues. A blocked
+/// outbound direction refuses writes outright — the peer simply never
+/// hears from us. Partition-wearing transports belong on synchronous
+/// (client-driven) endpoints: an event loop flushing its outbox through
+/// a blocked outbound side would busy-poll on a writable socket.
 class FaultyTransport final : public net::Transport {
  public:
   FaultyTransport(std::unique_ptr<net::Transport> inner,
                   std::shared_ptr<FaultPlan> plan);
+  FaultyTransport(std::unique_ptr<net::Transport> inner,
+                  std::shared_ptr<FaultPlan> plan,
+                  std::shared_ptr<PartitionControl> partition);
 
   [[nodiscard]] int fd() const noexcept override { return inner_->fd(); }
   [[nodiscard]] bool valid() const noexcept override {
@@ -40,23 +56,28 @@ class FaultyTransport final : public net::Transport {
   net::IoResult read_some(char* out, std::size_t max_bytes) override;
   net::IoResult write_some(std::string_view bytes) override;
 
+  /// With a partition attached these wait out blocked windows in short
+  /// naps so a heal is observed promptly (instead of sleeping the whole
+  /// timeout on a socket whose readability we must not act on).
   [[nodiscard]] bool wait_readable(
-      std::chrono::milliseconds timeout) override {
-    return inner_->wait_readable(timeout);
-  }
+      std::chrono::milliseconds timeout) override;
   [[nodiscard]] bool wait_writable(
-      std::chrono::milliseconds timeout) override {
-    return inner_->wait_writable(timeout);
-  }
+      std::chrono::milliseconds timeout) override;
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return *plan_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   void track_outbound(std::string_view accepted);
   void complete_outbound_frame();
+  /// Drains the inner socket into held_ while inbound is blocked.
+  void capture_inbound();
 
   std::unique_ptr<net::Transport> inner_;
   std::shared_ptr<FaultPlan> plan_;
+  std::shared_ptr<PartitionControl> partition_;
+  std::string held_;  ///< Bytes captured during an inbound block.
 
   // Inbound stream position (header = 4 length + 4 CRC bytes, then
   // payload): lets corruption pick payload bytes only.
@@ -76,5 +97,10 @@ class FaultyTransport final : public net::Transport {
 /// Wraps `inner` in a FaultyTransport over `plan`.
 [[nodiscard]] std::unique_ptr<net::Transport> make_faulty_transport(
     std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan);
+
+/// Same, with a partition switchboard attached (may be null).
+[[nodiscard]] std::unique_ptr<net::Transport> make_faulty_transport(
+    std::unique_ptr<net::Transport> inner, std::shared_ptr<FaultPlan> plan,
+    std::shared_ptr<PartitionControl> partition);
 
 }  // namespace ps::fault

@@ -1,0 +1,68 @@
+#include "fault/partition.hpp"
+
+namespace ps::fault {
+
+namespace {
+
+std::chrono::steady_clock::rep deadline_in(
+    std::chrono::milliseconds window) {
+  return (std::chrono::steady_clock::now() + window).time_since_epoch()
+      .count();
+}
+
+}  // namespace
+
+void PartitionControl::isolate() noexcept {
+  block_inbound();
+  block_outbound();
+}
+
+void PartitionControl::block_inbound() noexcept {
+  inbound_.store(true, std::memory_order_release);
+}
+
+void PartitionControl::block_outbound() noexcept {
+  outbound_.store(true, std::memory_order_release);
+}
+
+void PartitionControl::heal() noexcept {
+  inbound_.store(false, std::memory_order_release);
+  outbound_.store(false, std::memory_order_release);
+  inbound_until_.store(0, std::memory_order_release);
+  outbound_until_.store(0, std::memory_order_release);
+}
+
+void PartitionControl::isolate_for(
+    std::chrono::milliseconds window) noexcept {
+  block_inbound_for(window);
+  block_outbound_for(window);
+}
+
+void PartitionControl::block_inbound_for(
+    std::chrono::milliseconds window) noexcept {
+  inbound_until_.store(deadline_in(window), std::memory_order_release);
+}
+
+void PartitionControl::block_outbound_for(
+    std::chrono::milliseconds window) noexcept {
+  outbound_until_.store(deadline_in(window), std::memory_order_release);
+}
+
+bool PartitionControl::window_open(
+    const std::atomic<Clock::rep>& until) noexcept {
+  const Clock::rep deadline = until.load(std::memory_order_acquire);
+  return deadline != 0 &&
+         Clock::now().time_since_epoch().count() < deadline;
+}
+
+bool PartitionControl::inbound_blocked() const noexcept {
+  return inbound_.load(std::memory_order_acquire) ||
+         window_open(inbound_until_);
+}
+
+bool PartitionControl::outbound_blocked() const noexcept {
+  return outbound_.load(std::memory_order_acquire) ||
+         window_open(outbound_until_);
+}
+
+}  // namespace ps::fault

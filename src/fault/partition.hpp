@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ps::fault {
+
+/// A thread-safe switchboard for network partitions. One PartitionControl
+/// describes the link state of a single peering as seen from the side
+/// that wears the partition-aware FaultyTransport: `inbound` blocks bytes
+/// flowing peer -> us, `outbound` blocks us -> peer. Blocking both
+/// directions isolates the peer; blocking one direction models the
+/// asymmetric partitions real networks produce (a host that can send
+/// heartbeats but never hears acks, and vice versa).
+///
+/// Unlike FaultPlan faults — which consume a bounded budget so scenarios
+/// are guaranteed to heal — a partition holds until heal() or until its
+/// scheduled window expires. The chaos harness flips these switches from
+/// the test thread while transports are mid-exchange on worker threads,
+/// hence the atomics: a flip is visible to the very next read/write on
+/// the wire, with no lock shared with the data path.
+class PartitionControl {
+ public:
+  /// Blocks both directions until heal().
+  void isolate() noexcept;
+  void block_inbound() noexcept;
+  void block_outbound() noexcept;
+  /// Reopens both directions and cancels any scheduled windows. Bytes a
+  /// transport captured while its inbound side was blocked are not lost:
+  /// they sit in that transport's holding buffer and are delivered on
+  /// the next read, exactly like a healed link flushing switch queues.
+  void heal() noexcept;
+
+  /// Scheduled windows: block now, auto-heal once `window` elapses. The
+  /// transports themselves observe the expiry, so no timer thread is
+  /// needed and healing is race-free with an explicit heal().
+  void isolate_for(std::chrono::milliseconds window) noexcept;
+  void block_inbound_for(std::chrono::milliseconds window) noexcept;
+  void block_outbound_for(std::chrono::milliseconds window) noexcept;
+
+  [[nodiscard]] bool inbound_blocked() const noexcept;
+  [[nodiscard]] bool outbound_blocked() const noexcept;
+
+  /// Data-path traffic refused so far (reads/writes that hit a closed
+  /// direction) — lets tests assert a partition actually bit.
+  [[nodiscard]] std::uint64_t blocked_reads() const noexcept {
+    return blocked_reads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t blocked_writes() const noexcept {
+    return blocked_writes_.load(std::memory_order_relaxed);
+  }
+
+  void note_blocked_read() noexcept {
+    blocked_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_blocked_write() noexcept {
+    blocked_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] static bool window_open(
+      const std::atomic<Clock::rep>& until) noexcept;
+
+  std::atomic<bool> inbound_{false};
+  std::atomic<bool> outbound_{false};
+  /// Scheduled-window deadlines as steady_clock ticks; 0 = no window.
+  std::atomic<Clock::rep> inbound_until_{0};
+  std::atomic<Clock::rep> outbound_until_{0};
+  std::atomic<std::uint64_t> blocked_reads_{0};
+  std::atomic<std::uint64_t> blocked_writes_{0};
+};
+
+}  // namespace ps::fault

@@ -1,0 +1,305 @@
+#include "ha/replicator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "ha/replication.hpp"
+#include "util/error.hpp"
+
+namespace ps::ha {
+
+Replicator::Replicator(ReplicatorOptions options)
+    : options_(options) {
+  PS_REQUIRE(options_.lease.count() > 0, "replication lease must be positive");
+  const auto tick = std::max(options_.lease / 4,
+                             std::chrono::milliseconds(1));
+  loop_.set_tick(tick, [this] { on_tick(); });
+}
+
+Replicator::~Replicator() { stop(); }
+
+void Replicator::listen_unix(const std::string& path) {
+  PS_REQUIRE(!started_, "listen before start()");
+  listeners_.push_back(net::listen_unix(path));
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void Replicator::listen_tcp(std::uint16_t port) {
+  PS_REQUIRE(!started_, "listen before start()");
+  std::uint16_t bound = 0;
+  listeners_.push_back(net::listen_tcp(port, &bound));
+  tcp_port_ = bound;
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void Replicator::start() {
+  PS_REQUIRE(!started_, "replicator already started");
+  started_ = true;
+  thread_ = std::thread([this] {
+    while (loop_.run_once(std::chrono::milliseconds(-1))) {
+      maybe_send_update();
+    }
+  });
+}
+
+void Replicator::stop() {
+  loop_.stop();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Replicator::publish(const net::DaemonSnapshot& state) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    latest_ = state;
+    dirty_ = true;
+  }
+  loop_.wake();
+}
+
+bool Replicator::should_fence() const noexcept {
+  if (!engaged_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  const Clock::rep last = last_ack_ticks_.load(std::memory_order_acquire);
+  const auto elapsed = Clock::now() -
+                       Clock::time_point(Clock::duration(last));
+  return elapsed > options_.lease / 2;
+}
+
+std::function<void(const net::DaemonSnapshot&)> Replicator::sink() {
+  return [this](const net::DaemonSnapshot& state) { publish(state); };
+}
+
+std::function<bool()> Replicator::fence_check() {
+  return [this] { return should_fence(); };
+}
+
+ReplicatorStats Replicator::stats() const {
+  ReplicatorStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  out.engaged = engaged_.load(std::memory_order_acquire);
+  out.fenced = should_fence();
+  return out;
+}
+
+void Replicator::on_listener_ready(std::size_t listener_index) {
+  while (auto socket = listeners_[listener_index].accept()) {
+    attach_standby(std::move(*socket));
+  }
+}
+
+void Replicator::attach_standby(net::Socket socket) {
+  // One standby at a time; the newest connection wins (a standby that
+  // restarted replaces its stale predecessor).
+  drop_session(false);
+  transport_ = net::make_transport(std::move(socket));
+  decoder_ = net::FrameDecoder{};
+  outbox_.clear();
+  standby_synced_ = false;
+  loop_.add_fd(transport_->fd(), POLLIN,
+               [this](short revents) { on_session_ready(revents); });
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.standby_connects;
+    stats_.standby_connected = true;
+  }
+  options_.obs.count("ha.replicator.standby_connects");
+}
+
+void Replicator::drop_session(bool protocol_error) {
+  if (transport_ == nullptr) {
+    return;
+  }
+  loop_.remove_fd(transport_->fd());
+  transport_.reset();
+  outbox_.clear();
+  standby_synced_ = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.standby_connected = false;
+    if (protocol_error) {
+      ++stats_.protocol_errors;
+    }
+  }
+}
+
+void Replicator::on_session_ready(short revents) {
+  if (transport_ == nullptr) {
+    return;
+  }
+  if ((revents & POLLOUT) != 0) {
+    flush_outbox();
+    if (transport_ == nullptr) {
+      return;
+    }
+  }
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+    char buffer[4096];
+    for (;;) {
+      const net::IoResult r = transport_->read_some(buffer, sizeof(buffer));
+      if (r.status == net::IoStatus::kOk) {
+        try {
+          decoder_.feed(std::string_view(buffer, r.bytes));
+        } catch (const Error&) {
+          drop_session(true);
+          return;
+        }
+        continue;
+      }
+      if (r.status == net::IoStatus::kClosed) {
+        drop_session(false);
+        return;
+      }
+      break;  // would-block: drained
+    }
+    while (auto payload = decoder_.next()) {
+      handle_payload(*payload);
+      if (transport_ == nullptr) {
+        return;
+      }
+    }
+  }
+  update_session_events();
+}
+
+void Replicator::handle_payload(const std::string& payload) {
+  try {
+    switch (ha_message_kind(payload)) {
+      case HaMessageKind::kSync: {
+        const HaSyncRequest sync = parse_sync_request(payload);
+        static_cast<void>(sync);
+        standby_synced_ = true;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.syncs_served;
+        }
+        options_.obs.count("ha.replicator.syncs_served");
+        send_update_now();
+        return;
+      }
+      case HaMessageKind::kAck: {
+        const HaAck ack = parse_ack(payload);
+        last_ack_ticks_.store(
+            Clock::now().time_since_epoch().count(),
+            std::memory_order_release);
+        engaged_.store(true, std::memory_order_release);
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.acks_received;
+          stats_.last_ack_rounds =
+              std::max(stats_.last_ack_rounds, ack.rounds);
+        }
+        options_.obs.count("ha.replicator.acks_received");
+        return;
+      }
+      default:
+        throw Error("unexpected replication message from standby");
+    }
+  } catch (const Error&) {
+    drop_session(true);
+  }
+}
+
+void Replicator::queue_payload(const std::string& payload) {
+  outbox_ += net::encode_frame(payload);
+  last_send_ = Clock::now();
+  flush_outbox();
+  if (transport_ != nullptr) {
+    update_session_events();
+  }
+}
+
+void Replicator::flush_outbox() {
+  while (transport_ != nullptr && !outbox_.empty()) {
+    const net::IoResult r = transport_->write_some(outbox_);
+    if (r.status == net::IoStatus::kOk) {
+      outbox_.erase(0, r.bytes);
+      continue;
+    }
+    if (r.status == net::IoStatus::kClosed) {
+      drop_session(false);
+    }
+    return;  // would-block: POLLOUT will resume
+  }
+}
+
+void Replicator::update_session_events() {
+  if (transport_ == nullptr) {
+    return;
+  }
+  loop_.set_events(transport_->fd(),
+                   outbox_.empty() ? POLLIN
+                                   : static_cast<short>(POLLIN | POLLOUT));
+}
+
+void Replicator::maybe_send_update() {
+  if (transport_ == nullptr || !standby_synced_) {
+    return;
+  }
+  bool send = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    send = dirty_ && latest_.has_value();
+  }
+  if (send) {
+    send_update_now();
+  }
+}
+
+void Replicator::send_update_now() {
+  if (transport_ == nullptr || !standby_synced_) {
+    return;
+  }
+  HaStateUpdate update;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!latest_.has_value()) {
+      return;  // nothing published yet; the sync answer waits for state
+    }
+    update.state = *latest_;
+    dirty_ = false;
+    ++stats_.updates_sent;
+  }
+  update.fence_epoch = update.state.fence_epoch;
+  update.rounds = update.state.allocations;
+  options_.obs.count("ha.replicator.updates_sent");
+  options_.obs.set_gauge("ha.replicator.replicated_rounds",
+                         static_cast<double>(update.rounds));
+  queue_payload(serialize(update));
+}
+
+void Replicator::on_tick() {
+  flush_outbox();
+  if (transport_ == nullptr || !standby_synced_) {
+    return;
+  }
+  // Heartbeat when the wire has been quiet for a quarter lease, so the
+  // standby's promotion timer only runs when the primary is truly gone.
+  if (Clock::now() - last_send_ < options_.lease / 4) {
+    return;
+  }
+  HaHeartbeat heartbeat;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (latest_.has_value()) {
+      heartbeat.fence_epoch = latest_->fence_epoch;
+      heartbeat.rounds = latest_->allocations;
+    }
+    ++stats_.heartbeats_sent;
+  }
+  options_.obs.count("ha.replicator.heartbeats_sent");
+  queue_payload(serialize(heartbeat));
+}
+
+}  // namespace ps::ha

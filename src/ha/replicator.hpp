@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/snapshot.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "obs/obs.hpp"
+
+namespace ps::ha {
+
+struct ReplicatorOptions {
+  /// The failover lease shared with the standby. The replicator
+  /// heartbeats every lease/4, and should_fence() trips after lease/2
+  /// without an ack — strictly inside the full lease the standby waits
+  /// before promoting, so the fenced primary stops allocating before its
+  /// successor starts. No clock synchronization is required: both sides
+  /// measure only their own monotonic elapsed time.
+  std::chrono::milliseconds lease{1'000};
+  /// Observability seam ("ha.replicator.*" counters; no trace events —
+  /// replication follows transport timing, never golden traces).
+  obs::Observability obs{};
+};
+
+struct ReplicatorStats {
+  std::size_t standby_connects = 0;
+  std::size_t updates_sent = 0;
+  std::size_t heartbeats_sent = 0;
+  std::size_t acks_received = 0;
+  std::size_t syncs_served = 0;
+  std::size_t protocol_errors = 0;
+  std::uint64_t last_ack_rounds = 0;
+  bool standby_connected = false;
+  bool engaged = false;  ///< An ack has been heard; fencing is armed.
+  bool fenced = false;   ///< should_fence() at the time of the call.
+};
+
+/// The primary side of hot-standby replication: a listener (separate
+/// from the client-facing sockets — the daemon's own protocol is
+/// untouched) serving one standby at a time, run on its own thread so
+/// replication I/O never blocks an allocation round.
+///
+/// Wiring: DaemonOptions::replication_sink = replicator.sink() hands
+/// every write-ahead state snapshot to publish(), which coalesces to the
+/// newest state and ships it from the replication thread. A fresh
+/// standby first sends a sync request and gets the full state
+/// immediately; heartbeats cover the gaps between updates.
+///
+/// Fencing: the replicator is "engaged" once the first ack arrives —
+/// before that, should_fence() is permanently false, so a deployment
+/// that starts a primary alone (or never attaches a standby) is
+/// indistinguishable from one with no replicator at all. Engaged,
+/// should_fence() trips after lease/2 without an ack and releases as
+/// soon as acks resume (a healed partition un-fences the primary it
+/// interrupted; a promoted standby never acks again, so a zombie stays
+/// fenced forever).
+class Replicator {
+ public:
+  explicit Replicator(ReplicatorOptions options = {});
+  ~Replicator();
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Binds the replication listener. Call before start().
+  void listen_unix(const std::string& path);
+  void listen_tcp(std::uint16_t port);
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept {
+    return tcp_port_;
+  }
+
+  /// Starts the replication thread. stop() joins it; so does ~Replicator.
+  void start();
+  void stop();
+
+  /// Thread-safe: records `state` as the newest state and wakes the
+  /// replication thread to ship it. Coalesces — a burst of allocation
+  /// rounds replicates as one update carrying the final state, which is
+  /// sufficient because updates are full snapshots, not deltas.
+  void publish(const net::DaemonSnapshot& state);
+
+  /// Thread-safe: the primary's fencing signal (see class comment).
+  [[nodiscard]] bool should_fence() const noexcept;
+
+  /// Adapters for DaemonOptions. The returned callables reference this
+  /// replicator; it must outlive the daemon wearing them.
+  [[nodiscard]] std::function<void(const net::DaemonSnapshot&)> sink();
+  [[nodiscard]] std::function<bool()> fence_check();
+
+  [[nodiscard]] ReplicatorStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void on_listener_ready(std::size_t listener_index);
+  void on_session_ready(short revents);
+  void attach_standby(net::Socket socket);
+  void drop_session(bool protocol_error);
+  void handle_payload(const std::string& payload);
+  void queue_payload(const std::string& payload);
+  void flush_outbox();
+  void update_session_events();
+  void maybe_send_update();
+  void send_update_now();
+  void on_tick();
+
+  ReplicatorOptions options_;
+  net::EventLoop loop_;
+  std::vector<net::Listener> listeners_;
+  std::thread thread_;
+  bool started_ = false;
+  std::uint16_t tcp_port_ = 0;
+
+  /// Session state, replication thread only.
+  std::unique_ptr<net::Transport> transport_;
+  net::FrameDecoder decoder_;
+  std::string outbox_;
+  bool standby_synced_ = false;  ///< Sync received; updates may flow.
+  Clock::time_point last_send_{};
+
+  mutable std::mutex mutex_;  ///< Guards latest_, dirty_, stats_.
+  std::optional<net::DaemonSnapshot> latest_;
+  bool dirty_ = false;
+  ReplicatorStats stats_;
+
+  /// Fencing state read from the daemon thread.
+  std::atomic<bool> engaged_{false};
+  std::atomic<Clock::rep> last_ack_ticks_{0};
+};
+
+}  // namespace ps::ha

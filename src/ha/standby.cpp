@@ -1,0 +1,225 @@
+#include "ha/standby.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "ha/replication.hpp"
+#include "net/framing.hpp"
+#include "util/error.hpp"
+
+namespace ps::ha {
+
+StandbyDaemon::StandbyDaemon(StandbyOptions options)
+    : options_(std::move(options)) {
+  PS_REQUIRE(options_.primary != nullptr,
+             "standby needs a primary connector");
+  PS_REQUIRE(options_.lease.count() > 0, "standby lease must be positive");
+  PS_REQUIRE(options_.dial_retry.count() > 0,
+             "dial retry must be positive");
+}
+
+void StandbyDaemon::run() {
+  // The loop cadence: short enough that a heal, a heartbeat, or a stop()
+  // is noticed promptly, long enough not to busy-wait.
+  const auto nap = std::min(options_.dial_retry,
+                            std::chrono::milliseconds(25));
+  std::unique_ptr<net::Transport> transport;
+  net::FrameDecoder decoder;
+  // The promotion timer starts when replication starts: a standby that
+  // syncs and then hears nothing owes its clients a daemon one lease
+  // later no matter when the silence began.
+  Clock::time_point last_traffic = Clock::now();
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (synced_.load(std::memory_order_relaxed) &&
+        Clock::now() - last_traffic > options_.lease) {
+      promote_and_serve();
+      return;
+    }
+    if (transport == nullptr) {
+      try {
+        transport = options_.primary();
+        PS_REQUIRE(transport != nullptr, "primary connector returned null");
+        decoder = net::FrameDecoder{};
+        outbox_ = net::encode_frame(
+            serialize(HaSyncRequest{highest_fence_}));
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.dials;
+        ++stats_.syncs_sent;
+      } catch (const Error&) {
+        transport.reset();
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.dial_failures;
+        }
+        std::this_thread::sleep_for(nap);
+        continue;
+      }
+    }
+    // Flush whatever is queued (the sync request, pending acks).
+    while (!outbox_.empty()) {
+      const net::IoResult r = transport->write_some(outbox_);
+      if (r.status == net::IoStatus::kOk) {
+        outbox_.erase(0, r.bytes);
+        continue;
+      }
+      if (r.status == net::IoStatus::kClosed) {
+        transport.reset();
+      }
+      break;  // would-block: retry next cycle
+    }
+    if (transport == nullptr) {
+      continue;
+    }
+    if (!transport->wait_readable(nap)) {
+      continue;
+    }
+    char buffer[4096];
+    bool closed = false;
+    for (;;) {
+      const net::IoResult r = transport->read_some(buffer, sizeof(buffer));
+      if (r.status == net::IoStatus::kOk) {
+        try {
+          decoder.feed(std::string_view(buffer, r.bytes));
+        } catch (const Error&) {
+          closed = true;  // framing CRC failure: stream untrustworthy
+          break;
+        }
+        continue;
+      }
+      closed = r.status == net::IoStatus::kClosed;
+      break;
+    }
+    while (auto payload = decoder.next()) {
+      traffic_heard_ = false;
+      handle_payload(*payload);
+      if (traffic_heard_) {
+        last_traffic = Clock::now();
+      }
+    }
+    if (closed) {
+      transport.reset();
+    }
+  }
+}
+
+void StandbyDaemon::handle_payload(const std::string& payload) {
+  switch (ha_message_kind(payload)) {
+    case HaMessageKind::kUpdate: {
+      HaStateUpdate update;
+      try {
+        update = parse_state_update(payload);
+      } catch (const Error&) {
+        // Malformed state: refuse the payload, keep the previous state.
+        // Not counted as liveness — a primary producing garbage should
+        // lose its lease like a dead one.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.updates_rejected;
+        options_.obs.count("ha.standby.updates_rejected");
+        return;
+      }
+      if (update.fence_epoch < highest_fence_) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.updates_rejected;
+        options_.obs.count("ha.standby.updates_rejected");
+        return;  // zombie primary: state must never roll backwards
+      }
+      highest_fence_ = update.fence_epoch;
+      state_ = std::move(update.state);
+      synced_.store(true, std::memory_order_release);
+      traffic_heard_ = true;
+      outbox_ += net::encode_frame(serialize(HaAck{update.rounds}));
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.updates_applied;
+        ++stats_.acks_sent;
+        stats_.rounds = update.rounds;
+        stats_.fence_epoch = highest_fence_;
+        stats_.synced = true;
+      }
+      options_.obs.count("ha.standby.updates_applied");
+      options_.obs.set_gauge("ha.standby.replicated_rounds",
+                             static_cast<double>(update.rounds));
+      return;
+    }
+    case HaMessageKind::kHeartbeat: {
+      HaHeartbeat heartbeat;
+      try {
+        heartbeat = parse_heartbeat(payload);
+      } catch (const Error&) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.updates_rejected;
+        return;
+      }
+      if (heartbeat.fence_epoch < highest_fence_) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.updates_rejected;
+        return;
+      }
+      traffic_heard_ = true;
+      const std::uint64_t rounds =
+          state_.has_value() ? state_->allocations : 0;
+      outbox_ += net::encode_frame(serialize(HaAck{rounds}));
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.heartbeats;
+        ++stats_.acks_sent;
+      }
+      return;
+    }
+    default: {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.updates_rejected;
+      return;
+    }
+  }
+}
+
+void StandbyDaemon::promote_and_serve() {
+  net::DaemonOptions daemon_options = options_.daemon;
+  daemon_options.initial_state = state_;
+  // The successor identity: one fence above everything the predecessor
+  // ever stamped. Clients ratchet to this on their first exchange with
+  // us and reject the predecessor's caps from then on.
+  daemon_options.fence_epoch = highest_fence_ + 1;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      return;  // stop() won the race; do not start serving
+    }
+    daemon_ = std::make_unique<net::PowerDaemon>(daemon_options);
+    stats_.promoted = true;
+    stats_.fence_epoch = daemon_options.fence_epoch;
+  }
+  promoted_.store(true, std::memory_order_release);
+  options_.obs.count("ha.standby.promotions");
+  options_.obs.emit(state_.has_value() ? state_->allocations : 0,
+                    obs::cat::kHa, "promote",
+                    {{"fence", daemon_options.fence_epoch},
+                     {"rounds", state_.has_value() ? state_->allocations
+                                                   : std::uint64_t{0}}});
+  if (options_.bind) {
+    options_.bind(*daemon_);
+  }
+  daemon_->run();
+}
+
+void StandbyDaemon::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (daemon_ != nullptr) {
+    daemon_->stop();
+  }
+}
+
+StandbyStats StandbyDaemon::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+net::PowerDaemon* StandbyDaemon::daemon() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return daemon_.get();
+}
+
+}  // namespace ps::ha

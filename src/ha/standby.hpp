@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "net/daemon.hpp"
+#include "net/snapshot.hpp"
+#include "net/transport.hpp"
+#include "obs/obs.hpp"
+
+namespace ps::ha {
+
+struct StandbyOptions {
+  /// Dials the primary's replication listener (not its client socket).
+  /// Fault decorators slot in here exactly as they do for RuntimeClient,
+  /// which is how the chaos harness partitions the replication link.
+  std::function<std::unique_ptr<net::Transport>()> primary;
+  /// Template for the daemon this standby becomes on promotion: budget,
+  /// policy, scheduled revisions, observability — everything a fresh
+  /// primary would have been configured with. The standby fills in
+  /// initial_state (the replicated snapshot) and fence_epoch (the
+  /// predecessor's fence + 1) at promotion time.
+  net::DaemonOptions daemon;
+  /// Failover lease shared with the primary's Replicator: promotion
+  /// fires after a full lease without valid replication traffic.
+  std::chrono::milliseconds lease{1'000};
+  /// Redial cadence while the primary is unreachable.
+  std::chrono::milliseconds dial_retry{50};
+  /// Called with the freshly promoted daemon before it serves — the
+  /// place to bind listeners / adopt sockets (the standby's client
+  /// endpoint must exist before clients can fail over to it).
+  std::function<void(net::PowerDaemon&)> bind;
+  /// Observability seam ("ha.standby.*" counters only).
+  obs::Observability obs{};
+};
+
+struct StandbyStats {
+  std::size_t dials = 0;
+  std::size_t dial_failures = 0;
+  std::size_t updates_applied = 0;
+  std::size_t updates_rejected = 0;  ///< Malformed or fenced-stale.
+  std::size_t heartbeats = 0;
+  std::size_t acks_sent = 0;
+  std::size_t syncs_sent = 0;
+  std::uint64_t rounds = 0;       ///< Allocations in the replicated state.
+  std::uint64_t fence_epoch = 0;  ///< Highest fence seen; ours once promoted.
+  bool synced = false;
+  bool promoted = false;
+};
+
+/// The standby side of control-plane failover: replicates the primary's
+/// state until the lease lapses, then becomes a PowerDaemon seeded with
+/// the last replicated snapshot at the next fencing epoch.
+///
+/// Promotion is deterministic: it happens exactly when a synced standby
+/// has heard no valid replication traffic for a full lease — whether the
+/// primary died, was partitioned away, or just stopped heartbeating.
+/// By then the primary has already self-fenced (its fence window is half
+/// the lease), so at most one daemon allocates watts at any moment, and
+/// the promoted fence (predecessor + 1) makes clients reject anything a
+/// zombie predecessor still manages to send.
+///
+/// A standby that never synced never promotes: with no replicated state
+/// there is nothing safe to serve, and a cold takeover could double-grant
+/// watts the old primary's clients still hold.
+class StandbyDaemon {
+ public:
+  explicit StandbyDaemon(StandbyOptions options);
+
+  StandbyDaemon(const StandbyDaemon&) = delete;
+  StandbyDaemon& operator=(const StandbyDaemon&) = delete;
+
+  /// Replicates, and on promotion serves the daemon. Blocks the calling
+  /// thread until stop().
+  void run();
+  /// Thread-safe: ends run() in either phase.
+  void stop();
+
+  [[nodiscard]] bool promoted() const noexcept {
+    return promoted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool synced() const noexcept {
+    return synced_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] StandbyStats stats() const;
+  /// The promoted daemon (null before promotion). Valid until the
+  /// StandbyDaemon is destroyed.
+  [[nodiscard]] net::PowerDaemon* daemon() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void handle_payload(const std::string& payload);
+  void promote_and_serve();
+
+  StandbyOptions options_;
+
+  /// Replication-phase state, run() thread only.
+  std::optional<net::DaemonSnapshot> state_;
+  std::uint64_t highest_fence_ = 0;
+  std::string outbox_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> synced_{false};
+  std::atomic<bool> promoted_{false};
+  bool traffic_heard_ = false;  ///< run() thread: did this payload count?
+
+  mutable std::mutex mutex_;  ///< Guards stats_ and daemon_.
+  StandbyStats stats_;
+  std::unique_ptr<net::PowerDaemon> daemon_;
+};
+
+}  // namespace ps::ha

@@ -26,16 +26,33 @@ RuntimeClient::TransportConnector wrap_connector(
 }
 }  // namespace
 
+namespace {
+std::vector<RuntimeClient::TransportConnector> one_connector(
+    RuntimeClient::TransportConnector connector) {
+  PS_REQUIRE(connector != nullptr, "client needs a connector");
+  std::vector<RuntimeClient::TransportConnector> connectors;
+  connectors.push_back(std::move(connector));
+  return connectors;
+}
+}  // namespace
+
 RuntimeClient::RuntimeClient(Connector connector, ClientOptions options)
     : RuntimeClient(wrap_connector(std::move(connector)), options) {}
 
 RuntimeClient::RuntimeClient(TransportConnector connector,
                              ClientOptions options)
-    : connector_(std::move(connector)),
+    : RuntimeClient(one_connector(std::move(connector)), options) {}
+
+RuntimeClient::RuntimeClient(std::vector<TransportConnector> connectors,
+                             ClientOptions options)
+    : connectors_(std::move(connectors)),
       options_(options),
       backoff_(options.backoff_initial),
       jitter_rng_(options.jitter_seed) {
-  PS_REQUIRE(connector_ != nullptr, "client needs a connector");
+  PS_REQUIRE(!connectors_.empty(), "client needs at least one endpoint");
+  for (const TransportConnector& connector : connectors_) {
+    PS_REQUIRE(connector != nullptr, "client needs a connector");
+  }
   PS_REQUIRE(options.request_timeout.count() > 0,
              "request timeout must be positive");
   PS_REQUIRE(options.backoff_initial.count() > 0 &&
@@ -43,6 +60,8 @@ RuntimeClient::RuntimeClient(TransportConnector connector,
              "backoff range is invalid");
   PS_REQUIRE(options.backoff_jitter >= 0.0 && options.backoff_jitter < 1.0,
              "backoff jitter must be in [0, 1)");
+  PS_REQUIRE(options.endpoint_probe_timeout.count() >= 0,
+             "endpoint probe timeout must be non-negative");
   if (options_.obs.metrics != nullptr) {
     obs::MetricsRegistry& metrics = *options_.obs.metrics;
     exchanges_metric_ = &metrics.counter("net.client.exchanges");
@@ -51,6 +70,8 @@ RuntimeClient::RuntimeClient(TransportConnector connector,
     stale_replies_metric_ = &metrics.counter("net.client.stale_replies");
     stale_epoch_metric_ = &metrics.counter("net.client.stale_epoch_caps");
     revisions_metric_ = &metrics.counter("net.client.budget_revisions");
+    rotations_metric_ = &metrics.counter("net.client.endpoint_rotations");
+    stale_fence_metric_ = &metrics.counter("net.client.stale_fence_caps");
     // Lower bucket edges in seconds: loopback exchanges land in the
     // sub-millisecond buckets, reconnect-burdened ones in the tail.
     static constexpr double kExchangeBounds[] = {
@@ -81,6 +102,18 @@ void RuntimeClient::reset_daemon_lost() noexcept {
   next_connect_attempt_ = Clock::time_point{};
 }
 
+void RuntimeClient::rotate_endpoint() {
+  if (connectors_.size() <= 1) {
+    return;  // a 1-element list keeps the single-endpoint behavior
+  }
+  endpoint_index_ = (endpoint_index_ + 1) % connectors_.size();
+  attempts_this_endpoint_ = 0;
+  ++stats_.endpoint_rotations;
+  if (rotations_metric_ != nullptr) {
+    rotations_metric_->add();
+  }
+}
+
 void RuntimeClient::register_connect_failure() {
   ++stats_.connect_failures;
   if (!in_outage_) {
@@ -88,10 +121,18 @@ void RuntimeClient::register_connect_failure() {
     ++stats_.outages;
   }
   ++attempts_this_outage_;
+  ++attempts_this_endpoint_;
   if (options_.max_connect_attempts_per_outage > 0 &&
       attempts_this_outage_ >= options_.max_connect_attempts_per_outage) {
+    // Terminal only once the whole list has been exhausted: with
+    // standbys configured, losing one address is a rotation, not the
+    // end of the control plane.
     daemon_lost_ = true;  // terminal until reset_daemon_lost()
     return;
+  }
+  if (options_.connect_attempts_per_endpoint > 0 &&
+      attempts_this_endpoint_ >= options_.connect_attempts_per_endpoint) {
+    rotate_endpoint();
   }
   const double factor = jitter_rng_.uniform(1.0 - options_.backoff_jitter,
                                             1.0 + options_.backoff_jitter);
@@ -121,7 +162,7 @@ bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
     }
     ++stats_.connect_attempts;
     try {
-      std::unique_ptr<Transport> transport = connector_();
+      std::unique_ptr<Transport> transport = connectors_[endpoint_index_]();
       PS_REQUIRE(transport != nullptr && transport->valid(),
                  "connector returned an invalid transport");
       transport_ = std::move(transport);
@@ -136,6 +177,7 @@ bool RuntimeClient::ensure_connected(Clock::time_point deadline) {
       ever_connected_ = true;
       in_outage_ = false;
       attempts_this_outage_ = 0;
+      attempts_this_endpoint_ = 0;
       backoff_ = options_.backoff_initial;
       return true;
     } catch (const Error&) {
@@ -206,8 +248,17 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange_impl(
     if (!send_frame(frame, deadline)) {
       continue;  // reconnect (or run out the clock)
     }
+    // With standbys configured, one endpoint only gets the probe window
+    // to answer before the exchange abandons it and rotates — a fenced
+    // zombie primary accepts samples but can never reply.
+    const bool probing =
+        connectors_.size() > 1 && options_.endpoint_probe_timeout.count() > 0;
+    const auto probe_deadline =
+        probing ? Clock::now() + options_.endpoint_probe_timeout
+                : Clock::time_point::max();
 
     bool dropped = false;
+    bool rotate = false;
     while (!dropped) {
       // Drain complete frames first: replies to older sequences may have
       // arrived late and must not shadow the one we are waiting for.
@@ -240,6 +291,21 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange_impl(
           core::PolicyMessage policy = core::parse_policy_message(*payload);
           PS_REQUIRE(policy.job_name == sample.job_name,
                      "policy reply addressed to a different job");
+          if (policy.fence_epoch < fence_epoch_) {
+            // Caps from a daemon incarnation we know has been superseded
+            // (a zombie primary resending from before the failover).
+            // Programming them could double-grant watts the promoted
+            // daemon has already reallocated — reject, and abandon the
+            // endpoint entirely.
+            ++stats_.stale_fence_caps;
+            if (stale_fence_metric_ != nullptr) {
+              stale_fence_metric_->add();
+            }
+            dropped = true;
+            rotate = true;
+            break;
+          }
+          fence_epoch_ = std::max(fence_epoch_, policy.fence_epoch);
           if (policy.budget_epoch < session_budget_epoch_) {
             // Caps computed under a budget we have heard revoked (a
             // duplicated or delayed frame): programming them could
@@ -268,9 +334,32 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange_impl(
       }
 
       const auto remaining = remaining_until(deadline);
-      if (remaining.count() <= 0 || !transport_->wait_readable(remaining)) {
+      if (remaining.count() <= 0) {
         ++stats_.exchange_failures;
         return std::nullopt;  // timed out; connection stays for next time
+      }
+      auto wait_for = remaining;
+      if (probing) {
+        const auto probe_remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                probe_deadline - Clock::now());
+        if (probe_remaining.count() <= 0) {
+          // The endpoint sat on the request for the whole probe window:
+          // wedged or fenced. Retry the same sample on the next one,
+          // still inside this exchange's deadline.
+          ++stats_.probe_timeouts;
+          dropped = true;
+          rotate = true;
+          break;
+        }
+        wait_for = std::min(wait_for, probe_remaining);
+      }
+      if (!transport_->wait_readable(wait_for)) {
+        if (!probing) {
+          ++stats_.exchange_failures;
+          return std::nullopt;  // timed out; connection stays for next time
+        }
+        continue;  // re-check the probe window and the deadline
       }
       char buffer[4096];
       const IoResult result = transport_->read_some(buffer, sizeof(buffer));
@@ -284,6 +373,9 @@ std::optional<core::PolicyMessage> RuntimeClient::exchange_impl(
     }
     if (dropped) {
       drop_connection();
+      if (rotate) {
+        rotate_endpoint();
+      }
     }
   }
   ++stats_.exchange_failures;

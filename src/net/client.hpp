@@ -1,9 +1,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/endpoint.hpp"
 #include "net/framing.hpp"
@@ -28,8 +30,24 @@ struct ClientOptions {
   /// Consecutive failed connect attempts (one outage) after which the
   /// client stops dialing and latches daemon_lost() instead of retrying
   /// forever. 0 disables the cap. A successful connect ends the outage
-  /// and resets the count.
+  /// and resets the count. With an endpoint list the budget spans the
+  /// whole list: an outage only counts as terminal when every endpoint
+  /// has had its share of attempts.
   std::size_t max_connect_attempts_per_outage = 1'000;
+
+  /// Failover policy (active only with more than one endpoint; a
+  /// 1-element list behaves exactly like the single-connector client).
+  /// Consecutive failed connects on the current endpoint before rotating
+  /// to the next one in order — each retry still honours the jittered
+  /// backoff schedule, so a fleet fails over without a thundering herd.
+  /// 0 never rotates on connect failure.
+  std::size_t connect_attempts_per_endpoint = 8;
+  /// How long one endpoint may sit on an unanswered request before the
+  /// client abandons it mid-exchange and rotates — the escape hatch from
+  /// a fenced zombie primary that accepts samples but can no longer
+  /// allocate. The exchange continues on the next endpoint within the
+  /// same request_timeout. 0 disables mid-exchange rotation.
+  std::chrono::milliseconds endpoint_probe_timeout{500};
 
   /// Observability seam. The client publishes metrics only — exchange
   /// round-trip latency ("net.client.exchange_seconds"), reconnect /
@@ -49,6 +67,9 @@ struct ClientStats {
   std::size_t budget_revisions = 0;    ///< BudgetMessages that advanced us.
   std::size_t budget_pushes_stale = 0; ///< BudgetMessages already known.
   std::size_t stale_epoch_caps = 0;    ///< Caps rejected: superseded budget.
+  std::size_t endpoint_rotations = 0;  ///< Failovers to the next endpoint.
+  std::size_t stale_fence_caps = 0;    ///< Caps rejected: fenced zombie.
+  std::size_t probe_timeouts = 0;      ///< Mid-exchange endpoint abandons.
 };
 
 /// The runtime side of the daemon protocol: synchronous request/response
@@ -70,6 +91,13 @@ class RuntimeClient {
 
   explicit RuntimeClient(Connector connector, ClientOptions options = {});
   explicit RuntimeClient(TransportConnector connector,
+                         ClientOptions options = {});
+  /// Ordered endpoint list (primary first, standbys after): the client
+  /// dials endpoints in order and fails over mid-run under the rotation
+  /// policy in ClientOptions, re-registering and resyncing its budget
+  /// epoch on the new daemon. A 1-element list is exactly the
+  /// single-connector client.
+  explicit RuntimeClient(std::vector<TransportConnector> connectors,
                          ClientOptions options = {});
 
   /// Sends one sample and waits for the daemon's matching policy (a reply
@@ -101,6 +129,20 @@ class RuntimeClient {
   [[nodiscard]] bool connected() const noexcept {
     return transport_ != nullptr && transport_->valid();
   }
+  /// The highest fencing epoch ever heard, across connections and
+  /// endpoints — unlike the budget epoch it never resets: a daemon's
+  /// identity claim can only ratchet up, so a zombie primary's caps
+  /// (tagged with its superseded fence) are rejected forever.
+  [[nodiscard]] std::uint64_t fence_epoch() const noexcept {
+    return fence_epoch_;
+  }
+  /// Which endpoint of the ordered list the client is currently on.
+  [[nodiscard]] std::size_t endpoint_index() const noexcept {
+    return endpoint_index_;
+  }
+  [[nodiscard]] std::size_t endpoint_count() const noexcept {
+    return connectors_.size();
+  }
   [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
   /// The delay the next failed connect attempt will impose.
   [[nodiscard]] std::chrono::milliseconds current_backoff() const noexcept {
@@ -123,6 +165,7 @@ class RuntimeClient {
   bool send_frame(const std::string& frame, Clock::time_point deadline);
   void drop_connection();
   void register_connect_failure();
+  void rotate_endpoint();
 
   /// Cached instruments (owned by the registry in options_.obs); all null
   /// when the client is unobserved.
@@ -132,15 +175,20 @@ class RuntimeClient {
   obs::Counter* stale_replies_metric_ = nullptr;
   obs::Counter* stale_epoch_metric_ = nullptr;
   obs::Counter* revisions_metric_ = nullptr;
+  obs::Counter* rotations_metric_ = nullptr;
+  obs::Counter* stale_fence_metric_ = nullptr;
   obs::Histogram* exchange_seconds_ = nullptr;
 
-  TransportConnector connector_;
+  std::vector<TransportConnector> connectors_;
+  std::size_t endpoint_index_ = 0;
+  std::size_t attempts_this_endpoint_ = 0;
   ClientOptions options_;
   std::unique_ptr<Transport> transport_;
   FrameDecoder decoder_;
   std::optional<core::PolicyMessage> last_known_policy_;
   std::optional<core::BudgetMessage> last_budget_;
   std::uint64_t session_budget_epoch_ = 0;
+  std::uint64_t fence_epoch_ = 0;  ///< Max ever heard; never resets.
   ClientStats stats_;
   std::chrono::milliseconds backoff_;
   Clock::time_point next_connect_attempt_{};

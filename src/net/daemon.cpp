@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "core/invariants.hpp"
@@ -36,9 +37,18 @@ PowerDaemon::PowerDaemon(const DaemonOptions& options)
                "scheduled budget revisions must be sorted by at_epoch");
   }
   budget_watts_ = options.system_budget_watts;
-  restore_from_snapshot();
+  fence_epoch_ = options.fence_epoch;
+  if (options_.initial_state) {
+    // A promoted standby boots over the replicated state it applied —
+    // the in-memory analogue of a disk-snapshot restore, with the same
+    // authority rules.
+    restore_state(*options_.initial_state);
+  } else {
+    restore_from_snapshot();
+  }
   stats_.budget_watts = budget_watts_;
   stats_.budget_epoch = budget_epoch_;
+  stats_.fence_epoch = fence_epoch_;
   loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
 }
 
@@ -52,12 +62,16 @@ void PowerDaemon::restore_from_snapshot() {
   if (!snapshot) {
     return;  // no snapshot (or a corrupt one): cold start
   }
-  if (snapshot->budget_epoch > 0) {
+  restore_state(*snapshot);
+}
+
+void PowerDaemon::restore_state(const DaemonSnapshot& snapshot) {
+  if (snapshot.budget_epoch > 0) {
     // The budget was renegotiated before the crash. The snapshot is the
     // authority: restoring the configured budget would resurrect a
     // pre-brownout envelope the clients already heard revoked.
-    budget_watts_ = snapshot->system_budget_watts;
-    budget_epoch_ = snapshot->budget_epoch;
+    budget_watts_ = snapshot.system_budget_watts;
+    budget_epoch_ = snapshot.budget_epoch;
     // Scheduled revisions the previous incarnation already adopted must
     // not replay (their epochs are not newer).
     while (next_scheduled_revision_ < options_.budget_revisions.size() &&
@@ -65,15 +79,18 @@ void PowerDaemon::restore_from_snapshot() {
                budget_epoch_) {
       ++next_scheduled_revision_;
     }
-  } else if (snapshot->system_budget_watts != options_.system_budget_watts) {
+  } else if (snapshot.system_budget_watts != options_.system_budget_watts) {
     // The persisted caps were computed under a different facility budget;
     // restoring them could violate the new one. Cold start instead.
     return;
   }
-  launch_barrier_met_ = snapshot->launch_barrier_met;
-  allocation_epoch_base_ = snapshot->allocations;
+  // A restart of a once-promoted daemon must not regress its fence: the
+  // highest fence its clients ratcheted is the persisted one.
+  fence_epoch_ = std::max(fence_epoch_, snapshot.fence_epoch);
+  launch_barrier_met_ = snapshot.launch_barrier_met;
+  allocation_epoch_base_ = snapshot.allocations;
   const auto now = Clock::now();
-  for (const SnapshotJob& job : snapshot->jobs) {
+  for (const SnapshotJob& job : snapshot.jobs) {
     JobRecord record;
     record.last_caps_watts = job.caps_watts;
     record.last_gpu_caps_watts = job.gpu_caps_watts;
@@ -84,10 +101,10 @@ void PowerDaemon::restore_from_snapshot() {
     jobs_.emplace(job.name, std::move(record));
     ++stats_.jobs_restored;
   }
-  options_.obs.count("net.daemon.jobs_restored", snapshot->jobs.size());
+  options_.obs.count("net.daemon.jobs_restored", snapshot.jobs.size());
   options_.obs.emit(
       allocation_epoch_base_, obs::cat::kDaemon, "restore",
-      {{"jobs", static_cast<std::uint64_t>(snapshot->jobs.size())},
+      {{"jobs", static_cast<std::uint64_t>(snapshot.jobs.size())},
        {"budget_watts", budget_watts_},
        {"budget_epoch", budget_epoch_}});
 }
@@ -348,7 +365,8 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
       if (protocol_error) {
         ++record.protocol_errors;
         if (record.protocol_errors >= options_.quarantine_errors) {
-          quarantine_[job_name] = Clock::now() + options_.quarantine_period;
+          record_quarantine(job_name,
+                            Clock::now() + options_.quarantine_period);
           {
             const std::lock_guard<std::mutex> lock(shared_mutex_);
             ++stats_.quarantines;
@@ -368,6 +386,56 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
   // waiting only on jobs that can still answer.
   if (quarantined) {
     try_allocate();
+  }
+}
+
+void PowerDaemon::record_quarantine(const std::string& name,
+                                    Clock::time_point until) {
+  quarantine_[name] = until;
+  if (options_.max_quarantine_entries > 0) {
+    while (quarantine_.size() > options_.max_quarantine_entries) {
+      // Bounded bookkeeping: shed the entry closest to expiry — the one
+      // whose bar was about to lift anyway — so an unbounded churn of
+      // misbehaving client identities cannot grow this map forever.
+      auto victim = quarantine_.begin();
+      for (auto it = std::next(quarantine_.begin()); it != quarantine_.end();
+           ++it) {
+        if (it->second < victim->second) {
+          victim = it;
+        }
+      }
+      quarantine_.erase(victim);
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        ++stats_.quarantine_entries_dropped;
+      }
+      options_.obs.count("net.daemon.quarantine_entries_dropped");
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    stats_.quarantine_entries = quarantine_.size();
+  }
+  options_.obs.set_gauge("net.daemon.quarantine_entries",
+                         static_cast<double>(quarantine_.size()));
+}
+
+void PowerDaemon::prune_quarantine(Clock::time_point now) {
+  const std::size_t before = quarantine_.size();
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    if (now >= it->second) {
+      it = quarantine_.erase(it);  // served its time; forget the name
+    } else {
+      ++it;
+    }
+  }
+  if (quarantine_.size() != before) {
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      stats_.quarantine_entries = quarantine_.size();
+    }
+    options_.obs.set_gauge("net.daemon.quarantine_entries",
+                           static_cast<double>(quarantine_.size()));
   }
 }
 
@@ -507,6 +575,10 @@ void PowerDaemon::handle_frame(int fd, Session& session,
                               "' is quarantined");
       }
       quarantine_.erase(quarantined);  // served its time
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        stats_.quarantine_entries = quarantine_.size();
+      }
     }
     auto it = jobs_.find(sample.job_name);
     if (it != jobs_.end()) {
@@ -595,6 +667,10 @@ void PowerDaemon::resend_last_policy(int fd, Session& session,
   // untagged resend would read as epoch 0 — rejected as stale by any
   // client that has already heard a newer budget.
   message.budget_epoch = budget_epoch_;
+  // The fence tag is deliberately this incarnation's own: a zombie
+  // primary's resends carry its superseded fence, which is exactly what
+  // lets a failed-over client refuse them.
+  message.fence_epoch = fence_epoch_;
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.policies_resent;
@@ -648,6 +724,18 @@ void PowerDaemon::try_allocate() {
 
 void PowerDaemon::allocate_once() {
   if (jobs_.empty()) {
+    return;
+  }
+  if (options_.fence_check && options_.fence_check()) {
+    // Fenced: a promoted successor may exist, so computing new caps here
+    // could double-grant the same watts. Stored-cap resends still answer
+    // (tagged with this incarnation's now-stale fence, which failed-over
+    // clients reject), but no new allocation leaves this daemon.
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.rounds_fenced;
+    }
+    options_.obs.count("net.daemon.rounds_fenced");
     return;
   }
   if (!launch_barrier_met_) {
@@ -800,6 +888,7 @@ void PowerDaemon::allocate_once() {
     messages[j].sequence = samples[j].sequence;
     messages[j].job_name = samples[j].job_name;
     messages[j].budget_epoch = budget_epoch_;
+    messages[j].fence_epoch = fence_epoch_;
     JobRecord& record = jobs_.at(names[j]);
     record.last_caps_watts = messages[j].host_caps_watts;
     record.last_gpu_caps_watts = messages[j].host_gpu_caps_watts;
@@ -885,12 +974,13 @@ void PowerDaemon::allocate_once() {
 }
 
 void PowerDaemon::maybe_write_snapshot() {
-  if (options_.snapshot_path.empty()) {
+  if (options_.snapshot_path.empty() && !options_.replication_sink) {
     return;
   }
   DaemonSnapshot snapshot;
   snapshot.system_budget_watts = budget_watts_;
   snapshot.budget_epoch = budget_epoch_;
+  snapshot.fence_epoch = fence_epoch_;
   snapshot.launch_barrier_met = launch_barrier_met_;
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
@@ -907,19 +997,31 @@ void PowerDaemon::maybe_write_snapshot() {
     job.gpu_caps_watts = record.last_gpu_caps_watts;
     snapshot.jobs.push_back(std::move(job));
   }
-  try {
-    save_snapshot(options_.snapshot_path, snapshot);
+  if (!options_.snapshot_path.empty()) {
+    try {
+      save_snapshot(options_.snapshot_path, snapshot);
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        ++stats_.snapshots_written;
+      }
+      options_.obs.count("net.daemon.snapshots_written");
+      options_.obs.emit(
+          snapshot.allocations, obs::cat::kDaemon, "snapshot",
+          {{"jobs", static_cast<std::uint64_t>(snapshot.jobs.size())},
+           {"budget_epoch", budget_epoch_}});
+    } catch (const Error&) {
+      // Disk trouble must degrade durability, never live coordination.
+    }
+  }
+  if (options_.replication_sink) {
+    // Same write-ahead point as the disk snapshot: the standby always
+    // holds at least the state any client may already have heard.
+    options_.replication_sink(snapshot);
     {
       const std::lock_guard<std::mutex> lock(shared_mutex_);
-      ++stats_.snapshots_written;
+      ++stats_.replication_updates;
     }
-    options_.obs.count("net.daemon.snapshots_written");
-    options_.obs.emit(
-        snapshot.allocations, obs::cat::kDaemon, "snapshot",
-        {{"jobs", static_cast<std::uint64_t>(snapshot.jobs.size())},
-         {"budget_epoch", budget_epoch_}});
-  } catch (const Error&) {
-    // Disk trouble must degrade durability, never live coordination.
+    options_.obs.count("net.daemon.replication_updates");
   }
 }
 
@@ -927,6 +1029,7 @@ void PowerDaemon::on_tick() {
   adopt_pending_transports();
   apply_pending_revisions();
   const auto now = Clock::now();
+  prune_quarantine(now);
 
   std::vector<int> expired;
   for (const auto& [fd, session] : sessions_) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "core/policy.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/snapshot.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "obs/obs.hpp"
@@ -51,6 +53,12 @@ struct DaemonOptions {
   /// misbehaving client cannot wedge the allocation round forever.
   std::size_t quarantine_errors = 3;
   std::chrono::milliseconds quarantine_period{1'000};
+  /// Hard bound on quarantine bookkeeping: the record of evicted
+  /// misbehaving jobs must stay O(1) over an unbounded churn of client
+  /// identities, so inserting past the bound drops the entry closest to
+  /// expiry (the least valuable one). Expired entries are also pruned on
+  /// every tick rather than lazily on re-registration.
+  std::size_t max_quarantine_entries = 1024;
 
   /// When non-empty, the daemon persists a write-ahead snapshot of its
   /// coordination state (budget, launch barrier, every job's last caps)
@@ -64,6 +72,34 @@ struct DaemonOptions {
   /// means connections are used as-is.
   std::function<std::unique_ptr<Transport>(std::unique_ptr<Transport>)>
       transport_wrapper;
+
+  /// High-availability seams (all inert by default; a single-daemon
+  /// deployment that sets none of these keeps byte-identical wire
+  /// traffic, snapshots, and golden traces).
+  ///
+  /// In-memory boot state: a promoted standby constructs its daemon over
+  /// the replicated snapshot instead of a disk file. Takes priority over
+  /// snapshot_path restoration; the same validation rules apply (a
+  /// revised budget wins over the configured one, adopted scheduled
+  /// revisions do not replay).
+  std::optional<DaemonSnapshot> initial_state;
+  /// This incarnation's fencing epoch. Non-zero stamps every outgoing
+  /// PolicyMessage (including resends) and the snapshot, so clients that
+  /// have heard a newer fence reject this daemon's caps as zombie
+  /// output. A restored snapshot's higher fence wins over this value.
+  std::uint64_t fence_epoch = 0;
+  /// Write-ahead replication sink: invoked with the freshly built state
+  /// snapshot at every point the daemon persists (before round replies
+  /// leave, on revision adoption, on eviction) — even when snapshot_path
+  /// is empty. The HA Replicator plugs in here.
+  std::function<void(const DaemonSnapshot&)> replication_sink;
+  /// Fencing gate: when set and returning true, allocation rounds are
+  /// refused (counted in stats.rounds_fenced) — the primary has lost its
+  /// standby's acks for longer than the fence window and must assume a
+  /// promoted successor exists. Registrations and stored-cap resends
+  /// still answer; their stale fence tag is what failed-over clients
+  /// reject.
+  std::function<bool()> fence_check;
 
   /// Scheduled budget revisions, sorted by at_epoch. The daemon adopts a
   /// revision with at_epoch e before the allocation round that consumes
@@ -114,6 +150,15 @@ struct DaemonStats {
   std::size_t budget_revisions_stale = 0;  ///< Rejected: epoch not newer.
   std::size_t budget_pushes = 0;     ///< BudgetMessages queued to clients.
   std::size_t emergency_clamps = 0;  ///< Rounds that took the clamp path.
+
+  /// High-availability accounting.
+  std::uint64_t fence_epoch = 0;      ///< This incarnation's fence.
+  std::size_t rounds_fenced = 0;      ///< Allocations refused while fenced.
+  std::size_t replication_updates = 0;  ///< States handed to the sink.
+  /// Quarantine bookkeeping (the bounded-memory satellite): the current
+  /// entry count and how many were dropped at the bound.
+  std::size_t quarantine_entries = 0;
+  std::size_t quarantine_entries_dropped = 0;
 };
 
 /// The resource-manager power daemon: accepts many concurrent runtime
@@ -228,6 +273,9 @@ class PowerDaemon {
   void allocate_once();
   void maybe_write_snapshot();
   void restore_from_snapshot();
+  void restore_state(const DaemonSnapshot& snapshot);
+  void record_quarantine(const std::string& name, Clock::time_point until);
+  void prune_quarantine(Clock::time_point now);
   void on_tick();
   void apply_pending_revisions();
   void apply_revision(const core::BudgetRevision& revision);
@@ -255,6 +303,9 @@ class PowerDaemon {
   double budget_watts_ = 0.0;
   std::uint64_t budget_epoch_ = 0;
   std::size_t next_scheduled_revision_ = 0;
+  /// This incarnation's fencing epoch: the configured one, or a restored
+  /// snapshot's if higher. Stamped on every policy and snapshot when > 0.
+  std::uint64_t fence_epoch_ = 0;
 
   mutable std::mutex shared_mutex_;  ///< Guards stats_ and pending_.
   DaemonStats stats_;

@@ -75,10 +75,21 @@ std::string serialize(const DaemonSnapshot& snapshot) {
       break;
     }
   }
+  // v4 (a control plane that has failed over at least once) fixes the
+  // job block at the four-line v3 form regardless of GPU presence.
+  const bool v4 = snapshot.fence_epoch > 0;
+  if (v4) {
+    any_gpu = true;
+  }
   std::ostringstream out;
-  out << (any_gpu ? "powerstack-snapshot v3\n" : "powerstack-snapshot v2\n");
+  out << (v4        ? "powerstack-snapshot v4\n"
+          : any_gpu ? "powerstack-snapshot v3\n"
+                    : "powerstack-snapshot v2\n");
   out << "budget " << format_exact(snapshot.system_budget_watts) << '\n';
   out << "budget_epoch " << snapshot.budget_epoch << '\n';
+  if (v4) {
+    out << "fence " << snapshot.fence_epoch << '\n';
+  }
   out << "barrier " << (snapshot.launch_barrier_met ? 1 : 0) << '\n';
   out << "allocations " << snapshot.allocations << '\n';
   out << "jobs " << snapshot.jobs.size() << '\n';
@@ -134,10 +145,11 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
   PS_REQUIRE(crc32(text.substr(0, body_end)) == expected,
              "snapshot checksum mismatch (torn or corrupted write)");
 
-  const bool v3 = lines[0] == "powerstack-snapshot v3";
+  const bool v4 = lines[0] == "powerstack-snapshot v4";
+  const bool v3 = v4 || lines[0] == "powerstack-snapshot v3";
   const bool v2 = v3 || lines[0] == "powerstack-snapshot v2";
   PS_REQUIRE(v2 || lines[0] == "powerstack-snapshot v1",
-             "not a v1/v2/v3 snapshot");
+             "not a v1/v2/v3/v4 snapshot");
   DaemonSnapshot snapshot;
   snapshot.system_budget_watts =
       parse_watts(expect_field(lines[1], "budget "), "budget");
@@ -147,6 +159,13 @@ DaemonSnapshot parse_snapshot(std::string_view text) {
   if (v2) {
     snapshot.budget_epoch = parse_u64(
         expect_field(lines[next], "budget_epoch "), "budget_epoch");
+    ++next;
+  }
+  if (v4) {
+    snapshot.fence_epoch =
+        parse_u64(expect_field(lines[next], "fence "), "fence");
+    PS_REQUIRE(snapshot.fence_epoch != 0,
+               "v4 snapshot fence must be non-zero");
     ++next;
   }
   const std::string_view barrier = expect_field(lines[next], "barrier ");

@@ -36,6 +36,11 @@ struct DaemonSnapshot {
   /// is what stops a restarted daemon from resurrecting a pre-brownout
   /// budget: the restored epoch wins over the configured one.
   std::uint64_t budget_epoch = 0;
+  /// Fencing epoch of the daemon incarnation that wrote the snapshot
+  /// (0 = a control plane that has never failed over). A standby promotes
+  /// at fence + 1; persisting the fence keeps a restart of a promoted
+  /// daemon from regressing below caps its clients already ratcheted.
+  std::uint64_t fence_epoch = 0;
   bool launch_barrier_met = false;
   std::uint64_t allocations = 0;  ///< Monotone: detects stale snapshots.
   std::vector<SnapshotJob> jobs;
@@ -67,6 +72,11 @@ struct DaemonSnapshot {
 /// block gains a fourth `gpu_caps` line after `caps` (left bare for the
 /// single-domain jobs of a mixed cluster). A snapshot with no GPU caps
 /// anywhere still serializes as v2, byte-identical to pre-hetero builds.
+///
+/// A non-zero fence_epoch makes it v4: a `fence` line follows
+/// `budget_epoch` and every job block carries the fixed four-line (v3)
+/// form. A control plane that never failed over keeps fence_epoch 0 and
+/// stays byte-identical to v2/v3 — the same discipline as the wire.
 [[nodiscard]] std::string serialize(const DaemonSnapshot& snapshot);
 
 /// Parses and validates a serialized snapshot. Throws ps::InvalidArgument

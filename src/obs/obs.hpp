@@ -47,11 +47,15 @@ struct Observability {
 /// run's stream is byte-identical across runs, machines and worker
 /// counts. `kNetIo` events follow transport timing (connects, evictions,
 /// reconnects) and are excluded from golden-trace comparisons.
+/// `kHa` carries control-plane failover events (standby promotion,
+/// fencing transitions); like `kNetIo` they follow transport timing and
+/// are excluded from golden-trace comparisons.
 namespace cat {
 inline constexpr std::string_view kCoord = "coord";
 inline constexpr std::string_view kRm = "rm";
 inline constexpr std::string_view kDaemon = "daemon";
 inline constexpr std::string_view kNetIo = "netio";
+inline constexpr std::string_view kHa = "ha";
 }  // namespace cat
 
 /// The deterministic streams, in the order golden traces are exported.

@@ -1,0 +1,425 @@
+// The HA acceptance matrix (the tentpole bar for control-plane
+// failover): a primary/standby daemon pair with replicated state, four
+// clients on faulty transports, a scheduled 30% brownout — and either a
+// mid-run primary kill or a replication partition that heals mid-run.
+// Both scenarios must converge watt-for-watt with the in-memory
+// run_dynamic replay, with the standby taking over within one lease,
+// zero invariant violations under fatal enforcement, and no watt granted
+// twice across the fencing boundary.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/invariants.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "fault/partition.hpp"
+#include "ha/replicator.hpp"
+#include "ha/standby.hpp"
+#include "net/agent.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "sim/cluster.hpp"
+
+namespace ps::fault {
+namespace {
+
+using std::chrono::milliseconds;
+using Clock = std::chrono::steady_clock;
+
+std::string unique_path(const std::string& tag, const std::string& suffix) {
+  return "/tmp/ps-hachaos-" + tag + "-" + std::to_string(::getpid()) +
+         suffix;
+}
+
+std::uint64_t scenario_seed() {
+  if (const char* env = std::getenv("PS_FAULT_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 11;  // the default fixed seed; CI also runs 29 and 47
+}
+
+bool eventually(const std::function<bool()>& predicate,
+                int deadline_ms = 10'000) {
+  const auto deadline = Clock::now() + milliseconds(deadline_ms);
+  while (Clock::now() < deadline) {
+    if (predicate()) {
+      return true;
+    }
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return predicate();
+}
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+/// The standard four-job mix on its own 16-node cluster (job names sort
+/// in construction order, matching the daemon's name-ordered rounds).
+struct Mix {
+  explicit Mix(std::size_t hosts_per_job = 4) {
+    const std::vector<std::pair<std::string, kernel::WorkloadConfig>> spec =
+        {{"a-wasteful", wasteful_config()},
+         {"b-hungry", hungry_config()},
+         {"c-wasteful", wasteful_config()},
+         {"d-hungry", hungry_config()}};
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * spec.size());
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t h = 0; h < hosts_per_job; ++h) {
+        hosts.push_back(&cluster->node(j * hosts_per_job + h));
+      }
+      jobs.push_back(std::make_unique<sim::JobSimulation>(
+          spec[j].first, std::move(hosts), spec[j].second));
+    }
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+};
+
+/// Everything the two scenarios share: the brownout schedule, the
+/// fault-free in-memory reference, the faulty clients with an ordered
+/// {primary, standby} endpoint list, and the HA pair wiring.
+struct Scenario {
+  static constexpr double kBudget = 16.0 * 230.0;  // 3680 W
+  static constexpr milliseconds kLease{400};
+
+  explicit Scenario(const std::string& tag)
+      : seed(scenario_seed()),
+        primary_path(unique_path(tag + "-primary", ".sock")),
+        standby_path(unique_path(tag + "-standby", ".sock")),
+        repl_path(unique_path(tag + "-repl", ".sock")) {
+    std::cout << "[ PS_FAULT_SEED ] " << seed << "\n";
+
+    schedule.resize(2);
+    schedule[0].epoch = 1;
+    schedule[0].budget_watts = 0.9 * kBudget;
+    schedule[0].at_epoch = 1;
+    schedule[1].epoch = 2;
+    schedule[1].budget_watts = 0.7 * kBudget;  // the brownout
+    schedule[1].at_epoch = 2;
+    schedule[1].emergency = true;
+
+    // Reference: the fault-free in-memory dynamic loop over an identical
+    // mix and the identical schedule.
+    for (const auto& job : reference.jobs) {
+      reference_jobs.push_back(job.get());
+    }
+    core::CoordinationLoop loop(kBudget);
+    expected = loop.run_dynamic(reference_jobs, 20, {}, schedule, nullptr,
+                                nullptr);
+
+    // The daemon template both incarnations share. The primary adds the
+    // replication seams on top; the standby template must stay free of
+    // them (a promoted daemon serves solo).
+    daemon_template.system_budget_watts = kBudget;
+    daemon_template.node_tdp_watts = distributed.cluster->node(0).tdp();
+    daemon_template.uncappable_watts =
+        distributed.cluster->node(0).params().dram_watts;
+    daemon_template.min_jobs = distributed.jobs.size();
+    daemon_template.tick_interval = milliseconds(20);
+    daemon_template.budget_revisions = schedule;
+    // Generous liveness windows: the scenario proves failover, not
+    // eviction.
+    daemon_template.reclaim_timeout = milliseconds(30'000);
+    daemon_template.heartbeat_timeout = milliseconds(60'000);
+    daemon_template.quarantine_errors = 100;
+
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.max_faults = 10;
+    spec.drop_probability = 0.05;
+    spec.partial_probability = 0.12;
+    spec.corrupt_probability = 0.05;
+    spec.duplicate_probability = 0.05;
+    spec.delay_probability = 0.10;
+    const FaultPlan parent(spec);
+
+    net::ClientOptions client_options;
+    client_options.request_timeout = milliseconds(20'000);
+    client_options.backoff_initial = milliseconds(5);
+    client_options.backoff_max = milliseconds(50);
+    client_options.connect_attempts_per_endpoint = 4;
+    client_options.endpoint_probe_timeout = milliseconds(500);
+
+    for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+      plans.push_back(std::make_shared<FaultPlan>(parent.fork(j + 1)));
+      std::vector<net::RuntimeClient::TransportConnector> endpoints;
+      for (const std::string* path : {&primary_path, &standby_path}) {
+        endpoints.push_back([path = *path, plan = plans[j]] {
+          return make_faulty_transport(
+              net::make_transport(net::connect_unix(path)), plan);
+        });
+      }
+      clients.push_back(std::make_unique<net::RuntimeClient>(
+          std::move(endpoints), client_options));
+      agents.push_back(std::make_unique<net::CoordinatedAgent>(
+          *distributed.jobs[j], *clients[j]));
+    }
+  }
+
+  /// Builds the HA pair. `repl_wrapper` decorates the standby's dial of
+  /// the replication link (the partition scenario's seam).
+  void start_ha_pair(
+      const std::function<std::unique_ptr<net::Transport>(
+          std::unique_ptr<net::Transport>)>& repl_wrapper = {}) {
+    ha::ReplicatorOptions replicator_options;
+    replicator_options.lease = kLease;
+    replicator = std::make_unique<ha::Replicator>(replicator_options);
+    replicator->listen_unix(repl_path);
+    replicator->start();
+
+    net::DaemonOptions primary_options = daemon_template;
+    primary_options.replication_sink = replicator->sink();
+    primary_options.fence_check = replicator->fence_check();
+    primary = std::make_unique<net::PowerDaemon>(primary_options);
+    primary->listen_unix(primary_path);
+    primary_thread = std::thread([this] { primary->run(); });
+
+    ha::StandbyOptions standby_options;
+    standby_options.primary = [this, repl_wrapper] {
+      auto transport = net::make_transport(net::connect_unix(repl_path));
+      return repl_wrapper ? repl_wrapper(std::move(transport))
+                          : std::move(transport);
+    };
+    standby_options.daemon = daemon_template;
+    standby_options.lease = kLease;
+    standby_options.dial_retry = milliseconds(25);
+    standby_options.bind = [this](net::PowerDaemon& daemon) {
+      daemon.listen_unix(standby_path);
+    };
+    standby = std::make_unique<ha::StandbyDaemon>(standby_options);
+    standby_thread = std::thread([this] { standby->run(); });
+  }
+
+  /// Runs every agent for 10 coordination epochs (half the scenario).
+  void run_half() {
+    std::vector<std::thread> workers;
+    for (auto& agent : agents) {
+      workers.emplace_back([&agent] {
+        const net::AgentResult result = agent->run(10);
+        EXPECT_EQ(result.iterations, 10u);
+        EXPECT_EQ(result.fallback_epochs, 0u);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  void stop_standby() {
+    if (standby != nullptr) {
+      standby->stop();
+    }
+    if (standby_thread.joinable()) {
+      standby_thread.join();
+    }
+  }
+
+  /// The shared post-conditions: watt-for-watt convergence with the
+  /// reference, the brownout budget respected on the socket path, every
+  /// client ratcheted to the successor's fence.
+  void expect_converged() {
+    for (const auto& client : clients) {
+      ASSERT_TRUE(client->last_budget().has_value());
+      EXPECT_EQ(client->last_budget()->epoch, 2u);
+      EXPECT_EQ(client->fence_epoch(), 1u);
+      EXPECT_GE(client->stats().endpoint_rotations, 1u);
+    }
+
+    std::size_t injected = 0;
+    for (const auto& plan : plans) {
+      injected += plan->stats().injected();
+    }
+    EXPECT_GT(injected, 0u) << "fault plan never fired; scenario is vacuous";
+
+    double allocated = 0.0;
+    for (std::size_t j = 0; j < distributed.jobs.size(); ++j) {
+      for (std::size_t h = 0; h < distributed.jobs[j]->host_count(); ++h) {
+        EXPECT_DOUBLE_EQ(distributed.jobs[j]->host_cap(h),
+                         reference_jobs[j]->host_cap(h))
+            << "job " << distributed.jobs[j]->name() << " host " << h
+            << " (seed " << seed << ")";
+        allocated += distributed.jobs[j]->host_cap(h);
+      }
+    }
+    EXPECT_LE(allocated, schedule[1].budget_watts + 0.5 * 16.0);
+  }
+
+  std::uint64_t seed;
+  std::string primary_path;
+  std::string standby_path;
+  std::string repl_path;
+  std::vector<core::BudgetRevision> schedule;
+  Mix reference;
+  Mix distributed;
+  std::vector<sim::JobSimulation*> reference_jobs;
+  core::CoordinationResult expected;
+  net::DaemonOptions daemon_template;
+  std::vector<std::shared_ptr<FaultPlan>> plans;
+  std::vector<std::unique_ptr<net::RuntimeClient>> clients;
+  std::vector<std::unique_ptr<net::CoordinatedAgent>> agents;
+  std::unique_ptr<ha::Replicator> replicator;
+  std::unique_ptr<net::PowerDaemon> primary;
+  std::thread primary_thread;
+  std::unique_ptr<ha::StandbyDaemon> standby;
+  std::thread standby_thread;
+};
+
+/// Fatal-invariant guard for a whole scenario.
+struct FatalInvariants {
+  core::invariants::Mode previous = core::invariants::mode();
+  FatalInvariants() {
+    core::invariants::set_mode(core::invariants::Mode::kFatal);
+    core::invariants::reset();
+  }
+  ~FatalInvariants() {
+    core::invariants::reset();
+    core::invariants::set_mode(previous);
+  }
+};
+
+TEST(HaChaosTest, PrimaryKilledMidRunFailsOverWattForWatt) {
+  const FatalInvariants guard;
+  Scenario scenario("kill");
+  scenario.start_ha_pair();
+
+  scenario.run_half();
+  const net::DaemonStats mid = scenario.primary->stats();
+  EXPECT_EQ(mid.budget_epoch, 1u);  // the drift adopted, brownout pending
+  EXPECT_GT(mid.replication_updates, 0u);
+  // The standby replicated the first half before the kill.
+  ASSERT_TRUE(eventually([&] { return scenario.standby->synced(); }));
+  EXPECT_GE(scenario.standby->stats().rounds, 1u);
+  EXPECT_FALSE(scenario.standby->promoted());
+
+  // The kill: primary and its replicator vanish mid-run, in-memory state
+  // and all. The replicated snapshot is now the only copy of the truth.
+  scenario.primary->stop();
+  scenario.primary_thread.join();
+  scenario.primary.reset();
+  scenario.replicator.reset();
+  const auto killed_at = Clock::now();
+
+  // The second half drives promotion (one silent lease) and failover;
+  // the brownout revision is adopted by the *promoted standby* from the
+  // same schedule, past the revision its replicated state already
+  // recorded.
+  scenario.run_half();
+
+  EXPECT_TRUE(scenario.standby->promoted());
+  EXPECT_EQ(scenario.standby->stats().fence_epoch, 1u);
+  ASSERT_NE(scenario.standby->daemon(), nullptr);
+  const net::DaemonStats after = scenario.standby->daemon()->stats();
+  EXPECT_EQ(after.fence_epoch, 1u);
+  EXPECT_EQ(after.jobs_restored, scenario.distributed.jobs.size());
+  EXPECT_EQ(after.launch_barriers, 0u);  // barrier never re-ran
+  EXPECT_EQ(after.budget_epoch, 2u);
+  EXPECT_DOUBLE_EQ(after.budget_watts, scenario.schedule[1].budget_watts);
+  EXPECT_EQ(after.budget_violations, 0u);
+  scenario.stop_standby();
+
+  // Takeover was bounded: the whole second half (promotion included)
+  // finished, and promotion could not have fired before one full lease
+  // of silence.
+  EXPECT_GE(Clock::now() - killed_at, Scenario::kLease);
+
+  scenario.expect_converged();
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+}
+
+TEST(HaChaosTest, PartitionedPrimaryStaysFencedThroughTheHeal) {
+  const FatalInvariants guard;
+  Scenario scenario("partition");
+
+  // The partition wears on the standby's replication dial: both
+  // directions of the link drop while the primary itself stays up.
+  auto partition = std::make_shared<PartitionControl>();
+  FaultSpec quiet;
+  quiet.max_faults = 0;
+  auto quiet_plan = std::make_shared<FaultPlan>(quiet);
+  scenario.start_ha_pair(
+      [partition, quiet_plan](std::unique_ptr<net::Transport> inner) {
+        return make_faulty_transport(std::move(inner), quiet_plan,
+                                     partition);
+      });
+
+  scenario.run_half();
+  ASSERT_TRUE(eventually([&] { return scenario.standby->synced(); }));
+  ASSERT_TRUE(eventually([&] { return scenario.replicator->stats().engaged; }));
+  EXPECT_FALSE(scenario.replicator->should_fence());
+
+  // The partition: the primary is alive and reachable by clients, but
+  // its standby can no longer hear it (or ack it). The primary must
+  // fence itself within lease/2; the standby must promote within one
+  // lease. For a window both exist — fencing is what keeps that window
+  // from ever double-granting a watt.
+  partition->isolate();
+  ASSERT_TRUE(eventually([&] { return scenario.replicator->should_fence(); }));
+  ASSERT_TRUE(eventually([&] { return scenario.standby->promoted(); }));
+  const net::DaemonStats fenced = scenario.primary->stats();
+
+  // Clients now face a live-but-fenced primary: their samples land, the
+  // allocation round is refused, no reply comes, and the probe timeout
+  // rotates them to the promoted standby.
+  std::thread second_half([&scenario] { scenario.run_half(); });
+
+  // Heal the partition mid-half, during the brownout epoch. The zombie
+  // primary hears its standby's endpoint again — but a promoted standby
+  // never acks, so the fence must hold forever.
+  ASSERT_TRUE(eventually([&] {
+    return scenario.standby->daemon() != nullptr &&
+           scenario.standby->daemon()->stats().allocations >= 1;
+  }));
+  partition->heal();
+  second_half.join();
+
+  EXPECT_TRUE(scenario.replicator->should_fence())
+      << "healed partition un-fenced a superseded primary";
+  const net::DaemonStats zombie = scenario.primary->stats();
+  EXPECT_GE(zombie.rounds_fenced, 1u);
+  // Zero double-allocation across the fencing boundary: the fenced
+  // primary never completed another round after its successor appeared.
+  EXPECT_EQ(zombie.allocations, fenced.allocations);
+
+  ASSERT_NE(scenario.standby->daemon(), nullptr);
+  const net::DaemonStats after = scenario.standby->daemon()->stats();
+  EXPECT_EQ(after.fence_epoch, 1u);
+  EXPECT_EQ(after.budget_epoch, 2u);
+  EXPECT_EQ(after.budget_violations, 0u);
+
+  scenario.primary->stop();
+  scenario.primary_thread.join();
+  scenario.primary.reset();
+  scenario.replicator.reset();
+  scenario.stop_standby();
+
+  scenario.expect_converged();
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+}
+
+}  // namespace
+}  // namespace ps::fault

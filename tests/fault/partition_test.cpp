@@ -1,0 +1,157 @@
+#include "fault/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace ps::fault {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A plan that never fires: partitions are the only fault under test.
+std::shared_ptr<FaultPlan> quiet_plan() {
+  FaultSpec spec;
+  spec.max_faults = 0;
+  return std::make_shared<FaultPlan>(spec);
+}
+
+TEST(PartitionControlTest, DirectionsAreIndependent) {
+  PartitionControl control;
+  EXPECT_FALSE(control.inbound_blocked());
+  EXPECT_FALSE(control.outbound_blocked());
+
+  control.block_inbound();
+  EXPECT_TRUE(control.inbound_blocked());
+  EXPECT_FALSE(control.outbound_blocked());
+
+  control.heal();
+  control.block_outbound();
+  EXPECT_FALSE(control.inbound_blocked());
+  EXPECT_TRUE(control.outbound_blocked());
+
+  control.isolate();
+  EXPECT_TRUE(control.inbound_blocked());
+  EXPECT_TRUE(control.outbound_blocked());
+  control.heal();
+  EXPECT_FALSE(control.inbound_blocked());
+  EXPECT_FALSE(control.outbound_blocked());
+}
+
+TEST(PartitionControlTest, ScheduledWindowAutoHeals) {
+  PartitionControl control;
+  control.isolate_for(milliseconds(40));
+  EXPECT_TRUE(control.inbound_blocked());
+  EXPECT_TRUE(control.outbound_blocked());
+  std::this_thread::sleep_for(milliseconds(80));
+  EXPECT_FALSE(control.inbound_blocked());
+  EXPECT_FALSE(control.outbound_blocked());
+}
+
+TEST(PartitionControlTest, HealCancelsScheduledWindows) {
+  PartitionControl control;
+  control.block_inbound_for(milliseconds(10'000));
+  EXPECT_TRUE(control.inbound_blocked());
+  control.heal();
+  EXPECT_FALSE(control.inbound_blocked());
+}
+
+TEST(FaultyTransportPartitionTest, OutboundBlockRefusesWrites) {
+  auto [near, far] = net::loopback_pair();
+  auto control = std::make_shared<PartitionControl>();
+  FaultyTransport transport(net::make_transport(std::move(near)),
+                            quiet_plan(), control);
+
+  control->block_outbound();
+  const net::IoResult blocked = transport.write_some("hello");
+  EXPECT_EQ(blocked.status, net::IoStatus::kWouldBlock);
+  EXPECT_EQ(blocked.bytes, 0u);
+  EXPECT_GE(control->blocked_writes(), 1u);
+
+  control->heal();
+  const net::IoResult ok = transport.write_some("hello");
+  EXPECT_EQ(ok.status, net::IoStatus::kOk);
+  EXPECT_EQ(ok.bytes, 5u);
+}
+
+TEST(FaultyTransportPartitionTest, InboundBlockHoldsBytesUntilHeal) {
+  auto [near, far] = net::loopback_pair();
+  auto control = std::make_shared<PartitionControl>();
+  FaultyTransport transport(net::make_transport(std::move(near)),
+                            quiet_plan(), control);
+
+  // The peer ships a complete frame while the link is down.
+  const std::string frame = net::encode_frame("payload-under-partition");
+  control->block_inbound();
+  ASSERT_EQ(far.write_some(frame).status, net::IoStatus::kOk);
+  std::this_thread::sleep_for(milliseconds(20));  // let the bytes land
+
+  char buffer[256];
+  const net::IoResult blocked = transport.read_some(buffer, sizeof(buffer));
+  EXPECT_EQ(blocked.status, net::IoStatus::kWouldBlock);
+  EXPECT_GE(control->blocked_reads(), 1u);
+
+  // Healing delivers the held bytes — nothing was lost, exactly like a
+  // switch flushing its queues.
+  control->heal();
+  net::FrameDecoder decoder;
+  for (;;) {
+    const net::IoResult r = transport.read_some(buffer, sizeof(buffer));
+    if (r.status != net::IoStatus::kOk) {
+      break;
+    }
+    decoder.feed(std::string_view(buffer, r.bytes));
+  }
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "payload-under-partition");
+}
+
+TEST(FaultyTransportPartitionTest, WaitReadableObservesAMidWaitHeal) {
+  auto [near, far] = net::loopback_pair();
+  auto control = std::make_shared<PartitionControl>();
+  FaultyTransport transport(net::make_transport(std::move(near)),
+                            quiet_plan(), control);
+
+  control->block_inbound();
+  ASSERT_EQ(far.write_some("abc").status, net::IoStatus::kOk);
+
+  std::thread healer([&control] {
+    std::this_thread::sleep_for(milliseconds(30));
+    control->heal();
+  });
+  // The wait naps through the blocked window and returns true once the
+  // heal exposes the held bytes — well before the full timeout.
+  const auto started = std::chrono::steady_clock::now();
+  EXPECT_TRUE(transport.wait_readable(milliseconds(2'000)));
+  const auto waited = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(waited, milliseconds(1'000));
+  healer.join();
+
+  char buffer[16];
+  const net::IoResult r = transport.read_some(buffer, sizeof(buffer));
+  ASSERT_EQ(r.status, net::IoStatus::kOk);
+  EXPECT_EQ(std::string_view(buffer, r.bytes), "abc");
+}
+
+TEST(FaultyTransportPartitionTest, BlockedWaitTimesOut) {
+  auto [near, far] = net::loopback_pair();
+  auto control = std::make_shared<PartitionControl>();
+  FaultyTransport transport(net::make_transport(std::move(near)),
+                            quiet_plan(), control);
+  control->block_inbound();
+  ASSERT_EQ(far.write_some("abc").status, net::IoStatus::kOk);
+  EXPECT_FALSE(transport.wait_readable(milliseconds(30)));
+}
+
+}  // namespace
+}  // namespace ps::fault

@@ -1,0 +1,237 @@
+// RuntimeClient failover policy: ordered endpoint lists, bounded
+// per-endpoint connect caps with jittered rotation, the mid-exchange
+// probe timeout, and the fencing-epoch ratchet that rejects a zombie
+// primary's caps. The single-endpoint regression pins PR-1 behavior: a
+// 1-element list is byte-for-byte the old client.
+#include "net/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "core/endpoint.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "util/error.hpp"
+
+namespace ps::ha {
+namespace {
+
+using std::chrono::milliseconds;
+
+core::SampleMessage make_sample(std::uint64_t sequence) {
+  core::SampleMessage sample;
+  sample.sequence = sequence;
+  sample.job_name = "job-a";
+  sample.min_settable_cap_watts = 100.0;
+  sample.host_observed_watts = {150.0, 160.0};
+  sample.host_needed_watts = {140.0, 155.0};
+  return sample;
+}
+
+net::ClientOptions fast_options() {
+  net::ClientOptions options;
+  options.request_timeout = milliseconds(500);
+  options.backoff_initial = milliseconds(2);
+  options.backoff_max = milliseconds(16);
+  options.backoff_jitter = 0.0;
+  return options;
+}
+
+/// Answers one framed sample on `server` with caps stamped `fence`.
+void serve_one_exchange(net::Socket& server, std::uint64_t fence) {
+  net::FrameDecoder decoder;
+  char buffer[4096];
+  for (;;) {
+    if (auto payload = decoder.next()) {
+      const core::SampleMessage sample =
+          core::parse_sample_message(*payload);
+      core::PolicyMessage policy;
+      policy.job_name = sample.job_name;
+      policy.sequence = sample.sequence;
+      policy.host_caps_watts = {180.0, 190.0};
+      policy.fence_epoch = fence;
+      static_cast<void>(server.write_some(net::encode_frame(
+          core::serialize(policy, core::WireFidelity::kExact))));
+      return;
+    }
+    ASSERT_TRUE(server.wait_readable(milliseconds(2'000)));
+    const net::IoResult result = server.read_some(buffer, sizeof(buffer));
+    ASSERT_EQ(result.status, net::IoStatus::kOk);
+    decoder.feed(std::string_view(buffer, result.bytes));
+  }
+}
+
+/// A connector backed by a queue of pre-connected sockets; dials throw
+/// once the queue is empty.
+net::RuntimeClient::TransportConnector queue_connector(
+    std::shared_ptr<std::deque<net::Socket>> queue) {
+  return [queue]() -> std::unique_ptr<net::Transport> {
+    if (queue->empty()) {
+      throw Error("endpoint is gone");
+    }
+    net::Socket socket = std::move(queue->front());
+    queue->pop_front();
+    return net::make_transport(std::move(socket));
+  };
+}
+
+// Satellite regression: a 1-element endpoint list must be exactly the
+// PR-1 single-endpoint client — same dial count, same terminal
+// daemon_lost latch, no rotations, no probe machinery.
+TEST(ClientFailoverTest, OneElementListMatchesSingleEndpointClient) {
+  net::ClientOptions options = fast_options();
+  options.max_connect_attempts_per_outage = 5;
+
+  std::size_t single_dials = 0;
+  net::RuntimeClient single(
+      net::RuntimeClient::TransportConnector(
+          [&single_dials]() -> std::unique_ptr<net::Transport> {
+            ++single_dials;
+            throw Error("unreachable");
+          }),
+      options);
+  std::size_t list_dials = 0;
+  std::vector<net::RuntimeClient::TransportConnector> connectors;
+  connectors.push_back([&list_dials]() -> std::unique_ptr<net::Transport> {
+    ++list_dials;
+    throw Error("unreachable");
+  });
+  net::RuntimeClient listed(std::move(connectors), options);
+
+  EXPECT_FALSE(single.exchange(make_sample(1)).has_value());
+  EXPECT_FALSE(listed.exchange(make_sample(1)).has_value());
+
+  EXPECT_EQ(single_dials, list_dials);
+  EXPECT_TRUE(single.daemon_lost());
+  EXPECT_TRUE(listed.daemon_lost());
+  EXPECT_EQ(listed.endpoint_count(), 1u);
+  EXPECT_EQ(listed.endpoint_index(), 0u);
+  EXPECT_EQ(single.stats().connect_attempts, listed.stats().connect_attempts);
+  EXPECT_EQ(single.stats().connect_failures, listed.stats().connect_failures);
+  EXPECT_EQ(single.stats().outages, listed.stats().outages);
+  EXPECT_EQ(listed.stats().endpoint_rotations, 0u);
+  EXPECT_EQ(listed.stats().probe_timeouts, 0u);
+  EXPECT_EQ(single.current_backoff(), listed.current_backoff());
+}
+
+TEST(ClientFailoverTest, RotatesToTheStandbyAfterThePerEndpointCap) {
+  auto [client_end, server_end] = net::loopback_pair();
+  auto standby_queue = std::make_shared<std::deque<net::Socket>>();
+  standby_queue->push_back(std::move(client_end));
+
+  net::ClientOptions options = fast_options();
+  options.connect_attempts_per_endpoint = 3;
+  std::size_t primary_dials = 0;
+  std::vector<net::RuntimeClient::TransportConnector> connectors;
+  connectors.push_back([&primary_dials]() -> std::unique_ptr<net::Transport> {
+    ++primary_dials;
+    throw Error("primary is down");
+  });
+  connectors.push_back(queue_connector(standby_queue));
+  net::RuntimeClient client(std::move(connectors), options);
+
+  net::Socket server = std::move(server_end);
+  std::thread responder(
+      [&server] { serve_one_exchange(server, /*fence=*/0); });
+  const auto policy = client.exchange(make_sample(1));
+  responder.join();
+
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->sequence, 1u);
+  EXPECT_EQ(primary_dials, 3u);  // exactly the per-endpoint budget
+  EXPECT_EQ(client.stats().endpoint_rotations, 1u);
+  EXPECT_EQ(client.endpoint_index(), 1u);
+  EXPECT_FALSE(client.daemon_lost());
+}
+
+TEST(ClientFailoverTest, FenceRatchetRejectsZombieCaps) {
+  auto [promoted_client_end, promoted_server_end] = net::loopback_pair();
+  auto [zombie_client_end, zombie_server_end] = net::loopback_pair();
+  auto promoted_queue = std::make_shared<std::deque<net::Socket>>();
+  promoted_queue->push_back(std::move(promoted_client_end));
+  auto zombie_queue = std::make_shared<std::deque<net::Socket>>();
+  zombie_queue->push_back(std::move(zombie_client_end));
+
+  net::ClientOptions options = fast_options();
+  options.request_timeout = milliseconds(250);
+  options.connect_attempts_per_endpoint = 1;
+  std::vector<net::RuntimeClient::TransportConnector> connectors;
+  connectors.push_back(queue_connector(promoted_queue));
+  connectors.push_back(queue_connector(zombie_queue));
+  net::RuntimeClient client(std::move(connectors), options);
+
+  // Exchange 1 lands on the promoted daemon: the client ratchets to its
+  // fence and remembers the caps.
+  {
+    net::Socket server = std::move(promoted_server_end);
+    std::thread responder(
+        [&server] { serve_one_exchange(server, /*fence=*/2); });
+    const auto policy = client.exchange(make_sample(1));
+    responder.join();
+    ASSERT_TRUE(policy.has_value());
+    EXPECT_EQ(client.fence_epoch(), 2u);
+  }  // the promoted daemon's connection closes here
+
+  // Exchange 2 can only reach the zombie (fence 1): its caps must be
+  // rejected — not applied — and the ratchet must hold.
+  net::Socket zombie = std::move(zombie_server_end);
+  std::thread zombie_responder(
+      [&zombie] { serve_one_exchange(zombie, /*fence=*/1); });
+  const auto policy = client.exchange(make_sample(2));
+  zombie_responder.join();
+
+  EXPECT_FALSE(policy.has_value());
+  EXPECT_GE(client.stats().stale_fence_caps, 1u);
+  EXPECT_EQ(client.fence_epoch(), 2u);
+  ASSERT_TRUE(client.last_known_policy().has_value());
+  EXPECT_EQ(client.last_known_policy()->sequence, 1u);  // fence-2 caps kept
+}
+
+TEST(ClientFailoverTest, ProbeTimeoutAbandonsASilentEndpointMidExchange) {
+  auto [silent_client_end, silent_server_end] = net::loopback_pair();
+  auto [live_client_end, live_server_end] = net::loopback_pair();
+  auto silent_queue = std::make_shared<std::deque<net::Socket>>();
+  silent_queue->push_back(std::move(silent_client_end));
+  auto live_queue = std::make_shared<std::deque<net::Socket>>();
+  live_queue->push_back(std::move(live_client_end));
+
+  net::ClientOptions options = fast_options();
+  options.request_timeout = milliseconds(2'000);
+  options.endpoint_probe_timeout = milliseconds(60);
+  std::vector<net::RuntimeClient::TransportConnector> connectors;
+  connectors.push_back(queue_connector(silent_queue));
+  connectors.push_back(queue_connector(live_queue));
+  net::RuntimeClient client(std::move(connectors), options);
+
+  // The silent endpoint accepts the sample and never answers — a fenced
+  // zombie. The exchange must abandon it after the probe window and
+  // finish on the live endpoint, all inside one exchange() call.
+  net::Socket silent = std::move(silent_server_end);
+  net::Socket live = std::move(live_server_end);
+  std::thread responder(
+      [&live] { serve_one_exchange(live, /*fence=*/1); });
+  const auto policy = client.exchange(make_sample(1));
+  responder.join();
+
+  ASSERT_TRUE(policy.has_value());
+  EXPECT_EQ(policy->sequence, 1u);
+  EXPECT_EQ(client.stats().probe_timeouts, 1u);
+  EXPECT_GE(client.stats().endpoint_rotations, 1u);
+  EXPECT_EQ(client.fence_epoch(), 1u);
+}
+
+TEST(ClientFailoverTest, RejectsAnEmptyEndpointList) {
+  EXPECT_THROW(
+      net::RuntimeClient(std::vector<net::RuntimeClient::TransportConnector>{},
+                         fast_options()),
+      ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::ha

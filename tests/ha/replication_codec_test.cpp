@@ -1,0 +1,156 @@
+#include "ha/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/endpoint.hpp"
+#include "util/error.hpp"
+
+namespace ps::ha {
+namespace {
+
+net::DaemonSnapshot make_state(std::uint64_t fence) {
+  net::DaemonSnapshot state;
+  state.system_budget_watts = 3680.0;
+  state.budget_epoch = 2;
+  state.fence_epoch = fence;
+  state.launch_barrier_met = true;
+  state.allocations = 17;
+  net::SnapshotJob a;
+  a.name = "a-wasteful";
+  a.sequence = 17;
+  a.caps_watts = {215.5, 216.25};
+  net::SnapshotJob b;
+  b.name = "b-hungry";
+  b.sequence = 17;
+  b.caps_watts = {230.0, 230.0};
+  state.jobs = {a, b};
+  return state;
+}
+
+TEST(ReplicationCodecTest, KindDispatchReadsTheFirstLine) {
+  EXPECT_EQ(ha_message_kind(serialize(HaSyncRequest{3})),
+            HaMessageKind::kSync);
+  EXPECT_EQ(ha_message_kind(serialize(HaHeartbeat{1, 9})),
+            HaMessageKind::kHeartbeat);
+  EXPECT_EQ(ha_message_kind(serialize(HaAck{9})), HaMessageKind::kAck);
+  HaStateUpdate update;
+  update.state = make_state(0);
+  update.rounds = update.state.allocations;
+  EXPECT_EQ(ha_message_kind(serialize(update)), HaMessageKind::kUpdate);
+  EXPECT_EQ(ha_message_kind("powerstack-snapshot v2\n"),
+            HaMessageKind::kUnknown);
+  EXPECT_EQ(ha_message_kind(""), HaMessageKind::kUnknown);
+}
+
+TEST(ReplicationCodecTest, SyncHeartbeatAckRoundTrip) {
+  const HaSyncRequest sync = parse_sync_request(serialize(HaSyncRequest{7}));
+  EXPECT_EQ(sync.fence_epoch, 7u);
+
+  const HaHeartbeat heartbeat =
+      parse_heartbeat(serialize(HaHeartbeat{2, 41}));
+  EXPECT_EQ(heartbeat.fence_epoch, 2u);
+  EXPECT_EQ(heartbeat.rounds, 41u);
+
+  const HaAck ack = parse_ack(serialize(HaAck{41}));
+  EXPECT_EQ(ack.rounds, 41u);
+}
+
+TEST(ReplicationCodecTest, StateUpdateRoundTripsAtFenceZeroAndBeyond) {
+  for (const std::uint64_t fence : {std::uint64_t{0}, std::uint64_t{3}}) {
+    HaStateUpdate update;
+    update.state = make_state(fence);
+    update.fence_epoch = fence;
+    update.rounds = update.state.allocations;
+    const HaStateUpdate parsed = parse_state_update(serialize(update));
+    EXPECT_EQ(parsed.fence_epoch, fence);
+    EXPECT_EQ(parsed.rounds, 17u);
+    EXPECT_EQ(parsed.state.fence_epoch, fence);
+    EXPECT_DOUBLE_EQ(parsed.state.system_budget_watts, 3680.0);
+    EXPECT_EQ(parsed.state.budget_epoch, 2u);
+    ASSERT_EQ(parsed.state.jobs.size(), 2u);
+    EXPECT_EQ(parsed.state.jobs[0].name, "a-wasteful");
+    EXPECT_EQ(parsed.state.jobs[0].caps_watts,
+              (std::vector<double>{215.5, 216.25}));
+  }
+}
+
+TEST(ReplicationCodecTest, UpdateRejectsFenceDisagreeingWithItsState) {
+  // Header claims fence 7 over a fence-3 snapshot: assembled wrong, not
+  // merely corrupted — the receiver must refuse it.
+  std::string payload = "powerstack-ha-update v1\nfence 7\nrounds 17\n";
+  payload += "state\n";
+  payload += net::serialize(make_state(3));
+  EXPECT_THROW(static_cast<void>(parse_state_update(payload)), ps::Error);
+}
+
+TEST(ReplicationCodecTest, UpdateRejectsRoundsDisagreeingWithItsState) {
+  std::string payload = "powerstack-ha-update v1\nfence 3\nrounds 99\n";
+  payload += "state\n";
+  payload += net::serialize(make_state(3));
+  EXPECT_THROW(static_cast<void>(parse_state_update(payload)), ps::Error);
+}
+
+TEST(ReplicationCodecTest, UpdateRejectsCorruptedEmbeddedState) {
+  HaStateUpdate update;
+  update.state = make_state(3);
+  update.fence_epoch = 3;
+  update.rounds = update.state.allocations;
+  std::string payload = serialize(update);
+  // Flip one caps digit inside the embedded snapshot: its checksum line
+  // no longer matches and the whole update is refused.
+  const std::size_t pos = payload.find("215.5");
+  ASSERT_NE(pos, std::string::npos);
+  payload[pos] = '9';
+  EXPECT_THROW(static_cast<void>(parse_state_update(payload)), ps::Error);
+}
+
+TEST(ReplicationCodecTest, TruncatedMessagesThrow) {
+  EXPECT_THROW(static_cast<void>(parse_sync_request("powerstack-ha-sync v1")),
+               ps::Error);
+  EXPECT_THROW(
+      static_cast<void>(parse_heartbeat("powerstack-ha-heartbeat v1\n")),
+      ps::Error);
+  EXPECT_THROW(static_cast<void>(parse_ack("powerstack-ha-ack v1\n")),
+               ps::Error);
+  EXPECT_THROW(static_cast<void>(parse_state_update(
+                   "powerstack-ha-update v1\nfence 1\nrounds 1\n")),
+               ps::Error);
+  // A sync parser fed an ack (and vice versa) refuses too.
+  EXPECT_THROW(static_cast<void>(parse_sync_request(serialize(HaAck{1}))),
+               ps::Error);
+}
+
+// The byte-identity guarantee for single-daemon deployments: a fence of
+// zero must leave both the wire protocol and the snapshot codec exactly
+// as they were before HA existed.
+TEST(ReplicationCodecTest, FenceZeroKeepsLegacyBytes) {
+  core::PolicyMessage policy;
+  policy.sequence = 4;
+  policy.job_name = "job-a";
+  policy.host_caps_watts = {200.0, 210.0};
+  const std::string wire =
+      core::serialize(policy, core::WireFidelity::kExact);
+  EXPECT_EQ(wire.find("fence"), std::string::npos);
+
+  policy.fence_epoch = 2;
+  const std::string fenced =
+      core::serialize(policy, core::WireFidelity::kExact);
+  EXPECT_NE(fenced.find("fence 2\n"), std::string::npos);
+  const core::PolicyMessage parsed = core::parse_policy_message(fenced);
+  EXPECT_EQ(parsed.fence_epoch, 2u);
+
+  net::DaemonSnapshot state = make_state(0);
+  const std::string snapshot = net::serialize(state);
+  EXPECT_EQ(snapshot.rfind("powerstack-snapshot v2", 0), 0u);
+  EXPECT_EQ(snapshot.find("fence"), std::string::npos);
+
+  state.fence_epoch = 1;
+  const std::string fenced_snapshot = net::serialize(state);
+  EXPECT_EQ(fenced_snapshot.rfind("powerstack-snapshot v4", 0), 0u);
+  EXPECT_NE(fenced_snapshot.find("fence 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::ha

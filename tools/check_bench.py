@@ -26,6 +26,17 @@ the baseline machine that the 10% band holds, and --tolerance widens it
 where it does not.  The checksum and cell count are machine-independent:
 the sweep executor guarantees bit-identical CSVs at any worker count,
 which this script also re-verifies (serial vs --jobs 4) on every run.
+
+--mode failover gates the HA time-to-takeover bench instead.  The
+committed BENCH_failover.json pins the episode count and lease (config
+drift fails loudly) plus the p50/p99 takeover seconds, which may not
+regress past the baseline by more than --tolerance (default 0.25 in
+this mode: takeover is lease-dominated, so the band only has to absorb
+scheduler jitter around a fixed offset):
+
+    python3 tools/check_bench.py --mode failover \
+        --bench ./build/bench/ext_ha_failover \
+        --baseline BENCH_failover.json [--generate]
 """
 
 from __future__ import annotations
@@ -76,6 +87,40 @@ def measure(bench: Path) -> dict:
     }
 
 
+FAILOVER_EPISODES = 7
+FAILOVER_LEASE_MS = 300
+
+
+def measure_failover(bench: Path) -> dict:
+    with tempfile.TemporaryDirectory(prefix="ps-bench-") as tmp:
+        out_json = Path(tmp) / "failover.json"
+        cmd = [str(bench), "--episodes", str(FAILOVER_EPISODES),
+               "--lease", str(FAILOVER_LEASE_MS), "--out", str(out_json)]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            sys.exit(f"{' '.join(cmd)}: exit {result.returncode}")
+        return json.loads(out_json.read_text())
+
+
+def check_failover(current: dict, baseline: dict,
+                   tolerance: float) -> list[str]:
+    failures: list[str] = []
+    for key in ("episodes", "lease_ms"):
+        if current[key] != baseline[key]:
+            failures.append(f"{key} changed: {baseline[key]} -> "
+                            f"{current[key]} -- regenerate the baseline "
+                            "if the bench config moved intentionally")
+    for key in ("takeover_p50_seconds", "takeover_p99_seconds"):
+        limit = baseline[key] * (1.0 + tolerance)
+        if current[key] > limit:
+            failures.append(
+                f"{key} regressed >{tolerance:.0%}: {baseline[key]:.3f}s "
+                f"baseline vs {current[key]:.3f}s now (limit {limit:.3f}s)")
+    return failures
+
+
 def check(current: dict, baseline: dict, tolerance: float) -> list[str]:
     failures: list[str] = []
     if current["savings_sha256"] != baseline["savings_sha256"]:
@@ -104,9 +149,40 @@ def main() -> None:
                         help="committed baseline JSON")
     parser.add_argument("--generate", action="store_true",
                         help="write the baseline instead of checking it")
-    parser.add_argument("--tolerance", type=float, default=0.10,
-                        help="allowed relative wall-time regression")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed relative regression (default 0.10 "
+                             "for sweep mode, 0.25 for failover)")
+    parser.add_argument("--mode", choices=("sweep", "failover"),
+                        default="sweep",
+                        help="sweep: CSV checksum + wall time; failover: "
+                             "time-to-takeover quantiles")
     args = parser.parse_args()
+    if args.tolerance is None:
+        args.tolerance = 0.25 if args.mode == "failover" else 0.10
+
+    if args.mode == "failover":
+        current = measure_failover(args.bench)
+        if args.generate:
+            args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+            print(f"wrote {args.baseline}: p50 "
+                  f"{current['takeover_p50_seconds']}s, p99 "
+                  f"{current['takeover_p99_seconds']}s over "
+                  f"{current['episodes']} episodes")
+            return
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_failover(current, baseline, args.tolerance)
+        print(f"{current['bench']}: {current['episodes']} episodes, lease "
+              f"{current['lease_ms']} ms, p50 "
+              f"{current['takeover_p50_seconds']}s (baseline "
+              f"{baseline['takeover_p50_seconds']}s), p99 "
+              f"{current['takeover_p99_seconds']}s (baseline "
+              f"{baseline['takeover_p99_seconds']}s)")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            sys.exit(1)
+        print("OK")
+        return
 
     current = measure(args.bench)
     if args.generate:

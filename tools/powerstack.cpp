@@ -25,6 +25,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string_view>
@@ -35,6 +36,8 @@
 #include "obs/replay.hpp"
 #include "core/budget_governor.hpp"
 #include "core/mixes.hpp"
+#include "ha/replicator.hpp"
+#include "ha/standby.hpp"
 #include "net/agent.hpp"
 #include "net/client.hpp"
 #include "net/daemon.hpp"
@@ -78,6 +81,17 @@ struct Args {
   /// daemon: serve under a scheduled brownout (budget revisions derived
   /// from the synthetic facility trace, scaled to --budget).
   bool brownout = false;
+  /// daemon: serve as the HA primary — replicate state to a standby
+  /// over this listener (separate from the client-facing socket).
+  std::string ha_socket;
+  /// daemon: run as a hot standby replicating from this primary
+  /// replication socket; promote and serve if its lease lapses.
+  std::string standby_of;
+  /// daemon: failover lease in milliseconds (shared by both HA roles).
+  std::size_t lease_ms = 1000;
+  /// agent: comma-separated failover endpoint list (unix paths, or bare
+  /// port numbers for 127.0.0.1 TCP), primary first.
+  std::string endpoints;
   /// daemon/agent: write the run's trace (JSONL, all streams) here.
   std::string trace_path;
   /// daemon/agent: dump the metrics registry to stdout on exit.
@@ -131,6 +145,14 @@ Args parse_args(int argc, char** argv) {
       args.budget_share = std::strtod(argv[++i], nullptr);
     } else if (arg == "--brownout") {
       args.brownout = true;
+    } else if (arg == "--ha-socket" && i + 1 < argc) {
+      args.ha_socket = argv[++i];
+    } else if (arg == "--standby-of" && i + 1 < argc) {
+      args.standby_of = argv[++i];
+    } else if (arg == "--lease" && i + 1 < argc) {
+      args.lease_ms = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--endpoints" && i + 1 < argc) {
+      args.endpoints = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       args.trace_path = argv[++i];
     } else if (arg == "--metrics") {
@@ -164,8 +186,14 @@ int usage() {
       "                                  serve the RM power daemon; with\n"
       "                                  --snapshot, restarts rehydrate jobs;\n"
       "                                  --brownout schedules budget drops\n"
+      "                                  --ha-socket PATH replicates state\n"
+      "                                  to a standby; --standby-of PATH\n"
+      "                                  runs AS the standby (promotes when\n"
+      "                                  the --lease MS lease lapses)\n"
       "  agent --workload NAME [--job NAME] [--iterations N]\n"
-      "                                  run a job under daemon coordination\n"
+      "                                  run a job under daemon coordination;\n"
+      "                                  --endpoints A,B,... fails over down\n"
+      "                                  an ordered endpoint list\n"
       "  trace FILE [--replay] [--chrome OUT]\n"
       "                                  summarize a JSONL trace; --replay\n"
       "                                  reconstructs the watt allocations\n"
@@ -413,6 +441,76 @@ int cmd_daemon(const Args& args) {
   if (args.metrics || !args.trace_path.empty()) {
     options.obs.metrics = &registry;
   }
+  if (!args.standby_of.empty()) {
+    // Hot-standby role: replicate from the primary's --ha-socket; the
+    // DaemonOptions built above become the promotion template, and the
+    // client-facing listener binds only at promotion time.
+    ha::StandbyOptions standby_options;
+    const std::string primary_path = args.standby_of;
+    standby_options.primary = [primary_path] {
+      return net::make_transport(net::connect_unix(primary_path));
+    };
+    standby_options.daemon = options;
+    standby_options.lease = std::chrono::milliseconds(args.lease_ms);
+    standby_options.obs = options.obs;
+    if (args.tcp_port >= 0) {
+      const auto port = static_cast<std::uint16_t>(args.tcp_port);
+      standby_options.bind = [port](net::PowerDaemon& daemon) {
+        daemon.listen_tcp(port);
+      };
+    } else {
+      const std::string path = args.socket_path;
+      standby_options.bind = [path](net::PowerDaemon& daemon) {
+        daemon.listen_unix(path);
+      };
+    }
+    ha::StandbyDaemon standby(standby_options);
+    std::printf("standby: replicating from %s, lease %zu ms\n",
+                args.standby_of.c_str(), args.lease_ms);
+    std::fflush(stdout);
+    std::thread stopper;
+    if (args.duration_seconds > 0.0) {
+      stopper = std::thread([&standby, seconds = args.duration_seconds] {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        standby.stop();
+      });
+    }
+    standby.run();
+    if (stopper.joinable()) {
+      stopper.join();
+    }
+    const ha::StandbyStats stats = standby.stats();
+    std::printf(
+        "standby: %s, %zu updates applied (%zu rejected), %llu rounds "
+        "replicated, fence epoch %llu\n",
+        stats.promoted ? "promoted" : (stats.synced ? "synced" : "never synced"),
+        stats.updates_applied, stats.updates_rejected,
+        static_cast<unsigned long long>(stats.rounds),
+        static_cast<unsigned long long>(stats.fence_epoch));
+    if (const net::PowerDaemon* promoted = standby.daemon()) {
+      const net::DaemonStats daemon_stats = promoted->stats();
+      std::printf(
+          "standby: served %zu sessions, %zu allocations, %zu jobs "
+          "restored after takeover\n",
+          daemon_stats.sessions_accepted, daemon_stats.allocations,
+          daemon_stats.jobs_restored);
+    }
+    return 0;
+  }
+
+  std::unique_ptr<ha::Replicator> replicator;
+  if (!args.ha_socket.empty()) {
+    ha::ReplicatorOptions replicator_options;
+    replicator_options.lease = std::chrono::milliseconds(args.lease_ms);
+    replicator_options.obs = options.obs;
+    replicator = std::make_unique<ha::Replicator>(replicator_options);
+    replicator->listen_unix(args.ha_socket);
+    replicator->start();
+    options.replication_sink = replicator->sink();
+    options.fence_check = replicator->fence_check();
+    std::printf("daemon: replicating to standby at %s, lease %zu ms\n",
+                args.ha_socket.c_str(), args.lease_ms);
+  }
   net::PowerDaemon daemon(options);
   if (!args.snapshot_path.empty()) {
     std::printf("daemon: snapshot %s, %zu jobs restored\n",
@@ -457,6 +555,15 @@ int cmd_daemon(const Args& args) {
         stats.budget_revisions_applied, stats.budget_pushes,
         stats.emergency_clamps);
   }
+  if (replicator) {
+    const ha::ReplicatorStats repl_stats = replicator->stats();
+    replicator->stop();
+    std::printf(
+        "daemon: replication %zu updates, %zu heartbeats, %zu acks%s\n",
+        repl_stats.updates_sent, repl_stats.heartbeats_sent,
+        repl_stats.acks_received,
+        repl_stats.fenced ? " (fenced: superseded by the standby)" : "");
+  }
   if (!args.trace_path.empty()) {
     std::ofstream out(args.trace_path);
     obs::write_jsonl(out, sink.events());
@@ -482,20 +589,47 @@ int cmd_agent(const Args& args) {
       args.job_name.empty() ? args.workload : args.job_name;
   sim::JobSimulation job(job_name, std::move(hosts), config);
 
-  net::RuntimeClient::Connector connector;
-  if (args.tcp_port >= 0) {
-    const auto port = static_cast<std::uint16_t>(args.tcp_port);
-    connector = [port] { return net::connect_tcp(port); };
-  } else {
-    const std::string path = args.socket_path;
-    connector = [path] { return net::connect_unix(path); };
-  }
   obs::MetricsRegistry registry;
   net::ClientOptions client_options;
   if (args.metrics) {
     client_options.obs.metrics = &registry;
   }
-  net::RuntimeClient client(std::move(connector), client_options);
+  const auto make_client = [&args, &client_options]() -> net::RuntimeClient {
+    if (!args.endpoints.empty()) {
+      // Ordered failover list: a bare port number dials 127.0.0.1 TCP,
+      // anything else is a Unix socket path.
+      std::vector<net::RuntimeClient::TransportConnector> connectors;
+      std::stringstream list(args.endpoints);
+      std::string entry;
+      while (std::getline(list, entry, ',')) {
+        if (entry.empty()) {
+          continue;
+        }
+        if (entry.find_first_not_of("0123456789") == std::string::npos) {
+          const auto port = static_cast<std::uint16_t>(
+              std::strtoul(entry.c_str(), nullptr, 10));
+          connectors.push_back([port] {
+            return net::make_transport(net::connect_tcp(port));
+          });
+        } else {
+          connectors.push_back([path = entry] {
+            return net::make_transport(net::connect_unix(path));
+          });
+        }
+      }
+      return net::RuntimeClient(std::move(connectors), client_options);
+    }
+    net::RuntimeClient::Connector connector;
+    if (args.tcp_port >= 0) {
+      const auto port = static_cast<std::uint16_t>(args.tcp_port);
+      connector = [port] { return net::connect_tcp(port); };
+    } else {
+      const std::string path = args.socket_path;
+      connector = [path] { return net::connect_unix(path); };
+    }
+    return net::RuntimeClient(std::move(connector), client_options);
+  };
+  net::RuntimeClient client = make_client();
   net::CoordinatedAgent agent(job, client);
   const net::AgentResult result = agent.run(args.iterations);
 
@@ -503,6 +637,15 @@ int cmd_agent(const Args& args) {
               result.iterations, result.epochs);
   std::printf("  policies applied: %zu (fallback epochs: %zu)\n",
               result.policies_applied, result.fallback_epochs);
+  if (!args.endpoints.empty()) {
+    const net::ClientStats stats = client.stats();
+    std::printf(
+        "  failover: endpoint %zu of %zu, %zu rotations, fence epoch "
+        "%llu\n",
+        client.endpoint_index() + 1, client.endpoint_count(),
+        stats.endpoint_rotations,
+        static_cast<unsigned long long>(client.fence_epoch()));
+  }
   std::printf("  caps:");
   for (std::size_t h = 0; h < job.host_count(); ++h) {
     std::printf(" %.1f", job.host_cap(h));
