@@ -57,7 +57,8 @@ double MixRunResult::mean_elapsed_seconds() const {
 }
 
 SavingsSummary compute_savings(const MixRunResult& run,
-                               const MixRunResult& baseline) {
+                               const MixRunResult& baseline,
+                               SavingsStatistics statistics) {
   PS_REQUIRE(run.jobs.size() == baseline.jobs.size(),
              "runs compare different job sets");
   std::vector<double> time_samples;
@@ -92,10 +93,13 @@ SavingsSummary compute_savings(const MixRunResult& run,
   summary.edp = util::confidence_interval95(edp_samples);
   summary.flops_per_watt =
       util::confidence_interval95(flops_per_watt_samples);
-  util::Rng pvalue_rng(0x51f);
-  summary.time_pvalue = util::permutation_pvalue(time_samples, pvalue_rng);
-  summary.energy_pvalue =
-      util::permutation_pvalue(energy_samples, pvalue_rng);
+  if (statistics == SavingsStatistics::kFull) {
+    util::Rng pvalue_rng(0x51f);
+    summary.time_pvalue =
+        util::permutation_pvalue(time_samples, pvalue_rng);
+    summary.energy_pvalue =
+        util::permutation_pvalue(energy_samples, pvalue_rng);
+  }
   return summary;
 }
 
@@ -161,6 +165,32 @@ MixExperiment::MixExperiment(const sim::Cluster& cluster,
         *job.sim, options.characterization_iterations, options.balancer));
   }
   budgets_ = core::select_budgets(characterizations_);
+
+  // Memoize the per-level policy contexts (see context_for): everything
+  // but the budget is level-invariant, so building them here saves a
+  // characterization copy per grid cell.
+  double node_tdp = hw::QuartzSpec::kTdpPerNodeW;
+  for (const auto& job : characterizations_) {
+    node_tdp = std::max(node_tdp, job.node_tdp_watts);
+  }
+  for (const core::BudgetLevel level : core::all_budget_levels()) {
+    core::PolicyContext context;
+    context.system_budget_watts = budgets_.at(level);
+    // Context-wide fallback only; every characterization carries its own
+    // per-job TDP, so heterogeneous jobs are clamped against their own
+    // hardware rather than whichever job happened to be scheduled last.
+    context.node_tdp_watts = node_tdp;
+    context.uncappable_watts = options_.node_params.dram_watts;
+    context.jobs = characterizations_;
+    contexts_.push_back(std::move(context));
+  }
+}
+
+const core::PolicyContext& MixExperiment::context_for(
+    core::BudgetLevel level) const {
+  const auto index = static_cast<std::size_t>(level);
+  PS_CHECK_STATE(index < contexts_.size(), "unknown budget level");
+  return contexts_[index];
 }
 
 std::size_t MixExperiment::total_hosts() const noexcept {
@@ -185,51 +215,71 @@ MixRunResult MixExperiment::run(core::BudgetLevel level,
   return run_with(level, *core::make_policy(policy), policy);
 }
 
+namespace {
+
+/// Reusable per-cell world: the host clones live contiguously (instead
+/// of one heap allocation per node) and the buffers keep their capacity
+/// across cells, so a sweep worker pays for the cell arena once and then
+/// only copy-constructs into it. One arena per thread: run_with() is
+/// const and called concurrently by the sweep pool, and the simulations
+/// hold raw pointers into `nodes`, so the storage must be private to the
+/// cell being run.
+struct CellArena {
+  std::vector<hw::NodeModel> nodes;
+  std::vector<sim::JobSimulation> sims;
+
+  void reset(std::size_t node_count, std::size_t job_count) {
+    nodes.clear();
+    sims.clear();
+    // Reserving the exact node count up front keeps the NodeModel*
+    // rosters handed to the simulations stable while the arena fills.
+    nodes.reserve(node_count);
+    sims.reserve(job_count);
+  }
+};
+
+CellArena& local_cell_arena() {
+  thread_local CellArena arena;
+  return arena;
+}
+
+}  // namespace
+
 MixRunResult MixExperiment::run_with(core::BudgetLevel level,
                                      const core::Policy& policy,
                                      core::PolicyKind label) const {
   const double budget = budgets_.at(level);
-
-  core::PolicyContext context;
-  context.system_budget_watts = budget;
-  // Context-wide fallback only; every characterization carries its own
-  // per-job TDP, so heterogeneous jobs are clamped against their own
-  // hardware rather than whichever job happened to be scheduled last.
-  context.node_tdp_watts = hw::QuartzSpec::kTdpPerNodeW;
-  for (const auto& job : characterizations_) {
-    context.node_tdp_watts =
-        std::max(context.node_tdp_watts, job.node_tdp_watts);
-  }
-  context.uncappable_watts = options_.node_params.dram_watts;
-  context.jobs = characterizations_;
-  const rm::PowerAllocation allocation = policy.allocate(context);
+  const rm::PowerAllocation allocation =
+      policy.allocate(context_for(level));
 
   // Per-cell run context: fresh host clones and simulations, with the
   // noise stream seeded by (seed, mix, level, policy). The cell result is
   // a pure function of its coordinates — run order and concurrency
   // cannot change a single bit of it.
   util::Rng noise_seeder = cell_rng(level, label);
-  std::vector<OwnedJob> cell_jobs;
-  cell_jobs.reserve(jobs_.size());
+  std::size_t node_count = 0;
+  for (const auto& job : jobs_) {
+    node_count += job.nodes.size();
+  }
+  CellArena& arena = local_cell_arena();
+  arena.reset(node_count, jobs_.size());
   for (std::size_t j = 0; j < jobs_.size(); ++j) {
-    OwnedJob cell;
     std::vector<hw::NodeModel*> hosts;
     hosts.reserve(jobs_[j].nodes.size());
     for (const auto& node : jobs_[j].nodes) {
-      cell.nodes.push_back(std::make_unique<hw::NodeModel>(*node));
-      hosts.push_back(cell.nodes.back().get());
+      arena.nodes.push_back(*node);
+      hosts.push_back(&arena.nodes.back());
     }
     sim::NoiseParams noise{options_.noise_time_sigma};
-    cell.sim = std::make_unique<sim::JobSimulation>(
-        jobs_[j].sim->name(), std::move(hosts), jobs_[j].sim->workload(),
-        noise, noise_seeder.fork(j));
-    cell_jobs.push_back(std::move(cell));
+    arena.sims.emplace_back(jobs_[j].sim->name(), std::move(hosts),
+                            jobs_[j].sim->workload(), noise,
+                            noise_seeder.fork(j));
   }
 
   std::vector<sim::JobSimulation*> job_ptrs;
-  job_ptrs.reserve(cell_jobs.size());
-  for (auto& job : cell_jobs) {
-    job_ptrs.push_back(job.sim.get());
+  job_ptrs.reserve(arena.sims.size());
+  for (auto& sim : arena.sims) {
+    job_ptrs.push_back(&sim);
   }
   const rm::SystemPowerManager manager(budget);
   // System-unaware policies may legitimately exceed the budget; the
@@ -249,15 +299,15 @@ MixRunResult MixExperiment::run_with(core::BudgetLevel level,
 
   runtime::MonitorAgent monitor;
   const runtime::Controller controller(options_.iterations);
-  for (auto& job : cell_jobs) {
-    const runtime::JobReport report = controller.run(*job.sim, monitor);
+  for (auto& sim : arena.sims) {
+    const runtime::JobReport report = controller.run(sim, monitor);
     JobRunMetrics metrics;
     metrics.job_name = report.job_name;
     metrics.elapsed_seconds = report.elapsed_seconds;
     metrics.energy_joules = report.total_energy_joules;
     metrics.gflop = report.total_gflop;
     metrics.average_node_power_watts = report.average_node_power_watts();
-    metrics.allocated_watts = job.sim->total_allocated_power();
+    metrics.allocated_watts = sim.total_allocated_power();
     metrics.iteration_seconds = report.iteration_seconds;
     metrics.iteration_energy_joules = report.iteration_energy_joules;
     result.jobs.push_back(std::move(metrics));

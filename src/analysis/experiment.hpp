@@ -82,9 +82,20 @@ struct SavingsSummary {
   double energy_pvalue = 1.0;
 };
 
+/// Which statistics compute_savings derives from the paired samples.
+/// The permutation p-values cost ~2000x more RNG work than the
+/// confidence intervals, so callers that never report them (the Fig. 8
+/// savings tables and CSV carry means and CIs only) should ask for
+/// kIntervalsOnly; the skipped p-value fields keep their default 1.0.
+enum class SavingsStatistics {
+  kFull,           ///< Confidence intervals and permutation p-values.
+  kIntervalsOnly,  ///< Confidence intervals; p-values left at 1.0.
+};
+
 /// Per-iteration, per-job paired comparison against the baseline run.
-[[nodiscard]] SavingsSummary compute_savings(const MixRunResult& run,
-                                             const MixRunResult& baseline);
+[[nodiscard]] SavingsSummary compute_savings(
+    const MixRunResult& run, const MixRunResult& baseline,
+    SavingsStatistics statistics = SavingsStatistics::kFull);
 
 /// A characterized mix, ready to run under any (budget, policy) pair.
 ///
@@ -141,11 +152,22 @@ class MixExperiment {
   [[nodiscard]] util::Rng cell_rng(core::BudgetLevel level,
                                    core::PolicyKind label) const;
 
+  /// The PolicyContext handed to every policy at `level`. The contexts
+  /// differ across levels only in system_budget_watts (node TDP, the
+  /// uncappable floor, and the characterizations are level-invariant),
+  /// so all three are derived once at construction instead of being
+  /// rebuilt — characterization copies included — for each of the
+  /// grid's cells.
+  [[nodiscard]] const core::PolicyContext& context_for(
+      core::BudgetLevel level) const;
+
   std::string mix_name_;
   ExperimentOptions options_;
   std::vector<OwnedJob> jobs_;
   std::vector<runtime::JobCharacterization> characterizations_;
   core::PowerBudgets budgets_;
+  /// Memoized per-level contexts, indexed by BudgetLevel.
+  std::vector<core::PolicyContext> contexts_;
 };
 
 /// Owns the cluster and orchestrates the full grid.

@@ -1,12 +1,15 @@
 #include "analysis/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -44,6 +47,112 @@ struct WorkQueue {
 
 }  // namespace
 
+/// Persistent worker pool. Threads are spawned once and park on
+/// `work_cv` between batches; for_each publishes a batch (queues + task
+/// wrapper) under `mutex`, bumps `batch`, and waits on `done_cv` until
+/// every worker has drained and parked again.
+///
+/// Cancellation is a single atomic flag, not a per-task lock: workers
+/// check it before each task with a relaxed-cost acquire load, and a
+/// throwing worker publishes its exception (first one wins, under
+/// error_mutex) and raises the flag. Cancelled workers keep popping and
+/// stealing — executing nothing — so the queues always drain to empty
+/// and the batch terminates at every worker count, never deadlocking on
+/// leftover tasks.
+struct SweepExecutor::Pool {
+  explicit Pool(std::size_t thread_count) : queues(thread_count) {
+    threads.reserve(thread_count);
+    for (std::size_t w = 0; w < thread_count; ++w) {
+      threads.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+
+  void worker_main(std::size_t self) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return shutdown || batch != seen; });
+        if (shutdown) {
+          return;
+        }
+        seen = batch;
+      }
+      drain(self);
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (--working == 0) {
+          done_cv.notify_all();
+        }
+      }
+    }
+  }
+
+  /// Pops own tasks (front) then steals from siblings (back) until every
+  /// queue is empty. After cancellation, tasks are drained but not run.
+  void drain(std::size_t self) {
+    for (;;) {
+      std::optional<std::size_t> index = queues[self].pop_front();
+      for (std::size_t delta = 1; !index && delta < queues.size();
+           ++delta) {
+        index = queues[(self + delta) % queues.size()].steal_back();
+        if (index && steals != nullptr) {
+          steals->add();
+        }
+      }
+      if (!index) {
+        return;  // every queue is empty — nothing left to steal
+      }
+      if (cancelled.load(std::memory_order_acquire)) {
+        continue;  // a sibling failed; keep draining without working
+      }
+      try {
+        run(*index);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+        cancelled.store(true, std::memory_order_release);
+      }
+    }
+  }
+
+  // Batch lifecycle state, guarded by `mutex`.
+  std::mutex mutex;
+  std::condition_variable work_cv;  ///< Workers park here between batches.
+  std::condition_variable done_cv;  ///< for_each parks here during one.
+  std::uint64_t batch = 0;
+  std::size_t working = 0;  ///< Workers not yet parked for this batch.
+  bool shutdown = false;
+
+  /// Per-batch task wrapper (metrics included) and steal counter. Set by
+  /// for_each before the batch is published; the referenced task outlives
+  /// the batch because for_each blocks until it completes.
+  std::function<void(std::size_t)> run;
+  obs::Counter* steals = nullptr;
+
+  std::vector<WorkQueue> queues;  ///< One per thread, refilled per batch.
+  std::atomic<bool> cancelled{false};
+  std::mutex error_mutex;  ///< Guards first_error during a batch.
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+};
+
 SweepExecutor::SweepExecutor(std::size_t workers, obs::Observability obs)
     : workers_(workers) {
   if (workers_ == 0) {
@@ -59,6 +168,13 @@ SweepExecutor::SweepExecutor(std::size_t workers, obs::Observability obs)
     cell_seconds_ =
         &obs.metrics->histogram("analysis.sweep.cell_seconds", kCellBounds);
   }
+}
+
+SweepExecutor::~SweepExecutor() = default;
+
+bool SweepExecutor::pool_started() const noexcept {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ != nullptr;
 }
 
 void SweepExecutor::for_each(
@@ -84,67 +200,51 @@ void SweepExecutor::for_each(
       cells_metric_->add();
     }
   };
-  const std::size_t workers = std::min(workers_, count);
-  if (workers <= 1) {
+  if (std::min(workers_, count) <= 1) {
     for (std::size_t i = 0; i < count; ++i) {
       run_task(i);
     }
     return;
   }
 
-  // Contiguous block partition: worker w starts on cells [w*count/W, ...)
-  // and steals from the tail of its siblings once its own block drains.
-  std::vector<WorkQueue> queues(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * count / workers;
-    const std::size_t end = (w + 1) * count / workers;
-    for (std::size_t i = begin; i < end; ++i) {
-      queues[w].tasks.push_back(i);
-    }
+  // One batch at a time: concurrent for_each callers (and pool creation)
+  // serialize here. Note that a task must not call for_each on its own
+  // executor — the nested batch would wait on the pool that is running
+  // it. No harness does; they chain batches sequentially.
+  const std::lock_guard<std::mutex> batch_lock(pool_mutex_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<Pool>(workers_);
   }
+  Pool& pool = *pool_;
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker_main = [&](std::size_t self) {
-    for (;;) {
-      std::optional<std::size_t> index = queues[self].pop_front();
-      for (std::size_t delta = 1; !index && delta < workers; ++delta) {
-        index = queues[(self + delta) % workers].steal_back();
-        if (index && steals_metric_ != nullptr) {
-          steals_metric_->add();
-        }
-      }
-      if (!index) {
-        return;  // every queue is empty — nothing left to steal
-      }
-      {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error) {
-          return;  // a sibling already failed; drain without working
-        }
-      }
-      try {
-        run_task(*index);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
-        }
-        return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(pool.mutex);
+    // Contiguous block partition: worker w starts on cells
+    // [w*count/W, (w+1)*count/W) and steals from the tail of its
+    // siblings once its own block drains.
+    const std::size_t width = pool.queues.size();
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::size_t begin = w * count / width;
+      const std::size_t end = (w + 1) * count / width;
+      pool.queues[w].tasks.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        pool.queues[w].tasks.push_back(i);
       }
     }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back(worker_main, w);
+    pool.run = run_task;
+    pool.steals = steals_metric_;
+    pool.cancelled.store(false, std::memory_order_relaxed);
+    pool.first_error = nullptr;
+    pool.working = pool.threads.size();
+    ++pool.batch;
+    pool.work_cv.notify_all();
+    pool.done_cv.wait(lock, [&] { return pool.working == 0; });
+    error = std::exchange(pool.first_error, nullptr);
+    pool.run = nullptr;  // drop the reference to the caller's task
   }
-  for (auto& thread : pool) {
-    thread.join();
-  }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 
@@ -154,6 +254,22 @@ SweepGridResult::SweepGridResult(std::size_t mixes,
     : levels_(std::move(levels)), policies_(std::move(policies)) {
   PS_REQUIRE(!levels_.empty(), "sweep needs at least one budget level");
   PS_REQUIRE(!policies_.empty(), "sweep needs at least one policy");
+  level_index_.fill(kAbsent);
+  policy_index_.fill(kAbsent);
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(levels_[i]);
+    PS_REQUIRE(slot < kLevelSlots, "unknown budget level in sweep");
+    PS_REQUIRE(level_index_[slot] == kAbsent,
+               "duplicate budget level in sweep");
+    level_index_[slot] = i;
+  }
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(policies_[i]);
+    PS_REQUIRE(slot < kPolicySlots, "unknown policy kind in sweep");
+    PS_REQUIRE(policy_index_[slot] == kAbsent,
+               "duplicate policy kind in sweep");
+    policy_index_[slot] = i;
+  }
   cells_.resize(mixes * levels_.size() * policies_.size());
 }
 
@@ -171,18 +287,17 @@ const MixRunResult& SweepGridResult::at(std::size_t mix,
                                         core::BudgetLevel level,
                                         core::PolicyKind policy) const {
   PS_REQUIRE(mix < mix_count(), "mix index out of range");
-  const auto level_it = std::find(levels_.begin(), levels_.end(), level);
-  const auto policy_it =
-      std::find(policies_.begin(), policies_.end(), policy);
-  if (level_it == levels_.end() || policy_it == policies_.end()) {
+  const auto level_slot = static_cast<std::size_t>(level);
+  const auto policy_slot = static_cast<std::size_t>(policy);
+  const std::size_t level_index =
+      level_slot < kLevelSlots ? level_index_[level_slot] : kAbsent;
+  const std::size_t policy_index =
+      policy_slot < kPolicySlots ? policy_index_[policy_slot] : kAbsent;
+  if (level_index == kAbsent || policy_index == kAbsent) {
     throw NotFound("cell (" + std::string(core::to_string(level)) + ", " +
                    std::string(core::to_string(policy)) +
                    ") was not part of the sweep");
   }
-  const std::size_t level_index =
-      static_cast<std::size_t>(level_it - levels_.begin());
-  const std::size_t policy_index =
-      static_cast<std::size_t>(policy_it - policies_.begin());
   return cells_[(mix * levels_.size() + level_index) * policies_.size() +
                 policy_index];
 }

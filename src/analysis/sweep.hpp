@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -22,6 +25,13 @@ namespace ps::analysis {
 /// schedule cannot influence the results: any worker count produces
 /// bit-identical output (the golden sweep test diffs the fig08 CSV of a
 /// parallel run against the serial one).
+///
+/// The worker threads are created on the first parallel for_each and
+/// reused for every subsequent call (a harness runs several grids —
+/// characterization fan-out, then the sweep itself — and per-call
+/// thread spawn/join overhead was measurable). Between batches the
+/// workers sleep on a condition variable; the destructor shuts them
+/// down. The executor is therefore non-copyable.
 class SweepExecutor {
  public:
   /// `workers` = 0 picks std::thread::hardware_concurrency(); 1 runs
@@ -31,29 +41,53 @@ class SweepExecutor {
   /// plus a per-cell wall-time histogram. Instrumentation never touches
   /// the results — cells stay bit-identical at any worker count.
   explicit SweepExecutor(std::size_t workers = 0, obs::Observability obs = {});
+  ~SweepExecutor();
+
+  SweepExecutor(const SweepExecutor&) = delete;
+  SweepExecutor& operator=(const SweepExecutor&) = delete;
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_;
   }
 
   /// Runs task(i) for every i in [0, count). Blocks until all tasks
-  /// finish. If any task throws, the first exception (by completion
-  /// time) is rethrown on the caller after every worker has drained.
+  /// finish. If any task throws, the batch is cancelled: workers finish
+  /// their in-flight task, then drain the remaining queues without
+  /// executing them, and the first exception (by completion time) is
+  /// rethrown on the caller once every worker has parked. The executor
+  /// stays usable after a throw. Thread-safe; concurrent calls simply
+  /// serialize on the shared pool.
   void for_each(std::size_t count,
                 const std::function<void(std::size_t)>& task) const;
 
+  /// True once the persistent worker pool exists (i.e., some parallel
+  /// batch ran). Exposed for the pool-reuse regression tests.
+  [[nodiscard]] bool pool_started() const noexcept;
+
  private:
+  struct Pool;  // Persistent worker pool; defined in sweep.cpp.
+
   std::size_t workers_;
   /// Cached instruments (owned by the registry); null when unobserved.
   obs::Counter* cells_metric_ = nullptr;
   obs::Counter* steals_metric_ = nullptr;
   obs::Histogram* cell_seconds_ = nullptr;
+  /// Lazily created on the first parallel batch, then reused. Guarded by
+  /// pool_mutex_, which also serializes concurrent for_each callers.
+  mutable std::unique_ptr<Pool> pool_;
+  mutable std::mutex pool_mutex_;
 };
 
 /// The (mix, level, policy) cell results of a full grid sweep, indexed
 /// the way the figure harnesses consume them.
+///
+/// Lookup by (level, policy) goes through small direct-mapped index
+/// tables built at construction (the enums are dense), not a linear
+/// search — at() sits in the reporting loops of every figure harness.
 class SweepGridResult {
  public:
+  /// Throws ps::Invalid when `levels` or `policies` contains duplicates
+  /// (two cells would share a slot and silently overwrite each other).
   SweepGridResult(std::size_t mixes, std::vector<core::BudgetLevel> levels,
                   std::vector<core::PolicyKind> policies);
 
@@ -71,7 +105,7 @@ class SweepGridResult {
   }
 
   /// Throws ps::NotFound when the (level, policy) pair was not part of
-  /// the sweep.
+  /// the sweep, and ps::Invalid when `mix` is out of range.
   [[nodiscard]] const MixRunResult& at(std::size_t mix,
                                        core::BudgetLevel level,
                                        core::PolicyKind policy) const;
@@ -79,8 +113,18 @@ class SweepGridResult {
                                    std::size_t policy_index);
 
  private:
+  /// Sentinel for "this enumerator was not part of the sweep".
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  /// Direct-mapped enumerator -> sweep position tables.
+  static constexpr std::size_t kLevelSlots =
+      static_cast<std::size_t>(core::BudgetLevel::kMax) + 1;
+  static constexpr std::size_t kPolicySlots =
+      static_cast<std::size_t>(core::PolicyKind::kHeteroAdaptive) + 1;
+
   std::vector<core::BudgetLevel> levels_;
   std::vector<core::PolicyKind> policies_;
+  std::array<std::size_t, kLevelSlots> level_index_{};
+  std::array<std::size_t, kPolicySlots> policy_index_{};
   std::vector<MixRunResult> cells_;  ///< mix-major, then level, then policy.
 };
 

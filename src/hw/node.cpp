@@ -152,32 +152,67 @@ PhaseResult NodeModel::solve_compute(double gigabytes, double intensity,
   return result;
 }
 
+const PhaseResult& NodeModel::compute_solution(double gigabytes,
+                                               double intensity,
+                                               VectorWidth width) {
+  SolveKey key;
+  key.gigabytes = gigabytes;
+  key.intensity = intensity;
+  key.width = width;
+  // The cache key holds two sockets; nodes are dual-socket by
+  // construction (QuartzSpec), so this covers every package.
+  static_assert(QuartzSpec::kSocketsPerNode == 2);
+  for (std::size_t s = 0; s < packages_.size(); ++s) {
+    key.socket_caps[s] = packages_[s].power_limit();
+  }
+  key.frequency_cap_ghz = frequency_cap_ghz_;
+  if (!solve_cache_enabled_ || !compute_cache_valid_ ||
+      !(key == compute_key_)) {
+    compute_cached_ = solve_compute(
+        gigabytes, intensity, width,
+        std::span<const double>(key.socket_caps, packages_.size()));
+    compute_key_ = key;
+    compute_cache_valid_ = true;
+  }
+  return compute_cached_;
+}
+
+void NodeModel::accrue_phase(const PhaseResult& phase) {
+  accrue_energy(phase.energy_joules, phase.seconds);
+}
+
 PhaseResult NodeModel::run_compute(double gigabytes, double intensity,
                                    VectorWidth width) {
-  std::vector<double> socket_caps;
-  socket_caps.reserve(packages_.size());
-  for (const auto& package : packages_) {
-    socket_caps.push_back(package.power_limit());
-  }
-  PhaseResult result =
-      solve_compute(gigabytes, intensity, width, socket_caps);
+  PhaseResult result = compute_solution(gigabytes, intensity, width);
   accrue_energy(result.energy_joules, result.seconds);
   return result;
 }
 
 PhaseResult NodeModel::run_poll(double seconds) {
   PS_REQUIRE(seconds >= 0.0, "poll duration cannot be negative");
-  PhaseResult result;
-  result.seconds = seconds;
-  result.power_watts = poll_power(power_cap());
-  double slowest = frequency_cap_ghz_;
+  // The poll solution depends only on the limits; key and memoize it
+  // like compute_solution so barrier-heavy iterations stay cheap.
+  SolveKey key;
   for (std::size_t s = 0; s < packages_.size(); ++s) {
-    slowest = std::min(slowest, power_model_.frequency_at_cap(
-                                    packages_[s].power_limit(),
-                                    params_.activity.poll_activity,
-                                    etas_[s]));
+    key.socket_caps[s] = packages_[s].power_limit();
   }
-  result.frequency_ghz = slowest;
+  key.frequency_cap_ghz = frequency_cap_ghz_;
+  if (!solve_cache_enabled_ || !poll_cache_valid_ || !(key == poll_key_)) {
+    poll_cached_ = PhaseResult{};
+    poll_cached_.power_watts = poll_power(power_cap());
+    double slowest = frequency_cap_ghz_;
+    for (std::size_t s = 0; s < packages_.size(); ++s) {
+      slowest = std::min(slowest, power_model_.frequency_at_cap(
+                                      packages_[s].power_limit(),
+                                      params_.activity.poll_activity,
+                                      etas_[s]));
+    }
+    poll_cached_.frequency_ghz = slowest;
+    poll_key_ = key;
+    poll_cache_valid_ = true;
+  }
+  PhaseResult result = poll_cached_;
+  result.seconds = seconds;
   result.energy_joules = result.power_watts * seconds;
   accrue_energy(result.energy_joules, seconds);
   return result;

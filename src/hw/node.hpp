@@ -83,8 +83,34 @@ class NodeModel {
   PhaseResult run_compute(double gigabytes, double intensity,
                           VectorWidth width);
 
-  /// Busy-polls at a barrier for `seconds`, accruing energy.
+  /// The solution run_compute would use under the node's current limits,
+  /// without accruing energy. Memoized: the solver only re-runs when an
+  /// input (phase shape, a package limit, the frequency cap) changed
+  /// since the last call, so iteration-stable callers pay one fixed-point
+  /// solve instead of one per iteration. The key is compared against the
+  /// live register state, so limits written behind the node's back
+  /// (PlatformIO pokes packages directly) still invalidate correctly.
+  /// The returned reference stays valid until the next solve.
+  const PhaseResult& compute_solution(double gigabytes, double intensity,
+                                      VectorWidth width);
+
+  /// Accrues a phase previously obtained from compute_solution() into the
+  /// RAPL/DRAM energy counters (run_compute == compute_solution + this).
+  void accrue_phase(const PhaseResult& phase);
+
+  /// Busy-polls at a barrier for `seconds`, accruing energy. The poll
+  /// power/frequency solution is memoized the same way as
+  /// compute_solution() (it depends only on the limits).
   PhaseResult run_poll(double seconds);
+
+  /// Disables (or re-enables) the solve memoization; with the cache off
+  /// every call re-runs the fixed-point solver. Results are bit-identical
+  /// either way — the flag exists for the equivalence regression tests.
+  void set_solve_cache_enabled(bool enabled) noexcept {
+    solve_cache_enabled_ = enabled;
+    compute_cache_valid_ = false;
+    poll_cache_valid_ = false;
+  }
 
   /// DVFS control: an upper bound on the core frequency, independent of
   /// the RAPL limits (the OS cpufreq / P-state interface). The effective
@@ -163,6 +189,20 @@ class NodeModel {
   /// Per-package cap split for a node-level cap, honoring cap_split.
   [[nodiscard]] std::vector<double> split_node_cap(double node_watts) const;
 
+  /// Memo key: every input that reaches the compute solver. Caps are
+  /// sampled from the live package registers on every lookup rather than
+  /// tracked by invalidation hooks, so out-of-band limit writes miss the
+  /// cache instead of serving a stale solution.
+  struct SolveKey {
+    double gigabytes = 0.0;
+    double intensity = 0.0;
+    VectorWidth width = VectorWidth::kScalar;
+    double socket_caps[2] = {0.0, 0.0};
+    double frequency_cap_ghz = 0.0;
+
+    bool operator==(const SolveKey&) const = default;
+  };
+
   NodeId id_;
   double eta_;
   std::vector<double> etas_;
@@ -173,6 +213,17 @@ class NodeModel {
   std::vector<GpuModel> gpus_;
   double dram_energy_joules_ = 0.0;
   double frequency_cap_ghz_ = 0.0;  ///< Set to f_max by the constructor.
+
+  /// Solve memoization (see compute_solution). Written only by the
+  /// non-const run paths: shared, const-accessed clones (the sweep's
+  /// per-cell cloning sources) never mutate it concurrently.
+  bool solve_cache_enabled_ = true;
+  bool compute_cache_valid_ = false;
+  SolveKey compute_key_;
+  PhaseResult compute_cached_;
+  bool poll_cache_valid_ = false;
+  SolveKey poll_key_;
+  PhaseResult poll_cached_;  ///< seconds/energy unset (scaled per call).
 };
 
 }  // namespace ps::hw

@@ -104,6 +104,9 @@ bool JobSimulation::host_has_gpu_phase(std::size_t index) const {
 }
 
 bool JobSimulation::has_gpu_domain() const {
+  if (config_.gpu_gigabytes_per_iteration <= 0.0) {
+    return false;  // no offloaded phase — device inventory is irrelevant
+  }
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     if (host_has_gpu_phase(i)) {
       return true;
@@ -179,6 +182,107 @@ double JobSimulation::host_slowdown(std::size_t index) const {
 }
 
 IterationResult JobSimulation::run_iteration() {
+  // The SoA pass covers the common case (CPU-only job); GPU phases keep
+  // the scalar loop, whose concurrent-offload bookkeeping is inherently
+  // per-host. Both paths produce bit-identical results.
+  if (!scalar_iteration_ && !has_gpu_domain()) {
+    return run_iteration_soa();
+  }
+  return run_iteration_scalar();
+}
+
+IterationResult JobSimulation::run_iteration_soa() {
+  const std::size_t count = hosts_.size();
+  IterationResult result;
+  result.hosts.resize(count);
+  soa_seconds_.assign(count, 0.0);
+  soa_power_.assign(count, 0.0);
+  soa_gflop_.assign(count, 0.0);
+  soa_frequency_.assign(count, 0.0);
+  soa_busy_.assign(count, 0.0);
+
+  // Pass 1 — solve: one memoized lookup per host fills the columns; the
+  // fixed-point solver only re-runs for hosts whose limits changed since
+  // the previous iteration.
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& host_result = result.hosts[i];
+    host_result.node = hosts_[i]->id();
+    host_result.waiting_host = is_waiting_host(i);
+    if (failed_[i]) {
+      continue;  // a dead host: no work, no energy
+    }
+    const hw::PhaseResult& phase = hosts_[i]->compute_solution(
+        host_gigabytes(i), config_.intensity, config_.vector_width);
+    hosts_[i]->accrue_phase(phase);
+    soa_seconds_[i] = phase.seconds;
+    soa_power_[i] = phase.power_watts;
+    soa_gflop_[i] = phase.gflops * phase.seconds;
+    soa_frequency_[i] = phase.frequency_ghz;
+  }
+
+  // Pass 2 — busy times: slowdown then jitter over the seconds column.
+  // One RNG draw per live host, ascending — the draw order is part of
+  // the determinism contract shared with the scalar path.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (failed_[i]) {
+      continue;
+    }
+    double busy = soa_seconds_[i] * slowdown_[i];
+    if (noise_.time_sigma > 0.0) {
+      const double jitter =
+          std::max(1.0 + noise_rng_.normal(0.0, noise_.time_sigma), 0.5);
+      busy *= jitter;
+    }
+    soa_busy_[i] = busy;
+  }
+
+  // Pass 3 — critical path: strict-max reduction in host order (a dead
+  // host's zero can never win; at least one host is alive).
+  for (std::size_t i = 0; i < count; ++i) {
+    if (soa_busy_[i] > result.iteration_seconds) {
+      result.iteration_seconds = soa_busy_[i];
+      result.critical_host_index = i;
+    }
+  }
+
+  // Pass 4 — energy, barrier poll, and totals over the columns.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (failed_[i]) {
+      continue;
+    }
+    auto& host_result = result.hosts[i];
+    const double busy = soa_busy_[i];
+    host_result.busy_seconds = busy;
+    host_result.energy_joules = soa_power_[i] * busy;
+    host_result.gflop = soa_gflop_[i];
+    host_result.frequency_ghz = soa_frequency_[i];
+    host_result.poll_seconds = result.iteration_seconds - busy;
+    if (host_result.poll_seconds > 0.0) {
+      const hw::PhaseResult poll =
+          hosts_[i]->run_poll(host_result.poll_seconds);
+      host_result.energy_joules += poll.energy_joules;
+    }
+    host_result.average_power_watts =
+        result.iteration_seconds > 0.0
+            ? host_result.energy_joules / result.iteration_seconds
+            : 0.0;
+    result.total_energy_joules += host_result.energy_joules;
+    result.total_gflop += host_result.gflop;
+  }
+  if (result.iteration_seconds > 0.0) {
+    result.average_node_power_watts =
+        result.total_energy_joules / result.iteration_seconds /
+        static_cast<double>(hosts_.size());
+  }
+
+  totals_.iterations += 1;
+  totals_.elapsed_seconds += result.iteration_seconds;
+  totals_.energy_joules += result.total_energy_joules;
+  totals_.gflop += result.total_gflop;
+  return result;
+}
+
+IterationResult JobSimulation::run_iteration_scalar() {
   IterationResult result;
   result.hosts.resize(hosts_.size());
 

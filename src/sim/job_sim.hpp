@@ -131,12 +131,34 @@ class JobSimulation {
 
   /// Runs one bulk-synchronous iteration, accruing telemetry and RAPL
   /// energy on every host.
+  ///
+  /// CPU-only jobs take a structure-of-arrays pass: one memoized solve
+  /// lookup per host refreshes per-host columns (seconds, power, GFLOP,
+  /// frequency), then busy-time jitter, the critical-path reduction, and
+  /// the energy/poll accounting each sweep the columns in host order.
+  /// Jobs with a GPU phase (and callers that opt out via
+  /// set_scalar_iteration) run the original per-host scalar loop. Both
+  /// paths are bit-identical by construction and regression-tested.
   IterationResult run_iteration();
+
+  /// Forces the scalar (pre-SoA) iteration path. Purely a debugging and
+  /// equivalence-testing knob — results do not change.
+  void set_scalar_iteration(bool scalar) noexcept {
+    scalar_iteration_ = scalar;
+  }
+  [[nodiscard]] bool scalar_iteration() const noexcept {
+    return scalar_iteration_;
+  }
 
   [[nodiscard]] const JobTotals& totals() const noexcept { return totals_; }
   void reset_totals() noexcept { totals_ = {}; }
 
  private:
+  /// The original per-host loop (also handles GPU phases).
+  IterationResult run_iteration_scalar();
+  /// The structure-of-arrays pass over the soa_* columns (CPU-only).
+  IterationResult run_iteration_soa();
+
   std::string name_;
   std::vector<hw::NodeModel*> hosts_;
   kernel::WorkloadConfig config_;
@@ -146,6 +168,16 @@ class JobSimulation {
   JobTotals totals_;
   std::vector<bool> failed_;
   std::vector<double> slowdown_;
+  bool scalar_iteration_ = false;
+
+  /// Structure-of-arrays columns, one entry per host, refreshed every
+  /// iteration from the memoized node solves (kept as members so the
+  /// buffers are allocated once per simulation, not per iteration).
+  std::vector<double> soa_seconds_;
+  std::vector<double> soa_power_;
+  std::vector<double> soa_gflop_;
+  std::vector<double> soa_frequency_;
+  std::vector<double> soa_busy_;
 };
 
 }  // namespace ps::sim

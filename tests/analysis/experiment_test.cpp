@@ -111,6 +111,29 @@ TEST(ExperimentDriverTest, SavingsCarrySignificance) {
   EXPECT_DOUBLE_EQ(null.energy_pvalue, 1.0);
 }
 
+TEST(ExperimentDriverTest, IntervalsOnlySkipsPValuesButKeepsTheCIs) {
+  ExperimentDriver driver(small_options());
+  MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult baseline =
+      experiment.run(core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps);
+  const MixRunResult run = experiment.run(
+      core::BudgetLevel::kMax, core::PolicyKind::kMixedAdaptive);
+  const SavingsSummary full = compute_savings(run, baseline);
+  const SavingsSummary quick =
+      compute_savings(run, baseline, SavingsStatistics::kIntervalsOnly);
+  // The intervals are the same computation either way (bit-identical);
+  // only the permutation test is skipped, leaving the defaults.
+  EXPECT_EQ(full.time.mean, quick.time.mean);
+  EXPECT_EQ(full.time.half_width, quick.time.half_width);
+  EXPECT_EQ(full.energy.mean, quick.energy.mean);
+  EXPECT_EQ(full.edp.mean, quick.edp.mean);
+  EXPECT_EQ(full.flops_per_watt.mean, quick.flops_per_watt.mean);
+  EXPECT_DOUBLE_EQ(quick.time_pvalue, 1.0);
+  EXPECT_DOUBLE_EQ(quick.energy_pvalue, 1.0);
+  EXPECT_LT(full.energy_pvalue, 0.01);
+}
+
 TEST(ExperimentDriverTest, SavingsAgainstSelfAreZero) {
   ExperimentDriver driver(small_options());
   MixExperiment experiment =

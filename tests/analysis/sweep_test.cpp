@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -87,6 +90,92 @@ TEST(SweepExecutorTest, FirstExceptionPropagatesAfterDraining) {
   EXPECT_LE(completed.load(), 63);
 }
 
+TEST(SweepExecutorTest, WorkerThreadsAreReusedAcrossBatches) {
+  const SweepExecutor executor(4);
+  EXPECT_FALSE(executor.pool_started());
+
+  // Run many batches and collect every thread id that ever executed a
+  // task. A pool that spawned fresh threads per for_each (the old
+  // behavior) would accumulate new ids every batch; the persistent pool
+  // can only ever show its fixed set of at most 4 workers.
+  std::mutex mutex;
+  std::set<std::thread::id> ids;
+  constexpr int kBatches = 8;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    executor.for_each(64, [&](std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  EXPECT_TRUE(executor.pool_started());
+  EXPECT_FALSE(ids.empty());
+  EXPECT_LE(ids.size(), 4u)
+      << "more distinct worker threads than the pool size across "
+      << kBatches << " batches — threads are not being reused";
+  // The caller never runs tasks in pool mode.
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(SweepExecutorTest, SerialExecutorNeverStartsThePool) {
+  const SweepExecutor executor(1);
+  executor.for_each(16, [](std::size_t) {});
+  EXPECT_FALSE(executor.pool_started());
+  // A parallel-capable executor stays pool-free while every batch fits
+  // inline (count <= 1 runs on the caller).
+  const SweepExecutor wide(4);
+  wide.for_each(1, [](std::size_t) {});
+  EXPECT_FALSE(wide.pool_started());
+}
+
+TEST(SweepExecutorTest, MidGridExceptionCancelsWithoutDeadlock) {
+  // The regression this guards: a mid-grid throw must cancel the
+  // remaining cells (the atomic flag) while the queues drain to empty,
+  // at every worker count, and the executor must stay usable.
+  for (const std::size_t workers : {2u, 3u, 4u, 8u}) {
+    const SweepExecutor executor(workers);
+    constexpr std::size_t kCount = 96;
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        executor.for_each(kCount,
+                          [&](std::size_t i) {
+                            if (i == 13) {
+                              throw ps::InvalidArgument("cell 13 failed");
+                            }
+                            executed.fetch_add(1,
+                                               std::memory_order_relaxed);
+                          }),
+        ps::InvalidArgument)
+        << "workers=" << workers;
+    EXPECT_LT(executed.load(), static_cast<int>(kCount))
+        << "workers=" << workers;
+
+    // The pool survived the failed batch: a follow-up batch runs every
+    // index exactly once on the same executor.
+    std::vector<std::atomic<int>> hits(kCount);
+    executor.for_each(kCount, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1)
+          << "workers=" << workers << " index=" << i;
+    }
+  }
+}
+
+TEST(SweepExecutorTest, EveryFailingCellStillDrainsDeterministically) {
+  // Even when every task throws, the batch terminates and reports the
+  // first failure by completion time.
+  const SweepExecutor executor(4);
+  EXPECT_THROW(executor.for_each(
+                   32, [](std::size_t) { throw ps::Error("all cells die"); }),
+               ps::Error);
+  // Reusable afterwards.
+  std::atomic<int> ran{0};
+  executor.for_each(
+      8, [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
 TEST(SweepExecutorTest, SerialExceptionPropagatesToo) {
   const SweepExecutor executor(1);
   EXPECT_THROW(executor.for_each(3,
@@ -112,6 +201,33 @@ TEST(SweepGridResultTest, AtRejectsPairsOutsideTheSweep) {
   EXPECT_THROW(static_cast<void>(grid.at(0, core::BudgetLevel::kIdeal,
                                          core::PolicyKind::kMixedAdaptive)),
                ps::NotFound);
+}
+
+TEST(SweepGridResultTest, AtRejectsMixIndexOutOfRange) {
+  SweepGridResult grid(2, {core::BudgetLevel::kIdeal},
+                       {core::PolicyKind::kStaticCaps});
+  static_cast<void>(
+      grid.at(1, core::BudgetLevel::kIdeal, core::PolicyKind::kStaticCaps));
+  EXPECT_THROW(static_cast<void>(grid.at(2, core::BudgetLevel::kIdeal,
+                                         core::PolicyKind::kStaticCaps)),
+               ps::InvalidArgument);
+}
+
+TEST(SweepGridResultTest, DuplicateLevelsOrPoliciesAreRejected) {
+  // A duplicate coordinate would alias two cells onto one slot and let
+  // the sweep silently overwrite results; the index tables built at
+  // construction detect it instead.
+  EXPECT_THROW(
+      SweepGridResult(1,
+                      {core::BudgetLevel::kIdeal, core::BudgetLevel::kIdeal},
+                      {core::PolicyKind::kStaticCaps}),
+      ps::InvalidArgument);
+  EXPECT_THROW(
+      SweepGridResult(
+          1, {core::BudgetLevel::kIdeal},
+          {core::PolicyKind::kStaticCaps, core::PolicyKind::kJobAdaptive,
+           core::PolicyKind::kStaticCaps}),
+      ps::InvalidArgument);
 }
 
 /// Exact (bit-for-bit) equality between two cell results — the sweep's
@@ -199,7 +315,26 @@ TEST(SweepGridTest, GoldenSavingsCsvIdenticalAcrossWorkerCounts) {
   const std::string serial = savings_csv(1);
   EXPECT_EQ(serial, savings_csv(4));
   EXPECT_EQ(serial, savings_csv(3));
+  EXPECT_EQ(serial, savings_csv(0));  // hardware_concurrency workers
   EXPECT_FALSE(serial.empty());
+}
+
+TEST(SweepGridTest, RepeatedCellRunsAreBitIdentical) {
+  // A cell is a pure function of its coordinates: re-running it — which
+  // reuses the thread's cell arena and the nodes' memoized solves — must
+  // reproduce every bit. This is the regression net for state leaking
+  // across cells through the reused buffers.
+  const ExperimentDriver driver(small_options());
+  const MixExperiment experiment =
+      driver.prepare(core::make_mix(core::MixKind::kWastefulPower, 4));
+  const MixRunResult first =
+      experiment.run(core::BudgetLevel::kIdeal, core::PolicyKind::kJobAdaptive);
+  // Interleave a different cell so the arena is dirtied in between.
+  static_cast<void>(
+      experiment.run(core::BudgetLevel::kMax, core::PolicyKind::kStaticCaps));
+  const MixRunResult again =
+      experiment.run(core::BudgetLevel::kIdeal, core::PolicyKind::kJobAdaptive);
+  expect_identical(first, again);
 }
 
 }  // namespace

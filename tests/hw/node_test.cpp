@@ -164,6 +164,105 @@ TEST(NodeTest, InvalidInputsThrow) {
   EXPECT_THROW(static_cast<void>(node.package(2)), ps::InvalidArgument);
 }
 
+
+void expect_same_phase(const PhaseResult& a, const PhaseResult& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.frequency_ghz, b.frequency_ghz);
+  EXPECT_EQ(a.power_watts, b.power_watts);
+  EXPECT_EQ(a.gflops, b.gflops);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.cpu_utilization, b.cpu_utilization);
+  EXPECT_EQ(a.mem_utilization, b.mem_utilization);
+}
+
+TEST(NodeSolveCacheTest, CachedAndUncachedRunsAreBitIdentical) {
+  // Twin nodes, one with the solve memo disabled: any divergence means
+  // the cache served a stale or differently-rounded solution.
+  NodeModel cached = make_node();
+  NodeModel uncached = make_node();
+  uncached.set_solve_cache_enabled(false);
+  const double caps[] = {240.0, 190.0, 190.0, 150.0, 240.0, 190.0};
+  for (const double cap : caps) {
+    cached.set_power_cap(cap);
+    uncached.set_power_cap(cap);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      expect_same_phase(cached.run_compute(1.0, 8.0, VectorWidth::kYmm256),
+                        uncached.run_compute(1.0, 8.0, VectorWidth::kYmm256));
+      expect_same_phase(cached.run_poll(0.25), uncached.run_poll(0.25));
+    }
+  }
+  EXPECT_EQ(cached.read_energy_joules(), uncached.read_energy_joules());
+}
+
+TEST(NodeSolveCacheTest, CacheMissesOnPhaseShapeChange) {
+  NodeModel node = make_node();
+  node.set_power_cap(190.0);
+  const PhaseResult wide = node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+  const PhaseResult narrow = node.run_compute(1.0, 8.0, VectorWidth::kXmm128);
+  EXPECT_NE(wide.seconds, narrow.seconds);
+  // Returning to the first shape re-solves (single-entry cache) but must
+  // land on the exact same solution.
+  expect_same_phase(wide, node.run_compute(1.0, 8.0, VectorWidth::kYmm256));
+}
+
+TEST(NodeSolveCacheTest, CacheInvalidatesOnCapAndFrequencyChanges) {
+  NodeModel node = make_node();
+  node.set_power_cap(240.0);
+  const PhaseResult uncapped = node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+  node.set_power_cap(160.0);
+  const PhaseResult capped = node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+  EXPECT_GT(capped.seconds, uncapped.seconds);
+  node.set_frequency_cap(1.5);
+  const PhaseResult dvfs = node.run_compute(1.0, 8.0, VectorWidth::kYmm256);
+  EXPECT_LE(dvfs.frequency_ghz, 1.5 + 1e-12);
+  EXPECT_GT(dvfs.seconds, capped.seconds);
+}
+
+TEST(NodeSolveCacheTest, OutOfBandPackageWriteMissesTheCache) {
+  // PlatformIO programs package limits directly, bypassing
+  // set_power_cap. The memo key samples the live registers, so the next
+  // solve must see the new limit instead of serving the stale solution.
+  NodeModel node = make_node();
+  node.set_power_cap(240.0);
+  static_cast<void>(node.run_compute(1.0, 8.0, VectorWidth::kYmm256));
+  node.package(0).set_power_limit(70.0);
+  node.package(1).set_power_limit(70.0);
+  NodeModel fresh = make_node();
+  fresh.set_power_cap(240.0);
+  fresh.package(0).set_power_limit(70.0);
+  fresh.package(1).set_power_limit(70.0);
+  expect_same_phase(node.run_compute(1.0, 8.0, VectorWidth::kYmm256),
+                    fresh.run_compute(1.0, 8.0, VectorWidth::kYmm256));
+}
+
+TEST(NodeSolveCacheTest, RunComputeEqualsSolutionPlusAccrue) {
+  NodeModel split = make_node();
+  NodeModel fused = make_node();
+  split.set_power_cap(190.0);
+  fused.set_power_cap(190.0);
+  const PhaseResult solution =
+      split.compute_solution(1.0, 8.0, VectorWidth::kYmm256);
+  split.accrue_phase(solution);
+  expect_same_phase(solution,
+                    fused.run_compute(1.0, 8.0, VectorWidth::kYmm256));
+  EXPECT_EQ(split.read_energy_joules(), fused.read_energy_joules());
+}
+
+TEST(NodeSolveCacheTest, PollMemoScalesEnergyPerCall) {
+  NodeModel cached = make_node();
+  NodeModel uncached = make_node();
+  uncached.set_solve_cache_enabled(false);
+  cached.set_power_cap(170.0);
+  uncached.set_power_cap(170.0);
+  for (const double seconds : {0.5, 0.125, 0.0, 2.0}) {
+    const PhaseResult a = cached.run_poll(seconds);
+    const PhaseResult b = uncached.run_poll(seconds);
+    expect_same_phase(a, b);
+    EXPECT_EQ(a.energy_joules, a.power_watts * seconds);
+  }
+  EXPECT_EQ(cached.read_energy_joules(), uncached.read_energy_joules());
+}
+
 TEST(NodeTest, FixedPointSolutionIsSelfConsistent) {
   NodeModel node = make_node();
   const PhaseResult result =
