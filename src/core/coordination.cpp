@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/degradation.hpp"
 #include "core/invariants.hpp"
 #include "obs/replay.hpp"
 #include "rm/power_manager.hpp"
@@ -95,6 +96,7 @@ PolicyContext CoordinationLoop::build_context(
     sim::JobSimulation& job = *jobs[j];
     runtime::JobCharacterization data;
     data.host_count = job.host_count();
+    data.sla_class = job.sla_class();
     data.min_settable_cap_watts = job.host(0).min_cap();
     // Live "needed" estimate: the balancer search under an unconstrained
     // budget re-derives each host's minimum performance-preserving cap
@@ -379,9 +381,13 @@ CoordinationResult CoordinationLoop::run_dynamic(
       budget_telemetry->excursion_epochs.push_back(epoch_index);
     }
 
-    // RM step: re-allocate from the live telemetry.
+    // RM step: re-allocate from the live telemetry. Multi-tenant mixes
+    // pass the policy output through the shared class-ordered degradation
+    // step (identity for single-class mixes and under abundance), so
+    // scarcity is absorbed by best_effort floors first.
     const PolicyContext context = build_context(jobs);
-    const rm::PowerAllocation allocation = policy->allocate(context);
+    const rm::PowerAllocation allocation = apply_sla_degradation(
+        context, policy->allocate(context), budget_, "coordination.degrade");
     const bool over_budget =
         policy->is_system_aware() &&
         !allocation.within_budget(
@@ -395,7 +401,12 @@ CoordinationResult CoordinationLoop::run_dynamic(
         telemetry->budget_violation_epochs.push_back(epoch_index);
       }
       if (programmed > budget_ + tolerance) {
-        manager.emergency_clamp(jobs, allocation);
+        std::vector<sim::SlaClass> classes;
+        classes.reserve(jobs.size());
+        for (const auto* job : jobs) {
+          classes.push_back(job->sla_class());
+        }
+        manager.emergency_clamp(jobs, allocation, classes);
         record.emergency_clamped = true;
         if (budget_telemetry != nullptr) {
           ++budget_telemetry->emergency_clamps;

@@ -1,0 +1,94 @@
+#include "core/degradation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "rm/degradation.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+
+bool has_multiple_sla_classes(const PolicyContext& context) {
+  for (const runtime::JobCharacterization& job : context.jobs) {
+    if (job.sla_class != context.jobs.front().sla_class) {
+      return true;
+    }
+  }
+  return false;
+}
+
+rm::PowerAllocation apply_sla_degradation(
+    const PolicyContext& context, const rm::PowerAllocation& allocation,
+    double budget_watts, std::string_view where) {
+  PS_REQUIRE(allocation.job_host_caps.size() == context.jobs.size(),
+             "allocation has a different number of jobs than the context");
+  if (!has_multiple_sla_classes(context)) {
+    return allocation;
+  }
+
+  std::vector<rm::ClassDemand> demands;
+  demands.reserve(context.jobs.size());
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const runtime::JobCharacterization& job = context.jobs[j];
+    rm::ClassDemand demand;
+    demand.sla_class = job.sla_class;
+    demand.host_floors.assign(job.host_count, job.min_settable_cap_watts);
+    demand.host_needed = job.balancer.host_needed_power_watts;
+    demand.host_needed.resize(job.host_count, job.min_settable_cap_watts);
+    const bool has_gpu = j < allocation.job_host_gpu_caps.size() &&
+                         !allocation.job_host_gpu_caps[j].empty();
+    if (has_gpu) {
+      demand.gpu_needed = job.host_gpu_needed_watts;
+      demand.gpu_needed.resize(job.host_count, 0.0);
+      demand.gpu_floors.assign(job.host_count, 0.0);
+      for (std::size_t h = 0; h < job.host_count; ++h) {
+        // Only hosts that actually run a GPU phase carry the GPU floor.
+        if (demand.gpu_needed[h] > 0.0) {
+          demand.gpu_floors[h] = job.gpu_min_cap_watts;
+        }
+      }
+    }
+    demands.push_back(std::move(demand));
+  }
+
+  rm::PowerAllocation degraded =
+      rm::shed_allocation_by_class(allocation, demands, budget_watts);
+
+  // Class invariants over the degraded output: conservation (the pass
+  // re-divides watts, never mints them) and no inversion (a starved
+  // higher class never coexists with a lower class above its floors).
+  std::vector<invariants::ClassAllocationView> views;
+  views.reserve(context.jobs.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    invariants::ClassAllocationView view;
+    view.rank = sim::sla_rank(context.jobs[j].sla_class);
+    std::size_t limits = degraded.job_host_caps[j].size();
+    for (std::size_t h = 0; h < degraded.job_host_caps[j].size(); ++h) {
+      view.allocated_watts += degraded.job_host_caps[j][h];
+      view.floor_watts += demands[j].host_floors[h];
+      view.guaranteed_watts +=
+          std::max(demands[j].host_needed[h], demands[j].host_floors[h]);
+    }
+    if (j < degraded.job_host_gpu_caps.size()) {
+      for (std::size_t h = 0; h < degraded.job_host_gpu_caps[j].size(); ++h) {
+        view.allocated_watts += degraded.job_host_gpu_caps[j][h];
+        view.floor_watts += demands[j].gpu_floors[h];
+        view.guaranteed_watts +=
+            std::max(demands[j].gpu_needed[h], demands[j].gpu_floors[h]);
+        if (demands[j].gpu_floors[h] > 0.0) {
+          ++limits;
+        }
+      }
+    }
+    view.tolerance_watts = 0.5 * static_cast<double>(limits);
+    total += view.allocated_watts;
+    views.push_back(view);
+  }
+  invariants::check_class_budget_conserved(views, total, budget_watts, where);
+  invariants::check_no_class_inversion(views, where);
+  return degraded;
+}
+
+}  // namespace ps::core

@@ -119,6 +119,9 @@ std::string serialize(const SampleMessage& message, WireFidelity fidelity) {
     serialize_vector(out, "gpu_needed", message.host_gpu_needed_watts,
                      fidelity);
   }
+  if (message.sla_class != sim::SlaClass::kStandard) {
+    out << "sla_class " << sim::to_string(message.sla_class) << '\n';
+  }
   return out.str();
 }
 
@@ -157,10 +160,12 @@ SampleMessage parse_sample_message(std::string_view text) {
   PS_REQUIRE(v3 || lines[0] == "powerstack-sample v1",
              "not a v1 or v3 sample message");
   // The strict line count and fixed key order reject truncated or
-  // duplicated domain sections outright.
-  PS_REQUIRE(lines.size() == (v3 ? 10u : 6u),
-             v3 ? "v3 sample message needs 10 lines"
-                : "sample message needs 6 lines");
+  // duplicated domain sections outright. One optional trailing
+  // `sla_class` line (absent = standard) follows the domain sections.
+  const std::size_t base = v3 ? 10u : 6u;
+  PS_REQUIRE(lines.size() == base || lines.size() == base + 1,
+             v3 ? "v3 sample message needs 10 or 11 lines"
+                : "sample message needs 6 or 7 lines");
   SampleMessage message;
   message.sequence = parse_sequence(lines[1]);
   message.job_name = parse_job_name(lines[2]);
@@ -195,6 +200,16 @@ SampleMessage parse_sample_message(std::string_view text) {
                    message.host_gpu_needed_watts.size() ==
                        message.host_observed_watts.size(),
                "GPU sample vectors disagree on host count");
+  }
+  // Optional trailing line, only in its explicit (non-standard) form —
+  // the standard case is the line's absence (the pre-SLA wire).
+  if (lines.size() == base + 1) {
+    PS_REQUIRE(util::starts_with(lines[base], "sla_class "),
+               "expected 'sla_class' line");
+    message.sla_class =
+        sim::parse_sla_class(util::trim(lines[base].substr(10)));
+    PS_REQUIRE(message.sla_class != sim::SlaClass::kStandard,
+               "explicit sla_class must be non-standard");
   }
   return message;
 }
@@ -335,6 +350,7 @@ SampleMessage make_sample(sim::JobSimulation& job, std::uint64_t sequence) {
     tdp_budget += job.host(h).tdp();
   }
   message.host_needed_watts = runtime::balance_power(job, tdp_budget);
+  message.sla_class = job.sla_class();
   if (job.has_gpu_domain()) {
     // Second domain: observed GPU draw from the probe; needed GPU power
     // from the cap-to-time inversion against the tolerated critical path.
@@ -392,6 +408,7 @@ PolicyContext context_from_samples(
     }
     job.balancer.max_host_needed_watts = needed_max;
     job.balancer.min_host_needed_watts = needed_min;
+    job.sla_class = sample.sla_class;
     if (sample.has_gpu_domain()) {
       job.host_gpu_observed_watts = sample.host_gpu_observed_watts;
       job.host_gpu_needed_watts = sample.host_gpu_needed_watts;

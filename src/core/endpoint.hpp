@@ -33,6 +33,11 @@ struct SampleMessage {
   double gpu_min_cap_watts = 0.0;  ///< Per-host GPU-domain settable floor.
   double gpu_tdp_watts = 0.0;      ///< Per-host GPU-domain TDP.
 
+  /// Multi-tenant service class. kStandard (the default) serializes as
+  /// the line's absence, keeping single-tenant traffic byte-identical to
+  /// the pre-SLA wire — the same discipline as budget_epoch.
+  sim::SlaClass sla_class = sim::SlaClass::kStandard;
+
   [[nodiscard]] bool has_gpu_domain() const noexcept {
     return !host_gpu_needed_watts.empty();
   }
@@ -110,6 +115,11 @@ enum class WireFidelity { kDisplay, kExact };
 ///
 /// Single-domain messages serialize as v1, byte-identical to the
 /// pre-hetero wire — the same discipline as the budget_epoch tag.
+///
+/// A non-standard SLA class appends one optional trailing line after the
+/// domain sections (`sla_class best_effort` / `sla_class
+/// latency_critical`); kStandard is the line's absence, so single-tenant
+/// traffic stays byte-identical to the pre-SLA wire.
 ///
 /// Parsers throw ps::InvalidArgument on malformed input: truncated
 /// messages, non-numeric fields, negative or non-finite watts, duplicate

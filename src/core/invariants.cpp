@@ -1,5 +1,6 @@
 #include "core/invariants.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
@@ -124,6 +125,62 @@ void check_watts_conserved(double before_watts, double freed_watts,
           << " before, " << freed_watts << " freed, " << after_watts
           << " after)";
   check(false, message.str());
+}
+
+void check_class_budget_conserved(std::span<const ClassAllocationView> jobs,
+                                  double total_caps_watts,
+                                  double budget_watts,
+                                  std::string_view where) {
+  double class_sum = 0.0;
+  double floors = 0.0;
+  double tolerance = 0.0;
+  for (const ClassAllocationView& job : jobs) {
+    class_sum += job.allocated_watts;
+    floors += job.floor_watts;
+    tolerance += job.tolerance_watts;
+  }
+  const double drift = class_sum - total_caps_watts;
+  const bool conserved = drift <= tolerance && drift >= -tolerance;
+  const bool fits =
+      total_caps_watts <= std::max(budget_watts, floors) + tolerance;
+  if (conserved && fits) {
+    check(true, {});
+    return;
+  }
+  std::ostringstream message;
+  message << where << ": per-class sums " << class_sum
+          << " W vs programmed total " << total_caps_watts << " W, budget "
+          << budget_watts << " W, floors " << floors << " W (tolerance "
+          << tolerance << ")";
+  check(false, message.str());
+}
+
+void check_no_class_inversion(std::span<const ClassAllocationView> jobs,
+                              std::string_view where) {
+  for (const ClassAllocationView& starved : jobs) {
+    if (starved.allocated_watts >=
+        starved.guaranteed_watts - starved.tolerance_watts) {
+      continue;  // This job's guarantee is met; it inverts nothing.
+    }
+    for (const ClassAllocationView& holder : jobs) {
+      if (holder.rank >= starved.rank) {
+        continue;
+      }
+      if (holder.allocated_watts >
+          holder.floor_watts + holder.tolerance_watts) {
+        std::ostringstream message;
+        message << where << ": class inversion — a rank-" << starved.rank
+                << " job holds " << starved.allocated_watts
+                << " W (guaranteed " << starved.guaranteed_watts
+                << " W) while a rank-" << holder.rank << " job holds "
+                << holder.allocated_watts << " W above its floor "
+                << holder.floor_watts << " W";
+        check(false, message.str());
+        return;
+      }
+    }
+  }
+  check(true, {});
 }
 
 }  // namespace ps::core::invariants

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -49,5 +50,31 @@ void check_epoch_monotone(std::uint64_t previous_epoch,
 void check_watts_conserved(double before_watts, double freed_watts,
                            double after_watts, double tolerance_watts,
                            std::string_view where);
+
+/// One job's allocation seen through the multi-tenant degradation lens.
+/// `rank` is sim::sla_rank of the job's class (0 sheds first);
+/// `guaranteed_watts` is the job's performance-preserving demand
+/// (needed caps, never below its floors).
+struct ClassAllocationView {
+  std::size_t rank = 0;
+  double allocated_watts = 0.0;
+  double floor_watts = 0.0;
+  double guaranteed_watts = 0.0;
+  double tolerance_watts = 0.0;  ///< RAPL quantization slack for the job.
+};
+
+/// Per-class budget conservation: the class sums must add up to the
+/// programmed total (degradation re-divides watts, never mints them) and
+/// the total must fit max(budget, floors) plus the RAPL tolerance.
+void check_class_budget_conserved(std::span<const ClassAllocationView> jobs,
+                                  double total_caps_watts,
+                                  double budget_watts,
+                                  std::string_view where);
+
+/// No class inversion: a job starved below its guaranteed watts may only
+/// coexist with *lower*-class jobs that sit at their floors — a lower
+/// class must never hold discretionary watts a higher class needs.
+void check_no_class_inversion(std::span<const ClassAllocationView> jobs,
+                              std::string_view where);
 
 }  // namespace ps::core::invariants

@@ -1,11 +1,58 @@
 #include "facility/facility_io.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <istream>
 #include <ostream>
+#include <string>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace ps::facility {
+
+namespace {
+
+constexpr std::string_view kLegacyHeader =
+    "job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,"
+    "energy_joules";
+constexpr std::string_view kSlaHeader =
+    "job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,"
+    "energy_joules,sla_class,sla_violated";
+
+/// A result (or record set) serializes in the extended form only when it
+/// actually carries multi-tenant state; every single-class run keeps the
+/// legacy bytes.
+bool needs_sla_columns(std::span<const FacilityJobRecord> jobs) {
+  for (const FacilityJobRecord& job : jobs) {
+    if (job.sla_class != sim::SlaClass::kStandard || job.sla_violated) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double parse_double(std::string_view token, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size() &&
+                 std::isfinite(value),
+             "non-numeric " + std::string(what) + " field");
+  return value;
+}
+
+std::size_t parse_count(std::string_view token, std::string_view what) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  PS_REQUIRE(ec == std::errc{} && ptr == token.data() + token.size(),
+             "non-numeric " + std::string(what) + " field");
+  return value;
+}
+
+}  // namespace
 
 void write_power_csv(std::ostream& out, const FacilityResult& result) {
   PS_REQUIRE(result.step_hours > 0.0, "result has no time base");
@@ -20,19 +67,83 @@ void write_power_csv(std::ostream& out, const FacilityResult& result) {
   }
 }
 
-void write_jobs_csv(std::ostream& out, const FacilityResult& result) {
+void write_jobs_csv(std::ostream& out,
+                    std::span<const FacilityJobRecord> jobs) {
+  const bool sla = needs_sla_columns(jobs);
   util::CsvWriter csv(out);
-  csv.write_row({"job", "arrival_hours", "start_hours", "finish_hours",
-                 "wait_hours", "restarts", "energy_joules"});
-  for (const FacilityJobRecord& job : result.jobs) {
-    csv.write_row(
-        {job.name, util::format_fixed(job.arrival_hours, 3),
-         job.started() ? util::format_fixed(job.start_hours, 3) : "",
-         job.finished() ? util::format_fixed(job.finish_hours, 3) : "",
-         job.started() ? util::format_fixed(job.wait_hours(), 3) : "",
-         std::to_string(job.restarts),
-         util::format_fixed(job.energy_joules, 1)});
+  std::vector<std::string> header = {
+      "job",        "arrival_hours", "start_hours", "finish_hours",
+      "wait_hours", "restarts",      "energy_joules"};
+  if (sla) {
+    header.push_back("sla_class");
+    header.push_back("sla_violated");
   }
+  csv.write_row(header);
+  for (const FacilityJobRecord& job : jobs) {
+    std::vector<std::string> row = {
+        job.name, util::format_fixed(job.arrival_hours, 3),
+        job.started() ? util::format_fixed(job.start_hours, 3) : "",
+        job.finished() ? util::format_fixed(job.finish_hours, 3) : "",
+        job.started() ? util::format_fixed(job.wait_hours(), 3) : "",
+        std::to_string(job.restarts),
+        util::format_fixed(job.energy_joules, 1)};
+    if (sla) {
+      row.emplace_back(sim::to_string(job.sla_class));
+      row.emplace_back(job.sla_violated ? "1" : "0");
+    }
+    csv.write_row(row);
+  }
+}
+
+void write_jobs_csv(std::ostream& out, const FacilityResult& result) {
+  write_jobs_csv(out, result.jobs);
+}
+
+std::vector<FacilityJobRecord> read_jobs_csv(std::istream& in) {
+  std::string line;
+  PS_REQUIRE(static_cast<bool>(std::getline(in, line)),
+             "jobs CSV has no header");
+  const std::string_view header = util::trim(line);
+  const bool sla = header == kSlaHeader;
+  PS_REQUIRE(sla || header == kLegacyHeader,
+             "unrecognized jobs CSV header");
+  const std::size_t columns = sla ? 9u : 7u;
+  std::vector<FacilityJobRecord> jobs;
+  while (std::getline(in, line)) {
+    const std::string_view row = util::trim(line);
+    if (row.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = util::split(row, ',');
+    PS_REQUIRE(fields.size() == columns, "jobs CSV row has wrong arity");
+    FacilityJobRecord job;
+    job.name = fields[0];
+    PS_REQUIRE(!job.name.empty(), "jobs CSV row has an empty job name");
+    job.arrival_hours = parse_double(fields[1], "arrival_hours");
+    if (!fields[2].empty()) {
+      job.start_hours = parse_double(fields[2], "start_hours");
+    }
+    if (!fields[3].empty()) {
+      job.finish_hours = parse_double(fields[3], "finish_hours");
+    }
+    // fields[4] (wait_hours) is derived from start − arrival; the writer
+    // recomputes it, so it is validated for form but not stored.
+    if (!fields[4].empty()) {
+      static_cast<void>(parse_double(fields[4], "wait_hours"));
+    }
+    PS_REQUIRE(fields[2].empty() == fields[4].empty(),
+               "wait_hours must be present exactly when start_hours is");
+    job.restarts = parse_count(fields[5], "restarts");
+    job.energy_joules = parse_double(fields[6], "energy_joules");
+    if (sla) {
+      job.sla_class = sim::parse_sla_class(fields[7]);
+      PS_REQUIRE(fields[8] == "0" || fields[8] == "1",
+                 "sla_violated must be 0 or 1");
+      job.sla_violated = fields[8] == "1";
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace ps::facility

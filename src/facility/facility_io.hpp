@@ -1,6 +1,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
+#include <vector>
 
 #include "facility/facility_manager.hpp"
 
@@ -10,10 +12,23 @@ namespace ps::facility {
 ///   hours,power_watts,utilization
 void write_power_csv(std::ostream& out, const FacilityResult& result);
 
-/// Writes the per-job accounting as CSV:
+/// Writes the per-job accounting as CSV. Single-class results use the
+/// legacy 7-column form, byte-identical to the pre-SLA writer:
 ///   job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,
 ///   energy_joules
+/// Results carrying multi-tenant state (any non-standard class or any
+/// SLA violation) append two columns:
+///   ...,sla_class,sla_violated
 /// Unstarted/unfinished events are empty fields.
 void write_jobs_csv(std::ostream& out, const FacilityResult& result);
+void write_jobs_csv(std::ostream& out,
+                    std::span<const FacilityJobRecord> jobs);
+
+/// Reads either jobs-CSV form back into records. Legacy 7-column files
+/// parse unchanged (class standard, no violations) and re-emit
+/// byte-identical through write_jobs_csv, provided their columns are
+/// consistent at the written precision (any file produced by the writer
+/// is). Throws ps::InvalidArgument on a malformed header or row.
+[[nodiscard]] std::vector<FacilityJobRecord> read_jobs_csv(std::istream& in);
 
 }  // namespace ps::facility

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <numbers>
 
+#include "core/degradation.hpp"
 #include "core/invariants.hpp"
 #include "core/mixes.hpp"
 #include "rm/power_manager.hpp"
@@ -26,20 +28,105 @@ double effective_budget_watts(const sim::Cluster& cluster,
   }
   return cluster.node(0).tdp() * static_cast<double>(cluster.size());
 }
+
+/// The scheduler's admission gate, with the facility defaults filled in:
+/// a power basis inherits the facility budget and the cluster's node TDP
+/// when its own knobs were left at zero.
+rm::AdmissionOptions effective_admission(const sim::Cluster& cluster,
+                                         const FacilityOptions& options) {
+  rm::AdmissionOptions admission = options.admission;
+  if (admission.basis != rm::AdmissionBasis::kNodes) {
+    if (admission.budget_watts <= 0.0) {
+      admission.budget_watts = effective_budget_watts(cluster, options);
+    }
+    if (admission.node_tdp_watts <= 0.0) {
+      admission.node_tdp_watts = cluster.node(0).tdp();
+    }
+  }
+  return admission;
+}
+
+/// Shed-watts histogram buckets (watts per reallocation event).
+constexpr std::array<double, 8> kShedBounds = {10.0,   50.0,   100.0,
+                                               250.0,  500.0,  1000.0,
+                                               2500.0, 5000.0};
 }  // namespace
 
 std::vector<FacilityJobSpec> generate_job_trace(
     util::Rng& rng, const JobTraceOptions& options) {
-  PS_REQUIRE(options.horizon_hours > 0.0, "horizon must be positive");
-  PS_REQUIRE(options.arrivals_per_hour > 0.0,
-             "arrival rate must be positive");
+  PS_REQUIRE(std::isfinite(options.horizon_hours) &&
+                 options.horizon_hours >= 0.0,
+             "horizon must be finite and non-negative");
+  PS_REQUIRE(std::isfinite(options.arrivals_per_hour) &&
+                 options.arrivals_per_hour >= 0.0,
+             "arrival rate must be finite and non-negative");
   PS_REQUIRE(options.min_nodes > 0 && options.min_nodes <= options.max_nodes,
              "node range must satisfy 0 < min <= max");
-  PS_REQUIRE(options.min_duration_hours > 0.0 &&
+  PS_REQUIRE(std::isfinite(options.min_duration_hours) &&
+                 std::isfinite(options.max_duration_hours) &&
+                 options.min_duration_hours > 0.0 &&
                  options.min_duration_hours <= options.max_duration_hours,
              "duration range must satisfy 0 < min <= max");
   PS_REQUIRE(options.nominal_iteration_seconds > 0.0,
              "nominal iteration time must be positive");
+  PS_REQUIRE(options.latency_critical_fraction >= 0.0 &&
+                 options.best_effort_fraction >= 0.0 &&
+                 options.latency_critical_fraction +
+                         options.best_effort_fraction <=
+                     1.0,
+             "class fractions must be non-negative and sum to at most 1");
+  PS_REQUIRE(options.diurnal_amplitude >= 0.0 &&
+                 options.diurnal_amplitude <= 1.0,
+             "diurnal amplitude must lie in [0, 1]");
+  PS_REQUIRE(options.burst_rate_multiplier >= 0.0,
+             "burst rate multiplier cannot be negative");
+  PS_REQUIRE(options.burst_count == 0 || options.burst_duration_hours > 0.0,
+             "burst duration must be positive");
+
+  // Degenerate but valid: no time or no demand means no jobs — an empty
+  // trace, not an error (FacilityManager::run handles it as a quiet run).
+  if (options.horizon_hours == 0.0 || options.arrivals_per_hour == 0.0) {
+    return {};
+  }
+
+  const bool mixed_classes = options.latency_critical_fraction > 0.0 ||
+                             options.best_effort_fraction > 0.0;
+  const bool time_varying =
+      options.diurnal_amplitude > 0.0 ||
+      (options.burst_count > 0 && options.burst_rate_multiplier > 0.0);
+  // Flash-crowd centers are seeded and drawn up front, so the burst
+  // schedule is a deterministic function of (rng seed, options).
+  std::vector<double> burst_centers;
+  if (time_varying && options.burst_count > 0) {
+    burst_centers.reserve(options.burst_count);
+    for (std::size_t b = 0; b < options.burst_count; ++b) {
+      burst_centers.push_back(rng.uniform() * options.horizon_hours);
+    }
+    std::sort(burst_centers.begin(), burst_centers.end());
+  }
+  const double base = options.arrivals_per_hour;
+  // Thinning envelope: the instantaneous rate never exceeds the diurnal
+  // peak plus one full burst amplitude.
+  const double peak_rate =
+      base * (1.0 + options.diurnal_amplitude) +
+      (burst_centers.empty() ? 0.0 : base * options.burst_rate_multiplier);
+  const auto rate_at = [&](double t) {
+    // Diurnal day curve: trough at midnight, peak at noon.
+    double rate = base * (1.0 + options.diurnal_amplitude *
+                                    std::sin(2.0 * std::numbers::pi * t /
+                                                 24.0 -
+                                             std::numbers::pi / 2.0));
+    for (const double center : burst_centers) {
+      const double half_width = 0.5 * options.burst_duration_hours;
+      const double distance = std::abs(t - center);
+      if (distance < half_width) {
+        // Triangular flash-crowd pulse.
+        rate += base * options.burst_rate_multiplier *
+                (1.0 - distance / half_width);
+      }
+    }
+    return rate;
+  };
 
   const std::vector<kernel::WorkloadConfig> pool =
       core::heatmap_grid(hw::VectorWidth::kYmm256);
@@ -47,14 +134,20 @@ std::vector<FacilityJobSpec> generate_job_trace(
   double now = 0.0;
   std::size_t sequence = 0;
   for (;;) {
-    // Exponential inter-arrival times (Poisson process).
+    // Exponential inter-arrival times — a homogeneous Poisson process at
+    // the base rate, or at the envelope rate thinned down to rate_at(t)
+    // when the demand curve varies (Lewis-Shedler thinning). The
+    // homogeneous path draws exactly the legacy rng stream.
     double u = rng.uniform();
     while (u <= 0.0) {
       u = rng.uniform();
     }
-    now += -std::log(u) / options.arrivals_per_hour;
+    now += -std::log(u) / (time_varying ? peak_rate : base);
     if (now >= options.horizon_hours) {
       break;
+    }
+    if (time_varying && rng.uniform() * peak_rate >= rate_at(now)) {
+      continue;  // thinned: a candidate the true rate does not support
     }
     FacilityJobSpec spec;
     spec.arrival_hours = now;
@@ -73,9 +166,27 @@ std::vector<FacilityJobSpec> generate_job_trace(
                                     options.nominal_iteration_seconds));
     // Users overestimate walltimes; add a 20% pad like real submissions.
     spec.estimated_hours = duration_hours * 1.2;
+    spec.ideal_hours = duration_hours;
+    if (mixed_classes) {
+      const double draw = rng.uniform();
+      if (draw < options.latency_critical_fraction) {
+        spec.request.sla_class = sim::SlaClass::kLatencyCritical;
+      } else if (draw < options.latency_critical_fraction +
+                            options.best_effort_fraction) {
+        spec.request.sla_class = sim::SlaClass::kBestEffort;
+      }
+    }
     trace.push_back(std::move(spec));
   }
   return trace;
+}
+
+std::size_t FacilityResult::sla_violations() const {
+  std::size_t total = 0;
+  for (const std::size_t count : sla_violations_by_class) {
+    total += count;
+  }
+  return total;
 }
 
 double FacilityResult::mean_power_watts() const {
@@ -107,7 +218,7 @@ FacilityManager::FacilityManager(sim::Cluster& cluster,
                                  const FacilityOptions& options)
     : cluster_(&cluster),
       options_(options),
-      scheduler_(cluster.size()),
+      scheduler_(cluster.size(), effective_admission(cluster, options)),
       power_manager_(effective_budget_watts(cluster, options)),
       failure_rng_(options.failure_seed) {
   PS_REQUIRE(options.step_hours > 0.0, "step must be positive");
@@ -215,8 +326,10 @@ void FacilityManager::start_pending_jobs(
     }
     job.simulation = std::make_unique<sim::JobSimulation>(
         grant.job_name, std::move(hosts), trace[index].request.workload);
+    job.simulation->set_sla_class(trace[index].request.sla_class);
     job.characterization = runtime::characterize_job(
         *job.simulation, options_.characterization_iterations);
+    job.characterization.sla_class = trace[index].request.sla_class;
     job.simulation->reset_totals();
     running_.push_back(std::move(job));
     if (!result.jobs[index].started()) {
@@ -240,12 +353,42 @@ void FacilityManager::reallocate_power() {
     context.jobs.push_back(job.characterization);
   }
   const auto policy = core::make_policy(options_.policy);
-  const rm::PowerAllocation allocation = policy->allocate(context);
+  // The same class-ordered degradation step the in-memory loop and the
+  // daemon run on a policy output: under scarcity best_effort sheds to
+  // its floors before standard, latency_critical last. Identity (and
+  // zero extra work) for single-class mixes.
+  const rm::PowerAllocation raw = policy->allocate(context);
+  const rm::PowerAllocation allocation = core::apply_sla_degradation(
+      context, raw, power_manager_.budget_watts(), "facility.degrade");
+  // Shed watts = what the losing jobs gave up, per reshaping pass. The
+  // degradation step re-divides at (near-)constant total, so the total
+  // delta would hide it; sum the per-limit reductions instead.
+  const auto watts_moved = [](const rm::PowerAllocation& from,
+                              const rm::PowerAllocation& to) {
+    double moved = 0.0;
+    for (std::size_t j = 0; j < from.job_host_caps.size(); ++j) {
+      for (std::size_t h = 0; h < from.job_host_caps[j].size(); ++h) {
+        moved += std::max(0.0,
+                          from.job_host_caps[j][h] - to.job_host_caps[j][h]);
+      }
+    }
+    for (std::size_t j = 0; j < from.job_host_gpu_caps.size(); ++j) {
+      for (std::size_t h = 0; h < from.job_host_gpu_caps[j].size(); ++h) {
+        moved += std::max(0.0, from.job_host_gpu_caps[j][h] -
+                                   to.job_host_gpu_caps[j][h]);
+      }
+    }
+    return moved;
+  };
+  double shed_watts = watts_moved(raw, allocation);
   std::vector<sim::JobSimulation*> jobs;
+  std::vector<sim::SlaClass> classes;
   jobs.reserve(running_.size());
+  classes.reserve(running_.size());
   std::size_t hosts = 0;
   for (auto& job : running_) {
     jobs.push_back(job.simulation.get());
+    classes.push_back(job.characterization.sla_class);
     hosts += job.simulation->host_count();
   }
   const double tolerance = 0.5 * static_cast<double>(hosts);
@@ -253,12 +396,19 @@ void FacilityManager::reallocate_power() {
       allocation.total_watts() > power_manager_.budget_watts() + tolerance) {
     // The policy's output no longer fits a shrunk budget (it may have
     // been computed moments before a brownout revision): clamp it back
-    // inside the envelope, floors first.
-    power_manager_.emergency_clamp(jobs, allocation);
+    // inside the envelope, floors first — lowest class first.
+    const rm::PowerAllocation clamped =
+        power_manager_.emergency_clamp(jobs, allocation, classes);
+    shed_watts += watts_moved(allocation, clamped);
     ++emergency_clamps_;
   } else {
     power_manager_.apply(jobs, allocation, /*enforce_budget=*/false);
   }
+  if (shed_watts > 0.0 && options_.obs.metrics != nullptr) {
+    options_.obs.metrics->histogram("facility.shed_watts", kShedBounds)
+        .observe(shed_watts);
+  }
+  shed_watts_total_ += shed_watts;
   if (governor_.has_value()) {
     double floors = 0.0;
     for (const auto& job : running_) {
@@ -387,10 +537,14 @@ FacilityResult FacilityManager::run(
   FacilityResult result;
   result.step_hours = options_.step_hours;
   emergency_clamps_ = 0;
+  shed_watts_total_ = 0.0;
   result.jobs.resize(trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
     result.jobs[i].name = trace[i].request.name;
     result.jobs[i].arrival_hours = trace[i].arrival_hours;
+    result.jobs[i].sla_class = trace[i].request.sla_class;
+    result.jobs[i].ideal_hours = trace[i].ideal_hours;
+    ++result.jobs_by_class[sim::sla_rank(trace[i].request.sla_class)];
   }
 
   std::size_t next_arrival = 0;
@@ -399,10 +553,16 @@ FacilityResult FacilityManager::run(
   for (std::size_t step = 0; step < steps; ++step) {
     const double now = static_cast<double>(step) * options_.step_hours;
 
-    // Admit arrivals up to now.
+    // Admit arrivals up to now. The admission gate may refuse a
+    // submission outright (best_effort queue limit, or a power gate it
+    // can never fit): the job is recorded rejected, never queued.
     while (next_arrival < trace.size() &&
            trace[next_arrival].arrival_hours <= now) {
-      scheduler_.submit(trace[next_arrival].request);
+      if (!scheduler_.try_submit(trace[next_arrival].request)) {
+        result.jobs[next_arrival].rejected = true;
+        ++result.admission_rejections;
+        options_.obs.count("facility.admission_rejections");
+      }
       ++next_arrival;
     }
     // The facility's budget signal is sampled once per control period
@@ -469,6 +629,9 @@ FacilityResult FacilityManager::run(
     result.utilization.push_back(static_cast<double>(busy_nodes) /
                                  static_cast<double>(cluster_->size()));
     result.budget_watts.push_back(power_manager_.budget_watts());
+    // Feed the admission gate the step's measured compute draw: the
+    // kMeasuredDraw basis reserves with this EWMA instead of TDP.
+    scheduler_.observe_draw(compute_power, busy_nodes);
     if (governor_.has_value()) {
       power_manager_.observe_programmed(programmed_watts(), busy_nodes,
                                         dt_seconds);
@@ -477,6 +640,33 @@ FacilityResult FacilityManager::run(
   result.emergency_clamps = emergency_clamps_;
   result.final_budget_epoch = power_manager_.budget_epoch();
   result.excursions = power_manager_.excursions();
+  result.shed_watts_total = shed_watts_total_;
+
+  // SLA accounting: a job violates its class SLA when its end-to-end
+  // slowdown vs the uncapped ideal exceeds the class tolerance, when the
+  // horizon ends with it already past that bound, or when admission
+  // rejected it outright.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    FacilityJobRecord& record = result.jobs[i];
+    const double tolerated = trace[i].request.sla_tolerated_slowdown();
+    bool violated = record.rejected;
+    if (!violated && record.ideal_hours > 0.0) {
+      const double bound = tolerated * record.ideal_hours;
+      if (record.finished()) {
+        violated = record.finish_hours - record.arrival_hours > bound;
+      } else {
+        violated = options_.horizon_hours - record.arrival_hours > bound;
+      }
+    }
+    if (violated) {
+      record.sla_violated = true;
+      ++result.sla_violations_by_class[sim::sla_rank(record.sla_class)];
+      if (options_.obs.metrics != nullptr) {
+        options_.obs.count(std::string("facility.sla_violations.") +
+                           std::string(sim::to_string(record.sla_class)));
+      }
+    }
+  }
   return result;
 }
 

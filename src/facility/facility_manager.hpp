@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -10,11 +11,13 @@
 
 #include "core/budget_governor.hpp"
 #include "core/policy.hpp"
+#include "obs/obs.hpp"
 #include "rm/job.hpp"
 #include "rm/power_manager.hpp"
 #include "rm/scheduler.hpp"
 #include "sim/cluster.hpp"
 #include "sim/job_sim.hpp"
+#include "sim/sla.hpp"
 #include "util/rng.hpp"
 
 namespace ps::facility {
@@ -27,6 +30,10 @@ struct FacilityJobSpec {
   /// User-supplied walltime estimate (the "requested walltime" of a real
   /// batch system); EASY backfill trusts it, as real schedulers do.
   double estimated_hours = 1.0;
+  /// Uncapped (ideal) duration in hours — the denominator of the SLA
+  /// slowdown metric. 0 (the legacy default) disables slowdown
+  /// accounting for this job; the job's class rides on request.sla_class.
+  double ideal_hours = 0.0;
 };
 
 /// Parameters of the synthetic facility workload trace (Poisson arrivals
@@ -41,8 +48,33 @@ struct JobTraceOptions {
   double min_duration_hours = 0.5;
   double max_duration_hours = 12.0;
   double nominal_iteration_seconds = 0.05;
+
+  /// --- Multi-tenant class mix -------------------------------------------
+  /// Fractions of arrivals drawn latency_critical / best_effort (the
+  /// remainder is standard). Both zero (the default) draws nothing extra
+  /// from the rng, keeping single-class traces byte-identical to the
+  /// pre-SLA generator.
+  double latency_critical_fraction = 0.0;
+  double best_effort_fraction = 0.0;
+
+  /// --- Time-varying demand ----------------------------------------------
+  /// Diurnal arrival modulation: rate(t) = base · (1 + A·sin(2πt/24 − π/2))
+  /// — trough at midnight, peak at noon. 0 keeps arrivals homogeneous
+  /// (and the rng stream identical to the legacy generator).
+  double diurnal_amplitude = 0.0;
+  /// Flash crowds: `burst_count` bursts at seeded uniform times, each
+  /// adding `burst_rate_multiplier × base` arrivals/hour at its center,
+  /// falling off linearly over `burst_duration_hours`.
+  std::size_t burst_count = 0;
+  double burst_rate_multiplier = 0.0;
+  double burst_duration_hours = 1.0;
 };
 
+/// Synthesizes a facility workload trace. Degenerate-parameter semantics
+/// are explicit: a zero arrival rate or zero horizon is a valid request
+/// for *no* work and returns an empty trace; negative or non-finite
+/// rates/horizons, zero/negative job durations, and malformed class
+/// fractions throw ps::InvalidArgument.
 [[nodiscard]] std::vector<FacilityJobSpec> generate_job_trace(
     util::Rng& rng, const JobTraceOptions& options);
 
@@ -83,6 +115,15 @@ struct FacilityOptions {
   std::vector<double> budget_signal_watts;
   /// Governor knobs (hysteresis, ramp limits, floor) for the signal.
   core::BudgetGovernorOptions governor{};
+  /// Power-admission gate (oversubscription). The default kNodes basis is
+  /// the legacy node-count-only scheduler. For the power bases, zero
+  /// budget_watts/node_tdp_watts inherit the facility budget and the
+  /// cluster's node TDP at construction.
+  rm::AdmissionOptions admission{};
+  /// Observability seam: per-class SLA-violation counters, the
+  /// admission-rejection counter and the shed-watts histogram land here.
+  /// Inert by default.
+  obs::Observability obs{};
 };
 
 /// Per-job accounting of a facility run. Times are in hours; a negative
@@ -94,6 +135,10 @@ struct FacilityJobRecord {
   double finish_hours = -1.0;  ///< Final (successful) finish.
   double energy_joules = 0.0;
   std::size_t restarts = 0;    ///< Times a node failure killed the job.
+  sim::SlaClass sla_class = sim::SlaClass::kStandard;
+  double ideal_hours = 0.0;    ///< Uncapped duration; 0 = no SLA math.
+  bool rejected = false;       ///< Refused at admission (never queued).
+  bool sla_violated = false;   ///< Slowdown exceeded the class SLA.
 
   [[nodiscard]] bool started() const noexcept { return start_hours >= 0.0; }
   [[nodiscard]] bool finished() const noexcept {
@@ -101,6 +146,13 @@ struct FacilityJobRecord {
   }
   [[nodiscard]] double wait_hours() const {
     return started() ? start_hours - arrival_hours : -1.0;
+  }
+  /// Observed slowdown vs the uncapped ideal (finished jobs with a known
+  /// ideal only; -1 otherwise).
+  [[nodiscard]] double slowdown() const {
+    return finished() && ideal_hours > 0.0
+               ? (finish_hours - arrival_hours) / ideal_hours
+               : -1.0;
   }
 };
 
@@ -122,6 +174,15 @@ struct FacilityResult {
   /// how far the cluster's committed power exceeded a shrinking budget).
   rm::ExcursionTelemetry excursions;
 
+  /// --- Multi-tenant accounting (all zero for single-class runs) --------
+  std::size_t admission_rejections = 0;  ///< try_submit refusals.
+  std::array<std::size_t, sim::kSlaClassCount> jobs_by_class{};
+  std::array<std::size_t, sim::kSlaClassCount> sla_violations_by_class{};
+  /// Watts the class-ordered degradation/clamp passes moved off the raw
+  /// policy split, summed over reallocations.
+  double shed_watts_total = 0.0;
+
+  [[nodiscard]] std::size_t sla_violations() const;
   [[nodiscard]] double mean_power_watts() const;
   [[nodiscard]] double peak_power_watts() const;
   [[nodiscard]] double mean_utilization() const;
@@ -186,6 +247,7 @@ class FacilityManager {
   sim::Cluster* cluster_;
   FacilityOptions options_;
   rm::Scheduler scheduler_;
+  double shed_watts_total_ = 0.0;
   /// Owns the enforced budget + renegotiation epoch and the excursion
   /// telemetry; revised by the governor, consulted by reallocate_power.
   rm::SystemPowerManager power_manager_;

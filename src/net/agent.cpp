@@ -27,6 +27,7 @@ core::SampleMessage CoordinatedAgent::build_sample() const {
   core::SampleMessage sample;
   sample.sequence = sequence_;
   sample.job_name = job_.name();
+  sample.sla_class = job_.sla_class();
   sample.min_settable_cap_watts = job_.host(0).min_cap();
   sample.host_observed_watts = demand_watts_;
   sample.host_needed_watts =

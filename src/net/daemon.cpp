@@ -6,6 +6,7 @@
 #include <iterator>
 #include <utility>
 
+#include "core/degradation.hpp"
 #include "core/invariants.hpp"
 #include "net/snapshot.hpp"
 #include "obs/replay.hpp"
@@ -246,6 +247,7 @@ void PowerDaemon::clamp_stored_caps() {
   rm::PowerAllocation stored;
   std::vector<std::vector<double>> floors;
   std::vector<std::vector<double>> gpu_floors;
+  std::vector<sim::SlaClass> classes;
   std::vector<std::string> names;
   std::size_t total_limits = 0;
   for (const auto& [name, record] : jobs_) {
@@ -263,6 +265,8 @@ void PowerDaemon::clamp_stored_caps() {
         record.latch.latest() ? record.latch.latest()->gpu_min_cap_watts : 0.0;
     stored.job_host_gpu_caps.push_back(record.last_gpu_caps_watts);
     gpu_floors.emplace_back(record.last_gpu_caps_watts.size(), gpu_floor);
+    classes.push_back(record.latch.latest() ? record.latch.latest()->sla_class
+                                            : sim::SlaClass::kStandard);
     names.push_back(name);
     total_limits +=
         record.last_caps_watts.size() + record.last_gpu_caps_watts.size();
@@ -275,7 +279,7 @@ void PowerDaemon::clamp_stored_caps() {
     return;  // the allocation still fits; nothing to clamp
   }
   const rm::PowerAllocation clamped = rm::clamp_allocation_to_budget(
-      stored, floors, budget_watts_, gpu_floors);
+      stored, floors, budget_watts_, gpu_floors, classes);
   for (std::size_t j = 0; j < names.size(); ++j) {
     jobs_.at(names[j]).last_caps_watts = clamped.job_host_caps[j];
     jobs_.at(names[j]).last_gpu_caps_watts = clamped.job_host_gpu_caps[j];
@@ -824,7 +828,11 @@ void PowerDaemon::allocate_once() {
     const core::PolicyContext context = core::context_from_samples(
         budget_watts_, options_.node_tdp_watts, options_.uncappable_watts,
         samples);
-    const rm::PowerAllocation allocation = policy_->allocate(context);
+    // The same class-ordered degradation step the in-memory loop runs on
+    // its policy output — called with the identical context and budget,
+    // so multi-tenant rounds stay watt-for-watt equal across transports.
+    const rm::PowerAllocation allocation = core::apply_sla_degradation(
+        context, policy_->allocate(context), budget_watts_, "daemon.degrade");
     if (policy_->is_system_aware() &&
         !allocation.within_budget(budget_watts_, tolerance)) {
       // A policy output a site would reject. If the stored caps still
@@ -864,8 +872,13 @@ void PowerDaemon::allocate_once() {
         gpu_floors.emplace_back(allocation.job_host_gpu_caps[j].size(),
                                 samples[j].gpu_min_cap_watts);
       }
+      std::vector<sim::SlaClass> classes;
+      classes.reserve(samples.size());
+      for (const core::SampleMessage& sample : samples) {
+        classes.push_back(sample.sla_class);
+      }
       const rm::PowerAllocation clamped = rm::clamp_allocation_to_budget(
-          allocation, floors, budget_watts_, gpu_floors);
+          allocation, floors, budget_watts_, gpu_floors, classes);
       for (std::size_t j = 0; j < samples.size(); ++j) {
         messages[j].host_caps_watts = clamped.job_host_caps[j];
         messages[j].host_gpu_caps_watts = clamped.job_gpu_caps(j);

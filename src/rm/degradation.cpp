@@ -1,0 +1,134 @@
+#include "rm/degradation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ps::rm {
+
+namespace {
+
+/// One programmable limit (a host's CPU cap or a host's GPU cap) with
+/// its degradation inputs, flattened so both domains shed through the
+/// same waterfall.
+struct Limit {
+  double* result = nullptr;  ///< Points into the output allocation.
+  double original = 0.0;
+  double floor = 0.0;
+  double needed = 0.0;  ///< Clamped to >= floor.
+  std::size_t rank = 0;  ///< sla_rank of the owning job.
+};
+
+}  // namespace
+
+PowerAllocation shed_allocation_by_class(const PowerAllocation& allocation,
+                                         std::span<const ClassDemand> demands,
+                                         double budget_watts) {
+  PS_REQUIRE(budget_watts > 0.0, "degradation budget must be positive");
+  PS_REQUIRE(demands.size() == allocation.job_host_caps.size(),
+             "demand shape has a different number of jobs");
+
+  PowerAllocation result = allocation;
+  std::vector<Limit> limits;
+  double total_alloc = 0.0;
+  double total_floors = 0.0;
+  for (std::size_t j = 0; j < allocation.job_host_caps.size(); ++j) {
+    const ClassDemand& demand = demands[j];
+    const std::size_t hosts = allocation.job_host_caps[j].size();
+    PS_REQUIRE(demand.host_floors.size() == hosts &&
+                   demand.host_needed.size() == hosts,
+               "demand shape has a different number of hosts for a job");
+    const bool has_gpu = j < allocation.job_host_gpu_caps.size() &&
+                         !allocation.job_host_gpu_caps[j].empty();
+    PS_REQUIRE(!has_gpu || (demand.gpu_floors.size() == hosts &&
+                            demand.gpu_needed.size() == hosts),
+               "GPU demand shape has a different number of hosts for a job");
+    for (std::size_t h = 0; h < hosts; ++h) {
+      Limit limit;
+      limit.result = &result.job_host_caps[j][h];
+      limit.original = allocation.job_host_caps[j][h];
+      limit.floor = demand.host_floors[h];
+      limit.needed = std::max(demand.host_needed[h], limit.floor);
+      limit.rank = sim::sla_rank(demand.sla_class);
+      total_alloc += limit.original;
+      total_floors += limit.floor;
+      limits.push_back(limit);
+      if (has_gpu) {
+        Limit gpu;
+        gpu.result = &result.job_host_gpu_caps[j][h];
+        gpu.original = allocation.job_host_gpu_caps[j][h];
+        gpu.floor = demand.gpu_floors[h];
+        gpu.needed = std::max(demand.gpu_needed[h], gpu.floor);
+        gpu.rank = limit.rank;
+        total_alloc += gpu.original;
+        total_floors += gpu.floor;
+        limits.push_back(gpu);
+      }
+    }
+  }
+
+  // The pass only ever shrinks the total: under scarcity it re-divides
+  // min(budget, Σcaps), never inventing watts the policy did not grant.
+  const double target = std::min(budget_watts, total_alloc);
+  for (Limit& limit : limits) {
+    *limit.result = limit.floor;
+  }
+  double remaining = target - total_floors;
+  if (remaining <= 0.0) {
+    return result;  // Even the floors exceed the budget: all-floors.
+  }
+
+  // Phase 1 — performance-preserving needs, highest class first. A class
+  // whose needs exceed what is left is scaled proportionally; everything
+  // below it stays at floors (the no-inversion guarantee).
+  for (std::size_t rank = sim::kSlaClassCount; rank-- > 0;) {
+    double class_need = 0.0;
+    for (const Limit& limit : limits) {
+      if (limit.rank == rank) {
+        class_need += limit.needed - limit.floor;
+      }
+    }
+    if (class_need <= 0.0) {
+      continue;
+    }
+    const double grant = std::min(remaining, class_need);
+    const double scale = grant / class_need;
+    for (Limit& limit : limits) {
+      if (limit.rank == rank) {
+        *limit.result += scale * (limit.needed - limit.floor);
+      }
+    }
+    remaining -= grant;
+    if (remaining <= 0.0) {
+      return result;
+    }
+  }
+
+  // Phase 2 — abundance: restore each limit's surplus above its need
+  // (the policy's discretionary watts), again highest class first.
+  for (std::size_t rank = sim::kSlaClassCount; rank-- > 0;) {
+    double class_surplus = 0.0;
+    for (const Limit& limit : limits) {
+      if (limit.rank == rank) {
+        class_surplus += std::max(0.0, limit.original - limit.needed);
+      }
+    }
+    if (class_surplus <= 0.0) {
+      continue;
+    }
+    const double grant = std::min(remaining, class_surplus);
+    const double scale = grant / class_surplus;
+    for (Limit& limit : limits) {
+      if (limit.rank == rank) {
+        *limit.result += scale * std::max(0.0, limit.original - limit.needed);
+      }
+    }
+    remaining -= grant;
+    if (remaining <= 0.0) {
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ps::rm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rm/allocation.hpp"
+#include "sim/sla.hpp"
+
+namespace ps::rm {
+
+/// Per-job demand summary the class-ordered degradation pass works from.
+/// Shapes mirror PowerAllocation: one entry per host (CPU domain), plus
+/// optional GPU-domain entries on heterogeneous jobs. `host_needed` is
+/// the performance-preserving cap the balancer derived for the job's
+/// current phase — the watts below which the job's SLA starts eroding.
+struct ClassDemand {
+  sim::SlaClass sla_class = sim::SlaClass::kStandard;
+  std::vector<double> host_floors;
+  std::vector<double> host_needed;
+  std::vector<double> gpu_floors;  ///< Empty on CPU-only jobs.
+  std::vector<double> gpu_needed;  ///< Empty on CPU-only jobs.
+};
+
+/// Priority-ordered graceful degradation of a policy allocation under
+/// scarcity. The pass never raises the allocation total and never
+/// programs below a hardware floor; within that envelope it re-divides
+/// the watts so that service classes degrade strictly in order:
+///
+///   1. every limit keeps its hardware floor (non-negotiable);
+///   2. remaining watts satisfy performance-preserving needs in class
+///      order, latency_critical first — a class whose needs cannot all be
+///      met is scaled proportionally and every class below it stays at
+///      its floors;
+///   3. watts still left (abundance) restore each limit's surplus above
+///      need, again highest class first.
+///
+/// When every limit's allocation already covers its need and the budget
+/// covers the allocation, the pass returns the input unchanged — under
+/// abundance degradation is the identity, so converged single-tenant
+/// behavior is untouched. When all jobs share one class the pass is a
+/// no-op by construction (one class = one proportional family), and
+/// callers skip it entirely for single-class mixes.
+///
+/// The result satisfies the no-class-inversion invariant by
+/// construction: a job starved below its need only ever coexists with
+/// lower-class jobs sitting at their floors.
+[[nodiscard]] PowerAllocation shed_allocation_by_class(
+    const PowerAllocation& allocation, std::span<const ClassDemand> demands,
+    double budget_watts);
+
+}  // namespace ps::rm

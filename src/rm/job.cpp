@@ -7,6 +7,8 @@ namespace ps::rm {
 void JobRequest::validate() const {
   PS_REQUIRE(!name.empty(), "job needs a name");
   PS_REQUIRE(node_count > 0, "job needs at least one node");
+  PS_REQUIRE(tolerated_slowdown >= 0.0,
+             "tolerated slowdown cannot be negative");
   workload.validate();
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "kernel/workload.hpp"
+#include "sim/sla.hpp"
 
 namespace ps::rm {
 
@@ -12,6 +13,19 @@ struct JobRequest {
   std::string name;
   kernel::WorkloadConfig workload{};
   std::size_t node_count = 0;
+
+  /// Multi-tenant service class: admission control queues (or rejects)
+  /// best_effort work first and degradation sheds it first. The default
+  /// keeps single-tenant submissions exactly as before.
+  sim::SlaClass sla_class = sim::SlaClass::kStandard;
+  /// Per-job tolerated-slowdown override; 0 means the class default
+  /// (sim::tolerated_slowdown).
+  double tolerated_slowdown = 0.0;
+
+  [[nodiscard]] double sla_tolerated_slowdown() const noexcept {
+    return tolerated_slowdown > 0.0 ? tolerated_slowdown
+                                    : sim::tolerated_slowdown(sla_class);
+  }
 
   void validate() const;
 };

@@ -7,6 +7,7 @@
 #include "obs/obs.hpp"
 #include "rm/allocation.hpp"
 #include "sim/job_sim.hpp"
+#include "sim/sla.hpp"
 
 namespace ps::rm {
 
@@ -43,6 +44,21 @@ struct ExcursionTelemetry {
     double budget_watts,
     const std::vector<std::vector<double>>& gpu_floors = {});
 
+/// Priority-ordered variant: the reduction onto `budget_watts` is taken
+/// from the lowest SLA class first — every best_effort job is squeezed
+/// to its floors before a standard job loses a watt, and
+/// latency_critical sheds last. Within one class the squeeze is the same
+/// proportional floor-preserving scale as the classless clamp. With
+/// `job_classes` empty or uniform this is exactly the classless clamp
+/// (bit-identical), so single-tenant callers can pass through freely.
+/// `job_classes`, when non-empty, must have one entry per job.
+[[nodiscard]] PowerAllocation clamp_allocation_to_budget(
+    const PowerAllocation& allocation,
+    const std::vector<std::vector<double>>& host_floors,
+    double budget_watts,
+    const std::vector<std::vector<double>>& gpu_floors,
+    std::span<const sim::SlaClass> job_classes);
+
 /// The resource manager's power-enforcement arm: owns the system-wide
 /// power budget and programs per-host RAPL caps from a policy's
 /// PowerAllocation (SLURM power-management analogue, Section III).
@@ -76,9 +92,13 @@ class SystemPowerManager {
   /// Emergency-clamp path for a revision the current caps no longer fit:
   /// scales `allocation` onto the current budget (floors = each host's
   /// settable minimum) and programs the result. Returns the clamped
-  /// allocation actually applied.
-  PowerAllocation emergency_clamp(std::span<sim::JobSimulation* const> jobs,
-                                  const PowerAllocation& allocation) const;
+  /// allocation actually applied. With a non-empty `job_classes` (one
+  /// per job) the squeeze is priority-ordered: best_effort sheds to its
+  /// floors before standard, latency_critical last.
+  PowerAllocation emergency_clamp(
+      std::span<sim::JobSimulation* const> jobs,
+      const PowerAllocation& allocation,
+      std::span<const sim::SlaClass> job_classes = {}) const;
 
   /// Accounts `elapsed_seconds` of running with `programmed_watts`
   /// total caps against the current budget, opening/extending an

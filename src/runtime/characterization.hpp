@@ -61,6 +61,11 @@ struct JobCharacterization {
   double gpu_min_cap_watts = 0.0;
   double gpu_tdp_watts = 0.0;
 
+  /// Multi-tenant service class: degradation under scarcity sheds
+  /// lower-class jobs toward their floors first. kStandard (the default)
+  /// keeps single-tenant mixes on every legacy code path.
+  sim::SlaClass sla_class = sim::SlaClass::kStandard;
+
   [[nodiscard]] bool has_gpu_domain() const noexcept {
     return !host_gpu_needed_watts.empty();
   }

@@ -41,10 +41,28 @@ FacilityTrace generate_facility_trace(const FacilityTraceParams& params,
   PS_REQUIRE(params.floor_mw < params.mean_power_mw,
              "floor must be below mean power");
 
+  if (params.burst_count > 0) {
+    PS_REQUIRE(params.burst_amplitude_mw >= 0.0,
+               "burst amplitude cannot be negative");
+    PS_REQUIRE(params.burst_duration_days > 0.0,
+               "burst duration must be positive");
+  }
+
   FacilityTrace trace;
   trace.params = params;
   const std::size_t samples = params.days * params.samples_per_day;
   trace.instantaneous_mw.reserve(samples);
+
+  // Flash-crowd pulse centers, drawn up front so the burst count alone
+  // determines how much of the rng stream the feature consumes (zero
+  // bursts leaves the legacy stream untouched).
+  std::vector<double> burst_centers;
+  burst_centers.reserve(params.burst_count);
+  for (std::size_t b = 0; b < params.burst_count; ++b) {
+    burst_centers.push_back(rng.uniform() *
+                            static_cast<double>(params.days));
+  }
+  std::sort(burst_centers.begin(), burst_centers.end());
 
   const double dt_days = 1.0 / static_cast<double>(params.samples_per_day);
   double churn = 0.0;  // OU deviation from the mean, in MW
@@ -60,6 +78,16 @@ FacilityTrace generate_facility_trace(const FacilityTraceParams& params,
     const int weekday = static_cast<int>(std::floor(day)) % 7;
     const double weekend = (weekday >= 5) ? -params.weekend_dip_mw : 0.0;
     double power = params.mean_power_mw + churn + diurnal + weekend;
+    // Triangular flash-crowd pulses: ramp to the peak at the center and
+    // back down over burst_duration_days, clamped (like everything else)
+    // at the facility rating — breakers bound a crowd, not the model.
+    for (double center : burst_centers) {
+      const double distance = std::abs(day - center);
+      const double half_width = 0.5 * params.burst_duration_days;
+      if (distance < half_width) {
+        power += params.burst_amplitude_mw * (1.0 - distance / half_width);
+      }
+    }
     power = std::clamp(power, params.floor_mw, params.peak_rating_mw);
     trace.instantaneous_mw.push_back(power);
   }

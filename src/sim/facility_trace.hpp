@@ -22,6 +22,15 @@ struct FacilityTraceParams {
   double churn_reversion_per_day = 0.35;
   double churn_sigma_mw = 0.16;
   double floor_mw = 0.25;  ///< System services / idle nodes never go below.
+
+  /// Seeded flash-crowd events: `burst_count` triangular demand pulses of
+  /// `burst_amplitude_mw` peak height and `burst_duration_days` width,
+  /// their start times drawn uniformly over the trace. The default of
+  /// zero bursts draws nothing from the rng, so legacy traces stay
+  /// byte-identical sample for sample.
+  std::size_t burst_count = 0;
+  double burst_amplitude_mw = 0.0;
+  double burst_duration_days = 0.05;
 };
 
 /// A generated facility power trace with its 1-day moving average.

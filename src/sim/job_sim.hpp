@@ -5,6 +5,7 @@
 
 #include "hw/node.hpp"
 #include "kernel/workload.hpp"
+#include "sim/sla.hpp"
 #include "util/rng.hpp"
 
 namespace ps::sim {
@@ -153,6 +154,13 @@ class JobSimulation {
   [[nodiscard]] const JobTotals& totals() const noexcept { return totals_; }
   void reset_totals() noexcept { totals_ = {}; }
 
+  /// Multi-tenant service class (default kStandard — single-tenant runs
+  /// never set it, keeping every legacy code path and wire byte
+  /// untouched). Degradation under power scarcity sheds lower classes
+  /// toward their floors first.
+  [[nodiscard]] SlaClass sla_class() const noexcept { return sla_class_; }
+  void set_sla_class(SlaClass sla_class) noexcept { sla_class_ = sla_class; }
+
  private:
   /// The original per-host loop (also handles GPU phases).
   IterationResult run_iteration_scalar();
@@ -169,6 +177,7 @@ class JobSimulation {
   std::vector<bool> failed_;
   std::vector<double> slowdown_;
   bool scalar_iteration_ = false;
+  SlaClass sla_class_ = SlaClass::kStandard;
 
   /// Structure-of-arrays columns, one entry per host, refreshed every
   /// iteration from the memoized node solves (kept as members so the

@@ -1,0 +1,50 @@
+#include "sim/sla.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ps::sim {
+
+std::array<SlaClass, kSlaClassCount> all_sla_classes() noexcept {
+  return {SlaClass::kBestEffort, SlaClass::kStandard,
+          SlaClass::kLatencyCritical};
+}
+
+std::string_view to_string(SlaClass sla_class) noexcept {
+  switch (sla_class) {
+    case SlaClass::kBestEffort:
+      return "best_effort";
+    case SlaClass::kStandard:
+      return "standard";
+    case SlaClass::kLatencyCritical:
+      return "latency_critical";
+  }
+  return "unknown";
+}
+
+SlaClass parse_sla_class(std::string_view name) {
+  for (SlaClass sla_class : all_sla_classes()) {
+    if (name == to_string(sla_class)) {
+      return sla_class;
+    }
+  }
+  throw InvalidArgument("unknown SLA class '" + std::string(name) + "'");
+}
+
+double tolerated_slowdown(SlaClass sla_class) noexcept {
+  // End-to-end (wait + contention) slowdown bounds. Latency-critical
+  // work buys a tight bound, best-effort trades its bound for price:
+  // it is the class admission queues and degradation sheds first.
+  switch (sla_class) {
+    case SlaClass::kBestEffort:
+      return 12.0;
+    case SlaClass::kStandard:
+      return 4.0;
+    case SlaClass::kLatencyCritical:
+      return 2.0;
+  }
+  return 4.0;
+}
+
+}  // namespace ps::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ps::sim {
+
+/// Multi-tenant service classes, ordered by shed priority: under power
+/// scarcity the stack squeezes `kBestEffort` toward its floors first and
+/// `kLatencyCritical` last. The numeric value is the priority rank
+/// (higher rank = shed later), so comparisons read naturally:
+/// `a < b` means a is shed before b.
+enum class SlaClass {
+  kBestEffort = 0,
+  kStandard = 1,
+  kLatencyCritical = 2,
+};
+
+inline constexpr std::size_t kSlaClassCount = 3;
+
+/// All classes in shed order (best_effort first).
+[[nodiscard]] std::array<SlaClass, kSlaClassCount> all_sla_classes() noexcept;
+
+/// Stable wire/CSV name: "best_effort" / "standard" / "latency_critical".
+[[nodiscard]] std::string_view to_string(SlaClass sla_class) noexcept;
+
+/// Inverse of to_string. Throws ps::InvalidArgument on unknown names.
+[[nodiscard]] SlaClass parse_sla_class(std::string_view name);
+
+/// The class's tolerated end-to-end slowdown SLA: a job violates its SLA
+/// when (finish − arrival) exceeds `tolerated_slowdown(class)` times its
+/// ideal (uncontended, uncapped) duration. Queue wait counts against the
+/// SLA — that is what makes admission control part of the SLA story.
+[[nodiscard]] double tolerated_slowdown(SlaClass sla_class) noexcept;
+
+/// Priority rank for shed ordering (0 sheds first).
+[[nodiscard]] constexpr std::size_t sla_rank(SlaClass sla_class) noexcept {
+  return static_cast<std::size_t>(sla_class);
+}
+
+}  // namespace ps::sim

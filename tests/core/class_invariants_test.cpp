@@ -1,0 +1,110 @@
+// Multi-tenant invariants: per-class budget conservation (degradation
+// re-divides watts, never mints them) and no class inversion (a lower
+// class never holds discretionary watts a starved higher class needs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "util/error.hpp"
+
+namespace ps::core::invariants {
+namespace {
+
+class ClassInvariantsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    set_mode(Mode::kFatal);
+  }
+  void TearDown() override {
+    set_mode(Mode::kCount);
+    reset();
+  }
+};
+
+ClassAllocationView view(std::size_t rank, double allocated, double floor,
+                         double guaranteed, double tolerance = 0.5) {
+  ClassAllocationView v;
+  v.rank = rank;
+  v.allocated_watts = allocated;
+  v.floor_watts = floor;
+  v.guaranteed_watts = guaranteed;
+  v.tolerance_watts = tolerance;
+  return v;
+}
+
+TEST_F(ClassInvariantsTest, ConservationHoldsWhenSumsMatch) {
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 220.0, 152.0, 220.0), view(0, 180.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_class_budget_conserved(jobs, 400.0, 400.0, "test"));
+  EXPECT_EQ(stats().violations, 0u);
+}
+
+TEST_F(ClassInvariantsTest, ConservationTripsOnMintedWatts) {
+  // The class sums claim 30 W more than the programmed total: minted.
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 230.0, 152.0, 220.0), view(0, 200.0, 152.0, 220.0)};
+  EXPECT_THROW(check_class_budget_conserved(jobs, 400.0, 400.0, "test"),
+               ps::InvalidState);
+  EXPECT_EQ(stats().violations, 1u);
+  EXPECT_NE(last_violation().find("test"), std::string::npos);
+}
+
+TEST_F(ClassInvariantsTest, ConservationTripsWhenTotalExceedsBudget) {
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 300.0, 152.0, 300.0), view(0, 300.0, 152.0, 300.0)};
+  EXPECT_THROW(check_class_budget_conserved(jobs, 600.0, 400.0, "test"),
+               ps::InvalidState);
+}
+
+TEST_F(ClassInvariantsTest, FloorsMayExceedTheBudget) {
+  // Floors are physical: when they alone exceed the budget, programming
+  // the floors is correct, not a violation.
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 152.0, 152.0, 220.0), view(0, 152.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_class_budget_conserved(jobs, 304.0, 200.0, "test"));
+  EXPECT_EQ(stats().violations, 0u);
+}
+
+TEST_F(ClassInvariantsTest, NoInversionWhenGuaranteesAreMet) {
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 220.0, 152.0, 220.0), view(0, 219.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_no_class_inversion(jobs, "test"));
+  EXPECT_EQ(stats().violations, 0u);
+}
+
+TEST_F(ClassInvariantsTest, StarvedHighClassWithLowClassAtFloorIsLegal) {
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 180.0, 152.0, 220.0), view(0, 152.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_no_class_inversion(jobs, "test"));
+}
+
+TEST_F(ClassInvariantsTest, InversionTripsWhenLowClassHoldsDiscretionary) {
+  // The rank-2 job is starved (180 < 220) while the rank-0 job sits
+  // 28 W above its floor: those watts belong to the higher class.
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 180.0, 152.0, 220.0), view(0, 180.0, 152.0, 220.0)};
+  EXPECT_THROW(check_no_class_inversion(jobs, "test"), ps::InvalidState);
+  EXPECT_NE(last_violation().find("inversion"), std::string::npos);
+}
+
+TEST_F(ClassInvariantsTest, EqualRankJobsNeverInvertEachOther) {
+  // Proportional sharing within one class starves both a little; no
+  // cross-class relationship exists, so nothing trips.
+  const std::vector<ClassAllocationView> jobs = {
+      view(1, 180.0, 152.0, 220.0), view(1, 200.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_no_class_inversion(jobs, "test"));
+  EXPECT_EQ(stats().violations, 0u);
+}
+
+TEST_F(ClassInvariantsTest, CountModeRecordsInsteadOfThrowing) {
+  set_mode(Mode::kCount);
+  const std::vector<ClassAllocationView> jobs = {
+      view(2, 180.0, 152.0, 220.0), view(0, 180.0, 152.0, 220.0)};
+  EXPECT_NO_THROW(check_no_class_inversion(jobs, "test"));
+  EXPECT_EQ(stats().violations, 1u);
+}
+
+}  // namespace
+}  // namespace ps::core::invariants

@@ -1,0 +1,92 @@
+// Wire discipline of the multi-tenant sla_class extension: the class
+// rides as an optional trailing line, present only in its non-standard
+// form — every single-tenant sample keeps its pre-SLA bytes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/endpoint.hpp"
+#include "sim/cluster.hpp"
+#include "sim/sla.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+SampleMessage sample_message() {
+  SampleMessage message;
+  message.sequence = 7;
+  message.job_name = "lulesh-512";
+  message.min_settable_cap_watts = 152.0;
+  message.host_observed_watts = {214.125, 220.0};
+  message.host_needed_watts = {152.0, 195.75};
+  return message;
+}
+
+constexpr const char* kLegacySampleWire =
+    "powerstack-sample v1\nsequence 1\njob x\nmin_cap 152\n"
+    "observed 200\nneeded 180\n";
+
+TEST(EndpointSlaTest, NonStandardClassRoundTrips) {
+  for (const sim::SlaClass sla_class :
+       {sim::SlaClass::kLatencyCritical, sim::SlaClass::kBestEffort}) {
+    SampleMessage original = sample_message();
+    original.sla_class = sla_class;
+    const std::string wire = serialize(original);
+    EXPECT_NE(wire.find(std::string("sla_class ") +
+                        std::string(sim::to_string(sla_class))),
+              std::string::npos);
+    EXPECT_EQ(parse_sample_message(wire), original);
+  }
+}
+
+TEST(EndpointSlaTest, StandardClassKeepsThePreSlaBytes) {
+  // The default class must not appear on the wire at all: a pre-SLA
+  // reader parses the bytes, and a pre-SLA writer's bytes parse here.
+  const std::string wire = serialize(sample_message());
+  EXPECT_EQ(wire.find("sla_class"), std::string::npos);
+  const SampleMessage parsed = parse_sample_message(kLegacySampleWire);
+  EXPECT_EQ(parsed.sla_class, sim::SlaClass::kStandard);
+}
+
+TEST(EndpointSlaTest, ExplicitStandardLineRejected) {
+  // "standard" serializes as the line's absence; an explicit form is a
+  // writer bug and must not parse (one wire form per message).
+  EXPECT_THROW(static_cast<void>(parse_sample_message(
+                   std::string(kLegacySampleWire) + "sla_class standard\n")),
+               ps::InvalidArgument);
+}
+
+TEST(EndpointSlaTest, UnknownClassNameRejected) {
+  EXPECT_THROW(static_cast<void>(parse_sample_message(
+                   std::string(kLegacySampleWire) + "sla_class gold\n")),
+               ps::InvalidArgument);
+}
+
+TEST(EndpointSlaTest, MisplacedOrRepeatedTrailerRejected) {
+  EXPECT_THROW(static_cast<void>(parse_sample_message(
+                   std::string(kLegacySampleWire) +
+                   "sla_class best_effort\nsla_class best_effort\n")),
+               ps::InvalidArgument);
+  EXPECT_THROW(
+      static_cast<void>(parse_sample_message(
+          std::string(kLegacySampleWire) + "budget_epoch 3\n")),
+      ps::InvalidArgument);
+}
+
+TEST(EndpointSlaTest, MakeSampleAndContextCarryTheClass) {
+  sim::Cluster cluster(2);
+  sim::JobSimulation job("be-job", {&cluster.node(0), &cluster.node(1)},
+                         kernel::WorkloadConfig{});
+  job.set_sla_class(sim::SlaClass::kBestEffort);
+  const SampleMessage sample = make_sample(job, 1);
+  EXPECT_EQ(sample.sla_class, sim::SlaClass::kBestEffort);
+  const PolicyContext context = context_from_samples(
+      1000.0, cluster.node(0).tdp(), cluster.node(0).params().dram_watts,
+      {sample});
+  ASSERT_EQ(context.jobs.size(), 1u);
+  EXPECT_EQ(context.jobs[0].sla_class, sim::SlaClass::kBestEffort);
+}
+
+}  // namespace
+}  // namespace ps::core

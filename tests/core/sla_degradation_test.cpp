@@ -1,0 +1,112 @@
+// The shared degradation step every consumer (loop, daemon, facility)
+// runs on a policy output: identity for single-class contexts, class-
+// ordered shedding for mixed ones, and the class invariants checked on
+// whatever it returns.
+#include "core/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/invariants.hpp"
+#include "core/policy.hpp"
+#include "sim/sla.hpp"
+#include "util/error.hpp"
+
+namespace ps::core {
+namespace {
+
+using sim::SlaClass;
+
+runtime::JobCharacterization job(SlaClass sla_class, std::size_t hosts,
+                                 double needed_watts) {
+  runtime::JobCharacterization characterization;
+  characterization.sla_class = sla_class;
+  characterization.host_count = hosts;
+  characterization.min_settable_cap_watts = 152.0;
+  characterization.balancer.host_needed_power_watts.assign(hosts,
+                                                           needed_watts);
+  return characterization;
+}
+
+PolicyContext context_with(std::vector<runtime::JobCharacterization> jobs,
+                           double budget_watts) {
+  PolicyContext context;
+  context.system_budget_watts = budget_watts;
+  context.jobs = std::move(jobs);
+  return context;
+}
+
+TEST(ApplySlaDegradationTest, SingleClassContextIsBitIdentical) {
+  // Even a wildly over-budget allocation passes through untouched when
+  // every job shares one class: degradation is a multi-tenant concept,
+  // and legacy single-tenant paths must not change by a bit.
+  const PolicyContext context = context_with(
+      {job(SlaClass::kStandard, 1, 220.0), job(SlaClass::kStandard, 1, 220.0)},
+      100.0);
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps = {{230.0}, {240.0}};
+  const rm::PowerAllocation out =
+      apply_sla_degradation(context, allocation, 100.0, "test");
+  ASSERT_EQ(out.job_host_caps, allocation.job_host_caps);
+}
+
+TEST(ApplySlaDegradationTest, MixedClassesShedBestEffortFirst) {
+  const PolicyContext context = context_with(
+      {job(SlaClass::kLatencyCritical, 1, 220.0),
+       job(SlaClass::kBestEffort, 1, 220.0)},
+      400.0);
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps = {{220.0}, {220.0}};
+  // Budget 400: floors 304, the 96 W left funds latency_critical's need
+  // above floor (68) in full; best_effort gets the remaining 28.
+  const rm::PowerAllocation out =
+      apply_sla_degradation(context, allocation, 400.0, "test");
+  EXPECT_DOUBLE_EQ(out.job_host_caps[0][0], 220.0);
+  EXPECT_DOUBLE_EQ(out.job_host_caps[1][0], 180.0);
+}
+
+TEST(ApplySlaDegradationTest, JobCountMismatchRejected) {
+  const PolicyContext context =
+      context_with({job(SlaClass::kStandard, 1, 200.0)}, 400.0);
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0}, {200.0}};
+  EXPECT_THROW(static_cast<void>(
+                   apply_sla_degradation(context, allocation, 400.0, "test")),
+               ps::InvalidArgument);
+}
+
+TEST(ApplySlaDegradationTest, ClassInvariantsRunCleanOnTheOutput) {
+  invariants::reset();
+  invariants::set_mode(invariants::Mode::kFatal);
+  const PolicyContext context = context_with(
+      {job(SlaClass::kLatencyCritical, 2, 240.0),
+       job(SlaClass::kStandard, 1, 240.0),
+       job(SlaClass::kBestEffort, 1, 240.0)},
+      700.0);
+  rm::PowerAllocation allocation;
+  allocation.job_host_caps = {{240.0, 240.0}, {240.0}, {240.0}};
+  for (const double budget : {100.0, 650.0, 700.0, 900.0, 2000.0}) {
+    EXPECT_NO_THROW(static_cast<void>(
+        apply_sla_degradation(context, allocation, budget, "test")));
+  }
+  const invariants::Stats stats = invariants::stats();
+  EXPECT_GT(stats.checks, 0u);
+  EXPECT_EQ(stats.violations, 0u);
+  invariants::set_mode(invariants::Mode::kCount);
+  invariants::reset();
+}
+
+TEST(ApplySlaDegradationTest, HasMultipleSlaClassesDetectsMixes) {
+  EXPECT_FALSE(has_multiple_sla_classes(context_with(
+      {job(SlaClass::kBestEffort, 1, 200.0),
+       job(SlaClass::kBestEffort, 1, 200.0)},
+      400.0)));
+  EXPECT_TRUE(has_multiple_sla_classes(context_with(
+      {job(SlaClass::kBestEffort, 1, 200.0),
+       job(SlaClass::kStandard, 1, 200.0)},
+      400.0)));
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,122 @@
+// CSV round-trip of the SLA columns: legacy 7-column files parse
+// unchanged and re-emit byte-identical; multi-tenant records ride the
+// extended 9-column form and survive a full write -> read -> write loop.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "facility/facility_io.hpp"
+#include "util/error.hpp"
+
+namespace ps::facility {
+namespace {
+
+FacilityJobRecord record(const std::string& name, double arrival,
+                         double start, double finish,
+                         sim::SlaClass sla_class = sim::SlaClass::kStandard,
+                         bool violated = false) {
+  FacilityJobRecord job;
+  job.name = name;
+  job.arrival_hours = arrival;
+  job.start_hours = start;
+  job.finish_hours = finish;
+  job.energy_joules = 1234.5;
+  job.restarts = 1;
+  job.sla_class = sla_class;
+  job.sla_violated = violated;
+  return job;
+}
+
+std::string to_csv(const std::vector<FacilityJobRecord>& jobs) {
+  std::ostringstream out;
+  write_jobs_csv(out, jobs);
+  return out.str();
+}
+
+TEST(FacilityIoSlaTest, LegacyCsvParsesAndReEmitsByteIdentical) {
+  // Bytes a pre-SLA writer produced: must parse into all-standard
+  // records and serialize back without a byte of drift.
+  const std::string legacy =
+      "job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,"
+      "energy_joules\n"
+      "trace-job-0,0.250,0.500,2.000,0.250,0,5000.0\n"
+      "trace-job-1,1.125,,,,1,0.0\n";
+  std::istringstream in(legacy);
+  const std::vector<FacilityJobRecord> jobs = read_jobs_csv(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].sla_class, sim::SlaClass::kStandard);
+  EXPECT_FALSE(jobs[0].sla_violated);
+  EXPECT_FALSE(jobs[1].started());
+  EXPECT_EQ(to_csv(jobs), legacy);
+}
+
+TEST(FacilityIoSlaTest, SingleClassRecordsStayOnTheLegacyForm) {
+  const std::string csv = to_csv({record("a", 0.0, 1.0, 2.0)});
+  EXPECT_EQ(csv.find("sla_class"), std::string::npos);
+}
+
+TEST(FacilityIoSlaTest, MultiTenantRecordsRoundTripTheExtendedForm) {
+  std::vector<FacilityJobRecord> jobs = {
+      record("lc", 0.0, 0.5, 3.0, sim::SlaClass::kLatencyCritical, true),
+      record("std", 0.25, 1.0, 4.0),
+      record("be", 0.5, -1.0, -1.0, sim::SlaClass::kBestEffort, true),
+  };
+  jobs[2].rejected = true;
+  const std::string first = to_csv(jobs);
+  EXPECT_NE(first.find(",sla_class,sla_violated"), std::string::npos);
+  EXPECT_NE(first.find("latency_critical,1"), std::string::npos);
+
+  std::istringstream in(first);
+  const std::vector<FacilityJobRecord> parsed = read_jobs_csv(in);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0].sla_class, sim::SlaClass::kLatencyCritical);
+  EXPECT_TRUE(parsed[0].sla_violated);
+  EXPECT_EQ(parsed[1].sla_class, sim::SlaClass::kStandard);
+  EXPECT_FALSE(parsed[1].sla_violated);
+  EXPECT_EQ(parsed[2].sla_class, sim::SlaClass::kBestEffort);
+  EXPECT_FALSE(parsed[2].started());
+  // Second trip is byte-identical to the first.
+  EXPECT_EQ(to_csv(parsed), first);
+}
+
+TEST(FacilityIoSlaTest, AViolationAloneForcesTheExtendedForm) {
+  // A standard-class job that violated its SLA still needs the columns:
+  // dropping the flag silently would lie about the run.
+  const std::string csv = to_csv(
+      {record("std", 0.0, 1.0, 20.0, sim::SlaClass::kStandard, true)});
+  EXPECT_NE(csv.find(",standard,1\n"), std::string::npos);
+}
+
+TEST(FacilityIoSlaTest, MalformedRowsThrow) {
+  const std::string header_legacy =
+      "job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,"
+      "energy_joules\n";
+  const std::string header_sla =
+      "job,arrival_hours,start_hours,finish_hours,wait_hours,restarts,"
+      "energy_joules,sla_class,sla_violated\n";
+  const std::vector<std::string> bad = {
+      "nonsense header\nx,0,0,0,0,0,0\n",
+      // Wrong arity for the declared header.
+      header_legacy + "a,0.0,0.5,1.0,0.5,0,10.0,standard,0\n",
+      header_sla + "a,0.0,0.5,1.0,0.5,0,10.0\n",
+      // wait_hours present without start_hours (and vice versa).
+      header_legacy + "a,0.0,,1.0,0.5,0,10.0\n",
+      header_legacy + "a,0.0,0.5,1.0,,0,10.0\n",
+      // Unknown class name / non-boolean violation flag.
+      header_sla + "a,0.0,0.5,1.0,0.5,0,10.0,gold,0\n",
+      header_sla + "a,0.0,0.5,1.0,0.5,0,10.0,standard,2\n",
+      // Non-numeric numerics.
+      header_legacy + "a,zero,0.5,1.0,0.5,0,10.0\n",
+      header_legacy + "a,0.0,0.5,1.0,0.5,-1,10.0\n",
+  };
+  for (const std::string& csv : bad) {
+    std::istringstream in(csv);
+    EXPECT_THROW(static_cast<void>(read_jobs_csv(in)), ps::InvalidArgument)
+        << csv;
+  }
+}
+
+}  // namespace
+}  // namespace ps::facility

@@ -171,8 +171,10 @@ TEST(FacilityManagerTest, InvalidOptionsRejected) {
   bad.horizon_hours = 0.01;
   EXPECT_THROW(FacilityManager(cluster, bad), ps::InvalidArgument);
   util::Rng rng(1);
+  // A zero rate is a valid empty trace (trace_hardening_test.cpp); only
+  // a genuinely malformed rate is refused.
   JobTraceOptions bad_trace = small_trace_options();
-  bad_trace.arrivals_per_hour = 0.0;
+  bad_trace.arrivals_per_hour = -1.0;
   EXPECT_THROW(static_cast<void>(generate_job_trace(rng, bad_trace)),
                ps::InvalidArgument);
   bad_trace = small_trace_options();

@@ -1,0 +1,202 @@
+// Degenerate-parameter semantics of generate_job_trace, table-driven:
+// "no demand" is a valid empty trace, malformed knobs throw, and the
+// multi-tenant / time-varying extensions leave the legacy rng stream
+// untouched when disabled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "facility/facility_manager.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::facility {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(TraceHardeningTest, MalformedOptionsThrow) {
+  struct Case {
+    std::string name;
+    std::function<void(JobTraceOptions&)> mutate;
+  };
+  const std::vector<Case> cases = {
+      {"negative arrival rate",
+       [](JobTraceOptions& o) { o.arrivals_per_hour = -1.0; }},
+      {"NaN arrival rate",
+       [](JobTraceOptions& o) { o.arrivals_per_hour = kNan; }},
+      {"infinite arrival rate",
+       [](JobTraceOptions& o) { o.arrivals_per_hour = kInf; }},
+      {"negative horizon",
+       [](JobTraceOptions& o) { o.horizon_hours = -24.0; }},
+      {"NaN horizon", [](JobTraceOptions& o) { o.horizon_hours = kNan; }},
+      {"zero min nodes", [](JobTraceOptions& o) { o.min_nodes = 0; }},
+      {"inverted node range",
+       [](JobTraceOptions& o) {
+         o.min_nodes = 10;
+         o.max_nodes = 5;
+       }},
+      {"zero-duration jobs",
+       [](JobTraceOptions& o) { o.min_duration_hours = 0.0; }},
+      {"negative duration",
+       [](JobTraceOptions& o) { o.min_duration_hours = -1.0; }},
+      {"inverted duration range",
+       [](JobTraceOptions& o) {
+         o.min_duration_hours = 4.0;
+         o.max_duration_hours = 2.0;
+       }},
+      {"NaN duration",
+       [](JobTraceOptions& o) { o.max_duration_hours = kNan; }},
+      {"zero iteration time",
+       [](JobTraceOptions& o) { o.nominal_iteration_seconds = 0.0; }},
+      {"negative class fraction",
+       [](JobTraceOptions& o) { o.best_effort_fraction = -0.1; }},
+      {"class fractions above one",
+       [](JobTraceOptions& o) {
+         o.latency_critical_fraction = 0.6;
+         o.best_effort_fraction = 0.6;
+       }},
+      {"negative diurnal amplitude",
+       [](JobTraceOptions& o) { o.diurnal_amplitude = -0.2; }},
+      {"diurnal amplitude above one",
+       [](JobTraceOptions& o) { o.diurnal_amplitude = 1.5; }},
+      {"negative burst multiplier",
+       [](JobTraceOptions& o) { o.burst_rate_multiplier = -2.0; }},
+      {"zero burst duration",
+       [](JobTraceOptions& o) {
+         o.burst_count = 1;
+         o.burst_duration_hours = 0.0;
+       }},
+  };
+  for (const Case& test_case : cases) {
+    util::Rng rng(1);
+    JobTraceOptions options;
+    test_case.mutate(options);
+    EXPECT_THROW(static_cast<void>(generate_job_trace(rng, options)),
+                 ps::InvalidArgument)
+        << test_case.name;
+  }
+}
+
+TEST(TraceHardeningTest, NoDemandIsAValidEmptyTrace) {
+  util::Rng rng(1);
+  JobTraceOptions zero_rate;
+  zero_rate.arrivals_per_hour = 0.0;
+  EXPECT_TRUE(generate_job_trace(rng, zero_rate).empty());
+  JobTraceOptions zero_horizon;
+  zero_horizon.horizon_hours = 0.0;
+  EXPECT_TRUE(generate_job_trace(rng, zero_horizon).empty());
+}
+
+TEST(TraceHardeningTest, DisabledExtensionsKeepTheLegacyStream) {
+  // The class-mix and flash-crowd knobs must not consume rng draws when
+  // off: a pre-SLA caller's trace stays identical job for job.
+  util::Rng legacy_rng(42);
+  const std::vector<FacilityJobSpec> legacy =
+      generate_job_trace(legacy_rng, JobTraceOptions{});
+
+  util::Rng knob_rng(42);
+  JobTraceOptions knobs;
+  knobs.burst_count = 5;               // No multiplier: bursts are inert.
+  knobs.burst_rate_multiplier = 0.0;
+  const std::vector<FacilityJobSpec> with_knobs =
+      generate_job_trace(knob_rng, knobs);
+
+  ASSERT_EQ(with_knobs.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_knobs[i].arrival_hours, legacy[i].arrival_hours);
+    EXPECT_EQ(with_knobs[i].request.node_count,
+              legacy[i].request.node_count);
+    EXPECT_EQ(with_knobs[i].iterations, legacy[i].iterations);
+    EXPECT_EQ(with_knobs[i].request.sla_class, sim::SlaClass::kStandard);
+  }
+}
+
+TEST(TraceHardeningTest, ClassFractionsShapeTheMix) {
+  util::Rng rng(7);
+  JobTraceOptions options;
+  options.horizon_hours = 24.0;
+  options.arrivals_per_hour = 60.0;
+  options.latency_critical_fraction = 0.3;
+  options.best_effort_fraction = 0.5;
+  const std::vector<FacilityJobSpec> trace =
+      generate_job_trace(rng, options);
+  ASSERT_GT(trace.size(), 800u);
+  std::size_t latency_critical = 0;
+  std::size_t best_effort = 0;
+  for (const FacilityJobSpec& spec : trace) {
+    latency_critical +=
+        spec.request.sla_class == sim::SlaClass::kLatencyCritical;
+    best_effort += spec.request.sla_class == sim::SlaClass::kBestEffort;
+  }
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(static_cast<double>(latency_critical) / n, 0.3, 0.06);
+  EXPECT_NEAR(static_cast<double>(best_effort) / n, 0.5, 0.06);
+}
+
+TEST(TraceHardeningTest, DiurnalAmplitudeConcentratesArrivalsAtNoon) {
+  util::Rng rng(3);
+  JobTraceOptions options;
+  options.horizon_hours = 24.0 * 10.0;
+  options.arrivals_per_hour = 20.0;
+  options.diurnal_amplitude = 1.0;  // Midnight rate 0, noon rate 2x.
+  const std::vector<FacilityJobSpec> trace =
+      generate_job_trace(rng, options);
+  ASSERT_GT(trace.size(), 1000u);
+  std::size_t day = 0;
+  std::size_t night = 0;
+  for (const FacilityJobSpec& spec : trace) {
+    const double hour_of_day = std::fmod(spec.arrival_hours, 24.0);
+    (hour_of_day >= 6.0 && hour_of_day < 18.0 ? day : night) += 1;
+  }
+  // With full modulation the noon-centered half-day carries the large
+  // majority of arrivals (analytically ~82%).
+  EXPECT_GT(static_cast<double>(day),
+            2.5 * static_cast<double>(night));
+}
+
+TEST(TraceHardeningTest, FlashCrowdsAddArrivalsAndStayDeterministic) {
+  JobTraceOptions options;
+  options.horizon_hours = 100.0;
+  options.arrivals_per_hour = 5.0;
+  options.burst_count = 3;
+  options.burst_rate_multiplier = 10.0;
+  options.burst_duration_hours = 4.0;
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const std::vector<FacilityJobSpec> first =
+      generate_job_trace(rng_a, options);
+  const std::vector<FacilityJobSpec> second =
+      generate_job_trace(rng_b, options);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].arrival_hours, second[i].arrival_hours);
+  }
+  // Arrivals are time-ordered, inside the horizon, and each carries the
+  // SLA bookkeeping the facility run needs.
+  double last = 0.0;
+  for (const FacilityJobSpec& spec : first) {
+    EXPECT_GE(spec.arrival_hours, last);
+    EXPECT_LT(spec.arrival_hours, options.horizon_hours);
+    EXPECT_GT(spec.ideal_hours, 0.0);
+    EXPECT_NEAR(spec.estimated_hours, spec.ideal_hours * 1.2, 1e-12);
+    last = spec.arrival_hours;
+  }
+  // Three 4-hour pulses at 10x the base rate roughly double the expected
+  // 500 arrivals; well over the homogeneous count even at 3 sigma.
+  util::Rng rng_c(9);
+  JobTraceOptions homogeneous = options;
+  homogeneous.burst_count = 0;
+  homogeneous.burst_rate_multiplier = 0.0;
+  const std::vector<FacilityJobSpec> base =
+      generate_job_trace(rng_c, homogeneous);
+  EXPECT_GT(first.size(), base.size() + 50);
+}
+
+}  // namespace
+}  // namespace ps::facility

@@ -1,0 +1,191 @@
+// Power-admission gate: worst-case-TDP vs measured-draw reservations,
+// oversubscription ratios, best_effort rejections, and the class-major
+// drain order. The default (kNodes) options must behave exactly like the
+// pre-multi-tenant FIFO scheduler.
+#include <gtest/gtest.h>
+
+#include "rm/job.hpp"
+#include "rm/scheduler.hpp"
+#include "sim/sla.hpp"
+#include "util/error.hpp"
+
+namespace ps::rm {
+namespace {
+
+using sim::SlaClass;
+
+JobRequest job(const std::string& name, std::size_t nodes,
+               SlaClass sla_class = SlaClass::kStandard) {
+  JobRequest request;
+  request.name = name;
+  request.node_count = nodes;
+  request.sla_class = sla_class;
+  return request;
+}
+
+AdmissionOptions power_gate(AdmissionBasis basis, double budget,
+                            double ratio = 1.0, double tdp = 250.0) {
+  AdmissionOptions admission;
+  admission.basis = basis;
+  admission.budget_watts = budget;
+  admission.oversubscription_ratio = ratio;
+  admission.node_tdp_watts = tdp;
+  return admission;
+}
+
+TEST(AdmissionTest, NodesBasisIgnoresPowerEntirely) {
+  Scheduler scheduler(4);  // Default options: legacy node-count gate.
+  scheduler.submit(job("a", 4));
+  const auto grants = scheduler.start_pending();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_DOUBLE_EQ(scheduler.reserved_watts(), 0.0);
+  EXPECT_EQ(scheduler.admission_rejections(), 0u);
+}
+
+TEST(AdmissionTest, PowerBasisRequiresBudgetAndTdp) {
+  AdmissionOptions admission;
+  admission.basis = AdmissionBasis::kWorstCaseTdp;
+  EXPECT_THROW(Scheduler(4, admission), InvalidArgument);
+  admission.budget_watts = 1000.0;
+  EXPECT_THROW(Scheduler(4, admission), InvalidArgument);
+  admission.node_tdp_watts = 250.0;
+  admission.oversubscription_ratio = 0.5;
+  EXPECT_THROW(Scheduler(4, admission), InvalidArgument);
+}
+
+TEST(AdmissionTest, WorstCaseTdpGateHoldsJobsAtTheBudget) {
+  // Budget 1000 W at 250 W/node admits exactly four nodes' worth.
+  Scheduler scheduler(8, power_gate(AdmissionBasis::kWorstCaseTdp, 1000.0));
+  scheduler.submit(job("a", 2));
+  scheduler.submit(job("b", 2));
+  scheduler.submit(job("c", 1));
+  EXPECT_EQ(scheduler.start_pending().size(), 2u);
+  EXPECT_DOUBLE_EQ(scheduler.reserved_watts(), 1000.0);
+  // Nodes are free (8 - 4 = 4) but the power gate blocks "c".
+  EXPECT_EQ(scheduler.queued_count(), 1u);
+  EXPECT_EQ(scheduler.free_node_count(), 4u);
+
+  scheduler.complete("a");
+  EXPECT_DOUBLE_EQ(scheduler.reserved_watts(), 500.0);
+  EXPECT_EQ(scheduler.start_pending().size(), 1u);
+  EXPECT_TRUE(scheduler.is_running("c"));
+  EXPECT_DOUBLE_EQ(scheduler.reserved_watts(), 750.0);
+}
+
+TEST(AdmissionTest, MeasuredDrawFallsBackToTdpUntilTelemetryArrives) {
+  Scheduler scheduler(8, power_gate(AdmissionBasis::kMeasuredDraw, 1000.0));
+  EXPECT_DOUBLE_EQ(scheduler.estimated_node_watts(), 250.0);
+  scheduler.submit(job("a", 5));
+  EXPECT_EQ(scheduler.start_pending().size(), 0u);  // 1250 > 1000.
+}
+
+TEST(AdmissionTest, MeasuredDrawAdmitsWhatWorstCaseRefuses) {
+  // Five 1-node jobs against a 1000 W budget: worst-case TDP (250 W) fits
+  // four; the measured 200 W/node draw fits all five.
+  Scheduler worst(8, power_gate(AdmissionBasis::kWorstCaseTdp, 1000.0));
+  Scheduler measured(8, power_gate(AdmissionBasis::kMeasuredDraw, 1000.0));
+  measured.observe_draw(400.0, 2);  // 200 W per busy node.
+  EXPECT_DOUBLE_EQ(measured.estimated_node_watts(), 200.0);
+  for (const auto* name : {"a", "b", "c", "d", "e"}) {
+    worst.submit(job(name, 1));
+    measured.submit(job(name, 1));
+  }
+  EXPECT_EQ(worst.start_pending().size(), 4u);
+  EXPECT_EQ(measured.start_pending().size(), 5u);
+  EXPECT_DOUBLE_EQ(measured.reserved_watts(), 1000.0);
+}
+
+TEST(AdmissionTest, ObservedDrawIsSmoothedByTheEwma) {
+  Scheduler scheduler(8, power_gate(AdmissionBasis::kMeasuredDraw, 1000.0));
+  scheduler.observe_draw(200.0, 1);  // First sample seeds the estimate.
+  scheduler.observe_draw(300.0, 1);  // alpha = 0.3.
+  EXPECT_DOUBLE_EQ(scheduler.estimated_node_watts(),
+                   0.3 * 300.0 + 0.7 * 200.0);
+  scheduler.observe_draw(123.0, 0);  // No busy nodes: ignored.
+  EXPECT_DOUBLE_EQ(scheduler.estimated_node_watts(), 230.0);
+  EXPECT_THROW(scheduler.observe_draw(-1.0, 1), InvalidArgument);
+}
+
+TEST(AdmissionTest, OversubscriptionRatioStretchesTheBudget) {
+  // ratio 1.3 admits 1300 W of worst-case reservations on a 1000 W budget.
+  Scheduler scheduler(8,
+                      power_gate(AdmissionBasis::kWorstCaseTdp, 1000.0, 1.3));
+  for (const auto* name : {"a", "b", "c", "d", "e", "f"}) {
+    scheduler.submit(job(name, 1));
+  }
+  EXPECT_EQ(scheduler.start_pending().size(), 5u);  // 1250 <= 1300 < 1500.
+  EXPECT_DOUBLE_EQ(scheduler.reserved_watts(), 1250.0);
+}
+
+TEST(AdmissionTest, BestEffortQueueLimitRejects) {
+  AdmissionOptions admission;  // kNodes: the limit applies on every basis.
+  admission.best_effort_queue_limit = 2;
+  Scheduler scheduler(2, admission);
+  scheduler.submit(job("running", 2));
+  ASSERT_EQ(scheduler.start_pending().size(), 1u);
+  EXPECT_TRUE(scheduler.try_submit(job("be1", 1, SlaClass::kBestEffort)));
+  EXPECT_TRUE(scheduler.try_submit(job("be2", 1, SlaClass::kBestEffort)));
+  EXPECT_FALSE(scheduler.try_submit(job("be3", 1, SlaClass::kBestEffort)));
+  EXPECT_EQ(scheduler.admission_rejections(), 1u);
+  // Higher classes always queue: they paid for the wait.
+  EXPECT_TRUE(scheduler.try_submit(job("std", 1)));
+  EXPECT_TRUE(
+      scheduler.try_submit(job("lc", 1, SlaClass::kLatencyCritical)));
+  EXPECT_EQ(scheduler.queued_count(), 4u);
+}
+
+TEST(AdmissionTest, BestEffortThatCanNeverFitIsRejectedNotQueued) {
+  // 6 nodes at 250 W worst case = 1500 W > 1.0 × 1000 W: this job can
+  // never pass the gate, so queueing it would starve it forever.
+  Scheduler scheduler(8, power_gate(AdmissionBasis::kWorstCaseTdp, 1000.0));
+  EXPECT_FALSE(scheduler.try_submit(job("be", 6, SlaClass::kBestEffort)));
+  EXPECT_EQ(scheduler.admission_rejections(), 1u);
+  EXPECT_EQ(scheduler.queued_count(), 0u);
+  // The same job at a higher class queues (and waits on the gate).
+  EXPECT_TRUE(scheduler.try_submit(job("std", 6)));
+  EXPECT_EQ(scheduler.queued_count(), 1u);
+}
+
+TEST(AdmissionTest, SubmitThrowsWhereTrySubmitReturnsFalse) {
+  AdmissionOptions admission;
+  admission.best_effort_queue_limit = 1;
+  Scheduler scheduler(1, admission);
+  scheduler.submit(job("running", 1));
+  ASSERT_EQ(scheduler.start_pending().size(), 1u);
+  scheduler.submit(job("be1", 1, SlaClass::kBestEffort));
+  EXPECT_THROW(scheduler.submit(job("be2", 1, SlaClass::kBestEffort)),
+               InvalidArgument);
+}
+
+TEST(AdmissionTest, QueueDrainsInClassMajorOrder) {
+  Scheduler scheduler(2);
+  scheduler.submit(job("running", 2));
+  ASSERT_EQ(scheduler.start_pending().size(), 1u);
+  scheduler.submit(job("be", 1, SlaClass::kBestEffort));
+  scheduler.submit(job("std", 1));
+  scheduler.submit(job("lc", 1, SlaClass::kLatencyCritical));
+  ASSERT_NE(scheduler.queued_head(), nullptr);
+  EXPECT_EQ(scheduler.queued_head()->name, "lc");
+
+  scheduler.complete("running");
+  // Both free nodes go to the two highest classes; best_effort waits.
+  EXPECT_EQ(scheduler.start_pending().size(), 2u);
+  EXPECT_TRUE(scheduler.is_running("lc"));
+  EXPECT_TRUE(scheduler.is_running("std"));
+  ASSERT_NE(scheduler.queued_head(), nullptr);
+  EXPECT_EQ(scheduler.queued_head()->name, "be");
+}
+
+TEST(AdmissionTest, FifoPreservedWithinAClass) {
+  Scheduler scheduler(1);
+  scheduler.submit(job("running", 1));
+  ASSERT_EQ(scheduler.start_pending().size(), 1u);
+  scheduler.submit(job("first", 1));
+  scheduler.submit(job("second", 1));
+  scheduler.complete("running");
+  ASSERT_EQ(scheduler.start_pending().size(), 1u);
+  EXPECT_TRUE(scheduler.is_running("first"));
+}
+
+}  // namespace
+}  // namespace ps::rm

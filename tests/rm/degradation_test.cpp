@@ -1,0 +1,168 @@
+// Class-ordered graceful degradation: shed_allocation_by_class re-divides
+// a policy allocation so best_effort sheds toward its floors before
+// standard, and latency_critical last — identity under abundance, never
+// below floors, never above the input total.
+#include "rm/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rm/allocation.hpp"
+#include "sim/sla.hpp"
+
+namespace ps::rm {
+namespace {
+
+using sim::SlaClass;
+
+ClassDemand demand(SlaClass sla_class, std::vector<double> floors,
+                   std::vector<double> needed) {
+  ClassDemand d;
+  d.sla_class = sla_class;
+  d.host_floors = std::move(floors);
+  d.host_needed = std::move(needed);
+  return d;
+}
+
+TEST(ShedByClassTest, IdentityUnderAbundance) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0, 210.0}, {180.0, 190.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0, 152.0}, {190.0, 195.0}),
+      demand(SlaClass::kBestEffort, {152.0, 152.0}, {170.0, 180.0}),
+  };
+  // Budget covers the allocation and every cap covers its need: the pass
+  // must return the input bit-for-bit.
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 1000.0);
+  ASSERT_EQ(shed.job_host_caps, allocation.job_host_caps);
+  EXPECT_TRUE(shed.job_host_gpu_caps.empty());
+}
+
+TEST(ShedByClassTest, BestEffortShedsToFloorsFirst) {
+  // Two jobs, one host each. Needs: LC 220, BE 220; floors 152 each.
+  // Budget 400: after floors (304), 96 W remain — LC's need (68 above
+  // floor) is fully granted, BE gets the remaining 28 above floor.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{220.0}, {220.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0}, {220.0}),
+      demand(SlaClass::kBestEffort, {152.0}, {220.0}),
+  };
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 400.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 220.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[1][0], 180.0);
+  EXPECT_DOUBLE_EQ(shed.total_watts(), 400.0);
+}
+
+TEST(ShedByClassTest, LowerClassesPinnedAtFloorsWhenHigherClassStarved) {
+  // Budget covers floors plus only part of the latency_critical need:
+  // standard and best_effort must sit exactly on their floors.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{240.0}, {240.0}, {240.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0}, {240.0}),
+      demand(SlaClass::kStandard, {152.0}, {240.0}),
+      demand(SlaClass::kBestEffort, {152.0}, {240.0}),
+  };
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 500.0);
+  // Floors: 456. Remaining 44 all flow to the latency_critical job.
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 196.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[1][0], 152.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[2][0], 152.0);
+}
+
+TEST(ShedByClassTest, ProportionalWithinStarvedClass) {
+  // Two standard jobs with different needs share a partial grant at the
+  // same fraction of (needed - floor).
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{252.0}, {202.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kStandard, {152.0}, {252.0}),  // need above floor 100
+      demand(SlaClass::kStandard, {152.0}, {202.0}),  // need above floor 50
+  };
+  // Floors 304; budget leaves 75 of the 150 needed above floors: half.
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 379.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 202.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[1][0], 177.0);
+}
+
+TEST(ShedByClassTest, NeverBelowFloorsEvenWhenBudgetIsBelowFloors) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{200.0}, {200.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0}, {200.0}),
+      demand(SlaClass::kBestEffort, {152.0}, {200.0}),
+  };
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 100.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 152.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[1][0], 152.0);
+}
+
+TEST(ShedByClassTest, SurplusRestoredHighestClassFirst) {
+  // Budget covers all needs plus 30 W of the 40 W surplus in the input.
+  // The latency_critical job's 20 W surplus is restored in full; the
+  // best_effort job gets the remaining 10 of its 20.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{220.0}, {220.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0}, {200.0}),
+      demand(SlaClass::kBestEffort, {152.0}, {200.0}),
+  };
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 430.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 220.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[1][0], 210.0);
+}
+
+TEST(ShedByClassTest, TotalNeverExceedsInputTotalOrBudget) {
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{230.0, 230.0}, {230.0}};
+  const std::vector<ClassDemand> demands = {
+      demand(SlaClass::kLatencyCritical, {152.0, 152.0}, {250.0, 250.0}),
+      demand(SlaClass::kBestEffort, {152.0}, {250.0}),
+  };
+  // Floors are never violated, so the reachable total is the target
+  // clamped from below by the summed floors (456 W here): a 100 W
+  // budget still leaves every host at its floor.
+  const double floors = 3 * 152.0;
+  for (const double budget : {100.0, 500.0, 600.0, 690.0, 10000.0}) {
+    const PowerAllocation shed =
+        shed_allocation_by_class(allocation, demands, budget);
+    EXPECT_LE(shed.total_watts(),
+              std::max(std::min(budget, allocation.total_watts()), floors) +
+                  1e-9)
+        << "budget " << budget;
+    EXPECT_LE(shed.total_watts(), allocation.total_watts() + 1e-9);
+  }
+}
+
+TEST(ShedByClassTest, GpuDomainShedsWithItsJobClass) {
+  // A heterogeneous best_effort job must shed its GPU lane to the GPU
+  // floor while a latency_critical CPU-only job keeps its need.
+  PowerAllocation allocation;
+  allocation.job_host_caps = {{220.0}, {200.0}};
+  allocation.job_host_gpu_caps = {{}, {300.0}};
+  ClassDemand lc = demand(SlaClass::kLatencyCritical, {152.0}, {220.0});
+  ClassDemand be = demand(SlaClass::kBestEffort, {152.0}, {200.0});
+  be.gpu_floors = {100.0};
+  be.gpu_needed = {300.0};
+  const std::vector<ClassDemand> demands = {lc, be};
+  // Floors: 152 + 152 + 100 = 404. Budget 480 leaves 76: LC's 68 is
+  // satisfied first; BE's CPU+GPU lanes split the remaining 8
+  // proportionally to need-above-floor (48 and 200 → ratio 8/248).
+  const PowerAllocation shed =
+      shed_allocation_by_class(allocation, demands, 480.0);
+  EXPECT_DOUBLE_EQ(shed.job_host_caps[0][0], 220.0);
+  const double scale = 8.0 / 248.0;
+  EXPECT_NEAR(shed.job_host_caps[1][0], 152.0 + scale * 48.0, 1e-9);
+  EXPECT_NEAR(shed.job_host_gpu_caps[1][0], 100.0 + scale * 200.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ps::rm

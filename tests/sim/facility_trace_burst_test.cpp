@@ -1,0 +1,68 @@
+// Flash-crowd pulses on the facility trace: zero bursts must leave the
+// legacy trace byte-identical; configured bursts add demand without ever
+// breaking the floor/rating clamps.
+#include "sim/facility_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ps::sim {
+namespace {
+
+TEST(FacilityTraceBurstTest, ZeroBurstsKeepTheLegacyTraceIdentical) {
+  util::Rng legacy_rng(7);
+  util::Rng burst_rng(7);
+  const FacilityTrace legacy =
+      generate_facility_trace(FacilityTraceParams{}, legacy_rng);
+  FacilityTraceParams params;  // burst_count defaults to 0.
+  params.burst_amplitude_mw = 0.4;
+  const FacilityTrace with_knob = generate_facility_trace(params, burst_rng);
+  ASSERT_EQ(with_knob.instantaneous_mw, legacy.instantaneous_mw);
+}
+
+TEST(FacilityTraceBurstTest, BurstsOnlyEverAddPower) {
+  // Reference: same burst count at zero amplitude. The centers consume
+  // the same rng draws, so the churn stream is identical and the pulses
+  // are the *only* difference between the two traces.
+  FacilityTraceParams params;
+  params.days = 30;
+  params.burst_count = 4;
+  params.burst_amplitude_mw = 0.0;
+  params.burst_duration_days = 0.5;
+  util::Rng base_rng(11);
+  const FacilityTrace base = generate_facility_trace(params, base_rng);
+
+  FacilityTraceParams crowd = params;
+  crowd.burst_amplitude_mw = 0.3;
+  util::Rng crowd_rng(11);
+  const FacilityTrace burst = generate_facility_trace(crowd, crowd_rng);
+
+  ASSERT_EQ(burst.instantaneous_mw.size(), base.instantaneous_mw.size());
+  double base_total = 0.0;
+  double burst_total = 0.0;
+  for (std::size_t s = 0; s < base.instantaneous_mw.size(); ++s) {
+    base_total += base.instantaneous_mw[s];
+    burst_total += burst.instantaneous_mw[s];
+    EXPECT_GE(burst.instantaneous_mw[s], base.instantaneous_mw[s] - 1e-12);
+    EXPECT_LE(burst.instantaneous_mw[s], crowd.peak_rating_mw + 1e-12);
+  }
+  EXPECT_GT(burst_total, base_total);
+}
+
+TEST(FacilityTraceBurstTest, MalformedBurstParamsRejected) {
+  util::Rng rng(3);
+  FacilityTraceParams params;
+  params.burst_count = 1;
+  params.burst_amplitude_mw = -0.1;
+  EXPECT_THROW(static_cast<void>(generate_facility_trace(params, rng)),
+               ps::InvalidArgument);
+  params.burst_amplitude_mw = 0.2;
+  params.burst_duration_days = 0.0;
+  EXPECT_THROW(static_cast<void>(generate_facility_trace(params, rng)),
+               ps::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace ps::sim

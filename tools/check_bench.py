@@ -43,6 +43,18 @@ scheduler jitter around a fixed offset):
     python3 tools/check_bench.py --mode failover \
         --bench ./build/bench/ext_ha_failover \
         --baseline BENCH_failover.json [--generate]
+
+--mode sla gates the multi-tenant oversubscription frontier
+(ext_multitenant_sla).  It is the sweep gate (cells + CSV checksum +
+wall bands + jobs4 determinism) plus the frontier verdict re-derived
+from the CSV itself: some measured-draw row must dominate the
+worst_case_tdp row (>= completed jobs, <= SLA violations, strictly
+better on one axis), and the dominating point is pinned in
+BENCH_sla.json so silent frontier drift fails loudly:
+
+    python3 tools/check_bench.py --mode sla \
+        --bench ./build/bench/ext_multitenant_sla \
+        --baseline BENCH_sla.json [--generate]
 """
 
 from __future__ import annotations
@@ -73,7 +85,7 @@ def run_bench(bench: Path, jobs: int, out_csv: Path) -> float:
     return elapsed
 
 
-def measure(bench: Path, repeats: int = 3) -> dict:
+def measure(bench: Path, repeats: int = 3, extract=None) -> dict:
     with tempfile.TemporaryDirectory(prefix="ps-bench-") as tmp:
         serial_csv = Path(tmp) / "serial.csv"
         jobs4_csv = Path(tmp) / "jobs4.csv"
@@ -88,7 +100,7 @@ def measure(bench: Path, repeats: int = 3) -> dict:
             sys.exit(f"{bench.name}: --jobs 4 CSV differs from the serial "
                      "one -- the sweep executor lost determinism")
         rows = serial_bytes.decode().strip().splitlines()
-    return {
+    payload = {
         "bench": bench.name,
         "args": ["--quick"],
         "cells": len(rows) - 1,  # minus the header
@@ -97,6 +109,54 @@ def measure(bench: Path, repeats: int = 3) -> dict:
         "wall_seconds_jobs4": round(wall_jobs4, 3),
         "speedup_jobs4": round(wall_serial / max(wall_jobs4, 1e-9), 3),
     }
+    if extract is not None:
+        payload.update(extract(serial_bytes.decode()))
+    return payload
+
+
+def sla_frontier(csv_text: str) -> dict:
+    """Re-derives the oversubscription verdict from the frontier CSV.
+
+    The bench already exits nonzero when no measured-draw point
+    dominates, but gating on its exit code alone would let the frontier
+    drift silently; this parses the CSV the checksum pins and records
+    *which* point dominates.
+    """
+    rows = [line.split(",") for line in csv_text.strip().splitlines()]
+    index = {name: i for i, name in enumerate(rows[0])}
+    for key in ("admission", "ratio", "completed", "violations_total"):
+        if key not in index:
+            sys.exit(f"sla CSV is missing the '{key}' column")
+
+    def point(row: list[str]) -> dict:
+        return {
+            "admission": row[index["admission"]],
+            "ratio": float(row[index["ratio"]]),
+            "completed": int(row[index["completed"]]),
+            "violations": int(row[index["violations_total"]]),
+        }
+
+    worst = None
+    candidates = []
+    for row in rows[1:]:
+        entry = point(row)
+        if entry["admission"] == "worst_case_tdp":
+            worst = entry
+        else:
+            candidates.append(entry)
+    if worst is None:
+        sys.exit("sla CSV has no worst_case_tdp baseline row")
+    dominant = next(
+        (c for c in candidates
+         if c["completed"] >= worst["completed"]
+         and c["violations"] <= worst["violations"]
+         and (c["completed"] > worst["completed"]
+              or c["violations"] < worst["violations"])),
+        None)
+    if dominant is None:
+        sys.exit("no measured-draw point dominates worst-case admission "
+                 "on the SLA frontier")
+    return {"worst_case": worst, "dominant": dominant}
 
 
 FAILOVER_EPISODES = 7
@@ -186,10 +246,11 @@ def main() -> None:
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed relative regression (default 0.10 "
                              "for sweep mode, 0.25 for failover)")
-    parser.add_argument("--mode", choices=("sweep", "failover"),
+    parser.add_argument("--mode", choices=("sweep", "failover", "sla"),
                         default="sweep",
                         help="sweep: CSV checksum + wall time; failover: "
-                             "time-to-takeover quantiles")
+                             "time-to-takeover quantiles; sla: sweep gate "
+                             "plus the oversubscription dominance verdict")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required serial/--jobs 4 wall-time ratio on "
                              "multi-core runners (default 1.0: parallel "
@@ -229,7 +290,16 @@ def main() -> None:
         print("OK")
         return
 
-    current = measure(args.bench, args.repeats)
+    extract = sla_frontier if args.mode == "sla" else None
+    current = measure(args.bench, args.repeats, extract)
+    if args.mode == "sla":
+        dominant = current["dominant"]
+        worst = current["worst_case"]
+        print(f"sla frontier: {dominant['admission']} ratio "
+              f"{dominant['ratio']:.2f} dominates worst_case_tdp "
+              f"(completed {dominant['completed']} vs "
+              f"{worst['completed']}, violations "
+              f"{dominant['violations']} vs {worst['violations']})")
     if args.generate:
         args.baseline.write_text(json.dumps(current, indent=2) + "\n")
         print(f"wrote {args.baseline}: {current['cells']} cells, "
@@ -241,6 +311,11 @@ def main() -> None:
     baseline = json.loads(args.baseline.read_text())
     failures = check(current, baseline, args.tolerance, args.min_speedup,
                      args.abs_slack)
+    if args.mode == "sla" and current["dominant"] != baseline.get("dominant"):
+        failures.append(
+            f"dominant frontier point moved: {baseline.get('dominant')} "
+            f"-> {current['dominant']}; regenerate BENCH_sla.json if "
+            "the frontier shifted intentionally")
     print(f"{current['bench']}: {current['cells']} cells, checksum "
           f"{current['savings_sha256'][:12]}, serial "
           f"{current['wall_seconds_serial']}s (baseline "
