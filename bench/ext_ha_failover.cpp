@@ -65,28 +65,6 @@ ps::core::SampleMessage make_sample(std::uint64_t sequence) {
   return sample;
 }
 
-/// Conservative quantile from a fixed-bucket histogram: the upper edge of
-/// the bucket holding the q-th observation (overflow reports the last
-/// bound — nothing above it is resolvable).
-double bucket_quantile(const ps::obs::HistogramSnapshot& snapshot,
-                       double q) {
-  const std::uint64_t total = snapshot.total();
-  if (total == 0) {
-    return 0.0;
-  }
-  const auto rank =
-      static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
-    seen += snapshot.counts[i];
-    if (seen > rank) {
-      return i < snapshot.bounds.size() ? snapshot.bounds[i]
-                                        : snapshot.bounds.back();
-    }
-  }
-  return snapshot.bounds.back();
-}
-
 /// One kill-and-takeover episode; returns the takeover time in seconds.
 double run_episode(int episode, milliseconds lease,
                    ps::obs::Observability obs) {
@@ -211,8 +189,8 @@ int main(int argc, char** argv) {
   }
 
   const ps::obs::HistogramSnapshot snapshot = takeover_hist.snapshot();
-  const double p50 = bucket_quantile(snapshot, 0.50);
-  const double p99 = bucket_quantile(snapshot, 0.99);
+  const double p50 = ps::obs::histogram_quantile(snapshot, 0.50);
+  const double p99 = ps::obs::histogram_quantile(snapshot, 0.99);
   const double mean =
       snapshot.total() == 0
           ? 0.0

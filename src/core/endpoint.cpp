@@ -97,6 +97,32 @@ std::vector<std::string> non_empty_lines(std::string_view text) {
   return lines;
 }
 
+std::string parse_rack_name(std::string_view line) {
+  PS_REQUIRE(util::starts_with(line, "rack "), "expected 'rack' line");
+  const std::string_view name = util::trim(line.substr(5));
+  PS_REQUIRE(!name.empty(), "empty rack name");
+  PS_REQUIRE(name.find(' ') == std::string_view::npos,
+             "rack name must be a single token");
+  return std::string(name);
+}
+
+/// Re-joins `count` lines starting at `next` into one embedded message
+/// body, guarding against blocks that claim more lines than the frame
+/// holds (the torn-frame case).
+std::string take_block(const std::vector<std::string>& lines,
+                       std::size_t next, std::uint64_t count,
+                       std::string_view what) {
+  PS_REQUIRE(count > 0, std::string(what) + " block must not be empty");
+  PS_REQUIRE(count <= lines.size() - next,
+             std::string(what) + " block overruns the frame");
+  std::string block;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    block += lines[next + i];
+    block += '\n';
+  }
+  return block;
+}
+
 }  // namespace
 
 std::string serialize(const SampleMessage& message, WireFidelity fidelity) {
@@ -150,6 +176,36 @@ std::string serialize(const BudgetMessage& message, WireFidelity fidelity) {
   out << "epoch " << message.epoch << '\n';
   out << "budget " << format_value(message.budget_watts, fidelity) << '\n';
   out << "emergency " << (message.emergency ? 1 : 0) << '\n';
+  return out.str();
+}
+
+std::string serialize(const RackSampleMessage& message,
+                      WireFidelity fidelity) {
+  std::ostringstream out;
+  out << "powerstack-rack-sample v1\n";
+  out << "rack " << message.rack << '\n';
+  out << "round " << message.round << '\n';
+  out << "jobs " << message.samples.size() << '\n';
+  for (const SampleMessage& sample : message.samples) {
+    const std::string body = serialize(sample, fidelity);
+    out << "sample " << non_empty_lines(body).size() << '\n' << body;
+  }
+  return out.str();
+}
+
+std::string serialize(const RackPolicyMessage& message,
+                      WireFidelity fidelity) {
+  std::ostringstream out;
+  out << "powerstack-rack-policy v1\n";
+  out << "rack " << message.rack << '\n';
+  out << "round " << message.round << '\n';
+  out << "rack_budget " << format_value(message.rack_budget_watts, fidelity)
+      << '\n';
+  out << "jobs " << message.policies.size() << '\n';
+  for (const PolicyMessage& policy : message.policies) {
+    const std::string body = serialize(policy, fidelity);
+    out << "policy " << non_empty_lines(body).size() << '\n' << body;
+  }
   return out.str();
 }
 
@@ -275,6 +331,96 @@ BudgetMessage parse_budget_message(std::string_view text) {
   return message;
 }
 
+RackSampleMessage parse_rack_sample_message(std::string_view text) {
+  const std::vector<std::string> lines = non_empty_lines(text);
+  PS_REQUIRE(lines.size() >= 4, "truncated rack sample message");
+  PS_REQUIRE(lines[0] == "powerstack-rack-sample v1",
+             "not a v1 rack sample message");
+  RackSampleMessage message;
+  message.rack = parse_rack_name(lines[1]);
+  message.round = parse_keyed_uint(lines[2], "round");
+  const std::uint64_t jobs = parse_keyed_uint(lines[3], "jobs");
+  PS_REQUIRE(jobs > 0, "rack sample message has no jobs");
+  std::size_t next = 4;
+  std::uint64_t max_sequence = 0;
+  message.samples.reserve(jobs);
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    PS_REQUIRE(next < lines.size(),
+               "rack sample message truncated before its block prefix");
+    const std::uint64_t count = parse_keyed_uint(lines[next], "sample");
+    ++next;
+    SampleMessage sample =
+        parse_sample_message(take_block(lines, next, count, "sample"));
+    next += count;
+    PS_REQUIRE(message.samples.empty() ||
+                   message.samples.back().job_name < sample.job_name,
+               "rack samples must be unique and name-ordered");
+    max_sequence = std::max(max_sequence, sample.sequence);
+    message.samples.push_back(std::move(sample));
+  }
+  PS_REQUIRE(next == lines.size(),
+             "unexpected trailing line in rack sample message");
+  PS_REQUIRE(message.round == max_sequence,
+             "rack round must equal the max embedded sequence");
+  return message;
+}
+
+RackPolicyMessage parse_rack_policy_message(std::string_view text) {
+  const std::vector<std::string> lines = non_empty_lines(text);
+  PS_REQUIRE(lines.size() >= 5, "truncated rack policy message");
+  PS_REQUIRE(lines[0] == "powerstack-rack-policy v1",
+             "not a v1 rack policy message");
+  RackPolicyMessage message;
+  message.rack = parse_rack_name(lines[1]);
+  message.round = parse_keyed_uint(lines[2], "round");
+  PS_REQUIRE(util::starts_with(lines[3], "rack_budget "),
+             "expected 'rack_budget' line");
+  message.rack_budget_watts =
+      parse_watts(util::trim(lines[3].substr(12)), "rack_budget");
+  PS_REQUIRE(message.rack_budget_watts > 0.0,
+             "rack budget must be positive");
+  const std::uint64_t jobs = parse_keyed_uint(lines[4], "jobs");
+  PS_REQUIRE(jobs > 0, "rack policy message has no jobs");
+  std::size_t next = 5;
+  std::uint64_t max_sequence = 0;
+  double caps_sum = 0.0;
+  std::size_t cap_count = 0;
+  message.policies.reserve(jobs);
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    PS_REQUIRE(next < lines.size(),
+               "rack policy message truncated before its block prefix");
+    const std::uint64_t count = parse_keyed_uint(lines[next], "policy");
+    ++next;
+    PolicyMessage policy =
+        parse_policy_message(take_block(lines, next, count, "policy"));
+    next += count;
+    PS_REQUIRE(message.policies.empty() ||
+                   message.policies.back().job_name < policy.job_name,
+               "rack policies must be unique and name-ordered");
+    max_sequence = std::max(max_sequence, policy.sequence);
+    for (double cap : policy.host_caps_watts) {
+      caps_sum += cap;
+      ++cap_count;
+    }
+    for (double cap : policy.host_gpu_caps_watts) {
+      caps_sum += cap;
+      ++cap_count;
+    }
+    message.policies.push_back(std::move(policy));
+  }
+  PS_REQUIRE(next == lines.size(),
+             "unexpected trailing line in rack policy message");
+  PS_REQUIRE(message.round == max_sequence,
+             "rack round must equal the max embedded sequence");
+  // The rack budget is the sum of the embedded caps; allow display-
+  // fidelity rounding (each value rounds by at most half a milliwatt).
+  const double tolerance = 5e-4 * static_cast<double>(cap_count + 1) +
+                           1e-9 * caps_sum;
+  PS_REQUIRE(std::abs(caps_sum - message.rack_budget_watts) <= tolerance,
+             "rack budget disagrees with the embedded caps");
+  return message;
+}
+
 WireMessageKind wire_message_kind(std::string_view text) {
   const std::size_t newline = text.find('\n');
   const std::string_view header =
@@ -288,6 +434,12 @@ WireMessageKind wire_message_kind(std::string_view text) {
   }
   if (header == "powerstack-budget v1") {
     return WireMessageKind::kBudget;
+  }
+  if (header == "powerstack-rack-sample v1") {
+    return WireMessageKind::kRackSample;
+  }
+  if (header == "powerstack-rack-policy v1") {
+    return WireMessageKind::kRackPolicy;
   }
   return WireMessageKind::kUnknown;
 }

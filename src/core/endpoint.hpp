@@ -84,6 +84,35 @@ struct BudgetMessage {
   [[nodiscard]] bool operator==(const BudgetMessage&) const = default;
 };
 
+/// Aggregator -> root telemetry: one rack's whole round in a single
+/// frame. The per-rack AggregatorDaemon terminates its clients' sessions
+/// and batches every local job's newest sample upward, so the root sees
+/// one frame per rack per round instead of one per job — the RPC-batching
+/// shape that lets a two-level tree reach 10k+ clients.
+struct RackSampleMessage {
+  std::string rack;                    ///< Rack name (single token).
+  std::uint64_t round = 0;             ///< max sample sequence in the batch.
+  std::vector<SampleMessage> samples;  ///< Name-ordered, names unique.
+
+  [[nodiscard]] bool operator==(const RackSampleMessage&) const = default;
+};
+
+/// Root -> aggregator control: the renegotiated rack budget plus every
+/// rack job's caps, batched into one frame per rack per round. The rack
+/// budget is the sum of the embedded policies' caps — the root
+/// renegotiates it each epoch simply by re-running the global allocation,
+/// so sharding changes the fan-out topology but not a single watt.
+/// Epoch semantics ride inside the embedded PolicyMessages (budget_epoch
+/// and fence lines), exactly as on the flat wire.
+struct RackPolicyMessage {
+  std::string rack;
+  std::uint64_t round = 0;             ///< max policy sequence in the batch.
+  double rack_budget_watts = 0.0;      ///< Sum of embedded policy caps.
+  std::vector<PolicyMessage> policies; ///< Name-ordered, names unique.
+
+  [[nodiscard]] bool operator==(const RackPolicyMessage&) const = default;
+};
+
 /// Numeric fidelity of the serialized form — a writer-side knob; the v1
 /// grammar never fixed the decimal count, so both render as valid v1.
 /// `kDisplay` renders watts at milliwatt precision (the human-readable
@@ -141,13 +170,52 @@ enum class WireFidelity { kDisplay, kExact };
 [[nodiscard]] std::string serialize(const BudgetMessage& message,
                                     WireFidelity fidelity =
                                         WireFidelity::kDisplay);
+/// Rack-aggregate wire form (v1): a header block followed by one
+/// length-prefixed embedded message per job, in job-name order:
+///
+///   powerstack-rack-sample v1
+///   rack r04
+///   round 7
+///   jobs 2
+///   sample 6
+///   ...the 6 non-empty lines of an embedded powerstack-sample...
+///   sample 6
+///   ...
+///
+/// Each `sample N` / `policy N` prefix states how many non-empty lines
+/// the embedded message occupies, so the parser can delimit blocks
+/// without re-deriving version-specific line counts — the embedded
+/// blocks are handed to the ordinary sample/policy parsers and inherit
+/// all of their strictness. The rack-policy form inserts a
+/// `rack_budget <watts>` line between `round` and `jobs`. Parsers throw
+/// ps::InvalidArgument on torn frames (block counts that overrun the
+/// payload), job counts that disagree with the block count, duplicate or
+/// out-of-name-order jobs, and a `round` that is not the max embedded
+/// sequence.
+[[nodiscard]] std::string serialize(const RackSampleMessage& message,
+                                    WireFidelity fidelity =
+                                        WireFidelity::kDisplay);
+[[nodiscard]] std::string serialize(const RackPolicyMessage& message,
+                                    WireFidelity fidelity =
+                                        WireFidelity::kDisplay);
 [[nodiscard]] SampleMessage parse_sample_message(std::string_view text);
 [[nodiscard]] PolicyMessage parse_policy_message(std::string_view text);
 [[nodiscard]] BudgetMessage parse_budget_message(std::string_view text);
+[[nodiscard]] RackSampleMessage parse_rack_sample_message(
+    std::string_view text);
+[[nodiscard]] RackPolicyMessage parse_rack_policy_message(
+    std::string_view text);
 
 /// What kind of wire message a frame holds, judged by its header line
 /// only (so a receiver can dispatch before committing to a full parse).
-enum class WireMessageKind { kSample, kPolicy, kBudget, kUnknown };
+enum class WireMessageKind {
+  kSample,
+  kPolicy,
+  kBudget,
+  kRackSample,
+  kRackPolicy,
+  kUnknown
+};
 [[nodiscard]] WireMessageKind wire_message_kind(std::string_view text);
 
 /// Keeps the newest sample from one producer, enforcing the sequence

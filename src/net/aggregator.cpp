@@ -1,0 +1,595 @@
+#include "net/aggregator.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+namespace {
+
+/// Same bucket edges as the root daemon's round histogram, so per-level
+/// latency distributions compare bucket-for-bucket across the tree.
+constexpr double kRoundLatencyBounds[] = {0.0005, 0.001, 0.002, 0.005,
+                                          0.01,   0.02,  0.05,  0.1,
+                                          0.25,   0.5,   1.0,   2.5,
+                                          5.0};
+
+}  // namespace
+
+AggregatorDaemon::AggregatorDaemon(const AggregatorOptions& options)
+    : options_(options),
+      loop_(options.event_backend),
+      sessions_(loop_, [this](int fd) {
+        close_session(fd, /*protocol_error=*/false);
+      }) {
+  PS_REQUIRE(!options.rack.empty() &&
+                 options.rack.find_first_of(" \n") == std::string::npos,
+             "rack name must be one non-empty token");
+  PS_REQUIRE(options.parent_connector != nullptr,
+             "aggregator needs a parent connector");
+  PS_REQUIRE(options.min_jobs > 0, "launch barrier needs at least one job");
+  PS_REQUIRE(options.tick_interval.count() > 0,
+             "tick interval must be positive");
+  PS_REQUIRE(options.reclaim_timeout.count() >= 0,
+             "reclaim timeout must be non-negative");
+  if (options_.obs.metrics != nullptr) {
+    round_latency_ = &options_.obs.metrics->histogram(
+        "net.aggregator.round_seconds", kRoundLatencyBounds);
+  }
+  loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
+}
+
+AggregatorDaemon::~AggregatorDaemon() = default;
+
+void AggregatorDaemon::listen_unix(const std::string& path) {
+  listeners_.push_back(net::listen_unix(path));
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void AggregatorDaemon::listen_tcp(std::uint16_t port) {
+  listeners_.push_back(net::listen_tcp(port, &tcp_port_));
+  const std::size_t index = listeners_.size() - 1;
+  loop_.add_fd(listeners_.back().fd(), POLLIN,
+               [this, index](short) { on_listener_ready(index); });
+}
+
+void AggregatorDaemon::adopt(Socket socket) {
+  PS_REQUIRE(socket.valid(), "cannot adopt an invalid socket");
+  adopt(make_transport(std::move(socket)));
+}
+
+void AggregatorDaemon::adopt(std::unique_ptr<Transport> transport) {
+  PS_REQUIRE(transport != nullptr && transport->valid(),
+             "cannot adopt an invalid transport");
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    pending_adoptions_.push_back(std::move(transport));
+  }
+  loop_.wake();
+}
+
+void AggregatorDaemon::run() {
+  adopt_pending_transports();
+  ensure_parent(/*resend_outstanding=*/false);
+  while (loop_.run_once(std::chrono::milliseconds(-1))) {
+    adopt_pending_transports();
+  }
+}
+
+void AggregatorDaemon::stop() {
+  loop_.stop();
+}
+
+AggregatorStats AggregatorDaemon::stats() const {
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  return stats_;
+}
+
+void AggregatorDaemon::adopt_pending_transports() {
+  std::vector<std::unique_ptr<Transport>> adopted;
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    adopted.swap(pending_adoptions_);
+  }
+  for (std::unique_ptr<Transport>& transport : adopted) {
+    add_session(std::move(transport));
+  }
+}
+
+void AggregatorDaemon::add_session(std::unique_ptr<Transport> transport) {
+  if (options_.transport_wrapper) {
+    transport = options_.transport_wrapper(std::move(transport));
+    PS_REQUIRE(transport != nullptr && transport->valid(),
+               "transport wrapper returned an invalid transport");
+  }
+  sessions_.add(std::move(transport), [this](int fd, short revents) {
+    on_session_ready(fd, revents);
+  });
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.sessions_accepted;
+  }
+  options_.obs.count("net.aggregator.sessions_accepted");
+}
+
+void AggregatorDaemon::on_listener_ready(std::size_t listener_index) {
+  while (auto socket = listeners_[listener_index].accept()) {
+    add_session(make_transport(std::move(*socket)));
+  }
+}
+
+void AggregatorDaemon::close_session(int fd, bool protocol_error) {
+  NetSession* session = sessions_.find(fd);
+  if (session == nullptr) {
+    return;  // idempotent: double-close no-ops
+  }
+  const bool registered = session->registered;
+  const std::string job_name = session->job_name;
+  const std::unique_ptr<Transport> transport = sessions_.remove(fd);
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.sessions_closed;
+    if (protocol_error) {
+      ++stats_.protocol_errors;
+    }
+  }
+  options_.obs.count("net.aggregator.sessions_closed");
+  if (registered) {
+    const auto it = jobs_.find(job_name);
+    // fd guard: a late close on a replaced connection must not detach
+    // the job's live session.
+    if (it != jobs_.end() && it->second.session_fd == fd) {
+      it->second.session_fd = -1;
+      it->second.disconnected_at = Clock::now();
+    }
+  }
+  transport->close();
+}
+
+void AggregatorDaemon::evict_job(const std::string& name) {
+  const auto it = jobs_.find(name);
+  if (it == jobs_.end()) {
+    return;
+  }
+  const int fd = it->second.session_fd;
+  jobs_.erase(it);
+  if (fd >= 0) {
+    NetSession* session = sessions_.find(fd);
+    if (session != nullptr) {
+      const std::unique_ptr<Transport> transport = sessions_.remove(fd);
+      transport->close();
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.sessions_closed;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.jobs_evicted;
+    stats_.jobs = jobs_.size();
+  }
+  options_.obs.count("net.aggregator.jobs_evicted");
+  // The watts the job held are NOT reclaimed here: the aggregator owns
+  // no budget. The root's own grace/eviction machinery reclaims the seat
+  // when the job stops appearing in this rack's aggregates.
+}
+
+void AggregatorDaemon::on_session_ready(int fd, short revents) {
+  NetSession* session = sessions_.find(fd);
+  if (session == nullptr) {
+    return;
+  }
+  session->last_activity = Clock::now();
+
+  if ((revents & POLLOUT) != 0) {
+    sessions_.flush(fd, *session);
+    session = sessions_.find(fd);
+    if (session == nullptr) {
+      return;
+    }
+  }
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+    return;
+  }
+
+  char buffer[4096];
+  for (;;) {
+    const IoResult result =
+        session->transport->read_some(buffer, sizeof(buffer));
+    if (result.status == IoStatus::kWouldBlock) {
+      break;
+    }
+    if (result.status == IoStatus::kClosed) {
+      close_session(fd, /*protocol_error=*/false);
+      return;
+    }
+    try {
+      session->decoder.feed(std::string_view(buffer, result.bytes));
+      while (auto payload = session->decoder.next()) {
+        handle_client_frame(fd, *session, *payload);
+        session = sessions_.find(fd);
+        if (session == nullptr) {
+          return;  // a resend hit a dead peer and closed this session
+        }
+      }
+    } catch (const Error&) {
+      close_session(fd, /*protocol_error=*/true);
+      return;
+    }
+  }
+  try_forward();
+}
+
+void AggregatorDaemon::handle_client_frame(int fd, NetSession& session,
+                                           const std::string& payload) {
+  core::SampleMessage sample = core::parse_sample_message(payload);
+  if (!session.registered) {
+    auto it = jobs_.find(sample.job_name);
+    if (it != jobs_.end()) {
+      PS_REQUIRE(it->second.session_fd < 0,
+                 "job '" + sample.job_name + "' is already registered");
+      it->second.session_fd = fd;
+    } else {
+      LocalJob job;
+      job.session_fd = fd;
+      it = jobs_.emplace(sample.job_name, std::move(job)).first;
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      stats_.jobs = jobs_.size();
+    }
+    session.job_name = sample.job_name;
+    session.registered = true;
+    if (have_budget_) {
+      // Epoch propagation: a registrant (or reconnect) must hear the
+      // tree's current budget epoch before any caps, exactly as the
+      // root resyncs its direct clients.
+      sessions_.queue_frame(
+          fd, session,
+          encode_frame(serialize(last_budget_, core::WireFidelity::kExact)));
+      if (!sessions_.contains(fd)) {
+        throw InvalidArgument("session closed during budget resync");
+      }
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.budget_relays;
+    }
+  } else {
+    PS_REQUIRE(sample.job_name == session.job_name,
+               "session is bound to job '" + session.job_name + "'");
+  }
+
+  LocalJob& job = jobs_.at(session.job_name);
+  const std::uint64_t sequence = sample.sequence;
+  if (job.have_policy && job.last_policy.sequence >= sequence) {
+    // Already answered by the parent: the reply was lost somewhere below
+    // us. Re-serve the stored caps without bothering the root.
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.samples_received;
+      ++stats_.samples_stale;
+      ++stats_.policies_resent;
+    }
+    options_.obs.count("net.aggregator.policies_resent");
+    queue_to_client(fd, session, job.last_policy);
+    return;
+  }
+  const bool accepted = job.latch.offer(std::move(sample));
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.samples_received;
+    if (!accepted) {
+      ++stats_.samples_stale;
+    }
+  }
+  if (!accepted && in_flight_ && !last_aggregate_frame_.empty()) {
+    // The client is retrying a round we forwarded but cannot answer yet:
+    // our aggregate (or its reply) may have been lost above us. Nudge
+    // the parent by re-sending the outstanding frame — the root answers
+    // duplicates idempotently from its stored caps.
+    parent_outbox_.append(last_aggregate_frame_);
+    flush_parent();
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.aggregate_resends;
+    }
+    options_.obs.count("net.aggregator.aggregate_resends");
+  }
+}
+
+void AggregatorDaemon::try_forward() {
+  if (parent_ == nullptr) {
+    ensure_parent(/*resend_outstanding=*/true);
+    if (parent_ == nullptr) {
+      return;  // unreachable; retried on the next tick
+    }
+  }
+  if (in_flight_ || jobs_.empty()) {
+    return;
+  }
+  if (!launch_barrier_met_) {
+    if (jobs_.size() < options_.min_jobs) {
+      return;
+    }
+    launch_barrier_met_ = true;
+  }
+  for (const auto& [name, job] : jobs_) {
+    if (!job.latch.has_fresh()) {
+      return;  // wait until every seated job has reported this round
+    }
+  }
+
+  core::RackSampleMessage aggregate;
+  aggregate.rack = options_.rack;
+  // jobs_ is name-keyed, so the aggregate's job order is the same
+  // deterministic order the root allocates in.
+  for (auto& [name, job] : jobs_) {
+    aggregate.samples.push_back(job.latch.consume());
+    aggregate.round =
+        std::max(aggregate.round, aggregate.samples.back().sequence);
+  }
+  last_aggregate_frame_ =
+      encode_frame(serialize(aggregate, core::WireFidelity::kExact));
+  last_forwarded_round_ = aggregate.round;
+  in_flight_ = true;
+  forward_started_at_ = Clock::now();
+  parent_outbox_.append(last_aggregate_frame_);
+  flush_parent();
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.rounds_forwarded;
+  }
+  options_.obs.count("net.aggregator.rounds_forwarded");
+  options_.obs.set_gauge("net.aggregator.jobs",
+                         static_cast<double>(aggregate.samples.size()));
+}
+
+void AggregatorDaemon::ensure_parent(bool resend_outstanding) {
+  if (parent_ != nullptr && parent_->valid()) {
+    return;
+  }
+  std::unique_ptr<Transport> link = options_.parent_connector();
+  if (link == nullptr || !link->valid()) {
+    return;  // parent unreachable; retried on the next tick
+  }
+  parent_ = std::move(link);
+  parent_decoder_ = FrameDecoder{};
+  parent_outbox_.clear();
+  loop_.add_fd(parent_->fd(), POLLIN,
+               [this](short revents) { on_parent_ready(revents); });
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.parent_connects;
+  }
+  options_.obs.count("net.aggregator.parent_connects");
+  if (resend_outstanding && in_flight_ && !last_aggregate_frame_.empty()) {
+    // Reconnect-with-resend: the outstanding round must not be lost to
+    // the old link. The root's stale-round handling makes the duplicate
+    // harmless if the original did arrive.
+    parent_outbox_.append(last_aggregate_frame_);
+    flush_parent();
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.aggregate_resends;
+    }
+    options_.obs.count("net.aggregator.aggregate_resends");
+  }
+}
+
+void AggregatorDaemon::drop_parent() {
+  if (parent_ == nullptr) {
+    return;
+  }
+  loop_.remove_fd(parent_->fd());
+  parent_->close();
+  parent_.reset();
+  parent_outbox_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.parent_disconnects;
+  }
+  options_.obs.count("net.aggregator.parent_disconnects");
+  // in_flight_ stays set: the reply may never come over the dead link,
+  // so the reconnect path re-sends the outstanding aggregate.
+}
+
+void AggregatorDaemon::flush_parent() {
+  if (parent_ == nullptr) {
+    return;
+  }
+  while (!parent_outbox_.empty()) {
+    const IoResult result = parent_->write_some(parent_outbox_);
+    if (result.status == IoStatus::kOk) {
+      parent_outbox_.erase(0, result.bytes);
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      loop_.set_events(parent_->fd(), POLLIN | POLLOUT);
+      return;
+    }
+    drop_parent();
+    return;
+  }
+  loop_.set_events(parent_->fd(), POLLIN);
+}
+
+void AggregatorDaemon::on_parent_ready(short revents) {
+  if (parent_ == nullptr) {
+    return;
+  }
+  if ((revents & POLLOUT) != 0) {
+    flush_parent();
+    if (parent_ == nullptr) {
+      return;  // flush found the link dead
+    }
+  }
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+    return;
+  }
+  char buffer[4096];
+  for (;;) {
+    const IoResult result = parent_->read_some(buffer, sizeof(buffer));
+    if (result.status == IoStatus::kWouldBlock) {
+      break;
+    }
+    if (result.status == IoStatus::kClosed) {
+      drop_parent();
+      return;
+    }
+    try {
+      parent_decoder_.feed(std::string_view(buffer, result.bytes));
+      while (auto payload = parent_decoder_.next()) {
+        handle_parent_frame(*payload);
+        if (parent_ == nullptr) {
+          return;
+        }
+      }
+    } catch (const Error&) {
+      // A corrupt upstream stream is indistinguishable from a torn link:
+      // drop and reconnect rather than guessing at the offset.
+      {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        ++stats_.protocol_errors;
+      }
+      drop_parent();
+      return;
+    }
+  }
+  try_forward();
+}
+
+void AggregatorDaemon::handle_parent_frame(const std::string& payload) {
+  switch (core::wire_message_kind(payload)) {
+    case core::WireMessageKind::kRackPolicy:
+      handle_rack_policy(core::parse_rack_policy_message(payload));
+      return;
+    case core::WireMessageKind::kBudget:
+      relay_budget(core::parse_budget_message(payload));
+      return;
+    default:
+      throw InvalidArgument("unexpected message kind from parent daemon");
+  }
+}
+
+void AggregatorDaemon::handle_rack_policy(core::RackPolicyMessage policy) {
+  PS_REQUIRE(policy.rack == options_.rack,
+             "rack-policy frame addressed to rack '" + policy.rack + "'");
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.policies_received;
+    stats_.rack_budget_watts = policy.rack_budget_watts;
+  }
+  options_.obs.count("net.aggregator.policies_received");
+  options_.obs.set_gauge("net.aggregator.rack_budget_watts",
+                         policy.rack_budget_watts);
+  if (in_flight_ && policy.round >= last_forwarded_round_) {
+    in_flight_ = false;
+    if (round_latency_ != nullptr) {
+      round_latency_->observe(std::chrono::duration<double>(
+                                  Clock::now() - forward_started_at_)
+                                  .count());
+    }
+  }
+  std::size_t fanned = 0;
+  {
+    // One coalesced write per client session for the whole fan-out.
+    const SessionTable::Batch batch(sessions_);
+    for (core::PolicyMessage& message : policy.policies) {
+      const auto it = jobs_.find(message.job_name);
+      if (it == jobs_.end()) {
+        continue;  // evicted locally while the round was in flight
+      }
+      LocalJob& job = it->second;
+      job.last_policy = message;
+      job.have_policy = true;
+      if (job.session_fd < 0) {
+        continue;  // in grace: stored, re-served on reconnect
+      }
+      NetSession* session = sessions_.find(job.session_fd);
+      if (session == nullptr) {
+        continue;
+      }
+      queue_to_client(job.session_fd, *session, message);
+      ++fanned;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    stats_.policies_fanned_out += fanned;
+  }
+  options_.obs.count("net.aggregator.policies_fanned_out", fanned);
+  options_.obs.set_gauge("net.aggregator.fanout",
+                         static_cast<double>(fanned));
+  try_forward();
+}
+
+void AggregatorDaemon::relay_budget(const core::BudgetMessage& budget) {
+  last_budget_ = budget;
+  have_budget_ = true;
+  const std::string frame =
+      encode_frame(serialize(budget, core::WireFidelity::kExact));
+  std::vector<int> fds;
+  for (const auto& [fd, session] : sessions_.map()) {
+    if (session.registered) {
+      fds.push_back(fd);
+    }
+  }
+  std::size_t relayed = 0;
+  {
+    const SessionTable::Batch batch(sessions_);
+    for (const int fd : fds) {
+      NetSession* session = sessions_.find(fd);
+      if (session == nullptr) {
+        continue;
+      }
+      sessions_.queue_frame(fd, *session, frame);
+      ++relayed;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    stats_.budget_relays += relayed;
+    stats_.budget_epoch = budget.epoch;
+  }
+  options_.obs.count("net.aggregator.budget_relays", relayed);
+}
+
+void AggregatorDaemon::queue_to_client(int fd, NetSession& session,
+                                       const core::PolicyMessage& message) {
+  sessions_.queue_frame(
+      fd, session,
+      encode_frame(serialize(message, core::WireFidelity::kExact)));
+}
+
+void AggregatorDaemon::on_tick() {
+  adopt_pending_transports();
+  const auto now = Clock::now();
+
+  for (const int fd : sessions_.idle_fds(now, options_.idle_timeout)) {
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.sessions_timed_out;
+    }
+    close_session(fd, /*protocol_error=*/false);
+  }
+
+  std::vector<std::string> evictions;
+  for (const auto& [name, job] : jobs_) {
+    if (job.session_fd < 0 &&
+        now - job.disconnected_at > options_.reclaim_timeout) {
+      evictions.push_back(name);  // grace expired: drop the seat
+    }
+  }
+  for (const std::string& name : evictions) {
+    evict_job(name);
+  }
+
+  if (parent_ == nullptr) {
+    ensure_parent(/*resend_outstanding=*/true);
+  }
+  try_forward();
+}
+
+}  // namespace ps::net

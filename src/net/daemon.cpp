@@ -17,8 +17,23 @@
 
 namespace ps::net {
 
+namespace {
+
+/// Round-latency bucket edges (seconds): sub-millisecond loopback rounds
+/// through multi-second stalls.
+constexpr double kRoundLatencyBounds[] = {0.0005, 0.001, 0.002, 0.005,
+                                          0.01,   0.02,  0.05,  0.1,
+                                          0.25,   0.5,   1.0,   2.5,
+                                          5.0};
+
+}  // namespace
+
 PowerDaemon::PowerDaemon(const DaemonOptions& options)
-    : options_(options), policy_(core::make_policy(options.policy)) {
+    : options_(options),
+      policy_(core::make_policy(options.policy)),
+      loop_(options.event_backend),
+      sessions_(loop_,
+                [this](int fd) { close_session(fd, /*protocol_error=*/false); }) {
   PS_REQUIRE(options.system_budget_watts > 0.0,
              "system budget must be positive");
   PS_REQUIRE(options.min_jobs > 0, "launch barrier needs at least one job");
@@ -50,6 +65,10 @@ PowerDaemon::PowerDaemon(const DaemonOptions& options)
   stats_.budget_watts = budget_watts_;
   stats_.budget_epoch = budget_epoch_;
   stats_.fence_epoch = fence_epoch_;
+  if (options_.obs.metrics != nullptr) {
+    round_latency_ = &options_.obs.metrics->histogram(
+        "net.daemon.round_seconds", kRoundLatencyBounds);
+  }
   loop_.set_tick(options_.tick_interval, [this] { on_tick(); });
 }
 
@@ -221,19 +240,24 @@ void PowerDaemon::push_budget_to_sessions() {
       serialize(message, core::WireFidelity::kExact));
   std::vector<int> fds;
   fds.reserve(sessions_.size());
-  for (const auto& [fd, session] : sessions_) {
+  for (const auto& [fd, session] : sessions_.map()) {
     if (session.registered) {
       fds.push_back(fd);
     }
   }
   std::size_t pushed = 0;
-  for (const int fd : fds) {
-    const auto it = sessions_.find(fd);
-    if (it == sessions_.end()) {
-      continue;  // an earlier push's flush closed this session
+  {
+    // Coalesce: one flush per session once every push is queued; a dead
+    // peer is closed when the batch drains, never mid-collection.
+    const SessionTable::Batch batch(sessions_);
+    for (const int fd : fds) {
+      NetSession* session = sessions_.find(fd);
+      if (session == nullptr) {
+        continue;  // closed since collection
+      }
+      sessions_.queue_frame(fd, *session, frame);
+      ++pushed;
     }
-    queue_frame(fd, it->second, frame);
-    ++pushed;
   }
   const std::lock_guard<std::mutex> lock(shared_mutex_);
   stats_.budget_pushes += pushed;
@@ -310,13 +334,9 @@ void PowerDaemon::add_session(std::unique_ptr<Transport> transport) {
     PS_REQUIRE(transport != nullptr && transport->valid(),
                "transport wrapper returned an invalid transport");
   }
-  const int fd = transport->fd();
-  Session session;
-  session.transport = std::move(transport);
-  session.last_activity = Clock::now();
-  sessions_.emplace(fd, std::move(session));
-  loop_.add_fd(fd, POLLIN,
-               [this, fd](short revents) { on_session_ready(fd, revents); });
+  sessions_.add(std::move(transport), [this](int fd, short revents) {
+    on_session_ready(fd, revents);
+  });
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.sessions_accepted;
@@ -332,25 +352,27 @@ void PowerDaemon::on_listener_ready(std::size_t listener_index) {
 }
 
 void PowerDaemon::close_session(int fd, bool protocol_error) {
-  const auto it = sessions_.find(fd);
-  if (it == sessions_.end()) {
+  NetSession* session = sessions_.find(fd);
+  if (session == nullptr) {
     return;  // idempotent: double-close (e.g. close during flush) no-ops
   }
-  const bool registered = it->second.registered;
-  const std::string job_name = it->second.job_name;
-  loop_.remove_fd(fd);
+  const bool registered = session->registered;
+  const std::string job_name = session->job_name;
+  const bool is_rack = session->is_rack;
+  const std::vector<std::string> rack_jobs = session->rack_jobs;
   // The peer observes EOF the moment the fd closes, so keep the
   // transport alive until every consequence of this close (protocol
   // error attribution, quarantine, eviction) is recorded: a stats()
   // reader who saw the disconnect must see final counters.
-  const std::unique_ptr<Transport> transport =
-      std::move(it->second.transport);
-  sessions_.erase(it);
+  const std::unique_ptr<Transport> transport = sessions_.remove(fd);
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.sessions_closed;
     if (protocol_error) {
       ++stats_.protocol_errors;
+    }
+    if (is_rack && stats_.rack_sessions > 0) {
+      --stats_.rack_sessions;
     }
   }
   options_.obs.count("net.daemon.sessions_closed");
@@ -358,7 +380,7 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
                     {{"job", job_name}, {"protocol_error", protocol_error}});
 
   bool quarantined = false;
-  if (registered) {
+  if (registered && !is_rack) {
     const auto jit = jobs_.find(job_name);
     // The fd guard keeps a stale close (a late error on a connection the
     // job already replaced) from detaching the job's live session.
@@ -381,6 +403,21 @@ void PowerDaemon::close_session(int fd, bool protocol_error) {
           evict_job(job_name);
           quarantined = true;
         }
+      }
+    }
+  } else if (registered && is_rack) {
+    // Every job the rack carried enters grace together; each is still
+    // reclaimed exactly once (by the ordinary grace-expiry eviction) if
+    // the aggregator does not reconnect in time. Rack protocol errors
+    // are not attributed to individual jobs: an aggregator is trusted
+    // infrastructure, and quarantining a whole rack's jobs for one bad
+    // frame would amplify a transient fault into a mass eviction.
+    const auto now = Clock::now();
+    for (const std::string& name : rack_jobs) {
+      const auto jit = jobs_.find(name);
+      if (jit != jobs_.end() && jit->second.session_fd == fd) {
+        jit->second.session_fd = -1;
+        jit->second.disconnected_at = now;
       }
     }
   }
@@ -461,11 +498,19 @@ void PowerDaemon::evict_job(const std::string& name) {
   jobs_.erase(it);
 
   if (record.session_fd >= 0) {
-    const auto sit = sessions_.find(record.session_fd);
-    if (sit != sessions_.end()) {
-      loop_.remove_fd(record.session_fd);
-      sit->second.transport->close();
-      sessions_.erase(sit);
+    NetSession* session = sessions_.find(record.session_fd);
+    if (session != nullptr && session->is_rack) {
+      // A rack session multiplexes many jobs: evicting one (heartbeat
+      // stall, quarantine) must not sever the aggregator's link and take
+      // the whole rack down with it. Unbind the job and keep serving the
+      // rest of the rack.
+      session->rack_jobs.erase(std::remove(session->rack_jobs.begin(),
+                                           session->rack_jobs.end(), name),
+                               session->rack_jobs.end());
+    } else if (session != nullptr) {
+      const std::unique_ptr<Transport> transport =
+          sessions_.remove(record.session_fd);
+      transport->close();
       const std::lock_guard<std::mutex> lock(shared_mutex_);
       ++stats_.sessions_closed;
     }
@@ -515,16 +560,16 @@ void PowerDaemon::evict_job(const std::string& name) {
 
 void PowerDaemon::on_session_ready(int fd, short revents) {
   {
-    const auto it = sessions_.find(fd);
-    if (it == sessions_.end()) {
+    NetSession* session = sessions_.find(fd);
+    if (session == nullptr) {
       return;
     }
-    Session& session = it->second;
-    session.last_activity = Clock::now();
+    session->last_activity = Clock::now();
 
     if ((revents & POLLOUT) != 0) {
-      flush_outbox(fd, session);
-      if (sessions_.find(fd) == sessions_.end()) {
+      sessions_.flush(fd, *session);
+      session = sessions_.find(fd);
+      if (session == nullptr) {
         return;  // flush hit a dead peer and closed the session
       }
     }
@@ -535,7 +580,7 @@ void PowerDaemon::on_session_ready(int fd, short revents) {
     char buffer[4096];
     for (;;) {
       const IoResult result =
-          session.transport->read_some(buffer, sizeof(buffer));
+          session->transport->read_some(buffer, sizeof(buffer));
       if (result.status == IoStatus::kWouldBlock) {
         break;
       }
@@ -544,10 +589,11 @@ void PowerDaemon::on_session_ready(int fd, short revents) {
         return;
       }
       try {
-        session.decoder.feed(std::string_view(buffer, result.bytes));
-        while (auto payload = session.decoder.next()) {
-          handle_frame(fd, session, *payload);
-          if (sessions_.find(fd) == sessions_.end()) {
+        session->decoder.feed(std::string_view(buffer, result.bytes));
+        while (auto payload = session->decoder.next()) {
+          handle_frame(fd, *session, *payload);
+          session = sessions_.find(fd);
+          if (session == nullptr) {
             return;  // a resend hit a dead peer and closed this session
           }
         }
@@ -562,32 +608,46 @@ void PowerDaemon::on_session_ready(int fd, short revents) {
   try_allocate();
 }
 
-void PowerDaemon::handle_frame(int fd, Session& session,
+void PowerDaemon::handle_frame(int fd, NetSession& session,
                                const std::string& payload) {
-  core::SampleMessage sample = core::parse_sample_message(payload);
+  const core::WireMessageKind kind = core::wire_message_kind(payload);
+  if (kind == core::WireMessageKind::kRackSample) {
+    PS_REQUIRE(options_.root_mode,
+               "rack frames require a root-mode daemon");
+    handle_rack_frame(fd, session, payload);
+    return;
+  }
+  // Everything else must be a sample; parse_sample_message rejects the
+  // rest (including rack frames on a flat daemon) as protocol errors.
+  handle_sample_frame(fd, session, core::parse_sample_message(payload));
+}
+
+PowerDaemon::JobRecord& PowerDaemon::bind_job_record(
+    int fd, const std::string& job_name) {
   const auto now = Clock::now();
-  if (!session.registered) {
-    const auto quarantined = quarantine_.find(sample.job_name);
-    if (quarantined != quarantine_.end()) {
-      if (now < quarantined->second) {
-        {
-          const std::lock_guard<std::mutex> lock(shared_mutex_);
-          ++stats_.quarantine_rejections;
-        }
-        options_.obs.count("net.daemon.quarantine_rejections");
-        throw InvalidArgument("job '" + sample.job_name +
-                              "' is quarantined");
-      }
-      quarantine_.erase(quarantined);  // served its time
+  const auto quarantined = quarantine_.find(job_name);
+  if (quarantined != quarantine_.end()) {
+    if (now < quarantined->second) {
       {
         const std::lock_guard<std::mutex> lock(shared_mutex_);
-        stats_.quarantine_entries = quarantine_.size();
+        ++stats_.quarantine_rejections;
       }
+      options_.obs.count("net.daemon.quarantine_rejections");
+      throw InvalidArgument("job '" + job_name + "' is quarantined");
     }
-    auto it = jobs_.find(sample.job_name);
-    if (it != jobs_.end()) {
-      PS_REQUIRE(it->second.session_fd < 0,
-                 "job '" + sample.job_name + "' is already registered");
+    quarantine_.erase(quarantined);  // served its time
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      stats_.quarantine_entries = quarantine_.size();
+    }
+  }
+  auto it = jobs_.find(job_name);
+  if (it != jobs_.end()) {
+    // A rack session re-binds its own jobs every round (fd already
+    // bound); only a *different* live session is a registration clash.
+    PS_REQUIRE(it->second.session_fd < 0 || it->second.session_fd == fd,
+               "job '" + job_name + "' is already registered");
+    if (it->second.session_fd != fd) {
       it->second.session_fd = fd;
       {
         const std::lock_guard<std::mutex> lock(shared_mutex_);
@@ -595,38 +655,39 @@ void PowerDaemon::handle_frame(int fd, Session& session,
       }
       options_.obs.count("net.daemon.sessions_rehydrated");
       options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "rehydrate",
-                        {{"job", sample.job_name}});
-    } else {
-      JobRecord record;
-      record.session_fd = fd;
-      it = jobs_.emplace(sample.job_name, std::move(record)).first;
-    }
-    session.job_name = sample.job_name;
-    session.registered = true;
-    if (budget_epoch_ > 0) {
-      // Resync: a client registering (or reconnecting after an outage)
-      // must hear the current budget epoch before any caps, or it would
-      // reject them as stale / accept superseded ones.
-      core::BudgetMessage budget;
-      budget.epoch = budget_epoch_;
-      budget.budget_watts = budget_watts_;
-      queue_frame(fd, session,
-                  encode_frame(serialize(budget, core::WireFidelity::kExact)));
-      if (sessions_.find(fd) == sessions_.end()) {
-        throw InvalidArgument("session closed during budget resync");
-      }
-      const std::lock_guard<std::mutex> lock(shared_mutex_);
-      ++stats_.budget_pushes;
+                        {{"job", job_name}});
     }
   } else {
-    PS_REQUIRE(sample.job_name == session.job_name,
-               "session is bound to job '" + session.job_name + "'");
+    JobRecord record;
+    record.session_fd = fd;
+    it = jobs_.emplace(job_name, std::move(record)).first;
   }
+  return it->second;
+}
 
-  JobRecord& record = jobs_.at(session.job_name);
-  const std::uint64_t sequence = sample.sequence;
+void PowerDaemon::send_budget_resync(int fd, NetSession& session) {
+  if (budget_epoch_ == 0) {
+    return;
+  }
+  // Resync: a client registering (or reconnecting after an outage)
+  // must hear the current budget epoch before any caps, or it would
+  // reject them as stale / accept superseded ones.
+  core::BudgetMessage budget;
+  budget.epoch = budget_epoch_;
+  budget.budget_watts = budget_watts_;
+  sessions_.queue_frame(
+      fd, session,
+      encode_frame(serialize(budget, core::WireFidelity::kExact)));
+  if (!sessions_.contains(fd)) {
+    throw InvalidArgument("session closed during budget resync");
+  }
+  const std::lock_guard<std::mutex> lock(shared_mutex_);
+  ++stats_.budget_pushes;
+}
 
-  if (record.have_policy && record.last_sequence >= sequence) {
+bool PowerDaemon::offer_sample(JobRecord& record, core::SampleMessage sample,
+                               Clock::time_point now) {
+  if (record.have_policy && record.last_sequence >= sample.sequence) {
     // A sequence the daemon already answered: the reply was lost (to a
     // drop, a corrupted frame, or a daemon restart). Resending the
     // stored caps — instead of re-running the round — keeps a retried
@@ -637,10 +698,8 @@ void PowerDaemon::handle_frame(int fd, Session& session,
       ++stats_.samples_stale;
     }
     options_.obs.count("net.daemon.samples_stale");
-    resend_last_policy(fd, session, record);
-    return;
+    return true;
   }
-
   const bool accepted = record.latch.offer(std::move(sample));
   if (accepted) {
     // The heartbeat clock measures fresh-sample progress, not traffic: a
@@ -657,12 +716,98 @@ void PowerDaemon::handle_frame(int fd, Session& session,
   if (!accepted) {
     options_.obs.count("net.daemon.samples_stale");
   }
+  return false;
 }
 
-void PowerDaemon::resend_last_policy(int fd, Session& session,
-                                     JobRecord& record) {
+void PowerDaemon::handle_sample_frame(int fd, NetSession& session,
+                                      core::SampleMessage sample) {
+  PS_REQUIRE(!session.is_rack,
+             "rack session sent a flat sample message");
+  if (!session.registered) {
+    bind_job_record(fd, sample.job_name);
+    session.job_name = sample.job_name;
+    session.registered = true;
+    send_budget_resync(fd, session);
+  } else {
+    PS_REQUIRE(sample.job_name == session.job_name,
+               "session is bound to job '" + session.job_name + "'");
+  }
+  JobRecord& record = jobs_.at(session.job_name);
+  if (offer_sample(record, std::move(sample), Clock::now())) {
+    resend_last_policy(fd, session, record);
+  }
+}
+
+void PowerDaemon::handle_rack_frame(int fd, NetSession& session,
+                                    const std::string& payload) {
+  core::RackSampleMessage rack = core::parse_rack_sample_message(payload);
+  if (!session.registered) {
+    session.registered = true;
+    session.is_rack = true;
+    session.rack_name = rack.rack;
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.rack_sessions;
+    }
+    options_.obs.count("net.daemon.rack_sessions_registered");
+    options_.obs.emit(completed_rounds(), obs::cat::kNetIo, "rack_register",
+                      {{"rack", rack.rack}});
+    send_budget_resync(fd, session);
+  } else {
+    PS_REQUIRE(session.is_rack, "flat session sent a rack frame");
+    PS_REQUIRE(rack.rack == session.rack_name,
+               "session is bound to rack '" + session.rack_name + "'");
+  }
+
+  const auto now = Clock::now();
+  core::RackPolicyMessage resend;
+  resend.rack = session.rack_name;
+  for (core::SampleMessage& sample : rack.samples) {
+    const std::string job_name = sample.job_name;
+    JobRecord& record = bind_job_record(fd, job_name);
+    if (std::find(session.rack_jobs.begin(), session.rack_jobs.end(),
+                  job_name) == session.rack_jobs.end()) {
+      session.rack_jobs.push_back(job_name);
+    }
+    if (offer_sample(record, std::move(sample), now)) {
+      resend.policies.push_back(stored_policy(job_name, record));
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shared_mutex_);
+    ++stats_.rack_frames_received;
+  }
+  options_.obs.count("net.daemon.rack_frames_received");
+
+  if (!resend.policies.empty()) {
+    // Already-answered rounds (post-crash reconnects, lost replies) get
+    // one batched resend of the stored caps, mirroring the flat path's
+    // per-job resend.
+    for (const core::PolicyMessage& policy : resend.policies) {
+      resend.round = std::max(resend.round, policy.sequence);
+      for (const double cap : policy.host_caps_watts) {
+        resend.rack_budget_watts += cap;
+      }
+      for (const double cap : policy.host_gpu_caps_watts) {
+        resend.rack_budget_watts += cap;
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(shared_mutex_);
+      ++stats_.rack_policies_resent;
+      stats_.policies_resent += resend.policies.size();
+    }
+    options_.obs.count("net.daemon.rack_policies_resent");
+    sessions_.queue_frame(
+        fd, session,
+        encode_frame(serialize(resend, core::WireFidelity::kExact)));
+  }
+}
+
+core::PolicyMessage PowerDaemon::stored_policy(
+    const std::string& name, const JobRecord& record) const {
   core::PolicyMessage message;
-  message.job_name = session.job_name;
+  message.job_name = name;
   message.sequence = record.last_sequence;
   message.host_caps_watts = record.last_caps_watts;
   message.host_gpu_caps_watts = record.last_gpu_caps_watts;
@@ -675,40 +820,23 @@ void PowerDaemon::resend_last_policy(int fd, Session& session,
   // primary's resends carry its superseded fence, which is exactly what
   // lets a failed-over client refuse them.
   message.fence_epoch = fence_epoch_;
+  return message;
+}
+
+void PowerDaemon::resend_last_policy(int fd, NetSession& session,
+                                     JobRecord& record) {
   {
     const std::lock_guard<std::mutex> lock(shared_mutex_);
     ++stats_.policies_resent;
   }
-  queue_message(fd, session, message);
+  queue_message(fd, session, stored_policy(session.job_name, record));
 }
 
-void PowerDaemon::queue_frame(int fd, Session& session,
-                              const std::string& frame) {
-  session.outbox.append(frame);
-  flush_outbox(fd, session);
-}
-
-void PowerDaemon::queue_message(int fd, Session& session,
+void PowerDaemon::queue_message(int fd, NetSession& session,
                                 const core::PolicyMessage& message) {
-  queue_frame(fd, session,
-              encode_frame(serialize(message, core::WireFidelity::kExact)));
-}
-
-void PowerDaemon::flush_outbox(int fd, Session& session) {
-  while (!session.outbox.empty()) {
-    const IoResult result = session.transport->write_some(session.outbox);
-    if (result.status == IoStatus::kOk) {
-      session.outbox.erase(0, result.bytes);
-      continue;
-    }
-    if (result.status == IoStatus::kWouldBlock) {
-      loop_.set_events(fd, POLLIN | POLLOUT);
-      return;
-    }
-    close_session(fd, /*protocol_error=*/false);
-    return;
-  }
-  loop_.set_events(fd, POLLIN);
+  sessions_.queue_frame(
+      fd, session,
+      encode_frame(serialize(message, core::WireFidelity::kExact)));
 }
 
 void PowerDaemon::try_allocate() {
@@ -759,6 +887,10 @@ void PowerDaemon::allocate_once() {
       return;  // wait until every job has reported this round
     }
   }
+  // Round latency is measured from the barrier (last sample in) to the
+  // last coalesced frame flushed: the daemon-side share of what a client
+  // experiences as round-trip time at this level of the tree.
+  const auto round_start = Clock::now();
 
   // jobs_ is keyed by name, so iteration order is the deterministic
   // job-name order: the allocation must not depend on fd values or
@@ -969,21 +1101,67 @@ void PowerDaemon::allocate_once() {
   maybe_write_snapshot();
 
   std::size_t sent = 0;
-  for (std::size_t j = 0; j < samples.size(); ++j) {
-    const auto it = jobs_.find(names[j]);
-    if (it == jobs_.end() || it->second.session_fd < 0) {
-      continue;  // in grace: caps are stored, resent on reconnect
+  std::size_t rack_frames = 0;
+  std::size_t fanout_sessions = 0;
+  {
+    // Coalesce the whole round's fan-out: each session is flushed once
+    // at batch close, so a round writes one frame run per peer instead
+    // of one write(2) per policy.
+    const SessionTable::Batch batch(sessions_);
+    std::map<int, core::RackPolicyMessage> rack_replies;
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      const auto it = jobs_.find(names[j]);
+      if (it == jobs_.end() || it->second.session_fd < 0) {
+        continue;  // in grace: caps are stored, resent on reconnect
+      }
+      const int fd = it->second.session_fd;
+      NetSession* session = sessions_.find(fd);
+      if (session == nullptr) {
+        continue;
+      }
+      if (session->is_rack) {
+        // One batched rack-policy frame per aggregator, not one frame
+        // per job: the rack budget it carries is the sum of its jobs'
+        // caps, i.e. the rack's renegotiated share for this epoch.
+        core::RackPolicyMessage& reply = rack_replies[fd];
+        reply.rack = session->rack_name;
+        reply.round = std::max(reply.round, messages[j].sequence);
+        for (const double cap : messages[j].host_caps_watts) {
+          reply.rack_budget_watts += cap;
+        }
+        for (const double cap : messages[j].host_gpu_caps_watts) {
+          reply.rack_budget_watts += cap;
+        }
+        reply.policies.push_back(messages[j]);
+      } else {
+        queue_message(fd, *session, messages[j]);
+        ++fanout_sessions;
+      }
+      ++sent;
     }
-    const int fd = it->second.session_fd;
-    const auto sit = sessions_.find(fd);
-    if (sit == sessions_.end()) {
-      continue;
+    for (auto& [fd, reply] : rack_replies) {
+      NetSession* session = sessions_.find(fd);
+      if (session == nullptr) {
+        continue;  // closed while queueing its peers' frames
+      }
+      sessions_.queue_frame(
+          fd, *session,
+          encode_frame(serialize(reply, core::WireFidelity::kExact)));
+      ++rack_frames;
+      ++fanout_sessions;
     }
-    queue_message(fd, sit->second, messages[j]);
-    ++sent;
   }
+  if (round_latency_ != nullptr) {
+    round_latency_->observe(
+        std::chrono::duration<double>(Clock::now() - round_start).count());
+  }
+  options_.obs.set_gauge("net.daemon.fanout",
+                         static_cast<double>(fanout_sessions));
+  options_.obs.set_gauge("net.daemon.racks",
+                         static_cast<double>(rack_frames));
   const std::lock_guard<std::mutex> lock(shared_mutex_);
   stats_.policies_sent += sent;
+  stats_.rack_policies_sent += rack_frames;
 }
 
 void PowerDaemon::maybe_write_snapshot() {
@@ -1044,13 +1222,7 @@ void PowerDaemon::on_tick() {
   const auto now = Clock::now();
   prune_quarantine(now);
 
-  std::vector<int> expired;
-  for (const auto& [fd, session] : sessions_) {
-    if (now - session.last_activity > options_.idle_timeout) {
-      expired.push_back(fd);
-    }
-  }
-  for (const int fd : expired) {
+  for (const int fd : sessions_.idle_fds(now, options_.idle_timeout)) {
     {
       const std::lock_guard<std::mutex> lock(shared_mutex_);
       ++stats_.sessions_timed_out;

@@ -15,9 +15,11 @@
 #include "core/policy.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/session.hpp"
 #include "net/snapshot.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 
 namespace ps::net {
@@ -38,6 +40,20 @@ struct DaemonOptions {
   /// Connections silent for longer than this are closed on a tick.
   std::chrono::milliseconds idle_timeout{30'000};
   std::chrono::milliseconds tick_interval{100};
+
+  /// Root mode: additionally accept rack-aggregate frames from per-rack
+  /// AggregatorDaemons (the two-level daemon tree). One rack session
+  /// carries many jobs; the root allocates over the union of all jobs
+  /// exactly as a flat daemon would — sharding changes the fan-out
+  /// topology, not a single watt — and replies one batched rack-policy
+  /// frame per rack per round, whose rack budget it renegotiates every
+  /// epoch as the sum of that rack's caps. Off by default: a flat daemon
+  /// rejects rack frames as protocol errors, keeping the v1 contract
+  /// strict.
+  bool root_mode = false;
+  /// Readiness backend for the event loop (poll or epoll), selectable at
+  /// construction; defaults to PS_EVENT_BACKEND / platform default.
+  EventBackend event_backend = default_event_backend();
 
   /// Disconnect grace: a registered job keeps its seat (and its watts)
   /// this long after its connection drops, so a client that reconnects
@@ -159,6 +175,12 @@ struct DaemonStats {
   /// entry count and how many were dropped at the bound.
   std::size_t quarantine_entries = 0;
   std::size_t quarantine_entries_dropped = 0;
+
+  /// Hierarchical-coordination accounting (root mode).
+  std::size_t rack_sessions = 0;        ///< Registered racks, current.
+  std::size_t rack_frames_received = 0; ///< Aggregate sample frames in.
+  std::size_t rack_policies_sent = 0;   ///< Batched policy frames out.
+  std::size_t rack_policies_resent = 0; ///< Batched stale-round resends.
 };
 
 /// The resource-manager power daemon: accepts many concurrent runtime
@@ -232,15 +254,6 @@ class PowerDaemon {
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct Session {
-    std::unique_ptr<Transport> transport;
-    FrameDecoder decoder;
-    std::string outbox;
-    std::string job_name;
-    bool registered = false;
-    Clock::time_point last_activity;
-  };
-
   /// A job's seat at the coordination table. Outlives its connection: a
   /// record persists across reconnects (and, via the snapshot, across
   /// daemon restarts) until the job is evicted.
@@ -261,14 +274,28 @@ class PowerDaemon {
   void adopt_pending_transports();
   void on_listener_ready(std::size_t listener_index);
   void on_session_ready(int fd, short revents);
-  void handle_frame(int fd, Session& session, const std::string& payload);
+  void handle_frame(int fd, NetSession& session, const std::string& payload);
+  void handle_sample_frame(int fd, NetSession& session,
+                           core::SampleMessage sample);
+  void handle_rack_frame(int fd, NetSession& session,
+                         const std::string& payload);
+  /// Quarantine gate + job-record attach for one sample's job.
+  JobRecord& bind_job_record(int fd, const std::string& job_name);
+  /// Registration-time budget-epoch resync push (throws if the push
+  /// kills the session).
+  void send_budget_resync(int fd, NetSession& session);
+  /// Returns true when the sequence was already answered — the caller
+  /// must resend the stored caps; otherwise offers the sample.
+  bool offer_sample(JobRecord& record, core::SampleMessage sample,
+                    Clock::time_point now);
   void close_session(int fd, bool protocol_error);
   void evict_job(const std::string& name);
-  void flush_outbox(int fd, Session& session);
-  void queue_frame(int fd, Session& session, const std::string& frame);
-  void queue_message(int fd, Session& session,
+  void queue_message(int fd, NetSession& session,
                      const core::PolicyMessage& message);
-  void resend_last_policy(int fd, Session& session, JobRecord& record);
+  [[nodiscard]] core::PolicyMessage stored_policy(const std::string& name,
+                                                  const JobRecord& record)
+      const;
+  void resend_last_policy(int fd, NetSession& session, JobRecord& record);
   void try_allocate();
   void allocate_once();
   void maybe_write_snapshot();
@@ -288,9 +315,12 @@ class PowerDaemon {
   std::unique_ptr<core::Policy> policy_;
   EventLoop loop_;
   std::vector<Listener> listeners_;
-  std::map<int, Session> sessions_;
+  SessionTable sessions_;
   /// Name-keyed: iteration order is the deterministic round order.
   std::map<std::string, JobRecord> jobs_;
+  /// Per-level round latency (barrier satisfied -> replies flushed) and
+  /// fan-out gauges; null when no metrics registry is attached.
+  obs::Histogram* round_latency_ = nullptr;
   std::map<std::string, Clock::time_point> quarantine_;
   bool launch_barrier_met_ = false;
   std::uint64_t allocation_epoch_base_ = 0;  ///< From a restored snapshot.

@@ -3,17 +3,79 @@
 #include <algorithm>
 #include <cerrno>
 #include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
 #include <poll.h>
+#include <string_view>
 #include <unistd.h>
 #include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 #include "util/error.hpp"
 
 namespace ps::net {
 
-EventLoop::EventLoop() {
+namespace {
+
+#ifdef __linux__
+std::uint32_t to_epoll_events(short events) {
+  std::uint32_t out = 0;
+  if ((events & POLLIN) != 0) {
+    out |= EPOLLIN;
+  }
+  if ((events & POLLOUT) != 0) {
+    out |= EPOLLOUT;
+  }
+  return out;
+}
+
+short to_poll_revents(std::uint32_t events) {
+  short out = 0;
+  if ((events & EPOLLIN) != 0) {
+    out |= POLLIN;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    out |= POLLOUT;
+  }
+  if ((events & EPOLLERR) != 0) {
+    out |= POLLERR;
+  }
+  if ((events & EPOLLHUP) != 0) {
+    out |= POLLHUP;
+  }
+  return out;
+}
+#endif
+
+}  // namespace
+
+EventBackend default_event_backend() {
+  if (const char* env = std::getenv("PS_EVENT_BACKEND")) {
+    const std::string_view value(env);
+    if (value == "poll") {
+      return EventBackend::kPoll;
+    }
+    if (value == "epoll") {
+      return EventBackend::kEpoll;
+    }
+    throw InvalidArgument("PS_EVENT_BACKEND must be 'poll' or 'epoll'");
+  }
+#ifdef __linux__
+  return EventBackend::kEpoll;
+#else
+  return EventBackend::kPoll;
+#endif
+}
+
+const char* to_string(EventBackend backend) noexcept {
+  return backend == EventBackend::kEpoll ? "epoll" : "poll";
+}
+
+EventLoop::EventLoop(EventBackend backend) : backend_(backend) {
   int fds[2];
   if (::pipe(fds) < 0) {
     throw Error(std::string("pipe: ") + std::strerror(errno));
@@ -25,27 +87,109 @@ EventLoop::EventLoop() {
   }
   wake_read_fd_ = fds[0];
   wake_write_fd_ = fds[1];
+
+#ifdef __linux__
+  if (backend_ == EventBackend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      backend_ = EventBackend::kPoll;  // fall back, never fail construction
+    } else {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_read_fd_;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) < 0) {
+        ::close(epoll_fd_);
+        epoll_fd_ = -1;
+        backend_ = EventBackend::kPoll;
+      }
+    }
+  }
+#else
+  backend_ = EventBackend::kPoll;
+#endif
 }
 
 EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+  }
   ::close(wake_read_fd_);
   ::close(wake_write_fd_);
+}
+
+void EventLoop::backend_add(int fd, short events) {
+#ifdef __linux__
+  if (epoll_fd_ < 0) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = to_epoll_events(events);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (errno == EEXIST) {
+      // add_fd() over an existing registration replaces it, mirroring
+      // the map assignment on the poll backend.
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0) {
+        return;
+      }
+    }
+    throw Error(std::string("epoll_ctl(add): ") + std::strerror(errno));
+  }
+#else
+  static_cast<void>(fd);
+  static_cast<void>(events);
+#endif
+}
+
+void EventLoop::backend_mod(int fd, short events) {
+#ifdef __linux__
+  if (epoll_fd_ < 0) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = to_epoll_events(events);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw Error(std::string("epoll_ctl(mod): ") + std::strerror(errno));
+  }
+#else
+  static_cast<void>(fd);
+  static_cast<void>(events);
+#endif
+}
+
+void EventLoop::backend_del(int fd) noexcept {
+#ifdef __linux__
+  if (epoll_fd_ < 0) {
+    return;
+  }
+  // Best effort: a closed fd has already left the interest set, so
+  // EBADF/ENOENT here are expected, not errors.
+  epoll_event ev{};
+  static_cast<void>(::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev));
+#else
+  static_cast<void>(fd);
+#endif
 }
 
 void EventLoop::add_fd(int fd, short events, FdCallback callback) {
   PS_REQUIRE(fd >= 0, "cannot watch an invalid fd");
   PS_REQUIRE(callback != nullptr, "fd callback must not be empty");
   registrations_[fd] = Registration{events, std::move(callback)};
+  backend_add(fd, events);
 }
 
 void EventLoop::set_events(int fd, short events) {
   const auto it = registrations_.find(fd);
   PS_REQUIRE(it != registrations_.end(), "fd is not registered");
   it->second.events = events;
+  backend_mod(fd, events);
 }
 
 void EventLoop::remove_fd(int fd) {
-  registrations_.erase(fd);
+  if (registrations_.erase(fd) > 0) {
+    backend_del(fd);
+  }
 }
 
 void EventLoop::set_tick(std::chrono::milliseconds interval,
@@ -70,18 +214,7 @@ void EventLoop::fire_tick_if_due() {
   on_tick_();
 }
 
-bool EventLoop::run_once(std::chrono::milliseconds timeout) {
-  if (stopped()) {
-    return false;
-  }
-
-  std::vector<pollfd> pollfds;
-  pollfds.reserve(registrations_.size() + 1);
-  pollfds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
-  for (const auto& [fd, registration] : registrations_) {
-    pollfds.push_back(pollfd{fd, registration.events, 0});
-  }
-
+int EventLoop::wait_timeout_ms(std::chrono::milliseconds timeout) const {
   auto wait = timeout;
   if (on_tick_) {
     const auto until_tick =
@@ -90,13 +223,36 @@ bool EventLoop::run_once(std::chrono::milliseconds timeout) {
     const auto clamped = std::max(std::chrono::milliseconds(0), until_tick);
     wait = wait.count() < 0 ? clamped : std::min(wait, clamped);
   }
-  const int timeout_ms =
-      wait.count() < 0
-          ? -1
-          : static_cast<int>(std::min<std::chrono::milliseconds::rep>(
-                wait.count(), INT_MAX));
+  return wait.count() < 0
+             ? -1
+             : static_cast<int>(std::min<std::chrono::milliseconds::rep>(
+                   wait.count(), INT_MAX));
+}
 
-  const int ready = ::poll(pollfds.data(), pollfds.size(), timeout_ms);
+void EventLoop::drain_wake_pipe() {
+  char sink[64];
+  while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+  }
+}
+
+bool EventLoop::run_once(std::chrono::milliseconds timeout) {
+  if (stopped()) {
+    return false;
+  }
+  return backend_ == EventBackend::kEpoll ? run_once_epoll(timeout)
+                                          : run_once_poll(timeout);
+}
+
+bool EventLoop::run_once_poll(std::chrono::milliseconds timeout) {
+  std::vector<pollfd> pollfds;
+  pollfds.reserve(registrations_.size() + 1);
+  pollfds.push_back(pollfd{wake_read_fd_, POLLIN, 0});
+  for (const auto& [fd, registration] : registrations_) {
+    pollfds.push_back(pollfd{fd, registration.events, 0});
+  }
+
+  const int ready =
+      ::poll(pollfds.data(), pollfds.size(), wait_timeout_ms(timeout));
   if (ready < 0) {
     if (errno == EINTR) {
       return !stopped();
@@ -106,9 +262,7 @@ bool EventLoop::run_once(std::chrono::milliseconds timeout) {
 
   // Drain wake-up bytes first so a stop() requested mid-cycle is seen.
   if ((pollfds[0].revents & POLLIN) != 0) {
-    char sink[64];
-    while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
-    }
+    drain_wake_pipe();
   }
 
   for (std::size_t i = 1; i < pollfds.size(); ++i) {
@@ -131,6 +285,54 @@ bool EventLoop::run_once(std::chrono::milliseconds timeout) {
 
   fire_tick_if_due();
   return !stopped();
+}
+
+bool EventLoop::run_once_epoll(std::chrono::milliseconds timeout) {
+#ifdef __linux__
+  epoll_event events[128];
+  const int ready = ::epoll_wait(epoll_fd_, events,
+                                 static_cast<int>(std::size(events)),
+                                 wait_timeout_ms(timeout));
+  if (ready < 0) {
+    if (errno == EINTR) {
+      return !stopped();
+    }
+    throw Error(std::string("epoll_wait: ") + std::strerror(errno));
+  }
+
+  // Drain wake-up bytes first so a stop() requested mid-cycle is seen.
+  for (int i = 0; i < ready; ++i) {
+    if (events[i].data.fd == wake_read_fd_) {
+      drain_wake_pipe();
+      break;
+    }
+  }
+
+  for (int i = 0; i < ready; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_read_fd_) {
+      continue;
+    }
+    const short revents = to_poll_revents(events[i].events);
+    if (revents == 0) {
+      continue;
+    }
+    const auto it = registrations_.find(fd);
+    if (it == registrations_.end()) {
+      continue;  // removed by an earlier callback this cycle
+    }
+    const FdCallback callback = it->second.callback;
+    callback(revents);
+    if (stopped()) {
+      return false;
+    }
+  }
+
+  fire_tick_if_due();
+  return !stopped();
+#else
+  return run_once_poll(timeout);
+#endif
 }
 
 void EventLoop::run() {

@@ -1,0 +1,120 @@
+#include "net/session.hpp"
+
+#include <poll.h>
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace ps::net {
+
+SessionTable::SessionTable(EventLoop& loop,
+                           std::function<void(int fd)> on_dead_peer)
+    : loop_(loop), on_dead_peer_(std::move(on_dead_peer)) {
+  PS_REQUIRE(on_dead_peer_ != nullptr, "dead-peer callback must be set");
+}
+
+int SessionTable::add(std::unique_ptr<Transport> transport,
+                      std::function<void(int fd, short revents)> on_ready) {
+  PS_REQUIRE(transport != nullptr && transport->valid(),
+             "cannot add an invalid transport");
+  PS_REQUIRE(on_ready != nullptr, "ready callback must be set");
+  const int fd = transport->fd();
+  NetSession session;
+  session.transport = std::move(transport);
+  session.last_activity = Clock::now();
+  map_.emplace(fd, std::move(session));
+  loop_.add_fd(fd, POLLIN, [on_ready = std::move(on_ready), fd](
+                               short revents) { on_ready(fd, revents); });
+  return fd;
+}
+
+NetSession* SessionTable::find(int fd) {
+  const auto it = map_.find(fd);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+bool SessionTable::contains(int fd) const {
+  return map_.find(fd) != map_.end();
+}
+
+std::unique_ptr<Transport> SessionTable::remove(int fd) {
+  const auto it = map_.find(fd);
+  if (it == map_.end()) {
+    return nullptr;
+  }
+  loop_.remove_fd(fd);
+  std::unique_ptr<Transport> transport = std::move(it->second.transport);
+  map_.erase(it);
+  return transport;
+}
+
+void SessionTable::queue_frame(int fd, NetSession& session,
+                               std::string_view frame) {
+  session.outbox.append(frame);
+  if (corked_) {
+    pending_flush_.push_back(fd);
+    return;
+  }
+  flush(fd, session);
+}
+
+void SessionTable::flush(int fd, NetSession& session) {
+  while (!session.outbox.empty()) {
+    const IoResult result = session.transport->write_some(session.outbox);
+    if (result.status == IoStatus::kOk) {
+      session.outbox.erase(0, result.bytes);
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      loop_.set_events(fd, POLLIN | POLLOUT);
+      return;
+    }
+    on_dead_peer_(fd);
+    return;
+  }
+  loop_.set_events(fd, POLLIN);
+}
+
+std::vector<int> SessionTable::idle_fds(
+    Clock::time_point now, std::chrono::milliseconds idle_timeout) const {
+  std::vector<int> expired;
+  for (const auto& [fd, session] : map_) {
+    if (now - session.last_activity > idle_timeout) {
+      expired.push_back(fd);
+    }
+  }
+  return expired;
+}
+
+void SessionTable::flush_pending() {
+  // A flush may close sessions (erasing map entries) or queue follow-up
+  // frames (repopulating pending_flush_), so drain by swapping and
+  // re-finding every fd rather than holding iterators.
+  while (!pending_flush_.empty()) {
+    std::vector<int> fds;
+    fds.swap(pending_flush_);
+    for (const int fd : fds) {
+      const auto it = map_.find(fd);
+      if (it == map_.end() || it->second.outbox.empty()) {
+        continue;  // closed meanwhile, or an earlier pass drained it
+      }
+      flush(fd, it->second);
+    }
+  }
+}
+
+SessionTable::Batch::Batch(SessionTable& table)
+    : table_(table), engaged_(!table.corked_) {
+  table.corked_ = true;
+}
+
+SessionTable::Batch::~Batch() noexcept(false) {
+  if (!engaged_) {
+    return;
+  }
+  table_.corked_ = false;
+  table_.flush_pending();
+}
+
+}  // namespace ps::net

@@ -41,6 +41,24 @@ std::uint64_t HistogramSnapshot::total() const noexcept {
   return total;
 }
 
+double histogram_quantile(const HistogramSnapshot& snapshot, double q) {
+  const std::uint64_t total = snapshot.total();
+  if (total == 0 || snapshot.bounds.empty()) {
+    return 0.0;
+  }
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < snapshot.counts.size(); ++i) {
+    seen += snapshot.counts[i];
+    if (seen > rank) {
+      return i < snapshot.bounds.size() ? snapshot.bounds[i]
+                                        : snapshot.bounds.back();
+    }
+  }
+  return snapshot.bounds.back();
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
   PS_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket edge");

@@ -50,6 +50,12 @@ struct HistogramSnapshot {
   [[nodiscard]] std::uint64_t total() const noexcept;
 };
 
+/// Conservative quantile from a fixed-bucket histogram: the upper edge of
+/// the bucket holding the q-th observation (overflow reports the last
+/// bound — nothing above it is resolvable). 0.0 on an empty snapshot.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& snapshot,
+                                        double q);
+
 /// Fixed-bucket histogram. `bounds` are strictly increasing, finite
 /// bucket *lower* edges: an observation v lands in
 ///

@@ -1,0 +1,290 @@
+// Hierarchy chaos scenario: the two-level daemon tree (root + two rack
+// aggregators) serving the standard four-job mix with seeded fault
+// injection on every leaf link, a scheduled brownout, and a mid-run
+// aggregator kill-and-restart — and the mix must still land watt-for-
+// watt on the fault-free in-memory CoordinationLoop::run_dynamic replay,
+// with zero runtime-invariant violations under fatal enforcement. CI
+// runs this seeded (PS_FAULT_SEED in {11, 29, 47}) under ASan/UBSan
+// with --repeat until-fail:3.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/coordination.hpp"
+#include "core/invariants.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/agent.hpp"
+#include "net/aggregator.hpp"
+#include "net/client.hpp"
+#include "net/daemon.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ps::fault {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string unique_path(const std::string& tag) {
+  return "/tmp/ps-hchaos-" + tag + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+std::uint64_t scenario_seed() {
+  if (const char* env = std::getenv("PS_FAULT_SEED")) {
+    return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 11;  // the default fixed seed; CI also runs 29 and 47
+}
+
+kernel::WorkloadConfig wasteful_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 8.0;
+  config.waiting_fraction = 0.5;
+  config.imbalance = 3.0;
+  return config;
+}
+
+kernel::WorkloadConfig hungry_config() {
+  kernel::WorkloadConfig config;
+  config.intensity = 32.0;
+  return config;
+}
+
+struct Mix {
+  explicit Mix(std::size_t hosts_per_job = 4) {
+    const std::vector<std::pair<std::string, kernel::WorkloadConfig>> spec =
+        {{"a-wasteful", wasteful_config()},
+         {"b-hungry", hungry_config()},
+         {"c-wasteful", wasteful_config()},
+         {"d-hungry", hungry_config()}};
+    cluster = std::make_unique<sim::Cluster>(hosts_per_job * spec.size());
+    for (std::size_t j = 0; j < spec.size(); ++j) {
+      std::vector<hw::NodeModel*> hosts;
+      for (std::size_t h = 0; h < hosts_per_job; ++h) {
+        hosts.push_back(&cluster->node(j * hosts_per_job + h));
+      }
+      jobs.push_back(std::make_unique<sim::JobSimulation>(
+          spec[j].first, std::move(hosts), spec[j].second));
+    }
+  }
+
+  std::unique_ptr<sim::Cluster> cluster;
+  std::vector<std::unique_ptr<sim::JobSimulation>> jobs;
+};
+
+net::AggregatorOptions rack_options(const std::string& rack,
+                                    const std::string& parent_path) {
+  net::AggregatorOptions options;
+  options.rack = rack;
+  options.min_jobs = 2;
+  options.tick_interval = milliseconds(10);
+  options.reclaim_timeout = milliseconds(30'000);
+  options.parent_connector =
+      [parent_path]() -> std::unique_ptr<net::Transport> {
+    try {
+      return net::make_transport(net::connect_unix(parent_path));
+    } catch (const Error&) {
+      return nullptr;
+    }
+  };
+  return options;
+}
+
+TEST(HierarchyChaosTest, FaultyTreeWithAggregatorCrashMatchesReplay) {
+  const std::uint64_t seed = scenario_seed();
+  RecordProperty("ps_fault_seed", static_cast<int>(seed));
+  std::cout << "[ PS_FAULT_SEED ] " << seed << "\n";
+
+  const core::invariants::Mode previous_mode = core::invariants::mode();
+  core::invariants::set_mode(core::invariants::Mode::kFatal);
+  core::invariants::reset();
+
+  const double budget = 16.0 * 230.0;  // 3680 W
+  const std::size_t iterations = 20;   // 10 before the crash, 10 after
+
+  std::vector<core::BudgetRevision> schedule(2);
+  schedule[0].epoch = 1;
+  schedule[0].budget_watts = 0.9 * budget;
+  schedule[0].at_epoch = 1;
+  schedule[1].epoch = 2;
+  schedule[1].budget_watts = 0.7 * budget;  // the brownout
+  schedule[1].at_epoch = 2;
+  schedule[1].emergency = true;
+
+  // Reference: the fault-free in-memory dynamic loop.
+  Mix reference;
+  std::vector<sim::JobSimulation*> reference_jobs;
+  for (const auto& job : reference.jobs) {
+    reference_jobs.push_back(job.get());
+  }
+  core::CoordinationLoop loop(budget);
+  static_cast<void>(
+      loop.run_dynamic(reference_jobs, iterations, {}, schedule, nullptr,
+                       nullptr));
+
+  // The tree under chaos: every client <-> aggregator link runs a seeded
+  // fault plan (drops, partial I/O, corruption, duplicates, delays); the
+  // aggregator <-> root links stay clean — their failure mode is the
+  // aggregator crash itself, injected between the halves.
+  Mix tree;
+  const std::string root_path = unique_path("root");
+  const std::string rack_a_path = unique_path("rackA");
+  const std::string rack_b_path = unique_path("rackB");
+
+  net::DaemonOptions root_options;
+  root_options.system_budget_watts = budget;
+  root_options.node_tdp_watts = tree.cluster->node(0).tdp();
+  root_options.uncappable_watts = tree.cluster->node(0).params().dram_watts;
+  root_options.min_jobs = tree.jobs.size();
+  root_options.tick_interval = milliseconds(20);
+  root_options.budget_revisions = schedule;
+  root_options.root_mode = true;
+  root_options.reclaim_timeout = milliseconds(30'000);
+  root_options.heartbeat_timeout = milliseconds(60'000);
+  root_options.quarantine_errors = 100;
+  net::PowerDaemon root(root_options);
+  root.listen_unix(root_path);
+  std::thread root_thread([&root] { root.run(); });
+
+  const auto start_aggregator = [](net::AggregatorDaemon& aggregator,
+                                   const std::string& path) {
+    aggregator.listen_unix(path);
+    return std::thread([&aggregator] { aggregator.run(); });
+  };
+
+  auto rack_a = std::make_unique<net::AggregatorDaemon>(
+      rack_options("rackA", root_path));
+  std::thread rack_a_thread = start_aggregator(*rack_a, rack_a_path);
+  auto rack_b = std::make_unique<net::AggregatorDaemon>(
+      rack_options("rackB", root_path));
+  std::thread rack_b_thread = start_aggregator(*rack_b, rack_b_path);
+
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.max_faults = 10;
+  spec.drop_probability = 0.05;
+  spec.partial_probability = 0.12;
+  spec.corrupt_probability = 0.05;
+  spec.duplicate_probability = 0.05;
+  spec.delay_probability = 0.10;
+  const FaultPlan parent(spec);
+  std::vector<std::shared_ptr<FaultPlan>> plans;
+  for (std::size_t j = 0; j < tree.jobs.size(); ++j) {
+    plans.push_back(std::make_shared<FaultPlan>(parent.fork(j + 1)));
+  }
+
+  net::ClientOptions client_options;
+  client_options.request_timeout = milliseconds(20'000);
+  client_options.backoff_initial = milliseconds(5);
+  client_options.backoff_max = milliseconds(50);
+
+  std::vector<std::unique_ptr<net::RuntimeClient>> clients;
+  std::vector<std::unique_ptr<net::CoordinatedAgent>> agents;
+  for (std::size_t j = 0; j < tree.jobs.size(); ++j) {
+    const std::string& path = j < 2 ? rack_a_path : rack_b_path;
+    net::RuntimeClient::TransportConnector connector =
+        [path, plan = plans[j]] {
+          return make_faulty_transport(
+              net::make_transport(net::connect_unix(path)), plan);
+        };
+    clients.push_back(std::make_unique<net::RuntimeClient>(
+        std::move(connector), client_options));
+    agents.push_back(std::make_unique<net::CoordinatedAgent>(
+        *tree.jobs[j], *clients[j]));
+  }
+
+  const auto run_half = [&agents] {
+    std::vector<std::thread> workers;
+    for (auto& agent : agents) {
+      workers.emplace_back([&agent] {
+        const net::AgentResult result = agent->run(10);
+        EXPECT_EQ(result.iterations, 10u);
+        EXPECT_EQ(result.fallback_epochs, 0u);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  };
+
+  run_half();
+  const net::DaemonStats mid = root.stats();
+  EXPECT_EQ(mid.rack_sessions, 2u);
+  EXPECT_EQ(mid.budget_epoch, 1u);
+  EXPECT_EQ(mid.budget_violations, 0u);
+
+  // Kill rackB mid-run: its latches, stored policies, and root session
+  // die with it. Its clients ride their reconnect backoff into the
+  // restarted instance; the root keeps rackB's jobs in grace meanwhile.
+  rack_b->stop();
+  rack_b_thread.join();
+  rack_b.reset();
+  rack_b = std::make_unique<net::AggregatorDaemon>(
+      rack_options("rackB", root_path));
+  rack_b_thread = start_aggregator(*rack_b, rack_b_path);
+
+  run_half();
+
+  const net::DaemonStats after = root.stats();
+  EXPECT_EQ(after.budget_epoch, 2u);
+  EXPECT_DOUBLE_EQ(after.budget_watts, schedule[1].budget_watts);
+  EXPECT_EQ(after.budget_violations, 0u);
+  EXPECT_EQ(after.jobs_evicted, 0u);  // the crash stayed within grace
+
+  rack_a->stop();
+  rack_b->stop();
+  rack_a_thread.join();
+  rack_b_thread.join();
+  root.stop();
+  root_thread.join();
+  std::remove(root_path.c_str());
+  std::remove(rack_a_path.c_str());
+  std::remove(rack_b_path.c_str());
+
+  // Every leaf heard the brownout through its aggregator.
+  for (const auto& client : clients) {
+    ASSERT_TRUE(client->last_budget().has_value());
+    EXPECT_EQ(client->last_budget()->epoch, 2u);
+    EXPECT_DOUBLE_EQ(client->last_budget()->budget_watts,
+                     schedule[1].budget_watts);
+  }
+
+  // The chaos must actually have fired.
+  std::size_t injected = 0;
+  for (const auto& plan : plans) {
+    injected += plan->stats().injected();
+  }
+  EXPECT_GT(injected, 0u) << "fault plan never fired; scenario is vacuous";
+
+  // Watt-for-watt equality with the fault-free in-memory replay.
+  double allocated = 0.0;
+  for (std::size_t j = 0; j < tree.jobs.size(); ++j) {
+    for (std::size_t h = 0; h < tree.jobs[j]->host_count(); ++h) {
+      EXPECT_DOUBLE_EQ(tree.jobs[j]->host_cap(h),
+                       reference_jobs[j]->host_cap(h))
+          << "job " << tree.jobs[j]->name() << " host " << h << " (seed "
+          << seed << ")";
+      allocated += tree.jobs[j]->host_cap(h);
+    }
+  }
+  EXPECT_LE(allocated, schedule[1].budget_watts + 0.5 * 16.0);
+
+  EXPECT_EQ(core::invariants::stats().violations, 0u);
+  core::invariants::reset();
+  core::invariants::set_mode(previous_mode);
+}
+
+}  // namespace
+}  // namespace ps::fault

@@ -55,6 +55,21 @@ BENCH_sla.json so silent frontier drift fails loudly:
     python3 tools/check_bench.py --mode sla \
         --bench ./build/bench/ext_multitenant_sla \
         --baseline BENCH_sla.json [--generate]
+
+--mode hierarchy gates the two-level daemon-tree soak
+(ext_hierarchy_scale) at its CI-bounded --quick scale.  The committed
+BENCH_hierarchy.json pins the fleet shape (clients/racks/rounds --
+config drift fails loudly), the SHA-256 of the per-round CSV (which the
+bench guarantees is --jobs invariant; this script re-verifies the
+serial vs --jobs 4 byte-equality on every run), the zero-leak verdict
+for the mass-disconnect reclamation, and the per-level round-latency
+p50/p99, which may not regress past the baseline by more than
+--tolerance (default 1.0 here: quick-scale rounds complete in a few
+loop ticks, so the band mostly absorbs tick-quantization jitter):
+
+    python3 tools/check_bench.py --mode hierarchy \
+        --bench ./build/bench/ext_hierarchy_scale \
+        --baseline BENCH_hierarchy.json [--generate]
 """
 
 from __future__ import annotations
@@ -193,6 +208,63 @@ def check_failover(current: dict, baseline: dict,
     return failures
 
 
+def measure_hierarchy(bench: Path) -> dict:
+    """Runs the quick soak serially and with --jobs 4.
+
+    The summary JSON comes from the serial run; the --jobs 4 run exists
+    to re-prove the CSV determinism contract (and must also pass the
+    bench's own zero-leak gate to exit 0).
+    """
+    with tempfile.TemporaryDirectory(prefix="ps-bench-") as tmp:
+        payload = None
+        csv_bytes = {}
+        for jobs in (1, 4):
+            out_csv = Path(tmp) / f"jobs{jobs}.csv"
+            out_json = Path(tmp) / f"jobs{jobs}.json"
+            cmd = [str(bench), "--quick", "--jobs", str(jobs),
+                   "--out", str(out_csv), "--json", str(out_json)]
+            result = subprocess.run(cmd, capture_output=True, text=True)
+            if result.returncode != 0:
+                sys.stderr.write(result.stdout)
+                sys.stderr.write(result.stderr)
+                sys.exit(f"{' '.join(cmd)}: exit {result.returncode}")
+            csv_bytes[jobs] = out_csv.read_bytes()
+            if jobs == 1:
+                payload = json.loads(out_json.read_text())
+        if csv_bytes[1] != csv_bytes[4]:
+            sys.exit(f"{bench.name}: --jobs 4 CSV differs from the serial "
+                     "one -- the round summaries lost determinism")
+        payload["csv_sha256"] = hashlib.sha256(csv_bytes[1]).hexdigest()
+        return payload
+
+
+def check_hierarchy(current: dict, baseline: dict,
+                    tolerance: float, abs_slack: float) -> list[str]:
+    failures: list[str] = []
+    for key in ("clients", "racks", "rounds", "evicted_jobs"):
+        if current[key] != baseline[key]:
+            failures.append(f"{key} changed: {baseline[key]} -> "
+                            f"{current[key]} -- regenerate the baseline "
+                            "if the fleet shape moved intentionally")
+    if current["csv_sha256"] != baseline["csv_sha256"]:
+        failures.append(
+            "round-summary checksum drift: the allocation numbers "
+            f"changed ({baseline['csv_sha256'][:12]} -> "
+            f"{current['csv_sha256'][:12]}); if intentional, regenerate "
+            "the baseline with --generate in this PR")
+    if current["leak_watts"] > 1e-6:
+        failures.append(f"mass-disconnect watt leak: "
+                        f"{current['leak_watts']} W unreclaimed")
+    for key in ("root_round_p99_seconds", "rack_round_p99_seconds"):
+        limit = baseline[key] * (1.0 + tolerance) + abs_slack
+        if current[key] > limit:
+            failures.append(
+                f"{key} regressed >{tolerance:.0%}+{abs_slack:.3f}s: "
+                f"{baseline[key]:.4f}s baseline vs {current[key]:.4f}s "
+                f"now (limit {limit:.4f}s)")
+    return failures
+
+
 def check(current: dict, baseline: dict, tolerance: float,
           min_speedup: float, abs_slack: float) -> list[str]:
     failures: list[str] = []
@@ -246,11 +318,14 @@ def main() -> None:
     parser.add_argument("--tolerance", type=float, default=None,
                         help="allowed relative regression (default 0.10 "
                              "for sweep mode, 0.25 for failover)")
-    parser.add_argument("--mode", choices=("sweep", "failover", "sla"),
+    parser.add_argument("--mode",
+                        choices=("sweep", "failover", "sla", "hierarchy"),
                         default="sweep",
                         help="sweep: CSV checksum + wall time; failover: "
                              "time-to-takeover quantiles; sla: sweep gate "
-                             "plus the oversubscription dominance verdict")
+                             "plus the oversubscription dominance verdict; "
+                             "hierarchy: daemon-tree soak (CSV determinism "
+                             "+ round latency + zero-leak reclamation)")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="required serial/--jobs 4 wall-time ratio on "
                              "multi-core runners (default 1.0: parallel "
@@ -264,7 +339,36 @@ def main() -> None:
                              "fast that jitter dwarfs the relative band)")
     args = parser.parse_args()
     if args.tolerance is None:
-        args.tolerance = 0.25 if args.mode == "failover" else 0.10
+        args.tolerance = {"failover": 0.25, "hierarchy": 1.0}.get(
+            args.mode, 0.10)
+
+    if args.mode == "hierarchy":
+        current = measure_hierarchy(args.bench)
+        if args.generate:
+            args.baseline.write_text(json.dumps(current, indent=2) + "\n")
+            print(f"wrote {args.baseline}: {current['clients']} clients / "
+                  f"{current['racks']} racks / {current['rounds']} rounds, "
+                  f"root p99 {current['root_round_p99_seconds']}s, rack "
+                  f"p99 {current['rack_round_p99_seconds']}s, leak "
+                  f"{current['leak_watts']} W")
+            return
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_hierarchy(current, baseline, args.tolerance,
+                                   args.abs_slack)
+        print(f"{current['bench']}: {current['clients']} clients over "
+              f"{current['racks']} racks, checksum "
+              f"{current['csv_sha256'][:12]}, root round p99 "
+              f"{current['root_round_p99_seconds']}s (baseline "
+              f"{baseline['root_round_p99_seconds']}s), rack round p99 "
+              f"{current['rack_round_p99_seconds']}s (baseline "
+              f"{baseline['rack_round_p99_seconds']}s), leak "
+              f"{current['leak_watts']} W")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            sys.exit(1)
+        print("OK")
+        return
 
     if args.mode == "failover":
         current = measure_failover(args.bench)

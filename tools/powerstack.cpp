@@ -11,8 +11,11 @@
 //       Run a job under any runtime agent; show caps and speedup.
 //   powerstack facility [--nodes N] [--hours H] [--policy P]
 //       Run the event-driven facility over a Poisson job trace.
-//   powerstack daemon --budget W [--socket PATH | --tcp PORT]
-//       Serve the RM power daemon until interrupted (or --duration S).
+//   powerstack daemon --budget W [--socket PATH | --tcp PORT] [--root]
+//       Serve the RM power daemon until interrupted (or --duration S);
+//       --root additionally accepts per-rack aggregator sessions.
+//   powerstack aggregator --parent PATH --rack NAME [--socket PATH]
+//       Serve one rack's aggregation tier of the daemon tree.
 //   powerstack agent --workload NAME [--socket PATH | --tcp PORT]
 //       Run a job under daemon coordination over a real socket.
 //   powerstack trace FILE [--replay] [--chrome OUT]
@@ -39,6 +42,7 @@
 #include "ha/replicator.hpp"
 #include "ha/standby.hpp"
 #include "net/agent.hpp"
+#include "net/aggregator.hpp"
 #include "net/client.hpp"
 #include "net/daemon.hpp"
 #include "kernel/proxies.hpp"
@@ -96,6 +100,15 @@ struct Args {
   std::string trace_path;
   /// daemon/agent: dump the metrics registry to stdout on exit.
   bool metrics = false;
+  /// daemon: also accept rack-aggregate frames (the tree root).
+  bool root = false;
+  /// aggregator: upstream daemon endpoint (unix path, or a bare port
+  /// number for 127.0.0.1 TCP) and the rack this tier speaks for.
+  std::string parent;
+  std::string rack = "rack0";
+  /// daemon/aggregator: event-loop readiness backend (poll | epoll);
+  /// empty = PS_EVENT_BACKEND / platform default.
+  std::string backend;
   /// trace: the file to inspect, plus report options.
   std::string trace_file;
   bool replay = false;
@@ -157,6 +170,14 @@ Args parse_args(int argc, char** argv) {
       args.trace_path = argv[++i];
     } else if (arg == "--metrics") {
       args.metrics = true;
+    } else if (arg == "--root") {
+      args.root = true;
+    } else if (arg == "--parent" && i + 1 < argc) {
+      args.parent = argv[++i];
+    } else if (arg == "--rack" && i + 1 < argc) {
+      args.rack = argv[++i];
+    } else if (arg == "--backend" && i + 1 < argc) {
+      args.backend = argv[++i];
     } else if (arg == "--replay") {
       args.replay = true;
     } else if (arg == "--chrome" && i + 1 < argc) {
@@ -183,6 +204,7 @@ int usage() {
       "                                  tracks F of facility headroom\n"
       "                                  (~0.003 suits 8 nodes)\n"
       "  daemon --budget W [--min-jobs N] [--duration S] [--snapshot PATH]\n"
+      "         [--root]\n"
       "                                  serve the RM power daemon; with\n"
       "                                  --snapshot, restarts rehydrate jobs;\n"
       "                                  --brownout schedules budget drops\n"
@@ -190,6 +212,10 @@ int usage() {
       "                                  to a standby; --standby-of PATH\n"
       "                                  runs AS the standby (promotes when\n"
       "                                  the --lease MS lease lapses)\n"
+      "  aggregator --parent ENDPOINT --rack NAME [--min-jobs N]\n"
+      "                                  serve one rack of the daemon tree:\n"
+      "                                  batch local samples upward, fan the\n"
+      "                                  rack budget back out as per-job caps\n"
       "  agent --workload NAME [--job NAME] [--iterations N]\n"
       "                                  run a job under daemon coordination;\n"
       "                                  --endpoints A,B,... fails over down\n"
@@ -201,8 +227,37 @@ int usage() {
       "  validate [--quick]              reproduction self-check\n"
       "common options: --nodes N --policy NAME\n"
       "transport options (daemon/agent): --socket PATH | --tcp PORT\n"
+      "event loop (daemon/aggregator): --backend poll|epoll\n"
       "observability (daemon/agent): --trace PATH --metrics\n");
   return 2;
+}
+
+std::optional<net::EventBackend> parse_backend(const std::string& name) {
+  if (name.empty()) {
+    return net::default_event_backend();
+  }
+  if (util::iequals(name, "poll")) {
+    return net::EventBackend::kPoll;
+  }
+  if (util::iequals(name, "epoll")) {
+    return net::EventBackend::kEpoll;
+  }
+  return std::nullopt;
+}
+
+/// An endpoint operand: a bare port number dials 127.0.0.1 TCP, anything
+/// else is a Unix socket path.
+net::RuntimeClient::TransportConnector endpoint_connector(
+    const std::string& endpoint) {
+  if (endpoint.find_first_not_of("0123456789") == std::string::npos &&
+      !endpoint.empty()) {
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(endpoint.c_str(), nullptr, 10));
+    return [port] { return net::make_transport(net::connect_tcp(port)); };
+  }
+  return [path = endpoint] {
+    return net::make_transport(net::connect_unix(path));
+  };
 }
 
 std::optional<core::PolicyKind> parse_policy(std::string_view name) {
@@ -413,6 +468,13 @@ int cmd_daemon(const Args& args) {
           : 195.0 * static_cast<double>(args.nodes * args.min_jobs);
   options.policy = *policy;
   options.min_jobs = args.min_jobs;
+  options.root_mode = args.root;
+  const auto backend = parse_backend(args.backend);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s'\n", args.backend.c_str());
+    return 2;
+  }
+  options.event_backend = *backend;
   options.snapshot_path = args.snapshot_path;
   if (args.brownout) {
     // A budget schedule shaped like the facility trace, scaled so it
@@ -518,14 +580,14 @@ int cmd_daemon(const Args& args) {
   }
   if (args.tcp_port >= 0) {
     daemon.listen_tcp(static_cast<std::uint16_t>(args.tcp_port));
-    std::printf("daemon: tcp 127.0.0.1:%u, budget %.1f W, policy %s\n",
-                daemon.tcp_port(), options.system_budget_watts,
-                args.policy.c_str());
+    std::printf("daemon%s: tcp 127.0.0.1:%u, budget %.1f W, policy %s\n",
+                args.root ? " (root)" : "", daemon.tcp_port(),
+                options.system_budget_watts, args.policy.c_str());
   } else {
     daemon.listen_unix(args.socket_path);
-    std::printf("daemon: unix %s, budget %.1f W, policy %s\n",
-                args.socket_path.c_str(), options.system_budget_watts,
-                args.policy.c_str());
+    std::printf("daemon%s: unix %s, budget %.1f W, policy %s\n",
+                args.root ? " (root)" : "", args.socket_path.c_str(),
+                options.system_budget_watts, args.policy.c_str());
   }
   std::fflush(stdout);
 
@@ -546,6 +608,13 @@ int cmd_daemon(const Args& args) {
       "%zu policies sent\n",
       stats.sessions_accepted, stats.samples_received, stats.allocations,
       stats.policies_sent);
+  if (args.root) {
+    std::printf(
+        "daemon: %zu rack frames in, %zu rack policies out "
+        "(%zu resent)\n",
+        stats.rack_frames_received, stats.rack_policies_sent,
+        stats.rack_policies_resent);
+  }
   if (args.brownout) {
     std::printf(
         "daemon: budget %.1f W at epoch %llu, %zu revisions applied, "
@@ -570,6 +639,72 @@ int cmd_daemon(const Args& args) {
     std::printf("daemon: trace %s, %zu events\n", args.trace_path.c_str(),
                 sink.size());
   }
+  if (args.metrics) {
+    std::ostringstream text;
+    registry.render_text(text);
+    std::fputs(text.str().c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_aggregator(const Args& args) {
+  if (args.parent.empty()) {
+    std::fprintf(stderr, "aggregator: need --parent ENDPOINT\n");
+    return 2;
+  }
+  const auto backend = parse_backend(args.backend);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s'\n", args.backend.c_str());
+    return 2;
+  }
+  net::AggregatorOptions options;
+  options.rack = args.rack;
+  options.min_jobs = args.min_jobs;
+  options.event_backend = *backend;
+  const auto connect_parent = endpoint_connector(args.parent);
+  options.parent_connector = [connect_parent]()
+      -> std::unique_ptr<net::Transport> {
+    try {
+      return connect_parent();
+    } catch (const std::exception&) {
+      return nullptr;  // parent down: retried on the next tick
+    }
+  };
+  obs::MetricsRegistry registry;
+  if (args.metrics) {
+    options.obs.metrics = &registry;
+  }
+  net::AggregatorDaemon aggregator(options);
+  if (args.tcp_port >= 0) {
+    aggregator.listen_tcp(static_cast<std::uint16_t>(args.tcp_port));
+    std::printf("aggregator %s: tcp 127.0.0.1:%u -> parent %s\n",
+                args.rack.c_str(), aggregator.tcp_port(),
+                args.parent.c_str());
+  } else {
+    aggregator.listen_unix(args.socket_path);
+    std::printf("aggregator %s: unix %s -> parent %s\n", args.rack.c_str(),
+                args.socket_path.c_str(), args.parent.c_str());
+  }
+  std::fflush(stdout);
+
+  std::thread stopper;
+  if (args.duration_seconds > 0.0) {
+    stopper = std::thread([&aggregator, seconds = args.duration_seconds] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      aggregator.stop();
+    });
+  }
+  aggregator.run();
+  if (stopper.joinable()) {
+    stopper.join();
+  }
+  const net::AggregatorStats stats = aggregator.stats();
+  std::printf(
+      "aggregator: %zu sessions, %zu samples, %zu rounds forwarded, "
+      "%zu policies fanned out, rack budget %.1f W\n",
+      stats.sessions_accepted, stats.samples_received,
+      stats.rounds_forwarded, stats.policies_fanned_out,
+      stats.rack_budget_watts);
   if (args.metrics) {
     std::ostringstream text;
     registry.render_text(text);
@@ -723,6 +858,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "daemon") {
       return cmd_daemon(args);
+    }
+    if (args.command == "aggregator") {
+      return cmd_aggregator(args);
     }
     if (args.command == "agent") {
       return cmd_agent(args);
